@@ -1,0 +1,33 @@
+//! The §7.4 end-to-end latency claim: "an end-to-end run time (training,
+//! inferencing, and optimizing) reduced to mere seconds" for the deployed
+//! SSA+ pipeline. This bench measures exactly that loop — fit SSA+ on two
+//! days of history, forecast one hour, optimize the forecast — as one unit.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ip_bench::default_saa;
+use ip_core::{RecommendationEngine, TwoStepEngine};
+use ip_models::ssa_plus::SsaPlusConfig;
+use ip_models::SsaPlus;
+use ip_workload::{preset, PresetId};
+use std::hint::black_box;
+
+fn bench_e2e(c: &mut Criterion) {
+    let mut model = preset(PresetId::EastUs2Small, 3);
+    model.days = 2;
+    let history = model.generate();
+    let saa = default_saa();
+
+    let mut group = c.benchmark_group("e2e_pipeline");
+    group.sample_size(10);
+    group.bench_function("ssa_plus_2step_train_infer_optimize_1h", |b| {
+        b.iter(|| {
+            let forecaster = SsaPlus::new(SsaPlusConfig::default());
+            let mut engine = TwoStepEngine::new(forecaster, saa);
+            engine.recommend(black_box(&history), black_box(120)).expect("recommendation")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_e2e);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Criterion microbenches for the SAA optimizer: LP simplex vs integer DP
+//! across horizon sizes. Backs the §7.4 claim that optimization runs "in a
+//! few seconds" at the production one-hour horizon.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ip_bench::default_saa;
+use ip_saa::{optimize_dp, optimize_lp};
+use ip_timeseries::TimeSeries;
+use ip_workload::{preset, PresetId};
+use std::hint::black_box;
+
+fn demand(intervals: usize) -> TimeSeries {
+    let mut model = preset(PresetId::EastUs2Small, 6);
+    model.days = 2;
+    let full = model.generate();
+    TimeSeries::new(full.interval_secs(), full.values()[..intervals].to_vec()).expect("series")
+}
+
+fn bench_optimizers(c: &mut Criterion) {
+    let cfg = default_saa();
+    let mut group = c.benchmark_group("saa_optimizer");
+    for intervals in [60usize, 120, 240] {
+        let d = demand(intervals);
+        group.bench_with_input(BenchmarkId::new("lp_simplex", intervals), &d, |b, d| {
+            b.iter(|| optimize_lp(black_box(d), black_box(&cfg)).expect("lp"))
+        });
+        group.bench_with_input(BenchmarkId::new("dp_exact", intervals), &d, |b, d| {
+            b.iter(|| optimize_dp(black_box(d), black_box(&cfg)).expect("dp"))
+        });
+    }
+    // The DP scales to multi-day SAA runs; the LP is horizon-scale only.
+    for intervals in [2880usize] {
+        let d = demand(intervals);
+        group.sample_size(10);
+        group.bench_with_input(BenchmarkId::new("dp_exact", intervals), &d, |b, d| {
+            b.iter(|| optimize_dp(black_box(d), black_box(&cfg)).expect("dp"))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizers);
+criterion_main!(benches);

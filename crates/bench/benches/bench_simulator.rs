@@ -1,0 +1,47 @@
+//! Criterion microbenches for the platform simulator: events/second over a
+//! day of demand with and without the Intelligent Pooling worker loop.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ip_sim::{IpWorkerConfig, SimConfig, Simulation, StaticProvider};
+use ip_timeseries::TimeSeries;
+use ip_workload::{preset, PresetId};
+use std::hint::black_box;
+
+fn day_demand() -> TimeSeries {
+    let mut model = preset(PresetId::EastUs2Small, 12);
+    model.days = 1;
+    model.generate()
+}
+
+fn bench_simulation(c: &mut Criterion) {
+    let demand = day_demand();
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(10);
+
+    group.bench_with_input(BenchmarkId::new("static_pool", "1day"), &demand, |b, d| {
+        b.iter(|| {
+            let cfg = SimConfig { default_pool_target: 20, ..Default::default() };
+            Simulation::new(cfg, None).run(black_box(d)).expect("sim")
+        })
+    });
+
+    group.bench_with_input(BenchmarkId::new("with_ip_worker", "1day"), &demand, |b, d| {
+        b.iter(|| {
+            let cfg = SimConfig {
+                default_pool_target: 20,
+                ip_worker: Some(IpWorkerConfig {
+                    run_every_secs: 1800,
+                    horizon_secs: 3600,
+                    failing_runs: vec![],
+                }),
+                ..Default::default()
+            };
+            let mut provider = StaticProvider(20);
+            Simulation::new(cfg, Some(&mut provider)).run(black_box(d)).expect("sim")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Ablation: the paper's LP relaxation (solved by our simplex) versus the
+//! exact integer DP over stableness blocks — optimality gap and latency.
+//! The §7.4 latency claim ("end-to-end … in mere seconds") rests on the
+//! optimizer being cheap at the one-hour production horizon.
+//!
+//! `cargo run --release -p ip-bench --bin ablation_lp_vs_dp`
+
+use ip_bench::{default_saa, print_table};
+use ip_saa::{optimize_dp, optimize_lp};
+use ip_timeseries::TimeSeries;
+use ip_workload::{preset, PresetId};
+use std::time::Instant;
+
+fn main() {
+    let mut model = preset(PresetId::EastUs2Small, 6);
+    model.days = 2;
+    let full = model.generate();
+    let cfg = default_saa();
+
+    // Horizon sizes in intervals: 30 min, 1 h (production), 2 h, 6 h, 1 day.
+    let sizes = [60usize, 120, 240, 720, 2880];
+    println!("LP (simplex) vs DP (exact integer) on the SAA problem\n");
+    let mut rows = Vec::new();
+    for &t_len in &sizes {
+        let demand =
+            TimeSeries::new(full.interval_secs(), full.values()[..t_len].to_vec()).expect("series");
+
+        let t0 = Instant::now();
+        let lp = optimize_lp(&demand, &cfg);
+        let lp_time = t0.elapsed().as_secs_f64();
+
+        let t1 = Instant::now();
+        let dp = optimize_dp(&demand, &cfg).expect("DP solve");
+        let dp_time = t1.elapsed().as_secs_f64();
+
+        match lp {
+            Ok(lp) => {
+                let gap = (dp.objective - lp.objective) / lp.objective.max(1e-9) * 100.0;
+                rows.push(vec![
+                    t_len.to_string(),
+                    format!("{:.3}", lp_time),
+                    format!("{:.3}", dp_time),
+                    format!("{:.2}", lp.objective),
+                    format!("{:.2}", dp.objective),
+                    format!("{gap:.2}%"),
+                ]);
+            }
+            Err(e) => rows.push(vec![
+                t_len.to_string(),
+                format!("err({e})"),
+                format!("{:.3}", dp_time),
+                String::new(),
+                format!("{:.2}", dp.objective),
+                String::new(),
+            ]),
+        }
+    }
+    print_table(
+        &["intervals", "LP time (s)", "DP time (s)", "LP obj", "DP obj (int)", "int. gap"],
+        &rows,
+    );
+    println!("\nThe LP lower-bounds the integer optimum; the gap is the rounding");
+    println!("cost production pays. At the 1-hour horizon both run in well under a");
+    println!("second, supporting the continuous retraining loop of §7.4.");
+}

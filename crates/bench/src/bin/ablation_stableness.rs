@@ -1,0 +1,54 @@
+//! §7.1 finding 3: "by decreasing the STABLENESS … the Pareto curve shifts
+//! towards the lower left, indicating better perf-cost trade-offs."
+//!
+//! Protocol: the same demand optimized at several stableness settings, each
+//! swept over α'; for each setting report the idle time needed to reach a
+//! fixed wait level.
+//!
+//! `cargo run --release -p ip-bench --bin ablation_stableness`
+
+use ip_bench::{default_saa, print_table, Scale};
+use ip_saa::{pareto_sweep, SaaConfig};
+use ip_workload::{preset, PresetId};
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut model = preset(PresetId::EastUs2Small, 14);
+    model.days = scale.history_days().min(3); // the sweep is O(days · alphas)
+    let demand = model.generate();
+
+    let alphas = [0.02, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9];
+    // 30 s (1 interval), 5 min (paper default), 10 min (hardened §7.5), 30 min.
+    let stableness_settings = [1usize, 10, 20, 60];
+
+    println!("§7.1 ablation: Pareto points per STABLENESS (same demand, alpha' sweep)\n");
+    let mut rows = Vec::new();
+    for &stab in &stableness_settings {
+        let cfg = SaaConfig { stableness: stab, ..default_saa() };
+        let points = pareto_sweep(&demand, &demand, &cfg, &alphas).expect("sweep");
+        // Idle needed to reach (near-)zero wait, and at a mid wait level.
+        let at_zero = points
+            .iter()
+            .filter(|p| p.mean_wait_secs <= 0.5)
+            .map(|p| p.idle_cluster_seconds)
+            .fold(f64::INFINITY, f64::min);
+        let at_mid = points
+            .iter()
+            .filter(|p| p.mean_wait_secs <= 5.0)
+            .map(|p| p.idle_cluster_seconds)
+            .fold(f64::INFINITY, f64::min);
+        let best_hit = points.iter().map(|p| p.hit_rate).fold(0.0f64, f64::max);
+        rows.push(vec![
+            format!("{} s", stab * 30),
+            if at_zero.is_finite() { format!("{at_zero:.0}") } else { "unreached".into() },
+            if at_mid.is_finite() { format!("{at_mid:.0}") } else { "unreached".into() },
+            format!("{:.2}%", best_hit * 100.0),
+        ]);
+    }
+    print_table(
+        &["stableness", "idle @ wait<=0.5s", "idle @ wait<=5s", "best hit rate"],
+        &rows,
+    );
+    println!("\nExpected: smaller stableness → less idle time at every wait level");
+    println!("(the curve shifts lower-left), at the cost of more frequent resizing.");
+}

@@ -1,0 +1,81 @@
+//! Fig. 4: "the pool size increases 5 minutes before the start of every
+//! hour … The optimization proactively prepares for this surge."
+//!
+//! Protocol: a workload with scheduled jobs at the top of each hour is fed
+//! to the SAA optimizer; the output pool size around each hour boundary is
+//! printed, showing the rise *before* the surge (by ~τ).
+//!
+//! `cargo run --release -p ip-bench --bin fig4_advance_demand`
+
+use ip_bench::print_table;
+use ip_saa::{optimize_dp, SaaConfig};
+use ip_workload::{DemandModel, HourlySpikes, WeeklyProfile};
+
+fn main() {
+    let model = DemandModel {
+        days: 1,
+        interval_secs: 30,
+        base_rate: 0.5,
+        diurnal_amplitude: 0.0,
+        weekly: WeeklyProfile::flat(),
+        hourly_spikes: Some(HourlySpikes {
+            magnitude: 25.0,
+            duration_secs: 120,
+            hours: vec![], // every hour, like the 6AM/7AM schedules of §7.1
+        }),
+        sporadic_spikes: None,
+        poisson_noise: true,
+        seed: 4,
+    };
+    let demand = model.generate();
+    let config = SaaConfig {
+        tau_intervals: 10, // 5 minutes of creation latency, matching the figure's lead
+        stableness: 10,    // 5-minute blocks
+        min_pool: 0,
+        max_pool: 500,
+        max_new_per_block: 500,
+        alpha_prime: 0.3,
+    };
+    let opt = optimize_dp(&demand, &config).expect("DP solve");
+
+    // Show the window around three representative hours: minute offsets
+    // −15 … +10 relative to the top of the hour.
+    let per_hour = 120usize;
+    println!("Fig. 4: optimal pool size around top-of-hour demand surges");
+    println!("(tau = 5 min; demand spikes for the first 2 min of each hour)\n");
+    let mut rows = Vec::new();
+    for minute_offset in (-15i64..=10).step_by(5) {
+        let mut row = vec![format!("{:+} min", minute_offset)];
+        for hour in [6usize, 12, 18] {
+            let t = (hour * per_hour) as i64 + minute_offset * 2; // 2 intervals/min
+            let t = t.clamp(0, (demand.len() - 1) as i64) as usize;
+            row.push(format!("{:.0}", opt.schedule[t]));
+        }
+        // Demand at that offset (averaged across the three hours).
+        let avg_demand: f64 = [6usize, 12, 18]
+            .iter()
+            .map(|h| {
+                let t = ((h * per_hour) as i64 + minute_offset * 2)
+                    .clamp(0, (demand.len() - 1) as i64) as usize;
+                demand.get(t)
+            })
+            .sum::<f64>()
+            / 3.0;
+        row.push(format!("{avg_demand:.1}"));
+        rows.push(row);
+    }
+    print_table(&["offset", "pool @6:00", "pool @12:00", "pool @18:00", "avg demand"], &rows);
+
+    // Quantify the anticipation across all 23 interior hours.
+    let mut anticipated = 0;
+    for k in 1..24 {
+        let surge = k * per_hour;
+        let before = opt.schedule[surge - config.tau_intervals];
+        let quiet = opt.schedule[surge - per_hour / 2];
+        if before > quiet {
+            anticipated += 1;
+        }
+    }
+    println!("\npool size rose ahead of the surge in {anticipated}/23 hours");
+    println!("(the paper observes the rise at :55 for 6:00/7:00/... scheduled jobs)");
+}

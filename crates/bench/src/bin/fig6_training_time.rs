@@ -1,0 +1,48 @@
+//! Fig. 6: training time vs input data size per model. The paper's finding:
+//! SSA/SSA+ train ~200× faster than the deep models, which is what makes
+//! the minutes-cadence retraining loop (§7.4) possible.
+//!
+//! `cargo run --release -p ip-bench --bin fig6_training_time`
+
+use ip_bench::{build_model, model_names, print_table, Scale};
+use ip_timeseries::TimeSeries;
+use ip_workload::{preset, PresetId};
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut model = preset(PresetId::EastUs2Small, 8);
+    model.days = scale.history_days();
+    let full = model.generate();
+
+    // Input sizes (intervals): quarter-day steps up to the full trace.
+    let sizes: Vec<usize> = match scale {
+        Scale::Quick => vec![720, 1440, 2880, 5760],
+        Scale::Full => vec![1800, 3600, 7200, 14400, 28800],
+    };
+
+    println!("Fig. 6: training time (seconds) vs input size (intervals)\n");
+    let mut rows = Vec::new();
+    for &size in &sizes {
+        if size > full.len() {
+            continue;
+        }
+        let train =
+            TimeSeries::new(full.interval_secs(), full.values()[full.len() - size..].to_vec())
+                .expect("series");
+        let mut row = vec![size.to_string()];
+        for name in model_names() {
+            let mut forecaster = build_model(name, scale, 0.5);
+            match forecaster.fit(&train) {
+                Ok(report) => row.push(format!("{:.3}", report.fit_time.as_secs_f64())),
+                Err(e) => row.push(format!("err({e})")),
+            }
+        }
+        rows.push(row);
+    }
+    let headers: Vec<&str> =
+        std::iter::once("intervals").chain(model_names()).collect();
+    print_table(&headers, &rows);
+    println!();
+    println!("Expected shape (paper): SSA and SSA+ two orders of magnitude faster");
+    println!("than mWDN/TST/InceptionTime, with TST the slowest.");
+}

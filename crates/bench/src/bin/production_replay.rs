@@ -1,0 +1,109 @@
+//! Production replay: the deployed system's cadence (§7.4–7.5) — retrain
+//! every 30 minutes, recommend the next hour — rolled over a multi-day
+//! trace, against the static pool a realistic operator would run.
+//!
+//! This is the fairest out-of-sample version of the headline comparison:
+//! both policies see only the past; the replay harness stitches the
+//! rolling recommendations exactly as the Pooling Worker would apply them.
+//!
+//! `cargo run --release -p ip-bench --bin production_replay`
+
+use ip_bench::{default_saa, print_table, Scale};
+use ip_core::{replay_pipeline, ReplayConfig, TwoStepEngine};
+use ip_models::ssa_plus::SsaPlusConfig;
+use ip_models::{SeasonalNaive, SsaModel, SsaPlus};
+use ip_saa::static_pool::static_schedule;
+use ip_saa::{evaluate_schedule, optimal_static_for_hit_rate, SaaConfig};
+use ip_ssa::RankSelection;
+use ip_workload::{preset, PresetId};
+
+fn main() {
+    let scale = Scale::from_env();
+    let mut model = preset(PresetId::EastUs2Small, 61);
+    model.days = scale.history_days() + 1;
+    let demand = model.generate();
+    let warmup = 2880; // first day: warm-up / static sizing window
+    let saa = SaaConfig { alpha_prime: 0.25, ..default_saa() };
+    let replay_cfg = ReplayConfig {
+        warmup,
+        cadence: 60,  // 30 min
+        horizon: 120, // 1 h
+        default_target: 5,
+        tau_intervals: saa.tau_intervals,
+    };
+
+    // Static reference: sized on the warm-up day for a 99% hit rate, then
+    // held for the remaining days (what a careful operator without ML does).
+    let sizing_window = demand.slice(0, warmup).expect("slice");
+    let (static_n, _) =
+        optimal_static_for_hit_rate(&sizing_window, saa.tau_intervals, 0.99, 2000)
+            .expect("static sizing");
+    let eval_demand = demand.slice(warmup, demand.len()).expect("slice");
+    let static_mech = evaluate_schedule(
+        &eval_demand,
+        &static_schedule(eval_demand.len(), static_n),
+        saa.tau_intervals,
+    )
+    .expect("static eval");
+
+    println!(
+        "Production replay over {} days (after a 1-day warm-up), cadence 30 min,\nhorizon 1 h; static reference N = {static_n} sized on the warm-up day\n",
+        model.days - 1
+    );
+
+    let mut rows = vec![vec![
+        format!("static (N = {static_n})"),
+        format!("{:.2}%", static_mech.hit_rate * 100.0),
+        format!("{:.2}", static_mech.mean_wait_per_request_secs),
+        format!("{:.0}", static_mech.idle_cluster_seconds),
+        "-".into(),
+        "-".into(),
+    ]];
+
+    let engines: Vec<(&str, Box<dyn ip_core::RecommendationEngine>)> = vec![
+        (
+            "SSA+ 2-step (deployed)",
+            Box::new(TwoStepEngine::new(
+                SsaPlus::new(SsaPlusConfig { alpha_prime: 0.85, ..Default::default() }),
+                saa,
+            )),
+        ),
+        (
+            "SSA 2-step",
+            Box::new(TwoStepEngine::new(
+                SsaModel::new(150, RankSelection::EnergyThreshold(0.9)),
+                saa,
+            )),
+        ),
+        (
+            "seasonal-naive 2-step",
+            Box::new(TwoStepEngine::new(SeasonalNaive::daily(30), saa)),
+        ),
+    ];
+
+    for (label, mut engine) in engines {
+        match replay_pipeline(engine.as_mut(), &demand, &replay_cfg) {
+            Ok(out) => {
+                let saved =
+                    1.0 - out.mechanics.idle_cluster_seconds / static_mech.idle_cluster_seconds;
+                rows.push(vec![
+                    label.to_string(),
+                    format!("{:.2}%", out.mechanics.hit_rate * 100.0),
+                    format!("{:.2}", out.mechanics.mean_wait_per_request_secs),
+                    format!("{:.0}", out.mechanics.idle_cluster_seconds),
+                    format!("{:.0}%", saved * 100.0),
+                    format!("{}/{}", out.runs - out.failed_runs, out.runs),
+                ]);
+            }
+            Err(e) => rows.push(vec![label.to_string(), format!("error: {e}"), String::new(), String::new(), String::new(), String::new()]),
+        }
+    }
+
+    print_table(
+        &["policy", "hit rate", "mean wait (s)", "idle (cl-sec)", "idle saved", "runs ok"],
+        &rows,
+    );
+    println!("\nThe paper's deployed result (43% idle reduction at 99% hit, and >60%");
+    println!("in some regions) corresponds to the SSA+ row: rolling retraining lets");
+    println!("the pool track the diurnal shape the static reference must over-buy.");
+}

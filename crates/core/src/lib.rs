@@ -1,0 +1,86 @@
+#![warn(missing_docs)]
+//! The Intelligent Pooling system assembled — the paper's contribution on
+//! top of the substrate crates.
+//!
+//! * [`pipeline`] — the two end-to-end recommendation engines of §5.4:
+//!   **2-step** (forecast demand → SAA-optimize the forecast) and **E2E**
+//!   (SAA-optimize history → forecast the optimal pool size directly).
+//! * [`autotune`] — the §6 feedback loop: fit `α' = f(t_wait)` piecewise
+//!   linearly over the last 10 observations and steer `α'` toward the wait
+//!   SLA.
+//! * [`engine`] — the production wrapper: guardrail validation of the ML
+//!   prediction, the fallback chain (fresh recommendation → stale file →
+//!   defaults, §7.6), robustness strategies (§7.5), and an
+//!   [`ip_sim::RecommendationProvider`] implementation so the whole system
+//!   can be dropped into the platform simulator.
+//! * [`cogs`] — the cost model converting idle cluster time into dollar
+//!   figures (Table 2) for the paper's node sizes.
+//! * [`multi_pool`] — the paper's stated future work: several pools with
+//!   different cluster configurations managed side by side.
+//! * [`monitoring`] — the §7.5 production metric set and alert rules.
+//!
+//! ```
+//! use ip_core::AlphaTuner;
+//!
+//! // The §6 loop: each observation of the measured wait updates alpha'.
+//! // Here the environment responds linearly (wait = 100·alpha'); the tuner
+//! // walks alpha' until the wait sits at the 10 s target.
+//! let mut tuner = AlphaTuner::new(10.0, 0.8).unwrap();
+//! let mut alpha = tuner.alpha();
+//! for _ in 0..20 {
+//!     alpha = tuner.observe(100.0 * alpha);
+//! }
+//! assert!((100.0 * alpha - 10.0).abs() < 5.0);
+//! ```
+
+pub mod autotune;
+pub mod cogs;
+pub mod engine;
+pub mod monitoring;
+pub mod multi_pool;
+pub mod pipeline;
+pub mod replay;
+
+pub use autotune::AlphaTuner;
+pub use cogs::{CostModel, NodeSize, SavingsReport};
+pub use engine::{EngineConfig, Guardrail, IntelligentPooling, RecommendationOutcome};
+pub use monitoring::{evaluate_alerts, Alert, AlertRule, Dashboard, MetricsSnapshot};
+pub use multi_pool::{MultiPoolManager, PoolId};
+pub use pipeline::{EndToEndEngine, RecommendationEngine, TwoStepEngine};
+pub use replay::{replay_pipeline, ReplayConfig, ReplayOutcome};
+
+/// Errors from the core engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The underlying forecaster failed.
+    Model(String),
+    /// The optimizer failed.
+    Optimizer(String),
+    /// Invalid configuration.
+    InvalidConfig(String),
+    /// Not enough history to operate.
+    InsufficientHistory {
+        /// Required intervals.
+        needed: usize,
+        /// Available intervals.
+        got: usize,
+    },
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Model(m) => write!(f, "model failure: {m}"),
+            CoreError::Optimizer(m) => write!(f, "optimizer failure: {m}"),
+            CoreError::InvalidConfig(m) => write!(f, "invalid config: {m}"),
+            CoreError::InsufficientHistory { needed, got } => {
+                write!(f, "insufficient history: need {needed}, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, CoreError>;

@@ -1,0 +1,248 @@
+//! Production monitoring (§7.5): "we track the Intelligent Pooling status
+//! (succeeded, failed), metrics of average idle time, recommended pool
+//! size, demand request rate, pool miss/hit count/percentage, COGS saved,
+//! hydration status … in real-time. This comprehensive monitoring system is
+//! an essential part of the Intelligent Pooling."
+//!
+//! [`Dashboard`] distills a simulation run (or live telemetry shaped like
+//! one) into exactly that metric set, and [`AlertRule`]s turn threshold
+//! breaches into actionable alerts — the paper's "alerting system for
+//! pipeline failures".
+
+use crate::cogs::CostModel;
+use ip_sim::SimReport;
+use serde::{Deserialize, Serialize};
+
+/// One snapshot of the §7.5 metric set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MetricsSnapshot {
+    /// Pipeline runs attempted / failed.
+    pub ip_runs: u64,
+    /// Failed pipeline runs.
+    pub ip_failures: u64,
+    /// Pool hits.
+    pub hit_count: u64,
+    /// Pool misses.
+    pub miss_count: u64,
+    /// Hit percentage (0–100).
+    pub hit_percentage: f64,
+    /// Mean demand request rate per interval.
+    pub demand_rate_per_interval: f64,
+    /// Average idle time per pooled cluster-interval, in cluster-seconds.
+    pub idle_cluster_seconds: f64,
+    /// Mean recommended/applied pool size.
+    pub mean_pool_size: f64,
+    /// Intervals served from default config (stale/missing recommendation).
+    pub fallback_intervals: u64,
+    /// Workers replaced by the Arbitrator.
+    pub worker_replacements: u64,
+    /// Dollars of idle cost over the window.
+    pub idle_cost_dollars: f64,
+    /// Dollars saved vs a given static reference (None when no reference).
+    pub cogs_saved_dollars: Option<f64>,
+    /// Hydration status: clusters created / cancelled / expired.
+    pub clusters_created: u64,
+    /// Re-hydrations cancelled by downsizing.
+    pub cancelled_provisioning: u64,
+    /// Pooled clusters lost to expiry/failure.
+    pub expired: u64,
+}
+
+/// Builds snapshots and evaluates alert rules.
+#[derive(Debug, Clone)]
+pub struct Dashboard {
+    cost: CostModel,
+    /// Idle cost of the static reference deployment over the same window
+    /// (for the "COGS saved" metric), if known.
+    pub static_reference_idle_seconds: Option<f64>,
+}
+
+impl Dashboard {
+    /// Creates a dashboard with the given cost model.
+    pub fn new(cost: CostModel) -> Self {
+        Self { cost, static_reference_idle_seconds: None }
+    }
+
+    /// Distills a simulation report into the metric snapshot.
+    pub fn snapshot(&self, report: &SimReport, window_secs: f64) -> MetricsSnapshot {
+        let intervals = report.applied_target_timeline.len().max(1) as f64;
+        let mean_pool_size = report
+            .applied_target_timeline
+            .iter()
+            .map(|&t| f64::from(t))
+            .sum::<f64>()
+            / intervals;
+        let idle_cost = self.cost.cost_of_idle(report.idle_cluster_seconds);
+        let cogs_saved = self.static_reference_idle_seconds.map(|static_idle| {
+            self.cost.cost_of_idle(static_idle) - idle_cost
+        });
+        let _ = window_secs;
+        MetricsSnapshot {
+            ip_runs: report.ip_runs,
+            ip_failures: report.ip_failures,
+            hit_count: report.hits,
+            miss_count: report.misses,
+            hit_percentage: report.hit_rate * 100.0,
+            demand_rate_per_interval: report.total_requests as f64 / intervals,
+            idle_cluster_seconds: report.idle_cluster_seconds,
+            mean_pool_size,
+            fallback_intervals: report.fallback_intervals,
+            worker_replacements: report.worker_replacements,
+            idle_cost_dollars: idle_cost,
+            cogs_saved_dollars: cogs_saved,
+            clusters_created: report.clusters_created,
+            cancelled_provisioning: report.cancelled_provisioning,
+            expired: report.expired,
+        }
+    }
+}
+
+/// A threshold alert over a snapshot.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AlertRule {
+    /// Fire when the hit percentage drops below this value.
+    HitRateBelow(f64),
+    /// Fire when more than this fraction of pipeline runs failed.
+    PipelineFailureRateAbove(f64),
+    /// Fire when more than this many intervals ran on default config.
+    FallbackIntervalsAbove(u64),
+    /// Fire when any pooling worker had to be replaced.
+    WorkerReplaced,
+}
+
+/// A fired alert.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Alert {
+    /// The rule that fired.
+    pub rule: AlertRule,
+    /// Human-readable description with the observed value.
+    pub message: String,
+}
+
+/// Evaluates rules against a snapshot; returns the alerts that fired.
+pub fn evaluate_alerts(snapshot: &MetricsSnapshot, rules: &[AlertRule]) -> Vec<Alert> {
+    let mut alerts = Vec::new();
+    for rule in rules {
+        let fired = match rule {
+            AlertRule::HitRateBelow(threshold) => {
+                if snapshot.hit_percentage < *threshold {
+                    Some(format!(
+                        "hit rate {:.2}% below threshold {threshold}%",
+                        snapshot.hit_percentage
+                    ))
+                } else {
+                    None
+                }
+            }
+            AlertRule::PipelineFailureRateAbove(threshold) => {
+                let rate = if snapshot.ip_runs == 0 {
+                    0.0
+                } else {
+                    snapshot.ip_failures as f64 / snapshot.ip_runs as f64
+                };
+                if rate > *threshold {
+                    Some(format!(
+                        "pipeline failure rate {:.0}% above {:.0}%",
+                        rate * 100.0,
+                        threshold * 100.0
+                    ))
+                } else {
+                    None
+                }
+            }
+            AlertRule::FallbackIntervalsAbove(limit) => {
+                if snapshot.fallback_intervals > *limit {
+                    Some(format!(
+                        "{} intervals on default config (limit {limit})",
+                        snapshot.fallback_intervals
+                    ))
+                } else {
+                    None
+                }
+            }
+            AlertRule::WorkerReplaced => {
+                if snapshot.worker_replacements > 0 {
+                    Some(format!("{} worker replacement(s)", snapshot.worker_replacements))
+                } else {
+                    None
+                }
+            }
+        };
+        if let Some(message) = fired {
+            alerts.push(Alert { rule: rule.clone(), message });
+        }
+    }
+    alerts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ip_sim::{SimConfig, Simulation};
+    use ip_timeseries::TimeSeries;
+
+    fn run_report() -> SimReport {
+        let demand = TimeSeries::new(30, vec![1.0; 40]).unwrap();
+        let cfg = SimConfig { default_pool_target: 6, tau_jitter_secs: 0, ..Default::default() };
+        Simulation::new(cfg, None).run(&demand).unwrap()
+    }
+
+    #[test]
+    fn snapshot_matches_report() {
+        let report = run_report();
+        let dash = Dashboard::new(CostModel::default());
+        let snap = dash.snapshot(&report, 1200.0);
+        assert_eq!(snap.hit_count, report.hits);
+        assert_eq!(snap.miss_count, report.misses);
+        assert!((snap.hit_percentage - report.hit_rate * 100.0).abs() < 1e-12);
+        assert!((snap.demand_rate_per_interval - 1.0).abs() < 1e-12);
+        assert!((snap.mean_pool_size - 6.0).abs() < 1e-12);
+        assert!(snap.idle_cost_dollars > 0.0);
+        assert_eq!(snap.cogs_saved_dollars, None);
+    }
+
+    #[test]
+    fn cogs_saved_against_reference() {
+        let report = run_report();
+        let mut dash = Dashboard::new(CostModel::default());
+        dash.static_reference_idle_seconds = Some(report.idle_cluster_seconds * 2.0);
+        let snap = dash.snapshot(&report, 1200.0);
+        let saved = snap.cogs_saved_dollars.unwrap();
+        assert!((saved - snap.idle_cost_dollars).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alerts_fire_on_breach() {
+        let report = run_report();
+        let dash = Dashboard::new(CostModel::default());
+        let mut snap = dash.snapshot(&report, 1200.0);
+        snap.hit_percentage = 80.0;
+        snap.ip_runs = 10;
+        snap.ip_failures = 5;
+        snap.fallback_intervals = 100;
+        snap.worker_replacements = 1;
+        let rules = vec![
+            AlertRule::HitRateBelow(99.0),
+            AlertRule::PipelineFailureRateAbove(0.2),
+            AlertRule::FallbackIntervalsAbove(10),
+            AlertRule::WorkerReplaced,
+        ];
+        let alerts = evaluate_alerts(&snap, &rules);
+        assert_eq!(alerts.len(), 4);
+        assert!(alerts[0].message.contains("80.00%"));
+    }
+
+    #[test]
+    fn quiet_system_fires_nothing() {
+        let report = run_report();
+        let dash = Dashboard::new(CostModel::default());
+        let snap = dash.snapshot(&report, 1200.0);
+        let rules = vec![
+            AlertRule::HitRateBelow(50.0),
+            AlertRule::PipelineFailureRateAbove(0.5),
+            AlertRule::FallbackIntervalsAbove(1000),
+            AlertRule::WorkerReplaced,
+        ];
+        assert!(evaluate_alerts(&snap, &rules).is_empty());
+    }
+}

@@ -1,0 +1,158 @@
+//! Multiple pools with different configurations — the paper's stated future
+//! work ("operation of multiple pools with different configurations
+//! (cluster size, etc.)"), implemented as an extension.
+//!
+//! Each pool (e.g. session vs. cluster pool, or per node size) has its own
+//! demand stream, SAA configuration and cost model; the manager runs the
+//! optimizer per pool and aggregates reporting.
+
+use crate::cogs::CostModel;
+use crate::{CoreError, Result};
+use ip_saa::robustness::RobustnessStrategies;
+use ip_saa::{robust_optimize, SaaConfig};
+use ip_timeseries::TimeSeries;
+use std::collections::BTreeMap;
+
+/// Identifier of a managed pool (e.g. `"eastus2/session/medium"`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PoolId(pub String);
+
+impl std::fmt::Display for PoolId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Per-pool settings.
+#[derive(Debug, Clone)]
+pub struct PoolSpec {
+    /// Optimizer settings for this pool.
+    pub saa: SaaConfig,
+    /// Hardening strategies for this pool.
+    pub robustness: RobustnessStrategies,
+    /// Cost model (node size differs per pool).
+    pub cost: CostModel,
+}
+
+/// One pool's recommendation plus its projected idle cost.
+#[derive(Debug, Clone)]
+pub struct PoolRecommendation {
+    /// Pool identity.
+    pub pool: PoolId,
+    /// Target sizes per interval.
+    pub schedule: Vec<u32>,
+    /// Objective value reported by the optimizer.
+    pub objective: f64,
+}
+
+/// Manages several pools side by side.
+#[derive(Debug, Default)]
+pub struct MultiPoolManager {
+    pools: BTreeMap<PoolId, PoolSpec>,
+}
+
+impl MultiPoolManager {
+    /// Creates an empty manager.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a pool.
+    pub fn register(&mut self, id: PoolId, spec: PoolSpec) {
+        self.pools.insert(id, spec);
+    }
+
+    /// Number of managed pools.
+    pub fn len(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// `true` when no pools are registered.
+    pub fn is_empty(&self) -> bool {
+        self.pools.is_empty()
+    }
+
+    /// Runs the optimizer for every pool against its demand stream. Pools
+    /// missing from `demands` produce an error (every managed pool must be
+    /// monitored).
+    pub fn recommend_all(
+        &self,
+        demands: &BTreeMap<PoolId, TimeSeries>,
+    ) -> Result<Vec<PoolRecommendation>> {
+        let mut out = Vec::with_capacity(self.pools.len());
+        for (id, spec) in &self.pools {
+            let demand = demands.get(id).ok_or_else(|| {
+                CoreError::InvalidConfig(format!("no demand stream for pool {id}"))
+            })?;
+            let opt = robust_optimize(demand, &spec.saa, &spec.robustness)
+                .map_err(|e| CoreError::Optimizer(e.to_string()))?;
+            out.push(PoolRecommendation {
+                pool: id.clone(),
+                schedule: opt.schedule.iter().map(|&n| n.round().max(0.0) as u32).collect(),
+                objective: opt.objective,
+            });
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cogs::NodeSize;
+
+    fn spec(alpha: f64, node: NodeSize) -> PoolSpec {
+        PoolSpec {
+            saa: SaaConfig {
+                tau_intervals: 2,
+                stableness: 4,
+                max_pool: 30,
+                alpha_prime: alpha,
+                ..Default::default()
+            },
+            robustness: RobustnessStrategies::none(),
+            cost: CostModel { node_size: node, ..Default::default() },
+        }
+    }
+
+    fn demand(scale: f64) -> TimeSeries {
+        let vals: Vec<f64> =
+            (0..40).map(|t| (scale * (1.0 + ((t % 8) as f64))).round()).collect();
+        TimeSeries::new(30, vals).unwrap()
+    }
+
+    #[test]
+    fn manages_independent_pools() {
+        let mut mgr = MultiPoolManager::new();
+        mgr.register(PoolId("session/small".into()), spec(0.3, NodeSize::Small));
+        mgr.register(PoolId("cluster/large".into()), spec(0.3, NodeSize::Large));
+        assert_eq!(mgr.len(), 2);
+
+        let mut demands = BTreeMap::new();
+        demands.insert(PoolId("session/small".into()), demand(2.0));
+        demands.insert(PoolId("cluster/large".into()), demand(0.5));
+        let recs = mgr.recommend_all(&demands).unwrap();
+        assert_eq!(recs.len(), 2);
+        // The busier pool gets at least as much capacity in aggregate.
+        let total: BTreeMap<&str, u64> = recs
+            .iter()
+            .map(|r| (r.pool.0.as_str(), r.schedule.iter().map(|&n| u64::from(n)).sum()))
+            .collect();
+        assert!(total["session/small"] >= total["cluster/large"]);
+    }
+
+    #[test]
+    fn missing_demand_stream_errors() {
+        let mut mgr = MultiPoolManager::new();
+        mgr.register(PoolId("p1".into()), spec(0.5, NodeSize::Medium));
+        let demands = BTreeMap::new();
+        assert!(matches!(mgr.recommend_all(&demands), Err(CoreError::InvalidConfig(_))));
+    }
+
+    #[test]
+    fn empty_manager_is_trivially_fine() {
+        let mgr = MultiPoolManager::new();
+        assert!(mgr.is_empty());
+        assert!(mgr.recommend_all(&BTreeMap::new()).unwrap().is_empty());
+    }
+}

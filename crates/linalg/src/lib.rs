@@ -1,0 +1,84 @@
+#![warn(missing_docs)]
+//! Dense linear algebra kernels used by the Intelligent Pooling reproduction.
+//!
+//! The Singular Spectrum Analysis forecaster ([`ip-ssa`]) needs a singular
+//! value decomposition of tall Hankel trajectory matrices, and the shallow
+//! neural components occasionally need least-squares solves. This crate
+//! provides the minimal, dependency-free kernels for that:
+//!
+//! * [`Matrix`] — a row-major dense `f64` matrix with the usual algebra.
+//! * [`eigen::symmetric_eigen`] — cyclic Jacobi eigendecomposition for
+//!   symmetric matrices.
+//! * [`svd::thin_svd`] — thin SVD via one-sided Jacobi rotations (robust for
+//!   the ill-conditioned trajectory matrices SSA produces).
+//! * [`qr::householder_qr`] / [`qr::least_squares`] — Householder QR and a
+//!   least-squares solver built on it.
+//! * [`lu::LuDecomposition`] — LU with partial pivoting for square solves.
+//!
+//! Everything is exact-size checked and returns [`LinalgError`] rather than
+//! panicking on dimension mismatches, singularity, or non-convergence.
+//!
+//! ```
+//! use ip_linalg::{thin_svd, Matrix};
+//!
+//! // A rank-1 matrix has exactly one nonzero singular value.
+//! let a = Matrix::from_fn(4, 3, |i, j| (i + 1) as f64 * (j + 1) as f64);
+//! let svd = thin_svd(&a).unwrap();
+//! assert_eq!(svd.rank(1e-9), 1);
+//! let err = svd.truncated_reconstruction(1).sub(&a).unwrap().frobenius_norm();
+//! assert!(err < 1e-9);
+//! ```
+
+pub mod eigen;
+pub mod lu;
+pub mod matrix;
+pub mod qr;
+pub mod svd;
+
+pub use eigen::{symmetric_eigen, EigenDecomposition};
+pub use lu::LuDecomposition;
+pub use matrix::Matrix;
+pub use qr::{householder_qr, least_squares, QrDecomposition};
+pub use svd::{thin_svd, Svd};
+
+/// Errors produced by the linear algebra kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LinalgError {
+    /// Operand shapes are incompatible for the requested operation.
+    DimensionMismatch {
+        /// Human-readable description of the expected shape relation.
+        expected: String,
+        /// Human-readable description of what was supplied.
+        found: String,
+    },
+    /// The matrix is singular (or numerically singular) where a nonsingular
+    /// one is required.
+    Singular,
+    /// An iterative method failed to converge within its sweep budget.
+    NonConvergence {
+        /// Number of sweeps/iterations performed before giving up.
+        iterations: usize,
+    },
+    /// The input is empty where a nonempty matrix/vector is required.
+    Empty,
+}
+
+impl std::fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LinalgError::DimensionMismatch { expected, found } => {
+                write!(f, "dimension mismatch: expected {expected}, found {found}")
+            }
+            LinalgError::Singular => write!(f, "matrix is singular"),
+            LinalgError::NonConvergence { iterations } => {
+                write!(f, "iterative method failed to converge after {iterations} iterations")
+            }
+            LinalgError::Empty => write!(f, "empty input"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+/// Convenience alias for results in this crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;

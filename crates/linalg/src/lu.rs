@@ -1,0 +1,169 @@
+//! LU decomposition with partial pivoting, for square linear solves.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// LU decomposition with partial pivoting: `P A = L U`.
+///
+/// `L` (unit lower) and `U` (upper) are packed into a single matrix; the
+/// permutation is stored as a row-index map.
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    lu: Matrix,
+    /// `perm[i]` is the original row now living at position `i`.
+    perm: Vec<usize>,
+    /// Sign of the permutation, for determinants.
+    sign: f64,
+}
+
+impl LuDecomposition {
+    /// Factorizes a square matrix. Returns [`LinalgError::Singular`] when a
+    /// pivot underflows the numerical tolerance.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::DimensionMismatch {
+                expected: "square matrix".to_string(),
+                found: format!("{}x{}", a.rows(), a.cols()),
+            });
+        }
+        let n = a.rows();
+        if n == 0 {
+            return Err(LinalgError::Empty);
+        }
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut sign = 1.0;
+        let scale = a.max_abs().max(f64::MIN_POSITIVE);
+
+        for k in 0..n {
+            // Partial pivot: largest |entry| in column k at or below row k.
+            let (pivot_row, pivot_val) = (k..n)
+                .map(|i| (i, lu.get(i, k).abs()))
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .unwrap();
+            if pivot_val < 1e-13 * scale {
+                return Err(LinalgError::Singular);
+            }
+            if pivot_row != k {
+                lu.swap_rows(pivot_row, k);
+                perm.swap(pivot_row, k);
+                sign = -sign;
+            }
+            let pivot = lu.get(k, k);
+            for i in (k + 1)..n {
+                let factor = lu.get(i, k) / pivot;
+                lu.set(i, k, factor);
+                for j in (k + 1)..n {
+                    lu.set(i, j, lu.get(i, j) - factor * lu.get(k, j));
+                }
+            }
+        }
+        Ok(Self { lu, perm, sign })
+    }
+
+    /// Solves `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("b of length {n}"),
+                found: format!("length {}", b.len()),
+            });
+        }
+        // Forward substitution with permutation applied.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[self.perm[i]];
+            for j in 0..i {
+                s -= self.lu.get(i, j) * y[j];
+            }
+            y[i] = s;
+        }
+        // Back substitution.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in (i + 1)..n {
+                s -= self.lu.get(i, j) * x[j];
+            }
+            x[i] = s / self.lu.get(i, i);
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the factorized matrix.
+    pub fn determinant(&self) -> f64 {
+        let n = self.lu.rows();
+        (0..n).fold(self.sign, |acc, i| acc * self.lu.get(i, i))
+    }
+}
+
+/// One-shot solve of `A x = b`.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    LuDecomposition::new(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_known_system() {
+        // x + 2y = 5; 3x + 4y = 11  =>  x=1, y=2.
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]).unwrap();
+        let x = solve(&a, &[5.0, 11.0]).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_with_pivoting_needed() {
+        // Leading zero forces a row swap.
+        let a = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        let x = solve(&a, &[3.0, 7.0]).unwrap();
+        assert_eq!(x, vec![7.0, 3.0]);
+    }
+
+    #[test]
+    fn singular_detected() {
+        let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+        assert!(matches!(LuDecomposition::new(&a), Err(LinalgError::Singular)));
+    }
+
+    #[test]
+    fn determinant_known() {
+        let a = Matrix::from_vec(2, 2, vec![3.0, 1.0, 4.0, 2.0]).unwrap();
+        let lu = LuDecomposition::new(&a).unwrap();
+        assert!((lu.determinant() - 2.0).abs() < 1e-12);
+        // Determinant with a pivot swap keeps its sign correct.
+        let b = Matrix::from_vec(2, 2, vec![0.0, 1.0, 1.0, 0.0]).unwrap();
+        assert!((LuDecomposition::new(&b).unwrap().determinant() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_roundtrip() {
+        let mut seed = 123u64;
+        let mut rnd = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let n = 7;
+        // Diagonally dominant matrix is guaranteed nonsingular.
+        let mut a = Matrix::from_fn(n, n, |_, _| rnd());
+        for i in 0..n {
+            a.set(i, i, a.get(i, i) + n as f64);
+        }
+        let x_true: Vec<f64> = (0..n).map(|i| i as f64 - 2.5).collect();
+        let b = a.matvec(&x_true).unwrap();
+        let x = solve(&a, &b).unwrap();
+        for (xi, ti) in x.iter().zip(&x_true) {
+            assert!((xi - ti).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn shape_errors() {
+        assert!(LuDecomposition::new(&Matrix::zeros(2, 3)).is_err());
+        let lu = LuDecomposition::new(&Matrix::identity(2)).unwrap();
+        assert!(lu.solve(&[1.0]).is_err());
+    }
+}

@@ -1,0 +1,188 @@
+//! Householder QR decomposition and least squares.
+
+use crate::{LinalgError, Matrix, Result};
+
+/// QR decomposition `A = Q R` with `Q: m×n` (orthonormal columns) and
+/// `R: n×n` upper triangular, for `m ≥ n`.
+#[derive(Debug, Clone)]
+pub struct QrDecomposition {
+    /// Orthonormal factor (thin, m×n).
+    pub q: Matrix,
+    /// Upper-triangular factor (n×n).
+    pub r: Matrix,
+}
+
+/// Computes the thin Householder QR of `a` (requires `rows ≥ cols`).
+pub fn householder_qr(a: &Matrix) -> Result<QrDecomposition> {
+    let m = a.rows();
+    let n = a.cols();
+    if m == 0 || n == 0 {
+        return Err(LinalgError::Empty);
+    }
+    if m < n {
+        return Err(LinalgError::DimensionMismatch {
+            expected: "rows >= cols".to_string(),
+            found: format!("{m}x{n}"),
+        });
+    }
+
+    let mut r = a.clone();
+    // Householder vectors, stored per column.
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(n);
+
+    for k in 0..n {
+        // Build the Householder vector for column k below the diagonal.
+        let mut v: Vec<f64> = (k..m).map(|i| r.get(i, k)).collect();
+        let alpha = -v[0].signum() * v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        if alpha == 0.0 {
+            // Column already zero below (and at) the diagonal; identity reflector.
+            vs.push(vec![0.0; m - k]);
+            continue;
+        }
+        v[0] -= alpha;
+        let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+        if vnorm2 == 0.0 {
+            vs.push(vec![0.0; m - k]);
+            continue;
+        }
+        // Apply the reflector H = I - 2 v vᵀ / (vᵀv) to R[k.., k..].
+        for j in k..n {
+            let dot: f64 = (k..m).map(|i| v[i - k] * r.get(i, j)).sum();
+            let coeff = 2.0 * dot / vnorm2;
+            for i in k..m {
+                r.set(i, j, r.get(i, j) - coeff * v[i - k]);
+            }
+        }
+        vs.push(v);
+    }
+
+    // Accumulate thin Q by applying the reflectors to the first n columns of I.
+    let mut q = Matrix::from_fn(m, n, |i, j| if i == j { 1.0 } else { 0.0 });
+    for k in (0..n).rev() {
+        let v = &vs[k];
+        let vnorm2: f64 = v.iter().map(|x| x * x).sum();
+        if vnorm2 == 0.0 {
+            continue;
+        }
+        for j in 0..n {
+            let dot: f64 = (k..m).map(|i| v[i - k] * q.get(i, j)).sum();
+            let coeff = 2.0 * dot / vnorm2;
+            for i in k..m {
+                q.set(i, j, q.get(i, j) - coeff * v[i - k]);
+            }
+        }
+    }
+
+    // Zero strictly-lower part of R and truncate to n×n.
+    let r_thin = Matrix::from_fn(n, n, |i, j| if j >= i { r.get(i, j) } else { 0.0 });
+    Ok(QrDecomposition { q, r: r_thin })
+}
+
+/// Solves the least-squares problem `min ‖A x − b‖₂` via QR.
+///
+/// Returns [`LinalgError::Singular`] when `A` is (numerically) column-rank
+/// deficient.
+pub fn least_squares(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    if a.rows() != b.len() {
+        return Err(LinalgError::DimensionMismatch {
+            expected: format!("b of length {}", a.rows()),
+            found: format!("length {}", b.len()),
+        });
+    }
+    let qr = householder_qr(a)?;
+    let n = a.cols();
+    // x solves R x = Qᵀ b.
+    let qtb = qr.q.transpose().matvec(b)?;
+    let mut x = vec![0.0; n];
+    let scale = qr.r.max_abs().max(f64::MIN_POSITIVE);
+    for i in (0..n).rev() {
+        let mut s = qtb[i];
+        for j in (i + 1)..n {
+            s -= qr.r.get(i, j) * x[j];
+        }
+        let d = qr.r.get(i, i);
+        if d.abs() < 1e-12 * scale {
+            return Err(LinalgError::Singular);
+        }
+        x[i] = s / d;
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_random_matrix(m: usize, n: usize, mut seed: u64) -> Matrix {
+        Matrix::from_fn(m, n, |_, _| {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    #[test]
+    fn qr_reconstructs() {
+        let a = pseudo_random_matrix(9, 4, 3);
+        let qr = householder_qr(&a).unwrap();
+        let err = qr.q.matmul(&qr.r).unwrap().sub(&a).unwrap().frobenius_norm();
+        assert!(err < 1e-10, "QR reconstruction error {err}");
+        // Q orthonormal columns.
+        let qtq = qr.q.transpose().matmul(&qr.q).unwrap();
+        assert!(qtq.sub(&Matrix::identity(4)).unwrap().frobenius_norm() < 1e-10);
+        // R upper triangular.
+        for i in 0..4 {
+            for j in 0..i {
+                assert_eq!(qr.r.get(i, j), 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn least_squares_exact_system() {
+        // Square well-conditioned system has the exact solution.
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 3.0]).unwrap();
+        let x_true = [1.0, -2.0];
+        let b = a.matvec(&x_true).unwrap();
+        let x = least_squares(&a, &b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-10);
+        assert!((x[1] + 2.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_overdetermined_linear_fit() {
+        // Fit y = 2 + 3 t through noise-free samples: recover exactly.
+        let ts: Vec<f64> = (0..10).map(|t| t as f64).collect();
+        let a = Matrix::from_fn(10, 2, |i, j| if j == 0 { 1.0 } else { ts[i] });
+        let b: Vec<f64> = ts.iter().map(|t| 2.0 + 3.0 * t).collect();
+        let x = least_squares(&a, &b).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-9);
+        assert!((x[1] - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn least_squares_residual_orthogonal_to_columns() {
+        let a = pseudo_random_matrix(12, 3, 17);
+        let b: Vec<f64> = (0..12).map(|i| (i as f64).sin()).collect();
+        let x = least_squares(&a, &b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        let residual: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
+        // Normal equations: Aᵀ r = 0 at the optimum.
+        let at_r = a.transpose().matvec(&residual).unwrap();
+        for v in at_r {
+            assert!(v.abs() < 1e-9, "normal-equation residual {v}");
+        }
+    }
+
+    #[test]
+    fn rank_deficient_detected() {
+        // Two identical columns.
+        let a = Matrix::from_fn(5, 2, |i, _| i as f64 + 1.0);
+        let b = vec![1.0; 5];
+        assert!(matches!(least_squares(&a, &b), Err(LinalgError::Singular)));
+    }
+
+    #[test]
+    fn wide_rejected() {
+        assert!(householder_qr(&Matrix::zeros(2, 3)).is_err());
+    }
+}

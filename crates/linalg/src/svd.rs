@@ -1,0 +1,246 @@
+//! Thin singular value decomposition via one-sided Jacobi rotations.
+//!
+//! For a matrix `A` (m ≥ n), one-sided Jacobi orthogonalizes the columns of a
+//! working copy `U ← A J₁ J₂ …`; at convergence the column norms are the
+//! singular values and the accumulated rotations form `V`. This is the
+//! classic Hestenes method: it avoids forming `AᵀA` explicitly (which squares
+//! the condition number) and is well suited to the SSA trajectory matrices.
+
+use crate::matrix::dot;
+use crate::{LinalgError, Matrix, Result};
+
+/// Thin SVD `A = U diag(σ) Vᵀ` with `U: m×n`, `σ: n`, `V: n×n` (for m ≥ n).
+#[derive(Debug, Clone)]
+pub struct Svd {
+    /// Left singular vectors (columns, m×r).
+    pub u: Matrix,
+    /// Singular values in descending order (length r = min(m, n)).
+    pub singular_values: Vec<f64>,
+    /// Right singular vectors (columns, n×r).
+    pub v: Matrix,
+}
+
+impl Svd {
+    /// Effective numerical rank at relative tolerance `rtol`.
+    pub fn rank(&self, rtol: f64) -> usize {
+        let smax = self.singular_values.first().copied().unwrap_or(0.0);
+        self.singular_values.iter().filter(|&&s| s > rtol * smax).count()
+    }
+
+    /// Reconstructs the rank-`k` truncation `Σᵢ σᵢ uᵢ vᵢᵀ` for `i < k`.
+    pub fn truncated_reconstruction(&self, k: usize) -> Matrix {
+        let m = self.u.rows();
+        let n = self.v.rows();
+        let k = k.min(self.singular_values.len());
+        let mut out = Matrix::zeros(m, n);
+        for idx in 0..k {
+            let s = self.singular_values[idx];
+            for i in 0..m {
+                let ui = self.u.get(i, idx) * s;
+                for j in 0..n {
+                    out.set(i, j, out.get(i, j) + ui * self.v.get(j, idx));
+                }
+            }
+        }
+        out
+    }
+}
+
+const MAX_SWEEPS: usize = 60;
+
+/// Computes the thin SVD of `a` using one-sided Jacobi.
+///
+/// Handles both portrait (m ≥ n) and landscape (m < n) shapes; landscape
+/// inputs are transposed internally. Zero matrices yield all-zero singular
+/// values with identity-padded singular vectors.
+pub fn thin_svd(a: &Matrix) -> Result<Svd> {
+    if a.rows() == 0 || a.cols() == 0 {
+        return Err(LinalgError::Empty);
+    }
+    if a.rows() >= a.cols() {
+        thin_svd_portrait(a)
+    } else {
+        // A = U S Vᵀ  ⇔  Aᵀ = V S Uᵀ.
+        let svd_t = thin_svd_portrait(&a.transpose())?;
+        Ok(Svd { u: svd_t.v, singular_values: svd_t.singular_values, v: svd_t.u })
+    }
+}
+
+fn thin_svd_portrait(a: &Matrix) -> Result<Svd> {
+    let m = a.rows();
+    let n = a.cols();
+    // Column-major working copy of A: cols[j] is column j.
+    let mut cols: Vec<Vec<f64>> = (0..n).map(|j| a.col(j)).collect();
+    let mut v = Matrix::identity(n);
+    let scale = a.max_abs().max(f64::MIN_POSITIVE);
+    let tol = 1e-15 * scale * scale * m as f64;
+
+    let mut converged = false;
+    for _sweep in 0..MAX_SWEEPS {
+        let mut off = 0.0f64;
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let alpha = dot(&cols[p], &cols[p]);
+                let beta = dot(&cols[q], &cols[q]);
+                let gamma = dot(&cols[p], &cols[q]);
+                off = off.max(gamma.abs());
+                if gamma.abs() <= tol || alpha == 0.0 || beta == 0.0 {
+                    continue;
+                }
+                // Rotation zeroing the (p,q) entry of the implicit Gram matrix.
+                let zeta = (beta - alpha) / (2.0 * gamma);
+                let t = zeta.signum() / (zeta.abs() + (1.0 + zeta * zeta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+
+                for i in 0..m {
+                    let up = cols[p][i];
+                    let uq = cols[q][i];
+                    cols[p][i] = c * up - s * uq;
+                    cols[q][i] = s * up + c * uq;
+                }
+                for i in 0..n {
+                    let vp = v.get(i, p);
+                    let vq = v.get(i, q);
+                    v.set(i, p, c * vp - s * vq);
+                    v.set(i, q, s * vp + c * vq);
+                }
+            }
+        }
+        if off <= tol {
+            converged = true;
+            break;
+        }
+    }
+    if !converged {
+        return Err(LinalgError::NonConvergence { iterations: MAX_SWEEPS });
+    }
+
+    // Singular values are the column norms; normalize U's columns.
+    let mut sigma: Vec<f64> = cols.iter().map(|c| dot(c, c).sqrt()).collect();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&x, &y| sigma[y].partial_cmp(&sigma[x]).unwrap());
+
+    let mut u = Matrix::zeros(m, n);
+    let mut v_sorted = Matrix::zeros(n, n);
+    let mut sigma_sorted = Vec::with_capacity(n);
+    for (new_j, &old_j) in order.iter().enumerate() {
+        let s = sigma[old_j];
+        sigma_sorted.push(s);
+        if s > 0.0 {
+            for i in 0..m {
+                u.set(i, new_j, cols[old_j][i] / s);
+            }
+        } else {
+            // Zero singular value: the left vector is arbitrary; keep zeros so
+            // reconstruction is still exact.
+        }
+        for i in 0..n {
+            v_sorted.set(i, new_j, v.get(i, old_j));
+        }
+    }
+    sigma.clear();
+
+    Ok(Svd { u, singular_values: sigma_sorted, v: v_sorted })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(svd: &Svd) -> Matrix {
+        svd.truncated_reconstruction(svd.singular_values.len())
+    }
+
+    fn pseudo_random_matrix(m: usize, n: usize, mut seed: u64) -> Matrix {
+        Matrix::from_fn(m, n, |_, _| {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    #[test]
+    fn identity_svd() {
+        let svd = thin_svd(&Matrix::identity(4)).unwrap();
+        for s in &svd.singular_values {
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn known_diagonal() {
+        let a = Matrix::from_vec(3, 2, vec![3.0, 0.0, 0.0, -2.0, 0.0, 0.0]).unwrap();
+        let svd = thin_svd(&a).unwrap();
+        assert!((svd.singular_values[0] - 3.0).abs() < 1e-10);
+        assert!((svd.singular_values[1] - 2.0).abs() < 1e-10);
+        let err = reconstruct(&svd).sub(&a).unwrap().frobenius_norm();
+        assert!(err < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_tall() {
+        let a = pseudo_random_matrix(12, 5, 7);
+        let svd = thin_svd(&a).unwrap();
+        let err = reconstruct(&svd).sub(&a).unwrap().frobenius_norm();
+        assert!(err < 1e-9, "reconstruction error {err}");
+        // U has orthonormal columns.
+        let utu = svd.u.transpose().matmul(&svd.u).unwrap();
+        assert!(utu.sub(&Matrix::identity(5)).unwrap().frobenius_norm() < 1e-9);
+        // V orthogonal.
+        let vtv = svd.v.transpose().matmul(&svd.v).unwrap();
+        assert!(vtv.sub(&Matrix::identity(5)).unwrap().frobenius_norm() < 1e-9);
+    }
+
+    #[test]
+    fn reconstruction_wide() {
+        let a = pseudo_random_matrix(4, 9, 11);
+        let svd = thin_svd(&a).unwrap();
+        let err = reconstruct(&svd).sub(&a).unwrap().frobenius_norm();
+        assert!(err < 1e-9, "reconstruction error {err}");
+    }
+
+    #[test]
+    fn rank_deficient() {
+        // Rank-1 matrix: outer product.
+        let u = [1.0, 2.0, 3.0, 4.0];
+        let v = [2.0, -1.0, 0.5];
+        let a = Matrix::from_fn(4, 3, |i, j| u[i] * v[j]);
+        let svd = thin_svd(&a).unwrap();
+        assert_eq!(svd.rank(1e-10), 1);
+        let err = svd.truncated_reconstruction(1).sub(&a).unwrap().frobenius_norm();
+        assert!(err < 1e-9);
+    }
+
+    #[test]
+    fn zero_matrix() {
+        let a = Matrix::zeros(3, 2);
+        let svd = thin_svd(&a).unwrap();
+        assert!(svd.singular_values.iter().all(|&s| s == 0.0));
+        assert_eq!(svd.rank(1e-10), 0);
+    }
+
+    #[test]
+    fn singular_values_descending() {
+        let a = pseudo_random_matrix(10, 6, 99);
+        let svd = thin_svd(&a).unwrap();
+        assert!(svd.singular_values.windows(2).all(|w| w[0] >= w[1]));
+        assert!(svd.singular_values.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn empty_errors() {
+        assert!(matches!(thin_svd(&Matrix::zeros(0, 3)), Err(LinalgError::Empty)));
+    }
+
+    #[test]
+    fn matches_eigen_of_gram() {
+        // σᵢ² must equal eigenvalues of AᵀA.
+        let a = pseudo_random_matrix(8, 4, 5);
+        let svd = thin_svd(&a).unwrap();
+        let gram = a.transpose().matmul(&a).unwrap();
+        let eig = crate::eigen::symmetric_eigen(&gram).unwrap();
+        for (s, l) in svd.singular_values.iter().zip(eig.values.iter()) {
+            assert!((s * s - l).abs() < 1e-8, "sigma^2 {} vs lambda {}", s * s, l);
+        }
+    }
+}

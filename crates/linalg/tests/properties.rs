@@ -1,0 +1,111 @@
+//! Property-based tests for the linear algebra kernels.
+
+use ip_linalg::{householder_qr, least_squares, symmetric_eigen, thin_svd, LuDecomposition, Matrix};
+use proptest::prelude::*;
+
+fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(m, n)| {
+        proptest::collection::vec(-10.0f64..10.0, m * n)
+            .prop_map(move |data| Matrix::from_vec(m, n, data).unwrap())
+    })
+}
+
+fn square_matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim).prop_flat_map(|n| {
+        proptest::collection::vec(-10.0f64..10.0, n * n)
+            .prop_map(move |data| Matrix::from_vec(n, n, data).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn svd_reconstructs_any_matrix(a in matrix_strategy(8)) {
+        let svd = thin_svd(&a).unwrap();
+        let rec = svd.truncated_reconstruction(svd.singular_values.len());
+        let err = rec.sub(&a).unwrap().frobenius_norm();
+        let scale = a.frobenius_norm().max(1.0);
+        prop_assert!(err < 1e-8 * scale, "reconstruction error {} for {:?}", err, a.shape());
+    }
+
+    #[test]
+    fn svd_values_nonnegative_descending(a in matrix_strategy(8)) {
+        let svd = thin_svd(&a).unwrap();
+        prop_assert!(svd.singular_values.iter().all(|&s| s >= 0.0));
+        prop_assert!(svd.singular_values.windows(2).all(|w| w[0] >= w[1] - 1e-12));
+    }
+
+    #[test]
+    fn svd_largest_value_bounds_frobenius(a in matrix_strategy(8)) {
+        // ‖A‖_F² = Σ σᵢ² exactly.
+        let svd = thin_svd(&a).unwrap();
+        let sum_sq: f64 = svd.singular_values.iter().map(|s| s * s).sum();
+        let fro2 = a.frobenius_norm().powi(2);
+        prop_assert!((sum_sq - fro2).abs() < 1e-7 * fro2.max(1.0));
+    }
+
+    #[test]
+    fn eigen_reconstructs_symmetrized(b in square_matrix_strategy(7)) {
+        let a = b.add(&b.transpose()).unwrap().scale(0.5);
+        let e = symmetric_eigen(&a).unwrap();
+        let n = a.rows();
+        let lambda = Matrix::from_fn(n, n, |i, j| if i == j { e.values[i] } else { 0.0 });
+        let rec = e.vectors.matmul(&lambda).unwrap().matmul(&e.vectors.transpose()).unwrap();
+        let err = rec.sub(&a).unwrap().frobenius_norm();
+        prop_assert!(err < 1e-8 * a.frobenius_norm().max(1.0));
+    }
+
+    #[test]
+    fn eigen_trace_preserved(b in square_matrix_strategy(7)) {
+        let a = b.add(&b.transpose()).unwrap().scale(0.5);
+        let e = symmetric_eigen(&a).unwrap();
+        let trace: f64 = (0..a.rows()).map(|i| a.get(i, i)).sum();
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-8 * trace.abs().max(1.0));
+    }
+
+    #[test]
+    fn qr_reconstructs(a in matrix_strategy(8)) {
+        prop_assume!(a.rows() >= a.cols());
+        let qr = householder_qr(&a).unwrap();
+        let err = qr.q.matmul(&qr.r).unwrap().sub(&a).unwrap().frobenius_norm();
+        prop_assert!(err < 1e-8 * a.frobenius_norm().max(1.0));
+    }
+
+    #[test]
+    fn lu_solve_roundtrip(b in square_matrix_strategy(6), xs in proptest::collection::vec(-5.0f64..5.0, 1..=6)) {
+        let n = b.rows();
+        prop_assume!(xs.len() >= n);
+        // Make the matrix diagonally dominant so it is nonsingular.
+        let mut a = b.clone();
+        for i in 0..n {
+            let row_sum: f64 = a.row(i).iter().map(|x| x.abs()).sum();
+            a.set(i, i, a.get(i, i) + row_sum + 1.0);
+        }
+        let x_true = &xs[..n];
+        let rhs = a.matvec(x_true).unwrap();
+        let x = LuDecomposition::new(&a).unwrap().solve(&rhs).unwrap();
+        for (xi, ti) in x.iter().zip(x_true) {
+            prop_assert!((xi - ti).abs() < 1e-7, "{} vs {}", xi, ti);
+        }
+    }
+
+    #[test]
+    fn least_squares_never_beaten_by_perturbation(
+        a in matrix_strategy(6),
+        perturb in proptest::collection::vec(-0.5f64..0.5, 6),
+        b in proptest::collection::vec(-5.0f64..5.0, 1..=6),
+    ) {
+        prop_assume!(a.rows() >= a.cols() && b.len() >= a.rows());
+        let rhs = &b[..a.rows()];
+        if let Ok(x) = least_squares(&a, rhs) {
+            let res_opt: f64 = a.matvec(&x).unwrap().iter().zip(rhs).map(|(p, q)| (p - q).powi(2)).sum();
+            // Any perturbed candidate must do no better.
+            let x2: Vec<f64> = x.iter().zip(perturb.iter().chain(std::iter::repeat(&0.0)))
+                .map(|(xi, d)| xi + d).collect();
+            let res_alt: f64 = a.matvec(&x2).unwrap().iter().zip(rhs).map(|(p, q)| (p - q).powi(2)).sum();
+            prop_assert!(res_opt <= res_alt + 1e-7);
+        }
+    }
+}

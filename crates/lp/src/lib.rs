@@ -1,0 +1,70 @@
+#![warn(missing_docs)]
+//! Linear programming for the Intelligent Pooling SAA optimizer.
+//!
+//! The paper (§4) formulates pool sizing as a linear program and notes it is
+//! "solved by commercial solvers with low latency". This crate replaces the
+//! commercial solver with a from-scratch implementation:
+//!
+//! * [`Problem`] — a small modeling API: variables with bounds, linear
+//!   expressions, `≤ / = / ≥` constraints, and a minimization objective.
+//! * [`solve`] — a dense two-phase primal simplex with Bland's rule for
+//!   anti-cycling and explicit infeasible/unbounded detection.
+//!
+//! The pooling LPs are modest (a few hundred variables for a one-hour
+//! horizon at 30-second intervals), well within dense-tableau territory.
+//! For multi-day Sample Average Approximation runs, `ip-saa` also provides
+//! an exact dynamic-programming solver that is cross-checked against this
+//! simplex in tests.
+//!
+//! ```
+//! use ip_lp::{Problem, Sense};
+//!
+//! // minimize x + 2y  s.t.  x + y >= 3, x <= 2, x,y >= 0
+//! let mut p = Problem::minimize();
+//! let x = p.add_var("x", 0.0, f64::INFINITY);
+//! let y = p.add_var("y", 0.0, f64::INFINITY);
+//! p.set_objective_coeff(x, 1.0);
+//! p.set_objective_coeff(y, 2.0);
+//! p.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Ge, 3.0);
+//! p.add_constraint(vec![(x, 1.0)], Sense::Le, 2.0);
+//! let sol = ip_lp::solve(&p).unwrap();
+//! assert!((sol.value(x) - 2.0).abs() < 1e-9);
+//! assert!((sol.value(y) - 1.0).abs() < 1e-9);
+//! assert!((sol.objective - 4.0).abs() < 1e-9);
+//! ```
+
+mod model;
+mod simplex;
+
+pub use model::{Constraint, Problem, Sense, Var};
+pub use simplex::{solve, Solution};
+
+/// Errors reported by the solver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LpError {
+    /// No point satisfies all constraints and bounds.
+    Infeasible,
+    /// The objective can be driven to −∞ within the feasible region.
+    Unbounded,
+    /// The pivot budget was exhausted (should not happen with Bland's rule;
+    /// kept as a defensive backstop).
+    IterationLimit,
+    /// The model itself is malformed (e.g. a variable with `lower > upper`).
+    InvalidModel(String),
+}
+
+impl std::fmt::Display for LpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LpError::Infeasible => write!(f, "LP is infeasible"),
+            LpError::Unbounded => write!(f, "LP is unbounded"),
+            LpError::IterationLimit => write!(f, "simplex iteration limit reached"),
+            LpError::InvalidModel(msg) => write!(f, "invalid model: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LpError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, LpError>;

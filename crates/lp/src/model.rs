@@ -1,0 +1,215 @@
+//! LP model builder: variables, bounds, constraints, objective.
+
+use crate::{LpError, Result};
+
+/// Handle to a decision variable within a [`Problem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Var(pub(crate) usize);
+
+impl Var {
+    /// Index of this variable within its problem.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// Constraint sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// `expr ≤ rhs`
+    Le,
+    /// `expr = rhs`
+    Eq,
+    /// `expr ≥ rhs`
+    Ge,
+}
+
+/// A single linear constraint `Σ coeffᵢ·xᵢ  sense  rhs`.
+#[derive(Debug, Clone)]
+pub struct Constraint {
+    /// Sparse expression terms as `(variable, coefficient)` pairs.
+    pub terms: Vec<(Var, f64)>,
+    /// Constraint sense.
+    pub sense: Sense,
+    /// Right-hand side.
+    pub rhs: f64,
+}
+
+#[derive(Debug, Clone)]
+pub(crate) struct VarDef {
+    pub name: String,
+    pub lower: f64,
+    pub upper: f64,
+    pub objective: f64,
+}
+
+/// A linear program in minimization form.
+///
+/// Variables carry finite or infinite bounds; the objective is a linear
+/// function of the variables (minimized). Build with [`Problem::minimize`],
+/// then [`add_var`](Problem::add_var), [`set_objective_coeff`]
+/// (Problem::set_objective_coeff) and [`add_constraint`]
+/// (Problem::add_constraint), and pass to [`crate::solve`].
+#[derive(Debug, Clone, Default)]
+pub struct Problem {
+    pub(crate) vars: Vec<VarDef>,
+    pub(crate) constraints: Vec<Constraint>,
+}
+
+impl Problem {
+    /// Creates an empty minimization problem.
+    pub fn minimize() -> Self {
+        Self::default()
+    }
+
+    /// Adds a variable with bounds `[lower, upper]` (either may be infinite;
+    /// use `f64::NEG_INFINITY` / `f64::INFINITY`). Returns its handle.
+    pub fn add_var(&mut self, name: impl Into<String>, lower: f64, upper: f64) -> Var {
+        self.vars.push(VarDef { name: name.into(), lower, upper, objective: 0.0 });
+        Var(self.vars.len() - 1)
+    }
+
+    /// Sets the objective coefficient of `var` (default 0).
+    pub fn set_objective_coeff(&mut self, var: Var, coeff: f64) {
+        self.vars[var.0].objective = coeff;
+    }
+
+    /// Adds the constraint `Σ terms  sense  rhs`.
+    pub fn add_constraint(&mut self, terms: Vec<(Var, f64)>, sense: Sense, rhs: f64) {
+        self.constraints.push(Constraint { terms, sense, rhs });
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.vars.len()
+    }
+
+    /// Number of constraints.
+    pub fn num_constraints(&self) -> usize {
+        self.constraints.len()
+    }
+
+    /// Name of a variable (for diagnostics).
+    pub fn var_name(&self, var: Var) -> &str {
+        &self.vars[var.0].name
+    }
+
+    /// Validates bounds, coefficients and constraint indices.
+    pub fn validate(&self) -> Result<()> {
+        for (i, v) in self.vars.iter().enumerate() {
+            if v.lower > v.upper {
+                return Err(LpError::InvalidModel(format!(
+                    "variable {} ({}) has lower {} > upper {}",
+                    i, v.name, v.lower, v.upper
+                )));
+            }
+            if v.lower.is_nan() || v.upper.is_nan() || v.objective.is_nan() {
+                return Err(LpError::InvalidModel(format!("variable {} ({}) has NaN", i, v.name)));
+            }
+        }
+        for (ci, c) in self.constraints.iter().enumerate() {
+            if c.rhs.is_nan() {
+                return Err(LpError::InvalidModel(format!("constraint {ci} has NaN rhs")));
+            }
+            for &(var, coeff) in &c.terms {
+                if var.0 >= self.vars.len() {
+                    return Err(LpError::InvalidModel(format!(
+                        "constraint {ci} references unknown variable {}",
+                        var.0
+                    )));
+                }
+                if coeff.is_nan() || coeff.is_infinite() {
+                    return Err(LpError::InvalidModel(format!(
+                        "constraint {ci} has non-finite coefficient"
+                    )));
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Evaluates the objective at a candidate point (for tests/diagnostics).
+    pub fn objective_at(&self, x: &[f64]) -> f64 {
+        self.vars.iter().zip(x).map(|(v, xi)| v.objective * xi).sum()
+    }
+
+    /// Checks whether `x` satisfies every bound and constraint within `tol`.
+    pub fn is_feasible(&self, x: &[f64], tol: f64) -> bool {
+        if x.len() != self.vars.len() {
+            return false;
+        }
+        for (v, &xi) in self.vars.iter().zip(x) {
+            if xi < v.lower - tol || xi > v.upper + tol {
+                return false;
+            }
+        }
+        for c in &self.constraints {
+            let lhs: f64 = c.terms.iter().map(|&(var, coeff)| coeff * x[var.0]).sum();
+            let ok = match c.sense {
+                Sense::Le => lhs <= c.rhs + tol,
+                Sense::Ge => lhs >= c.rhs - tol,
+                Sense::Eq => (lhs - c.rhs).abs() <= tol,
+            };
+            if !ok {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_accumulates() {
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", 0.0, 10.0);
+        let y = p.add_var("y", -1.0, f64::INFINITY);
+        p.set_objective_coeff(x, 2.0);
+        p.add_constraint(vec![(x, 1.0), (y, -1.0)], Sense::Le, 4.0);
+        assert_eq!(p.num_vars(), 2);
+        assert_eq!(p.num_constraints(), 1);
+        assert_eq!(p.var_name(x), "x");
+        assert_eq!(p.var_name(y), "y");
+        assert!(p.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_bad_bounds() {
+        let mut p = Problem::minimize();
+        p.add_var("x", 5.0, 1.0);
+        assert!(matches!(p.validate(), Err(LpError::InvalidModel(_))));
+    }
+
+    #[test]
+    fn validate_rejects_unknown_var() {
+        let mut p = Problem::minimize();
+        let _x = p.add_var("x", 0.0, 1.0);
+        p.add_constraint(vec![(Var(7), 1.0)], Sense::Le, 1.0);
+        assert!(matches!(p.validate(), Err(LpError::InvalidModel(_))));
+    }
+
+    #[test]
+    fn feasibility_check() {
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", 0.0, 10.0);
+        p.add_constraint(vec![(x, 2.0)], Sense::Ge, 4.0);
+        assert!(p.is_feasible(&[2.0], 1e-9));
+        assert!(p.is_feasible(&[5.0], 1e-9));
+        assert!(!p.is_feasible(&[1.0], 1e-9)); // violates Ge
+        assert!(!p.is_feasible(&[11.0], 1e-9)); // violates upper bound
+        assert!(!p.is_feasible(&[], 1e-9)); // wrong arity
+    }
+
+    #[test]
+    fn objective_eval() {
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", 0.0, 1.0);
+        let y = p.add_var("y", 0.0, 1.0);
+        p.set_objective_coeff(x, 3.0);
+        p.set_objective_coeff(y, -1.0);
+        assert_eq!(p.objective_at(&[2.0, 4.0]), 2.0);
+    }
+}

@@ -1,0 +1,579 @@
+//! Dense two-phase primal simplex.
+//!
+//! The implementation follows the classic full-tableau method:
+//!
+//! 1. The model is rewritten in standard form — variables shifted so every
+//!    bound is `x ≥ 0` (free variables are split into positive/negative
+//!    parts, finite upper bounds become rows), rows normalized to a
+//!    non-negative right-hand side, then slack/surplus/artificial columns are
+//!    appended.
+//! 2. Phase 1 minimizes the sum of artificials; a positive optimum proves
+//!    infeasibility, and lingering zero-level artificial rows are pivoted out
+//!    or dropped as redundant.
+//! 3. Phase 2 minimizes the true objective with artificials barred from
+//!    re-entering.
+//!
+//! Pivot selection is Dantzig's rule with an automatic switch to Bland's rule
+//! after a run of degenerate pivots, which guarantees termination.
+
+use crate::model::{Problem, Sense, Var};
+use crate::{LpError, Result};
+
+/// A primal solution returned by [`solve`].
+#[derive(Debug, Clone)]
+pub struct Solution {
+    /// Optimal objective value.
+    pub objective: f64,
+    /// Value per original model variable, indexed by [`Var::index`].
+    pub values: Vec<f64>,
+    /// Number of simplex pivots performed across both phases.
+    pub pivots: usize,
+}
+
+impl Solution {
+    /// Value of a variable.
+    pub fn value(&self, var: Var) -> f64 {
+        self.values[var.index()]
+    }
+}
+
+/// How an original variable maps onto standard-form columns.
+#[derive(Debug, Clone, Copy)]
+enum VarMap {
+    /// `x = lower + col`
+    Shifted { col: usize, lower: f64 },
+    /// `x = pos - neg` (free variable split)
+    Split { pos: usize, neg: usize },
+    /// `x = upper - col` (only an upper bound is finite)
+    Mirrored { col: usize, upper: f64 },
+}
+
+struct Standard {
+    /// Row-major constraint matrix over structural columns (before slacks).
+    rows: Vec<Vec<f64>>,
+    rhs: Vec<f64>,
+    senses: Vec<Sense>,
+    /// Objective over structural columns.
+    costs: Vec<f64>,
+    /// Constant objective offset introduced by variable shifting.
+    offset: f64,
+    /// Mapping back to original variables.
+    maps: Vec<VarMap>,
+    n_struct: usize,
+}
+
+fn to_standard(p: &Problem) -> Result<Standard> {
+    p.validate()?;
+    let mut maps = Vec::with_capacity(p.vars.len());
+    let mut n_struct = 0usize;
+    // Extra rows introduced by finite upper bounds on shifted/split vars.
+    let mut extra_rows: Vec<(Vec<(usize, f64)>, Sense, f64)> = Vec::new();
+
+    for v in &p.vars {
+        if v.lower.is_finite() {
+            let col = n_struct;
+            n_struct += 1;
+            maps.push(VarMap::Shifted { col, lower: v.lower });
+            if v.upper.is_finite() {
+                extra_rows.push((vec![(col, 1.0)], Sense::Le, v.upper - v.lower));
+            }
+        } else if v.upper.is_finite() {
+            // Only an upper bound: mirror the variable (x = u − y, y ≥ 0).
+            let col = n_struct;
+            n_struct += 1;
+            maps.push(VarMap::Mirrored { col, upper: v.upper });
+        } else {
+            let pos = n_struct;
+            let neg = n_struct + 1;
+            n_struct += 2;
+            maps.push(VarMap::Split { pos, neg });
+        }
+    }
+
+    let mut costs = vec![0.0; n_struct];
+    let mut offset = 0.0;
+    for (v, map) in p.vars.iter().zip(&maps) {
+        match *map {
+            VarMap::Shifted { col, lower } => {
+                costs[col] += v.objective;
+                offset += v.objective * lower;
+            }
+            VarMap::Mirrored { col, upper } => {
+                costs[col] -= v.objective;
+                offset += v.objective * upper;
+            }
+            VarMap::Split { pos, neg } => {
+                costs[pos] += v.objective;
+                costs[neg] -= v.objective;
+            }
+        }
+    }
+
+    let mut rows = Vec::new();
+    let mut rhs = Vec::new();
+    let mut senses = Vec::new();
+    for c in &p.constraints {
+        let mut row = vec![0.0; n_struct];
+        let mut b = c.rhs;
+        for &(var, coeff) in &c.terms {
+            match maps[var.index()] {
+                VarMap::Shifted { col, lower } => {
+                    row[col] += coeff;
+                    b -= coeff * lower;
+                }
+                VarMap::Mirrored { col, upper } => {
+                    row[col] -= coeff;
+                    b -= coeff * upper;
+                }
+                VarMap::Split { pos, neg } => {
+                    row[pos] += coeff;
+                    row[neg] -= coeff;
+                }
+            }
+        }
+        rows.push(row);
+        rhs.push(b);
+        senses.push(c.sense);
+    }
+    for (terms, sense, b) in extra_rows {
+        let mut row = vec![0.0; n_struct];
+        for (col, coeff) in terms {
+            row[col] += coeff;
+        }
+        rows.push(row);
+        rhs.push(b);
+        senses.push(sense);
+    }
+
+    Ok(Standard { rows, rhs, senses, costs, offset, maps, n_struct })
+}
+
+/// Pivot budget multiplier; the backstop for [`LpError::IterationLimit`].
+const MAX_PIVOTS_BASE: usize = 20_000;
+const TOL: f64 = 1e-9;
+
+/// Solves a [`Problem`] with the two-phase primal simplex.
+pub fn solve(p: &Problem) -> Result<Solution> {
+    let std_form = to_standard(p)?;
+    let m = std_form.rows.len();
+    let n_struct = std_form.n_struct;
+
+    // Column layout: [structural | slack/surplus | artificial], plus rhs kept
+    // separately.
+    let mut n_slack = 0usize;
+    let mut n_art = 0usize;
+    for (i, s) in std_form.senses.iter().enumerate() {
+        let b_nonneg = std_form.rhs[i] >= 0.0;
+        match (s, b_nonneg) {
+            (Sense::Le, true) | (Sense::Ge, false) => n_slack += 1,
+            (Sense::Le, false) | (Sense::Ge, true) => {
+                n_slack += 1;
+                n_art += 1;
+            }
+            (Sense::Eq, _) => n_art += 1,
+        }
+    }
+    let n_total = n_struct + n_slack + n_art;
+
+    // Build tableau rows: each row has n_total coefficients + rhs.
+    let mut t: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut basis: Vec<usize> = Vec::with_capacity(m);
+    let mut slack_cursor = n_struct;
+    let mut art_cursor = n_struct + n_slack;
+    let art_start = n_struct + n_slack;
+
+    for i in 0..m {
+        let mut row = vec![0.0; n_total + 1];
+        let flip = std_form.rhs[i] < 0.0;
+        let sign = if flip { -1.0 } else { 1.0 };
+        for j in 0..n_struct {
+            row[j] = sign * std_form.rows[i][j];
+        }
+        row[n_total] = sign * std_form.rhs[i];
+        let sense = match (std_form.senses[i], flip) {
+            (Sense::Le, false) | (Sense::Ge, true) => Sense::Le,
+            (Sense::Ge, false) | (Sense::Le, true) => Sense::Ge,
+            (Sense::Eq, _) => Sense::Eq,
+        };
+        match sense {
+            Sense::Le => {
+                row[slack_cursor] = 1.0;
+                basis.push(slack_cursor);
+                slack_cursor += 1;
+            }
+            Sense::Ge => {
+                row[slack_cursor] = -1.0;
+                slack_cursor += 1;
+                row[art_cursor] = 1.0;
+                basis.push(art_cursor);
+                art_cursor += 1;
+            }
+            Sense::Eq => {
+                row[art_cursor] = 1.0;
+                basis.push(art_cursor);
+                art_cursor += 1;
+            }
+        }
+        t.push(row);
+    }
+
+    let max_pivots = MAX_PIVOTS_BASE + 60 * (m + n_total);
+    let mut pivots = 0usize;
+
+    // ---- Phase 1: minimize sum of artificials. ----
+    if n_art > 0 {
+        let mut phase1_costs = vec![0.0; n_total];
+        for c in phase1_costs.iter_mut().skip(art_start) {
+            *c = 1.0;
+        }
+        let obj = run_simplex(&mut t, &mut basis, &phase1_costs, n_total, &mut pivots, max_pivots, None)?;
+        if obj > 1e-7 {
+            return Err(LpError::Infeasible);
+        }
+        // Drive out remaining zero-level artificial basics.
+        let mut r = 0;
+        while r < t.len() {
+            if basis[r] >= art_start {
+                // Find a non-artificial column with a nonzero entry to pivot in.
+                let piv_col = (0..art_start).find(|&j| t[r][j].abs() > TOL);
+                match piv_col {
+                    Some(j) => {
+                        pivot(&mut t, &mut basis, r, j, n_total);
+                        pivots += 1;
+                        r += 1;
+                    }
+                    None => {
+                        // Redundant row: remove it.
+                        t.remove(r);
+                        basis.remove(r);
+                    }
+                }
+            } else {
+                r += 1;
+            }
+        }
+    }
+
+    // ---- Phase 2: minimize the true objective, artificials barred. ----
+    let mut phase2_costs = vec![0.0; n_total];
+    phase2_costs[..n_struct].copy_from_slice(&std_form.costs);
+    let obj = run_simplex(
+        &mut t,
+        &mut basis,
+        &phase2_costs,
+        n_total,
+        &mut pivots,
+        max_pivots,
+        Some(art_start),
+    )?;
+
+    // Extract structural values.
+    let mut x_std = vec![0.0; n_total];
+    for (r, &b) in basis.iter().enumerate() {
+        x_std[b] = t[r][n_total];
+    }
+    let values = std_form
+        .maps
+        .iter()
+        .map(|map| match *map {
+            VarMap::Shifted { col, lower } => lower + x_std[col],
+            VarMap::Mirrored { col, upper } => upper - x_std[col],
+            VarMap::Split { pos, neg } => x_std[pos] - x_std[neg],
+        })
+        .collect();
+
+    Ok(Solution { objective: obj + std_form.offset, values, pivots })
+}
+
+/// Runs the simplex loop on the tableau with the given cost vector.
+/// Returns the optimal objective (without offset).
+fn run_simplex(
+    t: &mut Vec<Vec<f64>>,
+    basis: &mut [usize],
+    costs: &[f64],
+    n_total: usize,
+    pivots: &mut usize,
+    max_pivots: usize,
+    barred_from: Option<usize>,
+) -> Result<f64> {
+    let m = t.len();
+    // Reduced cost row: z_j = c_j − c_B·(tableau col j); objective = c_B·rhs.
+    let mut zrow = vec![0.0; n_total + 1];
+    zrow[..n_total].copy_from_slice(costs);
+    for r in 0..m {
+        let cb = costs[basis[r]];
+        if cb != 0.0 {
+            for j in 0..=n_total {
+                zrow[j] -= cb * t[r][j];
+            }
+        }
+    }
+
+    let barred = barred_from.unwrap_or(n_total);
+    let mut degenerate_streak = 0usize;
+
+    loop {
+        if *pivots >= max_pivots {
+            return Err(LpError::IterationLimit);
+        }
+        let use_bland = degenerate_streak > 40;
+
+        // Entering column.
+        let entering = if use_bland {
+            (0..n_total).find(|&j| j < barred && zrow[j] < -TOL)
+        } else {
+            let mut best: Option<(usize, f64)> = None;
+            for j in 0..n_total {
+                if j >= barred {
+                    continue;
+                }
+                let z = zrow[j];
+                if z < -TOL && best.map_or(true, |(_, bz)| z < bz) {
+                    best = Some((j, z));
+                }
+            }
+            best.map(|(j, _)| j)
+        };
+        let Some(e) = entering else {
+            // Optimal. Objective = −zrow[rhs] because zrow tracks c_B·rhs negated.
+            return Ok(-zrow[n_total]);
+        };
+
+        // Leaving row: minimum ratio test, Bland tie-break on basis index.
+        let mut leave: Option<(usize, f64)> = None;
+        for (r, row) in t.iter().enumerate() {
+            let a = row[e];
+            if a > TOL {
+                let ratio = row[n_total] / a;
+                match leave {
+                    None => leave = Some((r, ratio)),
+                    Some((lr, lratio)) => {
+                        if ratio < lratio - TOL
+                            || ((ratio - lratio).abs() <= TOL && basis[r] < basis[lr])
+                        {
+                            leave = Some((r, ratio));
+                        }
+                    }
+                }
+            }
+        }
+        let Some((r, ratio)) = leave else {
+            return Err(LpError::Unbounded);
+        };
+        if ratio.abs() <= TOL {
+            degenerate_streak += 1;
+        } else {
+            degenerate_streak = 0;
+        }
+
+        pivot_with_zrow(t, basis, &mut zrow, r, e, n_total);
+        *pivots += 1;
+    }
+}
+
+/// Performs a pivot on (row, col), updating the tableau and basis.
+fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], r: usize, c: usize, n_total: usize) {
+    let piv = t[r][c];
+    for v in t[r].iter_mut() {
+        *v /= piv;
+    }
+    for rr in 0..t.len() {
+        if rr == r {
+            continue;
+        }
+        let factor = t[rr][c];
+        if factor == 0.0 {
+            continue;
+        }
+        for j in 0..=n_total {
+            t[rr][j] -= factor * t[r][j];
+        }
+    }
+    basis[r] = c;
+}
+
+fn pivot_with_zrow(
+    t: &mut [Vec<f64>],
+    basis: &mut [usize],
+    zrow: &mut [f64],
+    r: usize,
+    c: usize,
+    n_total: usize,
+) {
+    pivot(t, basis, r, c, n_total);
+    let factor = zrow[c];
+    if factor != 0.0 {
+        for j in 0..=n_total {
+            zrow[j] -= factor * t[r][j];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Problem, Sense};
+
+    fn inf() -> f64 {
+        f64::INFINITY
+    }
+
+    #[test]
+    fn simple_bounded_minimum() {
+        // min x subject to x >= 3.
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", 0.0, inf());
+        p.set_objective_coeff(x, 1.0);
+        p.add_constraint(vec![(x, 1.0)], Sense::Ge, 3.0);
+        let s = solve(&p).unwrap();
+        assert!((s.value(x) - 3.0).abs() < 1e-9);
+        assert!((s.objective - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classic_two_var() {
+        // max 3x + 5y s.t. x<=4, 2y<=12, 3x+2y<=18 (Dantzig's example).
+        // As minimization of -(3x+5y); optimum x=2, y=6, obj=36.
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", 0.0, inf());
+        let y = p.add_var("y", 0.0, inf());
+        p.set_objective_coeff(x, -3.0);
+        p.set_objective_coeff(y, -5.0);
+        p.add_constraint(vec![(x, 1.0)], Sense::Le, 4.0);
+        p.add_constraint(vec![(y, 2.0)], Sense::Le, 12.0);
+        p.add_constraint(vec![(x, 3.0), (y, 2.0)], Sense::Le, 18.0);
+        let s = solve(&p).unwrap();
+        assert!((s.value(x) - 2.0).abs() < 1e-8);
+        assert!((s.value(y) - 6.0).abs() < 1e-8);
+        assert!((s.objective + 36.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn equality_constraints() {
+        // min x + y s.t. x + y = 5, x - y = 1  =>  x=3, y=2.
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", 0.0, inf());
+        let y = p.add_var("y", 0.0, inf());
+        p.set_objective_coeff(x, 1.0);
+        p.set_objective_coeff(y, 1.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Eq, 5.0);
+        p.add_constraint(vec![(x, 1.0), (y, -1.0)], Sense::Eq, 1.0);
+        let s = solve(&p).unwrap();
+        assert!((s.value(x) - 3.0).abs() < 1e-8);
+        assert!((s.value(y) - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", 0.0, 1.0);
+        p.add_constraint(vec![(x, 1.0)], Sense::Ge, 5.0);
+        assert_eq!(solve(&p).unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", 0.0, inf());
+        p.set_objective_coeff(x, -1.0);
+        assert_eq!(solve(&p).unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn free_variable_split() {
+        // min |proxy|: x free, min x s.t. x >= -7 handled via constraint.
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", f64::NEG_INFINITY, inf());
+        p.set_objective_coeff(x, 1.0);
+        p.add_constraint(vec![(x, 1.0)], Sense::Ge, -7.0);
+        let s = solve(&p).unwrap();
+        assert!((s.value(x) + 7.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn negative_lower_bound_shift() {
+        // min x with x in [-5, 5]: optimum -5.
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", -5.0, 5.0);
+        p.set_objective_coeff(x, 1.0);
+        let s = solve(&p).unwrap();
+        assert!((s.value(x) + 5.0).abs() < 1e-8);
+        // And maximize via negation: hits +5.
+        let mut p2 = Problem::minimize();
+        let x2 = p2.add_var("x", -5.0, 5.0);
+        p2.set_objective_coeff(x2, -1.0);
+        let s2 = solve(&p2).unwrap();
+        assert!((s2.value(x2) - 5.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn upper_bound_only_variable() {
+        // x ≤ 3 with no lower bound, min −x → x = 3.
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", f64::NEG_INFINITY, 3.0);
+        p.set_objective_coeff(x, -1.0);
+        let s = solve(&p).unwrap();
+        assert!((s.value(x) - 3.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn negative_rhs_row_normalization() {
+        // −x ≤ −2  ⇔  x ≥ 2.
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", 0.0, inf());
+        p.set_objective_coeff(x, 1.0);
+        p.add_constraint(vec![(x, -1.0)], Sense::Le, -2.0);
+        let s = solve(&p).unwrap();
+        assert!((s.value(x) - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn degenerate_lp_terminates() {
+        // The classic Beale cycling example (degenerate); must terminate via
+        // the Bland switch.
+        let mut p = Problem::minimize();
+        let x1 = p.add_var("x1", 0.0, inf());
+        let x2 = p.add_var("x2", 0.0, inf());
+        let x3 = p.add_var("x3", 0.0, inf());
+        let x4 = p.add_var("x4", 0.0, inf());
+        p.set_objective_coeff(x1, -0.75);
+        p.set_objective_coeff(x2, 150.0);
+        p.set_objective_coeff(x3, -0.02);
+        p.set_objective_coeff(x4, 6.0);
+        p.add_constraint(vec![(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)], Sense::Le, 0.0);
+        p.add_constraint(vec![(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)], Sense::Le, 0.0);
+        p.add_constraint(vec![(x3, 1.0)], Sense::Le, 1.0);
+        let s = solve(&p).unwrap();
+        assert!((s.objective + 0.05).abs() < 1e-7, "objective {}", s.objective);
+    }
+
+    #[test]
+    fn redundant_equality_rows_handled() {
+        // Duplicate equality rows leave a zero-level artificial that must be
+        // pivoted out or dropped.
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", 0.0, inf());
+        let y = p.add_var("y", 0.0, inf());
+        p.set_objective_coeff(x, 1.0);
+        p.set_objective_coeff(y, 2.0);
+        p.add_constraint(vec![(x, 1.0), (y, 1.0)], Sense::Eq, 4.0);
+        p.add_constraint(vec![(x, 2.0), (y, 2.0)], Sense::Eq, 8.0);
+        let s = solve(&p).unwrap();
+        assert!((s.value(x) - 4.0).abs() < 1e-8);
+        assert!(s.value(y).abs() < 1e-8);
+    }
+
+    #[test]
+    fn solution_feasible_for_model() {
+        let mut p = Problem::minimize();
+        let x = p.add_var("x", 0.0, 10.0);
+        let y = p.add_var("y", 1.0, 8.0);
+        p.set_objective_coeff(x, 1.5);
+        p.set_objective_coeff(y, 0.5);
+        p.add_constraint(vec![(x, 1.0), (y, 2.0)], Sense::Ge, 6.0);
+        p.add_constraint(vec![(x, 3.0), (y, -1.0)], Sense::Le, 12.0);
+        let s = solve(&p).unwrap();
+        assert!(p.is_feasible(&s.values, 1e-7));
+        assert!((p.objective_at(&s.values) - s.objective).abs() < 1e-7);
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the simplex solver.
+//!
+//! Strategy: generate random LPs that are feasible *by construction* (the
+//! constraints are sampled around a known interior point), solve them, and
+//! check (a) the returned point is feasible, (b) no random feasible candidate
+//! beats the reported optimum, and (c) the objective matches the point.
+
+use ip_lp::{solve, LpError, Problem, Sense, Var};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct RandomLp {
+    problem: Problem,
+    vars: Vec<Var>,
+    /// Interior point used to construct the instance (guaranteed feasible).
+    witness: Vec<f64>,
+}
+
+fn random_feasible_lp() -> impl Strategy<Value = RandomLp> {
+    (2usize..=5, 1usize..=6).prop_flat_map(|(n, m)| {
+        let coeffs = proptest::collection::vec(-3.0f64..3.0, n * m);
+        let witness = proptest::collection::vec(0.5f64..4.0, n);
+        let costs = proptest::collection::vec(-2.0f64..2.0, n);
+        let slacks = proptest::collection::vec(0.1f64..5.0, m);
+        (coeffs, witness, costs, slacks).prop_map(move |(coeffs, witness, costs, slacks)| {
+            let mut p = Problem::minimize();
+            let vars: Vec<_> = (0..n).map(|i| p.add_var(format!("x{i}"), 0.0, 10.0)).collect();
+            for (i, &c) in costs.iter().enumerate() {
+                p.set_objective_coeff(vars[i], c);
+            }
+            for r in 0..m {
+                let row: Vec<f64> = coeffs[r * n..(r + 1) * n].to_vec();
+                let lhs_at_witness: f64 = row.iter().zip(&witness).map(|(a, w)| a * w).sum();
+                // The witness satisfies each row strictly, so the LP is
+                // feasible; the box bounds keep it bounded.
+                let terms: Vec<_> = vars.iter().zip(&row).map(|(&v, &a)| (v, a)).collect();
+                p.add_constraint(terms, Sense::Le, lhs_at_witness + slacks[r]);
+            }
+            RandomLp { problem: p, vars, witness }
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn solution_feasible_and_optimal_vs_witness(lp in random_feasible_lp()) {
+        let sol = solve(&lp.problem).expect("constructed LP must be solvable");
+        prop_assert!(lp.problem.is_feasible(&sol.values, 1e-6),
+            "solver returned infeasible point {:?}", sol.values);
+        // Objective value consistent with the point.
+        let obj_at = lp.problem.objective_at(&sol.values);
+        prop_assert!((obj_at - sol.objective).abs() < 1e-6);
+        // The known witness cannot beat the optimum.
+        let witness_obj = lp.problem.objective_at(&lp.witness);
+        prop_assert!(sol.objective <= witness_obj + 1e-6,
+            "optimum {} beaten by witness {}", sol.objective, witness_obj);
+    }
+
+    #[test]
+    fn optimum_not_beaten_by_random_candidates(
+        lp in random_feasible_lp(),
+        candidates in proptest::collection::vec(proptest::collection::vec(0.0f64..10.0, 5), 20),
+    ) {
+        let sol = solve(&lp.problem).unwrap();
+        for cand in &candidates {
+            let x = &cand[..lp.problem.num_vars()];
+            if lp.problem.is_feasible(x, 0.0) {
+                let obj = lp.problem.objective_at(x);
+                prop_assert!(sol.objective <= obj + 1e-6,
+                    "optimum {} beaten by random candidate {}", sol.objective, obj);
+            }
+        }
+    }
+
+    #[test]
+    fn extra_constraint_never_improves(lp in random_feasible_lp()) {
+        // Adding a constraint that the old optimum satisfies with equality
+        // shrinks the feasible region; the optimum cannot improve.
+        let base = solve(&lp.problem).unwrap();
+        let sum_at_opt: f64 = base.values.iter().sum();
+        let mut tightened = lp.problem.clone();
+        tightened.add_constraint(
+            lp.vars.iter().map(|&v| (v, 1.0)).collect(),
+            Sense::Le,
+            sum_at_opt + 1e-9,
+        );
+        match solve(&tightened) {
+            Ok(s2) => prop_assert!(s2.objective >= base.objective - 1e-6,
+                "tightened optimum {} better than base {}", s2.objective, base.objective),
+            Err(LpError::Infeasible) => {}
+            Err(e) => prop_assert!(false, "unexpected error {e}"),
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! The no-intelligence baseline of Eq. 17: `ŷ = γ · max(y_train)`.
+
+use crate::{FitReport, Forecaster, ModelError, Result};
+use ip_timeseries::TimeSeries;
+use std::time::Instant;
+
+/// Constant forecaster pinned to a fraction of the historical peak.
+///
+/// This is the static over-provisioning strategy the paper benchmarks
+/// against: pick `γ` large and the pool always covers demand (huge idle
+/// cost); shrink `γ` and wait time appears. Sweeping `γ` traces the
+/// baseline's Pareto curve in Fig. 5.
+#[derive(Debug, Clone)]
+pub struct BaselineForecaster {
+    /// The fraction of the training peak to predict.
+    pub gamma: f64,
+    level: Option<f64>,
+}
+
+impl BaselineForecaster {
+    /// Creates a baseline with the given `γ`.
+    pub fn new(gamma: f64) -> Self {
+        Self { gamma, level: None }
+    }
+}
+
+impl Forecaster for BaselineForecaster {
+    fn name(&self) -> &'static str {
+        "baseline"
+    }
+
+    fn fit(&mut self, train: &TimeSeries) -> Result<FitReport> {
+        let start = Instant::now();
+        let peak = train
+            .max()
+            .ok_or(ModelError::SeriesTooShort { needed: 1, got: 0 })?;
+        self.level = Some((self.gamma * peak).max(0.0));
+        Ok(FitReport { fit_time: start.elapsed(), epochs_run: 1, final_loss: 0.0, parameters: 0 })
+    }
+
+    fn predict(&mut self, horizon: usize) -> Result<Vec<f64>> {
+        let level = self.level.ok_or(ModelError::NotFitted)?;
+        Ok(vec![level; horizon])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predicts_fraction_of_peak() {
+        let ts = TimeSeries::new(30, vec![1.0, 7.0, 3.0]).unwrap();
+        let mut b = BaselineForecaster::new(0.5);
+        b.fit(&ts).unwrap();
+        assert_eq!(b.predict(3).unwrap(), vec![3.5; 3]);
+    }
+
+    #[test]
+    fn gamma_one_covers_training_peak() {
+        let ts = TimeSeries::new(30, vec![2.0, 9.0, 4.0]).unwrap();
+        let mut b = BaselineForecaster::new(1.0);
+        b.fit(&ts).unwrap();
+        let p = b.predict(1).unwrap();
+        assert!(ts.values().iter().all(|&v| v <= p[0]));
+    }
+
+    #[test]
+    fn unfitted_and_empty_rejected() {
+        let mut b = BaselineForecaster::new(1.0);
+        assert!(matches!(b.predict(1), Err(ModelError::NotFitted)));
+        let mut b = BaselineForecaster::new(1.0);
+        let empty = TimeSeries::zeros(30, 0);
+        assert!(b.fit(&empty).is_err());
+    }
+
+    #[test]
+    fn negative_levels_clamped() {
+        let ts = TimeSeries::new(30, vec![-5.0, -2.0]).unwrap();
+        let mut b = BaselineForecaster::new(1.0);
+        b.fit(&ts).unwrap();
+        assert_eq!(b.predict(1).unwrap(), vec![0.0]);
+    }
+}

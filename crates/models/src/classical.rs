@@ -1,0 +1,236 @@
+//! Classical forecasting baselines: seasonal naive and Holt–Winters.
+//!
+//! These are not in the paper's Table 1 lineup, but the related-work
+//! section (§8) frames the problem space as "enumerat[ing] over a set of
+//! time-series forecasting algorithms, selecting the most appropriate one"
+//! (Herbst et al.) — so the library ships the canonical classical members
+//! of that set. They also power [`crate::selector::AutoSelector`].
+
+use crate::{FitReport, Forecaster, ModelError, Result};
+use ip_timeseries::TimeSeries;
+use std::time::Instant;
+
+/// Seasonal-naive forecasting: `ŷ_{t} = y_{t − m}` for season length `m`.
+///
+/// For pool demand the natural season is one day; with 30-second intervals
+/// that is `m = 2880`. Strong diurnal workloads make this an embarrassingly
+/// effective baseline.
+#[derive(Debug, Clone)]
+pub struct SeasonalNaive {
+    /// Season length in intervals.
+    pub season: usize,
+    last_season: Vec<f64>,
+}
+
+impl SeasonalNaive {
+    /// Creates the forecaster for a season of `season` intervals.
+    pub fn new(season: usize) -> Self {
+        Self { season, last_season: Vec::new() }
+    }
+
+    /// Convenience: one-day season for a series at `interval_secs`.
+    pub fn daily(interval_secs: u64) -> Self {
+        Self::new((86_400 / interval_secs.max(1)) as usize)
+    }
+}
+
+impl Forecaster for SeasonalNaive {
+    fn name(&self) -> &'static str {
+        "seasonal-naive"
+    }
+
+    fn fit(&mut self, train: &TimeSeries) -> Result<FitReport> {
+        let start = Instant::now();
+        if self.season == 0 {
+            return Err(ModelError::InvalidConfig("season must be > 0".into()));
+        }
+        if train.len() < self.season {
+            return Err(ModelError::SeriesTooShort { needed: self.season, got: train.len() });
+        }
+        self.last_season = train.values()[train.len() - self.season..].to_vec();
+        Ok(FitReport { fit_time: start.elapsed(), epochs_run: 1, final_loss: 0.0, parameters: 0 })
+    }
+
+    fn predict(&mut self, horizon: usize) -> Result<Vec<f64>> {
+        if self.last_season.is_empty() {
+            return Err(ModelError::NotFitted);
+        }
+        Ok((0..horizon)
+            .map(|i| self.last_season[i % self.season].max(0.0))
+            .collect())
+    }
+}
+
+/// Additive Holt–Winters (triple exponential smoothing): level, trend and
+/// additive seasonality with smoothing factors `alpha`, `beta`, `gamma`.
+#[derive(Debug, Clone)]
+pub struct HoltWinters {
+    /// Level smoothing ∈ (0, 1).
+    pub alpha: f64,
+    /// Trend smoothing ∈ [0, 1).
+    pub beta: f64,
+    /// Seasonal smoothing ∈ [0, 1).
+    pub gamma: f64,
+    /// Season length in intervals.
+    pub season: usize,
+    state: Option<HwState>,
+}
+
+#[derive(Debug, Clone)]
+struct HwState {
+    level: f64,
+    trend: f64,
+    seasonal: Vec<f64>,
+    /// Season phase of the next forecast step.
+    phase: usize,
+}
+
+impl HoltWinters {
+    /// Creates the model; parameters are validated at fit time.
+    pub fn new(alpha: f64, beta: f64, gamma: f64, season: usize) -> Self {
+        Self { alpha, beta, gamma, season, state: None }
+    }
+
+    /// Reasonable defaults for demand traces with a daily season.
+    pub fn daily(interval_secs: u64) -> Self {
+        Self::new(0.3, 0.02, 0.15, (86_400 / interval_secs.max(1)) as usize)
+    }
+}
+
+impl Forecaster for HoltWinters {
+    fn name(&self) -> &'static str {
+        "holt-winters"
+    }
+
+    fn fit(&mut self, train: &TimeSeries) -> Result<FitReport> {
+        let start = Instant::now();
+        let m = self.season;
+        if m == 0 {
+            return Err(ModelError::InvalidConfig("season must be > 0".into()));
+        }
+        for (name, v, lo) in [
+            ("alpha", self.alpha, f64::EPSILON),
+            ("beta", self.beta, 0.0),
+            ("gamma", self.gamma, 0.0),
+        ] {
+            if !(lo..1.0).contains(&v) {
+                return Err(ModelError::InvalidConfig(format!("{name} = {v} out of range")));
+            }
+        }
+        if train.len() < 2 * m {
+            return Err(ModelError::SeriesTooShort { needed: 2 * m, got: train.len() });
+        }
+        let y = train.values();
+
+        // Classical initialization: level = mean of season 1, trend = mean
+        // per-step change between seasons 1 and 2, seasonal = deviations.
+        let s1_mean: f64 = y[..m].iter().sum::<f64>() / m as f64;
+        let s2_mean: f64 = y[m..2 * m].iter().sum::<f64>() / m as f64;
+        let mut level = s1_mean;
+        let mut trend = (s2_mean - s1_mean) / m as f64;
+        let mut seasonal: Vec<f64> = (0..m).map(|i| y[i] - s1_mean).collect();
+        let mut sse = 0.0;
+
+        for (t, &obs) in y.iter().enumerate().skip(m) {
+            let phase = t % m;
+            let forecast = level + trend + seasonal[phase];
+            sse += (obs - forecast).powi(2);
+            let prev_level = level;
+            level = self.alpha * (obs - seasonal[phase]) + (1.0 - self.alpha) * (level + trend);
+            trend = self.beta * (level - prev_level) + (1.0 - self.beta) * trend;
+            seasonal[phase] = self.gamma * (obs - level) + (1.0 - self.gamma) * seasonal[phase];
+        }
+        self.state = Some(HwState { level, trend, seasonal, phase: train.len() % m });
+        Ok(FitReport {
+            fit_time: start.elapsed(),
+            epochs_run: 1,
+            final_loss: (sse / (train.len() - m) as f64).sqrt(),
+            parameters: 0,
+        })
+    }
+
+    fn predict(&mut self, horizon: usize) -> Result<Vec<f64>> {
+        let state = self.state.as_ref().ok_or(ModelError::NotFitted)?;
+        let m = self.season;
+        Ok((0..horizon)
+            .map(|h| {
+                let phase = (state.phase + h) % m;
+                (state.level + (h + 1) as f64 * state.trend + state.seasonal[phase]).max(0.0)
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seasonal_series(periods: usize, m: usize) -> TimeSeries {
+        // Pattern [1, 5, 3, 9, ...] repeated, plus a slight trend.
+        let vals: Vec<f64> = (0..periods * m)
+            .map(|t| {
+                let base = [1.0, 5.0, 3.0, 9.0, 2.0, 7.0][t % m.min(6)];
+                base + 0.01 * t as f64
+            })
+            .collect();
+        TimeSeries::new(30, vals).unwrap()
+    }
+
+    #[test]
+    fn seasonal_naive_repeats_last_season() {
+        let ts = TimeSeries::new(30, vec![1.0, 2.0, 3.0, 10.0, 20.0, 30.0]).unwrap();
+        let mut m = SeasonalNaive::new(3);
+        m.fit(&ts).unwrap();
+        assert_eq!(m.predict(6).unwrap(), vec![10.0, 20.0, 30.0, 10.0, 20.0, 30.0]);
+    }
+
+    #[test]
+    fn seasonal_naive_validation() {
+        let ts = TimeSeries::new(30, vec![1.0; 5]).unwrap();
+        assert!(SeasonalNaive::new(0).fit(&ts).is_err());
+        assert!(SeasonalNaive::new(10).fit(&ts).is_err());
+        let mut unfitted = SeasonalNaive::new(2);
+        assert!(matches!(unfitted.predict(1), Err(ModelError::NotFitted)));
+        assert_eq!(SeasonalNaive::daily(30).season, 2880);
+    }
+
+    #[test]
+    fn holt_winters_tracks_seasonal_pattern() {
+        let m = 6;
+        let ts = seasonal_series(20, m);
+        let mut hw = HoltWinters::new(0.3, 0.05, 0.2, m);
+        let report = hw.fit(&ts).unwrap();
+        assert!(report.final_loss < 1.0, "in-sample RMSE {}", report.final_loss);
+        let pred = hw.predict(m).unwrap();
+        // The next season should look like the pattern (peaks at phases of
+        // 9.0 and troughs at phases of 1.0, up to the trend).
+        let truth: Vec<f64> = (0..m)
+            .map(|i| [1.0, 5.0, 3.0, 9.0, 2.0, 7.0][i] + 0.01 * (120 + i) as f64)
+            .collect();
+        for (p, t) in pred.iter().zip(&truth) {
+            assert!((p - t).abs() < 1.0, "{p} vs {t}");
+        }
+    }
+
+    #[test]
+    fn holt_winters_validation() {
+        let ts = seasonal_series(3, 6);
+        assert!(HoltWinters::new(0.0, 0.1, 0.1, 6).fit(&ts.clone()).is_err()); // alpha = 0
+        assert!(HoltWinters::new(0.3, 1.0, 0.1, 6).fit(&ts.clone()).is_err()); // beta = 1
+        assert!(HoltWinters::new(0.3, 0.1, 0.1, 0).fit(&ts.clone()).is_err()); // season 0
+        let short = TimeSeries::new(30, vec![1.0; 8]).unwrap();
+        assert!(HoltWinters::new(0.3, 0.1, 0.1, 6).fit(&short).is_err());
+        let mut unfitted = HoltWinters::new(0.3, 0.1, 0.1, 6);
+        assert!(matches!(unfitted.predict(1), Err(ModelError::NotFitted)));
+    }
+
+    #[test]
+    fn predictions_non_negative() {
+        // A decaying series would drive the trend negative; forecasts clamp.
+        let vals: Vec<f64> = (0..60).map(|t| (30.0 - t as f64).max(0.0)).collect();
+        let ts = TimeSeries::new(30, vals).unwrap();
+        let mut hw = HoltWinters::new(0.5, 0.3, 0.1, 6);
+        hw.fit(&ts).unwrap();
+        assert!(hw.predict(40).unwrap().iter().all(|&v| v >= 0.0));
+    }
+}

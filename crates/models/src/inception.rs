@@ -1,0 +1,184 @@
+//! InceptionTime (Ismail Fawaz et al., DMKD'20) — the 1-D convolution model
+//! of the paper's comparison.
+//!
+//! Each inception module runs parallel convolutions with long kernels over a
+//! bottlenecked input plus a max-pool branch, concatenates the branches, and
+//! applies batch norm + ReLU; a residual connection bridges the stack. The
+//! paper finds its single-scale 1-D convolutions "may not be sufficiently
+//! powerful to capture the diverse patterns" of pool demand — a property
+//! that shows up here too on the spiky presets.
+
+use crate::deep::{DeepConfig, DeepModel, Net};
+use ip_nn::graph::{Graph, NodeId};
+use ip_nn::layers::{BatchNorm1d, Conv1d, Linear};
+use rand::rngs::StdRng;
+
+/// Architecture hyper-parameters.
+#[derive(Debug, Clone)]
+pub struct InceptionConfig {
+    /// Parallel kernel sizes (must be odd for same-length padding).
+    pub kernels: Vec<usize>,
+    /// Filters per branch.
+    pub filters: usize,
+    /// Number of inception modules.
+    pub depth: usize,
+    /// Bottleneck width applied when the input has more than one channel.
+    pub bottleneck: usize,
+}
+
+impl Default for InceptionConfig {
+    fn default() -> Self {
+        // A faithful scale-down of the original {10, 20, 40} × 32 × 6.
+        Self { kernels: vec![9, 19, 39], filters: 8, depth: 3, bottleneck: 8 }
+    }
+}
+
+struct InceptionModule {
+    bottleneck: Option<Conv1d>,
+    branches: Vec<Conv1d>,
+    pool_conv: Conv1d,
+    bn: BatchNorm1d,
+}
+
+impl InceptionModule {
+    fn new(g: &mut Graph, in_channels: usize, arch: &InceptionConfig, rng: &mut StdRng) -> Self {
+        let (bottleneck, branch_in) = if in_channels > 1 {
+            (Some(Conv1d::new(g, in_channels, arch.bottleneck, 1, 0, 1, rng)), arch.bottleneck)
+        } else {
+            (None, in_channels)
+        };
+        let branches = arch
+            .kernels
+            .iter()
+            .map(|&k| {
+                assert!(k % 2 == 1, "inception kernels must be odd for same-length padding");
+                Conv1d::new(g, branch_in, arch.filters, k, k / 2, 1, rng)
+            })
+            .collect();
+        let pool_conv = Conv1d::new(g, in_channels, arch.filters, 1, 0, 1, rng);
+        let out_channels = (arch.kernels.len() + 1) * arch.filters;
+        let bn = BatchNorm1d::new(g, out_channels);
+        Self { bottleneck, branches, pool_conv, bn }
+    }
+
+    fn forward(&mut self, g: &mut Graph, x: NodeId, train: bool) -> NodeId {
+        let trunk = match &self.bottleneck {
+            Some(b) => b.forward(g, x),
+            None => x,
+        };
+        let mut outs: Vec<NodeId> =
+            self.branches.iter().map(|c| c.forward(g, trunk)).collect();
+        // Max-pool branch: same-length pooling then 1×1 conv.
+        let pooled = g.max_pool1d_padded(x, 3, 1, 1);
+        outs.push(self.pool_conv.forward(g, pooled));
+        let cat = g.concat_channels(&outs);
+        let normed = self.bn.forward(g, cat, train);
+        g.relu(normed)
+    }
+}
+
+/// The InceptionTime network; construct via [`InceptionTime::model`].
+pub struct InceptionNet {
+    modules: Vec<InceptionModule>,
+    shortcut: Conv1d,
+    shortcut_bn: BatchNorm1d,
+    head: Linear,
+    window: usize,
+    out_channels: usize,
+}
+
+/// Builder type for the InceptionTime deep model.
+pub struct InceptionTime;
+
+impl InceptionTime {
+    /// Creates an InceptionTime forecaster.
+    pub fn model(config: DeepConfig, arch: InceptionConfig) -> DeepModel<InceptionNet> {
+        DeepModel::new(config, |g, cfg, rng| {
+            let out_channels = (arch.kernels.len() + 1) * arch.filters;
+            let mut modules = Vec::with_capacity(arch.depth);
+            let mut in_ch = 1;
+            for _ in 0..arch.depth {
+                modules.push(InceptionModule::new(g, in_ch, &arch, rng));
+                in_ch = out_channels;
+            }
+            // Residual shortcut from the raw input to the stack output.
+            let shortcut = Conv1d::new(g, 1, out_channels, 1, 0, 1, rng);
+            let shortcut_bn = BatchNorm1d::new(g, out_channels);
+            let head = Linear::new(g, out_channels, cfg.horizon, rng);
+            InceptionNet { modules, shortcut, shortcut_bn, head, window: cfg.window, out_channels }
+        })
+    }
+}
+
+impl Net for InceptionNet {
+    fn name(&self) -> &'static str {
+        "InceptionTime"
+    }
+
+    fn forward(&mut self, g: &mut Graph, x: NodeId, batch: usize, train: bool) -> NodeId {
+        let x3 = g.reshape(x, &[batch, 1, self.window]);
+        let mut h = x3;
+        for module in &mut self.modules {
+            h = module.forward(g, h, train);
+        }
+        // Residual add (shapes match: same length, same channel count).
+        let sc = self.shortcut.forward(g, x3);
+        let sc = self.shortcut_bn.forward(g, sc, train);
+        let merged = g.add(h, sc);
+        let act = g.relu(merged);
+        let pooled = g.avg_pool_global(act); // [B, C]
+        let _ = self.out_channels;
+        self.head.forward(g, pooled)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Forecaster;
+    use ip_timeseries::TimeSeries;
+
+    fn tiny() -> (DeepConfig, InceptionConfig) {
+        (
+            DeepConfig { window: 32, horizon: 8, epochs: 3, batch_size: 8, stride: 4, ..Default::default() },
+            InceptionConfig { kernels: vec![3, 5, 9], filters: 4, depth: 2, bottleneck: 4 },
+        )
+    }
+
+    #[test]
+    fn fit_predict_roundtrip() {
+        let vals: Vec<f64> = (0..200)
+            .map(|t| 6.0 + 2.0 * (2.0 * std::f64::consts::PI * t as f64 / 16.0).cos())
+            .collect();
+        let ts = TimeSeries::new(30, vals).unwrap();
+        let (dc, ic) = tiny();
+        let mut m = InceptionTime::model(dc, ic);
+        let report = m.fit(&ts).unwrap();
+        assert!(report.parameters > 100);
+        let pred = m.predict(8).unwrap();
+        assert_eq!(pred.len(), 8);
+        assert!(pred.iter().all(|v| v.is_finite() && *v >= 0.0));
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let vals: Vec<f64> = (0..250)
+            .map(|t| 8.0 + 4.0 * (2.0 * std::f64::consts::PI * t as f64 / 20.0).sin())
+            .collect();
+        let ts = TimeSeries::new(30, vals).unwrap();
+        let (dc, ic) = tiny();
+        let mut one = InceptionTime::model(DeepConfig { epochs: 1, ..dc.clone() }, ic.clone());
+        let l1 = one.fit(&ts).unwrap().final_loss;
+        let mut many = InceptionTime::model(DeepConfig { epochs: 8, ..dc }, ic);
+        let l8 = many.fit(&ts).unwrap().final_loss;
+        assert!(l8 < l1, "8-epoch {l8} !< 1-epoch {l1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be odd")]
+    fn even_kernels_rejected() {
+        let (dc, mut ic) = tiny();
+        ic.kernels = vec![4];
+        let _ = InceptionTime::model(dc, ic);
+    }
+}

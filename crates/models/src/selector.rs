@@ -1,0 +1,148 @@
+//! Backtest-driven model selection.
+//!
+//! The related work (§8, Herbst et al.) selects "the most appropriate"
+//! forecaster per workload by enumeration; production Intelligent Pooling
+//! keeps a guardrail backtest anyway (§7.5), so the marginal cost of
+//! selecting among several cheap candidates is small. [`AutoSelector`]
+//! backtests every registered candidate on a trailing holdout and fits the
+//! winner on the full history.
+
+use crate::{FitReport, Forecaster, ModelError, Result};
+use ip_timeseries::{mae, TimeSeries};
+use std::time::Instant;
+
+/// A forecaster that picks the best of its candidates by holdout MAE.
+pub struct AutoSelector {
+    candidates: Vec<Box<dyn Forecaster>>,
+    holdout: usize,
+    chosen: Option<usize>,
+    /// Backtest MAE per candidate from the last fit (NaN = failed).
+    pub backtest_mae: Vec<f64>,
+}
+
+impl AutoSelector {
+    /// Creates a selector over `candidates`, backtesting on the trailing
+    /// `holdout` intervals (clamped to a quarter of the history).
+    pub fn new(candidates: Vec<Box<dyn Forecaster>>, holdout: usize) -> Result<Self> {
+        if candidates.is_empty() {
+            return Err(ModelError::InvalidConfig("need at least one candidate".into()));
+        }
+        if holdout == 0 {
+            return Err(ModelError::InvalidConfig("holdout must be > 0".into()));
+        }
+        Ok(Self { backtest_mae: vec![f64::NAN; candidates.len()], candidates, holdout, chosen: None })
+    }
+
+    /// Name of the winning candidate after `fit`.
+    pub fn chosen_name(&self) -> Option<&'static str> {
+        self.chosen.map(|i| self.candidates[i].name())
+    }
+}
+
+impl Forecaster for AutoSelector {
+    fn name(&self) -> &'static str {
+        "auto-selector"
+    }
+
+    fn fit(&mut self, train: &TimeSeries) -> Result<FitReport> {
+        let start = Instant::now();
+        let holdout = self.holdout.min(train.len() / 4);
+        if holdout == 0 {
+            return Err(ModelError::SeriesTooShort { needed: 4, got: train.len() });
+        }
+        let cut = train.len() - holdout;
+        let head = train.slice(0, cut).map_err(|e| ModelError::Internal(e.to_string()))?;
+        let truth = &train.values()[cut..];
+
+        let mut best: Option<(usize, f64)> = None;
+        for (i, candidate) in self.candidates.iter_mut().enumerate() {
+            let score = candidate
+                .fit(&head)
+                .and_then(|_| candidate.predict(holdout))
+                .ok()
+                .and_then(|pred| mae(truth, &pred).ok());
+            self.backtest_mae[i] = score.unwrap_or(f64::NAN);
+            if let Some(s) = score {
+                if best.map_or(true, |(_, b)| s < b) {
+                    best = Some((i, s));
+                }
+            }
+        }
+        let (winner, score) =
+            best.ok_or_else(|| ModelError::Internal("every candidate failed backtest".into()))?;
+        self.chosen = Some(winner);
+        // Refit the winner on the full history so forecasts start at its end.
+        let inner_report = self.candidates[winner].fit(train)?;
+        Ok(FitReport {
+            fit_time: start.elapsed(),
+            epochs_run: inner_report.epochs_run,
+            final_loss: score,
+            parameters: inner_report.parameters,
+        })
+    }
+
+    fn predict(&mut self, horizon: usize) -> Result<Vec<f64>> {
+        let chosen = self.chosen.ok_or(ModelError::NotFitted)?;
+        self.candidates[chosen].predict(horizon)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::classical::SeasonalNaive;
+    use crate::BaselineForecaster;
+
+    fn seasonal_series() -> TimeSeries {
+        let vals: Vec<f64> =
+            (0..240).map(|t| [1.0, 8.0, 2.0, 6.0][t % 4]).collect();
+        TimeSeries::new(30, vals).unwrap()
+    }
+
+    #[test]
+    fn picks_the_better_candidate() {
+        // On a perfectly seasonal series, seasonal-naive crushes the
+        // peak-pinned baseline.
+        let mut sel = AutoSelector::new(
+            vec![
+                Box::new(BaselineForecaster::new(1.0)),
+                Box::new(SeasonalNaive::new(4)),
+            ],
+            40,
+        )
+        .unwrap();
+        let report = sel.fit(&seasonal_series()).unwrap();
+        assert_eq!(sel.chosen_name(), Some("seasonal-naive"));
+        assert!(report.final_loss < 1e-9, "winner backtest MAE {}", report.final_loss);
+        let pred = sel.predict(8).unwrap();
+        assert_eq!(pred, vec![1.0, 8.0, 2.0, 6.0, 1.0, 8.0, 2.0, 6.0]);
+        // Both scores recorded, winner strictly better.
+        assert!(sel.backtest_mae[1] < sel.backtest_mae[0]);
+    }
+
+    #[test]
+    fn failing_candidates_are_skipped() {
+        // SeasonalNaive with an oversized season fails to fit on the
+        // backtest head; the baseline must win by default.
+        let mut sel = AutoSelector::new(
+            vec![
+                Box::new(SeasonalNaive::new(100_000)),
+                Box::new(BaselineForecaster::new(1.0)),
+            ],
+            40,
+        )
+        .unwrap();
+        sel.fit(&seasonal_series()).unwrap();
+        assert_eq!(sel.chosen_name(), Some("baseline"));
+        assert!(sel.backtest_mae[0].is_nan());
+    }
+
+    #[test]
+    fn construction_and_state_validated() {
+        assert!(AutoSelector::new(vec![], 10).is_err());
+        assert!(AutoSelector::new(vec![Box::new(BaselineForecaster::new(1.0))], 0).is_err());
+        let mut sel =
+            AutoSelector::new(vec![Box::new(BaselineForecaster::new(1.0))], 10).unwrap();
+        assert!(matches!(sel.predict(5), Err(ModelError::NotFitted)));
+    }
+}

@@ -1,0 +1,96 @@
+//! [`Forecaster`] adapter around the `ip-ssa` Singular Spectrum Analysis.
+
+use crate::{FitReport, Forecaster, ModelError, Result};
+use ip_ssa::{RankSelection, SsaConfig, SsaForecaster};
+use ip_timeseries::TimeSeries;
+use std::time::Instant;
+
+/// Plain SSA forecasting — fast to train but with no way to bias toward
+/// over-prediction, which is exactly the limitation §5.3 identifies ("there
+/// is no way to specify and control how much the predicted request rate must
+/// overshoot the ground truth").
+#[derive(Debug, Clone)]
+pub struct SsaModel {
+    inner: SsaForecaster,
+    window: usize,
+}
+
+impl SsaModel {
+    /// Creates the model with an explicit embedding window and component
+    /// selection.
+    pub fn new(window: usize, rank: RankSelection) -> Self {
+        Self { inner: SsaForecaster::new(SsaConfig { window, rank }), window }
+    }
+
+    /// Paper-like defaults: window 150, 90% energy.
+    pub fn paper_default() -> Self {
+        Self::new(150, RankSelection::EnergyThreshold(0.90))
+    }
+}
+
+impl Forecaster for SsaModel {
+    fn name(&self) -> &'static str {
+        "SSA"
+    }
+
+    fn fit(&mut self, train: &TimeSeries) -> Result<FitReport> {
+        let start = Instant::now();
+        if train.len() < self.window * 2 {
+            return Err(ModelError::SeriesTooShort { needed: self.window * 2, got: train.len() });
+        }
+        self.inner.fit(train).map_err(|e| ModelError::Internal(e.to_string()))?;
+        Ok(FitReport {
+            fit_time: start.elapsed(),
+            epochs_run: 1,
+            final_loss: 0.0,
+            parameters: 0,
+        })
+    }
+
+    fn predict(&mut self, horizon: usize) -> Result<Vec<f64>> {
+        let raw = self.inner.predict(horizon).map_err(|e| match e {
+            ip_ssa::SsaError::NotFitted => ModelError::NotFitted,
+            other => ModelError::Internal(other.to_string()),
+        })?;
+        Ok(raw.into_iter().map(|v| v.max(0.0)).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_and_predicts_periodic_demand() {
+        let n = 400;
+        let vals: Vec<f64> = (0..n)
+            .map(|t| 10.0 + 5.0 * (2.0 * std::f64::consts::PI * t as f64 / 48.0).sin())
+            .collect();
+        let ts = TimeSeries::new(30, vals.clone()).unwrap();
+        let mut m = SsaModel::new(96, RankSelection::Fixed(3));
+        m.fit(&ts).unwrap();
+        let pred = m.predict(48).unwrap();
+        let truth: Vec<f64> = (n..n + 48)
+            .map(|t| 10.0 + 5.0 * (2.0 * std::f64::consts::PI * t as f64 / 48.0).sin())
+            .collect();
+        let mae: f64 =
+            pred.iter().zip(&truth).map(|(a, b)| (a - b).abs()).sum::<f64>() / 48.0;
+        assert!(mae < 0.5, "MAE {mae}");
+    }
+
+    #[test]
+    fn too_short_rejected() {
+        let ts = TimeSeries::new(30, vec![1.0; 100]).unwrap();
+        let mut m = SsaModel::new(96, RankSelection::Fixed(2));
+        assert!(matches!(m.fit(&ts), Err(ModelError::SeriesTooShort { .. })));
+    }
+
+    #[test]
+    fn predictions_non_negative() {
+        let vals: Vec<f64> = (0..200).map(|t| (t as f64 * 0.3).sin()).collect();
+        let ts = TimeSeries::new(30, vals).unwrap();
+        let mut m = SsaModel::new(40, RankSelection::Fixed(2));
+        m.fit(&ts).unwrap();
+        assert!(m.predict(100).unwrap().iter().all(|&v| v >= 0.0));
+    }
+}

@@ -1,0 +1,173 @@
+//! TST — Time Series Transformer (Zerveas et al., KDD'21).
+//!
+//! Each timestep of the input window is projected into a `d_model`-wide
+//! embedding, summed with a fixed sinusoidal positional encoding, passed
+//! through a stack of transformer encoder blocks (multi-head self-attention
+//! + GELU feed-forward, pre/post LayerNorm as in the cited work), then
+//! flattened into a linear multi-horizon head. The paper notes TST "requires
+//! a longer period of input data due to their increased parameters" and has
+//! the longest latency of the lineup (Fig. 6) — both properties hold here.
+
+use crate::deep::{DeepConfig, DeepModel, Net};
+use ip_nn::graph::{Graph, NodeId};
+use ip_nn::layers::{Linear, TransformerEncoderBlock};
+use ip_nn::tensor::Tensor;
+
+/// Architecture hyper-parameters for TST.
+#[derive(Debug, Clone, Copy)]
+pub struct TstConfig {
+    /// Embedding width.
+    pub d_model: usize,
+    /// Attention heads (must divide `d_model`).
+    pub heads: usize,
+    /// Encoder blocks.
+    pub blocks: usize,
+    /// Feed-forward expansion width.
+    pub ff_dim: usize,
+    /// Dropout probability inside encoder blocks.
+    pub dropout: f32,
+}
+
+impl Default for TstConfig {
+    fn default() -> Self {
+        Self { d_model: 32, heads: 4, blocks: 2, ff_dim: 64, dropout: 0.1 }
+    }
+}
+
+/// The TST network; construct via [`Tst::model`].
+pub struct TstNet {
+    embed: Linear,
+    blocks: Vec<TransformerEncoderBlock>,
+    head: Linear,
+    pos_encoding: Vec<f32>,
+    window: usize,
+    d_model: usize,
+}
+
+/// Builder type for the TST deep model.
+pub struct Tst;
+
+impl Tst {
+    /// Creates a TST forecaster.
+    pub fn model(config: DeepConfig, arch: TstConfig) -> DeepModel<TstNet> {
+        DeepModel::new(config, |g, cfg, rng| {
+            let embed = Linear::new(g, 1, arch.d_model, rng);
+            let blocks = (0..arch.blocks)
+                .map(|_| {
+                    TransformerEncoderBlock::new(
+                        g,
+                        arch.d_model,
+                        arch.heads,
+                        arch.ff_dim,
+                        arch.dropout,
+                        rng,
+                    )
+                })
+                .collect();
+            let head = Linear::new(g, cfg.window * arch.d_model, cfg.horizon, rng);
+            let pos_encoding = sinusoidal_encoding(cfg.window, arch.d_model);
+            TstNet {
+                embed,
+                blocks,
+                head,
+                pos_encoding,
+                window: cfg.window,
+                d_model: arch.d_model,
+            }
+        })
+    }
+}
+
+/// The standard fixed sinusoidal positional encoding, flattened `[T·D]`.
+fn sinusoidal_encoding(t_len: usize, d_model: usize) -> Vec<f32> {
+    let mut pe = vec![0.0f32; t_len * d_model];
+    for t in 0..t_len {
+        for i in 0..d_model {
+            let angle = t as f64 / 10_000f64.powf((2 * (i / 2)) as f64 / d_model as f64);
+            pe[t * d_model + i] = if i % 2 == 0 { angle.sin() } else { angle.cos() } as f32;
+        }
+    }
+    pe
+}
+
+impl Net for TstNet {
+    fn name(&self) -> &'static str {
+        "TST"
+    }
+
+    fn forward(&mut self, g: &mut Graph, x: NodeId, batch: usize, train: bool) -> NodeId {
+        let (w, d) = (self.window, self.d_model);
+        // [B, W] → [B·W, 1] → embed → [B, W, D]
+        let flat = g.reshape(x, &[batch * w, 1]);
+        let emb = self.embed.forward(g, flat);
+        let emb3 = g.reshape(emb, &[batch, w, d]);
+        // Add the positional encoding, tiled across the batch.
+        let pe_tiled: Vec<f32> = self
+            .pos_encoding
+            .iter()
+            .cycle()
+            .take(batch * w * d)
+            .copied()
+            .collect();
+        let pe = g.constant(Tensor::new(&[batch, w, d], pe_tiled).expect("PE tile"));
+        let mut h = g.add(emb3, pe);
+        for block in &self.blocks {
+            h = block.forward(g, h, train);
+        }
+        let flat_out = g.reshape(h, &[batch, w * d]);
+        self.head.forward(g, flat_out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Forecaster;
+    use ip_timeseries::TimeSeries;
+
+    fn tiny() -> (DeepConfig, TstConfig) {
+        (
+            DeepConfig { window: 16, horizon: 8, epochs: 3, batch_size: 8, stride: 4, ..Default::default() },
+            TstConfig { d_model: 8, heads: 2, blocks: 1, ff_dim: 16, dropout: 0.0 },
+        )
+    }
+
+    #[test]
+    fn positional_encoding_shape_and_range() {
+        let pe = sinusoidal_encoding(10, 8);
+        assert_eq!(pe.len(), 80);
+        assert!(pe.iter().all(|v| v.abs() <= 1.0 + 1e-6));
+        // Position 0: sin(0)=0, cos(0)=1 alternating.
+        assert_eq!(pe[0], 0.0);
+        assert_eq!(pe[1], 1.0);
+    }
+
+    #[test]
+    fn fit_predict_roundtrip() {
+        let vals: Vec<f64> = (0..160)
+            .map(|t| 4.0 + 2.0 * (2.0 * std::f64::consts::PI * t as f64 / 8.0).sin())
+            .collect();
+        let ts = TimeSeries::new(30, vals).unwrap();
+        let (dc, tc) = tiny();
+        let mut m = Tst::model(dc, tc);
+        let report = m.fit(&ts).unwrap();
+        assert!(report.parameters > 500, "TST should be parameter-heavy");
+        let pred = m.predict(8).unwrap();
+        assert_eq!(pred.len(), 8);
+        assert!(pred.iter().all(|v| v.is_finite() && *v >= 0.0));
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let vals: Vec<f64> = (0..200)
+            .map(|t| 10.0 + 5.0 * (2.0 * std::f64::consts::PI * t as f64 / 16.0).sin())
+            .collect();
+        let ts = TimeSeries::new(30, vals).unwrap();
+        let (dc, tc) = tiny();
+        let mut one = Tst::model(DeepConfig { epochs: 1, ..dc.clone() }, tc);
+        let l1 = one.fit(&ts).unwrap().final_loss;
+        let mut many = Tst::model(DeepConfig { epochs: 10, ..dc }, tc);
+        let l10 = many.fit(&ts).unwrap().final_loss;
+        assert!(l10 < l1, "10-epoch {l10} !< 1-epoch {l1}");
+    }
+}

@@ -1,0 +1,1305 @@
+//! Define-by-run tape autograd.
+//!
+//! Every operation eagerly computes its output [`Tensor`] and records an
+//! [`Op`] describing how to push gradients back to its parents. The tape is
+//! replayed in reverse by [`Graph::backward`].
+//!
+//! Shape errors in model code are programming errors, so ops assert shapes
+//! with descriptive messages rather than returning `Result` (mirroring how
+//! slice indexing behaves in the standard library).
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Handle to a node (value) in the graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NodeId(usize);
+
+impl NodeId {
+    /// Raw index (for optimizer state keyed by parameter).
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// Recorded operation; parents are earlier node ids, plus whatever forward
+/// state the backward pass needs.
+enum Op {
+    Leaf,
+    Add(NodeId, NodeId),
+    Sub(NodeId, NodeId),
+    Mul(NodeId, NodeId),
+    ScalarMul(NodeId, f32),
+    ScalarAdd(NodeId),
+    MatMul(NodeId, NodeId),
+    MatMulTransB(NodeId, NodeId),
+    BatchMatMul(NodeId, NodeId),
+    BatchMatMulTransB(NodeId, NodeId),
+    Relu(NodeId),
+    Sigmoid(NodeId),
+    Tanh(NodeId),
+    Gelu(NodeId),
+    Softmax(NodeId),
+    Sum(NodeId),
+    Mean(NodeId),
+    Reshape(NodeId),
+    AddBiasRow(NodeId, NodeId),
+    AddBiasChannel(NodeId, NodeId),
+    Conv1d { input: NodeId, weight: NodeId, padding: usize, stride: usize },
+    MaxPool1d { input: NodeId, argmax: Vec<usize> },
+    AvgPoolGlobal(NodeId),
+    BatchNorm { input: NodeId, gamma: NodeId, beta: NodeId, x_hat: Vec<f32>, inv_std: Vec<f32> },
+    LayerNorm { input: NodeId, gamma: NodeId, beta: NodeId, x_hat: Vec<f32>, inv_std: Vec<f32> },
+    ChannelAffine { input: NodeId, scale: Vec<f32> },
+    ConcatChannels(Vec<NodeId>),
+    SliceLastDim { input: NodeId, start: usize },
+    Dropout { input: NodeId, mask: Vec<f32> },
+}
+
+/// The autograd tape.
+///
+/// Parameters are registered first (via [`Graph::param`]); [`Graph::freeze`]
+/// marks the persistent prefix, and [`Graph::reset`] truncates the tape back
+/// to it between training steps, so parameter values (and optimizer state
+/// keyed by their ids) survive across iterations.
+pub struct Graph {
+    values: Vec<Tensor>,
+    grads: Vec<Option<Tensor>>,
+    ops: Vec<Op>,
+    params: Vec<NodeId>,
+    frozen_len: usize,
+    rng: StdRng,
+}
+
+impl Default for Graph {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl Graph {
+    /// Creates an empty graph; `seed` drives dropout masks.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            values: Vec::new(),
+            grads: Vec::new(),
+            ops: Vec::new(),
+            params: Vec::new(),
+            frozen_len: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn push(&mut self, value: Tensor, op: Op) -> NodeId {
+        self.values.push(value);
+        self.grads.push(None);
+        self.ops.push(op);
+        NodeId(self.values.len() - 1)
+    }
+
+    /// Registers a trainable parameter. Must be called before [`freeze`]
+    /// (i.e. during model construction).
+    ///
+    /// [`freeze`]: Graph::freeze
+    pub fn param(&mut self, value: Tensor) -> NodeId {
+        assert_eq!(
+            self.frozen_len, 0,
+            "parameters must be registered before Graph::freeze"
+        );
+        let id = self.push(value, Op::Leaf);
+        self.params.push(id);
+        id
+    }
+
+    /// Marks the persistent prefix of the tape (call once, after building
+    /// every layer).
+    pub fn freeze(&mut self) {
+        self.frozen_len = self.values.len();
+    }
+
+    /// Clears all non-persistent nodes and every gradient.
+    pub fn reset(&mut self) {
+        let keep = if self.frozen_len == 0 { self.values.len() } else { self.frozen_len };
+        self.values.truncate(keep);
+        self.grads.truncate(keep);
+        self.ops.truncate(keep);
+        for g in self.grads.iter_mut() {
+            *g = None;
+        }
+    }
+
+    /// Adds a non-trainable leaf (an input batch, a positional encoding…).
+    pub fn constant(&mut self, value: Tensor) -> NodeId {
+        self.push(value, Op::Leaf)
+    }
+
+    /// The value of a node.
+    pub fn value(&self, id: NodeId) -> &Tensor {
+        &self.values[id.0]
+    }
+
+    /// Mutable access to a parameter's value (for optimizers).
+    pub fn value_mut(&mut self, id: NodeId) -> &mut Tensor {
+        &mut self.values[id.0]
+    }
+
+    /// The gradient accumulated at a node (None before backward or if the
+    /// node does not influence the loss).
+    pub fn grad(&self, id: NodeId) -> Option<&Tensor> {
+        self.grads[id.0].as_ref()
+    }
+
+    /// Registered parameter ids, in registration order.
+    pub fn params(&self) -> &[NodeId] {
+        &self.params
+    }
+
+    /// Number of live nodes (diagnostics).
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the tape is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    // ---- elementwise ----
+
+    /// `a + b` (identical shapes).
+    pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (va, vb) = (&self.values[a.0], &self.values[b.0]);
+        assert_eq!(va.shape(), vb.shape(), "add: shape mismatch");
+        let data = va.data().iter().zip(vb.data()).map(|(x, y)| x + y).collect();
+        let t = Tensor::new(va.shape(), data).unwrap();
+        self.push(t, Op::Add(a, b))
+    }
+
+    /// `a − b` (identical shapes).
+    pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (va, vb) = (&self.values[a.0], &self.values[b.0]);
+        assert_eq!(va.shape(), vb.shape(), "sub: shape mismatch");
+        let data = va.data().iter().zip(vb.data()).map(|(x, y)| x - y).collect();
+        let t = Tensor::new(va.shape(), data).unwrap();
+        self.push(t, Op::Sub(a, b))
+    }
+
+    /// Element-wise product (identical shapes).
+    pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (va, vb) = (&self.values[a.0], &self.values[b.0]);
+        assert_eq!(va.shape(), vb.shape(), "mul: shape mismatch");
+        let data = va.data().iter().zip(vb.data()).map(|(x, y)| x * y).collect();
+        let t = Tensor::new(va.shape(), data).unwrap();
+        self.push(t, Op::Mul(a, b))
+    }
+
+    /// `c · a`.
+    pub fn scalar_mul(&mut self, a: NodeId, c: f32) -> NodeId {
+        let t = self.values[a.0].map(|x| c * x);
+        self.push(t, Op::ScalarMul(a, c))
+    }
+
+    /// `a + c` element-wise.
+    pub fn scalar_add(&mut self, a: NodeId, c: f32) -> NodeId {
+        let t = self.values[a.0].map(|x| x + c);
+        self.push(t, Op::ScalarAdd(a))
+    }
+
+    // ---- dense algebra ----
+
+    /// `[m,k] @ [k,n] → [m,n]`.
+    pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (va, vb) = (&self.values[a.0], &self.values[b.0]);
+        let (sa, sb) = (va.shape(), vb.shape());
+        assert!(sa.len() == 2 && sb.len() == 2 && sa[1] == sb[0], "matmul: {sa:?} x {sb:?}");
+        let (m, k, n) = (sa[0], sa[1], sb[1]);
+        let t = matmul2(va.data(), vb.data(), m, k, n, false);
+        self.push(Tensor::new(&[m, n], t).unwrap(), Op::MatMul(a, b))
+    }
+
+    /// `[m,k] @ [n,k]ᵀ → [m,n]` — fused transpose for attention scores.
+    pub fn matmul_trans_b(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (va, vb) = (&self.values[a.0], &self.values[b.0]);
+        let (sa, sb) = (va.shape(), vb.shape());
+        assert!(sa.len() == 2 && sb.len() == 2 && sa[1] == sb[1], "matmul_trans_b: {sa:?} x {sb:?}");
+        let (m, k, n) = (sa[0], sa[1], sb[0]);
+        let t = matmul2(va.data(), vb.data(), m, k, n, true);
+        self.push(Tensor::new(&[m, n], t).unwrap(), Op::MatMulTransB(a, b))
+    }
+
+    /// Batched `[B,m,k] @ [B,k,n] → [B,m,n]`.
+    pub fn batch_matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (va, vb) = (&self.values[a.0], &self.values[b.0]);
+        let (sa, sb) = (va.shape(), vb.shape());
+        assert!(
+            sa.len() == 3 && sb.len() == 3 && sa[0] == sb[0] && sa[2] == sb[1],
+            "batch_matmul: {sa:?} x {sb:?}"
+        );
+        let (bsz, m, k, n) = (sa[0], sa[1], sa[2], sb[2]);
+        let mut out = vec![0.0; bsz * m * n];
+        for bi in 0..bsz {
+            let av = &va.data()[bi * m * k..(bi + 1) * m * k];
+            let bv = &vb.data()[bi * k * n..(bi + 1) * k * n];
+            let o = matmul2(av, bv, m, k, n, false);
+            out[bi * m * n..(bi + 1) * m * n].copy_from_slice(&o);
+        }
+        self.push(Tensor::new(&[bsz, m, n], out).unwrap(), Op::BatchMatMul(a, b))
+    }
+
+    /// Batched `[B,m,k] @ [B,n,k]ᵀ → [B,m,n]`.
+    pub fn batch_matmul_trans_b(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let (va, vb) = (&self.values[a.0], &self.values[b.0]);
+        let (sa, sb) = (va.shape(), vb.shape());
+        assert!(
+            sa.len() == 3 && sb.len() == 3 && sa[0] == sb[0] && sa[2] == sb[2],
+            "batch_matmul_trans_b: {sa:?} x {sb:?}"
+        );
+        let (bsz, m, k, n) = (sa[0], sa[1], sa[2], sb[1]);
+        let mut out = vec![0.0; bsz * m * n];
+        for bi in 0..bsz {
+            let av = &va.data()[bi * m * k..(bi + 1) * m * k];
+            let bv = &vb.data()[bi * n * k..(bi + 1) * n * k];
+            let o = matmul2(av, bv, m, k, n, true);
+            out[bi * m * n..(bi + 1) * m * n].copy_from_slice(&o);
+        }
+        self.push(Tensor::new(&[bsz, m, n], out).unwrap(), Op::BatchMatMulTransB(a, b))
+    }
+
+    // ---- activations ----
+
+    /// Rectified linear unit.
+    pub fn relu(&mut self, a: NodeId) -> NodeId {
+        let t = self.values[a.0].map(|x| x.max(0.0));
+        self.push(t, Op::Relu(a))
+    }
+
+    /// Logistic sigmoid.
+    pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
+        let t = self.values[a.0].map(|x| 1.0 / (1.0 + (-x).exp()));
+        self.push(t, Op::Sigmoid(a))
+    }
+
+    /// Hyperbolic tangent.
+    pub fn tanh(&mut self, a: NodeId) -> NodeId {
+        let t = self.values[a.0].map(f32::tanh);
+        self.push(t, Op::Tanh(a))
+    }
+
+    /// GELU (tanh approximation).
+    pub fn gelu(&mut self, a: NodeId) -> NodeId {
+        let t = self.values[a.0].map(gelu_fwd);
+        self.push(t, Op::Gelu(a))
+    }
+
+    /// Softmax over the last dimension.
+    pub fn softmax(&mut self, a: NodeId) -> NodeId {
+        let va = &self.values[a.0];
+        let d = *va.shape().last().unwrap();
+        let mut out = va.data().to_vec();
+        for row in out.chunks_mut(d) {
+            let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+        }
+        let t = Tensor::new(va.shape(), out).unwrap();
+        self.push(t, Op::Softmax(a))
+    }
+
+    // ---- reductions & shape ----
+
+    /// Sum of all elements → `[1]`.
+    pub fn sum(&mut self, a: NodeId) -> NodeId {
+        let s = self.values[a.0].sum();
+        self.push(Tensor::scalar(s), Op::Sum(a))
+    }
+
+    /// Mean of all elements → `[1]`.
+    pub fn mean(&mut self, a: NodeId) -> NodeId {
+        let v = &self.values[a.0];
+        let s = v.sum() / v.numel() as f32;
+        self.push(Tensor::scalar(s), Op::Mean(a))
+    }
+
+    /// Reshape (element count preserved).
+    pub fn reshape(&mut self, a: NodeId, shape: &[usize]) -> NodeId {
+        let t = self.values[a.0].reshaped(shape).expect("reshape: numel mismatch");
+        self.push(t, Op::Reshape(a))
+    }
+
+    // ---- broadcast adds ----
+
+    /// `[m,n] + [n]` broadcast over rows.
+    pub fn add_bias_row(&mut self, a: NodeId, bias: NodeId) -> NodeId {
+        let (va, vb) = (&self.values[a.0], &self.values[bias.0]);
+        let sa = va.shape();
+        assert!(sa.len() == 2 && vb.shape() == [sa[1]], "add_bias_row: {:?} + {:?}", sa, vb.shape());
+        let n = sa[1];
+        let data = va
+            .data()
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x + vb.data()[i % n])
+            .collect();
+        let t = Tensor::new(sa, data).unwrap();
+        self.push(t, Op::AddBiasRow(a, bias))
+    }
+
+    /// `[B,C,L] + [C]` broadcast over batch and length.
+    pub fn add_bias_channel(&mut self, a: NodeId, bias: NodeId) -> NodeId {
+        let (va, vb) = (&self.values[a.0], &self.values[bias.0]);
+        let sa = va.shape();
+        assert!(
+            sa.len() == 3 && vb.shape() == [sa[1]],
+            "add_bias_channel: {:?} + {:?}",
+            sa,
+            vb.shape()
+        );
+        let (c, l) = (sa[1], sa[2]);
+        let data = va
+            .data()
+            .iter()
+            .enumerate()
+            .map(|(i, &x)| x + vb.data()[(i / l) % c])
+            .collect();
+        let t = Tensor::new(sa, data).unwrap();
+        self.push(t, Op::AddBiasChannel(a, bias))
+    }
+
+    // ---- convolution & pooling ----
+
+    /// 1-D convolution: input `[B,Cin,L]`, weight `[Cout,Cin,K]` →
+    /// `[B,Cout,(L+2p−K)/s+1]`.
+    pub fn conv1d(&mut self, input: NodeId, weight: NodeId, padding: usize, stride: usize) -> NodeId {
+        assert!(stride >= 1, "conv1d: stride must be >= 1");
+        let (vi, vw) = (&self.values[input.0], &self.values[weight.0]);
+        let (si, sw) = (vi.shape(), vw.shape());
+        assert!(si.len() == 3 && sw.len() == 3 && si[1] == sw[1], "conv1d: {si:?} * {sw:?}");
+        let (b, cin, l) = (si[0], si[1], si[2]);
+        let (cout, k) = (sw[0], sw[2]);
+        assert!(l + 2 * padding >= k, "conv1d: kernel larger than padded input");
+        let lout = (l + 2 * padding - k) / stride + 1;
+        let mut out = vec![0.0f32; b * cout * lout];
+        for bi in 0..b {
+            for co in 0..cout {
+                for t in 0..lout {
+                    let mut acc = 0.0;
+                    for ci in 0..cin {
+                        for kk in 0..k {
+                            let pos = t * stride + kk;
+                            if pos < padding || pos - padding >= l {
+                                continue;
+                            }
+                            acc += vi.at3(bi, ci, pos - padding) * vw.at3(co, ci, kk);
+                        }
+                    }
+                    out[(bi * cout + co) * lout + t] = acc;
+                }
+            }
+        }
+        let t = Tensor::new(&[b, cout, lout], out).unwrap();
+        self.push(t, Op::Conv1d { input, weight, padding, stride })
+    }
+
+    /// Max pooling over length: `[B,C,L] → [B,C,(L−k)/s+1]`.
+    pub fn max_pool1d(&mut self, input: NodeId, kernel: usize, stride: usize) -> NodeId {
+        self.max_pool1d_padded(input, kernel, stride, 0)
+    }
+
+    /// Max pooling with symmetric `-∞` padding — `kernel = 3, stride = 1,
+    /// padding = 1` preserves length (the InceptionTime pool branch).
+    pub fn max_pool1d_padded(
+        &mut self,
+        input: NodeId,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+    ) -> NodeId {
+        assert!(kernel >= 1 && stride >= 1, "max_pool1d: kernel/stride must be >= 1");
+        let vi = &self.values[input.0];
+        let si = vi.shape();
+        assert!(
+            si.len() == 3 && si[2] + 2 * padding >= kernel,
+            "max_pool1d: input {si:?}, kernel {kernel}, padding {padding}"
+        );
+        let (b, c, l) = (si[0], si[1], si[2]);
+        let lout = (l + 2 * padding - kernel) / stride + 1;
+        let mut out = vec![0.0f32; b * c * lout];
+        let mut argmax = vec![0usize; b * c * lout];
+        for bi in 0..b {
+            for ci in 0..c {
+                for t in 0..lout {
+                    let mut best = f32::NEG_INFINITY;
+                    let mut best_idx = usize::MAX;
+                    for kk in 0..kernel {
+                        let pos = t * stride + kk;
+                        if pos < padding || pos - padding >= l {
+                            continue;
+                        }
+                        let v = vi.at3(bi, ci, pos - padding);
+                        if v > best {
+                            best = v;
+                            best_idx = (bi * c + ci) * l + (pos - padding);
+                        }
+                    }
+                    debug_assert_ne!(best_idx, usize::MAX, "window fully out of range");
+                    let oi = (bi * c + ci) * lout + t;
+                    out[oi] = best;
+                    argmax[oi] = best_idx;
+                }
+            }
+        }
+        let t = Tensor::new(&[b, c, lout], out).unwrap();
+        self.push(t, Op::MaxPool1d { input, argmax })
+    }
+
+    /// Global average pooling over length: `[B,C,L] → [B,C]`.
+    pub fn avg_pool_global(&mut self, input: NodeId) -> NodeId {
+        let vi = &self.values[input.0];
+        let si = vi.shape();
+        assert!(si.len() == 3, "avg_pool_global: expected 3-D, got {si:?}");
+        let (b, c, l) = (si[0], si[1], si[2]);
+        let mut out = vec![0.0f32; b * c];
+        for bi in 0..b {
+            for ci in 0..c {
+                let mut acc = 0.0;
+                for t in 0..l {
+                    acc += vi.at3(bi, ci, t);
+                }
+                out[bi * c + ci] = acc / l as f32;
+            }
+        }
+        let t = Tensor::new(&[b, c], out).unwrap();
+        self.push(t, Op::AvgPoolGlobal(input))
+    }
+
+    // ---- normalization ----
+
+    /// Batch normalization over `[B,C,L]` with per-channel `gamma`/`beta`
+    /// (`[C]`), using *batch* statistics. Returns `(output, mean, var)` so
+    /// the layer can maintain running statistics.
+    pub fn batch_norm(
+        &mut self,
+        input: NodeId,
+        gamma: NodeId,
+        beta: NodeId,
+        eps: f32,
+    ) -> (NodeId, Vec<f32>, Vec<f32>) {
+        let vi = &self.values[input.0];
+        let si = vi.shape().to_vec();
+        assert!(si.len() == 3, "batch_norm: expected 3-D, got {si:?}");
+        let (b, c, l) = (si[0], si[1], si[2]);
+        assert!(
+            self.values[gamma.0].shape() == [c] && self.values[beta.0].shape() == [c],
+            "batch_norm: gamma/beta must be [C]"
+        );
+        let n = (b * l) as f32;
+        let mut mean = vec![0.0f32; c];
+        let mut var = vec![0.0f32; c];
+        for ci in 0..c {
+            let mut acc = 0.0;
+            for bi in 0..b {
+                for t in 0..l {
+                    acc += vi.at3(bi, ci, t);
+                }
+            }
+            mean[ci] = acc / n;
+        }
+        for ci in 0..c {
+            let mut acc = 0.0;
+            for bi in 0..b {
+                for t in 0..l {
+                    let d = vi.at3(bi, ci, t) - mean[ci];
+                    acc += d * d;
+                }
+            }
+            var[ci] = acc / n;
+        }
+        let inv_std: Vec<f32> = var.iter().map(|v| 1.0 / (v + eps).sqrt()).collect();
+        let g = self.values[gamma.0].data().to_vec();
+        let be = self.values[beta.0].data().to_vec();
+        let mut x_hat = vec![0.0f32; b * c * l];
+        let mut out = vec![0.0f32; b * c * l];
+        let vi = &self.values[input.0];
+        for bi in 0..b {
+            for ci in 0..c {
+                for t in 0..l {
+                    let idx = (bi * c + ci) * l + t;
+                    let xh = (vi.at3(bi, ci, t) - mean[ci]) * inv_std[ci];
+                    x_hat[idx] = xh;
+                    out[idx] = g[ci] * xh + be[ci];
+                }
+            }
+        }
+        let t = Tensor::new(&si, out).unwrap();
+        let id = self.push(t, Op::BatchNorm { input, gamma, beta, x_hat, inv_std });
+        (id, mean, var)
+    }
+
+    /// Evaluation-mode batch norm: per-channel affine with fixed statistics.
+    /// Gradients flow to the input only (eval passes do not train).
+    pub fn channel_affine(&mut self, input: NodeId, scale: &[f32], shift: &[f32]) -> NodeId {
+        let vi = &self.values[input.0];
+        let si = vi.shape().to_vec();
+        assert!(si.len() == 3 && scale.len() == si[1] && shift.len() == si[1], "channel_affine");
+        let (b, c, l) = (si[0], si[1], si[2]);
+        let mut out = vec![0.0f32; b * c * l];
+        for bi in 0..b {
+            for ci in 0..c {
+                for t in 0..l {
+                    out[(bi * c + ci) * l + t] = scale[ci] * vi.at3(bi, ci, t) + shift[ci];
+                }
+            }
+        }
+        let t = Tensor::new(&si, out).unwrap();
+        self.push(t, Op::ChannelAffine { input, scale: scale.to_vec() })
+    }
+
+    /// Layer normalization over the last dimension with `gamma`/`beta` of
+    /// that size.
+    pub fn layer_norm(&mut self, input: NodeId, gamma: NodeId, beta: NodeId, eps: f32) -> NodeId {
+        let vi = &self.values[input.0];
+        let si = vi.shape().to_vec();
+        let d = *si.last().unwrap();
+        assert!(
+            self.values[gamma.0].shape() == [d] && self.values[beta.0].shape() == [d],
+            "layer_norm: gamma/beta must match last dim {d}"
+        );
+        let rows = vi.numel() / d;
+        let g = self.values[gamma.0].data().to_vec();
+        let be = self.values[beta.0].data().to_vec();
+        let mut x_hat = vec![0.0f32; vi.numel()];
+        let mut inv_std = vec![0.0f32; rows];
+        let mut out = vec![0.0f32; vi.numel()];
+        for r in 0..rows {
+            let row = &vi.data()[r * d..(r + 1) * d];
+            let mean: f32 = row.iter().sum::<f32>() / d as f32;
+            let var: f32 = row.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / d as f32;
+            let istd = 1.0 / (var + eps).sqrt();
+            inv_std[r] = istd;
+            for j in 0..d {
+                let xh = (row[j] - mean) * istd;
+                x_hat[r * d + j] = xh;
+                out[r * d + j] = g[j] * xh + be[j];
+            }
+        }
+        let t = Tensor::new(&si, out).unwrap();
+        self.push(t, Op::LayerNorm { input, gamma, beta, x_hat, inv_std })
+    }
+
+    // ---- structure ----
+
+    /// Concatenates 3-D tensors along the channel axis.
+    pub fn concat_channels(&mut self, inputs: &[NodeId]) -> NodeId {
+        assert!(!inputs.is_empty(), "concat_channels: empty input list");
+        let shapes: Vec<Vec<usize>> =
+            inputs.iter().map(|id| self.values[id.0].shape().to_vec()).collect();
+        let (b, l) = (shapes[0][0], shapes[0][2]);
+        for s in &shapes {
+            assert!(s.len() == 3 && s[0] == b && s[2] == l, "concat_channels: {shapes:?}");
+        }
+        let c_total: usize = shapes.iter().map(|s| s[1]).sum();
+        let mut out = vec![0.0f32; b * c_total * l];
+        for bi in 0..b {
+            let mut c_off = 0;
+            for (inp, s) in inputs.iter().zip(&shapes) {
+                let c = s[1];
+                let vi = &self.values[inp.0];
+                for ci in 0..c {
+                    let src = &vi.data()[(bi * c + ci) * l..(bi * c + ci) * l + l];
+                    let dst_start = (bi * c_total + c_off + ci) * l;
+                    out[dst_start..dst_start + l].copy_from_slice(src);
+                }
+                c_off += c;
+            }
+        }
+        let t = Tensor::new(&[b, c_total, l], out).unwrap();
+        self.push(t, Op::ConcatChannels(inputs.to_vec()))
+    }
+
+    /// Slices `[.., D] → [.., len]` along the last dimension starting at
+    /// `start` (used to split attention heads).
+    pub fn slice_last_dim(&mut self, input: NodeId, start: usize, len: usize) -> NodeId {
+        let vi = &self.values[input.0];
+        let si = vi.shape().to_vec();
+        let d = *si.last().unwrap();
+        assert!(start + len <= d, "slice_last_dim: [{start}, {}) out of {d}", start + len);
+        let rows = vi.numel() / d;
+        let mut out = vec![0.0f32; rows * len];
+        for r in 0..rows {
+            out[r * len..(r + 1) * len]
+                .copy_from_slice(&vi.data()[r * d + start..r * d + start + len]);
+        }
+        let mut shape = si.clone();
+        *shape.last_mut().unwrap() = len;
+        let t = Tensor::new(&shape, out).unwrap();
+        self.push(t, Op::SliceLastDim { input, start })
+    }
+
+    /// Inverted dropout with keep-probability `1 − p`; identity when
+    /// `train` is false.
+    pub fn dropout(&mut self, input: NodeId, p: f32, train: bool) -> NodeId {
+        assert!((0.0..1.0).contains(&p), "dropout: p must be in [0,1)");
+        if !train || p == 0.0 {
+            // Identity via reshape keeps the tape simple.
+            let shape = self.values[input.0].shape().to_vec();
+            return self.reshape(input, &shape);
+        }
+        let numel = self.values[input.0].numel();
+        let scale = 1.0 / (1.0 - p);
+        let mask: Vec<f32> = (0..numel)
+            .map(|_| if self.rng.gen::<f32>() < p { 0.0 } else { scale })
+            .collect();
+        let vi = &self.values[input.0];
+        let data = vi.data().iter().zip(&mask).map(|(x, m)| x * m).collect();
+        let t = Tensor::new(vi.shape(), data).unwrap();
+        self.push(t, Op::Dropout { input, mask })
+    }
+
+    // ---- backward ----
+
+    /// Runs the reverse pass from a scalar loss node.
+    pub fn backward(&mut self, loss: NodeId) {
+        assert_eq!(self.values[loss.0].numel(), 1, "backward: loss must be scalar");
+        for g in self.grads.iter_mut() {
+            *g = None;
+        }
+        self.grads[loss.0] = Some(Tensor::scalar(1.0));
+
+        for i in (0..=loss.0).rev() {
+            let Some(gout) = self.grads[i].take() else {
+                continue;
+            };
+            self.apply_backward(i, &gout);
+            self.grads[i] = Some(gout);
+        }
+    }
+
+    fn accumulate(&mut self, id: NodeId, delta: Tensor) {
+        match &mut self.grads[id.0] {
+            Some(g) => {
+                for (a, b) in g.data_mut().iter_mut().zip(delta.data()) {
+                    *a += b;
+                }
+            }
+            slot @ None => *slot = Some(delta),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn apply_backward(&mut self, i: usize, gout: &Tensor) {
+        // Ops are moved out temporarily to appease the borrow checker when
+        // accumulating into parents.
+        let op = std::mem::replace(&mut self.ops[i], Op::Leaf);
+        match &op {
+            Op::Leaf => {}
+            Op::Add(a, b) => {
+                self.accumulate(*a, gout.clone());
+                self.accumulate(*b, gout.clone());
+            }
+            Op::Sub(a, b) => {
+                self.accumulate(*a, gout.clone());
+                self.accumulate(*b, gout.map(|x| -x));
+            }
+            Op::Mul(a, b) => {
+                let ga = mul_slices(gout.data(), self.values[b.0].data());
+                let gb = mul_slices(gout.data(), self.values[a.0].data());
+                let sa = self.values[a.0].shape().to_vec();
+                self.accumulate(*a, Tensor::new(&sa, ga).unwrap());
+                self.accumulate(*b, Tensor::new(&sa, gb).unwrap());
+            }
+            Op::ScalarMul(a, c) => {
+                self.accumulate(*a, gout.map(|x| x * c));
+            }
+            Op::ScalarAdd(a) => {
+                self.accumulate(*a, gout.clone());
+            }
+            Op::MatMul(a, b) => {
+                let (va, vb) = (&self.values[a.0], &self.values[b.0]);
+                let (m, k) = (va.shape()[0], va.shape()[1]);
+                let n = vb.shape()[1];
+                // dA = G @ Bᵀ ; dB = Aᵀ @ G.
+                let da = matmul2(gout.data(), vb.data(), m, n, k, true);
+                let db = matmul2_trans_a(va.data(), gout.data(), m, k, n);
+                self.accumulate(*a, Tensor::new(&[m, k], da).unwrap());
+                self.accumulate(*b, Tensor::new(&[k, n], db).unwrap());
+            }
+            Op::MatMulTransB(a, b) => {
+                let (va, vb) = (&self.values[a.0], &self.values[b.0]);
+                let (m, k) = (va.shape()[0], va.shape()[1]);
+                let n = vb.shape()[0];
+                // Y = A Bᵀ: dA = G @ B ; dB = Gᵀ @ A.
+                let da = matmul2(gout.data(), vb.data(), m, n, k, false);
+                let db = matmul2_trans_a(gout.data(), va.data(), m, n, k);
+                self.accumulate(*a, Tensor::new(&[m, k], da).unwrap());
+                self.accumulate(*b, Tensor::new(&[n, k], db).unwrap());
+            }
+            Op::BatchMatMul(a, b) => {
+                let (va, vb) = (&self.values[a.0], &self.values[b.0]);
+                let (bsz, m, k) = (va.shape()[0], va.shape()[1], va.shape()[2]);
+                let n = vb.shape()[2];
+                let mut da = vec![0.0; bsz * m * k];
+                let mut db = vec![0.0; bsz * k * n];
+                for bi in 0..bsz {
+                    let g = &gout.data()[bi * m * n..(bi + 1) * m * n];
+                    let av = &va.data()[bi * m * k..(bi + 1) * m * k];
+                    let bv = &vb.data()[bi * k * n..(bi + 1) * k * n];
+                    da[bi * m * k..(bi + 1) * m * k]
+                        .copy_from_slice(&matmul2(g, bv, m, n, k, true));
+                    db[bi * k * n..(bi + 1) * k * n]
+                        .copy_from_slice(&matmul2_trans_a(av, g, m, k, n));
+                }
+                self.accumulate(*a, Tensor::new(&[bsz, m, k], da).unwrap());
+                self.accumulate(*b, Tensor::new(&[bsz, k, n], db).unwrap());
+            }
+            Op::BatchMatMulTransB(a, b) => {
+                let (va, vb) = (&self.values[a.0], &self.values[b.0]);
+                let (bsz, m, k) = (va.shape()[0], va.shape()[1], va.shape()[2]);
+                let n = vb.shape()[1];
+                let mut da = vec![0.0; bsz * m * k];
+                let mut db = vec![0.0; bsz * n * k];
+                for bi in 0..bsz {
+                    let g = &gout.data()[bi * m * n..(bi + 1) * m * n];
+                    let av = &va.data()[bi * m * k..(bi + 1) * m * k];
+                    let bv = &vb.data()[bi * n * k..(bi + 1) * n * k];
+                    // dA = G @ B ; dB = Gᵀ @ A.
+                    da[bi * m * k..(bi + 1) * m * k]
+                        .copy_from_slice(&matmul2(g, bv, m, n, k, false));
+                    db[bi * n * k..(bi + 1) * n * k]
+                        .copy_from_slice(&matmul2_trans_a(g, av, m, n, k));
+                }
+                self.accumulate(*a, Tensor::new(&[bsz, m, k], da).unwrap());
+                self.accumulate(*b, Tensor::new(&[bsz, n, k], db).unwrap());
+            }
+            Op::Relu(a) => {
+                let mask: Vec<f32> = self.values[a.0]
+                    .data()
+                    .iter()
+                    .zip(gout.data())
+                    .map(|(&x, &g)| if x > 0.0 { g } else { 0.0 })
+                    .collect();
+                let sa = self.values[a.0].shape().to_vec();
+                self.accumulate(*a, Tensor::new(&sa, mask).unwrap());
+            }
+            Op::Sigmoid(a) => {
+                let y = &self.values[i];
+                let d: Vec<f32> = y
+                    .data()
+                    .iter()
+                    .zip(gout.data())
+                    .map(|(&s, &g)| g * s * (1.0 - s))
+                    .collect();
+                let sa = y.shape().to_vec();
+                self.accumulate(*a, Tensor::new(&sa, d).unwrap());
+            }
+            Op::Tanh(a) => {
+                let y = &self.values[i];
+                let d: Vec<f32> =
+                    y.data().iter().zip(gout.data()).map(|(&t, &g)| g * (1.0 - t * t)).collect();
+                let sa = y.shape().to_vec();
+                self.accumulate(*a, Tensor::new(&sa, d).unwrap());
+            }
+            Op::Gelu(a) => {
+                let x = &self.values[a.0];
+                let d: Vec<f32> =
+                    x.data().iter().zip(gout.data()).map(|(&x, &g)| g * gelu_bwd(x)).collect();
+                let sa = x.shape().to_vec();
+                self.accumulate(*a, Tensor::new(&sa, d).unwrap());
+            }
+            Op::Softmax(a) => {
+                let y = &self.values[i];
+                let d = *y.shape().last().unwrap();
+                let mut grad = vec![0.0f32; y.numel()];
+                for (r, (yr, gr)) in
+                    y.data().chunks(d).zip(gout.data().chunks(d)).enumerate()
+                {
+                    let dot: f32 = yr.iter().zip(gr).map(|(a, b)| a * b).sum();
+                    for j in 0..d {
+                        grad[r * d + j] = yr[j] * (gr[j] - dot);
+                    }
+                }
+                let sa = y.shape().to_vec();
+                self.accumulate(*a, Tensor::new(&sa, grad).unwrap());
+            }
+            Op::Sum(a) => {
+                let g = gout.data()[0];
+                let sa = self.values[a.0].shape().to_vec();
+                self.accumulate(*a, Tensor::full(&sa, g));
+            }
+            Op::Mean(a) => {
+                let n = self.values[a.0].numel() as f32;
+                let g = gout.data()[0] / n;
+                let sa = self.values[a.0].shape().to_vec();
+                self.accumulate(*a, Tensor::full(&sa, g));
+            }
+            Op::Reshape(a) => {
+                let sa = self.values[a.0].shape().to_vec();
+                self.accumulate(*a, Tensor::new(&sa, gout.data().to_vec()).unwrap());
+            }
+            Op::AddBiasRow(a, bias) => {
+                self.accumulate(*a, gout.clone());
+                let n = self.values[bias.0].numel();
+                let mut gb = vec![0.0f32; n];
+                for (idx, &g) in gout.data().iter().enumerate() {
+                    gb[idx % n] += g;
+                }
+                self.accumulate(*bias, Tensor::new(&[n], gb).unwrap());
+            }
+            Op::AddBiasChannel(a, bias) => {
+                self.accumulate(*a, gout.clone());
+                let sa = self.values[a.0].shape().to_vec();
+                let (c, l) = (sa[1], sa[2]);
+                let mut gb = vec![0.0f32; c];
+                for (idx, &g) in gout.data().iter().enumerate() {
+                    gb[(idx / l) % c] += g;
+                }
+                self.accumulate(*bias, Tensor::new(&[c], gb).unwrap());
+            }
+            Op::Conv1d { input, weight, padding, stride } => {
+                let (vi, vw) = (&self.values[input.0], &self.values[weight.0]);
+                let (b, cin, l) = (vi.shape()[0], vi.shape()[1], vi.shape()[2]);
+                let (cout, k) = (vw.shape()[0], vw.shape()[2]);
+                let lout = gout.shape()[2];
+                let mut din = vec![0.0f32; b * cin * l];
+                let mut dw = vec![0.0f32; cout * cin * k];
+                for bi in 0..b {
+                    for co in 0..cout {
+                        for t in 0..lout {
+                            let g = gout.at3(bi, co, t);
+                            if g == 0.0 {
+                                continue;
+                            }
+                            for ci in 0..cin {
+                                for kk in 0..k {
+                                    let pos = t * stride + kk;
+                                    if pos < *padding || pos - padding >= l {
+                                        continue;
+                                    }
+                                    let ipos = pos - padding;
+                                    din[(bi * cin + ci) * l + ipos] += g * vw.at3(co, ci, kk);
+                                    dw[(co * cin + ci) * k + kk] += g * vi.at3(bi, ci, ipos);
+                                }
+                            }
+                        }
+                    }
+                }
+                self.accumulate(*input, Tensor::new(&[b, cin, l], din).unwrap());
+                self.accumulate(*weight, Tensor::new(&[cout, cin, k], dw).unwrap());
+            }
+            Op::MaxPool1d { input, argmax } => {
+                let sa = self.values[input.0].shape().to_vec();
+                let mut din = vec![0.0f32; self.values[input.0].numel()];
+                for (oi, &src) in argmax.iter().enumerate() {
+                    din[src] += gout.data()[oi];
+                }
+                self.accumulate(*input, Tensor::new(&sa, din).unwrap());
+            }
+            Op::AvgPoolGlobal(a) => {
+                let sa = self.values[a.0].shape().to_vec();
+                let (b, c, l) = (sa[0], sa[1], sa[2]);
+                let mut din = vec![0.0f32; b * c * l];
+                for bi in 0..b {
+                    for ci in 0..c {
+                        let g = gout.data()[bi * c + ci] / l as f32;
+                        for t in 0..l {
+                            din[(bi * c + ci) * l + t] = g;
+                        }
+                    }
+                }
+                self.accumulate(*a, Tensor::new(&sa, din).unwrap());
+            }
+            Op::BatchNorm { input, gamma, beta, x_hat, inv_std } => {
+                let sa = self.values[input.0].shape().to_vec();
+                let (b, c, l) = (sa[0], sa[1], sa[2]);
+                let n = (b * l) as f32;
+                let g = self.values[gamma.0].data().to_vec();
+                let mut dgamma = vec![0.0f32; c];
+                let mut dbeta = vec![0.0f32; c];
+                let mut sum_dxhat = vec![0.0f32; c];
+                let mut sum_dxhat_xhat = vec![0.0f32; c];
+                for bi in 0..b {
+                    for ci in 0..c {
+                        for t in 0..l {
+                            let idx = (bi * c + ci) * l + t;
+                            let go = gout.data()[idx];
+                            dgamma[ci] += go * x_hat[idx];
+                            dbeta[ci] += go;
+                            let dxhat = go * g[ci];
+                            sum_dxhat[ci] += dxhat;
+                            sum_dxhat_xhat[ci] += dxhat * x_hat[idx];
+                        }
+                    }
+                }
+                let mut din = vec![0.0f32; b * c * l];
+                for bi in 0..b {
+                    for ci in 0..c {
+                        for t in 0..l {
+                            let idx = (bi * c + ci) * l + t;
+                            let dxhat = gout.data()[idx] * g[ci];
+                            din[idx] = inv_std[ci] / n
+                                * (n * dxhat - sum_dxhat[ci] - x_hat[idx] * sum_dxhat_xhat[ci]);
+                        }
+                    }
+                }
+                self.accumulate(*input, Tensor::new(&sa, din).unwrap());
+                self.accumulate(*gamma, Tensor::new(&[c], dgamma).unwrap());
+                self.accumulate(*beta, Tensor::new(&[c], dbeta).unwrap());
+            }
+            Op::LayerNorm { input, gamma, beta, x_hat, inv_std } => {
+                let sa = self.values[input.0].shape().to_vec();
+                let d = *sa.last().unwrap();
+                let rows = self.values[input.0].numel() / d;
+                let g = self.values[gamma.0].data().to_vec();
+                let mut dgamma = vec![0.0f32; d];
+                let mut dbeta = vec![0.0f32; d];
+                let mut din = vec![0.0f32; rows * d];
+                for r in 0..rows {
+                    let mut sum_dxhat = 0.0f32;
+                    let mut sum_dxhat_xhat = 0.0f32;
+                    for j in 0..d {
+                        let idx = r * d + j;
+                        let go = gout.data()[idx];
+                        dgamma[j] += go * x_hat[idx];
+                        dbeta[j] += go;
+                        let dxhat = go * g[j];
+                        sum_dxhat += dxhat;
+                        sum_dxhat_xhat += dxhat * x_hat[idx];
+                    }
+                    let nd = d as f32;
+                    for j in 0..d {
+                        let idx = r * d + j;
+                        let dxhat = gout.data()[idx] * g[j];
+                        din[idx] = inv_std[r] / nd
+                            * (nd * dxhat - sum_dxhat - x_hat[idx] * sum_dxhat_xhat);
+                    }
+                }
+                self.accumulate(*input, Tensor::new(&sa, din).unwrap());
+                self.accumulate(*gamma, Tensor::new(&[d], dgamma).unwrap());
+                self.accumulate(*beta, Tensor::new(&[d], dbeta).unwrap());
+            }
+            Op::ChannelAffine { input, scale } => {
+                let sa = self.values[input.0].shape().to_vec();
+                let (_, c, l) = (sa[0], sa[1], sa[2]);
+                let din: Vec<f32> = gout
+                    .data()
+                    .iter()
+                    .enumerate()
+                    .map(|(idx, &g)| g * scale[(idx / l) % c])
+                    .collect();
+                self.accumulate(*input, Tensor::new(&sa, din).unwrap());
+            }
+            Op::ConcatChannels(inputs) => {
+                let shapes: Vec<Vec<usize>> =
+                    inputs.iter().map(|id| self.values[id.0].shape().to_vec()).collect();
+                let (b, l) = (shapes[0][0], shapes[0][2]);
+                let c_total: usize = shapes.iter().map(|s| s[1]).sum();
+                let mut c_off = 0;
+                for (inp, s) in inputs.iter().zip(&shapes) {
+                    let c = s[1];
+                    let mut din = vec![0.0f32; b * c * l];
+                    for bi in 0..b {
+                        for ci in 0..c {
+                            let src_start = (bi * c_total + c_off + ci) * l;
+                            let dst_start = (bi * c + ci) * l;
+                            din[dst_start..dst_start + l]
+                                .copy_from_slice(&gout.data()[src_start..src_start + l]);
+                        }
+                    }
+                    self.accumulate(*inp, Tensor::new(&[b, c, l], din).unwrap());
+                    c_off += c;
+                }
+            }
+            Op::SliceLastDim { input, start } => {
+                let sa = self.values[input.0].shape().to_vec();
+                let d = *sa.last().unwrap();
+                let len = *gout.shape().last().unwrap();
+                let rows = self.values[input.0].numel() / d;
+                let mut din = vec![0.0f32; rows * d];
+                for r in 0..rows {
+                    din[r * d + start..r * d + start + len]
+                        .copy_from_slice(&gout.data()[r * len..(r + 1) * len]);
+                }
+                self.accumulate(*input, Tensor::new(&sa, din).unwrap());
+            }
+            Op::Dropout { input, mask } => {
+                let sa = self.values[input.0].shape().to_vec();
+                let din: Vec<f32> =
+                    gout.data().iter().zip(mask).map(|(g, m)| g * m).collect();
+                self.accumulate(*input, Tensor::new(&sa, din).unwrap());
+            }
+        }
+        self.ops[i] = op;
+    }
+}
+
+/// `a[m,k] @ b[k,n]` (or `a[m,k] @ b[n,k]ᵀ` when `trans_b`).
+fn matmul2(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, trans_b: bool) -> Vec<f32> {
+    let mut out = vec![0.0f32; m * n];
+    if trans_b {
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for kk in 0..k {
+                    acc += a[i * k + kk] * b[j * k + kk];
+                }
+                out[i * n + j] = acc;
+            }
+        }
+    } else {
+        for i in 0..m {
+            for kk in 0..k {
+                let av = a[i * k + kk];
+                if av == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    out[i * n + j] += av * b[kk * n + j];
+                }
+            }
+        }
+    }
+    out
+}
+
+/// `aᵀ[k,m] @ b[m,n] → [k,n]` with `a` given as `[m,k]`.
+fn matmul2_trans_a(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut out = vec![0.0f32; k * n];
+    for i in 0..m {
+        for kk in 0..k {
+            let av = a[i * k + kk];
+            if av == 0.0 {
+                continue;
+            }
+            for j in 0..n {
+                out[kk * n + j] += av * b[i * n + j];
+            }
+        }
+    }
+    out
+}
+
+fn mul_slices(a: &[f32], b: &[f32]) -> Vec<f32> {
+    a.iter().zip(b).map(|(x, y)| x * y).collect()
+}
+
+const GELU_C: f32 = 0.797_884_6; // sqrt(2/pi)
+
+fn gelu_fwd(x: f32) -> f32 {
+    0.5 * x * (1.0 + (GELU_C * (x + 0.044715 * x * x * x)).tanh())
+}
+
+fn gelu_bwd(x: f32) -> f32 {
+    let u = GELU_C * (x + 0.044715 * x * x * x);
+    let t = u.tanh();
+    let du = GELU_C * (1.0 + 3.0 * 0.044715 * x * x);
+    0.5 * (1.0 + t) + 0.5 * x * (1.0 - t * t) * du
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_add_mul() {
+        let mut g = Graph::new(0);
+        let a = g.constant(Tensor::from_slice(&[1.0, 2.0]));
+        let b = g.constant(Tensor::from_slice(&[3.0, 4.0]));
+        let s = g.add(a, b);
+        let p = g.mul(s, b);
+        assert_eq!(g.value(s).data(), &[4.0, 6.0]);
+        assert_eq!(g.value(p).data(), &[12.0, 24.0]);
+    }
+
+    #[test]
+    fn backward_through_chain() {
+        // loss = mean((a*b - c)^2) with scalars.
+        let mut g = Graph::new(0);
+        let a = g.param(Tensor::scalar(2.0));
+        let b = g.param(Tensor::scalar(3.0));
+        g.freeze();
+        let c = g.constant(Tensor::scalar(10.0));
+        let prod = g.mul(a, b);
+        let diff = g.sub(prod, c);
+        let sq = g.mul(diff, diff);
+        let loss = g.mean(sq);
+        g.backward(loss);
+        // d/da (ab−c)² = 2(ab−c)·b = 2·(−4)·3 = −24.
+        assert!((g.grad(a).unwrap().data()[0] + 24.0).abs() < 1e-4);
+        assert!((g.grad(b).unwrap().data()[0] + 16.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn matmul_forward_known() {
+        let mut g = Graph::new(0);
+        let a = g.constant(Tensor::new(&[2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap());
+        let b = g.constant(Tensor::new(&[3, 2], vec![7., 8., 9., 10., 11., 12.]).unwrap());
+        let c = g.matmul(a, b);
+        assert_eq!(g.value(c).data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_trans_b_matches_matmul() {
+        let mut g = Graph::new(0);
+        let a = g.constant(Tensor::new(&[2, 3], vec![1., 2., 3., 4., 5., 6.]).unwrap());
+        // b as [2,3] so bᵀ is [3,2].
+        let b = g.constant(Tensor::new(&[2, 3], vec![7., 9., 11., 8., 10., 12.]).unwrap());
+        let c = g.matmul_trans_b(a, b);
+        assert_eq!(g.value(c).data(), &[58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut g = Graph::new(0);
+        let a = g.constant(Tensor::new(&[2, 3], vec![1., 2., 3., -1., 0., 1.]).unwrap());
+        let s = g.softmax(a);
+        let v = g.value(s);
+        for row in v.data().chunks(3) {
+            let sum: f32 = row.iter().sum();
+            assert!((sum - 1.0).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn reset_preserves_params() {
+        let mut g = Graph::new(0);
+        let w = g.param(Tensor::scalar(1.5));
+        g.freeze();
+        let x = g.constant(Tensor::scalar(2.0));
+        let y = g.mul(w, x);
+        let loss = g.mean(y);
+        g.backward(loss);
+        assert!(g.grad(w).is_some());
+        g.reset();
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.value(w).data(), &[1.5]);
+        assert!(g.grad(w).is_none());
+    }
+
+    #[test]
+    fn dropout_eval_is_identity() {
+        let mut g = Graph::new(0);
+        let a = g.constant(Tensor::from_slice(&[1.0, 2.0, 3.0]));
+        let d = g.dropout(a, 0.5, false);
+        assert_eq!(g.value(d).data(), g.value(a).data());
+    }
+
+    #[test]
+    fn dropout_train_preserves_expectation() {
+        let mut g = Graph::new(7);
+        let ones = Tensor::ones(&[10_000]);
+        let a = g.constant(ones);
+        let d = g.dropout(a, 0.3, true);
+        let mean = g.value(d).sum() / 10_000.0;
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+    }
+
+    #[test]
+    fn conv1d_identity_kernel() {
+        let mut g = Graph::new(0);
+        let x = g.constant(Tensor::new(&[1, 1, 4], vec![1., 2., 3., 4.]).unwrap());
+        let w = g.constant(Tensor::new(&[1, 1, 1], vec![1.0]).unwrap());
+        let y = g.conv1d(x, w, 0, 1);
+        assert_eq!(g.value(y).data(), &[1., 2., 3., 4.]);
+    }
+
+    #[test]
+    fn conv1d_known_values() {
+        // Moving sum kernel [1,1] over [1,2,3,4] → [3,5,7].
+        let mut g = Graph::new(0);
+        let x = g.constant(Tensor::new(&[1, 1, 4], vec![1., 2., 3., 4.]).unwrap());
+        let w = g.constant(Tensor::new(&[1, 1, 2], vec![1.0, 1.0]).unwrap());
+        let y = g.conv1d(x, w, 0, 1);
+        assert_eq!(g.value(y).data(), &[3., 5., 7.]);
+        // With padding 1: [1,3,5,7,4].
+        let y2 = g.conv1d(x, w, 1, 1);
+        assert_eq!(g.value(y2).data(), &[1., 3., 5., 7., 4.]);
+        // Stride 2, no padding: [3,7].
+        let y3 = g.conv1d(x, w, 0, 2);
+        assert_eq!(g.value(y3).data(), &[3., 7.]);
+    }
+
+    #[test]
+    fn max_pool_forward_and_routing() {
+        let mut g = Graph::new(0);
+        let x = g.param(Tensor::new(&[1, 1, 4], vec![1., 5., 2., 4.]).unwrap());
+        g.freeze();
+        let y = g.max_pool1d(x, 2, 2);
+        assert_eq!(g.value(y).data(), &[5., 4.]);
+        let s = g.sum(y);
+        g.backward(s);
+        // Gradient routes only to the argmax positions.
+        assert_eq!(g.grad(x).unwrap().data(), &[0., 1., 0., 1.]);
+    }
+
+    #[test]
+    fn avg_pool_global() {
+        let mut g = Graph::new(0);
+        let x = g.constant(Tensor::new(&[1, 2, 2], vec![1., 3., 10., 20.]).unwrap());
+        let y = g.avg_pool_global(x);
+        assert_eq!(g.value(y).data(), &[2., 15.]);
+    }
+
+    #[test]
+    fn concat_channels_roundtrip() {
+        let mut g = Graph::new(0);
+        let a = g.constant(Tensor::new(&[1, 1, 2], vec![1., 2.]).unwrap());
+        let b = g.constant(Tensor::new(&[1, 2, 2], vec![3., 4., 5., 6.]).unwrap());
+        let c = g.concat_channels(&[a, b]);
+        assert_eq!(g.value(c).shape(), &[1, 3, 2]);
+        assert_eq!(g.value(c).data(), &[1., 2., 3., 4., 5., 6.]);
+    }
+
+    #[test]
+    fn slice_last_dim_known() {
+        let mut g = Graph::new(0);
+        let a = g.constant(Tensor::new(&[2, 4], vec![0., 1., 2., 3., 4., 5., 6., 7.]).unwrap());
+        let s = g.slice_last_dim(a, 1, 2);
+        assert_eq!(g.value(s).shape(), &[2, 2]);
+        assert_eq!(g.value(s).data(), &[1., 2., 5., 6.]);
+    }
+
+    #[test]
+    fn layer_norm_normalizes() {
+        let mut g = Graph::new(0);
+        let gamma = g.param(Tensor::ones(&[4]));
+        let beta = g.param(Tensor::zeros(&[4]));
+        g.freeze();
+        let x = g.constant(Tensor::new(&[1, 4], vec![1., 2., 3., 4.]).unwrap());
+        let y = g.layer_norm(x, gamma, beta, 1e-5);
+        let v = g.value(y);
+        let mean: f32 = v.data().iter().sum::<f32>() / 4.0;
+        let var: f32 = v.data().iter().map(|x| (x - mean).powi(2)).sum::<f32>() / 4.0;
+        assert!(mean.abs() < 1e-5);
+        assert!((var - 1.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn batch_norm_normalizes_channels() {
+        let mut g = Graph::new(0);
+        let gamma = g.param(Tensor::ones(&[2]));
+        let beta = g.param(Tensor::zeros(&[2]));
+        g.freeze();
+        let x = g.constant(
+            Tensor::new(&[2, 2, 3], (0..12).map(|i| i as f32).collect()).unwrap(),
+        );
+        let (y, mean, var) = g.batch_norm(x, gamma, beta, 1e-5);
+        // Channel 0 covers values {0,1,2,6,7,8}: mean 4.
+        assert!((mean[0] - 4.0).abs() < 1e-5);
+        assert!(var[0] > 0.0);
+        // Output channel means ≈ 0.
+        let v = g.value(y);
+        let mut ch0 = 0.0;
+        for bi in 0..2 {
+            for t in 0..3 {
+                ch0 += v.at3(bi, 0, t);
+            }
+        }
+        assert!(ch0.abs() < 1e-4);
+    }
+}

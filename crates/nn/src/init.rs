@@ -1,0 +1,56 @@
+//! Weight initialization.
+
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Xavier/Glorot uniform initialization for a `[fan_out, fan_in]`-shaped
+/// weight (also used for conv kernels with `fan_in = cin * k`).
+pub fn xavier_uniform(shape: &[usize], fan_in: usize, fan_out: usize, rng: &mut StdRng) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out) as f64).sqrt() as f32;
+    let numel: usize = shape.iter().product();
+    let data = (0..numel).map(|_| rng.gen_range(-limit..=limit)).collect();
+    Tensor::new(shape, data).expect("shape/numel consistent")
+}
+
+/// He (Kaiming) uniform initialization for ReLU networks.
+pub fn he_uniform(shape: &[usize], fan_in: usize, rng: &mut StdRng) -> Tensor {
+    let limit = (6.0 / fan_in as f64).sqrt() as f32;
+    let numel: usize = shape.iter().product();
+    let data = (0..numel).map(|_| rng.gen_range(-limit..=limit)).collect();
+    Tensor::new(shape, data).expect("shape/numel consistent")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn xavier_within_limit() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let t = xavier_uniform(&[8, 4], 4, 8, &mut rng);
+        let limit = (6.0f64 / 12.0).sqrt() as f32 + 1e-6;
+        assert!(t.data().iter().all(|v| v.abs() <= limit));
+        // Not all zero.
+        assert!(t.max_abs() > 0.0);
+    }
+
+    #[test]
+    fn he_within_limit() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = he_uniform(&[16, 9], 9, &mut rng);
+        let limit = (6.0f64 / 9.0).sqrt() as f32 + 1e-6;
+        assert!(t.data().iter().all(|v| v.abs() <= limit));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(3);
+        let mut b = StdRng::seed_from_u64(3);
+        assert_eq!(
+            xavier_uniform(&[3, 3], 3, 3, &mut a).data(),
+            xavier_uniform(&[3, 3], 3, 3, &mut b).data()
+        );
+    }
+}

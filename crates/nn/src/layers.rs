@@ -1,0 +1,345 @@
+//! Neural layers built on the autograd [`Graph`].
+//!
+//! Layers register their parameters at construction (before
+//! [`Graph::freeze`]) and replay their forward computation on each call.
+//! They keep no activation state — only parameter handles and, for batch
+//! norm, running statistics.
+
+use crate::graph::{Graph, NodeId};
+use crate::init::{he_uniform, xavier_uniform};
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// Fully connected layer `y = x W ᵀ-free + b` for 2-D inputs `[batch, in]`.
+#[derive(Debug, Clone)]
+pub struct Linear {
+    /// Weight `[in, out]`.
+    pub weight: NodeId,
+    /// Bias `[out]`.
+    pub bias: NodeId,
+}
+
+impl Linear {
+    /// Creates the layer, registering parameters on `g`.
+    pub fn new(g: &mut Graph, in_features: usize, out_features: usize, rng: &mut StdRng) -> Self {
+        let w = xavier_uniform(&[in_features, out_features], in_features, out_features, rng);
+        let b = Tensor::zeros(&[out_features]);
+        Self { weight: g.param(w), bias: g.param(b) }
+    }
+
+    /// Forward: `[batch, in] → [batch, out]`.
+    pub fn forward(&self, g: &mut Graph, x: NodeId) -> NodeId {
+        let z = g.matmul(x, self.weight);
+        g.add_bias_row(z, self.bias)
+    }
+}
+
+/// 1-D convolution with per-output-channel bias.
+#[derive(Debug, Clone)]
+pub struct Conv1d {
+    /// Kernel `[out_channels, in_channels, kernel]`.
+    pub weight: NodeId,
+    /// Bias `[out_channels]`.
+    pub bias: NodeId,
+    /// Zero padding applied symmetrically.
+    pub padding: usize,
+    /// Stride.
+    pub stride: usize,
+}
+
+impl Conv1d {
+    /// Creates the layer with He initialization (conv + ReLU stacks).
+    #[allow(clippy::too_many_arguments)]
+    pub fn new(
+        g: &mut Graph,
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        padding: usize,
+        stride: usize,
+        rng: &mut StdRng,
+    ) -> Self {
+        let fan_in = in_channels * kernel;
+        let w = he_uniform(&[out_channels, in_channels, kernel], fan_in, rng);
+        let b = Tensor::zeros(&[out_channels]);
+        Self { weight: g.param(w), bias: g.param(b), padding, stride }
+    }
+
+    /// Forward: `[B, Cin, L] → [B, Cout, Lout]`.
+    pub fn forward(&self, g: &mut Graph, x: NodeId) -> NodeId {
+        let z = g.conv1d(x, self.weight, self.padding, self.stride);
+        g.add_bias_channel(z, self.bias)
+    }
+}
+
+/// Batch normalization over `[B, C, L]` with running statistics for
+/// evaluation mode.
+#[derive(Debug, Clone)]
+pub struct BatchNorm1d {
+    /// Scale `[C]`.
+    pub gamma: NodeId,
+    /// Shift `[C]`.
+    pub beta: NodeId,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    momentum: f32,
+    eps: f32,
+}
+
+impl BatchNorm1d {
+    /// Creates the layer for `channels` channels.
+    pub fn new(g: &mut Graph, channels: usize) -> Self {
+        Self {
+            gamma: g.param(Tensor::ones(&[channels])),
+            beta: g.param(Tensor::zeros(&[channels])),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            momentum: 0.1,
+            eps: 1e-5,
+        }
+    }
+
+    /// Forward; training mode uses batch statistics and updates the running
+    /// ones, eval mode applies the frozen affine transform.
+    pub fn forward(&mut self, g: &mut Graph, x: NodeId, train: bool) -> NodeId {
+        if train {
+            let (y, mean, var) = g.batch_norm(x, self.gamma, self.beta, self.eps);
+            for (rm, m) in self.running_mean.iter_mut().zip(&mean) {
+                *rm = (1.0 - self.momentum) * *rm + self.momentum * m;
+            }
+            for (rv, v) in self.running_var.iter_mut().zip(&var) {
+                *rv = (1.0 - self.momentum) * *rv + self.momentum * v;
+            }
+            y
+        } else {
+            let gamma = g.value(self.gamma).data().to_vec();
+            let beta = g.value(self.beta).data().to_vec();
+            let scale: Vec<f32> = gamma
+                .iter()
+                .zip(&self.running_var)
+                .map(|(gm, rv)| gm / (rv + self.eps).sqrt())
+                .collect();
+            let shift: Vec<f32> = beta
+                .iter()
+                .zip(&self.running_mean)
+                .zip(&scale)
+                .map(|((b, rm), s)| b - s * rm)
+                .collect();
+            g.channel_affine(x, &scale, &shift)
+        }
+    }
+}
+
+/// Layer normalization over the last dimension.
+#[derive(Debug, Clone)]
+pub struct LayerNorm {
+    /// Scale `[D]`.
+    pub gamma: NodeId,
+    /// Shift `[D]`.
+    pub beta: NodeId,
+    eps: f32,
+}
+
+impl LayerNorm {
+    /// Creates the layer for a last-dimension width of `dim`.
+    pub fn new(g: &mut Graph, dim: usize) -> Self {
+        Self { gamma: g.param(Tensor::ones(&[dim])), beta: g.param(Tensor::zeros(&[dim])), eps: 1e-5 }
+    }
+
+    /// Forward over any tensor whose last dimension is `dim`.
+    pub fn forward(&self, g: &mut Graph, x: NodeId) -> NodeId {
+        g.layer_norm(x, self.gamma, self.beta, self.eps)
+    }
+}
+
+/// Multi-head self-attention over `[B, T, D]` (the TST encoder core).
+#[derive(Debug, Clone)]
+pub struct MultiHeadSelfAttention {
+    wq: Linear,
+    wk: Linear,
+    wv: Linear,
+    wo: Linear,
+    heads: usize,
+    dim: usize,
+}
+
+impl MultiHeadSelfAttention {
+    /// Creates the block; `dim` must be divisible by `heads`.
+    pub fn new(g: &mut Graph, dim: usize, heads: usize, rng: &mut StdRng) -> Self {
+        assert!(heads >= 1 && dim % heads == 0, "dim {dim} not divisible by heads {heads}");
+        Self {
+            wq: Linear::new(g, dim, dim, rng),
+            wk: Linear::new(g, dim, dim, rng),
+            wv: Linear::new(g, dim, dim, rng),
+            wo: Linear::new(g, dim, dim, rng),
+            heads,
+            dim,
+        }
+    }
+
+    /// Forward: `[B, T, D] → [B, T, D]`.
+    pub fn forward(&self, g: &mut Graph, x: NodeId) -> NodeId {
+        let shape = g.value(x).shape().to_vec();
+        let (b, t, d) = (shape[0], shape[1], shape[2]);
+        assert_eq!(d, self.dim, "attention dim mismatch");
+        let head_dim = d / self.heads;
+        let scale = 1.0 / (head_dim as f32).sqrt();
+
+        // Project as 2-D [B·T, D] then reshape back.
+        let flat = g.reshape(x, &[b * t, d]);
+        let q = self.wq.forward(g, flat);
+        let k = self.wk.forward(g, flat);
+        let v = self.wv.forward(g, flat);
+        let q3 = g.reshape(q, &[b, t, d]);
+        let k3 = g.reshape(k, &[b, t, d]);
+        let v3 = g.reshape(v, &[b, t, d]);
+
+        let mut head_outputs = Vec::with_capacity(self.heads);
+        for h in 0..self.heads {
+            let qh = g.slice_last_dim(q3, h * head_dim, head_dim);
+            let kh = g.slice_last_dim(k3, h * head_dim, head_dim);
+            let vh = g.slice_last_dim(v3, h * head_dim, head_dim);
+            let scores = g.batch_matmul_trans_b(qh, kh); // [B,T,T]
+            let scaled = g.scalar_mul(scores, scale);
+            let attn = g.softmax(scaled);
+            head_outputs.push(g.batch_matmul(attn, vh)); // [B,T,head_dim]
+        }
+        // Concatenate heads along the feature axis. `concat_channels`
+        // concatenates axis 1 of [B,C,L]; here we need the last axis, so view
+        // each head as [B·T, head_dim, 1].
+        let as_channels: Vec<NodeId> = head_outputs
+            .into_iter()
+            .map(|ho| g.reshape(ho, &[b * t, head_dim, 1]))
+            .collect();
+        let cat = g.concat_channels(&as_channels); // [B·T, D, 1]
+        let flat_out = g.reshape(cat, &[b * t, d]);
+        let out = self.wo.forward(g, flat_out);
+        g.reshape(out, &[b, t, d])
+    }
+}
+
+/// A full transformer encoder block: MHSA + residual + LayerNorm, then a
+/// GELU feed-forward + residual + LayerNorm.
+#[derive(Debug, Clone)]
+pub struct TransformerEncoderBlock {
+    attn: MultiHeadSelfAttention,
+    norm1: LayerNorm,
+    ff1: Linear,
+    ff2: Linear,
+    norm2: LayerNorm,
+    dropout_p: f32,
+}
+
+impl TransformerEncoderBlock {
+    /// Creates the block with a feed-forward expansion of `ff_dim`.
+    pub fn new(g: &mut Graph, dim: usize, heads: usize, ff_dim: usize, dropout_p: f32, rng: &mut StdRng) -> Self {
+        Self {
+            attn: MultiHeadSelfAttention::new(g, dim, heads, rng),
+            norm1: LayerNorm::new(g, dim),
+            ff1: Linear::new(g, dim, ff_dim, rng),
+            ff2: Linear::new(g, ff_dim, dim, rng),
+            norm2: LayerNorm::new(g, dim),
+            dropout_p,
+        }
+    }
+
+    /// Forward: `[B, T, D] → [B, T, D]`.
+    pub fn forward(&self, g: &mut Graph, x: NodeId, train: bool) -> NodeId {
+        let shape = g.value(x).shape().to_vec();
+        let (b, t, d) = (shape[0], shape[1], shape[2]);
+        let a = self.attn.forward(g, x);
+        let a = g.dropout(a, self.dropout_p, train);
+        let res1 = g.add(x, a);
+        let n1 = self.norm1.forward(g, res1);
+
+        let flat = g.reshape(n1, &[b * t, d]);
+        let h = self.ff1.forward(g, flat);
+        let h = g.gelu(h);
+        let h = self.ff2.forward(g, h);
+        let h3 = g.reshape(h, &[b, t, d]);
+        let h3 = g.dropout(h3, self.dropout_p, train);
+        let res2 = g.add(n1, h3);
+        self.norm2.forward(g, res2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0)
+    }
+
+    #[test]
+    fn linear_shapes() {
+        let mut g = Graph::new(0);
+        let mut r = rng();
+        let lin = Linear::new(&mut g, 4, 3, &mut r);
+        g.freeze();
+        let x = g.constant(Tensor::zeros(&[2, 4]));
+        let y = lin.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), &[2, 3]);
+    }
+
+    #[test]
+    fn conv_layer_shapes() {
+        let mut g = Graph::new(0);
+        let mut r = rng();
+        let conv = Conv1d::new(&mut g, 1, 8, 3, 1, 1, &mut r);
+        g.freeze();
+        let x = g.constant(Tensor::zeros(&[2, 1, 16]));
+        let y = conv.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), &[2, 8, 16]);
+    }
+
+    #[test]
+    fn batch_norm_running_stats_update() {
+        let mut g = Graph::new(0);
+        let mut bn = BatchNorm1d::new(&mut g, 1);
+        g.freeze();
+        let x = g.constant(Tensor::new(&[1, 1, 4], vec![10.0, 10.0, 10.0, 10.0]).unwrap());
+        let _ = bn.forward(&mut g, x, true);
+        // Running mean moved toward 10 by the momentum factor.
+        assert!((bn.running_mean[0] - 1.0).abs() < 1e-6);
+        // Eval mode applies the affine with the running stats and keeps shape.
+        let y = bn.forward(&mut g, x, false);
+        assert_eq!(g.value(y).shape(), &[1, 1, 4]);
+    }
+
+    #[test]
+    fn attention_shapes_and_grads() {
+        let mut g = Graph::new(0);
+        let mut r = rng();
+        let attn = MultiHeadSelfAttention::new(&mut g, 8, 2, &mut r);
+        g.freeze();
+        let x = g.constant(Tensor::ones(&[2, 5, 8]));
+        let y = attn.forward(&mut g, x);
+        assert_eq!(g.value(y).shape(), &[2, 5, 8]);
+        let loss = g.mean(y);
+        g.backward(loss);
+        // All projection weights receive gradient.
+        assert!(g.grad(attn.wq.weight).is_some());
+        assert!(g.grad(attn.wo.weight).is_some());
+    }
+
+    #[test]
+    fn encoder_block_preserves_shape() {
+        let mut g = Graph::new(0);
+        let mut r = rng();
+        let block = TransformerEncoderBlock::new(&mut g, 8, 2, 16, 0.0, &mut r);
+        g.freeze();
+        let x = g.constant(Tensor::ones(&[1, 4, 8]));
+        let y = block.forward(&mut g, x, true);
+        assert_eq!(g.value(y).shape(), &[1, 4, 8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not divisible")]
+    fn attention_rejects_bad_heads() {
+        let mut g = Graph::new(0);
+        let mut r = rng();
+        let _ = MultiHeadSelfAttention::new(&mut g, 7, 2, &mut r);
+    }
+}

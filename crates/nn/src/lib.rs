@@ -1,0 +1,80 @@
+#![warn(missing_docs)]
+//! A minimal neural-network substrate for the Intelligent Pooling deep
+//! forecasting models.
+//!
+//! The paper compares SSA against three deep architectures — mWDN, TST and
+//! InceptionTime — and builds its hybrid SSA+ model from a ~30-parameter
+//! two-layer ReLU net trained with the asymmetric loss of Eq. 12. None of
+//! the mainstream Rust deep-learning stacks were allowed as dependencies, so
+//! this crate implements the necessary substrate from scratch:
+//!
+//! * [`Tensor`] — dense `f32` tensors of rank 1–3.
+//! * [`Graph`] — define-by-run tape autograd: every op computes its value
+//!   eagerly and records enough to run the reverse pass. Ops cover dense
+//!   algebra (matmul, batched matmul), 1-D convolutions and pooling,
+//!   softmax/normalization and the activations the three architectures use.
+//! * [`layers`] — `Linear`, `Conv1d`, `BatchNorm1d`, `LayerNorm`,
+//!   `Dropout`, plus the attention building blocks for TST.
+//! * [`optim`] — SGD (with momentum) and Adam.
+//! * [`loss`] — MSE, MAE and the paper's asymmetric loss (Eq. 12–15), all
+//!   composed from primitive ops so gradients come for free.
+//!
+//! Gradient correctness is enforced by finite-difference checks in the test
+//! suite (`tests/grad_check.rs`).
+//!
+//! ```
+//! use ip_nn::{Graph, Tensor};
+//!
+//! // d/dw mean((w·x)²) at w=3, x=2 is 2·(w·x)·x / 1 = 24.
+//! let mut g = Graph::new(0);
+//! let w = g.param(Tensor::scalar(3.0));
+//! g.freeze();
+//! let x = g.constant(Tensor::scalar(2.0));
+//! let y = g.mul(w, x);
+//! let sq = g.mul(y, y);
+//! let loss = g.mean(sq);
+//! g.backward(loss);
+//! assert!((g.grad(w).unwrap().data()[0] - 24.0).abs() < 1e-4);
+//! ```
+
+pub mod graph;
+pub mod init;
+pub mod layers;
+pub mod loss;
+pub mod optim;
+pub mod rnn;
+pub mod tensor;
+pub mod train;
+
+pub use graph::{Graph, NodeId};
+pub use tensor::Tensor;
+
+/// Errors from tensor/graph operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NnError {
+    /// Operand shapes are incompatible.
+    ShapeMismatch {
+        /// Description of the expectation.
+        expected: String,
+        /// What was found.
+        found: String,
+    },
+    /// An invalid hyper-parameter (zero sizes, probabilities out of range…).
+    InvalidParameter(String),
+}
+
+impl std::fmt::Display for NnError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NnError::ShapeMismatch { expected, found } => {
+                write!(f, "shape mismatch: expected {expected}, found {found}")
+            }
+            NnError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NnError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, NnError>;

@@ -1,0 +1,102 @@
+//! Losses composed from primitive graph ops (gradients come for free).
+
+use crate::graph::{Graph, NodeId};
+
+/// Mean squared error between prediction and target nodes of equal shape.
+pub fn mse(g: &mut Graph, pred: NodeId, target: NodeId) -> NodeId {
+    let d = g.sub(pred, target);
+    let sq = g.mul(d, d);
+    g.mean(sq)
+}
+
+/// Mean absolute error, built as `mean(relu(d) + relu(−d))`.
+pub fn mae(g: &mut Graph, pred: NodeId, target: NodeId) -> NodeId {
+    let d = g.sub(pred, target);
+    let pos = g.relu(d);
+    let neg_d = g.scalar_mul(d, -1.0);
+    let neg = g.relu(neg_d);
+    let abs = g.add(pos, neg);
+    g.mean(abs)
+}
+
+/// The paper's asymmetric loss (Eq. 12–15):
+///
+/// ```text
+/// δ = y − ŷ
+/// L = α'·mean(δ⁺) + (1 − α')·mean(δ⁻)
+/// ```
+///
+/// `δ⁺` penalizes under-prediction (which becomes customer wait time) and
+/// `δ⁻` over-prediction (idle cost). Training with `α'` close to 1 teaches
+/// the model to overshoot demand — the knob SSA lacks (§5.3).
+pub fn asymmetric(g: &mut Graph, pred: NodeId, target: NodeId, alpha_prime: f32) -> NodeId {
+    assert!((0.0..=1.0).contains(&alpha_prime), "alpha' must be in [0,1]");
+    let delta = g.sub(target, pred); // y − ŷ
+    let pos = g.relu(delta);
+    let neg_delta = g.scalar_mul(delta, -1.0);
+    let neg = g.relu(neg_delta);
+    let pos_term = g.mean(pos);
+    let neg_term = g.mean(neg);
+    let wp = g.scalar_mul(pos_term, alpha_prime);
+    let wn = g.scalar_mul(neg_term, 1.0 - alpha_prime);
+    g.add(wp, wn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn mse_known() {
+        let mut g = Graph::new(0);
+        let p = g.constant(Tensor::from_slice(&[1.0, 2.0]));
+        let t = g.constant(Tensor::from_slice(&[3.0, 2.0]));
+        let l = mse(&mut g, p, t);
+        assert!((g.value(l).item().unwrap() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn mae_known() {
+        let mut g = Graph::new(0);
+        let p = g.constant(Tensor::from_slice(&[1.0, 5.0]));
+        let t = g.constant(Tensor::from_slice(&[3.0, 4.0]));
+        let l = mae(&mut g, p, t);
+        assert!((g.value(l).item().unwrap() - 1.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn asymmetric_matches_direction() {
+        let mut g = Graph::new(0);
+        let t = g.constant(Tensor::from_slice(&[10.0, 10.0]));
+        let under = g.constant(Tensor::from_slice(&[8.0, 8.0]));
+        let over = g.constant(Tensor::from_slice(&[12.0, 12.0]));
+        let lu = asymmetric(&mut g, under, t, 0.9);
+        let lo = asymmetric(&mut g, over, t, 0.9);
+        assert!(g.value(lu).item().unwrap() > g.value(lo).item().unwrap());
+    }
+
+    #[test]
+    fn asymmetric_half_is_half_mae() {
+        let mut g = Graph::new(0);
+        let p = g.constant(Tensor::from_slice(&[1.0, 5.0, -2.0]));
+        let t = g.constant(Tensor::from_slice(&[3.0, 4.0, 0.0]));
+        let half = asymmetric(&mut g, p, t, 0.5);
+        let full = mae(&mut g, p, t);
+        let lh = g.value(half).item().unwrap();
+        let lf = g.value(full).item().unwrap();
+        assert!((lh - 0.5 * lf).abs() < 1e-6);
+    }
+
+    #[test]
+    fn asymmetric_gradient_pushes_prediction_up_when_alpha_high() {
+        let mut g = Graph::new(0);
+        let p = g.param(Tensor::from_slice(&[5.0]));
+        g.freeze();
+        let t = g.constant(Tensor::from_slice(&[10.0]));
+        let l = asymmetric(&mut g, p, t, 0.95);
+        g.backward(l);
+        // d loss/d pred < 0 means gradient descent raises the prediction.
+        assert!(g.grad(p).unwrap().data()[0] < 0.0);
+    }
+}

@@ -1,0 +1,177 @@
+//! Optimizers operating on the graph's registered parameters.
+
+use crate::graph::{Graph, NodeId};
+use std::collections::HashMap;
+
+/// Stochastic gradient descent with optional momentum.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f32,
+    /// Momentum coefficient (0 disables).
+    pub momentum: f32,
+    velocity: HashMap<usize, Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates the optimizer.
+    pub fn new(lr: f32, momentum: f32) -> Self {
+        Self { lr, momentum, velocity: HashMap::new() }
+    }
+
+    /// Applies one update step using the gradients currently on the graph.
+    /// Parameters without a gradient are skipped.
+    pub fn step(&mut self, g: &mut Graph) {
+        let params: Vec<NodeId> = g.params().to_vec();
+        for p in params {
+            let Some(grad) = g.grad(p) else { continue };
+            let gdata = grad.data().to_vec();
+            if self.momentum > 0.0 {
+                let vel = self
+                    .velocity
+                    .entry(p.index())
+                    .or_insert_with(|| vec![0.0; gdata.len()]);
+                for (v, gr) in vel.iter_mut().zip(&gdata) {
+                    *v = self.momentum * *v + gr;
+                }
+                let vel = self.velocity[&p.index()].clone();
+                let value = g.value_mut(p);
+                for (w, v) in value.data_mut().iter_mut().zip(&vel) {
+                    *w -= self.lr * v;
+                }
+            } else {
+                let value = g.value_mut(p);
+                for (w, gr) in value.data_mut().iter_mut().zip(&gdata) {
+                    *w -= self.lr * gr;
+                }
+            }
+        }
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate (paper uses 0.001 for the deep models, §7.2).
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Numerical stabilizer.
+    pub eps: f32,
+    t: u64,
+    m: HashMap<usize, Vec<f32>>,
+    v: HashMap<usize, Vec<f32>>,
+}
+
+impl Adam {
+    /// Creates Adam with the usual defaults for betas/eps.
+    pub fn new(lr: f32) -> Self {
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: HashMap::new(), v: HashMap::new() }
+    }
+
+    /// Applies one update step.
+    pub fn step(&mut self, g: &mut Graph) {
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        let params: Vec<NodeId> = g.params().to_vec();
+        for p in params {
+            let Some(grad) = g.grad(p) else { continue };
+            let gdata = grad.data().to_vec();
+            let m = self.m.entry(p.index()).or_insert_with(|| vec![0.0; gdata.len()]);
+            let v = self.v.entry(p.index()).or_insert_with(|| vec![0.0; gdata.len()]);
+            for ((mi, vi), gi) in m.iter_mut().zip(v.iter_mut()).zip(&gdata) {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+            }
+            let m = self.m[&p.index()].clone();
+            let v = self.v[&p.index()].clone();
+            let lr = self.lr;
+            let eps = self.eps;
+            let value = g.value_mut(p);
+            for ((w, mi), vi) in value.data_mut().iter_mut().zip(&m).zip(&v) {
+                let mhat = mi / bc1;
+                let vhat = vi / bc2;
+                *w -= lr * mhat / (vhat.sqrt() + eps);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::mse;
+    use crate::tensor::Tensor;
+
+    /// One quadratic-descent step with each optimizer reduces the loss.
+    fn quadratic_loss(g: &mut Graph, w: NodeId) -> NodeId {
+        g.reset();
+        let target = g.constant(Tensor::from_slice(&[3.0, -1.0]));
+        mse(g, w, target)
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut g = Graph::new(0);
+        let w = g.param(Tensor::from_slice(&[0.0, 0.0]));
+        g.freeze();
+        let mut opt = Sgd::new(0.3, 0.0);
+        for _ in 0..50 {
+            let l = quadratic_loss(&mut g, w);
+            g.backward(l);
+            opt.step(&mut g);
+        }
+        let wv = g.value(w).data();
+        assert!((wv[0] - 3.0).abs() < 1e-3 && (wv[1] + 1.0).abs() < 1e-3, "{wv:?}");
+    }
+
+    #[test]
+    fn sgd_momentum_converges() {
+        let mut g = Graph::new(0);
+        let w = g.param(Tensor::from_slice(&[0.0, 0.0]));
+        g.freeze();
+        let mut opt = Sgd::new(0.1, 0.9);
+        for _ in 0..200 {
+            let l = quadratic_loss(&mut g, w);
+            g.backward(l);
+            opt.step(&mut g);
+        }
+        let wv = g.value(w).data();
+        assert!((wv[0] - 3.0).abs() < 1e-2 && (wv[1] + 1.0).abs() < 1e-2, "{wv:?}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut g = Graph::new(0);
+        let w = g.param(Tensor::from_slice(&[0.0, 0.0]));
+        g.freeze();
+        let mut opt = Adam::new(0.1);
+        for _ in 0..300 {
+            let l = quadratic_loss(&mut g, w);
+            g.backward(l);
+            opt.step(&mut g);
+        }
+        let wv = g.value(w).data();
+        assert!((wv[0] - 3.0).abs() < 1e-2 && (wv[1] + 1.0).abs() < 1e-2, "{wv:?}");
+    }
+
+    #[test]
+    fn loss_decreases_monotonically_with_small_lr() {
+        let mut g = Graph::new(0);
+        let w = g.param(Tensor::from_slice(&[10.0, 10.0]));
+        g.freeze();
+        let mut opt = Sgd::new(0.05, 0.0);
+        let mut last = f32::INFINITY;
+        for _ in 0..20 {
+            let l = quadratic_loss(&mut g, w);
+            let lv = g.value(l).item().unwrap();
+            assert!(lv <= last + 1e-6, "loss increased: {lv} > {last}");
+            last = lv;
+            g.backward(l);
+            opt.step(&mut g);
+        }
+    }
+}

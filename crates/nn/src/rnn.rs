@@ -1,0 +1,194 @@
+//! Recurrent cells, built from primitive ops so gradients flow through the
+//! tape automatically (backpropagation through time for free).
+//!
+//! The mWDN architecture (Wang et al., KDD'18) attaches an LSTM to each
+//! wavelet sub-series; [`Lstm`] provides that faithfully. The sequential
+//! dependency makes it far slower than the convolutional heads — which is
+//! itself a faithful property (Fig. 6 shows mWDN deep in the slow band).
+
+use crate::graph::{Graph, NodeId};
+use crate::init::xavier_uniform;
+use crate::layers::Linear;
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// A single-layer LSTM processing `[B, T]`-shaped scalar sequences (one
+/// feature per step, as the forecasting models use) into a final hidden
+/// state `[B, H]`.
+///
+/// Gates follow the standard formulation:
+/// `i, f, o = σ(W·[x_t, h_{t−1}] + b)`, `g = tanh(…)`,
+/// `c_t = f∘c_{t−1} + i∘g`, `h_t = o∘tanh(c_t)`.
+#[derive(Debug, Clone)]
+pub struct Lstm {
+    /// Input+recurrent weights for all four gates, `[1 + H, 4H]`.
+    pub weight: NodeId,
+    /// Gate biases `[4H]` (forget-gate slice initialized to 1).
+    pub bias: NodeId,
+    hidden: usize,
+}
+
+impl Lstm {
+    /// Creates the cell with `hidden` units.
+    pub fn new(g: &mut Graph, hidden: usize, rng: &mut StdRng) -> Self {
+        let in_dim = 1 + hidden;
+        let weight = xavier_uniform(&[in_dim, 4 * hidden], in_dim, 4 * hidden, rng);
+        // Forget-gate bias of 1.0 is the standard trick for gradient flow
+        // over long sequences.
+        let mut bias = Tensor::zeros(&[4 * hidden]);
+        for j in hidden..2 * hidden {
+            bias.data_mut()[j] = 1.0;
+        }
+        Self { weight: g.param(weight), bias: g.param(bias), hidden }
+    }
+
+    /// Number of hidden units.
+    pub fn hidden(&self) -> usize {
+        self.hidden
+    }
+
+    /// Runs the cell over a `[B, T]` sequence; returns the final hidden
+    /// state `[B, H]`.
+    pub fn forward(&self, g: &mut Graph, x: NodeId) -> NodeId {
+        let shape = g.value(x).shape().to_vec();
+        assert_eq!(shape.len(), 2, "Lstm expects [B, T] input, got {shape:?}");
+        let (b, t_len) = (shape[0], shape[1]);
+        let h = self.hidden;
+
+        let mut h_state = g.constant(Tensor::zeros(&[b, h]));
+        let mut c_state = g.constant(Tensor::zeros(&[b, h]));
+
+        for t in 0..t_len {
+            // x_t as a [B, 1] column.
+            let x_t = g.slice_last_dim(x, t, 1);
+            // Concatenate [x_t, h_{t−1}] along features via the channel trick.
+            let x3 = g.reshape(x_t, &[b, 1, 1]);
+            let h3 = g.reshape(h_state, &[b, h, 1]);
+            let cat = g.concat_channels(&[x3, h3]); // [B, 1+H, 1]
+            let cat2 = g.reshape(cat, &[b, 1 + h]);
+
+            let gates_lin = g.matmul(cat2, self.weight); // [B, 4H]
+            let gates = g.add_bias_row(gates_lin, self.bias);
+
+            let i_gate = g.slice_last_dim(gates, 0, h);
+            let f_gate = g.slice_last_dim(gates, h, h);
+            let g_gate = g.slice_last_dim(gates, 2 * h, h);
+            let o_gate = g.slice_last_dim(gates, 3 * h, h);
+
+            let i_act = g.sigmoid(i_gate);
+            let f_act = g.sigmoid(f_gate);
+            let g_act = g.tanh(g_gate);
+            let o_act = g.sigmoid(o_gate);
+
+            let keep = g.mul(f_act, c_state);
+            let write = g.mul(i_act, g_act);
+            c_state = g.add(keep, write);
+            let c_tanh = g.tanh(c_state);
+            h_state = g.mul(o_act, c_tanh);
+        }
+        h_state
+    }
+}
+
+/// An LSTM regressor head: sequence `[B, T]` → LSTM → linear → `[B, out]`.
+#[derive(Debug, Clone)]
+pub struct LstmHead {
+    /// The recurrent cell.
+    pub lstm: Lstm,
+    /// Output projection.
+    pub proj: Linear,
+}
+
+impl LstmHead {
+    /// Creates the head.
+    pub fn new(g: &mut Graph, hidden: usize, out: usize, rng: &mut StdRng) -> Self {
+        Self { lstm: Lstm::new(g, hidden, rng), proj: Linear::new(g, hidden, out, rng) }
+    }
+
+    /// Forward: `[B, T] → [B, out]`.
+    pub fn forward(&self, g: &mut Graph, x: NodeId) -> NodeId {
+        let h = self.lstm.forward(g, x);
+        self.proj.forward(g, h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::mse;
+    use crate::optim::Adam;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shapes_and_grads() {
+        let mut g = Graph::new(0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let lstm = Lstm::new(&mut g, 4, &mut rng);
+        g.freeze();
+        let x = g.constant(Tensor::ones(&[3, 6]));
+        let h = lstm.forward(&mut g, x);
+        assert_eq!(g.value(h).shape(), &[3, 4]);
+        let loss = g.mean(h);
+        g.backward(loss);
+        assert!(g.grad(lstm.weight).is_some());
+        assert!(g.grad(lstm.bias).is_some());
+        // Gradient must be nonzero (information flowed through time).
+        assert!(g.grad(lstm.weight).unwrap().max_abs() > 0.0);
+    }
+
+    #[test]
+    fn forget_bias_initialized() {
+        let mut g = Graph::new(0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let lstm = Lstm::new(&mut g, 3, &mut rng);
+        let bias = g.value(lstm.bias).data();
+        assert_eq!(&bias[3..6], &[1.0, 1.0, 1.0]);
+        assert_eq!(&bias[0..3], &[0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn learns_sequence_mean() {
+        // Regression task: map a length-5 sequence to its mean. An LSTM
+        // head must fit this far better than the zero predictor.
+        let mut g = Graph::new(0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let head = LstmHead::new(&mut g, 6, 1, &mut rng);
+        g.freeze();
+
+        // Fixed dataset of 16 sequences.
+        let mut data = Vec::new();
+        let mut targets = Vec::new();
+        let mut seed = 1u64;
+        let mut rnd = || {
+            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((seed >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        };
+        for _ in 0..16 {
+            let seq: Vec<f32> = (0..5).map(|_| rnd()).collect();
+            targets.push(seq.iter().sum::<f32>() / 5.0);
+            data.extend(seq);
+        }
+        let x_t = Tensor::new(&[16, 5], data).unwrap();
+        let y_t = Tensor::new(&[16, 1], targets.clone()).unwrap();
+
+        let mut adam = Adam::new(0.02);
+        let mut first_loss = None;
+        let mut last_loss = 0.0;
+        for _ in 0..150 {
+            g.reset();
+            let x = g.constant(x_t.clone());
+            let y = g.constant(y_t.clone());
+            let pred = head.forward(&mut g, x);
+            let loss = mse(&mut g, pred, y);
+            last_loss = g.value(loss).item().unwrap();
+            first_loss.get_or_insert(last_loss);
+            g.backward(loss);
+            adam.step(&mut g);
+        }
+        assert!(
+            last_loss < 0.2 * first_loss.unwrap(),
+            "loss {last_loss} vs initial {}",
+            first_loss.unwrap()
+        );
+    }
+}

@@ -1,0 +1,170 @@
+//! Dense `f32` tensors of rank 1–3.
+
+use crate::{NnError, Result};
+
+/// A dense tensor with row-major layout.
+///
+/// Rank 1: `[n]`. Rank 2: `[rows, cols]`. Rank 3: `[batch, channels, len]`
+/// (the 1-D convolution convention). The forecasting models never need more.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from shape + data; the product of the shape must
+    /// equal the data length.
+    pub fn new(shape: &[usize], data: Vec<f32>) -> Result<Self> {
+        let numel: usize = shape.iter().product();
+        if numel != data.len() {
+            return Err(NnError::ShapeMismatch {
+                expected: format!("{numel} elements for shape {shape:?}"),
+                found: format!("{} elements", data.len()),
+            });
+        }
+        if shape.is_empty() || shape.len() > 3 {
+            return Err(NnError::InvalidParameter(format!(
+                "rank must be 1..=3, got shape {shape:?}"
+            )));
+        }
+        Ok(Self { shape: shape.to_vec(), data })
+    }
+
+    /// All-zeros tensor.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self { shape: shape.to_vec(), data: vec![0.0; shape.iter().product()] }
+    }
+
+    /// All-ones tensor.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self { shape: shape.to_vec(), data: vec![1.0; shape.iter().product()] }
+    }
+
+    /// Filled with a constant.
+    pub fn full(shape: &[usize], v: f32) -> Self {
+        Self { shape: shape.to_vec(), data: vec![v; shape.iter().product()] }
+    }
+
+    /// 1-D tensor from a slice.
+    pub fn from_slice(v: &[f32]) -> Self {
+        Self { shape: vec![v.len()], data: v.to_vec() }
+    }
+
+    /// Scalar wrapped as a `[1]` tensor.
+    pub fn scalar(v: f32) -> Self {
+        Self { shape: vec![1], data: vec![v] }
+    }
+
+    /// Shape as a slice.
+    #[inline]
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total element count.
+    #[inline]
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Raw data.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable raw data.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// The single value of a `[1]` tensor.
+    pub fn item(&self) -> Result<f32> {
+        if self.data.len() != 1 {
+            return Err(NnError::ShapeMismatch {
+                expected: "scalar tensor".into(),
+                found: format!("shape {:?}", self.shape),
+            });
+        }
+        Ok(self.data[0])
+    }
+
+    /// 2-D element access.
+    #[inline]
+    pub fn at2(&self, i: usize, j: usize) -> f32 {
+        debug_assert_eq!(self.shape.len(), 2);
+        self.data[i * self.shape[1] + j]
+    }
+
+    /// 3-D element access (`[batch, channel, position]`).
+    #[inline]
+    pub fn at3(&self, b: usize, c: usize, t: usize) -> f32 {
+        debug_assert_eq!(self.shape.len(), 3);
+        self.data[(b * self.shape[1] + c) * self.shape[2] + t]
+    }
+
+    /// Reinterprets the data with a new shape of equal element count.
+    pub fn reshaped(&self, shape: &[usize]) -> Result<Tensor> {
+        Tensor::new(shape, self.data.clone())
+    }
+
+    /// Element-wise map.
+    pub fn map(&self, f: impl FnMut(f32) -> f32) -> Tensor {
+        Tensor { shape: self.shape.clone(), data: self.data.iter().copied().map(f).collect() }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Maximum absolute element (0 for empty).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, v| m.max(v.abs()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_checks() {
+        assert!(Tensor::new(&[2, 3], vec![0.0; 6]).is_ok());
+        assert!(Tensor::new(&[2, 3], vec![0.0; 5]).is_err());
+        assert!(Tensor::new(&[], vec![]).is_err());
+        assert!(Tensor::new(&[1, 1, 1, 1], vec![0.0]).is_err());
+    }
+
+    #[test]
+    fn accessors() {
+        let t = Tensor::new(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        assert_eq!(t.at2(1, 2), 6.0);
+        let t3 = Tensor::new(&[2, 2, 2], (0..8).map(|i| i as f32).collect()).unwrap();
+        assert_eq!(t3.at3(1, 0, 1), 5.0);
+        assert_eq!(t3.numel(), 8);
+    }
+
+    #[test]
+    fn scalar_item() {
+        assert_eq!(Tensor::scalar(3.5).item().unwrap(), 3.5);
+        assert!(Tensor::zeros(&[2]).item().is_err());
+    }
+
+    #[test]
+    fn reshape_checks_numel() {
+        let t = Tensor::zeros(&[2, 3]);
+        assert!(t.reshaped(&[3, 2]).is_ok());
+        assert!(t.reshaped(&[6]).is_ok());
+        assert!(t.reshaped(&[4]).is_err());
+    }
+
+    #[test]
+    fn map_and_sum() {
+        let t = Tensor::from_slice(&[1.0, -2.0, 3.0]);
+        assert_eq!(t.map(f32::abs).sum(), 6.0);
+        assert_eq!(t.max_abs(), 3.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Training-loop helpers: mini-batching and early stopping.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// Yields index batches over a dataset, reshuffled each epoch.
+#[derive(Debug)]
+pub struct BatchSampler {
+    n: usize,
+    batch_size: usize,
+}
+
+impl BatchSampler {
+    /// Creates a sampler for `n` examples.
+    pub fn new(n: usize, batch_size: usize) -> Self {
+        Self { n, batch_size: batch_size.max(1) }
+    }
+
+    /// Produces the shuffled batches for one epoch.
+    pub fn epoch(&self, rng: &mut StdRng) -> Vec<Vec<usize>> {
+        let mut idx: Vec<usize> = (0..self.n).collect();
+        idx.shuffle(rng);
+        idx.chunks(self.batch_size).map(|c| c.to_vec()).collect()
+    }
+}
+
+/// Early stopping on a validation metric (the paper uses a validation set
+/// "to ensure we do not overfit … and to trigger an early stop", §5.1).
+#[derive(Debug, Clone)]
+pub struct EarlyStopping {
+    patience: usize,
+    best: f64,
+    epochs_since_best: usize,
+    min_delta: f64,
+}
+
+impl EarlyStopping {
+    /// Creates the monitor; training stops after `patience` epochs without
+    /// an improvement of at least `min_delta`.
+    pub fn new(patience: usize, min_delta: f64) -> Self {
+        Self { patience, best: f64::INFINITY, epochs_since_best: 0, min_delta }
+    }
+
+    /// Records a validation loss; returns `true` when training should stop.
+    pub fn update(&mut self, val_loss: f64) -> bool {
+        if val_loss < self.best - self.min_delta {
+            self.best = val_loss;
+            self.epochs_since_best = 0;
+        } else {
+            self.epochs_since_best += 1;
+        }
+        self.epochs_since_best > self.patience
+    }
+
+    /// Best validation loss observed so far.
+    pub fn best(&self) -> f64 {
+        self.best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn batches_cover_all_indices() {
+        let sampler = BatchSampler::new(10, 3);
+        let mut rng = StdRng::seed_from_u64(0);
+        let batches = sampler.epoch(&mut rng);
+        assert_eq!(batches.len(), 4); // 3+3+3+1
+        let mut all: Vec<usize> = batches.into_iter().flatten().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn batch_size_floor_one() {
+        let sampler = BatchSampler::new(3, 0);
+        let mut rng = StdRng::seed_from_u64(0);
+        assert_eq!(sampler.epoch(&mut rng).len(), 3);
+    }
+
+    #[test]
+    fn early_stopping_triggers_after_patience() {
+        let mut es = EarlyStopping::new(2, 0.0);
+        assert!(!es.update(1.0)); // best
+        assert!(!es.update(1.1)); // 1 since best
+        assert!(!es.update(1.2)); // 2 since best
+        assert!(es.update(1.3)); // 3 > patience → stop
+        assert_eq!(es.best(), 1.0);
+    }
+
+    #[test]
+    fn improvement_resets_counter() {
+        let mut es = EarlyStopping::new(1, 0.0);
+        assert!(!es.update(1.0));
+        assert!(!es.update(1.5));
+        assert!(!es.update(0.9)); // improvement resets
+        assert!(!es.update(1.0));
+        assert!(es.update(1.0));
+    }
+
+    #[test]
+    fn min_delta_requires_meaningful_improvement() {
+        let mut es = EarlyStopping::new(0, 0.5);
+        assert!(!es.update(2.0));
+        // 1.8 improves by only 0.2 < min_delta → counts as no improvement.
+        assert!(es.update(1.8));
+    }
+}

@@ -1,0 +1,304 @@
+//! Finite-difference gradient checks for every autograd op.
+//!
+//! For each op we build a small graph ending in a scalar loss, compute the
+//! analytic gradient of a parameter, then perturb each parameter element by
+//! ±ε and compare the numeric slope. f32 arithmetic limits the achievable
+//! agreement; ε = 1e-2 with a relative tolerance of 2e-2 is the sweet spot.
+
+use ip_nn::{Graph, NodeId, Tensor};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+const EPS: f32 = 1e-2;
+const TOL: f32 = 2e-2;
+
+/// Builds the graph with the given parameter data, runs `forward`, and
+/// returns the scalar loss value.
+fn loss_with<F>(param_data: &[f32], shape: &[usize], forward: &F) -> f32
+where
+    F: Fn(&mut Graph, NodeId) -> NodeId,
+{
+    let mut g = Graph::new(0);
+    let p = g.param(Tensor::new(shape, param_data.to_vec()).unwrap());
+    g.freeze();
+    let loss = forward(&mut g, p);
+    g.value(loss).item().unwrap()
+}
+
+/// Checks the analytic gradient of `forward`'s parameter against finite
+/// differences.
+fn check_grad<F>(initial: Vec<f32>, shape: &[usize], forward: F)
+where
+    F: Fn(&mut Graph, NodeId) -> NodeId,
+{
+    // Analytic gradient.
+    let mut g = Graph::new(0);
+    let p = g.param(Tensor::new(shape, initial.clone()).unwrap());
+    g.freeze();
+    let loss = forward(&mut g, p);
+    g.backward(loss);
+    let analytic = g.grad(p).expect("param must receive grad").data().to_vec();
+
+    for i in 0..initial.len() {
+        let mut plus = initial.clone();
+        plus[i] += EPS;
+        let mut minus = initial.clone();
+        minus[i] -= EPS;
+        let numeric = (loss_with(&plus, shape, &forward) - loss_with(&minus, shape, &forward))
+            / (2.0 * EPS);
+        let denom = numeric.abs().max(analytic[i].abs()).max(1.0);
+        assert!(
+            (numeric - analytic[i]).abs() / denom < TOL,
+            "element {i}: numeric {numeric} vs analytic {}",
+            analytic[i]
+        );
+    }
+}
+
+fn rand_vec(n: usize, seed: u64) -> Vec<f32> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()
+}
+
+#[test]
+fn grad_add_sub_mul() {
+    check_grad(rand_vec(4, 1), &[4], |g, p| {
+        let c = g.constant(Tensor::from_slice(&[0.5, -1.0, 2.0, 0.1]));
+        let a = g.add(p, c);
+        let s = g.sub(a, p);
+        let m = g.mul(a, s);
+        g.mean(m)
+    });
+}
+
+#[test]
+fn grad_scalar_ops() {
+    check_grad(rand_vec(3, 2), &[3], |g, p| {
+        let a = g.scalar_mul(p, 2.5);
+        let b = g.scalar_add(a, -0.7);
+        let sq = g.mul(b, b);
+        g.sum(sq)
+    });
+}
+
+#[test]
+fn grad_matmul() {
+    check_grad(rand_vec(6, 3), &[2, 3], |g, p| {
+        let b = g.constant(Tensor::new(&[3, 2], rand_vec(6, 4)).unwrap());
+        let c = g.matmul(p, b);
+        let sq = g.mul(c, c);
+        g.mean(sq)
+    });
+}
+
+#[test]
+fn grad_matmul_right_operand() {
+    check_grad(rand_vec(6, 5), &[3, 2], |g, p| {
+        let a = g.constant(Tensor::new(&[2, 3], rand_vec(6, 6)).unwrap());
+        let c = g.matmul(a, p);
+        g.sum(c)
+    });
+}
+
+#[test]
+fn grad_matmul_trans_b() {
+    check_grad(rand_vec(6, 7), &[2, 3], |g, p| {
+        let b = g.constant(Tensor::new(&[4, 3], rand_vec(12, 8)).unwrap());
+        let c = g.matmul_trans_b(p, b);
+        let sq = g.mul(c, c);
+        g.mean(sq)
+    });
+}
+
+#[test]
+fn grad_batch_matmul() {
+    check_grad(rand_vec(12, 9), &[2, 2, 3], |g, p| {
+        let b = g.constant(Tensor::new(&[2, 3, 2], rand_vec(12, 10)).unwrap());
+        let c = g.batch_matmul(p, b);
+        let sq = g.mul(c, c);
+        g.mean(sq)
+    });
+}
+
+#[test]
+fn grad_batch_matmul_trans_b() {
+    check_grad(rand_vec(12, 11), &[2, 2, 3], |g, p| {
+        let b = g.constant(Tensor::new(&[2, 4, 3], rand_vec(24, 12)).unwrap());
+        let c = g.batch_matmul_trans_b(p, b);
+        g.sum(c)
+    });
+}
+
+#[test]
+fn grad_activations() {
+    // Offset away from the ReLU kink to keep finite differences clean.
+    let init: Vec<f32> = rand_vec(5, 13).iter().map(|v| v + 0.5).collect();
+    check_grad(init, &[5], |g, p| {
+        let r = g.relu(p);
+        let s = g.sigmoid(r);
+        let t = g.tanh(s);
+        g.sum(t)
+    });
+}
+
+#[test]
+fn grad_gelu() {
+    check_grad(rand_vec(6, 14), &[6], |g, p| {
+        let y = g.gelu(p);
+        let sq = g.mul(y, y);
+        g.mean(sq)
+    });
+}
+
+#[test]
+fn grad_softmax() {
+    check_grad(rand_vec(6, 15), &[2, 3], |g, p| {
+        let s = g.softmax(p);
+        // Weighted sum to make the loss sensitive to all entries.
+        let w = g.constant(Tensor::new(&[2, 3], vec![1.0, -2.0, 0.5, 3.0, 0.0, -1.0]).unwrap());
+        let m = g.mul(s, w);
+        g.sum(m)
+    });
+}
+
+#[test]
+fn grad_bias_adds() {
+    check_grad(rand_vec(3, 16), &[3], |g, p| {
+        let x = g.constant(Tensor::new(&[2, 3], rand_vec(6, 17)).unwrap());
+        let y = g.add_bias_row(x, p);
+        let sq = g.mul(y, y);
+        g.mean(sq)
+    });
+    check_grad(rand_vec(2, 18), &[2], |g, p| {
+        let x = g.constant(Tensor::new(&[2, 2, 3], rand_vec(12, 19)).unwrap());
+        let y = g.add_bias_channel(x, p);
+        let sq = g.mul(y, y);
+        g.mean(sq)
+    });
+}
+
+#[test]
+fn grad_conv1d_weight() {
+    check_grad(rand_vec(6, 20), &[2, 1, 3], |g, p| {
+        let x = g.constant(Tensor::new(&[2, 1, 8], rand_vec(16, 21)).unwrap());
+        let y = g.conv1d(x, p, 1, 1);
+        let sq = g.mul(y, y);
+        g.mean(sq)
+    });
+}
+
+#[test]
+fn grad_conv1d_input() {
+    check_grad(rand_vec(8, 22), &[1, 1, 8], |g, p| {
+        let w = g.constant(Tensor::new(&[2, 1, 3], rand_vec(6, 23)).unwrap());
+        let y = g.conv1d(p, w, 1, 2);
+        let sq = g.mul(y, y);
+        g.mean(sq)
+    });
+}
+
+#[test]
+fn grad_pooling() {
+    // Max pool: perturbations must not flip the argmax, so use well-separated
+    // values.
+    let init = vec![1.0, 5.0, 2.0, 9.0, 0.0, 7.0, 3.0, 4.0];
+    check_grad(init, &[1, 1, 8], |g, p| {
+        let y = g.max_pool1d(p, 2, 2);
+        let sq = g.mul(y, y);
+        g.sum(sq)
+    });
+    check_grad(rand_vec(8, 24), &[1, 2, 4], |g, p| {
+        let y = g.avg_pool_global(p);
+        let sq = g.mul(y, y);
+        g.sum(sq)
+    });
+}
+
+#[test]
+fn grad_layer_norm_input_and_params() {
+    check_grad(rand_vec(8, 25), &[2, 4], |g, p| {
+        let gamma = g.constant(Tensor::from_slice(&[1.2, 0.8, 1.0, 1.5]));
+        let beta = g.constant(Tensor::from_slice(&[0.1, -0.2, 0.0, 0.3]));
+        let y = g.layer_norm(p, gamma, beta, 1e-5);
+        let sq = g.mul(y, y);
+        g.mean(sq)
+    });
+    // gamma as the parameter.
+    check_grad(rand_vec(4, 26), &[4], |g, p| {
+        let x = g.constant(Tensor::new(&[2, 4], rand_vec(8, 27)).unwrap());
+        let beta = g.constant(Tensor::zeros(&[4]));
+        let y = g.layer_norm(x, p, beta, 1e-5);
+        let sq = g.mul(y, y);
+        g.mean(sq)
+    });
+}
+
+#[test]
+fn grad_batch_norm_input_and_params() {
+    check_grad(rand_vec(12, 28), &[2, 2, 3], |g, p| {
+        let gamma = g.constant(Tensor::from_slice(&[1.3, 0.7]));
+        let beta = g.constant(Tensor::from_slice(&[0.2, -0.1]));
+        let (y, _, _) = g.batch_norm(p, gamma, beta, 1e-5);
+        let w = g.constant(Tensor::new(&[2, 2, 3], rand_vec(12, 29)).unwrap());
+        let m = g.mul(y, w);
+        g.sum(m)
+    });
+    check_grad(rand_vec(2, 30), &[2], |g, p| {
+        let x = g.constant(Tensor::new(&[2, 2, 3], rand_vec(12, 31)).unwrap());
+        let beta = g.constant(Tensor::zeros(&[2]));
+        let (y, _, _) = g.batch_norm(x, p, beta, 1e-5);
+        let sq = g.mul(y, y);
+        g.mean(sq)
+    });
+}
+
+#[test]
+fn grad_concat_and_slice() {
+    check_grad(rand_vec(4, 32), &[1, 2, 2], |g, p| {
+        let other = g.constant(Tensor::new(&[1, 1, 2], rand_vec(2, 33)).unwrap());
+        let c = g.concat_channels(&[p, other]);
+        let sq = g.mul(c, c);
+        g.mean(sq)
+    });
+    check_grad(rand_vec(8, 34), &[2, 4], |g, p| {
+        let s = g.slice_last_dim(p, 1, 2);
+        let sq = g.mul(s, s);
+        g.sum(sq)
+    });
+}
+
+#[test]
+fn grad_reshape_chain() {
+    check_grad(rand_vec(6, 35), &[2, 3], |g, p| {
+        let r = g.reshape(p, &[3, 2]);
+        let r2 = g.reshape(r, &[6]);
+        let sq = g.mul(r2, r2);
+        g.mean(sq)
+    });
+}
+
+#[test]
+fn grad_asymmetric_loss() {
+    // Offset predictions away from targets so no δ sits at the kink.
+    let init = vec![1.0, 8.0, 3.0, 12.0];
+    check_grad(init, &[4], |g, p| {
+        let target = g.constant(Tensor::from_slice(&[5.0, 5.0, 5.0, 5.0]));
+        ip_nn::loss::asymmetric(g, p, target, 0.8)
+    });
+}
+
+#[test]
+fn grad_through_linear_layer_stack() {
+    // End-to-end: two Linear layers + ReLU, checking the first weight.
+    let mut rng = StdRng::seed_from_u64(40);
+    let w1_init: Vec<f32> = (0..6).map(|_| rng.gen_range(-0.5..0.5)).collect();
+    check_grad(w1_init, &[2, 3], |g, p| {
+        let x = g.constant(Tensor::new(&[4, 2], rand_vec(8, 41)).unwrap());
+        let h = g.matmul(x, p);
+        let h = g.relu(h);
+        let w2 = g.constant(Tensor::new(&[3, 1], vec![0.3, -0.6, 0.9]).unwrap());
+        let y = g.matmul(h, w2);
+        let t = g.constant(Tensor::new(&[4, 1], vec![1.0, -1.0, 0.5, 0.0]).unwrap());
+        ip_nn::loss::mse(g, y, t)
+    });
+}

@@ -1,0 +1,110 @@
+//! Property-based invariants of the autograd ops.
+
+use ip_nn::{Graph, Tensor};
+use proptest::prelude::*;
+
+fn vec_strategy(max_len: usize) -> impl Strategy<Value = Vec<f32>> {
+    proptest::collection::vec(-5.0f32..5.0, 1..=max_len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn softmax_rows_are_distributions(data in vec_strategy(24), cols in 1usize..6) {
+        let rows = data.len() / cols;
+        prop_assume!(rows >= 1);
+        let data = &data[..rows * cols];
+        let mut g = Graph::new(0);
+        let x = g.constant(Tensor::new(&[rows, cols], data.to_vec()).unwrap());
+        let s = g.softmax(x);
+        for row in g.value(s).data().chunks(cols) {
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-5, "row sum {sum}");
+            prop_assert!(row.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn relu_idempotent_and_nonnegative(data in vec_strategy(32)) {
+        let mut g = Graph::new(0);
+        let x = g.constant(Tensor::from_slice(&data));
+        let r1 = g.relu(x);
+        let r2 = g.relu(r1);
+        prop_assert!(g.value(r1).data().iter().all(|&v| v >= 0.0));
+        prop_assert_eq!(g.value(r1).data(), g.value(r2).data());
+    }
+
+    #[test]
+    fn add_commutes_and_sub_inverts(a in vec_strategy(16), b in vec_strategy(16)) {
+        let n = a.len().min(b.len());
+        let (a, b) = (&a[..n], &b[..n]);
+        let mut g = Graph::new(0);
+        let xa = g.constant(Tensor::from_slice(a));
+        let xb = g.constant(Tensor::from_slice(b));
+        let ab = g.add(xa, xb);
+        let ba = g.add(xb, xa);
+        prop_assert_eq!(g.value(ab).data(), g.value(ba).data());
+        let back = g.sub(ab, xb);
+        for (v, orig) in g.value(back).data().iter().zip(a) {
+            prop_assert!((v - orig).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gradient_of_sum_is_ones(data in vec_strategy(20)) {
+        let mut g = Graph::new(0);
+        let w = g.param(Tensor::from_slice(&data));
+        g.freeze();
+        let s = g.sum(w);
+        g.backward(s);
+        prop_assert!(g.grad(w).unwrap().data().iter().all(|&v| v == 1.0));
+    }
+
+    #[test]
+    fn gradient_accumulates_over_fanout(data in vec_strategy(10)) {
+        // loss = sum(w) + sum(w): dw must be exactly 2 everywhere.
+        let mut g = Graph::new(0);
+        let w = g.param(Tensor::from_slice(&data));
+        g.freeze();
+        let s1 = g.sum(w);
+        let s2 = g.sum(w);
+        let total = g.add(s1, s2);
+        g.backward(total);
+        prop_assert!(g.grad(w).unwrap().data().iter().all(|&v| v == 2.0));
+    }
+
+    #[test]
+    fn matmul_matches_reference(a in vec_strategy(12), b in vec_strategy(12), k in 1usize..4) {
+        let m = a.len() / k;
+        let n = b.len() / k;
+        prop_assume!(m >= 1 && n >= 1);
+        let a = &a[..m * k];
+        let b = &b[..k * n];
+        let mut g = Graph::new(0);
+        let xa = g.constant(Tensor::new(&[m, k], a.to_vec()).unwrap());
+        let xb = g.constant(Tensor::new(&[k, n], b.to_vec()).unwrap());
+        let c = g.matmul(xa, xb);
+        let got = g.value(c);
+        for i in 0..m {
+            for j in 0..n {
+                let expected: f32 = (0..k).map(|kk| a[i * k + kk] * b[kk * n + j]).sum();
+                prop_assert!((got.at2(i, j) - expected).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn reshape_preserves_data_and_grads(data in vec_strategy(24)) {
+        prop_assume!(data.len() % 2 == 0);
+        let n = data.len();
+        let mut g = Graph::new(0);
+        let w = g.param(Tensor::from_slice(&data));
+        g.freeze();
+        let r = g.reshape(w, &[2, n / 2]);
+        prop_assert_eq!(g.value(r).data(), &data[..]);
+        let s = g.sum(r);
+        g.backward(s);
+        prop_assert!(g.grad(w).unwrap().data().iter().all(|&v| v == 1.0));
+    }
+}

@@ -1,0 +1,232 @@
+//! Exact integer dynamic program over stableness blocks.
+//!
+//! The LP of Eq. 8/16 relaxes pool sizes to reals; production rounds them.
+//! Because the objective decomposes over blocks once the `τ` shift is
+//! accounted for — the value `N_b` only affects intervals `t` with
+//! `t − τ ∈ block b` (plus the warm-up `t < τ` for `N_0`) — and the only
+//! coupling is the ramp constraint between consecutive blocks, the *integer*
+//! problem is solvable exactly by DP in `O(blocks · max_pool)` with suffix
+//! minima. Tests cross-check: `LP optimum ≤ DP optimum ≤ LP + rounding gap`.
+
+use crate::lp_model::OptimizedSchedule;
+use crate::{Result, SaaConfig, SaaError};
+use ip_timeseries::TimeSeries;
+
+/// Solves the SAA problem exactly over integer pool sizes.
+pub fn optimize_dp(demand: &TimeSeries, config: &SaaConfig) -> Result<OptimizedSchedule> {
+    config.validate()?;
+    let t_len = demand.len();
+    if t_len == 0 {
+        return Err(SaaError::InvalidDemand("empty demand".into()));
+    }
+    let d_cum = demand.cumulative();
+    let blocks = config.num_blocks(t_len);
+    let tau = config.tau_intervals;
+    let alpha = config.alpha_prime;
+    let lo = config.min_pool as usize;
+    let hi = config.max_pool as usize;
+    let sizes = hi - lo + 1;
+    let ramp = config.max_new_per_block as i64;
+
+    // cost[b][n]: contribution of choosing pool size n for block b. The
+    // value N_b governs A'(t) for t with t−τ ∈ block b; N_0 additionally
+    // covers the warm-up t < τ where A'(t) = N_0.
+    let interval_cost = |t: usize, n: usize| -> f64 {
+        let base = if t < tau { 0.0 } else { d_cum.get(t - tau) };
+        let diff = base + n as f64 - d_cum.get(t);
+        alpha * diff.max(0.0) + (1.0 - alpha) * (-diff).max(0.0)
+    };
+
+    let mut cost = vec![vec![0.0f64; sizes]; blocks];
+    for t in 0..t_len {
+        let owner = if t < tau { 0 } else { config.block_of(t - tau) };
+        for (ni, c) in cost[owner].iter_mut().enumerate() {
+            *c += interval_cost(t, lo + ni);
+        }
+    }
+
+    // DP with ramp coupling: dp[b][n] = cost[b][n] + min_{n' ≥ n − ramp} dp[b−1][n'].
+    let mut dp = cost[0].clone();
+    let mut choice: Vec<Vec<usize>> = Vec::with_capacity(blocks);
+    choice.push((0..sizes).collect()); // block 0 has no predecessor
+    for b in 1..blocks {
+        // Suffix minima of dp: suffix_min[i] = argmin/min over n' ≥ i.
+        let mut suffix_min = vec![(f64::INFINITY, 0usize); sizes + 1];
+        for i in (0..sizes).rev() {
+            suffix_min[i] = if dp[i] <= suffix_min[i + 1].0 {
+                (dp[i], i)
+            } else {
+                suffix_min[i + 1]
+            };
+        }
+        let mut next = vec![0.0f64; sizes];
+        let mut pick = vec![0usize; sizes];
+        for n in 0..sizes {
+            // n' must satisfy (lo+n) − (lo+n') ≤ ramp  ⇔  n' ≥ n − ramp.
+            let from = (n as i64 - ramp).max(0) as usize;
+            let (best, arg) = suffix_min[from];
+            next[n] = cost[b][n] + best;
+            pick[n] = arg;
+        }
+        dp = next;
+        choice.push(pick);
+    }
+
+    // Trace back the optimal chain.
+    let (mut best_n, best_obj) = dp
+        .iter()
+        .enumerate()
+        .map(|(n, &v)| (n, v))
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .expect("sizes >= 1");
+    let mut per_block_rev = vec![best_n];
+    for b in (1..blocks).rev() {
+        best_n = choice[b][best_n];
+        per_block_rev.push(best_n);
+    }
+    per_block_rev.reverse();
+    let per_block: Vec<f64> = per_block_rev.iter().map(|&n| (lo + n) as f64).collect();
+    let schedule: Vec<f64> = (0..t_len).map(|t| per_block[config.block_of(t)]).collect();
+    Ok(OptimizedSchedule { schedule, objective: best_obj, per_block })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lp_model::optimize_lp;
+    use crate::mechanism::evaluate_schedule;
+
+    fn ts(vals: &[f64]) -> TimeSeries {
+        TimeSeries::new(30, vals.to_vec()).unwrap()
+    }
+
+    fn cfg() -> SaaConfig {
+        SaaConfig {
+            tau_intervals: 2,
+            stableness: 4,
+            min_pool: 0,
+            max_pool: 30,
+            max_new_per_block: 30,
+            alpha_prime: 0.5,
+        }
+    }
+
+    #[test]
+    fn zero_demand_zero_pool() {
+        let demand = ts(&[0.0; 16]);
+        let opt = optimize_dp(&demand, &cfg()).unwrap();
+        assert!(opt.per_block.iter().all(|&n| n == 0.0));
+        assert_eq!(opt.objective, 0.0);
+    }
+
+    #[test]
+    fn dp_objective_matches_mechanism() {
+        let vals: Vec<f64> = (0..32).map(|t| ((t * 3) % 7) as f64).collect();
+        let demand = ts(&vals);
+        let c = cfg();
+        let opt = optimize_dp(&demand, &c).unwrap();
+        let m = evaluate_schedule(&demand, &opt.schedule, c.tau_intervals).unwrap();
+        let mech_obj = m.objective(c.alpha_prime, demand.interval_secs());
+        assert!(
+            (mech_obj - opt.objective).abs() < 1e-9 * mech_obj.max(1.0),
+            "DP {} vs mechanism {}",
+            opt.objective,
+            mech_obj
+        );
+    }
+
+    #[test]
+    fn lp_lower_bounds_dp_within_rounding() {
+        // LP relaxation ≤ integer DP optimum, and the gap is small.
+        let vals: Vec<f64> = (0..40).map(|t| (t % 9) as f64 * 1.3).collect();
+        let demand = ts(&vals);
+        let c = cfg();
+        let lp = optimize_lp(&demand, &c).unwrap();
+        let dp = optimize_dp(&demand, &c).unwrap();
+        assert!(
+            lp.objective <= dp.objective + 1e-6,
+            "LP {} must lower-bound DP {}",
+            lp.objective,
+            dp.objective
+        );
+        // Rounding gap per block is at most 1 cluster over the block span.
+        let blocks = c.num_blocks(demand.len()) as f64;
+        let gap_bound = blocks * c.stableness as f64;
+        assert!(dp.objective - lp.objective <= gap_bound, "gap too large");
+    }
+
+    #[test]
+    fn dp_beats_any_rounding_of_lp() {
+        let vals: Vec<f64> = (0..40).map(|t| if t % 10 < 2 { 8.0 } else { 1.0 }).collect();
+        let demand = ts(&vals);
+        let c = cfg();
+        let lp = optimize_lp(&demand, &c).unwrap();
+        let dp = optimize_dp(&demand, &c).unwrap();
+        // Round the LP solution up and down; DP must be at least as good as
+        // the better of the two (it is the exact integer optimum).
+        for round in [f64::floor, f64::ceil] {
+            let rounded: Vec<f64> = lp.schedule.iter().map(|&v| round(v)).collect();
+            let m = evaluate_schedule(&demand, &rounded, c.tau_intervals).unwrap();
+            let obj = m.objective(c.alpha_prime, demand.interval_secs());
+            assert!(
+                dp.objective <= obj + 1e-6,
+                "DP {} beaten by rounded LP {}",
+                dp.objective,
+                obj
+            );
+        }
+    }
+
+    #[test]
+    fn dp_integer_outputs() {
+        let vals: Vec<f64> = (0..24).map(|t| (t % 5) as f64).collect();
+        let opt = optimize_dp(&ts(&vals), &cfg()).unwrap();
+        for &n in &opt.per_block {
+            assert_eq!(n, n.round());
+        }
+    }
+
+    #[test]
+    fn ramp_respected_by_dp() {
+        let mut vals = vec![0.0; 32];
+        for v in vals.iter_mut().skip(16) {
+            *v = 20.0;
+        }
+        let mut c = cfg();
+        c.max_new_per_block = 2;
+        c.alpha_prime = 0.05;
+        let opt = optimize_dp(&ts(&vals), &c).unwrap();
+        for w in opt.per_block.windows(2) {
+            assert!(w[1] - w[0] <= 2.0 + 1e-9, "{:?}", opt.per_block);
+        }
+    }
+
+    #[test]
+    fn brute_force_agreement_small_instance() {
+        // Exhaustive check on a tiny instance: 2 blocks, pool sizes 0..=4.
+        let vals = [3.0, 0.0, 1.0, 4.0, 0.0, 2.0, 1.0, 0.0];
+        let demand = ts(&vals);
+        let c = SaaConfig {
+            tau_intervals: 1,
+            stableness: 4,
+            min_pool: 0,
+            max_pool: 4,
+            max_new_per_block: 4,
+            alpha_prime: 0.4,
+        };
+        let dp = optimize_dp(&demand, &c).unwrap();
+        let mut best = f64::INFINITY;
+        for n0 in 0..=4u32 {
+            for n1 in 0..=4u32 {
+                if n1 as i64 - n0 as i64 > 4 {
+                    continue;
+                }
+                let schedule: Vec<f64> =
+                    (0..8).map(|t| if t < 4 { f64::from(n0) } else { f64::from(n1) }).collect();
+                let m = evaluate_schedule(&demand, &schedule, 1).unwrap();
+                best = best.min(m.objective(0.4, 30));
+            }
+        }
+        assert!((dp.objective - best).abs() < 1e-9, "DP {} vs brute force {}", dp.objective, best);
+    }
+}

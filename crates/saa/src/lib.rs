@@ -1,0 +1,183 @@
+#![warn(missing_docs)]
+//! The Sample Average Approximation (SAA) optimizer of §4: given a demand
+//! trace, choose the pool-size schedule `N(t)` minimizing the weighted sum
+//! of cluster idle time and customer wait time.
+//!
+//! * [`mechanism`] — the live-pool accounting of Fig. 3: cumulative demand
+//!   `D(t)`, re-hydration requests `A(t) = D(t) + N(t)`, ready clusters
+//!   `A'(t) = A(t−τ)`, and the idle (`Δ⁺`) / wait (`Δ⁻`) areas, plus
+//!   per-request FCFS wait times and the pool hit rate.
+//! * [`lp_model`] — the linear program of Eq. 1–11 with the single-knob
+//!   objective of Eq. 16, solved by the `ip-lp` simplex.
+//! * [`dp`] — an exact integer dynamic program over STABLENESS blocks
+//!   (the schedule production would round the LP to), cross-checked against
+//!   the LP in tests.
+//! * [`static_pool`] — the static-pool baseline (fixed `N`) the paper's
+//!   headline 43% idle-time reduction is measured against.
+//! * [`pareto`] — `α'` sweeps tracing the wait-vs-idle Pareto frontier.
+//! * [`robustness`] — the §7.5 hardening strategies: max-filter demand
+//!   smoothing (Eq. 18), extended stability, and max-filtered output with
+//!   `SF = τ`.
+//! * [`periodic`] — the §4.2 simplified policy: one time-of-day profile
+//!   shared by every day.
+//!
+//! ```
+//! use ip_saa::{evaluate_schedule, optimize_dp, SaaConfig};
+//! use ip_timeseries::TimeSeries;
+//!
+//! // Steady demand of 2 requests/interval with tau = 2 intervals: the
+//! // optimizer sizes the pool near rate x tau and the evaluation confirms
+//! // a high hit rate.
+//! let demand = TimeSeries::new(30, vec![2.0; 48]).unwrap();
+//! let config = SaaConfig {
+//!     tau_intervals: 2,
+//!     stableness: 4,
+//!     alpha_prime: 0.2, // wait-averse
+//!     ..Default::default()
+//! };
+//! let plan = optimize_dp(&demand, &config).unwrap();
+//! let outcome = evaluate_schedule(&demand, &plan.schedule, 2).unwrap();
+//! assert!(outcome.hit_rate > 0.9);
+//! ```
+
+pub mod dp;
+pub mod lp_model;
+pub mod mechanism;
+pub mod pareto;
+pub mod periodic;
+pub mod robustness;
+pub mod static_pool;
+
+pub use dp::optimize_dp;
+pub use lp_model::optimize_lp;
+pub use mechanism::{evaluate_schedule, PoolMechanics};
+pub use pareto::{pareto_sweep, ParetoPoint};
+pub use periodic::optimize_periodic_profile;
+pub use robustness::{RobustnessStrategies, robust_optimize};
+pub use static_pool::{static_schedule, optimal_static_for_hit_rate};
+
+/// Errors from the optimizer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SaaError {
+    /// Demand series is empty or shorter than required.
+    InvalidDemand(String),
+    /// Invalid configuration (zero stableness, min > max pool, …).
+    InvalidConfig(String),
+    /// The LP solver failed (should not happen for well-formed instances).
+    Solver(String),
+}
+
+impl std::fmt::Display for SaaError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SaaError::InvalidDemand(msg) => write!(f, "invalid demand: {msg}"),
+            SaaError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+            SaaError::Solver(msg) => write!(f, "solver failure: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for SaaError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, SaaError>;
+
+/// Configuration of the SAA optimizer, mirroring the paper's constraints.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SaaConfig {
+    /// Cluster creation latency `τ`, in demand intervals (paper: 60–120 s of
+    /// creation on 30 s intervals → 2–4).
+    pub tau_intervals: usize,
+    /// STABLENESS: the pool size is constant within blocks of this many
+    /// intervals (paper: 5 min = 10 intervals; extended to 10 min in the
+    /// hardened §7.5 deployment).
+    pub stableness: usize,
+    /// MIN POOL SIZE (Eq. 10), set by regional capacity in production.
+    pub min_pool: u32,
+    /// MAX POOL SIZE (Eq. 10).
+    pub max_pool: u32,
+    /// MAX NEW REQUEST (Eq. 9): the largest allowed pool-size increase
+    /// between consecutive stableness blocks.
+    pub max_new_per_block: u32,
+    /// `α'` of Eq. 16: weight on idle time; `1 − α'` weighs wait time.
+    pub alpha_prime: f64,
+}
+
+impl Default for SaaConfig {
+    fn default() -> Self {
+        Self {
+            tau_intervals: 3, // 90 s on 30 s intervals
+            stableness: 10,   // 5 minutes
+            min_pool: 0,
+            max_pool: 500,
+            max_new_per_block: 50,
+            alpha_prime: 0.5,
+        }
+    }
+}
+
+impl SaaConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<()> {
+        if self.stableness == 0 {
+            return Err(SaaError::InvalidConfig("stableness must be > 0".into()));
+        }
+        if self.min_pool > self.max_pool {
+            return Err(SaaError::InvalidConfig(format!(
+                "min_pool {} > max_pool {}",
+                self.min_pool, self.max_pool
+            )));
+        }
+        if !(0.0..=1.0).contains(&self.alpha_prime) {
+            return Err(SaaError::InvalidConfig(format!(
+                "alpha_prime must be in [0,1], got {}",
+                self.alpha_prime
+            )));
+        }
+        Ok(())
+    }
+
+    /// Number of stableness blocks covering `t_len` intervals.
+    pub fn num_blocks(&self, t_len: usize) -> usize {
+        t_len.div_ceil(self.stableness)
+    }
+
+    /// Block index owning interval `t`.
+    pub fn block_of(&self, t: usize) -> usize {
+        t / self.stableness
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_valid() {
+        assert!(SaaConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = SaaConfig::default();
+        c.stableness = 0;
+        assert!(c.validate().is_err());
+        let mut c = SaaConfig::default();
+        c.min_pool = 10;
+        c.max_pool = 5;
+        assert!(c.validate().is_err());
+        let mut c = SaaConfig::default();
+        c.alpha_prime = 1.5;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn block_arithmetic() {
+        let c = SaaConfig { stableness: 10, ..Default::default() };
+        assert_eq!(c.num_blocks(100), 10);
+        assert_eq!(c.num_blocks(101), 11);
+        assert_eq!(c.block_of(0), 0);
+        assert_eq!(c.block_of(9), 0);
+        assert_eq!(c.block_of(10), 1);
+    }
+}

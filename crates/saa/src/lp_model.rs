@@ -1,0 +1,206 @@
+//! The linear program of Eq. 1–11 / Eq. 16, built on the `ip-lp` simplex.
+
+use crate::{Result, SaaConfig, SaaError};
+use ip_lp::{Problem, Sense};
+use ip_timeseries::TimeSeries;
+
+/// Result of an LP (or DP) pool-size optimization.
+#[derive(Debug, Clone)]
+pub struct OptimizedSchedule {
+    /// Pool size per interval (piecewise constant over stableness blocks).
+    pub schedule: Vec<f64>,
+    /// Optimal objective value in cluster-intervals
+    /// (`α'·ΣΔ⁺ + (1−α')·ΣΔ⁻`).
+    pub objective: f64,
+    /// Pool size per stableness block (the decision variables).
+    pub per_block: Vec<f64>,
+}
+
+/// Solves the SAA linear program for the given demand trace.
+///
+/// Variables: one pool size `N_b` per stableness block plus `Δ⁺(t), Δ⁻(t)`
+/// per interval. Constraints follow Eq. 1–11 with the Eq. 16 objective; the
+/// ready-cluster curve is `A'(t) = D(t−τ) + N_{block(t−τ)}` for `t ≥ τ` and
+/// `N_0` before that.
+pub fn optimize_lp(demand: &TimeSeries, config: &SaaConfig) -> Result<OptimizedSchedule> {
+    config.validate()?;
+    let t_len = demand.len();
+    if t_len == 0 {
+        return Err(SaaError::InvalidDemand("empty demand".into()));
+    }
+    let d_cum = demand.cumulative();
+    let blocks = config.num_blocks(t_len);
+    let tau = config.tau_intervals;
+    let alpha = config.alpha_prime;
+
+    let mut p = Problem::minimize();
+    let n_vars: Vec<_> = (0..blocks)
+        .map(|b| p.add_var(format!("N{b}"), f64::from(config.min_pool), f64::from(config.max_pool)))
+        .collect();
+    let plus: Vec<_> = (0..t_len).map(|t| p.add_var(format!("dp{t}"), 0.0, f64::INFINITY)).collect();
+    let minus: Vec<_> =
+        (0..t_len).map(|t| p.add_var(format!("dm{t}"), 0.0, f64::INFINITY)).collect();
+
+    for t in 0..t_len {
+        p.set_objective_coeff(plus[t], alpha);
+        p.set_objective_coeff(minus[t], 1.0 - alpha);
+    }
+
+    // Eq. 4–7 with A'(t) substituted (Eq. 1–3).
+    for t in 0..t_len {
+        let (n_block, base) = if t < tau {
+            (n_vars[0], 0.0)
+        } else {
+            (n_vars[config.block_of(t - tau)], d_cum.get(t - tau))
+        };
+        // Δ⁺(t) ≥ A'(t) − D(t)  ⇔  Δ⁺(t) − N_b ≥ base − D(t)
+        p.add_constraint(
+            vec![(plus[t], 1.0), (n_block, -1.0)],
+            Sense::Ge,
+            base - d_cum.get(t),
+        );
+        // Δ⁻(t) ≥ D(t) − A'(t)  ⇔  Δ⁻(t) + N_b ≥ D(t) − base
+        p.add_constraint(
+            vec![(minus[t], 1.0), (n_block, 1.0)],
+            Sense::Ge,
+            d_cum.get(t) - base,
+        );
+    }
+
+    // Eq. 9: ramp-up limit between consecutive blocks.
+    for b in 1..blocks {
+        p.add_constraint(
+            vec![(n_vars[b], 1.0), (n_vars[b - 1], -1.0)],
+            Sense::Le,
+            f64::from(config.max_new_per_block),
+        );
+    }
+
+    let sol = ip_lp::solve(&p).map_err(|e| SaaError::Solver(e.to_string()))?;
+    let per_block: Vec<f64> = n_vars.iter().map(|&v| sol.value(v)).collect();
+    let schedule: Vec<f64> = (0..t_len).map(|t| per_block[config.block_of(t)]).collect();
+    Ok(OptimizedSchedule { schedule, objective: sol.objective, per_block })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanism::evaluate_schedule;
+
+    fn ts(vals: &[f64]) -> TimeSeries {
+        TimeSeries::new(30, vals.to_vec()).unwrap()
+    }
+
+    fn cfg() -> SaaConfig {
+        SaaConfig {
+            tau_intervals: 2,
+            stableness: 4,
+            min_pool: 0,
+            max_pool: 50,
+            max_new_per_block: 50,
+            alpha_prime: 0.5,
+        }
+    }
+
+    #[test]
+    fn zero_demand_gives_zero_pool() {
+        let demand = ts(&[0.0; 16]);
+        let opt = optimize_lp(&demand, &cfg()).unwrap();
+        assert!(opt.per_block.iter().all(|&n| n.abs() < 1e-7), "{:?}", opt.per_block);
+        assert!(opt.objective.abs() < 1e-7);
+    }
+
+    #[test]
+    fn constant_demand_sizes_pool_to_rate() {
+        // 2 requests every interval, τ=2: the pool must buffer 2·τ = 4
+        // requests to give zero wait; idle-leaning α' shrinks it below that.
+        let demand = ts(&[2.0; 24]);
+        let mut c = cfg();
+        c.alpha_prime = 0.1; // wait-averse
+        let opt = optimize_lp(&demand, &c).unwrap();
+        let m = evaluate_schedule(&demand, &opt.schedule, c.tau_intervals).unwrap();
+        assert!(m.hit_rate > 0.9, "hit rate {}", m.hit_rate);
+        // Pool size should be about rate·τ = 4 in steady state.
+        let steady = opt.per_block[opt.per_block.len() / 2];
+        assert!((3.0..=6.0).contains(&steady), "steady pool {steady}");
+    }
+
+    #[test]
+    fn alpha_extremes_trade_idle_for_wait() {
+        let vals: Vec<f64> = (0..32).map(|t| if t % 8 == 0 { 6.0 } else { 1.0 }).collect();
+        let demand = ts(&vals);
+        let mut idle_cfg = cfg();
+        idle_cfg.alpha_prime = 0.95; // idle-averse → small pool
+        let mut wait_cfg = cfg();
+        wait_cfg.alpha_prime = 0.05; // wait-averse → big pool
+        let lean = optimize_lp(&demand, &idle_cfg).unwrap();
+        let rich = optimize_lp(&demand, &wait_cfg).unwrap();
+        let m_lean = evaluate_schedule(&demand, &lean.schedule, 2).unwrap();
+        let m_rich = evaluate_schedule(&demand, &rich.schedule, 2).unwrap();
+        assert!(m_lean.idle_cluster_seconds <= m_rich.idle_cluster_seconds);
+        assert!(m_lean.wait_seconds >= m_rich.wait_seconds);
+    }
+
+    #[test]
+    fn objective_matches_mechanism_evaluation() {
+        let vals: Vec<f64> = (0..24).map(|t| ((t * 7) % 5) as f64).collect();
+        let demand = ts(&vals);
+        let c = cfg();
+        let opt = optimize_lp(&demand, &c).unwrap();
+        let m = evaluate_schedule(&demand, &opt.schedule, c.tau_intervals).unwrap();
+        let mech_obj = m.objective(c.alpha_prime, demand.interval_secs());
+        assert!(
+            (mech_obj - opt.objective).abs() < 1e-5 * mech_obj.max(1.0),
+            "LP objective {} vs mechanism {}",
+            opt.objective,
+            mech_obj
+        );
+    }
+
+    #[test]
+    fn ramp_constraint_respected() {
+        // A huge step in demand with a tight ramp: blocks can only grow by 1.
+        let mut vals = vec![0.0; 24];
+        for v in vals.iter_mut().skip(12) {
+            *v = 10.0;
+        }
+        let demand = ts(&vals);
+        let mut c = cfg();
+        c.max_new_per_block = 1;
+        c.alpha_prime = 0.05;
+        let opt = optimize_lp(&demand, &c).unwrap();
+        for w in opt.per_block.windows(2) {
+            assert!(w[1] - w[0] <= 1.0 + 1e-7, "ramp violated: {:?}", opt.per_block);
+        }
+    }
+
+    #[test]
+    fn pool_bounds_respected() {
+        let demand = ts(&[50.0; 16]);
+        let mut c = cfg();
+        c.max_pool = 7;
+        c.min_pool = 2;
+        c.alpha_prime = 0.05;
+        let opt = optimize_lp(&demand, &c).unwrap();
+        for &n in &opt.per_block {
+            assert!(n >= 2.0 - 1e-7 && n <= 7.0 + 1e-7, "bounds violated: {n}");
+        }
+    }
+
+    #[test]
+    fn schedule_piecewise_constant() {
+        let vals: Vec<f64> = (0..20).map(|t| (t % 4) as f64).collect();
+        let demand = ts(&vals);
+        let c = cfg();
+        let opt = optimize_lp(&demand, &c).unwrap();
+        for (t, &v) in opt.schedule.iter().enumerate() {
+            assert_eq!(v, opt.per_block[c.block_of(t)]);
+        }
+    }
+
+    #[test]
+    fn empty_demand_rejected() {
+        let empty = TimeSeries::zeros(30, 0);
+        assert!(optimize_lp(&empty, &cfg()).is_err());
+    }
+}

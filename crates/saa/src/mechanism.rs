@@ -1,0 +1,226 @@
+//! The live-pool mechanism of Fig. 3: cumulative accounting and FCFS
+//! per-request wait times for a given pool-size schedule.
+
+use crate::{Result, SaaError};
+use ip_timeseries::TimeSeries;
+
+/// Evaluation of a pool-size schedule against a demand trace.
+#[derive(Debug, Clone)]
+pub struct PoolMechanics {
+    /// Idle cluster-seconds: `Σ_t Δ⁺(t) · interval` (the grey area of
+    /// Fig. 3) — this is the COGS proxy.
+    pub idle_cluster_seconds: f64,
+    /// Customer wait seconds: `Σ_t Δ⁻(t) · interval` (the red area).
+    pub wait_seconds: f64,
+    /// Requests served with zero wait divided by total requests. 1.0 when
+    /// there are no requests.
+    pub hit_rate: f64,
+    /// Total number of requests in the trace.
+    pub total_requests: u64,
+    /// Mean wait per request, in seconds (0 when no requests).
+    pub mean_wait_per_request_secs: f64,
+    /// Per-interval idle cluster count `Δ⁺(t)`.
+    pub idle_per_interval: Vec<f64>,
+    /// Per-interval queued demand `Δ⁻(t)`.
+    pub queued_per_interval: Vec<f64>,
+}
+
+impl PoolMechanics {
+    /// Weighted objective of Eq. 16 in *cluster-intervals* (the unit the
+    /// LP/DP optimize), for cross-checking optimizer outputs.
+    pub fn objective(&self, alpha_prime: f64, interval_secs: u64) -> f64 {
+        let idle_intervals = self.idle_cluster_seconds / interval_secs as f64;
+        let wait_intervals = self.wait_seconds / interval_secs as f64;
+        alpha_prime * idle_intervals + (1.0 - alpha_prime) * wait_intervals
+    }
+}
+
+/// Evaluates a pool schedule against demand under the paper's mechanism.
+///
+/// `schedule[t]` is the target pool size during interval `t` and must cover
+/// the full demand length. `tau_intervals` is the cluster creation latency.
+///
+/// Semantics (Eq. 1–3): `A(t) = D(t) + N(t)`; `A'(t) = A(t−τ)` for `t ≥ τ`
+/// and `N(0)` before that (the initial pool is created ready at `t = 0`).
+pub fn evaluate_schedule(
+    demand: &TimeSeries,
+    schedule: &[f64],
+    tau_intervals: usize,
+) -> Result<PoolMechanics> {
+    let t_len = demand.len();
+    if t_len == 0 {
+        return Err(SaaError::InvalidDemand("empty demand".into()));
+    }
+    if schedule.len() < t_len {
+        return Err(SaaError::InvalidDemand(format!(
+            "schedule covers {} of {} intervals",
+            schedule.len(),
+            t_len
+        )));
+    }
+    let interval = demand.interval_secs() as f64;
+    let d_cum = demand.cumulative();
+
+    // Ready-cluster curve A'(t).
+    let a_ready: Vec<f64> = (0..t_len)
+        .map(|t| {
+            if t < tau_intervals {
+                schedule[0]
+            } else {
+                d_cum.get(t - tau_intervals) + schedule[t - tau_intervals]
+            }
+        })
+        .collect();
+
+    let mut idle_per_interval = Vec::with_capacity(t_len);
+    let mut queued_per_interval = Vec::with_capacity(t_len);
+    let mut idle_sum = 0.0;
+    let mut wait_sum = 0.0;
+    for t in 0..t_len {
+        let diff = a_ready[t] - d_cum.get(t);
+        let idle = diff.max(0.0);
+        let queued = (-diff).max(0.0);
+        idle_per_interval.push(idle);
+        queued_per_interval.push(queued);
+        idle_sum += idle;
+        wait_sum += queued;
+    }
+
+    // Per-request FCFS hits: request k (1-based) arrives at the first
+    // interval where D ≥ k and is servable at the first interval where
+    // A' ≥ k. Zero wait ⇔ servable at (or before) arrival.
+    let total_requests = d_cum.get(t_len - 1).round().max(0.0) as u64;
+    let mut hits = 0u64;
+    let mut ready_ptr = 0usize;
+    let mut arrive_ptr = 0usize;
+    for k in 1..=total_requests {
+        let kf = k as f64;
+        while arrive_ptr < t_len && d_cum.get(arrive_ptr) < kf {
+            arrive_ptr += 1;
+        }
+        while ready_ptr < t_len && a_ready[ready_ptr] < kf {
+            ready_ptr += 1;
+        }
+        // A request beyond the ready curve within the trace counts as a miss.
+        if ready_ptr <= arrive_ptr && ready_ptr < t_len {
+            hits += 1;
+        }
+    }
+    let hit_rate = if total_requests == 0 { 1.0 } else { hits as f64 / total_requests as f64 };
+    let wait_seconds = wait_sum * interval;
+
+    Ok(PoolMechanics {
+        idle_cluster_seconds: idle_sum * interval,
+        wait_seconds,
+        hit_rate,
+        total_requests,
+        mean_wait_per_request_secs: if total_requests == 0 {
+            0.0
+        } else {
+            wait_seconds / total_requests as f64
+        },
+        idle_per_interval,
+        queued_per_interval,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(vals: &[f64]) -> TimeSeries {
+        TimeSeries::new(30, vals.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn no_demand_all_idle() {
+        let demand = ts(&[0.0; 10]);
+        let m = evaluate_schedule(&demand, &[4.0; 10], 2).unwrap();
+        // Pool of 4 idles for all 10 intervals.
+        assert_eq!(m.idle_cluster_seconds, 4.0 * 10.0 * 30.0);
+        assert_eq!(m.wait_seconds, 0.0);
+        assert_eq!(m.hit_rate, 1.0);
+        assert_eq!(m.total_requests, 0);
+    }
+
+    #[test]
+    fn zero_pool_all_requests_wait() {
+        // One request per interval, empty pool: every request waits ~τ.
+        let demand = ts(&[1.0; 10]);
+        let m = evaluate_schedule(&demand, &[0.0; 10], 3).unwrap();
+        assert_eq!(m.total_requests, 10);
+        assert!(m.hit_rate < 0.05, "hit rate {}", m.hit_rate);
+        assert!(m.wait_seconds > 0.0);
+    }
+
+    #[test]
+    fn adequate_pool_absorbs_burst() {
+        // Burst of 5 at t=0 with pool 5: all hits, pool re-hydrates.
+        let mut vals = vec![0.0; 12];
+        vals[0] = 5.0;
+        let demand = ts(&vals);
+        let m = evaluate_schedule(&demand, &[5.0; 12], 3).unwrap();
+        assert_eq!(m.hit_rate, 1.0);
+        assert_eq!(m.wait_seconds, 0.0);
+    }
+
+    #[test]
+    fn pool_smaller_than_burst_causes_waits() {
+        let mut vals = vec![0.0; 12];
+        vals[0] = 5.0;
+        let demand = ts(&vals);
+        let m = evaluate_schedule(&demand, &[2.0; 12], 3).unwrap();
+        // 2 hits out of 5; the other 3 wait for re-hydration.
+        assert!((m.hit_rate - 0.4).abs() < 1e-9, "hit rate {}", m.hit_rate);
+        assert!(m.wait_seconds > 0.0);
+        // Queued demand of 3 for τ=3 intervals → 3·3·30 s of wait.
+        assert_eq!(m.wait_seconds, 3.0 * 3.0 * 30.0);
+    }
+
+    #[test]
+    fn wait_area_matches_per_request_sum() {
+        // Constructed trace; check Σ Δ⁻ equals the per-request wait total.
+        let demand = ts(&[2.0, 0.0, 3.0, 1.0, 0.0, 0.0, 4.0, 0.0]);
+        let schedule = vec![1.0; 8];
+        let m = evaluate_schedule(&demand, &schedule, 2).unwrap();
+        assert_eq!(m.mean_wait_per_request_secs * m.total_requests as f64, m.wait_seconds);
+    }
+
+    #[test]
+    fn idle_scales_with_pool_size() {
+        let demand = ts(&[1.0; 20]);
+        let small = evaluate_schedule(&demand, &[2.0; 20], 2).unwrap();
+        let large = evaluate_schedule(&demand, &[8.0; 20], 2).unwrap();
+        assert!(large.idle_cluster_seconds > small.idle_cluster_seconds);
+        assert!(large.wait_seconds <= small.wait_seconds);
+        assert!(large.hit_rate >= small.hit_rate);
+    }
+
+    #[test]
+    fn complementary_slackness_per_interval() {
+        // Δ⁺(t)·Δ⁻(t) = 0 pointwise: a pool cannot be simultaneously idle
+        // and drained.
+        let demand = ts(&[3.0, 0.0, 5.0, 2.0, 0.0, 1.0]);
+        let m = evaluate_schedule(&demand, &[2.0; 6], 1).unwrap();
+        for (i, q) in m.idle_per_interval.iter().zip(&m.queued_per_interval) {
+            assert_eq!(i * q, 0.0);
+        }
+    }
+
+    #[test]
+    fn errors_on_bad_inputs() {
+        let demand = ts(&[1.0; 5]);
+        assert!(evaluate_schedule(&demand, &[1.0; 3], 2).is_err());
+        let empty = TimeSeries::zeros(30, 0);
+        assert!(evaluate_schedule(&empty, &[], 2).is_err());
+    }
+
+    #[test]
+    fn objective_unit_conversion() {
+        let demand = ts(&[0.0; 4]);
+        let m = evaluate_schedule(&demand, &[2.0; 4], 1).unwrap();
+        // 8 idle cluster-intervals, zero wait.
+        assert_eq!(m.objective(1.0, 30), 8.0);
+        assert_eq!(m.objective(0.0, 30), 0.0);
+    }
+}

@@ -1,0 +1,219 @@
+//! The simplified time-of-day policy of §4.2: "one can also add constraints
+//! to ensure that the pool size for the same day of week or time of day is
+//! the same as for a more static controlling policy."
+//!
+//! Tying every block at the same time-of-day to one decision variable keeps
+//! the problem linear (and here, exactly solvable): the cost of a tied
+//! variable is the *sum* of its blocks' costs across days, and the ramp
+//! constraint chains consecutive profile slots (cyclically, since the end
+//! of one day abuts the start of the next).
+
+use crate::lp_model::OptimizedSchedule;
+use crate::{Result, SaaConfig, SaaError};
+use ip_timeseries::TimeSeries;
+
+/// Optimizes one pool-size *profile* of `period_blocks` stableness blocks
+/// (e.g. one day) that repeats across the whole trace.
+///
+/// Solved exactly: block costs are aggregated per profile slot, then a DP
+/// over the slots enforces the ramp constraint; the cyclic wrap (last slot →
+/// first slot of the next day) is handled by trying every feasible first
+/// slot value... pragmatically, by enumerating the first slot's value and
+/// constraining the chain — exact because the pool sizes are small integers.
+pub fn optimize_periodic_profile(
+    demand: &TimeSeries,
+    config: &SaaConfig,
+    period_blocks: usize,
+) -> Result<OptimizedSchedule> {
+    config.validate()?;
+    if period_blocks == 0 {
+        return Err(SaaError::InvalidConfig("period_blocks must be > 0".into()));
+    }
+    let t_len = demand.len();
+    if t_len == 0 {
+        return Err(SaaError::InvalidDemand("empty demand".into()));
+    }
+    let d_cum = demand.cumulative();
+    let tau = config.tau_intervals;
+    let alpha = config.alpha_prime;
+    let lo = config.min_pool as usize;
+    let hi = config.max_pool as usize;
+    let sizes = hi - lo + 1;
+    let ramp = config.max_new_per_block as i64;
+
+    // Aggregate the per-interval cost into profile slots: interval t is
+    // governed by N at block(t−τ) (warm-up by slot 0), and that block maps
+    // to slot `block mod period`.
+    let mut cost = vec![vec![0.0f64; sizes]; period_blocks];
+    for t in 0..t_len {
+        let slot = if t < tau { 0 } else { config.block_of(t - tau) % period_blocks };
+        let base = if t < tau { 0.0 } else { d_cum.get(t - tau) };
+        for (ni, c) in cost[slot].iter_mut().enumerate() {
+            let diff = base + (lo + ni) as f64 - d_cum.get(t);
+            *c += alpha * diff.max(0.0) + (1.0 - alpha) * (-diff).max(0.0);
+        }
+    }
+
+    // Cyclic-chain DP: fix the first slot's value, run the ramp-constrained
+    // chain, and check the wrap-around ramp (slot 0 follows the last slot of
+    // the previous day). Exact but O(sizes² · period) in the worst case;
+    // pool sizes are bounded by config so this stays cheap.
+    let mut best_total = f64::INFINITY;
+    let mut best_profile: Vec<usize> = vec![0; period_blocks];
+    for first in 0..sizes {
+        // dp over slots 1..P with predecessor constraint n − n_prev ≤ ramp.
+        let mut dp = vec![f64::INFINITY; sizes];
+        let mut choice: Vec<Vec<usize>> = Vec::with_capacity(period_blocks);
+        dp[first] = cost[0][first];
+        choice.push((0..sizes).collect());
+        for slot_cost in cost.iter().take(period_blocks).skip(1) {
+            let mut suffix_min = vec![(f64::INFINITY, 0usize); sizes + 1];
+            for i in (0..sizes).rev() {
+                suffix_min[i] =
+                    if dp[i] <= suffix_min[i + 1].0 { (dp[i], i) } else { suffix_min[i + 1] };
+            }
+            let mut next = vec![f64::INFINITY; sizes];
+            let mut pick = vec![0usize; sizes];
+            for n in 0..sizes {
+                let from = (n as i64 - ramp).max(0) as usize;
+                let (best, arg) = suffix_min[from];
+                if best.is_finite() {
+                    next[n] = slot_cost[n] + best;
+                    pick[n] = arg;
+                }
+            }
+            dp = next;
+            choice.push(pick);
+        }
+        // Wrap constraint: first − last ≤ ramp.
+        for last in 0..sizes {
+            if !dp[last].is_finite() || first as i64 - last as i64 > ramp {
+                continue;
+            }
+            if dp[last] < best_total {
+                best_total = dp[last];
+                // Trace back.
+                let mut profile = vec![0usize; period_blocks];
+                let mut n = last;
+                for slot in (1..period_blocks).rev() {
+                    profile[slot] = n;
+                    n = choice[slot][n];
+                }
+                profile[0] = first;
+                best_profile = profile;
+            }
+        }
+    }
+    if !best_total.is_finite() {
+        return Err(SaaError::InvalidConfig(
+            "no feasible periodic profile under the ramp constraint".into(),
+        ));
+    }
+
+    let per_block: Vec<f64> = (0..config.num_blocks(t_len))
+        .map(|b| (lo + best_profile[b % period_blocks]) as f64)
+        .collect();
+    let schedule: Vec<f64> = (0..t_len).map(|t| per_block[config.block_of(t)]).collect();
+    Ok(OptimizedSchedule { schedule, objective: best_total, per_block })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::optimize_dp;
+    use crate::mechanism::evaluate_schedule;
+
+    fn cfg() -> SaaConfig {
+        SaaConfig {
+            tau_intervals: 1,
+            stableness: 4,
+            min_pool: 0,
+            max_pool: 12,
+            max_new_per_block: 12,
+            alpha_prime: 0.4,
+        }
+    }
+
+    /// Two identical "days" of 16 intervals (4 blocks each).
+    fn two_day_demand() -> TimeSeries {
+        let day: Vec<f64> = vec![3.0, 1.0, 0.0, 0.0, 5.0, 2.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 4.0, 2.0];
+        let mut vals = day.clone();
+        vals.extend(day);
+        TimeSeries::new(30, vals).unwrap()
+    }
+
+    #[test]
+    fn profile_repeats_across_days() {
+        let demand = two_day_demand();
+        let opt = optimize_periodic_profile(&demand, &cfg(), 4).unwrap();
+        // Blocks 0..4 equal blocks 4..8.
+        assert_eq!(&opt.per_block[..4], &opt.per_block[4..8]);
+    }
+
+    #[test]
+    fn periodic_between_free_dp_and_static() {
+        // Free DP ≤ periodic profile ≤ best static pool (a static pool is a
+        // period-1 profile; a free schedule has no tying constraint).
+        let demand = two_day_demand();
+        let c = cfg();
+        let free = optimize_dp(&demand, &c).unwrap();
+        let periodic = optimize_periodic_profile(&demand, &c, 4).unwrap();
+        let static_like = optimize_periodic_profile(&demand, &c, 1).unwrap();
+        assert!(free.objective <= periodic.objective + 1e-9);
+        assert!(periodic.objective <= static_like.objective + 1e-9);
+    }
+
+    #[test]
+    fn objective_matches_mechanism() {
+        let demand = two_day_demand();
+        let c = cfg();
+        let opt = optimize_periodic_profile(&demand, &c, 4).unwrap();
+        let m = evaluate_schedule(&demand, &opt.schedule, c.tau_intervals).unwrap();
+        let mech = m.objective(c.alpha_prime, demand.interval_secs());
+        assert!((mech - opt.objective).abs() < 1e-9 * mech.max(1.0));
+    }
+
+    #[test]
+    fn full_period_tying_is_vacuous() {
+        // With the period spanning the whole trace (and the ramp slack),
+        // nothing is tied and the profile must match the free DP optimum.
+        let demand = two_day_demand();
+        let c = cfg();
+        let blocks = c.num_blocks(demand.len());
+        let free = optimize_dp(&demand, &c).unwrap();
+        let periodic = optimize_periodic_profile(&demand, &c, blocks).unwrap();
+        assert!(
+            (free.objective - periodic.objective).abs() < 1e-9,
+            "free {} vs vacuous-periodic {}",
+            free.objective,
+            periodic.objective
+        );
+    }
+
+    #[test]
+    fn identical_days_keep_tying_cost_small() {
+        // With perfectly repeating demand, tying days together only costs
+        // the boundary effects (the τ warm-up on day 1 and the uncovered
+        // tail), which are small relative to the total objective.
+        let demand = two_day_demand();
+        let c = cfg();
+        let free = optimize_dp(&demand, &c).unwrap();
+        let periodic = optimize_periodic_profile(&demand, &c, 4).unwrap();
+        let gap = periodic.objective - free.objective;
+        assert!(gap >= -1e-9);
+        assert!(
+            gap <= 0.25 * free.objective.max(1.0),
+            "tying cost {} too large vs free {}",
+            gap,
+            free.objective
+        );
+    }
+
+    #[test]
+    fn validation() {
+        let demand = two_day_demand();
+        assert!(optimize_periodic_profile(&demand, &cfg(), 0).is_err());
+        let empty = TimeSeries::zeros(30, 0);
+        assert!(optimize_periodic_profile(&empty, &cfg(), 4).is_err());
+    }
+}

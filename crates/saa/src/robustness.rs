@@ -1,0 +1,163 @@
+//! The §7.5 production-hardening strategies for spiky regions.
+//!
+//! Deployed after one region showed sporadic ~3-hour spikes the forecaster
+//! could not time precisely, these three strategies lifted COGS savings from
+//! 18% to 64% while holding the hit rate at 100%:
+//!
+//! 1. **Demand smoothing** — a max filter (Eq. 18) applied before
+//!    optimization/training makes spikes "fatter" so a spike predicted a few
+//!    minutes off still lands inside the provisioned window.
+//! 2. **Extended stability** — a longer STABLENESS period forces the pool
+//!    to rise ahead of a spike and stay up through it.
+//! 3. **Output max filter** — the recommended pool size itself is
+//!    max-filtered with `SF = τ`, guaranteeing the raised pool persists long
+//!    enough for re-hydration to catch up.
+
+use crate::dp::optimize_dp;
+use crate::lp_model::OptimizedSchedule;
+use crate::{Result, SaaConfig};
+use ip_timeseries::{max_filter, TimeSeries};
+
+/// Which hardening strategies to apply around the optimizer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RobustnessStrategies {
+    /// Max-filter the demand with this smoothing factor before optimizing
+    /// (0 disables — Eq. 18's `SF`).
+    pub demand_smoothing_factor: usize,
+    /// Override the configuration's stableness with a longer period
+    /// (`None` keeps the base value; the paper extends 5 min → 10 min).
+    pub extended_stableness: Option<usize>,
+    /// Max-filter the output schedule with `SF = τ`.
+    pub output_max_filter: bool,
+}
+
+impl RobustnessStrategies {
+    /// No hardening (the pre-§7.5 deployment).
+    pub fn none() -> Self {
+        Self { demand_smoothing_factor: 0, extended_stableness: None, output_max_filter: false }
+    }
+
+    /// Everything on, with the paper's choices relative to `config`:
+    /// smoothing `SF = 2τ`, stableness doubled, output filter on.
+    pub fn all(config: &SaaConfig) -> Self {
+        Self {
+            demand_smoothing_factor: 2 * config.tau_intervals,
+            extended_stableness: Some(config.stableness * 2),
+            output_max_filter: true,
+        }
+    }
+}
+
+/// Runs the DP optimizer with the selected hardening strategies applied.
+pub fn robust_optimize(
+    demand: &TimeSeries,
+    config: &SaaConfig,
+    strategies: &RobustnessStrategies,
+) -> Result<OptimizedSchedule> {
+    let smoothed;
+    let demand_ref = if strategies.demand_smoothing_factor > 0 {
+        smoothed = max_filter(demand, strategies.demand_smoothing_factor);
+        &smoothed
+    } else {
+        demand
+    };
+    let mut cfg = *config;
+    if let Some(s) = strategies.extended_stableness {
+        cfg.stableness = s;
+    }
+    let mut opt = optimize_dp(demand_ref, &cfg)?;
+    if strategies.output_max_filter {
+        let as_series = TimeSeries::new(demand.interval_secs(), opt.schedule.clone())
+            .expect("interval preserved");
+        opt.schedule = max_filter(&as_series, cfg.tau_intervals).into_values();
+    }
+    Ok(opt)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mechanism::evaluate_schedule;
+
+    /// A near-idle trace with one sharp spike — the §7.5 failure mode in
+    /// miniature.
+    fn spiky() -> TimeSeries {
+        let mut vals = vec![0.0; 60];
+        vals[30] = 8.0;
+        TimeSeries::new(30, vals).unwrap()
+    }
+
+    fn cfg() -> SaaConfig {
+        SaaConfig {
+            tau_intervals: 3,
+            stableness: 5,
+            min_pool: 0,
+            max_pool: 20,
+            max_new_per_block: 20,
+            alpha_prime: 0.6,
+        }
+    }
+
+    #[test]
+    fn none_is_plain_dp() {
+        let d = spiky();
+        let plain = optimize_dp(&d, &cfg()).unwrap();
+        let robust = robust_optimize(&d, &cfg(), &RobustnessStrategies::none()).unwrap();
+        assert_eq!(plain.schedule, robust.schedule);
+    }
+
+    #[test]
+    fn output_filter_dominates_raw_schedule() {
+        let d = spiky();
+        let strategies = RobustnessStrategies {
+            demand_smoothing_factor: 0,
+            extended_stableness: None,
+            output_max_filter: true,
+        };
+        let plain = optimize_dp(&d, &cfg()).unwrap();
+        let robust = robust_optimize(&d, &cfg(), &strategies).unwrap();
+        for (r, p) in robust.schedule.iter().zip(&plain.schedule) {
+            assert!(r >= p, "output filter must only raise the schedule");
+        }
+    }
+
+    #[test]
+    fn hardening_helps_mistimed_spikes() {
+        // Plan on a trace whose spike is 4 intervals earlier than reality —
+        // the imprecisely-timed spike of §7.5. Hardened planning must give a
+        // better hit rate than naive planning.
+        let mut plan_vals = vec![0.0; 60];
+        plan_vals[26] = 8.0;
+        let plan = TimeSeries::new(30, plan_vals).unwrap();
+        let actual = spiky();
+        let c = cfg();
+
+        let naive = optimize_dp(&plan, &c).unwrap();
+        let hardened = robust_optimize(&plan, &c, &RobustnessStrategies::all(&c)).unwrap();
+        let m_naive = evaluate_schedule(&actual, &naive.schedule, c.tau_intervals).unwrap();
+        let m_hard = evaluate_schedule(&actual, &hardened.schedule, c.tau_intervals).unwrap();
+        assert!(
+            m_hard.hit_rate > m_naive.hit_rate,
+            "hardened {} !> naive {}",
+            m_hard.hit_rate,
+            m_naive.hit_rate
+        );
+    }
+
+    #[test]
+    fn smoothing_widens_provisioned_window() {
+        let d = spiky();
+        let c = cfg();
+        let strategies = RobustnessStrategies {
+            demand_smoothing_factor: 8,
+            extended_stableness: None,
+            output_max_filter: false,
+        };
+        let plain = optimize_dp(&d, &c).unwrap();
+        let smooth = robust_optimize(&d, &c, &strategies).unwrap();
+        // The smoothed plan provisions at least as much total capacity.
+        let total_plain: f64 = plain.schedule.iter().sum();
+        let total_smooth: f64 = smooth.schedule.iter().sum();
+        assert!(total_smooth >= total_plain);
+    }
+}

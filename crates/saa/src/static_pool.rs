@@ -1,0 +1,111 @@
+//! The static-pool baseline: one fixed pool size for the whole horizon.
+//!
+//! This is the pre-existing production strategy the paper's savings are
+//! measured against ("compared to traditional pre-provisioned pools").
+
+use crate::mechanism::{evaluate_schedule, PoolMechanics};
+use crate::{Result, SaaError};
+use ip_timeseries::TimeSeries;
+
+/// Builds a constant schedule of size `n` covering the demand.
+pub fn static_schedule(demand_len: usize, n: u32) -> Vec<f64> {
+    vec![f64::from(n); demand_len]
+}
+
+/// Finds the smallest static pool size achieving at least `target_hit_rate`
+/// on the demand trace, by binary search (the hit rate is monotone in the
+/// pool size). Returns the size and its mechanics, or an error when even
+/// `max_pool` cannot reach the target.
+pub fn optimal_static_for_hit_rate(
+    demand: &TimeSeries,
+    tau_intervals: usize,
+    target_hit_rate: f64,
+    max_pool: u32,
+) -> Result<(u32, PoolMechanics)> {
+    if !(0.0..=1.0).contains(&target_hit_rate) {
+        return Err(SaaError::InvalidConfig(format!(
+            "target hit rate must be in [0,1], got {target_hit_rate}"
+        )));
+    }
+    let reaches = |n: u32| -> Result<PoolMechanics> {
+        evaluate_schedule(demand, &static_schedule(demand.len(), n), tau_intervals)
+    };
+    if reaches(max_pool)?.hit_rate < target_hit_rate {
+        return Err(SaaError::InvalidConfig(format!(
+            "even max_pool {max_pool} cannot reach hit rate {target_hit_rate}"
+        )));
+    }
+    let (mut lo, mut hi) = (0u32, max_pool);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if reaches(mid)?.hit_rate >= target_hit_rate {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let mech = reaches(lo)?;
+    Ok((lo, mech))
+}
+
+/// Sweeps static pool sizes, returning `(n, mechanics)` per size — the
+/// static baseline curve of Fig. 5.
+pub fn static_sweep(
+    demand: &TimeSeries,
+    tau_intervals: usize,
+    sizes: impl IntoIterator<Item = u32>,
+) -> Result<Vec<(u32, PoolMechanics)>> {
+    sizes
+        .into_iter()
+        .map(|n| {
+            evaluate_schedule(demand, &static_schedule(demand.len(), n), tau_intervals)
+                .map(|m| (n, m))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bursty_demand() -> TimeSeries {
+        let vals: Vec<f64> = (0..64).map(|t| if t % 16 == 0 { 6.0 } else { 1.0 }).collect();
+        TimeSeries::new(30, vals).unwrap()
+    }
+
+    #[test]
+    fn hit_rate_monotone_in_pool_size() {
+        let d = bursty_demand();
+        let sweep = static_sweep(&d, 3, 0..=12).unwrap();
+        for w in sweep.windows(2) {
+            assert!(w[1].1.hit_rate >= w[0].1.hit_rate - 1e-12);
+            assert!(w[1].1.idle_cluster_seconds >= w[0].1.idle_cluster_seconds);
+        }
+    }
+
+    #[test]
+    fn binary_search_finds_minimal_size() {
+        let d = bursty_demand();
+        let (n, mech) = optimal_static_for_hit_rate(&d, 3, 0.99, 100).unwrap();
+        assert!(mech.hit_rate >= 0.99);
+        if n > 0 {
+            // One cluster fewer must miss the target (minimality).
+            let smaller = evaluate_schedule(&d, &static_schedule(d.len(), n - 1), 3).unwrap();
+            assert!(smaller.hit_rate < 0.99, "size {} not minimal", n);
+        }
+    }
+
+    #[test]
+    fn unreachable_target_errors() {
+        let d = bursty_demand();
+        assert!(optimal_static_for_hit_rate(&d, 3, 0.999, 0).is_err());
+        assert!(optimal_static_for_hit_rate(&d, 3, 1.5, 10).is_err());
+    }
+
+    #[test]
+    fn zero_target_is_zero_pool() {
+        let d = bursty_demand();
+        let (n, _) = optimal_static_for_hit_rate(&d, 3, 0.0, 10).unwrap();
+        assert_eq!(n, 0);
+    }
+}

@@ -1,0 +1,88 @@
+//! Property-based invariants of the pool mechanism and the optimizers.
+
+use ip_saa::{evaluate_schedule, optimize_dp, optimize_lp, SaaConfig};
+use ip_timeseries::TimeSeries;
+use proptest::prelude::*;
+
+fn demand_strategy() -> impl Strategy<Value = TimeSeries> {
+    proptest::collection::vec(0.0f64..6.0, 12..48).prop_map(|vals| {
+        let vals: Vec<f64> = vals.into_iter().map(|v| v.floor()).collect();
+        TimeSeries::new(30, vals).unwrap()
+    })
+}
+
+fn small_config() -> SaaConfig {
+    SaaConfig {
+        tau_intervals: 2,
+        stableness: 4,
+        min_pool: 0,
+        max_pool: 25,
+        max_new_per_block: 25,
+        alpha_prime: 0.5,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn mechanism_complementary_slackness(demand in demand_strategy(), pool in 0u32..8) {
+        let schedule = vec![f64::from(pool); demand.len()];
+        let m = evaluate_schedule(&demand, &schedule, 2).unwrap();
+        for (i, q) in m.idle_per_interval.iter().zip(&m.queued_per_interval) {
+            prop_assert!(i * q == 0.0, "idle {i} and queued {q} both nonzero");
+        }
+        prop_assert!(m.hit_rate >= 0.0 && m.hit_rate <= 1.0);
+        prop_assert!(m.idle_cluster_seconds >= 0.0 && m.wait_seconds >= 0.0);
+    }
+
+    #[test]
+    fn bigger_pool_never_hurts_service(demand in demand_strategy(), pool in 0u32..6) {
+        let small = evaluate_schedule(&demand, &vec![f64::from(pool); demand.len()], 2).unwrap();
+        let large = evaluate_schedule(&demand, &vec![f64::from(pool + 2); demand.len()], 2).unwrap();
+        prop_assert!(large.hit_rate >= small.hit_rate - 1e-12);
+        prop_assert!(large.wait_seconds <= small.wait_seconds + 1e-9);
+        prop_assert!(large.idle_cluster_seconds >= small.idle_cluster_seconds - 1e-9);
+    }
+
+    #[test]
+    fn dp_no_worse_than_any_static_pool(demand in demand_strategy(), static_n in 0u32..10) {
+        let c = small_config();
+        let dp = optimize_dp(&demand, &c).unwrap();
+        let static_m = evaluate_schedule(&demand, &vec![f64::from(static_n); demand.len()], c.tau_intervals).unwrap();
+        let static_obj = static_m.objective(c.alpha_prime, demand.interval_secs());
+        prop_assert!(dp.objective <= static_obj + 1e-6,
+            "DP {} beaten by static pool {} ({})", dp.objective, static_n, static_obj);
+    }
+
+    #[test]
+    fn lp_lower_bounds_dp(demand in demand_strategy()) {
+        let c = small_config();
+        let lp = optimize_lp(&demand, &c).unwrap();
+        let dp = optimize_dp(&demand, &c).unwrap();
+        prop_assert!(lp.objective <= dp.objective + 1e-6,
+            "LP {} above DP {}", lp.objective, dp.objective);
+    }
+
+    #[test]
+    fn dp_objective_equals_mechanism(demand in demand_strategy(), alpha in 0.05f64..0.95) {
+        let c = SaaConfig { alpha_prime: alpha, ..small_config() };
+        let dp = optimize_dp(&demand, &c).unwrap();
+        let m = evaluate_schedule(&demand, &dp.schedule, c.tau_intervals).unwrap();
+        let mech = m.objective(alpha, demand.interval_secs());
+        prop_assert!((mech - dp.objective).abs() < 1e-6 * mech.max(1.0),
+            "DP {} vs mechanism {}", dp.objective, mech);
+    }
+
+    #[test]
+    fn schedules_respect_bounds_and_ramp(demand in demand_strategy()) {
+        let c = SaaConfig { min_pool: 1, max_pool: 6, max_new_per_block: 2, ..small_config() };
+        let dp = optimize_dp(&demand, &c).unwrap();
+        for &n in &dp.per_block {
+            prop_assert!((1.0..=6.0).contains(&n));
+        }
+        for w in dp.per_block.windows(2) {
+            prop_assert!(w[1] - w[0] <= 2.0 + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,584 @@
+//! The discrete-event engine wiring clusters, workers, stores and the
+//! recommendation pipeline together.
+
+use crate::cluster::{Cluster, ClusterState};
+use crate::stores::{CosmosLite, KustoLite, RecommendationFile};
+use crate::{RecommendationProvider, Result, SimError};
+use ip_timeseries::TimeSeries;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// Intelligent Pooling Worker schedule (§7.6: "generating recommendations
+/// for the next hour for each run, while executing the algorithm at more
+/// frequent intervals, e.g., 30 min").
+#[derive(Debug, Clone)]
+pub struct IpWorkerConfig {
+    /// Seconds between pipeline runs.
+    pub run_every_secs: u64,
+    /// Horizon covered by each recommendation file.
+    pub horizon_secs: u64,
+    /// Indices of runs that fail (fault injection).
+    pub failing_runs: Vec<usize>,
+}
+
+impl Default for IpWorkerConfig {
+    fn default() -> Self {
+        Self { run_every_secs: 1800, horizon_secs: 3600, failing_runs: Vec::new() }
+    }
+}
+
+/// Arbitrator configuration (§7.6 lease/health-check machinery).
+#[derive(Debug, Clone, Copy)]
+pub struct ArbitratorConfig {
+    /// Lease duration; a silent worker is replaced after this lapses.
+    pub lease_secs: u64,
+    /// Seconds between health checks.
+    pub check_every_secs: u64,
+}
+
+impl Default for ArbitratorConfig {
+    fn default() -> Self {
+        Self { lease_secs: 300, check_every_secs: 60 }
+    }
+}
+
+/// Full simulator configuration.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Telemetry/recommendation interval (paper: 30 s).
+    pub interval_secs: u64,
+    /// Mean cluster creation latency τ (paper: 60–120 s).
+    pub tau_secs: u64,
+    /// Uniform jitter applied to each creation (`±jitter`).
+    pub tau_jitter_secs: u64,
+    /// Pre-defined pooled-cluster lifespan after which it is recycled
+    /// (`None` = unlimited). §2: pooled resources fail "due to exceeding a
+    /// pre-defined lifespan or unexpected system failures".
+    pub cluster_lifespan_secs: Option<u64>,
+    /// Probability a pooled cluster fails in any given hour.
+    pub cluster_failure_prob_per_hour: f64,
+    /// Default target used before the first recommendation and whenever the
+    /// latest file is stale (§7.6: "the inferencing reverts to default
+    /// configurable values").
+    pub default_pool_target: u32,
+    /// Intelligent Pooling Worker schedule; `None` = pure static pooling at
+    /// the default target.
+    pub ip_worker: Option<IpWorkerConfig>,
+    /// Arbitrator (lease) configuration.
+    pub arbitrator: ArbitratorConfig,
+    /// Pooling-worker outage windows `(start, end)` in seconds. During an
+    /// outage no re-hydration happens until the Arbitrator replaces the
+    /// worker or the window ends.
+    pub pooling_worker_outages: Vec<(u64, u64)>,
+    /// Hedged on-demand requests (§2 cites hedged/tied requests as the
+    /// tail-latency mitigation pre-dating pooling): on a pool miss, launch
+    /// this many parallel creations, hand the first one to the customer and
+    /// discard the rest. `1` disables hedging.
+    pub on_demand_hedging: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        Self {
+            interval_secs: 30,
+            tau_secs: 90,
+            tau_jitter_secs: 20,
+            cluster_lifespan_secs: None,
+            cluster_failure_prob_per_hour: 0.0,
+            default_pool_target: 3,
+            ip_worker: None,
+            arbitrator: ArbitratorConfig::default(),
+            pooling_worker_outages: Vec::new(),
+            on_demand_hedging: 1,
+            seed: 0,
+        }
+    }
+}
+
+/// Aggregate results of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimReport {
+    /// Requests processed.
+    pub total_requests: u64,
+    /// Requests served instantly from the pool.
+    pub hits: u64,
+    /// Requests that had to wait for a cluster.
+    pub misses: u64,
+    /// `hits / total_requests` (1.0 when idle).
+    pub hit_rate: f64,
+    /// Sum of per-request waits, seconds.
+    pub total_wait_secs: f64,
+    /// Mean wait per request, seconds.
+    pub mean_wait_secs: f64,
+    /// Ready-but-unused cluster time (the COGS driver), cluster·seconds.
+    pub idle_cluster_seconds: f64,
+    /// Time clusters spent provisioning, cluster·seconds.
+    pub provisioning_cluster_seconds: f64,
+    /// Clusters created in total (re-hydration + on-demand + initial).
+    pub clusters_created: u64,
+    /// Of which created on-demand after pool misses.
+    pub on_demand_created: u64,
+    /// Hedged on-demand creations discarded because a sibling won the race.
+    pub hedges_discarded: u64,
+    /// Re-hydration requests cancelled by pool downsizing.
+    pub cancelled_provisioning: u64,
+    /// Ready clusters retired by pool downsizing.
+    pub retired_for_downsize: u64,
+    /// Pooled clusters lost to lifespan expiry or failure.
+    pub expired: u64,
+    /// Intelligent Pooling pipeline runs attempted.
+    pub ip_runs: u64,
+    /// Of which failed (fault injection).
+    pub ip_failures: u64,
+    /// Intervals where the target fell back to the default because the
+    /// latest recommendation was missing or stale.
+    pub fallback_intervals: u64,
+    /// Workers replaced by the Arbitrator after lease lapse.
+    pub worker_replacements: u64,
+    /// The pool-size target actually applied at each interval.
+    pub applied_target_timeline: Vec<u32>,
+    /// Final telemetry store (hits/misses/requests metrics by time).
+    pub telemetry: KustoLite,
+    /// Final config store (recommendation file history).
+    pub config_store: CosmosLite,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Ev {
+    /// Interval boundary: deliver arrivals, refresh applied target.
+    Interval(usize),
+    ClusterReady(u64),
+    ClusterExpire(u64),
+    IpRun(usize),
+    ArbCheck,
+    WorkerFail(usize),
+    WorkerRecover(usize),
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Queued {
+    time: u64,
+    seq: u64,
+    ev: Ev,
+}
+
+impl Ord for Queued {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap: invert for earliest-first.
+        other.time.cmp(&self.time).then(other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialOrd for Queued {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// The simulation itself. Construct, then [`run`](Simulation::run).
+pub struct Simulation<'p> {
+    config: SimConfig,
+    provider: Option<&'p mut dyn RecommendationProvider>,
+}
+
+impl<'p> Simulation<'p> {
+    /// Creates a simulation; `provider` feeds the Intelligent Pooling Worker
+    /// (ignored when `config.ip_worker` is `None`).
+    pub fn new(config: SimConfig, provider: Option<&'p mut dyn RecommendationProvider>) -> Self {
+        Self { config, provider }
+    }
+
+    /// Runs the simulation over a demand trace of per-interval request
+    /// counts.
+    #[allow(clippy::too_many_lines)]
+    pub fn run(mut self, demand: &TimeSeries) -> Result<SimReport> {
+        let cfg = self.config.clone();
+        if demand.is_empty() {
+            return Err(SimError::InvalidDemand("empty demand".into()));
+        }
+        if demand.interval_secs() != cfg.interval_secs {
+            return Err(SimError::InvalidConfig(format!(
+                "demand interval {} != sim interval {}",
+                demand.interval_secs(),
+                cfg.interval_secs
+            )));
+        }
+        if cfg.interval_secs == 0 || cfg.tau_secs == 0 {
+            return Err(SimError::InvalidConfig("interval and tau must be > 0".into()));
+        }
+        let end_time = demand.len() as u64 * cfg.interval_secs;
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        // --- state ---
+        let mut heap: BinaryHeap<Queued> = BinaryHeap::new();
+        let mut seq = 0u64;
+        let push = |heap: &mut BinaryHeap<Queued>, seq: &mut u64, time: u64, ev: Ev| {
+            *seq += 1;
+            heap.push(Queued { time, seq: *seq, ev });
+        };
+        let mut clusters: HashMap<u64, Cluster> = HashMap::new();
+        let mut next_cluster_id = 0u64;
+        let mut ready_queue: VecDeque<u64> = VecDeque::new();
+        let mut provisioning_pool: Vec<u64> = Vec::new();
+        // Pool misses get dedicated on-demand cluster(s) (§4 footnote: "when
+        // a pool is drained out, 'on-demand' cluster creation requests will
+        // be sent ... their wait time becomes τ"). With hedging > 1 several
+        // creations race for one request and the losers are discarded.
+        struct OdRequest {
+            arrival: u64,
+            served: bool,
+        }
+        let mut od_requests: Vec<OdRequest> = Vec::new();
+        let mut od_request_of: HashMap<u64, usize> = HashMap::new();
+        let mut hedges_discarded = 0u64;
+        let mut telemetry = KustoLite::new();
+        let mut config_store = CosmosLite::new();
+
+        // Worker liveness: dead_since set on failure; cleared on recovery
+        // or arbitrator replacement.
+        let mut dead_since: Option<u64> = None;
+
+        // Metrics.
+        let mut hits = 0u64;
+        let mut misses = 0u64;
+        let mut total_requests = 0u64;
+        let mut total_wait = 0.0f64;
+        let mut idle_cs = 0.0f64;
+        let mut prov_cs = 0.0f64;
+        let mut clusters_created = 0u64;
+        let mut on_demand_created = 0u64;
+        let mut cancelled = 0u64;
+        let mut retired_downsize = 0u64;
+        let mut expired = 0u64;
+        let mut ip_runs = 0u64;
+        let mut ip_failures = 0u64;
+        let mut fallback_intervals = 0u64;
+        let mut worker_replacements = 0u64;
+        let mut applied_targets: Vec<u32> = Vec::with_capacity(demand.len());
+        let mut last_time = 0u64;
+
+        // --- schedule static events ---
+        for (i, _) in demand.values().iter().enumerate() {
+            push(&mut heap, &mut seq, i as u64 * cfg.interval_secs, Ev::Interval(i));
+        }
+        if let Some(ipc) = &cfg.ip_worker {
+            let mut k = 0usize;
+            let mut t = 0u64;
+            while t < end_time {
+                push(&mut heap, &mut seq, t, Ev::IpRun(k));
+                k += 1;
+                t += ipc.run_every_secs;
+            }
+        }
+        {
+            let mut t = cfg.arbitrator.check_every_secs;
+            while t < end_time {
+                push(&mut heap, &mut seq, t, Ev::ArbCheck);
+                t += cfg.arbitrator.check_every_secs;
+            }
+        }
+        for (i, &(s, e)) in cfg.pooling_worker_outages.iter().enumerate() {
+            if s < end_time {
+                push(&mut heap, &mut seq, s, Ev::WorkerFail(i));
+                push(&mut heap, &mut seq, e.min(end_time.saturating_sub(1)), Ev::WorkerRecover(i));
+            }
+        }
+
+        // --- helpers as closures over state ---
+        let sample_tau = |rng: &mut StdRng| -> u64 {
+            if cfg.tau_jitter_secs == 0 {
+                cfg.tau_secs
+            } else {
+                let lo = cfg.tau_secs.saturating_sub(cfg.tau_jitter_secs);
+                let hi = cfg.tau_secs + cfg.tau_jitter_secs;
+                rng.gen_range(lo..=hi)
+            }
+        };
+        let sample_expiry = |rng: &mut StdRng, ready_at: u64| -> u64 {
+            let mut expiry = cfg.cluster_lifespan_secs.map_or(u64::MAX, |l| ready_at + l);
+            if cfg.cluster_failure_prob_per_hour > 0.0 {
+                // Geometric over hours → exponential-ish failure time.
+                let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                let hours = -u.ln() / cfg.cluster_failure_prob_per_hour;
+                let fail_at = ready_at + (hours * 3600.0) as u64;
+                expiry = expiry.min(fail_at);
+            }
+            expiry
+        };
+
+        let current_target = |config_store: &CosmosLite, now: u64| -> (u32, bool) {
+            if cfg.ip_worker.is_none() {
+                return (cfg.default_pool_target, false);
+            }
+            match config_store.get_latest::<RecommendationFile>("pool-recommendation") {
+                Some(rec) => match rec.target_at(now) {
+                    Some(t) => (t, false),
+                    None => (cfg.default_pool_target, true), // stale file
+                },
+                None => (cfg.default_pool_target, true), // nothing yet
+            }
+        };
+
+        // Initial pool: provisioned immediately ready at t=0 (pool creation
+        // precedes the measurement window).
+        {
+            let (t0, _) = current_target(&config_store, 0);
+            for _ in 0..t0 {
+                let id = next_cluster_id;
+                next_cluster_id += 1;
+                let expiry = sample_expiry(&mut rng, 0);
+                let mut c = Cluster::provisioning(id, 0, expiry, false);
+                c.state = ClusterState::Ready { since: 0 };
+                clusters.insert(id, c);
+                ready_queue.push_back(id);
+                clusters_created += 1;
+                if expiry < end_time {
+                    push(&mut heap, &mut seq, expiry, Ev::ClusterExpire(id));
+                }
+            }
+        }
+
+        // --- event loop ---
+        while let Some(Queued { time, ev, .. }) = heap.pop() {
+            if time >= end_time {
+                break;
+            }
+            // Advance the idle/provisioning integrals.
+            let dt = (time - last_time) as f64;
+            idle_cs += dt * ready_queue.len() as f64;
+            prov_cs += dt * provisioning_pool.len() as f64;
+            last_time = time;
+
+            let worker_alive = dead_since.is_none();
+
+            // Target enforcement happens after most events; define inline.
+            macro_rules! enforce_target {
+                ($now:expr) => {{
+                    if dead_since.is_none() {
+                        let (target, _stale) = current_target(&config_store, $now);
+                        let have = ready_queue.len() + provisioning_pool.len();
+                        let target = target as usize;
+                        if have < target {
+                            for _ in 0..(target - have) {
+                                let id = next_cluster_id;
+                                next_cluster_id += 1;
+                                let ready_at = $now + sample_tau(&mut rng);
+                                let expiry = sample_expiry(&mut rng, ready_at);
+                                clusters.insert(
+                                    id,
+                                    Cluster::provisioning(id, ready_at, expiry, false),
+                                );
+                                provisioning_pool.push(id);
+                                clusters_created += 1;
+                                push(&mut heap, &mut seq, ready_at, Ev::ClusterReady(id));
+                            }
+                        } else if have > target {
+                            let mut excess = have - target;
+                            // Cancel in-flight re-hydrations first ("decreasing
+                            // the pool size will also result in cancellation of
+                            // re-hydration requests", §7.1).
+                            while excess > 0 {
+                                if let Some(id) = provisioning_pool.pop() {
+                                    clusters.get_mut(&id).expect("known cluster").state =
+                                        ClusterState::Retired;
+                                    cancelled += 1;
+                                    excess -= 1;
+                                } else {
+                                    break;
+                                }
+                            }
+                            while excess > 0 {
+                                if let Some(id) = ready_queue.pop_back() {
+                                    clusters.get_mut(&id).expect("known cluster").state =
+                                        ClusterState::Retired;
+                                    retired_downsize += 1;
+                                    excess -= 1;
+                                } else {
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                }};
+            }
+
+            match ev {
+                Ev::Interval(i) => {
+                    let count = demand.get(i).round().max(0.0) as u64;
+                    telemetry.append("requests", time, count as f64);
+                    let (target, stale) = current_target(&config_store, time);
+                    applied_targets.push(target);
+                    if stale && cfg.ip_worker.is_some() {
+                        fallback_intervals += 1;
+                    }
+                    for _ in 0..count {
+                        total_requests += 1;
+                        if let Some(id) = ready_queue.pop_front() {
+                            hits += 1;
+                            telemetry.append("pool_hit", time, 1.0);
+                            clusters.get_mut(&id).expect("known cluster").state =
+                                ClusterState::InUse;
+                        } else {
+                            misses += 1;
+                            telemetry.append("pool_miss", time, 1.0);
+                            // On-demand creation goes straight to the job
+                            // service (it happens even during worker
+                            // outages) and is dedicated to this request;
+                            // with hedging several creations race for it.
+                            let request_idx = od_requests.len();
+                            od_requests.push(OdRequest { arrival: time, served: false });
+                            for _ in 0..cfg.on_demand_hedging.max(1) {
+                                let id = next_cluster_id;
+                                next_cluster_id += 1;
+                                let ready_at = time + sample_tau(&mut rng);
+                                clusters.insert(
+                                    id,
+                                    Cluster::provisioning(id, ready_at, u64::MAX, true),
+                                );
+                                od_request_of.insert(id, request_idx);
+                                clusters_created += 1;
+                                on_demand_created += 1;
+                                push(&mut heap, &mut seq, ready_at, Ev::ClusterReady(id));
+                            }
+                        }
+                    }
+                    enforce_target!(time);
+                }
+                Ev::ClusterReady(id) => {
+                    let Some(cluster) = clusters.get_mut(&id) else { continue };
+                    if cluster.state == ClusterState::Retired {
+                        continue; // cancelled while provisioning
+                    }
+                    if cluster.on_demand {
+                        // Hand it to the request that triggered it; hedge
+                        // losers are discarded.
+                        let request_idx =
+                            od_request_of.remove(&id).expect("on-demand has a request");
+                        let request = &mut od_requests[request_idx];
+                        if request.served {
+                            cluster.state = ClusterState::Retired;
+                            hedges_discarded += 1;
+                        } else {
+                            request.served = true;
+                            total_wait += (time - request.arrival) as f64;
+                            cluster.state = ClusterState::InUse;
+                        }
+                    } else {
+                        provisioning_pool.retain(|&p| p != id);
+                        cluster.state = ClusterState::Ready { since: time };
+                        let expiry = cluster.expires_at;
+                        ready_queue.push_back(id);
+                        if expiry < end_time {
+                            push(&mut heap, &mut seq, expiry, Ev::ClusterExpire(id));
+                        }
+                        enforce_target!(time); // may now exceed target
+                    }
+                }
+                Ev::ClusterExpire(id) => {
+                    let Some(cluster) = clusters.get_mut(&id) else { continue };
+                    if cluster.is_ready() {
+                        cluster.state = ClusterState::Retired;
+                        ready_queue.retain(|&r| r != id);
+                        expired += 1;
+                        telemetry.append("cluster_expired", time, 1.0);
+                        enforce_target!(time);
+                    }
+                }
+                Ev::IpRun(k) => {
+                    let Some(ipc) = &cfg.ip_worker else { continue };
+                    ip_runs += 1;
+                    if ipc.failing_runs.contains(&k) {
+                        ip_failures += 1;
+                        telemetry.append("ip_run_failed", time, 1.0);
+                    } else if let Some(provider) = self.provider.as_deref_mut() {
+                        let observed = telemetry.bucketed_sum(
+                            "requests",
+                            cfg.interval_secs,
+                            time.max(cfg.interval_secs),
+                        );
+                        let observed =
+                            TimeSeries::new(cfg.interval_secs, observed).expect("interval > 0");
+                        let horizon = (ipc.horizon_secs / cfg.interval_secs) as usize;
+                        match provider.recommend(time, &observed, horizon) {
+                            Some(targets) => {
+                                let rec = RecommendationFile {
+                                    generated_at: time,
+                                    interval_secs: cfg.interval_secs,
+                                    targets,
+                                };
+                                config_store.put("pool-recommendation", &rec);
+                                telemetry.append("ip_run_succeeded", time, 1.0);
+                            }
+                            None => {
+                                ip_failures += 1;
+                                telemetry.append("ip_run_failed", time, 1.0);
+                            }
+                        }
+                    }
+                    enforce_target!(time);
+                }
+                Ev::ArbCheck => {
+                    if let Some(since) = dead_since {
+                        if time >= since + cfg.arbitrator.lease_secs {
+                            // Lease lapsed: replace the worker.
+                            dead_since = None;
+                            worker_replacements += 1;
+                            telemetry.append("worker_replaced", time, 1.0);
+                            enforce_target!(time);
+                        }
+                    }
+                }
+                Ev::WorkerFail(_) => {
+                    if worker_alive {
+                        dead_since = Some(time);
+                        telemetry.append("worker_failed", time, 1.0);
+                    }
+                }
+                Ev::WorkerRecover(_) => {
+                    if dead_since.is_some() {
+                        dead_since = None;
+                        telemetry.append("worker_recovered", time, 1.0);
+                        enforce_target!(time);
+                    }
+                }
+            }
+        }
+
+        // Close the integrals and drain unserved requests.
+        let dt = (end_time - last_time) as f64;
+        idle_cs += dt * ready_queue.len() as f64;
+        prov_cs += dt * provisioning_pool.len() as f64;
+        for request in od_requests.iter().filter(|r| !r.served) {
+            total_wait += (end_time - request.arrival) as f64;
+        }
+
+        let hit_rate = if total_requests == 0 { 1.0 } else { hits as f64 / total_requests as f64 };
+        Ok(SimReport {
+            total_requests,
+            hits,
+            misses,
+            hit_rate,
+            total_wait_secs: total_wait,
+            mean_wait_secs: if total_requests == 0 { 0.0 } else { total_wait / total_requests as f64 },
+            idle_cluster_seconds: idle_cs,
+            provisioning_cluster_seconds: prov_cs,
+            clusters_created,
+            on_demand_created,
+            hedges_discarded,
+            cancelled_provisioning: cancelled,
+            retired_for_downsize: retired_downsize,
+            expired,
+            ip_runs,
+            ip_failures,
+            fallback_intervals,
+            worker_replacements,
+            applied_target_timeline: applied_targets,
+            telemetry,
+            config_store,
+        })
+    }
+}

@@ -1,0 +1,208 @@
+//! Embedding, decomposition and diagonal-averaging reconstruction.
+
+use crate::{Result, SsaError};
+use ip_linalg::{symmetric_eigen, Matrix};
+
+/// Builds the `L×L` lag-covariance matrix `S = X Xᵀ` of the Hankel
+/// trajectory matrix without materializing `X` (`K = N−L+1` columns).
+///
+/// `S[i][j] = Σ_{k=0}^{K−1} x[i+k]·x[j+k]`.
+pub fn lag_covariance(values: &[f64], window: usize) -> Result<Matrix> {
+    let n = values.len();
+    if window < 2 || window > n / 2 {
+        return Err(SsaError::InvalidWindow { window, series_len: n });
+    }
+    let k = n - window + 1;
+    let mut s = Matrix::zeros(window, window);
+    for i in 0..window {
+        for j in i..window {
+            let mut acc = 0.0;
+            for t in 0..k {
+                acc += values[i + t] * values[j + t];
+            }
+            s.set(i, j, acc);
+            s.set(j, i, acc);
+        }
+    }
+    Ok(s)
+}
+
+/// The decomposition of a series: eigenpairs of the lag-covariance matrix
+/// plus the per-component factor rows `wᵢ = uᵢᵀ X` needed for reconstruction.
+#[derive(Debug, Clone)]
+pub struct SsaDecomposition {
+    window: usize,
+    series_len: usize,
+    /// Eigenvalues of `XXᵀ` (σᵢ², descending, clipped at zero).
+    eigenvalues: Vec<f64>,
+    /// Left singular vectors as columns (L × L).
+    u: Matrix,
+    /// `wᵢ[j] = Σ_l uᵢ[l]·x[l+j]`, one row per component (L rows of length K).
+    factor_rows: Vec<Vec<f64>>,
+}
+
+impl SsaDecomposition {
+    /// Decomposes `values` with embedding window `window`.
+    pub fn compute(values: &[f64], window: usize) -> Result<Self> {
+        let s = lag_covariance(values, window)?;
+        let eig = symmetric_eigen(&s).map_err(|e| SsaError::Linalg(e.to_string()))?;
+        let n = values.len();
+        let k = n - window + 1;
+        // Factor rows for every component (cheap: L·K per component, and we
+        // compute lazily only up to what callers ask for — here eagerly for
+        // simplicity since L is modest).
+        let mut factor_rows = Vec::with_capacity(window);
+        for comp in 0..window {
+            let mut w = vec![0.0; k];
+            for (l, wv) in (0..window).map(|l| (l, eig.vectors.get(l, comp))) {
+                if wv == 0.0 {
+                    continue;
+                }
+                for (j, out) in w.iter_mut().enumerate() {
+                    *out += wv * values[l + j];
+                }
+            }
+            factor_rows.push(w);
+        }
+        let eigenvalues = eig.values.iter().map(|&v| v.max(0.0)).collect();
+        Ok(Self { window, series_len: n, eigenvalues, u: eig.vectors, factor_rows })
+    }
+
+    /// Number of available components (= window).
+    pub fn num_components(&self) -> usize {
+        self.window
+    }
+
+    /// Eigenvalue spectrum (descending).
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Embedding window `L`.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// `i`-th left singular vector (length L).
+    pub fn left_vector(&self, i: usize) -> Vec<f64> {
+        self.u.col(i)
+    }
+
+    /// Smallest prefix of components whose eigenvalue mass reaches
+    /// `fraction` of the total; always at least 1.
+    pub fn rank_for_energy(&self, fraction: f64) -> usize {
+        let total: f64 = self.eigenvalues.iter().sum();
+        if total <= 0.0 {
+            return 1;
+        }
+        let target = fraction.clamp(0.0, 1.0) * total;
+        let mut acc = 0.0;
+        for (i, &v) in self.eigenvalues.iter().enumerate() {
+            acc += v;
+            if acc >= target {
+                return i + 1;
+            }
+        }
+        self.window
+    }
+
+    /// Reconstructs the series from the leading `rank` components via
+    /// diagonal averaging (Hankelization).
+    ///
+    /// Entry `(l, j)` of the rank-`r` matrix is `Σᵢ uᵢ[l]·wᵢ[j]`; the value at
+    /// time `t` is the average over all `(l, j)` with `l + j = t`.
+    pub fn reconstruct(&self, rank: usize) -> Vec<f64> {
+        let rank = rank.min(self.window).max(1);
+        let n = self.series_len;
+        let k = n - self.window + 1;
+        let mut sums = vec![0.0; n];
+        let mut counts = vec![0u32; n];
+        for l in 0..self.window {
+            for j in 0..k {
+                let mut v = 0.0;
+                for comp in 0..rank {
+                    v += self.u.get(l, comp) * self.factor_rows[comp][j];
+                }
+                sums[l + j] += v;
+                counts[l + j] += 1;
+            }
+        }
+        sums.iter().zip(&counts).map(|(s, &c)| s / c as f64).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lag_covariance_matches_explicit_hankel() {
+        let x = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let l = 3;
+        let k = x.len() - l + 1;
+        let hankel = Matrix::from_fn(l, k, |i, j| x[i + j]);
+        let explicit = hankel.matmul(&hankel.transpose()).unwrap();
+        let fast = lag_covariance(&x, l).unwrap();
+        assert!(explicit.sub(&fast).unwrap().frobenius_norm() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_windows_rejected() {
+        let x = [1.0; 10];
+        assert!(lag_covariance(&x, 1).is_err());
+        assert!(lag_covariance(&x, 6).is_err()); // > N/2
+        assert!(lag_covariance(&x, 5).is_ok());
+    }
+
+    #[test]
+    fn full_rank_reconstruction_is_exact() {
+        // With all L components the reconstruction equals the input exactly.
+        let x: Vec<f64> =
+            (0..40).map(|t| (t as f64 * 0.3).sin() + 0.1 * t as f64).collect();
+        let d = SsaDecomposition::compute(&x, 10).unwrap();
+        let rec = d.reconstruct(10);
+        for (a, b) in rec.iter().zip(&x) {
+            assert!((a - b).abs() < 1e-8, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn constant_series_rank_one() {
+        let x = vec![4.0; 30];
+        let d = SsaDecomposition::compute(&x, 8).unwrap();
+        assert_eq!(d.rank_for_energy(0.99), 1);
+        let rec = d.reconstruct(1);
+        for v in rec {
+            assert!((v - 4.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn eigenvalue_mass_equals_signal_energy() {
+        // trace(XXᵀ) = Σ eigenvalues = Σ over Hankel entries squared.
+        let x: Vec<f64> = (0..24).map(|t| (t as f64 * 0.7).cos()).collect();
+        let l = 6;
+        let d = SsaDecomposition::compute(&x, l).unwrap();
+        let k = x.len() - l + 1;
+        let mut energy = 0.0;
+        for i in 0..l {
+            for j in 0..k {
+                energy += x[i + j] * x[i + j];
+            }
+        }
+        let mass: f64 = d.eigenvalues().iter().sum();
+        assert!((energy - mass).abs() < 1e-8 * energy.max(1.0));
+    }
+
+    #[test]
+    fn rank_for_energy_monotone() {
+        let x: Vec<f64> = (0..50).map(|t| (t as f64 * 0.3).sin() + 0.05 * t as f64).collect();
+        let d = SsaDecomposition::compute(&x, 12).unwrap();
+        let r50 = d.rank_for_energy(0.5);
+        let r90 = d.rank_for_energy(0.9);
+        let r100 = d.rank_for_energy(1.0);
+        assert!(r50 <= r90 && r90 <= r100);
+        assert!(r50 >= 1);
+        assert!(r100 <= 12);
+    }
+}

@@ -1,0 +1,135 @@
+//! Recurrent SSA forecasting (R-forecasting).
+//!
+//! If the signal lives in the span of the selected left singular vectors,
+//! it satisfies a linear recurrence of order `L−1`:
+//! `x_t = Σ_{j=1}^{L−1} a_j · x_{t−j}`. The coefficients come from the
+//! last coordinates of the selected vectors (Golyandina & Korobeynikov,
+//! "Basic Singular Spectrum Analysis and forecasting with R", §3.2).
+
+use crate::decomp::SsaDecomposition;
+use crate::{Result, SsaError};
+
+/// Linear recurrence relation of order `L−1`.
+#[derive(Debug, Clone)]
+pub struct LinearRecurrence {
+    /// `coeffs[j]` multiplies `x_{t−1−j}` (most recent lag first).
+    coeffs: Vec<f64>,
+    /// Verticality coefficient ν² of the fit; kept for diagnostics.
+    pub nu_squared: f64,
+}
+
+impl LinearRecurrence {
+    /// Derives the LRR from the leading `rank` components of a decomposition.
+    ///
+    /// With `πᵢ` the last coordinate of the `i`-th selected vector and `uᵢ▽`
+    /// its first `L−1` coordinates:
+    /// `R = (Σ πᵢ uᵢ▽) / (1 − ν²)`, `ν² = Σ πᵢ²`.
+    /// Returns [`SsaError::DegenerateRecurrence`] when `ν² ≥ 1 − 1e-9`.
+    pub fn from_decomposition(decomp: &SsaDecomposition, rank: usize) -> Result<Self> {
+        let l = decomp.window();
+        if rank == 0 || rank > l {
+            return Err(SsaError::InvalidRank { rank, window: l });
+        }
+        let mut nu_squared = 0.0;
+        let mut r = vec![0.0; l - 1];
+        for comp in 0..rank {
+            let u = decomp.left_vector(comp);
+            let pi = u[l - 1];
+            nu_squared += pi * pi;
+            for j in 0..l - 1 {
+                r[j] += pi * u[j];
+            }
+        }
+        if nu_squared >= 1.0 - 1e-9 {
+            return Err(SsaError::DegenerateRecurrence);
+        }
+        let scale = 1.0 / (1.0 - nu_squared);
+        for c in r.iter_mut() {
+            *c *= scale;
+        }
+        // Reverse so coeffs[0] multiplies the most recent value.
+        r.reverse();
+        Ok(Self { coeffs: r, nu_squared })
+    }
+
+    /// Builds an LRR directly from coefficients (`coeffs[0]` = most recent
+    /// lag). Mostly for tests.
+    pub fn from_coefficients(coeffs: Vec<f64>) -> Self {
+        Self { coeffs, nu_squared: f64::NAN }
+    }
+
+    /// Recurrence order (`L−1`).
+    pub fn order(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// Extends `history` by `horizon` forecast steps; returns only the new
+    /// values. When `history` is shorter than the order, missing lags are
+    /// treated as zero.
+    pub fn extend(&self, history: &[f64], horizon: usize) -> Vec<f64> {
+        let order = self.coeffs.len();
+        // Rolling buffer of the most recent `order` values, newest first.
+        let mut recent: Vec<f64> = history.iter().rev().take(order).copied().collect();
+        recent.resize(order, 0.0);
+        let mut out = Vec::with_capacity(horizon);
+        for _ in 0..horizon {
+            let next: f64 = self.coeffs.iter().zip(&recent).map(|(c, v)| c * v).sum();
+            out.push(next);
+            recent.rotate_right(1);
+            recent[0] = next;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fibonacci_recurrence() {
+        // x_t = x_{t−1} + x_{t−2}.
+        let lrr = LinearRecurrence::from_coefficients(vec![1.0, 1.0]);
+        let ext = lrr.extend(&[1.0, 1.0], 5);
+        assert_eq!(ext, vec![2.0, 3.0, 5.0, 8.0, 13.0]);
+    }
+
+    #[test]
+    fn order_and_short_history() {
+        let lrr = LinearRecurrence::from_coefficients(vec![1.0, 0.0, 2.0]);
+        assert_eq!(lrr.order(), 3);
+        // history shorter than order: missing lags are zero.
+        let ext = lrr.extend(&[5.0], 1);
+        assert_eq!(ext, vec![5.0]);
+    }
+
+    #[test]
+    fn geometric_series_recurrence_from_decomposition() {
+        // x_t = 2^t satisfies x_t = 2·x_{t−1}; SSA rank 1 must recover it.
+        let x: Vec<f64> = (0..20).map(|t| 1.02f64.powi(t)).collect();
+        let d = SsaDecomposition::compute(&x, 5).unwrap();
+        let lrr = LinearRecurrence::from_decomposition(&d, 1).unwrap();
+        let ext = lrr.extend(&x, 4);
+        for (i, v) in ext.iter().enumerate() {
+            let expected = 1.02f64.powi(20 + i as i32);
+            assert!((v - expected).abs() < 1e-6, "step {i}: {v} vs {expected}");
+        }
+    }
+
+    #[test]
+    fn rank_bounds_checked() {
+        let x: Vec<f64> = (0..20).map(|t| t as f64).collect();
+        let d = SsaDecomposition::compute(&x, 5).unwrap();
+        assert!(LinearRecurrence::from_decomposition(&d, 0).is_err());
+        assert!(LinearRecurrence::from_decomposition(&d, 6).is_err());
+    }
+
+    #[test]
+    fn nu_squared_below_one_for_smooth_signal() {
+        let x: Vec<f64> = (0..60).map(|t| (t as f64 * 0.2).sin()).collect();
+        let d = SsaDecomposition::compute(&x, 12).unwrap();
+        let lrr = LinearRecurrence::from_decomposition(&d, 2).unwrap();
+        assert!(lrr.nu_squared < 1.0);
+        assert!(lrr.nu_squared >= 0.0);
+    }
+}

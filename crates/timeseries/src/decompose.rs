@@ -1,0 +1,176 @@
+//! Classical seasonal decomposition: `series = trend + seasonal + residual`.
+//!
+//! A moving-average trend, seasonal means of the detrended series, and the
+//! leftover residual — the standard additive decomposition. The workload
+//! analyses use it to separate the diurnal shape (which the optimizer can
+//! pre-provision for) from the noise (which only overshoot can absorb).
+
+use crate::series::TimeSeries;
+use crate::{Result, TsError};
+
+/// An additive decomposition of a series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Decomposition {
+    /// Centered moving-average trend (window = one season).
+    pub trend: Vec<f64>,
+    /// Seasonal component, one value per phase, tiled over the series.
+    pub seasonal: Vec<f64>,
+    /// `series − trend − seasonal`.
+    pub residual: Vec<f64>,
+    /// Season length used.
+    pub season: usize,
+}
+
+impl Decomposition {
+    /// The seasonal profile (one value per phase, mean-centered).
+    pub fn seasonal_profile(&self) -> &[f64] {
+        &self.seasonal[..self.season.min(self.seasonal.len())]
+    }
+
+    /// Fraction of total variance explained by trend + seasonality
+    /// (1 − var(residual)/var(series)); clamped to `[0, 1]`.
+    pub fn explained_variance(&self, original: &[f64]) -> f64 {
+        let var = |v: &[f64]| {
+            let n = v.len() as f64;
+            if n < 2.0 {
+                return 0.0;
+            }
+            let mean = v.iter().sum::<f64>() / n;
+            v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n
+        };
+        let total = var(original);
+        if total <= 0.0 {
+            return 1.0;
+        }
+        (1.0 - var(&self.residual) / total).clamp(0.0, 1.0)
+    }
+}
+
+/// Decomposes a series additively with the given season length.
+///
+/// Requires at least two full seasons. The trend at the boundaries (where
+/// the centered window is clipped) uses the partial-window average.
+pub fn decompose(series: &TimeSeries, season: usize) -> Result<Decomposition> {
+    if season < 2 {
+        return Err(TsError::InvalidParameter("season must be >= 2".into()));
+    }
+    let v = series.values();
+    let n = v.len();
+    if n < 2 * season {
+        return Err(TsError::InvalidParameter(format!(
+            "need at least two seasons ({} points), got {n}",
+            2 * season
+        )));
+    }
+
+    // Centered moving average of one season. For even season lengths the
+    // classical 2×m MA is used (endpoints half-weighted) so every phase is
+    // weighted equally; edges renormalize over the clipped window.
+    let half = season / 2;
+    let trend: Vec<f64> = (0..n)
+        .map(|t| {
+            let mut acc = 0.0;
+            let mut weight_sum = 0.0;
+            let lo = t as i64 - half as i64;
+            let hi = if season % 2 == 0 { t + half } else { t + half };
+            for (k, pos) in (lo..=hi as i64).enumerate() {
+                if pos < 0 || pos >= n as i64 {
+                    continue;
+                }
+                let w = if season % 2 == 0 && (k == 0 || k == (hi as i64 - lo) as usize) {
+                    0.5
+                } else {
+                    1.0
+                };
+                acc += w * v[pos as usize];
+                weight_sum += w;
+            }
+            acc / weight_sum
+        })
+        .collect();
+
+    // Seasonal means of the detrended series, centered to sum to zero.
+    let mut phase_sum = vec![0.0f64; season];
+    let mut phase_count = vec![0usize; season];
+    for t in 0..n {
+        phase_sum[t % season] += v[t] - trend[t];
+        phase_count[t % season] += 1;
+    }
+    let mut phase_mean: Vec<f64> = phase_sum
+        .iter()
+        .zip(&phase_count)
+        .map(|(s, &c)| if c > 0 { s / c as f64 } else { 0.0 })
+        .collect();
+    let grand = phase_mean.iter().sum::<f64>() / season as f64;
+    for p in phase_mean.iter_mut() {
+        *p -= grand;
+    }
+
+    let seasonal: Vec<f64> = (0..n).map(|t| phase_mean[t % season]).collect();
+    let residual: Vec<f64> =
+        (0..n).map(|t| v[t] - trend[t] - seasonal[t]).collect();
+    Ok(Decomposition { trend, seasonal, residual, season })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(vals: Vec<f64>) -> TimeSeries {
+        TimeSeries::new(30, vals).unwrap()
+    }
+
+    #[test]
+    fn components_sum_back_to_series() {
+        let vals: Vec<f64> =
+            (0..60).map(|t| 5.0 + [0.0, 3.0, -1.0, 1.0][t % 4] + 0.05 * t as f64).collect();
+        let s = ts(vals.clone());
+        let d = decompose(&s, 4).unwrap();
+        for t in 0..vals.len() {
+            let rebuilt = d.trend[t] + d.seasonal[t] + d.residual[t];
+            assert!((rebuilt - vals[t]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pure_seasonal_signal_fully_explained() {
+        let vals: Vec<f64> = (0..80).map(|t| 10.0 + [2.0, -2.0][t % 2]).collect();
+        let s = ts(vals.clone());
+        let d = decompose(&s, 2).unwrap();
+        assert!(d.explained_variance(&vals) > 0.95);
+        // Profile recovers the alternation (centered).
+        let profile = d.seasonal_profile();
+        assert!((profile[0] - 2.0).abs() < 0.2, "{profile:?}");
+        assert!((profile[1] + 2.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn seasonal_component_is_centered_and_tiled() {
+        let vals: Vec<f64> = (0..48).map(|t| [1.0, 5.0, 3.0][t % 3]).collect();
+        let d = decompose(&ts(vals), 3).unwrap();
+        let profile_sum: f64 = d.seasonal_profile().iter().sum();
+        assert!(profile_sum.abs() < 1e-9);
+        // Tiling: seasonal[t] == seasonal[t + season].
+        for t in 0..45 {
+            assert_eq!(d.seasonal[t], d.seasonal[t + 3]);
+        }
+    }
+
+    #[test]
+    fn trend_follows_drift() {
+        let vals: Vec<f64> = (0..100).map(|t| t as f64 * 0.5).collect();
+        let d = decompose(&ts(vals), 4).unwrap();
+        // Interior trend tracks the line closely.
+        for t in 10..90 {
+            assert!((d.trend[t] - t as f64 * 0.5).abs() < 0.6, "t={t}: {}", d.trend[t]);
+        }
+    }
+
+    #[test]
+    fn validation() {
+        let s = ts(vec![1.0; 10]);
+        assert!(decompose(&s, 1).is_err());
+        assert!(decompose(&s, 6).is_err()); // < two seasons
+        assert!(decompose(&s, 5).is_ok());
+    }
+}

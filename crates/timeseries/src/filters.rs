@@ -1,0 +1,137 @@
+//! Smoothing filters, centered on the paper's max filter (Eq. 18).
+
+use crate::series::TimeSeries;
+use crate::{Result, TsError};
+
+/// The max filter of Eq. 18: replaces each point with the maximum over a
+/// window of `smoothing_factor + 1` points centered (half-rounded) on it,
+/// "fattening" demand spikes so the forecaster and optimizer cannot miss
+/// them (§7.5, Fig. 7).
+///
+/// With `SF = 0` this is the identity. Near the boundaries the window is
+/// clipped to the series, matching the second branch of Eq. 18 at the start.
+pub fn max_filter(series: &TimeSeries, smoothing_factor: usize) -> TimeSeries {
+    let half = smoothing_factor / 2 + usize::from(smoothing_factor % 2 == 1);
+    let v = series.values();
+    let n = v.len();
+    let out: Vec<f64> = (0..n)
+        .map(|t| {
+            let lo = t.saturating_sub(half);
+            let hi = (t + half + 1).min(n);
+            v[lo..hi].iter().copied().fold(f64::NEG_INFINITY, f64::max)
+        })
+        .collect();
+    TimeSeries::new(series.interval_secs(), out).expect("interval preserved")
+}
+
+/// Centered moving average with clipped boundaries; window of
+/// `2·half_window + 1` points.
+pub fn moving_average(series: &TimeSeries, half_window: usize) -> TimeSeries {
+    let v = series.values();
+    let n = v.len();
+    let out: Vec<f64> = (0..n)
+        .map(|t| {
+            let lo = t.saturating_sub(half_window);
+            let hi = (t + half_window + 1).min(n);
+            v[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect();
+    TimeSeries::new(series.interval_secs(), out).expect("interval preserved")
+}
+
+/// Exponentially weighted moving average with smoothing factor
+/// `alpha ∈ (0, 1]` (`alpha = 1` is the identity).
+pub fn ewma(series: &TimeSeries, alpha: f64) -> Result<TimeSeries> {
+    if !(0.0..=1.0).contains(&alpha) || alpha == 0.0 {
+        return Err(TsError::InvalidParameter(format!("alpha must be in (0,1], got {alpha}")));
+    }
+    let mut out = Vec::with_capacity(series.len());
+    let mut state: Option<f64> = None;
+    for &v in series.values() {
+        let next = match state {
+            None => v,
+            Some(s) => alpha * v + (1.0 - alpha) * s,
+        };
+        out.push(next);
+        state = Some(next);
+    }
+    TimeSeries::new(series.interval_secs(), out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(vals: &[f64]) -> TimeSeries {
+        TimeSeries::new(30, vals.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn max_filter_zero_sf_is_identity() {
+        let s = ts(&[1.0, 5.0, 2.0, 0.0]);
+        assert_eq!(max_filter(&s, 0).values(), s.values());
+    }
+
+    #[test]
+    fn max_filter_fattens_spike() {
+        let s = ts(&[0.0, 0.0, 10.0, 0.0, 0.0]);
+        let f = max_filter(&s, 2);
+        assert_eq!(f.values(), &[0.0, 10.0, 10.0, 10.0, 0.0]);
+        let f2 = max_filter(&s, 4);
+        assert_eq!(f2.values(), &[10.0, 10.0, 10.0, 10.0, 10.0]);
+    }
+
+    #[test]
+    fn max_filter_dominates_input() {
+        let s = ts(&[3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]);
+        for sf in 0..6 {
+            let f = max_filter(&s, sf);
+            for (a, b) in f.values().iter().zip(s.values()) {
+                assert!(a >= b, "filtered {a} below raw {b} at SF={sf}");
+            }
+        }
+    }
+
+    #[test]
+    fn max_filter_monotone_in_sf() {
+        let s = ts(&[3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0]);
+        for sf in 0..5 {
+            let small = max_filter(&s, sf);
+            let big = max_filter(&s, sf + 1);
+            for (a, b) in big.values().iter().zip(small.values()) {
+                assert!(a >= b);
+            }
+        }
+    }
+
+    #[test]
+    fn max_filter_bounded_by_global_max() {
+        let s = ts(&[3.0, 1.0, 4.0]);
+        let f = max_filter(&s, 10);
+        assert!(f.values().iter().all(|&v| v == 4.0));
+    }
+
+    #[test]
+    fn moving_average_constant_series_unchanged() {
+        let s = ts(&[2.0; 6]);
+        assert_eq!(moving_average(&s, 2).values(), s.values());
+    }
+
+    #[test]
+    fn moving_average_smooths() {
+        let s = ts(&[0.0, 10.0, 0.0]);
+        let f = moving_average(&s, 1);
+        assert_eq!(f.values(), &[5.0, 10.0 / 3.0, 5.0]);
+    }
+
+    #[test]
+    fn ewma_smooths_and_validates() {
+        let s = ts(&[0.0, 10.0]);
+        let f = ewma(&s, 0.5).unwrap();
+        assert_eq!(f.values(), &[0.0, 5.0]);
+        assert!(ewma(&s, 0.0).is_err());
+        assert!(ewma(&s, 1.5).is_err());
+        // alpha = 1 is the identity.
+        assert_eq!(ewma(&s, 1.0).unwrap().values(), s.values());
+    }
+}

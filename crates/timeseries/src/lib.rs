@@ -1,0 +1,75 @@
+#![warn(missing_docs)]
+//! Time-series primitives for the Intelligent Pooling reproduction.
+//!
+//! The paper consolidates cluster-request telemetry into fixed 30-second
+//! intervals (§7) and manipulates it in a handful of ways this crate
+//! implements from scratch:
+//!
+//! * [`TimeSeries`] — an interval-indexed series of request counts/rates,
+//!   with resampling, cumulative↔rate conversion, and slicing.
+//! * [`metrics`] — MAE / RMSE / MAPE and the asymmetric loss of Eq. 12–15.
+//! * [`filters`] — the max filter of Eq. 18 used to "fatten" demand spikes
+//!   (§7.5), plus moving-average and EWMA smoothers.
+//! * [`split`] — the 80-20 train/test and 90-10 train/validation protocol
+//!   of §5.1.
+//! * [`windowing`] — sliding (window → horizon) supervised pairs for the
+//!   forecasting models.
+//!
+//! ```
+//! use ip_timeseries::{max_filter, TimeSeries};
+//!
+//! // Request counts per 30-second interval.
+//! let demand = TimeSeries::new(30, vec![0.0, 0.0, 9.0, 0.0, 0.0]).unwrap();
+//! assert_eq!(demand.cumulative().values(), &[0.0, 0.0, 9.0, 9.0, 9.0]);
+//!
+//! // Eq. 18: "fatten" the spike so a mistimed forecast still covers it.
+//! let fat = max_filter(&demand, 2);
+//! assert_eq!(fat.values(), &[0.0, 9.0, 9.0, 9.0, 0.0]);
+//! ```
+
+pub mod decompose;
+pub mod filters;
+pub mod metrics;
+pub mod series;
+pub mod split;
+pub mod windowing;
+
+pub use decompose::{decompose, Decomposition};
+pub use filters::{ewma, max_filter, moving_average};
+pub use metrics::{asymmetric_loss, mae, mape, rmse};
+pub use series::TimeSeries;
+pub use split::{train_test_split, train_val_split};
+pub use windowing::{sliding_windows, WindowPair};
+
+/// Errors for time-series operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TsError {
+    /// Series is empty where data is required.
+    Empty,
+    /// Two series have different lengths where equality is required.
+    LengthMismatch {
+        /// Left length.
+        left: usize,
+        /// Right length.
+        right: usize,
+    },
+    /// A parameter is out of its valid range.
+    InvalidParameter(String),
+}
+
+impl std::fmt::Display for TsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TsError::Empty => write!(f, "empty time series"),
+            TsError::LengthMismatch { left, right } => {
+                write!(f, "length mismatch: {left} vs {right}")
+            }
+            TsError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TsError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, TsError>;

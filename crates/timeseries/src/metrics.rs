@@ -1,0 +1,167 @@
+//! Forecast accuracy metrics, including the paper's asymmetric loss.
+
+use crate::{Result, TsError};
+
+fn check_lengths(y_true: &[f64], y_pred: &[f64]) -> Result<()> {
+    if y_true.is_empty() {
+        return Err(TsError::Empty);
+    }
+    if y_true.len() != y_pred.len() {
+        return Err(TsError::LengthMismatch { left: y_true.len(), right: y_pred.len() });
+    }
+    Ok(())
+}
+
+/// Mean absolute error (the Table 1 metric).
+pub fn mae(y_true: &[f64], y_pred: &[f64]) -> Result<f64> {
+    check_lengths(y_true, y_pred)?;
+    Ok(y_true.iter().zip(y_pred).map(|(t, p)| (t - p).abs()).sum::<f64>() / y_true.len() as f64)
+}
+
+/// Root mean squared error.
+pub fn rmse(y_true: &[f64], y_pred: &[f64]) -> Result<f64> {
+    check_lengths(y_true, y_pred)?;
+    let mse =
+        y_true.iter().zip(y_pred).map(|(t, p)| (t - p).powi(2)).sum::<f64>() / y_true.len() as f64;
+    Ok(mse.sqrt())
+}
+
+/// Mean absolute percentage error over intervals with nonzero ground truth.
+/// Returns an error when every ground-truth value is zero.
+pub fn mape(y_true: &[f64], y_pred: &[f64]) -> Result<f64> {
+    check_lengths(y_true, y_pred)?;
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    for (t, p) in y_true.iter().zip(y_pred) {
+        if t.abs() > f64::EPSILON {
+            sum += ((t - p) / t).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        return Err(TsError::InvalidParameter("MAPE undefined: all ground truth zero".into()));
+    }
+    Ok(sum / n as f64 * 100.0)
+}
+
+/// The asymmetric loss of Eq. 12–15:
+///
+/// ```text
+/// δ = y − ŷ;  δ⁺ = max(δ, 0);  δ⁻ = max(−δ, 0)
+/// L = α'·mean(δ⁺) + (1 − α')·mean(δ⁻)
+/// ```
+///
+/// With the paper's sign convention, `δ⁺` (under-prediction, `ŷ < y`) maps to
+/// customer *wait* risk and `δ⁻` (over-prediction) to *idle* cost; `α'`
+/// trades them off. `α' = 0.5` recovers half the MAE.
+pub fn asymmetric_loss(y_true: &[f64], y_pred: &[f64], alpha_prime: f64) -> Result<f64> {
+    check_lengths(y_true, y_pred)?;
+    if !(0.0..=1.0).contains(&alpha_prime) {
+        return Err(TsError::InvalidParameter(format!("alpha' must be in [0,1], got {alpha_prime}")));
+    }
+    let n = y_true.len() as f64;
+    let mut pos = 0.0;
+    let mut neg = 0.0;
+    for (t, p) in y_true.iter().zip(y_pred) {
+        let delta = t - p;
+        if delta > 0.0 {
+            pos += delta;
+        } else {
+            neg -= delta;
+        }
+    }
+    Ok(alpha_prime * pos / n + (1.0 - alpha_prime) * neg / n)
+}
+
+/// Fraction of intervals where the prediction covers the demand
+/// (`ŷ ≥ y`) — a proxy for the pool hit rate a forecast would sustain.
+pub fn coverage(y_true: &[f64], y_pred: &[f64]) -> Result<f64> {
+    check_lengths(y_true, y_pred)?;
+    let covered = y_true.iter().zip(y_pred).filter(|(t, p)| p >= t).count();
+    Ok(covered as f64 / y_true.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mae_known() {
+        let t = [1.0, 2.0, 3.0];
+        let p = [1.0, 3.0, 1.0];
+        assert_eq!(mae(&t, &p).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn rmse_known() {
+        let t = [0.0, 0.0];
+        let p = [3.0, 4.0];
+        assert!((rmse(&t, &p).unwrap() - (12.5f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rmse_at_least_mae() {
+        let t = [1.0, 5.0, -2.0, 0.3];
+        let p = [0.0, 7.0, 1.0, 0.0];
+        assert!(rmse(&t, &p).unwrap() >= mae(&t, &p).unwrap());
+    }
+
+    #[test]
+    fn mape_skips_zeros() {
+        let t = [0.0, 2.0];
+        let p = [5.0, 1.0];
+        assert!((mape(&t, &p).unwrap() - 50.0).abs() < 1e-12);
+        assert!(mape(&[0.0], &[1.0]).is_err());
+    }
+
+    #[test]
+    fn perfect_prediction_zero_everywhere() {
+        let t = [1.0, 2.0, 3.0];
+        assert_eq!(mae(&t, &t).unwrap(), 0.0);
+        assert_eq!(rmse(&t, &t).unwrap(), 0.0);
+        assert_eq!(asymmetric_loss(&t, &t, 0.3).unwrap(), 0.0);
+        assert_eq!(coverage(&t, &t).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn asymmetric_loss_direction() {
+        let t = [10.0, 10.0];
+        let under = [8.0, 8.0]; // ŷ < y → δ⁺, weighted by α'
+        let over = [12.0, 12.0]; // ŷ > y → δ⁻, weighted by 1−α'
+        // α' near 1 punishes under-prediction hard.
+        let lu = asymmetric_loss(&t, &under, 0.9).unwrap();
+        let lo = asymmetric_loss(&t, &over, 0.9).unwrap();
+        assert!(lu > lo, "under {lu} should exceed over {lo} at alpha'=0.9");
+        // And near 0 the opposite.
+        let lu0 = asymmetric_loss(&t, &under, 0.1).unwrap();
+        let lo0 = asymmetric_loss(&t, &over, 0.1).unwrap();
+        assert!(lo0 > lu0);
+    }
+
+    #[test]
+    fn asymmetric_loss_half_is_half_mae() {
+        let t = [1.0, 4.0, -1.0];
+        let p = [2.0, 2.0, 0.0];
+        let l = asymmetric_loss(&t, &p, 0.5).unwrap();
+        assert!((l - 0.5 * mae(&t, &p).unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn alpha_range_validated() {
+        assert!(asymmetric_loss(&[1.0], &[1.0], 1.5).is_err());
+        assert!(asymmetric_loss(&[1.0], &[1.0], -0.1).is_err());
+    }
+
+    #[test]
+    fn length_mismatch_rejected() {
+        assert!(mae(&[1.0], &[1.0, 2.0]).is_err());
+        assert!(mae(&[], &[]).is_err());
+    }
+
+    #[test]
+    fn coverage_counts() {
+        let t = [1.0, 2.0, 3.0, 4.0];
+        let p = [1.0, 1.0, 5.0, 4.0];
+        assert_eq!(coverage(&t, &p).unwrap(), 0.75);
+    }
+}

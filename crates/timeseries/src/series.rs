@@ -1,0 +1,282 @@
+//! Interval-indexed time series.
+
+use crate::{Result, TsError};
+use serde::{Deserialize, Serialize};
+
+/// A time series sampled at a fixed interval.
+///
+/// `values[t]` is the measurement for the half-open interval
+/// `[t·interval, (t+1)·interval)` seconds from the series origin. For the
+/// pooling workload this is typically "number of cluster requests in the
+/// 30-second interval `t`" (the paper's consolidation granularity, §7).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TimeSeries {
+    /// Interval width in seconds.
+    interval_secs: u64,
+    /// One value per interval.
+    values: Vec<f64>,
+}
+
+impl TimeSeries {
+    /// Creates a series from raw interval values.
+    pub fn new(interval_secs: u64, values: Vec<f64>) -> Result<Self> {
+        if interval_secs == 0 {
+            return Err(TsError::InvalidParameter("interval_secs must be > 0".into()));
+        }
+        Ok(Self { interval_secs, values })
+    }
+
+    /// A series of zeros.
+    pub fn zeros(interval_secs: u64, len: usize) -> Self {
+        Self { interval_secs, values: vec![0.0; len] }
+    }
+
+    /// Interval width in seconds.
+    #[inline]
+    pub fn interval_secs(&self) -> u64 {
+        self.interval_secs
+    }
+
+    /// Number of intervals.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` when there are no intervals.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Total covered duration in seconds.
+    pub fn duration_secs(&self) -> u64 {
+        self.interval_secs * self.values.len() as u64
+    }
+
+    /// Immutable view of the values.
+    #[inline]
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Mutable view of the values.
+    #[inline]
+    pub fn values_mut(&mut self) -> &mut [f64] {
+        &mut self.values
+    }
+
+    /// Consumes the series, returning its values.
+    pub fn into_values(self) -> Vec<f64> {
+        self.values
+    }
+
+    /// Value at interval `t`.
+    #[inline]
+    pub fn get(&self, t: usize) -> f64 {
+        self.values[t]
+    }
+
+    /// Returns the sub-series covering `[start, end)` intervals.
+    pub fn slice(&self, start: usize, end: usize) -> Result<TimeSeries> {
+        if start > end || end > self.values.len() {
+            return Err(TsError::InvalidParameter(format!(
+                "slice [{start}, {end}) out of range for length {}",
+                self.values.len()
+            )));
+        }
+        Ok(TimeSeries { interval_secs: self.interval_secs, values: self.values[start..end].to_vec() })
+    }
+
+    /// Sum of all values.
+    pub fn sum(&self) -> f64 {
+        self.values.iter().sum()
+    }
+
+    /// Arithmetic mean; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.values.is_empty() {
+            None
+        } else {
+            Some(self.sum() / self.values.len() as f64)
+        }
+    }
+
+    /// Maximum value; `None` when empty.
+    pub fn max(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::max)
+    }
+
+    /// Minimum value; `None` when empty.
+    pub fn min(&self) -> Option<f64> {
+        self.values.iter().copied().reduce(f64::min)
+    }
+
+    /// Sample standard deviation; `None` for fewer than two points.
+    pub fn std_dev(&self) -> Option<f64> {
+        if self.values.len() < 2 {
+            return None;
+        }
+        let mean = self.mean()?;
+        let var = self.values.iter().map(|v| (v - mean).powi(2)).sum::<f64>()
+            / (self.values.len() - 1) as f64;
+        Some(var.sqrt())
+    }
+
+    /// Re-buckets into coarser intervals of `factor` original intervals,
+    /// summing values (request *counts* aggregate by summation). A trailing
+    /// partial bucket is kept and contains the remaining sum.
+    pub fn aggregate(&self, factor: usize) -> Result<TimeSeries> {
+        if factor == 0 {
+            return Err(TsError::InvalidParameter("aggregate factor must be > 0".into()));
+        }
+        let values = self
+            .values
+            .chunks(factor)
+            .map(|chunk| chunk.iter().sum())
+            .collect();
+        Ok(TimeSeries { interval_secs: self.interval_secs * factor as u64, values })
+    }
+
+    /// Cumulative series: `out[t] = Σ_{s ≤ t} values[s]` — the `D(t)` of the
+    /// paper's Fig. 3 when `self` holds per-interval request counts.
+    pub fn cumulative(&self) -> TimeSeries {
+        let mut acc = 0.0;
+        let values = self
+            .values
+            .iter()
+            .map(|v| {
+                acc += v;
+                acc
+            })
+            .collect();
+        TimeSeries { interval_secs: self.interval_secs, values }
+    }
+
+    /// Inverse of [`cumulative`](Self::cumulative): first differences with
+    /// `out[0] = values[0]`.
+    pub fn differences(&self) -> TimeSeries {
+        let mut prev = 0.0;
+        let values = self
+            .values
+            .iter()
+            .map(|&v| {
+                let d = v - prev;
+                prev = v;
+                d
+            })
+            .collect();
+        TimeSeries { interval_secs: self.interval_secs, values }
+    }
+
+    /// Appends another series with the same interval width.
+    pub fn extend(&mut self, other: &TimeSeries) -> Result<()> {
+        if other.interval_secs != self.interval_secs {
+            return Err(TsError::InvalidParameter(format!(
+                "interval mismatch: {} vs {}",
+                self.interval_secs, other.interval_secs
+            )));
+        }
+        self.values.extend_from_slice(&other.values);
+        Ok(())
+    }
+
+    /// Element-wise map into a new series.
+    pub fn map(&self, f: impl FnMut(f64) -> f64) -> TimeSeries {
+        TimeSeries {
+            interval_secs: self.interval_secs,
+            values: self.values.iter().copied().map(f).collect(),
+        }
+    }
+
+    /// Clamps every value to be ≥ 0 (useful after subtracting forecasts).
+    pub fn clamp_non_negative(&self) -> TimeSeries {
+        self.map(|v| v.max(0.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(vals: &[f64]) -> TimeSeries {
+        TimeSeries::new(30, vals.to_vec()).unwrap()
+    }
+
+    #[test]
+    fn constructor_rejects_zero_interval() {
+        assert!(TimeSeries::new(0, vec![1.0]).is_err());
+    }
+
+    #[test]
+    fn basic_stats() {
+        let s = ts(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.sum(), 10.0);
+        assert_eq!(s.mean(), Some(2.5));
+        assert_eq!(s.max(), Some(4.0));
+        assert_eq!(s.min(), Some(1.0));
+        assert_eq!(s.duration_secs(), 120);
+        let sd = s.std_dev().unwrap();
+        assert!((sd - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_none() {
+        let s = TimeSeries::zeros(30, 0);
+        assert!(s.is_empty());
+        assert_eq!(s.mean(), None);
+        assert_eq!(s.max(), None);
+        assert_eq!(s.std_dev(), None);
+    }
+
+    #[test]
+    fn cumulative_and_differences_roundtrip() {
+        let s = ts(&[2.0, 0.0, 5.0, 1.0]);
+        let c = s.cumulative();
+        assert_eq!(c.values(), &[2.0, 2.0, 7.0, 8.0]);
+        assert_eq!(c.differences().values(), s.values());
+    }
+
+    #[test]
+    fn aggregate_sums_buckets() {
+        let s = ts(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let a = s.aggregate(2).unwrap();
+        assert_eq!(a.values(), &[3.0, 7.0, 5.0]); // trailing partial bucket kept
+        assert_eq!(a.interval_secs(), 60);
+        assert!(s.aggregate(0).is_err());
+    }
+
+    #[test]
+    fn aggregate_preserves_total() {
+        let s = ts(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0]);
+        for f in 1..=8 {
+            assert_eq!(s.aggregate(f).unwrap().sum(), s.sum());
+        }
+    }
+
+    #[test]
+    fn slicing() {
+        let s = ts(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.slice(1, 3).unwrap().values(), &[2.0, 3.0]);
+        assert!(s.slice(3, 2).is_err());
+        assert!(s.slice(0, 5).is_err());
+    }
+
+    #[test]
+    fn extend_checks_interval() {
+        let mut a = ts(&[1.0]);
+        let b = ts(&[2.0]);
+        a.extend(&b).unwrap();
+        assert_eq!(a.values(), &[1.0, 2.0]);
+        let c = TimeSeries::new(60, vec![3.0]).unwrap();
+        assert!(a.extend(&c).is_err());
+    }
+
+    #[test]
+    fn clamp_non_negative() {
+        let s = ts(&[-1.0, 0.5, -0.2]);
+        assert_eq!(s.clamp_non_negative().values(), &[0.0, 0.5, 0.0]);
+    }
+
+}

@@ -1,0 +1,84 @@
+//! Train/test and train/validation splits following the §5.1 protocol.
+
+use crate::series::TimeSeries;
+use crate::{Result, TsError};
+
+/// Splits chronologically: the first `train_fraction` of intervals become
+/// the training series, the rest the test series. The paper uses an 80-20
+/// split (`train_fraction = 0.8`).
+pub fn train_test_split(series: &TimeSeries, train_fraction: f64) -> Result<(TimeSeries, TimeSeries)> {
+    if !(0.0..=1.0).contains(&train_fraction) {
+        return Err(TsError::InvalidParameter(format!(
+            "train_fraction must be in [0,1], got {train_fraction}"
+        )));
+    }
+    if series.is_empty() {
+        return Err(TsError::Empty);
+    }
+    let cut = ((series.len() as f64) * train_fraction).round() as usize;
+    let cut = cut.min(series.len());
+    Ok((series.slice(0, cut)?, series.slice(cut, series.len())?))
+}
+
+/// Splits a training series into train/validation chronologically; the paper
+/// uses 90-10 for the deep models' early stopping.
+pub fn train_val_split(series: &TimeSeries, train_fraction: f64) -> Result<(TimeSeries, TimeSeries)> {
+    train_test_split(series, train_fraction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(n: usize) -> TimeSeries {
+        TimeSeries::new(30, (0..n).map(|i| i as f64).collect()).unwrap()
+    }
+
+    #[test]
+    fn eighty_twenty() {
+        let s = ts(10);
+        let (train, test) = train_test_split(&s, 0.8).unwrap();
+        assert_eq!(train.len(), 8);
+        assert_eq!(test.len(), 2);
+        assert_eq!(train.values()[7], 7.0);
+        assert_eq!(test.values()[0], 8.0);
+    }
+
+    #[test]
+    fn chronological_order_preserved() {
+        let s = ts(100);
+        let (train, test) = train_test_split(&s, 0.8).unwrap();
+        // No shuffling: train is the prefix, test the suffix.
+        assert!(train.values().iter().zip(test.values()).all(|(a, b)| a < b));
+    }
+
+    #[test]
+    fn degenerate_fractions() {
+        let s = ts(5);
+        let (train, test) = train_test_split(&s, 1.0).unwrap();
+        assert_eq!(train.len(), 5);
+        assert!(test.is_empty());
+        let (train, test) = train_test_split(&s, 0.0).unwrap();
+        assert!(train.is_empty());
+        assert_eq!(test.len(), 5);
+    }
+
+    #[test]
+    fn invalid_inputs() {
+        let s = ts(5);
+        assert!(train_test_split(&s, 1.2).is_err());
+        assert!(train_test_split(&s, -0.1).is_err());
+        assert!(train_test_split(&TimeSeries::zeros(30, 0), 0.5).is_err());
+    }
+
+    #[test]
+    fn nested_split_matches_paper_protocol() {
+        // 80-20 then 90-10 of the training part.
+        let s = ts(100);
+        let (train, test) = train_test_split(&s, 0.8).unwrap();
+        let (fit, val) = train_val_split(&train, 0.9).unwrap();
+        assert_eq!(test.len(), 20);
+        assert_eq!(fit.len(), 72);
+        assert_eq!(val.len(), 8);
+    }
+}

@@ -1,0 +1,158 @@
+//! Sliding-window construction of supervised (input, target) pairs.
+//!
+//! The deep forecasting models of §5 are trained on pairs of a
+//! `window`-length input slice and the following `horizon`-length target
+//! slice, slid across the training series.
+
+use crate::series::TimeSeries;
+use crate::{Result, TsError};
+
+/// One supervised pair: `input` covers `[start, start+window)` and `target`
+/// covers `[start+window, start+window+horizon)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WindowPair {
+    /// Interval index of the first input point in the source series.
+    pub start: usize,
+    /// Input slice of length `window`.
+    pub input: Vec<f64>,
+    /// Target slice of length `horizon`.
+    pub target: Vec<f64>,
+}
+
+/// Produces all (input, target) pairs with the given stride.
+///
+/// Returns an error when the series is shorter than `window + horizon`, or
+/// any size parameter is zero.
+pub fn sliding_windows(
+    series: &TimeSeries,
+    window: usize,
+    horizon: usize,
+    stride: usize,
+) -> Result<Vec<WindowPair>> {
+    if window == 0 || horizon == 0 || stride == 0 {
+        return Err(TsError::InvalidParameter(
+            "window, horizon and stride must all be > 0".into(),
+        ));
+    }
+    let needed = window + horizon;
+    if series.len() < needed {
+        return Err(TsError::InvalidParameter(format!(
+            "series length {} < window {} + horizon {}",
+            series.len(),
+            window,
+            horizon
+        )));
+    }
+    let v = series.values();
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    while start + needed <= v.len() {
+        out.push(WindowPair {
+            start,
+            input: v[start..start + window].to_vec(),
+            target: v[start + window..start + needed].to_vec(),
+        });
+        start += stride;
+    }
+    Ok(out)
+}
+
+/// Normalization statistics computed on training inputs and applied at
+/// inference (plain z-score; the models' convention).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normalizer {
+    /// Mean of the fitted data.
+    pub mean: f64,
+    /// Standard deviation of the fitted data (floored to avoid division by
+    /// zero on constant series).
+    pub std: f64,
+}
+
+impl Normalizer {
+    /// Fits mean/std on the given values.
+    pub fn fit(values: &[f64]) -> Result<Self> {
+        if values.is_empty() {
+            return Err(TsError::Empty);
+        }
+        let n = values.len() as f64;
+        let mean = values.iter().sum::<f64>() / n;
+        let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
+        Ok(Self { mean, std: var.sqrt().max(1e-9) })
+    }
+
+    /// Applies the transform `(v − mean) / std`.
+    pub fn transform(&self, values: &[f64]) -> Vec<f64> {
+        values.iter().map(|v| (v - self.mean) / self.std).collect()
+    }
+
+    /// Inverts the transform.
+    pub fn inverse(&self, values: &[f64]) -> Vec<f64> {
+        values.iter().map(|v| v * self.std + self.mean).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ts(n: usize) -> TimeSeries {
+        TimeSeries::new(30, (0..n).map(|i| i as f64).collect()).unwrap()
+    }
+
+    #[test]
+    fn windows_cover_series() {
+        let s = ts(10);
+        let pairs = sliding_windows(&s, 3, 2, 1).unwrap();
+        assert_eq!(pairs.len(), 6);
+        assert_eq!(pairs[0].input, vec![0.0, 1.0, 2.0]);
+        assert_eq!(pairs[0].target, vec![3.0, 4.0]);
+        assert_eq!(pairs[5].input, vec![5.0, 6.0, 7.0]);
+        assert_eq!(pairs[5].target, vec![8.0, 9.0]);
+    }
+
+    #[test]
+    fn stride_skips() {
+        let s = ts(10);
+        let pairs = sliding_windows(&s, 3, 2, 3).unwrap();
+        assert_eq!(pairs.len(), 2);
+        assert_eq!(pairs[1].start, 3);
+    }
+
+    #[test]
+    fn too_short_rejected() {
+        let s = ts(4);
+        assert!(sliding_windows(&s, 3, 2, 1).is_err());
+        // Exactly fitting yields one pair.
+        let s = ts(5);
+        assert_eq!(sliding_windows(&s, 3, 2, 1).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn zero_parameters_rejected() {
+        let s = ts(10);
+        assert!(sliding_windows(&s, 0, 2, 1).is_err());
+        assert!(sliding_windows(&s, 3, 0, 1).is_err());
+        assert!(sliding_windows(&s, 3, 2, 0).is_err());
+    }
+
+    #[test]
+    fn normalizer_roundtrip() {
+        let vals = [1.0, 2.0, 3.0, 4.0];
+        let nz = Normalizer::fit(&vals).unwrap();
+        let t = nz.transform(&vals);
+        // Zero mean after transform.
+        assert!(t.iter().sum::<f64>().abs() < 1e-12);
+        let back = nz.inverse(&t);
+        for (a, b) in back.iter().zip(&vals) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn normalizer_constant_series_safe() {
+        let nz = Normalizer::fit(&[5.0, 5.0, 5.0]).unwrap();
+        let t = nz.transform(&[5.0]);
+        assert!(t[0].abs() < 1e-6);
+        assert!(Normalizer::fit(&[]).is_err());
+    }
+}

@@ -1,0 +1,93 @@
+//! Property-based invariants of the time-series primitives.
+
+use ip_timeseries::{
+    asymmetric_loss, mae, max_filter, rmse, train_test_split, TimeSeries,
+};
+use proptest::prelude::*;
+
+fn series_strategy() -> impl Strategy<Value = TimeSeries> {
+    proptest::collection::vec(-100.0f64..100.0, 1..200)
+        .prop_map(|v| TimeSeries::new(30, v).unwrap())
+}
+
+fn nonneg_series_strategy() -> impl Strategy<Value = TimeSeries> {
+    proptest::collection::vec(0.0f64..100.0, 1..200)
+        .prop_map(|v| TimeSeries::new(30, v).unwrap())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn cumulative_differences_roundtrip(s in series_strategy()) {
+        let back = s.cumulative().differences();
+        for (a, b) in back.values().iter().zip(s.values()) {
+            prop_assert!((a - b).abs() < 1e-6, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn aggregate_preserves_sum(s in series_strategy(), factor in 1usize..12) {
+        let agg = s.aggregate(factor).unwrap();
+        prop_assert!((agg.sum() - s.sum()).abs() < 1e-6);
+        prop_assert_eq!(agg.interval_secs(), 30 * factor as u64);
+    }
+
+    #[test]
+    fn max_filter_invariants(s in series_strategy(), sf in 0usize..20) {
+        let f = max_filter(&s, sf);
+        prop_assert_eq!(f.len(), s.len());
+        // Dominates the input.
+        for (a, b) in f.values().iter().zip(s.values()) {
+            prop_assert!(a >= b);
+        }
+        // Bounded by the global max.
+        let global = s.max().unwrap();
+        prop_assert!(f.values().iter().all(|&v| v <= global));
+        // SF = 0 is the identity.
+        if sf == 0 {
+            prop_assert_eq!(f.values(), s.values());
+        }
+    }
+
+    #[test]
+    fn max_filter_monotone_in_sf(s in series_strategy(), sf in 0usize..15) {
+        let small = max_filter(&s, sf);
+        let big = max_filter(&s, sf + 1);
+        for (a, b) in big.values().iter().zip(small.values()) {
+            prop_assert!(a >= b);
+        }
+    }
+
+    #[test]
+    fn split_partitions_exactly(s in series_strategy(), frac in 0.0f64..1.0) {
+        let (train, test) = train_test_split(&s, frac).unwrap();
+        prop_assert_eq!(train.len() + test.len(), s.len());
+        let mut rejoined = train.values().to_vec();
+        rejoined.extend_from_slice(test.values());
+        prop_assert_eq!(rejoined.as_slice(), s.values());
+    }
+
+    #[test]
+    fn metric_relations(a in nonneg_series_strategy()) {
+        prop_assume!(a.len() >= 2);
+        let t = a.values();
+        let p: Vec<f64> = t.iter().map(|v| v + 1.0).collect();
+        // Constant offset of +1: MAE = 1, RMSE = 1.
+        prop_assert!((mae(t, &p).unwrap() - 1.0).abs() < 1e-9);
+        prop_assert!((rmse(t, &p).unwrap() - 1.0).abs() < 1e-9);
+        // Pure over-prediction: the alpha'-weighted loss is (1−α')·1.
+        let l = asymmetric_loss(t, &p, 0.3).unwrap();
+        prop_assert!((l - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rmse_dominates_mae(s in series_strategy()) {
+        prop_assume!(s.len() >= 2);
+        let t = s.values();
+        let p: Vec<f64> = t.iter().rev().copied().collect();
+        let m = mae(t, &p).unwrap();
+        let r = rmse(t, &p).unwrap();
+        prop_assert!(r >= m - 1e-9);
+    }
+}

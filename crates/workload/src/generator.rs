@@ -1,0 +1,275 @@
+//! Parametric demand model: rate profile → Poisson-sampled request counts.
+
+use crate::{sample_poisson, seeded_rng};
+use ip_timeseries::TimeSeries;
+use rand::Rng;
+
+/// Scaling of demand by day of week (index 0 = Monday).
+#[derive(Debug, Clone)]
+pub struct WeeklyProfile {
+    /// Multiplier per weekday, Monday-first.
+    pub multipliers: [f64; 7],
+}
+
+impl WeeklyProfile {
+    /// Typical enterprise analytics shape: strong weekdays, weak weekends.
+    pub fn business() -> Self {
+        Self { multipliers: [1.0, 1.05, 1.1, 1.05, 0.95, 0.35, 0.3] }
+    }
+
+    /// Flat profile (no weekly seasonality).
+    pub fn flat() -> Self {
+        Self { multipliers: [1.0; 7] }
+    }
+}
+
+/// Scheduled-job surges at the top of each hour (the Fig. 4 phenomenon:
+/// "many jobs are scheduled at 6AM, 7AM, etc.").
+#[derive(Debug, Clone)]
+pub struct HourlySpikes {
+    /// Extra expected requests per interval during the surge window.
+    pub magnitude: f64,
+    /// Surge duration in seconds starting at the top of the hour.
+    pub duration_secs: u64,
+    /// Hours of day (0–23) that surge; empty means every hour.
+    pub hours: Vec<u8>,
+}
+
+impl HourlySpikes {
+    fn rate_boost(&self, second_of_day: u64) -> f64 {
+        let hour = (second_of_day / 3600) % 24;
+        if !self.hours.is_empty() && !self.hours.contains(&(hour as u8)) {
+            return 0.0;
+        }
+        let second_of_hour = second_of_day % 3600;
+        if second_of_hour < self.duration_secs {
+            self.magnitude
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Sporadic spikes "approximately every 3 hours (albeit not precisely
+/// timed)" — the hard production region of §7.5.
+#[derive(Debug, Clone)]
+pub struct SporadicSpikes {
+    /// Mean period between spikes in seconds (paper: ~3 h).
+    pub mean_period_secs: u64,
+    /// Uniform jitter applied to each spike time, in seconds.
+    pub jitter_secs: u64,
+    /// Expected extra requests per interval while a spike is active.
+    pub magnitude: f64,
+    /// Spike duration in seconds.
+    pub duration_secs: u64,
+}
+
+/// A full demand model: deterministic rate profile plus Poisson sampling.
+#[derive(Debug, Clone)]
+pub struct DemandModel {
+    /// Interval width in seconds (paper consolidates to 30 s).
+    pub interval_secs: u64,
+    /// Number of days to generate.
+    pub days: u32,
+    /// Baseline expected requests per interval at the diurnal trough.
+    pub base_rate: f64,
+    /// Peak-over-trough amplitude of the diurnal sinusoid, as extra expected
+    /// requests per interval at the daily peak (14:00 local).
+    pub diurnal_amplitude: f64,
+    /// Weekly scaling.
+    pub weekly: WeeklyProfile,
+    /// Optional top-of-hour surges.
+    pub hourly_spikes: Option<HourlySpikes>,
+    /// Optional sporadic spikes.
+    pub sporadic_spikes: Option<SporadicSpikes>,
+    /// Poisson noise on/off; when off the expected rate itself is emitted
+    /// (useful for analytic tests).
+    pub poisson_noise: bool,
+    /// RNG seed for reproducibility.
+    pub seed: u64,
+}
+
+impl Default for DemandModel {
+    fn default() -> Self {
+        Self {
+            interval_secs: 30,
+            days: 14,
+            base_rate: 1.0,
+            diurnal_amplitude: 4.0,
+            weekly: WeeklyProfile::business(),
+            hourly_spikes: None,
+            sporadic_spikes: None,
+            poisson_noise: true,
+            seed: 0,
+        }
+    }
+}
+
+impl DemandModel {
+    /// Expected request rate (per interval) at a given absolute second.
+    ///
+    /// The diurnal term peaks at 14:00 and troughs at 02:00 using a raised
+    /// cosine; the weekly multiplier keys off the day index (day 0 =
+    /// Monday); surge terms add on top.
+    pub fn expected_rate(&self, second: u64, sporadic_times: &[u64]) -> f64 {
+        let second_of_day = second % 86_400;
+        let day_index = ((second / 86_400) % 7) as usize;
+        // Raised cosine peaking at 14:00 (50_400 s).
+        let phase =
+            2.0 * std::f64::consts::PI * (second_of_day as f64 - 50_400.0) / 86_400.0;
+        let diurnal = 0.5 * (1.0 + phase.cos()) * self.diurnal_amplitude;
+        let mut rate = (self.base_rate + diurnal) * self.weekly.multipliers[day_index];
+        if let Some(h) = &self.hourly_spikes {
+            rate += h.rate_boost(second_of_day);
+        }
+        if let Some(s) = &self.sporadic_spikes {
+            for &t in sporadic_times {
+                if second >= t && second < t + s.duration_secs {
+                    rate += s.magnitude;
+                }
+            }
+        }
+        rate.max(0.0)
+    }
+
+    /// Pre-computes jittered sporadic spike start times over the horizon.
+    fn sporadic_schedule(&self, total_secs: u64) -> Vec<u64> {
+        let Some(s) = &self.sporadic_spikes else {
+            return Vec::new();
+        };
+        let mut rng = seeded_rng(self.seed.wrapping_add(0x5143));
+        let mut times = Vec::new();
+        let mut t = s.mean_period_secs / 2;
+        while t < total_secs {
+            let jitter = if s.jitter_secs > 0 {
+                rng.gen_range(0..=2 * s.jitter_secs) as i64 - s.jitter_secs as i64
+            } else {
+                0
+            };
+            let jittered = (t as i64 + jitter).max(0) as u64;
+            if jittered < total_secs {
+                times.push(jittered);
+            }
+            t += s.mean_period_secs;
+        }
+        times
+    }
+
+    /// Generates the demand trace: request counts per interval.
+    pub fn generate(&self) -> TimeSeries {
+        let total_secs = self.days as u64 * 86_400;
+        let n = (total_secs / self.interval_secs) as usize;
+        let sporadic = self.sporadic_schedule(total_secs);
+        let mut rng = seeded_rng(self.seed);
+        let values: Vec<f64> = (0..n)
+            .map(|i| {
+                let second = i as u64 * self.interval_secs;
+                let rate = self.expected_rate(second, &sporadic);
+                if self.poisson_noise {
+                    sample_poisson(&mut rng, rate) as f64
+                } else {
+                    rate
+                }
+            })
+            .collect();
+        TimeSeries::new(self.interval_secs, values).expect("interval_secs > 0")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_expected_length() {
+        let m = DemandModel { days: 2, interval_secs: 30, ..Default::default() };
+        let ts = m.generate();
+        assert_eq!(ts.len(), 2 * 86_400 / 30);
+        assert_eq!(ts.interval_secs(), 30);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let m = DemandModel { days: 1, seed: 42, ..Default::default() };
+        assert_eq!(m.generate(), m.generate());
+        let m2 = DemandModel { days: 1, seed: 43, ..Default::default() };
+        assert_ne!(m.generate(), m2.generate());
+    }
+
+    #[test]
+    fn diurnal_peak_exceeds_trough() {
+        let m = DemandModel { days: 1, poisson_noise: false, ..Default::default() };
+        let ts = m.generate();
+        // 14:00 vs 02:00 on day 0 (Monday).
+        let idx_peak = (14 * 3600 / 30) as usize;
+        let idx_trough = (2 * 3600 / 30) as usize;
+        assert!(ts.get(idx_peak) > ts.get(idx_trough) + 3.0);
+    }
+
+    #[test]
+    fn weekend_lower_than_weekday() {
+        let m = DemandModel { days: 7, poisson_noise: false, ..Default::default() };
+        let ts = m.generate();
+        let per_day = 86_400 / 30;
+        let monday: f64 = ts.slice(0, per_day as usize).unwrap().sum();
+        let sunday: f64 =
+            ts.slice(6 * per_day as usize, 7 * per_day as usize).unwrap().sum();
+        assert!(sunday < monday * 0.5);
+    }
+
+    #[test]
+    fn hourly_spikes_hit_top_of_hour() {
+        let m = DemandModel {
+            days: 1,
+            poisson_noise: false,
+            base_rate: 0.0,
+            diurnal_amplitude: 0.0,
+            weekly: WeeklyProfile::flat(),
+            hourly_spikes: Some(HourlySpikes { magnitude: 50.0, duration_secs: 120, hours: vec![6] }),
+            ..Default::default()
+        };
+        let ts = m.generate();
+        let idx_6am = (6 * 3600 / 30) as usize;
+        assert_eq!(ts.get(idx_6am), 50.0);
+        assert_eq!(ts.get(idx_6am + 1), 50.0);
+        assert_eq!(ts.get(idx_6am + 4), 0.0); // after the 120 s window
+        let idx_7am = (7 * 3600 / 30) as usize;
+        assert_eq!(ts.get(idx_7am), 0.0); // hour 7 not in the list
+    }
+
+    #[test]
+    fn sporadic_spikes_present_and_jittered() {
+        let m = DemandModel {
+            days: 1,
+            poisson_noise: false,
+            base_rate: 0.0,
+            diurnal_amplitude: 0.0,
+            weekly: WeeklyProfile::flat(),
+            sporadic_spikes: Some(SporadicSpikes {
+                mean_period_secs: 3 * 3600,
+                jitter_secs: 600,
+                magnitude: 30.0,
+                duration_secs: 300,
+            }),
+            ..Default::default()
+        };
+        let ts = m.generate();
+        let active = ts.values().iter().filter(|&&v| v > 0.0).count();
+        // Roughly 8 spikes/day × 10 intervals each.
+        assert!(active >= 40 && active <= 120, "active intervals {active}");
+        // All activity is at the spike magnitude.
+        assert!(ts.values().iter().all(|&v| v == 0.0 || v == 30.0));
+    }
+
+    #[test]
+    fn rate_never_negative() {
+        let m = DemandModel {
+            days: 1,
+            poisson_noise: false,
+            base_rate: 0.0,
+            diurnal_amplitude: 0.0,
+            ..Default::default()
+        };
+        assert!(m.generate().values().iter().all(|&v| v >= 0.0));
+    }
+}

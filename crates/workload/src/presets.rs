@@ -1,0 +1,159 @@
+//! Named workload presets mirroring the paper's evaluation datasets.
+
+use crate::generator::{DemandModel, HourlySpikes, SporadicSpikes, WeeklyProfile};
+
+/// The six Table 1 datasets: two regions × three node sizes.
+///
+/// The paper's MAE table shows demand volume (and hence absolute error)
+/// decreasing from Small to Large pools and West US 2 being noisier than
+/// East US 2 at Small. The presets scale base rate, amplitude and surge
+/// magnitude to reproduce that ordering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PresetId {
+    /// West US 2, small nodes — highest volume, noisiest.
+    WestUs2Small,
+    /// East US 2, small nodes.
+    EastUs2Small,
+    /// West US 2, medium nodes.
+    WestUs2Medium,
+    /// East US 2, medium nodes — low volume, very regular.
+    EastUs2Medium,
+    /// West US 2, large nodes.
+    WestUs2Large,
+    /// East US 2, large nodes.
+    EastUs2Large,
+}
+
+impl PresetId {
+    /// Human-readable label matching the Table 1 row.
+    pub fn label(&self) -> &'static str {
+        match self {
+            PresetId::WestUs2Small => "West US 2 / Small",
+            PresetId::EastUs2Small => "East US 2 / Small",
+            PresetId::WestUs2Medium => "West US 2 / Medium",
+            PresetId::EastUs2Medium => "East US 2 / Medium",
+            PresetId::WestUs2Large => "West US 2 / Large",
+            PresetId::EastUs2Large => "East US 2 / Large",
+        }
+    }
+}
+
+/// Builds the demand model for a Table 1 preset with the paper's 14-day
+/// history length and 30-second intervals.
+pub fn preset(id: PresetId, seed: u64) -> DemandModel {
+    let (base, amp, surge, surge_hours): (f64, f64, f64, Vec<u8>) = match id {
+        PresetId::WestUs2Small => (12.0, 30.0, 45.0, vec![]),
+        PresetId::EastUs2Small => (10.0, 25.0, 30.0, vec![6, 7, 8, 9, 12, 18]),
+        PresetId::WestUs2Medium => (5.0, 12.0, 18.0, vec![6, 7, 8, 12]),
+        PresetId::EastUs2Medium => (1.0, 3.0, 4.0, vec![6, 12]),
+        PresetId::WestUs2Large => (3.0, 8.0, 10.0, vec![6, 7, 12]),
+        PresetId::EastUs2Large => (1.5, 5.0, 6.0, vec![6, 12]),
+    };
+    DemandModel {
+        interval_secs: 30,
+        days: 14,
+        base_rate: base,
+        diurnal_amplitude: amp,
+        weekly: WeeklyProfile::business(),
+        hourly_spikes: Some(HourlySpikes {
+            magnitude: surge,
+            duration_secs: 300,
+            hours: surge_hours,
+        }),
+        sporadic_spikes: None,
+        poisson_noise: true,
+        seed,
+    }
+}
+
+/// All six Table 1 presets, in the table's row order.
+pub fn table1_presets() -> Vec<PresetId> {
+    vec![
+        PresetId::WestUs2Small,
+        PresetId::EastUs2Small,
+        PresetId::WestUs2Medium,
+        PresetId::EastUs2Medium,
+        PresetId::WestUs2Large,
+        PresetId::EastUs2Large,
+    ]
+}
+
+/// The hard production region of §7.5: near-zero baseline demand with
+/// sporadic spikes roughly every 3 hours, imprecisely timed.
+pub fn spiky_region(seed: u64) -> DemandModel {
+    DemandModel {
+        interval_secs: 30,
+        days: 14,
+        base_rate: 0.2,
+        diurnal_amplitude: 0.3,
+        weekly: WeeklyProfile::flat(),
+        hourly_spikes: None,
+        sporadic_spikes: Some(SporadicSpikes {
+            mean_period_secs: 3 * 3600,
+            jitter_secs: 1200,
+            magnitude: 20.0,
+            duration_secs: 240,
+        }),
+        poisson_noise: true,
+        seed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_presets_generate() {
+        for id in table1_presets() {
+            let mut m = preset(id, 1);
+            m.days = 1; // keep the test fast
+            let ts = m.generate();
+            assert!(!ts.is_empty(), "{} produced empty series", id.label());
+            assert!(ts.sum() > 0.0, "{} produced zero demand", id.label());
+        }
+    }
+
+    #[test]
+    fn volume_ordering_small_over_large() {
+        let mut small = preset(PresetId::WestUs2Small, 1);
+        let mut large = preset(PresetId::WestUs2Large, 1);
+        small.days = 2;
+        large.days = 2;
+        assert!(small.generate().sum() > large.generate().sum());
+    }
+
+    #[test]
+    fn east_us2_medium_is_quietest() {
+        let sums: Vec<f64> = table1_presets()
+            .into_iter()
+            .map(|id| {
+                let mut m = preset(id, 1);
+                m.days = 2;
+                m.generate().sum()
+            })
+            .collect();
+        let east_medium = sums[3];
+        assert!(sums.iter().enumerate().all(|(i, &s)| i == 3 || s >= east_medium));
+    }
+
+    #[test]
+    fn spiky_region_is_mostly_idle() {
+        let mut m = spiky_region(5);
+        m.days = 2;
+        let ts = m.generate();
+        let idle = ts.values().iter().filter(|&&v| v <= 1.0).count();
+        assert!(idle as f64 / ts.len() as f64 > 0.8, "idle fraction too low");
+        // But spikes exist.
+        assert!(ts.max().unwrap() >= 10.0);
+    }
+
+    #[test]
+    fn labels_unique() {
+        let labels: Vec<_> = table1_presets().iter().map(|p| p.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.dedup();
+        assert_eq!(labels.len(), 6);
+        assert_eq!(dedup.len(), 6);
+    }
+}

@@ -1,0 +1,131 @@
+//! Trace characterization: the statistics the paper uses informally when
+//! describing datasets ("regions with larger and stable patterns, such as
+//! West US2", "sporadic spikes … albeit not precisely timed").
+
+use ip_timeseries::TimeSeries;
+
+/// Summary statistics of a demand trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceStats {
+    /// Mean requests per interval.
+    pub mean: f64,
+    /// Peak requests in any interval.
+    pub peak: f64,
+    /// Peak-to-mean ratio (burstiness; ∞-free: 0 when the trace is empty).
+    pub peak_to_mean: f64,
+    /// Coefficient of variation (std/mean; 0 for constant or empty traces).
+    pub coefficient_of_variation: f64,
+    /// Autocorrelation at the daily lag (predictability of the diurnal
+    /// pattern; `None` when the trace is shorter than two days).
+    pub daily_autocorrelation: Option<f64>,
+    /// Fraction of intervals with zero requests.
+    pub idle_fraction: f64,
+}
+
+/// Computes [`TraceStats`] for a demand trace.
+pub fn trace_stats(series: &TimeSeries) -> TraceStats {
+    let n = series.len();
+    if n == 0 {
+        return TraceStats {
+            mean: 0.0,
+            peak: 0.0,
+            peak_to_mean: 0.0,
+            coefficient_of_variation: 0.0,
+            daily_autocorrelation: None,
+            idle_fraction: 0.0,
+        };
+    }
+    let mean = series.mean().unwrap_or(0.0);
+    let peak = series.max().unwrap_or(0.0);
+    let std = series.std_dev().unwrap_or(0.0);
+    let daily_lag = (86_400 / series.interval_secs().max(1)) as usize;
+    TraceStats {
+        mean,
+        peak,
+        peak_to_mean: if mean > 0.0 { peak / mean } else { 0.0 },
+        coefficient_of_variation: if mean > 0.0 { std / mean } else { 0.0 },
+        daily_autocorrelation: autocorrelation(series.values(), daily_lag),
+        idle_fraction: series.values().iter().filter(|&&v| v == 0.0).count() as f64 / n as f64,
+    }
+}
+
+/// Sample autocorrelation at `lag`; `None` when there are not at least two
+/// full lags of data or the series is constant.
+pub fn autocorrelation(values: &[f64], lag: usize) -> Option<f64> {
+    if lag == 0 || values.len() < 2 * lag {
+        return None;
+    }
+    let n = values.len();
+    let mean = values.iter().sum::<f64>() / n as f64;
+    let var: f64 = values.iter().map(|v| (v - mean).powi(2)).sum();
+    if var < 1e-12 {
+        return None;
+    }
+    let cov: f64 = (0..n - lag).map(|t| (values[t] - mean) * (values[t + lag] - mean)).sum();
+    Some(cov / var)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{preset, spiky_region, PresetId};
+
+    #[test]
+    fn constant_trace_stats() {
+        let ts = TimeSeries::new(30, vec![4.0; 100]).unwrap();
+        let s = trace_stats(&ts);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.peak_to_mean, 1.0);
+        assert_eq!(s.coefficient_of_variation, 0.0);
+        assert_eq!(s.idle_fraction, 0.0);
+        // Constant series has undefined autocorrelation.
+        assert_eq!(s.daily_autocorrelation, None);
+    }
+
+    #[test]
+    fn empty_trace_safe() {
+        let s = trace_stats(&TimeSeries::zeros(30, 0));
+        assert_eq!(s.peak_to_mean, 0.0);
+    }
+
+    #[test]
+    fn periodic_signal_high_autocorrelation() {
+        // Period exactly one "day" at a coarse interval.
+        let day = 86_400 / 3600; // 24 intervals of 1 h
+        let vals: Vec<f64> =
+            (0..24 * 5).map(|t| [1.0, 9.0, 3.0][t % 3] + (t % day) as f64).collect();
+        let ac = autocorrelation(&vals, day).unwrap();
+        assert!(ac > 0.8, "daily autocorrelation {ac}");
+    }
+
+    #[test]
+    fn spiky_region_is_bursty_and_idle() {
+        let mut m = spiky_region(3);
+        m.days = 2;
+        let spiky = trace_stats(&m.generate());
+        let mut m2 = preset(PresetId::WestUs2Small, 3);
+        m2.days = 2;
+        let steady = trace_stats(&m2.generate());
+        // The §7.5 hard region: burstier and mostly idle compared to the
+        // large stable region.
+        assert!(spiky.peak_to_mean > 3.0 * steady.peak_to_mean);
+        assert!(spiky.idle_fraction > steady.idle_fraction);
+        assert!(spiky.coefficient_of_variation > steady.coefficient_of_variation);
+    }
+
+    #[test]
+    fn diurnal_presets_have_daily_structure() {
+        let mut m = preset(PresetId::EastUs2Small, 7);
+        m.days = 3;
+        let s = trace_stats(&m.generate());
+        let ac = s.daily_autocorrelation.expect("3 days of data");
+        assert!(ac > 0.5, "daily autocorrelation {ac}");
+    }
+
+    #[test]
+    fn autocorrelation_edge_cases() {
+        assert_eq!(autocorrelation(&[1.0, 2.0], 0), None);
+        assert_eq!(autocorrelation(&[1.0, 2.0, 3.0], 2), None); // < 2 lags
+        assert_eq!(autocorrelation(&[5.0; 10], 2), None); // constant
+    }
+}

@@ -1,0 +1,91 @@
+//! The hard production region of §7.5: sporadic ~3-hour spikes, imprecisely
+//! timed, over a near-idle baseline — and the three hardening strategies
+//! that fixed it (demand max-filter, extended stability, output max-filter).
+//!
+//! Run with: `cargo run --release --example spiky_region`
+
+use intelligent_pooling::prelude::*;
+
+fn main() {
+    // Plan on one realization of the spiky region, evaluate on another with
+    // the same structure but different spike timings (the generator jitters
+    // spikes per seed) — exactly the mistimed-spike failure mode.
+    let mut plan_model = spiky_region(11);
+    plan_model.days = 2;
+    let mut eval_model = spiky_region(23);
+    eval_model.days = 2;
+    let plan = plan_model.generate();
+    let eval = eval_model.generate();
+
+    let saa = SaaConfig {
+        tau_intervals: 3,
+        stableness: 10,
+        alpha_prime: 0.6,
+        max_pool: 60,
+        ..Default::default()
+    };
+
+    println!("spiky region: {} requests over {} intervals", eval.sum(), eval.len());
+    println!();
+    println!(
+        "{:<34} {:>9} {:>14} {:>12}",
+        "strategy", "hit rate", "idle (cl-sec)", "mean wait"
+    );
+
+    let variants: Vec<(&str, RobustnessStrategies)> = vec![
+        ("none (pre-hardening)", RobustnessStrategies::none()),
+        (
+            "demand smoothing only",
+            RobustnessStrategies {
+                demand_smoothing_factor: 2 * saa.tau_intervals,
+                extended_stableness: None,
+                output_max_filter: false,
+            },
+        ),
+        (
+            "extended stability only",
+            RobustnessStrategies {
+                demand_smoothing_factor: 0,
+                extended_stableness: Some(saa.stableness * 2),
+                output_max_filter: false,
+            },
+        ),
+        (
+            "output max-filter only",
+            RobustnessStrategies {
+                demand_smoothing_factor: 0,
+                extended_stableness: None,
+                output_max_filter: true,
+            },
+        ),
+        ("all three (deployed)", RobustnessStrategies::all(&saa)),
+        (
+            "all three, SF sized to jitter",
+            // The paper sizes the smoothing factor to the spike timing
+            // uncertainty; here spikes wander by up to ±20 min (40
+            // intervals), so the filter must be at least that wide.
+            RobustnessStrategies {
+                demand_smoothing_factor: 90,
+                extended_stableness: Some(saa.stableness * 2),
+                output_max_filter: true,
+            },
+        ),
+    ];
+
+    for (label, strategies) in variants {
+        let opt = robust_optimize(&plan, &saa, &strategies).expect("optimize");
+        let mech = evaluate_schedule(&eval, &opt.schedule, saa.tau_intervals).expect("evaluate");
+        println!(
+            "{:<34} {:>8.1}% {:>14.0} {:>10.2}s",
+            label,
+            mech.hit_rate * 100.0,
+            mech.idle_cluster_seconds,
+            mech.mean_wait_per_request_secs
+        );
+    }
+
+    println!();
+    println!("The hardened configuration holds the hit rate on mistimed spikes while");
+    println!("still collapsing the pool between spikes (the 18% -> 64% savings jump");
+    println!("described in Section 7.5 comes from exactly this mechanism).");
+}

@@ -1,0 +1,178 @@
+//! `ip-pool` — command-line front end to the Intelligent Pooling library.
+//!
+//! ```text
+//! ip-pool generate  --preset east-us-2-medium --days 2 > demand.txt
+//! ip-pool recommend demand.txt --model ssa+ --alpha 0.3 --horizon 120
+//! ip-pool evaluate  demand.txt --pool 8 --tau 3
+//! ip-pool simulate  demand.txt --target 8
+//! ```
+//!
+//! Demand files are newline-delimited request counts (optionally prefixed by
+//! a timestamp column); `#` comments are ignored.
+
+use intelligent_pooling::cli::{format_demand, parse_demand, CliArgs};
+use intelligent_pooling::prelude::*;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+usage: ip-pool <command> [args]
+
+commands:
+  generate   emit a synthetic demand trace to stdout
+             --preset <west-us-2-small|east-us-2-small|west-us-2-medium|
+                       east-us-2-medium|west-us-2-large|east-us-2-large|spiky>
+             --days N (default 2)  --seed N (default 0)
+  recommend  pool-size targets for the next horizon from a demand file
+             <file>  --model <ssa|ssa+|baseline> (default ssa+)
+             --alpha A' (default 0.3)  --horizon N (default 120)
+             --tau N (default 3)  --stableness N (default 10)
+             --interval SECS (default 30)
+  evaluate   mechanism accounting for a fixed pool size on a demand file
+             <file>  --pool N  --tau N (default 3)  --interval SECS
+  simulate   discrete-event simulation with a static target
+             <file>  --target N (default 4)  --tau-secs N (default 90)
+             --interval SECS (default 30)  --seed N
+";
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("ip-pool: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args = CliArgs::parse(std::env::args().skip(1)).map_err(|e| e.to_string())?;
+    match args.command.as_str() {
+        "generate" => generate(&args),
+        "recommend" => recommend(&args),
+        "evaluate" => evaluate(&args),
+        "simulate" => simulate(&args),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn load_demand(args: &CliArgs) -> Result<TimeSeries, String> {
+    let path = args
+        .positionals
+        .first()
+        .ok_or_else(|| "expected a demand file argument".to_string())?;
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let interval = args.flag_or("interval", 30u64).map_err(|e| e.to_string())?;
+    parse_demand(&text, interval).map_err(|e| e.to_string())
+}
+
+fn generate(args: &CliArgs) -> Result<(), String> {
+    let days = args.flag_or("days", 2u32).map_err(|e| e.to_string())?;
+    let seed = args.flag_or("seed", 0u64).map_err(|e| e.to_string())?;
+    let preset_name = args.flag_str("preset").unwrap_or("east-us-2-medium");
+    let mut model = match preset_name {
+        "west-us-2-small" => preset(PresetId::WestUs2Small, seed),
+        "east-us-2-small" => preset(PresetId::EastUs2Small, seed),
+        "west-us-2-medium" => preset(PresetId::WestUs2Medium, seed),
+        "east-us-2-medium" => preset(PresetId::EastUs2Medium, seed),
+        "west-us-2-large" => preset(PresetId::WestUs2Large, seed),
+        "east-us-2-large" => preset(PresetId::EastUs2Large, seed),
+        "spiky" => spiky_region(seed),
+        other => return Err(format!("unknown preset {other:?}")),
+    };
+    model.days = days;
+    print!("{}", format_demand(&model.generate()));
+    Ok(())
+}
+
+fn recommend(args: &CliArgs) -> Result<(), String> {
+    let demand = load_demand(args)?;
+    let alpha = args.flag_or("alpha", 0.3f64).map_err(|e| e.to_string())?;
+    let horizon = args.flag_or("horizon", 120usize).map_err(|e| e.to_string())?;
+    let tau = args.flag_or("tau", 3usize).map_err(|e| e.to_string())?;
+    let stableness = args.flag_or("stableness", 10usize).map_err(|e| e.to_string())?;
+    let saa = SaaConfig {
+        tau_intervals: tau,
+        stableness,
+        alpha_prime: alpha,
+        ..Default::default()
+    };
+    let model_name = args.flag_str("model").unwrap_or("ssa+");
+    let targets = match model_name {
+        "ssa" => {
+            let mut engine = TwoStepEngine::new(
+                SsaModel::new(150, RankSelection::EnergyThreshold(0.9)),
+                saa,
+            );
+            engine.recommend(&demand, horizon)
+        }
+        "ssa+" => {
+            let mut engine =
+                TwoStepEngine::new(SsaPlus::with_alpha(1.0 - alpha as f32), saa);
+            engine.recommend(&demand, horizon)
+        }
+        "baseline" => {
+            let mut engine = TwoStepEngine::new(BaselineForecaster::new(1.0), saa);
+            engine.recommend(&demand, horizon)
+        }
+        other => return Err(format!("unknown model {other:?}")),
+    }
+    .map_err(|e| e.to_string())?;
+
+    // Write via the raw handle so a closed pipe (e.g. `| head`) ends the
+    // program quietly instead of panicking.
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut out = stdout.lock();
+    let _ = writeln!(out, "# pool-size targets, one per {}s interval", demand.interval_secs());
+    for t in targets {
+        if writeln!(out, "{t}").is_err() {
+            break;
+        }
+    }
+    Ok(())
+}
+
+fn evaluate(args: &CliArgs) -> Result<(), String> {
+    let demand = load_demand(args)?;
+    let pool = args.flag_or("pool", 4u32).map_err(|e| e.to_string())?;
+    let tau = args.flag_or("tau", 3usize).map_err(|e| e.to_string())?;
+    let schedule = vec![f64::from(pool); demand.len()];
+    let mech = evaluate_schedule(&demand, &schedule, tau).map_err(|e| e.to_string())?;
+    println!("requests        : {}", mech.total_requests);
+    println!("hit rate        : {:.2}%", mech.hit_rate * 100.0);
+    println!("mean wait       : {:.2} s/request", mech.mean_wait_per_request_secs);
+    println!("total wait      : {:.0} s", mech.wait_seconds);
+    println!("idle time       : {:.0} cluster-seconds", mech.idle_cluster_seconds);
+    let cost = CostModel::default();
+    println!(
+        "idle cost       : ${:.2} over the trace (${:.0}/yr extrapolated)",
+        cost.cost_of_idle(mech.idle_cluster_seconds),
+        cost.annualize(mech.idle_cluster_seconds, demand.duration_secs() as f64)
+            .map_err(|e| e.to_string())?
+    );
+    Ok(())
+}
+
+fn simulate(args: &CliArgs) -> Result<(), String> {
+    let demand = load_demand(args)?;
+    let target = args.flag_or("target", 4u32).map_err(|e| e.to_string())?;
+    let tau_secs = args.flag_or("tau-secs", 90u64).map_err(|e| e.to_string())?;
+    let seed = args.flag_or("seed", 0u64).map_err(|e| e.to_string())?;
+    let cfg = SimConfig {
+        interval_secs: demand.interval_secs(),
+        tau_secs,
+        default_pool_target: target,
+        seed,
+        ..Default::default()
+    };
+    let report = Simulation::new(cfg, None).run(&demand).map_err(|e| e.to_string())?;
+    println!("requests        : {}", report.total_requests);
+    println!("hits / misses   : {} / {}", report.hits, report.misses);
+    println!("hit rate        : {:.2}%", report.hit_rate * 100.0);
+    println!("mean wait       : {:.2} s/request", report.mean_wait_secs);
+    println!("idle time       : {:.0} cluster-seconds", report.idle_cluster_seconds);
+    println!("clusters created: {} ({} on-demand)", report.clusters_created, report.on_demand_created);
+    Ok(())
+}

@@ -1,0 +1,196 @@
+//! Support code for the `ip-pool` command-line tool: flag parsing and the
+//! newline-delimited demand format.
+//!
+//! The demand format is deliberately trivial — one request count per line,
+//! `#`-prefixed comments and blank lines ignored — so any telemetry export
+//! can be piped in with standard tools.
+
+use crate::timeseries::TimeSeries;
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand, positional arguments, and `--key
+/// value` flags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliArgs {
+    /// First non-flag token.
+    pub command: String,
+    /// Remaining non-flag tokens.
+    pub positionals: Vec<String>,
+    /// `--key value` pairs.
+    pub flags: BTreeMap<String, String>,
+}
+
+/// Errors from CLI parsing and IO.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CliError {
+    /// No subcommand given.
+    MissingCommand,
+    /// A `--flag` without a value.
+    MissingValue(String),
+    /// A flag value failed to parse.
+    InvalidValue {
+        /// Flag name.
+        flag: String,
+        /// Offending text.
+        value: String,
+    },
+    /// Demand file problems.
+    BadDemand(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::MissingCommand => write!(f, "missing subcommand"),
+            CliError::MissingValue(flag) => write!(f, "flag --{flag} needs a value"),
+            CliError::InvalidValue { flag, value } => {
+                write!(f, "flag --{flag}: cannot parse {value:?}")
+            }
+            CliError::BadDemand(msg) => write!(f, "bad demand input: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl CliArgs {
+    /// Parses raw arguments (without the program name).
+    pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, CliError> {
+        let mut command = None;
+        let mut positionals = Vec::new();
+        let mut flags = BTreeMap::new();
+        let mut iter = args.into_iter().peekable();
+        while let Some(arg) = iter.next() {
+            if let Some(name) = arg.strip_prefix("--") {
+                let value =
+                    iter.next().ok_or_else(|| CliError::MissingValue(name.to_string()))?;
+                flags.insert(name.to_string(), value);
+            } else if command.is_none() {
+                command = Some(arg);
+            } else {
+                positionals.push(arg);
+            }
+        }
+        Ok(Self {
+            command: command.ok_or(CliError::MissingCommand)?,
+            positionals,
+            flags,
+        })
+    }
+
+    /// A flag parsed to any `FromStr` type, with a default.
+    pub fn flag_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.flags.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| CliError::InvalidValue {
+                flag: name.to_string(),
+                value: v.clone(),
+            }),
+        }
+    }
+
+    /// A required string flag.
+    pub fn flag_str(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+}
+
+/// Parses newline-delimited demand counts into a [`TimeSeries`].
+pub fn parse_demand(text: &str, interval_secs: u64) -> Result<TimeSeries, CliError> {
+    let mut values = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        // Accept an optional leading "timestamp," column.
+        let cell = trimmed.rsplit(',').next().unwrap_or(trimmed).trim();
+        let v: f64 = cell.parse().map_err(|_| {
+            CliError::BadDemand(format!("line {}: cannot parse {cell:?}", lineno + 1))
+        })?;
+        if v < 0.0 || !v.is_finite() {
+            return Err(CliError::BadDemand(format!(
+                "line {}: counts must be finite and non-negative",
+                lineno + 1
+            )));
+        }
+        values.push(v);
+    }
+    if values.is_empty() {
+        return Err(CliError::BadDemand("no data lines".into()));
+    }
+    TimeSeries::new(interval_secs, values).map_err(|e| CliError::BadDemand(e.to_string()))
+}
+
+/// Renders a series as the newline-delimited format.
+pub fn format_demand(series: &TimeSeries) -> String {
+    let mut out = String::with_capacity(series.len() * 4);
+    out.push_str(&format!("# interval_secs={}\n", series.interval_secs()));
+    for v in series.values() {
+        out.push_str(&format!("{v}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_command_flags_positionals() {
+        let args = CliArgs::parse(
+            ["recommend", "--interval", "30", "trace.txt", "--alpha", "0.3"]
+                .into_iter()
+                .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(args.command, "recommend");
+        assert_eq!(args.positionals, vec!["trace.txt"]);
+        assert_eq!(args.flag_or("interval", 0u64).unwrap(), 30);
+        assert_eq!(args.flag_or("alpha", 0.0f64).unwrap(), 0.3);
+        // Defaults apply for absent flags.
+        assert_eq!(args.flag_or("horizon", 120usize).unwrap(), 120);
+    }
+
+    #[test]
+    fn missing_command_and_values_rejected() {
+        assert_eq!(CliArgs::parse(Vec::<String>::new()), Err(CliError::MissingCommand));
+        let err = CliArgs::parse(["x", "--flag"].into_iter().map(String::from)).unwrap_err();
+        assert_eq!(err, CliError::MissingValue("flag".into()));
+    }
+
+    #[test]
+    fn invalid_flag_value_reported() {
+        let args =
+            CliArgs::parse(["x", "--n", "abc"].into_iter().map(String::from)).unwrap();
+        assert!(matches!(
+            args.flag_or::<u32>("n", 1),
+            Err(CliError::InvalidValue { .. })
+        ));
+    }
+
+    #[test]
+    fn demand_roundtrip() {
+        let text = "# comment\n1\n2.5\n\n0\n";
+        let ts = parse_demand(text, 30).unwrap();
+        assert_eq!(ts.values(), &[1.0, 2.5, 0.0]);
+        let rendered = format_demand(&ts);
+        let back = parse_demand(&rendered, 30).unwrap();
+        assert_eq!(back, ts);
+    }
+
+    #[test]
+    fn demand_with_timestamp_column() {
+        let text = "2024-01-01T00:00:00,3\n2024-01-01T00:00:30,1\n";
+        let ts = parse_demand(text, 30).unwrap();
+        assert_eq!(ts.values(), &[3.0, 1.0]);
+    }
+
+    #[test]
+    fn bad_demand_rejected() {
+        assert!(parse_demand("", 30).is_err());
+        assert!(parse_demand("abc\n", 30).is_err());
+        assert!(parse_demand("-1\n", 30).is_err());
+        assert!(parse_demand("inf\n", 30).is_err());
+    }
+}

@@ -1,0 +1,85 @@
+#![warn(missing_docs)]
+//! **intelligent-pooling** — a Rust reproduction of *"Intelligent Pooling:
+//! Proactive Resource Provisioning in Large-scale Cloud Service"* (PVLDB
+//! 17(7), 2024).
+//!
+//! Cloud Spark offerings pay 60–120 s of cluster creation latency on every
+//! job. The paper eliminates it by keeping a **live pool** of pre-created
+//! clusters and sizing that pool with a feedback loop of time-series
+//! forecasting (the hybrid **SSA+** model) and linear programming (the
+//! **SAA optimizer**), reporting up to 43% idle-time reduction at a 99%
+//! pool hit rate versus static pooling.
+//!
+//! This crate is a facade over the workspace:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`saa`] | `ip-saa` | pool mechanism accounting, LP/DP optimizers, Pareto sweeps, §7.5 robustness |
+//! | [`models`] | `ip-models` | Baseline, SSA, SSA+, mWDN, TST, InceptionTime forecasters |
+//! | [`core`] | `ip-core` | 2-step / E2E pipelines, `α'` auto-tuner, guardrails, COGS model, multi-pool |
+//! | [`sim`] | `ip-sim` | discrete-event platform simulator (clusters, workers, leases, stores) |
+//! | [`workload`] | `ip-workload` | synthetic demand traces standing in for production telemetry |
+//! | [`timeseries`] | `ip-timeseries` | series type, metrics, max-filter smoothing, splits |
+//! | [`ssa`] | `ip-ssa` | Singular Spectrum Analysis from scratch |
+//! | [`nn`] | `ip-nn` | tensors + tape autograd + layers/optimizers for the deep models |
+//! | [`lp`] | `ip-lp` | two-phase primal simplex |
+//! | [`linalg`] | `ip-linalg` | Jacobi eigen/SVD, QR, LU |
+//!
+//! # Quickstart
+//!
+//! Size a pool for tomorrow from two weeks of (synthetic) demand history:
+//!
+//! ```
+//! use intelligent_pooling::prelude::*;
+//!
+//! // 1. Demand history (stand-in for production telemetry).
+//! let mut model = ip_workload::preset(ip_workload::PresetId::EastUs2Medium, 42);
+//! model.days = 2; // keep the doctest fast
+//! let history = model.generate();
+//!
+//! // 2. A 2-step engine: SSA forecast → SAA optimization.
+//! let saa = SaaConfig { tau_intervals: 3, stableness: 10, ..Default::default() };
+//! let forecaster = SsaModel::new(150, RankSelection::EnergyThreshold(0.9));
+//! let mut engine = TwoStepEngine::new(forecaster, saa);
+//!
+//! // 3. Pool sizes for the next hour (120 × 30 s intervals).
+//! let targets = engine.recommend(&history, 120).unwrap();
+//! assert_eq!(targets.len(), 120);
+//! ```
+
+pub mod cli;
+
+pub use ip_core as core;
+pub use ip_linalg as linalg;
+pub use ip_lp as lp;
+pub use ip_models as models;
+pub use ip_nn as nn;
+pub use ip_saa as saa;
+pub use ip_sim as sim;
+pub use ip_ssa as ssa;
+pub use ip_timeseries as timeseries;
+pub use ip_workload as workload;
+
+/// The commonly used types, one `use` away.
+pub mod prelude {
+    pub use ip_core::{
+        evaluate_alerts, Alert, AlertRule, AlphaTuner, CostModel, Dashboard, EndToEndEngine,
+        EngineConfig, Guardrail, IntelligentPooling, MetricsSnapshot, MultiPoolManager, NodeSize,
+        PoolId, RecommendationEngine, SavingsReport, TwoStepEngine,
+    };
+    pub use ip_models::{
+        AutoSelector, BaselineForecaster, DeepConfig, Forecaster, HoltWinters, InceptionTime,
+        Mwdn, SeasonalNaive, SsaModel, SsaPlus, Tst,
+    };
+    pub use ip_saa::{
+        evaluate_schedule, optimal_static_for_hit_rate, optimize_dp, optimize_lp,
+        optimize_periodic_profile, pareto_sweep, robust_optimize, PoolMechanics,
+        RobustnessStrategies, SaaConfig,
+    };
+    pub use ip_sim::{
+        run_region, IpWorkerConfig, PoolKind, RegionPool, SimConfig, Simulation, StaticProvider,
+    };
+    pub use ip_ssa::RankSelection;
+    pub use ip_timeseries::TimeSeries;
+    pub use ip_workload::{preset, spiky_region, table1_presets, DemandModel, PresetId};
+}

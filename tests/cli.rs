@@ -1,0 +1,90 @@
+//! Integration tests for the `ip-pool` binary, driven through the real
+//! executable (Cargo exposes its path via `CARGO_BIN_EXE_*`).
+
+use std::process::Command;
+
+fn ip_pool() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ip-pool"))
+}
+
+#[test]
+fn generate_then_evaluate_roundtrip() {
+    let dir = std::env::temp_dir().join(format!("ip-pool-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("demand.txt");
+
+    let out = ip_pool()
+        .args(["generate", "--preset", "east-us-2-medium", "--days", "1", "--seed", "5"])
+        .output()
+        .expect("run generate");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.lines().filter(|l| !l.starts_with('#')).count() >= 2880);
+    std::fs::write(&trace, &text).unwrap();
+
+    let out = ip_pool()
+        .args(["evaluate", trace.to_str().unwrap(), "--pool", "6"])
+        .output()
+        .expect("run evaluate");
+    assert!(out.status.success());
+    let report = String::from_utf8(out.stdout).unwrap();
+    assert!(report.contains("hit rate"), "{report}");
+    assert!(report.contains("idle cost"), "{report}");
+
+    let out = ip_pool()
+        .args(["simulate", trace.to_str().unwrap(), "--target", "6"])
+        .output()
+        .expect("run simulate");
+    assert!(out.status.success());
+    let report = String::from_utf8(out.stdout).unwrap();
+    assert!(report.contains("clusters created"), "{report}");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn recommend_baseline_outputs_targets() {
+    let dir = std::env::temp_dir().join(format!("ip-pool-rec-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("demand.txt");
+    // A small constant trace is enough for the baseline model.
+    let body: String = std::iter::repeat("2\n").take(600).collect();
+    std::fs::write(&trace, body).unwrap();
+
+    let out = ip_pool()
+        .args([
+            "recommend",
+            trace.to_str().unwrap(),
+            "--model",
+            "baseline",
+            "--horizon",
+            "12",
+        ])
+        .output()
+        .expect("run recommend");
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    let targets: Vec<&str> =
+        text.lines().filter(|l| !l.starts_with('#') && !l.is_empty()).collect();
+    assert_eq!(targets.len(), 12);
+    assert!(targets.iter().all(|t| t.parse::<u32>().is_ok()));
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_usage_fails_with_help() {
+    let out = ip_pool().args(["frobnicate"]).output().expect("run");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("usage:"), "{err}");
+
+    let out = ip_pool().output().expect("run");
+    assert!(!out.status.success());
+
+    let out = ip_pool()
+        .args(["evaluate", "/nonexistent/file.txt"])
+        .output()
+        .expect("run");
+    assert!(!out.status.success());
+}

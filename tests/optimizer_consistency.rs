@@ -1,0 +1,196 @@
+//! Cross-checks between the three independent implementations of the pool
+//! mechanism: the analytic accounting (`ip-saa`), the LP/DP optimizers, and
+//! the discrete-event simulator (`ip-sim`).
+
+use intelligent_pooling::prelude::*;
+use intelligent_pooling::saa::static_pool::static_schedule;
+
+fn bursty_demand(days: u32, seed: u64) -> TimeSeries {
+    let mut model = DemandModel {
+        days,
+        base_rate: 1.0,
+        diurnal_amplitude: 3.0,
+        seed,
+        ..Default::default()
+    };
+    model.interval_secs = 30;
+    model.generate()
+}
+
+/// The DES with a constant pool and deterministic τ must reproduce the
+/// analytic Fig. 3 accounting wherever the paper's FCFS approximation is
+/// exact — i.e. when the pool is rarely drained. When the pool *is* in
+/// deficit the two models legitimately diverge (the §4 footnote: real
+/// execution violates cumulative FCFS matching, and the analytic model is a
+/// pessimistic approximation), so there the test pins the documented
+/// direction: the simulator never serves fewer requests instantly than the
+/// planning model predicts.
+#[test]
+fn simulator_matches_analytic_accounting_for_static_pool() {
+    let demand = bursty_demand(1, 3);
+    let tau_intervals = 3usize;
+    for target in [0u32, 2, 5, 10, 20] {
+        let analytic =
+            evaluate_schedule(&demand, &static_schedule(demand.len(), target), tau_intervals)
+                .unwrap();
+        let cfg = SimConfig {
+            interval_secs: 30,
+            tau_secs: 90,
+            tau_jitter_secs: 0,
+            default_pool_target: target,
+            ..Default::default()
+        };
+        let sim = Simulation::new(cfg, None).run(&demand).unwrap();
+
+        assert_eq!(sim.total_requests, analytic.total_requests, "target {target}");
+        if analytic.hit_rate >= 0.95 {
+            // Well-provisioned regime: the models must coincide closely.
+            let hit_diff = (sim.hit_rate - analytic.hit_rate).abs();
+            assert!(
+                hit_diff < 0.03,
+                "target {target}: sim hit {} vs analytic {}",
+                sim.hit_rate,
+                analytic.hit_rate
+            );
+            let denom = analytic.idle_cluster_seconds.max(1.0);
+            let idle_diff =
+                (sim.idle_cluster_seconds - analytic.idle_cluster_seconds).abs() / denom;
+            assert!(
+                idle_diff < 0.10,
+                "target {target}: sim idle {} vs analytic {}",
+                sim.idle_cluster_seconds,
+                analytic.idle_cluster_seconds
+            );
+        } else {
+            // Deficit regime: the analytic FCFS matching is pessimistic.
+            assert!(
+                sim.hit_rate >= analytic.hit_rate - 0.02,
+                "target {target}: sim hit {} below analytic lower bound {}",
+                sim.hit_rate,
+                analytic.hit_rate
+            );
+        }
+    }
+}
+
+/// DP and LP agree on the optimum within integer-rounding, and both beat
+/// every static pool on the combined objective.
+#[test]
+fn optimizers_dominate_static_pools_on_objective() {
+    let demand = bursty_demand(1, 9).aggregate(4).unwrap(); // 2-minute buckets, fast
+    let config = SaaConfig {
+        tau_intervals: 1,
+        stableness: 5,
+        min_pool: 0,
+        max_pool: 60,
+        max_new_per_block: 60,
+        alpha_prime: 0.5,
+    };
+    let lp = optimize_lp(&demand, &config).unwrap();
+    let dp = optimize_dp(&demand, &config).unwrap();
+    assert!(lp.objective <= dp.objective + 1e-6);
+
+    for static_n in (0..=30).step_by(5) {
+        let m = evaluate_schedule(
+            &demand,
+            &static_schedule(demand.len(), static_n),
+            config.tau_intervals,
+        )
+        .unwrap();
+        let obj = m.objective(config.alpha_prime, demand.interval_secs());
+        assert!(
+            dp.objective <= obj + 1e-6,
+            "static pool {static_n} (obj {obj}) beats DP ({})",
+            dp.objective
+        );
+    }
+}
+
+/// The headline claim's shape: at a matched high hit rate, the dynamic
+/// schedule spends meaningfully less idle time than the best static pool.
+#[test]
+fn dynamic_pooling_cuts_idle_at_matched_hit_rate() {
+    let demand = bursty_demand(2, 17);
+    let config = SaaConfig {
+        tau_intervals: 3,
+        stableness: 10,
+        min_pool: 0,
+        max_pool: 200,
+        max_new_per_block: 200,
+        alpha_prime: 0.5,
+    };
+
+    // Find the dynamic schedule whose hit rate clears 99% by sweeping α'.
+    let mut dynamic: Option<ip_saa::PoolMechanics> = None;
+    for alpha in [0.5, 0.3, 0.2, 0.1, 0.05, 0.02, 0.01] {
+        let c = SaaConfig { alpha_prime: alpha, ..config };
+        let opt = optimize_dp(&demand, &c).unwrap();
+        let m = evaluate_schedule(&demand, &opt.schedule, c.tau_intervals).unwrap();
+        if m.hit_rate >= 0.99 {
+            dynamic = Some(m);
+            break;
+        }
+    }
+    let dynamic = dynamic.expect("some alpha reaches a 99% hit rate");
+
+    let (_, static_mech) = optimal_static_for_hit_rate(&demand, 3, 0.99, 500).unwrap();
+    assert!(
+        dynamic.idle_cluster_seconds < static_mech.idle_cluster_seconds,
+        "dynamic idle {} not below static idle {}",
+        dynamic.idle_cluster_seconds,
+        static_mech.idle_cluster_seconds
+    );
+    let reduction = 1.0 - dynamic.idle_cluster_seconds / static_mech.idle_cluster_seconds;
+    // The paper reports up to 43%; demand shape dictates the exact figure —
+    // requiring a clearly material reduction keeps the test robust.
+    assert!(reduction > 0.10, "idle reduction only {:.1}%", reduction * 100.0);
+}
+
+/// Fig. 4's phenomenon: with top-of-hour surges, the optimal pool size rises
+/// *before* the surge arrives (by about τ).
+#[test]
+fn optimal_pool_rises_ahead_of_scheduled_surges() {
+    use intelligent_pooling::workload::{HourlySpikes, WeeklyProfile};
+    let model = DemandModel {
+        days: 1,
+        base_rate: 0.5,
+        diurnal_amplitude: 0.0,
+        weekly: WeeklyProfile::flat(),
+        hourly_spikes: Some(HourlySpikes { magnitude: 20.0, duration_secs: 120, hours: vec![] }),
+        poisson_noise: false,
+        seed: 0,
+        ..Default::default()
+    };
+    let demand = model.generate();
+    let config = SaaConfig {
+        tau_intervals: 4, // 2 minutes of creation latency
+        stableness: 4,    // 2-minute blocks so the anticipation is visible
+        min_pool: 0,
+        max_pool: 200,
+        max_new_per_block: 200,
+        alpha_prime: 0.3,
+    };
+    let opt = optimize_dp(&demand, &config).unwrap();
+
+    // At each top of hour (interval 120·k), the pool during the preceding
+    // block must exceed the quiet-period level.
+    let per_hour = 120usize;
+    let quiet_level = opt.schedule[per_hour / 2]; // mid-hour, far from surges
+    let mut anticipations = 0;
+    let mut surges = 0;
+    for k in 1..24 {
+        let surge_start = k * per_hour;
+        if surge_start >= opt.schedule.len() {
+            break;
+        }
+        surges += 1;
+        let before = opt.schedule[surge_start - config.tau_intervals];
+        if before > quiet_level {
+            anticipations += 1;
+        }
+    }
+    assert!(
+        anticipations * 2 >= surges,
+        "pool anticipated only {anticipations}/{surges} surges"
+    );
+}

@@ -1,0 +1,168 @@
+//! End-to-end pipeline comparisons over multi-day synthetic workloads:
+//! the 2-step vs E2E shapes of §5.4 and the SSA+ overshoot knob of §5.3,
+//! evaluated out of sample.
+
+use intelligent_pooling::prelude::*;
+
+/// Three days of the medium East-US-2 preset; the first two train, the
+/// following two hours evaluate (production recommendations cover an hour,
+/// §7.4 — no single forecast is asked to cover a day).
+fn history_and_future() -> (TimeSeries, TimeSeries) {
+    let mut model = preset(PresetId::EastUs2Medium, 77);
+    model.days = 3;
+    let full = model.generate();
+    let cut = full.len() * 2 / 3;
+    (full.slice(0, cut).unwrap(), full.slice(cut, cut + 240).unwrap())
+}
+
+fn saa() -> SaaConfig {
+    SaaConfig {
+        tau_intervals: 3,
+        stableness: 10,
+        min_pool: 0,
+        max_pool: 200,
+        max_new_per_block: 200,
+        alpha_prime: 0.3,
+    }
+}
+
+fn evaluate(targets: &[u32], future: &TimeSeries) -> PoolMechanics {
+    let mut schedule: Vec<f64> = targets.iter().map(|&n| f64::from(n)).collect();
+    if schedule.len() < future.len() {
+        let last = schedule.last().copied().unwrap_or(0.0);
+        schedule.resize(future.len(), last);
+    }
+    evaluate_schedule(future, &schedule, 3).unwrap()
+}
+
+#[test]
+fn two_step_and_e2e_both_beat_nothing_and_stay_bounded() {
+    let (history, future) = history_and_future();
+    let horizon = future.len();
+
+    let mut two_step = TwoStepEngine::new(SsaModel::new(150, RankSelection::Fixed(4)), saa());
+    let mut e2e = EndToEndEngine::new(SsaModel::new(150, RankSelection::Fixed(4)), saa());
+
+    for engine in [&mut two_step as &mut dyn RecommendationEngine, &mut e2e] {
+        let rec = engine.recommend(&history, horizon).unwrap();
+        assert_eq!(rec.len(), horizon);
+        assert!(rec.iter().all(|&n| n <= 200));
+        let mech = evaluate(&rec, &future);
+        // No pool at all would miss everything; both pipelines must do
+        // clearly better out of sample.
+        assert!(
+            mech.hit_rate > 0.25,
+            "{} hit rate {} too low",
+            engine.name(),
+            mech.hit_rate
+        );
+    }
+}
+
+#[test]
+fn ssa_plus_overshoot_knob_controls_out_of_sample_trade_off() {
+    let (history, future) = history_and_future();
+    let horizon = future.len();
+
+    let evaluate_alpha = |alpha: f32| {
+        let mut engine = TwoStepEngine::new(SsaPlus::with_alpha(alpha), saa());
+        let rec = engine.recommend(&history, horizon).unwrap();
+        evaluate(&rec, &future)
+    };
+    let aggressive = evaluate_alpha(0.95); // overshoot hard → low wait
+    let lean = evaluate_alpha(0.05); // undershoot → low idle
+
+    assert!(
+        aggressive.hit_rate >= lean.hit_rate,
+        "overshooting SSA+ ({}) should not lose to undershooting ({})",
+        aggressive.hit_rate,
+        lean.hit_rate
+    );
+    assert!(
+        aggressive.idle_cluster_seconds >= lean.idle_cluster_seconds,
+        "overshoot must cost idle time"
+    );
+}
+
+#[test]
+fn dynamic_two_step_beats_history_sized_static_out_of_sample() {
+    // The Fig. 1 story out of sample. The realistic static strategy sizes
+    // its pool for a high hit rate *on history* (it cannot see the future
+    // either); the evaluation window is a quiet overnight stretch where the
+    // dynamic schedule can shrink. Dynamic must idle far less while serving
+    // no worse than a few points below the static pool.
+    let (history, future) = history_and_future();
+    let horizon = future.len();
+
+    let mut engine = TwoStepEngine::new(SsaPlus::with_alpha(0.8), saa());
+    let rec = engine.recommend(&history, horizon).unwrap();
+    let dynamic = evaluate(&rec, &future);
+
+    let (static_n, _) = optimal_static_for_hit_rate(&history, 3, 0.99, 500).unwrap();
+    let static_mech = evaluate(&vec![static_n; horizon], &future);
+
+    assert!(
+        dynamic.idle_cluster_seconds < 0.7 * static_mech.idle_cluster_seconds,
+        "dynamic idle {} vs static(n={static_n}) idle {}",
+        dynamic.idle_cluster_seconds,
+        static_mech.idle_cluster_seconds
+    );
+    assert!(
+        dynamic.hit_rate >= static_mech.hit_rate - 0.10,
+        "dynamic hit {} collapsed vs static {}",
+        dynamic.hit_rate,
+        static_mech.hit_rate
+    );
+}
+
+#[test]
+fn autotuner_closes_loop_around_real_optimizer() {
+    // The §6 loop against the real optimizer + mechanism: steer mean wait
+    // toward 10 s on a day of demand.
+    let mut model = preset(PresetId::EastUs2Medium, 5);
+    model.days = 1;
+    let demand = model.generate();
+    let mut cfg = saa();
+    let mut tuner = AlphaTuner::new(10.0, 0.95).unwrap();
+    let mut last_wait = f64::INFINITY;
+    for _ in 0..10 {
+        cfg.alpha_prime = tuner.alpha();
+        let opt = optimize_dp(&demand, &cfg).unwrap();
+        let mech = evaluate_schedule(&demand, &opt.schedule, cfg.tau_intervals).unwrap();
+        last_wait = mech.mean_wait_per_request_secs;
+        tuner.observe(last_wait);
+    }
+    assert!(
+        last_wait <= 20.0,
+        "tuner failed to pull mean wait toward the 10 s target: {last_wait}"
+    );
+}
+
+#[test]
+fn table1_presets_rank_models_consistently() {
+    // A scaled-down Table 1 sanity check on one dataset: SSA+ must beat the
+    // no-intelligence baseline on MAE, and every model must produce finite
+    // forecasts on all six presets' training shapes.
+    use intelligent_pooling::timeseries::mae;
+    let mut model = preset(PresetId::EastUs2Medium, 13);
+    model.days = 2;
+    let full = model.generate();
+    let cut = full.len() * 4 / 5;
+    let (train, test) = (full.slice(0, cut).unwrap(), full.slice(cut, full.len()).unwrap());
+    let horizon = test.len();
+
+    let mut ssa_plus = SsaPlus::with_alpha(0.5);
+    ssa_plus.fit(&train).unwrap();
+    let pred_plus = ssa_plus.predict(horizon).unwrap();
+    let mae_plus = mae(test.values(), &pred_plus).unwrap();
+
+    let mut baseline = BaselineForecaster::new(1.0);
+    baseline.fit(&train).unwrap();
+    let pred_base = baseline.predict(horizon).unwrap();
+    let mae_base = mae(test.values(), &pred_base).unwrap();
+
+    assert!(
+        mae_plus < mae_base,
+        "SSA+ MAE {mae_plus} should beat the peak-pinned baseline {mae_base}"
+    );
+}
