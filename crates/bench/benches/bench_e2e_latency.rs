@@ -23,7 +23,9 @@ fn bench_e2e(c: &mut Criterion) {
         b.iter(|| {
             let forecaster = SsaPlus::new(SsaPlusConfig::default());
             let mut engine = TwoStepEngine::new(forecaster, saa);
-            engine.recommend(black_box(&history), black_box(120)).expect("recommendation")
+            engine
+                .recommend(black_box(&history), black_box(120))
+                .expect("recommendation")
         })
     });
     group.finish();

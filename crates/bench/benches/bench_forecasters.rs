@@ -31,15 +31,19 @@ fn bench_fit(c: &mut Criterion) {
     // about per-epoch cost without taking minutes.
     let short = history(1440);
     for name in ["mWDN", "TST", "IncpT"] {
-        group.bench_with_input(BenchmarkId::new("fit_1440_1epoch", name), &short, |b, short| {
-            b.iter(|| {
-                let mut m = build_model(name, Scale::Quick, 0.5);
-                // One epoch via the shared config is not reachable from the
-                // trait; the Quick scale already runs few epochs with early
-                // stopping, so this measures a realistic short fit.
-                m.fit(black_box(short)).expect("fit")
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("fit_1440_1epoch", name),
+            &short,
+            |b, short| {
+                b.iter(|| {
+                    let mut m = build_model(name, Scale::Quick, 0.5);
+                    // One epoch via the shared config is not reachable from the
+                    // trait; the Quick scale already runs few epochs with early
+                    // stopping, so this measures a realistic short fit.
+                    m.fit(black_box(short)).expect("fit")
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -29,13 +29,12 @@ fn bench_optimizers(c: &mut Criterion) {
         });
     }
     // The DP scales to multi-day SAA runs; the LP is horizon-scale only.
-    for intervals in [2880usize] {
-        let d = demand(intervals);
-        group.sample_size(10);
-        group.bench_with_input(BenchmarkId::new("dp_exact", intervals), &d, |b, d| {
-            b.iter(|| optimize_dp(black_box(d), black_box(&cfg)).expect("dp"))
-        });
-    }
+    let intervals = 2880usize;
+    let d = demand(intervals);
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("dp_exact", intervals), &d, |b, d| {
+        b.iter(|| optimize_dp(black_box(d), black_box(&cfg)).expect("dp"))
+    });
     group.finish();
 }
 

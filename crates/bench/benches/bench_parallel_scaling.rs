@@ -1,0 +1,304 @@
+//! Thread-scaling bench for the PR's hot-kernel rewrites: `pareto_sweep`
+//! (warm-started α' sweep) and `Matrix::matmul` (blocked kernel) at 1/2/4/8
+//! threads, plus before/after comparisons against the pre-rewrite serial
+//! kernels (naive per-α DP, naive ikj matmul, O(L²·K) lag covariance).
+//!
+//! `cargo bench -p ip-bench --bench bench_parallel_scaling`
+//!
+//! Besides the criterion report, writes the machine-readable artifact
+//! `BENCH_pr1.json` at the workspace root. The JSON records
+//! `available_parallelism` of the measuring host — on a single-core
+//! container the thread-scaling rows measure overhead (they stay
+//! bit-identical, the contract the proptests pin down), and the wall-clock
+//! wins come from the algorithmic before/after rows.
+
+use criterion::{criterion_group, Criterion};
+use ip_bench::default_saa;
+use ip_linalg::Matrix;
+use ip_saa::{optimize_dp, pareto_sweep_with_threads, SaaConfig};
+use ip_timeseries::TimeSeries;
+use ip_workload::{preset, PresetId};
+use std::hint::black_box;
+use std::time::Instant;
+
+const THREADS: [usize; 4] = [1, 2, 4, 8];
+const MATMUL_DIMS: [usize; 2] = [160, 448];
+const PARETO_INTERVALS: usize = 2880; // one day of 30 s intervals
+const SSA_WINDOW: usize = 240;
+
+fn demand(intervals: usize) -> TimeSeries {
+    let mut model = preset(PresetId::EastUs2Small, 6);
+    model.days = 2;
+    let full = model.generate();
+    TimeSeries::new(full.interval_secs(), full.values()[..intervals].to_vec()).expect("series")
+}
+
+fn alpha_grid() -> Vec<f64> {
+    ip_saa::pareto::default_alpha_grid()
+}
+
+/// The pre-rewrite sweep: one full `optimize_dp` (cost-matrix scan
+/// included) per α, serially.
+fn pareto_cold(demand: &TimeSeries, cfg: &SaaConfig, alphas: &[f64]) -> Vec<f64> {
+    alphas
+        .iter()
+        .map(|&a| {
+            optimize_dp(
+                demand,
+                &SaaConfig {
+                    alpha_prime: a,
+                    ..*cfg
+                },
+            )
+            .expect("dp")
+            .objective
+        })
+        .collect()
+}
+
+/// The pre-rewrite matmul: naive ikj with zero-skip.
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut out = vec![0.0f64; m * n];
+    for i in 0..m {
+        for kk in 0..k {
+            let av = a.get(i, kk);
+            if av == 0.0 {
+                continue;
+            }
+            let row = b.row(kk);
+            for (o, &r) in out[i * n..(i + 1) * n].iter_mut().zip(row) {
+                *o += av * r;
+            }
+        }
+    }
+    Matrix::from_vec(m, n, out).expect("shape")
+}
+
+/// The pre-rewrite lag covariance: direct O(L²·K) sums.
+fn naive_lag_covariance(values: &[f64], window: usize) -> Matrix {
+    let k = values.len() - window + 1;
+    let mut s = Matrix::zeros(window, window);
+    for i in 0..window {
+        for j in i..window {
+            let acc: f64 = (0..k).map(|t| values[i + t] * values[j + t]).sum();
+            s.set(i, j, acc);
+            s.set(j, i, acc);
+        }
+    }
+    s
+}
+
+/// Median wall-clock seconds of `f` over `samples` runs.
+fn median_secs<F: FnMut()>(samples: usize, mut f: F) -> f64 {
+    let mut times: Vec<f64> = (0..samples.max(3))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+struct Record {
+    kernel: &'static str,
+    variant: String,
+    threads: Option<usize>,
+    median_secs: f64,
+}
+
+fn json_escape_free(s: &str) -> &str {
+    debug_assert!(!s.contains(['"', '\\']));
+    s
+}
+
+fn write_json(records: &[Record], samples: usize) {
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut body = String::from("{\n");
+    body.push_str("  \"artifact\": \"BENCH_pr1\",\n");
+    body.push_str(
+        "  \"description\": \"thread scaling + before/after of the parallel execution layer and hot-kernel rewrites\",\n",
+    );
+    body.push_str(&format!("  \"available_parallelism\": {avail},\n"));
+    body.push_str(&format!("  \"samples_per_measurement\": {samples},\n"));
+    body.push_str(&format!(
+        "  \"workload\": {{\"matmul_dims\": [{}, {}], \"pareto_intervals\": {PARETO_INTERVALS}, \"alpha_grid_len\": {}, \"ssa_window\": {SSA_WINDOW}}},\n",
+        MATMUL_DIMS[0],
+        MATMUL_DIMS[1],
+        alpha_grid().len()
+    ));
+    body.push_str("  \"measurements\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let threads = r
+            .threads
+            .map(|t| t.to_string())
+            .unwrap_or_else(|| "null".to_string());
+        body.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"variant\": \"{}\", \"threads\": {}, \"median_secs\": {:.6e}, \"per_sec\": {:.3}}}{}\n",
+            json_escape_free(r.kernel),
+            json_escape_free(&r.variant),
+            threads,
+            r.median_secs,
+            1.0 / r.median_secs,
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr1.json");
+    std::fs::write(path, body).expect("write BENCH_pr1.json");
+    println!("wrote {path}");
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let samples: usize = std::env::var("IP_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(7);
+    let mut records = Vec::new();
+
+    // --- pareto_sweep: cold (pre-rewrite) vs warm-started, then threads ---
+    let d = demand(PARETO_INTERVALS);
+    let cfg = default_saa();
+    let grid = alpha_grid();
+    let mut group = c.benchmark_group("pareto_sweep");
+    group.sample_size(samples);
+
+    let serial_points = pareto_sweep_with_threads(1, &d, &d, &cfg, &grid).expect("sweep");
+    group.bench_function("cold_per_alpha_dp", |b| {
+        b.iter(|| pareto_cold(black_box(&d), black_box(&cfg), black_box(&grid)))
+    });
+    records.push(Record {
+        kernel: "pareto_sweep",
+        variant: "before_cold_per_alpha_dp".into(),
+        threads: Some(1),
+        median_secs: median_secs(samples, || {
+            black_box(pareto_cold(&d, &cfg, &grid));
+        }),
+    });
+    for threads in THREADS {
+        let points = pareto_sweep_with_threads(threads, &d, &d, &cfg, &grid).expect("sweep");
+        // Acceptance contract: Pareto points bit-identical at every count.
+        assert_eq!(points.len(), serial_points.len());
+        for (a, b) in serial_points.iter().zip(&points) {
+            assert_eq!(
+                a.idle_cluster_seconds.to_bits(),
+                b.idle_cluster_seconds.to_bits()
+            );
+            assert_eq!(a.wait_seconds.to_bits(), b.wait_seconds.to_bits());
+        }
+        group.bench_function(format!("warm_threads_{threads}"), |b| {
+            b.iter(|| {
+                pareto_sweep_with_threads(
+                    black_box(threads),
+                    black_box(&d),
+                    black_box(&d),
+                    black_box(&cfg),
+                    black_box(&grid),
+                )
+                .expect("sweep")
+            })
+        });
+        records.push(Record {
+            kernel: "pareto_sweep",
+            variant: "after_warm_started".into(),
+            threads: Some(threads),
+            median_secs: median_secs(samples, || {
+                black_box(pareto_sweep_with_threads(threads, &d, &d, &cfg, &grid).expect("sweep"));
+            }),
+        });
+    }
+    group.finish();
+
+    // --- matmul: naive ikj vs blocked, then threads. The small dim fits L2;
+    // the large one doesn't, which is where the tiled panel earns its keep. ---
+    let mut group = c.benchmark_group("matmul");
+    group.sample_size(samples);
+    for dim in MATMUL_DIMS {
+        let a = Matrix::from_fn(dim, dim, |i, j| ((i * 31 + j * 7) % 23) as f64 - 11.0);
+        let b_m = Matrix::from_fn(dim, dim, |i, j| ((i * 13 + j * 17) % 19) as f64 - 9.0);
+        group.bench_function(format!("naive_ikj_{dim}"), |b| {
+            b.iter(|| naive_matmul(black_box(&a), black_box(&b_m)))
+        });
+        records.push(Record {
+            kernel: "matmul",
+            variant: format!("before_naive_ikj_{dim}"),
+            threads: Some(1),
+            median_secs: median_secs(samples, || {
+                black_box(naive_matmul(&a, &b_m));
+            }),
+        });
+        let serial_prod = a.matmul_with_threads(1, &b_m).expect("matmul");
+        for threads in THREADS {
+            let prod = a.matmul_with_threads(threads, &b_m).expect("matmul");
+            assert!(serial_prod
+                .as_slice()
+                .iter()
+                .zip(prod.as_slice())
+                .all(|(x, y)| x.to_bits() == y.to_bits()));
+            group.bench_function(format!("blocked_{dim}_threads_{threads}"), |b| {
+                b.iter(|| {
+                    a.matmul_with_threads(black_box(threads), black_box(&b_m))
+                        .expect("matmul")
+                })
+            });
+            records.push(Record {
+                kernel: "matmul",
+                variant: format!("after_blocked_{dim}"),
+                threads: Some(threads),
+                median_secs: median_secs(samples, || {
+                    black_box(a.matmul_with_threads(threads, &b_m).expect("matmul"));
+                }),
+            });
+        }
+    }
+    group.finish();
+
+    // --- lag covariance: O(L²·K) vs sliding O(L·N) ---
+    let series = demand(PARETO_INTERVALS).into_values();
+    let mut group = c.benchmark_group("lag_covariance");
+    group.sample_size(samples);
+    let fast = ip_ssa::lag_covariance(&series, SSA_WINDOW).expect("lagcov");
+    let slow = naive_lag_covariance(&series, SSA_WINDOW);
+    let worst = fast.sub(&slow).expect("shape").max_abs();
+    assert!(
+        worst <= 1e-6 * slow.max_abs().max(1.0),
+        "recurrence drifted: {worst}"
+    );
+    group.bench_function("naive_l2k", |b| {
+        b.iter(|| naive_lag_covariance(black_box(&series), black_box(SSA_WINDOW)))
+    });
+    records.push(Record {
+        kernel: "lag_covariance",
+        variant: "before_naive_l2k".into(),
+        threads: None,
+        median_secs: median_secs(samples, || {
+            black_box(naive_lag_covariance(&series, SSA_WINDOW));
+        }),
+    });
+    group.bench_function("sliding_ln", |b| {
+        b.iter(|| {
+            ip_ssa::lag_covariance(black_box(&series), black_box(SSA_WINDOW)).expect("lagcov")
+        })
+    });
+    records.push(Record {
+        kernel: "lag_covariance",
+        variant: "after_sliding_ln".into(),
+        threads: None,
+        median_secs: median_secs(samples, || {
+            black_box(ip_ssa::lag_covariance(&series, SSA_WINDOW).expect("lagcov"));
+        }),
+    });
+    group.finish();
+
+    write_json(&records, samples);
+}
+
+criterion_group!(benches, bench_scaling);
+
+fn main() {
+    benches();
+}

@@ -20,26 +20,35 @@ fn bench_simulation(c: &mut Criterion) {
 
     group.bench_with_input(BenchmarkId::new("static_pool", "1day"), &demand, |b, d| {
         b.iter(|| {
-            let cfg = SimConfig { default_pool_target: 20, ..Default::default() };
+            let cfg = SimConfig {
+                default_pool_target: 20,
+                ..Default::default()
+            };
             Simulation::new(cfg, None).run(black_box(d)).expect("sim")
         })
     });
 
-    group.bench_with_input(BenchmarkId::new("with_ip_worker", "1day"), &demand, |b, d| {
-        b.iter(|| {
-            let cfg = SimConfig {
-                default_pool_target: 20,
-                ip_worker: Some(IpWorkerConfig {
-                    run_every_secs: 1800,
-                    horizon_secs: 3600,
-                    failing_runs: vec![],
-                }),
-                ..Default::default()
-            };
-            let mut provider = StaticProvider(20);
-            Simulation::new(cfg, Some(&mut provider)).run(black_box(d)).expect("sim")
-        })
-    });
+    group.bench_with_input(
+        BenchmarkId::new("with_ip_worker", "1day"),
+        &demand,
+        |b, d| {
+            b.iter(|| {
+                let cfg = SimConfig {
+                    default_pool_target: 20,
+                    ip_worker: Some(IpWorkerConfig {
+                        run_every_secs: 1800,
+                        horizon_secs: 3600,
+                        failing_runs: vec![],
+                    }),
+                    ..Default::default()
+                };
+                let mut provider = StaticProvider(20);
+                Simulation::new(cfg, Some(&mut provider))
+                    .run(black_box(d))
+                    .expect("sim")
+            })
+        },
+    );
     group.finish();
 }
 

@@ -56,7 +56,14 @@ fn main() {
         }
     }
     print_table(
-        &["intervals", "LP time (s)", "DP time (s)", "LP obj", "DP obj (int)", "int. gap"],
+        &[
+            "intervals",
+            "LP time (s)",
+            "DP time (s)",
+            "LP obj",
+            "DP obj (int)",
+            "int. gap",
+        ],
         &rows,
     );
     println!("\nThe LP lower-bounds the integer optimum; the gap is the rounding");

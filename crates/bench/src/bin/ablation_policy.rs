@@ -23,7 +23,10 @@ fn main() {
     let cfg = default_saa();
     let blocks_per_day = 2880 / cfg.stableness;
 
-    println!("§4.2 policy spectrum on {} days of East US 2 / Small demand\n", model.days);
+    println!(
+        "§4.2 policy spectrum on {} days of East US 2 / Small demand\n",
+        model.days
+    );
     let mut rows = Vec::new();
 
     // Fully dynamic (free DP).
@@ -38,8 +41,7 @@ fn main() {
     ]);
 
     // Time-of-day profile (one day of blocks, repeated).
-    let profile =
-        optimize_periodic_profile(&demand, &cfg, blocks_per_day).expect("periodic");
+    let profile = optimize_periodic_profile(&demand, &cfg, blocks_per_day).expect("periodic");
     let m = evaluate_schedule(&demand, &profile.schedule, cfg.tau_intervals).expect("eval");
     rows.push(vec![
         "time-of-day profile".into(),
@@ -67,7 +69,13 @@ fn main() {
     ]);
 
     print_table(
-        &["policy", "objective", "hit rate", "idle (cl-sec)", "mean wait (s)"],
+        &[
+            "policy",
+            "objective",
+            "hit rate",
+            "idle (cl-sec)",
+            "mean wait (s)",
+        ],
         &rows,
     );
 
@@ -92,7 +100,10 @@ fn main() {
             format!("{}", r.hedges_discarded),
         ]);
     }
-    print_table(&["strategy", "mean wait (s)", "creations", "discarded"], &rows2);
+    print_table(
+        &["strategy", "mean wait (s)", "creations", "discarded"],
+        &rows2,
+    );
     println!("\nHedging trims the creation-latency tail (the pre-pooling mitigation the");
     println!("paper cites) but cannot reach zero wait — only pooling does that, and the");
     println!("policy table shows what each pooling flexibility level buys.");

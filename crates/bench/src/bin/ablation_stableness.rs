@@ -24,7 +24,10 @@ fn main() {
     println!("§7.1 ablation: Pareto points per STABLENESS (same demand, alpha' sweep)\n");
     let mut rows = Vec::new();
     for &stab in &stableness_settings {
-        let cfg = SaaConfig { stableness: stab, ..default_saa() };
+        let cfg = SaaConfig {
+            stableness: stab,
+            ..default_saa()
+        };
         let points = pareto_sweep(&demand, &demand, &cfg, &alphas).expect("sweep");
         // Idle needed to reach (near-)zero wait, and at a mid wait level.
         let at_zero = points
@@ -40,13 +43,26 @@ fn main() {
         let best_hit = points.iter().map(|p| p.hit_rate).fold(0.0f64, f64::max);
         rows.push(vec![
             format!("{} s", stab * 30),
-            if at_zero.is_finite() { format!("{at_zero:.0}") } else { "unreached".into() },
-            if at_mid.is_finite() { format!("{at_mid:.0}") } else { "unreached".into() },
+            if at_zero.is_finite() {
+                format!("{at_zero:.0}")
+            } else {
+                "unreached".into()
+            },
+            if at_mid.is_finite() {
+                format!("{at_mid:.0}")
+            } else {
+                "unreached".into()
+            },
             format!("{:.2}%", best_hit * 100.0),
         ]);
     }
     print_table(
-        &["stableness", "idle @ wait<=0.5s", "idle @ wait<=5s", "best hit rate"],
+        &[
+            "stableness",
+            "idle @ wait<=0.5s",
+            "idle @ wait<=5s",
+            "best hit rate",
+        ],
         &rows,
     );
     println!("\nExpected: smaller stableness → less idle time at every wait level");

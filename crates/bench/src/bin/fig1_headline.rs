@@ -30,7 +30,10 @@ fn main() {
         // clears the same hit-rate bar.
         let mut dynamic = None;
         for alpha in [0.5, 0.3, 0.2, 0.1, 0.05, 0.02, 0.01, 0.005] {
-            let cfg = SaaConfig { alpha_prime: alpha, ..base };
+            let cfg = SaaConfig {
+                alpha_prime: alpha,
+                ..base
+            };
             let opt = optimize_dp(&demand, &cfg).expect("DP solve");
             let mech =
                 evaluate_schedule(&demand, &opt.schedule, cfg.tau_intervals).expect("evaluate");
@@ -56,9 +59,20 @@ fn main() {
     }
 
     println!("Fig. 1 / headline: idle-time reduction of dynamic vs static pooling");
-    println!("(both at >= 99% pool hit rate, {} days of demand)\n", scale.history_days());
+    println!(
+        "(both at >= 99% pool hit rate, {} days of demand)\n",
+        scale.history_days()
+    );
     print_table(
-        &["dataset", "static N", "static idle", "dynamic idle", "alpha'", "dyn hit", "idle reduction"],
+        &[
+            "dataset",
+            "static N",
+            "static idle",
+            "dynamic idle",
+            "alpha'",
+            "dyn hit",
+            "idle reduction",
+        ],
         &rows,
     );
     println!("\nPaper reference: \"up to 43% reduction in cluster idle time compared");

@@ -10,8 +10,11 @@ use ip_timeseries::TimeSeries;
 
 fn main() {
     // One request arrives in each of the first 8 intervals.
-    let demand = TimeSeries::new(30, vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0])
-        .expect("series");
+    let demand = TimeSeries::new(
+        30,
+        vec![1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 0.0, 0.0],
+    )
+    .expect("series");
     let n = 4.0f64;
     let tau = 2usize;
     let schedule = vec![n; demand.len()];
@@ -35,9 +38,15 @@ fn main() {
     }
 
     println!("Fig. 3: cumulative mechanism with N = 4, tau = 2 intervals\n");
-    print_table(&["t", "D(t)", "A(t)", "A'(t)", "idle Δ+", "queued Δ-"], &rows);
+    print_table(
+        &["t", "D(t)", "A(t)", "A'(t)", "idle Δ+", "queued Δ-"],
+        &rows,
+    );
     println!();
-    println!("grey area (idle)  = {:.0} cluster-seconds", mech.idle_cluster_seconds);
+    println!(
+        "grey area (idle)  = {:.0} cluster-seconds",
+        mech.idle_cluster_seconds
+    );
     println!("red area  (wait)  = {:.0} seconds", mech.wait_seconds);
     println!("pool hit rate     = {:.0}%", mech.hit_rate * 100.0);
 }

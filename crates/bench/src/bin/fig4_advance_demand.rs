@@ -64,7 +64,16 @@ fn main() {
         row.push(format!("{avg_demand:.1}"));
         rows.push(row);
     }
-    print_table(&["offset", "pool @6:00", "pool @12:00", "pool @18:00", "avg demand"], &rows);
+    print_table(
+        &[
+            "offset",
+            "pool @6:00",
+            "pool @12:00",
+            "pool @18:00",
+            "avg demand",
+        ],
+        &rows,
+    );
 
     // Quantify the anticipation across all 23 interior hours.
     let mut anticipated = 0;

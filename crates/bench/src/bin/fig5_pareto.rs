@@ -26,8 +26,14 @@ fn build_engine(
     scale: Scale,
     saa: SaaConfig,
 ) -> Box<dyn RecommendationEngine> {
-    let saa = SaaConfig { alpha_prime: alpha, ..saa };
-    let deep = DeepConfig { alpha_prime: alpha as f32, ..scale.deep_config() };
+    let saa = SaaConfig {
+        alpha_prime: alpha,
+        ..saa
+    };
+    let deep = DeepConfig {
+        alpha_prime: alpha as f32,
+        ..scale.deep_config()
+    };
     macro_rules! wrap {
         ($f:expr) => {
             if pipeline == "two-step" {
@@ -39,7 +45,10 @@ fn build_engine(
     }
     match model {
         "baseline" => wrap!(BaselineForecaster::new(1.2 * (1.0 - alpha))),
-        "SSA" => wrap!(SsaModel::new(scale.ssa_window(), RankSelection::EnergyThreshold(0.9))),
+        "SSA" => wrap!(SsaModel::new(
+            scale.ssa_window(),
+            RankSelection::EnergyThreshold(0.9)
+        )),
         "SSA+" => wrap!(SsaPlus::new(SsaPlusConfig {
             window: scale.ssa_window(),
             alpha_prime: 1.0 - alpha as f32, // overshoot when the optimizer is wait-averse
@@ -50,17 +59,25 @@ fn build_engine(
     }
 }
 
-fn evaluate(targets: &[u32], future: &TimeSeries, tau: usize) -> PoolMechanics {
-    let mut schedule: Vec<f64> = targets.iter().map(|&n| f64::from(n)).collect();
-    if schedule.len() < future.len() {
-        let last = schedule.last().copied().unwrap_or(0.0);
-        schedule.resize(future.len(), last);
-    }
-    evaluate_schedule(future, &schedule, tau).expect("evaluation")
+fn evaluate(targets: &[u32], future: &TimeSeries, saa: &SaaConfig) -> PoolMechanics {
+    // Extend a short recommendation with its last value clamped into the
+    // configured pool bounds — bare padding could sit below MIN POOL SIZE
+    // (same invariant as the pareto sweep's per-block extension).
+    let fill = targets
+        .last()
+        .copied()
+        .unwrap_or(saa.min_pool)
+        .clamp(saa.min_pool, saa.max_pool);
+    let schedule: Vec<f64> = (0..future.len())
+        .map(|t| f64::from(targets.get(t).copied().unwrap_or(fill)))
+        .collect();
+    evaluate_schedule(future, &schedule, saa.tau_intervals).expect("evaluation")
 }
 
 fn main() {
-    let pipeline = std::env::args().nth(1).unwrap_or_else(|| "two-step".to_string());
+    let pipeline = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "two-step".to_string());
     assert!(
         pipeline == "two-step" || pipeline == "e2e",
         "usage: fig5_pareto [two-step|e2e]"
@@ -84,34 +101,45 @@ fn main() {
         horizon
     );
 
-    let mut rows = Vec::new();
-    for model_name in ["baseline", "SSA", "SSA+", "mWDN"] {
-        for &alpha in &alphas {
-            let mut engine = build_engine(&pipeline, model_name, alpha, scale, saa);
-            match engine.recommend(&history, horizon) {
-                Ok(targets) => {
-                    let mech = evaluate(&targets, &future, saa.tau_intervals);
-                    rows.push(vec![
-                        model_name.to_string(),
-                        format!("{alpha:.2}"),
-                        format!("{:.0}", mech.idle_cluster_seconds),
-                        format!("{:.1}", mech.mean_wait_per_request_secs),
-                        format!("{:.1}%", mech.hit_rate * 100.0),
-                    ]);
-                }
-                Err(e) => {
-                    rows.push(vec![
-                        model_name.to_string(),
-                        format!("{alpha:.2}"),
-                        format!("error: {e}"),
-                        String::new(),
-                        String::new(),
-                    ]);
-                }
+    // Every (model, α') curve point is independent: fan the grid out across
+    // threads. par_map preserves the grid order, so the table is identical
+    // to the serial run's.
+    let grid: Vec<(&str, f64)> = ["baseline", "SSA", "SSA+", "mWDN"]
+        .into_iter()
+        .flat_map(|m| alphas.iter().map(move |&a| (m, a)))
+        .collect();
+    let rows: Vec<Vec<String>> = ip_par::par_map(&grid, |&(model_name, alpha)| {
+        let mut engine = build_engine(&pipeline, model_name, alpha, scale, saa);
+        match engine.recommend(&history, horizon) {
+            Ok(targets) => {
+                let mech = evaluate(&targets, &future, &saa);
+                vec![
+                    model_name.to_string(),
+                    format!("{alpha:.2}"),
+                    format!("{:.0}", mech.idle_cluster_seconds),
+                    format!("{:.1}", mech.mean_wait_per_request_secs),
+                    format!("{:.1}%", mech.hit_rate * 100.0),
+                ]
             }
+            Err(e) => vec![
+                model_name.to_string(),
+                format!("{alpha:.2}"),
+                format!("error: {e}"),
+                String::new(),
+                String::new(),
+            ],
         }
-    }
-    print_table(&["model", "alpha'", "idle (cl-sec)", "mean wait (s)", "hit rate"], &rows);
+    });
+    print_table(
+        &[
+            "model",
+            "alpha'",
+            "idle (cl-sec)",
+            "mean wait (s)",
+            "hit rate",
+        ],
+        &rows,
+    );
     println!();
     println!("Expected shape (paper): SSA cannot reach very low wait times; SSA+ and");
     println!("mWDN can, via the asymmetric loss; 2-step dominates E2E at low waits.");

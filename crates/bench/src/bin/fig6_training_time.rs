@@ -26,9 +26,11 @@ fn main() {
         if size > full.len() {
             continue;
         }
-        let train =
-            TimeSeries::new(full.interval_secs(), full.values()[full.len() - size..].to_vec())
-                .expect("series");
+        let train = TimeSeries::new(
+            full.interval_secs(),
+            full.values()[full.len() - size..].to_vec(),
+        )
+        .expect("series");
         let mut row = vec![size.to_string()];
         for name in model_names() {
             let mut forecaster = build_model(name, scale, 0.5);
@@ -39,8 +41,7 @@ fn main() {
         }
         rows.push(row);
     }
-    let headers: Vec<&str> =
-        std::iter::once("intervals").chain(model_names()).collect();
+    let headers: Vec<&str> = std::iter::once("intervals").chain(model_names()).collect();
     print_table(&headers, &rows);
     println!();
     println!("Expected shape (paper): SSA and SSA+ two orders of magnitude faster");

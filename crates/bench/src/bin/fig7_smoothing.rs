@@ -35,7 +35,10 @@ fn main() {
         }
         rows.push(row);
     }
-    print_table(&["t-spike (min)", "raw (SF=0)", "SF=6", "SF=12", "SF=24"], &rows);
+    print_table(
+        &["t-spike (min)", "raw (SF=0)", "SF=6", "SF=12", "SF=24"],
+        &rows,
+    );
 
     println!();
     let mut rows2 = Vec::new();
@@ -48,7 +51,10 @@ fn main() {
             format!("{:.1}%", active as f64 / f.len() as f64 * 100.0),
         ]);
     }
-    print_table(&["SF", "total mass", "spike-level intervals", "coverage"], &rows2);
+    print_table(
+        &["SF", "total mass", "spike-level intervals", "coverage"],
+        &rows2,
+    );
     println!();
     println!("Larger SF widens each spike's footprint (the 'fatter spikes' of the");
     println!("paper) at the price of extra provisioned mass between spikes.");

@@ -23,7 +23,10 @@ fn main() {
     model.days = scale.history_days() + 1;
     let demand = model.generate();
     let warmup = 2880; // first day: warm-up / static sizing window
-    let saa = SaaConfig { alpha_prime: 0.25, ..default_saa() };
+    let saa = SaaConfig {
+        alpha_prime: 0.25,
+        ..default_saa()
+    };
     let replay_cfg = ReplayConfig {
         warmup,
         cadence: 60,  // 30 min
@@ -35,9 +38,8 @@ fn main() {
     // Static reference: sized on the warm-up day for a 99% hit rate, then
     // held for the remaining days (what a careful operator without ML does).
     let sizing_window = demand.slice(0, warmup).expect("slice");
-    let (static_n, _) =
-        optimal_static_for_hit_rate(&sizing_window, saa.tau_intervals, 0.99, 2000)
-            .expect("static sizing");
+    let (static_n, _) = optimal_static_for_hit_rate(&sizing_window, saa.tau_intervals, 0.99, 2000)
+        .expect("static sizing");
     let eval_demand = demand.slice(warmup, demand.len()).expect("slice");
     let static_mech = evaluate_schedule(
         &eval_demand,
@@ -64,7 +66,10 @@ fn main() {
         (
             "SSA+ 2-step (deployed)",
             Box::new(TwoStepEngine::new(
-                SsaPlus::new(SsaPlusConfig { alpha_prime: 0.85, ..Default::default() }),
+                SsaPlus::new(SsaPlusConfig {
+                    alpha_prime: 0.85,
+                    ..Default::default()
+                }),
                 saa,
             )),
         ),
@@ -95,12 +100,26 @@ fn main() {
                     format!("{}/{}", out.runs - out.failed_runs, out.runs),
                 ]);
             }
-            Err(e) => rows.push(vec![label.to_string(), format!("error: {e}"), String::new(), String::new(), String::new(), String::new()]),
+            Err(e) => rows.push(vec![
+                label.to_string(),
+                format!("error: {e}"),
+                String::new(),
+                String::new(),
+                String::new(),
+                String::new(),
+            ]),
         }
     }
 
     print_table(
-        &["policy", "hit rate", "mean wait (s)", "idle (cl-sec)", "idle saved", "runs ok"],
+        &[
+            "policy",
+            "hit rate",
+            "mean wait (s)",
+            "idle (cl-sec)",
+            "idle saved",
+            "runs ok",
+        ],
         &rows,
     );
     println!("\nThe paper's deployed result (43% idle reduction at 99% hit, and >60%");

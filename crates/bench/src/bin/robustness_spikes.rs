@@ -35,8 +35,8 @@ fn main() {
     };
 
     // Static reference sized for a high hit rate on the plan trace.
-    let (static_n, _) = optimal_static_for_hit_rate(&plan, saa.tau_intervals, 0.99, 1000)
-        .expect("static sizing");
+    let (static_n, _) =
+        optimal_static_for_hit_rate(&plan, saa.tau_intervals, 0.99, 1000).expect("static sizing");
     let static_mech = evaluate_schedule(
         &eval,
         &vec![f64::from(static_n); eval.len()],
@@ -101,7 +101,15 @@ fn main() {
             format!("{:.0}%", savings * 100.0),
         ]);
     }
-    print_table(&["strategy", "hit rate", "idle (cl-sec)", "idle saved vs static"], &rows);
+    print_table(
+        &[
+            "strategy",
+            "hit rate",
+            "idle (cl-sec)",
+            "idle saved vs static",
+        ],
+        &rows,
+    );
     println!("\nPaper reference: the strategies raised COGS savings from 18% to 64%");
     println!("while keeping the hit rate at 100% — the reproduction preserves the");
     println!("ordering (each strategy helps; the full stack dominates).");

@@ -32,20 +32,28 @@ fn main() {
         let h = horizon.min(test.len());
         let truth = &test.values()[..h];
 
-        let mut row = vec![preset_id.label().to_string()];
-        for (i, name) in model_names().iter().enumerate() {
+        // The five models fit the same split independently — fan them out.
+        // par_map keeps the column order; the accumulators are updated from
+        // the ordered results, so the averages don't depend on thread count.
+        let names: Vec<&str> = model_names().to_vec();
+        let cells: Vec<(String, Option<f64>)> = ip_par::par_map(&names, |name| {
             let mut forecaster = build_model(name, scale, 0.5);
-            let cell = forecaster
+            forecaster
                 .fit(&train)
                 .and_then(|_| forecaster.predict(h))
                 .map(|pred| {
                     let m = mae(truth, &pred).expect("same length");
                     let r = rmse(truth, &pred).expect("same length");
-                    sums[i] += m;
-                    counts[i] += 1;
-                    format!("{m:.2} ({r:.2})")
+                    (format!("{m:.2} ({r:.2})"), Some(m))
                 })
-                .unwrap_or_else(|e| format!("err({e})"));
+                .unwrap_or_else(|e| (format!("err({e})"), None))
+        });
+        let mut row = vec![preset_id.label().to_string()];
+        for (i, (cell, m)) in cells.into_iter().enumerate() {
+            if let Some(m) = m {
+                sums[i] += m;
+                counts[i] += 1;
+            }
             row.push(cell);
         }
         rows.push(row);
@@ -55,7 +63,11 @@ fn main() {
     // Average row, as in the paper.
     let mut avg_row = vec!["Average".to_string()];
     for (s, c) in sums.iter().zip(&counts) {
-        avg_row.push(if *c > 0 { format!("{:.2}", s / *c as f64) } else { "-".into() });
+        avg_row.push(if *c > 0 {
+            format!("{:.2}", s / *c as f64)
+        } else {
+            "-".into()
+        });
     }
     rows.push(avg_row);
 

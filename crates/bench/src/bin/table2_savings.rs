@@ -13,11 +13,15 @@
 use ip_bench::{default_saa, print_table, Scale};
 use ip_core::CostModel;
 use ip_saa::static_pool::static_schedule;
-use ip_saa::{evaluate_schedule, optimize_dp, PoolMechanics, SaaConfig};
+use ip_saa::{evaluate_schedule, PoolMechanics, SaaConfig, SweepCache};
 use ip_workload::{preset, table1_presets};
 
 /// Smallest static pool whose mean wait meets the target.
-fn static_for_wait(demand: &ip_timeseries::TimeSeries, tau: usize, target: f64) -> (u32, PoolMechanics) {
+fn static_for_wait(
+    demand: &ip_timeseries::TimeSeries,
+    tau: usize,
+    target: f64,
+) -> (u32, PoolMechanics) {
     let mut lo = 0u32;
     let mut hi = 2000u32;
     while lo < hi {
@@ -34,16 +38,20 @@ fn static_for_wait(demand: &ip_timeseries::TimeSeries, tau: usize, target: f64) 
     (lo, m)
 }
 
-/// Dynamic schedule with `α'` swept until mean wait meets the target.
+/// Dynamic schedule with `α'` swept until mean wait meets the target. The
+/// α-independent DP sums are built once and warm-start every step of the
+/// sweep, so each additional α costs only the block-level DP.
 fn dynamic_for_wait(
     demand: &ip_timeseries::TimeSeries,
     base: &SaaConfig,
     target: f64,
 ) -> Option<PoolMechanics> {
-    for alpha in [0.8, 0.5, 0.3, 0.2, 0.1, 0.05, 0.02, 0.01, 0.005, 0.002, 0.001] {
-        let cfg = SaaConfig { alpha_prime: alpha, ..*base };
-        let opt = optimize_dp(demand, &cfg).ok()?;
-        let m = evaluate_schedule(demand, &opt.schedule, cfg.tau_intervals).ok()?;
+    let cache = SweepCache::build(demand, base).ok()?;
+    for alpha in [
+        0.8, 0.5, 0.3, 0.2, 0.1, 0.05, 0.02, 0.01, 0.005, 0.002, 0.001,
+    ] {
+        let opt = cache.solve(alpha);
+        let m = evaluate_schedule(demand, &opt.schedule, base.tau_intervals).ok()?;
         if m.mean_wait_per_request_secs <= target {
             return Some(m);
         }
@@ -69,21 +77,33 @@ fn main() {
         let mut dynamic_total = 0.0;
         let mut static_hits = Vec::new();
         let mut dynamic_hits = Vec::new();
-        for preset_id in table1_presets() {
+        // Regions are independent: fan the datasets out across threads and
+        // aggregate the ordered results, so the totals accumulate in the
+        // same order as the serial loop.
+        let presets: Vec<_> = table1_presets().to_vec();
+        let per_region = ip_par::par_map(&presets, |&preset_id| {
             let mut model = preset(preset_id, 33);
             model.days = scale.history_days();
             let demand = model.generate();
             let window = demand.duration_secs() as f64;
-
             let (_, static_mech) = static_for_wait(&demand, base.tau_intervals, target_wait);
-            let Some(dynamic_mech) = dynamic_for_wait(&demand, &base, target_wait) else {
-                eprintln!("  {}: dynamic sweep missed the {target_wait}s target", preset_id.label());
+            let dynamic_mech = dynamic_for_wait(&demand, &base, target_wait);
+            (preset_id, window, static_mech, dynamic_mech)
+        });
+        for (preset_id, window, static_mech, dynamic_mech) in per_region {
+            let Some(dynamic_mech) = dynamic_mech else {
+                eprintln!(
+                    "  {}: dynamic sweep missed the {target_wait}s target",
+                    preset_id.label()
+                );
                 continue;
             };
-            static_total +=
-                cost.annualize(static_mech.idle_cluster_seconds, window).expect("window");
-            dynamic_total +=
-                cost.annualize(dynamic_mech.idle_cluster_seconds, window).expect("window");
+            static_total += cost
+                .annualize(static_mech.idle_cluster_seconds, window)
+                .expect("window");
+            dynamic_total += cost
+                .annualize(dynamic_mech.idle_cluster_seconds, window)
+                .expect("window");
             static_hits.push(static_mech.hit_rate);
             dynamic_hits.push(dynamic_mech.hit_rate);
         }
@@ -95,12 +115,23 @@ fn main() {
             format!("${:.2}M", dynamic_total / 1e6),
             format!("${:.2}M", savings / 1e6),
             format!("{:.0}%", savings / static_total.max(1.0) * 100.0),
-            format!("{:.1}% / {:.1}%", mean(&static_hits) * 100.0, mean(&dynamic_hits) * 100.0),
+            format!(
+                "{:.1}% / {:.1}%",
+                mean(&static_hits) * 100.0,
+                mean(&dynamic_hits) * 100.0
+            ),
         ]);
     }
 
     print_table(
-        &["target wait (hit)", "static cost", "dynamic cost", "savings", "rel.", "hit static/dyn"],
+        &[
+            "target wait (hit)",
+            "static cost",
+            "dynamic cost",
+            "savings",
+            "rel.",
+            "hit static/dyn",
+        ],
         &rows,
     );
     println!("\nPaper reference (7 US regions): static >$20M/>$15M/>$5M and savings");

@@ -11,12 +11,12 @@
 //!   hyper-parameters scaled consistently.
 //! * plain-text table rendering.
 
-use ip_models::{
-    BaselineForecaster, DeepConfig, Forecaster, InceptionTime, Mwdn, SsaModel, SsaPlus, Tst,
-};
 use ip_models::inception::InceptionConfig;
 use ip_models::ssa_plus::SsaPlusConfig;
 use ip_models::tst::TstConfig;
+use ip_models::{
+    BaselineForecaster, DeepConfig, Forecaster, InceptionTime, Mwdn, SsaModel, SsaPlus, Tst,
+};
 use ip_saa::SaaConfig;
 use ip_ssa::RankSelection;
 
@@ -32,7 +32,10 @@ pub enum Scale {
 impl Scale {
     /// Reads `IP_BENCH_FULL` from the environment.
     pub fn from_env() -> Self {
-        if std::env::var("IP_BENCH_FULL").map(|v| v == "1").unwrap_or(false) {
+        if std::env::var("IP_BENCH_FULL")
+            .map(|v| v == "1")
+            .unwrap_or(false)
+        {
             Scale::Full
         } else {
             Scale::Quick
@@ -92,14 +95,20 @@ pub fn model_names() -> [&'static str; 5] {
 /// asymmetric loss of the trainable models (SSA has no such knob — that is
 /// the point of §5.3).
 pub fn build_model(name: &str, scale: Scale, alpha_prime: f32) -> Box<dyn Forecaster> {
-    let deep = DeepConfig { alpha_prime, ..scale.deep_config() };
+    let deep = DeepConfig {
+        alpha_prime,
+        ..scale.deep_config()
+    };
     match name {
         "SSA+" => Box::new(SsaPlus::new(SsaPlusConfig {
             window: scale.ssa_window(),
             alpha_prime,
             ..Default::default()
         })),
-        "SSA" => Box::new(SsaModel::new(scale.ssa_window(), RankSelection::EnergyThreshold(0.9))),
+        "SSA" => Box::new(SsaModel::new(
+            scale.ssa_window(),
+            RankSelection::EnergyThreshold(0.9),
+        )),
         "mWDN" => Box::new(Mwdn::model(deep, 3, 16)),
         "TST" => Box::new(Tst::model(deep, TstConfig::default())),
         "IncpT" => Box::new(InceptionTime::model(deep, InceptionConfig::default())),

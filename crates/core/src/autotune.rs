@@ -101,8 +101,11 @@ impl AlphaTuner {
         if sxx < 1e-9 {
             return None;
         }
-        let sxy: f64 =
-            self.history.iter().map(|(w, a)| (w - mean_w) * (a - mean_a)).sum();
+        let sxy: f64 = self
+            .history
+            .iter()
+            .map(|(w, a)| (w - mean_w) * (a - mean_a))
+            .sum();
         let b = sxy / sxx;
         let a = mean_a - b * mean_w;
         Some((a, b))

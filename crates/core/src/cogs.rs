@@ -39,7 +39,11 @@ pub struct CostModel {
 
 impl Default for CostModel {
     fn default() -> Self {
-        Self { dollars_per_core_hour: 0.091, nodes_per_cluster: 3, node_size: NodeSize::Medium }
+        Self {
+            dollars_per_core_hour: 0.091,
+            nodes_per_cluster: 3,
+            node_size: NodeSize::Medium,
+        }
     }
 }
 
@@ -106,7 +110,11 @@ mod tests {
 
     #[test]
     fn cost_of_idle_known_value() {
-        let m = CostModel { dollars_per_core_hour: 0.10, nodes_per_cluster: 3, node_size: NodeSize::Medium };
+        let m = CostModel {
+            dollars_per_core_hour: 0.10,
+            nodes_per_cluster: 3,
+            node_size: NodeSize::Medium,
+        };
         // 1 cluster idle for 1 hour = 3 nodes × 8 cores × $0.10 = $2.40.
         assert!((m.cost_of_idle(3600.0) - 2.4).abs() < 1e-12);
     }

@@ -28,7 +28,10 @@ pub struct Guardrail {
 
 impl Default for Guardrail {
     fn default() -> Self {
-        Self { holdout: 120, max_relative_mae: 1.5 }
+        Self {
+            holdout: 120,
+            max_relative_mae: 1.5,
+        }
     }
 }
 
@@ -82,8 +85,17 @@ pub struct IntelligentPooling<E: RecommendationEngine, F: Forecaster> {
 impl<E: RecommendationEngine, F: Forecaster> IntelligentPooling<E, F> {
     /// Creates the engine. `backtest_factory` builds the forecaster used by
     /// guardrail backtests (same family as the pipeline's).
-    pub fn new(engine: E, backtest_factory: impl FnMut() -> F + 'static, config: EngineConfig) -> Self {
-        Self { engine, backtest_factory: Box::new(backtest_factory), config, last_outcome: None }
+    pub fn new(
+        engine: E,
+        backtest_factory: impl FnMut() -> F + 'static,
+        config: EngineConfig,
+    ) -> Self {
+        Self {
+            engine,
+            backtest_factory: Box::new(backtest_factory),
+            config,
+            last_outcome: None,
+        }
     }
 
     /// Mutable access to the engine configuration (auto-tuner hook).
@@ -135,7 +147,9 @@ impl<E: RecommendationEngine, F: Forecaster> IntelligentPooling<E, F> {
             return Ok(true);
         }
         let cut = history.len() - holdout;
-        let train = history.slice(0, cut).map_err(|e| CoreError::Model(e.to_string()))?;
+        let train = history
+            .slice(0, cut)
+            .map_err(|e| CoreError::Model(e.to_string()))?;
         let actual = &history.values()[cut..];
         let mut forecaster = (self.backtest_factory)();
         if forecaster.fit(&train).is_err() {
@@ -179,8 +193,15 @@ mod tests {
         TimeSeries::new(30, vals).unwrap()
     }
 
-    fn make_engine(guardrail: Option<Guardrail>) -> IntelligentPooling<TwoStepEngine<SsaModel>, SsaModel> {
-        let saa = SaaConfig { tau_intervals: 3, stableness: 8, max_pool: 40, ..Default::default() };
+    fn make_engine(
+        guardrail: Option<Guardrail>,
+    ) -> IntelligentPooling<TwoStepEngine<SsaModel>, SsaModel> {
+        let saa = SaaConfig {
+            tau_intervals: 3,
+            stableness: 8,
+            max_pool: 40,
+            ..Default::default()
+        };
         let pipeline = TwoStepEngine::new(SsaModel::new(96, RankSelection::Fixed(3)), saa);
         let config = EngineConfig {
             saa,
@@ -188,12 +209,19 @@ mod tests {
             guardrail,
             min_history: 300,
         };
-        IntelligentPooling::new(pipeline, || SsaModel::new(96, RankSelection::Fixed(3)), config)
+        IntelligentPooling::new(
+            pipeline,
+            || SsaModel::new(96, RankSelection::Fixed(3)),
+            config,
+        )
     }
 
     #[test]
     fn accepts_ml_on_predictable_demand() {
-        let mut engine = make_engine(Some(Guardrail { holdout: 60, max_relative_mae: 1.5 }));
+        let mut engine = make_engine(Some(Guardrail {
+            holdout: 60,
+            max_relative_mae: 1.5,
+        }));
         let rec = engine.run_once(&history(600), 60).unwrap();
         assert_eq!(rec.len(), 60);
         assert_eq!(engine.last_outcome, Some(RecommendationOutcome::MlAccepted));
@@ -201,10 +229,16 @@ mod tests {
 
     #[test]
     fn impossible_guardrail_forces_fallback() {
-        let mut engine = make_engine(Some(Guardrail { holdout: 60, max_relative_mae: 0.0 }));
+        let mut engine = make_engine(Some(Guardrail {
+            holdout: 60,
+            max_relative_mae: 0.0,
+        }));
         let rec = engine.run_once(&history(600), 60).unwrap();
         assert_eq!(rec.len(), 60);
-        assert_eq!(engine.last_outcome, Some(RecommendationOutcome::GuardrailFallback));
+        assert_eq!(
+            engine.last_outcome,
+            Some(RecommendationOutcome::GuardrailFallback)
+        );
         // Fallback is a constant (static-like) schedule.
         assert!(rec.windows(2).all(|w| w[0] == w[1]));
     }

@@ -60,7 +60,10 @@ pub struct Dashboard {
 impl Dashboard {
     /// Creates a dashboard with the given cost model.
     pub fn new(cost: CostModel) -> Self {
-        Self { cost, static_reference_idle_seconds: None }
+        Self {
+            cost,
+            static_reference_idle_seconds: None,
+        }
     }
 
     /// Distills a simulation report into the metric snapshot.
@@ -73,9 +76,9 @@ impl Dashboard {
             .sum::<f64>()
             / intervals;
         let idle_cost = self.cost.cost_of_idle(report.idle_cluster_seconds);
-        let cogs_saved = self.static_reference_idle_seconds.map(|static_idle| {
-            self.cost.cost_of_idle(static_idle) - idle_cost
-        });
+        let cogs_saved = self
+            .static_reference_idle_seconds
+            .map(|static_idle| self.cost.cost_of_idle(static_idle) - idle_cost);
         let _ = window_secs;
         MetricsSnapshot {
             ip_runs: report.ip_runs,
@@ -162,14 +165,20 @@ pub fn evaluate_alerts(snapshot: &MetricsSnapshot, rules: &[AlertRule]) -> Vec<A
             }
             AlertRule::WorkerReplaced => {
                 if snapshot.worker_replacements > 0 {
-                    Some(format!("{} worker replacement(s)", snapshot.worker_replacements))
+                    Some(format!(
+                        "{} worker replacement(s)",
+                        snapshot.worker_replacements
+                    ))
                 } else {
                     None
                 }
             }
         };
         if let Some(message) = fired {
-            alerts.push(Alert { rule: rule.clone(), message });
+            alerts.push(Alert {
+                rule: rule.clone(),
+                message,
+            });
         }
     }
     alerts
@@ -183,7 +192,11 @@ mod tests {
 
     fn run_report() -> SimReport {
         let demand = TimeSeries::new(30, vec![1.0; 40]).unwrap();
-        let cfg = SimConfig { default_pool_target: 6, tau_jitter_secs: 0, ..Default::default() };
+        let cfg = SimConfig {
+            default_pool_target: 6,
+            tau_jitter_secs: 0,
+            ..Default::default()
+        };
         Simulation::new(cfg, None).run(&demand).unwrap()
     }
 

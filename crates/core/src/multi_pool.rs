@@ -72,27 +72,33 @@ impl MultiPoolManager {
         self.pools.is_empty()
     }
 
-    /// Runs the optimizer for every pool against its demand stream. Pools
-    /// missing from `demands` produce an error (every managed pool must be
-    /// monitored).
+    /// Runs the optimizer for every pool against its demand stream, pools in
+    /// parallel (each pool's optimization is independent; the output keeps
+    /// the manager's deterministic `BTreeMap` ordering regardless of thread
+    /// count). Pools missing from `demands` produce an error (every managed
+    /// pool must be monitored).
     pub fn recommend_all(
         &self,
         demands: &BTreeMap<PoolId, TimeSeries>,
     ) -> Result<Vec<PoolRecommendation>> {
-        let mut out = Vec::with_capacity(self.pools.len());
-        for (id, spec) in &self.pools {
+        let pools: Vec<(&PoolId, &PoolSpec)> = self.pools.iter().collect();
+        let results = ip_par::par_map(&pools, |&(id, spec)| -> Result<PoolRecommendation> {
             let demand = demands.get(id).ok_or_else(|| {
                 CoreError::InvalidConfig(format!("no demand stream for pool {id}"))
             })?;
             let opt = robust_optimize(demand, &spec.saa, &spec.robustness)
                 .map_err(|e| CoreError::Optimizer(e.to_string()))?;
-            out.push(PoolRecommendation {
+            Ok(PoolRecommendation {
                 pool: id.clone(),
-                schedule: opt.schedule.iter().map(|&n| n.round().max(0.0) as u32).collect(),
+                schedule: opt
+                    .schedule
+                    .iter()
+                    .map(|&n| n.round().max(0.0) as u32)
+                    .collect(),
                 objective: opt.objective,
-            });
-        }
-        Ok(out)
+            })
+        });
+        results.into_iter().collect()
     }
 }
 
@@ -111,13 +117,17 @@ mod tests {
                 ..Default::default()
             },
             robustness: RobustnessStrategies::none(),
-            cost: CostModel { node_size: node, ..Default::default() },
+            cost: CostModel {
+                node_size: node,
+                ..Default::default()
+            },
         }
     }
 
     fn demand(scale: f64) -> TimeSeries {
-        let vals: Vec<f64> =
-            (0..40).map(|t| (scale * (1.0 + ((t % 8) as f64))).round()).collect();
+        let vals: Vec<f64> = (0..40)
+            .map(|t| (scale * (1.0 + ((t % 8) as f64))).round())
+            .collect();
         TimeSeries::new(30, vals).unwrap()
     }
 
@@ -136,7 +146,12 @@ mod tests {
         // The busier pool gets at least as much capacity in aggregate.
         let total: BTreeMap<&str, u64> = recs
             .iter()
-            .map(|r| (r.pool.0.as_str(), r.schedule.iter().map(|&n| u64::from(n)).sum()))
+            .map(|r| {
+                (
+                    r.pool.0.as_str(),
+                    r.schedule.iter().map(|&n| u64::from(n)).sum(),
+                )
+            })
             .collect();
         assert!(total["session/small"] >= total["cluster/large"]);
     }
@@ -146,7 +161,10 @@ mod tests {
         let mut mgr = MultiPoolManager::new();
         mgr.register(PoolId("p1".into()), spec(0.5, NodeSize::Medium));
         let demands = BTreeMap::new();
-        assert!(matches!(mgr.recommend_all(&demands), Err(CoreError::InvalidConfig(_))));
+        assert!(matches!(
+            mgr.recommend_all(&demands),
+            Err(CoreError::InvalidConfig(_))
+        ));
     }
 
     #[test]

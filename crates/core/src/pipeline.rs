@@ -48,7 +48,9 @@ impl<F: Forecaster> RecommendationEngine for TwoStepEngine<F> {
     }
 
     fn recommend(&mut self, history: &TimeSeries, horizon: usize) -> Result<Vec<u32>> {
-        self.forecaster.fit(history).map_err(|e| CoreError::Model(e.to_string()))?;
+        self.forecaster
+            .fit(history)
+            .map_err(|e| CoreError::Model(e.to_string()))?;
         let predicted = self
             .forecaster
             .predict(horizon)
@@ -57,7 +59,11 @@ impl<F: Forecaster> RecommendationEngine for TwoStepEngine<F> {
             .map_err(|e| CoreError::Model(e.to_string()))?;
         let opt =
             optimize_dp(&demand, &self.config).map_err(|e| CoreError::Optimizer(e.to_string()))?;
-        Ok(opt.schedule.iter().map(|&n| n.round().max(0.0) as u32).collect())
+        Ok(opt
+            .schedule
+            .iter()
+            .map(|&n| n.round().max(0.0) as u32)
+            .collect())
     }
 }
 
@@ -102,8 +108,7 @@ impl<F: Forecaster> RecommendationEngine for EndToEndEngine<F> {
         Ok(predicted
             .iter()
             .map(|&n| {
-                (n.round().max(f64::from(self.config.min_pool)) as u32)
-                    .min(self.config.max_pool)
+                (n.round().max(f64::from(self.config.min_pool)) as u32).min(self.config.max_pool)
             })
             .collect())
     }
@@ -139,8 +144,7 @@ mod tests {
 
     #[test]
     fn two_step_produces_bounded_schedule() {
-        let mut engine =
-            TwoStepEngine::new(SsaModel::new(96, RankSelection::Fixed(3)), cfg());
+        let mut engine = TwoStepEngine::new(SsaModel::new(96, RankSelection::Fixed(3)), cfg());
         let rec = engine.recommend(&periodic_history(), 96).unwrap();
         assert_eq!(rec.len(), 96);
         assert!(rec.iter().all(|&n| n <= 40));
@@ -150,8 +154,7 @@ mod tests {
 
     #[test]
     fn e2e_produces_bounded_schedule() {
-        let mut engine =
-            EndToEndEngine::new(SsaModel::new(96, RankSelection::Fixed(3)), cfg());
+        let mut engine = EndToEndEngine::new(SsaModel::new(96, RankSelection::Fixed(3)), cfg());
         let rec = engine.recommend(&periodic_history(), 96).unwrap();
         assert_eq!(rec.len(), 96);
         assert!(rec.iter().all(|&n| n <= 40));
@@ -178,8 +181,10 @@ mod tests {
     #[test]
     fn short_history_errors_cleanly() {
         let short = TimeSeries::new(30, vec![1.0; 20]).unwrap();
-        let mut engine =
-            TwoStepEngine::new(SsaModel::new(96, RankSelection::Fixed(3)), cfg());
-        assert!(matches!(engine.recommend(&short, 10), Err(CoreError::Model(_))));
+        let mut engine = TwoStepEngine::new(SsaModel::new(96, RankSelection::Fixed(3)), cfg());
+        assert!(matches!(
+            engine.recommend(&short, 10),
+            Err(CoreError::Model(_))
+        ));
     }
 }

@@ -34,7 +34,13 @@ pub struct ReplayConfig {
 
 impl Default for ReplayConfig {
     fn default() -> Self {
-        Self { warmup: 2880, cadence: 60, horizon: 120, default_target: 3, tau_intervals: 3 }
+        Self {
+            warmup: 2880,
+            cadence: 60,
+            horizon: 120,
+            default_target: 3,
+            tau_intervals: 3,
+        }
     }
 }
 
@@ -104,7 +110,12 @@ pub fn replay_pipeline<E: RecommendationEngine + ?Sized>(
     let mechanics = evaluate_schedule(&eval_demand, &eval_schedule, config.tau_intervals)
         .map_err(|e| CoreError::Optimizer(e.to_string()))?;
 
-    Ok(ReplayOutcome { schedule, mechanics, runs, failed_runs })
+    Ok(ReplayOutcome {
+        schedule,
+        mechanics,
+        runs,
+        failed_runs,
+    })
 }
 
 #[cfg(test)]
@@ -152,7 +163,11 @@ mod tests {
         assert_eq!(out.failed_runs, 0);
         // A seasonal-naive forecast on a perfectly seasonal trace plus a
         // wait-averse optimizer delivers a high hit rate.
-        assert!(out.mechanics.hit_rate > 0.9, "hit rate {}", out.mechanics.hit_rate);
+        assert!(
+            out.mechanics.hit_rate > 0.9,
+            "hit rate {}",
+            out.mechanics.hit_rate
+        );
     }
 
     #[test]
@@ -177,11 +192,22 @@ mod tests {
     fn config_validation() {
         let demand = seasonal_demand(10);
         let mut engine = TwoStepEngine::new(BaselineForecaster::new(1.0), saa());
-        let bad_cadence = ReplayConfig { cadence: 0, ..Default::default() };
+        let bad_cadence = ReplayConfig {
+            cadence: 0,
+            ..Default::default()
+        };
         assert!(replay_pipeline(&mut engine, &demand, &bad_cadence).is_err());
-        let gap = ReplayConfig { cadence: 10, horizon: 5, warmup: 10, ..Default::default() };
+        let gap = ReplayConfig {
+            cadence: 10,
+            horizon: 5,
+            warmup: 10,
+            ..Default::default()
+        };
         assert!(replay_pipeline(&mut engine, &demand, &gap).is_err());
-        let too_short = ReplayConfig { warmup: 1_000_000, ..Default::default() };
+        let too_short = ReplayConfig {
+            warmup: 1_000_000,
+            ..Default::default()
+        };
         assert!(matches!(
             replay_pipeline(&mut engine, &demand, &too_short),
             Err(CoreError::InsufficientHistory { .. })

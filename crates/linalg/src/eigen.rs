@@ -74,7 +74,9 @@ pub fn symmetric_eigen(a: &Matrix) -> Result<EigenDecomposition> {
             }
         }
     }
-    Err(LinalgError::NonConvergence { iterations: MAX_SWEEPS })
+    Err(LinalgError::NonConvergence {
+        iterations: MAX_SWEEPS,
+    })
 }
 
 fn off_diagonal_norm(m: &Matrix) -> f64 {
@@ -146,7 +148,11 @@ mod tests {
     fn reconstruct(e: &EigenDecomposition) -> Matrix {
         let n = e.values.len();
         let lambda = Matrix::from_fn(n, n, |i, j| if i == j { e.values[i] } else { 0.0 });
-        e.vectors.matmul(&lambda).unwrap().matmul(&e.vectors.transpose()).unwrap()
+        e.vectors
+            .matmul(&lambda)
+            .unwrap()
+            .matmul(&e.vectors.transpose())
+            .unwrap()
     }
 
     #[test]
@@ -171,7 +177,9 @@ mod tests {
         let n = 8;
         let mut seed = 42u64;
         let mut rnd = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let b = Matrix::from_fn(n, n, |_, _| rnd());
@@ -181,7 +189,7 @@ mod tests {
         let err = reconstruct(&e).sub(&a).unwrap().frobenius_norm();
         assert!(err < 1e-9, "reconstruction error {err}");
 
-        let vtv = e.vectors.transpose().matmul(&e.vectors).unwrap();
+        let vtv = e.vectors.a_transpose_a();
         let orth_err = vtv.sub(&Matrix::identity(n)).unwrap().frobenius_norm();
         assert!(orth_err < 1e-9, "orthogonality error {orth_err}");
     }
@@ -202,6 +210,9 @@ mod tests {
     #[test]
     fn rejects_non_square_and_empty() {
         assert!(symmetric_eigen(&Matrix::zeros(2, 3)).is_err());
-        assert!(matches!(symmetric_eigen(&Matrix::zeros(0, 0)), Err(LinalgError::Empty)));
+        assert!(matches!(
+            symmetric_eigen(&Matrix::zeros(0, 0)),
+            Err(LinalgError::Empty)
+        ));
     }
 }

@@ -37,7 +37,7 @@ pub mod svd;
 
 pub use eigen::{symmetric_eigen, EigenDecomposition};
 pub use lu::LuDecomposition;
-pub use matrix::Matrix;
+pub use matrix::{dot, norm2, Matrix};
 pub use qr::{householder_qr, least_squares, QrDecomposition};
 pub use svd::{thin_svd, Svd};
 
@@ -71,7 +71,10 @@ impl std::fmt::Display for LinalgError {
             }
             LinalgError::Singular => write!(f, "matrix is singular"),
             LinalgError::NonConvergence { iterations } => {
-                write!(f, "iterative method failed to converge after {iterations} iterations")
+                write!(
+                    f,
+                    "iterative method failed to converge after {iterations} iterations"
+                )
             }
             LinalgError::Empty => write!(f, "empty input"),
         }

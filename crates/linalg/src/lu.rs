@@ -73,8 +73,8 @@ impl LuDecomposition {
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut s = b[self.perm[i]];
-            for j in 0..i {
-                s -= self.lu.get(i, j) * y[j];
+            for (lij, yj) in self.lu.row(i)[..i].iter().zip(&y[..i]) {
+                s -= lij * yj;
             }
             y[i] = s;
         }
@@ -82,8 +82,8 @@ impl LuDecomposition {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut s = y[i];
-            for j in (i + 1)..n {
-                s -= self.lu.get(i, j) * x[j];
+            for (lij, xj) in self.lu.row(i)[i + 1..].iter().zip(&x[i + 1..]) {
+                s -= lij * xj;
             }
             x[i] = s / self.lu.get(i, i);
         }
@@ -126,7 +126,10 @@ mod tests {
     #[test]
     fn singular_detected() {
         let a = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.0, 4.0]).unwrap();
-        assert!(matches!(LuDecomposition::new(&a), Err(LinalgError::Singular)));
+        assert!(matches!(
+            LuDecomposition::new(&a),
+            Err(LinalgError::Singular)
+        ));
     }
 
     #[test]
@@ -143,7 +146,9 @@ mod tests {
     fn random_roundtrip() {
         let mut seed = 123u64;
         let mut rnd = || {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         };
         let n = 7;

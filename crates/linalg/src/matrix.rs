@@ -31,7 +31,11 @@ impl Matrix {
 
     /// Creates a zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates the identity matrix of size `n`.
@@ -56,7 +60,11 @@ impl Matrix {
 
     /// Builds a single-column matrix from a slice.
     pub fn column_vector(v: &[f64]) -> Self {
-        Self { rows: v.len(), cols: 1, data: v.to_vec() }
+        Self {
+            rows: v.len(),
+            cols: 1,
+            data: v.to_vec(),
+        }
     }
 
     /// Number of rows.
@@ -121,27 +129,84 @@ impl Matrix {
     }
 
     /// Matrix product `self * rhs`.
+    ///
+    /// Cache-blocked kernel: `rhs` is transposed once into a contiguous
+    /// panel so every output element is a unit-stride dot product, and the
+    /// output is tiled `MATMUL_BLOCK × MATMUL_BLOCK` so the `rhs` panel rows
+    /// of a tile stay cache-resident across the tile's `lhs` rows. Row
+    /// blocks are computed in parallel (see [`ip-par`'s determinism
+    /// contract](../../par)): each output element is one full-length dot
+    /// accumulated in ascending `k`, so results are bit-identical for any
+    /// thread count, including the serial path.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        self.matmul_with_threads(ip_par::num_threads(), rhs)
+    }
+
+    /// [`Matrix::matmul`] with an explicit thread count (scaling benches and
+    /// bit-identity tests).
+    pub fn matmul_with_threads(&self, threads: usize, rhs: &Matrix) -> Result<Matrix> {
         if self.cols != rhs.rows {
             return Err(LinalgError::DimensionMismatch {
                 expected: format!("lhs cols == rhs rows ({})", self.cols),
                 found: format!("rhs has {} rows", rhs.rows),
             });
         }
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        // i-k-j loop order keeps the inner loop contiguous in both `rhs` and
-        // `out`, which matters for the larger SSA trajectory products.
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.get(i, k);
-                if a == 0.0 {
-                    continue;
-                }
-                let rhs_row = rhs.row(k);
-                let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-                for (o, &r) in out_row.iter_mut().zip(rhs_row.iter()) {
-                    *o += a * r;
-                }
+        let (m, n) = (self.rows, rhs.cols);
+        let bt = rhs.transpose();
+        let mut out = Matrix::zeros(m, n);
+        ip_par::par_chunks_mut_with(threads, &mut out.data, MATMUL_BLOCK * n, |bi, rows| {
+            let i0 = bi * MATMUL_BLOCK;
+            block_matmul_panel(self, &bt, i0, rows, n);
+        });
+        Ok(out)
+    }
+
+    /// Fused Gram product `selfᵀ * self` without materializing the general
+    /// product: one transpose panel, dot products over its rows, and the
+    /// strict upper triangle mirrored from the (parallel-computed) lower
+    /// work. Exactly symmetric by construction — `out[i][j]` and `out[j][i]`
+    /// are the same dot product — which the Jacobi eigensolver's symmetry
+    /// check would otherwise only get within rounding.
+    pub fn a_transpose_a(&self) -> Matrix {
+        self.a_transpose_a_with_threads(ip_par::num_threads())
+    }
+
+    /// [`Matrix::a_transpose_a`] with an explicit thread count.
+    pub fn a_transpose_a_with_threads(&self, threads: usize) -> Matrix {
+        let n = self.cols;
+        let at = self.transpose();
+        // Row i's tail (j ≥ i): each task owns whole rows of the triangle,
+        // so ordering is deterministic and no element is computed twice.
+        let rows: Vec<usize> = (0..n).collect();
+        let tails: Vec<Vec<f64>> = ip_par::par_map_with(threads, &rows, |&i| {
+            let ai = at.row(i);
+            (i..n).map(|j| dot(ai, at.row(j))).collect()
+        });
+        let mut out = Matrix::zeros(n, n);
+        for (i, tail) in tails.iter().enumerate() {
+            for (dj, &v) in tail.iter().enumerate() {
+                let j = i + dj;
+                out.set(i, j, v);
+                out.set(j, i, v);
+            }
+        }
+        out
+    }
+
+    /// Fused `selfᵀ * v` — equivalent to `self.transpose().matvec(v)` with
+    /// no transpose allocation. Accumulates `v[i] * row(i)` in ascending
+    /// `i`, keeping every pass unit-stride.
+    pub fn transpose_matvec(&self, v: &[f64]) -> Result<Vec<f64>> {
+        if self.rows != v.len() {
+            return Err(LinalgError::DimensionMismatch {
+                expected: format!("vector of length {}", self.rows),
+                found: format!("length {}", v.len()),
+            });
+        }
+        let mut out = vec![0.0; self.cols];
+        for (i, &vi) in v.iter().enumerate() {
+            for (o, &a) in out.iter_mut().zip(self.row(i)) {
+                *o += vi * a;
             }
         }
         Ok(out)
@@ -189,7 +254,12 @@ impl Matrix {
         Ok(Matrix {
             rows: self.rows,
             cols: self.cols,
-            data: self.data.iter().zip(&rhs.data).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&rhs.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         })
     }
 
@@ -236,6 +306,51 @@ impl Matrix {
     }
 }
 
+/// Output tile edge for the blocked matmul: 64×64 `f64` tiles keep one
+/// tile's worth of transposed-`rhs` panel rows (64 × K doubles for the K
+/// this workspace sees) inside L2 while the `lhs` row streams through L1.
+const MATMUL_BLOCK: usize = 64;
+
+/// Computes output rows `[i0, i0 + rows/n)` of `a * btᵀ` into `rows`
+/// (a borrow of those output rows), tiled over `bt`'s rows.
+fn block_matmul_panel(a: &Matrix, bt: &Matrix, i0: usize, rows: &mut [f64], n: usize) {
+    let block_rows = rows.len().checked_div(n).unwrap_or(0);
+    for j0 in (0..n).step_by(MATMUL_BLOCK) {
+        let j1 = (j0 + MATMUL_BLOCK).min(n);
+        for di in 0..block_rows {
+            let ai = a.row(i0 + di);
+            let kk = ai.len();
+            let out_row = &mut rows[di * n..(di + 1) * n];
+            // Register-block 4 output columns: four independent ascending-k
+            // accumulators break the single-dot dependence chain and reuse
+            // each `ai[k]` load four times.
+            let mut j = j0;
+            while j + 4 <= j1 {
+                let b0 = &bt.row(j)[..kk];
+                let b1 = &bt.row(j + 1)[..kk];
+                let b2 = &bt.row(j + 2)[..kk];
+                let b3 = &bt.row(j + 3)[..kk];
+                let (mut s0, mut s1, mut s2, mut s3) = (0.0, 0.0, 0.0, 0.0);
+                for (k, &av) in ai.iter().enumerate() {
+                    s0 += av * b0[k];
+                    s1 += av * b1[k];
+                    s2 += av * b2[k];
+                    s3 += av * b3[k];
+                }
+                out_row[j] = s0;
+                out_row[j + 1] = s1;
+                out_row[j + 2] = s2;
+                out_row[j + 3] = s3;
+                j += 4;
+            }
+            while j < j1 {
+                out_row[j] = dot(ai, bt.row(j));
+                j += 1;
+            }
+        }
+    }
+}
+
 /// Dot product of two equally sized slices.
 pub fn dot(a: &[f64], b: &[f64]) -> f64 {
     debug_assert_eq!(a.len(), b.len());
@@ -270,14 +385,20 @@ mod tests {
         let a = Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
         let b = Matrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0]).unwrap();
         let c = a.matmul(&b).unwrap();
-        assert_eq!(c, Matrix::from_vec(2, 2, vec![58.0, 64.0, 139.0, 154.0]).unwrap());
+        assert_eq!(
+            c,
+            Matrix::from_vec(2, 2, vec![58.0, 64.0, 139.0, 154.0]).unwrap()
+        );
     }
 
     #[test]
     fn matmul_shape_mismatch_errors() {
         let a = Matrix::zeros(2, 3);
         let b = Matrix::zeros(2, 3);
-        assert!(matches!(a.matmul(&b), Err(LinalgError::DimensionMismatch { .. })));
+        assert!(matches!(
+            a.matmul(&b),
+            Err(LinalgError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]
@@ -313,6 +434,82 @@ mod tests {
         let ns = Matrix::from_vec(2, 2, vec![1.0, 2.0, 2.1, 5.0]).unwrap();
         assert!(!ns.is_symmetric(1e-3));
         assert!(!Matrix::zeros(2, 3).is_symmetric(1.0));
+    }
+
+    /// Reference textbook triple loop for validating the blocked kernel.
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        Matrix::from_fn(a.rows(), b.cols(), |i, j| {
+            (0..a.cols()).map(|k| a.get(i, k) * b.get(k, j)).sum()
+        })
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_across_block_boundaries() {
+        // Sizes straddling the 64-wide tile: below, at, and just above.
+        for (m, k, n) in [
+            (1, 1, 1),
+            (3, 5, 2),
+            (63, 64, 65),
+            (64, 64, 64),
+            (70, 33, 67),
+        ] {
+            let a = Matrix::from_fn(m, k, |i, j| ((i * 7 + j * 3) % 11) as f64 - 5.0);
+            let b = Matrix::from_fn(k, n, |i, j| ((i * 5 + j * 2) % 13) as f64 - 6.0);
+            let got = a.matmul(&b).unwrap();
+            let want = naive_matmul(&a, &b);
+            assert!(
+                got.sub(&want).unwrap().max_abs() < 1e-9,
+                "mismatch at {m}x{k}x{n}"
+            );
+        }
+    }
+
+    #[test]
+    fn matmul_bit_identical_across_thread_counts() {
+        let a = Matrix::from_fn(97, 41, |i, j| ((i * j) as f64).sin());
+        let b = Matrix::from_fn(41, 73, |i, j| ((i + 2 * j) as f64).cos());
+        let serial = a.matmul_with_threads(1, &b).unwrap();
+        for threads in [2, 3, 4, 8] {
+            let par = a.matmul_with_threads(threads, &b).unwrap();
+            assert!(
+                serial
+                    .as_slice()
+                    .iter()
+                    .zip(par.as_slice())
+                    .all(|(x, y)| x.to_bits() == y.to_bits()),
+                "thread count {threads} changed bits"
+            );
+        }
+    }
+
+    #[test]
+    fn a_transpose_a_matches_explicit_product() {
+        let a = Matrix::from_fn(29, 13, |i, j| ((i * 3 + j) as f64).sin());
+        let fused = a.a_transpose_a();
+        let explicit = naive_matmul(&a.transpose(), &a);
+        assert!(fused.sub(&explicit).unwrap().max_abs() < 1e-9);
+        // Exactly symmetric by construction, and thread-count independent.
+        for i in 0..fused.rows() {
+            for j in 0..fused.cols() {
+                assert_eq!(fused.get(i, j).to_bits(), fused.get(j, i).to_bits());
+            }
+        }
+        let serial = a.a_transpose_a_with_threads(1);
+        assert_eq!(serial, fused.clone());
+        assert_eq!(a.a_transpose_a_with_threads(4), serial);
+    }
+
+    #[test]
+    fn transpose_matvec_matches_explicit() {
+        let a = Matrix::from_fn(17, 9, |i, j| ((i + j * j) as f64).cos());
+        let v: Vec<f64> = (0..17).map(|i| (i as f64) * 0.25 - 2.0).collect();
+        let fused = a.transpose_matvec(&v).unwrap();
+        let explicit = a.transpose().matvec(&v).unwrap();
+        assert!(fused
+            .iter()
+            .zip(&explicit)
+            .all(|(x, y)| (x - y).abs() < 1e-12));
+        assert!(a.transpose_matvec(&[1.0]).is_err());
     }
 
     #[test]

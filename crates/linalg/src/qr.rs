@@ -92,13 +92,13 @@ pub fn least_squares(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
     let qr = householder_qr(a)?;
     let n = a.cols();
     // x solves R x = Qᵀ b.
-    let qtb = qr.q.transpose().matvec(b)?;
+    let qtb = qr.q.transpose_matvec(b)?;
     let mut x = vec![0.0; n];
     let scale = qr.r.max_abs().max(f64::MIN_POSITIVE);
     for i in (0..n).rev() {
         let mut s = qtb[i];
-        for j in (i + 1)..n {
-            s -= qr.r.get(i, j) * x[j];
+        for (rij, xj) in qr.r.row(i)[i + 1..].iter().zip(&x[i + 1..]) {
+            s -= rij * xj;
         }
         let d = qr.r.get(i, i);
         if d.abs() < 1e-12 * scale {
@@ -115,7 +115,9 @@ mod tests {
 
     fn pseudo_random_matrix(m: usize, n: usize, mut seed: u64) -> Matrix {
         Matrix::from_fn(m, n, |_, _| {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         })
     }
@@ -124,10 +126,15 @@ mod tests {
     fn qr_reconstructs() {
         let a = pseudo_random_matrix(9, 4, 3);
         let qr = householder_qr(&a).unwrap();
-        let err = qr.q.matmul(&qr.r).unwrap().sub(&a).unwrap().frobenius_norm();
+        let err =
+            qr.q.matmul(&qr.r)
+                .unwrap()
+                .sub(&a)
+                .unwrap()
+                .frobenius_norm();
         assert!(err < 1e-10, "QR reconstruction error {err}");
         // Q orthonormal columns.
-        let qtq = qr.q.transpose().matmul(&qr.q).unwrap();
+        let qtq = qr.q.a_transpose_a();
         assert!(qtq.sub(&Matrix::identity(4)).unwrap().frobenius_norm() < 1e-10);
         // R upper triangular.
         for i in 0..4 {
@@ -167,7 +174,7 @@ mod tests {
         let ax = a.matvec(&x).unwrap();
         let residual: Vec<f64> = b.iter().zip(&ax).map(|(bi, ai)| bi - ai).collect();
         // Normal equations: Aᵀ r = 0 at the optimum.
-        let at_r = a.transpose().matvec(&residual).unwrap();
+        let at_r = a.transpose_matvec(&residual).unwrap();
         for v in at_r {
             assert!(v.abs() < 1e-9, "normal-equation residual {v}");
         }

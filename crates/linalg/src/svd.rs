@@ -24,7 +24,10 @@ impl Svd {
     /// Effective numerical rank at relative tolerance `rtol`.
     pub fn rank(&self, rtol: f64) -> usize {
         let smax = self.singular_values.first().copied().unwrap_or(0.0);
-        self.singular_values.iter().filter(|&&s| s > rtol * smax).count()
+        self.singular_values
+            .iter()
+            .filter(|&&s| s > rtol * smax)
+            .count()
     }
 
     /// Reconstructs the rank-`k` truncation `Σᵢ σᵢ uᵢ vᵢᵀ` for `i < k`.
@@ -62,7 +65,11 @@ pub fn thin_svd(a: &Matrix) -> Result<Svd> {
     } else {
         // A = U S Vᵀ  ⇔  Aᵀ = V S Uᵀ.
         let svd_t = thin_svd_portrait(&a.transpose())?;
-        Ok(Svd { u: svd_t.v, singular_values: svd_t.singular_values, v: svd_t.u })
+        Ok(Svd {
+            u: svd_t.v,
+            singular_values: svd_t.singular_values,
+            v: svd_t.u,
+        })
     }
 }
 
@@ -93,11 +100,12 @@ fn thin_svd_portrait(a: &Matrix) -> Result<Svd> {
                 let c = 1.0 / (1.0 + t * t).sqrt();
                 let s = c * t;
 
-                for i in 0..m {
-                    let up = cols[p][i];
-                    let uq = cols[q][i];
-                    cols[p][i] = c * up - s * uq;
-                    cols[q][i] = s * up + c * uq;
+                // p < q by loop construction, so the split borrow is safe.
+                let (head, tail) = cols.split_at_mut(q);
+                for (up, uq) in head[p].iter_mut().zip(tail[0].iter_mut()) {
+                    let (u0, u1) = (*up, *uq);
+                    *up = c * u0 - s * u1;
+                    *uq = s * u0 + c * u1;
                 }
                 for i in 0..n {
                     let vp = v.get(i, p);
@@ -113,7 +121,9 @@ fn thin_svd_portrait(a: &Matrix) -> Result<Svd> {
         }
     }
     if !converged {
-        return Err(LinalgError::NonConvergence { iterations: MAX_SWEEPS });
+        return Err(LinalgError::NonConvergence {
+            iterations: MAX_SWEEPS,
+        });
     }
 
     // Singular values are the column norms; normalize U's columns.
@@ -128,8 +138,8 @@ fn thin_svd_portrait(a: &Matrix) -> Result<Svd> {
         let s = sigma[old_j];
         sigma_sorted.push(s);
         if s > 0.0 {
-            for i in 0..m {
-                u.set(i, new_j, cols[old_j][i] / s);
+            for (i, &cv) in cols[old_j].iter().enumerate() {
+                u.set(i, new_j, cv / s);
             }
         } else {
             // Zero singular value: the left vector is arbitrary; keep zeros so
@@ -141,7 +151,11 @@ fn thin_svd_portrait(a: &Matrix) -> Result<Svd> {
     }
     sigma.clear();
 
-    Ok(Svd { u, singular_values: sigma_sorted, v: v_sorted })
+    Ok(Svd {
+        u,
+        singular_values: sigma_sorted,
+        v: v_sorted,
+    })
 }
 
 #[cfg(test)]
@@ -154,7 +168,9 @@ mod tests {
 
     fn pseudo_random_matrix(m: usize, n: usize, mut seed: u64) -> Matrix {
         Matrix::from_fn(m, n, |_, _| {
-            seed = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((seed >> 33) as f64 / (1u64 << 31) as f64) - 1.0
         })
     }
@@ -184,10 +200,10 @@ mod tests {
         let err = reconstruct(&svd).sub(&a).unwrap().frobenius_norm();
         assert!(err < 1e-9, "reconstruction error {err}");
         // U has orthonormal columns.
-        let utu = svd.u.transpose().matmul(&svd.u).unwrap();
+        let utu = svd.u.a_transpose_a();
         assert!(utu.sub(&Matrix::identity(5)).unwrap().frobenius_norm() < 1e-9);
         // V orthogonal.
-        let vtv = svd.v.transpose().matmul(&svd.v).unwrap();
+        let vtv = svd.v.a_transpose_a();
         assert!(vtv.sub(&Matrix::identity(5)).unwrap().frobenius_norm() < 1e-9);
     }
 
@@ -207,7 +223,11 @@ mod tests {
         let a = Matrix::from_fn(4, 3, |i, j| u[i] * v[j]);
         let svd = thin_svd(&a).unwrap();
         assert_eq!(svd.rank(1e-10), 1);
-        let err = svd.truncated_reconstruction(1).sub(&a).unwrap().frobenius_norm();
+        let err = svd
+            .truncated_reconstruction(1)
+            .sub(&a)
+            .unwrap()
+            .frobenius_norm();
         assert!(err < 1e-9);
     }
 
@@ -229,7 +249,10 @@ mod tests {
 
     #[test]
     fn empty_errors() {
-        assert!(matches!(thin_svd(&Matrix::zeros(0, 3)), Err(LinalgError::Empty)));
+        assert!(matches!(
+            thin_svd(&Matrix::zeros(0, 3)),
+            Err(LinalgError::Empty)
+        ));
     }
 
     #[test]
@@ -237,10 +260,15 @@ mod tests {
         // σᵢ² must equal eigenvalues of AᵀA.
         let a = pseudo_random_matrix(8, 4, 5);
         let svd = thin_svd(&a).unwrap();
-        let gram = a.transpose().matmul(&a).unwrap();
+        let gram = a.a_transpose_a();
         let eig = crate::eigen::symmetric_eigen(&gram).unwrap();
         for (s, l) in svd.singular_values.iter().zip(eig.values.iter()) {
-            assert!((s * s - l).abs() < 1e-8, "sigma^2 {} vs lambda {}", s * s, l);
+            assert!(
+                (s * s - l).abs() < 1e-8,
+                "sigma^2 {} vs lambda {}",
+                s * s,
+                l
+            );
         }
     }
 }

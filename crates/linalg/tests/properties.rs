@@ -1,6 +1,8 @@
 //! Property-based tests for the linear algebra kernels.
 
-use ip_linalg::{householder_qr, least_squares, symmetric_eigen, thin_svd, LuDecomposition, Matrix};
+use ip_linalg::{
+    householder_qr, least_squares, symmetric_eigen, thin_svd, LuDecomposition, Matrix,
+};
 use proptest::prelude::*;
 
 fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
@@ -19,6 +21,32 @@ fn square_matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix> {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_parallel_bit_identical_to_serial(
+        dims in (1usize..=20, 1usize..=20, 1usize..=20),
+        seed in 0u64..1000,
+        threads in 2usize..9,
+    ) {
+        let (m, k, n) = dims;
+        let a = Matrix::from_fn(m, k, |i, j| (((i * 31 + j * 17 + seed as usize) % 97) as f64 - 48.0) / 7.0);
+        let b = Matrix::from_fn(k, n, |i, j| (((i * 13 + j * 29 + seed as usize) % 89) as f64 - 44.0) / 5.0);
+        let serial = a.matmul_with_threads(1, &b).unwrap();
+        let par = a.matmul_with_threads(threads, &b).unwrap();
+        prop_assert!(
+            serial.as_slice().iter().zip(par.as_slice()).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "thread count {} changed bits for {}x{}x{}", threads, m, k, n
+        );
+    }
+
+    #[test]
+    fn a_transpose_a_parallel_bit_identical(a in matrix_strategy(10), threads in 2usize..9) {
+        let serial = a.a_transpose_a_with_threads(1);
+        let par = a.a_transpose_a_with_threads(threads);
+        prop_assert!(
+            serial.as_slice().iter().zip(par.as_slice()).all(|(x, y)| x.to_bits() == y.to_bits())
+        );
+    }
 
     #[test]
     fn svd_reconstructs_any_matrix(a in matrix_strategy(8)) {

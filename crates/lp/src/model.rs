@@ -65,7 +65,12 @@ impl Problem {
     /// Adds a variable with bounds `[lower, upper]` (either may be infinite;
     /// use `f64::NEG_INFINITY` / `f64::INFINITY`). Returns its handle.
     pub fn add_var(&mut self, name: impl Into<String>, lower: f64, upper: f64) -> Var {
-        self.vars.push(VarDef { name: name.into(), lower, upper, objective: 0.0 });
+        self.vars.push(VarDef {
+            name: name.into(),
+            lower,
+            upper,
+            objective: 0.0,
+        });
         Var(self.vars.len() - 1)
     }
 
@@ -104,12 +109,17 @@ impl Problem {
                 )));
             }
             if v.lower.is_nan() || v.upper.is_nan() || v.objective.is_nan() {
-                return Err(LpError::InvalidModel(format!("variable {} ({}) has NaN", i, v.name)));
+                return Err(LpError::InvalidModel(format!(
+                    "variable {} ({}) has NaN",
+                    i, v.name
+                )));
             }
         }
         for (ci, c) in self.constraints.iter().enumerate() {
             if c.rhs.is_nan() {
-                return Err(LpError::InvalidModel(format!("constraint {ci} has NaN rhs")));
+                return Err(LpError::InvalidModel(format!(
+                    "constraint {ci} has NaN rhs"
+                )));
             }
             for &(var, coeff) in &c.terms {
                 if var.0 >= self.vars.len() {
@@ -130,7 +140,11 @@ impl Problem {
 
     /// Evaluates the objective at a candidate point (for tests/diagnostics).
     pub fn objective_at(&self, x: &[f64]) -> f64 {
-        self.vars.iter().zip(x).map(|(v, xi)| v.objective * xi).sum()
+        self.vars
+            .iter()
+            .zip(x)
+            .map(|(v, xi)| v.objective * xi)
+            .sum()
     }
 
     /// Checks whether `x` satisfies every bound and constraint within `tol`.

@@ -67,13 +67,17 @@ fn to_standard(p: &Problem) -> Result<Standard> {
     let mut maps = Vec::with_capacity(p.vars.len());
     let mut n_struct = 0usize;
     // Extra rows introduced by finite upper bounds on shifted/split vars.
-    let mut extra_rows: Vec<(Vec<(usize, f64)>, Sense, f64)> = Vec::new();
+    type ExtraRow = (Vec<(usize, f64)>, Sense, f64);
+    let mut extra_rows: Vec<ExtraRow> = Vec::new();
 
     for v in &p.vars {
         if v.lower.is_finite() {
             let col = n_struct;
             n_struct += 1;
-            maps.push(VarMap::Shifted { col, lower: v.lower });
+            maps.push(VarMap::Shifted {
+                col,
+                lower: v.lower,
+            });
             if v.upper.is_finite() {
                 extra_rows.push((vec![(col, 1.0)], Sense::Le, v.upper - v.lower));
             }
@@ -81,7 +85,10 @@ fn to_standard(p: &Problem) -> Result<Standard> {
             // Only an upper bound: mirror the variable (x = u − y, y ≥ 0).
             let col = n_struct;
             n_struct += 1;
-            maps.push(VarMap::Mirrored { col, upper: v.upper });
+            maps.push(VarMap::Mirrored {
+                col,
+                upper: v.upper,
+            });
         } else {
             let pos = n_struct;
             let neg = n_struct + 1;
@@ -145,7 +152,15 @@ fn to_standard(p: &Problem) -> Result<Standard> {
         senses.push(sense);
     }
 
-    Ok(Standard { rows, rhs, senses, costs, offset, maps, n_struct })
+    Ok(Standard {
+        rows,
+        rhs,
+        senses,
+        costs,
+        offset,
+        maps,
+        n_struct,
+    })
 }
 
 /// Pivot budget multiplier; the backstop for [`LpError::IterationLimit`].
@@ -186,8 +201,8 @@ pub fn solve(p: &Problem) -> Result<Solution> {
         let mut row = vec![0.0; n_total + 1];
         let flip = std_form.rhs[i] < 0.0;
         let sign = if flip { -1.0 } else { 1.0 };
-        for j in 0..n_struct {
-            row[j] = sign * std_form.rows[i][j];
+        for (rj, &sj) in row[..n_struct].iter_mut().zip(&std_form.rows[i]) {
+            *rj = sign * sj;
         }
         row[n_total] = sign * std_form.rhs[i];
         let sense = match (std_form.senses[i], flip) {
@@ -226,7 +241,15 @@ pub fn solve(p: &Problem) -> Result<Solution> {
         for c in phase1_costs.iter_mut().skip(art_start) {
             *c = 1.0;
         }
-        let obj = run_simplex(&mut t, &mut basis, &phase1_costs, n_total, &mut pivots, max_pivots, None)?;
+        let obj = run_simplex(
+            &mut t,
+            &mut basis,
+            &phase1_costs,
+            n_total,
+            &mut pivots,
+            max_pivots,
+            None,
+        )?;
         if obj > 1e-7 {
             return Err(LpError::Infeasible);
         }
@@ -282,13 +305,17 @@ pub fn solve(p: &Problem) -> Result<Solution> {
         })
         .collect();
 
-    Ok(Solution { objective: obj + std_form.offset, values, pivots })
+    Ok(Solution {
+        objective: obj + std_form.offset,
+        values,
+        pivots,
+    })
 }
 
 /// Runs the simplex loop on the tableau with the given cost vector.
 /// Returns the optimal objective (without offset).
 fn run_simplex(
-    t: &mut Vec<Vec<f64>>,
+    t: &mut [Vec<f64>],
     basis: &mut [usize],
     costs: &[f64],
     n_total: usize,
@@ -323,12 +350,8 @@ fn run_simplex(
             (0..n_total).find(|&j| j < barred && zrow[j] < -TOL)
         } else {
             let mut best: Option<(usize, f64)> = None;
-            for j in 0..n_total {
-                if j >= barred {
-                    continue;
-                }
-                let z = zrow[j];
-                if z < -TOL && best.map_or(true, |(_, bz)| z < bz) {
+            for (j, &z) in zrow.iter().enumerate().take(n_total.min(barred)) {
+                if z < -TOL && best.is_none_or(|(_, bz)| z < bz) {
                     best = Some((j, z));
                 }
             }
@@ -385,8 +408,16 @@ fn pivot(t: &mut [Vec<f64>], basis: &mut [usize], r: usize, c: usize, n_total: u
         if factor == 0.0 {
             continue;
         }
-        for j in 0..=n_total {
-            t[rr][j] -= factor * t[r][j];
+        // rr != r, so splitting at the larger index borrows both rows safely.
+        let (pivot_row, target_row) = if r < rr {
+            let (a, b) = t.split_at_mut(rr);
+            (&a[r], &mut b[0])
+        } else {
+            let (a, b) = t.split_at_mut(r);
+            (&b[0], &mut a[rr])
+        };
+        for (tv, &pv) in target_row.iter_mut().zip(pivot_row).take(n_total + 1) {
+            *tv -= factor * pv;
         }
     }
     basis[r] = c;
@@ -540,11 +571,23 @@ mod tests {
         p.set_objective_coeff(x2, 150.0);
         p.set_objective_coeff(x3, -0.02);
         p.set_objective_coeff(x4, 6.0);
-        p.add_constraint(vec![(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)], Sense::Le, 0.0);
-        p.add_constraint(vec![(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)], Sense::Le, 0.0);
+        p.add_constraint(
+            vec![(x1, 0.25), (x2, -60.0), (x3, -0.04), (x4, 9.0)],
+            Sense::Le,
+            0.0,
+        );
+        p.add_constraint(
+            vec![(x1, 0.5), (x2, -90.0), (x3, -0.02), (x4, 3.0)],
+            Sense::Le,
+            0.0,
+        );
         p.add_constraint(vec![(x3, 1.0)], Sense::Le, 1.0);
         let s = solve(&p).unwrap();
-        assert!((s.objective + 0.05).abs() < 1e-7, "objective {}", s.objective);
+        assert!(
+            (s.objective + 0.05).abs() < 1e-7,
+            "objective {}",
+            s.objective
+        );
     }
 
     #[test]

@@ -24,7 +24,9 @@ fn random_feasible_lp() -> impl Strategy<Value = RandomLp> {
         let slacks = proptest::collection::vec(0.1f64..5.0, m);
         (coeffs, witness, costs, slacks).prop_map(move |(coeffs, witness, costs, slacks)| {
             let mut p = Problem::minimize();
-            let vars: Vec<_> = (0..n).map(|i| p.add_var(format!("x{i}"), 0.0, 10.0)).collect();
+            let vars: Vec<_> = (0..n)
+                .map(|i| p.add_var(format!("x{i}"), 0.0, 10.0))
+                .collect();
             for (i, &c) in costs.iter().enumerate() {
                 p.set_objective_coeff(vars[i], c);
             }
@@ -36,7 +38,11 @@ fn random_feasible_lp() -> impl Strategy<Value = RandomLp> {
                 let terms: Vec<_> = vars.iter().zip(&row).map(|(&v, &a)| (v, a)).collect();
                 p.add_constraint(terms, Sense::Le, lhs_at_witness + slacks[r]);
             }
-            RandomLp { problem: p, vars, witness }
+            RandomLp {
+                problem: p,
+                vars,
+                witness,
+            }
         })
     })
 }

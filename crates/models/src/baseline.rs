@@ -35,7 +35,12 @@ impl Forecaster for BaselineForecaster {
             .max()
             .ok_or(ModelError::SeriesTooShort { needed: 1, got: 0 })?;
         self.level = Some((self.gamma * peak).max(0.0));
-        Ok(FitReport { fit_time: start.elapsed(), epochs_run: 1, final_loss: 0.0, parameters: 0 })
+        Ok(FitReport {
+            fit_time: start.elapsed(),
+            epochs_run: 1,
+            final_loss: 0.0,
+            parameters: 0,
+        })
     }
 
     fn predict(&mut self, horizon: usize) -> Result<Vec<f64>> {

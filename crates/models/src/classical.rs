@@ -25,7 +25,10 @@ pub struct SeasonalNaive {
 impl SeasonalNaive {
     /// Creates the forecaster for a season of `season` intervals.
     pub fn new(season: usize) -> Self {
-        Self { season, last_season: Vec::new() }
+        Self {
+            season,
+            last_season: Vec::new(),
+        }
     }
 
     /// Convenience: one-day season for a series at `interval_secs`.
@@ -45,10 +48,18 @@ impl Forecaster for SeasonalNaive {
             return Err(ModelError::InvalidConfig("season must be > 0".into()));
         }
         if train.len() < self.season {
-            return Err(ModelError::SeriesTooShort { needed: self.season, got: train.len() });
+            return Err(ModelError::SeriesTooShort {
+                needed: self.season,
+                got: train.len(),
+            });
         }
         self.last_season = train.values()[train.len() - self.season..].to_vec();
-        Ok(FitReport { fit_time: start.elapsed(), epochs_run: 1, final_loss: 0.0, parameters: 0 })
+        Ok(FitReport {
+            fit_time: start.elapsed(),
+            epochs_run: 1,
+            final_loss: 0.0,
+            parameters: 0,
+        })
     }
 
     fn predict(&mut self, horizon: usize) -> Result<Vec<f64>> {
@@ -88,7 +99,13 @@ struct HwState {
 impl HoltWinters {
     /// Creates the model; parameters are validated at fit time.
     pub fn new(alpha: f64, beta: f64, gamma: f64, season: usize) -> Self {
-        Self { alpha, beta, gamma, season, state: None }
+        Self {
+            alpha,
+            beta,
+            gamma,
+            season,
+            state: None,
+        }
     }
 
     /// Reasonable defaults for demand traces with a daily season.
@@ -114,11 +131,16 @@ impl Forecaster for HoltWinters {
             ("gamma", self.gamma, 0.0),
         ] {
             if !(lo..1.0).contains(&v) {
-                return Err(ModelError::InvalidConfig(format!("{name} = {v} out of range")));
+                return Err(ModelError::InvalidConfig(format!(
+                    "{name} = {v} out of range"
+                )));
             }
         }
         if train.len() < 2 * m {
-            return Err(ModelError::SeriesTooShort { needed: 2 * m, got: train.len() });
+            return Err(ModelError::SeriesTooShort {
+                needed: 2 * m,
+                got: train.len(),
+            });
         }
         let y = train.values();
 
@@ -140,7 +162,12 @@ impl Forecaster for HoltWinters {
             trend = self.beta * (level - prev_level) + (1.0 - self.beta) * trend;
             seasonal[phase] = self.gamma * (obs - level) + (1.0 - self.gamma) * seasonal[phase];
         }
-        self.state = Some(HwState { level, trend, seasonal, phase: train.len() % m });
+        self.state = Some(HwState {
+            level,
+            trend,
+            seasonal,
+            phase: train.len() % m,
+        });
         Ok(FitReport {
             fit_time: start.elapsed(),
             epochs_run: 1,
@@ -181,7 +208,10 @@ mod tests {
         let ts = TimeSeries::new(30, vec![1.0, 2.0, 3.0, 10.0, 20.0, 30.0]).unwrap();
         let mut m = SeasonalNaive::new(3);
         m.fit(&ts).unwrap();
-        assert_eq!(m.predict(6).unwrap(), vec![10.0, 20.0, 30.0, 10.0, 20.0, 30.0]);
+        assert_eq!(
+            m.predict(6).unwrap(),
+            vec![10.0, 20.0, 30.0, 10.0, 20.0, 30.0]
+        );
     }
 
     #[test]
@@ -200,7 +230,11 @@ mod tests {
         let ts = seasonal_series(20, m);
         let mut hw = HoltWinters::new(0.3, 0.05, 0.2, m);
         let report = hw.fit(&ts).unwrap();
-        assert!(report.final_loss < 1.0, "in-sample RMSE {}", report.final_loss);
+        assert!(
+            report.final_loss < 1.0,
+            "in-sample RMSE {}",
+            report.final_loss
+        );
         let pred = hw.predict(m).unwrap();
         // The next season should look like the pattern (peaks at phases of
         // 9.0 and troughs at phases of 1.0, up to the trend).

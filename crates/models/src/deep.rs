@@ -94,17 +94,23 @@ pub struct DeepModel<N: Net> {
 impl<N: Net> DeepModel<N> {
     /// Builds a model from a constructor that registers the net's parameters
     /// on the provided graph.
-    pub fn new(config: DeepConfig, build: impl FnOnce(&mut Graph, &DeepConfig, &mut StdRng) -> N) -> Self {
+    pub fn new(
+        config: DeepConfig,
+        build: impl FnOnce(&mut Graph, &DeepConfig, &mut StdRng) -> N,
+    ) -> Self {
         let mut graph = Graph::new(config.seed);
         let mut rng = StdRng::seed_from_u64(config.seed);
         let net = build(&mut graph, &config, &mut rng);
         graph.freeze();
-        let param_count = graph
-            .params()
-            .iter()
-            .map(|&p| graph.value(p).numel())
-            .sum();
-        Self { config, net, graph, normalizer: None, last_window: Vec::new(), param_count }
+        let param_count = graph.params().iter().map(|&p| graph.value(p).numel()).sum();
+        Self {
+            config,
+            net,
+            graph,
+            normalizer: None,
+            last_window: Vec::new(),
+            param_count,
+        }
     }
 
     /// Number of trainable parameters.
@@ -161,10 +167,13 @@ impl<N: Net> Forecaster for DeepModel<N> {
         let cfg = self.config.clone();
         let needed = cfg.window + cfg.horizon + 1;
         if train.len() < needed {
-            return Err(ModelError::SeriesTooShort { needed, got: train.len() });
+            return Err(ModelError::SeriesTooShort {
+                needed,
+                got: train.len(),
+            });
         }
-        let nz = Normalizer::fit(train.values())
-            .map_err(|e| ModelError::Internal(e.to_string()))?;
+        let nz =
+            Normalizer::fit(train.values()).map_err(|e| ModelError::Internal(e.to_string()))?;
         let pairs = sliding_windows(train, cfg.window, cfg.horizon, cfg.stride)
             .map_err(|e| ModelError::Internal(e.to_string()))?;
         // Chronological train/val split of the windows (paper: 90-10).
@@ -208,8 +217,7 @@ impl<N: Net> Forecaster for DeepModel<N> {
             }
         }
 
-        self.last_window =
-            train.values()[train.len() - cfg.window..].to_vec();
+        self.last_window = train.values()[train.len() - cfg.window..].to_vec();
         self.normalizer = Some(nz);
         Ok(FitReport {
             fit_time: start.elapsed(),
@@ -234,8 +242,13 @@ impl<N: Net> Forecaster for DeepModel<N> {
             self.graph.reset();
             let xb = self.graph.constant(x);
             let pred = self.net.forward(&mut self.graph, xb, 1, false);
-            let raw: Vec<f64> =
-                self.graph.value(pred).data().iter().map(|&v| f64::from(v)).collect();
+            let raw: Vec<f64> = self
+                .graph
+                .value(pred)
+                .data()
+                .iter()
+                .map(|&v| f64::from(v))
+                .collect();
             let denorm = nz.inverse(&raw);
             for v in &denorm {
                 out.push(v.max(0.0));

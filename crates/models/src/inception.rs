@@ -29,7 +29,12 @@ pub struct InceptionConfig {
 impl Default for InceptionConfig {
     fn default() -> Self {
         // A faithful scale-down of the original {10, 20, 40} × 32 × 6.
-        Self { kernels: vec![9, 19, 39], filters: 8, depth: 3, bottleneck: 8 }
+        Self {
+            kernels: vec![9, 19, 39],
+            filters: 8,
+            depth: 3,
+            bottleneck: 8,
+        }
     }
 }
 
@@ -43,7 +48,10 @@ struct InceptionModule {
 impl InceptionModule {
     fn new(g: &mut Graph, in_channels: usize, arch: &InceptionConfig, rng: &mut StdRng) -> Self {
         let (bottleneck, branch_in) = if in_channels > 1 {
-            (Some(Conv1d::new(g, in_channels, arch.bottleneck, 1, 0, 1, rng)), arch.bottleneck)
+            (
+                Some(Conv1d::new(g, in_channels, arch.bottleneck, 1, 0, 1, rng)),
+                arch.bottleneck,
+            )
         } else {
             (None, in_channels)
         };
@@ -51,14 +59,22 @@ impl InceptionModule {
             .kernels
             .iter()
             .map(|&k| {
-                assert!(k % 2 == 1, "inception kernels must be odd for same-length padding");
+                assert!(
+                    k % 2 == 1,
+                    "inception kernels must be odd for same-length padding"
+                );
                 Conv1d::new(g, branch_in, arch.filters, k, k / 2, 1, rng)
             })
             .collect();
         let pool_conv = Conv1d::new(g, in_channels, arch.filters, 1, 0, 1, rng);
         let out_channels = (arch.kernels.len() + 1) * arch.filters;
         let bn = BatchNorm1d::new(g, out_channels);
-        Self { bottleneck, branches, pool_conv, bn }
+        Self {
+            bottleneck,
+            branches,
+            pool_conv,
+            bn,
+        }
     }
 
     fn forward(&mut self, g: &mut Graph, x: NodeId, train: bool) -> NodeId {
@@ -66,8 +82,7 @@ impl InceptionModule {
             Some(b) => b.forward(g, x),
             None => x,
         };
-        let mut outs: Vec<NodeId> =
-            self.branches.iter().map(|c| c.forward(g, trunk)).collect();
+        let mut outs: Vec<NodeId> = self.branches.iter().map(|c| c.forward(g, trunk)).collect();
         // Max-pool branch: same-length pooling then 1×1 conv.
         let pooled = g.max_pool1d_padded(x, 3, 1, 1);
         outs.push(self.pool_conv.forward(g, pooled));
@@ -105,7 +120,14 @@ impl InceptionTime {
             let shortcut = Conv1d::new(g, 1, out_channels, 1, 0, 1, rng);
             let shortcut_bn = BatchNorm1d::new(g, out_channels);
             let head = Linear::new(g, out_channels, cfg.horizon, rng);
-            InceptionNet { modules, shortcut, shortcut_bn, head, window: cfg.window, out_channels }
+            InceptionNet {
+                modules,
+                shortcut,
+                shortcut_bn,
+                head,
+                window: cfg.window,
+                out_channels,
+            }
         })
     }
 }
@@ -140,8 +162,20 @@ mod tests {
 
     fn tiny() -> (DeepConfig, InceptionConfig) {
         (
-            DeepConfig { window: 32, horizon: 8, epochs: 3, batch_size: 8, stride: 4, ..Default::default() },
-            InceptionConfig { kernels: vec![3, 5, 9], filters: 4, depth: 2, bottleneck: 4 },
+            DeepConfig {
+                window: 32,
+                horizon: 8,
+                epochs: 3,
+                batch_size: 8,
+                stride: 4,
+                ..Default::default()
+            },
+            InceptionConfig {
+                kernels: vec![3, 5, 9],
+                filters: 4,
+                depth: 2,
+                bottleneck: 4,
+            },
         )
     }
 
@@ -167,7 +201,13 @@ mod tests {
             .collect();
         let ts = TimeSeries::new(30, vals).unwrap();
         let (dc, ic) = tiny();
-        let mut one = InceptionTime::model(DeepConfig { epochs: 1, ..dc.clone() }, ic.clone());
+        let mut one = InceptionTime::model(
+            DeepConfig {
+                epochs: 1,
+                ..dc.clone()
+            },
+            ic.clone(),
+        );
         let l1 = one.fit(&ts).unwrap().final_loss;
         let mut many = InceptionTime::model(DeepConfig { epochs: 8, ..dc }, ic);
         let l8 = many.fit(&ts).unwrap().final_loss;

@@ -69,10 +69,14 @@ impl Mwdn {
                 // initializes with the exact wavelet filters and lets
                 // training fine-tune them).
                 let jitter = 0.01;
-                let low: Vec<f32> =
-                    D4_LOW.iter().map(|&c| c + rng.gen_range(-jitter..jitter)).collect();
-                let high: Vec<f32> =
-                    D4_HIGH.iter().map(|&c| c + rng.gen_range(-jitter..jitter)).collect();
+                let low: Vec<f32> = D4_LOW
+                    .iter()
+                    .map(|&c| c + rng.gen_range(-jitter..jitter))
+                    .collect();
+                let high: Vec<f32> = D4_HIGH
+                    .iter()
+                    .map(|&c| c + rng.gen_range(-jitter..jitter))
+                    .collect();
                 lvl.push(WaveletLevel {
                     low: g.param(Tensor::new(&[1, 1, 4], low).expect("4-tap filter")),
                     high: g.param(Tensor::new(&[1, 1, 4], high).expect("4-tap filter")),
@@ -92,7 +96,13 @@ impl Mwdn {
                 .collect();
             let feat_dim = (levels + 1) * head_channels;
             let output = ip_nn::layers::Linear::new(g, feat_dim, cfg.horizon, rng);
-            MwdnNet { levels: lvl, heads, head_channels, output, window: cfg.window }
+            MwdnNet {
+                levels: lvl,
+                heads,
+                head_channels,
+                output,
+                window: cfg.window,
+            }
         })
     }
 
@@ -111,10 +121,14 @@ impl Mwdn {
             let mut lvl = Vec::with_capacity(levels);
             for _ in 0..levels {
                 let jitter = 0.01;
-                let low: Vec<f32> =
-                    D4_LOW.iter().map(|&c| c + rng.gen_range(-jitter..jitter)).collect();
-                let high: Vec<f32> =
-                    D4_HIGH.iter().map(|&c| c + rng.gen_range(-jitter..jitter)).collect();
+                let low: Vec<f32> = D4_LOW
+                    .iter()
+                    .map(|&c| c + rng.gen_range(-jitter..jitter))
+                    .collect();
+                let high: Vec<f32> = D4_HIGH
+                    .iter()
+                    .map(|&c| c + rng.gen_range(-jitter..jitter))
+                    .collect();
                 lvl.push(WaveletLevel {
                     low: g.param(Tensor::new(&[1, 1, 4], low).expect("4-tap filter")),
                     high: g.param(Tensor::new(&[1, 1, 4], high).expect("4-tap filter")),
@@ -125,7 +139,13 @@ impl Mwdn {
                 .collect();
             let feat_dim = (levels + 1) * hidden;
             let output = ip_nn::layers::Linear::new(g, feat_dim, cfg.horizon, rng);
-            MwdnNet { levels: lvl, heads, head_channels: hidden, output, window: cfg.window }
+            MwdnNet {
+                levels: lvl,
+                heads,
+                head_channels: hidden,
+                output,
+                window: cfg.window,
+            }
         })
     }
 }
@@ -179,7 +199,14 @@ mod tests {
     use ip_timeseries::TimeSeries;
 
     fn tiny_config() -> DeepConfig {
-        DeepConfig { window: 32, horizon: 8, epochs: 4, batch_size: 8, stride: 2, ..Default::default() }
+        DeepConfig {
+            window: 32,
+            horizon: 8,
+            epochs: 4,
+            batch_size: 8,
+            stride: 2,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -203,11 +230,28 @@ mod tests {
             .map(|t| 10.0 + 4.0 * (2.0 * std::f64::consts::PI * t as f64 / 32.0).sin())
             .collect();
         let ts = TimeSeries::new(30, vals).unwrap();
-        let mut short = Mwdn::model(DeepConfig { epochs: 1, ..tiny_config() }, 2, 4);
+        let mut short = Mwdn::model(
+            DeepConfig {
+                epochs: 1,
+                ..tiny_config()
+            },
+            2,
+            4,
+        );
         let loss_1 = short.fit(&ts).unwrap().final_loss;
-        let mut long = Mwdn::model(DeepConfig { epochs: 10, ..tiny_config() }, 2, 4);
+        let mut long = Mwdn::model(
+            DeepConfig {
+                epochs: 10,
+                ..tiny_config()
+            },
+            2,
+            4,
+        );
         let loss_10 = long.fit(&ts).unwrap().final_loss;
-        assert!(loss_10 < loss_1, "10-epoch loss {loss_10} !< 1-epoch loss {loss_1}");
+        assert!(
+            loss_10 < loss_1,
+            "10-epoch loss {loss_10} !< 1-epoch loss {loss_1}"
+        );
     }
 
     #[test]
@@ -230,7 +274,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "too short")]
     fn window_vs_levels_validated() {
-        let cfg = DeepConfig { window: 16, ..tiny_config() };
+        let cfg = DeepConfig {
+            window: 16,
+            ..tiny_config()
+        };
         let _ = Mwdn::model(cfg, 3, 4);
     }
 }

@@ -25,12 +25,19 @@ impl AutoSelector {
     /// `holdout` intervals (clamped to a quarter of the history).
     pub fn new(candidates: Vec<Box<dyn Forecaster>>, holdout: usize) -> Result<Self> {
         if candidates.is_empty() {
-            return Err(ModelError::InvalidConfig("need at least one candidate".into()));
+            return Err(ModelError::InvalidConfig(
+                "need at least one candidate".into(),
+            ));
         }
         if holdout == 0 {
             return Err(ModelError::InvalidConfig("holdout must be > 0".into()));
         }
-        Ok(Self { backtest_mae: vec![f64::NAN; candidates.len()], candidates, holdout, chosen: None })
+        Ok(Self {
+            backtest_mae: vec![f64::NAN; candidates.len()],
+            candidates,
+            holdout,
+            chosen: None,
+        })
     }
 
     /// Name of the winning candidate after `fit`.
@@ -48,10 +55,15 @@ impl Forecaster for AutoSelector {
         let start = Instant::now();
         let holdout = self.holdout.min(train.len() / 4);
         if holdout == 0 {
-            return Err(ModelError::SeriesTooShort { needed: 4, got: train.len() });
+            return Err(ModelError::SeriesTooShort {
+                needed: 4,
+                got: train.len(),
+            });
         }
         let cut = train.len() - holdout;
-        let head = train.slice(0, cut).map_err(|e| ModelError::Internal(e.to_string()))?;
+        let head = train
+            .slice(0, cut)
+            .map_err(|e| ModelError::Internal(e.to_string()))?;
         let truth = &train.values()[cut..];
 
         let mut best: Option<(usize, f64)> = None;
@@ -63,7 +75,7 @@ impl Forecaster for AutoSelector {
                 .and_then(|pred| mae(truth, &pred).ok());
             self.backtest_mae[i] = score.unwrap_or(f64::NAN);
             if let Some(s) = score {
-                if best.map_or(true, |(_, b)| s < b) {
+                if best.is_none_or(|(_, b)| s < b) {
                     best = Some((i, s));
                 }
             }
@@ -94,8 +106,7 @@ mod tests {
     use crate::BaselineForecaster;
 
     fn seasonal_series() -> TimeSeries {
-        let vals: Vec<f64> =
-            (0..240).map(|t| [1.0, 8.0, 2.0, 6.0][t % 4]).collect();
+        let vals: Vec<f64> = (0..240).map(|t| [1.0, 8.0, 2.0, 6.0][t % 4]).collect();
         TimeSeries::new(30, vals).unwrap()
     }
 
@@ -113,7 +124,11 @@ mod tests {
         .unwrap();
         let report = sel.fit(&seasonal_series()).unwrap();
         assert_eq!(sel.chosen_name(), Some("seasonal-naive"));
-        assert!(report.final_loss < 1e-9, "winner backtest MAE {}", report.final_loss);
+        assert!(
+            report.final_loss < 1e-9,
+            "winner backtest MAE {}",
+            report.final_loss
+        );
         let pred = sel.predict(8).unwrap();
         assert_eq!(pred, vec![1.0, 8.0, 2.0, 6.0, 1.0, 8.0, 2.0, 6.0]);
         // Both scores recorded, winner strictly better.
@@ -141,8 +156,7 @@ mod tests {
     fn construction_and_state_validated() {
         assert!(AutoSelector::new(vec![], 10).is_err());
         assert!(AutoSelector::new(vec![Box::new(BaselineForecaster::new(1.0))], 0).is_err());
-        let mut sel =
-            AutoSelector::new(vec![Box::new(BaselineForecaster::new(1.0))], 10).unwrap();
+        let mut sel = AutoSelector::new(vec![Box::new(BaselineForecaster::new(1.0))], 10).unwrap();
         assert!(matches!(sel.predict(5), Err(ModelError::NotFitted)));
     }
 }

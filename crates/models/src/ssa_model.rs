@@ -19,7 +19,10 @@ impl SsaModel {
     /// Creates the model with an explicit embedding window and component
     /// selection.
     pub fn new(window: usize, rank: RankSelection) -> Self {
-        Self { inner: SsaForecaster::new(SsaConfig { window, rank }), window }
+        Self {
+            inner: SsaForecaster::new(SsaConfig { window, rank }),
+            window,
+        }
     }
 
     /// Paper-like defaults: window 150, 90% energy.
@@ -36,9 +39,14 @@ impl Forecaster for SsaModel {
     fn fit(&mut self, train: &TimeSeries) -> Result<FitReport> {
         let start = Instant::now();
         if train.len() < self.window * 2 {
-            return Err(ModelError::SeriesTooShort { needed: self.window * 2, got: train.len() });
+            return Err(ModelError::SeriesTooShort {
+                needed: self.window * 2,
+                got: train.len(),
+            });
         }
-        self.inner.fit(train).map_err(|e| ModelError::Internal(e.to_string()))?;
+        self.inner
+            .fit(train)
+            .map_err(|e| ModelError::Internal(e.to_string()))?;
         Ok(FitReport {
             fit_time: start.elapsed(),
             epochs_run: 1,
@@ -73,8 +81,12 @@ mod tests {
         let truth: Vec<f64> = (n..n + 48)
             .map(|t| 10.0 + 5.0 * (2.0 * std::f64::consts::PI * t as f64 / 48.0).sin())
             .collect();
-        let mae: f64 =
-            pred.iter().zip(&truth).map(|(a, b)| (a - b).abs()).sum::<f64>() / 48.0;
+        let mae: f64 = pred
+            .iter()
+            .zip(&truth)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / 48.0;
         assert!(mae < 0.5, "MAE {mae}");
     }
 

@@ -94,10 +94,12 @@ impl SsaPlus {
         let l1 = Linear::new(&mut graph, FEATURES, config.hidden, &mut rng);
         let l2 = Linear::new(&mut graph, config.hidden, 1, &mut rng);
         graph.freeze();
-        let param_count =
-            graph.params().iter().map(|&p| graph.value(p).numel()).sum();
+        let param_count = graph.params().iter().map(|&p| graph.value(p).numel()).sum();
         Self {
-            ssa: SsaForecaster::new(SsaConfig { window: config.window, rank: config.rank }),
+            ssa: SsaForecaster::new(SsaConfig {
+                window: config.window,
+                rank: config.rank,
+            }),
             config,
             graph,
             l1,
@@ -117,7 +119,10 @@ impl SsaPlus {
 
     /// Paper-default but with an explicit overshoot knob (the Fig. 5 sweep).
     pub fn with_alpha(alpha_prime: f32) -> Self {
-        Self::new(SsaPlusConfig { alpha_prime, ..SsaPlusConfig::default() })
+        Self::new(SsaPlusConfig {
+            alpha_prime,
+            ..SsaPlusConfig::default()
+        })
     }
 
     /// Number of trainable parameters in the error head (≈30, per §5.3).
@@ -160,7 +165,10 @@ impl Forecaster for SsaPlus {
         let start = Instant::now();
         let needed = self.config.window * 3;
         if train.len() < needed {
-            return Err(ModelError::SeriesTooShort { needed, got: train.len() });
+            return Err(ModelError::SeriesTooShort {
+                needed,
+                got: train.len(),
+            });
         }
         self.interval_secs = train.interval_secs();
         self.scale = train.std_dev().unwrap_or(1.0).max(1e-6);
@@ -174,7 +182,9 @@ impl Forecaster for SsaPlus {
         //    instead of compensating a single long-horizon drift.
         let cut = ((train.len() as f64) * self.config.calibration_split).round() as usize;
         let cut = cut.clamp(self.config.window * 2, train.len().saturating_sub(8));
-        let head_series = train.slice(0, cut).map_err(|e| ModelError::Internal(e.to_string()))?;
+        let head_series = train
+            .slice(0, cut)
+            .map_err(|e| ModelError::Internal(e.to_string()))?;
         let calib_len = train.len() - cut;
         self.ssa
             .fit(&head_series)
@@ -205,8 +215,8 @@ impl Forecaster for SsaPlus {
         }
         let x_tensor = Tensor::new(&[calib_len, FEATURES], xs.clone())
             .map_err(|e| ModelError::Internal(e.to_string()))?;
-        let pred_tensor = Tensor::new(&[calib_len, 1], preds)
-            .map_err(|e| ModelError::Internal(e.to_string()))?;
+        let pred_tensor =
+            Tensor::new(&[calib_len, 1], preds).map_err(|e| ModelError::Internal(e.to_string()))?;
         let target_tensor = Tensor::new(&[calib_len, 1], targets)
             .map_err(|e| ModelError::Internal(e.to_string()))?;
 
@@ -282,7 +292,12 @@ mod tests {
     }
 
     fn small_config() -> SsaPlusConfig {
-        SsaPlusConfig { window: 48, rank: RankSelection::Fixed(3), epochs: 150, ..Default::default() }
+        SsaPlusConfig {
+            window: 48,
+            rank: RankSelection::Fixed(3),
+            epochs: 150,
+            ..Default::default()
+        }
     }
 
     #[test]
@@ -312,8 +327,14 @@ mod tests {
         // The overshoot knob: α' → 1 must yield predictions at least as high
         // on average as α' → 0 (this is exactly the control SSA lacks).
         let ts = periodic_series(400);
-        let mut hi = SsaPlus::new(SsaPlusConfig { alpha_prime: 0.95, ..small_config() });
-        let mut lo = SsaPlus::new(SsaPlusConfig { alpha_prime: 0.05, ..small_config() });
+        let mut hi = SsaPlus::new(SsaPlusConfig {
+            alpha_prime: 0.95,
+            ..small_config()
+        });
+        let mut lo = SsaPlus::new(SsaPlusConfig {
+            alpha_prime: 0.05,
+            ..small_config()
+        });
         hi.fit(&ts).unwrap();
         lo.fit(&ts).unwrap();
         let mean_hi: f64 = hi.predict(48).unwrap().iter().sum::<f64>() / 48.0;
@@ -329,7 +350,10 @@ mod tests {
         let mut m = SsaPlus::new(small_config());
         assert!(matches!(m.predict(5), Err(ModelError::NotFitted)));
         let short = TimeSeries::new(30, vec![1.0; 50]).unwrap();
-        assert!(matches!(m.fit(&short), Err(ModelError::SeriesTooShort { .. })));
+        assert!(matches!(
+            m.fit(&short),
+            Err(ModelError::SeriesTooShort { .. })
+        ));
     }
 
     #[test]

@@ -3,7 +3,7 @@
 //! Each timestep of the input window is projected into a `d_model`-wide
 //! embedding, summed with a fixed sinusoidal positional encoding, passed
 //! through a stack of transformer encoder blocks (multi-head self-attention
-//! + GELU feed-forward, pre/post LayerNorm as in the cited work), then
+//! plus GELU feed-forward, pre/post LayerNorm as in the cited work), then
 //! flattened into a linear multi-horizon head. The paper notes TST "requires
 //! a longer period of input data due to their increased parameters" and has
 //! the longest latency of the lineup (Fig. 6) — both properties hold here.
@@ -30,7 +30,13 @@ pub struct TstConfig {
 
 impl Default for TstConfig {
     fn default() -> Self {
-        Self { d_model: 32, heads: 4, blocks: 2, ff_dim: 64, dropout: 0.1 }
+        Self {
+            d_model: 32,
+            heads: 4,
+            blocks: 2,
+            ff_dim: 64,
+            dropout: 0.1,
+        }
     }
 }
 
@@ -127,8 +133,21 @@ mod tests {
 
     fn tiny() -> (DeepConfig, TstConfig) {
         (
-            DeepConfig { window: 16, horizon: 8, epochs: 3, batch_size: 8, stride: 4, ..Default::default() },
-            TstConfig { d_model: 8, heads: 2, blocks: 1, ff_dim: 16, dropout: 0.0 },
+            DeepConfig {
+                window: 16,
+                horizon: 8,
+                epochs: 3,
+                batch_size: 8,
+                stride: 4,
+                ..Default::default()
+            },
+            TstConfig {
+                d_model: 8,
+                heads: 2,
+                blocks: 1,
+                ff_dim: 16,
+                dropout: 0.0,
+            },
         )
     }
 
@@ -164,7 +183,13 @@ mod tests {
             .collect();
         let ts = TimeSeries::new(30, vals).unwrap();
         let (dc, tc) = tiny();
-        let mut one = Tst::model(DeepConfig { epochs: 1, ..dc.clone() }, tc);
+        let mut one = Tst::model(
+            DeepConfig {
+                epochs: 1,
+                ..dc.clone()
+            },
+            tc,
+        );
         let l1 = one.fit(&ts).unwrap().final_loss;
         let mut many = Tst::model(DeepConfig { epochs: 10, ..dc }, tc);
         let l10 = many.fit(&ts).unwrap().final_loss;

@@ -46,15 +46,44 @@ enum Op {
     Reshape(NodeId),
     AddBiasRow(NodeId, NodeId),
     AddBiasChannel(NodeId, NodeId),
-    Conv1d { input: NodeId, weight: NodeId, padding: usize, stride: usize },
-    MaxPool1d { input: NodeId, argmax: Vec<usize> },
+    Conv1d {
+        input: NodeId,
+        weight: NodeId,
+        padding: usize,
+        stride: usize,
+    },
+    MaxPool1d {
+        input: NodeId,
+        argmax: Vec<usize>,
+    },
     AvgPoolGlobal(NodeId),
-    BatchNorm { input: NodeId, gamma: NodeId, beta: NodeId, x_hat: Vec<f32>, inv_std: Vec<f32> },
-    LayerNorm { input: NodeId, gamma: NodeId, beta: NodeId, x_hat: Vec<f32>, inv_std: Vec<f32> },
-    ChannelAffine { input: NodeId, scale: Vec<f32> },
+    BatchNorm {
+        input: NodeId,
+        gamma: NodeId,
+        beta: NodeId,
+        x_hat: Vec<f32>,
+        inv_std: Vec<f32>,
+    },
+    LayerNorm {
+        input: NodeId,
+        gamma: NodeId,
+        beta: NodeId,
+        x_hat: Vec<f32>,
+        inv_std: Vec<f32>,
+    },
+    ChannelAffine {
+        input: NodeId,
+        scale: Vec<f32>,
+    },
     ConcatChannels(Vec<NodeId>),
-    SliceLastDim { input: NodeId, start: usize },
-    Dropout { input: NodeId, mask: Vec<f32> },
+    SliceLastDim {
+        input: NodeId,
+        start: usize,
+    },
+    Dropout {
+        input: NodeId,
+        mask: Vec<f32>,
+    },
 }
 
 /// The autograd tape.
@@ -120,7 +149,11 @@ impl Graph {
 
     /// Clears all non-persistent nodes and every gradient.
     pub fn reset(&mut self) {
-        let keep = if self.frozen_len == 0 { self.values.len() } else { self.frozen_len };
+        let keep = if self.frozen_len == 0 {
+            self.values.len()
+        } else {
+            self.frozen_len
+        };
         self.values.truncate(keep);
         self.grads.truncate(keep);
         self.ops.truncate(keep);
@@ -171,7 +204,12 @@ impl Graph {
     pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let (va, vb) = (&self.values[a.0], &self.values[b.0]);
         assert_eq!(va.shape(), vb.shape(), "add: shape mismatch");
-        let data = va.data().iter().zip(vb.data()).map(|(x, y)| x + y).collect();
+        let data = va
+            .data()
+            .iter()
+            .zip(vb.data())
+            .map(|(x, y)| x + y)
+            .collect();
         let t = Tensor::new(va.shape(), data).unwrap();
         self.push(t, Op::Add(a, b))
     }
@@ -180,7 +218,12 @@ impl Graph {
     pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let (va, vb) = (&self.values[a.0], &self.values[b.0]);
         assert_eq!(va.shape(), vb.shape(), "sub: shape mismatch");
-        let data = va.data().iter().zip(vb.data()).map(|(x, y)| x - y).collect();
+        let data = va
+            .data()
+            .iter()
+            .zip(vb.data())
+            .map(|(x, y)| x - y)
+            .collect();
         let t = Tensor::new(va.shape(), data).unwrap();
         self.push(t, Op::Sub(a, b))
     }
@@ -189,7 +232,12 @@ impl Graph {
     pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let (va, vb) = (&self.values[a.0], &self.values[b.0]);
         assert_eq!(va.shape(), vb.shape(), "mul: shape mismatch");
-        let data = va.data().iter().zip(vb.data()).map(|(x, y)| x * y).collect();
+        let data = va
+            .data()
+            .iter()
+            .zip(vb.data())
+            .map(|(x, y)| x * y)
+            .collect();
         let t = Tensor::new(va.shape(), data).unwrap();
         self.push(t, Op::Mul(a, b))
     }
@@ -212,7 +260,10 @@ impl Graph {
     pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let (va, vb) = (&self.values[a.0], &self.values[b.0]);
         let (sa, sb) = (va.shape(), vb.shape());
-        assert!(sa.len() == 2 && sb.len() == 2 && sa[1] == sb[0], "matmul: {sa:?} x {sb:?}");
+        assert!(
+            sa.len() == 2 && sb.len() == 2 && sa[1] == sb[0],
+            "matmul: {sa:?} x {sb:?}"
+        );
         let (m, k, n) = (sa[0], sa[1], sb[1]);
         let t = matmul2(va.data(), vb.data(), m, k, n, false);
         self.push(Tensor::new(&[m, n], t).unwrap(), Op::MatMul(a, b))
@@ -222,7 +273,10 @@ impl Graph {
     pub fn matmul_trans_b(&mut self, a: NodeId, b: NodeId) -> NodeId {
         let (va, vb) = (&self.values[a.0], &self.values[b.0]);
         let (sa, sb) = (va.shape(), vb.shape());
-        assert!(sa.len() == 2 && sb.len() == 2 && sa[1] == sb[1], "matmul_trans_b: {sa:?} x {sb:?}");
+        assert!(
+            sa.len() == 2 && sb.len() == 2 && sa[1] == sb[1],
+            "matmul_trans_b: {sa:?} x {sb:?}"
+        );
         let (m, k, n) = (sa[0], sa[1], sb[0]);
         let t = matmul2(va.data(), vb.data(), m, k, n, true);
         self.push(Tensor::new(&[m, n], t).unwrap(), Op::MatMulTransB(a, b))
@@ -244,7 +298,10 @@ impl Graph {
             let o = matmul2(av, bv, m, k, n, false);
             out[bi * m * n..(bi + 1) * m * n].copy_from_slice(&o);
         }
-        self.push(Tensor::new(&[bsz, m, n], out).unwrap(), Op::BatchMatMul(a, b))
+        self.push(
+            Tensor::new(&[bsz, m, n], out).unwrap(),
+            Op::BatchMatMul(a, b),
+        )
     }
 
     /// Batched `[B,m,k] @ [B,n,k]ᵀ → [B,m,n]`.
@@ -263,7 +320,10 @@ impl Graph {
             let o = matmul2(av, bv, m, k, n, true);
             out[bi * m * n..(bi + 1) * m * n].copy_from_slice(&o);
         }
-        self.push(Tensor::new(&[bsz, m, n], out).unwrap(), Op::BatchMatMulTransB(a, b))
+        self.push(
+            Tensor::new(&[bsz, m, n], out).unwrap(),
+            Op::BatchMatMulTransB(a, b),
+        )
     }
 
     // ---- activations ----
@@ -329,7 +389,9 @@ impl Graph {
 
     /// Reshape (element count preserved).
     pub fn reshape(&mut self, a: NodeId, shape: &[usize]) -> NodeId {
-        let t = self.values[a.0].reshaped(shape).expect("reshape: numel mismatch");
+        let t = self.values[a.0]
+            .reshaped(shape)
+            .expect("reshape: numel mismatch");
         self.push(t, Op::Reshape(a))
     }
 
@@ -339,7 +401,12 @@ impl Graph {
     pub fn add_bias_row(&mut self, a: NodeId, bias: NodeId) -> NodeId {
         let (va, vb) = (&self.values[a.0], &self.values[bias.0]);
         let sa = va.shape();
-        assert!(sa.len() == 2 && vb.shape() == [sa[1]], "add_bias_row: {:?} + {:?}", sa, vb.shape());
+        assert!(
+            sa.len() == 2 && vb.shape() == [sa[1]],
+            "add_bias_row: {:?} + {:?}",
+            sa,
+            vb.shape()
+        );
         let n = sa[1];
         let data = va
             .data()
@@ -376,14 +443,26 @@ impl Graph {
 
     /// 1-D convolution: input `[B,Cin,L]`, weight `[Cout,Cin,K]` →
     /// `[B,Cout,(L+2p−K)/s+1]`.
-    pub fn conv1d(&mut self, input: NodeId, weight: NodeId, padding: usize, stride: usize) -> NodeId {
+    pub fn conv1d(
+        &mut self,
+        input: NodeId,
+        weight: NodeId,
+        padding: usize,
+        stride: usize,
+    ) -> NodeId {
         assert!(stride >= 1, "conv1d: stride must be >= 1");
         let (vi, vw) = (&self.values[input.0], &self.values[weight.0]);
         let (si, sw) = (vi.shape(), vw.shape());
-        assert!(si.len() == 3 && sw.len() == 3 && si[1] == sw[1], "conv1d: {si:?} * {sw:?}");
+        assert!(
+            si.len() == 3 && sw.len() == 3 && si[1] == sw[1],
+            "conv1d: {si:?} * {sw:?}"
+        );
         let (b, cin, l) = (si[0], si[1], si[2]);
         let (cout, k) = (sw[0], sw[2]);
-        assert!(l + 2 * padding >= k, "conv1d: kernel larger than padded input");
+        assert!(
+            l + 2 * padding >= k,
+            "conv1d: kernel larger than padded input"
+        );
         let lout = (l + 2 * padding - k) / stride + 1;
         let mut out = vec![0.0f32; b * cout * lout];
         for bi in 0..b {
@@ -404,7 +483,15 @@ impl Graph {
             }
         }
         let t = Tensor::new(&[b, cout, lout], out).unwrap();
-        self.push(t, Op::Conv1d { input, weight, padding, stride })
+        self.push(
+            t,
+            Op::Conv1d {
+                input,
+                weight,
+                padding,
+                stride,
+            },
+        )
     }
 
     /// Max pooling over length: `[B,C,L] → [B,C,(L−k)/s+1]`.
@@ -421,7 +508,10 @@ impl Graph {
         stride: usize,
         padding: usize,
     ) -> NodeId {
-        assert!(kernel >= 1 && stride >= 1, "max_pool1d: kernel/stride must be >= 1");
+        assert!(
+            kernel >= 1 && stride >= 1,
+            "max_pool1d: kernel/stride must be >= 1"
+        );
         let vi = &self.values[input.0];
         let si = vi.shape();
         assert!(
@@ -502,14 +592,14 @@ impl Graph {
         let n = (b * l) as f32;
         let mut mean = vec![0.0f32; c];
         let mut var = vec![0.0f32; c];
-        for ci in 0..c {
+        for (ci, m) in mean.iter_mut().enumerate() {
             let mut acc = 0.0;
             for bi in 0..b {
                 for t in 0..l {
                     acc += vi.at3(bi, ci, t);
                 }
             }
-            mean[ci] = acc / n;
+            *m = acc / n;
         }
         for ci in 0..c {
             let mut acc = 0.0;
@@ -538,7 +628,16 @@ impl Graph {
             }
         }
         let t = Tensor::new(&si, out).unwrap();
-        let id = self.push(t, Op::BatchNorm { input, gamma, beta, x_hat, inv_std });
+        let id = self.push(
+            t,
+            Op::BatchNorm {
+                input,
+                gamma,
+                beta,
+                x_hat,
+                inv_std,
+            },
+        );
         (id, mean, var)
     }
 
@@ -547,7 +646,10 @@ impl Graph {
     pub fn channel_affine(&mut self, input: NodeId, scale: &[f32], shift: &[f32]) -> NodeId {
         let vi = &self.values[input.0];
         let si = vi.shape().to_vec();
-        assert!(si.len() == 3 && scale.len() == si[1] && shift.len() == si[1], "channel_affine");
+        assert!(
+            si.len() == 3 && scale.len() == si[1] && shift.len() == si[1],
+            "channel_affine"
+        );
         let (b, c, l) = (si[0], si[1], si[2]);
         let mut out = vec![0.0f32; b * c * l];
         for bi in 0..b {
@@ -558,7 +660,13 @@ impl Graph {
             }
         }
         let t = Tensor::new(&si, out).unwrap();
-        self.push(t, Op::ChannelAffine { input, scale: scale.to_vec() })
+        self.push(
+            t,
+            Op::ChannelAffine {
+                input,
+                scale: scale.to_vec(),
+            },
+        )
     }
 
     /// Layer normalization over the last dimension with `gamma`/`beta` of
@@ -590,7 +698,16 @@ impl Graph {
             }
         }
         let t = Tensor::new(&si, out).unwrap();
-        self.push(t, Op::LayerNorm { input, gamma, beta, x_hat, inv_std })
+        self.push(
+            t,
+            Op::LayerNorm {
+                input,
+                gamma,
+                beta,
+                x_hat,
+                inv_std,
+            },
+        )
     }
 
     // ---- structure ----
@@ -598,11 +715,16 @@ impl Graph {
     /// Concatenates 3-D tensors along the channel axis.
     pub fn concat_channels(&mut self, inputs: &[NodeId]) -> NodeId {
         assert!(!inputs.is_empty(), "concat_channels: empty input list");
-        let shapes: Vec<Vec<usize>> =
-            inputs.iter().map(|id| self.values[id.0].shape().to_vec()).collect();
+        let shapes: Vec<Vec<usize>> = inputs
+            .iter()
+            .map(|id| self.values[id.0].shape().to_vec())
+            .collect();
         let (b, l) = (shapes[0][0], shapes[0][2]);
         for s in &shapes {
-            assert!(s.len() == 3 && s[0] == b && s[2] == l, "concat_channels: {shapes:?}");
+            assert!(
+                s.len() == 3 && s[0] == b && s[2] == l,
+                "concat_channels: {shapes:?}"
+            );
         }
         let c_total: usize = shapes.iter().map(|s| s[1]).sum();
         let mut out = vec![0.0f32; b * c_total * l];
@@ -629,7 +751,11 @@ impl Graph {
         let vi = &self.values[input.0];
         let si = vi.shape().to_vec();
         let d = *si.last().unwrap();
-        assert!(start + len <= d, "slice_last_dim: [{start}, {}) out of {d}", start + len);
+        assert!(
+            start + len <= d,
+            "slice_last_dim: [{start}, {}) out of {d}",
+            start + len
+        );
         let rows = vi.numel() / d;
         let mut out = vec![0.0f32; rows * len];
         for r in 0..rows {
@@ -654,7 +780,13 @@ impl Graph {
         let numel = self.values[input.0].numel();
         let scale = 1.0 / (1.0 - p);
         let mask: Vec<f32> = (0..numel)
-            .map(|_| if self.rng.gen::<f32>() < p { 0.0 } else { scale })
+            .map(|_| {
+                if self.rng.gen::<f32>() < p {
+                    0.0
+                } else {
+                    scale
+                }
+            })
             .collect();
         let vi = &self.values[input.0];
         let data = vi.data().iter().zip(&mask).map(|(x, m)| x * m).collect();
@@ -666,7 +798,11 @@ impl Graph {
 
     /// Runs the reverse pass from a scalar loss node.
     pub fn backward(&mut self, loss: NodeId) {
-        assert_eq!(self.values[loss.0].numel(), 1, "backward: loss must be scalar");
+        assert_eq!(
+            self.values[loss.0].numel(),
+            1,
+            "backward: loss must be scalar"
+        );
         for g in self.grads.iter_mut() {
             *g = None;
         }
@@ -800,15 +936,23 @@ impl Graph {
             }
             Op::Tanh(a) => {
                 let y = &self.values[i];
-                let d: Vec<f32> =
-                    y.data().iter().zip(gout.data()).map(|(&t, &g)| g * (1.0 - t * t)).collect();
+                let d: Vec<f32> = y
+                    .data()
+                    .iter()
+                    .zip(gout.data())
+                    .map(|(&t, &g)| g * (1.0 - t * t))
+                    .collect();
                 let sa = y.shape().to_vec();
                 self.accumulate(*a, Tensor::new(&sa, d).unwrap());
             }
             Op::Gelu(a) => {
                 let x = &self.values[a.0];
-                let d: Vec<f32> =
-                    x.data().iter().zip(gout.data()).map(|(&x, &g)| g * gelu_bwd(x)).collect();
+                let d: Vec<f32> = x
+                    .data()
+                    .iter()
+                    .zip(gout.data())
+                    .map(|(&x, &g)| g * gelu_bwd(x))
+                    .collect();
                 let sa = x.shape().to_vec();
                 self.accumulate(*a, Tensor::new(&sa, d).unwrap());
             }
@@ -816,9 +960,7 @@ impl Graph {
                 let y = &self.values[i];
                 let d = *y.shape().last().unwrap();
                 let mut grad = vec![0.0f32; y.numel()];
-                for (r, (yr, gr)) in
-                    y.data().chunks(d).zip(gout.data().chunks(d)).enumerate()
-                {
+                for (r, (yr, gr)) in y.data().chunks(d).zip(gout.data().chunks(d)).enumerate() {
                     let dot: f32 = yr.iter().zip(gr).map(|(a, b)| a * b).sum();
                     for j in 0..d {
                         grad[r * d + j] = yr[j] * (gr[j] - dot);
@@ -861,7 +1003,12 @@ impl Graph {
                 }
                 self.accumulate(*bias, Tensor::new(&[c], gb).unwrap());
             }
-            Op::Conv1d { input, weight, padding, stride } => {
+            Op::Conv1d {
+                input,
+                weight,
+                padding,
+                stride,
+            } => {
                 let (vi, vw) = (&self.values[input.0], &self.values[weight.0]);
                 let (b, cin, l) = (vi.shape()[0], vi.shape()[1], vi.shape()[2]);
                 let (cout, k) = (vw.shape()[0], vw.shape()[2]);
@@ -914,7 +1061,13 @@ impl Graph {
                 }
                 self.accumulate(*a, Tensor::new(&sa, din).unwrap());
             }
-            Op::BatchNorm { input, gamma, beta, x_hat, inv_std } => {
+            Op::BatchNorm {
+                input,
+                gamma,
+                beta,
+                x_hat,
+                inv_std,
+            } => {
                 let sa = self.values[input.0].shape().to_vec();
                 let (b, c, l) = (sa[0], sa[1], sa[2]);
                 let n = (b * l) as f32;
@@ -951,7 +1104,13 @@ impl Graph {
                 self.accumulate(*gamma, Tensor::new(&[c], dgamma).unwrap());
                 self.accumulate(*beta, Tensor::new(&[c], dbeta).unwrap());
             }
-            Op::LayerNorm { input, gamma, beta, x_hat, inv_std } => {
+            Op::LayerNorm {
+                input,
+                gamma,
+                beta,
+                x_hat,
+                inv_std,
+            } => {
                 let sa = self.values[input.0].shape().to_vec();
                 let d = *sa.last().unwrap();
                 let rows = self.values[input.0].numel() / d;
@@ -959,7 +1118,7 @@ impl Graph {
                 let mut dgamma = vec![0.0f32; d];
                 let mut dbeta = vec![0.0f32; d];
                 let mut din = vec![0.0f32; rows * d];
-                for r in 0..rows {
+                for (r, &inv_std_r) in inv_std.iter().enumerate().take(rows) {
                     let mut sum_dxhat = 0.0f32;
                     let mut sum_dxhat_xhat = 0.0f32;
                     for j in 0..d {
@@ -972,11 +1131,11 @@ impl Graph {
                         sum_dxhat_xhat += dxhat * x_hat[idx];
                     }
                     let nd = d as f32;
-                    for j in 0..d {
+                    for (j, &gj) in g.iter().enumerate().take(d) {
                         let idx = r * d + j;
-                        let dxhat = gout.data()[idx] * g[j];
-                        din[idx] = inv_std[r] / nd
-                            * (nd * dxhat - sum_dxhat - x_hat[idx] * sum_dxhat_xhat);
+                        let dxhat = gout.data()[idx] * gj;
+                        din[idx] =
+                            inv_std_r / nd * (nd * dxhat - sum_dxhat - x_hat[idx] * sum_dxhat_xhat);
                     }
                 }
                 self.accumulate(*input, Tensor::new(&sa, din).unwrap());
@@ -995,8 +1154,10 @@ impl Graph {
                 self.accumulate(*input, Tensor::new(&sa, din).unwrap());
             }
             Op::ConcatChannels(inputs) => {
-                let shapes: Vec<Vec<usize>> =
-                    inputs.iter().map(|id| self.values[id.0].shape().to_vec()).collect();
+                let shapes: Vec<Vec<usize>> = inputs
+                    .iter()
+                    .map(|id| self.values[id.0].shape().to_vec())
+                    .collect();
                 let (b, l) = (shapes[0][0], shapes[0][2]);
                 let c_total: usize = shapes.iter().map(|s| s[1]).sum();
                 let mut c_off = 0;
@@ -1029,8 +1190,7 @@ impl Graph {
             }
             Op::Dropout { input, mask } => {
                 let sa = self.values[input.0].shape().to_vec();
-                let din: Vec<f32> =
-                    gout.data().iter().zip(mask).map(|(g, m)| g * m).collect();
+                let din: Vec<f32> = gout.data().iter().zip(mask).map(|(g, m)| g * m).collect();
                 self.accumulate(*input, Tensor::new(&sa, din).unwrap());
             }
         }
@@ -1285,9 +1445,7 @@ mod tests {
         let gamma = g.param(Tensor::ones(&[2]));
         let beta = g.param(Tensor::zeros(&[2]));
         g.freeze();
-        let x = g.constant(
-            Tensor::new(&[2, 2, 3], (0..12).map(|i| i as f32).collect()).unwrap(),
-        );
+        let x = g.constant(Tensor::new(&[2, 2, 3], (0..12).map(|i| i as f32).collect()).unwrap());
         let (y, mean, var) = g.batch_norm(x, gamma, beta, 1e-5);
         // Channel 0 covers values {0,1,2,6,7,8}: mean 4.
         assert!((mean[0] - 4.0).abs() < 1e-5);

@@ -24,7 +24,10 @@ impl Linear {
     pub fn new(g: &mut Graph, in_features: usize, out_features: usize, rng: &mut StdRng) -> Self {
         let w = xavier_uniform(&[in_features, out_features], in_features, out_features, rng);
         let b = Tensor::zeros(&[out_features]);
-        Self { weight: g.param(w), bias: g.param(b) }
+        Self {
+            weight: g.param(w),
+            bias: g.param(b),
+        }
     }
 
     /// Forward: `[batch, in] → [batch, out]`.
@@ -62,7 +65,12 @@ impl Conv1d {
         let fan_in = in_channels * kernel;
         let w = he_uniform(&[out_channels, in_channels, kernel], fan_in, rng);
         let b = Tensor::zeros(&[out_channels]);
-        Self { weight: g.param(w), bias: g.param(b), padding, stride }
+        Self {
+            weight: g.param(w),
+            bias: g.param(b),
+            padding,
+            stride,
+        }
     }
 
     /// Forward: `[B, Cin, L] → [B, Cout, Lout]`.
@@ -143,7 +151,11 @@ pub struct LayerNorm {
 impl LayerNorm {
     /// Creates the layer for a last-dimension width of `dim`.
     pub fn new(g: &mut Graph, dim: usize) -> Self {
-        Self { gamma: g.param(Tensor::ones(&[dim])), beta: g.param(Tensor::zeros(&[dim])), eps: 1e-5 }
+        Self {
+            gamma: g.param(Tensor::ones(&[dim])),
+            beta: g.param(Tensor::zeros(&[dim])),
+            eps: 1e-5,
+        }
     }
 
     /// Forward over any tensor whose last dimension is `dim`.
@@ -166,7 +178,10 @@ pub struct MultiHeadSelfAttention {
 impl MultiHeadSelfAttention {
     /// Creates the block; `dim` must be divisible by `heads`.
     pub fn new(g: &mut Graph, dim: usize, heads: usize, rng: &mut StdRng) -> Self {
-        assert!(heads >= 1 && dim % heads == 0, "dim {dim} not divisible by heads {heads}");
+        assert!(
+            heads >= 1 && dim.is_multiple_of(heads),
+            "dim {dim} not divisible by heads {heads}"
+        );
         Self {
             wq: Linear::new(g, dim, dim, rng),
             wk: Linear::new(g, dim, dim, rng),
@@ -232,7 +247,14 @@ pub struct TransformerEncoderBlock {
 
 impl TransformerEncoderBlock {
     /// Creates the block with a feed-forward expansion of `ff_dim`.
-    pub fn new(g: &mut Graph, dim: usize, heads: usize, ff_dim: usize, dropout_p: f32, rng: &mut StdRng) -> Self {
+    pub fn new(
+        g: &mut Graph,
+        dim: usize,
+        heads: usize,
+        ff_dim: usize,
+        dropout_p: f32,
+        rng: &mut StdRng,
+    ) -> Self {
         Self {
             attn: MultiHeadSelfAttention::new(g, dim, heads, rng),
             norm1: LayerNorm::new(g, dim),

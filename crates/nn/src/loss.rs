@@ -30,7 +30,10 @@ pub fn mae(g: &mut Graph, pred: NodeId, target: NodeId) -> NodeId {
 /// `δ⁻` over-prediction (idle cost). Training with `α'` close to 1 teaches
 /// the model to overshoot demand — the knob SSA lacks (§5.3).
 pub fn asymmetric(g: &mut Graph, pred: NodeId, target: NodeId, alpha_prime: f32) -> NodeId {
-    assert!((0.0..=1.0).contains(&alpha_prime), "alpha' must be in [0,1]");
+    assert!(
+        (0.0..=1.0).contains(&alpha_prime),
+        "alpha' must be in [0,1]"
+    );
     let delta = g.sub(target, pred); // y − ŷ
     let pos = g.relu(delta);
     let neg_delta = g.scalar_mul(delta, -1.0);

@@ -16,7 +16,11 @@ pub struct Sgd {
 impl Sgd {
     /// Creates the optimizer.
     pub fn new(lr: f32, momentum: f32) -> Self {
-        Self { lr, momentum, velocity: HashMap::new() }
+        Self {
+            lr,
+            momentum,
+            velocity: HashMap::new(),
+        }
     }
 
     /// Applies one update step using the gradients currently on the graph.
@@ -68,7 +72,15 @@ pub struct Adam {
 impl Adam {
     /// Creates Adam with the usual defaults for betas/eps.
     pub fn new(lr: f32) -> Self {
-        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: HashMap::new(), v: HashMap::new() }
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: HashMap::new(),
+            v: HashMap::new(),
+        }
     }
 
     /// Applies one update step.
@@ -80,8 +92,14 @@ impl Adam {
         for p in params {
             let Some(grad) = g.grad(p) else { continue };
             let gdata = grad.data().to_vec();
-            let m = self.m.entry(p.index()).or_insert_with(|| vec![0.0; gdata.len()]);
-            let v = self.v.entry(p.index()).or_insert_with(|| vec![0.0; gdata.len()]);
+            let m = self
+                .m
+                .entry(p.index())
+                .or_insert_with(|| vec![0.0; gdata.len()]);
+            let v = self
+                .v
+                .entry(p.index())
+                .or_insert_with(|| vec![0.0; gdata.len()]);
             for ((mi, vi), gi) in m.iter_mut().zip(v.iter_mut()).zip(&gdata) {
                 *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
                 *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
@@ -125,7 +143,10 @@ mod tests {
             opt.step(&mut g);
         }
         let wv = g.value(w).data();
-        assert!((wv[0] - 3.0).abs() < 1e-3 && (wv[1] + 1.0).abs() < 1e-3, "{wv:?}");
+        assert!(
+            (wv[0] - 3.0).abs() < 1e-3 && (wv[1] + 1.0).abs() < 1e-3,
+            "{wv:?}"
+        );
     }
 
     #[test]
@@ -140,7 +161,10 @@ mod tests {
             opt.step(&mut g);
         }
         let wv = g.value(w).data();
-        assert!((wv[0] - 3.0).abs() < 1e-2 && (wv[1] + 1.0).abs() < 1e-2, "{wv:?}");
+        assert!(
+            (wv[0] - 3.0).abs() < 1e-2 && (wv[1] + 1.0).abs() < 1e-2,
+            "{wv:?}"
+        );
     }
 
     #[test]
@@ -155,7 +179,10 @@ mod tests {
             opt.step(&mut g);
         }
         let wv = g.value(w).data();
-        assert!((wv[0] - 3.0).abs() < 1e-2 && (wv[1] + 1.0).abs() < 1e-2, "{wv:?}");
+        assert!(
+            (wv[0] - 3.0).abs() < 1e-2 && (wv[1] + 1.0).abs() < 1e-2,
+            "{wv:?}"
+        );
     }
 
     #[test]

@@ -39,7 +39,11 @@ impl Lstm {
         for j in hidden..2 * hidden {
             bias.data_mut()[j] = 1.0;
         }
-        Self { weight: g.param(weight), bias: g.param(bias), hidden }
+        Self {
+            weight: g.param(weight),
+            bias: g.param(bias),
+            hidden,
+        }
     }
 
     /// Number of hidden units.
@@ -102,7 +106,10 @@ pub struct LstmHead {
 impl LstmHead {
     /// Creates the head.
     pub fn new(g: &mut Graph, hidden: usize, out: usize, rng: &mut StdRng) -> Self {
-        Self { lstm: Lstm::new(g, hidden, rng), proj: Linear::new(g, hidden, out, rng) }
+        Self {
+            lstm: Lstm::new(g, hidden, rng),
+            proj: Linear::new(g, hidden, out, rng),
+        }
     }
 
     /// Forward: `[B, T] → [B, out]`.

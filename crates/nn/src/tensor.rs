@@ -28,32 +28,50 @@ impl Tensor {
                 "rank must be 1..=3, got shape {shape:?}"
             )));
         }
-        Ok(Self { shape: shape.to_vec(), data })
+        Ok(Self {
+            shape: shape.to_vec(),
+            data,
+        })
     }
 
     /// All-zeros tensor.
     pub fn zeros(shape: &[usize]) -> Self {
-        Self { shape: shape.to_vec(), data: vec![0.0; shape.iter().product()] }
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0.0; shape.iter().product()],
+        }
     }
 
     /// All-ones tensor.
     pub fn ones(shape: &[usize]) -> Self {
-        Self { shape: shape.to_vec(), data: vec![1.0; shape.iter().product()] }
+        Self {
+            shape: shape.to_vec(),
+            data: vec![1.0; shape.iter().product()],
+        }
     }
 
     /// Filled with a constant.
     pub fn full(shape: &[usize], v: f32) -> Self {
-        Self { shape: shape.to_vec(), data: vec![v; shape.iter().product()] }
+        Self {
+            shape: shape.to_vec(),
+            data: vec![v; shape.iter().product()],
+        }
     }
 
     /// 1-D tensor from a slice.
     pub fn from_slice(v: &[f32]) -> Self {
-        Self { shape: vec![v.len()], data: v.to_vec() }
+        Self {
+            shape: vec![v.len()],
+            data: v.to_vec(),
+        }
     }
 
     /// Scalar wrapped as a `[1]` tensor.
     pub fn scalar(v: f32) -> Self {
-        Self { shape: vec![1], data: vec![v] }
+        Self {
+            shape: vec![1],
+            data: vec![v],
+        }
     }
 
     /// Shape as a slice.
@@ -112,7 +130,10 @@ impl Tensor {
 
     /// Element-wise map.
     pub fn map(&self, f: impl FnMut(f32) -> f32) -> Tensor {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().copied().map(f).collect() }
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().copied().map(f).collect(),
+        }
     }
 
     /// Sum of all elements.

@@ -13,7 +13,10 @@ pub struct BatchSampler {
 impl BatchSampler {
     /// Creates a sampler for `n` examples.
     pub fn new(n: usize, batch_size: usize) -> Self {
-        Self { n, batch_size: batch_size.max(1) }
+        Self {
+            n,
+            batch_size: batch_size.max(1),
+        }
     }
 
     /// Produces the shuffled batches for one epoch.
@@ -38,7 +41,12 @@ impl EarlyStopping {
     /// Creates the monitor; training stops after `patience` epochs without
     /// an improvement of at least `min_delta`.
     pub fn new(patience: usize, min_delta: f64) -> Self {
-        Self { patience, best: f64::INFINITY, epochs_since_best: 0, min_delta }
+        Self {
+            patience,
+            best: f64::INFINITY,
+            epochs_since_best: 0,
+            min_delta,
+        }
     }
 
     /// Records a validation loss; returns `true` when training should stop.

@@ -44,8 +44,8 @@ where
         plus[i] += EPS;
         let mut minus = initial.clone();
         minus[i] -= EPS;
-        let numeric = (loss_with(&plus, shape, &forward) - loss_with(&minus, shape, &forward))
-            / (2.0 * EPS);
+        let numeric =
+            (loss_with(&plus, shape, &forward) - loss_with(&minus, shape, &forward)) / (2.0 * EPS);
         let denom = numeric.abs().max(analytic[i].abs()).max(1.0);
         assert!(
             (numeric - analytic[i]).abs() / denom < TOL,

@@ -1,0 +1,277 @@
+//! Scoped, deterministic parallel execution for the workspace's hot loops.
+//!
+//! Everything here runs on `std::thread::scope` — threads are spawned per
+//! call, borrow their inputs, and are joined before the call returns, so no
+//! `'static` bounds, no thread pool to shut down, and no work escapes the
+//! caller's stack frame.
+//!
+//! # Thread count
+//!
+//! [`num_threads`] reads the `IP_THREADS` environment variable; absent or
+//! unparseable, it falls back to [`std::thread::available_parallelism`]. A
+//! value of `1` (either way) makes every combinator run serially inline —
+//! the degenerate path has zero spawn overhead, which keeps single-core
+//! containers and `IP_THREADS=1` debugging honest.
+//!
+//! # Determinism
+//!
+//! Every combinator partitions its *output* into disjoint contiguous regions,
+//! one region per task, and each output element is computed by exactly one
+//! task with exactly the per-element operation order of the serial code. No
+//! atomics, no reduction trees, no work stealing: results are bit-identical
+//! to the serial path for any thread count. The workspace's property tests
+//! assert `par_map(xs, f) == xs.iter().map(f).collect()` with `==`, not
+//! approximate equality.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads parallel combinators will use.
+///
+/// `IP_THREADS` wins when set to a positive integer; otherwise
+/// [`std::thread::available_parallelism`] (1 if even that is unavailable).
+pub fn num_threads() -> usize {
+    match std::env::var("IP_THREADS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => n,
+            _ => available(),
+        },
+        Err(_) => available(),
+    }
+}
+
+fn available() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Splits `len` items into at most `threads` contiguous ranges of
+/// near-equal size (the first `len % threads` ranges are one longer).
+/// Empty ranges are never produced.
+fn partition(len: usize, threads: usize) -> Vec<std::ops::Range<usize>> {
+    let threads = threads.min(len).max(1);
+    let base = len / threads;
+    let extra = len % threads;
+    let mut ranges = Vec::with_capacity(threads);
+    let mut start = 0;
+    for i in 0..threads {
+        let size = base + usize::from(i < extra);
+        if size == 0 {
+            break;
+        }
+        ranges.push(start..start + size);
+        start += size;
+    }
+    ranges
+}
+
+/// Maps `f` over `items`, preserving order. Equivalent to
+/// `items.iter().map(f).collect()` — bit-identically, for any thread count.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_with(num_threads(), items, f)
+}
+
+/// [`par_map`] with an explicit thread count (used by the scaling bench).
+pub fn par_map_with<T, R, F>(threads: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let ranges = partition(items.len(), threads);
+    let mut chunks: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = ranges
+            .iter()
+            .map(|r| {
+                let slice = &items[r.clone()];
+                let f = &f;
+                scope.spawn(move || slice.iter().map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("ip-par worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for chunk in &mut chunks {
+        out.append(chunk);
+    }
+    out
+}
+
+/// Runs `f(i)` for each index in `0..len` for its side effects, partitioned
+/// across threads. `f` must only touch state disjoint per index (e.g. via
+/// interior slices handed out by the caller); this crate's other combinators
+/// are usually the better fit.
+pub fn par_for<F>(len: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    par_for_with(num_threads(), len, f)
+}
+
+/// [`par_for`] with an explicit thread count.
+pub fn par_for_with<F>(threads: usize, len: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    if threads <= 1 || len <= 1 {
+        for i in 0..len {
+            f(i);
+        }
+        return;
+    }
+    let ranges = partition(len, threads);
+    std::thread::scope(|scope| {
+        for r in ranges {
+            let f = &f;
+            scope.spawn(move || {
+                for i in r {
+                    f(i);
+                }
+            });
+        }
+    });
+}
+
+/// Splits `data` into contiguous chunks of `chunk_len` elements (last one
+/// possibly shorter) and runs `f(chunk_index, chunk)` on each, in parallel.
+/// The chunk partitioning — and therefore which elements each invocation
+/// sees — is independent of the thread count.
+pub fn par_chunks_mut<T, F>(data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    par_chunks_mut_with(num_threads(), data, chunk_len, f)
+}
+
+/// [`par_chunks_mut`] with an explicit thread count.
+pub fn par_chunks_mut_with<T, F>(threads: usize, data: &mut [T], chunk_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    if threads <= 1 || data.len() <= chunk_len {
+        for (i, chunk) in data.chunks_mut(chunk_len).enumerate() {
+            f(i, chunk);
+        }
+        return;
+    }
+    let chunks: Vec<(usize, &mut [T])> = data.chunks_mut(chunk_len).enumerate().collect();
+    let ranges = partition(chunks.len(), threads);
+    let mut chunks = chunks;
+    std::thread::scope(|scope| {
+        // Peel off each thread's set of chunks from the back so ownership
+        // moves into the worker without unsafe splitting.
+        let mut rest = chunks.as_mut_slice();
+        let mut taken = Vec::with_capacity(ranges.len());
+        for r in &ranges {
+            let (head, tail) = rest.split_at_mut(r.len());
+            taken.push(head);
+            rest = tail;
+        }
+        for group in taken {
+            let f = &f;
+            scope.spawn(move || {
+                for (i, chunk) in group.iter_mut() {
+                    f(*i, chunk);
+                }
+            });
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_covers_exactly() {
+        for len in [0usize, 1, 2, 7, 8, 100] {
+            for threads in [1usize, 2, 3, 8, 200] {
+                let ranges = partition(len, threads);
+                let mut next = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    assert!(!r.is_empty());
+                    next = r.end;
+                }
+                assert_eq!(next, len);
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_matches_serial_any_thread_count() {
+        let items: Vec<i64> = (0..103).collect();
+        let serial: Vec<i64> = items.iter().map(|x| x * x - 3).collect();
+        for threads in [1, 2, 3, 4, 8, 64] {
+            assert_eq!(par_map_with(threads, &items, |x| x * x - 3), serial);
+        }
+    }
+
+    #[test]
+    fn par_map_float_sums_bit_identical() {
+        // Per-element op order is what matters for float bit-identity.
+        let items: Vec<f64> = (0..97).map(|i| (i as f64).sin()).collect();
+        let f = |x: &f64| (0..50).fold(*x, |acc, k| acc + (k as f64).sqrt() * acc.cos());
+        let serial: Vec<f64> = items.iter().map(f).collect();
+        for threads in [2, 5, 16] {
+            let par = par_map_with(threads, &items, f);
+            assert!(serial
+                .iter()
+                .zip(&par)
+                .all(|(a, b)| a.to_bits() == b.to_bits()));
+        }
+    }
+
+    #[test]
+    fn par_for_touches_every_index_once() {
+        use std::sync::Mutex;
+        let hits = Mutex::new(vec![0u32; 57]);
+        par_for_with(4, 57, |i| hits.lock().unwrap()[i] += 1);
+        assert!(hits.into_inner().unwrap().iter().all(|&h| h == 1));
+    }
+
+    #[test]
+    fn par_chunks_mut_partitioning_is_thread_count_independent() {
+        let make = |threads| {
+            let mut data = vec![0usize; 23];
+            par_chunks_mut_with(threads, &mut data, 5, |ci, chunk| {
+                for (k, v) in chunk.iter_mut().enumerate() {
+                    *v = ci * 100 + k;
+                }
+            });
+            data
+        };
+        let serial = make(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(make(threads), serial);
+        }
+        // Chunk 4 is the short tail (3 elements).
+        assert_eq!(serial[20..], [400, 401, 402]);
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn empty_inputs_are_fine() {
+        assert_eq!(par_map_with(4, &[] as &[i32], |x| *x), Vec::<i32>::new());
+        par_for_with(4, 0, |_| unreachable!());
+        par_chunks_mut_with(4, &mut [] as &mut [i32], 3, |_, _| unreachable!());
+    }
+}

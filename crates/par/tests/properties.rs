@@ -1,0 +1,56 @@
+//! Property-based determinism contract of the parallel combinators: for any
+//! input and any thread count, the result is bit-identical to the serial
+//! path.
+
+use ip_par::{par_chunks_mut_with, par_map_with};
+use proptest::prelude::*;
+
+/// Bitwise equality for float vectors (`==` would conflate -0.0 with 0.0
+/// and reject NaN; the contract is *bit* identity).
+fn bits(v: &[f64]) -> Vec<u64> {
+    v.iter().map(|x| x.to_bits()).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn par_map_equals_serial_map(
+        xs in proptest::collection::vec(-1e6f64..1e6, 0..200),
+        threads in 1usize..9,
+    ) {
+        // A chained non-associative float computation: any reordering of
+        // per-element work would show up in the bits.
+        let f = |x: &f64| (x * 1.5 - 2.0).sin() + x / 3.0;
+        let serial: Vec<f64> = xs.iter().map(f).collect();
+        let par = par_map_with(threads, &xs, f);
+        prop_assert_eq!(bits(&serial), bits(&par));
+    }
+
+    #[test]
+    fn par_map_preserves_order_exactly(
+        xs in proptest::collection::vec(0usize..10_000, 0..300),
+        threads in 1usize..9,
+    ) {
+        let par = par_map_with(threads, &xs, |&x| x);
+        prop_assert_eq!(&par, &xs);
+    }
+
+    #[test]
+    fn par_chunks_mut_equals_serial(
+        xs in proptest::collection::vec(-100.0f64..100.0, 1..200),
+        chunk in 1usize..40,
+        threads in 1usize..9,
+    ) {
+        let run = |t: usize| {
+            let mut data = xs.clone();
+            par_chunks_mut_with(t, &mut data, chunk, |ci, c| {
+                for (k, v) in c.iter_mut().enumerate() {
+                    *v = v.cos() * (ci as f64 + 1.0) + k as f64;
+                }
+            });
+            data
+        };
+        prop_assert_eq!(bits(&run(1)), bits(&run(threads)));
+    }
+}

@@ -48,13 +48,13 @@ pub mod periodic;
 pub mod robustness;
 pub mod static_pool;
 
-pub use dp::optimize_dp;
+pub use dp::{optimize_dp, SweepCache};
 pub use lp_model::optimize_lp;
 pub use mechanism::{evaluate_schedule, PoolMechanics};
-pub use pareto::{pareto_sweep, ParetoPoint};
+pub use pareto::{pareto_sweep, pareto_sweep_with_threads, ParetoPoint};
 pub use periodic::optimize_periodic_profile;
-pub use robustness::{RobustnessStrategies, robust_optimize};
-pub use static_pool::{static_schedule, optimal_static_for_hit_rate};
+pub use robustness::{robust_optimize, RobustnessStrategies};
+pub use static_pool::{optimal_static_for_hit_rate, static_schedule};
 
 /// Errors from the optimizer.
 #[derive(Debug, Clone, PartialEq)]
@@ -159,21 +159,30 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let mut c = SaaConfig::default();
-        c.stableness = 0;
+        let c = SaaConfig {
+            stableness: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = SaaConfig::default();
-        c.min_pool = 10;
-        c.max_pool = 5;
+        let c = SaaConfig {
+            min_pool: 10,
+            max_pool: 5,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = SaaConfig::default();
-        c.alpha_prime = 1.5;
+        let c = SaaConfig {
+            alpha_prime: 1.5,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
     }
 
     #[test]
     fn block_arithmetic() {
-        let c = SaaConfig { stableness: 10, ..Default::default() };
+        let c = SaaConfig {
+            stableness: 10,
+            ..Default::default()
+        };
         assert_eq!(c.num_blocks(100), 10);
         assert_eq!(c.num_blocks(101), 11);
         assert_eq!(c.block_of(0), 0);

@@ -35,11 +35,20 @@ pub fn optimize_lp(demand: &TimeSeries, config: &SaaConfig) -> Result<OptimizedS
 
     let mut p = Problem::minimize();
     let n_vars: Vec<_> = (0..blocks)
-        .map(|b| p.add_var(format!("N{b}"), f64::from(config.min_pool), f64::from(config.max_pool)))
+        .map(|b| {
+            p.add_var(
+                format!("N{b}"),
+                f64::from(config.min_pool),
+                f64::from(config.max_pool),
+            )
+        })
         .collect();
-    let plus: Vec<_> = (0..t_len).map(|t| p.add_var(format!("dp{t}"), 0.0, f64::INFINITY)).collect();
-    let minus: Vec<_> =
-        (0..t_len).map(|t| p.add_var(format!("dm{t}"), 0.0, f64::INFINITY)).collect();
+    let plus: Vec<_> = (0..t_len)
+        .map(|t| p.add_var(format!("dp{t}"), 0.0, f64::INFINITY))
+        .collect();
+    let minus: Vec<_> = (0..t_len)
+        .map(|t| p.add_var(format!("dm{t}"), 0.0, f64::INFINITY))
+        .collect();
 
     for t in 0..t_len {
         p.set_objective_coeff(plus[t], alpha);
@@ -79,7 +88,11 @@ pub fn optimize_lp(demand: &TimeSeries, config: &SaaConfig) -> Result<OptimizedS
     let sol = ip_lp::solve(&p).map_err(|e| SaaError::Solver(e.to_string()))?;
     let per_block: Vec<f64> = n_vars.iter().map(|&v| sol.value(v)).collect();
     let schedule: Vec<f64> = (0..t_len).map(|t| per_block[config.block_of(t)]).collect();
-    Ok(OptimizedSchedule { schedule, objective: sol.objective, per_block })
+    Ok(OptimizedSchedule {
+        schedule,
+        objective: sol.objective,
+        per_block,
+    })
 }
 
 #[cfg(test)]
@@ -106,7 +119,11 @@ mod tests {
     fn zero_demand_gives_zero_pool() {
         let demand = ts(&[0.0; 16]);
         let opt = optimize_lp(&demand, &cfg()).unwrap();
-        assert!(opt.per_block.iter().all(|&n| n.abs() < 1e-7), "{:?}", opt.per_block);
+        assert!(
+            opt.per_block.iter().all(|&n| n.abs() < 1e-7),
+            "{:?}",
+            opt.per_block
+        );
         assert!(opt.objective.abs() < 1e-7);
     }
 
@@ -127,7 +144,9 @@ mod tests {
 
     #[test]
     fn alpha_extremes_trade_idle_for_wait() {
-        let vals: Vec<f64> = (0..32).map(|t| if t % 8 == 0 { 6.0 } else { 1.0 }).collect();
+        let vals: Vec<f64> = (0..32)
+            .map(|t| if t % 8 == 0 { 6.0 } else { 1.0 })
+            .collect();
         let demand = ts(&vals);
         let mut idle_cfg = cfg();
         idle_cfg.alpha_prime = 0.95; // idle-averse → small pool
@@ -170,7 +189,11 @@ mod tests {
         c.alpha_prime = 0.05;
         let opt = optimize_lp(&demand, &c).unwrap();
         for w in opt.per_block.windows(2) {
-            assert!(w[1] - w[0] <= 1.0 + 1e-7, "ramp violated: {:?}", opt.per_block);
+            assert!(
+                w[1] - w[0] <= 1.0 + 1e-7,
+                "ramp violated: {:?}",
+                opt.per_block
+            );
         }
     }
 
@@ -183,7 +206,10 @@ mod tests {
         c.alpha_prime = 0.05;
         let opt = optimize_lp(&demand, &c).unwrap();
         for &n in &opt.per_block {
-            assert!(n >= 2.0 - 1e-7 && n <= 7.0 + 1e-7, "bounds violated: {n}");
+            assert!(
+                (2.0 - 1e-7..=7.0 + 1e-7).contains(&n),
+                "bounds violated: {n}"
+            );
         }
     }
 

@@ -76,8 +76,8 @@ pub fn evaluate_schedule(
     let mut queued_per_interval = Vec::with_capacity(t_len);
     let mut idle_sum = 0.0;
     let mut wait_sum = 0.0;
-    for t in 0..t_len {
-        let diff = a_ready[t] - d_cum.get(t);
+    for (t, &ready) in a_ready.iter().enumerate() {
+        let diff = ready - d_cum.get(t);
         let idle = diff.max(0.0);
         let queued = (-diff).max(0.0);
         idle_per_interval.push(idle);
@@ -106,7 +106,11 @@ pub fn evaluate_schedule(
             hits += 1;
         }
     }
-    let hit_rate = if total_requests == 0 { 1.0 } else { hits as f64 / total_requests as f64 };
+    let hit_rate = if total_requests == 0 {
+        1.0
+    } else {
+        hits as f64 / total_requests as f64
+    };
     let wait_seconds = wait_sum * interval;
 
     Ok(PoolMechanics {
@@ -183,7 +187,10 @@ mod tests {
         let demand = ts(&[2.0, 0.0, 3.0, 1.0, 0.0, 0.0, 4.0, 0.0]);
         let schedule = vec![1.0; 8];
         let m = evaluate_schedule(&demand, &schedule, 2).unwrap();
-        assert_eq!(m.mean_wait_per_request_secs * m.total_requests as f64, m.wait_seconds);
+        assert_eq!(
+            m.mean_wait_per_request_secs * m.total_requests as f64,
+            m.wait_seconds
+        );
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! α' sweeps tracing the wait-vs-idle Pareto frontier (§7.1, Fig. 5).
 
-use crate::dp::optimize_dp;
+use crate::dp::SweepCache;
+use crate::lp_model::OptimizedSchedule;
 use crate::mechanism::evaluate_schedule;
 use crate::{Result, SaaConfig};
 use ip_timeseries::TimeSeries;
@@ -33,27 +34,71 @@ pub fn pareto_sweep(
     base_config: &SaaConfig,
     alphas: &[f64],
 ) -> Result<Vec<ParetoPoint>> {
-    let mut out = Vec::with_capacity(alphas.len());
-    for &alpha in alphas {
-        let config = SaaConfig { alpha_prime: alpha, ..*base_config };
-        let opt = optimize_dp(plan_demand, &config)?;
-        // The planned schedule may be shorter than the evaluation trace if
-        // forecasts cover less; extend with the last block value.
-        let mut schedule = opt.schedule.clone();
-        if schedule.len() < eval_demand.len() {
-            let last = schedule.last().copied().unwrap_or(0.0);
-            schedule.resize(eval_demand.len(), last);
-        }
-        let m = evaluate_schedule(eval_demand, &schedule, config.tau_intervals)?;
-        out.push(ParetoPoint {
+    pareto_sweep_with_threads(
+        ip_par::num_threads(),
+        plan_demand,
+        eval_demand,
+        base_config,
+        alphas,
+    )
+}
+
+/// [`pareto_sweep`] with an explicit thread count (scaling benches and
+/// bit-identity tests).
+///
+/// The α-independent DP sums are computed once ([`SweepCache`]) and shared
+/// by reference across the α' tasks; each task runs only the cheap per-α DP
+/// plus its evaluation, and [`ip_par::par_map_with`] preserves the `alphas`
+/// ordering, so the result is identical — bit for bit — to the serial loop.
+pub fn pareto_sweep_with_threads(
+    threads: usize,
+    plan_demand: &TimeSeries,
+    eval_demand: &TimeSeries,
+    base_config: &SaaConfig,
+    alphas: &[f64],
+) -> Result<Vec<ParetoPoint>> {
+    let cache = SweepCache::build(plan_demand, base_config)?;
+    let points = ip_par::par_map_with(threads, alphas, |&alpha| -> Result<ParetoPoint> {
+        let opt = cache.solve(alpha);
+        let schedule = extend_schedule(&opt, eval_demand.len(), base_config);
+        let m = evaluate_schedule(eval_demand, &schedule, base_config.tau_intervals)?;
+        Ok(ParetoPoint {
             alpha_prime: alpha,
             idle_cluster_seconds: m.idle_cluster_seconds,
             wait_seconds: m.wait_seconds,
             mean_wait_secs: m.mean_wait_per_request_secs,
             hit_rate: m.hit_rate,
-        });
-    }
-    Ok(out)
+        })
+    });
+    points.into_iter().collect()
+}
+
+/// Regenerates a planned schedule on the evaluation grid of `eval_len`
+/// intervals.
+///
+/// The planned schedule may be shorter than the evaluation trace when
+/// forecasts cover less. Extension happens at the *per-block* level: every
+/// evaluation interval looks up its own stableness block, unplanned blocks
+/// inherit the last planned block's value, and the fill value is clamped to
+/// `[min_pool, max_pool]`. Resizing the flat schedule with its last element
+/// (the previous behaviour) bypassed both invariants — an empty plan padded
+/// with `0.0` below `min_pool`, and a plan ending mid-block glued the tail
+/// onto the wrong block boundary.
+fn extend_schedule(opt: &OptimizedSchedule, eval_len: usize, config: &SaaConfig) -> Vec<f64> {
+    let fill = opt
+        .per_block
+        .last()
+        .copied()
+        .unwrap_or(f64::from(config.min_pool))
+        .clamp(f64::from(config.min_pool), f64::from(config.max_pool));
+    (0..eval_len)
+        .map(|t| {
+            opt.per_block
+                .get(config.block_of(t))
+                .copied()
+                .unwrap_or(fill)
+        })
+        .collect()
 }
 
 /// Default α' grid used by the figure harnesses: dense near 1 (the
@@ -73,9 +118,11 @@ pub fn frontier(points: &[ParetoPoint]) -> Vec<ParetoPoint> {
     points
         .iter()
         .filter(|p| {
-            !points
-                .iter()
-                .any(|q| dominates(q, p) && (q.idle_cluster_seconds, q.wait_seconds) != (p.idle_cluster_seconds, p.wait_seconds))
+            !points.iter().any(|q| {
+                dominates(q, p)
+                    && (q.idle_cluster_seconds, q.wait_seconds)
+                        != (p.idle_cluster_seconds, p.wait_seconds)
+            })
         })
         .cloned()
         .collect()
@@ -86,8 +133,9 @@ mod tests {
     use super::*;
 
     fn demand() -> TimeSeries {
-        let vals: Vec<f64> =
-            (0..60).map(|t| if t % 12 < 2 { 5.0 } else { 1.0 }).collect();
+        let vals: Vec<f64> = (0..60)
+            .map(|t| if t % 12 < 2 { 5.0 } else { 1.0 })
+            .collect();
         TimeSeries::new(30, vals).unwrap()
     }
 
@@ -113,7 +161,10 @@ mod tests {
                 w[1].idle_cluster_seconds <= w[0].idle_cluster_seconds + 1e-9,
                 "idle not monotone: {w:?}"
             );
-            assert!(w[1].wait_seconds >= w[0].wait_seconds - 1e-9, "wait not monotone: {w:?}");
+            assert!(
+                w[1].wait_seconds >= w[0].wait_seconds - 1e-9,
+                "wait not monotone: {w:?}"
+            );
         }
     }
 
@@ -141,5 +192,71 @@ mod tests {
         let points = pareto_sweep(&plan, &d, &cfg(), &[0.5]).unwrap();
         assert_eq!(points.len(), 1);
         assert!(points[0].hit_rate >= 0.0);
+    }
+
+    #[test]
+    fn extension_respects_min_pool_and_block_grid() {
+        // A plan ending mid-block, extended onto a longer eval trace with a
+        // floor: the tail must sit on stableness-block boundaries and never
+        // dip below min_pool.
+        let c = SaaConfig {
+            min_pool: 3,
+            stableness: 6,
+            ..cfg()
+        };
+        let d = demand();
+        let plan = d.slice(0, 27).unwrap(); // 27 = 4.5 blocks of 6
+        let opt = crate::dp::optimize_dp(&plan, &c).unwrap();
+        let schedule = extend_schedule(&opt, d.len(), &c);
+        assert_eq!(schedule.len(), d.len());
+        for (t, &v) in schedule.iter().enumerate() {
+            assert!(v >= 3.0, "t={t}: {v} below min_pool");
+            // Block-constant on the eval grid.
+            assert_eq!(v, schedule[(t / 6) * 6], "t={t} off its block value");
+        }
+        // Planned prefix is untouched.
+        assert_eq!(&schedule[..27], &opt.schedule[..]);
+        // The whole sweep still works on the same split.
+        let points = pareto_sweep(&plan, &d, &c, &default_alpha_grid()).unwrap();
+        assert_eq!(points.len(), default_alpha_grid().len());
+    }
+
+    #[test]
+    fn extension_clamps_fill_to_pool_bounds() {
+        let c = SaaConfig {
+            min_pool: 2,
+            max_pool: 10,
+            ..cfg()
+        };
+        // An empty plan must fall back to min_pool, not 0.
+        let opt = crate::lp_model::OptimizedSchedule {
+            schedule: vec![],
+            objective: 0.0,
+            per_block: vec![],
+        };
+        let schedule = extend_schedule(&opt, 8, &c);
+        assert!(schedule.iter().all(|&v| v == 2.0), "{schedule:?}");
+    }
+
+    #[test]
+    fn parallel_sweep_bit_identical_to_serial() {
+        let d = demand();
+        let plan = d.slice(0, 48).unwrap();
+        let grid = default_alpha_grid();
+        let serial = pareto_sweep_with_threads(1, &plan, &d, &cfg(), &grid).unwrap();
+        for threads in [2, 4, 8] {
+            let par = pareto_sweep_with_threads(threads, &plan, &d, &cfg(), &grid).unwrap();
+            assert_eq!(par.len(), serial.len());
+            for (a, b) in serial.iter().zip(&par) {
+                assert_eq!(a.alpha_prime.to_bits(), b.alpha_prime.to_bits());
+                assert_eq!(
+                    a.idle_cluster_seconds.to_bits(),
+                    b.idle_cluster_seconds.to_bits()
+                );
+                assert_eq!(a.wait_seconds.to_bits(), b.wait_seconds.to_bits());
+                assert_eq!(a.mean_wait_secs.to_bits(), b.mean_wait_secs.to_bits());
+                assert_eq!(a.hit_rate.to_bits(), b.hit_rate.to_bits());
+            }
+        }
     }
 }

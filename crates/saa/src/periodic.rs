@@ -46,7 +46,11 @@ pub fn optimize_periodic_profile(
     // to slot `block mod period`.
     let mut cost = vec![vec![0.0f64; sizes]; period_blocks];
     for t in 0..t_len {
-        let slot = if t < tau { 0 } else { config.block_of(t - tau) % period_blocks };
+        let slot = if t < tau {
+            0
+        } else {
+            config.block_of(t - tau) % period_blocks
+        };
         let base = if t < tau { 0.0 } else { d_cum.get(t - tau) };
         for (ni, c) in cost[slot].iter_mut().enumerate() {
             let diff = base + (lo + ni) as f64 - d_cum.get(t);
@@ -69,8 +73,11 @@ pub fn optimize_periodic_profile(
         for slot_cost in cost.iter().take(period_blocks).skip(1) {
             let mut suffix_min = vec![(f64::INFINITY, 0usize); sizes + 1];
             for i in (0..sizes).rev() {
-                suffix_min[i] =
-                    if dp[i] <= suffix_min[i + 1].0 { (dp[i], i) } else { suffix_min[i + 1] };
+                suffix_min[i] = if dp[i] <= suffix_min[i + 1].0 {
+                    (dp[i], i)
+                } else {
+                    suffix_min[i + 1]
+                };
             }
             let mut next = vec![f64::INFINITY; sizes];
             let mut pick = vec![0usize; sizes];
@@ -86,12 +93,12 @@ pub fn optimize_periodic_profile(
             choice.push(pick);
         }
         // Wrap constraint: first − last ≤ ramp.
-        for last in 0..sizes {
-            if !dp[last].is_finite() || first as i64 - last as i64 > ramp {
+        for (last, &dp_last) in dp.iter().enumerate().take(sizes) {
+            if !dp_last.is_finite() || first as i64 - last as i64 > ramp {
                 continue;
             }
-            if dp[last] < best_total {
-                best_total = dp[last];
+            if dp_last < best_total {
+                best_total = dp_last;
                 // Trace back.
                 let mut profile = vec![0usize; period_blocks];
                 let mut n = last;
@@ -114,7 +121,11 @@ pub fn optimize_periodic_profile(
         .map(|b| (lo + best_profile[b % period_blocks]) as f64)
         .collect();
     let schedule: Vec<f64> = (0..t_len).map(|t| per_block[config.block_of(t)]).collect();
-    Ok(OptimizedSchedule { schedule, objective: best_total, per_block })
+    Ok(OptimizedSchedule {
+        schedule,
+        objective: best_total,
+        per_block,
+    })
 }
 
 #[cfg(test)]
@@ -136,7 +147,9 @@ mod tests {
 
     /// Two identical "days" of 16 intervals (4 blocks each).
     fn two_day_demand() -> TimeSeries {
-        let day: Vec<f64> = vec![3.0, 1.0, 0.0, 0.0, 5.0, 2.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 4.0, 2.0];
+        let day: Vec<f64> = vec![
+            3.0, 1.0, 0.0, 0.0, 5.0, 2.0, 0.0, 0.0, 1.0, 1.0, 1.0, 1.0, 0.0, 0.0, 4.0, 2.0,
+        ];
         let mut vals = day.clone();
         vals.extend(day);
         TimeSeries::new(30, vals).unwrap()

@@ -34,7 +34,11 @@ pub struct RobustnessStrategies {
 impl RobustnessStrategies {
     /// No hardening (the pre-§7.5 deployment).
     pub fn none() -> Self {
-        Self { demand_smoothing_factor: 0, extended_stableness: None, output_max_filter: false }
+        Self {
+            demand_smoothing_factor: 0,
+            extended_stableness: None,
+            output_max_filter: false,
+        }
     }
 
     /// Everything on, with the paper's choices relative to `config`:

@@ -69,7 +69,9 @@ mod tests {
     use super::*;
 
     fn bursty_demand() -> TimeSeries {
-        let vals: Vec<f64> = (0..64).map(|t| if t % 16 == 0 { 6.0 } else { 1.0 }).collect();
+        let vals: Vec<f64> = (0..64)
+            .map(|t| if t % 16 == 0 { 6.0 } else { 1.0 })
+            .collect();
         TimeSeries::new(30, vals).unwrap()
     }
 

@@ -1,6 +1,6 @@
 //! Property-based invariants of the pool mechanism and the optimizers.
 
-use ip_saa::{evaluate_schedule, optimize_dp, optimize_lp, SaaConfig};
+use ip_saa::{evaluate_schedule, optimize_dp, optimize_lp, pareto_sweep_with_threads, SaaConfig};
 use ip_timeseries::TimeSeries;
 use proptest::prelude::*;
 
@@ -24,6 +24,24 @@ fn small_config() -> SaaConfig {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn pareto_sweep_parallel_bit_identical_to_serial(
+        demand in demand_strategy(),
+        threads in 2usize..9,
+    ) {
+        let c = small_config();
+        let grid = [0.05, 0.2, 0.5, 0.8, 0.95];
+        let serial = pareto_sweep_with_threads(1, &demand, &demand, &c, &grid).unwrap();
+        let par = pareto_sweep_with_threads(threads, &demand, &demand, &c, &grid).unwrap();
+        prop_assert_eq!(serial.len(), par.len());
+        for (a, b) in serial.iter().zip(&par) {
+            prop_assert_eq!(a.idle_cluster_seconds.to_bits(), b.idle_cluster_seconds.to_bits());
+            prop_assert_eq!(a.wait_seconds.to_bits(), b.wait_seconds.to_bits());
+            prop_assert_eq!(a.mean_wait_secs.to_bits(), b.mean_wait_secs.to_bits());
+            prop_assert_eq!(a.hit_rate.to_bits(), b.hit_rate.to_bits());
+        }
+    }
 
     #[test]
     fn mechanism_complementary_slackness(demand in demand_strategy(), pool in 0u32..8) {

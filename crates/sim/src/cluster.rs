@@ -37,7 +37,12 @@ pub struct Cluster {
 impl Cluster {
     /// Creates a cluster entering provisioning.
     pub fn provisioning(id: u64, ready_at: u64, expires_at: u64, on_demand: bool) -> Self {
-        Self { id, state: ClusterState::Provisioning { ready_at }, expires_at, on_demand }
+        Self {
+            id,
+            state: ClusterState::Provisioning { ready_at },
+            expires_at,
+            on_demand,
+        }
     }
 
     /// `true` while the cluster is being created.

@@ -25,7 +25,11 @@ pub struct IpWorkerConfig {
 
 impl Default for IpWorkerConfig {
     fn default() -> Self {
-        Self { run_every_secs: 1800, horizon_secs: 3600, failing_runs: Vec::new() }
+        Self {
+            run_every_secs: 1800,
+            horizon_secs: 3600,
+            failing_runs: Vec::new(),
+        }
     }
 }
 
@@ -40,7 +44,10 @@ pub struct ArbitratorConfig {
 
 impl Default for ArbitratorConfig {
     fn default() -> Self {
-        Self { lease_secs: 300, check_every_secs: 60 }
+        Self {
+            lease_secs: 300,
+            check_every_secs: 60,
+        }
     }
 }
 
@@ -208,7 +215,9 @@ impl<'p> Simulation<'p> {
             )));
         }
         if cfg.interval_secs == 0 || cfg.tau_secs == 0 {
-            return Err(SimError::InvalidConfig("interval and tau must be > 0".into()));
+            return Err(SimError::InvalidConfig(
+                "interval and tau must be > 0".into(),
+            ));
         }
         let end_time = demand.len() as u64 * cfg.interval_secs;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -218,7 +227,11 @@ impl<'p> Simulation<'p> {
         let mut seq = 0u64;
         let push = |heap: &mut BinaryHeap<Queued>, seq: &mut u64, time: u64, ev: Ev| {
             *seq += 1;
-            heap.push(Queued { time, seq: *seq, ev });
+            heap.push(Queued {
+                time,
+                seq: *seq,
+                ev,
+            });
         };
         let mut clusters: HashMap<u64, Cluster> = HashMap::new();
         let mut next_cluster_id = 0u64;
@@ -263,7 +276,12 @@ impl<'p> Simulation<'p> {
 
         // --- schedule static events ---
         for (i, _) in demand.values().iter().enumerate() {
-            push(&mut heap, &mut seq, i as u64 * cfg.interval_secs, Ev::Interval(i));
+            push(
+                &mut heap,
+                &mut seq,
+                i as u64 * cfg.interval_secs,
+                Ev::Interval(i),
+            );
         }
         if let Some(ipc) = &cfg.ip_worker {
             let mut k = 0usize;
@@ -284,7 +302,12 @@ impl<'p> Simulation<'p> {
         for (i, &(s, e)) in cfg.pooling_worker_outages.iter().enumerate() {
             if s < end_time {
                 push(&mut heap, &mut seq, s, Ev::WorkerFail(i));
-                push(&mut heap, &mut seq, e.min(end_time.saturating_sub(1)), Ev::WorkerRecover(i));
+                push(
+                    &mut heap,
+                    &mut seq,
+                    e.min(end_time.saturating_sub(1)),
+                    Ev::WorkerRecover(i),
+                );
             }
         }
 
@@ -368,10 +391,8 @@ impl<'p> Simulation<'p> {
                                 next_cluster_id += 1;
                                 let ready_at = $now + sample_tau(&mut rng);
                                 let expiry = sample_expiry(&mut rng, ready_at);
-                                clusters.insert(
-                                    id,
-                                    Cluster::provisioning(id, ready_at, expiry, false),
-                                );
+                                clusters
+                                    .insert(id, Cluster::provisioning(id, ready_at, expiry, false));
                                 provisioning_pool.push(id);
                                 clusters_created += 1;
                                 push(&mut heap, &mut seq, ready_at, Ev::ClusterReady(id));
@@ -430,7 +451,10 @@ impl<'p> Simulation<'p> {
                             // outages) and is dedicated to this request;
                             // with hedging several creations race for it.
                             let request_idx = od_requests.len();
-                            od_requests.push(OdRequest { arrival: time, served: false });
+                            od_requests.push(OdRequest {
+                                arrival: time,
+                                served: false,
+                            });
                             for _ in 0..cfg.on_demand_hedging.max(1) {
                                 let id = next_cluster_id;
                                 next_cluster_id += 1;
@@ -449,7 +473,9 @@ impl<'p> Simulation<'p> {
                     enforce_target!(time);
                 }
                 Ev::ClusterReady(id) => {
-                    let Some(cluster) = clusters.get_mut(&id) else { continue };
+                    let Some(cluster) = clusters.get_mut(&id) else {
+                        continue;
+                    };
                     if cluster.state == ClusterState::Retired {
                         continue; // cancelled while provisioning
                     }
@@ -479,7 +505,9 @@ impl<'p> Simulation<'p> {
                     }
                 }
                 Ev::ClusterExpire(id) => {
-                    let Some(cluster) = clusters.get_mut(&id) else { continue };
+                    let Some(cluster) = clusters.get_mut(&id) else {
+                        continue;
+                    };
                     if cluster.is_ready() {
                         cluster.state = ClusterState::Retired;
                         ready_queue.retain(|&r| r != id);
@@ -556,14 +584,22 @@ impl<'p> Simulation<'p> {
             total_wait += (end_time - request.arrival) as f64;
         }
 
-        let hit_rate = if total_requests == 0 { 1.0 } else { hits as f64 / total_requests as f64 };
+        let hit_rate = if total_requests == 0 {
+            1.0
+        } else {
+            hits as f64 / total_requests as f64
+        };
         Ok(SimReport {
             total_requests,
             hits,
             misses,
             hit_rate,
             total_wait_secs: total_wait,
-            mean_wait_secs: if total_requests == 0 { 0.0 } else { total_wait / total_requests as f64 },
+            mean_wait_secs: if total_requests == 0 {
+                0.0
+            } else {
+                total_wait / total_requests as f64
+            },
             idle_cluster_seconds: idle_cs,
             provisioning_cluster_seconds: prov_cs,
             clusters_created,

@@ -37,9 +37,9 @@ impl PoolKind {
     pub fn total_tau_secs(&self, cluster_tau_secs: u64) -> u64 {
         match self {
             PoolKind::Cluster => cluster_tau_secs,
-            PoolKind::Session { session_startup_secs } => {
-                cluster_tau_secs + session_startup_secs
-            }
+            PoolKind::Session {
+                session_startup_secs,
+            } => cluster_tau_secs + session_startup_secs,
         }
     }
 }
@@ -72,7 +72,11 @@ pub struct RegionPoolReport {
 /// in the paper's per-region deployment; this runner exists to exercise the
 /// session-latency arithmetic and aggregate reporting.
 pub fn run_region(
-    pools: Vec<(RegionPool, TimeSeries, Option<&mut dyn RecommendationProvider>)>,
+    pools: Vec<(
+        RegionPool,
+        TimeSeries,
+        Option<&mut dyn RecommendationProvider>,
+    )>,
 ) -> Result<Vec<RegionPoolReport>> {
     let mut out = Vec::with_capacity(pools.len());
     for (pool, demand, provider) in pools {
@@ -80,7 +84,11 @@ pub fn run_region(
         cfg.tau_secs = pool.kind.total_tau_secs(cfg.tau_secs);
         let effective = cfg.tau_secs;
         let report = Simulation::new(cfg, provider).run(&demand)?;
-        out.push(RegionPoolReport { name: pool.name, effective_tau_secs: effective, report });
+        out.push(RegionPoolReport {
+            name: pool.name,
+            effective_tau_secs: effective,
+            report,
+        });
     }
     Ok(out)
 }
@@ -95,7 +103,9 @@ mod tests {
 
     #[test]
     fn session_latency_adds_up() {
-        let kind = PoolKind::Session { session_startup_secs: 35 };
+        let kind = PoolKind::Session {
+            session_startup_secs: 35,
+        };
         assert_eq!(kind.total_tau_secs(90), 125);
         assert_eq!(PoolKind::Cluster.total_tau_secs(90), 90);
     }
@@ -115,14 +125,20 @@ mod tests {
         let d = demand(&[1.0; 10]);
         let reports = run_region(vec![
             (
-                RegionPool { name: "cluster".into(), kind: PoolKind::Cluster, config: base.clone() },
+                RegionPool {
+                    name: "cluster".into(),
+                    kind: PoolKind::Cluster,
+                    config: base.clone(),
+                },
                 d.clone(),
                 None,
             ),
             (
                 RegionPool {
                     name: "session".into(),
-                    kind: PoolKind::Session { session_startup_secs: 40 },
+                    kind: PoolKind::Session {
+                        session_startup_secs: 40,
+                    },
                     config: base,
                 },
                 d,
@@ -155,7 +171,9 @@ mod tests {
         let reports = run_region(vec![(
             RegionPool {
                 name: "session".into(),
-                kind: PoolKind::Session { session_startup_secs: 40 },
+                kind: PoolKind::Session {
+                    session_startup_secs: 40,
+                },
                 config: base,
             },
             d,

@@ -24,14 +24,22 @@ impl KustoLite {
     /// metric (the simulator emits them in event order); out-of-order points
     /// are accepted but kept in arrival order.
     pub fn append(&mut self, metric: &str, timestamp_secs: u64, value: f64) {
-        self.series.entry(metric.to_string()).or_default().push((timestamp_secs, value));
+        self.series
+            .entry(metric.to_string())
+            .or_default()
+            .push((timestamp_secs, value));
     }
 
     /// All points of a metric within `[from, to)`.
     pub fn query_range(&self, metric: &str, from: u64, to: u64) -> Vec<(u64, f64)> {
         self.series
             .get(metric)
-            .map(|pts| pts.iter().filter(|(t, _)| *t >= from && *t < to).copied().collect())
+            .map(|pts| {
+                pts.iter()
+                    .filter(|(t, _)| *t >= from && *t < to)
+                    .copied()
+                    .collect()
+            })
             .unwrap_or_default()
     }
 
@@ -52,7 +60,10 @@ impl KustoLite {
 
     /// Total of a metric across all time.
     pub fn total(&self, metric: &str) -> f64 {
-        self.series.get(metric).map(|p| p.iter().map(|(_, v)| v).sum()).unwrap_or(0.0)
+        self.series
+            .get(metric)
+            .map(|p| p.iter().map(|(_, v)| v).sum())
+            .unwrap_or(0.0)
     }
 
     /// Names of metrics seen so far.
@@ -146,8 +157,16 @@ mod tests {
     #[test]
     fn cosmos_versioning() {
         let mut c = CosmosLite::new();
-        let rec1 = RecommendationFile { generated_at: 0, interval_secs: 30, targets: vec![1, 2] };
-        let rec2 = RecommendationFile { generated_at: 60, interval_secs: 30, targets: vec![3] };
+        let rec1 = RecommendationFile {
+            generated_at: 0,
+            interval_secs: 30,
+            targets: vec![1, 2],
+        };
+        let rec2 = RecommendationFile {
+            generated_at: 60,
+            interval_secs: 30,
+            targets: vec![3],
+        };
         assert_eq!(c.put("pool", &rec1), 1);
         assert_eq!(c.put("pool", &rec2), 2);
         let latest: RecommendationFile = c.get_latest("pool").unwrap();
@@ -158,7 +177,11 @@ mod tests {
 
     #[test]
     fn recommendation_target_lookup() {
-        let rec = RecommendationFile { generated_at: 100, interval_secs: 30, targets: vec![5, 7, 9] };
+        let rec = RecommendationFile {
+            generated_at: 100,
+            interval_secs: 30,
+            targets: vec![5, 7, 9],
+        };
         assert_eq!(rec.target_at(99), None); // before generation
         assert_eq!(rec.target_at(100), Some(5));
         assert_eq!(rec.target_at(129), Some(5));

@@ -1,8 +1,7 @@
 //! Behavioural tests of the discrete-event engine.
 
 use ip_sim::{
-    ArbitratorConfig, IpWorkerConfig, RecommendationProvider, SimConfig, Simulation,
-    StaticProvider,
+    ArbitratorConfig, IpWorkerConfig, RecommendationProvider, SimConfig, Simulation, StaticProvider,
 };
 use ip_timeseries::TimeSeries;
 
@@ -85,7 +84,9 @@ fn deterministic_given_seed() {
 
 #[test]
 fn hit_rate_monotone_in_pool_target() {
-    let vals: Vec<f64> = (0..60).map(|t| if t % 10 == 0 { 4.0 } else { 1.0 }).collect();
+    let vals: Vec<f64> = (0..60)
+        .map(|t| if t % 10 == 0 { 4.0 } else { 1.0 })
+        .collect();
     let d = demand(&vals);
     let mut last_rate = -1.0;
     for target in [0u32, 2, 4, 8, 16] {
@@ -128,8 +129,15 @@ fn ip_worker_recommendations_are_applied() {
     let report = Simulation::new(cfg, Some(&mut provider)).run(&d).unwrap();
     assert!(report.ip_runs >= 2);
     assert_eq!(report.ip_failures, 0);
-    assert!(report.applied_target_timeline.iter().skip(1).all(|&t| t == 5));
-    assert_eq!(report.config_store.version_count("pool-recommendation"), report.ip_runs);
+    assert!(report
+        .applied_target_timeline
+        .iter()
+        .skip(1)
+        .all(|&t| t == 5));
+    assert_eq!(
+        report.config_store.version_count("pool-recommendation"),
+        report.ip_runs
+    );
 }
 
 #[test]
@@ -161,7 +169,7 @@ fn failing_ip_runs_keep_previous_recommendation() {
     cfg.default_pool_target = 1;
     cfg.ip_worker = Some(IpWorkerConfig {
         run_every_secs: 300,
-        horizon_secs: 3600, // each file covers the whole sim
+        horizon_secs: 3600,          // each file covers the whole sim
         failing_runs: vec![1, 2, 3], // all but the first run fail
     });
     let mut provider = StaticProvider(4);
@@ -175,11 +183,16 @@ fn failing_ip_runs_keep_previous_recommendation() {
 fn worker_outage_stops_rehydration_until_lease_replacement() {
     // Demand drains the pool during an outage; the Arbitrator replaces the
     // worker after the lease lapses and re-hydration resumes.
-    let vals: Vec<f64> = (0..60).map(|t| if t >= 10 && t < 14 { 2.0 } else { 0.0 }).collect();
+    let vals: Vec<f64> = (0..60)
+        .map(|t| if (10..14).contains(&t) { 2.0 } else { 0.0 })
+        .collect();
     let d = demand(&vals);
     let mut cfg = base_config();
     cfg.default_pool_target = 4;
-    cfg.arbitrator = ArbitratorConfig { lease_secs: 120, check_every_secs: 30 };
+    cfg.arbitrator = ArbitratorConfig {
+        lease_secs: 120,
+        check_every_secs: 30,
+    };
     // Outage covers the demand burst (t = 300 s … 420 s) and nominally lasts
     // until the end; only the Arbitrator can restore re-hydration.
     cfg.pooling_worker_outages = vec![(250, 100_000)];
@@ -214,7 +227,11 @@ fn downsizing_cancels_provisioning_first() {
     let mut provider = Shrinking;
     let report = Simulation::new(cfg, Some(&mut provider)).run(&d).unwrap();
     // The pool shrank: ready clusters were retired.
-    assert!(report.retired_for_downsize >= 5, "retired {}", report.retired_for_downsize);
+    assert!(
+        report.retired_for_downsize >= 5,
+        "retired {}",
+        report.retired_for_downsize
+    );
     // And the timeline reflects the shrink.
     assert_eq!(*report.applied_target_timeline.last().unwrap(), 1);
 }

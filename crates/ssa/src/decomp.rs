@@ -7,21 +7,42 @@ use ip_linalg::{symmetric_eigen, Matrix};
 /// trajectory matrix without materializing `X` (`K = N−L+1` columns).
 ///
 /// `S[i][j] = Σ_{k=0}^{K−1} x[i+k]·x[j+k]`.
+///
+/// Runs in O(L·N) rather than the naive O(L²·K): row 0 is computed with
+/// direct dot products (in parallel — each entry is an independent dot),
+/// and every remaining entry follows from the sliding window recurrence
+///
+/// ```text
+/// S[i+1][j+1] = S[i][j] − x[i]·x[j] + x[i+K]·x[j+K]
+/// ```
+///
+/// since the `(i+1, j+1)` window is the `(i, j)` window shifted one step:
+/// it drops the leading product and gains one past the old end. The
+/// recurrence walks each diagonal from its row-0 head, so each entry costs
+/// O(1) and the result stays exactly symmetric.
 pub fn lag_covariance(values: &[f64], window: usize) -> Result<Matrix> {
     let n = values.len();
     if window < 2 || window > n / 2 {
-        return Err(SsaError::InvalidWindow { window, series_len: n });
+        return Err(SsaError::InvalidWindow {
+            window,
+            series_len: n,
+        });
     }
     let k = n - window + 1;
     let mut s = Matrix::zeros(window, window);
-    for i in 0..window {
-        for j in i..window {
-            let mut acc = 0.0;
-            for t in 0..k {
-                acc += values[i + t] * values[j + t];
-            }
-            s.set(i, j, acc);
-            s.set(j, i, acc);
+    let lags: Vec<usize> = (0..window).collect();
+    let row0 = ip_par::par_map(&lags, |&j| ip_linalg::dot(&values[..k], &values[j..j + k]));
+    for (j, &v) in row0.iter().enumerate() {
+        s.set(0, j, v);
+        s.set(j, 0, v);
+    }
+    for d in 0..window {
+        for i in 1..window - d {
+            let j = i + d;
+            let v = s.get(i - 1, j - 1) - values[i - 1] * values[j - 1]
+                + values[i - 1 + k] * values[j - 1 + k];
+            s.set(i, j, v);
+            s.set(j, i, v);
         }
     }
     Ok(s)
@@ -65,7 +86,13 @@ impl SsaDecomposition {
             factor_rows.push(w);
         }
         let eigenvalues = eig.values.iter().map(|&v| v.max(0.0)).collect();
-        Ok(Self { window, series_len: n, eigenvalues, u: eig.vectors, factor_rows })
+        Ok(Self {
+            window,
+            series_len: n,
+            eigenvalues,
+            u: eig.vectors,
+            factor_rows,
+        })
     }
 
     /// Number of available components (= window).
@@ -127,7 +154,10 @@ impl SsaDecomposition {
                 counts[l + j] += 1;
             }
         }
-        sums.iter().zip(&counts).map(|(s, &c)| s / c as f64).collect()
+        sums.iter()
+            .zip(&counts)
+            .map(|(s, &c)| s / c as f64)
+            .collect()
     }
 }
 
@@ -147,6 +177,33 @@ mod tests {
     }
 
     #[test]
+    fn recurrence_matches_direct_sums_at_scale() {
+        // Exercises many diagonal steps so drift in the sliding recurrence
+        // would surface; compares against the naive O(L²·K) sums.
+        let x: Vec<f64> = (0..400)
+            .map(|t| (t as f64 * 0.17).sin() * (1.0 + 0.01 * t as f64))
+            .collect();
+        let l = 60;
+        let k = x.len() - l + 1;
+        let fast = lag_covariance(&x, l).unwrap();
+        for i in 0..l {
+            for j in i..l {
+                let direct: f64 = (0..k).map(|t| x[i + t] * x[j + t]).sum();
+                let got = fast.get(i, j);
+                assert!(
+                    (got - direct).abs() <= 1e-9 * direct.abs().max(1.0),
+                    "S[{i}][{j}]: {got} vs {direct}"
+                );
+                assert_eq!(
+                    got.to_bits(),
+                    fast.get(j, i).to_bits(),
+                    "asymmetry at {i},{j}"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn invalid_windows_rejected() {
         let x = [1.0; 10];
         assert!(lag_covariance(&x, 1).is_err());
@@ -157,8 +214,9 @@ mod tests {
     #[test]
     fn full_rank_reconstruction_is_exact() {
         // With all L components the reconstruction equals the input exactly.
-        let x: Vec<f64> =
-            (0..40).map(|t| (t as f64 * 0.3).sin() + 0.1 * t as f64).collect();
+        let x: Vec<f64> = (0..40)
+            .map(|t| (t as f64 * 0.3).sin() + 0.1 * t as f64)
+            .collect();
         let d = SsaDecomposition::compute(&x, 10).unwrap();
         let rec = d.reconstruct(10);
         for (a, b) in rec.iter().zip(&x) {
@@ -196,7 +254,9 @@ mod tests {
 
     #[test]
     fn rank_for_energy_monotone() {
-        let x: Vec<f64> = (0..50).map(|t| (t as f64 * 0.3).sin() + 0.05 * t as f64).collect();
+        let x: Vec<f64> = (0..50)
+            .map(|t| (t as f64 * 0.3).sin() + 0.05 * t as f64)
+            .collect();
         let d = SsaDecomposition::compute(&x, 12).unwrap();
         let r50 = d.rank_for_energy(0.5);
         let r90 = d.rank_for_energy(0.9);

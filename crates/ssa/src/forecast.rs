@@ -49,13 +49,19 @@ impl LinearRecurrence {
         }
         // Reverse so coeffs[0] multiplies the most recent value.
         r.reverse();
-        Ok(Self { coeffs: r, nu_squared })
+        Ok(Self {
+            coeffs: r,
+            nu_squared,
+        })
     }
 
     /// Builds an LRR directly from coefficients (`coeffs[0]` = most recent
     /// lag). Mostly for tests.
     pub fn from_coefficients(coeffs: Vec<f64>) -> Self {
-        Self { coeffs, nu_squared: f64::NAN }
+        Self {
+            coeffs,
+            nu_squared: f64::NAN,
+        }
     }
 
     /// Recurrence order (`L−1`).

@@ -74,7 +74,10 @@ impl std::fmt::Display for SsaError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             SsaError::InvalidWindow { window, series_len } => {
-                write!(f, "invalid SSA window {window} for series of length {series_len}")
+                write!(
+                    f,
+                    "invalid SSA window {window} for series of length {series_len}"
+                )
             }
             SsaError::InvalidRank { rank, window } => {
                 write!(f, "invalid SSA rank {rank} for window {window}")
@@ -113,7 +116,10 @@ pub struct SsaConfig {
 impl Default for SsaConfig {
     fn default() -> Self {
         // Window 150 mirrors the paper's hyper-parameter table (§7.2).
-        Self { window: 150, rank: RankSelection::EnergyThreshold(0.90) }
+        Self {
+            window: 150,
+            rank: RankSelection::EnergyThreshold(0.90),
+        }
     }
 }
 
@@ -135,7 +141,10 @@ struct Fitted {
 impl SsaForecaster {
     /// Creates an unfitted forecaster.
     pub fn new(config: SsaConfig) -> Self {
-        Self { config, fitted: None }
+        Self {
+            config,
+            fitted: None,
+        }
     }
 
     /// Fits on a series: decomposition, grouping, reconstruction and LRR.
@@ -145,7 +154,10 @@ impl SsaForecaster {
         let rank = match self.config.rank {
             RankSelection::Fixed(r) => {
                 if r == 0 || r > self.config.window {
-                    return Err(SsaError::InvalidRank { rank: r, window: self.config.window });
+                    return Err(SsaError::InvalidRank {
+                        rank: r,
+                        window: self.config.window,
+                    });
                 }
                 r.min(decomp.num_components())
             }
@@ -201,7 +213,11 @@ impl SsaForecaster {
 
     /// The smoothed (reconstructed) training signal.
     pub fn reconstruction(&self) -> Result<&[f64]> {
-        Ok(&self.fitted.as_ref().ok_or(SsaError::NotFitted)?.reconstruction)
+        Ok(&self
+            .fitted
+            .as_ref()
+            .ok_or(SsaError::NotFitted)?
+            .reconstruction)
     }
 
     /// Number of eigentriples actually used after degeneracy back-off.
@@ -231,7 +247,10 @@ mod tests {
 
     #[test]
     fn not_fitted_errors() {
-        let f = SsaForecaster::new(SsaConfig { window: 10, rank: RankSelection::Fixed(2) });
+        let f = SsaForecaster::new(SsaConfig {
+            window: 10,
+            rank: RankSelection::Fixed(2),
+        });
         assert!(matches!(f.predict(5), Err(SsaError::NotFitted)));
         assert!(matches!(f.reconstruction(), Err(SsaError::NotFitted)));
     }
@@ -239,10 +258,17 @@ mod tests {
     #[test]
     fn reconstructs_pure_sine() {
         let vals = sine(200, 25.0, 3.0, 0.0);
-        let mut f = SsaForecaster::new(SsaConfig { window: 50, rank: RankSelection::Fixed(2) });
+        let mut f = SsaForecaster::new(SsaConfig {
+            window: 50,
+            rank: RankSelection::Fixed(2),
+        });
         f.fit(&series(vals.clone())).unwrap();
         let rec = f.reconstruction().unwrap();
-        let err: f64 = rec.iter().zip(&vals).map(|(a, b)| (a - b).abs()).sum::<f64>()
+        let err: f64 = rec
+            .iter()
+            .zip(&vals)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
             / vals.len() as f64;
         assert!(err < 1e-6, "reconstruction MAE {err}");
     }
@@ -254,18 +280,28 @@ mod tests {
         let future = &total[200..];
         // Sine + constant offset needs 3 components (2 for the harmonic, 1
         // for the constant).
-        let mut f = SsaForecaster::new(SsaConfig { window: 50, rank: RankSelection::Fixed(3) });
+        let mut f = SsaForecaster::new(SsaConfig {
+            window: 50,
+            rank: RankSelection::Fixed(3),
+        });
         f.fit(&series(train.to_vec())).unwrap();
         let pred = f.predict(60).unwrap();
-        let mae: f64 =
-            pred.iter().zip(future).map(|(a, b)| (a - b).abs()).sum::<f64>() / 60.0;
+        let mae: f64 = pred
+            .iter()
+            .zip(future)
+            .map(|(a, b)| (a - b).abs())
+            .sum::<f64>()
+            / 60.0;
         assert!(mae < 0.05, "forecast MAE {mae}");
     }
 
     #[test]
     fn forecasts_linear_trend() {
         let vals: Vec<f64> = (0..120).map(|t| 2.0 + 0.5 * t as f64).collect();
-        let mut f = SsaForecaster::new(SsaConfig { window: 30, rank: RankSelection::Fixed(2) });
+        let mut f = SsaForecaster::new(SsaConfig {
+            window: 30,
+            rank: RankSelection::Fixed(2),
+        });
         f.fit(&series(vals)).unwrap();
         let pred = f.predict(10).unwrap();
         for (i, p) in pred.iter().enumerate() {
@@ -277,26 +313,41 @@ mod tests {
     #[test]
     fn energy_threshold_selects_small_rank_for_sine() {
         let vals = sine(200, 25.0, 3.0, 0.0);
-        let mut f =
-            SsaForecaster::new(SsaConfig { window: 40, rank: RankSelection::EnergyThreshold(0.95) });
+        let mut f = SsaForecaster::new(SsaConfig {
+            window: 40,
+            rank: RankSelection::EnergyThreshold(0.95),
+        });
         f.fit(&series(vals)).unwrap();
         // A pure sine concentrates energy in 2 components.
-        assert!(f.rank_used().unwrap() <= 3, "rank {}", f.rank_used().unwrap());
+        assert!(
+            f.rank_used().unwrap() <= 3,
+            "rank {}",
+            f.rank_used().unwrap()
+        );
     }
 
     #[test]
     fn invalid_rank_rejected() {
         let vals = sine(100, 10.0, 1.0, 0.0);
-        let mut f = SsaForecaster::new(SsaConfig { window: 20, rank: RankSelection::Fixed(0) });
+        let mut f = SsaForecaster::new(SsaConfig {
+            window: 20,
+            rank: RankSelection::Fixed(0),
+        });
         assert!(f.fit(&series(vals.clone())).is_err());
-        let mut f2 = SsaForecaster::new(SsaConfig { window: 20, rank: RankSelection::Fixed(21) });
+        let mut f2 = SsaForecaster::new(SsaConfig {
+            window: 20,
+            rank: RankSelection::Fixed(21),
+        });
         assert!(f2.fit(&series(vals)).is_err());
     }
 
     #[test]
     fn predict_zero_horizon_is_empty() {
         let vals = sine(100, 10.0, 1.0, 0.0);
-        let mut f = SsaForecaster::new(SsaConfig { window: 20, rank: RankSelection::Fixed(2) });
+        let mut f = SsaForecaster::new(SsaConfig {
+            window: 20,
+            rank: RankSelection::Fixed(2),
+        });
         f.fit(&series(vals)).unwrap();
         assert!(f.predict(0).unwrap().is_empty());
     }
@@ -304,7 +355,10 @@ mod tests {
     #[test]
     fn eigenvalues_descending_nonnegative() {
         let vals = sine(150, 12.0, 2.0, 1.0);
-        let mut f = SsaForecaster::new(SsaConfig { window: 25, rank: RankSelection::Fixed(4) });
+        let mut f = SsaForecaster::new(SsaConfig {
+            window: 25,
+            rank: RankSelection::Fixed(4),
+        });
         f.fit(&series(vals)).unwrap();
         let ev = f.eigenvalues().unwrap();
         assert!(ev.windows(2).all(|w| w[0] >= w[1] - 1e-9));

@@ -72,12 +72,12 @@ pub fn decompose(series: &TimeSeries, season: usize) -> Result<Decomposition> {
             let mut acc = 0.0;
             let mut weight_sum = 0.0;
             let lo = t as i64 - half as i64;
-            let hi = if season % 2 == 0 { t + half } else { t + half };
+            let hi = t + half;
             for (k, pos) in (lo..=hi as i64).enumerate() {
                 if pos < 0 || pos >= n as i64 {
                     continue;
                 }
-                let w = if season % 2 == 0 && (k == 0 || k == (hi as i64 - lo) as usize) {
+                let w = if season.is_multiple_of(2) && (k == 0 || k == (hi as i64 - lo) as usize) {
                     0.5
                 } else {
                     1.0
@@ -107,9 +107,13 @@ pub fn decompose(series: &TimeSeries, season: usize) -> Result<Decomposition> {
     }
 
     let seasonal: Vec<f64> = (0..n).map(|t| phase_mean[t % season]).collect();
-    let residual: Vec<f64> =
-        (0..n).map(|t| v[t] - trend[t] - seasonal[t]).collect();
-    Ok(Decomposition { trend, seasonal, residual, season })
+    let residual: Vec<f64> = (0..n).map(|t| v[t] - trend[t] - seasonal[t]).collect();
+    Ok(Decomposition {
+        trend,
+        seasonal,
+        residual,
+        season,
+    })
 }
 
 #[cfg(test)]
@@ -122,13 +126,14 @@ mod tests {
 
     #[test]
     fn components_sum_back_to_series() {
-        let vals: Vec<f64> =
-            (0..60).map(|t| 5.0 + [0.0, 3.0, -1.0, 1.0][t % 4] + 0.05 * t as f64).collect();
+        let vals: Vec<f64> = (0..60)
+            .map(|t| 5.0 + [0.0, 3.0, -1.0, 1.0][t % 4] + 0.05 * t as f64)
+            .collect();
         let s = ts(vals.clone());
         let d = decompose(&s, 4).unwrap();
-        for t in 0..vals.len() {
+        for (t, &v) in vals.iter().enumerate() {
             let rebuilt = d.trend[t] + d.seasonal[t] + d.residual[t];
-            assert!((rebuilt - vals[t]).abs() < 1e-9);
+            assert!((rebuilt - v).abs() < 1e-9);
         }
     }
 
@@ -162,7 +167,11 @@ mod tests {
         let d = decompose(&ts(vals), 4).unwrap();
         // Interior trend tracks the line closely.
         for t in 10..90 {
-            assert!((d.trend[t] - t as f64 * 0.5).abs() < 0.6, "t={t}: {}", d.trend[t]);
+            assert!(
+                (d.trend[t] - t as f64 * 0.5).abs() < 0.6,
+                "t={t}: {}",
+                d.trend[t]
+            );
         }
     }
 

@@ -43,7 +43,9 @@ pub fn moving_average(series: &TimeSeries, half_window: usize) -> TimeSeries {
 /// `alpha ∈ (0, 1]` (`alpha = 1` is the identity).
 pub fn ewma(series: &TimeSeries, alpha: f64) -> Result<TimeSeries> {
     if !(0.0..=1.0).contains(&alpha) || alpha == 0.0 {
-        return Err(TsError::InvalidParameter(format!("alpha must be in (0,1], got {alpha}")));
+        return Err(TsError::InvalidParameter(format!(
+            "alpha must be in (0,1], got {alpha}"
+        )));
     }
     let mut out = Vec::with_capacity(series.len());
     let mut state: Option<f64> = None;

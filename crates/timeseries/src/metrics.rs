@@ -7,7 +7,10 @@ fn check_lengths(y_true: &[f64], y_pred: &[f64]) -> Result<()> {
         return Err(TsError::Empty);
     }
     if y_true.len() != y_pred.len() {
-        return Err(TsError::LengthMismatch { left: y_true.len(), right: y_pred.len() });
+        return Err(TsError::LengthMismatch {
+            left: y_true.len(),
+            right: y_pred.len(),
+        });
     }
     Ok(())
 }
@@ -15,14 +18,23 @@ fn check_lengths(y_true: &[f64], y_pred: &[f64]) -> Result<()> {
 /// Mean absolute error (the Table 1 metric).
 pub fn mae(y_true: &[f64], y_pred: &[f64]) -> Result<f64> {
     check_lengths(y_true, y_pred)?;
-    Ok(y_true.iter().zip(y_pred).map(|(t, p)| (t - p).abs()).sum::<f64>() / y_true.len() as f64)
+    Ok(y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p).abs())
+        .sum::<f64>()
+        / y_true.len() as f64)
 }
 
 /// Root mean squared error.
 pub fn rmse(y_true: &[f64], y_pred: &[f64]) -> Result<f64> {
     check_lengths(y_true, y_pred)?;
-    let mse =
-        y_true.iter().zip(y_pred).map(|(t, p)| (t - p).powi(2)).sum::<f64>() / y_true.len() as f64;
+    let mse = y_true
+        .iter()
+        .zip(y_pred)
+        .map(|(t, p)| (t - p).powi(2))
+        .sum::<f64>()
+        / y_true.len() as f64;
     Ok(mse.sqrt())
 }
 
@@ -39,7 +51,9 @@ pub fn mape(y_true: &[f64], y_pred: &[f64]) -> Result<f64> {
         }
     }
     if n == 0 {
-        return Err(TsError::InvalidParameter("MAPE undefined: all ground truth zero".into()));
+        return Err(TsError::InvalidParameter(
+            "MAPE undefined: all ground truth zero".into(),
+        ));
     }
     Ok(sum / n as f64 * 100.0)
 }
@@ -57,7 +71,9 @@ pub fn mape(y_true: &[f64], y_pred: &[f64]) -> Result<f64> {
 pub fn asymmetric_loss(y_true: &[f64], y_pred: &[f64], alpha_prime: f64) -> Result<f64> {
     check_lengths(y_true, y_pred)?;
     if !(0.0..=1.0).contains(&alpha_prime) {
-        return Err(TsError::InvalidParameter(format!("alpha' must be in [0,1], got {alpha_prime}")));
+        return Err(TsError::InvalidParameter(format!(
+            "alpha' must be in [0,1], got {alpha_prime}"
+        )));
     }
     let n = y_true.len() as f64;
     let mut pos = 0.0;
@@ -128,7 +144,7 @@ mod tests {
         let t = [10.0, 10.0];
         let under = [8.0, 8.0]; // ŷ < y → δ⁺, weighted by α'
         let over = [12.0, 12.0]; // ŷ > y → δ⁻, weighted by 1−α'
-        // α' near 1 punishes under-prediction hard.
+                                 // α' near 1 punishes under-prediction hard.
         let lu = asymmetric_loss(&t, &under, 0.9).unwrap();
         let lo = asymmetric_loss(&t, &over, 0.9).unwrap();
         assert!(lu > lo, "under {lu} should exceed over {lo} at alpha'=0.9");

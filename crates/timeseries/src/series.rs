@@ -21,14 +21,22 @@ impl TimeSeries {
     /// Creates a series from raw interval values.
     pub fn new(interval_secs: u64, values: Vec<f64>) -> Result<Self> {
         if interval_secs == 0 {
-            return Err(TsError::InvalidParameter("interval_secs must be > 0".into()));
+            return Err(TsError::InvalidParameter(
+                "interval_secs must be > 0".into(),
+            ));
         }
-        Ok(Self { interval_secs, values })
+        Ok(Self {
+            interval_secs,
+            values,
+        })
     }
 
     /// A series of zeros.
     pub fn zeros(interval_secs: u64, len: usize) -> Self {
-        Self { interval_secs, values: vec![0.0; len] }
+        Self {
+            interval_secs,
+            values: vec![0.0; len],
+        }
     }
 
     /// Interval width in seconds.
@@ -85,7 +93,10 @@ impl TimeSeries {
                 self.values.len()
             )));
         }
-        Ok(TimeSeries { interval_secs: self.interval_secs, values: self.values[start..end].to_vec() })
+        Ok(TimeSeries {
+            interval_secs: self.interval_secs,
+            values: self.values[start..end].to_vec(),
+        })
     }
 
     /// Sum of all values.
@@ -128,14 +139,19 @@ impl TimeSeries {
     /// partial bucket is kept and contains the remaining sum.
     pub fn aggregate(&self, factor: usize) -> Result<TimeSeries> {
         if factor == 0 {
-            return Err(TsError::InvalidParameter("aggregate factor must be > 0".into()));
+            return Err(TsError::InvalidParameter(
+                "aggregate factor must be > 0".into(),
+            ));
         }
         let values = self
             .values
             .chunks(factor)
             .map(|chunk| chunk.iter().sum())
             .collect();
-        Ok(TimeSeries { interval_secs: self.interval_secs * factor as u64, values })
+        Ok(TimeSeries {
+            interval_secs: self.interval_secs * factor as u64,
+            values,
+        })
     }
 
     /// Cumulative series: `out[t] = Σ_{s ≤ t} values[s]` — the `D(t)` of the
@@ -150,7 +166,10 @@ impl TimeSeries {
                 acc
             })
             .collect();
-        TimeSeries { interval_secs: self.interval_secs, values }
+        TimeSeries {
+            interval_secs: self.interval_secs,
+            values,
+        }
     }
 
     /// Inverse of [`cumulative`](Self::cumulative): first differences with
@@ -166,7 +185,10 @@ impl TimeSeries {
                 d
             })
             .collect();
-        TimeSeries { interval_secs: self.interval_secs, values }
+        TimeSeries {
+            interval_secs: self.interval_secs,
+            values,
+        }
     }
 
     /// Appends another series with the same interval width.
@@ -278,5 +300,4 @@ mod tests {
         let s = ts(&[-1.0, 0.5, -0.2]);
         assert_eq!(s.clamp_non_negative().values(), &[0.0, 0.5, 0.0]);
     }
-
 }

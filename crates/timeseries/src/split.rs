@@ -6,7 +6,10 @@ use crate::{Result, TsError};
 /// Splits chronologically: the first `train_fraction` of intervals become
 /// the training series, the rest the test series. The paper uses an 80-20
 /// split (`train_fraction = 0.8`).
-pub fn train_test_split(series: &TimeSeries, train_fraction: f64) -> Result<(TimeSeries, TimeSeries)> {
+pub fn train_test_split(
+    series: &TimeSeries,
+    train_fraction: f64,
+) -> Result<(TimeSeries, TimeSeries)> {
     if !(0.0..=1.0).contains(&train_fraction) {
         return Err(TsError::InvalidParameter(format!(
             "train_fraction must be in [0,1], got {train_fraction}"
@@ -22,7 +25,10 @@ pub fn train_test_split(series: &TimeSeries, train_fraction: f64) -> Result<(Tim
 
 /// Splits a training series into train/validation chronologically; the paper
 /// uses 90-10 for the deep models' early stopping.
-pub fn train_val_split(series: &TimeSeries, train_fraction: f64) -> Result<(TimeSeries, TimeSeries)> {
+pub fn train_val_split(
+    series: &TimeSeries,
+    train_fraction: f64,
+) -> Result<(TimeSeries, TimeSeries)> {
     train_test_split(series, train_fraction)
 }
 

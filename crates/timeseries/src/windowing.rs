@@ -77,7 +77,10 @@ impl Normalizer {
         let n = values.len() as f64;
         let mean = values.iter().sum::<f64>() / n;
         let var = values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / n;
-        Ok(Self { mean, std: var.sqrt().max(1e-9) })
+        Ok(Self {
+            mean,
+            std: var.sqrt().max(1e-9),
+        })
     }
 
     /// Applies the transform `(v − mean) / std`.

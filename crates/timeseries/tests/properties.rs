@@ -1,8 +1,6 @@
 //! Property-based invariants of the time-series primitives.
 
-use ip_timeseries::{
-    asymmetric_loss, mae, max_filter, rmse, train_test_split, TimeSeries,
-};
+use ip_timeseries::{asymmetric_loss, mae, max_filter, rmse, train_test_split, TimeSeries};
 use proptest::prelude::*;
 
 fn series_strategy() -> impl Strategy<Value = TimeSeries> {
@@ -11,8 +9,7 @@ fn series_strategy() -> impl Strategy<Value = TimeSeries> {
 }
 
 fn nonneg_series_strategy() -> impl Strategy<Value = TimeSeries> {
-    proptest::collection::vec(0.0f64..100.0, 1..200)
-        .prop_map(|v| TimeSeries::new(30, v).unwrap())
+    proptest::collection::vec(0.0f64..100.0, 1..200).prop_map(|v| TimeSeries::new(30, v).unwrap())
 }
 
 proptest! {

@@ -14,12 +14,16 @@ pub struct WeeklyProfile {
 impl WeeklyProfile {
     /// Typical enterprise analytics shape: strong weekdays, weak weekends.
     pub fn business() -> Self {
-        Self { multipliers: [1.0, 1.05, 1.1, 1.05, 0.95, 0.35, 0.3] }
+        Self {
+            multipliers: [1.0, 1.05, 1.1, 1.05, 0.95, 0.35, 0.3],
+        }
     }
 
     /// Flat profile (no weekly seasonality).
     pub fn flat() -> Self {
-        Self { multipliers: [1.0; 7] }
+        Self {
+            multipliers: [1.0; 7],
+        }
     }
 }
 
@@ -115,8 +119,7 @@ impl DemandModel {
         let second_of_day = second % 86_400;
         let day_index = ((second / 86_400) % 7) as usize;
         // Raised cosine peaking at 14:00 (50_400 s).
-        let phase =
-            2.0 * std::f64::consts::PI * (second_of_day as f64 - 50_400.0) / 86_400.0;
+        let phase = 2.0 * std::f64::consts::PI * (second_of_day as f64 - 50_400.0) / 86_400.0;
         let diurnal = 0.5 * (1.0 + phase.cos()) * self.diurnal_amplitude;
         let mut rate = (self.base_rate + diurnal) * self.weekly.multipliers[day_index];
         if let Some(h) = &self.hourly_spikes {
@@ -182,7 +185,11 @@ mod tests {
 
     #[test]
     fn generates_expected_length() {
-        let m = DemandModel { days: 2, interval_secs: 30, ..Default::default() };
+        let m = DemandModel {
+            days: 2,
+            interval_secs: 30,
+            ..Default::default()
+        };
         let ts = m.generate();
         assert_eq!(ts.len(), 2 * 86_400 / 30);
         assert_eq!(ts.interval_secs(), 30);
@@ -190,15 +197,27 @@ mod tests {
 
     #[test]
     fn deterministic_per_seed() {
-        let m = DemandModel { days: 1, seed: 42, ..Default::default() };
+        let m = DemandModel {
+            days: 1,
+            seed: 42,
+            ..Default::default()
+        };
         assert_eq!(m.generate(), m.generate());
-        let m2 = DemandModel { days: 1, seed: 43, ..Default::default() };
+        let m2 = DemandModel {
+            days: 1,
+            seed: 43,
+            ..Default::default()
+        };
         assert_ne!(m.generate(), m2.generate());
     }
 
     #[test]
     fn diurnal_peak_exceeds_trough() {
-        let m = DemandModel { days: 1, poisson_noise: false, ..Default::default() };
+        let m = DemandModel {
+            days: 1,
+            poisson_noise: false,
+            ..Default::default()
+        };
         let ts = m.generate();
         // 14:00 vs 02:00 on day 0 (Monday).
         let idx_peak = (14 * 3600 / 30) as usize;
@@ -208,12 +227,18 @@ mod tests {
 
     #[test]
     fn weekend_lower_than_weekday() {
-        let m = DemandModel { days: 7, poisson_noise: false, ..Default::default() };
+        let m = DemandModel {
+            days: 7,
+            poisson_noise: false,
+            ..Default::default()
+        };
         let ts = m.generate();
         let per_day = 86_400 / 30;
         let monday: f64 = ts.slice(0, per_day as usize).unwrap().sum();
-        let sunday: f64 =
-            ts.slice(6 * per_day as usize, 7 * per_day as usize).unwrap().sum();
+        let sunday: f64 = ts
+            .slice(6 * per_day as usize, 7 * per_day as usize)
+            .unwrap()
+            .sum();
         assert!(sunday < monday * 0.5);
     }
 
@@ -225,7 +250,11 @@ mod tests {
             base_rate: 0.0,
             diurnal_amplitude: 0.0,
             weekly: WeeklyProfile::flat(),
-            hourly_spikes: Some(HourlySpikes { magnitude: 50.0, duration_secs: 120, hours: vec![6] }),
+            hourly_spikes: Some(HourlySpikes {
+                magnitude: 50.0,
+                duration_secs: 120,
+                hours: vec![6],
+            }),
             ..Default::default()
         };
         let ts = m.generate();
@@ -256,7 +285,7 @@ mod tests {
         let ts = m.generate();
         let active = ts.values().iter().filter(|&&v| v > 0.0).count();
         // Roughly 8 spikes/day × 10 intervals each.
-        assert!(active >= 40 && active <= 120, "active intervals {active}");
+        assert!((40..=120).contains(&active), "active intervals {active}");
         // All activity is at the spike magnitude.
         assert!(ts.values().iter().all(|&v| v == 0.0 || v == 30.0));
     }

@@ -102,7 +102,11 @@ mod tests {
         let samples: Vec<u64> = (0..n).map(|_| sample_poisson(&mut rng, lambda)).collect();
         let mean = samples.iter().sum::<u64>() as f64 / n as f64;
         assert!((mean - lambda).abs() < 2.0, "mean {mean}");
-        let var = samples.iter().map(|&s| (s as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        let var = samples
+            .iter()
+            .map(|&s| (s as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
         // Poisson variance ≈ mean.
         assert!((var - lambda).abs() < 20.0, "var {var}");
     }

@@ -134,7 +134,10 @@ mod tests {
             })
             .collect();
         let east_medium = sums[3];
-        assert!(sums.iter().enumerate().all(|(i, &s)| i == 3 || s >= east_medium));
+        assert!(sums
+            .iter()
+            .enumerate()
+            .all(|(i, &s)| i == 3 || s >= east_medium));
     }
 
     #[test]

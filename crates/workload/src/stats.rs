@@ -61,7 +61,9 @@ pub fn autocorrelation(values: &[f64], lag: usize) -> Option<f64> {
     if var < 1e-12 {
         return None;
     }
-    let cov: f64 = (0..n - lag).map(|t| (values[t] - mean) * (values[t + lag] - mean)).sum();
+    let cov: f64 = (0..n - lag)
+        .map(|t| (values[t] - mean) * (values[t + lag] - mean))
+        .sum();
     Some(cov / var)
 }
 
@@ -92,8 +94,9 @@ mod tests {
     fn periodic_signal_high_autocorrelation() {
         // Period exactly one "day" at a coarse interval.
         let day = 86_400 / 3600; // 24 intervals of 1 h
-        let vals: Vec<f64> =
-            (0..24 * 5).map(|t| [1.0, 9.0, 3.0][t % 3] + (t % day) as f64).collect();
+        let vals: Vec<f64> = (0..24 * 5)
+            .map(|t| [1.0, 9.0, 3.0][t % 3] + (t % day) as f64)
+            .collect();
         let ac = autocorrelation(&vals, day).unwrap();
         assert!(ac > 0.8, "daily autocorrelation {ac}");
     }

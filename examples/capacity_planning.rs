@@ -17,9 +17,24 @@ fn main() {
     let mut demands = BTreeMap::new();
 
     let pools: Vec<(&str, PresetId, NodeSize, f64)> = vec![
-        ("session/small", PresetId::EastUs2Small, NodeSize::Small, 0.3),
-        ("cluster/medium", PresetId::EastUs2Medium, NodeSize::Medium, 0.4),
-        ("cluster/large", PresetId::EastUs2Large, NodeSize::Large, 0.5),
+        (
+            "session/small",
+            PresetId::EastUs2Small,
+            NodeSize::Small,
+            0.3,
+        ),
+        (
+            "cluster/medium",
+            PresetId::EastUs2Medium,
+            NodeSize::Medium,
+            0.4,
+        ),
+        (
+            "cluster/large",
+            PresetId::EastUs2Large,
+            NodeSize::Large,
+            0.5,
+        ),
     ];
     for (name, preset_id, node, alpha) in &pools {
         let saa = SaaConfig {
@@ -34,7 +49,10 @@ fn main() {
             PoolSpec {
                 saa,
                 robustness: RobustnessStrategies::none(),
-                cost: CostModel { node_size: *node, ..Default::default() },
+                cost: CostModel {
+                    node_size: *node,
+                    ..Default::default()
+                },
             },
         );
         let mut model = preset(*preset_id, 99);
@@ -44,11 +62,20 @@ fn main() {
 
     let recs = manager.recommend_all(&demands).expect("recommendations");
     println!("== multi-pool recommendations (1 day of history each) ==");
-    println!("{:<18} {:>10} {:>10} {:>12}", "pool", "min size", "max size", "objective");
+    println!(
+        "{:<18} {:>10} {:>10} {:>12}",
+        "pool", "min size", "max size", "objective"
+    );
     for rec in &recs {
         let min = rec.schedule.iter().min().copied().unwrap_or(0);
         let max = rec.schedule.iter().max().copied().unwrap_or(0);
-        println!("{:<18} {:>10} {:>10} {:>12.0}", rec.pool.to_string(), min, max, rec.objective);
+        println!(
+            "{:<18} {:>10} {:>10} {:>12.0}",
+            rec.pool.to_string(),
+            min,
+            max,
+            rec.objective
+        );
     }
 
     // --- Auto-tuning toward a wait SLA --------------------------------------
@@ -60,10 +87,18 @@ fn main() {
     let mut model = preset(PresetId::EastUs2Medium, 5);
     model.days = 1;
     let demand = model.generate();
-    let mut saa = SaaConfig { tau_intervals: 3, stableness: 10, max_pool: 120, ..Default::default() };
+    let mut saa = SaaConfig {
+        tau_intervals: 3,
+        stableness: 10,
+        max_pool: 120,
+        ..Default::default()
+    };
 
     let mut tuner = AlphaTuner::new(5.0, 0.9).expect("valid tuner");
-    println!("{:>5} {:>8} {:>12} {:>10}", "iter", "alpha'", "mean wait", "hit rate");
+    println!(
+        "{:>5} {:>8} {:>12} {:>10}",
+        "iter", "alpha'", "mean wait", "hit rate"
+    );
     for iter in 0..8 {
         saa.alpha_prime = tuner.alpha();
         let opt = optimize_dp(&demand, &saa).expect("optimize");

@@ -30,7 +30,11 @@ fn main() {
         ..Default::default()
     };
     let demand = model.generate();
-    println!("simulating {} intervals ({} requests)", demand.len(), demand.sum());
+    println!(
+        "simulating {} intervals ({} requests)",
+        demand.len(),
+        demand.sum()
+    );
 
     // The assembled engine: SSA+ forecaster, 2-step pipeline, guardrail on.
     let saa = SaaConfig {
@@ -44,7 +48,12 @@ fn main() {
     let mut engine = IntelligentPooling::new(
         pipeline,
         || SsaModel::new(150, RankSelection::EnergyThreshold(0.9)),
-        EngineConfig { saa, guardrail: Some(Guardrail::default()), min_history: 480, ..Default::default() },
+        EngineConfig {
+            saa,
+            guardrail: Some(Guardrail::default()),
+            min_history: 480,
+            ..Default::default()
+        },
     );
 
     let sim_config = SimConfig {
@@ -84,7 +93,12 @@ fn main() {
 
     println!();
     println!("{:<26} {:>12} {:>12}", "", "static", "intelligent");
-    println!("{:<26} {:>12} {:>12}", "pool target", static_target.to_string(), "dynamic");
+    println!(
+        "{:<26} {:>12} {:>12}",
+        "pool target",
+        static_target.to_string(),
+        "dynamic"
+    );
     println!(
         "{:<26} {:>11.1}% {:>11.1}%",
         "hit rate",
@@ -93,7 +107,9 @@ fn main() {
     );
     println!(
         "{:<26} {:>12.0} {:>12.0}",
-        "idle cluster-seconds", static_report.idle_cluster_seconds, intelligent.idle_cluster_seconds
+        "idle cluster-seconds",
+        static_report.idle_cluster_seconds,
+        intelligent.idle_cluster_seconds
     );
     println!(
         "{:<26} {:>11.2}s {:>11.2}s",
@@ -105,12 +121,11 @@ fn main() {
         annual(static_report.idle_cluster_seconds),
         annual(intelligent.idle_cluster_seconds)
     );
-    let saved = annual(static_report.idle_cluster_seconds) - annual(intelligent.idle_cluster_seconds);
+    let saved =
+        annual(static_report.idle_cluster_seconds) - annual(intelligent.idle_cluster_seconds);
     let rel = saved / annual(static_report.idle_cluster_seconds).max(1.0) * 100.0;
     println!();
-    println!(
-        "intelligent pooling saves ${saved:.0}/year ({rel:.0}%) at a comparable hit rate"
-    );
+    println!("intelligent pooling saves ${saved:.0}/year ({rel:.0}%) at a comparable hit rate");
     println!(
         "pipeline runs: {} (failures: {}, fallback intervals: {})",
         intelligent.ip_runs, intelligent.ip_failures, intelligent.fallback_intervals

@@ -19,8 +19,14 @@ fn main() {
     println!("== Live-pool mechanism (Fig. 3 style) ==");
     println!("requests              : {}", mech.total_requests);
     println!("pool hit rate         : {:.0}%", mech.hit_rate * 100.0);
-    println!("idle time   (grey area): {:>8.0} cluster-seconds", mech.idle_cluster_seconds);
-    println!("wait time   (red area) : {:>8.0} seconds", mech.wait_seconds);
+    println!(
+        "idle time   (grey area): {:>8.0} cluster-seconds",
+        mech.idle_cluster_seconds
+    );
+    println!(
+        "wait time   (red area) : {:>8.0} seconds",
+        mech.wait_seconds
+    );
     println!();
 
     // --- Part 2: a real recommendation -------------------------------------
@@ -29,7 +35,10 @@ fn main() {
     let mut model = preset(PresetId::EastUs2Medium, 42);
     model.days = 2;
     let history = model.generate();
-    println!("== 2-step recommendation on {} intervals of history ==", history.len());
+    println!(
+        "== 2-step recommendation on {} intervals of history ==",
+        history.len()
+    );
 
     let saa = SaaConfig {
         tau_intervals: 3, // 90 s creation latency
@@ -44,7 +53,9 @@ fn main() {
     let mut future_model = preset(PresetId::EastUs2Medium, 42);
     future_model.days = 3;
     let full = future_model.generate();
-    let actual_hour = full.slice(history.len(), history.len() + 120).expect("slice");
+    let actual_hour = full
+        .slice(history.len(), history.len() + 120)
+        .expect("slice");
 
     // Plain SSA first: accurate on average, but §5.3's limitation bites —
     // with no way to overshoot, a pool sized to the *expected* rate misses
@@ -54,7 +65,10 @@ fn main() {
     let mut ssa = TwoStepEngine::new(SsaModel::new(150, RankSelection::EnergyThreshold(0.9)), saa);
     let mut ssa_plus = TwoStepEngine::new(SsaPlus::with_alpha(0.9), saa);
 
-    println!("{:<10} {:>9} {:>12} {:>14}", "model", "hit rate", "mean wait", "idle (cl-sec)");
+    println!(
+        "{:<10} {:>9} {:>12} {:>14}",
+        "model", "hit rate", "mean wait", "idle (cl-sec)"
+    );
     let run = |name: &str, engine: &mut dyn RecommendationEngine| {
         let targets = engine.recommend(&history, 120).expect("recommendation");
         let schedule: Vec<f64> = targets.iter().map(|&n| f64::from(n)).collect();

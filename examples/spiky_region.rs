@@ -25,7 +25,11 @@ fn main() {
         ..Default::default()
     };
 
-    println!("spiky region: {} requests over {} intervals", eval.sum(), eval.len());
+    println!(
+        "spiky region: {} requests over {} intervals",
+        eval.sum(),
+        eval.len()
+    );
     println!();
     println!(
         "{:<34} {:>9} {:>14} {:>12}",

@@ -89,9 +89,13 @@ fn generate(args: &CliArgs) -> Result<(), String> {
 fn recommend(args: &CliArgs) -> Result<(), String> {
     let demand = load_demand(args)?;
     let alpha = args.flag_or("alpha", 0.3f64).map_err(|e| e.to_string())?;
-    let horizon = args.flag_or("horizon", 120usize).map_err(|e| e.to_string())?;
+    let horizon = args
+        .flag_or("horizon", 120usize)
+        .map_err(|e| e.to_string())?;
     let tau = args.flag_or("tau", 3usize).map_err(|e| e.to_string())?;
-    let stableness = args.flag_or("stableness", 10usize).map_err(|e| e.to_string())?;
+    let stableness = args
+        .flag_or("stableness", 10usize)
+        .map_err(|e| e.to_string())?;
     let saa = SaaConfig {
         tau_intervals: tau,
         stableness,
@@ -101,15 +105,12 @@ fn recommend(args: &CliArgs) -> Result<(), String> {
     let model_name = args.flag_str("model").unwrap_or("ssa+");
     let targets = match model_name {
         "ssa" => {
-            let mut engine = TwoStepEngine::new(
-                SsaModel::new(150, RankSelection::EnergyThreshold(0.9)),
-                saa,
-            );
+            let mut engine =
+                TwoStepEngine::new(SsaModel::new(150, RankSelection::EnergyThreshold(0.9)), saa);
             engine.recommend(&demand, horizon)
         }
         "ssa+" => {
-            let mut engine =
-                TwoStepEngine::new(SsaPlus::with_alpha(1.0 - alpha as f32), saa);
+            let mut engine = TwoStepEngine::new(SsaPlus::with_alpha(1.0 - alpha as f32), saa);
             engine.recommend(&demand, horizon)
         }
         "baseline" => {
@@ -125,7 +126,11 @@ fn recommend(args: &CliArgs) -> Result<(), String> {
     use std::io::Write;
     let stdout = std::io::stdout();
     let mut out = stdout.lock();
-    let _ = writeln!(out, "# pool-size targets, one per {}s interval", demand.interval_secs());
+    let _ = writeln!(
+        out,
+        "# pool-size targets, one per {}s interval",
+        demand.interval_secs()
+    );
     for t in targets {
         if writeln!(out, "{t}").is_err() {
             break;
@@ -142,9 +147,15 @@ fn evaluate(args: &CliArgs) -> Result<(), String> {
     let mech = evaluate_schedule(&demand, &schedule, tau).map_err(|e| e.to_string())?;
     println!("requests        : {}", mech.total_requests);
     println!("hit rate        : {:.2}%", mech.hit_rate * 100.0);
-    println!("mean wait       : {:.2} s/request", mech.mean_wait_per_request_secs);
+    println!(
+        "mean wait       : {:.2} s/request",
+        mech.mean_wait_per_request_secs
+    );
     println!("total wait      : {:.0} s", mech.wait_seconds);
-    println!("idle time       : {:.0} cluster-seconds", mech.idle_cluster_seconds);
+    println!(
+        "idle time       : {:.0} cluster-seconds",
+        mech.idle_cluster_seconds
+    );
     let cost = CostModel::default();
     println!(
         "idle cost       : ${:.2} over the trace (${:.0}/yr extrapolated)",
@@ -167,12 +178,20 @@ fn simulate(args: &CliArgs) -> Result<(), String> {
         seed,
         ..Default::default()
     };
-    let report = Simulation::new(cfg, None).run(&demand).map_err(|e| e.to_string())?;
+    let report = Simulation::new(cfg, None)
+        .run(&demand)
+        .map_err(|e| e.to_string())?;
     println!("requests        : {}", report.total_requests);
     println!("hits / misses   : {} / {}", report.hits, report.misses);
     println!("hit rate        : {:.2}%", report.hit_rate * 100.0);
     println!("mean wait       : {:.2} s/request", report.mean_wait_secs);
-    println!("idle time       : {:.0} cluster-seconds", report.idle_cluster_seconds);
-    println!("clusters created: {} ({} on-demand)", report.clusters_created, report.on_demand_created);
+    println!(
+        "idle time       : {:.0} cluster-seconds",
+        report.idle_cluster_seconds
+    );
+    println!(
+        "clusters created: {} ({} on-demand)",
+        report.clusters_created, report.on_demand_created
+    );
     Ok(())
 }

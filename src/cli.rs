@@ -62,8 +62,9 @@ impl CliArgs {
         let mut iter = args.into_iter().peekable();
         while let Some(arg) = iter.next() {
             if let Some(name) = arg.strip_prefix("--") {
-                let value =
-                    iter.next().ok_or_else(|| CliError::MissingValue(name.to_string()))?;
+                let value = iter
+                    .next()
+                    .ok_or_else(|| CliError::MissingValue(name.to_string()))?;
                 flags.insert(name.to_string(), value);
             } else if command.is_none() {
                 command = Some(arg);
@@ -139,9 +140,16 @@ mod tests {
     #[test]
     fn parses_command_flags_positionals() {
         let args = CliArgs::parse(
-            ["recommend", "--interval", "30", "trace.txt", "--alpha", "0.3"]
-                .into_iter()
-                .map(String::from),
+            [
+                "recommend",
+                "--interval",
+                "30",
+                "trace.txt",
+                "--alpha",
+                "0.3",
+            ]
+            .into_iter()
+            .map(String::from),
         )
         .unwrap();
         assert_eq!(args.command, "recommend");
@@ -154,15 +162,17 @@ mod tests {
 
     #[test]
     fn missing_command_and_values_rejected() {
-        assert_eq!(CliArgs::parse(Vec::<String>::new()), Err(CliError::MissingCommand));
+        assert_eq!(
+            CliArgs::parse(Vec::<String>::new()),
+            Err(CliError::MissingCommand)
+        );
         let err = CliArgs::parse(["x", "--flag"].into_iter().map(String::from)).unwrap_err();
         assert_eq!(err, CliError::MissingValue("flag".into()));
     }
 
     #[test]
     fn invalid_flag_value_reported() {
-        let args =
-            CliArgs::parse(["x", "--n", "abc"].into_iter().map(String::from)).unwrap();
+        let args = CliArgs::parse(["x", "--n", "abc"].into_iter().map(String::from)).unwrap();
         assert!(matches!(
             args.flag_or::<u32>("n", 1),
             Err(CliError::InvalidValue { .. })

@@ -68,8 +68,8 @@ pub mod prelude {
         PoolId, RecommendationEngine, SavingsReport, TwoStepEngine,
     };
     pub use ip_models::{
-        AutoSelector, BaselineForecaster, DeepConfig, Forecaster, HoltWinters, InceptionTime,
-        Mwdn, SeasonalNaive, SsaModel, SsaPlus, Tst,
+        AutoSelector, BaselineForecaster, DeepConfig, Forecaster, HoltWinters, InceptionTime, Mwdn,
+        SeasonalNaive, SsaModel, SsaPlus, Tst,
     };
     pub use ip_saa::{
         evaluate_schedule, optimal_static_for_hit_rate, optimize_dp, optimize_lp,

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_loss-151e59e030c74694.d: crates/bench/src/bin/ablation_loss.rs
+
+/root/repo/target/debug/deps/ablation_loss-151e59e030c74694: crates/bench/src/bin/ablation_loss.rs
+
+crates/bench/src/bin/ablation_loss.rs:

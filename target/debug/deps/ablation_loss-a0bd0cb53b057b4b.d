@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_loss-a0bd0cb53b057b4b.d: crates/bench/src/bin/ablation_loss.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_loss-a0bd0cb53b057b4b.rmeta: crates/bench/src/bin/ablation_loss.rs Cargo.toml
+
+crates/bench/src/bin/ablation_loss.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_loss-f09caa5c7798ee54.d: crates/bench/src/bin/ablation_loss.rs
+
+/root/repo/target/debug/deps/ablation_loss-f09caa5c7798ee54: crates/bench/src/bin/ablation_loss.rs
+
+crates/bench/src/bin/ablation_loss.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_lp_vs_dp-001ee1e49d21ed71.d: crates/bench/src/bin/ablation_lp_vs_dp.rs
+
+/root/repo/target/debug/deps/ablation_lp_vs_dp-001ee1e49d21ed71: crates/bench/src/bin/ablation_lp_vs_dp.rs
+
+crates/bench/src/bin/ablation_lp_vs_dp.rs:

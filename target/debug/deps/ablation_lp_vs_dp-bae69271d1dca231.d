@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_lp_vs_dp-bae69271d1dca231.d: crates/bench/src/bin/ablation_lp_vs_dp.rs
+
+/root/repo/target/debug/deps/ablation_lp_vs_dp-bae69271d1dca231: crates/bench/src/bin/ablation_lp_vs_dp.rs
+
+crates/bench/src/bin/ablation_lp_vs_dp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_policy-1cc4e5d395c13eb0.d: crates/bench/src/bin/ablation_policy.rs
+
+/root/repo/target/debug/deps/ablation_policy-1cc4e5d395c13eb0: crates/bench/src/bin/ablation_policy.rs
+
+crates/bench/src/bin/ablation_policy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_policy-932eb0d1dfa80ff0.d: crates/bench/src/bin/ablation_policy.rs
+
+/root/repo/target/debug/deps/ablation_policy-932eb0d1dfa80ff0: crates/bench/src/bin/ablation_policy.rs
+
+crates/bench/src/bin/ablation_policy.rs:

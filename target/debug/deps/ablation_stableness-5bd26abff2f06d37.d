@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_stableness-5bd26abff2f06d37.d: crates/bench/src/bin/ablation_stableness.rs
+
+/root/repo/target/debug/deps/ablation_stableness-5bd26abff2f06d37: crates/bench/src/bin/ablation_stableness.rs
+
+crates/bench/src/bin/ablation_stableness.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_stableness-7be5b5c59384c87c.d: crates/bench/src/bin/ablation_stableness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_stableness-7be5b5c59384c87c.rmeta: crates/bench/src/bin/ablation_stableness.rs Cargo.toml
+
+crates/bench/src/bin/ablation_stableness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

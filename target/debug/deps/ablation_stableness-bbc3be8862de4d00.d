@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_stableness-bbc3be8862de4d00.d: crates/bench/src/bin/ablation_stableness.rs
+
+/root/repo/target/debug/deps/ablation_stableness-bbc3be8862de4d00: crates/bench/src/bin/ablation_stableness.rs
+
+crates/bench/src/bin/ablation_stableness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/autotune_sim-b5202fc02b2fa9c4.d: tests/autotune_sim.rs
+
+/root/repo/target/debug/deps/autotune_sim-b5202fc02b2fa9c4: tests/autotune_sim.rs
+
+tests/autotune_sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/autotune_sim-facbdc25a0fcf918.d: tests/autotune_sim.rs
+
+/root/repo/target/debug/deps/autotune_sim-facbdc25a0fcf918: tests/autotune_sim.rs
+
+tests/autotune_sim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_optimizer-f5edfe9a62d09133.d: crates/bench/benches/bench_optimizer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_optimizer-f5edfe9a62d09133.rmeta: crates/bench/benches/bench_optimizer.rs Cargo.toml
+
+crates/bench/benches/bench_optimizer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-40ac3c313b9e5e5a.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-40ac3c313b9e5e5a: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_ip-pool=/root/repo/target/debug/ip-pool

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-aace089a747db21e.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-aace089a747db21e: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_ip-pool=/root/repo/target/debug/ip-pool

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_tests-0f8cdb6589cba610.d: crates/sim/tests/engine_tests.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_tests-0f8cdb6589cba610.rmeta: crates/sim/tests/engine_tests.rs Cargo.toml
+
+crates/sim/tests/engine_tests.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_tests-23b17e1c4df6d390.d: crates/sim/tests/engine_tests.rs
+
+/root/repo/target/debug/deps/engine_tests-23b17e1c4df6d390: crates/sim/tests/engine_tests.rs
+
+crates/sim/tests/engine_tests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-1b2ff3a27fde1531.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-1b2ff3a27fde1531: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-e2e1a3971150617b.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-e2e1a3971150617b: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_headline-1fc3c98a80fa5cff.d: crates/bench/src/bin/fig1_headline.rs
+
+/root/repo/target/debug/deps/fig1_headline-1fc3c98a80fa5cff: crates/bench/src/bin/fig1_headline.rs
+
+crates/bench/src/bin/fig1_headline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_headline-add88c46a7025478.d: crates/bench/src/bin/fig1_headline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_headline-add88c46a7025478.rmeta: crates/bench/src/bin/fig1_headline.rs Cargo.toml
+
+crates/bench/src/bin/fig1_headline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_headline-ba6fe0c24c97c577.d: crates/bench/src/bin/fig1_headline.rs
+
+/root/repo/target/debug/deps/fig1_headline-ba6fe0c24c97c577: crates/bench/src/bin/fig1_headline.rs
+
+crates/bench/src/bin/fig1_headline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_mechanism-dbb3c71be031892e.d: crates/bench/src/bin/fig3_mechanism.rs
+
+/root/repo/target/debug/deps/fig3_mechanism-dbb3c71be031892e: crates/bench/src/bin/fig3_mechanism.rs
+
+crates/bench/src/bin/fig3_mechanism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_mechanism-dce9e87a7b385847.d: crates/bench/src/bin/fig3_mechanism.rs
+
+/root/repo/target/debug/deps/fig3_mechanism-dce9e87a7b385847: crates/bench/src/bin/fig3_mechanism.rs
+
+crates/bench/src/bin/fig3_mechanism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_advance_demand-78a4a337565d7bb5.d: crates/bench/src/bin/fig4_advance_demand.rs
+
+/root/repo/target/debug/deps/fig4_advance_demand-78a4a337565d7bb5: crates/bench/src/bin/fig4_advance_demand.rs
+
+crates/bench/src/bin/fig4_advance_demand.rs:

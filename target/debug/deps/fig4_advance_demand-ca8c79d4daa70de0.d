@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_advance_demand-ca8c79d4daa70de0.d: crates/bench/src/bin/fig4_advance_demand.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_advance_demand-ca8c79d4daa70de0.rmeta: crates/bench/src/bin/fig4_advance_demand.rs Cargo.toml
+
+crates/bench/src/bin/fig4_advance_demand.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

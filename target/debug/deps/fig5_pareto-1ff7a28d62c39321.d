@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_pareto-1ff7a28d62c39321.d: crates/bench/src/bin/fig5_pareto.rs
+
+/root/repo/target/debug/deps/fig5_pareto-1ff7a28d62c39321: crates/bench/src/bin/fig5_pareto.rs
+
+crates/bench/src/bin/fig5_pareto.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_pareto-669268a7b0cda1b3.d: crates/bench/src/bin/fig5_pareto.rs
+
+/root/repo/target/debug/deps/fig5_pareto-669268a7b0cda1b3: crates/bench/src/bin/fig5_pareto.rs
+
+crates/bench/src/bin/fig5_pareto.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_training_time-1b7a704fc704026b.d: crates/bench/src/bin/fig6_training_time.rs
+
+/root/repo/target/debug/deps/fig6_training_time-1b7a704fc704026b: crates/bench/src/bin/fig6_training_time.rs
+
+crates/bench/src/bin/fig6_training_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_training_time-ab00bc5034e72987.d: crates/bench/src/bin/fig6_training_time.rs
+
+/root/repo/target/debug/deps/fig6_training_time-ab00bc5034e72987: crates/bench/src/bin/fig6_training_time.rs
+
+crates/bench/src/bin/fig6_training_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_smoothing-4b5b7ed333b47492.d: crates/bench/src/bin/fig7_smoothing.rs
+
+/root/repo/target/debug/deps/fig7_smoothing-4b5b7ed333b47492: crates/bench/src/bin/fig7_smoothing.rs
+
+crates/bench/src/bin/fig7_smoothing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_smoothing-5556ec399bd6f767.d: crates/bench/src/bin/fig7_smoothing.rs
+
+/root/repo/target/debug/deps/fig7_smoothing-5556ec399bd6f767: crates/bench/src/bin/fig7_smoothing.rs
+
+crates/bench/src/bin/fig7_smoothing.rs:

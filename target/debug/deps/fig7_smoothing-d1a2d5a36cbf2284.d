@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_smoothing-d1a2d5a36cbf2284.d: crates/bench/src/bin/fig7_smoothing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_smoothing-d1a2d5a36cbf2284.rmeta: crates/bench/src/bin/fig7_smoothing.rs Cargo.toml
+
+crates/bench/src/bin/fig7_smoothing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/grad_check-16404f266baa65d3.d: crates/nn/tests/grad_check.rs
+
+/root/repo/target/debug/deps/grad_check-16404f266baa65d3: crates/nn/tests/grad_check.rs
+
+crates/nn/tests/grad_check.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/intelligent_pooling-3adb8d8d012e2442.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/intelligent_pooling-3adb8d8d012e2442: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

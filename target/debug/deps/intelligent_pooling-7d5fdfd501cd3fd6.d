@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/intelligent_pooling-7d5fdfd501cd3fd6.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libintelligent_pooling-7d5fdfd501cd3fd6.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libintelligent_pooling-7d5fdfd501cd3fd6.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/intelligent_pooling-9474ba7a998c32b3.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libintelligent_pooling-9474ba7a998c32b3.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libintelligent_pooling-9474ba7a998c32b3.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

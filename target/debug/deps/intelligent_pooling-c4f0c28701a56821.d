@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/intelligent_pooling-c4f0c28701a56821.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/intelligent_pooling-c4f0c28701a56821: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

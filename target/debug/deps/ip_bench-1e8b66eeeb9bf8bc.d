@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ip_bench-1e8b66eeeb9bf8bc.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libip_bench-1e8b66eeeb9bf8bc.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libip_bench-1e8b66eeeb9bf8bc.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

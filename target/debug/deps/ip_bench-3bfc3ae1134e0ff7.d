@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ip_bench-3bfc3ae1134e0ff7.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libip_bench-3bfc3ae1134e0ff7.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ip_bench-819c761575ecff3a.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/ip_bench-819c761575ecff3a: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ip_bench-92281193cdd31ea8.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libip_bench-92281193cdd31ea8.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libip_bench-92281193cdd31ea8.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

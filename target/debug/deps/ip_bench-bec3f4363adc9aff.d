@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ip_bench-bec3f4363adc9aff.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/ip_bench-bec3f4363adc9aff: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ip_core-83042f1cfcb8585d.d: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/cogs.rs crates/core/src/engine.rs crates/core/src/monitoring.rs crates/core/src/multi_pool.rs crates/core/src/pipeline.rs crates/core/src/replay.rs
+
+/root/repo/target/debug/deps/ip_core-83042f1cfcb8585d: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/cogs.rs crates/core/src/engine.rs crates/core/src/monitoring.rs crates/core/src/multi_pool.rs crates/core/src/pipeline.rs crates/core/src/replay.rs
+
+crates/core/src/lib.rs:
+crates/core/src/autotune.rs:
+crates/core/src/cogs.rs:
+crates/core/src/engine.rs:
+crates/core/src/monitoring.rs:
+crates/core/src/multi_pool.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/replay.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ip_linalg-10bbacd82708b00c.d: crates/linalg/src/lib.rs crates/linalg/src/eigen.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/svd.rs Cargo.toml
+
+/root/repo/target/debug/deps/libip_linalg-10bbacd82708b00c.rmeta: crates/linalg/src/lib.rs crates/linalg/src/eigen.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/svd.rs Cargo.toml
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/eigen.rs:
+crates/linalg/src/lu.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/qr.rs:
+crates/linalg/src/svd.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

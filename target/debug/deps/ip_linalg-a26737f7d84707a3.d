@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ip_linalg-a26737f7d84707a3.d: crates/linalg/src/lib.rs crates/linalg/src/eigen.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/svd.rs
+
+/root/repo/target/debug/deps/libip_linalg-a26737f7d84707a3.rlib: crates/linalg/src/lib.rs crates/linalg/src/eigen.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/svd.rs
+
+/root/repo/target/debug/deps/libip_linalg-a26737f7d84707a3.rmeta: crates/linalg/src/lib.rs crates/linalg/src/eigen.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/svd.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/eigen.rs:
+crates/linalg/src/lu.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/qr.rs:
+crates/linalg/src/svd.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ip_lp-bc17e0ca1123e07e.d: crates/lp/src/lib.rs crates/lp/src/model.rs crates/lp/src/simplex.rs Cargo.toml
+
+/root/repo/target/debug/deps/libip_lp-bc17e0ca1123e07e.rmeta: crates/lp/src/lib.rs crates/lp/src/model.rs crates/lp/src/simplex.rs Cargo.toml
+
+crates/lp/src/lib.rs:
+crates/lp/src/model.rs:
+crates/lp/src/simplex.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

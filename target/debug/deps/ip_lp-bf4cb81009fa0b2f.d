@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ip_lp-bf4cb81009fa0b2f.d: crates/lp/src/lib.rs crates/lp/src/model.rs crates/lp/src/simplex.rs
+
+/root/repo/target/debug/deps/ip_lp-bf4cb81009fa0b2f: crates/lp/src/lib.rs crates/lp/src/model.rs crates/lp/src/simplex.rs
+
+crates/lp/src/lib.rs:
+crates/lp/src/model.rs:
+crates/lp/src/simplex.rs:

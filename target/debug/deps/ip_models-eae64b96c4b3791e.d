@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ip_models-eae64b96c4b3791e.d: crates/models/src/lib.rs crates/models/src/baseline.rs crates/models/src/classical.rs crates/models/src/deep.rs crates/models/src/inception.rs crates/models/src/mwdn.rs crates/models/src/selector.rs crates/models/src/ssa_model.rs crates/models/src/ssa_plus.rs crates/models/src/tst.rs
+
+/root/repo/target/debug/deps/libip_models-eae64b96c4b3791e.rlib: crates/models/src/lib.rs crates/models/src/baseline.rs crates/models/src/classical.rs crates/models/src/deep.rs crates/models/src/inception.rs crates/models/src/mwdn.rs crates/models/src/selector.rs crates/models/src/ssa_model.rs crates/models/src/ssa_plus.rs crates/models/src/tst.rs
+
+/root/repo/target/debug/deps/libip_models-eae64b96c4b3791e.rmeta: crates/models/src/lib.rs crates/models/src/baseline.rs crates/models/src/classical.rs crates/models/src/deep.rs crates/models/src/inception.rs crates/models/src/mwdn.rs crates/models/src/selector.rs crates/models/src/ssa_model.rs crates/models/src/ssa_plus.rs crates/models/src/tst.rs
+
+crates/models/src/lib.rs:
+crates/models/src/baseline.rs:
+crates/models/src/classical.rs:
+crates/models/src/deep.rs:
+crates/models/src/inception.rs:
+crates/models/src/mwdn.rs:
+crates/models/src/selector.rs:
+crates/models/src/ssa_model.rs:
+crates/models/src/ssa_plus.rs:
+crates/models/src/tst.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ip_nn-09150e1875691fcf.d: crates/nn/src/lib.rs crates/nn/src/graph.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/rnn.rs crates/nn/src/tensor.rs crates/nn/src/train.rs
+
+/root/repo/target/debug/deps/ip_nn-09150e1875691fcf: crates/nn/src/lib.rs crates/nn/src/graph.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/rnn.rs crates/nn/src/tensor.rs crates/nn/src/train.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/graph.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/rnn.rs:
+crates/nn/src/tensor.rs:
+crates/nn/src/train.rs:

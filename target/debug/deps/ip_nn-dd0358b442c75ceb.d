@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ip_nn-dd0358b442c75ceb.d: crates/nn/src/lib.rs crates/nn/src/graph.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/rnn.rs crates/nn/src/tensor.rs crates/nn/src/train.rs
+
+/root/repo/target/debug/deps/libip_nn-dd0358b442c75ceb.rlib: crates/nn/src/lib.rs crates/nn/src/graph.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/rnn.rs crates/nn/src/tensor.rs crates/nn/src/train.rs
+
+/root/repo/target/debug/deps/libip_nn-dd0358b442c75ceb.rmeta: crates/nn/src/lib.rs crates/nn/src/graph.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/rnn.rs crates/nn/src/tensor.rs crates/nn/src/train.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/graph.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/rnn.rs:
+crates/nn/src/tensor.rs:
+crates/nn/src/train.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ip_par-0378237bf58641e3.d: crates/par/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libip_par-0378237bf58641e3.rmeta: crates/par/src/lib.rs Cargo.toml
+
+crates/par/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ip_par-5d393d8b34ada039.d: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/libip_par-5d393d8b34ada039.rlib: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/libip_par-5d393d8b34ada039.rmeta: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

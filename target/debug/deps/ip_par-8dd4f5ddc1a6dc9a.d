@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ip_par-8dd4f5ddc1a6dc9a.d: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/ip_par-8dd4f5ddc1a6dc9a: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

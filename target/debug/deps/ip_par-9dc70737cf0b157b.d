@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ip_par-9dc70737cf0b157b.d: crates/par/src/lib.rs
+
+/root/repo/target/debug/deps/ip_par-9dc70737cf0b157b: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

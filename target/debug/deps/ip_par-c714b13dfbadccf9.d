@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ip_par-c714b13dfbadccf9.d: crates/par/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libip_par-c714b13dfbadccf9.rmeta: crates/par/src/lib.rs Cargo.toml
+
+crates/par/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ip_pool-04d1b76f18eb484e.d: src/bin/ip-pool.rs
+
+/root/repo/target/debug/deps/ip_pool-04d1b76f18eb484e: src/bin/ip-pool.rs
+
+src/bin/ip-pool.rs:

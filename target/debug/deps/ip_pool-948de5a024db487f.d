@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ip_pool-948de5a024db487f.d: src/bin/ip-pool.rs
+
+/root/repo/target/debug/deps/ip_pool-948de5a024db487f: src/bin/ip-pool.rs
+
+src/bin/ip-pool.rs:

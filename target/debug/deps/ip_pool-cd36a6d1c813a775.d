@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ip_pool-cd36a6d1c813a775.d: src/bin/ip-pool.rs
+
+/root/repo/target/debug/deps/ip_pool-cd36a6d1c813a775: src/bin/ip-pool.rs
+
+src/bin/ip-pool.rs:

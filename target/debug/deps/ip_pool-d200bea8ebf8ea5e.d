@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ip_pool-d200bea8ebf8ea5e.d: src/bin/ip-pool.rs
+
+/root/repo/target/debug/deps/ip_pool-d200bea8ebf8ea5e: src/bin/ip-pool.rs
+
+src/bin/ip-pool.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ip_saa-01ad4b1149bc318f.d: crates/saa/src/lib.rs crates/saa/src/dp.rs crates/saa/src/lp_model.rs crates/saa/src/mechanism.rs crates/saa/src/pareto.rs crates/saa/src/periodic.rs crates/saa/src/robustness.rs crates/saa/src/static_pool.rs
+
+/root/repo/target/debug/deps/ip_saa-01ad4b1149bc318f: crates/saa/src/lib.rs crates/saa/src/dp.rs crates/saa/src/lp_model.rs crates/saa/src/mechanism.rs crates/saa/src/pareto.rs crates/saa/src/periodic.rs crates/saa/src/robustness.rs crates/saa/src/static_pool.rs
+
+crates/saa/src/lib.rs:
+crates/saa/src/dp.rs:
+crates/saa/src/lp_model.rs:
+crates/saa/src/mechanism.rs:
+crates/saa/src/pareto.rs:
+crates/saa/src/periodic.rs:
+crates/saa/src/robustness.rs:
+crates/saa/src/static_pool.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ip_saa-0247cc53bfb05425.d: crates/saa/src/lib.rs crates/saa/src/dp.rs crates/saa/src/lp_model.rs crates/saa/src/mechanism.rs crates/saa/src/pareto.rs crates/saa/src/periodic.rs crates/saa/src/robustness.rs crates/saa/src/static_pool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libip_saa-0247cc53bfb05425.rmeta: crates/saa/src/lib.rs crates/saa/src/dp.rs crates/saa/src/lp_model.rs crates/saa/src/mechanism.rs crates/saa/src/pareto.rs crates/saa/src/periodic.rs crates/saa/src/robustness.rs crates/saa/src/static_pool.rs Cargo.toml
+
+crates/saa/src/lib.rs:
+crates/saa/src/dp.rs:
+crates/saa/src/lp_model.rs:
+crates/saa/src/mechanism.rs:
+crates/saa/src/pareto.rs:
+crates/saa/src/periodic.rs:
+crates/saa/src/robustness.rs:
+crates/saa/src/static_pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ip_saa-8e589c2f875621ff.d: crates/saa/src/lib.rs crates/saa/src/dp.rs crates/saa/src/lp_model.rs crates/saa/src/mechanism.rs crates/saa/src/pareto.rs crates/saa/src/periodic.rs crates/saa/src/robustness.rs crates/saa/src/static_pool.rs
+
+/root/repo/target/debug/deps/ip_saa-8e589c2f875621ff: crates/saa/src/lib.rs crates/saa/src/dp.rs crates/saa/src/lp_model.rs crates/saa/src/mechanism.rs crates/saa/src/pareto.rs crates/saa/src/periodic.rs crates/saa/src/robustness.rs crates/saa/src/static_pool.rs
+
+crates/saa/src/lib.rs:
+crates/saa/src/dp.rs:
+crates/saa/src/lp_model.rs:
+crates/saa/src/mechanism.rs:
+crates/saa/src/pareto.rs:
+crates/saa/src/periodic.rs:
+crates/saa/src/robustness.rs:
+crates/saa/src/static_pool.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ip_saa-9db993ef660b1d47.d: crates/saa/src/lib.rs crates/saa/src/dp.rs crates/saa/src/lp_model.rs crates/saa/src/mechanism.rs crates/saa/src/pareto.rs crates/saa/src/periodic.rs crates/saa/src/robustness.rs crates/saa/src/static_pool.rs
+
+/root/repo/target/debug/deps/libip_saa-9db993ef660b1d47.rlib: crates/saa/src/lib.rs crates/saa/src/dp.rs crates/saa/src/lp_model.rs crates/saa/src/mechanism.rs crates/saa/src/pareto.rs crates/saa/src/periodic.rs crates/saa/src/robustness.rs crates/saa/src/static_pool.rs
+
+/root/repo/target/debug/deps/libip_saa-9db993ef660b1d47.rmeta: crates/saa/src/lib.rs crates/saa/src/dp.rs crates/saa/src/lp_model.rs crates/saa/src/mechanism.rs crates/saa/src/pareto.rs crates/saa/src/periodic.rs crates/saa/src/robustness.rs crates/saa/src/static_pool.rs
+
+crates/saa/src/lib.rs:
+crates/saa/src/dp.rs:
+crates/saa/src/lp_model.rs:
+crates/saa/src/mechanism.rs:
+crates/saa/src/pareto.rs:
+crates/saa/src/periodic.rs:
+crates/saa/src/robustness.rs:
+crates/saa/src/static_pool.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ip_sim-0cf68c998764fe1a.d: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/engine.rs crates/sim/src/session.rs crates/sim/src/stores.rs Cargo.toml
+
+/root/repo/target/debug/deps/libip_sim-0cf68c998764fe1a.rmeta: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/engine.rs crates/sim/src/session.rs crates/sim/src/stores.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/cluster.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/session.rs:
+crates/sim/src/stores.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

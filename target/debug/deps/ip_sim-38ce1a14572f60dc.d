@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ip_sim-38ce1a14572f60dc.d: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/engine.rs crates/sim/src/session.rs crates/sim/src/stores.rs
+
+/root/repo/target/debug/deps/ip_sim-38ce1a14572f60dc: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/engine.rs crates/sim/src/session.rs crates/sim/src/stores.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cluster.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/session.rs:
+crates/sim/src/stores.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ip_sim-bb250a65138159cf.d: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/engine.rs crates/sim/src/session.rs crates/sim/src/stores.rs
+
+/root/repo/target/debug/deps/libip_sim-bb250a65138159cf.rlib: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/engine.rs crates/sim/src/session.rs crates/sim/src/stores.rs
+
+/root/repo/target/debug/deps/libip_sim-bb250a65138159cf.rmeta: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/engine.rs crates/sim/src/session.rs crates/sim/src/stores.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cluster.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/session.rs:
+crates/sim/src/stores.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ip_ssa-07a22ed35065c94a.d: crates/ssa/src/lib.rs crates/ssa/src/decomp.rs crates/ssa/src/forecast.rs
+
+/root/repo/target/debug/deps/ip_ssa-07a22ed35065c94a: crates/ssa/src/lib.rs crates/ssa/src/decomp.rs crates/ssa/src/forecast.rs
+
+crates/ssa/src/lib.rs:
+crates/ssa/src/decomp.rs:
+crates/ssa/src/forecast.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ip_ssa-0b780800ba0e24c3.d: crates/ssa/src/lib.rs crates/ssa/src/decomp.rs crates/ssa/src/forecast.rs
+
+/root/repo/target/debug/deps/libip_ssa-0b780800ba0e24c3.rlib: crates/ssa/src/lib.rs crates/ssa/src/decomp.rs crates/ssa/src/forecast.rs
+
+/root/repo/target/debug/deps/libip_ssa-0b780800ba0e24c3.rmeta: crates/ssa/src/lib.rs crates/ssa/src/decomp.rs crates/ssa/src/forecast.rs
+
+crates/ssa/src/lib.rs:
+crates/ssa/src/decomp.rs:
+crates/ssa/src/forecast.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ip_ssa-41c2db88ea12b9bf.d: crates/ssa/src/lib.rs crates/ssa/src/decomp.rs crates/ssa/src/forecast.rs
+
+/root/repo/target/debug/deps/ip_ssa-41c2db88ea12b9bf: crates/ssa/src/lib.rs crates/ssa/src/decomp.rs crates/ssa/src/forecast.rs
+
+crates/ssa/src/lib.rs:
+crates/ssa/src/decomp.rs:
+crates/ssa/src/forecast.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ip_ssa-6b7e6beb29628f76.d: crates/ssa/src/lib.rs crates/ssa/src/decomp.rs crates/ssa/src/forecast.rs
+
+/root/repo/target/debug/deps/libip_ssa-6b7e6beb29628f76.rlib: crates/ssa/src/lib.rs crates/ssa/src/decomp.rs crates/ssa/src/forecast.rs
+
+/root/repo/target/debug/deps/libip_ssa-6b7e6beb29628f76.rmeta: crates/ssa/src/lib.rs crates/ssa/src/decomp.rs crates/ssa/src/forecast.rs
+
+crates/ssa/src/lib.rs:
+crates/ssa/src/decomp.rs:
+crates/ssa/src/forecast.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ip_ssa-ca11b22ef3e0412b.d: crates/ssa/src/lib.rs crates/ssa/src/decomp.rs crates/ssa/src/forecast.rs Cargo.toml
+
+/root/repo/target/debug/deps/libip_ssa-ca11b22ef3e0412b.rmeta: crates/ssa/src/lib.rs crates/ssa/src/decomp.rs crates/ssa/src/forecast.rs Cargo.toml
+
+crates/ssa/src/lib.rs:
+crates/ssa/src/decomp.rs:
+crates/ssa/src/forecast.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

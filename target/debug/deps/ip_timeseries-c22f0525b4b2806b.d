@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/ip_timeseries-c22f0525b4b2806b.d: crates/timeseries/src/lib.rs crates/timeseries/src/decompose.rs crates/timeseries/src/filters.rs crates/timeseries/src/metrics.rs crates/timeseries/src/series.rs crates/timeseries/src/split.rs crates/timeseries/src/windowing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libip_timeseries-c22f0525b4b2806b.rmeta: crates/timeseries/src/lib.rs crates/timeseries/src/decompose.rs crates/timeseries/src/filters.rs crates/timeseries/src/metrics.rs crates/timeseries/src/series.rs crates/timeseries/src/split.rs crates/timeseries/src/windowing.rs Cargo.toml
+
+crates/timeseries/src/lib.rs:
+crates/timeseries/src/decompose.rs:
+crates/timeseries/src/filters.rs:
+crates/timeseries/src/metrics.rs:
+crates/timeseries/src/series.rs:
+crates/timeseries/src/split.rs:
+crates/timeseries/src/windowing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

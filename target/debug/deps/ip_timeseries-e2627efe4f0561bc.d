@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/ip_timeseries-e2627efe4f0561bc.d: crates/timeseries/src/lib.rs crates/timeseries/src/decompose.rs crates/timeseries/src/filters.rs crates/timeseries/src/metrics.rs crates/timeseries/src/series.rs crates/timeseries/src/split.rs crates/timeseries/src/windowing.rs
+
+/root/repo/target/debug/deps/ip_timeseries-e2627efe4f0561bc: crates/timeseries/src/lib.rs crates/timeseries/src/decompose.rs crates/timeseries/src/filters.rs crates/timeseries/src/metrics.rs crates/timeseries/src/series.rs crates/timeseries/src/split.rs crates/timeseries/src/windowing.rs
+
+crates/timeseries/src/lib.rs:
+crates/timeseries/src/decompose.rs:
+crates/timeseries/src/filters.rs:
+crates/timeseries/src/metrics.rs:
+crates/timeseries/src/series.rs:
+crates/timeseries/src/split.rs:
+crates/timeseries/src/windowing.rs:

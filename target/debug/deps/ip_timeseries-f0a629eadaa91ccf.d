@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/ip_timeseries-f0a629eadaa91ccf.d: crates/timeseries/src/lib.rs crates/timeseries/src/decompose.rs crates/timeseries/src/filters.rs crates/timeseries/src/metrics.rs crates/timeseries/src/series.rs crates/timeseries/src/split.rs crates/timeseries/src/windowing.rs
+
+/root/repo/target/debug/deps/libip_timeseries-f0a629eadaa91ccf.rlib: crates/timeseries/src/lib.rs crates/timeseries/src/decompose.rs crates/timeseries/src/filters.rs crates/timeseries/src/metrics.rs crates/timeseries/src/series.rs crates/timeseries/src/split.rs crates/timeseries/src/windowing.rs
+
+/root/repo/target/debug/deps/libip_timeseries-f0a629eadaa91ccf.rmeta: crates/timeseries/src/lib.rs crates/timeseries/src/decompose.rs crates/timeseries/src/filters.rs crates/timeseries/src/metrics.rs crates/timeseries/src/series.rs crates/timeseries/src/split.rs crates/timeseries/src/windowing.rs
+
+crates/timeseries/src/lib.rs:
+crates/timeseries/src/decompose.rs:
+crates/timeseries/src/filters.rs:
+crates/timeseries/src/metrics.rs:
+crates/timeseries/src/series.rs:
+crates/timeseries/src/split.rs:
+crates/timeseries/src/windowing.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/ip_workload-0c759ed64f3201b7.d: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/presets.rs crates/workload/src/stats.rs
+
+/root/repo/target/debug/deps/libip_workload-0c759ed64f3201b7.rlib: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/presets.rs crates/workload/src/stats.rs
+
+/root/repo/target/debug/deps/libip_workload-0c759ed64f3201b7.rmeta: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/presets.rs crates/workload/src/stats.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/presets.rs:
+crates/workload/src/stats.rs:

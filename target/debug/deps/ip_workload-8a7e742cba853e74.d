@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/ip_workload-8a7e742cba853e74.d: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/presets.rs crates/workload/src/stats.rs
+
+/root/repo/target/debug/deps/ip_workload-8a7e742cba853e74: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/presets.rs crates/workload/src/stats.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/presets.rs:
+crates/workload/src/stats.rs:

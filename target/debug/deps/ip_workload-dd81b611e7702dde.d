@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/ip_workload-dd81b611e7702dde.d: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/presets.rs crates/workload/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libip_workload-dd81b611e7702dde.rmeta: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/presets.rs crates/workload/src/stats.rs Cargo.toml
+
+crates/workload/src/lib.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/presets.rs:
+crates/workload/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

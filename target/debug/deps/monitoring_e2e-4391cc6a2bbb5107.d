@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/monitoring_e2e-4391cc6a2bbb5107.d: tests/monitoring_e2e.rs
+
+/root/repo/target/debug/deps/monitoring_e2e-4391cc6a2bbb5107: tests/monitoring_e2e.rs
+
+tests/monitoring_e2e.rs:

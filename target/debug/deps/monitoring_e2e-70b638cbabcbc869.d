@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/monitoring_e2e-70b638cbabcbc869.d: tests/monitoring_e2e.rs
+
+/root/repo/target/debug/deps/monitoring_e2e-70b638cbabcbc869: tests/monitoring_e2e.rs
+
+tests/monitoring_e2e.rs:

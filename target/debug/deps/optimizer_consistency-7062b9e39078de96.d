@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/optimizer_consistency-7062b9e39078de96.d: tests/optimizer_consistency.rs
+
+/root/repo/target/debug/deps/optimizer_consistency-7062b9e39078de96: tests/optimizer_consistency.rs
+
+tests/optimizer_consistency.rs:

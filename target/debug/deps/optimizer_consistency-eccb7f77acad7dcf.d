@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/optimizer_consistency-eccb7f77acad7dcf.d: tests/optimizer_consistency.rs
+
+/root/repo/target/debug/deps/optimizer_consistency-eccb7f77acad7dcf: tests/optimizer_consistency.rs
+
+tests/optimizer_consistency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_e2e-26a26396726ff1af.d: tests/pipeline_e2e.rs
+
+/root/repo/target/debug/deps/pipeline_e2e-26a26396726ff1af: tests/pipeline_e2e.rs
+
+tests/pipeline_e2e.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_e2e-3ea6f40450d6b510.d: tests/pipeline_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_e2e-3ea6f40450d6b510.rmeta: tests/pipeline_e2e.rs Cargo.toml
+
+tests/pipeline_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

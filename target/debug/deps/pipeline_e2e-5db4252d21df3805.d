@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_e2e-5db4252d21df3805.d: tests/pipeline_e2e.rs
+
+/root/repo/target/debug/deps/pipeline_e2e-5db4252d21df3805: tests/pipeline_e2e.rs
+
+tests/pipeline_e2e.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/production_replay-a0d110ba5e32b043.d: crates/bench/src/bin/production_replay.rs
+
+/root/repo/target/debug/deps/production_replay-a0d110ba5e32b043: crates/bench/src/bin/production_replay.rs
+
+crates/bench/src/bin/production_replay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/production_replay-eef07eba1a2fc569.d: crates/bench/src/bin/production_replay.rs
+
+/root/repo/target/debug/deps/production_replay-eef07eba1a2fc569: crates/bench/src/bin/production_replay.rs
+
+crates/bench/src/bin/production_replay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-02f005340bad1de5.d: crates/saa/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-02f005340bad1de5: crates/saa/tests/properties.rs
+
+crates/saa/tests/properties.rs:

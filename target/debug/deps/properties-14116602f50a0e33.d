@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-14116602f50a0e33.d: crates/sim/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-14116602f50a0e33: crates/sim/tests/properties.rs
+
+crates/sim/tests/properties.rs:

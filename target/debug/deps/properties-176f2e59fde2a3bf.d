@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-176f2e59fde2a3bf.d: crates/saa/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-176f2e59fde2a3bf: crates/saa/tests/properties.rs
+
+crates/saa/tests/properties.rs:

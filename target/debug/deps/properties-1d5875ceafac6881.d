@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-1d5875ceafac6881.d: crates/nn/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-1d5875ceafac6881: crates/nn/tests/properties.rs
+
+crates/nn/tests/properties.rs:

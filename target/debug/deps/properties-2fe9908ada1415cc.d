@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-2fe9908ada1415cc.d: crates/saa/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-2fe9908ada1415cc.rmeta: crates/saa/tests/properties.rs Cargo.toml
+
+crates/saa/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

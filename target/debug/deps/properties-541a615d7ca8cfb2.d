@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-541a615d7ca8cfb2.d: crates/lp/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-541a615d7ca8cfb2.rmeta: crates/lp/tests/properties.rs Cargo.toml
+
+crates/lp/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

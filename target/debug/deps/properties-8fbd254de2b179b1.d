@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-8fbd254de2b179b1.d: crates/par/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-8fbd254de2b179b1: crates/par/tests/properties.rs
+
+crates/par/tests/properties.rs:

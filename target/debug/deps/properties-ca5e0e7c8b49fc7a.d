@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-ca5e0e7c8b49fc7a.d: crates/par/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-ca5e0e7c8b49fc7a.rmeta: crates/par/tests/properties.rs Cargo.toml
+
+crates/par/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-cf59636e87fffd8f.d: crates/lp/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-cf59636e87fffd8f: crates/lp/tests/properties.rs
+
+crates/lp/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-d58c760a2f1b5280.d: crates/linalg/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-d58c760a2f1b5280: crates/linalg/tests/properties.rs
+
+crates/linalg/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-f4712efdbd54e384.d: crates/timeseries/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-f4712efdbd54e384.rmeta: crates/timeseries/tests/properties.rs Cargo.toml
+
+crates/timeseries/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

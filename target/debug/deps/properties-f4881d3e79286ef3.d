@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-f4881d3e79286ef3.d: crates/linalg/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-f4881d3e79286ef3: crates/linalg/tests/properties.rs
+
+crates/linalg/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-f8b7611efda121a7.d: crates/timeseries/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-f8b7611efda121a7: crates/timeseries/tests/properties.rs
+
+crates/timeseries/tests/properties.rs:

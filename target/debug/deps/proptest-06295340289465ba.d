@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-06295340289465ba.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-06295340289465ba: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

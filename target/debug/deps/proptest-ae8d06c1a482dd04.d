@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-ae8d06c1a482dd04.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-ae8d06c1a482dd04.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-ae8d06c1a482dd04.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

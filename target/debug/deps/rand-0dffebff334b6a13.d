@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-0dffebff334b6a13.d: vendor/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-0dffebff334b6a13: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness_spikes-1cfbedf8fb761cbb.d: crates/bench/src/bin/robustness_spikes.rs
+
+/root/repo/target/debug/deps/robustness_spikes-1cfbedf8fb761cbb: crates/bench/src/bin/robustness_spikes.rs
+
+crates/bench/src/bin/robustness_spikes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness_spikes-2ecbf820e67128d6.d: crates/bench/src/bin/robustness_spikes.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness_spikes-2ecbf820e67128d6.rmeta: crates/bench/src/bin/robustness_spikes.rs Cargo.toml
+
+crates/bench/src/bin/robustness_spikes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness_spikes-b39d227e758c2586.d: crates/bench/src/bin/robustness_spikes.rs
+
+/root/repo/target/debug/deps/robustness_spikes-b39d227e758c2586: crates/bench/src/bin/robustness_spikes.rs
+
+crates/bench/src/bin/robustness_spikes.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde-26d4e12098fd951b.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-26d4e12098fd951b.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/libserde-26d4e12098fd951b.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

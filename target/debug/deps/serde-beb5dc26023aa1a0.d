@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde-beb5dc26023aa1a0.d: vendor/serde/src/lib.rs
+
+/root/repo/target/debug/deps/serde-beb5dc26023aa1a0: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_derive-03992095cb6cf25b.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/debug/deps/serde_derive-03992095cb6cf25b: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

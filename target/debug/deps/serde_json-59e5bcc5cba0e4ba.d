@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-59e5bcc5cba0e4ba.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/serde_json-59e5bcc5cba0e4ba: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/serde_json-7a63c56ca304837b.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-7a63c56ca304837b.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-7a63c56ca304837b.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serde_json-d502573ee4e8904a.d: vendor/serde_json/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserde_json-d502573ee4e8904a.rmeta: vendor/serde_json/src/lib.rs Cargo.toml
+
+vendor/serde_json/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_mae-4f022d8b8e1a010f.d: crates/bench/src/bin/table1_mae.rs
+
+/root/repo/target/debug/deps/table1_mae-4f022d8b8e1a010f: crates/bench/src/bin/table1_mae.rs
+
+crates/bench/src/bin/table1_mae.rs:

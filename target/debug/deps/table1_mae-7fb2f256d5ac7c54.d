@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_mae-7fb2f256d5ac7c54.d: crates/bench/src/bin/table1_mae.rs
+
+/root/repo/target/debug/deps/table1_mae-7fb2f256d5ac7c54: crates/bench/src/bin/table1_mae.rs
+
+crates/bench/src/bin/table1_mae.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_savings-33d647ce2f699908.d: crates/bench/src/bin/table2_savings.rs
+
+/root/repo/target/debug/deps/table2_savings-33d647ce2f699908: crates/bench/src/bin/table2_savings.rs
+
+crates/bench/src/bin/table2_savings.rs:

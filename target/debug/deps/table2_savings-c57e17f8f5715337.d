@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_savings-c57e17f8f5715337.d: crates/bench/src/bin/table2_savings.rs
+
+/root/repo/target/debug/deps/table2_savings-c57e17f8f5715337: crates/bench/src/bin/table2_savings.rs
+
+crates/bench/src/bin/table2_savings.rs:

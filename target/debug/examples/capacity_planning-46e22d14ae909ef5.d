@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capacity_planning-46e22d14ae909ef5.d: examples/capacity_planning.rs
+
+/root/repo/target/debug/examples/capacity_planning-46e22d14ae909ef5: examples/capacity_planning.rs
+
+examples/capacity_planning.rs:

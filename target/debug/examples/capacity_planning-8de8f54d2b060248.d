@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capacity_planning-8de8f54d2b060248.d: examples/capacity_planning.rs
+
+/root/repo/target/debug/examples/capacity_planning-8de8f54d2b060248: examples/capacity_planning.rs
+
+examples/capacity_planning.rs:

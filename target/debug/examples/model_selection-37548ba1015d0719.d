@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/model_selection-37548ba1015d0719.d: examples/model_selection.rs
+
+/root/repo/target/debug/examples/model_selection-37548ba1015d0719: examples/model_selection.rs
+
+examples/model_selection.rs:

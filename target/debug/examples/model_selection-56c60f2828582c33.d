@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/model_selection-56c60f2828582c33.d: examples/model_selection.rs
+
+/root/repo/target/debug/examples/model_selection-56c60f2828582c33: examples/model_selection.rs
+
+examples/model_selection.rs:

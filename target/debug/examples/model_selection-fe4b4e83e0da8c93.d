@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/model_selection-fe4b4e83e0da8c93.d: examples/model_selection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmodel_selection-fe4b4e83e0da8c93.rmeta: examples/model_selection.rs Cargo.toml
+
+examples/model_selection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

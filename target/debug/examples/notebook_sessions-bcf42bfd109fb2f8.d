@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/notebook_sessions-bcf42bfd109fb2f8.d: examples/notebook_sessions.rs
+
+/root/repo/target/debug/examples/notebook_sessions-bcf42bfd109fb2f8: examples/notebook_sessions.rs
+
+examples/notebook_sessions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/notebook_sessions-e4d9da31ada3a270.d: examples/notebook_sessions.rs
+
+/root/repo/target/debug/examples/notebook_sessions-e4d9da31ada3a270: examples/notebook_sessions.rs
+
+examples/notebook_sessions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-6bc0001e839cecd2.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-6bc0001e839cecd2: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-8ac7ce6018ef3f3c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-8ac7ce6018ef3f3c: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spiky_region-8a2ce0c32d40ee83.d: examples/spiky_region.rs
+
+/root/repo/target/debug/examples/spiky_region-8a2ce0c32d40ee83: examples/spiky_region.rs
+
+examples/spiky_region.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/spiky_region-ba56e9270f383914.d: examples/spiky_region.rs Cargo.toml
+
+/root/repo/target/debug/examples/libspiky_region-ba56e9270f383914.rmeta: examples/spiky_region.rs Cargo.toml
+
+examples/spiky_region.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spiky_region-cf350ffb9d3d0ac7.d: examples/spiky_region.rs
+
+/root/repo/target/debug/examples/spiky_region-cf350ffb9d3d0ac7: examples/spiky_region.rs
+
+examples/spiky_region.rs:

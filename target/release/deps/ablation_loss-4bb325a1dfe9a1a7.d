@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_loss-4bb325a1dfe9a1a7.d: crates/bench/src/bin/ablation_loss.rs
+
+/root/repo/target/release/deps/ablation_loss-4bb325a1dfe9a1a7: crates/bench/src/bin/ablation_loss.rs
+
+crates/bench/src/bin/ablation_loss.rs:

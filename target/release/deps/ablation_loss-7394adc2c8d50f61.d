@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_loss-7394adc2c8d50f61.d: crates/bench/src/bin/ablation_loss.rs
+
+/root/repo/target/release/deps/ablation_loss-7394adc2c8d50f61: crates/bench/src/bin/ablation_loss.rs
+
+crates/bench/src/bin/ablation_loss.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_lp_vs_dp-124572729ec3806c.d: crates/bench/src/bin/ablation_lp_vs_dp.rs
+
+/root/repo/target/release/deps/ablation_lp_vs_dp-124572729ec3806c: crates/bench/src/bin/ablation_lp_vs_dp.rs
+
+crates/bench/src/bin/ablation_lp_vs_dp.rs:

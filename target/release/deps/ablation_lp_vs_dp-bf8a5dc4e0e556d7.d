@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_lp_vs_dp-bf8a5dc4e0e556d7.d: crates/bench/src/bin/ablation_lp_vs_dp.rs
+
+/root/repo/target/release/deps/ablation_lp_vs_dp-bf8a5dc4e0e556d7: crates/bench/src/bin/ablation_lp_vs_dp.rs
+
+crates/bench/src/bin/ablation_lp_vs_dp.rs:

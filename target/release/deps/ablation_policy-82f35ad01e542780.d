@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_policy-82f35ad01e542780.d: crates/bench/src/bin/ablation_policy.rs
+
+/root/repo/target/release/deps/ablation_policy-82f35ad01e542780: crates/bench/src/bin/ablation_policy.rs
+
+crates/bench/src/bin/ablation_policy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_policy-c9423a78491bee0b.d: crates/bench/src/bin/ablation_policy.rs
+
+/root/repo/target/release/deps/ablation_policy-c9423a78491bee0b: crates/bench/src/bin/ablation_policy.rs
+
+crates/bench/src/bin/ablation_policy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_stableness-237517c935ce5a9f.d: crates/bench/src/bin/ablation_stableness.rs
+
+/root/repo/target/release/deps/ablation_stableness-237517c935ce5a9f: crates/bench/src/bin/ablation_stableness.rs
+
+crates/bench/src/bin/ablation_stableness.rs:

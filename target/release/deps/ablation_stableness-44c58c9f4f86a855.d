@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_stableness-44c58c9f4f86a855.d: crates/bench/src/bin/ablation_stableness.rs
+
+/root/repo/target/release/deps/ablation_stableness-44c58c9f4f86a855: crates/bench/src/bin/ablation_stableness.rs
+
+crates/bench/src/bin/ablation_stableness.rs:

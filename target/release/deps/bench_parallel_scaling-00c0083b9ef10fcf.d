@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench_parallel_scaling-00c0083b9ef10fcf.d: crates/bench/benches/bench_parallel_scaling.rs
+
+/root/repo/target/release/deps/bench_parallel_scaling-00c0083b9ef10fcf: crates/bench/benches/bench_parallel_scaling.rs
+
+crates/bench/benches/bench_parallel_scaling.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_headline-914c0caf3964f3ce.d: crates/bench/src/bin/fig1_headline.rs
+
+/root/repo/target/release/deps/fig1_headline-914c0caf3964f3ce: crates/bench/src/bin/fig1_headline.rs
+
+crates/bench/src/bin/fig1_headline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_headline-947df9999194e328.d: crates/bench/src/bin/fig1_headline.rs
+
+/root/repo/target/release/deps/fig1_headline-947df9999194e328: crates/bench/src/bin/fig1_headline.rs
+
+crates/bench/src/bin/fig1_headline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_mechanism-167323a596bdbf8e.d: crates/bench/src/bin/fig3_mechanism.rs
+
+/root/repo/target/release/deps/fig3_mechanism-167323a596bdbf8e: crates/bench/src/bin/fig3_mechanism.rs
+
+crates/bench/src/bin/fig3_mechanism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_mechanism-ca8a16fb28c32f9f.d: crates/bench/src/bin/fig3_mechanism.rs
+
+/root/repo/target/release/deps/fig3_mechanism-ca8a16fb28c32f9f: crates/bench/src/bin/fig3_mechanism.rs
+
+crates/bench/src/bin/fig3_mechanism.rs:

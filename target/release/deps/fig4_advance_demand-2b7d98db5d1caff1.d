@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_advance_demand-2b7d98db5d1caff1.d: crates/bench/src/bin/fig4_advance_demand.rs
+
+/root/repo/target/release/deps/fig4_advance_demand-2b7d98db5d1caff1: crates/bench/src/bin/fig4_advance_demand.rs
+
+crates/bench/src/bin/fig4_advance_demand.rs:

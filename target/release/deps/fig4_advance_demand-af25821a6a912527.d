@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_advance_demand-af25821a6a912527.d: crates/bench/src/bin/fig4_advance_demand.rs
+
+/root/repo/target/release/deps/fig4_advance_demand-af25821a6a912527: crates/bench/src/bin/fig4_advance_demand.rs
+
+crates/bench/src/bin/fig4_advance_demand.rs:

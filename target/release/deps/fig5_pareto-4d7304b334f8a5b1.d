@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_pareto-4d7304b334f8a5b1.d: crates/bench/src/bin/fig5_pareto.rs
+
+/root/repo/target/release/deps/fig5_pareto-4d7304b334f8a5b1: crates/bench/src/bin/fig5_pareto.rs
+
+crates/bench/src/bin/fig5_pareto.rs:

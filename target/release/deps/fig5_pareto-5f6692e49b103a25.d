@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_pareto-5f6692e49b103a25.d: crates/bench/src/bin/fig5_pareto.rs
+
+/root/repo/target/release/deps/fig5_pareto-5f6692e49b103a25: crates/bench/src/bin/fig5_pareto.rs
+
+crates/bench/src/bin/fig5_pareto.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_training_time-545c3ab28940dd91.d: crates/bench/src/bin/fig6_training_time.rs
+
+/root/repo/target/release/deps/fig6_training_time-545c3ab28940dd91: crates/bench/src/bin/fig6_training_time.rs
+
+crates/bench/src/bin/fig6_training_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_smoothing-76175b63f8d4eb3e.d: crates/bench/src/bin/fig7_smoothing.rs
+
+/root/repo/target/release/deps/fig7_smoothing-76175b63f8d4eb3e: crates/bench/src/bin/fig7_smoothing.rs
+
+crates/bench/src/bin/fig7_smoothing.rs:

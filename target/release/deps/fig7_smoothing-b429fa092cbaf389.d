@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_smoothing-b429fa092cbaf389.d: crates/bench/src/bin/fig7_smoothing.rs
+
+/root/repo/target/release/deps/fig7_smoothing-b429fa092cbaf389: crates/bench/src/bin/fig7_smoothing.rs
+
+crates/bench/src/bin/fig7_smoothing.rs:

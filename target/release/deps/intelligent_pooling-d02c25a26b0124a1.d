@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/intelligent_pooling-d02c25a26b0124a1.d: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/libintelligent_pooling-d02c25a26b0124a1.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/libintelligent_pooling-d02c25a26b0124a1.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/intelligent_pooling-e77a7cb55d83178c.d: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/libintelligent_pooling-e77a7cb55d83178c.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/libintelligent_pooling-e77a7cb55d83178c.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

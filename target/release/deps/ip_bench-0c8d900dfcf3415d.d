@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ip_bench-0c8d900dfcf3415d.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libip_bench-0c8d900dfcf3415d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libip_bench-0c8d900dfcf3415d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ip_bench-777ba51824f75bf6.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libip_bench-777ba51824f75bf6.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libip_bench-777ba51824f75bf6.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

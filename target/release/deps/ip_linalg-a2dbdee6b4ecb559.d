@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ip_linalg-a2dbdee6b4ecb559.d: crates/linalg/src/lib.rs crates/linalg/src/eigen.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/svd.rs
+
+/root/repo/target/release/deps/libip_linalg-a2dbdee6b4ecb559.rlib: crates/linalg/src/lib.rs crates/linalg/src/eigen.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/svd.rs
+
+/root/repo/target/release/deps/libip_linalg-a2dbdee6b4ecb559.rmeta: crates/linalg/src/lib.rs crates/linalg/src/eigen.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/svd.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/eigen.rs:
+crates/linalg/src/lu.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/qr.rs:
+crates/linalg/src/svd.rs:

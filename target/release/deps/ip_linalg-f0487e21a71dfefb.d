@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ip_linalg-f0487e21a71dfefb.d: crates/linalg/src/lib.rs crates/linalg/src/eigen.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/svd.rs
+
+/root/repo/target/release/deps/libip_linalg-f0487e21a71dfefb.rlib: crates/linalg/src/lib.rs crates/linalg/src/eigen.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/svd.rs
+
+/root/repo/target/release/deps/libip_linalg-f0487e21a71dfefb.rmeta: crates/linalg/src/lib.rs crates/linalg/src/eigen.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/svd.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/eigen.rs:
+crates/linalg/src/lu.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/qr.rs:
+crates/linalg/src/svd.rs:

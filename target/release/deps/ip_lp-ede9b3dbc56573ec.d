@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ip_lp-ede9b3dbc56573ec.d: crates/lp/src/lib.rs crates/lp/src/model.rs crates/lp/src/simplex.rs
+
+/root/repo/target/release/deps/libip_lp-ede9b3dbc56573ec.rlib: crates/lp/src/lib.rs crates/lp/src/model.rs crates/lp/src/simplex.rs
+
+/root/repo/target/release/deps/libip_lp-ede9b3dbc56573ec.rmeta: crates/lp/src/lib.rs crates/lp/src/model.rs crates/lp/src/simplex.rs
+
+crates/lp/src/lib.rs:
+crates/lp/src/model.rs:
+crates/lp/src/simplex.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/ip_models-53c90df5276c8fdf.d: crates/models/src/lib.rs crates/models/src/baseline.rs crates/models/src/classical.rs crates/models/src/deep.rs crates/models/src/inception.rs crates/models/src/mwdn.rs crates/models/src/selector.rs crates/models/src/ssa_model.rs crates/models/src/ssa_plus.rs crates/models/src/tst.rs
+
+/root/repo/target/release/deps/libip_models-53c90df5276c8fdf.rlib: crates/models/src/lib.rs crates/models/src/baseline.rs crates/models/src/classical.rs crates/models/src/deep.rs crates/models/src/inception.rs crates/models/src/mwdn.rs crates/models/src/selector.rs crates/models/src/ssa_model.rs crates/models/src/ssa_plus.rs crates/models/src/tst.rs
+
+/root/repo/target/release/deps/libip_models-53c90df5276c8fdf.rmeta: crates/models/src/lib.rs crates/models/src/baseline.rs crates/models/src/classical.rs crates/models/src/deep.rs crates/models/src/inception.rs crates/models/src/mwdn.rs crates/models/src/selector.rs crates/models/src/ssa_model.rs crates/models/src/ssa_plus.rs crates/models/src/tst.rs
+
+crates/models/src/lib.rs:
+crates/models/src/baseline.rs:
+crates/models/src/classical.rs:
+crates/models/src/deep.rs:
+crates/models/src/inception.rs:
+crates/models/src/mwdn.rs:
+crates/models/src/selector.rs:
+crates/models/src/ssa_model.rs:
+crates/models/src/ssa_plus.rs:
+crates/models/src/tst.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/ip_nn-fa5f46a69eb836e1.d: crates/nn/src/lib.rs crates/nn/src/graph.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/rnn.rs crates/nn/src/tensor.rs crates/nn/src/train.rs
+
+/root/repo/target/release/deps/libip_nn-fa5f46a69eb836e1.rlib: crates/nn/src/lib.rs crates/nn/src/graph.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/rnn.rs crates/nn/src/tensor.rs crates/nn/src/train.rs
+
+/root/repo/target/release/deps/libip_nn-fa5f46a69eb836e1.rmeta: crates/nn/src/lib.rs crates/nn/src/graph.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/rnn.rs crates/nn/src/tensor.rs crates/nn/src/train.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/graph.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/rnn.rs:
+crates/nn/src/tensor.rs:
+crates/nn/src/train.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ip_par-a48ae57a5359381c.d: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/libip_par-a48ae57a5359381c.rlib: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/libip_par-a48ae57a5359381c.rmeta: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ip_pool-cfed8e0af10cf594.d: src/bin/ip-pool.rs
+
+/root/repo/target/release/deps/ip_pool-cfed8e0af10cf594: src/bin/ip-pool.rs
+
+src/bin/ip-pool.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ip_pool-f88ce7c3f6da8068.d: src/bin/ip-pool.rs
+
+/root/repo/target/release/deps/ip_pool-f88ce7c3f6da8068: src/bin/ip-pool.rs
+
+src/bin/ip-pool.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ip_saa-8ffcab31834d7f44.d: crates/saa/src/lib.rs crates/saa/src/dp.rs crates/saa/src/lp_model.rs crates/saa/src/mechanism.rs crates/saa/src/pareto.rs crates/saa/src/periodic.rs crates/saa/src/robustness.rs crates/saa/src/static_pool.rs
+
+/root/repo/target/release/deps/libip_saa-8ffcab31834d7f44.rlib: crates/saa/src/lib.rs crates/saa/src/dp.rs crates/saa/src/lp_model.rs crates/saa/src/mechanism.rs crates/saa/src/pareto.rs crates/saa/src/periodic.rs crates/saa/src/robustness.rs crates/saa/src/static_pool.rs
+
+/root/repo/target/release/deps/libip_saa-8ffcab31834d7f44.rmeta: crates/saa/src/lib.rs crates/saa/src/dp.rs crates/saa/src/lp_model.rs crates/saa/src/mechanism.rs crates/saa/src/pareto.rs crates/saa/src/periodic.rs crates/saa/src/robustness.rs crates/saa/src/static_pool.rs
+
+crates/saa/src/lib.rs:
+crates/saa/src/dp.rs:
+crates/saa/src/lp_model.rs:
+crates/saa/src/mechanism.rs:
+crates/saa/src/pareto.rs:
+crates/saa/src/periodic.rs:
+crates/saa/src/robustness.rs:
+crates/saa/src/static_pool.rs:

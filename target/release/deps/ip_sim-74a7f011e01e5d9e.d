@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ip_sim-74a7f011e01e5d9e.d: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/engine.rs crates/sim/src/session.rs crates/sim/src/stores.rs
+
+/root/repo/target/release/deps/libip_sim-74a7f011e01e5d9e.rlib: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/engine.rs crates/sim/src/session.rs crates/sim/src/stores.rs
+
+/root/repo/target/release/deps/libip_sim-74a7f011e01e5d9e.rmeta: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/engine.rs crates/sim/src/session.rs crates/sim/src/stores.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cluster.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/session.rs:
+crates/sim/src/stores.rs:

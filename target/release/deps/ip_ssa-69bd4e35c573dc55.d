@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ip_ssa-69bd4e35c573dc55.d: crates/ssa/src/lib.rs crates/ssa/src/decomp.rs crates/ssa/src/forecast.rs
+
+/root/repo/target/release/deps/libip_ssa-69bd4e35c573dc55.rlib: crates/ssa/src/lib.rs crates/ssa/src/decomp.rs crates/ssa/src/forecast.rs
+
+/root/repo/target/release/deps/libip_ssa-69bd4e35c573dc55.rmeta: crates/ssa/src/lib.rs crates/ssa/src/decomp.rs crates/ssa/src/forecast.rs
+
+crates/ssa/src/lib.rs:
+crates/ssa/src/decomp.rs:
+crates/ssa/src/forecast.rs:

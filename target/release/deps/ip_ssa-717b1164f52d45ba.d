@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ip_ssa-717b1164f52d45ba.d: crates/ssa/src/lib.rs crates/ssa/src/decomp.rs crates/ssa/src/forecast.rs
+
+/root/repo/target/release/deps/libip_ssa-717b1164f52d45ba.rlib: crates/ssa/src/lib.rs crates/ssa/src/decomp.rs crates/ssa/src/forecast.rs
+
+/root/repo/target/release/deps/libip_ssa-717b1164f52d45ba.rmeta: crates/ssa/src/lib.rs crates/ssa/src/decomp.rs crates/ssa/src/forecast.rs
+
+crates/ssa/src/lib.rs:
+crates/ssa/src/decomp.rs:
+crates/ssa/src/forecast.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/ip_timeseries-1d064c4e77253638.d: crates/timeseries/src/lib.rs crates/timeseries/src/decompose.rs crates/timeseries/src/filters.rs crates/timeseries/src/metrics.rs crates/timeseries/src/series.rs crates/timeseries/src/split.rs crates/timeseries/src/windowing.rs
+
+/root/repo/target/release/deps/libip_timeseries-1d064c4e77253638.rlib: crates/timeseries/src/lib.rs crates/timeseries/src/decompose.rs crates/timeseries/src/filters.rs crates/timeseries/src/metrics.rs crates/timeseries/src/series.rs crates/timeseries/src/split.rs crates/timeseries/src/windowing.rs
+
+/root/repo/target/release/deps/libip_timeseries-1d064c4e77253638.rmeta: crates/timeseries/src/lib.rs crates/timeseries/src/decompose.rs crates/timeseries/src/filters.rs crates/timeseries/src/metrics.rs crates/timeseries/src/series.rs crates/timeseries/src/split.rs crates/timeseries/src/windowing.rs
+
+crates/timeseries/src/lib.rs:
+crates/timeseries/src/decompose.rs:
+crates/timeseries/src/filters.rs:
+crates/timeseries/src/metrics.rs:
+crates/timeseries/src/series.rs:
+crates/timeseries/src/split.rs:
+crates/timeseries/src/windowing.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ip_workload-a8212309190d9909.d: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/presets.rs crates/workload/src/stats.rs
+
+/root/repo/target/release/deps/libip_workload-a8212309190d9909.rlib: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/presets.rs crates/workload/src/stats.rs
+
+/root/repo/target/release/deps/libip_workload-a8212309190d9909.rmeta: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/presets.rs crates/workload/src/stats.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/presets.rs:
+crates/workload/src/stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/production_replay-c3ddfca850b03fd7.d: crates/bench/src/bin/production_replay.rs
+
+/root/repo/target/release/deps/production_replay-c3ddfca850b03fd7: crates/bench/src/bin/production_replay.rs
+
+crates/bench/src/bin/production_replay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/production_replay-ed15309558e567a8.d: crates/bench/src/bin/production_replay.rs
+
+/root/repo/target/release/deps/production_replay-ed15309558e567a8: crates/bench/src/bin/production_replay.rs
+
+crates/bench/src/bin/production_replay.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-2102773679459133.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-2102773679459133.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-2102773679459133.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-54ab30e1907b3ea3.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-54ab30e1907b3ea3.rlib: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-54ab30e1907b3ea3.rmeta: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robustness_spikes-403889154c2b7d9a.d: crates/bench/src/bin/robustness_spikes.rs
+
+/root/repo/target/release/deps/robustness_spikes-403889154c2b7d9a: crates/bench/src/bin/robustness_spikes.rs
+
+crates/bench/src/bin/robustness_spikes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robustness_spikes-c5b719b821c608d7.d: crates/bench/src/bin/robustness_spikes.rs
+
+/root/repo/target/release/deps/robustness_spikes-c5b719b821c608d7: crates/bench/src/bin/robustness_spikes.rs
+
+crates/bench/src/bin/robustness_spikes.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-ad32545f580516b6.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-ad32545f580516b6.rlib: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-ad32545f580516b6.rmeta: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

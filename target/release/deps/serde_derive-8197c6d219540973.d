@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-8197c6d219540973.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-8197c6d219540973.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-86612cf9b438f8f8.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/libserde_derive-86612cf9b438f8f8.so: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-0c376681446e951c.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-0c376681446e951c.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-0c376681446e951c.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

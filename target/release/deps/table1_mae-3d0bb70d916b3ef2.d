@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_mae-3d0bb70d916b3ef2.d: crates/bench/src/bin/table1_mae.rs
+
+/root/repo/target/release/deps/table1_mae-3d0bb70d916b3ef2: crates/bench/src/bin/table1_mae.rs
+
+crates/bench/src/bin/table1_mae.rs:

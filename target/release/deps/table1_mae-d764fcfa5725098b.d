@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_mae-d764fcfa5725098b.d: crates/bench/src/bin/table1_mae.rs
+
+/root/repo/target/release/deps/table1_mae-d764fcfa5725098b: crates/bench/src/bin/table1_mae.rs
+
+crates/bench/src/bin/table1_mae.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_savings-5287460008792132.d: crates/bench/src/bin/table2_savings.rs
+
+/root/repo/target/release/deps/table2_savings-5287460008792132: crates/bench/src/bin/table2_savings.rs
+
+crates/bench/src/bin/table2_savings.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_savings-93676250d32605a0.d: crates/bench/src/bin/table2_savings.rs
+
+/root/repo/target/release/deps/table2_savings-93676250d32605a0: crates/bench/src/bin/table2_savings.rs
+
+crates/bench/src/bin/table2_savings.rs:

@@ -1,0 +1,1 @@
+/root/repo/target/release/libip_lp.rlib: /root/repo/crates/lp/src/lib.rs /root/repo/crates/lp/src/model.rs /root/repo/crates/lp/src/simplex.rs

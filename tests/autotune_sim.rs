@@ -34,7 +34,12 @@ fn run_epoch(alpha: f64, demand: &TimeSeries) -> f64 {
         let scaled: Vec<f64> = pred.iter().map(|v| v * overshoot).collect();
         let series = TimeSeries::new(observed.interval_secs(), scaled).ok()?;
         let opt = optimize_dp(&series, &saa).ok()?;
-        Some(opt.schedule.iter().map(|&n| n.round().max(0.0) as u32).collect())
+        Some(
+            opt.schedule
+                .iter()
+                .map(|&n| n.round().max(0.0) as u32)
+                .collect(),
+        )
     };
     let cfg = SimConfig {
         interval_secs: 30,
@@ -49,7 +54,9 @@ fn run_epoch(alpha: f64, demand: &TimeSeries) -> f64 {
         seed: 2,
         ..Default::default()
     };
-    let report = Simulation::new(cfg, Some(&mut provider)).run(demand).expect("simulation");
+    let report = Simulation::new(cfg, Some(&mut provider))
+        .run(demand)
+        .expect("simulation");
     report.mean_wait_secs
 }
 
@@ -57,8 +64,15 @@ fn run_epoch(alpha: f64, demand: &TimeSeries) -> f64 {
 fn tuner_steers_simulated_platform_toward_wait_sla() {
     // A repeating 96-interval pattern so the seasonal forecast is exact
     // after warm-up; measured waits then depend only on the knob.
-    let day: Vec<f64> =
-        (0..96).map(|t| if (16..32).contains(&(t % 96)) { 3.0 } else { 1.0 }).collect();
+    let day: Vec<f64> = (0..96)
+        .map(|t| {
+            if (16..32).contains(&(t % 96)) {
+                3.0
+            } else {
+                1.0
+            }
+        })
+        .collect();
     let mut vals = Vec::new();
     for _ in 0..15 {
         vals.extend(day.clone());

@@ -14,10 +14,22 @@ fn generate_then_evaluate_roundtrip() {
     let trace = dir.join("demand.txt");
 
     let out = ip_pool()
-        .args(["generate", "--preset", "east-us-2-medium", "--days", "1", "--seed", "5"])
+        .args([
+            "generate",
+            "--preset",
+            "east-us-2-medium",
+            "--days",
+            "1",
+            "--seed",
+            "5",
+        ])
         .output()
         .expect("run generate");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.lines().filter(|l| !l.starts_with('#')).count() >= 2880);
     std::fs::write(&trace, &text).unwrap();
@@ -48,7 +60,7 @@ fn recommend_baseline_outputs_targets() {
     std::fs::create_dir_all(&dir).unwrap();
     let trace = dir.join("demand.txt");
     // A small constant trace is enough for the baseline model.
-    let body: String = std::iter::repeat("2\n").take(600).collect();
+    let body: String = "2\n".repeat(600);
     std::fs::write(&trace, body).unwrap();
 
     let out = ip_pool()
@@ -62,10 +74,16 @@ fn recommend_baseline_outputs_targets() {
         ])
         .output()
         .expect("run recommend");
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let text = String::from_utf8(out.stdout).unwrap();
-    let targets: Vec<&str> =
-        text.lines().filter(|l| !l.starts_with('#') && !l.is_empty()).collect();
+    let targets: Vec<&str> = text
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+        .collect();
     assert_eq!(targets.len(), 12);
     assert!(targets.iter().all(|t| t.parse::<u32>().is_ok()));
 

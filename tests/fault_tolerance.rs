@@ -27,7 +27,9 @@ fn consecutive_pipeline_failures_degrade_to_defaults() {
         ..Default::default()
     };
     let mut provider = StaticProvider(7);
-    let report = Simulation::new(cfg, Some(&mut provider)).run(&demand).unwrap();
+    let report = Simulation::new(cfg, Some(&mut provider))
+        .run(&demand)
+        .unwrap();
 
     assert_eq!(report.ip_failures, 4);
     let timeline = &report.applied_target_timeline;
@@ -60,7 +62,9 @@ fn single_failure_keeps_previous_recommendation() {
         ..Default::default()
     };
     let mut provider = StaticProvider(5);
-    let report = Simulation::new(cfg, Some(&mut provider)).run(&demand).unwrap();
+    let report = Simulation::new(cfg, Some(&mut provider))
+        .run(&demand)
+        .unwrap();
     assert_eq!(report.ip_failures, 1);
     assert_eq!(report.fallback_intervals, 1); // only the very first interval
     assert!(report.applied_target_timeline[1..].iter().all(|&t| t == 5));
@@ -80,7 +84,10 @@ fn arbitrator_replaces_dead_worker_and_pool_recovers() {
         tau_secs: 90,
         tau_jitter_secs: 0,
         default_pool_target: 4,
-        arbitrator: ip_sim::ArbitratorConfig { lease_secs: 180, check_every_secs: 60 },
+        arbitrator: ip_sim::ArbitratorConfig {
+            lease_secs: 180,
+            check_every_secs: 60,
+        },
         pooling_worker_outages: vec![(600, u64::MAX)],
         ..Default::default()
     };
@@ -104,14 +111,22 @@ fn guardrail_fallback_still_yields_service() {
     // (static-like) recommendation through the SAA fallback, and the
     // simulator must keep serving with it.
     use intelligent_pooling::models::SsaModel;
-    let saa = SaaConfig { tau_intervals: 3, stableness: 10, max_pool: 50, ..Default::default() };
+    let saa = SaaConfig {
+        tau_intervals: 3,
+        stableness: 10,
+        max_pool: 50,
+        ..Default::default()
+    };
     let pipeline = TwoStepEngine::new(SsaModel::new(60, RankSelection::Fixed(3)), saa);
     let mut engine = IntelligentPooling::new(
         pipeline,
         || SsaModel::new(60, RankSelection::Fixed(3)),
         EngineConfig {
             saa,
-            guardrail: Some(Guardrail { holdout: 40, max_relative_mae: 0.0 }), // rejects all
+            guardrail: Some(Guardrail {
+                holdout: 40,
+                max_relative_mae: 0.0,
+            }), // rejects all
             min_history: 120,
             ..Default::default()
         },
@@ -129,7 +144,9 @@ fn guardrail_fallback_still_yields_service() {
         }),
         ..Default::default()
     };
-    let report = Simulation::new(cfg, Some(&mut engine)).run(&demand).unwrap();
+    let report = Simulation::new(cfg, Some(&mut engine))
+        .run(&demand)
+        .unwrap();
     // Recommendations kept flowing (fallback path), and the pool served.
     assert!(report.ip_runs >= 4);
     assert!(report.hit_rate > 0.3, "hit rate {}", report.hit_rate);

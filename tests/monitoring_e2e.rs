@@ -19,12 +19,17 @@ fn dashboard_reflects_faulty_run_and_alerts_fire() {
             horizon_secs: 900,
             failing_runs: vec![2, 3, 4, 5, 6, 7],
         }),
-        arbitrator: ArbitratorConfig { lease_secs: 120, check_every_secs: 60 },
+        arbitrator: ArbitratorConfig {
+            lease_secs: 120,
+            check_every_secs: 60,
+        },
         pooling_worker_outages: vec![(1800, u64::MAX)],
         ..Default::default()
     };
     let mut provider = StaticProvider(6);
-    let report = Simulation::new(cfg, Some(&mut provider)).run(&demand).unwrap();
+    let report = Simulation::new(cfg, Some(&mut provider))
+        .run(&demand)
+        .unwrap();
 
     let dashboard = Dashboard::new(CostModel::default());
     let snapshot = dashboard.snapshot(&report, demand.duration_secs() as f64);
@@ -32,7 +37,10 @@ fn dashboard_reflects_faulty_run_and_alerts_fire() {
     // The §7.5 metric set is populated coherently.
     assert_eq!(snapshot.hit_count + snapshot.miss_count, 240);
     assert!(snapshot.ip_failures >= 6);
-    assert!(snapshot.fallback_intervals > 0, "stale files must trigger fallback");
+    assert!(
+        snapshot.fallback_intervals > 0,
+        "stale files must trigger fallback"
+    );
     assert_eq!(snapshot.worker_replacements, 1);
     assert!(snapshot.idle_cost_dollars > 0.0);
     assert!(snapshot.demand_rate_per_interval > 0.99 && snapshot.demand_rate_per_interval < 1.01);
@@ -58,7 +66,15 @@ fn dashboard_reflects_faulty_run_and_alerts_fire() {
 fn replay_feeds_cogs_savings_metric() {
     // Replay a cheap engine over a seasonal trace, then express the result
     // as the dashboard's "COGS saved vs static reference" figure.
-    let day: Vec<f64> = (0..96).map(|t| if (24..48).contains(&(t % 96)) { 4.0 } else { 0.0 }).collect();
+    let day: Vec<f64> = (0..96)
+        .map(|t| {
+            if (24..48).contains(&(t % 96)) {
+                4.0
+            } else {
+                0.0
+            }
+        })
+        .collect();
     let mut vals = Vec::new();
     for _ in 0..6 {
         vals.extend(day.clone());
@@ -82,13 +98,16 @@ fn replay_feeds_cogs_savings_metric() {
         tau_intervals: saa.tau_intervals,
     };
     let out = replay_pipeline(&mut engine, &demand, &replay_cfg).unwrap();
-    assert!(out.mechanics.hit_rate > 0.9, "hit rate {}", out.mechanics.hit_rate);
+    assert!(
+        out.mechanics.hit_rate > 0.9,
+        "hit rate {}",
+        out.mechanics.hit_rate
+    );
 
     // Static reference: the best fixed pool for the same hit rate.
     let eval = demand.slice(96, demand.len()).unwrap();
     let (_, static_mech) =
-        optimal_static_for_hit_rate(&eval, saa.tau_intervals, out.mechanics.hit_rate, 100)
-            .unwrap();
+        optimal_static_for_hit_rate(&eval, saa.tau_intervals, out.mechanics.hit_rate, 100).unwrap();
     let cost = CostModel::default();
     let saved = cost.cost_of_idle(static_mech.idle_cluster_seconds)
         - cost.cost_of_idle(out.mechanics.idle_cluster_seconds);

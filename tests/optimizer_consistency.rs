@@ -30,9 +30,12 @@ fn simulator_matches_analytic_accounting_for_static_pool() {
     let demand = bursty_demand(1, 3);
     let tau_intervals = 3usize;
     for target in [0u32, 2, 5, 10, 20] {
-        let analytic =
-            evaluate_schedule(&demand, &static_schedule(demand.len(), target), tau_intervals)
-                .unwrap();
+        let analytic = evaluate_schedule(
+            &demand,
+            &static_schedule(demand.len(), target),
+            tau_intervals,
+        )
+        .unwrap();
         let cfg = SimConfig {
             interval_secs: 30,
             tau_secs: 90,
@@ -42,7 +45,10 @@ fn simulator_matches_analytic_accounting_for_static_pool() {
         };
         let sim = Simulation::new(cfg, None).run(&demand).unwrap();
 
-        assert_eq!(sim.total_requests, analytic.total_requests, "target {target}");
+        assert_eq!(
+            sim.total_requests, analytic.total_requests,
+            "target {target}"
+        );
         if analytic.hit_rate >= 0.95 {
             // Well-provisioned regime: the models must coincide closely.
             let hit_diff = (sim.hit_rate - analytic.hit_rate).abs();
@@ -123,7 +129,10 @@ fn dynamic_pooling_cuts_idle_at_matched_hit_rate() {
     // Find the dynamic schedule whose hit rate clears 99% by sweeping α'.
     let mut dynamic: Option<ip_saa::PoolMechanics> = None;
     for alpha in [0.5, 0.3, 0.2, 0.1, 0.05, 0.02, 0.01] {
-        let c = SaaConfig { alpha_prime: alpha, ..config };
+        let c = SaaConfig {
+            alpha_prime: alpha,
+            ..config
+        };
         let opt = optimize_dp(&demand, &c).unwrap();
         let m = evaluate_schedule(&demand, &opt.schedule, c.tau_intervals).unwrap();
         if m.hit_rate >= 0.99 {
@@ -143,7 +152,11 @@ fn dynamic_pooling_cuts_idle_at_matched_hit_rate() {
     let reduction = 1.0 - dynamic.idle_cluster_seconds / static_mech.idle_cluster_seconds;
     // The paper reports up to 43%; demand shape dictates the exact figure —
     // requiring a clearly material reduction keeps the test robust.
-    assert!(reduction > 0.10, "idle reduction only {:.1}%", reduction * 100.0);
+    assert!(
+        reduction > 0.10,
+        "idle reduction only {:.1}%",
+        reduction * 100.0
+    );
 }
 
 /// Fig. 4's phenomenon: with top-of-hour surges, the optimal pool size rises
@@ -156,7 +169,11 @@ fn optimal_pool_rises_ahead_of_scheduled_surges() {
         base_rate: 0.5,
         diurnal_amplitude: 0.0,
         weekly: WeeklyProfile::flat(),
-        hourly_spikes: Some(HourlySpikes { magnitude: 20.0, duration_secs: 120, hours: vec![] }),
+        hourly_spikes: Some(HourlySpikes {
+            magnitude: 20.0,
+            duration_secs: 120,
+            hours: vec![],
+        }),
         poisson_noise: false,
         seed: 0,
         ..Default::default()

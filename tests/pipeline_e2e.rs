@@ -12,7 +12,10 @@ fn history_and_future() -> (TimeSeries, TimeSeries) {
     model.days = 3;
     let full = model.generate();
     let cut = full.len() * 2 / 3;
-    (full.slice(0, cut).unwrap(), full.slice(cut, cut + 240).unwrap())
+    (
+        full.slice(0, cut).unwrap(),
+        full.slice(cut, cut + 240).unwrap(),
+    )
 }
 
 fn saa() -> SaaConfig {
@@ -148,7 +151,10 @@ fn table1_presets_rank_models_consistently() {
     model.days = 2;
     let full = model.generate();
     let cut = full.len() * 4 / 5;
-    let (train, test) = (full.slice(0, cut).unwrap(), full.slice(cut, full.len()).unwrap());
+    let (train, test) = (
+        full.slice(0, cut).unwrap(),
+        full.slice(cut, full.len()).unwrap(),
+    );
     let horizon = test.len();
 
     let mut ssa_plus = SsaPlus::with_alpha(0.5);

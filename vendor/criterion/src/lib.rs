@@ -1,0 +1,241 @@
+//! Offline stand-in for `criterion` (see `vendor/README.md`).
+//!
+//! A minimal wall-clock benchmarking harness exposing the API surface the
+//! workspace's benches use: [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`]/[`BenchmarkGroup::bench_with_input`],
+//! `sample_size`, [`BenchmarkId`], [`Bencher::iter`], and the
+//! `criterion_group!`/`criterion_main!` macros. Reports the median
+//! time/iteration per benchmark on stdout — no statistics beyond that, no
+//! HTML reports.
+//!
+//! Knobs: `IP_BENCH_SAMPLES` overrides every group's sample count (useful
+//! to smoke-run benches quickly).
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("benchmark group: {name}");
+        BenchmarkGroup {
+            _parent: self,
+            name,
+            sample_size: default_samples(),
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id = id.into();
+        let report = run_bench(default_samples(), &mut f);
+        print_report(&id.label, &report);
+    }
+}
+
+fn default_samples() -> usize {
+    std::env::var("IP_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(20)
+}
+
+/// A named collection of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the number of samples measured per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `f`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl Into<BenchmarkId>, mut f: F) {
+        let id = id.into();
+        let report = run_bench(self.sample_size, &mut f);
+        print_report(&format!("{}/{}", self.name, id.label), &report);
+    }
+
+    /// Benchmarks `f` with a fixed input.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) {
+        let id = id.into();
+        let report = run_bench(self.sample_size, &mut |b: &mut Bencher| f(b, input));
+        print_report(&format!("{}/{}", self.name, id.label), &report);
+    }
+
+    /// Ends the group (printing happens eagerly; kept for API parity).
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered as `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", name.into(), parameter),
+        }
+    }
+
+    /// An id from a bare parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Timing context handed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `f` over the iteration count chosen by the harness.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// One benchmark's measurements.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Median seconds per iteration.
+    pub median_secs_per_iter: f64,
+    /// Iterations per measured sample.
+    pub iters_per_sample: u64,
+    /// Number of samples.
+    pub samples: usize,
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(samples: usize, f: &mut F) -> Report {
+    // Calibrate the per-sample iteration count so one sample costs ≳2 ms
+    // (bounds timer noise without making suites crawl).
+    let mut iters: u64 = 1;
+    loop {
+        let mut b = Bencher {
+            iters,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut b);
+        if b.elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+            break;
+        }
+        iters *= 4;
+    }
+    let mut per_iter: Vec<f64> = (0..samples.max(2))
+        .map(|_| {
+            let mut b = Bencher {
+                iters,
+                elapsed: Duration::ZERO,
+            };
+            f(&mut b);
+            b.elapsed.as_secs_f64() / iters as f64
+        })
+        .collect();
+    per_iter.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    Report {
+        median_secs_per_iter: per_iter[per_iter.len() / 2],
+        iters_per_sample: iters,
+        samples: per_iter.len(),
+    }
+}
+
+fn print_report(label: &str, report: &Report) {
+    let t = report.median_secs_per_iter;
+    let (value, unit) = if t < 1e-6 {
+        (t * 1e9, "ns")
+    } else if t < 1e-3 {
+        (t * 1e6, "µs")
+    } else if t < 1.0 {
+        (t * 1e3, "ms")
+    } else {
+        (t, "s")
+    };
+    println!(
+        "  {label:<48} {value:>10.3} {unit}/iter  ({} samples x {} iters)",
+        report.samples, report.iters_per_sample
+    );
+}
+
+/// Groups benchmark functions under one entry function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let report = run_bench(3, &mut |b: &mut Bencher| {
+            b.iter(|| (0..1000u64).sum::<u64>())
+        });
+        assert!(report.median_secs_per_iter > 0.0);
+        assert!(report.iters_per_sample >= 1);
+    }
+
+    #[test]
+    fn ids_render() {
+        let id = BenchmarkId::new("matmul", 128);
+        assert_eq!(id.label, "matmul/128");
+    }
+}

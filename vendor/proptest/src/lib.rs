@@ -1,0 +1,387 @@
+//! Offline stand-in for `proptest` (see `vendor/README.md`).
+//!
+//! Implements the surface this workspace's property tests use: the
+//! [`strategy::Strategy`] trait with `prop_map`/`prop_flat_map`, range and
+//! tuple strategies, [`collection::vec`], [`prelude::ProptestConfig`], and
+//! the `proptest!` / `prop_assert!` / `prop_assert_eq!` / `prop_assume!`
+//! macros. Inputs are drawn from a deterministic per-test RNG (seeded from
+//! the test name), so runs are reproducible. The big thing the real crate
+//! has that this one does not is *shrinking*: a failure reports the exact
+//! failing inputs but does not minimize them.
+
+pub mod strategy {
+    //! The [`Strategy`] trait and combinators.
+
+    use rand::rngs::StdRng;
+    use rand::SampleRange;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Applies `f` to every generated value.
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Generates a value, builds a second strategy from it, and draws
+        /// from that.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// Strategy yielding a fixed value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn generate(&self, rng: &mut StdRng) -> S2::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    self.clone().sample_from(rng)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    self.clone().sample_from(rng)
+                }
+            }
+        )*};
+    }
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    // Componentwise, left to right, so streams are stable.
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        )*};
+    }
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::SampleRange;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Admissible length specifications for [`vec`].
+    pub trait SizeRange {
+        /// Picks a concrete length.
+        fn pick(&self, rng: &mut StdRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut StdRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            self.clone().sample_from(rng)
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn pick(&self, rng: &mut StdRng) -> usize {
+            self.clone().sample_from(rng)
+        }
+    }
+
+    /// Strategy for `Vec`s whose elements come from `element` and whose
+    /// length comes from `size`.
+    pub fn vec<S: Strategy, L: SizeRange>(element: S, size: L) -> VecStrategy<S, L> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S, L> {
+        element: S,
+        size: L,
+    }
+
+    impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Per-test configuration and the failure/rejection plumbing the macros
+    //! expand to.
+
+    /// Outcome of a single test case body.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assume!` failed — the case is discarded, not failed.
+        Reject(String),
+        /// `prop_assert!`/`prop_assert_eq!` failed.
+        Fail(String),
+    }
+
+    /// Result alias for test case bodies.
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Run configuration (`cases` is the only knob this workspace turns).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of successful (non-rejected) cases to run.
+        pub cases: u32,
+        /// Upper bound on `prop_assume!` rejections before giving up.
+        pub max_global_rejects: u32,
+    }
+
+    impl Config {
+        /// Configuration running `cases` cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Config {
+                cases,
+                ..Default::default()
+            }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    /// Deterministic seed derived from the test name (FNV-1a).
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        h
+    }
+
+    /// The generator for a named test — used by the `proptest!` expansion so
+    /// generated code never references `rand` from the caller's namespace.
+    pub fn rng_for(name: &str) -> rand::rngs::StdRng {
+        <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed_for(name))
+    }
+}
+
+pub mod prelude {
+    //! The glob import every property test starts with.
+
+    pub use crate::collection;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use rand::rngs::StdRng as TestRng;
+}
+
+/// Defines property tests. See the crate docs for the supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@cfg ($cfg); $($rest)*);
+    };
+    (@cfg ($cfg:expr); $($(#[$meta:meta])+ fn $name:ident($($arg:pat_param in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let cfg: $crate::test_runner::Config = $cfg;
+                let mut rng = $crate::test_runner::rng_for(stringify!($name));
+                let strategies = ($($strat,)+);
+                let mut case: u32 = 0;
+                let mut rejects: u32 = 0;
+                while case < cfg.cases {
+                    let values = $crate::strategy::Strategy::generate(&strategies, &mut rng);
+                    let desc = format!("{:?}", values);
+                    let outcome: $crate::test_runner::TestCaseResult = (move || {
+                        let ($($arg,)+) = values;
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    match outcome {
+                        Ok(()) => case += 1,
+                        Err($crate::test_runner::TestCaseError::Reject(reason)) => {
+                            rejects += 1;
+                            assert!(
+                                rejects < cfg.max_global_rejects,
+                                "proptest: too many prop_assume! rejections ({reason})"
+                            );
+                        }
+                        Err($crate::test_runner::TestCaseError::Fail(msg)) => {
+                            panic!(
+                                "proptest case {case} failed: {msg}\n  inputs: {}",
+                                desc
+                            );
+                        }
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest!(@cfg ($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+/// Asserts inside a `proptest!` body; failure fails the case with a message.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let l = &$left;
+        let r = &$right;
+        if !(*l == *r) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let l = &$left;
+        let r = &$right;
+        if !(*l == *r) {
+            return Err($crate::test_runner::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Discards the current case when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return Err($crate::test_runner::TestCaseError::Reject(
+                concat!("assumption failed: ", stringify!($cond)).to_string(),
+            ));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_in_bounds(x in 1usize..=8, y in -2.0f64..2.0) {
+            prop_assert!((1..=8).contains(&x));
+            prop_assert!((-2.0..2.0).contains(&y), "y out of range: {}", y);
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in collection::vec(0u32..5, 3..7)) {
+            prop_assert!(v.len() >= 3 && v.len() < 7);
+            prop_assert!(v.iter().all(|&e| e < 5));
+        }
+
+        #[test]
+        fn flat_map_and_tuples((n, v) in (1usize..4).prop_flat_map(|n| {
+            (Just(n), collection::vec(0.0f64..1.0, n * 2))
+        })) {
+            prop_assert_eq!(v.len(), n * 2);
+        }
+
+        #[test]
+        fn assume_discards(x in 0u32..10) {
+            prop_assume!(x != 3);
+            prop_assert!(x != 3);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        use crate::strategy::Strategy;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let strat = crate::collection::vec(0.0f64..1.0, 5usize);
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+    }
+}

@@ -1,0 +1,314 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! Derives the vendored serde's [`Serialize`]/[`Deserialize`] — which pivot
+//! on a `Content` tree rather than visitor traits — for the shapes this
+//! workspace actually derives on: non-generic structs with named fields and
+//! non-generic enums with unit or tuple variants. Anything fancier (generics,
+//! struct variants, `#[serde(...)]` attributes) panics at expansion time with
+//! a clear message rather than miscompiling.
+//!
+//! Implemented with a hand-rolled `proc_macro` token walk because the build
+//! container has no registry access for `syn`/`quote`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct { name: String, fields: Vec<String> },
+    /// Enum of unit and tuple variants: `(variant name, tuple arity)`,
+    /// arity 0 meaning a unit variant.
+    Enum {
+        name: String,
+        variants: Vec<(String, usize)>,
+    },
+}
+
+/// Skips attributes (`#[...]`, including doc comments) and visibility
+/// (`pub`, `pub(crate)`, …) at the cursor.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1; // the `[...]` group
+                if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Counts top-level comma-separated chunks of a token group (tuple arity),
+/// ignoring commas nested inside `<...>` or inner groups.
+fn top_level_chunks(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut chunks = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_trailing_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    chunks += 1;
+                    saw_trailing_comma = true;
+                }
+                _ => saw_trailing_comma = false,
+            },
+            _ => saw_trailing_comma = false,
+        }
+    }
+    if saw_trailing_comma {
+        chunks -= 1;
+    }
+    chunks
+}
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stand-in derive: expected `struct` or `enum`, got {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde stand-in derive: expected type name, got {other}"),
+    };
+    i += 1;
+    let body = match &tokens[i] {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g.clone(),
+        TokenTree::Punct(p) if p.as_char() == '<' => {
+            panic!("serde stand-in derive: generic type `{name}` is not supported")
+        }
+        other => panic!("serde stand-in derive: expected `{{...}}` body for `{name}`, got {other}"),
+    };
+    let body_tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+
+    match kind.as_str() {
+        "struct" => {
+            let mut fields = Vec::new();
+            let mut j = 0;
+            while j < body_tokens.len() {
+                j = skip_attrs_and_vis(&body_tokens, j);
+                if j >= body_tokens.len() {
+                    break;
+                }
+                let field = match &body_tokens[j] {
+                    TokenTree::Ident(id) => id.to_string(),
+                    other => panic!(
+                        "serde stand-in derive: expected field name in `{name}`, got {other}"
+                    ),
+                };
+                j += 1;
+                match &body_tokens[j] {
+                    TokenTree::Punct(p) if p.as_char() == ':' => j += 1,
+                    _ => {
+                        panic!("serde stand-in derive: tuple structs are not supported (`{name}`)")
+                    }
+                }
+                // Consume the type up to a top-level comma.
+                let mut angle_depth = 0i32;
+                while j < body_tokens.len() {
+                    match &body_tokens[j] {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                            j += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                fields.push(field);
+            }
+            Shape::Struct { name, fields }
+        }
+        "enum" => {
+            let mut variants = Vec::new();
+            let mut j = 0;
+            while j < body_tokens.len() {
+                j = skip_attrs_and_vis(&body_tokens, j);
+                if j >= body_tokens.len() {
+                    break;
+                }
+                let variant = match &body_tokens[j] {
+                    TokenTree::Ident(id) => id.to_string(),
+                    other => {
+                        panic!("serde stand-in derive: expected variant in `{name}`, got {other}")
+                    }
+                };
+                j += 1;
+                let arity = match body_tokens.get(j) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        j += 1;
+                        top_level_chunks(g)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => panic!(
+                        "serde stand-in derive: struct variant `{name}::{variant}` is not supported"
+                    ),
+                    Some(TokenTree::Punct(p)) if p.as_char() == '=' => panic!(
+                        "serde stand-in derive: discriminant on `{name}::{variant}` is not supported"
+                    ),
+                    _ => 0,
+                };
+                if let Some(TokenTree::Punct(p)) = body_tokens.get(j) {
+                    if p.as_char() == ',' {
+                        j += 1;
+                    }
+                }
+                variants.push((variant, arity));
+            }
+            Shape::Enum { name, variants }
+        }
+        other => panic!("serde stand-in derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Derives the vendored `::serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let out = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f})),")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Map(vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, arity)| match arity {
+                    0 => format!("{name}::{v} => ::serde::Content::Str(\"{v}\".to_string()),\n"),
+                    1 => format!(
+                        "{name}::{v}(a0) => ::serde::Content::Map(vec![(\"{v}\".to_string(), \
+                         ::serde::Serialize::to_content(a0))]),\n"
+                    ),
+                    n => {
+                        let binders: Vec<String> = (0..*n).map(|k| format!("a{k}")).collect();
+                        let elems: String = binders
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_content({b}),"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Content::Map(vec![(\"{v}\".to_string(), \
+                             ::serde::Content::Seq(vec![{elems}]))]),\n",
+                            binders.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         match self {{\n{arms}\n}}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse()
+        .expect("serde stand-in derive: generated invalid Serialize impl")
+}
+
+/// Derives the vendored `::serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let out = match parse_shape(input) {
+        Shape::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_content(content.field(\"{f}\")\
+                         .ok_or_else(|| ::serde::Error::msg(\"missing field {f}\"))?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn from_content(content: &::serde::Content) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, arity)| *arity == 0)
+                .map(|(v, _)| format!("\"{v}\" => Ok({name}::{v}),\n"))
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter(|(_, arity)| *arity > 0)
+                .map(|(v, arity)| {
+                    if *arity == 1 {
+                        format!(
+                            "\"{v}\" => Ok({name}::{v}(::serde::Deserialize::from_content(value)?)),\n"
+                        )
+                    } else {
+                        let elems: Vec<String> = (0..*arity)
+                            .map(|k| format!("::serde::Deserialize::from_content(&items[{k}])?"))
+                            .collect();
+                        format!(
+                            "\"{v}\" => match value {{\n\
+                                 ::serde::Content::Seq(items) if items.len() == {arity} => \
+                                     Ok({name}::{v}({})),\n\
+                                 _ => Err(::serde::Error::msg(\"bad payload for variant {v}\")),\n\
+                             }},\n",
+                            elems.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn from_content(content: &::serde::Content) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         match content {{\n\
+                             ::serde::Content::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => Err(::serde::Error::msg(format!(\"unknown variant {{other}}\"))),\n\
+                             }},\n\
+                             ::serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, value) = &entries[0];\n\
+                                 let _ = value;\n\
+                                 match tag.as_str() {{\n\
+                                     {tagged_arms}\n\
+                                     other => Err(::serde::Error::msg(format!(\"unknown variant {{other}}\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             _ => Err(::serde::Error::msg(\"expected enum representation\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    out.parse()
+        .expect("serde stand-in derive: generated invalid Deserialize impl")
+}
