@@ -11,13 +11,33 @@
 //! * Adam, mini-batches, and validation-based early stopping (90-10 split),
 //! * autoregressive tiling when the requested forecast exceeds the trained
 //!   horizon.
+//!
+//! # Deterministic data parallelism
+//!
+//! Training shards every mini-batch into fixed-size micro-batches and
+//! evaluates the shards on per-thread graph replicas (built by replaying the
+//! same constructor with the same seed, so node numbering is identical).
+//! Three invariants make the result bit-identical for any worker count:
+//!
+//! 1. the shard decomposition depends only on `microbatch`, never on the
+//!    thread count;
+//! 2. each shard's dropout stream is seeded by `(seed, step, shard)` rather
+//!    than by whichever replica happens to run it; and
+//! 3. shard gradients are reduced on the primary graph in shard order with
+//!    fixed `mᵢ/M` weights (losses accumulate in `f64` the same way), and
+//!    batch-norm running statistics are restored to their pre-step snapshot
+//!    and re-folded in shard order.
+//!
+//! Together with the `ip-nn` kernels being bit-identical across their own
+//! thread counts, `IP_THREADS` (or [`DeepConfig::threads`]) changes only the
+//! wall-clock time, never a single bit of the trained parameters.
 
 use crate::{FitReport, Forecaster, ModelError, Result};
 use ip_nn::graph::{Graph, NodeId};
 use ip_nn::loss::asymmetric;
 use ip_nn::tensor::Tensor;
 use ip_nn::train::{BatchSampler, EarlyStopping};
-use ip_timeseries::windowing::{sliding_windows, Normalizer};
+use ip_timeseries::windowing::{sliding_windows, Normalizer, WindowPair};
 use ip_timeseries::TimeSeries;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -52,6 +72,14 @@ pub struct DeepConfig {
     pub train_fraction: f64,
     /// RNG seed (weights, shuffling, dropout).
     pub seed: u64,
+    /// Micro-batch shard size for data-parallel gradient evaluation. Every
+    /// mini-batch splits into `microbatch`-sized shards regardless of the
+    /// thread count, so the arithmetic — and therefore the trained model —
+    /// is independent of how many workers run the shards.
+    pub microbatch: usize,
+    /// Worker thread count for training (`None` → `IP_THREADS` /
+    /// available parallelism). Affects speed only, never results.
+    pub threads: Option<usize>,
 }
 
 impl Default for DeepConfig {
@@ -67,18 +95,44 @@ impl Default for DeepConfig {
             stride: 4,
             train_fraction: 0.9,
             seed: 0,
+            microbatch: 8,
+            threads: None,
         }
     }
 }
 
 /// A network architecture trainable by [`DeepModel`]: build parameters on
 /// the graph at construction, then map `[B, window] → [B, horizon]`.
-pub trait Net {
+///
+/// The four state hooks default to no-ops; architectures that keep
+/// non-parameter state updated by training forwards (batch-norm running
+/// statistics) override them so the data-parallel trainer can snapshot,
+/// transfer, and deterministically re-fold that state across shards.
+pub trait Net: Send {
     /// Architecture display name.
     fn name(&self) -> &'static str;
     /// Forward pass; `train` toggles dropout/batch-norm behaviour.
     fn forward(&mut self, g: &mut Graph, x: NodeId, batch: usize, train: bool) -> NodeId;
+    /// Exports all non-parameter running state (e.g. batch-norm running
+    /// mean/variance) as a flat vector.
+    fn running_state(&self) -> Vec<f32> {
+        Vec::new()
+    }
+    /// Restores state captured by [`running_state`](Self::running_state).
+    fn set_running_state(&mut self, _state: &[f32]) {}
+    /// Exports the batch statistics observed by the most recent
+    /// training-mode forward.
+    fn batch_stats(&self) -> Vec<f32> {
+        Vec::new()
+    }
+    /// Applies one EMA update from another replica's
+    /// [`batch_stats`](Self::batch_stats) export.
+    fn fold_batch_stats(&mut self, _stats: &[f32]) {}
 }
+
+/// Stored network constructor, replayable to build worker replicas whose
+/// node numbering matches the primary graph exactly.
+type BuildFn<N> = Box<dyn Fn(&mut Graph, &DeepConfig, &mut StdRng) -> N + Send + Sync>;
 
 /// A deep forecaster: an architecture plus the shared training protocol.
 pub struct DeepModel<N: Net> {
@@ -86,18 +140,62 @@ pub struct DeepModel<N: Net> {
     pub config: DeepConfig,
     net: N,
     graph: Graph,
+    build: BuildFn<N>,
     normalizer: Option<Normalizer>,
     last_window: Vec<f64>,
     param_count: usize,
 }
 
+/// Per-shard result carried back from a worker replica to the reducer.
+struct ShardResult {
+    len: usize,
+    loss: f64,
+    grads: Vec<Option<Tensor>>,
+    stats: Vec<f32>,
+}
+
+/// Mixes `(seed, step, shard)` into a dropout seed (splitmix64 finalizer),
+/// so a shard's RNG stream is a function of its position in the schedule —
+/// not of which worker replica happens to execute it.
+fn shard_seed(seed: u64, step: u64, shard: u64) -> u64 {
+    let mut z =
+        seed ^ step.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ shard.wrapping_mul(0xD1B5_4A32_D192_ED03);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Builds the `[B, window]` input and `[B, horizon]` target tensors for one
+/// index set (free function so worker closures can call it while the model's
+/// graph is mutably borrowed as a worker).
+fn shard_tensors(
+    pairs: &[WindowPair],
+    idx: &[usize],
+    nz: &Normalizer,
+    window: usize,
+    horizon: usize,
+) -> (Tensor, Tensor) {
+    let mut xs = Vec::with_capacity(idx.len() * window);
+    let mut ys = Vec::with_capacity(idx.len() * horizon);
+    for &i in idx {
+        xs.extend(nz.transform(&pairs[i].input).iter().map(|&v| v as f32));
+        ys.extend(nz.transform(&pairs[i].target).iter().map(|&v| v as f32));
+    }
+    (
+        Tensor::new(&[idx.len(), window], xs).expect("window batch"),
+        Tensor::new(&[idx.len(), horizon], ys).expect("horizon batch"),
+    )
+}
+
 impl<N: Net> DeepModel<N> {
     /// Builds a model from a constructor that registers the net's parameters
-    /// on the provided graph.
+    /// on the provided graph. The constructor is retained so training can
+    /// replay it (same seed, fresh graph) to create worker replicas.
     pub fn new(
         config: DeepConfig,
-        build: impl FnOnce(&mut Graph, &DeepConfig, &mut StdRng) -> N,
+        build: impl Fn(&mut Graph, &DeepConfig, &mut StdRng) -> N + Send + Sync + 'static,
     ) -> Self {
+        let build: BuildFn<N> = Box::new(build);
         let mut graph = Graph::new(config.seed);
         let mut rng = StdRng::seed_from_u64(config.seed);
         let net = build(&mut graph, &config, &mut rng);
@@ -107,6 +205,7 @@ impl<N: Net> DeepModel<N> {
             config,
             net,
             graph,
+            build,
             normalizer: None,
             last_window: Vec::new(),
             param_count,
@@ -118,36 +217,34 @@ impl<N: Net> DeepModel<N> {
         self.param_count
     }
 
-    fn batch_tensors(
-        &self,
-        pairs: &[ip_timeseries::windowing::WindowPair],
-        idx: &[usize],
-        nz: &Normalizer,
-    ) -> (Tensor, Tensor) {
-        let w = self.config.window;
-        let h = self.config.horizon;
-        let mut xs = Vec::with_capacity(idx.len() * w);
-        let mut ys = Vec::with_capacity(idx.len() * h);
-        for &i in idx {
-            xs.extend(nz.transform(&pairs[i].input).iter().map(|&v| v as f32));
-            ys.extend(nz.transform(&pairs[i].target).iter().map(|&v| v as f32));
+    /// Flattened parameter values in registration order (plus the net's
+    /// running state); the determinism tests compare this bitwise across
+    /// thread counts.
+    pub fn param_values(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.param_count);
+        for &p in self.graph.params() {
+            out.extend_from_slice(self.graph.value(p).data());
         }
-        (
-            Tensor::new(&[idx.len(), w], xs).expect("window batch"),
-            Tensor::new(&[idx.len(), h], ys).expect("horizon batch"),
-        )
+        out.extend_from_slice(&self.net.running_state());
+        out
     }
 
-    fn eval_loss(
-        &mut self,
-        pairs: &[ip_timeseries::windowing::WindowPair],
-        idx: &[usize],
-        nz: &Normalizer,
-    ) -> f64 {
+    /// Replays the stored constructor into a fresh single-threaded replica.
+    fn build_replica(&self) -> (Graph, N) {
+        let mut g = Graph::new(self.config.seed);
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let net = (self.build)(&mut g, &self.config, &mut rng);
+        g.freeze();
+        g.set_threads(Some(1));
+        (g, net)
+    }
+
+    fn eval_loss(&mut self, pairs: &[WindowPair], idx: &[usize], nz: &Normalizer) -> f64 {
         if idx.is_empty() {
             return 0.0;
         }
-        let (x, y) = self.batch_tensors(pairs, idx, nz);
+        self.graph.set_threads(self.config.threads);
+        let (x, y) = shard_tensors(pairs, idx, nz, self.config.window, self.config.horizon);
         self.graph.reset();
         let xb = self.graph.constant(x);
         let yb = self.graph.constant(y);
@@ -162,6 +259,7 @@ impl<N: Net> Forecaster for DeepModel<N> {
         self.net.name()
     }
 
+    #[allow(clippy::too_many_lines)]
     fn fit(&mut self, train: &TimeSeries) -> Result<FitReport> {
         let start = Instant::now();
         let cfg = self.config.clone();
@@ -183,28 +281,107 @@ impl<N: Net> Forecaster for DeepModel<N> {
         let val_idx: Vec<usize> = (cut..pairs.len()).collect();
 
         let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(1));
-        let sampler = BatchSampler::new(train_idx.len(), cfg.batch_size);
+        let mut sampler = BatchSampler::new(train_idx.len(), cfg.batch_size);
         let mut adam = ip_nn::optim::Adam::new(cfg.lr);
         let mut stopper = EarlyStopping::new(cfg.patience, 1e-5);
         let mut final_loss = f64::NAN;
         let mut epochs_run = 0;
+
+        // Worker setup: the shard count per batch bounds how many replicas
+        // can ever be busy, so don't build more than that.
+        let threads = cfg.threads.unwrap_or_else(ip_par::num_threads).max(1);
+        let micro = cfg.microbatch.max(1);
+        let max_shards = cfg.batch_size.max(1).div_ceil(micro);
+        let workers_wanted = threads.min(max_shards).max(1);
+        let mut extras: Vec<(Graph, N)> =
+            (1..workers_wanted).map(|_| self.build_replica()).collect();
+        // With several workers each runs its kernels single-threaded (the
+        // parallelism is across shards); alone, the primary graph keeps the
+        // whole thread budget for its kernels.
+        let train_kernel_threads = if workers_wanted > 1 {
+            Some(1)
+        } else {
+            Some(threads)
+        };
+        let param_ids: Vec<NodeId> = self.graph.params().to_vec();
+        let mut step_no: u64 = 0;
 
         for _epoch in 0..cfg.epochs {
             epochs_run += 1;
             let mut epoch_loss = 0.0;
             let mut batches = 0usize;
             for batch in sampler.epoch(&mut rng) {
-                let idx: Vec<usize> = batch.iter().map(|&b| train_idx[b]).collect();
-                let (x, y) = self.batch_tensors(&pairs, &idx, &nz);
-                self.graph.reset();
-                let xb = self.graph.constant(x);
-                let yb = self.graph.constant(y);
-                let pred = self.net.forward(&mut self.graph, xb, idx.len(), true);
-                let loss = asymmetric(&mut self.graph, pred, yb, cfg.alpha_prime);
-                epoch_loss += f64::from(self.graph.value(loss).item().expect("scalar"));
-                batches += 1;
-                self.graph.backward(loss);
+                // Fixed-size shards: the decomposition depends only on the
+                // micro-batch size, never on the worker count.
+                let shards: Vec<(u64, Vec<usize>)> = batch
+                    .chunks(micro)
+                    .enumerate()
+                    .map(|(si, c)| (si as u64, c.iter().map(|&b| train_idx[b]).collect()))
+                    .collect();
+                let total: usize = shards.iter().map(|(_, s)| s.len()).sum();
+                let pre_state = self.net.running_state();
+
+                // Replicas start every step with the primary's parameters.
+                for (g, _) in extras.iter_mut() {
+                    for &p in &param_ids {
+                        g.value_mut(p)
+                            .data_mut()
+                            .copy_from_slice(self.graph.value(p).data());
+                    }
+                }
+                self.graph.set_threads(train_kernel_threads);
+
+                let mut workers: Vec<(&mut Graph, &mut N)> = Vec::with_capacity(1 + extras.len());
+                workers.push((&mut self.graph, &mut self.net));
+                for (g, n) in extras.iter_mut() {
+                    workers.push((g, n));
+                }
+
+                let (pairs_ref, nz_ref, ids_ref) = (&pairs, &nz, &param_ids);
+                let results: Vec<ShardResult> =
+                    ip_par::par_map_workers(&mut workers, &shards, |(g, n), (si, idx)| {
+                        g.reseed(shard_seed(cfg.seed, step_no, *si));
+                        g.reset();
+                        let (x, y) = shard_tensors(pairs_ref, idx, nz_ref, cfg.window, cfg.horizon);
+                        let xb = g.constant(x);
+                        let yb = g.constant(y);
+                        let pred = n.forward(g, xb, idx.len(), true);
+                        let loss = asymmetric(g, pred, yb, cfg.alpha_prime);
+                        let loss_v = f64::from(g.value(loss).item().expect("scalar loss"));
+                        g.backward(loss);
+                        ShardResult {
+                            len: idx.len(),
+                            loss: loss_v,
+                            grads: ids_ref.iter().map(|&p| g.grad(p).cloned()).collect(),
+                            stats: n.batch_stats(),
+                        }
+                    });
+                drop(workers);
+
+                // Ordered reduction: Σ (mᵢ/M)·gᵢ on the primary, shard order.
+                self.graph.clear_grads();
+                let mut batch_loss = 0.0f64;
+                for r in &results {
+                    let weight = r.len as f32 / total as f32;
+                    batch_loss += f64::from(weight) * r.loss;
+                    for (&p, grad) in param_ids.iter().zip(&r.grads) {
+                        if let Some(grad) = grad {
+                            self.graph.add_scaled_grad(p, weight, grad);
+                        }
+                    }
+                }
                 adam.step(&mut self.graph);
+                // Batch-norm running stats: rewind to the pre-step snapshot
+                // (the primary's own shard forwards advanced them out of
+                // order) and fold every shard's batch stats in shard order.
+                self.net.set_running_state(&pre_state);
+                for r in &results {
+                    self.net.fold_batch_stats(&r.stats);
+                }
+
+                epoch_loss += batch_loss;
+                batches += 1;
+                step_no += 1;
             }
             final_loss = epoch_loss / batches.max(1) as f64;
             let val_loss = if val_idx.is_empty() {
@@ -234,6 +411,7 @@ impl<N: Net> Forecaster for DeepModel<N> {
         let nz = *self.normalizer.as_ref().ok_or(ModelError::NotFitted)?;
         let w = self.config.window;
         let h = self.config.horizon;
+        self.graph.set_threads(self.config.threads);
         let mut window = self.last_window.clone();
         let mut out: Vec<f64> = Vec::with_capacity(horizon);
         while out.len() < horizon {
@@ -263,5 +441,20 @@ impl<N: Net> Forecaster for DeepModel<N> {
         }
         out.truncate(horizon);
         Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_seed_distinguishes_all_coordinates() {
+        let base = shard_seed(7, 3, 1);
+        assert_ne!(base, shard_seed(8, 3, 1));
+        assert_ne!(base, shard_seed(7, 4, 1));
+        assert_ne!(base, shard_seed(7, 3, 2));
+        // And it is a pure function.
+        assert_eq!(base, shard_seed(7, 3, 1));
     }
 }

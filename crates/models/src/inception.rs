@@ -108,7 +108,7 @@ pub struct InceptionTime;
 impl InceptionTime {
     /// Creates an InceptionTime forecaster.
     pub fn model(config: DeepConfig, arch: InceptionConfig) -> DeepModel<InceptionNet> {
-        DeepModel::new(config, |g, cfg, rng| {
+        DeepModel::new(config, move |g, cfg, rng| {
             let out_channels = (arch.kernels.len() + 1) * arch.filters;
             let mut modules = Vec::with_capacity(arch.depth);
             let mut in_ch = 1;
@@ -151,6 +151,44 @@ impl Net for InceptionNet {
         let pooled = g.avg_pool_global(act); // [B, C]
         let _ = self.out_channels;
         self.head.forward(g, pooled)
+    }
+
+    // Batch-norm state hooks for the data-parallel trainer. Order matters
+    // and must match between export and import: module norms first, then the
+    // shortcut norm.
+
+    fn running_state(&self) -> Vec<f32> {
+        let mut out = Vec::new();
+        for m in &self.modules {
+            m.bn.export_running(&mut out);
+        }
+        self.shortcut_bn.export_running(&mut out);
+        out
+    }
+
+    fn set_running_state(&mut self, state: &[f32]) {
+        let mut off = 0;
+        for m in &mut self.modules {
+            off += m.bn.import_running(&state[off..]);
+        }
+        self.shortcut_bn.import_running(&state[off..]);
+    }
+
+    fn batch_stats(&self) -> Vec<f32> {
+        let mut out = Vec::new();
+        for m in &self.modules {
+            m.bn.export_batch_stats(&mut out);
+        }
+        self.shortcut_bn.export_batch_stats(&mut out);
+        out
+    }
+
+    fn fold_batch_stats(&mut self, stats: &[f32]) {
+        let mut off = 0;
+        for m in &mut self.modules {
+            off += m.bn.fold_batch_stats(&stats[off..]);
+        }
+        self.shortcut_bn.fold_batch_stats(&stats[off..]);
     }
 }
 

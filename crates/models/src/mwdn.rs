@@ -55,7 +55,7 @@ impl Mwdn {
     /// Creates an mWDN forecaster with `levels` decomposition levels and
     /// `head_channels` convolutional features per sub-series.
     pub fn model(config: DeepConfig, levels: usize, head_channels: usize) -> DeepModel<MwdnNet> {
-        DeepModel::new(config, |g, cfg, rng| {
+        DeepModel::new(config, move |g, cfg, rng| {
             assert!(levels >= 1, "mWDN needs at least one level");
             assert!(
                 cfg.window >> levels >= 4,
@@ -110,7 +110,7 @@ impl Mwdn {
     /// al.'s original design). `hidden` LSTM units per level; markedly
     /// slower than the conv heads because of the sequential dependency.
     pub fn model_lstm(config: DeepConfig, levels: usize, hidden: usize) -> DeepModel<MwdnNet> {
-        DeepModel::new(config, |g, cfg, rng| {
+        DeepModel::new(config, move |g, cfg, rng| {
             assert!(levels >= 1, "mWDN needs at least one level");
             assert!(
                 cfg.window >> levels >= 4,

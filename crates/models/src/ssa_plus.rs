@@ -213,7 +213,7 @@ impl Forecaster for SsaPlus {
             preds.push((p / self.scale) as f32);
             targets.push((train.get(cut + i) / self.scale) as f32);
         }
-        let x_tensor = Tensor::new(&[calib_len, FEATURES], xs.clone())
+        let x_tensor = Tensor::new(&[calib_len, FEATURES], xs)
             .map_err(|e| ModelError::Internal(e.to_string()))?;
         let pred_tensor =
             Tensor::new(&[calib_len, 1], preds).map_err(|e| ModelError::Internal(e.to_string()))?;

@@ -56,7 +56,7 @@ pub struct Tst;
 impl Tst {
     /// Creates a TST forecaster.
     pub fn model(config: DeepConfig, arch: TstConfig) -> DeepModel<TstNet> {
-        DeepModel::new(config, |g, cfg, rng| {
+        DeepModel::new(config, move |g, cfg, rng| {
             let embed = Linear::new(g, 1, arch.d_model, rng);
             let blocks = (0..arch.blocks)
                 .map(|_| {

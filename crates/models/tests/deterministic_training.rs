@@ -1,0 +1,107 @@
+//! The data-parallel trainer's headline guarantee: the worker thread count
+//! changes wall-clock time only — the trained parameters (and batch-norm
+//! running statistics) are bit-identical for any `DeepConfig::threads`.
+
+use ip_models::deep::DeepConfig;
+use ip_models::inception::{InceptionConfig, InceptionTime};
+use ip_models::mwdn::Mwdn;
+use ip_models::Forecaster;
+use ip_timeseries::TimeSeries;
+
+fn series(n: usize) -> TimeSeries {
+    let vals: Vec<f64> = (0..n)
+        .map(|t| {
+            8.0 + 4.0 * (2.0 * std::f64::consts::PI * t as f64 / 24.0).sin()
+                + 1.5 * (2.0 * std::f64::consts::PI * t as f64 / 7.0).cos()
+        })
+        .collect();
+    TimeSeries::new(30, vals).unwrap()
+}
+
+fn config(threads: usize) -> DeepConfig {
+    DeepConfig {
+        window: 32,
+        horizon: 8,
+        epochs: 3,
+        batch_size: 16,
+        microbatch: 4,
+        stride: 2,
+        threads: Some(threads),
+        ..Default::default()
+    }
+}
+
+fn assert_bits_equal(a: &[f32], b: &[f32], what: &str) {
+    assert_eq!(a.len(), b.len(), "{what}: parameter count differs");
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(
+            x.to_bits(),
+            y.to_bits(),
+            "{what}: parameter {i} differs ({x} vs {y})"
+        );
+    }
+}
+
+#[test]
+fn mwdn_training_is_bit_identical_across_thread_counts() {
+    let ts = series(260);
+    let mut params = Vec::new();
+    let mut preds = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let mut m = Mwdn::model(config(threads), 2, 4);
+        m.fit(&ts).unwrap();
+        params.push(m.param_values());
+        preds.push(m.predict(8).unwrap());
+    }
+    assert_bits_equal(&params[0], &params[1], "mWDN threads 1 vs 2");
+    assert_bits_equal(&params[0], &params[2], "mWDN threads 1 vs 4");
+    assert_eq!(preds[0], preds[1]);
+    assert_eq!(preds[0], preds[2]);
+}
+
+#[test]
+fn inception_training_is_bit_identical_across_thread_counts() {
+    // InceptionTime exercises the batch-norm snapshot/fold path: running
+    // statistics are part of param_values() and must match too.
+    let ts = series(220);
+    let arch = InceptionConfig {
+        kernels: vec![3, 5],
+        filters: 4,
+        depth: 2,
+        bottleneck: 4,
+    };
+    let mut params = Vec::new();
+    for threads in [1usize, 2, 4] {
+        let mut m = InceptionTime::model(config(threads), arch.clone());
+        m.fit(&ts).unwrap();
+        params.push(m.param_values());
+    }
+    assert_bits_equal(&params[0], &params[1], "Inception threads 1 vs 2");
+    assert_bits_equal(&params[0], &params[2], "Inception threads 1 vs 4");
+}
+
+#[test]
+fn microbatch_shards_leave_training_effective() {
+    // Guard against a reduction bug that would still be "deterministic":
+    // sharded training must actually learn (loss decreases over epochs).
+    let ts = series(300);
+    let mut one = Mwdn::model(
+        DeepConfig {
+            epochs: 1,
+            ..config(4)
+        },
+        2,
+        4,
+    );
+    let l1 = one.fit(&ts).unwrap().final_loss;
+    let mut many = Mwdn::model(
+        DeepConfig {
+            epochs: 10,
+            ..config(4)
+        },
+        2,
+        4,
+    );
+    let l10 = many.fit(&ts).unwrap().final_loss;
+    assert!(l10 < l1, "10-epoch {l10} !< 1-epoch {l1}");
+}

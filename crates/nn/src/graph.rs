@@ -7,10 +7,23 @@
 //! Shape errors in model code are programming errors, so ops assert shapes
 //! with descriptive messages rather than returning `Result` (mirroring how
 //! slice indexing behaves in the standard library).
+//!
+//! # Performance
+//!
+//! Dense algebra (matmuls, batched matmuls) and `conv1d` (lowered to
+//! im2col + GEMM in both directions) run on the shared blocked kernels in
+//! [`crate::gemm`], parallel over contiguous output regions via `ip-par` —
+//! bit-identical for any thread count. Intermediate buffers are recycled
+//! through a per-length free list, so steady-state training (build → backward
+//! → [`Graph::reset`] → repeat) performs no heap allocation. Setting
+//! `IP_NN_NAIVE=1` at graph construction selects the pre-optimization scalar
+//! kernels and disables the pool (the benchmarking baseline).
 
+use crate::gemm;
 use crate::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
 
 /// Handle to a node (value) in the graph.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -51,6 +64,10 @@ enum Op {
         weight: NodeId,
         padding: usize,
         stride: usize,
+        /// im2col patch matrix `[B·Lout, Cin·K]` cached by the forward pass
+        /// so the backward pass reuses it for both GEMMs instead of
+        /// re-expanding the input (empty on the naive path).
+        cols: Vec<f32>,
     },
     MaxPool1d {
         input: NodeId,
@@ -86,12 +103,66 @@ enum Op {
     },
 }
 
+/// Most free-listed buffers a single length class will hold. The models
+/// layer feeds fresh batch tensors into the graph every step (they cycle in
+/// but never out), so an uncapped pool would grow without bound.
+const POOL_MAX_PER_LEN: usize = 64;
+
+/// Per-length free list of `f32` buffers. `take` hands back a buffer with
+/// *unspecified contents* — every caller either fully overwrites it or asks
+/// for [`Pool::take_zeroed`].
+struct Pool {
+    free: HashMap<usize, Vec<Vec<f32>>>,
+    enabled: bool,
+}
+
+impl Pool {
+    fn new(enabled: bool) -> Self {
+        Self {
+            free: HashMap::new(),
+            enabled,
+        }
+    }
+
+    /// A buffer of exactly `len` elements, contents unspecified.
+    fn take(&mut self, len: usize) -> Vec<f32> {
+        if self.enabled {
+            if let Some(list) = self.free.get_mut(&len) {
+                if let Some(buf) = list.pop() {
+                    return buf;
+                }
+            }
+        }
+        vec![0.0; len]
+    }
+
+    /// A buffer of exactly `len` zeros.
+    fn take_zeroed(&mut self, len: usize) -> Vec<f32> {
+        let mut buf = self.take(len);
+        buf.fill(0.0);
+        buf
+    }
+
+    /// Returns a buffer to its length class (dropped when over the cap).
+    fn put(&mut self, buf: Vec<f32>) {
+        if !self.enabled || buf.is_empty() {
+            return;
+        }
+        let list = self.free.entry(buf.len()).or_default();
+        if list.len() < POOL_MAX_PER_LEN {
+            list.push(buf);
+        }
+    }
+}
+
 /// The autograd tape.
 ///
 /// Parameters are registered first (via [`Graph::param`]); [`Graph::freeze`]
 /// marks the persistent prefix, and [`Graph::reset`] truncates the tape back
 /// to it between training steps, so parameter values (and optimizer state
-/// keyed by their ids) survive across iterations.
+/// keyed by their ids) survive across iterations. Truncated buffers are
+/// recycled through an internal arena, making steady-state training
+/// allocation-free.
 pub struct Graph {
     values: Vec<Tensor>,
     grads: Vec<Option<Tensor>>,
@@ -99,6 +170,9 @@ pub struct Graph {
     params: Vec<NodeId>,
     frozen_len: usize,
     rng: StdRng,
+    pool: Pool,
+    threads: Option<usize>,
+    naive: bool,
 }
 
 impl Default for Graph {
@@ -109,7 +183,14 @@ impl Default for Graph {
 
 impl Graph {
     /// Creates an empty graph; `seed` drives dropout masks.
+    ///
+    /// Reads `IP_NN_NAIVE` once: when set to `1`, dense kernels fall back to
+    /// the scalar reference implementations and buffer pooling is disabled
+    /// (the pre-optimization baseline for benchmarking).
     pub fn new(seed: u64) -> Self {
+        let naive = std::env::var("IP_NN_NAIVE")
+            .map(|v| v.trim() == "1")
+            .unwrap_or(false);
         Self {
             values: Vec::new(),
             grads: Vec::new(),
@@ -117,7 +198,29 @@ impl Graph {
             params: Vec::new(),
             frozen_len: 0,
             rng: StdRng::seed_from_u64(seed),
+            pool: Pool::new(!naive),
+            threads: None,
+            naive,
         }
+    }
+
+    /// Overrides the thread count used by this graph's parallel kernels.
+    ///
+    /// `None` (the default) defers to [`ip_par::num_threads`]. Data-parallel
+    /// replica graphs run their kernels at `Some(1)` so sharding is the only
+    /// source of parallelism.
+    pub fn set_threads(&mut self, threads: Option<usize>) {
+        self.threads = threads;
+    }
+
+    fn kernel_threads(&self) -> usize {
+        self.threads.unwrap_or_else(ip_par::num_threads)
+    }
+
+    /// Reseeds the dropout RNG (deterministic per-shard masks in
+    /// data-parallel training).
+    pub fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
     }
 
     fn push(&mut self, value: Tensor, op: Op) -> NodeId {
@@ -147,18 +250,50 @@ impl Graph {
         self.frozen_len = self.values.len();
     }
 
-    /// Clears all non-persistent nodes and every gradient.
+    /// Clears all non-persistent nodes and every gradient, recycling their
+    /// buffers into the arena.
     pub fn reset(&mut self) {
         let keep = if self.frozen_len == 0 {
             self.values.len()
         } else {
             self.frozen_len
         };
-        self.values.truncate(keep);
-        self.grads.truncate(keep);
-        self.ops.truncate(keep);
-        for g in self.grads.iter_mut() {
-            *g = None;
+        for t in self.values.drain(keep..) {
+            self.pool.put(t.into_data());
+        }
+        for op in self.ops.drain(keep..) {
+            recycle_op(&mut self.pool, op);
+        }
+        for t in self.grads.drain(keep..).flatten() {
+            self.pool.put(t.into_data());
+        }
+        self.clear_grads();
+    }
+
+    /// Drops every accumulated gradient, recycling the buffers.
+    pub fn clear_grads(&mut self) {
+        for slot in self.grads.iter_mut() {
+            if let Some(t) = slot.take() {
+                self.pool.put(t.into_data());
+            }
+        }
+    }
+
+    /// Adds `scale · g` into the gradient slot of `id` (data-parallel
+    /// gradient reduction; call in a fixed shard order for determinism).
+    pub fn add_scaled_grad(&mut self, id: NodeId, scale: f32, g: &Tensor) {
+        match &mut self.grads[id.0] {
+            Some(acc) => {
+                assert_eq!(acc.shape(), g.shape(), "add_scaled_grad: shape mismatch");
+                for (a, &b) in acc.data_mut().iter_mut().zip(g.data()) {
+                    *a += scale * b;
+                }
+            }
+            slot @ None => {
+                let mut data = self.pool.take(g.numel());
+                fill_map(&mut data, g.data(), |x| scale * x);
+                *slot = Some(Tensor::new(g.shape(), data).unwrap());
+            }
         }
     }
 
@@ -202,55 +337,49 @@ impl Graph {
 
     /// `a + b` (identical shapes).
     pub fn add(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let mut data = self.pool.take(self.values[a.0].numel());
         let (va, vb) = (&self.values[a.0], &self.values[b.0]);
         assert_eq!(va.shape(), vb.shape(), "add: shape mismatch");
-        let data = va
-            .data()
-            .iter()
-            .zip(vb.data())
-            .map(|(x, y)| x + y)
-            .collect();
+        fill_zip(&mut data, va.data(), vb.data(), |x, y| x + y);
         let t = Tensor::new(va.shape(), data).unwrap();
         self.push(t, Op::Add(a, b))
     }
 
     /// `a − b` (identical shapes).
     pub fn sub(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let mut data = self.pool.take(self.values[a.0].numel());
         let (va, vb) = (&self.values[a.0], &self.values[b.0]);
         assert_eq!(va.shape(), vb.shape(), "sub: shape mismatch");
-        let data = va
-            .data()
-            .iter()
-            .zip(vb.data())
-            .map(|(x, y)| x - y)
-            .collect();
+        fill_zip(&mut data, va.data(), vb.data(), |x, y| x - y);
         let t = Tensor::new(va.shape(), data).unwrap();
         self.push(t, Op::Sub(a, b))
     }
 
     /// Element-wise product (identical shapes).
     pub fn mul(&mut self, a: NodeId, b: NodeId) -> NodeId {
+        let mut data = self.pool.take(self.values[a.0].numel());
         let (va, vb) = (&self.values[a.0], &self.values[b.0]);
         assert_eq!(va.shape(), vb.shape(), "mul: shape mismatch");
-        let data = va
-            .data()
-            .iter()
-            .zip(vb.data())
-            .map(|(x, y)| x * y)
-            .collect();
+        fill_zip(&mut data, va.data(), vb.data(), |x, y| x * y);
         let t = Tensor::new(va.shape(), data).unwrap();
         self.push(t, Op::Mul(a, b))
     }
 
     /// `c · a`.
     pub fn scalar_mul(&mut self, a: NodeId, c: f32) -> NodeId {
-        let t = self.values[a.0].map(|x| c * x);
+        let mut data = self.pool.take(self.values[a.0].numel());
+        let va = &self.values[a.0];
+        fill_map(&mut data, va.data(), |x| c * x);
+        let t = Tensor::new(va.shape(), data).unwrap();
         self.push(t, Op::ScalarMul(a, c))
     }
 
     /// `a + c` element-wise.
     pub fn scalar_add(&mut self, a: NodeId, c: f32) -> NodeId {
-        let t = self.values[a.0].map(|x| x + c);
+        let mut data = self.pool.take(self.values[a.0].numel());
+        let va = &self.values[a.0];
+        fill_map(&mut data, va.data(), |x| x + c);
+        let t = Tensor::new(va.shape(), data).unwrap();
         self.push(t, Op::ScalarAdd(a))
     }
 
@@ -258,105 +387,217 @@ impl Graph {
 
     /// `[m,k] @ [k,n] → [m,n]`.
     pub fn matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let (va, vb) = (&self.values[a.0], &self.values[b.0]);
-        let (sa, sb) = (va.shape(), vb.shape());
-        assert!(
-            sa.len() == 2 && sb.len() == 2 && sa[1] == sb[0],
-            "matmul: {sa:?} x {sb:?}"
-        );
-        let (m, k, n) = (sa[0], sa[1], sb[1]);
-        let t = matmul2(va.data(), vb.data(), m, k, n, false);
-        self.push(Tensor::new(&[m, n], t).unwrap(), Op::MatMul(a, b))
+        let (m, k, n) = {
+            let (sa, sb) = (self.values[a.0].shape(), self.values[b.0].shape());
+            assert!(
+                sa.len() == 2 && sb.len() == 2 && sa[1] == sb[0],
+                "matmul: {sa:?} x {sb:?}"
+            );
+            (sa[0], sa[1], sb[1])
+        };
+        let t = if self.naive {
+            let out = gemm::reference::matmul_nn(
+                self.values[a.0].data(),
+                self.values[b.0].data(),
+                m,
+                k,
+                n,
+            );
+            Tensor::new(&[m, n], out).unwrap()
+        } else {
+            let threads = self.kernel_threads();
+            let mut out = self.pool.take(m * n);
+            let mut scratch = self.pool.take(k * n);
+            gemm::gemm_nn_with(
+                threads,
+                self.values[a.0].data(),
+                self.values[b.0].data(),
+                &mut out,
+                &mut scratch,
+                m,
+                k,
+                n,
+            );
+            self.pool.put(scratch);
+            Tensor::new(&[m, n], out).unwrap()
+        };
+        self.push(t, Op::MatMul(a, b))
     }
 
     /// `[m,k] @ [n,k]ᵀ → [m,n]` — fused transpose for attention scores.
     pub fn matmul_trans_b(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let (va, vb) = (&self.values[a.0], &self.values[b.0]);
-        let (sa, sb) = (va.shape(), vb.shape());
-        assert!(
-            sa.len() == 2 && sb.len() == 2 && sa[1] == sb[1],
-            "matmul_trans_b: {sa:?} x {sb:?}"
-        );
-        let (m, k, n) = (sa[0], sa[1], sb[0]);
-        let t = matmul2(va.data(), vb.data(), m, k, n, true);
-        self.push(Tensor::new(&[m, n], t).unwrap(), Op::MatMulTransB(a, b))
+        let (m, k, n) = {
+            let (sa, sb) = (self.values[a.0].shape(), self.values[b.0].shape());
+            assert!(
+                sa.len() == 2 && sb.len() == 2 && sa[1] == sb[1],
+                "matmul_trans_b: {sa:?} x {sb:?}"
+            );
+            (sa[0], sa[1], sb[0])
+        };
+        let t = if self.naive {
+            let out = gemm::reference::matmul_nt(
+                self.values[a.0].data(),
+                self.values[b.0].data(),
+                m,
+                k,
+                n,
+            );
+            Tensor::new(&[m, n], out).unwrap()
+        } else {
+            let threads = self.kernel_threads();
+            let mut out = self.pool.take(m * n);
+            gemm::gemm_nt_with(
+                threads,
+                self.values[a.0].data(),
+                self.values[b.0].data(),
+                &mut out,
+                m,
+                k,
+                n,
+            );
+            Tensor::new(&[m, n], out).unwrap()
+        };
+        self.push(t, Op::MatMulTransB(a, b))
     }
 
     /// Batched `[B,m,k] @ [B,k,n] → [B,m,n]`.
     pub fn batch_matmul(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let (va, vb) = (&self.values[a.0], &self.values[b.0]);
-        let (sa, sb) = (va.shape(), vb.shape());
-        assert!(
-            sa.len() == 3 && sb.len() == 3 && sa[0] == sb[0] && sa[2] == sb[1],
-            "batch_matmul: {sa:?} x {sb:?}"
-        );
-        let (bsz, m, k, n) = (sa[0], sa[1], sa[2], sb[2]);
-        let mut out = vec![0.0; bsz * m * n];
-        for bi in 0..bsz {
-            let av = &va.data()[bi * m * k..(bi + 1) * m * k];
-            let bv = &vb.data()[bi * k * n..(bi + 1) * k * n];
-            let o = matmul2(av, bv, m, k, n, false);
-            out[bi * m * n..(bi + 1) * m * n].copy_from_slice(&o);
-        }
-        self.push(
-            Tensor::new(&[bsz, m, n], out).unwrap(),
-            Op::BatchMatMul(a, b),
-        )
+        let (bsz, m, k, n) = {
+            let (sa, sb) = (self.values[a.0].shape(), self.values[b.0].shape());
+            assert!(
+                sa.len() == 3 && sb.len() == 3 && sa[0] == sb[0] && sa[2] == sb[1],
+                "batch_matmul: {sa:?} x {sb:?}"
+            );
+            (sa[0], sa[1], sa[2], sb[2])
+        };
+        let t = if self.naive {
+            let mut out = vec![0.0; bsz * m * n];
+            for bi in 0..bsz {
+                let av = &self.values[a.0].data()[bi * m * k..(bi + 1) * m * k];
+                let bv = &self.values[b.0].data()[bi * k * n..(bi + 1) * k * n];
+                out[bi * m * n..(bi + 1) * m * n]
+                    .copy_from_slice(&gemm::reference::matmul_nn(av, bv, m, k, n));
+            }
+            Tensor::new(&[bsz, m, n], out).unwrap()
+        } else {
+            let threads = self.kernel_threads();
+            // Pre-transpose every B_bi so the per-item GEMMs walk contiguous
+            // rows; each item is one task (serial inner kernel).
+            let mut bt_all = self.pool.take(bsz * k * n);
+            {
+                let vb = self.values[b.0].data();
+                ip_par::par_chunks_mut_with(threads, &mut bt_all, k * n, |bi, chunk| {
+                    gemm::transpose_into(&vb[bi * k * n..(bi + 1) * k * n], k, n, chunk);
+                });
+            }
+            let mut out = self.pool.take(bsz * m * n);
+            {
+                let va = self.values[a.0].data();
+                let bt = &bt_all[..];
+                ip_par::par_chunks_mut_with(threads, &mut out, m * n, |bi, chunk| {
+                    gemm::gemm_nt_with(
+                        1,
+                        &va[bi * m * k..(bi + 1) * m * k],
+                        &bt[bi * k * n..(bi + 1) * k * n],
+                        chunk,
+                        m,
+                        k,
+                        n,
+                    );
+                });
+            }
+            self.pool.put(bt_all);
+            Tensor::new(&[bsz, m, n], out).unwrap()
+        };
+        self.push(t, Op::BatchMatMul(a, b))
     }
 
     /// Batched `[B,m,k] @ [B,n,k]ᵀ → [B,m,n]`.
     pub fn batch_matmul_trans_b(&mut self, a: NodeId, b: NodeId) -> NodeId {
-        let (va, vb) = (&self.values[a.0], &self.values[b.0]);
-        let (sa, sb) = (va.shape(), vb.shape());
-        assert!(
-            sa.len() == 3 && sb.len() == 3 && sa[0] == sb[0] && sa[2] == sb[2],
-            "batch_matmul_trans_b: {sa:?} x {sb:?}"
-        );
-        let (bsz, m, k, n) = (sa[0], sa[1], sa[2], sb[1]);
-        let mut out = vec![0.0; bsz * m * n];
-        for bi in 0..bsz {
-            let av = &va.data()[bi * m * k..(bi + 1) * m * k];
-            let bv = &vb.data()[bi * n * k..(bi + 1) * n * k];
-            let o = matmul2(av, bv, m, k, n, true);
-            out[bi * m * n..(bi + 1) * m * n].copy_from_slice(&o);
-        }
-        self.push(
-            Tensor::new(&[bsz, m, n], out).unwrap(),
-            Op::BatchMatMulTransB(a, b),
-        )
+        let (bsz, m, k, n) = {
+            let (sa, sb) = (self.values[a.0].shape(), self.values[b.0].shape());
+            assert!(
+                sa.len() == 3 && sb.len() == 3 && sa[0] == sb[0] && sa[2] == sb[2],
+                "batch_matmul_trans_b: {sa:?} x {sb:?}"
+            );
+            (sa[0], sa[1], sa[2], sb[1])
+        };
+        let t = if self.naive {
+            let mut out = vec![0.0; bsz * m * n];
+            for bi in 0..bsz {
+                let av = &self.values[a.0].data()[bi * m * k..(bi + 1) * m * k];
+                let bv = &self.values[b.0].data()[bi * n * k..(bi + 1) * n * k];
+                out[bi * m * n..(bi + 1) * m * n]
+                    .copy_from_slice(&gemm::reference::matmul_nt(av, bv, m, k, n));
+            }
+            Tensor::new(&[bsz, m, n], out).unwrap()
+        } else {
+            let threads = self.kernel_threads();
+            let mut out = self.pool.take(bsz * m * n);
+            {
+                let va = self.values[a.0].data();
+                let vb = self.values[b.0].data();
+                ip_par::par_chunks_mut_with(threads, &mut out, m * n, |bi, chunk| {
+                    gemm::gemm_nt_with(
+                        1,
+                        &va[bi * m * k..(bi + 1) * m * k],
+                        &vb[bi * n * k..(bi + 1) * n * k],
+                        chunk,
+                        m,
+                        k,
+                        n,
+                    );
+                });
+            }
+            Tensor::new(&[bsz, m, n], out).unwrap()
+        };
+        self.push(t, Op::BatchMatMulTransB(a, b))
     }
 
     // ---- activations ----
 
     /// Rectified linear unit.
     pub fn relu(&mut self, a: NodeId) -> NodeId {
-        let t = self.values[a.0].map(|x| x.max(0.0));
+        let mut data = self.pool.take(self.values[a.0].numel());
+        let va = &self.values[a.0];
+        fill_map(&mut data, va.data(), |x| x.max(0.0));
+        let t = Tensor::new(va.shape(), data).unwrap();
         self.push(t, Op::Relu(a))
     }
 
     /// Logistic sigmoid.
     pub fn sigmoid(&mut self, a: NodeId) -> NodeId {
-        let t = self.values[a.0].map(|x| 1.0 / (1.0 + (-x).exp()));
+        let mut data = self.pool.take(self.values[a.0].numel());
+        let va = &self.values[a.0];
+        fill_map(&mut data, va.data(), |x| 1.0 / (1.0 + (-x).exp()));
+        let t = Tensor::new(va.shape(), data).unwrap();
         self.push(t, Op::Sigmoid(a))
     }
 
     /// Hyperbolic tangent.
     pub fn tanh(&mut self, a: NodeId) -> NodeId {
-        let t = self.values[a.0].map(f32::tanh);
+        let mut data = self.pool.take(self.values[a.0].numel());
+        let va = &self.values[a.0];
+        fill_map(&mut data, va.data(), f32::tanh);
+        let t = Tensor::new(va.shape(), data).unwrap();
         self.push(t, Op::Tanh(a))
     }
 
     /// GELU (tanh approximation).
     pub fn gelu(&mut self, a: NodeId) -> NodeId {
-        let t = self.values[a.0].map(gelu_fwd);
+        let mut data = self.pool.take(self.values[a.0].numel());
+        let va = &self.values[a.0];
+        fill_map(&mut data, va.data(), gelu_fwd);
+        let t = Tensor::new(va.shape(), data).unwrap();
         self.push(t, Op::Gelu(a))
     }
 
     /// Softmax over the last dimension.
     pub fn softmax(&mut self, a: NodeId) -> NodeId {
+        let mut out = self.pool.take(self.values[a.0].numel());
         let va = &self.values[a.0];
         let d = *va.shape().last().unwrap();
-        let mut out = va.data().to_vec();
+        out.copy_from_slice(va.data());
         for row in out.chunks_mut(d) {
             let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
             let mut sum = 0.0;
@@ -377,21 +618,25 @@ impl Graph {
     /// Sum of all elements → `[1]`.
     pub fn sum(&mut self, a: NodeId) -> NodeId {
         let s = self.values[a.0].sum();
-        self.push(Tensor::scalar(s), Op::Sum(a))
+        let mut d = self.pool.take(1);
+        d[0] = s;
+        self.push(Tensor::new(&[1], d).unwrap(), Op::Sum(a))
     }
 
     /// Mean of all elements → `[1]`.
     pub fn mean(&mut self, a: NodeId) -> NodeId {
         let v = &self.values[a.0];
         let s = v.sum() / v.numel() as f32;
-        self.push(Tensor::scalar(s), Op::Mean(a))
+        let mut d = self.pool.take(1);
+        d[0] = s;
+        self.push(Tensor::new(&[1], d).unwrap(), Op::Mean(a))
     }
 
     /// Reshape (element count preserved).
     pub fn reshape(&mut self, a: NodeId, shape: &[usize]) -> NodeId {
-        let t = self.values[a.0]
-            .reshaped(shape)
-            .expect("reshape: numel mismatch");
+        let mut data = self.pool.take(self.values[a.0].numel());
+        data.copy_from_slice(self.values[a.0].data());
+        let t = Tensor::new(shape, data).expect("reshape: numel mismatch");
         self.push(t, Op::Reshape(a))
     }
 
@@ -399,6 +644,7 @@ impl Graph {
 
     /// `[m,n] + [n]` broadcast over rows.
     pub fn add_bias_row(&mut self, a: NodeId, bias: NodeId) -> NodeId {
+        let mut data = self.pool.take(self.values[a.0].numel());
         let (va, vb) = (&self.values[a.0], &self.values[bias.0]);
         let sa = va.shape();
         assert!(
@@ -408,18 +654,16 @@ impl Graph {
             vb.shape()
         );
         let n = sa[1];
-        let data = va
-            .data()
-            .iter()
-            .enumerate()
-            .map(|(i, &x)| x + vb.data()[i % n])
-            .collect();
+        for (i, (d, &x)) in data.iter_mut().zip(va.data()).enumerate() {
+            *d = x + vb.data()[i % n];
+        }
         let t = Tensor::new(sa, data).unwrap();
         self.push(t, Op::AddBiasRow(a, bias))
     }
 
     /// `[B,C,L] + [C]` broadcast over batch and length.
     pub fn add_bias_channel(&mut self, a: NodeId, bias: NodeId) -> NodeId {
+        let mut data = self.pool.take(self.values[a.0].numel());
         let (va, vb) = (&self.values[a.0], &self.values[bias.0]);
         let sa = va.shape();
         assert!(
@@ -429,12 +673,9 @@ impl Graph {
             vb.shape()
         );
         let (c, l) = (sa[1], sa[2]);
-        let data = va
-            .data()
-            .iter()
-            .enumerate()
-            .map(|(i, &x)| x + vb.data()[(i / l) % c])
-            .collect();
+        for (i, (d, &x)) in data.iter_mut().zip(va.data()).enumerate() {
+            *d = x + vb.data()[(i / l) % c];
+        }
         let t = Tensor::new(sa, data).unwrap();
         self.push(t, Op::AddBiasChannel(a, bias))
     }
@@ -443,6 +684,9 @@ impl Graph {
 
     /// 1-D convolution: input `[B,Cin,L]`, weight `[Cout,Cin,K]` →
     /// `[B,Cout,(L+2p−K)/s+1]`.
+    ///
+    /// Lowered to im2col + one GEMM: the weight `[Cout, Cin·K]` is already
+    /// the transposed right operand for [`gemm::gemm_nt_with`].
     pub fn conv1d(
         &mut self,
         input: NodeId,
@@ -451,38 +695,77 @@ impl Graph {
         stride: usize,
     ) -> NodeId {
         assert!(stride >= 1, "conv1d: stride must be >= 1");
-        let (vi, vw) = (&self.values[input.0], &self.values[weight.0]);
-        let (si, sw) = (vi.shape(), vw.shape());
-        assert!(
-            si.len() == 3 && sw.len() == 3 && si[1] == sw[1],
-            "conv1d: {si:?} * {sw:?}"
-        );
-        let (b, cin, l) = (si[0], si[1], si[2]);
-        let (cout, k) = (sw[0], sw[2]);
+        let (b, cin, l, cout, k) = {
+            let (si, sw) = (self.values[input.0].shape(), self.values[weight.0].shape());
+            assert!(
+                si.len() == 3 && sw.len() == 3 && si[1] == sw[1],
+                "conv1d: {si:?} * {sw:?}"
+            );
+            (si[0], si[1], si[2], sw[0], sw[2])
+        };
         assert!(
             l + 2 * padding >= k,
             "conv1d: kernel larger than padded input"
         );
         let lout = (l + 2 * padding - k) / stride + 1;
-        let mut out = vec![0.0f32; b * cout * lout];
-        for bi in 0..b {
-            for co in 0..cout {
-                for t in 0..lout {
-                    let mut acc = 0.0;
-                    for ci in 0..cin {
-                        for kk in 0..k {
-                            let pos = t * stride + kk;
-                            if pos < padding || pos - padding >= l {
-                                continue;
-                            }
-                            acc += vi.at3(bi, ci, pos - padding) * vw.at3(co, ci, kk);
-                        }
-                    }
-                    out[(bi * cout + co) * lout + t] = acc;
-                }
+        let (t, cols) = if self.naive {
+            let out = gemm::reference::conv1d(
+                self.values[input.0].data(),
+                self.values[weight.0].data(),
+                b,
+                cin,
+                l,
+                cout,
+                k,
+                padding,
+                stride,
+                lout,
+            );
+            (Tensor::new(&[b, cout, lout], out).unwrap(), Vec::new())
+        } else {
+            let threads = self.kernel_threads();
+            let ck = cin * k;
+            let rows = b * lout;
+            let mut colst = self.pool.take(rows * ck);
+            im2col(
+                self.values[input.0].data(),
+                &mut colst,
+                b,
+                cin,
+                l,
+                k,
+                padding,
+                stride,
+                lout,
+                threads,
+            );
+            // [B·Lout, Cin·K] · W[Cout, Cin·K]ᵀ → [B·Lout, Cout].
+            let mut out_t = self.pool.take(rows * cout);
+            gemm::gemm_nt_with(
+                threads,
+                &colst,
+                self.values[weight.0].data(),
+                &mut out_t,
+                rows,
+                ck,
+                cout,
+            );
+            // Scatter [B·Lout, Cout] → [B, Cout, Lout] (a per-item transpose).
+            let mut out = self.pool.take(b * cout * lout);
+            {
+                let src = &out_t[..];
+                ip_par::par_chunks_mut_with(threads, &mut out, cout * lout, |bi, chunk| {
+                    gemm::transpose_into(
+                        &src[bi * lout * cout..(bi + 1) * lout * cout],
+                        lout,
+                        cout,
+                        chunk,
+                    );
+                });
             }
-        }
-        let t = Tensor::new(&[b, cout, lout], out).unwrap();
+            self.pool.put(out_t);
+            (Tensor::new(&[b, cout, lout], out).unwrap(), colst)
+        };
         self.push(
             t,
             Op::Conv1d {
@@ -490,6 +773,7 @@ impl Graph {
                 weight,
                 padding,
                 stride,
+                cols,
             },
         )
     }
@@ -512,16 +796,18 @@ impl Graph {
             kernel >= 1 && stride >= 1,
             "max_pool1d: kernel/stride must be >= 1"
         );
-        let vi = &self.values[input.0];
-        let si = vi.shape();
-        assert!(
-            si.len() == 3 && si[2] + 2 * padding >= kernel,
-            "max_pool1d: input {si:?}, kernel {kernel}, padding {padding}"
-        );
-        let (b, c, l) = (si[0], si[1], si[2]);
+        let (b, c, l) = {
+            let si = self.values[input.0].shape();
+            assert!(
+                si.len() == 3 && si[2] + 2 * padding >= kernel,
+                "max_pool1d: input {si:?}, kernel {kernel}, padding {padding}"
+            );
+            (si[0], si[1], si[2])
+        };
         let lout = (l + 2 * padding - kernel) / stride + 1;
-        let mut out = vec![0.0f32; b * c * lout];
+        let mut out = self.pool.take(b * c * lout);
         let mut argmax = vec![0usize; b * c * lout];
+        let vi = &self.values[input.0];
         for bi in 0..b {
             for ci in 0..c {
                 for t in 0..lout {
@@ -551,19 +837,15 @@ impl Graph {
 
     /// Global average pooling over length: `[B,C,L] → [B,C]`.
     pub fn avg_pool_global(&mut self, input: NodeId) -> NodeId {
+        let (b, c, l) = {
+            let si = self.values[input.0].shape();
+            assert!(si.len() == 3, "avg_pool_global: expected 3-D, got {si:?}");
+            (si[0], si[1], si[2])
+        };
+        let mut out = self.pool.take(b * c);
         let vi = &self.values[input.0];
-        let si = vi.shape();
-        assert!(si.len() == 3, "avg_pool_global: expected 3-D, got {si:?}");
-        let (b, c, l) = (si[0], si[1], si[2]);
-        let mut out = vec![0.0f32; b * c];
-        for bi in 0..b {
-            for ci in 0..c {
-                let mut acc = 0.0;
-                for t in 0..l {
-                    acc += vi.at3(bi, ci, t);
-                }
-                out[bi * c + ci] = acc / l as f32;
-            }
+        for (o, row) in out.iter_mut().zip(vi.data().chunks(l)) {
+            *o = row.iter().sum::<f32>() / l as f32;
         }
         let t = Tensor::new(&[b, c], out).unwrap();
         self.push(t, Op::AvgPoolGlobal(input))
@@ -581,8 +863,7 @@ impl Graph {
         beta: NodeId,
         eps: f32,
     ) -> (NodeId, Vec<f32>, Vec<f32>) {
-        let vi = &self.values[input.0];
-        let si = vi.shape().to_vec();
+        let si = self.values[input.0].shape().to_vec();
         assert!(si.len() == 3, "batch_norm: expected 3-D, got {si:?}");
         let (b, c, l) = (si[0], si[1], si[2]);
         assert!(
@@ -592,38 +873,43 @@ impl Graph {
         let n = (b * l) as f32;
         let mut mean = vec![0.0f32; c];
         let mut var = vec![0.0f32; c];
-        for (ci, m) in mean.iter_mut().enumerate() {
-            let mut acc = 0.0;
-            for bi in 0..b {
-                for t in 0..l {
-                    acc += vi.at3(bi, ci, t);
+        let mut inv_std = self.pool.take(c);
+        let mut x_hat = self.pool.take(b * c * l);
+        let mut out = self.pool.take(b * c * l);
+        {
+            let vi = &self.values[input.0];
+            for (ci, m) in mean.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for bi in 0..b {
+                    for t in 0..l {
+                        acc += vi.at3(bi, ci, t);
+                    }
                 }
+                *m = acc / n;
             }
-            *m = acc / n;
-        }
-        for ci in 0..c {
-            let mut acc = 0.0;
-            for bi in 0..b {
-                for t in 0..l {
-                    let d = vi.at3(bi, ci, t) - mean[ci];
-                    acc += d * d;
+            for (ci, v) in var.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for bi in 0..b {
+                    for t in 0..l {
+                        let d = vi.at3(bi, ci, t) - mean[ci];
+                        acc += d * d;
+                    }
                 }
+                *v = acc / n;
             }
-            var[ci] = acc / n;
-        }
-        let inv_std: Vec<f32> = var.iter().map(|v| 1.0 / (v + eps).sqrt()).collect();
-        let g = self.values[gamma.0].data().to_vec();
-        let be = self.values[beta.0].data().to_vec();
-        let mut x_hat = vec![0.0f32; b * c * l];
-        let mut out = vec![0.0f32; b * c * l];
-        let vi = &self.values[input.0];
-        for bi in 0..b {
-            for ci in 0..c {
-                for t in 0..l {
-                    let idx = (bi * c + ci) * l + t;
-                    let xh = (vi.at3(bi, ci, t) - mean[ci]) * inv_std[ci];
-                    x_hat[idx] = xh;
-                    out[idx] = g[ci] * xh + be[ci];
+            for (istd, &v) in inv_std.iter_mut().zip(&var) {
+                *istd = 1.0 / (v + eps).sqrt();
+            }
+            let g = self.values[gamma.0].data();
+            let be = self.values[beta.0].data();
+            for bi in 0..b {
+                for ci in 0..c {
+                    for t in 0..l {
+                        let idx = (bi * c + ci) * l + t;
+                        let xh = (vi.at3(bi, ci, t) - mean[ci]) * inv_std[ci];
+                        x_hat[idx] = xh;
+                        out[idx] = g[ci] * xh + be[ci];
+                    }
                 }
             }
         }
@@ -644,57 +930,59 @@ impl Graph {
     /// Evaluation-mode batch norm: per-channel affine with fixed statistics.
     /// Gradients flow to the input only (eval passes do not train).
     pub fn channel_affine(&mut self, input: NodeId, scale: &[f32], shift: &[f32]) -> NodeId {
-        let vi = &self.values[input.0];
-        let si = vi.shape().to_vec();
+        let si = self.values[input.0].shape().to_vec();
         assert!(
             si.len() == 3 && scale.len() == si[1] && shift.len() == si[1],
             "channel_affine"
         );
         let (b, c, l) = (si[0], si[1], si[2]);
-        let mut out = vec![0.0f32; b * c * l];
-        for bi in 0..b {
-            for ci in 0..c {
-                for t in 0..l {
-                    out[(bi * c + ci) * l + t] = scale[ci] * vi.at3(bi, ci, t) + shift[ci];
+        let mut out = self.pool.take(b * c * l);
+        {
+            let vi = &self.values[input.0];
+            for ((o_row, x_row), ci) in out
+                .chunks_mut(l)
+                .zip(vi.data().chunks(l))
+                .zip((0..c).cycle())
+            {
+                for (o, &x) in o_row.iter_mut().zip(x_row) {
+                    *o = scale[ci] * x + shift[ci];
                 }
             }
         }
+        let mut sc = self.pool.take(c);
+        sc.copy_from_slice(scale);
         let t = Tensor::new(&si, out).unwrap();
-        self.push(
-            t,
-            Op::ChannelAffine {
-                input,
-                scale: scale.to_vec(),
-            },
-        )
+        self.push(t, Op::ChannelAffine { input, scale: sc })
     }
 
     /// Layer normalization over the last dimension with `gamma`/`beta` of
     /// that size.
     pub fn layer_norm(&mut self, input: NodeId, gamma: NodeId, beta: NodeId, eps: f32) -> NodeId {
-        let vi = &self.values[input.0];
-        let si = vi.shape().to_vec();
+        let si = self.values[input.0].shape().to_vec();
         let d = *si.last().unwrap();
         assert!(
             self.values[gamma.0].shape() == [d] && self.values[beta.0].shape() == [d],
             "layer_norm: gamma/beta must match last dim {d}"
         );
-        let rows = vi.numel() / d;
-        let g = self.values[gamma.0].data().to_vec();
-        let be = self.values[beta.0].data().to_vec();
-        let mut x_hat = vec![0.0f32; vi.numel()];
-        let mut inv_std = vec![0.0f32; rows];
-        let mut out = vec![0.0f32; vi.numel()];
-        for r in 0..rows {
-            let row = &vi.data()[r * d..(r + 1) * d];
-            let mean: f32 = row.iter().sum::<f32>() / d as f32;
-            let var: f32 = row.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / d as f32;
-            let istd = 1.0 / (var + eps).sqrt();
-            inv_std[r] = istd;
-            for j in 0..d {
-                let xh = (row[j] - mean) * istd;
-                x_hat[r * d + j] = xh;
-                out[r * d + j] = g[j] * xh + be[j];
+        let numel = self.values[input.0].numel();
+        let rows = numel / d;
+        let mut x_hat = self.pool.take(numel);
+        let mut inv_std = self.pool.take(rows);
+        let mut out = self.pool.take(numel);
+        {
+            let vi = &self.values[input.0];
+            let g = self.values[gamma.0].data();
+            let be = self.values[beta.0].data();
+            for (r, row) in vi.data().chunks(d).enumerate() {
+                let mean: f32 = row.iter().sum::<f32>() / d as f32;
+                let var: f32 = row.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / d as f32;
+                let istd = 1.0 / (var + eps).sqrt();
+                inv_std[r] = istd;
+                for (j, &x) in row.iter().enumerate() {
+                    let xh = (x - mean) * istd;
+                    x_hat[r * d + j] = xh;
+                    out[r * d + j] = g[j] * xh + be[j];
+                }
             }
         }
         let t = Tensor::new(&si, out).unwrap();
@@ -727,7 +1015,7 @@ impl Graph {
             );
         }
         let c_total: usize = shapes.iter().map(|s| s[1]).sum();
-        let mut out = vec![0.0f32; b * c_total * l];
+        let mut out = self.pool.take(b * c_total * l);
         for bi in 0..b {
             let mut c_off = 0;
             for (inp, s) in inputs.iter().zip(&shapes) {
@@ -748,19 +1036,20 @@ impl Graph {
     /// Slices `[.., D] → [.., len]` along the last dimension starting at
     /// `start` (used to split attention heads).
     pub fn slice_last_dim(&mut self, input: NodeId, start: usize, len: usize) -> NodeId {
-        let vi = &self.values[input.0];
-        let si = vi.shape().to_vec();
+        let si = self.values[input.0].shape().to_vec();
         let d = *si.last().unwrap();
         assert!(
             start + len <= d,
             "slice_last_dim: [{start}, {}) out of {d}",
             start + len
         );
-        let rows = vi.numel() / d;
-        let mut out = vec![0.0f32; rows * len];
-        for r in 0..rows {
-            out[r * len..(r + 1) * len]
-                .copy_from_slice(&vi.data()[r * d + start..r * d + start + len]);
+        let rows = self.values[input.0].numel() / d;
+        let mut out = self.pool.take(rows * len);
+        {
+            let vi = &self.values[input.0];
+            for (o_row, v_row) in out.chunks_mut(len).zip(vi.data().chunks(d)) {
+                o_row.copy_from_slice(&v_row[start..start + len]);
+            }
         }
         let mut shape = si.clone();
         *shape.last_mut().unwrap() = len;
@@ -779,18 +1068,21 @@ impl Graph {
         }
         let numel = self.values[input.0].numel();
         let scale = 1.0 / (1.0 - p);
-        let mask: Vec<f32> = (0..numel)
-            .map(|_| {
-                if self.rng.gen::<f32>() < p {
-                    0.0
-                } else {
-                    scale
-                }
-            })
-            .collect();
-        let vi = &self.values[input.0];
-        let data = vi.data().iter().zip(&mask).map(|(x, m)| x * m).collect();
-        let t = Tensor::new(vi.shape(), data).unwrap();
+        let mut mask = self.pool.take(numel);
+        for mv in mask.iter_mut() {
+            *mv = if self.rng.gen::<f32>() < p {
+                0.0
+            } else {
+                scale
+            };
+        }
+        let mut data = self.pool.take(numel);
+        let shape = {
+            let vi = &self.values[input.0];
+            fill_zip(&mut data, vi.data(), &mask, |x, m| x * m);
+            vi.shape().to_vec()
+        };
+        let t = Tensor::new(&shape, data).unwrap();
         self.push(t, Op::Dropout { input, mask })
     }
 
@@ -803,10 +1095,10 @@ impl Graph {
             1,
             "backward: loss must be scalar"
         );
-        for g in self.grads.iter_mut() {
-            *g = None;
-        }
-        self.grads[loss.0] = Some(Tensor::scalar(1.0));
+        self.clear_grads();
+        let mut seed = self.pool.take(1);
+        seed[0] = 1.0;
+        self.grads[loss.0] = Some(Tensor::new(&[1], seed).unwrap());
 
         for i in (0..=loss.0).rev() {
             let Some(gout) = self.grads[i].take() else {
@@ -823,9 +1115,25 @@ impl Graph {
                 for (a, b) in g.data_mut().iter_mut().zip(delta.data()) {
                     *a += b;
                 }
+                self.pool.put(delta.into_data());
             }
             slot @ None => *slot = Some(delta),
         }
+    }
+
+    /// Pool-backed copy of `t` (callers pass the local `gout`, never a
+    /// borrow of `self.values`).
+    fn pooled_copy(&mut self, t: &Tensor) -> Tensor {
+        let mut data = self.pool.take(t.numel());
+        data.copy_from_slice(t.data());
+        Tensor::new(t.shape(), data).unwrap()
+    }
+
+    /// Pool-backed element-wise map of `t` (same caveat as `pooled_copy`).
+    fn pooled_map(&mut self, t: &Tensor, f: impl Fn(f32) -> f32) -> Tensor {
+        let mut data = self.pool.take(t.numel());
+        fill_map(&mut data, t.data(), f);
+        Tensor::new(t.shape(), data).unwrap()
     }
 
     #[allow(clippy::too_many_lines)]
@@ -836,134 +1144,330 @@ impl Graph {
         match &op {
             Op::Leaf => {}
             Op::Add(a, b) => {
-                self.accumulate(*a, gout.clone());
-                self.accumulate(*b, gout.clone());
+                let ga = self.pooled_copy(gout);
+                self.accumulate(*a, ga);
+                let gb = self.pooled_copy(gout);
+                self.accumulate(*b, gb);
             }
             Op::Sub(a, b) => {
-                self.accumulate(*a, gout.clone());
-                self.accumulate(*b, gout.map(|x| -x));
+                let ga = self.pooled_copy(gout);
+                self.accumulate(*a, ga);
+                let gb = self.pooled_map(gout, |x| -x);
+                self.accumulate(*b, gb);
             }
             Op::Mul(a, b) => {
-                let ga = mul_slices(gout.data(), self.values[b.0].data());
-                let gb = mul_slices(gout.data(), self.values[a.0].data());
+                let mut ga = self.pool.take(gout.numel());
+                fill_zip(&mut ga, gout.data(), self.values[b.0].data(), |g, y| g * y);
+                let mut gb = self.pool.take(gout.numel());
+                fill_zip(&mut gb, gout.data(), self.values[a.0].data(), |g, x| g * x);
                 let sa = self.values[a.0].shape().to_vec();
                 self.accumulate(*a, Tensor::new(&sa, ga).unwrap());
                 self.accumulate(*b, Tensor::new(&sa, gb).unwrap());
             }
             Op::ScalarMul(a, c) => {
-                self.accumulate(*a, gout.map(|x| x * c));
+                let c = *c;
+                let d = self.pooled_map(gout, |x| x * c);
+                self.accumulate(*a, d);
             }
             Op::ScalarAdd(a) => {
-                self.accumulate(*a, gout.clone());
+                let d = self.pooled_copy(gout);
+                self.accumulate(*a, d);
             }
             Op::MatMul(a, b) => {
-                let (va, vb) = (&self.values[a.0], &self.values[b.0]);
-                let (m, k) = (va.shape()[0], va.shape()[1]);
-                let n = vb.shape()[1];
+                let (m, k) = (self.values[a.0].shape()[0], self.values[a.0].shape()[1]);
+                let n = self.values[b.0].shape()[1];
                 // dA = G @ Bᵀ ; dB = Aᵀ @ G.
-                let da = matmul2(gout.data(), vb.data(), m, n, k, true);
-                let db = matmul2_trans_a(va.data(), gout.data(), m, k, n);
-                self.accumulate(*a, Tensor::new(&[m, k], da).unwrap());
-                self.accumulate(*b, Tensor::new(&[k, n], db).unwrap());
+                if self.naive {
+                    let da =
+                        gemm::reference::matmul_nt(gout.data(), self.values[b.0].data(), m, n, k);
+                    let db =
+                        gemm::reference::matmul_tn(self.values[a.0].data(), gout.data(), m, k, n);
+                    self.accumulate(*a, Tensor::new(&[m, k], da).unwrap());
+                    self.accumulate(*b, Tensor::new(&[k, n], db).unwrap());
+                } else {
+                    let threads = self.kernel_threads();
+                    let mut da = self.pool.take(m * k);
+                    // B[k,n] is already the transposed right operand for G·Bᵀ.
+                    gemm::gemm_nt_with(
+                        threads,
+                        gout.data(),
+                        self.values[b.0].data(),
+                        &mut da,
+                        m,
+                        n,
+                        k,
+                    );
+                    let mut db = self.pool.take(k * n);
+                    let mut scratch = self.pool.take(k * m + n * m);
+                    gemm::gemm_tn_with(
+                        threads,
+                        self.values[a.0].data(),
+                        gout.data(),
+                        &mut db,
+                        &mut scratch,
+                        m,
+                        k,
+                        n,
+                    );
+                    self.pool.put(scratch);
+                    self.accumulate(*a, Tensor::new(&[m, k], da).unwrap());
+                    self.accumulate(*b, Tensor::new(&[k, n], db).unwrap());
+                }
             }
             Op::MatMulTransB(a, b) => {
-                let (va, vb) = (&self.values[a.0], &self.values[b.0]);
-                let (m, k) = (va.shape()[0], va.shape()[1]);
-                let n = vb.shape()[0];
+                let (m, k) = (self.values[a.0].shape()[0], self.values[a.0].shape()[1]);
+                let n = self.values[b.0].shape()[0];
                 // Y = A Bᵀ: dA = G @ B ; dB = Gᵀ @ A.
-                let da = matmul2(gout.data(), vb.data(), m, n, k, false);
-                let db = matmul2_trans_a(gout.data(), va.data(), m, n, k);
-                self.accumulate(*a, Tensor::new(&[m, k], da).unwrap());
-                self.accumulate(*b, Tensor::new(&[n, k], db).unwrap());
+                if self.naive {
+                    let da =
+                        gemm::reference::matmul_nn(gout.data(), self.values[b.0].data(), m, n, k);
+                    let db =
+                        gemm::reference::matmul_tn(gout.data(), self.values[a.0].data(), m, n, k);
+                    self.accumulate(*a, Tensor::new(&[m, k], da).unwrap());
+                    self.accumulate(*b, Tensor::new(&[n, k], db).unwrap());
+                } else {
+                    let threads = self.kernel_threads();
+                    let mut da = self.pool.take(m * k);
+                    let mut scratch = self.pool.take(n * k);
+                    gemm::gemm_nn_with(
+                        threads,
+                        gout.data(),
+                        self.values[b.0].data(),
+                        &mut da,
+                        &mut scratch,
+                        m,
+                        n,
+                        k,
+                    );
+                    self.pool.put(scratch);
+                    let mut db = self.pool.take(n * k);
+                    let mut scratch = self.pool.take(n * m + k * m);
+                    gemm::gemm_tn_with(
+                        threads,
+                        gout.data(),
+                        self.values[a.0].data(),
+                        &mut db,
+                        &mut scratch,
+                        m,
+                        n,
+                        k,
+                    );
+                    self.pool.put(scratch);
+                    self.accumulate(*a, Tensor::new(&[m, k], da).unwrap());
+                    self.accumulate(*b, Tensor::new(&[n, k], db).unwrap());
+                }
             }
             Op::BatchMatMul(a, b) => {
-                let (va, vb) = (&self.values[a.0], &self.values[b.0]);
-                let (bsz, m, k) = (va.shape()[0], va.shape()[1], va.shape()[2]);
-                let n = vb.shape()[2];
-                let mut da = vec![0.0; bsz * m * k];
-                let mut db = vec![0.0; bsz * k * n];
-                for bi in 0..bsz {
-                    let g = &gout.data()[bi * m * n..(bi + 1) * m * n];
-                    let av = &va.data()[bi * m * k..(bi + 1) * m * k];
-                    let bv = &vb.data()[bi * k * n..(bi + 1) * k * n];
-                    da[bi * m * k..(bi + 1) * m * k]
-                        .copy_from_slice(&matmul2(g, bv, m, n, k, true));
-                    db[bi * k * n..(bi + 1) * k * n]
-                        .copy_from_slice(&matmul2_trans_a(av, g, m, k, n));
+                let (bsz, m, k) = {
+                    let sa = self.values[a.0].shape();
+                    (sa[0], sa[1], sa[2])
+                };
+                let n = self.values[b.0].shape()[2];
+                if self.naive {
+                    let mut da = vec![0.0; bsz * m * k];
+                    let mut db = vec![0.0; bsz * k * n];
+                    for bi in 0..bsz {
+                        let g = &gout.data()[bi * m * n..(bi + 1) * m * n];
+                        let av = &self.values[a.0].data()[bi * m * k..(bi + 1) * m * k];
+                        let bv = &self.values[b.0].data()[bi * k * n..(bi + 1) * k * n];
+                        da[bi * m * k..(bi + 1) * m * k]
+                            .copy_from_slice(&gemm::reference::matmul_nt(g, bv, m, n, k));
+                        db[bi * k * n..(bi + 1) * k * n]
+                            .copy_from_slice(&gemm::reference::matmul_tn(av, g, m, k, n));
+                    }
+                    self.accumulate(*a, Tensor::new(&[bsz, m, k], da).unwrap());
+                    self.accumulate(*b, Tensor::new(&[bsz, k, n], db).unwrap());
+                } else {
+                    let threads = self.kernel_threads();
+                    // dA_bi = G_bi · B_biᵀ — B_bi[k,n] is already transposed
+                    // for gemm_nt, so this fans out directly.
+                    let mut da = self.pool.take(bsz * m * k);
+                    {
+                        let g = gout.data();
+                        let bv = self.values[b.0].data();
+                        ip_par::par_chunks_mut_with(threads, &mut da, m * k, |bi, chunk| {
+                            gemm::gemm_nt_with(
+                                1,
+                                &g[bi * m * n..(bi + 1) * m * n],
+                                &bv[bi * k * n..(bi + 1) * k * n],
+                                chunk,
+                                m,
+                                n,
+                                k,
+                            );
+                        });
+                    }
+                    // dB_bi = A_biᵀ · G_bi: pre-transpose both whole batches,
+                    // then dB_bi = Aᵀ_bi · (Gᵀ_bi)ᵀ runs as gemm_nt per item.
+                    let mut at_all = self.pool.take(bsz * k * m);
+                    {
+                        let av = self.values[a.0].data();
+                        ip_par::par_chunks_mut_with(threads, &mut at_all, k * m, |bi, chunk| {
+                            gemm::transpose_into(&av[bi * m * k..(bi + 1) * m * k], m, k, chunk);
+                        });
+                    }
+                    let mut gt_all = self.pool.take(bsz * n * m);
+                    {
+                        let g = gout.data();
+                        ip_par::par_chunks_mut_with(threads, &mut gt_all, n * m, |bi, chunk| {
+                            gemm::transpose_into(&g[bi * m * n..(bi + 1) * m * n], m, n, chunk);
+                        });
+                    }
+                    let mut db = self.pool.take(bsz * k * n);
+                    {
+                        let at = &at_all[..];
+                        let gt = &gt_all[..];
+                        ip_par::par_chunks_mut_with(threads, &mut db, k * n, |bi, chunk| {
+                            gemm::gemm_nt_with(
+                                1,
+                                &at[bi * k * m..(bi + 1) * k * m],
+                                &gt[bi * n * m..(bi + 1) * n * m],
+                                chunk,
+                                k,
+                                m,
+                                n,
+                            );
+                        });
+                    }
+                    self.pool.put(at_all);
+                    self.pool.put(gt_all);
+                    self.accumulate(*a, Tensor::new(&[bsz, m, k], da).unwrap());
+                    self.accumulate(*b, Tensor::new(&[bsz, k, n], db).unwrap());
                 }
-                self.accumulate(*a, Tensor::new(&[bsz, m, k], da).unwrap());
-                self.accumulate(*b, Tensor::new(&[bsz, k, n], db).unwrap());
             }
             Op::BatchMatMulTransB(a, b) => {
-                let (va, vb) = (&self.values[a.0], &self.values[b.0]);
-                let (bsz, m, k) = (va.shape()[0], va.shape()[1], va.shape()[2]);
-                let n = vb.shape()[1];
-                let mut da = vec![0.0; bsz * m * k];
-                let mut db = vec![0.0; bsz * n * k];
-                for bi in 0..bsz {
-                    let g = &gout.data()[bi * m * n..(bi + 1) * m * n];
-                    let av = &va.data()[bi * m * k..(bi + 1) * m * k];
-                    let bv = &vb.data()[bi * n * k..(bi + 1) * n * k];
-                    // dA = G @ B ; dB = Gᵀ @ A.
-                    da[bi * m * k..(bi + 1) * m * k]
-                        .copy_from_slice(&matmul2(g, bv, m, n, k, false));
-                    db[bi * n * k..(bi + 1) * n * k]
-                        .copy_from_slice(&matmul2_trans_a(g, av, m, n, k));
+                let (bsz, m, k) = {
+                    let sa = self.values[a.0].shape();
+                    (sa[0], sa[1], sa[2])
+                };
+                let n = self.values[b.0].shape()[1];
+                if self.naive {
+                    let mut da = vec![0.0; bsz * m * k];
+                    let mut db = vec![0.0; bsz * n * k];
+                    for bi in 0..bsz {
+                        let g = &gout.data()[bi * m * n..(bi + 1) * m * n];
+                        let av = &self.values[a.0].data()[bi * m * k..(bi + 1) * m * k];
+                        let bv = &self.values[b.0].data()[bi * n * k..(bi + 1) * n * k];
+                        // dA = G @ B ; dB = Gᵀ @ A.
+                        da[bi * m * k..(bi + 1) * m * k]
+                            .copy_from_slice(&gemm::reference::matmul_nn(g, bv, m, n, k));
+                        db[bi * n * k..(bi + 1) * n * k]
+                            .copy_from_slice(&gemm::reference::matmul_tn(g, av, m, n, k));
+                    }
+                    self.accumulate(*a, Tensor::new(&[bsz, m, k], da).unwrap());
+                    self.accumulate(*b, Tensor::new(&[bsz, n, k], db).unwrap());
+                } else {
+                    let threads = self.kernel_threads();
+                    // dA_bi = G_bi · B_bi needs B transposed for gemm_nt.
+                    let mut btr_all = self.pool.take(bsz * k * n);
+                    {
+                        let bv = self.values[b.0].data();
+                        ip_par::par_chunks_mut_with(threads, &mut btr_all, k * n, |bi, chunk| {
+                            gemm::transpose_into(&bv[bi * n * k..(bi + 1) * n * k], n, k, chunk);
+                        });
+                    }
+                    let mut da = self.pool.take(bsz * m * k);
+                    {
+                        let g = gout.data();
+                        let btr = &btr_all[..];
+                        ip_par::par_chunks_mut_with(threads, &mut da, m * k, |bi, chunk| {
+                            gemm::gemm_nt_with(
+                                1,
+                                &g[bi * m * n..(bi + 1) * m * n],
+                                &btr[bi * k * n..(bi + 1) * k * n],
+                                chunk,
+                                m,
+                                n,
+                                k,
+                            );
+                        });
+                    }
+                    self.pool.put(btr_all);
+                    // dB_bi = Gᵀ_bi · A_bi = Gᵀ_bi · (Aᵀ_bi)ᵀ.
+                    let mut gt_all = self.pool.take(bsz * n * m);
+                    {
+                        let g = gout.data();
+                        ip_par::par_chunks_mut_with(threads, &mut gt_all, n * m, |bi, chunk| {
+                            gemm::transpose_into(&g[bi * m * n..(bi + 1) * m * n], m, n, chunk);
+                        });
+                    }
+                    let mut at_all = self.pool.take(bsz * k * m);
+                    {
+                        let av = self.values[a.0].data();
+                        ip_par::par_chunks_mut_with(threads, &mut at_all, k * m, |bi, chunk| {
+                            gemm::transpose_into(&av[bi * m * k..(bi + 1) * m * k], m, k, chunk);
+                        });
+                    }
+                    let mut db = self.pool.take(bsz * n * k);
+                    {
+                        let gt = &gt_all[..];
+                        let at = &at_all[..];
+                        ip_par::par_chunks_mut_with(threads, &mut db, n * k, |bi, chunk| {
+                            gemm::gemm_nt_with(
+                                1,
+                                &gt[bi * n * m..(bi + 1) * n * m],
+                                &at[bi * k * m..(bi + 1) * k * m],
+                                chunk,
+                                n,
+                                m,
+                                k,
+                            );
+                        });
+                    }
+                    self.pool.put(gt_all);
+                    self.pool.put(at_all);
+                    self.accumulate(*a, Tensor::new(&[bsz, m, k], da).unwrap());
+                    self.accumulate(*b, Tensor::new(&[bsz, n, k], db).unwrap());
                 }
-                self.accumulate(*a, Tensor::new(&[bsz, m, k], da).unwrap());
-                self.accumulate(*b, Tensor::new(&[bsz, n, k], db).unwrap());
             }
             Op::Relu(a) => {
-                let mask: Vec<f32> = self.values[a.0]
-                    .data()
-                    .iter()
-                    .zip(gout.data())
-                    .map(|(&x, &g)| if x > 0.0 { g } else { 0.0 })
-                    .collect();
+                let mut d = self.pool.take(gout.numel());
+                fill_zip(&mut d, self.values[a.0].data(), gout.data(), |x, g| {
+                    if x > 0.0 {
+                        g
+                    } else {
+                        0.0
+                    }
+                });
                 let sa = self.values[a.0].shape().to_vec();
-                self.accumulate(*a, Tensor::new(&sa, mask).unwrap());
+                self.accumulate(*a, Tensor::new(&sa, d).unwrap());
             }
             Op::Sigmoid(a) => {
-                let y = &self.values[i];
-                let d: Vec<f32> = y
-                    .data()
-                    .iter()
-                    .zip(gout.data())
-                    .map(|(&s, &g)| g * s * (1.0 - s))
-                    .collect();
-                let sa = y.shape().to_vec();
+                let mut d = self.pool.take(gout.numel());
+                fill_zip(&mut d, self.values[i].data(), gout.data(), |s, g| {
+                    g * s * (1.0 - s)
+                });
+                let sa = self.values[i].shape().to_vec();
                 self.accumulate(*a, Tensor::new(&sa, d).unwrap());
             }
             Op::Tanh(a) => {
-                let y = &self.values[i];
-                let d: Vec<f32> = y
-                    .data()
-                    .iter()
-                    .zip(gout.data())
-                    .map(|(&t, &g)| g * (1.0 - t * t))
-                    .collect();
-                let sa = y.shape().to_vec();
+                let mut d = self.pool.take(gout.numel());
+                fill_zip(&mut d, self.values[i].data(), gout.data(), |t, g| {
+                    g * (1.0 - t * t)
+                });
+                let sa = self.values[i].shape().to_vec();
                 self.accumulate(*a, Tensor::new(&sa, d).unwrap());
             }
             Op::Gelu(a) => {
-                let x = &self.values[a.0];
-                let d: Vec<f32> = x
-                    .data()
-                    .iter()
-                    .zip(gout.data())
-                    .map(|(&x, &g)| g * gelu_bwd(x))
-                    .collect();
-                let sa = x.shape().to_vec();
+                let mut d = self.pool.take(gout.numel());
+                fill_zip(&mut d, self.values[a.0].data(), gout.data(), |x, g| {
+                    g * gelu_bwd(x)
+                });
+                let sa = self.values[a.0].shape().to_vec();
                 self.accumulate(*a, Tensor::new(&sa, d).unwrap());
             }
             Op::Softmax(a) => {
+                let mut grad = self.pool.take(gout.numel());
                 let y = &self.values[i];
                 let d = *y.shape().last().unwrap();
-                let mut grad = vec![0.0f32; y.numel()];
-                for (r, (yr, gr)) in y.data().chunks(d).zip(gout.data().chunks(d)).enumerate() {
+                for ((o_row, yr), gr) in grad
+                    .chunks_mut(d)
+                    .zip(y.data().chunks(d))
+                    .zip(gout.data().chunks(d))
+                {
                     let dot: f32 = yr.iter().zip(gr).map(|(a, b)| a * b).sum();
-                    for j in 0..d {
-                        grad[r * d + j] = yr[j] * (gr[j] - dot);
+                    for ((o, &yj), &gj) in o_row.iter_mut().zip(yr).zip(gr) {
+                        *o = yj * (gj - dot);
                     }
                 }
                 let sa = y.shape().to_vec();
@@ -971,33 +1475,41 @@ impl Graph {
             }
             Op::Sum(a) => {
                 let g = gout.data()[0];
+                let mut d = self.pool.take(self.values[a.0].numel());
+                d.fill(g);
                 let sa = self.values[a.0].shape().to_vec();
-                self.accumulate(*a, Tensor::full(&sa, g));
+                self.accumulate(*a, Tensor::new(&sa, d).unwrap());
             }
             Op::Mean(a) => {
                 let n = self.values[a.0].numel() as f32;
                 let g = gout.data()[0] / n;
+                let mut d = self.pool.take(self.values[a.0].numel());
+                d.fill(g);
                 let sa = self.values[a.0].shape().to_vec();
-                self.accumulate(*a, Tensor::full(&sa, g));
+                self.accumulate(*a, Tensor::new(&sa, d).unwrap());
             }
             Op::Reshape(a) => {
+                let mut d = self.pool.take(gout.numel());
+                d.copy_from_slice(gout.data());
                 let sa = self.values[a.0].shape().to_vec();
-                self.accumulate(*a, Tensor::new(&sa, gout.data().to_vec()).unwrap());
+                self.accumulate(*a, Tensor::new(&sa, d).unwrap());
             }
             Op::AddBiasRow(a, bias) => {
-                self.accumulate(*a, gout.clone());
+                let ga = self.pooled_copy(gout);
+                self.accumulate(*a, ga);
                 let n = self.values[bias.0].numel();
-                let mut gb = vec![0.0f32; n];
+                let mut gb = self.pool.take_zeroed(n);
                 for (idx, &g) in gout.data().iter().enumerate() {
                     gb[idx % n] += g;
                 }
                 self.accumulate(*bias, Tensor::new(&[n], gb).unwrap());
             }
             Op::AddBiasChannel(a, bias) => {
-                self.accumulate(*a, gout.clone());
+                let ga = self.pooled_copy(gout);
+                self.accumulate(*a, ga);
                 let sa = self.values[a.0].shape().to_vec();
                 let (c, l) = (sa[1], sa[2]);
-                let mut gb = vec![0.0f32; c];
+                let mut gb = self.pool.take_zeroed(c);
                 for (idx, &g) in gout.data().iter().enumerate() {
                     gb[(idx / l) % c] += g;
                 }
@@ -1008,40 +1520,101 @@ impl Graph {
                 weight,
                 padding,
                 stride,
+                cols,
             } => {
-                let (vi, vw) = (&self.values[input.0], &self.values[weight.0]);
-                let (b, cin, l) = (vi.shape()[0], vi.shape()[1], vi.shape()[2]);
-                let (cout, k) = (vw.shape()[0], vw.shape()[2]);
+                let (b, cin, l) = {
+                    let si = self.values[input.0].shape();
+                    (si[0], si[1], si[2])
+                };
+                let (cout, k) = {
+                    let sw = self.values[weight.0].shape();
+                    (sw[0], sw[2])
+                };
                 let lout = gout.shape()[2];
-                let mut din = vec![0.0f32; b * cin * l];
-                let mut dw = vec![0.0f32; cout * cin * k];
-                for bi in 0..b {
-                    for co in 0..cout {
-                        for t in 0..lout {
-                            let g = gout.at3(bi, co, t);
-                            if g == 0.0 {
-                                continue;
-                            }
-                            for ci in 0..cin {
-                                for kk in 0..k {
-                                    let pos = t * stride + kk;
-                                    if pos < *padding || pos - padding >= l {
-                                        continue;
-                                    }
-                                    let ipos = pos - padding;
-                                    din[(bi * cin + ci) * l + ipos] += g * vw.at3(co, ci, kk);
-                                    dw[(co * cin + ci) * k + kk] += g * vi.at3(bi, ci, ipos);
-                                }
-                            }
-                        }
+                if self.naive {
+                    let (din, dw) = gemm::reference::conv1d_backward(
+                        self.values[input.0].data(),
+                        self.values[weight.0].data(),
+                        gout.data(),
+                        b,
+                        cin,
+                        l,
+                        cout,
+                        k,
+                        *padding,
+                        *stride,
+                        lout,
+                    );
+                    self.accumulate(*input, Tensor::new(&[b, cin, l], din).unwrap());
+                    self.accumulate(*weight, Tensor::new(&[cout, cin, k], dw).unwrap());
+                } else {
+                    let threads = self.kernel_threads();
+                    let ck = cin * k;
+                    let rows = b * lout;
+                    // The forward pass cached the im2col matrix in the op;
+                    // reuse it for both GEMMs instead of re-expanding the
+                    // input.
+                    let colst: &[f32] = cols;
+                    debug_assert_eq!(colst.len(), rows * ck);
+                    // Gather G[B,Cout,Lout] → [B·Lout, Cout].
+                    let mut gout_t = self.pool.take(rows * cout);
+                    {
+                        let g = gout.data();
+                        ip_par::par_chunks_mut_with(
+                            threads,
+                            &mut gout_t,
+                            lout * cout,
+                            |bi, chunk| {
+                                gemm::transpose_into(
+                                    &g[bi * cout * lout..(bi + 1) * cout * lout],
+                                    cout,
+                                    lout,
+                                    chunk,
+                                );
+                            },
+                        );
                     }
+                    // dW[Cout, Cin·K] = Gᵀ · cols.
+                    let mut dw = self.pool.take(cout * ck);
+                    let mut scratch = self.pool.take(cout * rows + ck * rows);
+                    gemm::gemm_tn_with(
+                        threads,
+                        &gout_t,
+                        colst,
+                        &mut dw,
+                        &mut scratch,
+                        rows,
+                        cout,
+                        ck,
+                    );
+                    self.pool.put(scratch);
+                    // d(cols)[B·Lout, Cin·K] = G · W, then scatter-add back.
+                    let mut dcolst = self.pool.take(rows * ck);
+                    let mut scratch = self.pool.take(ck * cout);
+                    gemm::gemm_nn_with(
+                        threads,
+                        &gout_t,
+                        self.values[weight.0].data(),
+                        &mut dcolst,
+                        &mut scratch,
+                        rows,
+                        cout,
+                        ck,
+                    );
+                    self.pool.put(scratch);
+                    let mut din = self.pool.take_zeroed(b * cin * l);
+                    col2im(
+                        &dcolst, &mut din, b, cin, l, k, *padding, *stride, lout, threads,
+                    );
+                    self.pool.put(gout_t);
+                    self.pool.put(dcolst);
+                    self.accumulate(*input, Tensor::new(&[b, cin, l], din).unwrap());
+                    self.accumulate(*weight, Tensor::new(&[cout, cin, k], dw).unwrap());
                 }
-                self.accumulate(*input, Tensor::new(&[b, cin, l], din).unwrap());
-                self.accumulate(*weight, Tensor::new(&[cout, cin, k], dw).unwrap());
             }
             Op::MaxPool1d { input, argmax } => {
                 let sa = self.values[input.0].shape().to_vec();
-                let mut din = vec![0.0f32; self.values[input.0].numel()];
+                let mut din = self.pool.take_zeroed(self.values[input.0].numel());
                 for (oi, &src) in argmax.iter().enumerate() {
                     din[src] += gout.data()[oi];
                 }
@@ -1050,14 +1623,9 @@ impl Graph {
             Op::AvgPoolGlobal(a) => {
                 let sa = self.values[a.0].shape().to_vec();
                 let (b, c, l) = (sa[0], sa[1], sa[2]);
-                let mut din = vec![0.0f32; b * c * l];
-                for bi in 0..b {
-                    for ci in 0..c {
-                        let g = gout.data()[bi * c + ci] / l as f32;
-                        for t in 0..l {
-                            din[(bi * c + ci) * l + t] = g;
-                        }
-                    }
+                let mut din = self.pool.take(b * c * l);
+                for (row, &g) in din.chunks_mut(l).zip(gout.data()) {
+                    row.fill(g / l as f32);
                 }
                 self.accumulate(*a, Tensor::new(&sa, din).unwrap());
             }
@@ -1071,35 +1639,39 @@ impl Graph {
                 let sa = self.values[input.0].shape().to_vec();
                 let (b, c, l) = (sa[0], sa[1], sa[2]);
                 let n = (b * l) as f32;
-                let g = self.values[gamma.0].data().to_vec();
-                let mut dgamma = vec![0.0f32; c];
-                let mut dbeta = vec![0.0f32; c];
-                let mut sum_dxhat = vec![0.0f32; c];
-                let mut sum_dxhat_xhat = vec![0.0f32; c];
-                for bi in 0..b {
-                    for ci in 0..c {
-                        for t in 0..l {
-                            let idx = (bi * c + ci) * l + t;
-                            let go = gout.data()[idx];
-                            dgamma[ci] += go * x_hat[idx];
-                            dbeta[ci] += go;
-                            let dxhat = go * g[ci];
-                            sum_dxhat[ci] += dxhat;
-                            sum_dxhat_xhat[ci] += dxhat * x_hat[idx];
+                let mut dgamma = self.pool.take_zeroed(c);
+                let mut dbeta = self.pool.take_zeroed(c);
+                let mut sum_dxhat = self.pool.take_zeroed(c);
+                let mut sum_dxhat_xhat = self.pool.take_zeroed(c);
+                let mut din = self.pool.take(b * c * l);
+                {
+                    let g = self.values[gamma.0].data();
+                    for bi in 0..b {
+                        for ci in 0..c {
+                            for t in 0..l {
+                                let idx = (bi * c + ci) * l + t;
+                                let go = gout.data()[idx];
+                                dgamma[ci] += go * x_hat[idx];
+                                dbeta[ci] += go;
+                                let dxhat = go * g[ci];
+                                sum_dxhat[ci] += dxhat;
+                                sum_dxhat_xhat[ci] += dxhat * x_hat[idx];
+                            }
+                        }
+                    }
+                    for bi in 0..b {
+                        for ci in 0..c {
+                            for t in 0..l {
+                                let idx = (bi * c + ci) * l + t;
+                                let dxhat = gout.data()[idx] * g[ci];
+                                din[idx] = inv_std[ci] / n
+                                    * (n * dxhat - sum_dxhat[ci] - x_hat[idx] * sum_dxhat_xhat[ci]);
+                            }
                         }
                     }
                 }
-                let mut din = vec![0.0f32; b * c * l];
-                for bi in 0..b {
-                    for ci in 0..c {
-                        for t in 0..l {
-                            let idx = (bi * c + ci) * l + t;
-                            let dxhat = gout.data()[idx] * g[ci];
-                            din[idx] = inv_std[ci] / n
-                                * (n * dxhat - sum_dxhat[ci] - x_hat[idx] * sum_dxhat_xhat[ci]);
-                        }
-                    }
-                }
+                self.pool.put(sum_dxhat);
+                self.pool.put(sum_dxhat_xhat);
                 self.accumulate(*input, Tensor::new(&sa, din).unwrap());
                 self.accumulate(*gamma, Tensor::new(&[c], dgamma).unwrap());
                 self.accumulate(*beta, Tensor::new(&[c], dbeta).unwrap());
@@ -1114,28 +1686,30 @@ impl Graph {
                 let sa = self.values[input.0].shape().to_vec();
                 let d = *sa.last().unwrap();
                 let rows = self.values[input.0].numel() / d;
-                let g = self.values[gamma.0].data().to_vec();
-                let mut dgamma = vec![0.0f32; d];
-                let mut dbeta = vec![0.0f32; d];
-                let mut din = vec![0.0f32; rows * d];
-                for (r, &inv_std_r) in inv_std.iter().enumerate().take(rows) {
-                    let mut sum_dxhat = 0.0f32;
-                    let mut sum_dxhat_xhat = 0.0f32;
-                    for j in 0..d {
-                        let idx = r * d + j;
-                        let go = gout.data()[idx];
-                        dgamma[j] += go * x_hat[idx];
-                        dbeta[j] += go;
-                        let dxhat = go * g[j];
-                        sum_dxhat += dxhat;
-                        sum_dxhat_xhat += dxhat * x_hat[idx];
-                    }
-                    let nd = d as f32;
-                    for (j, &gj) in g.iter().enumerate().take(d) {
-                        let idx = r * d + j;
-                        let dxhat = gout.data()[idx] * gj;
-                        din[idx] =
-                            inv_std_r / nd * (nd * dxhat - sum_dxhat - x_hat[idx] * sum_dxhat_xhat);
+                let mut dgamma = self.pool.take_zeroed(d);
+                let mut dbeta = self.pool.take_zeroed(d);
+                let mut din = self.pool.take(rows * d);
+                {
+                    let g = self.values[gamma.0].data();
+                    for (r, &inv_std_r) in inv_std.iter().enumerate().take(rows) {
+                        let mut sum_dxhat = 0.0f32;
+                        let mut sum_dxhat_xhat = 0.0f32;
+                        for j in 0..d {
+                            let idx = r * d + j;
+                            let go = gout.data()[idx];
+                            dgamma[j] += go * x_hat[idx];
+                            dbeta[j] += go;
+                            let dxhat = go * g[j];
+                            sum_dxhat += dxhat;
+                            sum_dxhat_xhat += dxhat * x_hat[idx];
+                        }
+                        let nd = d as f32;
+                        for (j, &gj) in g.iter().enumerate().take(d) {
+                            let idx = r * d + j;
+                            let dxhat = gout.data()[idx] * gj;
+                            din[idx] = inv_std_r / nd
+                                * (nd * dxhat - sum_dxhat - x_hat[idx] * sum_dxhat_xhat);
+                        }
                     }
                 }
                 self.accumulate(*input, Tensor::new(&sa, din).unwrap());
@@ -1144,13 +1718,11 @@ impl Graph {
             }
             Op::ChannelAffine { input, scale } => {
                 let sa = self.values[input.0].shape().to_vec();
-                let (_, c, l) = (sa[0], sa[1], sa[2]);
-                let din: Vec<f32> = gout
-                    .data()
-                    .iter()
-                    .enumerate()
-                    .map(|(idx, &g)| g * scale[(idx / l) % c])
-                    .collect();
+                let (c, l) = (sa[1], sa[2]);
+                let mut din = self.pool.take(gout.numel());
+                for (idx, (d, &g)) in din.iter_mut().zip(gout.data()).enumerate() {
+                    *d = g * scale[(idx / l) % c];
+                }
                 self.accumulate(*input, Tensor::new(&sa, din).unwrap());
             }
             Op::ConcatChannels(inputs) => {
@@ -1163,7 +1735,7 @@ impl Graph {
                 let mut c_off = 0;
                 for (inp, s) in inputs.iter().zip(&shapes) {
                     let c = s[1];
-                    let mut din = vec![0.0f32; b * c * l];
+                    let mut din = self.pool.take(b * c * l);
                     for bi in 0..b {
                         for ci in 0..c {
                             let src_start = (bi * c_total + c_off + ci) * l;
@@ -1181,7 +1753,7 @@ impl Graph {
                 let d = *sa.last().unwrap();
                 let len = *gout.shape().last().unwrap();
                 let rows = self.values[input.0].numel() / d;
-                let mut din = vec![0.0f32; rows * d];
+                let mut din = self.pool.take_zeroed(rows * d);
                 for r in 0..rows {
                     din[r * d + start..r * d + start + len]
                         .copy_from_slice(&gout.data()[r * len..(r + 1) * len]);
@@ -1190,7 +1762,8 @@ impl Graph {
             }
             Op::Dropout { input, mask } => {
                 let sa = self.values[input.0].shape().to_vec();
-                let din: Vec<f32> = gout.data().iter().zip(mask).map(|(g, m)| g * m).collect();
+                let mut din = self.pool.take(gout.numel());
+                fill_zip(&mut din, gout.data(), mask, |g, m| g * m);
                 self.accumulate(*input, Tensor::new(&sa, din).unwrap());
             }
         }
@@ -1198,54 +1771,108 @@ impl Graph {
     }
 }
 
-/// `a[m,k] @ b[k,n]` (or `a[m,k] @ b[n,k]ᵀ` when `trans_b`).
-fn matmul2(a: &[f32], b: &[f32], m: usize, k: usize, n: usize, trans_b: bool) -> Vec<f32> {
-    let mut out = vec![0.0f32; m * n];
-    if trans_b {
-        for i in 0..m {
-            for j in 0..n {
-                let mut acc = 0.0;
+/// Reclaims the forward-state buffers an op carried (truncated by `reset`).
+fn recycle_op(pool: &mut Pool, op: Op) {
+    match op {
+        Op::BatchNorm { x_hat, inv_std, .. } | Op::LayerNorm { x_hat, inv_std, .. } => {
+            pool.put(x_hat);
+            pool.put(inv_std);
+        }
+        Op::ChannelAffine { scale, .. } => pool.put(scale),
+        Op::Conv1d { cols, .. } => pool.put(cols),
+        Op::Dropout { mask, .. } => pool.put(mask),
+        _ => {}
+    }
+}
+
+/// `dst[i] = f(src[i])` over the full (equal-length) slices.
+fn fill_map(dst: &mut [f32], src: &[f32], f: impl Fn(f32) -> f32) {
+    debug_assert_eq!(dst.len(), src.len());
+    for (d, &s) in dst.iter_mut().zip(src) {
+        *d = f(s);
+    }
+}
+
+/// `dst[i] = f(a[i], b[i])` over the full (equal-length) slices.
+fn fill_zip(dst: &mut [f32], a: &[f32], b: &[f32], f: impl Fn(f32, f32) -> f32) {
+    debug_assert_eq!(dst.len(), a.len());
+    debug_assert_eq!(dst.len(), b.len());
+    for ((d, &x), &y) in dst.iter_mut().zip(a).zip(b) {
+        *d = f(x, y);
+    }
+}
+
+/// Expands `x[B,Cin,L]` into the im2col matrix `[B·Lout, Cin·K]` (each row
+/// is one output position's receptive field; padded taps are explicit zeros
+/// so `0 · NaN` still propagates through the GEMM). Parallel over batch
+/// items — disjoint contiguous row blocks.
+#[allow(clippy::too_many_arguments)]
+fn im2col(
+    x: &[f32],
+    colst: &mut [f32],
+    b: usize,
+    cin: usize,
+    l: usize,
+    k: usize,
+    padding: usize,
+    stride: usize,
+    lout: usize,
+    threads: usize,
+) {
+    let ck = cin * k;
+    debug_assert_eq!(x.len(), b * cin * l);
+    debug_assert_eq!(colst.len(), b * lout * ck);
+    ip_par::par_chunks_mut_with(threads, colst, lout * ck, |bi, chunk| {
+        let xb = &x[bi * cin * l..(bi + 1) * cin * l];
+        for (t, row) in chunk.chunks_mut(ck).enumerate() {
+            for ci in 0..cin {
                 for kk in 0..k {
-                    acc += a[i * k + kk] * b[j * k + kk];
-                }
-                out[i * n + j] = acc;
-            }
-        }
-    } else {
-        for i in 0..m {
-            for kk in 0..k {
-                let av = a[i * k + kk];
-                if av == 0.0 {
-                    continue;
-                }
-                for j in 0..n {
-                    out[i * n + j] += av * b[kk * n + j];
+                    let pos = t * stride + kk;
+                    row[ci * k + kk] = if pos < padding || pos - padding >= l {
+                        0.0
+                    } else {
+                        xb[ci * l + (pos - padding)]
+                    };
                 }
             }
         }
-    }
-    out
+    });
 }
 
-/// `aᵀ[k,m] @ b[m,n] → [k,n]` with `a` given as `[m,k]`.
-fn matmul2_trans_a(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
-    let mut out = vec![0.0f32; k * n];
-    for i in 0..m {
-        for kk in 0..k {
-            let av = a[i * k + kk];
-            if av == 0.0 {
-                continue;
-            }
-            for j in 0..n {
-                out[kk * n + j] += av * b[i * n + j];
+/// Scatter-adds the im2col-shaped gradient `[B·Lout, Cin·K]` back into the
+/// input gradient `[B,Cin,L]`. Parallel over batch items; within an item the
+/// `(t, ci, kk)` order is fixed, so overlapping taps accumulate in a
+/// deterministic serial order.
+#[allow(clippy::too_many_arguments)]
+fn col2im(
+    dcolst: &[f32],
+    din: &mut [f32],
+    b: usize,
+    cin: usize,
+    l: usize,
+    k: usize,
+    padding: usize,
+    stride: usize,
+    lout: usize,
+    threads: usize,
+) {
+    let ck = cin * k;
+    debug_assert_eq!(dcolst.len(), b * lout * ck);
+    debug_assert_eq!(din.len(), b * cin * l);
+    ip_par::par_chunks_mut_with(threads, din, cin * l, |bi, chunk| {
+        let cols = &dcolst[bi * lout * ck..(bi + 1) * lout * ck];
+        for (t, row) in cols.chunks(ck).enumerate() {
+            for ci in 0..cin {
+                for kk in 0..k {
+                    let pos = t * stride + kk;
+                    if pos < padding || pos - padding >= l {
+                        continue;
+                    }
+                    chunk[ci * l + (pos - padding)] += row[ci * k + kk];
+                }
             }
         }
-    }
-    out
-}
-
-fn mul_slices(a: &[f32], b: &[f32]) -> Vec<f32> {
-    a.iter().zip(b).map(|(x, y)| x * y).collect()
+    });
 }
 
 const GELU_C: f32 = 0.797_884_6; // sqrt(2/pi)
@@ -1459,5 +2086,190 @@ mod tests {
             }
         }
         assert!(ch0.abs() < 1e-4);
+    }
+
+    // ---- PR 2: pool / parallel kernel / NaN-propagation coverage ----
+
+    #[test]
+    fn pool_take_put_reuses_and_caps() {
+        let mut pool = Pool::new(true);
+        let buf = pool.take(8);
+        let ptr = buf.as_ptr();
+        pool.put(buf);
+        // Same-length request hands the same allocation back.
+        let again = pool.take(8);
+        assert_eq!(again.as_ptr(), ptr);
+        pool.put(again);
+        // The cap bounds how many buffers a length class retains.
+        for _ in 0..(POOL_MAX_PER_LEN + 10) {
+            pool.put(vec![0.0; 8]);
+        }
+        assert_eq!(pool.free[&8].len(), POOL_MAX_PER_LEN);
+        // A disabled pool never retains anything.
+        let mut off = Pool::new(false);
+        off.put(vec![0.0; 4]);
+        assert!(off.free.is_empty());
+    }
+
+    #[test]
+    fn matmul_zero_times_nan_propagates() {
+        // Regression for the old `av == 0.0 { continue; }` fast-path: a zero
+        // row times a NaN/∞ column must stay NaN through the graph op.
+        let mut g = Graph::new(0);
+        let a = g.constant(Tensor::new(&[1, 2], vec![0.0, 0.0]).unwrap());
+        // Column 0 dots against [NaN, 1], column 1 against [∞, 2].
+        let b = g.constant(Tensor::new(&[2, 2], vec![f32::NAN, f32::INFINITY, 1.0, 2.0]).unwrap());
+        let c = g.matmul(a, b);
+        assert!(g.value(c).data()[0].is_nan(), "0·NaN lost in matmul");
+        assert!(g.value(c).data()[1].is_nan(), "0·∞ lost in matmul");
+        let bt = g.constant(Tensor::new(&[2, 2], vec![f32::NAN, f32::INFINITY, 1.0, 2.0]).unwrap());
+        let ct = g.matmul_trans_b(a, bt);
+        assert!(
+            g.value(ct).data()[0].is_nan(),
+            "0·NaN lost in matmul_trans_b"
+        );
+    }
+
+    /// One training-shaped step: build ops past the frozen prefix, backward,
+    /// return (value, grad) of interest.
+    fn step(g: &mut Graph, w: NodeId) -> (Vec<f32>, Vec<f32>) {
+        g.reset();
+        let x = g.constant(
+            Tensor::new(&[3, 1, 8], (0..24).map(|i| (i as f32).sin()).collect()).unwrap(),
+        );
+        let c = g.conv1d(x, w, 1, 1);
+        let r = g.relu(c);
+        let flat = g.reshape(r, &[3, 16]);
+        let sq = g.mul(flat, flat);
+        let loss = g.mean(sq);
+        g.backward(loss);
+        (
+            g.value(loss).data().to_vec(),
+            g.grad(w).unwrap().data().to_vec(),
+        )
+    }
+
+    #[test]
+    fn pooled_buffers_keep_steady_state_deterministic() {
+        // Repeating an identical step must give bit-identical results even
+        // though later iterations run entirely on recycled buffers, and the
+        // tape must not grow.
+        let mut g = Graph::new(0);
+        let w = g.param(Tensor::new(&[2, 1, 3], vec![0.5, -0.25, 1.0, 0.1, 0.2, -0.4]).unwrap());
+        g.freeze();
+        let (l0, gw0) = step(&mut g, w);
+        let len_after_first = g.len();
+        for _ in 0..3 {
+            let (l, gw) = step(&mut g, w);
+            assert_eq!(l[0].to_bits(), l0[0].to_bits());
+            assert!(gw.iter().zip(&gw0).all(|(a, b)| a.to_bits() == b.to_bits()));
+            assert_eq!(g.len(), len_after_first, "tape grew across steps");
+        }
+    }
+
+    #[test]
+    fn kernel_results_bit_identical_across_thread_counts() {
+        let run = |threads: usize| -> (Vec<f32>, Vec<f32>) {
+            let mut g = Graph::new(0);
+            let w = g.param(
+                Tensor::new(
+                    &[4, 2, 3],
+                    (0..24).map(|i| (i as f32 * 0.37).cos()).collect(),
+                )
+                .unwrap(),
+            );
+            g.freeze();
+            g.set_threads(Some(threads));
+            let x = g.constant(
+                Tensor::new(
+                    &[5, 2, 40],
+                    (0..400).map(|i| (i as f32 * 0.11).sin()).collect(),
+                )
+                .unwrap(),
+            );
+            let c = g.conv1d(x, w, 1, 2);
+            let flat = g.reshape(c, &[5, 4 * 20]);
+            let m = g.constant(
+                Tensor::new(
+                    &[30, 80],
+                    (0..2400).map(|i| (i as f32 * 0.05).sin()).collect(),
+                )
+                .unwrap(),
+            );
+            let y = g.matmul_trans_b(flat, m);
+            let sq = g.mul(y, y);
+            let loss = g.mean(sq);
+            g.backward(loss);
+            (
+                g.value(y).data().to_vec(),
+                g.grad(w).unwrap().data().to_vec(),
+            )
+        };
+        let (y1, gw1) = run(1);
+        for threads in [2, 4] {
+            let (y, gw) = run(threads);
+            assert!(
+                y.iter().zip(&y1).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "forward differs at {threads} threads"
+            );
+            assert!(
+                gw.iter().zip(&gw1).all(|(a, b)| a.to_bits() == b.to_bits()),
+                "gradient differs at {threads} threads"
+            );
+        }
+    }
+
+    #[test]
+    fn reseed_restores_dropout_stream() {
+        let mut g = Graph::new(3);
+        g.reseed(99);
+        let a = g.constant(Tensor::ones(&[64]));
+        let d = g.dropout(a, 0.5, true);
+        let first = g.value(d).data().to_vec();
+        g.reset();
+        g.reseed(99);
+        let a2 = g.constant(Tensor::ones(&[64]));
+        let d2 = g.dropout(a2, 0.5, true);
+        assert_eq!(g.value(d2).data(), &first[..]);
+    }
+
+    #[test]
+    fn add_scaled_grad_accumulates_in_order() {
+        let mut g = Graph::new(0);
+        let w = g.param(Tensor::from_slice(&[1.0, 2.0]));
+        g.freeze();
+        assert!(g.grad(w).is_none());
+        g.add_scaled_grad(w, 0.5, &Tensor::from_slice(&[2.0, 4.0]));
+        assert_eq!(g.grad(w).unwrap().data(), &[1.0, 2.0]);
+        g.add_scaled_grad(w, 0.25, &Tensor::from_slice(&[4.0, 8.0]));
+        assert_eq!(g.grad(w).unwrap().data(), &[2.0, 4.0]);
+        g.clear_grads();
+        assert!(g.grad(w).is_none());
+    }
+
+    #[test]
+    fn batch_matmul_matches_per_item_matmul() {
+        let mut g = Graph::new(0);
+        let a = g.constant(Tensor::new(&[2, 2, 3], (0..12).map(|i| i as f32).collect()).unwrap());
+        let b = g.constant(
+            Tensor::new(&[2, 3, 2], (0..12).map(|i| (i as f32) - 5.0).collect()).unwrap(),
+        );
+        let y = g.batch_matmul(a, b);
+        for bi in 0..2 {
+            let ai = g.constant(
+                Tensor::new(&[2, 3], (0..6).map(|i| (bi * 6 + i) as f32).collect()).unwrap(),
+            );
+            let bt = g.constant(
+                Tensor::new(
+                    &[3, 2],
+                    (0..6).map(|i| ((bi * 6 + i) as f32) - 5.0).collect(),
+                )
+                .unwrap(),
+            );
+            let yi = g.matmul(ai, bt);
+            for (j, &v) in g.value(yi).data().iter().enumerate() {
+                assert_eq!(v.to_bits(), g.value(y).data()[bi * 4 + j].to_bits());
+            }
+        }
     }
 }

@@ -90,6 +90,8 @@ pub struct BatchNorm1d {
     pub beta: NodeId,
     running_mean: Vec<f32>,
     running_var: Vec<f32>,
+    last_mean: Vec<f32>,
+    last_var: Vec<f32>,
     momentum: f32,
     eps: f32,
 }
@@ -102,6 +104,8 @@ impl BatchNorm1d {
             beta: g.param(Tensor::zeros(&[channels])),
             running_mean: vec![0.0; channels],
             running_var: vec![1.0; channels],
+            last_mean: vec![0.0; channels],
+            last_var: vec![1.0; channels],
             momentum: 0.1,
             eps: 1e-5,
         }
@@ -112,6 +116,8 @@ impl BatchNorm1d {
     pub fn forward(&mut self, g: &mut Graph, x: NodeId, train: bool) -> NodeId {
         if train {
             let (y, mean, var) = g.batch_norm(x, self.gamma, self.beta, self.eps);
+            self.last_mean.copy_from_slice(&mean);
+            self.last_var.copy_from_slice(&var);
             for (rm, m) in self.running_mean.iter_mut().zip(&mean) {
                 *rm = (1.0 - self.momentum) * *rm + self.momentum * m;
             }
@@ -135,6 +141,49 @@ impl BatchNorm1d {
                 .collect();
             g.channel_affine(x, &scale, &shift)
         }
+    }
+
+    /// Appends the running mean and variance (`2·C` values) to `out`.
+    ///
+    /// Used by the data-parallel trainer to snapshot normalization state
+    /// before a sharded step and to copy it into graph replicas.
+    pub fn export_running(&self, out: &mut Vec<f32>) {
+        out.extend_from_slice(&self.running_mean);
+        out.extend_from_slice(&self.running_var);
+    }
+
+    /// Restores running statistics previously captured by
+    /// [`export_running`](Self::export_running); returns the number of values
+    /// consumed from the front of `src` (`2·C`).
+    pub fn import_running(&mut self, src: &[f32]) -> usize {
+        let c = self.running_mean.len();
+        self.running_mean.copy_from_slice(&src[..c]);
+        self.running_var.copy_from_slice(&src[c..2 * c]);
+        c * 2
+    }
+
+    /// Appends the *batch* mean and variance observed by the most recent
+    /// training-mode forward (`2·C` values) to `out`.
+    pub fn export_batch_stats(&self, out: &mut Vec<f32>) {
+        out.extend_from_slice(&self.last_mean);
+        out.extend_from_slice(&self.last_var);
+    }
+
+    /// Applies one EMA update from batch statistics captured by
+    /// [`export_batch_stats`](Self::export_batch_stats) on another replica;
+    /// returns the number of values consumed (`2·C`).
+    ///
+    /// Folding shard stats in a fixed order onto a snapshot taken before the
+    /// step reproduces the serial running-stat trajectory deterministically.
+    pub fn fold_batch_stats(&mut self, src: &[f32]) -> usize {
+        let c = self.running_mean.len();
+        for (rm, m) in self.running_mean.iter_mut().zip(&src[..c]) {
+            *rm = (1.0 - self.momentum) * *rm + self.momentum * m;
+        }
+        for (rv, v) in self.running_var.iter_mut().zip(&src[c..2 * c]) {
+            *rv = (1.0 - self.momentum) * *rv + self.momentum * v;
+        }
+        c * 2
     }
 }
 

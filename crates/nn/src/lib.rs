@@ -9,6 +9,9 @@
 //! this crate implements the necessary substrate from scratch:
 //!
 //! * [`Tensor`] — dense `f32` tensors of rank 1–3.
+//! * [`gemm`] — shared blocked, register-tiled f32 GEMM kernels (row-block
+//!   parallel via `ip-par`, bit-identical for any thread count) backing the
+//!   graph's matmuls and the im2col convolution path.
 //! * [`Graph`] — define-by-run tape autograd: every op computes its value
 //!   eagerly and records enough to run the reverse pass. Ops cover dense
 //!   algebra (matmul, batched matmul), 1-D convolutions and pooling,
@@ -37,6 +40,7 @@
 //! assert!((g.grad(w).unwrap().data()[0] - 24.0).abs() < 1e-4);
 //! ```
 
+pub mod gemm;
 pub mod graph;
 pub mod init;
 pub mod layers;

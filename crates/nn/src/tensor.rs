@@ -98,6 +98,13 @@ impl Tensor {
         &mut self.data
     }
 
+    /// Consumes the tensor, returning its backing buffer (so the graph's
+    /// arena can recycle it).
+    #[inline]
+    pub fn into_data(self) -> Vec<f32> {
+        self.data
+    }
+
     /// The single value of a `[1]` tensor.
     pub fn item(&self) -> Result<f32> {
         if self.data.len() != 1 {

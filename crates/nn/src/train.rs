@@ -4,9 +4,13 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 
 /// Yields index batches over a dataset, reshuffled each epoch.
+///
+/// Owns one index buffer for its whole lifetime: every epoch reshuffles it
+/// in place and yields `&[usize]` chunk views, so epochs allocate nothing
+/// (the old implementation built a fresh `Vec<Vec<usize>>` per epoch).
 #[derive(Debug)]
 pub struct BatchSampler {
-    n: usize,
+    idx: Vec<usize>,
     batch_size: usize,
 }
 
@@ -14,16 +18,15 @@ impl BatchSampler {
     /// Creates a sampler for `n` examples.
     pub fn new(n: usize, batch_size: usize) -> Self {
         Self {
-            n,
+            idx: (0..n).collect(),
             batch_size: batch_size.max(1),
         }
     }
 
-    /// Produces the shuffled batches for one epoch.
-    pub fn epoch(&self, rng: &mut StdRng) -> Vec<Vec<usize>> {
-        let mut idx: Vec<usize> = (0..self.n).collect();
-        idx.shuffle(rng);
-        idx.chunks(self.batch_size).map(|c| c.to_vec()).collect()
+    /// Reshuffles in place and yields this epoch's batches as slices.
+    pub fn epoch<'a>(&'a mut self, rng: &mut StdRng) -> impl Iterator<Item = &'a [usize]> + 'a {
+        self.idx.shuffle(rng);
+        self.idx.chunks(self.batch_size)
     }
 }
 
@@ -73,9 +76,9 @@ mod tests {
 
     #[test]
     fn batches_cover_all_indices() {
-        let sampler = BatchSampler::new(10, 3);
+        let mut sampler = BatchSampler::new(10, 3);
         let mut rng = StdRng::seed_from_u64(0);
-        let batches = sampler.epoch(&mut rng);
+        let batches: Vec<Vec<usize>> = sampler.epoch(&mut rng).map(|c| c.to_vec()).collect();
         assert_eq!(batches.len(), 4); // 3+3+3+1
         let mut all: Vec<usize> = batches.into_iter().flatten().collect();
         all.sort_unstable();
@@ -84,9 +87,27 @@ mod tests {
 
     #[test]
     fn batch_size_floor_one() {
-        let sampler = BatchSampler::new(3, 0);
+        let mut sampler = BatchSampler::new(3, 0);
         let mut rng = StdRng::seed_from_u64(0);
-        assert_eq!(sampler.epoch(&mut rng).len(), 3);
+        assert_eq!(sampler.epoch(&mut rng).count(), 3);
+    }
+
+    #[test]
+    fn epochs_reshuffle_without_reallocating() {
+        let mut sampler = BatchSampler::new(64, 8);
+        let mut rng = StdRng::seed_from_u64(1);
+        let ptr_before = sampler.idx.as_ptr();
+        let first: Vec<usize> = sampler.epoch(&mut rng).flatten().copied().collect();
+        let second: Vec<usize> = sampler.epoch(&mut rng).flatten().copied().collect();
+        assert_ne!(first, second, "epochs should reshuffle");
+        let mut sorted = second.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+        assert_eq!(
+            sampler.idx.as_ptr(),
+            ptr_before,
+            "index buffer was reallocated"
+        );
     }
 
     #[test]

@@ -198,6 +198,58 @@ fn grad_conv1d_input() {
 }
 
 #[test]
+fn grad_conv1d_multichannel_weight() {
+    // 3 input channels → 2 output channels exercises the full im2col column
+    // layout (ci-major, tap-minor) in the weight-gradient GEMM.
+    check_grad(rand_vec(18, 50), &[2, 3, 3], |g, p| {
+        let x = g.constant(Tensor::new(&[2, 3, 6], rand_vec(36, 51)).unwrap());
+        let y = g.conv1d(x, p, 1, 1);
+        let sq = g.mul(y, y);
+        g.mean(sq)
+    });
+}
+
+#[test]
+fn grad_conv1d_multichannel_input() {
+    check_grad(rand_vec(24, 52), &[2, 2, 6], |g, p| {
+        let w = g.constant(Tensor::new(&[3, 2, 3], rand_vec(18, 53)).unwrap());
+        let y = g.conv1d(p, w, 1, 1);
+        let sq = g.mul(y, y);
+        g.mean(sq)
+    });
+}
+
+#[test]
+fn grad_conv1d_strided_no_padding() {
+    // Stride 3 with no padding: the col2im scatter must hit only the taps a
+    // given input position actually fed.
+    check_grad(rand_vec(10, 54), &[1, 1, 10], |g, p| {
+        let w = g.constant(Tensor::new(&[2, 1, 4], rand_vec(8, 55)).unwrap());
+        let y = g.conv1d(p, w, 0, 3);
+        let sq = g.mul(y, y);
+        g.sum(sq)
+    });
+    check_grad(rand_vec(8, 56), &[2, 1, 4], |g, p| {
+        let x = g.constant(Tensor::new(&[1, 1, 10], rand_vec(10, 57)).unwrap());
+        let y = g.conv1d(x, p, 0, 3);
+        let sq = g.mul(y, y);
+        g.sum(sq)
+    });
+}
+
+#[test]
+fn grad_conv1d_wide_padding() {
+    // Padding 2 ≥ kernel-1 means some output positions read only zeros;
+    // their columns must contribute nothing to either gradient.
+    check_grad(rand_vec(5, 58), &[1, 1, 5], |g, p| {
+        let w = g.constant(Tensor::new(&[1, 1, 2], rand_vec(2, 59)).unwrap());
+        let y = g.conv1d(p, w, 2, 1);
+        let sq = g.mul(y, y);
+        g.sum(sq)
+    });
+}
+
+#[test]
 fn grad_pooling() {
     // Max pool: perturbations must not flip the argmax, so use well-separated
     // values.

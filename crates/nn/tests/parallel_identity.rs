@@ -1,0 +1,68 @@
+//! End-to-end check of the `IP_THREADS` environment path.
+//!
+//! The unit and property tests pin thread counts through explicit APIs
+//! (`Graph::set_threads`, `gemm_*_with`); this binary exercises the default
+//! path where a graph with no override reads `IP_THREADS` at kernel-dispatch
+//! time, and asserts the training-step arithmetic is bit-identical either
+//! way.
+//!
+//! This file intentionally holds a single test: it mutates process-global
+//! environment state, which would race against siblings in the same binary.
+
+use ip_nn::{Graph, Tensor};
+
+/// One conv → relu → matmul → loss → backward step on an env-configured
+/// graph; returns every output and gradient as raw bits.
+fn training_step_bits(seed: u64) -> Vec<u32> {
+    let mut g = Graph::new(seed);
+    let x_data: Vec<f32> = (0..4 * 2 * 24)
+        .map(|i| ((i * 37 % 101) as f32) / 17.0 - 2.5)
+        .collect();
+    let w_data: Vec<f32> = (0..3 * 2 * 5)
+        .map(|i| ((i * 53 % 89) as f32) / 29.0 - 1.4)
+        .collect();
+    let h_data: Vec<f32> = (0..36 * 6)
+        .map(|i| ((i * 41 % 97) as f32) / 23.0 - 2.0)
+        .collect();
+    let x = g.param(Tensor::new(&[4, 2, 24], x_data).unwrap());
+    let w = g.param(Tensor::new(&[3, 2, 5], w_data).unwrap());
+    let h = g.param(Tensor::new(&[36, 6], h_data).unwrap());
+    g.freeze();
+
+    let conv = g.conv1d(x, w, 2, 2); // [4, 3, 12]
+    let act = g.relu(conv);
+    let flat = g.reshape(act, &[4, 36]);
+    let proj = g.matmul(flat, h); // [4, 6]
+    let sq = g.mul(proj, proj);
+    let loss = g.mean(sq);
+    g.backward(loss);
+
+    let mut bits: Vec<u32> = Vec::new();
+    bits.extend(g.value(loss).data().iter().map(|v| v.to_bits()));
+    bits.extend(g.value(proj).data().iter().map(|v| v.to_bits()));
+    for p in [x, w, h] {
+        bits.extend(g.grad(p).unwrap().data().iter().map(|v| v.to_bits()));
+    }
+    bits
+}
+
+#[test]
+fn ip_threads_env_does_not_change_training_bits() {
+    let prev = std::env::var("IP_THREADS").ok();
+
+    std::env::set_var("IP_THREADS", "1");
+    let serial = training_step_bits(3);
+    for threads in ["2", "4", "7"] {
+        std::env::set_var("IP_THREADS", threads);
+        assert_eq!(
+            training_step_bits(3),
+            serial,
+            "IP_THREADS={threads} changed the training-step arithmetic"
+        );
+    }
+
+    match prev {
+        Some(v) => std::env::set_var("IP_THREADS", v),
+        None => std::env::remove_var("IP_THREADS"),
+    }
+}

@@ -95,6 +95,53 @@ proptest! {
     }
 
     #[test]
+    fn gemm_bit_identical_across_thread_counts(a in vec_strategy(60), bt in vec_strategy(60), k in 1usize..5) {
+        let m = a.len() / k;
+        let n = bt.len() / k;
+        prop_assume!(m >= 1 && n >= 1);
+        let (a, bt) = (&a[..m * k], &bt[..n * k]);
+        let mut serial = vec![0.0f32; m * n];
+        ip_nn::gemm::gemm_nt_with(1, a, bt, &mut serial, m, k, n);
+        for threads in [2usize, 4, 8] {
+            let mut par = vec![0.0f32; m * n];
+            ip_nn::gemm::gemm_nt_with(threads, a, bt, &mut par, m, k, n);
+            prop_assert!(
+                serial.iter().zip(&par).all(|(x, y)| x.to_bits() == y.to_bits()),
+                "{threads}-thread GEMM differs from serial"
+            );
+        }
+    }
+
+    #[test]
+    fn conv1d_bit_identical_across_thread_counts(
+        x in proptest::collection::vec(-5.0f32..5.0, 48usize),
+        w in proptest::collection::vec(-2.0f32..2.0, 18usize),
+        stride in 1usize..3,
+    ) {
+        // [3, 2, 8] input, [3, 2, 3] kernel: forward values AND input/weight
+        // gradients must match serial bit-for-bit at any kernel thread count.
+        let run = |threads: usize| {
+            let mut g = Graph::new(0);
+            let xp = g.param(Tensor::new(&[3, 2, 8], x.clone()).unwrap());
+            let wp = g.param(Tensor::new(&[3, 2, 3], w.clone()).unwrap());
+            g.freeze();
+            g.set_threads(Some(threads));
+            let y = g.conv1d(xp, wp, 1, stride);
+            let sq = g.mul(y, y);
+            let loss = g.mean(sq);
+            g.backward(loss);
+            let mut bits: Vec<u32> = g.value(y).data().iter().map(|v| v.to_bits()).collect();
+            bits.extend(g.grad(xp).unwrap().data().iter().map(|v| v.to_bits()));
+            bits.extend(g.grad(wp).unwrap().data().iter().map(|v| v.to_bits()));
+            bits
+        };
+        let serial = run(1);
+        for threads in [2usize, 4] {
+            prop_assert_eq!(&run(threads), &serial, "{}-thread conv1d differs", threads);
+        }
+    }
+
+    #[test]
     fn reshape_preserves_data_and_grads(data in vec_strategy(24)) {
         prop_assume!(data.len() % 2 == 0);
         let n = data.len();

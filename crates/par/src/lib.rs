@@ -192,6 +192,55 @@ where
     });
 }
 
+/// Distributes `items` across stateful `workers`, preserving item order in
+/// the results.
+///
+/// Each worker is handed one contiguous range of items (via [`partition`]
+/// over `workers.len()`), processes them in order with exclusive access to
+/// its own state, and the per-item results come back in item order. Which
+/// worker handles which item is a function of the lengths alone — *not* of
+/// timing — so a computation whose per-item result depends only on
+/// `(worker state, item)` is deterministic as long as all workers start in
+/// equivalent states (the data-parallel trainer synchronizes replica
+/// parameters before every call).
+///
+/// With a single worker (or one item) everything runs inline on the caller's
+/// stack.
+pub fn par_map_workers<W, T, R, F>(workers: &mut [W], items: &[T], f: F) -> Vec<R>
+where
+    W: Send,
+    T: Sync,
+    R: Send,
+    F: Fn(&mut W, &T) -> R + Sync,
+{
+    assert!(!workers.is_empty(), "par_map_workers: no workers");
+    if workers.len() == 1 || items.len() <= 1 {
+        let w = &mut workers[0];
+        return items.iter().map(|it| f(w, it)).collect();
+    }
+    let ranges = partition(items.len(), workers.len());
+    let mut chunks: Vec<Vec<R>> = std::thread::scope(|scope| {
+        let mut rest = workers;
+        let mut handles = Vec::with_capacity(ranges.len());
+        for r in &ranges {
+            let (w, tail) = rest.split_first_mut().expect("more ranges than workers");
+            rest = tail;
+            let slice = &items[r.clone()];
+            let f = &f;
+            handles.push(scope.spawn(move || slice.iter().map(|it| f(w, it)).collect::<Vec<R>>()));
+        }
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("ip-par worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for chunk in &mut chunks {
+        out.append(chunk);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,6 +315,38 @@ mod tests {
     #[test]
     fn num_threads_is_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn par_map_workers_preserves_item_order() {
+        let items: Vec<i64> = (0..29).collect();
+        for n_workers in [1usize, 2, 3, 7] {
+            let mut workers: Vec<u64> = vec![0; n_workers];
+            let out = par_map_workers(&mut workers, &items, |_w, &x| x * 10);
+            assert_eq!(out, items.iter().map(|x| x * 10).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn par_map_workers_gives_each_worker_a_contiguous_run() {
+        let items: Vec<usize> = (0..10).collect();
+        let mut workers: Vec<Vec<usize>> = vec![Vec::new(); 3];
+        par_map_workers(&mut workers, &items, |w, &i| w.push(i));
+        // partition(10, 3) → 4 + 3 + 3.
+        assert_eq!(workers[0], [0, 1, 2, 3]);
+        assert_eq!(workers[1], [4, 5, 6]);
+        assert_eq!(workers[2], [7, 8, 9]);
+    }
+
+    #[test]
+    fn par_map_workers_single_worker_runs_inline() {
+        let mut workers = [0u32];
+        let out = par_map_workers(&mut workers, &[1, 2, 3], |w, &x| {
+            *w += 1;
+            x + 1
+        });
+        assert_eq!(out, [2, 3, 4]);
+        assert_eq!(workers[0], 3);
     }
 
     #[test]

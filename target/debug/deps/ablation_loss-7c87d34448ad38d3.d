@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_loss-7c87d34448ad38d3.d: crates/bench/src/bin/ablation_loss.rs
+
+/root/repo/target/debug/deps/ablation_loss-7c87d34448ad38d3: crates/bench/src/bin/ablation_loss.rs
+
+crates/bench/src/bin/ablation_loss.rs:

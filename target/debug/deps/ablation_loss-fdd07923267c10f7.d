@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_loss-fdd07923267c10f7.d: crates/bench/src/bin/ablation_loss.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_loss-fdd07923267c10f7.rmeta: crates/bench/src/bin/ablation_loss.rs Cargo.toml
+
+crates/bench/src/bin/ablation_loss.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_lp_vs_dp-4a5560795d3f8e56.d: crates/bench/src/bin/ablation_lp_vs_dp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_lp_vs_dp-4a5560795d3f8e56.rmeta: crates/bench/src/bin/ablation_lp_vs_dp.rs Cargo.toml
+
+crates/bench/src/bin/ablation_lp_vs_dp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

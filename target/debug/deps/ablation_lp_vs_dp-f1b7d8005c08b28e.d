@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_lp_vs_dp-f1b7d8005c08b28e.d: crates/bench/src/bin/ablation_lp_vs_dp.rs
+
+/root/repo/target/debug/deps/ablation_lp_vs_dp-f1b7d8005c08b28e: crates/bench/src/bin/ablation_lp_vs_dp.rs
+
+crates/bench/src/bin/ablation_lp_vs_dp.rs:

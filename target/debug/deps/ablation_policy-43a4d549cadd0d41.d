@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_policy-43a4d549cadd0d41.d: crates/bench/src/bin/ablation_policy.rs
+
+/root/repo/target/debug/deps/ablation_policy-43a4d549cadd0d41: crates/bench/src/bin/ablation_policy.rs
+
+crates/bench/src/bin/ablation_policy.rs:

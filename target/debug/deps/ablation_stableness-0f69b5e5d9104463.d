@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_stableness-0f69b5e5d9104463.d: crates/bench/src/bin/ablation_stableness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_stableness-0f69b5e5d9104463.rmeta: crates/bench/src/bin/ablation_stableness.rs Cargo.toml
+
+crates/bench/src/bin/ablation_stableness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablation_stableness-678dad52d63b0918.d: crates/bench/src/bin/ablation_stableness.rs
+
+/root/repo/target/debug/deps/ablation_stableness-678dad52d63b0918: crates/bench/src/bin/ablation_stableness.rs
+
+crates/bench/src/bin/ablation_stableness.rs:

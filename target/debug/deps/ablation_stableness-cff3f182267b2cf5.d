@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_stableness-cff3f182267b2cf5.d: crates/bench/src/bin/ablation_stableness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_stableness-cff3f182267b2cf5.rmeta: crates/bench/src/bin/ablation_stableness.rs Cargo.toml
+
+crates/bench/src/bin/ablation_stableness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

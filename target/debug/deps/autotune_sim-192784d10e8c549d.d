@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/autotune_sim-192784d10e8c549d.d: tests/autotune_sim.rs
+
+/root/repo/target/debug/deps/autotune_sim-192784d10e8c549d: tests/autotune_sim.rs
+
+tests/autotune_sim.rs:

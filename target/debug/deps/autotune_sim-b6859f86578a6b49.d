@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/autotune_sim-b6859f86578a6b49.d: tests/autotune_sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libautotune_sim-b6859f86578a6b49.rmeta: tests/autotune_sim.rs Cargo.toml
+
+tests/autotune_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

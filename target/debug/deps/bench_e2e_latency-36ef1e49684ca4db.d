@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_e2e_latency-36ef1e49684ca4db.d: crates/bench/benches/bench_e2e_latency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_e2e_latency-36ef1e49684ca4db.rmeta: crates/bench/benches/bench_e2e_latency.rs Cargo.toml
+
+crates/bench/benches/bench_e2e_latency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_forecasters-239a1d30ebcf6135.d: crates/bench/benches/bench_forecasters.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_forecasters-239a1d30ebcf6135.rmeta: crates/bench/benches/bench_forecasters.rs Cargo.toml
+
+crates/bench/benches/bench_forecasters.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

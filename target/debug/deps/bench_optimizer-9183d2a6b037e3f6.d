@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_optimizer-9183d2a6b037e3f6.d: crates/bench/benches/bench_optimizer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_optimizer-9183d2a6b037e3f6.rmeta: crates/bench/benches/bench_optimizer.rs Cargo.toml
+
+crates/bench/benches/bench_optimizer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

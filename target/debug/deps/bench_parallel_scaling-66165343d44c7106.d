@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bench_parallel_scaling-66165343d44c7106.d: crates/bench/benches/bench_parallel_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_parallel_scaling-66165343d44c7106.rmeta: crates/bench/benches/bench_parallel_scaling.rs Cargo.toml
+
+crates/bench/benches/bench_parallel_scaling.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

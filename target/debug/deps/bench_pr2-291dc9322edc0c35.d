@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bench_pr2-291dc9322edc0c35.d: crates/bench/src/bin/bench_pr2.rs
+
+/root/repo/target/debug/deps/bench_pr2-291dc9322edc0c35: crates/bench/src/bin/bench_pr2.rs
+
+crates/bench/src/bin/bench_pr2.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

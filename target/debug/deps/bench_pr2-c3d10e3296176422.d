@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bench_pr2-c3d10e3296176422.d: crates/bench/src/bin/bench_pr2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_pr2-c3d10e3296176422.rmeta: crates/bench/src/bin/bench_pr2.rs Cargo.toml
+
+crates/bench/src/bin/bench_pr2.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

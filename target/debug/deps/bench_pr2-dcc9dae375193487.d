@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/bench_pr2-dcc9dae375193487.d: crates/bench/src/bin/bench_pr2.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_pr2-dcc9dae375193487.rmeta: crates/bench/src/bin/bench_pr2.rs Cargo.toml
+
+crates/bench/src/bin/bench_pr2.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

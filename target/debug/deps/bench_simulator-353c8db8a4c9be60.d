@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bench_simulator-353c8db8a4c9be60.d: crates/bench/benches/bench_simulator.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbench_simulator-353c8db8a4c9be60.rmeta: crates/bench/benches/bench_simulator.rs Cargo.toml
+
+crates/bench/benches/bench_simulator.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

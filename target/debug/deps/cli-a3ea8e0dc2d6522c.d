@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/cli-a3ea8e0dc2d6522c.d: tests/cli.rs
+
+/root/repo/target/debug/deps/cli-a3ea8e0dc2d6522c: tests/cli.rs
+
+tests/cli.rs:
+
+# env-dep:CARGO_BIN_EXE_ip-pool=/root/repo/target/debug/ip-pool

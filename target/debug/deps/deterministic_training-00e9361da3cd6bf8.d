@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/deterministic_training-00e9361da3cd6bf8.d: crates/models/tests/deterministic_training.rs
+
+/root/repo/target/debug/deps/deterministic_training-00e9361da3cd6bf8: crates/models/tests/deterministic_training.rs
+
+crates/models/tests/deterministic_training.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/deterministic_training-a5c824f9e99ec3e3.d: crates/models/tests/deterministic_training.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdeterministic_training-a5c824f9e99ec3e3.rmeta: crates/models/tests/deterministic_training.rs Cargo.toml
+
+crates/models/tests/deterministic_training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

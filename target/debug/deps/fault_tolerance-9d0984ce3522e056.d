@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-9d0984ce3522e056.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-9d0984ce3522e056: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

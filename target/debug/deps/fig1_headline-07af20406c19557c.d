@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig1_headline-07af20406c19557c.d: crates/bench/src/bin/fig1_headline.rs
+
+/root/repo/target/debug/deps/fig1_headline-07af20406c19557c: crates/bench/src/bin/fig1_headline.rs
+
+crates/bench/src/bin/fig1_headline.rs:

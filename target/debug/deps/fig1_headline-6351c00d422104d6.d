@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_headline-6351c00d422104d6.d: crates/bench/src/bin/fig1_headline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_headline-6351c00d422104d6.rmeta: crates/bench/src/bin/fig1_headline.rs Cargo.toml
+
+crates/bench/src/bin/fig1_headline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

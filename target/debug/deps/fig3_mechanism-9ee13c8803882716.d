@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_mechanism-9ee13c8803882716.d: crates/bench/src/bin/fig3_mechanism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_mechanism-9ee13c8803882716.rmeta: crates/bench/src/bin/fig3_mechanism.rs Cargo.toml
+
+crates/bench/src/bin/fig3_mechanism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig3_mechanism-f4a3eb9d66b8e384.d: crates/bench/src/bin/fig3_mechanism.rs
+
+/root/repo/target/debug/deps/fig3_mechanism-f4a3eb9d66b8e384: crates/bench/src/bin/fig3_mechanism.rs
+
+crates/bench/src/bin/fig3_mechanism.rs:

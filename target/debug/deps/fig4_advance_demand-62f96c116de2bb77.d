@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_advance_demand-62f96c116de2bb77.d: crates/bench/src/bin/fig4_advance_demand.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_advance_demand-62f96c116de2bb77.rmeta: crates/bench/src/bin/fig4_advance_demand.rs Cargo.toml
+
+crates/bench/src/bin/fig4_advance_demand.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

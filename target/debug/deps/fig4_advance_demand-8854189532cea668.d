@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4_advance_demand-8854189532cea668.d: crates/bench/src/bin/fig4_advance_demand.rs
+
+/root/repo/target/debug/deps/fig4_advance_demand-8854189532cea668: crates/bench/src/bin/fig4_advance_demand.rs
+
+crates/bench/src/bin/fig4_advance_demand.rs:

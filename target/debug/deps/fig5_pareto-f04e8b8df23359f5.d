@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_pareto-f04e8b8df23359f5.d: crates/bench/src/bin/fig5_pareto.rs
+
+/root/repo/target/debug/deps/fig5_pareto-f04e8b8df23359f5: crates/bench/src/bin/fig5_pareto.rs
+
+crates/bench/src/bin/fig5_pareto.rs:

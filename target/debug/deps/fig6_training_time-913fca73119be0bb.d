@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_training_time-913fca73119be0bb.d: crates/bench/src/bin/fig6_training_time.rs
+
+/root/repo/target/debug/deps/fig6_training_time-913fca73119be0bb: crates/bench/src/bin/fig6_training_time.rs
+
+crates/bench/src/bin/fig6_training_time.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_training_time-9ca520280fc06409.d: crates/bench/src/bin/fig6_training_time.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_training_time-9ca520280fc06409.rmeta: crates/bench/src/bin/fig6_training_time.rs Cargo.toml
+
+crates/bench/src/bin/fig6_training_time.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

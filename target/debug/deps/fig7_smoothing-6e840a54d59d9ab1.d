@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_smoothing-6e840a54d59d9ab1.d: crates/bench/src/bin/fig7_smoothing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_smoothing-6e840a54d59d9ab1.rmeta: crates/bench/src/bin/fig7_smoothing.rs Cargo.toml
+
+crates/bench/src/bin/fig7_smoothing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_smoothing-f93b89a0edb1a1a0.d: crates/bench/src/bin/fig7_smoothing.rs
+
+/root/repo/target/debug/deps/fig7_smoothing-f93b89a0edb1a1a0: crates/bench/src/bin/fig7_smoothing.rs
+
+crates/bench/src/bin/fig7_smoothing.rs:

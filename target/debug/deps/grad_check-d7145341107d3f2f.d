@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/grad_check-d7145341107d3f2f.d: crates/nn/tests/grad_check.rs
+
+/root/repo/target/debug/deps/grad_check-d7145341107d3f2f: crates/nn/tests/grad_check.rs
+
+crates/nn/tests/grad_check.rs:

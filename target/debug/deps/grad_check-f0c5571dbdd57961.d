@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/grad_check-f0c5571dbdd57961.d: crates/nn/tests/grad_check.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgrad_check-f0c5571dbdd57961.rmeta: crates/nn/tests/grad_check.rs Cargo.toml
+
+crates/nn/tests/grad_check.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/intelligent_pooling-249dcf24825d4738.d: src/lib.rs src/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintelligent_pooling-249dcf24825d4738.rmeta: src/lib.rs src/cli.rs Cargo.toml
+
+src/lib.rs:
+src/cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

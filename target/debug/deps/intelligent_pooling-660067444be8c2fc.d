@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/intelligent_pooling-660067444be8c2fc.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/intelligent_pooling-660067444be8c2fc: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/intelligent_pooling-e769f9502768108d.d: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libintelligent_pooling-e769f9502768108d.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/debug/deps/libintelligent_pooling-e769f9502768108d.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/intelligent_pooling-f92e095927329b4d.d: src/lib.rs src/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libintelligent_pooling-f92e095927329b4d.rmeta: src/lib.rs src/cli.rs Cargo.toml
+
+src/lib.rs:
+src/cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/ip_bench-0bb08076ff6db295.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libip_bench-0bb08076ff6db295.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libip_bench-0bb08076ff6db295.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

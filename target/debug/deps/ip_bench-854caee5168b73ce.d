@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ip_bench-854caee5168b73ce.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/ip_bench-854caee5168b73ce: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

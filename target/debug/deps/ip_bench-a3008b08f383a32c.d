@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ip_bench-a3008b08f383a32c.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libip_bench-a3008b08f383a32c.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ip_core-569f523d3609db79.d: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/cogs.rs crates/core/src/engine.rs crates/core/src/monitoring.rs crates/core/src/multi_pool.rs crates/core/src/pipeline.rs crates/core/src/replay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libip_core-569f523d3609db79.rmeta: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/cogs.rs crates/core/src/engine.rs crates/core/src/monitoring.rs crates/core/src/multi_pool.rs crates/core/src/pipeline.rs crates/core/src/replay.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/autotune.rs:
+crates/core/src/cogs.rs:
+crates/core/src/engine.rs:
+crates/core/src/monitoring.rs:
+crates/core/src/multi_pool.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/ip_core-978666e82ab8e5ce.d: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/cogs.rs crates/core/src/engine.rs crates/core/src/monitoring.rs crates/core/src/multi_pool.rs crates/core/src/pipeline.rs crates/core/src/replay.rs
+
+/root/repo/target/debug/deps/libip_core-978666e82ab8e5ce.rlib: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/cogs.rs crates/core/src/engine.rs crates/core/src/monitoring.rs crates/core/src/multi_pool.rs crates/core/src/pipeline.rs crates/core/src/replay.rs
+
+/root/repo/target/debug/deps/libip_core-978666e82ab8e5ce.rmeta: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/cogs.rs crates/core/src/engine.rs crates/core/src/monitoring.rs crates/core/src/multi_pool.rs crates/core/src/pipeline.rs crates/core/src/replay.rs
+
+crates/core/src/lib.rs:
+crates/core/src/autotune.rs:
+crates/core/src/cogs.rs:
+crates/core/src/engine.rs:
+crates/core/src/monitoring.rs:
+crates/core/src/multi_pool.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/replay.rs:

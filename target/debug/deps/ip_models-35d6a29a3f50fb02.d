@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/ip_models-35d6a29a3f50fb02.d: crates/models/src/lib.rs crates/models/src/baseline.rs crates/models/src/classical.rs crates/models/src/deep.rs crates/models/src/inception.rs crates/models/src/mwdn.rs crates/models/src/selector.rs crates/models/src/ssa_model.rs crates/models/src/ssa_plus.rs crates/models/src/tst.rs Cargo.toml
+
+/root/repo/target/debug/deps/libip_models-35d6a29a3f50fb02.rmeta: crates/models/src/lib.rs crates/models/src/baseline.rs crates/models/src/classical.rs crates/models/src/deep.rs crates/models/src/inception.rs crates/models/src/mwdn.rs crates/models/src/selector.rs crates/models/src/ssa_model.rs crates/models/src/ssa_plus.rs crates/models/src/tst.rs Cargo.toml
+
+crates/models/src/lib.rs:
+crates/models/src/baseline.rs:
+crates/models/src/classical.rs:
+crates/models/src/deep.rs:
+crates/models/src/inception.rs:
+crates/models/src/mwdn.rs:
+crates/models/src/selector.rs:
+crates/models/src/ssa_model.rs:
+crates/models/src/ssa_plus.rs:
+crates/models/src/tst.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/ip_nn-15b4f20c72ca6e69.d: crates/nn/src/lib.rs crates/nn/src/gemm.rs crates/nn/src/graph.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/rnn.rs crates/nn/src/tensor.rs crates/nn/src/train.rs
+
+/root/repo/target/debug/deps/libip_nn-15b4f20c72ca6e69.rlib: crates/nn/src/lib.rs crates/nn/src/gemm.rs crates/nn/src/graph.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/rnn.rs crates/nn/src/tensor.rs crates/nn/src/train.rs
+
+/root/repo/target/debug/deps/libip_nn-15b4f20c72ca6e69.rmeta: crates/nn/src/lib.rs crates/nn/src/gemm.rs crates/nn/src/graph.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/rnn.rs crates/nn/src/tensor.rs crates/nn/src/train.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/gemm.rs:
+crates/nn/src/graph.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/rnn.rs:
+crates/nn/src/tensor.rs:
+crates/nn/src/train.rs:

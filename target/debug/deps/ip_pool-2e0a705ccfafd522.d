@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ip_pool-2e0a705ccfafd522.d: src/bin/ip-pool.rs
+
+/root/repo/target/debug/deps/ip_pool-2e0a705ccfafd522: src/bin/ip-pool.rs
+
+src/bin/ip-pool.rs:

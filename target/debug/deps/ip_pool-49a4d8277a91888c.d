@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ip_pool-49a4d8277a91888c.d: src/bin/ip-pool.rs Cargo.toml
+
+/root/repo/target/debug/deps/libip_pool-49a4d8277a91888c.rmeta: src/bin/ip-pool.rs Cargo.toml
+
+src/bin/ip-pool.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ip_pool-c20dfa5744492372.d: src/bin/ip-pool.rs
+
+/root/repo/target/debug/deps/ip_pool-c20dfa5744492372: src/bin/ip-pool.rs
+
+src/bin/ip-pool.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/monitoring_e2e-99f774e5e2330c32.d: tests/monitoring_e2e.rs
+
+/root/repo/target/debug/deps/monitoring_e2e-99f774e5e2330c32: tests/monitoring_e2e.rs
+
+tests/monitoring_e2e.rs:

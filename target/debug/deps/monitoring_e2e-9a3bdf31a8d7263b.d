@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/monitoring_e2e-9a3bdf31a8d7263b.d: tests/monitoring_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmonitoring_e2e-9a3bdf31a8d7263b.rmeta: tests/monitoring_e2e.rs Cargo.toml
+
+tests/monitoring_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/optimizer_consistency-1b06d63c26a7d235.d: tests/optimizer_consistency.rs
+
+/root/repo/target/debug/deps/optimizer_consistency-1b06d63c26a7d235: tests/optimizer_consistency.rs
+
+tests/optimizer_consistency.rs:

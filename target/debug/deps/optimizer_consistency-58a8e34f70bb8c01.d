@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/optimizer_consistency-58a8e34f70bb8c01.d: tests/optimizer_consistency.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboptimizer_consistency-58a8e34f70bb8c01.rmeta: tests/optimizer_consistency.rs Cargo.toml
+
+tests/optimizer_consistency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

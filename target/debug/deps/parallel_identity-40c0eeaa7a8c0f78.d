@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel_identity-40c0eeaa7a8c0f78.d: crates/nn/tests/parallel_identity.rs
+
+/root/repo/target/debug/deps/parallel_identity-40c0eeaa7a8c0f78: crates/nn/tests/parallel_identity.rs
+
+crates/nn/tests/parallel_identity.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel_identity-608e176ec57b5730.d: crates/nn/tests/parallel_identity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel_identity-608e176ec57b5730.rmeta: crates/nn/tests/parallel_identity.rs Cargo.toml
+
+crates/nn/tests/parallel_identity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline_e2e-51fbcbee13960e6c.d: tests/pipeline_e2e.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline_e2e-51fbcbee13960e6c.rmeta: tests/pipeline_e2e.rs Cargo.toml
+
+tests/pipeline_e2e.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline_e2e-9bb82cc288429b27.d: tests/pipeline_e2e.rs
+
+/root/repo/target/debug/deps/pipeline_e2e-9bb82cc288429b27: tests/pipeline_e2e.rs
+
+tests/pipeline_e2e.rs:

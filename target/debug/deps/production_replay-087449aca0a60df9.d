@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/production_replay-087449aca0a60df9.d: crates/bench/src/bin/production_replay.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproduction_replay-087449aca0a60df9.rmeta: crates/bench/src/bin/production_replay.rs Cargo.toml
+
+crates/bench/src/bin/production_replay.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/production_replay-990be3f22620460a.d: crates/bench/src/bin/production_replay.rs
+
+/root/repo/target/debug/deps/production_replay-990be3f22620460a: crates/bench/src/bin/production_replay.rs
+
+crates/bench/src/bin/production_replay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-40d438ed072702a1.d: crates/nn/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-40d438ed072702a1: crates/nn/tests/properties.rs
+
+crates/nn/tests/properties.rs:

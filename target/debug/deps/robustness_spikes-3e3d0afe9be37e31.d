@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/robustness_spikes-3e3d0afe9be37e31.d: crates/bench/src/bin/robustness_spikes.rs
+
+/root/repo/target/debug/deps/robustness_spikes-3e3d0afe9be37e31: crates/bench/src/bin/robustness_spikes.rs
+
+crates/bench/src/bin/robustness_spikes.rs:

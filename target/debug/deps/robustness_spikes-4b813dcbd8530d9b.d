@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/robustness_spikes-4b813dcbd8530d9b.d: crates/bench/src/bin/robustness_spikes.rs Cargo.toml
+
+/root/repo/target/debug/deps/librobustness_spikes-4b813dcbd8530d9b.rmeta: crates/bench/src/bin/robustness_spikes.rs Cargo.toml
+
+crates/bench/src/bin/robustness_spikes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_mae-39f4699490bd1118.d: crates/bench/src/bin/table1_mae.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_mae-39f4699490bd1118.rmeta: crates/bench/src/bin/table1_mae.rs Cargo.toml
+
+crates/bench/src/bin/table1_mae.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_mae-9962035dcb189f5b.d: crates/bench/src/bin/table1_mae.rs
+
+/root/repo/target/debug/deps/table1_mae-9962035dcb189f5b: crates/bench/src/bin/table1_mae.rs
+
+crates/bench/src/bin/table1_mae.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_savings-28cbd24f0df786a7.d: crates/bench/src/bin/table2_savings.rs
+
+/root/repo/target/debug/deps/table2_savings-28cbd24f0df786a7: crates/bench/src/bin/table2_savings.rs
+
+crates/bench/src/bin/table2_savings.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_savings-666ba3f0685c9b29.d: crates/bench/src/bin/table2_savings.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_savings-666ba3f0685c9b29.rmeta: crates/bench/src/bin/table2_savings.rs Cargo.toml
+
+crates/bench/src/bin/table2_savings.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/capacity_planning-c6a9d0c3b0dc972f.d: examples/capacity_planning.rs
+
+/root/repo/target/debug/examples/capacity_planning-c6a9d0c3b0dc972f: examples/capacity_planning.rs
+
+examples/capacity_planning.rs:

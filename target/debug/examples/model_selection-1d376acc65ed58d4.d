@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/model_selection-1d376acc65ed58d4.d: examples/model_selection.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmodel_selection-1d376acc65ed58d4.rmeta: examples/model_selection.rs Cargo.toml
+
+examples/model_selection.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

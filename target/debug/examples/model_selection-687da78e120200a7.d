@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/model_selection-687da78e120200a7.d: examples/model_selection.rs
+
+/root/repo/target/debug/examples/model_selection-687da78e120200a7: examples/model_selection.rs
+
+examples/model_selection.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/notebook_sessions-72a569711f051919.d: examples/notebook_sessions.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnotebook_sessions-72a569711f051919.rmeta: examples/notebook_sessions.rs Cargo.toml
+
+examples/notebook_sessions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/notebook_sessions-95c43eb751831b45.d: examples/notebook_sessions.rs
+
+/root/repo/target/debug/examples/notebook_sessions-95c43eb751831b45: examples/notebook_sessions.rs
+
+examples/notebook_sessions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-4361c928f99d6265.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-4361c928f99d6265: examples/quickstart.rs
+
+examples/quickstart.rs:

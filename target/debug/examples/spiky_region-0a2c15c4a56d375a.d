@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/spiky_region-0a2c15c4a56d375a.d: examples/spiky_region.rs Cargo.toml
+
+/root/repo/target/debug/examples/libspiky_region-0a2c15c4a56d375a.rmeta: examples/spiky_region.rs Cargo.toml
+
+examples/spiky_region.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

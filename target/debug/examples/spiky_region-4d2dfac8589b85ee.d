@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/spiky_region-4d2dfac8589b85ee.d: examples/spiky_region.rs
+
+/root/repo/target/debug/examples/spiky_region-4d2dfac8589b85ee: examples/spiky_region.rs
+
+examples/spiky_region.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_loss-cb2ce960a5b3f087.d: crates/bench/src/bin/ablation_loss.rs
+
+/root/repo/target/release/deps/ablation_loss-cb2ce960a5b3f087: crates/bench/src/bin/ablation_loss.rs
+
+crates/bench/src/bin/ablation_loss.rs:

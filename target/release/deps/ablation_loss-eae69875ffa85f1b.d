@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_loss-eae69875ffa85f1b.d: crates/bench/src/bin/ablation_loss.rs
+
+/root/repo/target/release/deps/ablation_loss-eae69875ffa85f1b: crates/bench/src/bin/ablation_loss.rs
+
+crates/bench/src/bin/ablation_loss.rs:

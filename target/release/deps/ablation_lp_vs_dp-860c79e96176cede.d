@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_lp_vs_dp-860c79e96176cede.d: crates/bench/src/bin/ablation_lp_vs_dp.rs
+
+/root/repo/target/release/deps/ablation_lp_vs_dp-860c79e96176cede: crates/bench/src/bin/ablation_lp_vs_dp.rs
+
+crates/bench/src/bin/ablation_lp_vs_dp.rs:

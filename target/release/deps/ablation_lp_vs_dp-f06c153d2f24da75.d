@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_lp_vs_dp-f06c153d2f24da75.d: crates/bench/src/bin/ablation_lp_vs_dp.rs
+
+/root/repo/target/release/deps/ablation_lp_vs_dp-f06c153d2f24da75: crates/bench/src/bin/ablation_lp_vs_dp.rs
+
+crates/bench/src/bin/ablation_lp_vs_dp.rs:

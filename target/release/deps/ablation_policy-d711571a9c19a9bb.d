@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_policy-d711571a9c19a9bb.d: crates/bench/src/bin/ablation_policy.rs
+
+/root/repo/target/release/deps/ablation_policy-d711571a9c19a9bb: crates/bench/src/bin/ablation_policy.rs
+
+crates/bench/src/bin/ablation_policy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_policy-f31d2c23206ed4d0.d: crates/bench/src/bin/ablation_policy.rs
+
+/root/repo/target/release/deps/ablation_policy-f31d2c23206ed4d0: crates/bench/src/bin/ablation_policy.rs
+
+crates/bench/src/bin/ablation_policy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_stableness-cff7939f6aea34f7.d: crates/bench/src/bin/ablation_stableness.rs
+
+/root/repo/target/release/deps/ablation_stableness-cff7939f6aea34f7: crates/bench/src/bin/ablation_stableness.rs
+
+crates/bench/src/bin/ablation_stableness.rs:

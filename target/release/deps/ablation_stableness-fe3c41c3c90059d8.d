@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablation_stableness-fe3c41c3c90059d8.d: crates/bench/src/bin/ablation_stableness.rs
+
+/root/repo/target/release/deps/ablation_stableness-fe3c41c3c90059d8: crates/bench/src/bin/ablation_stableness.rs
+
+crates/bench/src/bin/ablation_stableness.rs:

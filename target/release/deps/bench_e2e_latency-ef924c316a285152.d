@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_e2e_latency-ef924c316a285152.d: crates/bench/benches/bench_e2e_latency.rs
+
+/root/repo/target/release/deps/bench_e2e_latency-ef924c316a285152: crates/bench/benches/bench_e2e_latency.rs
+
+crates/bench/benches/bench_e2e_latency.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_forecasters-04ecad569f3da0d8.d: crates/bench/benches/bench_forecasters.rs
+
+/root/repo/target/release/deps/bench_forecasters-04ecad569f3da0d8: crates/bench/benches/bench_forecasters.rs
+
+crates/bench/benches/bench_forecasters.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_optimizer-e4948aa84dae647b.d: crates/bench/benches/bench_optimizer.rs
+
+/root/repo/target/release/deps/bench_optimizer-e4948aa84dae647b: crates/bench/benches/bench_optimizer.rs
+
+crates/bench/benches/bench_optimizer.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench_parallel_scaling-049ad665d8d06843.d: crates/bench/benches/bench_parallel_scaling.rs
+
+/root/repo/target/release/deps/bench_parallel_scaling-049ad665d8d06843: crates/bench/benches/bench_parallel_scaling.rs
+
+crates/bench/benches/bench_parallel_scaling.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

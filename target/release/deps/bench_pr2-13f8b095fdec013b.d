@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench_pr2-13f8b095fdec013b.d: crates/bench/src/bin/bench_pr2.rs
+
+/root/repo/target/release/deps/bench_pr2-13f8b095fdec013b: crates/bench/src/bin/bench_pr2.rs
+
+crates/bench/src/bin/bench_pr2.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bench_pr2-c738a2680976e6f3.d: crates/bench/src/bin/bench_pr2.rs
+
+/root/repo/target/release/deps/bench_pr2-c738a2680976e6f3: crates/bench/src/bin/bench_pr2.rs
+
+crates/bench/src/bin/bench_pr2.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_simulator-763c9a46f11a63ec.d: crates/bench/benches/bench_simulator.rs
+
+/root/repo/target/release/deps/bench_simulator-763c9a46f11a63ec: crates/bench/benches/bench_simulator.rs
+
+crates/bench/benches/bench_simulator.rs:

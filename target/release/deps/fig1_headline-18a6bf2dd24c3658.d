@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_headline-18a6bf2dd24c3658.d: crates/bench/src/bin/fig1_headline.rs
+
+/root/repo/target/release/deps/fig1_headline-18a6bf2dd24c3658: crates/bench/src/bin/fig1_headline.rs
+
+crates/bench/src/bin/fig1_headline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig1_headline-828b86a01e653383.d: crates/bench/src/bin/fig1_headline.rs
+
+/root/repo/target/release/deps/fig1_headline-828b86a01e653383: crates/bench/src/bin/fig1_headline.rs
+
+crates/bench/src/bin/fig1_headline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_mechanism-82133baf52cd18a4.d: crates/bench/src/bin/fig3_mechanism.rs
+
+/root/repo/target/release/deps/fig3_mechanism-82133baf52cd18a4: crates/bench/src/bin/fig3_mechanism.rs
+
+crates/bench/src/bin/fig3_mechanism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3_mechanism-95d19fa5c7aefda8.d: crates/bench/src/bin/fig3_mechanism.rs
+
+/root/repo/target/release/deps/fig3_mechanism-95d19fa5c7aefda8: crates/bench/src/bin/fig3_mechanism.rs
+
+crates/bench/src/bin/fig3_mechanism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_advance_demand-0ce9a069b1c9017d.d: crates/bench/src/bin/fig4_advance_demand.rs
+
+/root/repo/target/release/deps/fig4_advance_demand-0ce9a069b1c9017d: crates/bench/src/bin/fig4_advance_demand.rs
+
+crates/bench/src/bin/fig4_advance_demand.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4_advance_demand-5e69fcf80e5361a8.d: crates/bench/src/bin/fig4_advance_demand.rs
+
+/root/repo/target/release/deps/fig4_advance_demand-5e69fcf80e5361a8: crates/bench/src/bin/fig4_advance_demand.rs
+
+crates/bench/src/bin/fig4_advance_demand.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_pareto-6b69032ba654c2c8.d: crates/bench/src/bin/fig5_pareto.rs
+
+/root/repo/target/release/deps/fig5_pareto-6b69032ba654c2c8: crates/bench/src/bin/fig5_pareto.rs
+
+crates/bench/src/bin/fig5_pareto.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_pareto-8fa680951f2677ec.d: crates/bench/src/bin/fig5_pareto.rs
+
+/root/repo/target/release/deps/fig5_pareto-8fa680951f2677ec: crates/bench/src/bin/fig5_pareto.rs
+
+crates/bench/src/bin/fig5_pareto.rs:

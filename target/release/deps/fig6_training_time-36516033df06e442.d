@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_training_time-36516033df06e442.d: crates/bench/src/bin/fig6_training_time.rs
+
+/root/repo/target/release/deps/fig6_training_time-36516033df06e442: crates/bench/src/bin/fig6_training_time.rs
+
+crates/bench/src/bin/fig6_training_time.rs:

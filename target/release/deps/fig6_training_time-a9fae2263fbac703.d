@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_training_time-a9fae2263fbac703.d: crates/bench/src/bin/fig6_training_time.rs
+
+/root/repo/target/release/deps/fig6_training_time-a9fae2263fbac703: crates/bench/src/bin/fig6_training_time.rs
+
+crates/bench/src/bin/fig6_training_time.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_smoothing-2c2408c71e0af3f3.d: crates/bench/src/bin/fig7_smoothing.rs
+
+/root/repo/target/release/deps/fig7_smoothing-2c2408c71e0af3f3: crates/bench/src/bin/fig7_smoothing.rs
+
+crates/bench/src/bin/fig7_smoothing.rs:

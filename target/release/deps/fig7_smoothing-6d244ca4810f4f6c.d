@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_smoothing-6d244ca4810f4f6c.d: crates/bench/src/bin/fig7_smoothing.rs
+
+/root/repo/target/release/deps/fig7_smoothing-6d244ca4810f4f6c: crates/bench/src/bin/fig7_smoothing.rs
+
+crates/bench/src/bin/fig7_smoothing.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/intelligent_pooling-643e8c260a9fcd1d.d: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/libintelligent_pooling-643e8c260a9fcd1d.rlib: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/libintelligent_pooling-643e8c260a9fcd1d.rmeta: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/intelligent_pooling-ab236f870992dd03.d: src/lib.rs src/cli.rs
+
+/root/repo/target/release/deps/intelligent_pooling-ab236f870992dd03: src/lib.rs src/cli.rs
+
+src/lib.rs:
+src/cli.rs:

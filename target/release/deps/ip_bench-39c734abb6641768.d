@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ip_bench-39c734abb6641768.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libip_bench-39c734abb6641768.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libip_bench-39c734abb6641768.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ip_bench-f11a67b525c474cc.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/ip_bench-f11a67b525c474cc: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

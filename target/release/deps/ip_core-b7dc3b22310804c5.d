@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/ip_core-b7dc3b22310804c5.d: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/cogs.rs crates/core/src/engine.rs crates/core/src/monitoring.rs crates/core/src/multi_pool.rs crates/core/src/pipeline.rs crates/core/src/replay.rs
+
+/root/repo/target/release/deps/ip_core-b7dc3b22310804c5: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/cogs.rs crates/core/src/engine.rs crates/core/src/monitoring.rs crates/core/src/multi_pool.rs crates/core/src/pipeline.rs crates/core/src/replay.rs
+
+crates/core/src/lib.rs:
+crates/core/src/autotune.rs:
+crates/core/src/cogs.rs:
+crates/core/src/engine.rs:
+crates/core/src/monitoring.rs:
+crates/core/src/multi_pool.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/replay.rs:

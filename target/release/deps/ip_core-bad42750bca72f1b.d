@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ip_core-bad42750bca72f1b.d: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/cogs.rs crates/core/src/engine.rs crates/core/src/monitoring.rs crates/core/src/multi_pool.rs crates/core/src/pipeline.rs crates/core/src/replay.rs
+
+/root/repo/target/release/deps/libip_core-bad42750bca72f1b.rlib: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/cogs.rs crates/core/src/engine.rs crates/core/src/monitoring.rs crates/core/src/multi_pool.rs crates/core/src/pipeline.rs crates/core/src/replay.rs
+
+/root/repo/target/release/deps/libip_core-bad42750bca72f1b.rmeta: crates/core/src/lib.rs crates/core/src/autotune.rs crates/core/src/cogs.rs crates/core/src/engine.rs crates/core/src/monitoring.rs crates/core/src/multi_pool.rs crates/core/src/pipeline.rs crates/core/src/replay.rs
+
+crates/core/src/lib.rs:
+crates/core/src/autotune.rs:
+crates/core/src/cogs.rs:
+crates/core/src/engine.rs:
+crates/core/src/monitoring.rs:
+crates/core/src/multi_pool.rs:
+crates/core/src/pipeline.rs:
+crates/core/src/replay.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/ip_linalg-6eabb468e4042c74.d: crates/linalg/src/lib.rs crates/linalg/src/eigen.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/svd.rs
+
+/root/repo/target/release/deps/ip_linalg-6eabb468e4042c74: crates/linalg/src/lib.rs crates/linalg/src/eigen.rs crates/linalg/src/lu.rs crates/linalg/src/matrix.rs crates/linalg/src/qr.rs crates/linalg/src/svd.rs
+
+crates/linalg/src/lib.rs:
+crates/linalg/src/eigen.rs:
+crates/linalg/src/lu.rs:
+crates/linalg/src/matrix.rs:
+crates/linalg/src/qr.rs:
+crates/linalg/src/svd.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ip_lp-632f658ab832adfa.d: crates/lp/src/lib.rs crates/lp/src/model.rs crates/lp/src/simplex.rs
+
+/root/repo/target/release/deps/ip_lp-632f658ab832adfa: crates/lp/src/lib.rs crates/lp/src/model.rs crates/lp/src/simplex.rs
+
+crates/lp/src/lib.rs:
+crates/lp/src/model.rs:
+crates/lp/src/simplex.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/ip_models-156adf475dcda12f.d: crates/models/src/lib.rs crates/models/src/baseline.rs crates/models/src/classical.rs crates/models/src/deep.rs crates/models/src/inception.rs crates/models/src/mwdn.rs crates/models/src/selector.rs crates/models/src/ssa_model.rs crates/models/src/ssa_plus.rs crates/models/src/tst.rs
+
+/root/repo/target/release/deps/libip_models-156adf475dcda12f.rlib: crates/models/src/lib.rs crates/models/src/baseline.rs crates/models/src/classical.rs crates/models/src/deep.rs crates/models/src/inception.rs crates/models/src/mwdn.rs crates/models/src/selector.rs crates/models/src/ssa_model.rs crates/models/src/ssa_plus.rs crates/models/src/tst.rs
+
+/root/repo/target/release/deps/libip_models-156adf475dcda12f.rmeta: crates/models/src/lib.rs crates/models/src/baseline.rs crates/models/src/classical.rs crates/models/src/deep.rs crates/models/src/inception.rs crates/models/src/mwdn.rs crates/models/src/selector.rs crates/models/src/ssa_model.rs crates/models/src/ssa_plus.rs crates/models/src/tst.rs
+
+crates/models/src/lib.rs:
+crates/models/src/baseline.rs:
+crates/models/src/classical.rs:
+crates/models/src/deep.rs:
+crates/models/src/inception.rs:
+crates/models/src/mwdn.rs:
+crates/models/src/selector.rs:
+crates/models/src/ssa_model.rs:
+crates/models/src/ssa_plus.rs:
+crates/models/src/tst.rs:

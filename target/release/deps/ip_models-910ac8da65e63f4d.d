@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ip_models-910ac8da65e63f4d.d: crates/models/src/lib.rs crates/models/src/baseline.rs crates/models/src/classical.rs crates/models/src/deep.rs crates/models/src/inception.rs crates/models/src/mwdn.rs crates/models/src/selector.rs crates/models/src/ssa_model.rs crates/models/src/ssa_plus.rs crates/models/src/tst.rs
+
+/root/repo/target/release/deps/ip_models-910ac8da65e63f4d: crates/models/src/lib.rs crates/models/src/baseline.rs crates/models/src/classical.rs crates/models/src/deep.rs crates/models/src/inception.rs crates/models/src/mwdn.rs crates/models/src/selector.rs crates/models/src/ssa_model.rs crates/models/src/ssa_plus.rs crates/models/src/tst.rs
+
+crates/models/src/lib.rs:
+crates/models/src/baseline.rs:
+crates/models/src/classical.rs:
+crates/models/src/deep.rs:
+crates/models/src/inception.rs:
+crates/models/src/mwdn.rs:
+crates/models/src/selector.rs:
+crates/models/src/ssa_model.rs:
+crates/models/src/ssa_plus.rs:
+crates/models/src/tst.rs:

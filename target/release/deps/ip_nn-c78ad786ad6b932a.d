@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/ip_nn-c78ad786ad6b932a.d: crates/nn/src/lib.rs crates/nn/src/gemm.rs crates/nn/src/graph.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/rnn.rs crates/nn/src/tensor.rs crates/nn/src/train.rs
+
+/root/repo/target/release/deps/ip_nn-c78ad786ad6b932a: crates/nn/src/lib.rs crates/nn/src/gemm.rs crates/nn/src/graph.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/rnn.rs crates/nn/src/tensor.rs crates/nn/src/train.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/gemm.rs:
+crates/nn/src/graph.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/rnn.rs:
+crates/nn/src/tensor.rs:
+crates/nn/src/train.rs:

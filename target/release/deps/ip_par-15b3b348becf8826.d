@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ip_par-15b3b348becf8826.d: crates/par/src/lib.rs
+
+/root/repo/target/release/deps/ip_par-15b3b348becf8826: crates/par/src/lib.rs
+
+crates/par/src/lib.rs:

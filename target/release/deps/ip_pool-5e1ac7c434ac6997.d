@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ip_pool-5e1ac7c434ac6997.d: src/bin/ip-pool.rs
+
+/root/repo/target/release/deps/ip_pool-5e1ac7c434ac6997: src/bin/ip-pool.rs
+
+src/bin/ip-pool.rs:

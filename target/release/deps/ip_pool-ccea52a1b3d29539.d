@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ip_pool-ccea52a1b3d29539.d: src/bin/ip-pool.rs
+
+/root/repo/target/release/deps/ip_pool-ccea52a1b3d29539: src/bin/ip-pool.rs
+
+src/bin/ip-pool.rs:

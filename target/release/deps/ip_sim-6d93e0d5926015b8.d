@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/ip_sim-6d93e0d5926015b8.d: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/engine.rs crates/sim/src/session.rs crates/sim/src/stores.rs
+
+/root/repo/target/release/deps/ip_sim-6d93e0d5926015b8: crates/sim/src/lib.rs crates/sim/src/cluster.rs crates/sim/src/engine.rs crates/sim/src/session.rs crates/sim/src/stores.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cluster.rs:
+crates/sim/src/engine.rs:
+crates/sim/src/session.rs:
+crates/sim/src/stores.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/ip_ssa-c1c7ccd17cd6eb2a.d: crates/ssa/src/lib.rs crates/ssa/src/decomp.rs crates/ssa/src/forecast.rs
+
+/root/repo/target/release/deps/ip_ssa-c1c7ccd17cd6eb2a: crates/ssa/src/lib.rs crates/ssa/src/decomp.rs crates/ssa/src/forecast.rs
+
+crates/ssa/src/lib.rs:
+crates/ssa/src/decomp.rs:
+crates/ssa/src/forecast.rs:

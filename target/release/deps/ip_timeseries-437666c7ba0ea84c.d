@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/ip_timeseries-437666c7ba0ea84c.d: crates/timeseries/src/lib.rs crates/timeseries/src/decompose.rs crates/timeseries/src/filters.rs crates/timeseries/src/metrics.rs crates/timeseries/src/series.rs crates/timeseries/src/split.rs crates/timeseries/src/windowing.rs
+
+/root/repo/target/release/deps/ip_timeseries-437666c7ba0ea84c: crates/timeseries/src/lib.rs crates/timeseries/src/decompose.rs crates/timeseries/src/filters.rs crates/timeseries/src/metrics.rs crates/timeseries/src/series.rs crates/timeseries/src/split.rs crates/timeseries/src/windowing.rs
+
+crates/timeseries/src/lib.rs:
+crates/timeseries/src/decompose.rs:
+crates/timeseries/src/filters.rs:
+crates/timeseries/src/metrics.rs:
+crates/timeseries/src/series.rs:
+crates/timeseries/src/split.rs:
+crates/timeseries/src/windowing.rs:

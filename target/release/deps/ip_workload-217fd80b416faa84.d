@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/ip_workload-217fd80b416faa84.d: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/presets.rs crates/workload/src/stats.rs
+
+/root/repo/target/release/deps/ip_workload-217fd80b416faa84: crates/workload/src/lib.rs crates/workload/src/generator.rs crates/workload/src/presets.rs crates/workload/src/stats.rs
+
+crates/workload/src/lib.rs:
+crates/workload/src/generator.rs:
+crates/workload/src/presets.rs:
+crates/workload/src/stats.rs:

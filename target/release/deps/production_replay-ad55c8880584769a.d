@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/production_replay-ad55c8880584769a.d: crates/bench/src/bin/production_replay.rs
+
+/root/repo/target/release/deps/production_replay-ad55c8880584769a: crates/bench/src/bin/production_replay.rs
+
+crates/bench/src/bin/production_replay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/production_replay-c1b4e1fc0634e0a6.d: crates/bench/src/bin/production_replay.rs
+
+/root/repo/target/release/deps/production_replay-c1b4e1fc0634e0a6: crates/bench/src/bin/production_replay.rs
+
+crates/bench/src/bin/production_replay.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest-3f5b95cc21d54444.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/proptest-3f5b95cc21d54444: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-ae7aa270e9a615a2.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-ae7aa270e9a615a2: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

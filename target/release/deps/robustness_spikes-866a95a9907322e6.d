@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robustness_spikes-866a95a9907322e6.d: crates/bench/src/bin/robustness_spikes.rs
+
+/root/repo/target/release/deps/robustness_spikes-866a95a9907322e6: crates/bench/src/bin/robustness_spikes.rs
+
+crates/bench/src/bin/robustness_spikes.rs:

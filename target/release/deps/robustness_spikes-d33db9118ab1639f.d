@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/robustness_spikes-d33db9118ab1639f.d: crates/bench/src/bin/robustness_spikes.rs
+
+/root/repo/target/release/deps/robustness_spikes-d33db9118ab1639f: crates/bench/src/bin/robustness_spikes.rs
+
+crates/bench/src/bin/robustness_spikes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-912470ced8388948.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/serde-912470ced8388948: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-ce43b4172da7fbfe.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/serde_derive-ce43b4172da7fbfe: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

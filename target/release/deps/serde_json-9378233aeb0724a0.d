@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_json-9378233aeb0724a0.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/serde_json-9378233aeb0724a0: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_mae-36766fd166fa414d.d: crates/bench/src/bin/table1_mae.rs
+
+/root/repo/target/release/deps/table1_mae-36766fd166fa414d: crates/bench/src/bin/table1_mae.rs
+
+crates/bench/src/bin/table1_mae.rs:

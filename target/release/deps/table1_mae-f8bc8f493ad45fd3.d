@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_mae-f8bc8f493ad45fd3.d: crates/bench/src/bin/table1_mae.rs
+
+/root/repo/target/release/deps/table1_mae-f8bc8f493ad45fd3: crates/bench/src/bin/table1_mae.rs
+
+crates/bench/src/bin/table1_mae.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_savings-2b622f1d7d2cf860.d: crates/bench/src/bin/table2_savings.rs
+
+/root/repo/target/release/deps/table2_savings-2b622f1d7d2cf860: crates/bench/src/bin/table2_savings.rs
+
+crates/bench/src/bin/table2_savings.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_savings-d7910b5e5e7f175f.d: crates/bench/src/bin/table2_savings.rs
+
+/root/repo/target/release/deps/table2_savings-d7910b5e5e7f175f: crates/bench/src/bin/table2_savings.rs
+
+crates/bench/src/bin/table2_savings.rs:
