@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/deterministic_training-61ed8c0bdd3f63ef.d: crates/models/tests/deterministic_training.rs
+
+/root/repo/target/release/deps/deterministic_training-61ed8c0bdd3f63ef: crates/models/tests/deterministic_training.rs
+
+crates/models/tests/deterministic_training.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/grad_check-95cf2eb4f1226ec0.d: crates/nn/tests/grad_check.rs
+
+/root/repo/target/release/deps/grad_check-95cf2eb4f1226ec0: crates/nn/tests/grad_check.rs
+
+crates/nn/tests/grad_check.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/parallel_identity-7378bf9041ee3982.d: crates/nn/tests/parallel_identity.rs
+
+/root/repo/target/release/deps/parallel_identity-7378bf9041ee3982: crates/nn/tests/parallel_identity.rs
+
+crates/nn/tests/parallel_identity.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-886d316c4e93c8e2.d: crates/par/tests/properties.rs
+
+/root/repo/target/release/deps/properties-886d316c4e93c8e2: crates/par/tests/properties.rs
+
+crates/par/tests/properties.rs:

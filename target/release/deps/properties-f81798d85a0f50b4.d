@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-f81798d85a0f50b4.d: crates/nn/tests/properties.rs
+
+/root/repo/target/release/deps/properties-f81798d85a0f50b4: crates/nn/tests/properties.rs
+
+crates/nn/tests/properties.rs:
