@@ -138,6 +138,7 @@ fn write_json(records: &[Record], samples: usize) {
 }
 
 fn main() {
+    let _span = ip_obs::span("bench.bench_pr2");
     let samples: usize = std::env::var("IP_BENCH_SAMPLES")
         .ok()
         .and_then(|v| v.parse().ok())

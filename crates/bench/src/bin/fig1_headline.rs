@@ -13,6 +13,7 @@ use ip_saa::{evaluate_schedule, optimal_static_for_hit_rate, optimize_dp, SaaCon
 use ip_workload::{preset, table1_presets};
 
 fn main() {
+    let _span = ip_obs::span("bench.fig1_headline");
     let scale = Scale::from_env();
     let base = default_saa();
     let mut rows = Vec::new();

@@ -75,6 +75,7 @@ fn evaluate(targets: &[u32], future: &TimeSeries, saa: &SaaConfig) -> PoolMechan
 }
 
 fn main() {
+    let _span = ip_obs::span("bench.fig5_pareto");
     let pipeline = std::env::args()
         .nth(1)
         .unwrap_or_else(|| "two-step".to_string());

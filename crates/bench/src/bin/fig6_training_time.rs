@@ -9,6 +9,7 @@ use ip_timeseries::TimeSeries;
 use ip_workload::{preset, PresetId};
 
 fn main() {
+    let _span = ip_obs::span("bench.fig6_training_time");
     let scale = Scale::from_env();
     let mut model = preset(PresetId::EastUs2Small, 8);
     model.days = scale.history_days();

@@ -18,6 +18,7 @@ use ip_ssa::RankSelection;
 use ip_workload::{preset, PresetId};
 
 fn main() {
+    let _span = ip_obs::span("bench.production_replay");
     let scale = Scale::from_env();
     let mut model = preset(PresetId::EastUs2Small, 61);
     model.days = scale.history_days() + 1;

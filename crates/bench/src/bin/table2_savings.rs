@@ -60,6 +60,7 @@ fn dynamic_for_wait(
 }
 
 fn main() {
+    let _span = ip_obs::span("bench.table2_savings");
     let scale = Scale::from_env();
     let base = default_saa();
     let cost = CostModel::default();

@@ -10,7 +10,7 @@
 //! pipeline failures".
 
 use crate::cogs::CostModel;
-use ip_sim::SimReport;
+use ip_sim::{IntervalStat, SimReport};
 use serde::{Deserialize, Serialize};
 
 /// One snapshot of the §7.5 metric set.
@@ -85,7 +85,7 @@ impl Dashboard {
             ip_failures: report.ip_failures,
             hit_count: report.hits,
             miss_count: report.misses,
-            hit_percentage: report.hit_rate * 100.0,
+            hit_percentage: hit_percentage(report.hits, report.misses),
             demand_rate_per_interval: report.total_requests as f64 / intervals,
             idle_cluster_seconds: report.idle_cluster_seconds,
             mean_pool_size,
@@ -96,6 +96,99 @@ impl Dashboard {
             clusters_created: report.clusters_created,
             cancelled_provisioning: report.cancelled_provisioning,
             expired: report.expired,
+        }
+    }
+
+    /// Opens an incremental consumer of the simulator's per-interval
+    /// telemetry stream ([`IntervalStat`]): feed records as they arrive and
+    /// read a live [`MetricsSnapshot`] at any point. After the final record
+    /// of a run, the snapshot equals [`Dashboard::snapshot`] on that run's
+    /// report exactly.
+    pub fn stream(&self) -> DashboardStream<'_> {
+        DashboardStream {
+            dashboard: self,
+            intervals: 0,
+            requests: 0,
+            hits: 0,
+            misses: 0,
+            target_sum: 0.0,
+            fallback_intervals: 0,
+            last: None,
+        }
+    }
+}
+
+/// Hit percentage from raw counts; 100% on zero traffic (no request was
+/// made to wait), never NaN.
+fn hit_percentage(hits: u64, misses: u64) -> f64 {
+    let total = hits + misses;
+    if total == 0 {
+        100.0
+    } else {
+        hits as f64 / total as f64 * 100.0
+    }
+}
+
+/// Incremental dashboard state over a stream of [`IntervalStat`] records
+/// (see [`Dashboard::stream`]).
+#[derive(Debug, Clone)]
+pub struct DashboardStream<'d> {
+    dashboard: &'d Dashboard,
+    intervals: u64,
+    requests: u64,
+    hits: u64,
+    misses: u64,
+    target_sum: f64,
+    fallback_intervals: u64,
+    last: Option<IntervalStat>,
+}
+
+impl DashboardStream<'_> {
+    /// Folds one interval record into the running state.
+    pub fn observe(&mut self, stat: &IntervalStat) {
+        self.intervals += 1;
+        self.requests += stat.requests;
+        self.hits += stat.hits;
+        self.misses += stat.misses;
+        self.target_sum += f64::from(stat.applied_target);
+        self.fallback_intervals += u64::from(stat.fallback);
+        self.last = Some(stat.clone());
+    }
+
+    /// Number of interval records observed so far.
+    pub fn intervals_observed(&self) -> u64 {
+        self.intervals
+    }
+
+    /// The §7.5 metric set as of the last observed interval.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let intervals = self.intervals.max(1) as f64;
+        let idle = self
+            .last
+            .as_ref()
+            .map_or(0.0, |s| s.cum_idle_cluster_seconds);
+        let idle_cost = self.dashboard.cost.cost_of_idle(idle);
+        let cogs_saved = self
+            .dashboard
+            .static_reference_idle_seconds
+            .map(|static_idle| self.dashboard.cost.cost_of_idle(static_idle) - idle_cost);
+        let last = self.last.as_ref();
+        MetricsSnapshot {
+            ip_runs: last.map_or(0, |s| s.cum_ip_runs),
+            ip_failures: last.map_or(0, |s| s.cum_ip_failures),
+            hit_count: self.hits,
+            miss_count: self.misses,
+            hit_percentage: hit_percentage(self.hits, self.misses),
+            demand_rate_per_interval: self.requests as f64 / intervals,
+            idle_cluster_seconds: idle,
+            mean_pool_size: self.target_sum / intervals,
+            fallback_intervals: self.fallback_intervals,
+            worker_replacements: last.map_or(0, |s| s.cum_worker_replacements),
+            idle_cost_dollars: idle_cost,
+            cogs_saved_dollars: cogs_saved,
+            clusters_created: last.map_or(0, |s| s.cum_clusters_created),
+            cancelled_provisioning: last.map_or(0, |s| s.cum_cancelled_provisioning),
+            expired: last.map_or(0, |s| s.cum_expired),
         }
     }
 }
@@ -128,7 +221,11 @@ pub fn evaluate_alerts(snapshot: &MetricsSnapshot, rules: &[AlertRule]) -> Vec<A
     for rule in rules {
         let fired = match rule {
             AlertRule::HitRateBelow(threshold) => {
-                if snapshot.hit_percentage < *threshold {
+                // With zero traffic there is no hit rate to alert on; a NaN
+                // percentage (from hand-built snapshots) must not fire
+                // either, and `<` on NaN is already false for that case.
+                let had_traffic = snapshot.hit_count + snapshot.miss_count > 0;
+                if had_traffic && snapshot.hit_percentage < *threshold {
                     Some(format!(
                         "hit rate {:.2}% below threshold {threshold}%",
                         snapshot.hit_percentage
@@ -243,6 +340,109 @@ mod tests {
         let alerts = evaluate_alerts(&snap, &rules);
         assert_eq!(alerts.len(), 4);
         assert!(alerts[0].message.contains("80.00%"));
+    }
+
+    #[test]
+    fn zero_interval_window_yields_finite_metrics() {
+        // A demand trace shorter than one recommendation horizon still ends
+        // the run with zero applied intervals in the degenerate case of an
+        // empty timeline; every ratio must stay finite.
+        let report = SimReport {
+            applied_target_timeline: Vec::new(),
+            ..run_report()
+        };
+        let dash = Dashboard::new(CostModel::default());
+        let snap = dash.snapshot(&report, 0.0);
+        assert!(snap.demand_rate_per_interval.is_finite());
+        assert!(snap.mean_pool_size.is_finite());
+        assert_eq!(snap.mean_pool_size, 0.0);
+    }
+
+    #[test]
+    fn zero_traffic_hit_rate_is_100_and_never_alerts() {
+        let demand = TimeSeries::new(30, vec![0.0; 10]).unwrap();
+        let cfg = SimConfig {
+            default_pool_target: 2,
+            tau_jitter_secs: 0,
+            ..Default::default()
+        };
+        let report = Simulation::new(cfg, None).run(&demand).unwrap();
+        assert_eq!(report.hits + report.misses, 0);
+        let dash = Dashboard::new(CostModel::default());
+        let snap = dash.snapshot(&report, 300.0);
+        assert_eq!(snap.hit_percentage, 100.0);
+        assert!(!snap.hit_percentage.is_nan());
+        // Even an absurdly high threshold must not fire without traffic.
+        let alerts = evaluate_alerts(&snap, &[AlertRule::HitRateBelow(200.0)]);
+        assert!(alerts.is_empty());
+    }
+
+    #[test]
+    fn nan_hit_percentage_does_not_fire() {
+        let report = run_report();
+        let dash = Dashboard::new(CostModel::default());
+        let mut snap = dash.snapshot(&report, 1200.0);
+        snap.hit_count = 0;
+        snap.miss_count = 0;
+        snap.hit_percentage = f64::NAN;
+        let alerts = evaluate_alerts(&snap, &[AlertRule::HitRateBelow(99.0)]);
+        assert!(alerts.is_empty());
+    }
+
+    #[test]
+    fn hit_rate_boundary_is_exclusive() {
+        let report = run_report();
+        let dash = Dashboard::new(CostModel::default());
+        let mut snap = dash.snapshot(&report, 1200.0);
+        snap.hit_count = 99;
+        snap.miss_count = 1;
+        snap.hit_percentage = 99.0;
+        // Exactly at the threshold: no alert ("below" is strict).
+        assert!(evaluate_alerts(&snap, &[AlertRule::HitRateBelow(99.0)]).is_empty());
+        snap.hit_percentage = 98.999;
+        assert_eq!(
+            evaluate_alerts(&snap, &[AlertRule::HitRateBelow(99.0)]).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn stream_reproduces_posthoc_snapshot() {
+        // Use a config that exercises misses, fallbacks, expiry, and an IP
+        // worker so every cumulative field in the stream is non-trivial.
+        let demand = TimeSeries::new(30, (0..60).map(|i| f64::from(i % 7)).collect()).unwrap();
+        let cfg = SimConfig {
+            default_pool_target: 3,
+            tau_jitter_secs: 0,
+            ..Default::default()
+        };
+        let report = Simulation::new(cfg, None).run(&demand).unwrap();
+        assert!(!report.interval_stats.is_empty());
+        let mut dash = Dashboard::new(CostModel::default());
+        dash.static_reference_idle_seconds = Some(report.idle_cluster_seconds * 2.0);
+        let mut stream = dash.stream();
+        for stat in &report.interval_stats {
+            stream.observe(stat);
+            // Every intermediate snapshot must already be well-formed.
+            let mid = stream.snapshot();
+            assert!(mid.hit_percentage.is_finite());
+            assert!(mid.demand_rate_per_interval.is_finite());
+        }
+        assert_eq!(
+            stream.intervals_observed() as usize,
+            report.interval_stats.len()
+        );
+        assert_eq!(stream.snapshot(), dash.snapshot(&report, 1800.0));
+    }
+
+    #[test]
+    fn empty_stream_snapshot_is_quiet() {
+        let dash = Dashboard::new(CostModel::default());
+        let stream = dash.stream();
+        let snap = stream.snapshot();
+        assert_eq!(snap.hit_percentage, 100.0);
+        assert_eq!(snap.mean_pool_size, 0.0);
+        assert!(evaluate_alerts(&snap, &[AlertRule::HitRateBelow(99.0)]).is_empty());
     }
 
     #[test]

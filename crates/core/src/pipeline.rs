@@ -48,17 +48,22 @@ impl<F: Forecaster> RecommendationEngine for TwoStepEngine<F> {
     }
 
     fn recommend(&mut self, history: &TimeSeries, horizon: usize) -> Result<Vec<u32>> {
-        self.forecaster
-            .fit(history)
-            .map_err(|e| CoreError::Model(e.to_string()))?;
-        let predicted = self
-            .forecaster
-            .predict(horizon)
-            .map_err(|e| CoreError::Model(e.to_string()))?;
+        let _span = ip_obs::span("pipeline.two_step");
+        let predicted = {
+            let _span = ip_obs::span("pipeline.forecast");
+            self.forecaster
+                .fit(history)
+                .map_err(|e| CoreError::Model(e.to_string()))?;
+            self.forecaster
+                .predict(horizon)
+                .map_err(|e| CoreError::Model(e.to_string()))?
+        };
         let demand = TimeSeries::new(history.interval_secs(), predicted)
             .map_err(|e| CoreError::Model(e.to_string()))?;
-        let opt =
-            optimize_dp(&demand, &self.config).map_err(|e| CoreError::Optimizer(e.to_string()))?;
+        let opt = {
+            let _span = ip_obs::span("pipeline.optimize");
+            optimize_dp(&demand, &self.config).map_err(|e| CoreError::Optimizer(e.to_string()))?
+        };
         Ok(opt
             .schedule
             .iter()
@@ -91,18 +96,23 @@ impl<F: Forecaster> RecommendationEngine for EndToEndEngine<F> {
     }
 
     fn recommend(&mut self, history: &TimeSeries, horizon: usize) -> Result<Vec<u32>> {
+        let _span = ip_obs::span("pipeline.e2e");
         // Historically optimal pool sizes become the training series.
-        let opt =
-            optimize_dp(history, &self.config).map_err(|e| CoreError::Optimizer(e.to_string()))?;
+        let opt = {
+            let _span = ip_obs::span("pipeline.optimize");
+            optimize_dp(history, &self.config).map_err(|e| CoreError::Optimizer(e.to_string()))?
+        };
         let historic_optimal = TimeSeries::new(history.interval_secs(), opt.schedule)
             .map_err(|e| CoreError::Optimizer(e.to_string()))?;
-        self.forecaster
-            .fit(&historic_optimal)
-            .map_err(|e| CoreError::Model(e.to_string()))?;
-        let predicted = self
-            .forecaster
-            .predict(horizon)
-            .map_err(|e| CoreError::Model(e.to_string()))?;
+        let predicted = {
+            let _span = ip_obs::span("pipeline.forecast");
+            self.forecaster
+                .fit(&historic_optimal)
+                .map_err(|e| CoreError::Model(e.to_string()))?;
+            self.forecaster
+                .predict(horizon)
+                .map_err(|e| CoreError::Model(e.to_string()))?
+        };
         // Clamp into the configured pool bounds (the optimizer would have
         // enforced these; the forecaster cannot).
         Ok(predicted

@@ -36,7 +36,7 @@ use crate::{FitReport, Forecaster, ModelError, Result};
 use ip_nn::graph::{Graph, NodeId};
 use ip_nn::loss::asymmetric;
 use ip_nn::tensor::Tensor;
-use ip_nn::train::{BatchSampler, EarlyStopping};
+use ip_nn::train::{BatchSampler, EarlyStopping, StepTimer};
 use ip_timeseries::windowing::{sliding_windows, Normalizer, WindowPair};
 use ip_timeseries::TimeSeries;
 use rand::rngs::StdRng;
@@ -262,6 +262,7 @@ impl<N: Net> Forecaster for DeepModel<N> {
     #[allow(clippy::too_many_lines)]
     fn fit(&mut self, train: &TimeSeries) -> Result<FitReport> {
         let start = Instant::now();
+        let _fit_span = ip_obs::span("nn.fit");
         let cfg = self.config.clone();
         let needed = cfg.window + cfg.horizon + 1;
         if train.len() < needed {
@@ -331,15 +332,29 @@ impl<N: Net> Forecaster for DeepModel<N> {
                 }
                 self.graph.set_threads(train_kernel_threads);
 
-                let mut workers: Vec<(&mut Graph, &mut N)> = Vec::with_capacity(1 + extras.len());
-                workers.push((&mut self.graph, &mut self.net));
-                for (g, n) in extras.iter_mut() {
-                    workers.push((g, n));
+                // Workers carry their index so shard metrics can be
+                // attributed per worker (`worker="0"` is the primary).
+                let model_name = self.net.name();
+                let mut workers: Vec<(usize, &mut Graph, &mut N)> =
+                    Vec::with_capacity(1 + extras.len());
+                workers.push((0, &mut self.graph, &mut self.net));
+                for (wi, (g, n)) in extras.iter_mut().enumerate() {
+                    workers.push((wi + 1, g, n));
                 }
 
                 let (pairs_ref, nz_ref, ids_ref) = (&pairs, &nz, &param_ids);
+                let _shards_span = ip_obs::span("nn.step.shards");
                 let results: Vec<ShardResult> =
-                    ip_par::par_map_workers(&mut workers, &shards, |(g, n), (si, idx)| {
+                    ip_par::par_map_workers(&mut workers, &shards, |(wid, g, n), (si, idx)| {
+                        let _shard_span = ip_obs::span("nn.shard");
+                        let obs_on = ip_obs::enabled();
+                        let tally0 = ip_nn::gemm::gemm_tally();
+                        let mut timer = StepTimer::start();
+                        let wid_label = if obs_on {
+                            format!("{wid}")
+                        } else {
+                            String::new()
+                        };
                         g.reseed(shard_seed(cfg.seed, step_no, *si));
                         g.reset();
                         let (x, y) = shard_tensors(pairs_ref, idx, nz_ref, cfg.window, cfg.horizon);
@@ -348,7 +363,29 @@ impl<N: Net> Forecaster for DeepModel<N> {
                         let pred = n.forward(g, xb, idx.len(), true);
                         let loss = asymmetric(g, pred, yb, cfg.alpha_prime);
                         let loss_v = f64::from(g.value(loss).item().expect("scalar loss"));
+                        timer.lap(
+                            "ip_nn_forward_seconds",
+                            &[("model", model_name), ("worker", &wid_label)],
+                        );
                         g.backward(loss);
+                        timer.lap(
+                            "ip_nn_backward_seconds",
+                            &[("model", model_name), ("worker", &wid_label)],
+                        );
+                        if obs_on {
+                            let tally = ip_nn::gemm::gemm_tally();
+                            let labels = [("model", model_name), ("worker", wid_label.as_str())];
+                            ip_obs::counter_add(
+                                "ip_nn_gemm_calls_total",
+                                &labels,
+                                (tally.calls - tally0.calls) as f64,
+                            );
+                            ip_obs::counter_add(
+                                "ip_nn_gemm_flops_total",
+                                &labels,
+                                (tally.flops - tally0.flops) as f64,
+                            );
+                        }
                         ShardResult {
                             len: idx.len(),
                             loss: loss_v,
@@ -357,8 +394,11 @@ impl<N: Net> Forecaster for DeepModel<N> {
                         }
                     });
                 drop(workers);
+                drop(_shards_span);
 
                 // Ordered reduction: Σ (mᵢ/M)·gᵢ on the primary, shard order.
+                let _reduce_span = ip_obs::span("nn.step.reduce");
+                let mut reduce_timer = StepTimer::start();
                 self.graph.clear_grads();
                 let mut batch_loss = 0.0f64;
                 for r in &results {
@@ -378,6 +418,8 @@ impl<N: Net> Forecaster for DeepModel<N> {
                 for r in &results {
                     self.net.fold_batch_stats(&r.stats);
                 }
+                reduce_timer.lap("ip_nn_reduce_seconds", &[("model", model_name)]);
+                drop(_reduce_span);
 
                 epoch_loss += batch_loss;
                 batches += 1;

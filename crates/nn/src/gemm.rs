@@ -18,6 +18,8 @@
 //! without the zero-skip) as the benchmarking baseline and as an oracle for
 //! the tests.
 
+use std::cell::Cell;
+
 /// Column-tile width: four-accumulator inner blocks walk at most this many
 /// output columns before moving to the next row, keeping the active `bt`
 /// rows in cache.
@@ -25,6 +27,39 @@ const COL_BLOCK: usize = 64;
 
 /// Output rows per parallel task chunk.
 const ROW_BLOCK: usize = 64;
+
+/// Per-thread GEMM work counters (see [`gemm_tally`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct GemmTally {
+    /// Number of GEMM kernel invocations on this thread.
+    pub calls: u64,
+    /// Floating-point operations issued (`2·m·k·n` per call).
+    pub flops: u64,
+}
+
+thread_local! {
+    static TALLY: Cell<GemmTally> = const { Cell::new(GemmTally { calls: 0, flops: 0 }) };
+}
+
+/// The calling thread's cumulative GEMM tally. Only advances while
+/// observability is enabled (`IP_OBS`); trainers read it before and after a
+/// shard to attribute kernel work to that shard's worker.
+pub fn gemm_tally() -> GemmTally {
+    TALLY.with(Cell::get)
+}
+
+#[inline]
+fn tally_add(m: usize, k: usize, n: usize) {
+    if ip_obs::enabled() {
+        TALLY.with(|t| {
+            let cur = t.get();
+            t.set(GemmTally {
+                calls: cur.calls + 1,
+                flops: cur.flops + 2 * (m * k * n) as u64,
+            });
+        });
+    }
+}
 
 /// Transposes `src` viewed as `[rows, cols]` into `dst` as `[cols, rows]`.
 pub fn transpose_into(src: &[f32], rows: usize, cols: usize, dst: &mut [f32]) {
@@ -52,6 +87,7 @@ pub fn gemm_nt_with(
     debug_assert_eq!(a.len(), m * k, "gemm_nt: A length");
     debug_assert_eq!(bt.len(), n * k, "gemm_nt: Bt length");
     debug_assert_eq!(out.len(), m * n, "gemm_nt: C length");
+    tally_add(m, k, n);
     if m == 0 || n == 0 {
         return;
     }

@@ -1,7 +1,42 @@
-//! Training-loop helpers: mini-batching and early stopping.
+//! Training-loop helpers: mini-batching, early stopping, and step-phase
+//! timing.
 
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
+use std::time::Instant;
+
+/// Phase stopwatch recording wall-clock laps into `ip-obs` histograms
+/// (forward/backward/reduce phases of a training step). Reads no clock at
+/// all while observability is disabled, so instrumented loops stay free.
+#[derive(Debug)]
+pub struct StepTimer {
+    last: Option<Instant>,
+}
+
+impl StepTimer {
+    /// Starts the clock (a no-op stub when observability is off).
+    pub fn start() -> Self {
+        Self {
+            last: ip_obs::enabled().then(Instant::now),
+        }
+    }
+
+    /// Records the time since construction or the previous lap into the
+    /// named histogram, restarts the clock, and returns the elapsed seconds
+    /// (0.0 when disabled).
+    pub fn lap(&mut self, histogram: &str, labels: &[(&str, &str)]) -> f64 {
+        match self.last.take() {
+            None => 0.0,
+            Some(t0) => {
+                let now = Instant::now();
+                let secs = now.duration_since(t0).as_secs_f64();
+                ip_obs::observe(histogram, labels, secs);
+                self.last = Some(now);
+                secs
+            }
+        }
+    }
+}
 
 /// Yields index batches over a dataset, reshuffled each epoch.
 ///

@@ -1,0 +1,388 @@
+//! Exporters: Prometheus text exposition format (plus the small parser the
+//! round-trip tests and CI smoke use) and JSONL trace streams.
+
+use crate::metrics::{MetricValue, Registry};
+use crate::trace::Trace;
+use std::fmt::Write as _;
+
+// ---------------------------------------------------------------------------
+// Prometheus text exposition
+// ---------------------------------------------------------------------------
+
+/// Renders every series of `registry` in the Prometheus text exposition
+/// format (v0.0.4): `# TYPE` headers, label sets, histograms expanded into
+/// cumulative `_bucket{le=…}` samples plus `_sum` and `_count`.
+pub fn render_prometheus(registry: &Registry) -> String {
+    let mut out = String::new();
+    let mut last_family = String::new();
+    for (key, value) in registry.snapshot() {
+        if key.name != last_family {
+            let kind = match &value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram(_) => "histogram",
+            };
+            let _ = writeln!(out, "# TYPE {} {kind}", key.name);
+            last_family = key.name.clone();
+        }
+        match value {
+            MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                let _ = writeln!(
+                    out,
+                    "{}{} {}",
+                    key.name,
+                    format_labels(&key.labels, None),
+                    format_value(v)
+                );
+            }
+            MetricValue::Histogram(h) => {
+                let cumulative = h.cumulative();
+                for (i, &cum) in cumulative.iter().enumerate() {
+                    let le = h
+                        .bounds
+                        .get(i)
+                        .map(|b| format_value(*b))
+                        .unwrap_or_else(|| "+Inf".to_string());
+                    let _ = writeln!(
+                        out,
+                        "{}_bucket{} {cum}",
+                        key.name,
+                        format_labels(&key.labels, Some(&le))
+                    );
+                }
+                let _ = writeln!(
+                    out,
+                    "{}_sum{} {}",
+                    key.name,
+                    format_labels(&key.labels, None),
+                    format_value(h.sum)
+                );
+                let _ = writeln!(
+                    out,
+                    "{}_count{} {}",
+                    key.name,
+                    format_labels(&key.labels, None),
+                    h.count
+                );
+            }
+        }
+    }
+    out
+}
+
+fn format_value(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "+Inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+fn format_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    if let Some(le) = le {
+        if !first {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+    out
+}
+
+fn escape_label(v: &str) -> String {
+    v.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// One sample parsed back out of the text format.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedSample {
+    /// Sample name as written (histograms appear as `*_bucket`, `*_sum`,
+    /// `*_count`).
+    pub name: String,
+    /// Label pairs in written order (`le` included).
+    pub labels: Vec<(String, String)>,
+    /// Sample value.
+    pub value: f64,
+}
+
+/// Parses the Prometheus text format produced by [`render_prometheus`]
+/// (and by real exporters): `# TYPE`/`# HELP` comments are skipped, every
+/// sample line must be `name[{labels}] value`.
+pub fn parse_prometheus(text: &str) -> Result<Vec<ParsedSample>, String> {
+    let mut samples = Vec::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let err = |msg: &str| format!("line {}: {msg}: {raw:?}", lineno + 1);
+        let (name_and_labels, value_text) = line
+            .rsplit_once(|c: char| c.is_whitespace())
+            .ok_or_else(|| err("expected `name value`"))?;
+        let value = match value_text {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            "NaN" => f64::NAN,
+            other => other.parse::<f64>().map_err(|_| err("unparseable value"))?,
+        };
+        let name_and_labels = name_and_labels.trim();
+        let (name, labels) = match name_and_labels.split_once('{') {
+            None => (name_and_labels.to_string(), Vec::new()),
+            Some((name, rest)) => {
+                let body = rest
+                    .strip_suffix('}')
+                    .ok_or_else(|| err("unterminated label set"))?;
+                (name.to_string(), parse_labels(body).map_err(|m| err(&m))?)
+            }
+        };
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_alphanumeric() || c == '_' || c == ':')
+        {
+            return Err(err("bad metric name"));
+        }
+        samples.push(ParsedSample {
+            name,
+            labels,
+            value,
+        });
+    }
+    Ok(samples)
+}
+
+fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = body.trim();
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or("label without `=`")?;
+        let key = rest[..eq].trim().to_string();
+        rest = rest[eq + 1..].trim_start();
+        let mut chars = rest.char_indices();
+        if chars.next().map(|(_, c)| c) != Some('"') {
+            return Err("label value not quoted".into());
+        }
+        let mut value = String::new();
+        let mut end = None;
+        let mut escaped = false;
+        for (i, c) in chars {
+            if escaped {
+                value.push(match c {
+                    'n' => '\n',
+                    other => other,
+                });
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                end = Some(i);
+                break;
+            } else {
+                value.push(c);
+            }
+        }
+        let end = end.ok_or("unterminated label value")?;
+        labels.push((key, value));
+        rest = rest[end + 1..].trim_start();
+        rest = rest.strip_prefix(',').unwrap_or(rest).trim_start();
+    }
+    Ok(labels)
+}
+
+// ---------------------------------------------------------------------------
+// JSONL traces
+// ---------------------------------------------------------------------------
+
+/// Renders a trace as JSONL: one JSON object per line, spans first (close
+/// order), then events (emission order), then a final `summary` line.
+///
+/// Span lines: `{"type":"span","id":…,"parent":…|null,"name":…,
+/// "thread":…,"start_us":…,"dur_us":…}`. Event lines: `{"type":"event",
+/// "name":…,"t":…,"fields":{…}}` with `t` in logical (simulator) seconds.
+pub fn trace_to_jsonl(trace: &Trace) -> String {
+    let mut out = String::new();
+    for s in &trace.spans {
+        let _ = write!(out, "{{\"type\":\"span\",\"id\":{},\"parent\":", s.id);
+        match s.parent {
+            Some(p) => {
+                let _ = write!(out, "{p}");
+            }
+            None => out.push_str("null"),
+        }
+        let _ = writeln!(
+            out,
+            ",\"name\":{},\"thread\":{},\"start_us\":{},\"dur_us\":{}}}",
+            json_string(&s.name),
+            json_string(&s.thread),
+            s.start_ns / 1_000,
+            s.dur_ns / 1_000
+        );
+    }
+    for e in &trace.events {
+        let _ = write!(
+            out,
+            "{{\"type\":\"event\",\"name\":{},\"t\":{},\"fields\":{{",
+            json_string(&e.name),
+            e.t
+        );
+        for (i, (k, v)) in e.fields.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", json_string(k), json_number(*v));
+        }
+        out.push_str("}}\n");
+    }
+    let _ = writeln!(
+        out,
+        "{{\"type\":\"summary\",\"spans\":{},\"events\":{},\"dropped\":{}}}",
+        trace.spans.len(),
+        trace.events.len(),
+        trace.dropped
+    );
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// JSON has no NaN/Inf; emit them as null (matching serde_json) and keep a
+/// fraction marker on integral floats so typed parsers see a float.
+fn json_number(v: f64) -> String {
+    if !v.is_finite() {
+        "null".to_string()
+    } else if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{v:.1}")
+    } else {
+        format!("{v}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{EventRecord, SpanRecord};
+
+    fn sample_registry() -> Registry {
+        let reg = Registry::new();
+        reg.counter_add("pool_hits_total", &[("pool", "east")], 12.0);
+        reg.counter_add("pool_hits_total", &[("pool", "west")], 3.0);
+        reg.gauge_set("pool_size", &[], 8.0);
+        reg.observe_with("wait_seconds", &[], &[1.0, 30.0], 0.0);
+        reg.observe_with("wait_seconds", &[], &[1.0, 30.0], 17.0);
+        reg.observe_with("wait_seconds", &[], &[1.0, 30.0], 95.0);
+        reg
+    }
+
+    #[test]
+    fn render_produces_expected_lines() {
+        let text = render_prometheus(&sample_registry());
+        assert!(text.contains("# TYPE pool_hits_total counter"));
+        assert!(text.contains("pool_hits_total{pool=\"east\"} 12"));
+        assert!(text.contains("# TYPE pool_size gauge"));
+        assert!(text.contains("pool_size 8"));
+        assert!(text.contains("wait_seconds_bucket{le=\"1\"} 1"));
+        assert!(text.contains("wait_seconds_bucket{le=\"30\"} 2"));
+        assert!(text.contains("wait_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("wait_seconds_sum 112"));
+        assert!(text.contains("wait_seconds_count 3"));
+    }
+
+    #[test]
+    fn rendered_text_parses_back() {
+        let text = render_prometheus(&sample_registry());
+        let samples = parse_prometheus(&text).unwrap();
+        // 2 counters + 1 gauge + (3 buckets + sum + count) = 8 samples.
+        assert_eq!(samples.len(), 8);
+        let east = samples
+            .iter()
+            .find(|s| s.name == "pool_hits_total" && s.labels == [("pool".into(), "east".into())])
+            .unwrap();
+        assert_eq!(east.value, 12.0);
+        let inf_bucket = samples
+            .iter()
+            .find(|s| s.name == "wait_seconds_bucket" && s.labels[0].1 == "+Inf")
+            .unwrap();
+        assert_eq!(inf_bucket.value, 3.0);
+    }
+
+    #[test]
+    fn label_escaping_round_trips() {
+        let reg = Registry::new();
+        reg.counter_add("c_total", &[("path", "a\"b\\c\nd")], 1.0);
+        let text = render_prometheus(&reg);
+        let samples = parse_prometheus(&text).unwrap();
+        assert_eq!(samples[0].labels[0].1, "a\"b\\c\nd");
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(parse_prometheus("no_value\n").is_err());
+        assert!(parse_prometheus("name{unclosed=\"x\" 1\n").is_err());
+        assert!(parse_prometheus("bad name 1\n").is_err());
+        assert!(parse_prometheus("name abc\n").is_err());
+    }
+
+    #[test]
+    fn jsonl_escapes_and_structures() {
+        let trace = Trace {
+            spans: vec![SpanRecord {
+                id: 1,
+                parent: None,
+                name: "a\"b".into(),
+                thread: "main".into(),
+                start_ns: 1_500,
+                dur_ns: 2_000,
+            }],
+            events: vec![EventRecord {
+                name: "tick".into(),
+                t: 30,
+                fields: vec![("hits".into(), 2.0), ("rate".into(), f64::NAN)],
+            }],
+            dropped: 0,
+        };
+        let jsonl = trace_to_jsonl(&trace);
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("\"name\":\"a\\\"b\""));
+        assert!(lines[0].contains("\"start_us\":1"));
+        assert!(lines[1].contains("\"hits\":2.0"));
+        assert!(lines[1].contains("\"rate\":null"));
+        assert!(lines[2].contains("\"spans\":1"));
+    }
+}

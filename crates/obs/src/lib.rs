@@ -1,0 +1,221 @@
+#![warn(missing_docs)]
+//! Workspace-wide observability: metrics, traces, and exporters (§7.5).
+//!
+//! The paper's production system "tracks the Intelligent Pooling status …
+//! in real-time" on dashboards backed by a telemetry store; this crate is
+//! the reproduction's measurement substrate. It is deliberately std-only
+//! (the build environment is offline) and splits into three layers:
+//!
+//! * [`metrics`] — a thread-safe registry of counters, gauges, and
+//!   fixed-bucket mergeable histograms, all with label support.
+//! * [`trace`] — hierarchical wall-clock spans (guard objects recording
+//!   durations into a parent/child tree, one stack per thread) plus a
+//!   logical-clock event log for simulator time, so simulation traces stay
+//!   deterministic under any host load.
+//! * [`export`] — the Prometheus text exposition format (with an in-repo
+//!   parser used by the round-trip tests and CI smoke), and JSONL event
+//!   streams for spans and events.
+//!
+//! # Gating
+//!
+//! Everything is off by default. The `IP_OBS` environment variable (read
+//! once, overridable with [`set_enabled`]) turns recording on; when off,
+//! every entry point is a single relaxed atomic load followed by an early
+//! return, so instrumented hot paths cost nothing measurable. The
+//! workspace's inertness tests assert bit-identical simulation reports and
+//! trained network parameters with observability on and off — recording
+//! never touches RNG streams or numeric state.
+//!
+//! ```
+//! ip_obs::set_enabled(true);
+//! {
+//!     let _outer = ip_obs::span("optimizer");
+//!     let _inner = ip_obs::span("dp_solve");
+//!     ip_obs::counter_inc("solves_total", &[("kind", "dp")]);
+//!     ip_obs::observe("solve_seconds", &[], 0.004);
+//! }
+//! let prom = ip_obs::export::render_prometheus(ip_obs::global());
+//! assert!(prom.contains("solves_total{kind=\"dp\"} 1"));
+//! let trace = ip_obs::take_trace();
+//! assert_eq!(trace.spans.len(), 2);
+//! ip_obs::set_enabled(false);
+//! ```
+
+pub mod export;
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Histogram, MetricValue, Registry, SeriesKey, DEFAULT_BUCKETS};
+pub use trace::{EventRecord, SpanGuard, SpanRecord, Trace};
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+
+/// 0 = uninitialised, 1 = off, 2 = on.
+static STATE: AtomicU8 = AtomicU8::new(0);
+
+/// Whether observability is recording. First call reads `IP_OBS` (`1` or
+/// `true` enables); afterwards it is one relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    match STATE.load(Ordering::Relaxed) {
+        2 => true,
+        1 => false,
+        _ => init_from_env(),
+    }
+}
+
+#[cold]
+fn init_from_env() -> bool {
+    let on = std::env::var("IP_OBS")
+        .map(|v| matches!(v.trim(), "1" | "true" | "on"))
+        .unwrap_or(false);
+    STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+    on
+}
+
+/// Overrides the `IP_OBS` gate (used by the CLI's `--metrics-out` /
+/// `--trace-out` flags and by tests).
+pub fn set_enabled(on: bool) {
+    STATE.store(if on { 2 } else { 1 }, Ordering::Relaxed);
+}
+
+/// The process-wide metric registry.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// Adds `v` to a counter in the global registry (no-op when disabled).
+#[inline]
+pub fn counter_add(name: &str, labels: &[(&str, &str)], v: f64) {
+    if enabled() {
+        global().counter_add(name, labels, v);
+    }
+}
+
+/// Increments a counter by one (no-op when disabled).
+#[inline]
+pub fn counter_inc(name: &str, labels: &[(&str, &str)]) {
+    counter_add(name, labels, 1.0);
+}
+
+/// Sets a gauge in the global registry (no-op when disabled).
+#[inline]
+pub fn gauge_set(name: &str, labels: &[(&str, &str)], v: f64) {
+    if enabled() {
+        global().gauge_set(name, labels, v);
+    }
+}
+
+/// Records `v` into a histogram with [`DEFAULT_BUCKETS`] (no-op when
+/// disabled).
+#[inline]
+pub fn observe(name: &str, labels: &[(&str, &str)], v: f64) {
+    if enabled() {
+        global().observe_with(name, labels, &DEFAULT_BUCKETS, v);
+    }
+}
+
+/// Records `v` into a histogram with explicit bucket bounds (no-op when
+/// disabled).
+#[inline]
+pub fn observe_with(name: &str, labels: &[(&str, &str)], bounds: &[f64], v: f64) {
+    if enabled() {
+        global().observe_with(name, labels, bounds, v);
+    }
+}
+
+/// Creates an empty histogram series if absent (no-op when disabled).
+#[inline]
+pub fn declare_histogram(name: &str, labels: &[(&str, &str)], bounds: &[f64]) {
+    if enabled() {
+        global().declare_histogram(name, labels, bounds);
+    }
+}
+
+/// Opens a wall-clock span; the returned guard records the duration (and
+/// its position in the per-thread span tree) when dropped. Inert when
+/// disabled.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    if enabled() {
+        trace::begin_span(name)
+    } else {
+        SpanGuard::inert()
+    }
+}
+
+/// Appends a logical-clock event (simulator time `t`, numeric fields) to
+/// the trace. No-op when disabled.
+#[inline]
+pub fn event(name: &str, t: u64, fields: &[(&str, f64)]) {
+    if enabled() {
+        trace::record_event(name, t, fields);
+    }
+}
+
+/// Drains the accumulated trace (spans + events), leaving the sink empty.
+pub fn take_trace() -> Trace {
+    trace::take()
+}
+
+/// Clears the global registry and trace sink (tests, repeated CLI runs).
+pub fn reset() {
+    global().clear();
+    let _ = trace::take();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    /// Tests toggling the global gate must not interleave.
+    pub(crate) static GATE: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn disabled_paths_record_nothing() {
+        let _g = GATE.lock().unwrap();
+        set_enabled(false);
+        reset();
+        counter_inc("c_total", &[]);
+        gauge_set("g", &[], 1.0);
+        observe("h_seconds", &[], 0.5);
+        event("e", 30, &[("x", 1.0)]);
+        {
+            let _s = span("s");
+        }
+        assert!(global().snapshot().is_empty());
+        let trace = take_trace();
+        assert!(trace.spans.is_empty() && trace.events.is_empty());
+    }
+
+    #[test]
+    fn enabled_paths_record_everything() {
+        let _g = GATE.lock().unwrap();
+        set_enabled(true);
+        reset();
+        counter_inc("c_total", &[("k", "v")]);
+        counter_add("c_total", &[("k", "v")], 2.0);
+        gauge_set("g", &[], 7.5);
+        observe("h_seconds", &[], 0.003);
+        event("tick", 60, &[("hits", 2.0)]);
+        {
+            let _outer = span("outer");
+            let _inner = span("inner");
+        }
+        let snap = global().snapshot();
+        assert_eq!(snap.len(), 3);
+        let trace = take_trace();
+        assert_eq!(trace.spans.len(), 2);
+        assert_eq!(trace.events.len(), 1);
+        // Inner closed first and points at outer.
+        let inner = trace.spans.iter().find(|s| s.name == "inner").unwrap();
+        let outer = trace.spans.iter().find(|s| s.name == "outer").unwrap();
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(outer.parent, None);
+        set_enabled(false);
+        reset();
+    }
+}

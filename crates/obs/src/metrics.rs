@@ -1,0 +1,298 @@
+//! The metric registry: counters, gauges, and fixed-bucket mergeable
+//! histograms, all addressed by `(name, sorted labels)`.
+//!
+//! The registry is a `Mutex<BTreeMap>` — metric updates are stage-level
+//! (per interval, per training step, per solve), not per-element, so a
+//! straightforward lock beats sharded atomics on simplicity and is nowhere
+//! near contention at the workspace's update rates. The `BTreeMap` keeps
+//! every snapshot and export deterministically ordered.
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Default histogram bucket upper bounds (seconds-flavoured, log-spaced).
+pub const DEFAULT_BUCKETS: [f64; 11] = [
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 50.0, 100.0,
+];
+
+/// A metric series identity: name plus sorted label pairs.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SeriesKey {
+    /// Metric family name (Prometheus conventions: `*_total` for counters,
+    /// `*_seconds` for timing histograms).
+    pub name: String,
+    /// Label pairs, sorted by key.
+    pub labels: Vec<(String, String)>,
+}
+
+impl SeriesKey {
+    /// Builds a key, sorting the labels.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> Self {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        Self {
+            name: name.to_string(),
+            labels,
+        }
+    }
+}
+
+/// A fixed-bucket histogram. `counts[i]` counts observations `<= bounds[i]`
+/// exclusively of earlier buckets; the final slot counts the `+Inf`
+/// overflow. Two histograms with identical bounds merge by adding counts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Histogram {
+    /// Ascending bucket upper bounds (`+Inf` is implicit).
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; `len == bounds.len() + 1`.
+    pub counts: Vec<u64>,
+    /// Sum of all observations.
+    pub sum: f64,
+    /// Total number of observations.
+    pub count: u64,
+}
+
+impl Histogram {
+    /// An empty histogram over the given bounds.
+    pub fn new(bounds: &[f64]) -> Self {
+        Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            sum: 0.0,
+            count: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&mut self, v: f64) {
+        let slot = self
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(self.bounds.len());
+        self.counts[slot] += 1;
+        self.sum += v;
+        self.count += 1;
+    }
+
+    /// Merges another histogram's observations into this one. Returns
+    /// `Err` when the bucket bounds differ.
+    pub fn merge(&mut self, other: &Histogram) -> Result<(), String> {
+        if self.bounds != other.bounds {
+            return Err(format!(
+                "histogram bounds mismatch: {:?} vs {:?}",
+                self.bounds, other.bounds
+            ));
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.count += other.count;
+        Ok(())
+    }
+
+    /// Cumulative count at or below `bounds[i]` (Prometheus `_bucket` a la
+    /// `le`).
+    pub fn cumulative(&self) -> Vec<u64> {
+        let mut acc = 0u64;
+        self.counts
+            .iter()
+            .map(|&c| {
+                acc += c;
+                acc
+            })
+            .collect()
+    }
+}
+
+/// One metric's current value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotone accumulator (`f64` so fractional quantities like
+    /// cluster-seconds can accumulate).
+    Counter(f64),
+    /// Last-write-wins instantaneous value.
+    Gauge(f64),
+    /// Fixed-bucket histogram.
+    Histogram(Histogram),
+}
+
+/// Thread-safe metric store.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<BTreeMap<SeriesKey, MetricValue>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `v` to the named counter, creating it at zero first.
+    pub fn counter_add(&self, name: &str, labels: &[(&str, &str)], v: f64) {
+        let key = SeriesKey::new(name, labels);
+        let mut map = self.inner.lock().expect("obs registry poisoned");
+        match map.entry(key).or_insert(MetricValue::Counter(0.0)) {
+            MetricValue::Counter(c) => *c += v,
+            other => debug_assert!(false, "{name}: counter_add on {other:?}"),
+        }
+    }
+
+    /// Sets the named gauge.
+    pub fn gauge_set(&self, name: &str, labels: &[(&str, &str)], v: f64) {
+        let key = SeriesKey::new(name, labels);
+        let mut map = self.inner.lock().expect("obs registry poisoned");
+        match map.entry(key).or_insert(MetricValue::Gauge(v)) {
+            MetricValue::Gauge(g) => *g = v,
+            other => debug_assert!(false, "{name}: gauge_set on {other:?}"),
+        }
+    }
+
+    /// Records `v` into the named histogram, created with `bounds` on first
+    /// use (later calls keep the original bounds).
+    pub fn observe_with(&self, name: &str, labels: &[(&str, &str)], bounds: &[f64], v: f64) {
+        let key = SeriesKey::new(name, labels);
+        let mut map = self.inner.lock().expect("obs registry poisoned");
+        match map
+            .entry(key)
+            .or_insert_with(|| MetricValue::Histogram(Histogram::new(bounds)))
+        {
+            MetricValue::Histogram(h) => h.observe(v),
+            other => debug_assert!(false, "{name}: observe on {other:?}"),
+        }
+    }
+
+    /// Creates an empty histogram series if absent (so exporters expose
+    /// the family even before the first observation).
+    pub fn declare_histogram(&self, name: &str, labels: &[(&str, &str)], bounds: &[f64]) {
+        let key = SeriesKey::new(name, labels);
+        let mut map = self.inner.lock().expect("obs registry poisoned");
+        map.entry(key)
+            .or_insert_with(|| MetricValue::Histogram(Histogram::new(bounds)));
+    }
+
+    /// A deterministic (key-ordered) copy of every series.
+    pub fn snapshot(&self) -> Vec<(SeriesKey, MetricValue)> {
+        self.inner
+            .lock()
+            .expect("obs registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
+    }
+
+    /// Merges a snapshot (e.g. from another registry or process) into this
+    /// one: counters add, gauges overwrite, histograms merge bucket-wise.
+    /// Series with mismatched types or bounds are skipped and counted in
+    /// the returned value.
+    pub fn merge_from(&self, snapshot: &[(SeriesKey, MetricValue)]) -> usize {
+        let mut skipped = 0usize;
+        let mut map = self.inner.lock().expect("obs registry poisoned");
+        for (key, value) in snapshot {
+            match map.get_mut(key) {
+                None => {
+                    map.insert(key.clone(), value.clone());
+                }
+                Some(existing) => match (existing, value) {
+                    (MetricValue::Counter(a), MetricValue::Counter(b)) => *a += b,
+                    (MetricValue::Gauge(a), MetricValue::Gauge(b)) => *a = *b,
+                    (MetricValue::Histogram(a), MetricValue::Histogram(b)) => {
+                        if a.merge(b).is_err() {
+                            skipped += 1;
+                        }
+                    }
+                    _ => skipped += 1,
+                },
+            }
+        }
+        skipped
+    }
+
+    /// Removes every series.
+    pub fn clear(&self) {
+        self.inner.lock().expect("obs registry poisoned").clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_per_label_set() {
+        let reg = Registry::new();
+        reg.counter_add("hits_total", &[("pool", "a")], 1.0);
+        reg.counter_add("hits_total", &[("pool", "a")], 2.0);
+        reg.counter_add("hits_total", &[("pool", "b")], 5.0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].1, MetricValue::Counter(3.0));
+        assert_eq!(snap[1].1, MetricValue::Counter(5.0));
+    }
+
+    #[test]
+    fn label_order_is_canonical() {
+        let reg = Registry::new();
+        reg.counter_add("c_total", &[("b", "2"), ("a", "1")], 1.0);
+        reg.counter_add("c_total", &[("a", "1"), ("b", "2")], 1.0);
+        assert_eq!(reg.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn gauge_last_write_wins() {
+        let reg = Registry::new();
+        reg.gauge_set("g", &[], 1.0);
+        reg.gauge_set("g", &[], -2.5);
+        assert_eq!(reg.snapshot()[0].1, MetricValue::Gauge(-2.5));
+    }
+
+    #[test]
+    fn histogram_buckets_and_overflow() {
+        let mut h = Histogram::new(&[1.0, 5.0]);
+        for v in [0.5, 1.0, 3.0, 100.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.counts, vec![2, 1, 1]); // <=1, <=5, +Inf
+        assert_eq!(h.cumulative(), vec![2, 3, 4]);
+        assert_eq!(h.count, 4);
+        assert!((h.sum - 104.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histograms_merge_bucketwise() {
+        let mut a = Histogram::new(&[1.0, 5.0]);
+        a.observe(0.5);
+        let mut b = Histogram::new(&[1.0, 5.0]);
+        b.observe(2.0);
+        b.observe(9.0);
+        a.merge(&b).unwrap();
+        assert_eq!(a.counts, vec![1, 1, 1]);
+        assert_eq!(a.count, 3);
+        let bad = Histogram::new(&[2.0]);
+        assert!(a.merge(&bad).is_err());
+    }
+
+    #[test]
+    fn merge_from_combines_registries() {
+        let a = Registry::new();
+        a.counter_add("c_total", &[], 1.0);
+        a.observe_with("h", &[], &[1.0], 0.5);
+        let b = Registry::new();
+        b.counter_add("c_total", &[], 2.0);
+        b.observe_with("h", &[], &[1.0], 3.0);
+        b.gauge_set("g", &[], 4.0);
+        assert_eq!(a.merge_from(&b.snapshot()), 0);
+        let snap = a.snapshot();
+        assert_eq!(snap[0].1, MetricValue::Counter(3.0));
+        assert_eq!(snap[1].1, MetricValue::Gauge(4.0));
+        match &snap[2].1 {
+            MetricValue::Histogram(h) => assert_eq!(h.count, 2),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Hierarchical wall-clock spans and logical-clock events.
+//!
+//! Each thread keeps its own stack of open spans, so nesting is correct
+//! under `ip-par`'s scoped threads without any cross-thread coordination;
+//! closed spans are appended to one process-wide sink. Span timestamps are
+//! wall-clock (nanoseconds since the first span of the process) and exist
+//! for profiling; *events* carry the simulator's logical clock instead, so
+//! a simulation trace is bit-identical run to run regardless of host load.
+//!
+//! The sink caps itself at [`MAX_RECORDS`] spans + events; past that,
+//! records are dropped and counted (`Trace::dropped`), so a pathological
+//! span in a tight loop degrades the trace instead of exhausting memory.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Upper bound on retained spans + events.
+pub const MAX_RECORDS: usize = 200_000;
+
+/// One closed span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanRecord {
+    /// Unique id (process-wide, allocation order).
+    pub id: u64,
+    /// Enclosing span on the same thread, if any.
+    pub parent: Option<u64>,
+    /// Span name (dotted taxonomy, e.g. `sim.ip_run`).
+    pub name: String,
+    /// OS thread the span ran on (name if set, else an index).
+    pub thread: String,
+    /// Start, nanoseconds since the trace epoch.
+    pub start_ns: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+}
+
+/// One logical-clock event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventRecord {
+    /// Event name (e.g. `sim.interval`).
+    pub name: String,
+    /// Logical time (simulator seconds) — deterministic.
+    pub t: u64,
+    /// Numeric payload fields, in emission order.
+    pub fields: Vec<(String, f64)>,
+}
+
+/// A drained trace.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Trace {
+    /// Closed spans, in close order.
+    pub spans: Vec<SpanRecord>,
+    /// Events, in emission order.
+    pub events: Vec<EventRecord>,
+    /// Records discarded after [`MAX_RECORDS`] was reached.
+    pub dropped: u64,
+}
+
+impl Trace {
+    /// Direct children of `parent` (or roots for `None`), in close order.
+    pub fn children_of(&self, parent: Option<u64>) -> Vec<&SpanRecord> {
+        self.spans.iter().filter(|s| s.parent == parent).collect()
+    }
+
+    /// Renders the trace as JSONL (see [`crate::export::trace_to_jsonl`]).
+    pub fn to_jsonl(&self) -> String {
+        crate::export::trace_to_jsonl(self)
+    }
+}
+
+#[derive(Default)]
+struct Sink {
+    epoch: Option<Instant>,
+    spans: Vec<SpanRecord>,
+    events: Vec<EventRecord>,
+    dropped: u64,
+}
+
+static SINK: Mutex<Sink> = Mutex::new(Sink {
+    epoch: None,
+    spans: Vec::new(),
+    events: Vec::new(),
+    dropped: 0,
+});
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+}
+
+fn epoch() -> Instant {
+    let mut sink = SINK.lock().expect("obs trace sink poisoned");
+    *sink.epoch.get_or_insert_with(Instant::now)
+}
+
+fn thread_label() -> String {
+    std::thread::current()
+        .name()
+        .map(str::to_string)
+        .unwrap_or_else(|| format!("{:?}", std::thread::current().id()))
+}
+
+/// An open span; records itself into the sink when dropped.
+#[derive(Debug)]
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+#[derive(Debug)]
+struct ActiveSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    start: Instant,
+    start_ns: u64,
+}
+
+impl SpanGuard {
+    /// A guard that records nothing (the disabled path).
+    pub fn inert() -> Self {
+        Self { active: None }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(span) = self.active.take() else {
+            return;
+        };
+        let dur_ns = span.start.elapsed().as_nanos() as u64;
+        SPAN_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            debug_assert_eq!(stack.last(), Some(&span.id), "span drop out of order");
+            stack.pop();
+        });
+        let mut sink = SINK.lock().expect("obs trace sink poisoned");
+        if sink.spans.len() + sink.events.len() >= MAX_RECORDS {
+            sink.dropped += 1;
+            return;
+        }
+        sink.spans.push(SpanRecord {
+            id: span.id,
+            parent: span.parent,
+            name: span.name.to_string(),
+            thread: thread_label(),
+            start_ns: span.start_ns,
+            dur_ns,
+        });
+    }
+}
+
+/// Opens a span on the current thread (callers go through
+/// [`crate::span`], which applies the enabled gate).
+pub(crate) fn begin_span(name: &'static str) -> SpanGuard {
+    let epoch = epoch();
+    let start = Instant::now();
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = SPAN_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let parent = stack.last().copied();
+        stack.push(id);
+        parent
+    });
+    SpanGuard {
+        active: Some(ActiveSpan {
+            id,
+            parent,
+            name,
+            start,
+            start_ns: start.duration_since(epoch).as_nanos() as u64,
+        }),
+    }
+}
+
+/// Appends an event (callers go through [`crate::event`]).
+pub(crate) fn record_event(name: &str, t: u64, fields: &[(&str, f64)]) {
+    let mut sink = SINK.lock().expect("obs trace sink poisoned");
+    if sink.spans.len() + sink.events.len() >= MAX_RECORDS {
+        sink.dropped += 1;
+        return;
+    }
+    sink.events.push(EventRecord {
+        name: name.to_string(),
+        t,
+        fields: fields.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+    });
+}
+
+/// Drains the sink.
+pub(crate) fn take() -> Trace {
+    let mut sink = SINK.lock().expect("obs trace sink poisoned");
+    let trace = Trace {
+        spans: std::mem::take(&mut sink.spans),
+        events: std::mem::take(&mut sink.events),
+        dropped: sink.dropped,
+    };
+    sink.dropped = 0;
+    trace
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nesting_is_per_thread() {
+        let _g = crate::tests::GATE.lock().unwrap();
+        crate::set_enabled(true);
+        let _ = take();
+        let t1 = std::thread::spawn(|| {
+            let _a = crate::span("worker_outer");
+            let _b = crate::span("worker_inner");
+        });
+        t1.join().unwrap();
+        {
+            let _c = crate::span("main_only");
+        }
+        let trace = take();
+        assert_eq!(trace.spans.len(), 3);
+        let inner = trace
+            .spans
+            .iter()
+            .find(|s| s.name == "worker_inner")
+            .unwrap();
+        let outer = trace
+            .spans
+            .iter()
+            .find(|s| s.name == "worker_outer")
+            .unwrap();
+        let main = trace.spans.iter().find(|s| s.name == "main_only").unwrap();
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(main.parent, None, "threads must not inherit spans");
+        assert_eq!(trace.children_of(Some(outer.id)).len(), 1);
+        crate::set_enabled(false);
+    }
+
+    #[test]
+    fn events_are_ordered_and_logical() {
+        let _g = crate::tests::GATE.lock().unwrap();
+        crate::set_enabled(true);
+        let _ = take();
+        crate::event("tick", 30, &[("hits", 1.0), ("misses", 0.0)]);
+        crate::event("tick", 60, &[("hits", 0.0)]);
+        let trace = take();
+        assert_eq!(trace.events.len(), 2);
+        assert_eq!(trace.events[0].t, 30);
+        assert_eq!(trace.events[1].t, 60);
+        assert_eq!(trace.events[0].fields[0], ("hits".to_string(), 1.0));
+        crate::set_enabled(false);
+    }
+}

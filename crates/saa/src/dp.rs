@@ -14,6 +14,7 @@ use ip_timeseries::TimeSeries;
 
 /// Solves the SAA problem exactly over integer pool sizes.
 pub fn optimize_dp(demand: &TimeSeries, config: &SaaConfig) -> Result<OptimizedSchedule> {
+    let _span = ip_obs::span("saa.optimize_dp");
     Ok(SweepCache::build(demand, config)?.solve(config.alpha_prime))
 }
 
@@ -53,6 +54,7 @@ impl SweepCache {
     /// Scans the demand trace once, accumulating the α-independent idle and
     /// wait sums per (stableness block, pool size).
     pub fn build(demand: &TimeSeries, config: &SaaConfig) -> Result<Self> {
+        let _span = ip_obs::span("saa.sweep_cache.build");
         config.validate()?;
         let t_len = demand.len();
         if t_len == 0 {

@@ -57,8 +57,10 @@ pub fn pareto_sweep_with_threads(
     base_config: &SaaConfig,
     alphas: &[f64],
 ) -> Result<Vec<ParetoPoint>> {
+    let _span = ip_obs::span("saa.pareto_sweep");
     let cache = SweepCache::build(plan_demand, base_config)?;
     let points = ip_par::par_map_with(threads, alphas, |&alpha| -> Result<ParetoPoint> {
+        let _span = ip_obs::span("saa.alpha_solve");
         let opt = cache.solve(alpha);
         let schedule = extend_schedule(&opt, eval_demand.len(), base_config);
         let m = evaluate_schedule(eval_demand, &schedule, base_config.tau_intervals)?;

@@ -106,6 +106,57 @@ impl Default for SimConfig {
     }
 }
 
+/// Per-interval telemetry record — the §7.5 dashboard stream.
+///
+/// One record is emitted per demand interval, in order. Per-interval
+/// fields (`requests`, `hits`, `misses`, …) cover exactly that interval's
+/// arrivals; `cum_*` fields are run-to-date totals *as of this record*,
+/// with the final record fixed up to the end-of-window totals, so folding
+/// the stream reproduces the aggregate [`SimReport`] exactly (the
+/// `DashboardStream` in `ip-core` asserts this equivalence in tests).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalStat {
+    /// Interval index (position in the demand trace).
+    pub index: usize,
+    /// Interval start time, seconds.
+    pub time_secs: u64,
+    /// Requests that arrived in this interval.
+    pub requests: u64,
+    /// Of which served instantly from the pool.
+    pub hits: u64,
+    /// Of which missed and went on-demand.
+    pub misses: u64,
+    /// Pool-size target applied for this interval.
+    pub applied_target: u32,
+    /// Whether the target fell back to the default (stale/missing
+    /// recommendation while an IP worker is configured).
+    pub fallback: bool,
+    /// Ready pooled clusters after this interval's arrivals + enforcement.
+    pub ready: usize,
+    /// Clusters provisioning after this interval's arrivals + enforcement.
+    pub provisioning: usize,
+    /// Run-to-date idle cluster·seconds.
+    pub cum_idle_cluster_seconds: f64,
+    /// Run-to-date provisioning cluster·seconds.
+    pub cum_provisioning_cluster_seconds: f64,
+    /// Run-to-date total wait seconds.
+    pub cum_wait_secs: f64,
+    /// Run-to-date clusters created.
+    pub cum_clusters_created: u64,
+    /// Run-to-date on-demand creations.
+    pub cum_on_demand_created: u64,
+    /// Run-to-date cancelled re-hydrations.
+    pub cum_cancelled_provisioning: u64,
+    /// Run-to-date expiries/failures of pooled clusters.
+    pub cum_expired: u64,
+    /// Run-to-date IP pipeline runs.
+    pub cum_ip_runs: u64,
+    /// Run-to-date IP pipeline failures.
+    pub cum_ip_failures: u64,
+    /// Run-to-date Arbitrator worker replacements.
+    pub cum_worker_replacements: u64,
+}
+
 /// Aggregate results of a simulation run.
 #[derive(Debug, Clone)]
 pub struct SimReport {
@@ -148,11 +199,21 @@ pub struct SimReport {
     pub worker_replacements: u64,
     /// The pool-size target actually applied at each interval.
     pub applied_target_timeline: Vec<u32>,
+    /// Per-interval telemetry stream (one record per demand interval, last
+    /// record carries the end-of-window totals).
+    pub interval_stats: Vec<IntervalStat>,
     /// Final telemetry store (hits/misses/requests metrics by time).
     pub telemetry: KustoLite,
     /// Final config store (recommendation file history).
     pub config_store: CosmosLite,
 }
+
+/// Wait-time histogram bucket bounds, seconds (hits observe 0; misses wait
+/// on the order of τ = 60–120 s).
+const WAIT_BUCKETS: [f64; 8] = [0.0, 30.0, 60.0, 90.0, 120.0, 180.0, 300.0, 600.0];
+
+/// Per-interval idle cluster·seconds bucket bounds.
+const IDLE_BUCKETS: [f64; 7] = [0.0, 10.0, 30.0, 100.0, 300.0, 1000.0, 3000.0];
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum Ev {
@@ -222,6 +283,31 @@ impl<'p> Simulation<'p> {
         let end_time = demand.len() as u64 * cfg.interval_secs;
         let mut rng = StdRng::seed_from_u64(cfg.seed);
 
+        // Observability: gate once per run; pre-register the §7.5 counter
+        // families so a quiet run still exposes them at zero.
+        let _run_span = ip_obs::span("sim.run");
+        let obs_on = ip_obs::enabled();
+        if obs_on {
+            for name in [
+                "ip_sim_requests_total",
+                "ip_sim_pool_hits_total",
+                "ip_sim_pool_misses_total",
+                "ip_sim_fallback_intervals_total",
+                "ip_sim_worker_replacements_total",
+                "ip_sim_clusters_created_total",
+                "ip_sim_on_demand_created_total",
+                "ip_sim_cancelled_provisioning_total",
+                "ip_sim_retired_for_downsize_total",
+                "ip_sim_expired_total",
+                "ip_sim_ip_runs_total",
+                "ip_sim_ip_failures_total",
+            ] {
+                ip_obs::counter_add(name, &[], 0.0);
+            }
+            ip_obs::declare_histogram("ip_sim_request_wait_seconds", &[], &WAIT_BUCKETS);
+            ip_obs::declare_histogram("ip_sim_interval_idle_cluster_seconds", &[], &IDLE_BUCKETS);
+        }
+
         // --- state ---
         let mut heap: BinaryHeap<Queued> = BinaryHeap::new();
         let mut seq = 0u64;
@@ -272,6 +358,7 @@ impl<'p> Simulation<'p> {
         let mut fallback_intervals = 0u64;
         let mut worker_replacements = 0u64;
         let mut applied_targets: Vec<u32> = Vec::with_capacity(demand.len());
+        let mut interval_stats: Vec<IntervalStat> = Vec::with_capacity(demand.len());
         let mut last_time = 0u64;
 
         // --- schedule static events ---
@@ -359,6 +446,9 @@ impl<'p> Simulation<'p> {
                 clusters.insert(id, c);
                 ready_queue.push_back(id);
                 clusters_created += 1;
+                if obs_on {
+                    ip_obs::counter_inc("ip_sim_clusters_created_total", &[]);
+                }
                 if expiry < end_time {
                     push(&mut heap, &mut seq, expiry, Ev::ClusterExpire(id));
                 }
@@ -395,6 +485,9 @@ impl<'p> Simulation<'p> {
                                     .insert(id, Cluster::provisioning(id, ready_at, expiry, false));
                                 provisioning_pool.push(id);
                                 clusters_created += 1;
+                                if obs_on {
+                                    ip_obs::counter_inc("ip_sim_clusters_created_total", &[]);
+                                }
                                 push(&mut heap, &mut seq, ready_at, Ev::ClusterReady(id));
                             }
                         } else if have > target {
@@ -407,6 +500,12 @@ impl<'p> Simulation<'p> {
                                     clusters.get_mut(&id).expect("known cluster").state =
                                         ClusterState::Retired;
                                     cancelled += 1;
+                                    if obs_on {
+                                        ip_obs::counter_inc(
+                                            "ip_sim_cancelled_provisioning_total",
+                                            &[],
+                                        );
+                                    }
                                     excess -= 1;
                                 } else {
                                     break;
@@ -417,6 +516,12 @@ impl<'p> Simulation<'p> {
                                     clusters.get_mut(&id).expect("known cluster").state =
                                         ClusterState::Retired;
                                     retired_downsize += 1;
+                                    if obs_on {
+                                        ip_obs::counter_inc(
+                                            "ip_sim_retired_for_downsize_total",
+                                            &[],
+                                        );
+                                    }
                                     excess -= 1;
                                 } else {
                                     break;
@@ -433,14 +538,28 @@ impl<'p> Simulation<'p> {
                     telemetry.append("requests", time, count as f64);
                     let (target, stale) = current_target(&config_store, time);
                     applied_targets.push(target);
-                    if stale && cfg.ip_worker.is_some() {
+                    let fallback = stale && cfg.ip_worker.is_some();
+                    if fallback {
                         fallback_intervals += 1;
+                        if obs_on {
+                            ip_obs::counter_inc("ip_sim_fallback_intervals_total", &[]);
+                            ip_obs::event("sim.fallback", time, &[("target", f64::from(target))]);
+                        }
                     }
+                    let (pre_hits, pre_misses) = (hits, misses);
                     for _ in 0..count {
                         total_requests += 1;
                         if let Some(id) = ready_queue.pop_front() {
                             hits += 1;
                             telemetry.append("pool_hit", time, 1.0);
+                            if obs_on {
+                                ip_obs::observe_with(
+                                    "ip_sim_request_wait_seconds",
+                                    &[],
+                                    &WAIT_BUCKETS,
+                                    0.0,
+                                );
+                            }
                             clusters.get_mut(&id).expect("known cluster").state =
                                 ClusterState::InUse;
                         } else {
@@ -466,11 +585,72 @@ impl<'p> Simulation<'p> {
                                 od_request_of.insert(id, request_idx);
                                 clusters_created += 1;
                                 on_demand_created += 1;
+                                if obs_on {
+                                    ip_obs::counter_inc("ip_sim_clusters_created_total", &[]);
+                                    ip_obs::counter_inc("ip_sim_on_demand_created_total", &[]);
+                                }
                                 push(&mut heap, &mut seq, ready_at, Ev::ClusterReady(id));
                             }
                         }
                     }
                     enforce_target!(time);
+                    let (ihits, imisses) = (hits - pre_hits, misses - pre_misses);
+                    let prev_idle = interval_stats
+                        .last()
+                        .map_or(0.0, |s: &IntervalStat| s.cum_idle_cluster_seconds);
+                    if obs_on {
+                        ip_obs::counter_add("ip_sim_requests_total", &[], count as f64);
+                        ip_obs::counter_add("ip_sim_pool_hits_total", &[], ihits as f64);
+                        ip_obs::counter_add("ip_sim_pool_misses_total", &[], imisses as f64);
+                        ip_obs::gauge_set("ip_sim_pool_ready", &[], ready_queue.len() as f64);
+                        ip_obs::gauge_set(
+                            "ip_sim_pool_provisioning",
+                            &[],
+                            provisioning_pool.len() as f64,
+                        );
+                        ip_obs::gauge_set("ip_sim_pool_target", &[], f64::from(target));
+                        ip_obs::observe_with(
+                            "ip_sim_interval_idle_cluster_seconds",
+                            &[],
+                            &IDLE_BUCKETS,
+                            idle_cs - prev_idle,
+                        );
+                        ip_obs::event(
+                            "sim.interval",
+                            time,
+                            &[
+                                ("index", i as f64),
+                                ("requests", count as f64),
+                                ("hits", ihits as f64),
+                                ("misses", imisses as f64),
+                                ("target", f64::from(target)),
+                                ("ready", ready_queue.len() as f64),
+                                ("provisioning", provisioning_pool.len() as f64),
+                                ("fallback", f64::from(u8::from(fallback))),
+                            ],
+                        );
+                    }
+                    interval_stats.push(IntervalStat {
+                        index: i,
+                        time_secs: time,
+                        requests: count,
+                        hits: ihits,
+                        misses: imisses,
+                        applied_target: target,
+                        fallback,
+                        ready: ready_queue.len(),
+                        provisioning: provisioning_pool.len(),
+                        cum_idle_cluster_seconds: idle_cs,
+                        cum_provisioning_cluster_seconds: prov_cs,
+                        cum_wait_secs: total_wait,
+                        cum_clusters_created: clusters_created,
+                        cum_on_demand_created: on_demand_created,
+                        cum_cancelled_provisioning: cancelled,
+                        cum_expired: expired,
+                        cum_ip_runs: ip_runs,
+                        cum_ip_failures: ip_failures,
+                        cum_worker_replacements: worker_replacements,
+                    });
                 }
                 Ev::ClusterReady(id) => {
                     let Some(cluster) = clusters.get_mut(&id) else {
@@ -491,6 +671,14 @@ impl<'p> Simulation<'p> {
                         } else {
                             request.served = true;
                             total_wait += (time - request.arrival) as f64;
+                            if obs_on {
+                                ip_obs::observe_with(
+                                    "ip_sim_request_wait_seconds",
+                                    &[],
+                                    &WAIT_BUCKETS,
+                                    (time - request.arrival) as f64,
+                                );
+                            }
                             cluster.state = ClusterState::InUse;
                         }
                     } else {
@@ -513,15 +701,26 @@ impl<'p> Simulation<'p> {
                         ready_queue.retain(|&r| r != id);
                         expired += 1;
                         telemetry.append("cluster_expired", time, 1.0);
+                        if obs_on {
+                            ip_obs::counter_inc("ip_sim_expired_total", &[]);
+                        }
                         enforce_target!(time);
                     }
                 }
                 Ev::IpRun(k) => {
                     let Some(ipc) = &cfg.ip_worker else { continue };
+                    let _ip_span = ip_obs::span("sim.ip_run");
                     ip_runs += 1;
+                    if obs_on {
+                        ip_obs::counter_inc("ip_sim_ip_runs_total", &[]);
+                    }
                     if ipc.failing_runs.contains(&k) {
                         ip_failures += 1;
                         telemetry.append("ip_run_failed", time, 1.0);
+                        if obs_on {
+                            ip_obs::counter_inc("ip_sim_ip_failures_total", &[]);
+                            ip_obs::event("sim.ip_run", time, &[("ok", 0.0)]);
+                        }
                     } else if let Some(provider) = self.provider.as_deref_mut() {
                         let observed = telemetry.bucketed_sum(
                             "requests",
@@ -540,10 +739,17 @@ impl<'p> Simulation<'p> {
                                 };
                                 config_store.put("pool-recommendation", &rec);
                                 telemetry.append("ip_run_succeeded", time, 1.0);
+                                if obs_on {
+                                    ip_obs::event("sim.ip_run", time, &[("ok", 1.0)]);
+                                }
                             }
                             None => {
                                 ip_failures += 1;
                                 telemetry.append("ip_run_failed", time, 1.0);
+                                if obs_on {
+                                    ip_obs::counter_inc("ip_sim_ip_failures_total", &[]);
+                                    ip_obs::event("sim.ip_run", time, &[("ok", 0.0)]);
+                                }
                             }
                         }
                     }
@@ -556,6 +762,10 @@ impl<'p> Simulation<'p> {
                             dead_since = None;
                             worker_replacements += 1;
                             telemetry.append("worker_replaced", time, 1.0);
+                            if obs_on {
+                                ip_obs::counter_inc("ip_sim_worker_replacements_total", &[]);
+                                ip_obs::event("sim.worker_replaced", time, &[]);
+                            }
                             enforce_target!(time);
                         }
                     }
@@ -564,12 +774,18 @@ impl<'p> Simulation<'p> {
                     if worker_alive {
                         dead_since = Some(time);
                         telemetry.append("worker_failed", time, 1.0);
+                        if obs_on {
+                            ip_obs::event("sim.worker_failed", time, &[]);
+                        }
                     }
                 }
                 Ev::WorkerRecover(_) => {
                     if dead_since.is_some() {
                         dead_since = None;
                         telemetry.append("worker_recovered", time, 1.0);
+                        if obs_on {
+                            ip_obs::event("sim.worker_recovered", time, &[]);
+                        }
                         enforce_target!(time);
                     }
                 }
@@ -582,6 +798,32 @@ impl<'p> Simulation<'p> {
         prov_cs += dt * provisioning_pool.len() as f64;
         for request in od_requests.iter().filter(|r| !r.served) {
             total_wait += (end_time - request.arrival) as f64;
+            if obs_on {
+                ip_obs::observe_with(
+                    "ip_sim_request_wait_seconds",
+                    &[],
+                    &WAIT_BUCKETS,
+                    (end_time - request.arrival) as f64,
+                );
+            }
+        }
+
+        // The last interval record carries the end-of-window totals
+        // (integrals and counters kept moving after its interval event), so
+        // folding the stream reproduces this report's aggregates exactly.
+        if let Some(last) = interval_stats.last_mut() {
+            last.ready = ready_queue.len();
+            last.provisioning = provisioning_pool.len();
+            last.cum_idle_cluster_seconds = idle_cs;
+            last.cum_provisioning_cluster_seconds = prov_cs;
+            last.cum_wait_secs = total_wait;
+            last.cum_clusters_created = clusters_created;
+            last.cum_on_demand_created = on_demand_created;
+            last.cum_cancelled_provisioning = cancelled;
+            last.cum_expired = expired;
+            last.cum_ip_runs = ip_runs;
+            last.cum_ip_failures = ip_failures;
+            last.cum_worker_replacements = worker_replacements;
         }
 
         let hit_rate = if total_requests == 0 {
@@ -613,6 +855,7 @@ impl<'p> Simulation<'p> {
             fallback_intervals,
             worker_replacements,
             applied_target_timeline: applied_targets,
+            interval_stats,
             telemetry,
             config_store,
         })

@@ -49,7 +49,9 @@ pub mod session;
 pub mod stores;
 
 pub use cluster::{Cluster, ClusterState};
-pub use engine::{ArbitratorConfig, IpWorkerConfig, SimConfig, SimReport, Simulation};
+pub use engine::{
+    ArbitratorConfig, IntervalStat, IpWorkerConfig, SimConfig, SimReport, Simulation,
+};
 pub use session::{run_region, PoolKind, RegionPool, RegionPoolReport};
 pub use stores::{CosmosLite, KustoLite, RecommendationFile};
 

@@ -21,6 +21,7 @@ use ip_linalg::{symmetric_eigen, Matrix};
 /// recurrence walks each diagonal from its row-0 head, so each entry costs
 /// O(1) and the result stays exactly symmetric.
 pub fn lag_covariance(values: &[f64], window: usize) -> Result<Matrix> {
+    let _span = ip_obs::span("ssa.lag_covariance");
     let n = values.len();
     if window < 2 || window > n / 2 {
         return Err(SsaError::InvalidWindow {
@@ -66,7 +67,10 @@ impl SsaDecomposition {
     /// Decomposes `values` with embedding window `window`.
     pub fn compute(values: &[f64], window: usize) -> Result<Self> {
         let s = lag_covariance(values, window)?;
-        let eig = symmetric_eigen(&s).map_err(|e| SsaError::Linalg(e.to_string()))?;
+        let eig = {
+            let _span = ip_obs::span("ssa.eigen");
+            symmetric_eigen(&s).map_err(|e| SsaError::Linalg(e.to_string()))?
+        };
         let n = values.len();
         let k = n - window + 1;
         // Factor rows for every component (cheap: L·K per component, and we
@@ -139,6 +143,7 @@ impl SsaDecomposition {
     /// Entry `(l, j)` of the rank-`r` matrix is `Σᵢ uᵢ[l]·wᵢ[j]`; the value at
     /// time `t` is the average over all `(l, j)` with `l + j = t`.
     pub fn reconstruct(&self, rank: usize) -> Vec<f64> {
+        let _span = ip_obs::span("ssa.reconstruct");
         let rank = rank.min(self.window).max(1);
         let n = self.series_len;
         let k = n - self.window + 1;

@@ -149,6 +149,7 @@ impl SsaForecaster {
 
     /// Fits on a series: decomposition, grouping, reconstruction and LRR.
     pub fn fit(&mut self, series: &TimeSeries) -> Result<()> {
+        let _span = ip_obs::span("ssa.fit");
         let values = series.values();
         let decomp = SsaDecomposition::compute(values, self.config.window)?;
         let rank = match self.config.rank {
@@ -198,6 +199,7 @@ impl SsaForecaster {
 
     /// Forecasts `horizon` values past the end of the training series.
     pub fn predict(&self, horizon: usize) -> Result<Vec<f64>> {
+        let _span = ip_obs::span("ssa.forecast");
         let fitted = self.fitted.as_ref().ok_or(SsaError::NotFitted)?;
         Ok(fitted.recurrence.extend(&fitted.reconstruction, horizon))
     }

@@ -1,0 +1,127 @@
+//! Validates `ip-pool --metrics-out` / `--trace-out` artifacts with the same
+//! code external consumers would use: the in-repo Prometheus text parser and
+//! the (vendored) `serde_json` against the documented JSONL schema. CI's
+//! smoke step runs this after an instrumented `ip-pool simulate`.
+//!
+//! ```text
+//! cargo run --example obs_check -- metrics.prom trace.jsonl [required-metric...]
+//! ```
+//!
+//! Exits non-zero (with a message) if either file fails to parse, a required
+//! metric family is missing, or the trace summary disagrees with the lines
+//! actually present.
+
+use intelligent_pooling::obs::export::parse_prometheus;
+use serde::Deserialize;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+#[derive(Deserialize)]
+struct SpanLine {
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+}
+
+#[derive(Deserialize)]
+struct EventLine {
+    name: String,
+    t: u64,
+    fields: BTreeMap<String, f64>,
+}
+
+#[derive(Deserialize)]
+struct SummaryLine {
+    spans: u64,
+    events: u64,
+    dropped: u64,
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("obs_check: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [prom_path, jsonl_path, required @ ..] = args.as_slice() else {
+        return Err("usage: obs_check <metrics.prom> <trace.jsonl> [required-metric...]".into());
+    };
+
+    // -- Prometheus text exposition --------------------------------------
+    let text = std::fs::read_to_string(prom_path).map_err(|e| format!("{prom_path}: {e}"))?;
+    let samples = parse_prometheus(&text).map_err(|e| format!("{prom_path}: {e}"))?;
+    if samples.is_empty() {
+        return Err(format!(
+            "{prom_path}: no samples (was the run instrumented?)"
+        ));
+    }
+    for name in required {
+        // Histograms expose `<name>_bucket/_sum/_count`; accept either form.
+        let found = samples
+            .iter()
+            .any(|s| s.name == *name || s.name.strip_suffix("_count") == Some(name));
+        if !found {
+            return Err(format!("{prom_path}: required metric {name:?} missing"));
+        }
+    }
+
+    // -- JSONL trace ------------------------------------------------------
+    let text = std::fs::read_to_string(jsonl_path).map_err(|e| format!("{jsonl_path}: {e}"))?;
+    let (mut spans, mut events, mut summary) = (Vec::new(), Vec::new(), None::<SummaryLine>);
+    for (i, line) in text.lines().enumerate() {
+        let at = |e: serde::Error| format!("{jsonl_path}:{}: {e}", i + 1);
+        if line.contains("\"type\":\"span\"") {
+            spans.push(serde_json::from_str::<SpanLine>(line).map_err(at)?);
+        } else if line.contains("\"type\":\"event\"") {
+            events.push(serde_json::from_str::<EventLine>(line).map_err(at)?);
+        } else if line.contains("\"type\":\"summary\"") {
+            summary = Some(serde_json::from_str::<SummaryLine>(line).map_err(at)?);
+        } else {
+            return Err(format!("{jsonl_path}:{}: unrecognized line", i + 1));
+        }
+    }
+    let summary = summary.ok_or_else(|| format!("{jsonl_path}: missing summary line"))?;
+    if (summary.spans, summary.events) != (spans.len() as u64, events.len() as u64) {
+        return Err(format!(
+            "{jsonl_path}: summary claims {}/{} spans/events, file has {}/{}",
+            summary.spans,
+            summary.events,
+            spans.len(),
+            events.len()
+        ));
+    }
+    // Every parent id must refer to a span in the file (nesting is closed).
+    for s in &spans {
+        if let Some(p) = s.parent {
+            if !spans.iter().any(|o| o.id == p) {
+                return Err(format!(
+                    "{jsonl_path}: span {:?} has dangling parent",
+                    s.name
+                ));
+            }
+        }
+    }
+    if spans.iter().any(|s| s.name.is_empty()) || events.iter().any(|e| e.name.is_empty()) {
+        return Err(format!("{jsonl_path}: record with an empty name"));
+    }
+    // Events carry numeric fields only; touching them proves they parsed.
+    let field_count: usize = events.iter().map(|e| e.fields.len()).sum();
+    let last_t = events.iter().map(|e| e.t).max().unwrap_or(0);
+
+    println!(
+        "ok: {} prometheus samples, {} spans, {} events ({} fields, last t={}s), {} dropped",
+        samples.len(),
+        spans.len(),
+        events.len(),
+        field_count,
+        last_t,
+        summary.dropped
+    );
+    Ok(())
+}

@@ -29,9 +29,18 @@ commands:
              --interval SECS (default 30)
   evaluate   mechanism accounting for a fixed pool size on a demand file
              <file>  --pool N  --tau N (default 3)  --interval SECS
-  simulate   discrete-event simulation with a static target
+  simulate   discrete-event simulation with a static target, or with the
+             full Intelligent Pooling worker loop driving the pool
              <file>  --target N (default 4)  --tau-secs N (default 90)
              --interval SECS (default 30)  --seed N
+             --ip <ssa|ssa+|baseline>  run the recommendation pipeline
+             in-loop (targets come from the model, --target is the
+             fallback default)  --alpha A' (default 0.3)
+
+global flags (any command):
+  --metrics-out FILE  write Prometheus text metrics on exit
+  --trace-out FILE    write the span/event trace as JSONL on exit
+  (either flag enables recording; IP_OBS=1 enables it without writing)
 ";
 
 fn main() -> ExitCode {
@@ -48,13 +57,30 @@ fn main() -> ExitCode {
 
 fn run() -> Result<(), String> {
     let args = CliArgs::parse(std::env::args().skip(1)).map_err(|e| e.to_string())?;
-    match args.command.as_str() {
+    let metrics_out = args.flag_str("metrics-out").map(str::to_owned);
+    let trace_out = args.flag_str("trace-out").map(str::to_owned);
+    if metrics_out.is_some() || trace_out.is_some() {
+        intelligent_pooling::obs::set_enabled(true);
+    }
+    let result = match args.command.as_str() {
         "generate" => generate(&args),
         "recommend" => recommend(&args),
         "evaluate" => evaluate(&args),
         "simulate" => simulate(&args),
         other => Err(format!("unknown command {other:?}")),
+    };
+    // Exports are written even when the command failed: a partial trace is
+    // exactly what you want when diagnosing the failure.
+    if let Some(path) = &metrics_out {
+        let text =
+            intelligent_pooling::obs::export::render_prometheus(intelligent_pooling::obs::global());
+        std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
     }
+    if let Some(path) = &trace_out {
+        let text = intelligent_pooling::obs::take_trace().to_jsonl();
+        std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
+    }
+    result
 }
 
 fn load_demand(args: &CliArgs) -> Result<TimeSeries, String> {
@@ -171,16 +197,37 @@ fn simulate(args: &CliArgs) -> Result<(), String> {
     let target = args.flag_or("target", 4u32).map_err(|e| e.to_string())?;
     let tau_secs = args.flag_or("tau-secs", 90u64).map_err(|e| e.to_string())?;
     let seed = args.flag_or("seed", 0u64).map_err(|e| e.to_string())?;
-    let cfg = SimConfig {
+    let alpha = args.flag_or("alpha", 0.3f64).map_err(|e| e.to_string())?;
+    let ip_model = args.flag_str("ip");
+    let mut cfg = SimConfig {
         interval_secs: demand.interval_secs(),
         tau_secs,
         default_pool_target: target,
         seed,
         ..Default::default()
     };
-    let report = Simulation::new(cfg, None)
-        .run(&demand)
-        .map_err(|e| e.to_string())?;
+    let saa = SaaConfig {
+        alpha_prime: alpha,
+        ..Default::default()
+    };
+    // With --ip, the simulated Intelligent Pooling Worker periodically runs
+    // the 2-step pipeline on the demand observed so far; early runs fail
+    // (not enough history to fit) and exercise the §7.6 fallback chain.
+    let mut provider: Option<BoxedProvider> = match ip_model {
+        None => None,
+        Some(name) => {
+            cfg.ip_worker = Some(IpWorkerConfig::default());
+            Some(pipeline_provider(name, alpha, saa)?)
+        }
+    };
+    let report = Simulation::new(
+        cfg,
+        provider
+            .as_mut()
+            .map(|p| p as &mut dyn ip_sim::RecommendationProvider),
+    )
+    .run(&demand)
+    .map_err(|e| e.to_string())?;
     println!("requests        : {}", report.total_requests);
     println!("hits / misses   : {} / {}", report.hits, report.misses);
     println!("hit rate        : {:.2}%", report.hit_rate * 100.0);
@@ -193,5 +240,34 @@ fn simulate(args: &CliArgs) -> Result<(), String> {
         "clusters created: {} ({} on-demand)",
         report.clusters_created, report.on_demand_created
     );
+    if ip_model.is_some() {
+        println!(
+            "pipeline runs   : {} ({} failed, {} fallback intervals)",
+            report.ip_runs, report.ip_failures, report.fallback_intervals
+        );
+    }
     Ok(())
+}
+
+/// A boxed closure implementing the simulator's provider interface.
+type BoxedProvider = Box<dyn FnMut(u64, &TimeSeries, usize) -> Option<Vec<u32>>>;
+
+/// Wraps a named forecaster in a [`TwoStepEngine`] and adapts it to the
+/// simulator's provider interface (`None` on any pipeline error).
+fn pipeline_provider(name: &str, alpha: f64, saa: SaaConfig) -> Result<BoxedProvider, String> {
+    fn adapt<F: Forecaster + 'static>(mut engine: TwoStepEngine<F>) -> BoxedProvider {
+        Box::new(move |_now, observed, horizon| engine.recommend(observed, horizon).ok())
+    }
+    match name {
+        "ssa" => Ok(adapt(TwoStepEngine::new(
+            SsaModel::new(150, RankSelection::EnergyThreshold(0.9)),
+            saa,
+        ))),
+        "ssa+" => Ok(adapt(TwoStepEngine::new(
+            SsaPlus::with_alpha(1.0 - alpha as f32),
+            saa,
+        ))),
+        "baseline" => Ok(adapt(TwoStepEngine::new(BaselineForecaster::new(1.0), saa))),
+        other => Err(format!("unknown model {other:?}")),
+    }
 }

@@ -54,6 +54,7 @@ pub use ip_linalg as linalg;
 pub use ip_lp as lp;
 pub use ip_models as models;
 pub use ip_nn as nn;
+pub use ip_obs as obs;
 pub use ip_saa as saa;
 pub use ip_sim as sim;
 pub use ip_ssa as ssa;

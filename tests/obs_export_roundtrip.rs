@@ -1,0 +1,165 @@
+//! Exporter contracts: the Prometheus text rendering survives a round trip
+//! through the in-repo parser (the same parser CI's smoke step uses), and
+//! the JSONL trace stream deserializes into typed records with the vendored
+//! `serde_json` — pinning the schema that external consumers would script
+//! against.
+
+use ip_obs::export::{parse_prometheus, render_prometheus, ParsedSample};
+use ip_obs::{Registry, DEFAULT_BUCKETS};
+use serde::Deserialize;
+use std::collections::BTreeMap;
+
+fn sample<'a>(samples: &'a [ParsedSample], name: &str) -> &'a ParsedSample {
+    samples
+        .iter()
+        .find(|s| s.name == name)
+        .unwrap_or_else(|| panic!("sample {name} missing"))
+}
+
+#[test]
+fn prometheus_round_trip_preserves_every_series() {
+    let reg = Registry::new();
+    reg.counter_add("ip_pool_hits_total", &[("pool", "east-us-2")], 41.0);
+    reg.counter_add("ip_pool_hits_total", &[("pool", "west-us-2")], 7.0);
+    reg.gauge_set("ip_pool_size", &[], 12.0);
+    reg.gauge_set("ip_weird_gauge", &[("q", "a\"b\\c\nd")], -2.5);
+    for v in [0.004, 0.03, 2.0, 250.0] {
+        reg.observe_with("ip_wait_seconds", &[], &DEFAULT_BUCKETS, v);
+    }
+    let text = render_prometheus(&reg);
+    let samples = parse_prometheus(&text).expect("rendered text must parse");
+
+    assert_eq!(
+        sample(&samples, "ip_pool_size").value,
+        12.0,
+        "gauge value survives"
+    );
+    let east = samples
+        .iter()
+        .find(|s| {
+            s.name == "ip_pool_hits_total"
+                && s.labels == vec![("pool".to_string(), "east-us-2".to_string())]
+        })
+        .expect("labelled counter");
+    assert_eq!(east.value, 41.0);
+    // Label escaping round-trips exactly.
+    let weird = sample(&samples, "ip_weird_gauge");
+    assert_eq!(weird.labels[0].1, "a\"b\\c\nd");
+    assert_eq!(weird.value, -2.5);
+    // Histogram exposition: cumulative buckets, +Inf, _sum, _count.
+    let inf_bucket = samples
+        .iter()
+        .find(|s| {
+            s.name == "ip_wait_seconds_bucket"
+                && s.labels.iter().any(|(k, v)| k == "le" && v == "+Inf")
+        })
+        .expect("+Inf bucket");
+    assert_eq!(inf_bucket.value, 4.0);
+    assert_eq!(sample(&samples, "ip_wait_seconds_count").value, 4.0);
+    assert!((sample(&samples, "ip_wait_seconds_sum").value - 252.034).abs() < 1e-9);
+    let buckets: Vec<f64> = samples
+        .iter()
+        .filter(|s| s.name == "ip_wait_seconds_bucket")
+        .map(|s| s.value)
+        .collect();
+    assert_eq!(buckets.len(), DEFAULT_BUCKETS.len() + 1);
+    assert!(
+        buckets.windows(2).all(|w| w[0] <= w[1]),
+        "bucket counts must be cumulative: {buckets:?}"
+    );
+}
+
+#[test]
+fn merged_registries_render_identically_to_single_writer() {
+    // A sharded deployment merging per-worker registries must expose the
+    // same text as one registry that saw every observation.
+    let combined = Registry::new();
+    let a = Registry::new();
+    let b = Registry::new();
+    for (i, v) in [0.01, 0.2, 3.0, 40.0].iter().enumerate() {
+        combined.observe_with("h_seconds", &[], &DEFAULT_BUCKETS, *v);
+        combined.counter_add("c_total", &[], 1.0);
+        let shard = if i % 2 == 0 { &a } else { &b };
+        shard.observe_with("h_seconds", &[], &DEFAULT_BUCKETS, *v);
+        shard.counter_add("c_total", &[], 1.0);
+    }
+    assert_eq!(a.merge_from(&b.snapshot()), 0);
+    assert_eq!(render_prometheus(&a), render_prometheus(&combined));
+}
+
+#[derive(Deserialize)]
+struct SpanLine {
+    id: u64,
+    parent: Option<u64>,
+    name: String,
+    thread: String,
+    start_us: u64,
+    dur_us: u64,
+}
+
+#[derive(Deserialize)]
+struct EventLine {
+    name: String,
+    t: u64,
+    fields: BTreeMap<String, f64>,
+}
+
+#[derive(Deserialize)]
+struct SummaryLine {
+    spans: u64,
+    events: u64,
+    dropped: u64,
+}
+
+#[test]
+fn jsonl_trace_deserializes_with_vendored_serde_json() {
+    // This test binary owns the process-global obs state; the registry
+    // round-trip tests above use local registries so they cannot interfere.
+    ip_obs::set_enabled(true);
+    ip_obs::reset();
+    {
+        let _outer = ip_obs::span("optimizer");
+        let _inner = ip_obs::span("dp_solve");
+        ip_obs::event("sim.interval", 60, &[("hits", 3.0), ("misses", 1.0)]);
+    }
+    let jsonl = ip_obs::take_trace().to_jsonl();
+    ip_obs::set_enabled(false);
+
+    let mut spans = Vec::new();
+    let mut events = Vec::new();
+    let mut summaries = Vec::new();
+    for line in jsonl.lines() {
+        if line.contains("\"type\":\"span\"") {
+            spans.push(serde_json::from_str::<SpanLine>(line).expect("span line schema"));
+        } else if line.contains("\"type\":\"event\"") {
+            events.push(serde_json::from_str::<EventLine>(line).expect("event line schema"));
+        } else if line.contains("\"type\":\"summary\"") {
+            summaries.push(serde_json::from_str::<SummaryLine>(line).expect("summary schema"));
+        } else {
+            panic!("unrecognized JSONL line: {line}");
+        }
+    }
+    assert_eq!(spans.len(), 2);
+    assert_eq!(events.len(), 1);
+    assert_eq!(summaries.len(), 1);
+
+    let outer = spans.iter().find(|s| s.name == "optimizer").unwrap();
+    let inner = spans.iter().find(|s| s.name == "dp_solve").unwrap();
+    assert_eq!(inner.parent, Some(outer.id), "nesting survives the export");
+    assert_eq!(outer.parent, None);
+    // Both spans ran on this test's thread (the harness names it after the
+    // test, so only sameness is stable to assert).
+    assert!(!outer.thread.is_empty());
+    assert_eq!(outer.thread, inner.thread);
+    assert!(inner.start_us >= outer.start_us);
+    assert!(inner.dur_us <= outer.dur_us);
+
+    let ev = &events[0];
+    assert_eq!(ev.name, "sim.interval");
+    assert_eq!(ev.t, 60);
+    assert_eq!(ev.fields.get("hits"), Some(&3.0));
+    assert_eq!(ev.fields.get("misses"), Some(&1.0));
+
+    let sum = &summaries[0];
+    assert_eq!((sum.spans, sum.events, sum.dropped), (2, 1, 0));
+}

@@ -1,0 +1,112 @@
+//! Behavioral inertness of the observability layer: turning `IP_OBS` on
+//! must never change a single bit of any numeric result — simulation
+//! reports, interval telemetry, or trained network parameters at any worker
+//! count. Recording reads clocks and writes metrics, but never touches RNG
+//! streams or numeric state.
+//!
+//! These tests share the process-global obs gate, so they serialize on a
+//! mutex (this binary is its own process; other test binaries are
+//! unaffected).
+
+use ip_models::deep::DeepConfig;
+use ip_models::mwdn::Mwdn;
+use ip_models::Forecaster;
+use ip_sim::{IpWorkerConfig, SimConfig, SimReport, Simulation, StaticProvider};
+use ip_timeseries::TimeSeries;
+use std::sync::Mutex;
+
+static GATE: Mutex<()> = Mutex::new(());
+
+fn run_sim() -> SimReport {
+    let vals: Vec<f64> = (0..240)
+        .map(|t| (4.0 + 3.0 * (2.0 * std::f64::consts::PI * t as f64 / 48.0).sin()).max(0.0))
+        .collect();
+    let demand = TimeSeries::new(30, vals).unwrap();
+    let cfg = SimConfig {
+        tau_secs: 90,
+        tau_jitter_secs: 15,
+        cluster_lifespan_secs: Some(1800),
+        cluster_failure_prob_per_hour: 0.05,
+        default_pool_target: 4,
+        ip_worker: Some(IpWorkerConfig::default()),
+        seed: 7,
+        ..Default::default()
+    };
+    let mut provider = StaticProvider(5);
+    Simulation::new(cfg, Some(&mut provider))
+        .run(&demand)
+        .unwrap()
+}
+
+#[test]
+fn simulation_reports_bit_identical_with_obs_on_and_off() {
+    let _g = GATE.lock().unwrap();
+    ip_obs::set_enabled(false);
+    let off = run_sim();
+    ip_obs::set_enabled(true);
+    ip_obs::reset();
+    let on = run_sim();
+    ip_obs::set_enabled(false);
+    ip_obs::reset();
+
+    assert_eq!(off.total_requests, on.total_requests);
+    assert_eq!(off.hits, on.hits);
+    assert_eq!(off.misses, on.misses);
+    assert_eq!(off.total_wait_secs.to_bits(), on.total_wait_secs.to_bits());
+    assert_eq!(
+        off.idle_cluster_seconds.to_bits(),
+        on.idle_cluster_seconds.to_bits()
+    );
+    assert_eq!(off.clusters_created, on.clusters_created);
+    assert_eq!(off.expired, on.expired);
+    assert_eq!(off.worker_replacements, on.worker_replacements);
+    assert_eq!(off.applied_target_timeline, on.applied_target_timeline);
+    // The per-interval stream itself is part of the report and must match
+    // record for record (it is always collected, obs on or off).
+    assert_eq!(off.interval_stats, on.interval_stats);
+}
+
+fn train_params(threads: usize) -> Vec<f32> {
+    let vals: Vec<f64> = (0..260)
+        .map(|t| {
+            8.0 + 4.0 * (2.0 * std::f64::consts::PI * t as f64 / 24.0).sin()
+                + 1.5 * (2.0 * std::f64::consts::PI * t as f64 / 7.0).cos()
+        })
+        .collect();
+    let ts = TimeSeries::new(30, vals).unwrap();
+    let cfg = DeepConfig {
+        window: 32,
+        horizon: 8,
+        epochs: 2,
+        batch_size: 16,
+        microbatch: 4,
+        stride: 2,
+        threads: Some(threads),
+        ..Default::default()
+    };
+    let mut m = Mwdn::model(cfg, 2, 4);
+    m.fit(&ts).unwrap();
+    m.param_values()
+}
+
+#[test]
+fn nn_training_bit_identical_with_obs_on_and_off_across_threads() {
+    let _g = GATE.lock().unwrap();
+    for threads in [1usize, 4] {
+        ip_obs::set_enabled(false);
+        let off = train_params(threads);
+        ip_obs::set_enabled(true);
+        ip_obs::reset();
+        let on = train_params(threads);
+        ip_obs::set_enabled(false);
+        ip_obs::reset();
+        assert_eq!(off.len(), on.len(), "threads={threads}");
+        for (i, (a, b)) in off.iter().zip(&on).enumerate() {
+            assert_eq!(
+                a.to_bits(),
+                b.to_bits(),
+                "threads={threads}: parameter {i} differs ({a} vs {b})"
+            );
+        }
+    }
+}
