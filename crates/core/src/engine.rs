@@ -103,6 +103,13 @@ impl<E: RecommendationEngine, F: Forecaster> IntelligentPooling<E, F> {
         &mut self.config
     }
 
+    /// Mutable access to the inner recommendation engine (auto-tuner hook —
+    /// the inner pipeline holds its own SAA `α'`, separate from the
+    /// fallback's copy in [`EngineConfig`]).
+    pub fn engine_mut(&mut self) -> &mut E {
+        &mut self.engine
+    }
+
     /// Runs one pipeline iteration: guardrail backtest, then either the ML
     /// recommendation or the SAA-on-history fallback.
     pub fn run_once(&mut self, history: &TimeSeries, horizon: usize) -> Result<Vec<u32>> {

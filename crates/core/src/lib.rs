@@ -39,6 +39,7 @@ pub mod engine;
 pub mod monitoring;
 pub mod multi_pool;
 pub mod pipeline;
+pub mod providers;
 pub mod replay;
 
 pub use autotune::AlphaTuner;
@@ -47,6 +48,7 @@ pub use engine::{EngineConfig, Guardrail, IntelligentPooling, RecommendationOutc
 pub use monitoring::{evaluate_alerts, Alert, AlertRule, Dashboard, MetricsSnapshot};
 pub use multi_pool::{MultiPoolManager, PoolId};
 pub use pipeline::{EndToEndEngine, RecommendationEngine, TwoStepEngine};
+pub use providers::{autotuned_provider, named_provider, AlphaSteerable, AutoTuned, DynProvider};
 pub use replay::{replay_pipeline, ReplayConfig, ReplayOutcome};
 
 /// Errors from the core engine.

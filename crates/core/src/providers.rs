@@ -1,0 +1,260 @@
+//! Named recommendation providers — the shared factory behind the CLI's
+//! `--ip <model>` flag and the daemon's `POST /reload`.
+//!
+//! Both front ends must build *exactly* the same provider from the same
+//! `(model, α', SaaConfig)` triple, or the daemon's live decisions drift
+//! from the offline oracle. Centralizing construction here is what makes
+//! the bit-identity guarantee checkable: the integration tests build their
+//! oracle through this same function.
+//!
+//! [`AutoTuned`] adds the §6 feedback loop on top of any steerable
+//! provider: the platform reports the realized mean wait before each
+//! pipeline run (via [`RecommendationProvider::observe_wait`]), the
+//! [`AlphaTuner`] turns it into a new `α'`, and the wrapper pushes that
+//! into the inner engine before it recommends. Because the wait stream is
+//! itself deterministic, the tuned `α'` sequence is too.
+
+use crate::engine::IntelligentPooling;
+use crate::pipeline::{EndToEndEngine, RecommendationEngine, TwoStepEngine};
+use crate::{AlphaTuner, CoreError, Result};
+use ip_models::{BaselineForecaster, Forecaster, SsaModel, SsaPlus};
+use ip_saa::SaaConfig;
+use ip_sim::RecommendationProvider;
+use ip_ssa::RankSelection;
+use ip_timeseries::TimeSeries;
+
+/// A boxed provider ready to move into the simulator or the daemon's
+/// controller thread.
+pub type DynProvider = Box<dyn RecommendationProvider + Send>;
+
+/// An engine whose SAA wait-vs-idle knob `α'` can be steered at runtime —
+/// the hook the §6 auto-tuner drives.
+pub trait AlphaSteerable {
+    /// Sets the optimizer's `α'` for subsequent recommendations.
+    fn set_alpha_prime(&mut self, alpha_prime: f64);
+}
+
+impl<F: Forecaster> AlphaSteerable for TwoStepEngine<F> {
+    fn set_alpha_prime(&mut self, alpha_prime: f64) {
+        self.config_mut().alpha_prime = alpha_prime;
+    }
+}
+
+impl<F: Forecaster> AlphaSteerable for EndToEndEngine<F> {
+    fn set_alpha_prime(&mut self, alpha_prime: f64) {
+        self.config_mut().alpha_prime = alpha_prime;
+    }
+}
+
+impl<E, F> AlphaSteerable for IntelligentPooling<E, F>
+where
+    E: RecommendationEngine + AlphaSteerable,
+    F: Forecaster,
+{
+    fn set_alpha_prime(&mut self, alpha_prime: f64) {
+        // Both the ML path (inner engine) and the guardrail fallback's SAA
+        // run share the knob.
+        self.engine_mut().set_alpha_prime(alpha_prime);
+        self.config_mut().saa.alpha_prime = alpha_prime;
+    }
+}
+
+/// Provider adapter for the bare 2-step pipeline (`None` on any pipeline
+/// error, exercising the §7.6 fallback chain).
+impl<F: Forecaster> RecommendationProvider for TwoStepEngine<F> {
+    fn recommend(&mut self, _now: u64, observed: &TimeSeries, horizon: usize) -> Option<Vec<u32>> {
+        RecommendationEngine::recommend(self, observed, horizon).ok()
+    }
+}
+
+/// Provider adapter for the bare E2E pipeline.
+impl<F: Forecaster> RecommendationProvider for EndToEndEngine<F> {
+    fn recommend(&mut self, _now: u64, observed: &TimeSeries, horizon: usize) -> Option<Vec<u32>> {
+        RecommendationEngine::recommend(self, observed, horizon).ok()
+    }
+}
+
+/// The §6 feedback loop wrapped around a steerable provider: every
+/// [`observe_wait`](RecommendationProvider::observe_wait) feeds the tuner
+/// and re-steers the inner engine's `α'` before the next recommendation.
+pub struct AutoTuned<P> {
+    inner: P,
+    tuner: AlphaTuner,
+}
+
+impl<P: RecommendationProvider + AlphaSteerable> AutoTuned<P> {
+    /// Wraps `inner`, steering toward `tuner`'s wait target. The inner
+    /// engine is immediately aligned to the tuner's starting `α'`.
+    pub fn new(mut inner: P, tuner: AlphaTuner) -> Self {
+        inner.set_alpha_prime(tuner.alpha());
+        Self { inner, tuner }
+    }
+
+    /// The current `α'` recommendation.
+    pub fn alpha(&self) -> f64 {
+        self.tuner.alpha()
+    }
+
+    /// The tuner (observation count, target).
+    pub fn tuner(&self) -> &AlphaTuner {
+        &self.tuner
+    }
+}
+
+impl<P: RecommendationProvider + AlphaSteerable> RecommendationProvider for AutoTuned<P> {
+    fn recommend(&mut self, now: u64, observed: &TimeSeries, horizon: usize) -> Option<Vec<u32>> {
+        self.inner.recommend(now, observed, horizon)
+    }
+
+    fn observe_wait(&mut self, _now_secs: u64, mean_wait_secs: f64) {
+        let alpha = self.tuner.observe(mean_wait_secs);
+        self.inner.set_alpha_prime(alpha);
+    }
+}
+
+fn unknown_model(name: &str) -> CoreError {
+    CoreError::InvalidConfig(format!(
+        "unknown model {name:?} (expected ssa, ssa+, baseline, e2e-ssa or e2e-baseline)"
+    ))
+}
+
+/// Builds the named recommendation pipeline as a boxed provider.
+///
+/// Names: `ssa` (2-step over plain SSA), `ssa+` (2-step over the §5.2
+/// low-rank variant, rank energy steered by `1 - α'`), `baseline` (2-step
+/// over a constant forecaster), `e2e-ssa` / `e2e-baseline` (the §5.4 E2E
+/// shape). `alpha` seeds both the SAA `α'` (when the caller left
+/// `saa.alpha_prime` at its default this is what lands there) and the
+/// SSA+ energy threshold.
+pub fn named_provider(name: &str, alpha: f64, saa: SaaConfig) -> Result<DynProvider> {
+    let provider: DynProvider = match name {
+        "ssa" => Box::new(TwoStepEngine::new(
+            SsaModel::new(150, RankSelection::EnergyThreshold(0.9)),
+            saa,
+        )),
+        "ssa+" => Box::new(TwoStepEngine::new(
+            SsaPlus::with_alpha(1.0 - alpha as f32),
+            saa,
+        )),
+        "baseline" => Box::new(TwoStepEngine::new(BaselineForecaster::new(1.0), saa)),
+        "e2e-ssa" => Box::new(EndToEndEngine::new(
+            SsaModel::new(150, RankSelection::EnergyThreshold(0.9)),
+            saa,
+        )),
+        "e2e-baseline" => Box::new(EndToEndEngine::new(BaselineForecaster::new(1.0), saa)),
+        other => return Err(unknown_model(other)),
+    };
+    Ok(provider)
+}
+
+/// [`named_provider`] wrapped in the §6 auto-tuner steering toward
+/// `target_wait_secs`, starting from `alpha`.
+pub fn autotuned_provider(
+    name: &str,
+    alpha: f64,
+    saa: SaaConfig,
+    target_wait_secs: f64,
+) -> Result<DynProvider> {
+    let tuner = AlphaTuner::new(target_wait_secs, alpha)?;
+    let provider: DynProvider = match name {
+        "ssa" => Box::new(AutoTuned::new(
+            TwoStepEngine::new(SsaModel::new(150, RankSelection::EnergyThreshold(0.9)), saa),
+            tuner,
+        )),
+        "ssa+" => Box::new(AutoTuned::new(
+            TwoStepEngine::new(SsaPlus::with_alpha(1.0 - alpha as f32), saa),
+            tuner,
+        )),
+        "baseline" => Box::new(AutoTuned::new(
+            TwoStepEngine::new(BaselineForecaster::new(1.0), saa),
+            tuner,
+        )),
+        "e2e-ssa" => Box::new(AutoTuned::new(
+            EndToEndEngine::new(SsaModel::new(150, RankSelection::EnergyThreshold(0.9)), saa),
+            tuner,
+        )),
+        "e2e-baseline" => Box::new(AutoTuned::new(
+            EndToEndEngine::new(BaselineForecaster::new(1.0), saa),
+            tuner,
+        )),
+        other => return Err(unknown_model(other)),
+    };
+    Ok(provider)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ip_sim::{SimConfig, Simulation};
+
+    fn demand(n: usize) -> TimeSeries {
+        let vals: Vec<f64> = (0..n).map(|i| f64::from(i as u32 % 6)).collect();
+        TimeSeries::new(30, vals).unwrap()
+    }
+
+    #[test]
+    fn named_providers_build_and_unknown_rejected() {
+        for name in ["ssa", "ssa+", "baseline", "e2e-ssa", "e2e-baseline"] {
+            assert!(named_provider(name, 0.3, SaaConfig::default()).is_ok());
+            assert!(autotuned_provider(name, 0.3, SaaConfig::default(), 10.0).is_ok());
+        }
+        assert!(named_provider("nope", 0.3, SaaConfig::default()).is_err());
+        assert!(autotuned_provider("nope", 0.3, SaaConfig::default(), 10.0).is_err());
+    }
+
+    #[test]
+    fn named_provider_matches_direct_engine() {
+        // The factory's "baseline" must equal a hand-built TwoStepEngine —
+        // the equivalence the CLI and daemon both lean on.
+        let d = demand(480);
+        let saa = SaaConfig::default();
+        let mut boxed = named_provider("baseline", 0.3, saa).unwrap();
+        let mut direct = TwoStepEngine::new(BaselineForecaster::new(1.0), saa);
+        let a = boxed.recommend(0, &d, 60);
+        let b = RecommendationEngine::recommend(&mut direct, &d, 60).ok();
+        assert_eq!(a, b);
+        assert!(a.is_some());
+    }
+
+    #[test]
+    fn observe_wait_steers_alpha() {
+        let saa = SaaConfig::default();
+        let engine = TwoStepEngine::new(BaselineForecaster::new(1.0), saa);
+        let mut tuned = AutoTuned::new(engine, AlphaTuner::new(10.0, 0.5).unwrap());
+        // A huge observed wait must push α' down (wait-averse).
+        tuned.observe_wait(0, 500.0);
+        assert!(tuned.alpha() < 0.5);
+        // A zero wait pushes it back up (idle-averse).
+        let before = tuned.alpha();
+        tuned.observe_wait(0, 0.0);
+        assert!(tuned.alpha() > before);
+    }
+
+    #[test]
+    fn autotuned_run_is_deterministic_and_differs_from_untuned() {
+        // Two identical autotuned sims agree bit-for-bit; the tuned α'
+        // track actually moves (observe_wait is being called).
+        let d = demand(480);
+        let cfg = SimConfig {
+            ip_worker: Some(ip_sim::IpWorkerConfig {
+                run_every_secs: 600,
+                horizon_secs: 1200,
+                failing_runs: vec![],
+            }),
+            default_pool_target: 2,
+            seed: 3,
+            ..Default::default()
+        };
+        let run = |target_wait: f64| {
+            let mut p =
+                autotuned_provider("baseline", 0.5, SaaConfig::default(), target_wait).unwrap();
+            Simulation::new(cfg.clone(), Some(p.as_mut()))
+                .run(&d)
+                .unwrap()
+        };
+        let a = run(5.0);
+        let b = run(5.0);
+        assert_eq!(a.applied_target_timeline, b.applied_target_timeline);
+        assert_eq!(a.total_wait_secs, b.total_wait_secs);
+    }
+}

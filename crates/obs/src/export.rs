@@ -10,9 +10,12 @@ use std::fmt::Write as _;
 // ---------------------------------------------------------------------------
 
 /// Renders every series of `registry` in the Prometheus text exposition
-/// format (v0.0.4): `# TYPE` headers, label sets, histograms expanded into
-/// cumulative `_bucket{le=…}` samples plus `_sum` and `_count`.
+/// format (v0.0.4): `# HELP`/`# TYPE` headers, label sets, histograms
+/// expanded into cumulative `_bucket{le=…}` samples plus `_sum` and
+/// `_count`.
 pub fn render_prometheus(registry: &Registry) -> String {
+    let helps: std::collections::BTreeMap<String, String> =
+        registry.help_snapshot().into_iter().collect();
     let mut out = String::new();
     let mut last_family = String::new();
     for (key, value) in registry.snapshot() {
@@ -22,6 +25,9 @@ pub fn render_prometheus(registry: &Registry) -> String {
                 MetricValue::Gauge(_) => "gauge",
                 MetricValue::Histogram(_) => "histogram",
             };
+            if let Some(help) = helps.get(&key.name) {
+                let _ = writeln!(out, "# HELP {} {}", key.name, escape_help(help));
+            }
             let _ = writeln!(out, "# TYPE {} {kind}", key.name);
             last_family = key.name.clone();
         }
@@ -111,6 +117,29 @@ fn escape_label(v: &str) -> String {
         .replace('\n', "\\n")
 }
 
+/// `# HELP` text escapes only backslash and line feed (the exposition spec
+/// — quotes stay literal, unlike label values).
+fn escape_help(v: &str) -> String {
+    v.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+fn unescape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    let mut chars = v.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
 /// One sample parsed back out of the text format.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ParsedSample {
@@ -123,14 +152,38 @@ pub struct ParsedSample {
     pub value: f64,
 }
 
+/// A fully parsed exposition: samples plus the `# HELP` text per family
+/// (unescaped).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Exposition {
+    /// Sample lines in file order.
+    pub samples: Vec<ParsedSample>,
+    /// `(family name, help text)` pairs in file order.
+    pub helps: Vec<(String, String)>,
+}
+
 /// Parses the Prometheus text format produced by [`render_prometheus`]
-/// (and by real exporters): `# TYPE`/`# HELP` comments are skipped, every
-/// sample line must be `name[{labels}] value`.
-pub fn parse_prometheus(text: &str) -> Result<Vec<ParsedSample>, String> {
-    let mut samples = Vec::new();
+/// (and by real exporters): `# TYPE` comments are skipped, `# HELP` lines
+/// are collected and unescaped, every sample line must be
+/// `name[{labels}] value`.
+pub fn parse_exposition(text: &str) -> Result<Exposition, String> {
+    let mut exposition = Exposition::default();
     for (lineno, raw) in text.lines().enumerate() {
         let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix('#') {
+            let rest = rest.trim_start();
+            if let Some(body) = rest.strip_prefix("HELP") {
+                let body = body.trim_start();
+                let (name, help) = body.split_once(char::is_whitespace).unwrap_or((body, ""));
+                if !name.is_empty() {
+                    exposition
+                        .helps
+                        .push((name.to_string(), unescape_help(help)));
+                }
+            }
             continue;
         }
         let err = |msg: &str| format!("line {}: {msg}: {raw:?}", lineno + 1);
@@ -160,13 +213,19 @@ pub fn parse_prometheus(text: &str) -> Result<Vec<ParsedSample>, String> {
         {
             return Err(err("bad metric name"));
         }
-        samples.push(ParsedSample {
+        exposition.samples.push(ParsedSample {
             name,
             labels,
             value,
         });
     }
-    Ok(samples)
+    Ok(exposition)
+}
+
+/// [`parse_exposition`] returning only the samples — the original API the
+/// round-trip tests and CI smoke were written against.
+pub fn parse_prometheus(text: &str) -> Result<Vec<ParsedSample>, String> {
+    parse_exposition(text).map(|e| e.samples)
 }
 
 fn parse_labels(body: &str) -> Result<Vec<(String, String)>, String> {
@@ -258,6 +317,107 @@ pub fn trace_to_jsonl(trace: &Trace) -> String {
         trace.events.len(),
         trace.dropped
     );
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Chrome trace_event traces
+// ---------------------------------------------------------------------------
+
+/// Renders a trace in the Chrome `trace_event` JSON-array format, loadable
+/// by `chrome://tracing` and Perfetto.
+///
+/// Wall-clock spans become `ph:"X"` complete events under `pid` 1, one
+/// `tid` per OS thread (first-appearance order) with `ph:"M"` `thread_name`
+/// metadata. Logical-clock simulator events become `ph:"i"` instants under
+/// `pid` 2 with `ts` scaled so one logical second reads as one microsecond
+/// on the timeline; their numeric fields ride along in `args`.
+pub fn trace_to_chrome(trace: &Trace) -> String {
+    let mut out = String::from("[");
+    let mut first = true;
+    let push = |out: &mut String, first: &mut bool, record: String| {
+        if !*first {
+            out.push(',');
+        }
+        *first = false;
+        out.push('\n');
+        out.push_str(&record);
+    };
+
+    push(
+        &mut out,
+        &mut first,
+        format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\"args\":{{\"name\":{}}}}}",
+            json_string("wall-clock spans")
+        ),
+    );
+    if !trace.events.is_empty() {
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,\"args\":{{\"name\":{}}}}}",
+                json_string("logical events")
+            ),
+        );
+    }
+
+    let mut tids: Vec<String> = Vec::new();
+    for s in &trace.spans {
+        let tid = match tids.iter().position(|t| *t == s.thread) {
+            Some(i) => i + 1,
+            None => {
+                tids.push(s.thread.clone());
+                let tid = tids.len();
+                push(
+                    &mut out,
+                    &mut first,
+                    format!(
+                        "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+                         \"args\":{{\"name\":{}}}}}",
+                        json_string(&s.thread)
+                    ),
+                );
+                tid
+            }
+        };
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"name\":{},\"ph\":\"X\",\"pid\":1,\"tid\":{tid},\"ts\":{},\"dur\":{},\
+                 \"args\":{{\"id\":{}}}}}",
+                json_string(&s.name),
+                s.start_ns / 1_000,
+                s.dur_ns / 1_000,
+                s.id
+            ),
+        );
+    }
+
+    for e in &trace.events {
+        let mut args = String::from("{");
+        for (i, (k, v)) in e.fields.iter().enumerate() {
+            if i > 0 {
+                args.push(',');
+            }
+            let _ = write!(args, "{}:{}", json_string(k), json_number(*v));
+        }
+        args.push('}');
+        push(
+            &mut out,
+            &mut first,
+            format!(
+                "{{\"name\":{},\"ph\":\"i\",\"pid\":2,\"tid\":1,\"ts\":{},\"s\":\"g\",\
+                 \"args\":{args}}}",
+                json_string(&e.name),
+                e.t.saturating_mul(1_000_000)
+            ),
+        );
+    }
+
+    out.push_str("\n]\n");
     out
 }
 

@@ -100,6 +100,15 @@ pub fn counter_inc(name: &str, labels: &[(&str, &str)]) {
     counter_add(name, labels, 1.0);
 }
 
+/// Attaches `# HELP` text to a metric family in the global registry (no-op
+/// when disabled).
+#[inline]
+pub fn describe(name: &str, help: &str) {
+    if enabled() {
+        global().describe(name, help);
+    }
+}
+
 /// Sets a gauge in the global registry (no-op when disabled).
 #[inline]
 pub fn gauge_set(name: &str, labels: &[(&str, &str)], v: f64) {

@@ -125,12 +125,33 @@ pub enum MetricValue {
 #[derive(Debug, Default)]
 pub struct Registry {
     inner: Mutex<BTreeMap<SeriesKey, MetricValue>>,
+    /// `# HELP` text per metric family name.
+    helps: Mutex<BTreeMap<String, String>>,
 }
 
 impl Registry {
     /// An empty registry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Attaches `# HELP` text to a metric family (rendered by the
+    /// Prometheus exporter; last write wins).
+    pub fn describe(&self, name: &str, help: &str) {
+        self.helps
+            .lock()
+            .expect("obs registry poisoned")
+            .insert(name.to_string(), help.to_string());
+    }
+
+    /// The registered help text, name-ordered.
+    pub fn help_snapshot(&self) -> Vec<(String, String)> {
+        self.helps
+            .lock()
+            .expect("obs registry poisoned")
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect()
     }
 
     /// Adds `v` to the named counter, creating it at zero first.
@@ -213,9 +234,10 @@ impl Registry {
         skipped
     }
 
-    /// Removes every series.
+    /// Removes every series and help entry.
     pub fn clear(&self) {
         self.inner.lock().expect("obs registry poisoned").clear();
+        self.helps.lock().expect("obs registry poisoned").clear();
     }
 }
 

@@ -68,6 +68,12 @@ impl Trace {
     pub fn to_jsonl(&self) -> String {
         crate::export::trace_to_jsonl(self)
     }
+
+    /// Renders the trace in the Chrome `trace_event` format (see
+    /// [`crate::export::trace_to_chrome`]).
+    pub fn to_chrome(&self) -> String {
+        crate::export::trace_to_chrome(self)
+    }
 }
 
 #[derive(Default)]

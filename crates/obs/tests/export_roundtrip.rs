@@ -1,0 +1,191 @@
+//! Exposition round-trips under hostile inputs, and Chrome-trace schema
+//! validity.
+//!
+//! The vendored proptest has no string strategies, so hostile strings are
+//! generated as index vectors mapped into an alphabet stacked with the
+//! characters the Prometheus escapers must handle (`\`, `"`, newline,
+//! multi-byte, separators).
+
+use ip_obs::export::{parse_exposition, parse_prometheus, render_prometheus, trace_to_chrome};
+use ip_obs::{EventRecord, Registry, SpanRecord, Trace};
+use proptest::prelude::*;
+use serde::Content;
+
+const LABEL_ALPHABET: &[char] = &[
+    '\\', '"', '\n', 'a', 'B', '0', 'é', ' ', '{', '}', ',', '=', '_',
+];
+
+// No space: the parser trims sample lines, so trailing spaces in HELP text
+// are not representable (matching real scrapers).
+const HELP_ALPHABET: &[char] = &['\\', '"', '\n', 'a', 'B', '0', 'é', '{', ',', '='];
+
+fn hostile_string(alphabet: &'static [char]) -> impl Strategy<Value = String> {
+    proptest::collection::vec(0usize..alphabet.len(), 0..24)
+        .prop_map(move |idx| idx.into_iter().map(|i| alphabet[i]).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn hostile_label_values_round_trip(value in hostile_string(LABEL_ALPHABET)) {
+        let reg = Registry::new();
+        reg.counter_add("series_total", &[("path", &value)], 2.0);
+        reg.gauge_set("level", &[("path", &value), ("zone", "a b")], -1.5);
+        let text = render_prometheus(&reg);
+        let samples = parse_prometheus(&text).unwrap();
+        prop_assert_eq!(samples.len(), 2);
+        let gauge = samples.iter().find(|s| s.name == "level").unwrap();
+        prop_assert_eq!(&gauge.labels[0].1, &value);
+        prop_assert_eq!(&gauge.labels[1].1, "a b");
+        prop_assert_eq!(gauge.value, -1.5);
+        let counter = samples.iter().find(|s| s.name == "series_total").unwrap();
+        prop_assert_eq!(&counter.labels[0].1, &value);
+    }
+
+    #[test]
+    fn hostile_help_text_round_trips(help in hostile_string(HELP_ALPHABET)) {
+        let reg = Registry::new();
+        reg.describe("series_total", &help);
+        reg.counter_add("series_total", &[], 1.0);
+        let text = render_prometheus(&reg);
+        let parsed = parse_exposition(&text).unwrap();
+        prop_assert_eq!(parsed.helps.len(), 1);
+        prop_assert_eq!(&parsed.helps[0].0, "series_total");
+        prop_assert_eq!(&parsed.helps[0].1, &help);
+        prop_assert_eq!(parsed.samples.len(), 1);
+    }
+}
+
+#[test]
+fn help_lines_render_before_type_and_unescape() {
+    let reg = Registry::new();
+    reg.describe(
+        "pool_hits_total",
+        "Requests served from the pool.\nOne \\ two",
+    );
+    reg.describe("ghost_metric", "described but never recorded");
+    reg.counter_add("pool_hits_total", &[("pool", "east")], 4.0);
+    let text = render_prometheus(&reg);
+    let help_at = text.find("# HELP pool_hits_total").unwrap();
+    let type_at = text.find("# TYPE pool_hits_total").unwrap();
+    assert!(help_at < type_at);
+    // Escaped on the wire: a single line containing \n and \\ sequences.
+    assert!(text.contains("Requests served from the pool.\\nOne \\\\ two"));
+    // Families with help but no samples are not rendered.
+    assert!(!text.contains("ghost_metric"));
+    let parsed = parse_exposition(&text).unwrap();
+    assert_eq!(
+        parsed.helps,
+        vec![(
+            "pool_hits_total".to_string(),
+            "Requests served from the pool.\nOne \\ two".to_string()
+        )]
+    );
+}
+
+#[test]
+fn clear_drops_help_text() {
+    let reg = Registry::new();
+    reg.describe("c_total", "help");
+    reg.counter_add("c_total", &[], 1.0);
+    reg.clear();
+    reg.counter_add("c_total", &[], 1.0);
+    assert!(!render_prometheus(&reg).contains("# HELP"));
+}
+
+fn sample_trace() -> Trace {
+    Trace {
+        spans: vec![
+            SpanRecord {
+                id: 1,
+                parent: None,
+                name: "sim.run".into(),
+                thread: "main".into(),
+                start_ns: 1_000,
+                dur_ns: 5_000_000,
+            },
+            SpanRecord {
+                id: 2,
+                parent: Some(1),
+                name: "saa.solve \"q\"".into(),
+                thread: "ip-par-0".into(),
+                start_ns: 2_000,
+                dur_ns: 1_000_000,
+            },
+        ],
+        events: vec![EventRecord {
+            name: "sim.interval".into(),
+            t: 30,
+            fields: vec![("hits".into(), 2.0), ("rate".into(), f64::NAN)],
+        }],
+        dropped: 0,
+    }
+}
+
+/// The Chrome exporter must produce a JSON array of `trace_event` objects:
+/// every element has `name`/`ph`/`pid`/`tid`, `ph:"X"` spans carry
+/// numeric `ts`/`dur`, instants carry a scope, and metadata names each
+/// thread. Parsed with the workspace JSON parser, not string matching.
+#[test]
+fn chrome_trace_is_valid_trace_event_json() {
+    let json = trace_to_chrome(&sample_trace());
+    let doc: Content = serde_json::from_str(&json).unwrap();
+    let Content::Seq(records) = doc else {
+        panic!("chrome trace must be a JSON array, got {doc:?}");
+    };
+    let mut complete = 0;
+    let mut instants = 0;
+    let mut thread_names = Vec::new();
+    for rec in &records {
+        let ph = match rec.field("ph") {
+            Some(Content::Str(ph)) => ph.as_str(),
+            other => panic!("record without ph: {other:?}"),
+        };
+        assert!(matches!(rec.field("name"), Some(Content::Str(_))));
+        assert!(rec.field("pid").and_then(Content::as_u64).is_some());
+        assert!(rec.field("tid").and_then(Content::as_u64).is_some());
+        match ph {
+            "X" => {
+                complete += 1;
+                assert!(rec.field("ts").and_then(Content::as_u64).is_some());
+                assert!(rec.field("dur").and_then(Content::as_u64).is_some());
+            }
+            "i" => {
+                instants += 1;
+                assert_eq!(rec.field("s"), Some(&Content::Str("g".into())));
+                // ts scaling: one logical second per microsecond.
+                assert_eq!(rec.field("ts").and_then(Content::as_u64), Some(30_000_000));
+                let args = rec.field("args").unwrap();
+                assert_eq!(args.field("hits").and_then(Content::as_f64), Some(2.0));
+                // NaN is unrepresentable in JSON and becomes null.
+                assert_eq!(args.field("rate"), Some(&Content::Null));
+            }
+            "M" => {
+                if let (Some(Content::Str(n)), Some(args)) = (rec.field("name"), rec.field("args"))
+                {
+                    if n == "thread_name" {
+                        if let Some(Content::Str(t)) = args.field("name") {
+                            thread_names.push(t.clone());
+                        }
+                    }
+                }
+            }
+            other => panic!("unexpected phase {other:?}"),
+        }
+    }
+    assert_eq!(complete, 2);
+    assert_eq!(instants, 1);
+    assert_eq!(thread_names, vec!["main".to_string(), "ip-par-0".into()]);
+}
+
+/// `Trace::to_chrome` and the free function agree, and an empty trace is
+/// still a valid (metadata-only) array.
+#[test]
+fn chrome_trace_empty_and_method_parity() {
+    let trace = sample_trace();
+    assert_eq!(trace.to_chrome(), trace_to_chrome(&trace));
+    let empty = trace_to_chrome(&Trace::default());
+    let doc: Content = serde_json::from_str(&empty).unwrap();
+    assert!(matches!(doc, Content::Seq(_)));
+}

@@ -1,0 +1,441 @@
+//! The controller: live daemon state wrapped around the simulator's
+//! incrementally-steppable event loop.
+//!
+//! Everything that can change at runtime — the [`SimStepper`], the demand
+//! trace being replayed (mutable, because `POST /requests` injects future
+//! arrivals), the recommendation provider (swappable via `POST /reload`),
+//! the worker lease, and the latest dashboard snapshot — lives here behind
+//! one mutex. All state mutation happens in event order inside
+//! `SimStepper`, so the daemon's decisions are bit-identical to an offline
+//! [`ip_sim::Simulation`] run over the same effective trace regardless of
+//! how wall-clock pacing slices the `step_until` calls.
+
+use ip_core::{
+    autotuned_provider, named_provider, Alert, CostModel, Dashboard, DynProvider, MetricsSnapshot,
+};
+use ip_saa::SaaConfig;
+use ip_sim::{
+    IntervalStat, LeaseId, LeaseTable, RecommendationFile, RecommendationProvider, SimConfig,
+    SimReport, SimStepper,
+};
+use ip_timeseries::TimeSeries;
+use serde::{Content, Serialize};
+
+/// Builds the recommendation provider exactly the way the offline CLI
+/// does, so live and offline runs share one construction path (the
+/// bit-identity guarantee hangs on this).
+pub fn build_provider(
+    model: &str,
+    alpha: f64,
+    autotune: bool,
+    target_wait_secs: f64,
+) -> Result<DynProvider, String> {
+    let saa = SaaConfig {
+        alpha_prime: alpha,
+        ..Default::default()
+    };
+    if autotune {
+        autotuned_provider(model, alpha, saa, target_wait_secs)
+    } else {
+        named_provider(model, alpha, saa)
+    }
+    .map_err(|e| e.to_string())
+}
+
+/// Live controller state (shared between the controller thread and the
+/// HTTP workers under one mutex).
+pub struct Controller {
+    stepper: Option<SimStepper>,
+    demand: TimeSeries,
+    provider: Option<DynProvider>,
+    model: Option<String>,
+    alpha: f64,
+    autotune: bool,
+    target_wait_secs: f64,
+    end_time: u64,
+    intervals_total: usize,
+    leases: LeaseTable,
+    lease_id: LeaseId,
+    lease_secs: u64,
+    injected: u64,
+    reloads: u64,
+    /// Latest §7.5 dashboard snapshot (written by the controller tick).
+    pub snapshot: MetricsSnapshot,
+    /// Alerts firing as of the latest tick.
+    pub alerts: Vec<Alert>,
+    report: Option<SimReport>,
+}
+
+impl Controller {
+    /// Builds the controller: validates the config by constructing the
+    /// stepper, builds the named provider (if any), and grants the
+    /// controller its worker lease at logical `t = 0`.
+    pub fn new(
+        sim: SimConfig,
+        demand: TimeSeries,
+        model: Option<String>,
+        alpha: f64,
+        autotune: bool,
+        target_wait_secs: f64,
+        lease_secs: u64,
+    ) -> Result<Self, String> {
+        let provider = match &model {
+            Some(name) => Some(build_provider(name, alpha, autotune, target_wait_secs)?),
+            None => None,
+        };
+        let stepper = SimStepper::new(sim, &demand).map_err(|e| e.to_string())?;
+        let end_time = stepper.end_time();
+        let intervals_total = demand.len();
+        let mut leases = LeaseTable::new();
+        let lease_id = leases.grant("controller", 0, lease_secs);
+        let snapshot = Dashboard::new(CostModel::default()).stream().snapshot();
+        Ok(Self {
+            stepper: Some(stepper),
+            demand,
+            provider,
+            model,
+            alpha,
+            autotune,
+            target_wait_secs,
+            end_time,
+            intervals_total,
+            leases,
+            lease_id,
+            lease_secs,
+            injected: 0,
+            reloads: 0,
+            snapshot,
+            alerts: Vec::new(),
+            report: None,
+        })
+    }
+
+    /// Processes every queued platform event at or before logical `until`.
+    /// Returns the number of demand intervals processed by this call.
+    pub fn step_to(&mut self, until: u64) -> usize {
+        let Some(stepper) = self.stepper.as_mut() else {
+            return 0;
+        };
+        let provider = self
+            .provider
+            .as_deref_mut()
+            .map(|p| p as &mut dyn RecommendationProvider);
+        stepper.step_until(&self.demand, provider, until)
+    }
+
+    /// `true` once the whole trace has been processed (or finalized).
+    pub fn is_done(&self) -> bool {
+        self.stepper.as_ref().is_none_or(SimStepper::is_done)
+    }
+
+    /// Logical time processed through.
+    pub fn watermark(&self) -> u64 {
+        self.stepper
+            .as_ref()
+            .map_or(self.end_time, SimStepper::watermark)
+    }
+
+    /// Demand intervals processed so far (also the earliest interval an
+    /// injection can land on).
+    pub fn processed_intervals(&self) -> usize {
+        match (&self.stepper, &self.report) {
+            (Some(s), _) => s.processed_intervals(),
+            (None, Some(r)) => r.interval_stats.len(),
+            (None, None) => 0,
+        }
+    }
+
+    /// The per-interval telemetry stream so far.
+    pub fn interval_stats(&self) -> &[IntervalStat] {
+        match (&self.stepper, &self.report) {
+            (Some(s), _) => s.interval_stats(),
+            (None, Some(r)) => &r.interval_stats,
+            (None, None) => &[],
+        }
+    }
+
+    /// Total intervals in the (effective) trace.
+    pub fn intervals_total(&self) -> usize {
+        self.intervals_total
+    }
+
+    /// The demand trace as currently effective (replayed + injected).
+    pub fn effective_demand(&self) -> &TimeSeries {
+        &self.demand
+    }
+
+    /// Requests injected over HTTP so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Provider reloads so far.
+    pub fn reloads(&self) -> u64 {
+        self.reloads
+    }
+
+    /// Current `α'`.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+
+    /// Controller lease lapses observed so far.
+    pub fn lapsed_leases(&self) -> u64 {
+        self.leases.lapsed_total
+    }
+
+    /// Injects `count` arrivals into the replay. The arrivals land on
+    /// `interval` if given (clamped up to the earliest still-unprocessed
+    /// interval — the past is immutable), else on the earliest injectable
+    /// interval. Returns the interval index they landed on.
+    pub fn inject(&mut self, count: u64, interval: Option<usize>) -> Result<usize, String> {
+        if count == 0 {
+            return Err("count must be >= 1".into());
+        }
+        if self.stepper.is_none() || self.is_done() {
+            return Err("trace complete; daemon no longer accepts arrivals".into());
+        }
+        let earliest = self.processed_intervals();
+        if earliest >= self.intervals_total {
+            return Err("trace complete; daemon no longer accepts arrivals".into());
+        }
+        let idx = interval.unwrap_or(earliest).max(earliest);
+        if idx >= self.intervals_total {
+            return Err(format!(
+                "interval {idx} is beyond the trace end ({} intervals)",
+                self.intervals_total
+            ));
+        }
+        self.demand.values_mut()[idx] += count as f64;
+        self.injected += count;
+        ip_obs::counter_add("ip_serve_injected_requests_total", &[], count as f64);
+        Ok(idx)
+    }
+
+    /// Swaps the recommendation pipeline (model name + `α'`) for all
+    /// subsequent IP runs. Rejected on a static daemon (no pipeline was
+    /// scheduled at start, so a provider would never be consulted).
+    pub fn reload(&mut self, model: &str, alpha: f64) -> Result<(), String> {
+        if self.provider.is_none() {
+            return Err("daemon runs a static pool (no --model); nothing to reload".into());
+        }
+        let provider = build_provider(model, alpha, self.autotune, self.target_wait_secs)?;
+        self.provider = Some(provider);
+        self.model = Some(model.to_string());
+        self.alpha = alpha;
+        self.reloads += 1;
+        ip_obs::counter_inc("ip_serve_reloads_total", &[]);
+        Ok(())
+    }
+
+    /// Heartbeat: renews the controller lease at logical `now`; if the
+    /// lease already lapsed (a stalled tick), sweeps it out and re-grants —
+    /// exactly the Arbitrator's replace-the-silent-worker move, counted in
+    /// [`Controller::lapsed_leases`].
+    pub fn tick_lease(&mut self, now: u64) {
+        if !self.leases.renew(self.lease_id, now, self.lease_secs) {
+            self.leases.sweep(now);
+            self.lease_id = self.leases.grant("controller", now, self.lease_secs);
+        }
+    }
+
+    /// Closes the integrals at the current watermark and stores the final
+    /// report; the post-run snapshot is recomputed from the report so it
+    /// matches [`Dashboard::snapshot`] exactly. Idempotent.
+    pub fn finalize(&mut self) {
+        if let Some(stepper) = self.stepper.take() {
+            let report = stepper.finalize();
+            let dashboard = Dashboard::new(CostModel::default());
+            self.snapshot = dashboard.snapshot(&report, self.end_time as f64);
+            self.report = Some(report);
+        }
+    }
+
+    /// The final report, once [`Controller::finalize`] has run.
+    pub fn report(&self) -> Option<&SimReport> {
+        self.report.as_ref()
+    }
+
+    /// Moves the final report out (daemon teardown).
+    pub fn take_report(&mut self) -> Option<SimReport> {
+        self.report.take()
+    }
+
+    /// Recommendation files written by the pipeline so far, oldest first.
+    pub fn recommendation_history(&self) -> Vec<RecommendationFile> {
+        let store = match (&self.stepper, &self.report) {
+            (Some(s), _) => s.config_store(),
+            (None, Some(r)) => &r.config_store,
+            (None, None) => return Vec::new(),
+        };
+        store.get_all::<RecommendationFile>("pool-recommendation")
+    }
+
+    /// The `/status` document as a JSON string.
+    pub fn status_json(&self, state: &str) -> String {
+        let lease = match self.leases.get(self.lease_id) {
+            Some(l) => Content::Map(vec![
+                ("holder".to_string(), Content::Str("controller".into())),
+                ("granted_at".to_string(), Content::U64(l.granted_at)),
+                ("expires_at".to_string(), Content::U64(l.expires_at)),
+                ("renewals".to_string(), Content::U64(l.renewals)),
+            ]),
+            None => Content::Null,
+        };
+        let model = match &self.model {
+            Some(m) => Content::Str(m.clone()),
+            None => Content::Null,
+        };
+        let body = Content::Map(vec![
+            ("state".to_string(), Content::Str(state.to_string())),
+            ("logical_time".to_string(), Content::U64(self.watermark())),
+            ("end_time".to_string(), Content::U64(self.end_time)),
+            (
+                "intervals_processed".to_string(),
+                Content::U64(self.processed_intervals() as u64),
+            ),
+            (
+                "intervals_total".to_string(),
+                Content::U64(self.intervals_total as u64),
+            ),
+            ("model".to_string(), model),
+            ("alpha".to_string(), Content::F64(self.alpha)),
+            ("injected_requests".to_string(), Content::U64(self.injected)),
+            ("reloads".to_string(), Content::U64(self.reloads)),
+            (
+                "recommendation_files".to_string(),
+                Content::U64(self.recommendation_history().len() as u64),
+            ),
+            ("lease".to_string(), lease),
+            (
+                "lapsed_leases".to_string(),
+                Content::U64(self.leases.lapsed_total),
+            ),
+            ("metrics".to_string(), self.snapshot.to_content()),
+            ("alerts".to_string(), self.alerts.to_content()),
+        ]);
+        serde_json::to_string(&body).expect("status document serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(n: usize) -> TimeSeries {
+        TimeSeries::new(30, (0..n).map(|i| f64::from(i as u32 % 4)).collect()).unwrap()
+    }
+
+    fn static_controller(n: usize) -> Controller {
+        let sim = SimConfig {
+            default_pool_target: 2,
+            tau_jitter_secs: 0,
+            ..Default::default()
+        };
+        Controller::new(sim, demand(n), None, 0.3, false, 30.0, 300).unwrap()
+    }
+
+    #[test]
+    fn stepwise_controller_matches_offline_simulation() {
+        let sim = SimConfig {
+            default_pool_target: 3,
+            seed: 7,
+            ..Default::default()
+        };
+        let d = demand(60);
+        let mut ctl = Controller::new(sim.clone(), d.clone(), None, 0.3, false, 30.0, 300).unwrap();
+        // Arbitrary pacing, as the wall clock would produce.
+        for until in [13, 14, 400, 401, 999, u64::MAX] {
+            ctl.step_to(until);
+        }
+        assert!(ctl.is_done());
+        ctl.finalize();
+        let live = ctl.take_report().unwrap();
+        let offline = ip_sim::Simulation::new(sim, None).run(&d).unwrap();
+        assert_eq!(live.hits, offline.hits);
+        assert_eq!(live.total_wait_secs, offline.total_wait_secs);
+        assert_eq!(live.interval_stats, offline.interval_stats);
+    }
+
+    #[test]
+    fn injection_lands_at_or_after_the_frontier() {
+        let mut ctl = static_controller(40);
+        ctl.step_to(10 * 30); // intervals 0..=10 processed
+        let processed = ctl.processed_intervals();
+        assert!(processed >= 10);
+        // Asking for an already-processed interval clamps forward.
+        let landed = ctl.inject(5, Some(0)).unwrap();
+        assert_eq!(landed, processed);
+        // Explicit future interval is honoured.
+        assert_eq!(ctl.inject(2, Some(30)).unwrap(), 30);
+        // Beyond the trace is rejected; zero counts are rejected.
+        assert!(ctl.inject(1, Some(40)).is_err());
+        assert!(ctl.inject(0, None).is_err());
+        assert_eq!(ctl.injected(), 7);
+        assert_eq!(ctl.effective_demand().values()[30], 2.0 + 2.0);
+    }
+
+    #[test]
+    fn injection_rejected_after_completion() {
+        let mut ctl = static_controller(10);
+        ctl.step_to(u64::MAX);
+        assert!(ctl.is_done());
+        assert!(ctl.inject(1, None).is_err());
+        ctl.finalize();
+        assert!(ctl.inject(1, None).is_err());
+    }
+
+    #[test]
+    fn reload_swaps_models_and_rejects_static() {
+        let mut ctl = static_controller(10);
+        assert!(ctl.reload("baseline", 0.5).is_err());
+
+        let sim = SimConfig {
+            ip_worker: Some(ip_sim::IpWorkerConfig::default()),
+            ..Default::default()
+        };
+        let mut ctl = Controller::new(
+            sim,
+            demand(20),
+            Some("baseline".into()),
+            0.3,
+            false,
+            30.0,
+            300,
+        )
+        .unwrap();
+        assert!(ctl.reload("nope", 0.3).is_err());
+        ctl.reload("ssa", 0.4).unwrap();
+        assert_eq!(ctl.reloads(), 1);
+        assert!(ctl.status_json("running").contains("\"model\":\"ssa\""));
+    }
+
+    #[test]
+    fn lease_heartbeat_and_lapse_recovery() {
+        let mut ctl = static_controller(10);
+        ctl.tick_lease(100);
+        ctl.tick_lease(200);
+        assert_eq!(ctl.lapsed_leases(), 0);
+        // A stall past the lease horizon lapses it; the next heartbeat
+        // replaces the lease and counts the lapse.
+        ctl.tick_lease(10_000);
+        assert_eq!(ctl.lapsed_leases(), 1);
+        ctl.tick_lease(10_100);
+        assert_eq!(ctl.lapsed_leases(), 1);
+    }
+
+    #[test]
+    fn status_json_is_parseable_and_complete() {
+        let mut ctl = static_controller(20);
+        ctl.step_to(5 * 30);
+        let doc: Content = serde_json::from_str(&ctl.status_json("running")).unwrap();
+        assert_eq!(doc.field("state"), Some(&Content::Str("running".into())));
+        assert_eq!(doc.field("end_time").and_then(Content::as_u64), Some(600));
+        assert!(doc.field("metrics").is_some());
+        assert!(matches!(doc.field("alerts"), Some(Content::Seq(_))));
+        assert!(doc
+            .field("lease")
+            .and_then(|l| l.field("expires_at"))
+            .is_some());
+    }
+}

@@ -1,0 +1,244 @@
+//! A hand-rolled HTTP/1.1 subset over `std::net` — the build environment is
+//! offline, so no tokio/hyper. Exactly what a control plane needs and
+//! nothing more: one request per connection (`Connection: close`), request
+//! line + headers + `Content-Length` body, no chunked encoding, no
+//! keep-alive, no TLS.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Ceiling on the header block; anything larger is rejected outright.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// Ceiling on request bodies (inject/reload payloads are tiny).
+const MAX_BODY_BYTES: usize = 256 * 1024;
+
+/// How long a single request may take to arrive before the connection is
+/// dropped (protects worker threads from half-open sockets).
+const READ_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method token as received (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target with any `?query` suffix stripped.
+    pub path: String,
+    /// Body bytes decoded as UTF-8 (lossy).
+    pub body: String,
+}
+
+/// One response about to be written.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` header value.
+    pub content_type: &'static str,
+    /// Body.
+    pub body: String,
+}
+
+impl Response {
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            body: body.into(),
+        }
+    }
+
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<String>) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            body: body.into(),
+        }
+    }
+
+    /// A JSON error envelope: `{"error": "..."}`.
+    pub fn json_error(status: u16, message: &str) -> Self {
+        let mut body = String::from("{\"error\":");
+        body.push_str(&json_escape(message));
+        body.push('}');
+        Self::json(status, body)
+    }
+
+    /// A Prometheus text-exposition response.
+    pub fn prometheus(body: String) -> Self {
+        Self {
+            status: 200,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            body,
+        }
+    }
+}
+
+/// Minimal JSON string escaping for error envelopes.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+fn find_blank_line(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+/// Reads and parses one request from `stream`. The accepted socket may be
+/// in the listener's non-blocking mode, so `WouldBlock` is retried until
+/// [`READ_TIMEOUT`] worth of waiting has accumulated.
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    let _ = stream.set_nonblocking(false);
+    let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 2048];
+
+    let head_end = loop {
+        if let Some(pos) = find_blank_line(&buf) {
+            break pos;
+        }
+        if buf.len() > MAX_HEAD_BYTES {
+            return Err("request header block too large".into());
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err("connection closed before end of headers".into()),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(format!("read failed: {e}")),
+        }
+    };
+
+    let head = std::str::from_utf8(&buf[..head_end])
+        .map_err(|_| "non-UTF-8 header block")?
+        .to_string();
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split_whitespace();
+    let method = parts.next().ok_or("empty request line")?.to_string();
+    let target = parts.next().ok_or("request line without a target")?;
+    let version = parts.next().unwrap_or("");
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported protocol {version:?}"));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+
+    let mut content_length = 0usize;
+    for line in lines {
+        if let Some((key, value)) = line.split_once(':') {
+            if key.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| "unparseable Content-Length")?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err("request body too large".into());
+    }
+
+    let body_start = head_end + 4;
+    while buf.len() < body_start + content_length {
+        match stream.read(&mut chunk) {
+            Ok(0) => return Err("connection closed mid-body".into()),
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(format!("read failed: {e}")),
+        }
+    }
+    let body = String::from_utf8_lossy(&buf[body_start..body_start + content_length]).into_owned();
+    Ok(Request { method, path, body })
+}
+
+/// Writes `response` and closes the write half.
+pub fn write_response(stream: &mut TcpStream, response: &Response) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        response.status,
+        reason(response.status),
+        response.content_type,
+        response.body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(response.body.as_bytes())?;
+    stream.flush()?;
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    fn round_trip(raw: &[u8]) -> Result<Request, String> {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let raw = raw.to_vec();
+        let client = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            s.write_all(&raw).unwrap();
+            let _ = s.shutdown(std::net::Shutdown::Write);
+        });
+        let (mut server_side, _) = listener.accept().unwrap();
+        let req = read_request(&mut server_side);
+        client.join().unwrap();
+        req
+    }
+
+    #[test]
+    fn parses_get_with_query() {
+        let req = round_trip(b"GET /status?verbose=1 HTTP/1.1\r\nHost: x\r\n\r\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/status");
+        assert_eq!(req.body, "");
+    }
+
+    #[test]
+    fn parses_post_body_by_content_length() {
+        let req = round_trip(b"POST /requests HTTP/1.1\r\ncontent-length: 11\r\n\r\n{\"count\":3}")
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.body, "{\"count\":3}");
+    }
+
+    #[test]
+    fn rejects_non_http_and_truncation() {
+        assert!(round_trip(b"SSH-2.0-OpenSSH\r\n\r\n").is_err());
+        assert!(round_trip(b"POST /x HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort").is_err());
+    }
+
+    #[test]
+    fn error_envelope_escapes() {
+        let resp = Response::json_error(400, "bad \"thing\"\n");
+        assert_eq!(resp.body, "{\"error\":\"bad \\\"thing\\\"\\n\"}");
+    }
+}

@@ -1,0 +1,605 @@
+//! `ip-serve`: a long-running pool-controller daemon.
+//!
+//! The daemon has two halves:
+//!
+//! 1. A **controller event loop** on its own thread. It replays a workload
+//!    trace against the platform simulator at wall-clock (or
+//!    `speedup`-accelerated) logical time, periodically re-running the
+//!    recommendation pipeline with the §6 autotuned `α'`, enforcing the
+//!    §7.5 guardrails (prediction-accuracy gate, stale-recommendation TTL
+//!    with fallback to the default config), sweeping the §7.6 Arbitrator
+//!    worker lease, and refreshing a live dashboard snapshot + alert set
+//!    each tick.
+//! 2. A **hand-rolled HTTP/1.1 control plane** over `std::net` (no async
+//!    runtime): a non-blocking accept loop feeding a small worker pool.
+//!
+//! | Endpoint         | Method | Purpose                                     |
+//! |------------------|--------|---------------------------------------------|
+//! | `/metrics`       | GET    | Prometheus text exposition (`ip-obs`)       |
+//! | `/healthz`       | GET    | liveness — 200 while the process runs       |
+//! | `/readyz`        | GET    | readiness — 200 once the controller started |
+//! | `/status`        | GET    | JSON dashboard snapshot + active alerts     |
+//! | `/requests`      | POST   | inject arrivals into the live replay        |
+//! | `/reload`        | POST   | swap the recommendation model / `α'`        |
+//! | `/shutdown`      | POST   | graceful drain and exit                     |
+//!
+//! Because every state mutation and RNG draw happens inside the
+//! incrementally-steppable simulator in event order — never in pacing
+//! order — the daemon's recommendations are **bit-identical** to an
+//! offline [`ip_sim::Simulation`] run over the same effective trace, no
+//! matter how the wall clock slices the ticks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use ip_core::{evaluate_alerts, AlertRule, CostModel, Dashboard};
+use ip_obs::export::render_prometheus;
+use ip_sim::{SimConfig, SimReport};
+use ip_timeseries::TimeSeries;
+use serde::Content;
+
+mod controller;
+pub mod http;
+
+pub use controller::{build_provider, Controller};
+use http::{read_request, write_response, Request, Response};
+
+/// Daemon lifecycle phase, stored in an [`AtomicU8`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Phase {
+    /// Threads are being spawned.
+    Starting = 0,
+    /// The controller is replaying the trace.
+    Running = 1,
+    /// The trace has been fully processed; the control plane stays up.
+    Completed = 2,
+    /// `/shutdown` received: draining connections, threads exiting.
+    Draining = 3,
+    /// All threads joined.
+    Stopped = 4,
+}
+
+impl Phase {
+    fn from_u8(v: u8) -> Self {
+        match v {
+            0 => Phase::Starting,
+            1 => Phase::Running,
+            2 => Phase::Completed,
+            3 => Phase::Draining,
+            _ => Phase::Stopped,
+        }
+    }
+
+    fn as_str(self) -> &'static str {
+        match self {
+            Phase::Starting => "starting",
+            Phase::Running => "running",
+            Phase::Completed => "completed",
+            Phase::Draining => "draining",
+            Phase::Stopped => "stopped",
+        }
+    }
+}
+
+/// Configuration for [`Daemon::start`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Platform simulation config (guardrails, Arbitrator, failures, seed).
+    pub sim: SimConfig,
+    /// The workload trace to replay.
+    pub demand: TimeSeries,
+    /// Recommendation model name (`ssa`, `ssa+`, `baseline`, `e2e-ssa`,
+    /// `e2e-baseline`); `None` runs a static pool at the default target.
+    pub model: Option<String>,
+    /// Initial `α'` (Eq. 16 idle-vs-wait weight).
+    pub alpha: f64,
+    /// Enable the §6 AlphaTuner feedback loop.
+    pub autotune: bool,
+    /// Target mean wait for the tuner, in seconds.
+    pub target_wait_secs: f64,
+    /// Logical seconds advanced per wall-clock second. `1.0` is real time.
+    pub speedup: f64,
+    /// TCP port to bind on 127.0.0.1 (`0` picks an ephemeral port).
+    pub port: u16,
+    /// Alert rules evaluated against each tick's snapshot.
+    pub alert_rules: Vec<AlertRule>,
+}
+
+impl ServeConfig {
+    /// A config with sensible defaults for the given trace.
+    pub fn new(demand: TimeSeries) -> Self {
+        Self {
+            sim: SimConfig::default(),
+            demand,
+            model: None,
+            alpha: 0.3,
+            autotune: false,
+            target_wait_secs: 30.0,
+            speedup: 1.0,
+            port: 0,
+            alert_rules: default_alert_rules(),
+        }
+    }
+}
+
+/// The §7.5 production alert set: hit rate below 50 %, more than half of
+/// IP runs failing, and any Arbitrator worker replacement.
+pub fn default_alert_rules() -> Vec<AlertRule> {
+    vec![
+        AlertRule::HitRateBelow(50.0),
+        AlertRule::PipelineFailureRateAbove(0.5),
+        AlertRule::WorkerReplaced,
+    ]
+}
+
+/// Result of a full daemon run, returned by [`Daemon::join`].
+#[derive(Debug)]
+pub struct ServeOutcome {
+    /// The finalized simulation report (bit-identical to an offline run
+    /// over the effective trace), if the controller reached the trace end
+    /// or drained after processing a prefix.
+    pub report: Option<SimReport>,
+    /// Requests injected over HTTP during the run.
+    pub injected: u64,
+    /// Provider reloads served.
+    pub reloads: u64,
+    /// Controller lease lapses observed by the Arbitrator heartbeat.
+    pub lapsed_leases: u64,
+}
+
+/// State shared by the controller, accept, and worker threads.
+struct Inner {
+    phase: AtomicU8,
+    ctl: Mutex<Controller>,
+    queue: Mutex<VecDeque<TcpStream>>,
+    available: Condvar,
+    alert_rules: Vec<AlertRule>,
+    speedup: f64,
+    interval_secs: u64,
+}
+
+impl Inner {
+    fn phase(&self) -> Phase {
+        Phase::from_u8(self.phase.load(Ordering::Acquire))
+    }
+
+    fn transition(&self, from: Phase, to: Phase) -> bool {
+        self.phase
+            .compare_exchange(from as u8, to as u8, Ordering::AcqRel, Ordering::Acquire)
+            .is_ok()
+    }
+
+    fn begin_drain(&self) {
+        // Whatever phase we are in (Running or Completed), move to
+        // Draining; never move backwards out of Draining/Stopped.
+        loop {
+            let cur = self.phase();
+            if cur >= Phase::Draining {
+                return;
+            }
+            if self.transition(cur, Phase::Draining) {
+                self.available.notify_all();
+                return;
+            }
+        }
+    }
+}
+
+/// A running daemon: bound listener plus its thread handles.
+pub struct Daemon {
+    inner: Arc<Inner>,
+    addr: std::net::SocketAddr,
+    controller: JoinHandle<()>,
+    acceptor: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Daemon {
+    /// Binds the control plane, spawns the controller/accept/worker
+    /// threads, and transitions to [`Phase::Running`].
+    pub fn start(config: ServeConfig) -> Result<Self, String> {
+        let ServeConfig {
+            mut sim,
+            demand,
+            model,
+            alpha,
+            autotune,
+            target_wait_secs,
+            speedup,
+            port,
+            alert_rules,
+        } = config;
+        if !(speedup.is_finite() && speedup > 0.0) {
+            return Err(format!(
+                "--speedup must be a positive number, got {speedup}"
+            ));
+        }
+        // Mirror the offline CLI: naming a model schedules the IP worker.
+        if model.is_some() && sim.ip_worker.is_none() {
+            sim.ip_worker = Some(ip_sim::IpWorkerConfig::default());
+        }
+        describe_serve_metrics();
+        let interval_secs = demand.interval_secs().max(1);
+        // The controller heartbeat runs on the wall clock but the lease is
+        // measured in logical seconds, so scale the Arbitrator's lease by
+        // the speedup to keep its wall-clock horizon constant.
+        let lease_secs = ((sim.arbitrator.lease_secs as f64 * speedup).ceil() as u64).max(1);
+        let ctl = Controller::new(
+            sim,
+            demand,
+            model,
+            alpha,
+            autotune,
+            target_wait_secs,
+            lease_secs,
+        )?;
+
+        let listener = TcpListener::bind(("127.0.0.1", port))
+            .map_err(|e| format!("bind 127.0.0.1:{port}: {e}"))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| format!("local_addr: {e}"))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| format!("set_nonblocking: {e}"))?;
+
+        let inner = Arc::new(Inner {
+            phase: AtomicU8::new(Phase::Starting as u8),
+            ctl: Mutex::new(ctl),
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            alert_rules,
+            speedup,
+            interval_secs,
+        });
+
+        let worker_count = ip_par::num_threads().clamp(2, 4);
+        let mut workers = Vec::with_capacity(worker_count);
+        for i in 0..worker_count {
+            let inner = Arc::clone(&inner);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("ip-serve-http-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .map_err(|e| format!("spawn worker: {e}"))?,
+            );
+        }
+        let acceptor = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("ip-serve-accept".to_string())
+                .spawn(move || accept_loop(&listener, &inner))
+                .map_err(|e| format!("spawn acceptor: {e}"))?
+        };
+        let controller = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("ip-serve-controller".to_string())
+                .spawn(move || controller_loop(&inner))
+                .map_err(|e| format!("spawn controller: {e}"))?
+        };
+        inner.transition(Phase::Starting, Phase::Running);
+        Ok(Self {
+            inner,
+            addr,
+            controller,
+            acceptor,
+            workers,
+        })
+    }
+
+    /// The bound control-plane address.
+    pub fn addr(&self) -> std::net::SocketAddr {
+        self.addr
+    }
+
+    /// Initiates a graceful drain, exactly as `POST /shutdown` would.
+    pub fn request_shutdown(&self) {
+        self.inner.begin_drain();
+    }
+
+    /// Blocks until the daemon drains (a `/shutdown` arrives or
+    /// [`Daemon::request_shutdown`] is called), then joins every thread
+    /// and returns the run's outcome.
+    pub fn join(self) -> ServeOutcome {
+        let Daemon {
+            inner,
+            addr: _,
+            controller,
+            acceptor,
+            workers,
+        } = self;
+        // The acceptor only exits on drain; it is the natural "daemon is
+        // done" signal.
+        let _ = acceptor.join();
+        inner.available.notify_all();
+        for w in workers {
+            let _ = w.join();
+        }
+        let _ = controller.join();
+        let mut ctl = inner.ctl.lock().expect("controller poisoned");
+        ctl.finalize();
+        let outcome = ServeOutcome {
+            report: ctl.take_report(),
+            injected: ctl.injected(),
+            reloads: ctl.reloads(),
+            lapsed_leases: ctl.lapsed_leases(),
+        };
+        drop(ctl);
+        inner.phase.store(Phase::Stopped as u8, Ordering::Release);
+        outcome
+    }
+}
+
+/// HELP text for the daemon's metric families (rendered on `/metrics`).
+fn describe_serve_metrics() {
+    ip_obs::describe(
+        "ip_serve_ticks_total",
+        "Controller event-loop ticks executed.",
+    );
+    ip_obs::describe(
+        "ip_serve_http_requests_total",
+        "Control-plane HTTP requests, by path and method.",
+    );
+    ip_obs::describe(
+        "ip_serve_injected_requests_total",
+        "Arrivals injected into the live replay via POST /requests.",
+    );
+    ip_obs::describe(
+        "ip_serve_reloads_total",
+        "Recommendation-provider reloads served via POST /reload.",
+    );
+}
+
+/// How long the controller sleeps between ticks: one demand interval of
+/// logical time, converted to wall clock and clamped to 5–200 ms so a
+/// huge `--speedup` still yields a responsive loop and a real-time run
+/// still ticks several times per interval.
+fn tick_duration(interval_secs: u64, speedup: f64) -> Duration {
+    let millis = (interval_secs as f64 * 1_000.0 / speedup).clamp(5.0, 200.0);
+    Duration::from_millis(millis as u64)
+}
+
+fn controller_loop(inner: &Inner) {
+    let dashboard = Dashboard::new(CostModel::default());
+    let mut stream = dashboard.stream();
+    let started = Instant::now();
+    let mut fed = 0usize;
+    let tick = tick_duration(inner.interval_secs, inner.speedup);
+    loop {
+        let logical = (started.elapsed().as_secs_f64() * inner.speedup) as u64;
+        let done = {
+            let mut ctl = inner.ctl.lock().expect("controller poisoned");
+            let _span = ip_obs::span("serve.tick");
+            ctl.step_to(logical);
+            {
+                let stats = ctl.interval_stats();
+                for stat in &stats[fed..] {
+                    stream.observe(stat);
+                }
+                fed = stats.len();
+            }
+            ctl.snapshot = stream.snapshot();
+            ctl.alerts = evaluate_alerts(&ctl.snapshot, &inner.alert_rules);
+            let now = ctl.watermark().max(logical);
+            ctl.tick_lease(now);
+            ip_obs::counter_inc("ip_serve_ticks_total", &[]);
+            ctl.is_done()
+        };
+        if done || inner.phase() >= Phase::Draining {
+            break;
+        }
+        std::thread::sleep(tick);
+    }
+    // Close the integrals: the finalized report recomputes the snapshot
+    // so `/status` after completion matches `Dashboard::snapshot` on the
+    // full report exactly.
+    let mut ctl = inner.ctl.lock().expect("controller poisoned");
+    ctl.finalize();
+    ctl.alerts = evaluate_alerts(&ctl.snapshot, &inner.alert_rules);
+    drop(ctl);
+    // Running → Completed; if a drain already started, leave it be.
+    inner.transition(Phase::Running, Phase::Completed);
+}
+
+fn accept_loop(listener: &TcpListener, inner: &Inner) {
+    loop {
+        if inner.phase() >= Phase::Draining {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let mut queue = inner.queue.lock().expect("queue poisoned");
+                queue.push_back(stream);
+                drop(queue);
+                inner.available.notify_one();
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+    inner.available.notify_all();
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let conn = {
+            let mut queue = inner.queue.lock().expect("queue poisoned");
+            loop {
+                if let Some(conn) = queue.pop_front() {
+                    break Some(conn);
+                }
+                if inner.phase() >= Phase::Draining {
+                    break None;
+                }
+                let (q, _) = inner
+                    .available
+                    .wait_timeout(queue, Duration::from_millis(50))
+                    .expect("queue poisoned");
+                queue = q;
+            }
+        };
+        let Some(mut conn) = conn else { break };
+        let response = match read_request(&mut conn) {
+            Ok(request) => {
+                ip_obs::counter_inc(
+                    "ip_serve_http_requests_total",
+                    &[("path", &request.path), ("method", &request.method)],
+                );
+                route(inner, &request)
+            }
+            Err(e) => Response::json_error(400, &e),
+        };
+        let _ = write_response(&mut conn, &response);
+    }
+}
+
+/// Dispatches one request against the controller.
+fn route(inner: &Inner, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/metrics") => Response::prometheus(render_prometheus(ip_obs::global())),
+        ("GET", "/healthz") => Response::text(200, "ok\n"),
+        ("GET", "/readyz") => match inner.phase() {
+            Phase::Running | Phase::Completed => Response::text(200, "ready\n"),
+            phase => Response::text(503, format!("{}\n", phase.as_str())),
+        },
+        ("GET", "/status") => {
+            let ctl = inner.ctl.lock().expect("controller poisoned");
+            Response::json(200, ctl.status_json(inner.phase().as_str()))
+        }
+        ("POST", "/requests") => post_requests(inner, &request.body),
+        ("POST", "/reload") => post_reload(inner, &request.body),
+        ("POST", "/shutdown") => {
+            inner.begin_drain();
+            Response::json(200, "{\"state\":\"draining\"}")
+        }
+        (_, "/metrics" | "/healthz" | "/readyz" | "/status") => {
+            Response::json_error(405, "use GET")
+        }
+        (_, "/requests" | "/reload" | "/shutdown") => Response::json_error(405, "use POST"),
+        _ => Response::json_error(404, "unknown path"),
+    }
+}
+
+/// `POST /requests` body: `{"count": <u64 >= 1>, "interval": <usize>?}`.
+fn post_requests(inner: &Inner, body: &str) -> Response {
+    let doc: Content = match serde_json::from_str(body) {
+        Ok(doc) => doc,
+        Err(e) => return Response::json_error(400, &format!("invalid JSON body: {e:?}")),
+    };
+    let count = match doc.field("count").and_then(Content::as_u64) {
+        Some(count) if count >= 1 => count,
+        _ => return Response::json_error(400, "body must carry a numeric \"count\" >= 1"),
+    };
+    let interval = match doc.field("interval") {
+        None | Some(Content::Null) => None,
+        Some(v) => match v.as_u64() {
+            Some(idx) => Some(idx as usize),
+            None => {
+                return Response::json_error(400, "\"interval\" must be a non-negative integer")
+            }
+        },
+    };
+    let mut ctl = inner.ctl.lock().expect("controller poisoned");
+    match ctl.inject(count, interval) {
+        Ok(landed) => Response::json(
+            200,
+            format!("{{\"injected\":{count},\"interval\":{landed}}}"),
+        ),
+        Err(e) => Response::json_error(409, &e),
+    }
+}
+
+/// `POST /reload` body: `{"model": "<name>", "alpha": <f64>?}`.
+fn post_reload(inner: &Inner, body: &str) -> Response {
+    let doc: Content = match serde_json::from_str(body) {
+        Ok(doc) => doc,
+        Err(e) => return Response::json_error(400, &format!("invalid JSON body: {e:?}")),
+    };
+    let Some(Content::Str(model)) = doc.field("model") else {
+        return Response::json_error(400, "body must carry a string \"model\"");
+    };
+    let mut ctl = inner.ctl.lock().expect("controller poisoned");
+    let alpha = match doc.field("alpha") {
+        None | Some(Content::Null) => ctl.alpha(),
+        Some(v) => match v.as_f64() {
+            Some(a) if (0.0..=1.0).contains(&a) => a,
+            _ => return Response::json_error(400, "\"alpha\" must be a number in [0, 1]"),
+        },
+    };
+    match ctl.reload(model, alpha) {
+        Ok(()) => Response::json(
+            200,
+            format!(
+                "{{\"model\":\"{model}\",\"alpha\":{alpha},\"reloads\":{}}}",
+                ctl.reloads()
+            ),
+        ),
+        Err(e) => Response::json_error(409, &e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phases_round_trip_and_order() {
+        for p in [
+            Phase::Starting,
+            Phase::Running,
+            Phase::Completed,
+            Phase::Draining,
+            Phase::Stopped,
+        ] {
+            assert_eq!(Phase::from_u8(p as u8), p);
+        }
+        assert!(Phase::Draining > Phase::Completed);
+    }
+
+    #[test]
+    fn tick_duration_clamps() {
+        assert_eq!(tick_duration(30, 1.0), Duration::from_millis(200));
+        assert_eq!(tick_duration(30, 1_000_000.0), Duration::from_millis(5));
+        assert_eq!(tick_duration(30, 600.0), Duration::from_millis(50));
+    }
+
+    #[test]
+    fn begin_drain_is_sticky() {
+        let inner = Inner {
+            phase: AtomicU8::new(Phase::Running as u8),
+            ctl: Mutex::new(
+                Controller::new(
+                    SimConfig::default(),
+                    TimeSeries::new(30, vec![1.0; 4]).unwrap(),
+                    None,
+                    0.3,
+                    false,
+                    30.0,
+                    300,
+                )
+                .unwrap(),
+            ),
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            alert_rules: Vec::new(),
+            speedup: 1.0,
+            interval_secs: 30,
+        };
+        inner.begin_drain();
+        assert_eq!(inner.phase(), Phase::Draining);
+        inner.phase.store(Phase::Stopped as u8, Ordering::Release);
+        inner.begin_drain();
+        assert_eq!(inner.phase(), Phase::Stopped);
+    }
+}

@@ -1,0 +1,331 @@
+//! End-to-end daemon tests over a real loopback socket.
+//!
+//! The headline test boots the daemon on an ephemeral port at a high
+//! `speedup`, injects arrivals over a raw `TcpStream` mid-replay, waits
+//! for the trace to complete, scrapes `/metrics` (parsed with the
+//! `ip-obs` exposition parser, not string matching), shuts down over
+//! HTTP, and then proves the live run **bit-identical** to an offline
+//! `Simulation::run` over the reconstructed effective trace — hit/miss
+//! counters, wait integrals, per-interval stats, applied-target timeline,
+//! and every recommendation file the pipeline wrote.
+//!
+//! The obs registry is process-global, so the tests that depend on it
+//! serialize on a mutex and reset state up front.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use ip_serve::{build_provider, Daemon, ServeConfig};
+use ip_sim::{IpWorkerConfig, RecommendationFile, SimConfig, Simulation};
+use ip_timeseries::TimeSeries;
+use serde::Content;
+
+static OBS_LOCK: Mutex<()> = Mutex::new(());
+
+/// Issues one HTTP/1.1 request over a raw socket.
+fn try_http(
+    addr: std::net::SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status: u16 = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("unparseable response: {raw:?}"));
+    let payload = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, payload))
+}
+
+/// [`try_http`], panicking on transport errors.
+fn http(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    try_http(addr, method, path, body).expect("control-plane request failed")
+}
+
+fn parse_json(body: &str) -> Content {
+    serde_json::from_str(body).unwrap_or_else(|e| panic!("bad JSON {body:?}: {e:?}"))
+}
+
+/// Polls `/status` until the daemon reports `state`, panicking after 60 s.
+fn wait_for_state(addr: std::net::SocketAddr, state: &str) -> Content {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (code, body) = http(addr, "GET", "/status", "");
+        assert_eq!(code, 200, "status endpoint failed: {body}");
+        let doc = parse_json(&body);
+        if doc.field("state") == Some(&Content::Str(state.to_string())) {
+            return doc;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "daemon never reached state {state:?}; last status: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// A bursty synthetic trace long enough for the pipeline to engage.
+fn demand(n: usize) -> TimeSeries {
+    let values = (0..n)
+        .map(|i| {
+            let base = 2.0 + (i as f64 / 9.0).sin().abs() * 4.0;
+            base.round() + f64::from((i as u32).is_multiple_of(3))
+        })
+        .collect();
+    TimeSeries::new(30, values).unwrap()
+}
+
+fn sim_config() -> SimConfig {
+    SimConfig {
+        default_pool_target: 3,
+        seed: 42,
+        ip_worker: Some(IpWorkerConfig::default()),
+        ..Default::default()
+    }
+}
+
+/// The tentpole acceptance test: live daemon decisions are bit-identical
+/// to the offline pipeline on the same effective trace, and the live
+/// `/metrics` exposition parses and agrees with the oracle.
+#[test]
+fn live_daemon_is_bit_identical_to_offline_pipeline() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    ip_obs::reset();
+    ip_obs::set_enabled(true);
+
+    let base = demand(200);
+    let mut config = ServeConfig::new(base.clone());
+    config.sim = sim_config();
+    config.model = Some("baseline".to_string());
+    config.alpha = 0.3;
+    config.autotune = true;
+    config.speedup = 2_000.0;
+    let daemon = Daemon::start(config).expect("daemon starts");
+    let addr = daemon.addr();
+
+    // Inject arrivals aimed at late intervals; the responses tell us
+    // exactly where they landed, so the effective trace is reconstructible
+    // no matter how far the replay has advanced.
+    let mut landed: Vec<(usize, u64)> = Vec::new();
+    for (count, interval) in [(7u64, 150usize), (3, 180)] {
+        let (code, body) = http(
+            addr,
+            "POST",
+            "/requests",
+            &format!("{{\"count\":{count},\"interval\":{interval}}}"),
+        );
+        assert_eq!(code, 200, "injection rejected: {body}");
+        let doc = parse_json(&body);
+        assert_eq!(doc.field("injected").and_then(Content::as_u64), Some(count));
+        let at = doc.field("interval").and_then(Content::as_u64).unwrap() as usize;
+        landed.push((at, count));
+    }
+
+    let status = wait_for_state(addr, "completed");
+    assert_eq!(
+        status
+            .field("intervals_processed")
+            .and_then(Content::as_u64),
+        Some(200)
+    );
+    assert_eq!(
+        status.field("injected_requests").and_then(Content::as_u64),
+        Some(10)
+    );
+    assert!(status.field("metrics").is_some());
+    let renewals = status
+        .field("lease")
+        .and_then(|l| l.field("renewals"))
+        .and_then(Content::as_u64)
+        .expect("lease present in status");
+    assert!(renewals > 0, "controller heartbeat never renewed its lease");
+
+    // Scrape the live exposition and parse it with the ip-obs parser.
+    let (code, metrics_text) = http(addr, "GET", "/metrics", "");
+    assert_eq!(code, 200);
+    let exposition = ip_obs::export::parse_exposition(&metrics_text).expect("exposition parses");
+    let sample = |name: &str| {
+        exposition
+            .samples
+            .iter()
+            .find(|s| s.name == name && s.labels.is_empty())
+            .unwrap_or_else(|| panic!("{name} missing from /metrics"))
+            .value
+    };
+    let live_hits = sample("ip_sim_pool_hits_total");
+    let live_misses = sample("ip_sim_pool_misses_total");
+    assert!(sample("ip_serve_ticks_total") >= 1.0);
+    assert!(
+        exposition
+            .helps
+            .iter()
+            .any(|(name, help)| name == "ip_serve_ticks_total" && !help.is_empty()),
+        "serve families must carry HELP text"
+    );
+
+    let (code, body) = http(addr, "POST", "/shutdown", "");
+    assert_eq!(code, 200);
+    assert!(
+        body.contains("draining"),
+        "unexpected shutdown body: {body}"
+    );
+    let outcome = daemon.join();
+    ip_obs::set_enabled(false);
+    let live = outcome.report.expect("completed run yields a report");
+    assert_eq!(outcome.injected, 10);
+
+    // Oracle: the offline pipeline over the reconstructed effective trace,
+    // built through the very same provider constructor.
+    let mut effective = base;
+    for (at, count) in landed {
+        effective.values_mut()[at] += count as f64;
+    }
+    let mut provider = build_provider("baseline", 0.3, true, 30.0).unwrap();
+    let offline = Simulation::new(sim_config(), Some(provider.as_mut()))
+        .run(&effective)
+        .unwrap();
+
+    assert_eq!(live.hits, offline.hits);
+    assert_eq!(live.misses, offline.misses);
+    assert_eq!(live.total_wait_secs, offline.total_wait_secs);
+    assert_eq!(live.interval_stats, offline.interval_stats);
+    assert_eq!(
+        live.applied_target_timeline,
+        offline.applied_target_timeline
+    );
+
+    // Every recommendation the live pipeline wrote matches the offline one.
+    let live_recs = live
+        .config_store
+        .get_all::<RecommendationFile>("pool-recommendation");
+    let offline_recs = offline
+        .config_store
+        .get_all::<RecommendationFile>("pool-recommendation");
+    assert!(
+        !live_recs.is_empty(),
+        "pipeline never produced a recommendation"
+    );
+    assert_eq!(live_recs, offline_recs);
+
+    // And the scraped counters agree with the oracle.
+    assert_eq!(live_hits, offline.hits as f64);
+    assert_eq!(live_misses, offline.misses as f64);
+}
+
+/// Control-plane behaviour that doesn't need the obs registry: readiness,
+/// routing errors, validation, reload, and graceful shutdown semantics.
+#[test]
+fn control_plane_endpoints_validate_and_route() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    ip_obs::set_enabled(false);
+
+    let mut config = ServeConfig::new(demand(40));
+    config.speedup = 600.0; // 20 logical intervals per wall second
+    let daemon = Daemon::start(config).expect("daemon starts");
+    let addr = daemon.addr();
+
+    let (code, body) = http(addr, "GET", "/healthz", "");
+    assert_eq!((code, body.as_str()), (200, "ok\n"));
+    let (code, body) = http(addr, "GET", "/readyz", "");
+    assert_eq!((code, body.as_str()), (200, "ready\n"));
+
+    // Unknown path, wrong method, and malformed bodies.
+    assert_eq!(http(addr, "GET", "/nope", "").0, 404);
+    assert_eq!(http(addr, "POST", "/metrics", "").0, 405);
+    assert_eq!(http(addr, "GET", "/shutdown", "").0, 405);
+    let (code, body) = http(addr, "POST", "/requests", "not json");
+    assert_eq!(code, 400);
+    assert!(parse_json(&body).field("error").is_some());
+    assert_eq!(http(addr, "POST", "/requests", "{\"count\":0}").0, 400);
+    assert_eq!(http(addr, "POST", "/requests", "{}").0, 400);
+    let (code, _) = http(addr, "POST", "/requests", "{\"count\":1,\"interval\":-3}");
+    assert_eq!(code, 400);
+
+    // Reload on a static daemon (no model) is a conflict, not a crash.
+    let (code, body) = http(addr, "POST", "/reload", "{\"model\":\"ssa\"}");
+    assert_eq!(code, 409, "static daemon must reject reload: {body}");
+    assert_eq!(http(addr, "POST", "/reload", "{\"alpha\":0.4}").0, 400);
+    assert_eq!(
+        http(addr, "POST", "/reload", "{\"model\":\"ssa\",\"alpha\":7.0}").0,
+        400
+    );
+
+    // Status is well-formed while running.
+    let (code, body) = http(addr, "GET", "/status", "");
+    assert_eq!(code, 200);
+    let doc = parse_json(&body);
+    assert_eq!(
+        doc.field("intervals_total").and_then(Content::as_u64),
+        Some(40)
+    );
+    assert_eq!(doc.field("model"), Some(&Content::Null));
+
+    // After the trace completes, further injections are conflicts.
+    wait_for_state(addr, "completed");
+    let (code, body) = http(addr, "POST", "/requests", "{\"count\":1}");
+    assert_eq!(code, 409, "complete daemon must reject arrivals: {body}");
+
+    assert_eq!(http(addr, "POST", "/shutdown", "").0, 200);
+    // Shutdown is idempotent while draining; the connection may be reset
+    // if the control plane wins the race and closes first.
+    if let Ok((code, _)) = try_http(addr, "POST", "/shutdown", "") {
+        assert_eq!(code, 200);
+    }
+    let outcome = daemon.join();
+    assert_eq!(outcome.injected, 0);
+    let report = outcome.report.expect("static run still yields a report");
+    assert_eq!(report.interval_stats.len(), 40);
+}
+
+/// `POST /reload` swaps the live model and `/status` reflects it; the
+/// daemon also drains cleanly mid-replay (early finalize of the processed
+/// prefix rather than fast-forwarding the trace).
+#[test]
+fn reload_swaps_model_and_drain_finalizes_prefix() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    ip_obs::set_enabled(false);
+
+    let mut config = ServeConfig::new(demand(20_000));
+    config.sim = sim_config();
+    config.model = Some("baseline".to_string());
+    config.speedup = 300.0; // 10 intervals per wall second: far from done
+    let daemon = Daemon::start(config).expect("daemon starts");
+    let addr = daemon.addr();
+
+    let (code, body) = http(addr, "POST", "/reload", "{\"model\":\"ssa\",\"alpha\":0.5}");
+    assert_eq!(code, 200, "reload failed: {body}");
+    let (_, body) = http(addr, "GET", "/status", "");
+    let doc = parse_json(&body);
+    assert_eq!(doc.field("model"), Some(&Content::Str("ssa".to_string())));
+    assert_eq!(doc.field("alpha").and_then(Content::as_f64), Some(0.5));
+    assert_eq!(doc.field("reloads").and_then(Content::as_u64), Some(1));
+
+    // Unknown model names are rejected without disturbing the live one.
+    assert_eq!(http(addr, "POST", "/reload", "{\"model\":\"nope\"}").0, 409);
+
+    // Drain mid-replay: the report covers exactly the processed prefix.
+    assert_eq!(http(addr, "POST", "/shutdown", "").0, 200);
+    let outcome = daemon.join();
+    assert_eq!(outcome.reloads, 1);
+    let report = outcome.report.expect("drained run yields a report");
+    assert!(
+        !report.interval_stats.is_empty() && report.interval_stats.len() < 20_000,
+        "drain must finalize a strict prefix, got {} intervals",
+        report.interval_stats.len()
+    );
+}

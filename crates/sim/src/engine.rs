@@ -1,7 +1,17 @@
 //! The discrete-event engine wiring clusters, workers, stores and the
 //! recommendation pipeline together.
+//!
+//! The event loop lives in [`SimStepper`], which processes events strictly
+//! in `(time, seq)` order but can be advanced *incrementally* with
+//! [`SimStepper::step_until`]. [`Simulation::run`] drives the stepper to
+//! the end of the demand trace in one call (the batch oracle); the
+//! `ip-serve` daemon drives the same stepper paced by (accelerated)
+//! wall-clock time. Because every state mutation and RNG draw happens in
+//! event order — never in pacing order — a live run over a demand trace is
+//! bit-identical to the offline simulation of the same trace.
 
 use crate::cluster::{Cluster, ClusterState};
+use crate::lease::Lease;
 use crate::stores::{CosmosLite, KustoLite, RecommendationFile};
 use crate::{RecommendationProvider, Result, SimError};
 use ip_timeseries::TimeSeries;
@@ -247,24 +257,71 @@ impl PartialOrd for Queued {
     }
 }
 
-/// The simulation itself. Construct, then [`run`](Simulation::run).
-pub struct Simulation<'p> {
-    config: SimConfig,
-    provider: Option<&'p mut dyn RecommendationProvider>,
+/// An on-demand creation request raised by a pool miss.
+#[derive(Debug, Clone)]
+struct OdRequest {
+    arrival: u64,
+    served: bool,
 }
 
-impl<'p> Simulation<'p> {
-    /// Creates a simulation; `provider` feeds the Intelligent Pooling Worker
-    /// (ignored when `config.ip_worker` is `None`).
-    pub fn new(config: SimConfig, provider: Option<&'p mut dyn RecommendationProvider>) -> Self {
-        Self { config, provider }
-    }
+/// The platform event loop, advanced explicitly.
+///
+/// Construct with [`SimStepper::new`] (this schedules every static event
+/// and provisions the initial pool), then call
+/// [`step_until`](SimStepper::step_until) with a non-decreasing logical
+/// time; each call processes every queued event at or before that time.
+/// [`finalize`](SimStepper::finalize) closes the integrals and produces
+/// the [`SimReport`]. State only ever changes inside event processing, so
+/// the pacing of `step_until` calls cannot change any outcome.
+pub struct SimStepper {
+    cfg: SimConfig,
+    end_time: u64,
+    /// Logical time the stepper has processed through (grows with each
+    /// `step_until`, capped at `end_time`).
+    watermark: u64,
+    done: bool,
+    rng: StdRng,
+    heap: BinaryHeap<Queued>,
+    seq: u64,
+    clusters: HashMap<u64, Cluster>,
+    next_cluster_id: u64,
+    ready_queue: VecDeque<u64>,
+    provisioning_pool: Vec<u64>,
+    od_requests: Vec<OdRequest>,
+    od_request_of: HashMap<u64, usize>,
+    hedges_discarded: u64,
+    telemetry: KustoLite,
+    config_store: CosmosLite,
+    /// §7.6 worker liveness: `Some` holds the lapsed-pending lease of a
+    /// silent worker (granted at failure time); cleared on recovery or
+    /// Arbitrator replacement.
+    dead_worker: Option<Lease>,
+    hits: u64,
+    misses: u64,
+    total_requests: u64,
+    total_wait: f64,
+    idle_cs: f64,
+    prov_cs: f64,
+    clusters_created: u64,
+    on_demand_created: u64,
+    cancelled: u64,
+    retired_downsize: u64,
+    expired: u64,
+    ip_runs: u64,
+    ip_failures: u64,
+    fallback_intervals: u64,
+    worker_replacements: u64,
+    applied_targets: Vec<u32>,
+    interval_stats: Vec<IntervalStat>,
+    last_time: u64,
+    obs_on: bool,
+}
 
-    /// Runs the simulation over a demand trace of per-interval request
-    /// counts.
-    #[allow(clippy::too_many_lines)]
-    pub fn run(mut self, demand: &TimeSeries) -> Result<SimReport> {
-        let cfg = self.config.clone();
+impl SimStepper {
+    /// Validates the configuration against `demand`, schedules every static
+    /// event (intervals, IP runs, Arbitrator checks, outage windows) and
+    /// provisions the initial pool.
+    pub fn new(cfg: SimConfig, demand: &TimeSeries) -> Result<Self> {
         if demand.is_empty() {
             return Err(SimError::InvalidDemand("empty demand".into()));
         }
@@ -281,11 +338,10 @@ impl<'p> Simulation<'p> {
             ));
         }
         let end_time = demand.len() as u64 * cfg.interval_secs;
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let rng = StdRng::seed_from_u64(cfg.seed);
 
         // Observability: gate once per run; pre-register the §7.5 counter
         // families so a quiet run still exposes them at zero.
-        let _run_span = ip_obs::span("sim.run");
         let obs_on = ip_obs::enabled();
         if obs_on {
             for name in [
@@ -308,502 +364,599 @@ impl<'p> Simulation<'p> {
             ip_obs::declare_histogram("ip_sim_interval_idle_cluster_seconds", &[], &IDLE_BUCKETS);
         }
 
-        // --- state ---
-        let mut heap: BinaryHeap<Queued> = BinaryHeap::new();
-        let mut seq = 0u64;
-        let push = |heap: &mut BinaryHeap<Queued>, seq: &mut u64, time: u64, ev: Ev| {
-            *seq += 1;
-            heap.push(Queued {
-                time,
-                seq: *seq,
-                ev,
-            });
+        let mut stepper = Self {
+            end_time,
+            watermark: 0,
+            done: false,
+            rng,
+            heap: BinaryHeap::new(),
+            seq: 0,
+            clusters: HashMap::new(),
+            next_cluster_id: 0,
+            ready_queue: VecDeque::new(),
+            provisioning_pool: Vec::new(),
+            od_requests: Vec::new(),
+            od_request_of: HashMap::new(),
+            hedges_discarded: 0,
+            telemetry: KustoLite::new(),
+            config_store: CosmosLite::new(),
+            dead_worker: None,
+            hits: 0,
+            misses: 0,
+            total_requests: 0,
+            total_wait: 0.0,
+            idle_cs: 0.0,
+            prov_cs: 0.0,
+            clusters_created: 0,
+            on_demand_created: 0,
+            cancelled: 0,
+            retired_downsize: 0,
+            expired: 0,
+            ip_runs: 0,
+            ip_failures: 0,
+            fallback_intervals: 0,
+            worker_replacements: 0,
+            applied_targets: Vec::with_capacity(demand.len()),
+            interval_stats: Vec::with_capacity(demand.len()),
+            last_time: 0,
+            obs_on,
+            cfg,
         };
-        let mut clusters: HashMap<u64, Cluster> = HashMap::new();
-        let mut next_cluster_id = 0u64;
-        let mut ready_queue: VecDeque<u64> = VecDeque::new();
-        let mut provisioning_pool: Vec<u64> = Vec::new();
-        // Pool misses get dedicated on-demand cluster(s) (§4 footnote: "when
-        // a pool is drained out, 'on-demand' cluster creation requests will
-        // be sent ... their wait time becomes τ"). With hedging > 1 several
-        // creations race for one request and the losers are discarded.
-        struct OdRequest {
-            arrival: u64,
-            served: bool,
+        stepper.schedule_static_events(demand.len());
+        stepper.provision_initial_pool();
+        Ok(stepper)
+    }
+
+    fn schedule_static_events(&mut self, intervals: usize) {
+        for i in 0..intervals {
+            self.push(i as u64 * self.cfg.interval_secs, Ev::Interval(i));
         }
-        let mut od_requests: Vec<OdRequest> = Vec::new();
-        let mut od_request_of: HashMap<u64, usize> = HashMap::new();
-        let mut hedges_discarded = 0u64;
-        let mut telemetry = KustoLite::new();
-        let mut config_store = CosmosLite::new();
-
-        // Worker liveness: dead_since set on failure; cleared on recovery
-        // or arbitrator replacement.
-        let mut dead_since: Option<u64> = None;
-
-        // Metrics.
-        let mut hits = 0u64;
-        let mut misses = 0u64;
-        let mut total_requests = 0u64;
-        let mut total_wait = 0.0f64;
-        let mut idle_cs = 0.0f64;
-        let mut prov_cs = 0.0f64;
-        let mut clusters_created = 0u64;
-        let mut on_demand_created = 0u64;
-        let mut cancelled = 0u64;
-        let mut retired_downsize = 0u64;
-        let mut expired = 0u64;
-        let mut ip_runs = 0u64;
-        let mut ip_failures = 0u64;
-        let mut fallback_intervals = 0u64;
-        let mut worker_replacements = 0u64;
-        let mut applied_targets: Vec<u32> = Vec::with_capacity(demand.len());
-        let mut interval_stats: Vec<IntervalStat> = Vec::with_capacity(demand.len());
-        let mut last_time = 0u64;
-
-        // --- schedule static events ---
-        for (i, _) in demand.values().iter().enumerate() {
-            push(
-                &mut heap,
-                &mut seq,
-                i as u64 * cfg.interval_secs,
-                Ev::Interval(i),
-            );
-        }
-        if let Some(ipc) = &cfg.ip_worker {
+        if let Some(ipc) = self.cfg.ip_worker.clone() {
             let mut k = 0usize;
             let mut t = 0u64;
-            while t < end_time {
-                push(&mut heap, &mut seq, t, Ev::IpRun(k));
+            while t < self.end_time {
+                self.push(t, Ev::IpRun(k));
                 k += 1;
                 t += ipc.run_every_secs;
             }
         }
         {
-            let mut t = cfg.arbitrator.check_every_secs;
-            while t < end_time {
-                push(&mut heap, &mut seq, t, Ev::ArbCheck);
-                t += cfg.arbitrator.check_every_secs;
+            let mut t = self.cfg.arbitrator.check_every_secs;
+            while t < self.end_time {
+                self.push(t, Ev::ArbCheck);
+                t += self.cfg.arbitrator.check_every_secs;
             }
         }
-        for (i, &(s, e)) in cfg.pooling_worker_outages.iter().enumerate() {
-            if s < end_time {
-                push(&mut heap, &mut seq, s, Ev::WorkerFail(i));
-                push(
-                    &mut heap,
-                    &mut seq,
-                    e.min(end_time.saturating_sub(1)),
-                    Ev::WorkerRecover(i),
-                );
+        for (i, &(s, e)) in self.cfg.pooling_worker_outages.clone().iter().enumerate() {
+            if s < self.end_time {
+                self.push(s, Ev::WorkerFail(i));
+                self.push(e.min(self.end_time.saturating_sub(1)), Ev::WorkerRecover(i));
             }
         }
+    }
 
-        // --- helpers as closures over state ---
-        let sample_tau = |rng: &mut StdRng| -> u64 {
-            if cfg.tau_jitter_secs == 0 {
-                cfg.tau_secs
-            } else {
-                let lo = cfg.tau_secs.saturating_sub(cfg.tau_jitter_secs);
-                let hi = cfg.tau_secs + cfg.tau_jitter_secs;
-                rng.gen_range(lo..=hi)
+    /// Initial pool: provisioned immediately ready at t=0 (pool creation
+    /// precedes the measurement window).
+    fn provision_initial_pool(&mut self) {
+        let (t0, _) = self.current_target(0);
+        for _ in 0..t0 {
+            let id = self.next_cluster_id;
+            self.next_cluster_id += 1;
+            let expiry = self.sample_expiry(0);
+            let mut c = Cluster::provisioning(id, 0, expiry, false);
+            c.state = ClusterState::Ready { since: 0 };
+            self.clusters.insert(id, c);
+            self.ready_queue.push_back(id);
+            self.clusters_created += 1;
+            if self.obs_on {
+                ip_obs::counter_inc("ip_sim_clusters_created_total", &[]);
             }
-        };
-        let sample_expiry = |rng: &mut StdRng, ready_at: u64| -> u64 {
-            let mut expiry = cfg.cluster_lifespan_secs.map_or(u64::MAX, |l| ready_at + l);
-            if cfg.cluster_failure_prob_per_hour > 0.0 {
-                // Geometric over hours → exponential-ish failure time.
-                let u: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
-                let hours = -u.ln() / cfg.cluster_failure_prob_per_hour;
-                let fail_at = ready_at + (hours * 3600.0) as u64;
-                expiry = expiry.min(fail_at);
+            if expiry < self.end_time {
+                self.push(expiry, Ev::ClusterExpire(id));
             }
-            expiry
-        };
+        }
+    }
 
-        let current_target = |config_store: &CosmosLite, now: u64| -> (u32, bool) {
-            if cfg.ip_worker.is_none() {
-                return (cfg.default_pool_target, false);
-            }
-            match config_store.get_latest::<RecommendationFile>("pool-recommendation") {
-                Some(rec) => match rec.target_at(now) {
-                    Some(t) => (t, false),
-                    None => (cfg.default_pool_target, true), // stale file
-                },
-                None => (cfg.default_pool_target, true), // nothing yet
-            }
-        };
+    fn push(&mut self, time: u64, ev: Ev) {
+        self.seq += 1;
+        self.heap.push(Queued {
+            time,
+            seq: self.seq,
+            ev,
+        });
+    }
 
-        // Initial pool: provisioned immediately ready at t=0 (pool creation
-        // precedes the measurement window).
+    fn sample_tau(&mut self) -> u64 {
+        if self.cfg.tau_jitter_secs == 0 {
+            self.cfg.tau_secs
+        } else {
+            let lo = self.cfg.tau_secs.saturating_sub(self.cfg.tau_jitter_secs);
+            let hi = self.cfg.tau_secs + self.cfg.tau_jitter_secs;
+            self.rng.gen_range(lo..=hi)
+        }
+    }
+
+    fn sample_expiry(&mut self, ready_at: u64) -> u64 {
+        let mut expiry = self
+            .cfg
+            .cluster_lifespan_secs
+            .map_or(u64::MAX, |l| ready_at + l);
+        if self.cfg.cluster_failure_prob_per_hour > 0.0 {
+            // Geometric over hours → exponential-ish failure time.
+            let u: f64 = self.rng.gen::<f64>().max(f64::MIN_POSITIVE);
+            let hours = -u.ln() / self.cfg.cluster_failure_prob_per_hour;
+            let fail_at = ready_at + (hours * 3600.0) as u64;
+            expiry = expiry.min(fail_at);
+        }
+        expiry
+    }
+
+    /// The pool-size target in force at `now` and whether it is a fallback
+    /// (stale or missing recommendation).
+    pub fn current_target(&self, now: u64) -> (u32, bool) {
+        if self.cfg.ip_worker.is_none() {
+            return (self.cfg.default_pool_target, false);
+        }
+        match self
+            .config_store
+            .get_latest::<RecommendationFile>("pool-recommendation")
         {
-            let (t0, _) = current_target(&config_store, 0);
-            for _ in 0..t0 {
-                let id = next_cluster_id;
-                next_cluster_id += 1;
-                let expiry = sample_expiry(&mut rng, 0);
-                let mut c = Cluster::provisioning(id, 0, expiry, false);
-                c.state = ClusterState::Ready { since: 0 };
-                clusters.insert(id, c);
-                ready_queue.push_back(id);
-                clusters_created += 1;
-                if obs_on {
+            Some(rec) => match rec.target_at(now) {
+                Some(t) => (t, false),
+                None => (self.cfg.default_pool_target, true), // stale file
+            },
+            None => (self.cfg.default_pool_target, true), // nothing yet
+        }
+    }
+
+    /// The Pooling Worker's target enforcement: grow by re-hydration,
+    /// shrink by cancelling in-flight creations first. No-op while the
+    /// worker is dead (§7.6 outage semantics).
+    fn enforce_target(&mut self, now: u64) {
+        if self.dead_worker.is_some() {
+            return;
+        }
+        let (target, _stale) = self.current_target(now);
+        let have = self.ready_queue.len() + self.provisioning_pool.len();
+        let target = target as usize;
+        if have < target {
+            for _ in 0..(target - have) {
+                let id = self.next_cluster_id;
+                self.next_cluster_id += 1;
+                let ready_at = now + self.sample_tau();
+                let expiry = self.sample_expiry(ready_at);
+                self.clusters
+                    .insert(id, Cluster::provisioning(id, ready_at, expiry, false));
+                self.provisioning_pool.push(id);
+                self.clusters_created += 1;
+                if self.obs_on {
                     ip_obs::counter_inc("ip_sim_clusters_created_total", &[]);
                 }
-                if expiry < end_time {
-                    push(&mut heap, &mut seq, expiry, Ev::ClusterExpire(id));
+                self.push(ready_at, Ev::ClusterReady(id));
+            }
+        } else if have > target {
+            let mut excess = have - target;
+            // Cancel in-flight re-hydrations first ("decreasing the pool
+            // size will also result in cancellation of re-hydration
+            // requests", §7.1).
+            while excess > 0 {
+                if let Some(id) = self.provisioning_pool.pop() {
+                    self.clusters.get_mut(&id).expect("known cluster").state =
+                        ClusterState::Retired;
+                    self.cancelled += 1;
+                    if self.obs_on {
+                        ip_obs::counter_inc("ip_sim_cancelled_provisioning_total", &[]);
+                    }
+                    excess -= 1;
+                } else {
+                    break;
+                }
+            }
+            while excess > 0 {
+                if let Some(id) = self.ready_queue.pop_back() {
+                    self.clusters.get_mut(&id).expect("known cluster").state =
+                        ClusterState::Retired;
+                    self.retired_downsize += 1;
+                    if self.obs_on {
+                        ip_obs::counter_inc("ip_sim_retired_for_downsize_total", &[]);
+                    }
+                    excess -= 1;
+                } else {
+                    break;
                 }
             }
         }
+    }
 
-        // --- event loop ---
-        while let Some(Queued { time, ev, .. }) = heap.pop() {
-            if time >= end_time {
+    /// Processes every queued event with `time <= until` (and strictly
+    /// before the end of the trace). `until` values beyond the trace end
+    /// are clamped; calls with a lower `until` than a previous call only
+    /// process events already due. Returns the number of demand intervals
+    /// processed by this call.
+    pub fn step_until(
+        &mut self,
+        demand: &TimeSeries,
+        mut provider: Option<&mut dyn RecommendationProvider>,
+        until: u64,
+    ) -> usize {
+        let until = until.min(self.end_time);
+        let before = self.interval_stats.len();
+        while let Some(queued) = self.heap.peek() {
+            if queued.time >= self.end_time {
+                self.done = true;
                 break;
             }
-            // Advance the idle/provisioning integrals.
-            let dt = (time - last_time) as f64;
-            idle_cs += dt * ready_queue.len() as f64;
-            prov_cs += dt * provisioning_pool.len() as f64;
-            last_time = time;
-
-            let worker_alive = dead_since.is_none();
-
-            // Target enforcement happens after most events; define inline.
-            macro_rules! enforce_target {
-                ($now:expr) => {{
-                    if dead_since.is_none() {
-                        let (target, _stale) = current_target(&config_store, $now);
-                        let have = ready_queue.len() + provisioning_pool.len();
-                        let target = target as usize;
-                        if have < target {
-                            for _ in 0..(target - have) {
-                                let id = next_cluster_id;
-                                next_cluster_id += 1;
-                                let ready_at = $now + sample_tau(&mut rng);
-                                let expiry = sample_expiry(&mut rng, ready_at);
-                                clusters
-                                    .insert(id, Cluster::provisioning(id, ready_at, expiry, false));
-                                provisioning_pool.push(id);
-                                clusters_created += 1;
-                                if obs_on {
-                                    ip_obs::counter_inc("ip_sim_clusters_created_total", &[]);
-                                }
-                                push(&mut heap, &mut seq, ready_at, Ev::ClusterReady(id));
-                            }
-                        } else if have > target {
-                            let mut excess = have - target;
-                            // Cancel in-flight re-hydrations first ("decreasing
-                            // the pool size will also result in cancellation of
-                            // re-hydration requests", §7.1).
-                            while excess > 0 {
-                                if let Some(id) = provisioning_pool.pop() {
-                                    clusters.get_mut(&id).expect("known cluster").state =
-                                        ClusterState::Retired;
-                                    cancelled += 1;
-                                    if obs_on {
-                                        ip_obs::counter_inc(
-                                            "ip_sim_cancelled_provisioning_total",
-                                            &[],
-                                        );
-                                    }
-                                    excess -= 1;
-                                } else {
-                                    break;
-                                }
-                            }
-                            while excess > 0 {
-                                if let Some(id) = ready_queue.pop_back() {
-                                    clusters.get_mut(&id).expect("known cluster").state =
-                                        ClusterState::Retired;
-                                    retired_downsize += 1;
-                                    if obs_on {
-                                        ip_obs::counter_inc(
-                                            "ip_sim_retired_for_downsize_total",
-                                            &[],
-                                        );
-                                    }
-                                    excess -= 1;
-                                } else {
-                                    break;
-                                }
-                            }
-                        }
-                    }
-                }};
+            if queued.time > until {
+                break;
             }
+            let Queued { time, ev, .. } = self.heap.pop().expect("peeked event");
+            // Advance the idle/provisioning integrals.
+            let dt = (time - self.last_time) as f64;
+            self.idle_cs += dt * self.ready_queue.len() as f64;
+            self.prov_cs += dt * self.provisioning_pool.len() as f64;
+            self.last_time = time;
+            self.handle_event(time, ev, demand, &mut provider);
+        }
+        if self.heap.is_empty() {
+            self.done = true;
+        }
+        // Once no event below end_time remains, the stepper has effectively
+        // processed the whole trace — the watermark jumps to its end so
+        // `finalize` closes the integrals exactly where a one-shot run does.
+        self.watermark = if self.done {
+            self.end_time
+        } else {
+            self.watermark.max(until)
+        };
+        self.interval_stats.len() - before
+    }
 
-            match ev {
-                Ev::Interval(i) => {
-                    let count = demand.get(i).round().max(0.0) as u64;
-                    telemetry.append("requests", time, count as f64);
-                    let (target, stale) = current_target(&config_store, time);
-                    applied_targets.push(target);
-                    let fallback = stale && cfg.ip_worker.is_some();
-                    if fallback {
-                        fallback_intervals += 1;
-                        if obs_on {
-                            ip_obs::counter_inc("ip_sim_fallback_intervals_total", &[]);
-                            ip_obs::event("sim.fallback", time, &[("target", f64::from(target))]);
-                        }
+    fn handle_event(
+        &mut self,
+        time: u64,
+        ev: Ev,
+        demand: &TimeSeries,
+        provider: &mut Option<&mut dyn RecommendationProvider>,
+    ) {
+        match ev {
+            Ev::Interval(i) => self.on_interval(time, i, demand),
+            Ev::ClusterReady(id) => self.on_cluster_ready(time, id),
+            Ev::ClusterExpire(id) => self.on_cluster_expire(time, id),
+            Ev::IpRun(k) => self.on_ip_run(time, k, provider),
+            Ev::ArbCheck => self.on_arb_check(time),
+            Ev::WorkerFail(_) => {
+                if self.dead_worker.is_none() {
+                    self.dead_worker = Some(Lease::new(time, self.cfg.arbitrator.lease_secs));
+                    self.telemetry.append("worker_failed", time, 1.0);
+                    if self.obs_on {
+                        ip_obs::event("sim.worker_failed", time, &[]);
                     }
-                    let (pre_hits, pre_misses) = (hits, misses);
-                    for _ in 0..count {
-                        total_requests += 1;
-                        if let Some(id) = ready_queue.pop_front() {
-                            hits += 1;
-                            telemetry.append("pool_hit", time, 1.0);
-                            if obs_on {
-                                ip_obs::observe_with(
-                                    "ip_sim_request_wait_seconds",
-                                    &[],
-                                    &WAIT_BUCKETS,
-                                    0.0,
-                                );
-                            }
-                            clusters.get_mut(&id).expect("known cluster").state =
-                                ClusterState::InUse;
-                        } else {
-                            misses += 1;
-                            telemetry.append("pool_miss", time, 1.0);
-                            // On-demand creation goes straight to the job
-                            // service (it happens even during worker
-                            // outages) and is dedicated to this request;
-                            // with hedging several creations race for it.
-                            let request_idx = od_requests.len();
-                            od_requests.push(OdRequest {
-                                arrival: time,
-                                served: false,
-                            });
-                            for _ in 0..cfg.on_demand_hedging.max(1) {
-                                let id = next_cluster_id;
-                                next_cluster_id += 1;
-                                let ready_at = time + sample_tau(&mut rng);
-                                clusters.insert(
-                                    id,
-                                    Cluster::provisioning(id, ready_at, u64::MAX, true),
-                                );
-                                od_request_of.insert(id, request_idx);
-                                clusters_created += 1;
-                                on_demand_created += 1;
-                                if obs_on {
-                                    ip_obs::counter_inc("ip_sim_clusters_created_total", &[]);
-                                    ip_obs::counter_inc("ip_sim_on_demand_created_total", &[]);
-                                }
-                                push(&mut heap, &mut seq, ready_at, Ev::ClusterReady(id));
-                            }
-                        }
-                    }
-                    enforce_target!(time);
-                    let (ihits, imisses) = (hits - pre_hits, misses - pre_misses);
-                    let prev_idle = interval_stats
-                        .last()
-                        .map_or(0.0, |s: &IntervalStat| s.cum_idle_cluster_seconds);
-                    if obs_on {
-                        ip_obs::counter_add("ip_sim_requests_total", &[], count as f64);
-                        ip_obs::counter_add("ip_sim_pool_hits_total", &[], ihits as f64);
-                        ip_obs::counter_add("ip_sim_pool_misses_total", &[], imisses as f64);
-                        ip_obs::gauge_set("ip_sim_pool_ready", &[], ready_queue.len() as f64);
-                        ip_obs::gauge_set(
-                            "ip_sim_pool_provisioning",
-                            &[],
-                            provisioning_pool.len() as f64,
-                        );
-                        ip_obs::gauge_set("ip_sim_pool_target", &[], f64::from(target));
-                        ip_obs::observe_with(
-                            "ip_sim_interval_idle_cluster_seconds",
-                            &[],
-                            &IDLE_BUCKETS,
-                            idle_cs - prev_idle,
-                        );
-                        ip_obs::event(
-                            "sim.interval",
-                            time,
-                            &[
-                                ("index", i as f64),
-                                ("requests", count as f64),
-                                ("hits", ihits as f64),
-                                ("misses", imisses as f64),
-                                ("target", f64::from(target)),
-                                ("ready", ready_queue.len() as f64),
-                                ("provisioning", provisioning_pool.len() as f64),
-                                ("fallback", f64::from(u8::from(fallback))),
-                            ],
-                        );
-                    }
-                    interval_stats.push(IntervalStat {
-                        index: i,
-                        time_secs: time,
-                        requests: count,
-                        hits: ihits,
-                        misses: imisses,
-                        applied_target: target,
-                        fallback,
-                        ready: ready_queue.len(),
-                        provisioning: provisioning_pool.len(),
-                        cum_idle_cluster_seconds: idle_cs,
-                        cum_provisioning_cluster_seconds: prov_cs,
-                        cum_wait_secs: total_wait,
-                        cum_clusters_created: clusters_created,
-                        cum_on_demand_created: on_demand_created,
-                        cum_cancelled_provisioning: cancelled,
-                        cum_expired: expired,
-                        cum_ip_runs: ip_runs,
-                        cum_ip_failures: ip_failures,
-                        cum_worker_replacements: worker_replacements,
-                    });
                 }
-                Ev::ClusterReady(id) => {
-                    let Some(cluster) = clusters.get_mut(&id) else {
-                        continue;
+            }
+            Ev::WorkerRecover(_) => {
+                if self.dead_worker.is_some() {
+                    self.dead_worker = None;
+                    self.telemetry.append("worker_recovered", time, 1.0);
+                    if self.obs_on {
+                        ip_obs::event("sim.worker_recovered", time, &[]);
+                    }
+                    self.enforce_target(time);
+                }
+            }
+        }
+    }
+
+    fn on_interval(&mut self, time: u64, i: usize, demand: &TimeSeries) {
+        let count = demand.get(i).round().max(0.0) as u64;
+        self.telemetry.append("requests", time, count as f64);
+        let (target, stale) = self.current_target(time);
+        self.applied_targets.push(target);
+        let fallback = stale && self.cfg.ip_worker.is_some();
+        if fallback {
+            self.fallback_intervals += 1;
+            if self.obs_on {
+                ip_obs::counter_inc("ip_sim_fallback_intervals_total", &[]);
+                ip_obs::event("sim.fallback", time, &[("target", f64::from(target))]);
+            }
+        }
+        let (pre_hits, pre_misses) = (self.hits, self.misses);
+        for _ in 0..count {
+            self.total_requests += 1;
+            if let Some(id) = self.ready_queue.pop_front() {
+                self.hits += 1;
+                self.telemetry.append("pool_hit", time, 1.0);
+                if self.obs_on {
+                    ip_obs::observe_with("ip_sim_request_wait_seconds", &[], &WAIT_BUCKETS, 0.0);
+                }
+                self.clusters.get_mut(&id).expect("known cluster").state = ClusterState::InUse;
+            } else {
+                self.misses += 1;
+                self.telemetry.append("pool_miss", time, 1.0);
+                // On-demand creation goes straight to the job service (it
+                // happens even during worker outages) and is dedicated to
+                // this request; with hedging several creations race for it.
+                let request_idx = self.od_requests.len();
+                self.od_requests.push(OdRequest {
+                    arrival: time,
+                    served: false,
+                });
+                for _ in 0..self.cfg.on_demand_hedging.max(1) {
+                    let id = self.next_cluster_id;
+                    self.next_cluster_id += 1;
+                    let ready_at = time + self.sample_tau();
+                    self.clusters
+                        .insert(id, Cluster::provisioning(id, ready_at, u64::MAX, true));
+                    self.od_request_of.insert(id, request_idx);
+                    self.clusters_created += 1;
+                    self.on_demand_created += 1;
+                    if self.obs_on {
+                        ip_obs::counter_inc("ip_sim_clusters_created_total", &[]);
+                        ip_obs::counter_inc("ip_sim_on_demand_created_total", &[]);
+                    }
+                    self.push(ready_at, Ev::ClusterReady(id));
+                }
+            }
+        }
+        self.enforce_target(time);
+        let (ihits, imisses) = (self.hits - pre_hits, self.misses - pre_misses);
+        let prev_idle = self
+            .interval_stats
+            .last()
+            .map_or(0.0, |s: &IntervalStat| s.cum_idle_cluster_seconds);
+        if self.obs_on {
+            ip_obs::counter_add("ip_sim_requests_total", &[], count as f64);
+            ip_obs::counter_add("ip_sim_pool_hits_total", &[], ihits as f64);
+            ip_obs::counter_add("ip_sim_pool_misses_total", &[], imisses as f64);
+            ip_obs::gauge_set("ip_sim_pool_ready", &[], self.ready_queue.len() as f64);
+            ip_obs::gauge_set(
+                "ip_sim_pool_provisioning",
+                &[],
+                self.provisioning_pool.len() as f64,
+            );
+            ip_obs::gauge_set("ip_sim_pool_target", &[], f64::from(target));
+            ip_obs::observe_with(
+                "ip_sim_interval_idle_cluster_seconds",
+                &[],
+                &IDLE_BUCKETS,
+                self.idle_cs - prev_idle,
+            );
+            ip_obs::event(
+                "sim.interval",
+                time,
+                &[
+                    ("index", i as f64),
+                    ("requests", count as f64),
+                    ("hits", ihits as f64),
+                    ("misses", imisses as f64),
+                    ("target", f64::from(target)),
+                    ("ready", self.ready_queue.len() as f64),
+                    ("provisioning", self.provisioning_pool.len() as f64),
+                    ("fallback", f64::from(u8::from(fallback))),
+                ],
+            );
+        }
+        self.interval_stats.push(IntervalStat {
+            index: i,
+            time_secs: time,
+            requests: count,
+            hits: ihits,
+            misses: imisses,
+            applied_target: target,
+            fallback,
+            ready: self.ready_queue.len(),
+            provisioning: self.provisioning_pool.len(),
+            cum_idle_cluster_seconds: self.idle_cs,
+            cum_provisioning_cluster_seconds: self.prov_cs,
+            cum_wait_secs: self.total_wait,
+            cum_clusters_created: self.clusters_created,
+            cum_on_demand_created: self.on_demand_created,
+            cum_cancelled_provisioning: self.cancelled,
+            cum_expired: self.expired,
+            cum_ip_runs: self.ip_runs,
+            cum_ip_failures: self.ip_failures,
+            cum_worker_replacements: self.worker_replacements,
+        });
+    }
+
+    fn on_cluster_ready(&mut self, time: u64, id: u64) {
+        let Some(cluster) = self.clusters.get_mut(&id) else {
+            return;
+        };
+        if cluster.state == ClusterState::Retired {
+            return; // cancelled while provisioning
+        }
+        if cluster.on_demand {
+            // Hand it to the request that triggered it; hedge losers are
+            // discarded.
+            let request_idx = self
+                .od_request_of
+                .remove(&id)
+                .expect("on-demand has a request");
+            let request = &mut self.od_requests[request_idx];
+            if request.served {
+                cluster.state = ClusterState::Retired;
+                self.hedges_discarded += 1;
+            } else {
+                request.served = true;
+                let wait = (time - request.arrival) as f64;
+                self.total_wait += wait;
+                if self.obs_on {
+                    ip_obs::observe_with("ip_sim_request_wait_seconds", &[], &WAIT_BUCKETS, wait);
+                }
+                cluster.state = ClusterState::InUse;
+            }
+        } else {
+            self.provisioning_pool.retain(|&p| p != id);
+            cluster.state = ClusterState::Ready { since: time };
+            let expiry = cluster.expires_at;
+            self.ready_queue.push_back(id);
+            if expiry < self.end_time {
+                self.push(expiry, Ev::ClusterExpire(id));
+            }
+            self.enforce_target(time); // may now exceed target
+        }
+    }
+
+    fn on_cluster_expire(&mut self, time: u64, id: u64) {
+        let Some(cluster) = self.clusters.get_mut(&id) else {
+            return;
+        };
+        if cluster.is_ready() {
+            cluster.state = ClusterState::Retired;
+            self.ready_queue.retain(|&r| r != id);
+            self.expired += 1;
+            self.telemetry.append("cluster_expired", time, 1.0);
+            if self.obs_on {
+                ip_obs::counter_inc("ip_sim_expired_total", &[]);
+            }
+            self.enforce_target(time);
+        }
+    }
+
+    fn on_ip_run(
+        &mut self,
+        time: u64,
+        k: usize,
+        provider: &mut Option<&mut dyn RecommendationProvider>,
+    ) {
+        let Some(ipc) = self.cfg.ip_worker.clone() else {
+            return;
+        };
+        let _ip_span = ip_obs::span("sim.ip_run");
+        self.ip_runs += 1;
+        if self.obs_on {
+            ip_obs::counter_inc("ip_sim_ip_runs_total", &[]);
+        }
+        if ipc.failing_runs.contains(&k) {
+            self.ip_failures += 1;
+            self.telemetry.append("ip_run_failed", time, 1.0);
+            if self.obs_on {
+                ip_obs::counter_inc("ip_sim_ip_failures_total", &[]);
+                ip_obs::event("sim.ip_run", time, &[("ok", 0.0)]);
+            }
+        } else if let Some(provider) = provider.as_deref_mut() {
+            // §6 feedback: surface the realized mean wait so self-tuning
+            // providers can steer α' before recommending.
+            let mean_wait = if self.total_requests == 0 {
+                0.0
+            } else {
+                self.total_wait / self.total_requests as f64
+            };
+            provider.observe_wait(time, mean_wait);
+            let observed = self.telemetry.bucketed_sum(
+                "requests",
+                self.cfg.interval_secs,
+                time.max(self.cfg.interval_secs),
+            );
+            let observed = TimeSeries::new(self.cfg.interval_secs, observed).expect("interval > 0");
+            let horizon = (ipc.horizon_secs / self.cfg.interval_secs) as usize;
+            match provider.recommend(time, &observed, horizon) {
+                Some(targets) => {
+                    let rec = RecommendationFile {
+                        generated_at: time,
+                        interval_secs: self.cfg.interval_secs,
+                        targets,
                     };
-                    if cluster.state == ClusterState::Retired {
-                        continue; // cancelled while provisioning
-                    }
-                    if cluster.on_demand {
-                        // Hand it to the request that triggered it; hedge
-                        // losers are discarded.
-                        let request_idx =
-                            od_request_of.remove(&id).expect("on-demand has a request");
-                        let request = &mut od_requests[request_idx];
-                        if request.served {
-                            cluster.state = ClusterState::Retired;
-                            hedges_discarded += 1;
-                        } else {
-                            request.served = true;
-                            total_wait += (time - request.arrival) as f64;
-                            if obs_on {
-                                ip_obs::observe_with(
-                                    "ip_sim_request_wait_seconds",
-                                    &[],
-                                    &WAIT_BUCKETS,
-                                    (time - request.arrival) as f64,
-                                );
-                            }
-                            cluster.state = ClusterState::InUse;
-                        }
-                    } else {
-                        provisioning_pool.retain(|&p| p != id);
-                        cluster.state = ClusterState::Ready { since: time };
-                        let expiry = cluster.expires_at;
-                        ready_queue.push_back(id);
-                        if expiry < end_time {
-                            push(&mut heap, &mut seq, expiry, Ev::ClusterExpire(id));
-                        }
-                        enforce_target!(time); // may now exceed target
+                    self.config_store.put("pool-recommendation", &rec);
+                    self.telemetry.append("ip_run_succeeded", time, 1.0);
+                    if self.obs_on {
+                        ip_obs::event("sim.ip_run", time, &[("ok", 1.0)]);
                     }
                 }
-                Ev::ClusterExpire(id) => {
-                    let Some(cluster) = clusters.get_mut(&id) else {
-                        continue;
-                    };
-                    if cluster.is_ready() {
-                        cluster.state = ClusterState::Retired;
-                        ready_queue.retain(|&r| r != id);
-                        expired += 1;
-                        telemetry.append("cluster_expired", time, 1.0);
-                        if obs_on {
-                            ip_obs::counter_inc("ip_sim_expired_total", &[]);
-                        }
-                        enforce_target!(time);
-                    }
-                }
-                Ev::IpRun(k) => {
-                    let Some(ipc) = &cfg.ip_worker else { continue };
-                    let _ip_span = ip_obs::span("sim.ip_run");
-                    ip_runs += 1;
-                    if obs_on {
-                        ip_obs::counter_inc("ip_sim_ip_runs_total", &[]);
-                    }
-                    if ipc.failing_runs.contains(&k) {
-                        ip_failures += 1;
-                        telemetry.append("ip_run_failed", time, 1.0);
-                        if obs_on {
-                            ip_obs::counter_inc("ip_sim_ip_failures_total", &[]);
-                            ip_obs::event("sim.ip_run", time, &[("ok", 0.0)]);
-                        }
-                    } else if let Some(provider) = self.provider.as_deref_mut() {
-                        let observed = telemetry.bucketed_sum(
-                            "requests",
-                            cfg.interval_secs,
-                            time.max(cfg.interval_secs),
-                        );
-                        let observed =
-                            TimeSeries::new(cfg.interval_secs, observed).expect("interval > 0");
-                        let horizon = (ipc.horizon_secs / cfg.interval_secs) as usize;
-                        match provider.recommend(time, &observed, horizon) {
-                            Some(targets) => {
-                                let rec = RecommendationFile {
-                                    generated_at: time,
-                                    interval_secs: cfg.interval_secs,
-                                    targets,
-                                };
-                                config_store.put("pool-recommendation", &rec);
-                                telemetry.append("ip_run_succeeded", time, 1.0);
-                                if obs_on {
-                                    ip_obs::event("sim.ip_run", time, &[("ok", 1.0)]);
-                                }
-                            }
-                            None => {
-                                ip_failures += 1;
-                                telemetry.append("ip_run_failed", time, 1.0);
-                                if obs_on {
-                                    ip_obs::counter_inc("ip_sim_ip_failures_total", &[]);
-                                    ip_obs::event("sim.ip_run", time, &[("ok", 0.0)]);
-                                }
-                            }
-                        }
-                    }
-                    enforce_target!(time);
-                }
-                Ev::ArbCheck => {
-                    if let Some(since) = dead_since {
-                        if time >= since + cfg.arbitrator.lease_secs {
-                            // Lease lapsed: replace the worker.
-                            dead_since = None;
-                            worker_replacements += 1;
-                            telemetry.append("worker_replaced", time, 1.0);
-                            if obs_on {
-                                ip_obs::counter_inc("ip_sim_worker_replacements_total", &[]);
-                                ip_obs::event("sim.worker_replaced", time, &[]);
-                            }
-                            enforce_target!(time);
-                        }
-                    }
-                }
-                Ev::WorkerFail(_) => {
-                    if worker_alive {
-                        dead_since = Some(time);
-                        telemetry.append("worker_failed", time, 1.0);
-                        if obs_on {
-                            ip_obs::event("sim.worker_failed", time, &[]);
-                        }
-                    }
-                }
-                Ev::WorkerRecover(_) => {
-                    if dead_since.is_some() {
-                        dead_since = None;
-                        telemetry.append("worker_recovered", time, 1.0);
-                        if obs_on {
-                            ip_obs::event("sim.worker_recovered", time, &[]);
-                        }
-                        enforce_target!(time);
+                None => {
+                    self.ip_failures += 1;
+                    self.telemetry.append("ip_run_failed", time, 1.0);
+                    if self.obs_on {
+                        ip_obs::counter_inc("ip_sim_ip_failures_total", &[]);
+                        ip_obs::event("sim.ip_run", time, &[("ok", 0.0)]);
                     }
                 }
             }
         }
+        self.enforce_target(time);
+    }
 
-        // Close the integrals and drain unserved requests.
-        let dt = (end_time - last_time) as f64;
-        idle_cs += dt * ready_queue.len() as f64;
-        prov_cs += dt * provisioning_pool.len() as f64;
-        for request in od_requests.iter().filter(|r| !r.served) {
-            total_wait += (end_time - request.arrival) as f64;
-            if obs_on {
+    fn on_arb_check(&mut self, time: u64) {
+        if let Some(lease) = &self.dead_worker {
+            if lease.expired(time) {
+                // Lease lapsed: replace the worker.
+                self.dead_worker = None;
+                self.worker_replacements += 1;
+                self.telemetry.append("worker_replaced", time, 1.0);
+                if self.obs_on {
+                    ip_obs::counter_inc("ip_sim_worker_replacements_total", &[]);
+                    ip_obs::event("sim.worker_replaced", time, &[]);
+                }
+                self.enforce_target(time);
+            }
+        }
+    }
+
+    /// `true` once every event strictly before the end of the trace has
+    /// been processed.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// End of the demand trace, seconds.
+    pub fn end_time(&self) -> u64 {
+        self.end_time
+    }
+
+    /// Logical time processed through so far.
+    pub fn watermark(&self) -> u64 {
+        self.watermark
+    }
+
+    /// Demand intervals processed so far. Interval `processed_intervals()`
+    /// is the earliest one whose arrivals have not been delivered yet —
+    /// the earliest index live injection can still reach.
+    pub fn processed_intervals(&self) -> usize {
+        self.interval_stats.len()
+    }
+
+    /// Per-interval telemetry records emitted so far.
+    pub fn interval_stats(&self) -> &[IntervalStat] {
+        &self.interval_stats
+    }
+
+    /// The recommendation-file store (version history of every pipeline
+    /// run's output).
+    pub fn config_store(&self) -> &CosmosLite {
+        &self.config_store
+    }
+
+    /// The telemetry store.
+    pub fn telemetry(&self) -> &KustoLite {
+        &self.telemetry
+    }
+
+    /// `(ready, provisioning)` pooled-cluster counts right now.
+    pub fn pool_counts(&self) -> (usize, usize) {
+        (self.ready_queue.len(), self.provisioning_pool.len())
+    }
+
+    /// Closes the integrals at the watermark, charges still-unserved
+    /// on-demand requests their wait so far, fixes up the last interval
+    /// record to the end-of-window totals, and produces the report.
+    ///
+    /// After a full run (`step_until(..., end_time)` until
+    /// [`is_done`](SimStepper::is_done)) this is exactly the report
+    /// [`Simulation::run`] returns; finalizing earlier reports on the
+    /// trace processed so far.
+    pub fn finalize(mut self) -> SimReport {
+        let horizon = self.watermark;
+        let dt = (horizon - self.last_time) as f64;
+        self.idle_cs += dt * self.ready_queue.len() as f64;
+        self.prov_cs += dt * self.provisioning_pool.len() as f64;
+        for request in self.od_requests.iter().filter(|r| !r.served) {
+            self.total_wait += (horizon - request.arrival) as f64;
+            if self.obs_on {
                 ip_obs::observe_with(
                     "ip_sim_request_wait_seconds",
                     &[],
                     &WAIT_BUCKETS,
-                    (end_time - request.arrival) as f64,
+                    (horizon - request.arrival) as f64,
                 );
             }
         }
@@ -811,53 +964,168 @@ impl<'p> Simulation<'p> {
         // The last interval record carries the end-of-window totals
         // (integrals and counters kept moving after its interval event), so
         // folding the stream reproduces this report's aggregates exactly.
-        if let Some(last) = interval_stats.last_mut() {
-            last.ready = ready_queue.len();
-            last.provisioning = provisioning_pool.len();
-            last.cum_idle_cluster_seconds = idle_cs;
-            last.cum_provisioning_cluster_seconds = prov_cs;
-            last.cum_wait_secs = total_wait;
-            last.cum_clusters_created = clusters_created;
-            last.cum_on_demand_created = on_demand_created;
-            last.cum_cancelled_provisioning = cancelled;
-            last.cum_expired = expired;
-            last.cum_ip_runs = ip_runs;
-            last.cum_ip_failures = ip_failures;
-            last.cum_worker_replacements = worker_replacements;
+        if let Some(last) = self.interval_stats.last_mut() {
+            last.ready = self.ready_queue.len();
+            last.provisioning = self.provisioning_pool.len();
+            last.cum_idle_cluster_seconds = self.idle_cs;
+            last.cum_provisioning_cluster_seconds = self.prov_cs;
+            last.cum_wait_secs = self.total_wait;
+            last.cum_clusters_created = self.clusters_created;
+            last.cum_on_demand_created = self.on_demand_created;
+            last.cum_cancelled_provisioning = self.cancelled;
+            last.cum_expired = self.expired;
+            last.cum_ip_runs = self.ip_runs;
+            last.cum_ip_failures = self.ip_failures;
+            last.cum_worker_replacements = self.worker_replacements;
         }
 
-        let hit_rate = if total_requests == 0 {
+        let hit_rate = if self.total_requests == 0 {
             1.0
         } else {
-            hits as f64 / total_requests as f64
+            self.hits as f64 / self.total_requests as f64
         };
-        Ok(SimReport {
-            total_requests,
-            hits,
-            misses,
+        SimReport {
+            total_requests: self.total_requests,
+            hits: self.hits,
+            misses: self.misses,
             hit_rate,
-            total_wait_secs: total_wait,
-            mean_wait_secs: if total_requests == 0 {
+            total_wait_secs: self.total_wait,
+            mean_wait_secs: if self.total_requests == 0 {
                 0.0
             } else {
-                total_wait / total_requests as f64
+                self.total_wait / self.total_requests as f64
             },
-            idle_cluster_seconds: idle_cs,
-            provisioning_cluster_seconds: prov_cs,
-            clusters_created,
-            on_demand_created,
-            hedges_discarded,
-            cancelled_provisioning: cancelled,
-            retired_for_downsize: retired_downsize,
-            expired,
-            ip_runs,
-            ip_failures,
-            fallback_intervals,
-            worker_replacements,
-            applied_target_timeline: applied_targets,
-            interval_stats,
-            telemetry,
-            config_store,
-        })
+            idle_cluster_seconds: self.idle_cs,
+            provisioning_cluster_seconds: self.prov_cs,
+            clusters_created: self.clusters_created,
+            on_demand_created: self.on_demand_created,
+            hedges_discarded: self.hedges_discarded,
+            cancelled_provisioning: self.cancelled,
+            retired_for_downsize: self.retired_downsize,
+            expired: self.expired,
+            ip_runs: self.ip_runs,
+            ip_failures: self.ip_failures,
+            fallback_intervals: self.fallback_intervals,
+            worker_replacements: self.worker_replacements,
+            applied_target_timeline: self.applied_targets,
+            interval_stats: self.interval_stats,
+            telemetry: self.telemetry,
+            config_store: self.config_store,
+        }
+    }
+}
+
+/// The simulation itself. Construct, then [`run`](Simulation::run).
+pub struct Simulation<'p> {
+    config: SimConfig,
+    provider: Option<&'p mut dyn RecommendationProvider>,
+}
+
+impl<'p> Simulation<'p> {
+    /// Creates a simulation; `provider` feeds the Intelligent Pooling Worker
+    /// (ignored when `config.ip_worker` is `None`).
+    pub fn new(config: SimConfig, provider: Option<&'p mut dyn RecommendationProvider>) -> Self {
+        Self { config, provider }
+    }
+
+    /// Runs the simulation over a demand trace of per-interval request
+    /// counts: a [`SimStepper`] advanced to the end of the trace in one
+    /// call.
+    pub fn run(self, demand: &TimeSeries) -> Result<SimReport> {
+        let _run_span = ip_obs::span("sim.run");
+        let Simulation { config, provider } = self;
+        let mut stepper = SimStepper::new(config, demand)?;
+        let end = stepper.end_time();
+        stepper.step_until(demand, provider, end);
+        Ok(stepper.finalize())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(vals: Vec<f64>) -> TimeSeries {
+        TimeSeries::new(30, vals).unwrap()
+    }
+
+    #[test]
+    fn stepwise_equals_single_shot_for_any_pacing() {
+        // The same trace stepped in 1 s, 37 s, and one-shot increments
+        // must produce identical reports — the invariant the live daemon
+        // relies on for oracle equality.
+        let vals: Vec<f64> = (0..80).map(|i| f64::from(i % 5)).collect();
+        let cfg = SimConfig {
+            default_pool_target: 3,
+            cluster_lifespan_secs: Some(900),
+            cluster_failure_prob_per_hour: 0.3,
+            ip_worker: Some(IpWorkerConfig {
+                run_every_secs: 300,
+                horizon_secs: 600,
+                failing_runs: vec![1],
+            }),
+            pooling_worker_outages: vec![(600, 1200)],
+            seed: 7,
+            ..Default::default()
+        };
+        let mut provider = crate::StaticProvider(4);
+        let oracle = Simulation::new(cfg.clone(), Some(&mut provider))
+            .run(&demand(vals.clone()))
+            .unwrap();
+
+        for stride in [1u64, 37, 211] {
+            let d = demand(vals.clone());
+            let mut provider = crate::StaticProvider(4);
+            let mut stepper = SimStepper::new(cfg.clone(), &d).unwrap();
+            let mut t = 0;
+            while !stepper.is_done() {
+                t += stride;
+                stepper.step_until(&d, Some(&mut provider), t);
+            }
+            let report = stepper.finalize();
+            assert_eq!(report.hits, oracle.hits, "stride {stride}");
+            assert_eq!(report.misses, oracle.misses);
+            assert_eq!(report.total_wait_secs, oracle.total_wait_secs);
+            assert_eq!(report.idle_cluster_seconds, oracle.idle_cluster_seconds);
+            assert_eq!(report.clusters_created, oracle.clusters_created);
+            assert_eq!(report.expired, oracle.expired);
+            assert_eq!(report.worker_replacements, oracle.worker_replacements);
+            assert_eq!(
+                report.applied_target_timeline,
+                oracle.applied_target_timeline
+            );
+            assert_eq!(report.interval_stats, oracle.interval_stats);
+        }
+    }
+
+    #[test]
+    fn step_until_is_idempotent_at_the_same_watermark() {
+        let d = demand(vec![2.0; 20]);
+        let mut stepper = SimStepper::new(SimConfig::default(), &d).unwrap();
+        assert_eq!(stepper.step_until(&d, None, 120), 5); // t=0,30,60,90,120
+        assert_eq!(stepper.step_until(&d, None, 120), 0);
+        assert_eq!(stepper.processed_intervals(), 5);
+        // A lower watermark processes nothing and does not regress.
+        assert_eq!(stepper.step_until(&d, None, 60), 0);
+        assert_eq!(stepper.watermark(), 120);
+    }
+
+    #[test]
+    fn early_finalize_reports_the_processed_prefix() {
+        let d = demand(vec![1.0; 40]);
+        let cfg = SimConfig {
+            default_pool_target: 2,
+            tau_jitter_secs: 0,
+            ..Default::default()
+        };
+        let mut stepper = SimStepper::new(cfg, &d).unwrap();
+        stepper.step_until(&d, None, 300);
+        assert!(!stepper.is_done());
+        let report = stepper.finalize();
+        // 11 intervals (t=0..=300) of 1 request each were delivered.
+        assert_eq!(report.total_requests, 11);
+        assert_eq!(report.interval_stats.len(), 11);
+        // Idle integral is closed at the watermark, not the trace end.
+        assert!(report.idle_cluster_seconds <= 300.0 * 2.0 + 1e-9);
     }
 }

@@ -1,0 +1,240 @@
+//! Worker leases and the Arbitrator sweep (§7.6), factored out of the
+//! event loop so the live daemon (`ip-serve`) and the simulator share one
+//! implementation.
+//!
+//! The paper's Work Item Service hands every Pooling/Intelligent Pooling
+//! Worker a *lease*; workers renew it on every heartbeat, and the
+//! Arbitrator periodically sweeps the table, replacing any worker whose
+//! lease has lapsed. Time here is abstract seconds — the simulator feeds
+//! its logical clock, the daemon feeds accelerated wall-clock seconds —
+//! so the expiry arithmetic is identical in both.
+
+use std::collections::BTreeMap;
+
+/// One worker lease. A lease is *live* strictly before `expires_at` and
+/// expired from `expires_at` on — a sweep landing exactly on the expiry
+/// second replaces the worker (the silent worker gets no grace interval).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Lease {
+    /// Second the lease was first granted.
+    pub granted_at: u64,
+    /// Second from which the lease counts as lapsed.
+    pub expires_at: u64,
+    /// Successful renewals so far.
+    pub renewals: u64,
+}
+
+impl Lease {
+    /// Grants a fresh lease at `now` for `duration_secs`.
+    pub fn new(now: u64, duration_secs: u64) -> Self {
+        Self {
+            granted_at: now,
+            expires_at: now.saturating_add(duration_secs),
+            renewals: 0,
+        }
+    }
+
+    /// `true` once the lease has lapsed (inclusive of the expiry second).
+    pub fn expired(&self, now: u64) -> bool {
+        now >= self.expires_at
+    }
+
+    /// Seconds of validity left at `now` (0 when expired).
+    pub fn remaining(&self, now: u64) -> u64 {
+        self.expires_at.saturating_sub(now)
+    }
+
+    /// Renews the lease: validity becomes `now + duration_secs`. Renewing
+    /// an already-expired lease fails — a lapsed worker must be replaced
+    /// and re-granted, never resurrected (its successor may already hold
+    /// the work item). Renewal is idempotent in effect: renewing twice at
+    /// the same instant leaves the same expiry (durations do not stack).
+    pub fn renew(&mut self, now: u64, duration_secs: u64) -> bool {
+        if self.expired(now) {
+            return false;
+        }
+        self.expires_at = now.saturating_add(duration_secs);
+        self.renewals += 1;
+        true
+    }
+}
+
+/// Identifier of a lease within a [`LeaseTable`].
+pub type LeaseId = u64;
+
+/// The Work Item Service's lease table: every live worker holds exactly one
+/// entry, and [`LeaseTable::sweep`] is the Arbitrator's health check.
+#[derive(Debug, Clone, Default)]
+pub struct LeaseTable {
+    leases: BTreeMap<LeaseId, (String, Lease)>,
+    next_id: LeaseId,
+    /// Expired leases removed by sweeps so far.
+    pub lapsed_total: u64,
+}
+
+impl LeaseTable {
+    /// An empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grants a lease to `holder`, returning its id.
+    pub fn grant(&mut self, holder: &str, now: u64, duration_secs: u64) -> LeaseId {
+        let id = self.next_id;
+        self.next_id += 1;
+        self.leases
+            .insert(id, (holder.to_string(), Lease::new(now, duration_secs)));
+        id
+    }
+
+    /// Renews a lease; `false` when the lease is unknown or already lapsed.
+    pub fn renew(&mut self, id: LeaseId, now: u64, duration_secs: u64) -> bool {
+        match self.leases.get_mut(&id) {
+            Some((_, lease)) => lease.renew(now, duration_secs),
+            None => false,
+        }
+    }
+
+    /// Voluntarily releases a lease (clean worker shutdown); `false` when
+    /// unknown.
+    pub fn revoke(&mut self, id: LeaseId) -> bool {
+        self.leases.remove(&id).is_some()
+    }
+
+    /// The lease for `id`, if still in the table.
+    pub fn get(&self, id: LeaseId) -> Option<&Lease> {
+        self.leases.get(&id).map(|(_, l)| l)
+    }
+
+    /// Holders of leases still live at `now`, in grant order.
+    pub fn live_holders(&self, now: u64) -> Vec<&str> {
+        self.leases
+            .values()
+            .filter(|(_, l)| !l.expired(now))
+            .map(|(h, _)| h.as_str())
+            .collect()
+    }
+
+    /// Number of leases in the table (live or not yet swept).
+    pub fn len(&self) -> usize {
+        self.leases.len()
+    }
+
+    /// `true` when no leases are held.
+    pub fn is_empty(&self) -> bool {
+        self.leases.is_empty()
+    }
+
+    /// The Arbitrator sweep: removes every lapsed lease and returns the
+    /// `(id, holder)` pairs replaced, in id order. The caller re-grants
+    /// for each replacement (spawning a successor worker).
+    pub fn sweep(&mut self, now: u64) -> Vec<(LeaseId, String)> {
+        let lapsed: Vec<LeaseId> = self
+            .leases
+            .iter()
+            .filter(|(_, (_, l))| l.expired(now))
+            .map(|(&id, _)| id)
+            .collect();
+        lapsed
+            .into_iter()
+            .map(|id| {
+                let (holder, _) = self.leases.remove(&id).expect("lease exists");
+                self.lapsed_total += 1;
+                (id, holder)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lease_expires_exactly_on_the_sweep_tick() {
+        let mut table = LeaseTable::new();
+        let id = table.grant("pooling-worker", 0, 300);
+        // One second before expiry the worker is still live.
+        assert!(table.sweep(299).is_empty());
+        assert_eq!(table.live_holders(299), vec!["pooling-worker"]);
+        // A sweep landing exactly on the expiry second replaces it.
+        let replaced = table.sweep(300);
+        assert_eq!(replaced, vec![(id, "pooling-worker".to_string())]);
+        assert!(table.is_empty());
+        assert_eq!(table.lapsed_total, 1);
+    }
+
+    #[test]
+    fn double_renew_does_not_stack_durations() {
+        let mut lease = Lease::new(0, 300);
+        assert!(lease.renew(100, 300));
+        assert!(lease.renew(100, 300));
+        // Two renewals at t=100 leave expiry at 400, not 700.
+        assert_eq!(lease.expires_at, 400);
+        assert_eq!(lease.renewals, 2);
+        assert!(!lease.expired(399));
+        assert!(lease.expired(400));
+    }
+
+    #[test]
+    fn renewing_a_lapsed_lease_fails() {
+        let mut lease = Lease::new(0, 300);
+        assert!(lease.expired(300));
+        assert!(!lease.renew(300, 300), "expiry second is already lapsed");
+        assert!(!lease.renew(500, 300));
+        assert_eq!(lease.renewals, 0);
+        // Through the table the same renewal also fails, and the next
+        // sweep replaces the worker.
+        let mut table = LeaseTable::new();
+        let id = table.grant("w", 0, 300);
+        assert!(!table.renew(id, 300, 300));
+        assert_eq!(table.sweep(300).len(), 1);
+    }
+
+    #[test]
+    fn renewal_keeps_a_heartbeating_worker_alive_indefinitely() {
+        let mut table = LeaseTable::new();
+        let id = table.grant("w", 0, 300);
+        for t in (0..3000).step_by(60) {
+            assert!(table.renew(id, t, 300), "renew at {t}");
+            assert!(table.sweep(t).is_empty());
+        }
+        assert_eq!(table.get(id).unwrap().renewals, 50);
+    }
+
+    #[test]
+    fn revoke_is_clean_shutdown_not_a_lapse() {
+        let mut table = LeaseTable::new();
+        let id = table.grant("w", 0, 300);
+        assert!(table.revoke(id));
+        assert!(!table.revoke(id), "second revoke is a no-op");
+        assert!(table.sweep(10_000).is_empty());
+        assert_eq!(table.lapsed_total, 0, "revocation is not counted lapsed");
+    }
+
+    #[test]
+    fn sweep_replaces_only_lapsed_workers() {
+        let mut table = LeaseTable::new();
+        let a = table.grant("a", 0, 100);
+        let b = table.grant("b", 0, 500);
+        table.grant("c", 0, 100);
+        assert!(table.renew(a, 50, 500), "a heartbeats, c goes silent");
+        let replaced = table.sweep(100);
+        assert_eq!(replaced.len(), 1);
+        assert_eq!(replaced[0].1, "c");
+        assert_eq!(table.len(), 2);
+        assert!(table.get(a).is_some() && table.get(b).is_some());
+    }
+
+    #[test]
+    fn remaining_counts_down_and_saturates() {
+        let lease = Lease::new(100, 300);
+        assert_eq!(lease.remaining(100), 300);
+        assert_eq!(lease.remaining(399), 1);
+        assert_eq!(lease.remaining(400), 0);
+        assert_eq!(lease.remaining(10_000), 0);
+        // Grant at a time near u64::MAX must not overflow.
+        let far = Lease::new(u64::MAX - 10, 300);
+        assert_eq!(far.expires_at, u64::MAX);
+    }
+}

@@ -45,13 +45,15 @@
 
 pub mod cluster;
 pub mod engine;
+pub mod lease;
 pub mod session;
 pub mod stores;
 
 pub use cluster::{Cluster, ClusterState};
 pub use engine::{
-    ArbitratorConfig, IntervalStat, IpWorkerConfig, SimConfig, SimReport, Simulation,
+    ArbitratorConfig, IntervalStat, IpWorkerConfig, SimConfig, SimReport, SimStepper, Simulation,
 };
+pub use lease::{Lease, LeaseId, LeaseTable};
 pub use session::{run_region, PoolKind, RegionPool, RegionPoolReport};
 pub use stores::{CosmosLite, KustoLite, RecommendationFile};
 
@@ -94,6 +96,14 @@ pub trait RecommendationProvider {
         observed_demand: &TimeSeries,
         horizon: usize,
     ) -> Option<Vec<u32>>;
+
+    /// Feedback hook: the platform reports the realized mean request wait
+    /// (run-to-date, seconds) just before each pipeline run, letting
+    /// self-tuning providers steer `α'` (§6). The default ignores it, so
+    /// plain forecasting providers and closures are unaffected.
+    fn observe_wait(&mut self, now_secs: u64, mean_wait_secs: f64) {
+        let _ = (now_secs, mean_wait_secs);
+    }
 }
 
 /// A provider from a closure.

@@ -127,6 +127,22 @@ impl CosmosLite {
     pub fn version_count(&self, key: &str) -> u64 {
         self.versions.get(key).map(|v| v.len() as u64).unwrap_or(0)
     }
+
+    /// All versions of a document in version order — the full
+    /// recommendation history, as compared against the oracle in the
+    /// daemon's bit-identity tests. Versions that no longer deserialize as
+    /// `T` are skipped.
+    pub fn get_all<T: for<'de> Deserialize<'de>>(&self, key: &str) -> Vec<T> {
+        self.versions
+            .get(key)
+            .map(|versions| {
+                versions
+                    .iter()
+                    .filter_map(|(_, json)| serde_json::from_str(json).ok())
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
 }
 
 #[cfg(test)]
@@ -173,6 +189,8 @@ mod tests {
         assert_eq!(latest, rec2);
         assert_eq!(c.version_count("pool"), 2);
         assert!(c.get_latest::<RecommendationFile>("nope").is_none());
+        assert_eq!(c.get_all::<RecommendationFile>("pool"), vec![rec1, rec2]);
+        assert!(c.get_all::<RecommendationFile>("nope").is_empty());
     }
 
     #[test]

@@ -1,0 +1,66 @@
+//! A dependency-free HTTP probe for CI smoke tests against `ip-pool serve`
+//! (the runners have no curl contract):
+//!
+//! ```text
+//! cargo run --example http_probe -- 127.0.0.1:8080 /healthz
+//! cargo run --example http_probe -- 127.0.0.1:8080 POST /shutdown
+//! ```
+//!
+//! Prints the response body to stdout and exits non-zero unless the status
+//! is 2xx.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::time::Duration;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (addr, method, path) = match args.as_slice() {
+        [addr, path] => (addr.as_str(), "GET", path.as_str()),
+        [addr, method, path] => (addr.as_str(), method.as_str(), path.as_str()),
+        _ => {
+            eprintln!("usage: http_probe <host:port> [METHOD] <path>");
+            return ExitCode::FAILURE;
+        }
+    };
+    match probe(addr, method, path) {
+        Ok((status, body)) => {
+            print!("{body}");
+            if (200..300).contains(&status) {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("http_probe: {method} {path} -> {status}");
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("http_probe: {method} {path} against {addr}: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn probe(addr: &str, method: &str, path: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let request = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: 0\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad response: {raw:?}"),
+            )
+        })?;
+    let body = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, body))
+}

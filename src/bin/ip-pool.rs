@@ -5,6 +5,7 @@
 //! ip-pool recommend demand.txt --model ssa+ --alpha 0.3 --horizon 120
 //! ip-pool evaluate  demand.txt --pool 8 --tau 3
 //! ip-pool simulate  demand.txt --target 8
+//! ip-pool serve     demand.txt --port 8080 --speedup 100 --model ssa+
 //! ```
 //!
 //! Demand files are newline-delimited request counts (optionally prefixed by
@@ -33,14 +34,30 @@ commands:
              full Intelligent Pooling worker loop driving the pool
              <file>  --target N (default 4)  --tau-secs N (default 90)
              --interval SECS (default 30)  --seed N
-             --ip <ssa|ssa+|baseline>  run the recommendation pipeline
-             in-loop (targets come from the model, --target is the
-             fallback default)  --alpha A' (default 0.3)
+             --ip <ssa|ssa+|baseline|e2e-ssa|e2e-baseline>  run the
+             recommendation pipeline in-loop (targets come from the
+             model, --target is the fallback default)
+             --alpha A' (default 0.3)
+  serve      long-running pool-controller daemon: replays the demand file
+             at wall-clock (or accelerated) speed and exposes an HTTP
+             control plane on 127.0.0.1 (GET /metrics /healthz /readyz
+             /status, POST /requests /reload /shutdown)
+             <file>  --port N (default 0 = ephemeral)
+             --speedup K (logical seconds per wall second, default 1)
+             --model <ssa|ssa+|baseline|e2e-ssa|e2e-baseline> (optional;
+             omitted = static pool at --target)  --alpha A' (default 0.3)
+             --autotune <true|false> (the §6 alpha feedback loop)
+             --target-wait SECS (tuner target, default 30)
+             --target N  --tau-secs N  --seed N  --interval SECS
+             --port-file FILE (write the bound port for scripts)
 
 global flags (any command):
   --metrics-out FILE  write Prometheus text metrics on exit
-  --trace-out FILE    write the span/event trace as JSONL on exit
-  (either flag enables recording; IP_OBS=1 enables it without writing)
+  --trace-out FILE    write the span/event trace on exit
+  --trace-format <jsonl|chrome>  trace file format (default jsonl;
+                      chrome emits a trace_event JSON array for
+                      chrome://tracing / Perfetto)
+  (either -out flag enables recording; IP_OBS=1 enables it without writing)
 ";
 
 fn main() -> ExitCode {
@@ -62,11 +79,18 @@ fn run() -> Result<(), String> {
     if metrics_out.is_some() || trace_out.is_some() {
         intelligent_pooling::obs::set_enabled(true);
     }
+    let trace_format = args.flag_str("trace-format").unwrap_or("jsonl");
+    if !matches!(trace_format, "jsonl" | "chrome") {
+        return Err(format!(
+            "unknown --trace-format {trace_format:?} (expected jsonl or chrome)"
+        ));
+    }
     let result = match args.command.as_str() {
         "generate" => generate(&args),
         "recommend" => recommend(&args),
         "evaluate" => evaluate(&args),
         "simulate" => simulate(&args),
+        "serve" => serve(&args),
         other => Err(format!("unknown command {other:?}")),
     };
     // Exports are written even when the command failed: a partial trace is
@@ -77,7 +101,11 @@ fn run() -> Result<(), String> {
         std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
     }
     if let Some(path) = &trace_out {
-        let text = intelligent_pooling::obs::take_trace().to_jsonl();
+        let trace = intelligent_pooling::obs::take_trace();
+        let text = match trace_format {
+            "chrome" => trace.to_chrome(),
+            _ => trace.to_jsonl(),
+        };
         std::fs::write(path, text).map_err(|e| format!("{path}: {e}"))?;
     }
     result
@@ -211,20 +239,23 @@ fn simulate(args: &CliArgs) -> Result<(), String> {
         ..Default::default()
     };
     // With --ip, the simulated Intelligent Pooling Worker periodically runs
-    // the 2-step pipeline on the demand observed so far; early runs fail
-    // (not enough history to fit) and exercise the §7.6 fallback chain.
-    let mut provider: Option<BoxedProvider> = match ip_model {
+    // the recommendation pipeline on the demand observed so far; early runs
+    // fail (not enough history to fit) and exercise the §7.6 fallback chain.
+    let mut provider = match ip_model {
         None => None,
         Some(name) => {
             cfg.ip_worker = Some(IpWorkerConfig::default());
-            Some(pipeline_provider(name, alpha, saa)?)
+            Some(
+                intelligent_pooling::core::named_provider(name, alpha, saa)
+                    .map_err(|e| e.to_string())?,
+            )
         }
     };
     let report = Simulation::new(
         cfg,
         provider
             .as_mut()
-            .map(|p| p as &mut dyn ip_sim::RecommendationProvider),
+            .map(|p| p.as_mut() as &mut dyn ip_sim::RecommendationProvider),
     )
     .run(&demand)
     .map_err(|e| e.to_string())?;
@@ -249,25 +280,56 @@ fn simulate(args: &CliArgs) -> Result<(), String> {
     Ok(())
 }
 
-/// A boxed closure implementing the simulator's provider interface.
-type BoxedProvider = Box<dyn FnMut(u64, &TimeSeries, usize) -> Option<Vec<u32>>>;
+fn serve(args: &CliArgs) -> Result<(), String> {
+    use intelligent_pooling::serve::{Daemon, ServeConfig};
+    let demand = load_demand(args)?;
+    let target = args.flag_or("target", 4u32).map_err(|e| e.to_string())?;
+    let tau_secs = args.flag_or("tau-secs", 90u64).map_err(|e| e.to_string())?;
+    let seed = args.flag_or("seed", 0u64).map_err(|e| e.to_string())?;
+    let alpha = args.flag_or("alpha", 0.3f64).map_err(|e| e.to_string())?;
+    let port = args.flag_or("port", 0u16).map_err(|e| e.to_string())?;
+    let speedup = args.flag_or("speedup", 1.0f64).map_err(|e| e.to_string())?;
+    let target_wait = args
+        .flag_or("target-wait", 30.0f64)
+        .map_err(|e| e.to_string())?;
+    let autotune = args.flag_or("autotune", false).map_err(|e| e.to_string())?;
 
-/// Wraps a named forecaster in a [`TwoStepEngine`] and adapts it to the
-/// simulator's provider interface (`None` on any pipeline error).
-fn pipeline_provider(name: &str, alpha: f64, saa: SaaConfig) -> Result<BoxedProvider, String> {
-    fn adapt<F: Forecaster + 'static>(mut engine: TwoStepEngine<F>) -> BoxedProvider {
-        Box::new(move |_now, observed, horizon| engine.recommend(observed, horizon).ok())
+    let mut config = ServeConfig::new(demand);
+    config.sim = SimConfig {
+        interval_secs: config.demand.interval_secs(),
+        tau_secs,
+        default_pool_target: target,
+        seed,
+        ..Default::default()
+    };
+    config.model = args.flag_str("model").map(str::to_owned);
+    config.alpha = alpha;
+    config.autotune = autotune;
+    config.target_wait_secs = target_wait;
+    config.speedup = speedup;
+    config.port = port;
+
+    let daemon = Daemon::start(config)?;
+    let addr = daemon.addr();
+    println!("ip-pool serve: listening on http://{addr}");
+    println!("ip-pool serve: POST /shutdown to drain and exit");
+    if let Some(path) = args.flag_str("port-file") {
+        std::fs::write(path, format!("{}\n", addr.port())).map_err(|e| format!("{path}: {e}"))?;
     }
-    match name {
-        "ssa" => Ok(adapt(TwoStepEngine::new(
-            SsaModel::new(150, RankSelection::EnergyThreshold(0.9)),
-            saa,
-        ))),
-        "ssa+" => Ok(adapt(TwoStepEngine::new(
-            SsaPlus::with_alpha(1.0 - alpha as f32),
-            saa,
-        ))),
-        "baseline" => Ok(adapt(TwoStepEngine::new(BaselineForecaster::new(1.0), saa))),
-        other => Err(format!("unknown model {other:?}")),
+    let outcome = daemon.join();
+    println!(
+        "ip-pool serve: drained ({} injected, {} reloads, {} lease lapses)",
+        outcome.injected, outcome.reloads, outcome.lapsed_leases
+    );
+    if let Some(report) = outcome.report {
+        println!("requests        : {}", report.total_requests);
+        println!("hits / misses   : {} / {}", report.hits, report.misses);
+        println!("hit rate        : {:.2}%", report.hit_rate * 100.0);
+        println!("mean wait       : {:.2} s/request", report.mean_wait_secs);
+        println!(
+            "intervals       : {} processed",
+            report.interval_stats.len()
+        );
     }
+    Ok(())
 }

@@ -56,6 +56,7 @@ pub use ip_models as models;
 pub use ip_nn as nn;
 pub use ip_obs as obs;
 pub use ip_saa as saa;
+pub use ip_serve as serve;
 pub use ip_sim as sim;
 pub use ip_ssa as ssa;
 pub use ip_timeseries as timeseries;

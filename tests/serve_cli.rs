@@ -1,0 +1,194 @@
+//! Integration tests for `ip-pool serve`, driven through the real binary:
+//! boot the daemon on an ephemeral port, talk to it over a raw socket,
+//! shut it down over HTTP, and check the summary plus the observability
+//! artifacts it leaves behind (Prometheus metrics and a Chrome trace).
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::Path;
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn ip_pool() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ip-pool"))
+}
+
+fn http(port: u16, method: &str, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(("127.0.0.1", port))?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let payload = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, payload))
+}
+
+/// Polls the port file the daemon writes on startup.
+fn wait_for_port(path: &Path, child: &mut Child) -> u16 {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            if let Ok(port) = text.trim().parse() {
+                return port;
+            }
+        }
+        if let Some(status) = child.try_wait().unwrap() {
+            panic!("daemon exited early with {status}");
+        }
+        assert!(Instant::now() < deadline, "daemon never wrote {path:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+#[test]
+fn serve_daemon_over_the_binary_with_artifacts() {
+    let dir = std::env::temp_dir().join(format!("ip-pool-serve-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let demand = dir.join("demand.txt");
+    let port_file = dir.join("port");
+    let metrics_file = dir.join("metrics.prom");
+    let trace_file = dir.join("trace.json");
+    std::fs::write(&demand, "3\n".repeat(120)).unwrap();
+
+    let mut child = ip_pool()
+        .args([
+            "serve",
+            demand.to_str().unwrap(),
+            "--port",
+            "0",
+            "--speedup",
+            "600",
+            "--model",
+            "baseline",
+            "--autotune",
+            "true",
+            "--port-file",
+            port_file.to_str().unwrap(),
+            "--metrics-out",
+            metrics_file.to_str().unwrap(),
+            "--trace-out",
+            trace_file.to_str().unwrap(),
+            "--trace-format",
+            "chrome",
+        ])
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn ip-pool serve");
+    let port = wait_for_port(&port_file, &mut child);
+
+    let (code, body) = http(port, "GET", "/healthz", "").unwrap();
+    assert_eq!((code, body.as_str()), (200, "ok\n"));
+    let (code, _) = http(port, "GET", "/readyz", "").unwrap();
+    assert_eq!(code, 200);
+    let (code, body) = http(port, "POST", "/requests", "{\"count\":4,\"interval\":100}").unwrap();
+    assert_eq!(code, 200, "injection failed: {body}");
+
+    // Wait for the replay to finish (120 intervals at 20/s ≈ 6 s).
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (code, body) = http(port, "GET", "/status", "").unwrap();
+        assert_eq!(code, 200);
+        if body.contains("\"state\":\"completed\"") {
+            break;
+        }
+        assert!(Instant::now() < deadline, "never completed; last: {body}");
+        std::thread::sleep(Duration::from_millis(50));
+    }
+
+    let (code, live_metrics) = http(port, "GET", "/metrics", "").unwrap();
+    assert_eq!(code, 200);
+    assert!(
+        live_metrics.contains("ip_sim_pool_hits_total"),
+        "{live_metrics}"
+    );
+    assert!(
+        live_metrics.contains("# HELP ip_serve_ticks_total"),
+        "{live_metrics}"
+    );
+
+    let (code, _) = http(port, "POST", "/shutdown", "").unwrap();
+    assert_eq!(code, 200);
+    let out = child.wait_with_output().expect("daemon exits");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("listening on http://127.0.0.1:"),
+        "{stdout}"
+    );
+    assert!(stdout.contains("4 injected"), "{stdout}");
+    assert!(stdout.contains("hit rate"), "{stdout}");
+
+    // The exit-time artifacts: Prometheus text and a Chrome trace_event
+    // JSON array (structural spot checks; schema validation proper lives
+    // in the ip-obs test suite).
+    let metrics = std::fs::read_to_string(&metrics_file).unwrap();
+    assert!(
+        metrics.contains("ip_serve_http_requests_total"),
+        "{metrics}"
+    );
+    let trace = std::fs::read_to_string(&trace_file).unwrap();
+    let trimmed = trace.trim();
+    assert!(
+        trimmed.starts_with('[') && trimmed.ends_with(']'),
+        "not a JSON array"
+    );
+    assert!(
+        trace.contains("\"ph\":\"X\""),
+        "no complete events in chrome trace"
+    );
+    assert!(trace.contains("serve.tick"), "controller spans missing");
+
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_rejects_bad_flags() {
+    let out = ip_pool()
+        .args(["serve", "/nonexistent/demand.txt"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    let dir = std::env::temp_dir().join(format!("ip-pool-serve-bad-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let demand = dir.join("demand.txt");
+    std::fs::write(&demand, "1\n1\n1\n1\n").unwrap();
+
+    let out = ip_pool()
+        .args(["serve", demand.to_str().unwrap(), "--speedup", "-2"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("speedup"), "{err}");
+
+    let out = ip_pool()
+        .args([
+            "serve",
+            demand.to_str().unwrap(),
+            "--trace-format",
+            "protobuf",
+        ])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -116,6 +116,21 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+/// `Content` round-trips as itself, so `serde_json::from_str::<Content>`
+/// parses arbitrary JSON the way real-serde users reach for
+/// `serde_json::Value` (schema checks, generic inspection).
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl<'de> Deserialize<'de> for Content {
+    fn from_content(content: &Content) -> Result<Self, Error> {
+        Ok(content.clone())
+    }
+}
+
 impl Serialize for bool {
     fn to_content(&self) -> Content {
         Content::Bool(*self)
