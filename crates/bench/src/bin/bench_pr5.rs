@@ -1,0 +1,211 @@
+//! Fleet fan-out bench for the fleet-of-pools refactor: how the stack
+//! scales from one pool to N first-class pools.
+//!
+//! Two measurements, each at 1 / 4 / 16 pools and `IP_THREADS` ∈ {1, 4}:
+//!
+//! * **recommend_all** — `ip_core::Fleet::recommend_all` sizing every
+//!   pool from one day of history. Pools are independent, so this is the
+//!   layer where the parallel fan-out (ip-par over pools) should pay;
+//!   on a single-core host the 4-thread rows measure overhead only.
+//! * **fleet_sim** — `ip_sim::FleetSim::run_to_end` interleaving every
+//!   pool's events in one logical-time order. The interleave is
+//!   inherently sequential (that is the determinism contract), so this
+//!   row quantifies the per-pool cost of the shared event loop.
+//!
+//! Demand is Table-1 presets round-robined across pools with per-pool
+//! seeds derived from the pool name, exactly as `FleetTrace` derives
+//! them, so every (pool-count, thread-count) cell sees identical traces.
+//!
+//! `cargo run --release -p ip-bench --bin bench_pr5`
+//!
+//! Writes the machine-readable artifact `BENCH_pr5.json` at the workspace
+//! root, recording `available_parallelism` of the measuring host.
+
+use ip_bench::print_table;
+use ip_core::{Fleet, PoolSpec};
+use ip_saa::SaaConfig;
+use ip_sim::{FleetPool, FleetSim, PoolId, SimConfig};
+use ip_timeseries::TimeSeries;
+use ip_workload::{pool_seed, preset, PresetId};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+const POOL_COUNTS: [usize; 3] = [1, 4, 16];
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+const PRESETS: [PresetId; 4] = [
+    PresetId::EastUs2Medium,
+    PresetId::EastUs2Small,
+    PresetId::WestUs2Medium,
+    PresetId::EastUs2Large,
+];
+
+/// One day of demand per pool, preset round-robined by index, seed
+/// derived from the pool name (stable across pool counts: pool `i` sees
+/// the same trace whether the fleet has 4 or 16 members).
+fn fleet_demands(pools: usize) -> Vec<(String, TimeSeries)> {
+    (0..pools)
+        .map(|i| {
+            let name = format!("pool-{i:02}");
+            let mut model = preset(PRESETS[i % PRESETS.len()], pool_seed(7, &name));
+            model.days = 1;
+            let trace = model.generate();
+            (name, trace)
+        })
+        .collect()
+}
+
+fn saa() -> SaaConfig {
+    SaaConfig {
+        tau_intervals: 3,
+        stableness: 10,
+        max_pool: 120,
+        ..Default::default()
+    }
+}
+
+fn bench_recommend_all(pools: usize, samples: usize) -> f64 {
+    let mut fleet = Fleet::new();
+    let mut demands = BTreeMap::new();
+    for (name, trace) in fleet_demands(pools) {
+        fleet.register(
+            name.as_str(),
+            PoolSpec {
+                saa: saa(),
+                ..Default::default()
+            },
+        );
+        demands.insert(PoolId::new(name), trace);
+    }
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let start = Instant::now();
+            let recs = fleet.recommend_all(&demands);
+            assert!(recs.iter().all(|(_, r)| r.is_ok()));
+            start.elapsed().as_secs_f64()
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+fn bench_fleet_sim(pools: usize, samples: usize) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let members = fleet_demands(pools)
+                .into_iter()
+                .map(|(name, trace)| {
+                    let cfg = SimConfig {
+                        interval_secs: trace.interval_secs(),
+                        default_pool_target: 4,
+                        seed: 11,
+                        ..Default::default()
+                    };
+                    FleetPool::new(name, cfg, trace)
+                })
+                .collect();
+            let mut sim = FleetSim::new(members).expect("fleet");
+            let start = Instant::now();
+            sim.run_to_end();
+            let elapsed = start.elapsed().as_secs_f64();
+            let report = sim.finalize();
+            assert_eq!(report.pools.len(), pools);
+            elapsed
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+struct Record {
+    measurement: &'static str,
+    pools: usize,
+    threads: usize,
+    median_secs: f64,
+    per_pool_secs: f64,
+}
+
+fn write_json(records: &[Record], samples: usize) {
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut body = String::from("{\n");
+    body.push_str("  \"artifact\": \"BENCH_pr5\",\n");
+    body.push_str(
+        "  \"description\": \"fleet fan-out scaling: Fleet::recommend_all over N pools (parallel across pools) and FleetSim::run_to_end (sequential logical-time interleave)\",\n",
+    );
+    body.push_str(&format!("  \"available_parallelism\": {avail},\n"));
+    body.push_str(&format!("  \"samples_per_measurement\": {samples},\n"));
+    body.push_str(
+        "  \"workload\": {\"days\": 1, \"interval_secs\": 30, \"intervals_per_pool\": 2880},\n",
+    );
+    body.push_str("  \"measurements\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"measurement\": \"{}\", \"pools\": {}, \"threads\": {}, \"median_secs\": {:.6e}, \"per_pool_secs\": {:.6e}}}{}\n",
+            r.measurement,
+            r.pools,
+            r.threads,
+            r.median_secs,
+            r.per_pool_secs,
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr5.json");
+    std::fs::write(path, body).expect("write BENCH_pr5.json");
+    println!("\nwrote {path}");
+}
+
+fn main() {
+    let _span = ip_obs::span("bench.bench_pr5");
+    let samples: usize = std::env::var("IP_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+    let mut records = Vec::new();
+
+    println!("fleet fan-out, one day of demand per pool, median of {samples}\n");
+    for threads in THREAD_COUNTS {
+        // ip-par reads IP_THREADS per call, so the override applies to
+        // every parallel region issued below.
+        std::env::set_var("IP_THREADS", threads.to_string());
+        for pools in POOL_COUNTS {
+            let secs = bench_recommend_all(pools, samples);
+            records.push(Record {
+                measurement: "recommend_all",
+                pools,
+                threads,
+                median_secs: secs,
+                per_pool_secs: secs / pools as f64,
+            });
+            let secs = bench_fleet_sim(pools, samples);
+            records.push(Record {
+                measurement: "fleet_sim",
+                pools,
+                threads,
+                median_secs: secs,
+                per_pool_secs: secs / pools as f64,
+            });
+        }
+    }
+    std::env::remove_var("IP_THREADS");
+
+    let rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            vec![
+                r.measurement.to_string(),
+                r.pools.to_string(),
+                r.threads.to_string(),
+                format!("{:.3}", r.median_secs),
+                format!("{:.4}", r.per_pool_secs),
+            ]
+        })
+        .collect();
+    print_table(
+        &["measurement", "pools", "threads", "median_s", "per_pool_s"],
+        &rows,
+    );
+    write_json(&records, samples);
+}

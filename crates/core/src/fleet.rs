@@ -1,0 +1,386 @@
+//! The fleet: N first-class pools with per-pool optimizer configs,
+//! per-pool recommendation providers (each with its own §6 α′ feedback
+//! loop), and failure-isolated fan-out.
+//!
+//! This absorbs the earlier `MultiPoolManager`, which only fanned the
+//! optimizer out and returned all-or-nothing. A [`Fleet`] owns the full
+//! per-pool control surface the daemon and CLI build on:
+//!
+//! * [`Fleet::recommend_all`] runs the robust optimizer for every pool in
+//!   parallel (via `ip-par`, so `IP_THREADS` bounds the fan-out) and
+//!   returns one `Result` **per pool** — one pool's optimizer error never
+//!   discards the other pools' recommendations;
+//! * [`Fleet::provider_for`] / [`Fleet::providers_all`] build each pool's
+//!   recommendation pipeline from its spec, wrapping it in its own
+//!   [`AlphaTuner`](crate::AlphaTuner) when `autotune` is set — the α′
+//!   loops are fully independent across pools;
+//! * [`Fleet::simulate_all`] replays every pool through the platform
+//!   simulator side by side (again via `ip-par`).
+
+use crate::cogs::CostModel;
+use crate::providers::{autotuned_provider, named_provider, DynProvider};
+use crate::{CoreError, Result};
+use ip_saa::robustness::RobustnessStrategies;
+use ip_saa::{robust_optimize, SaaConfig};
+use ip_sim::{SimConfig, SimReport, Simulation};
+use ip_timeseries::TimeSeries;
+use std::collections::BTreeMap;
+
+pub use ip_sim::PoolId;
+
+/// Per-pool settings: optimizer, hardening, cost model, and the
+/// recommendation pipeline driving the pool.
+#[derive(Debug, Clone)]
+pub struct PoolSpec {
+    /// Optimizer settings for this pool.
+    pub saa: SaaConfig,
+    /// Hardening strategies for this pool.
+    pub robustness: RobustnessStrategies,
+    /// Cost model (node size differs per pool).
+    pub cost: CostModel,
+    /// Named recommendation pipeline (`ssa`, `ssa+`, `baseline`,
+    /// `e2e-ssa`, `e2e-baseline`); `None` = static pooling, no provider.
+    pub model: Option<String>,
+    /// Seed `α'` for the pool's optimizer/pipeline.
+    pub alpha: f64,
+    /// Wrap the pipeline in this pool's own §6 α′ feedback loop.
+    pub autotune: bool,
+    /// Wait SLA the per-pool tuner steers toward, seconds.
+    pub target_wait_secs: f64,
+}
+
+impl Default for PoolSpec {
+    fn default() -> Self {
+        Self {
+            saa: SaaConfig::default(),
+            robustness: RobustnessStrategies::none(),
+            cost: CostModel::default(),
+            model: None,
+            alpha: 0.3,
+            autotune: false,
+            target_wait_secs: 10.0,
+        }
+    }
+}
+
+/// One pool's recommendation plus its objective value.
+#[derive(Debug, Clone)]
+pub struct PoolRecommendation {
+    /// Pool identity.
+    pub pool: PoolId,
+    /// Target sizes per interval.
+    pub schedule: Vec<u32>,
+    /// Objective value reported by the optimizer.
+    pub objective: f64,
+}
+
+/// N pools managed side by side, keyed by [`PoolId`] in deterministic
+/// (`BTreeMap`) order.
+#[derive(Debug, Default)]
+pub struct Fleet {
+    pools: BTreeMap<PoolId, PoolSpec>,
+}
+
+impl Fleet {
+    /// Creates an empty fleet.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or replaces) a pool.
+    pub fn register(&mut self, id: impl Into<PoolId>, spec: PoolSpec) {
+        self.pools.insert(id.into(), spec);
+    }
+
+    /// Number of managed pools.
+    pub fn len(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// `true` when no pools are registered.
+    pub fn is_empty(&self) -> bool {
+        self.pools.is_empty()
+    }
+
+    /// The spec of the pool named `id`.
+    pub fn get(&self, id: &str) -> Option<&PoolSpec> {
+        self.pools.get(&PoolId::new(id))
+    }
+
+    /// `(id, spec)` pairs in deterministic id order.
+    pub fn iter(&self) -> impl Iterator<Item = (&PoolId, &PoolSpec)> {
+        self.pools.iter()
+    }
+
+    /// Builds one pool's recommendation provider from its spec: the named
+    /// pipeline seeded with the pool's `α'`, wrapped in the pool's own
+    /// auto-tuner when `autotune` is set. `Ok(None)` when the pool has no
+    /// model (static pooling).
+    pub fn provider_for(&self, id: &str) -> Result<Option<DynProvider>> {
+        let spec = self
+            .get(id)
+            .ok_or_else(|| CoreError::InvalidConfig(format!("unknown pool {id:?}")))?;
+        Self::build_provider(spec)
+    }
+
+    fn build_provider(spec: &PoolSpec) -> Result<Option<DynProvider>> {
+        let Some(model) = spec.model.as_deref() else {
+            return Ok(None);
+        };
+        let mut saa = spec.saa;
+        saa.alpha_prime = spec.alpha;
+        let provider = if spec.autotune {
+            autotuned_provider(model, spec.alpha, saa, spec.target_wait_secs)?
+        } else {
+            named_provider(model, spec.alpha, saa)?
+        };
+        Ok(Some(provider))
+    }
+
+    /// Builds every pool's provider, one `Result` per pool.
+    pub fn providers_all(&self) -> Vec<(PoolId, Result<Option<DynProvider>>)> {
+        self.pools
+            .iter()
+            .map(|(id, spec)| (id.clone(), Self::build_provider(spec)))
+            .collect()
+    }
+
+    /// Runs the robust optimizer for every pool against its demand
+    /// stream, pools in parallel via `ip-par` (deterministic output order
+    /// regardless of thread count).
+    ///
+    /// Failure isolation: each pool gets its own `Result` — a missing
+    /// demand stream or optimizer error in one pool leaves every other
+    /// pool's recommendation intact. An empty fleet yields an empty vec.
+    pub fn recommend_all(
+        &self,
+        demands: &BTreeMap<PoolId, TimeSeries>,
+    ) -> Vec<(PoolId, Result<PoolRecommendation>)> {
+        let pools: Vec<(&PoolId, &PoolSpec)> = self.pools.iter().collect();
+        let results = ip_par::par_map(&pools, |&(id, spec)| -> Result<PoolRecommendation> {
+            let demand = demands.get(id).ok_or_else(|| {
+                CoreError::InvalidConfig(format!("no demand stream for pool {id}"))
+            })?;
+            let mut saa = spec.saa;
+            saa.alpha_prime = spec.alpha;
+            let opt = robust_optimize(demand, &saa, &spec.robustness)
+                .map_err(|e| CoreError::Optimizer(e.to_string()))?;
+            Ok(PoolRecommendation {
+                pool: id.clone(),
+                schedule: opt
+                    .schedule
+                    .iter()
+                    .map(|&n| n.round().max(0.0) as u32)
+                    .collect(),
+                objective: opt.objective,
+            })
+        });
+        pools
+            .into_iter()
+            .map(|(id, _)| id.clone())
+            .zip(results)
+            .collect()
+    }
+
+    /// Replays every pool through the platform simulator in parallel,
+    /// each with its own provider built from its spec and `sim` as the
+    /// shared base config (the pool's id is stamped into `SimConfig::pool`
+    /// so metrics come out labeled). Per-pool failure isolation as in
+    /// [`Fleet::recommend_all`].
+    pub fn simulate_all(
+        &self,
+        demands: &BTreeMap<PoolId, TimeSeries>,
+        sim: &SimConfig,
+    ) -> Vec<(PoolId, Result<SimReport>)> {
+        let pools: Vec<(&PoolId, &PoolSpec)> = self.pools.iter().collect();
+        let results = ip_par::par_map(&pools, |&(id, spec)| -> Result<SimReport> {
+            let demand = demands.get(id).ok_or_else(|| {
+                CoreError::InvalidConfig(format!("no demand stream for pool {id}"))
+            })?;
+            let mut provider = Self::build_provider(spec)?;
+            let mut cfg = sim.clone();
+            cfg.pool = Some(id.clone());
+            cfg.interval_secs = demand.interval_secs();
+            Simulation::new(cfg, provider.as_mut().map(|p| p.as_mut() as _))
+                .run(demand)
+                .map_err(|e| CoreError::InvalidConfig(e.to_string()))
+        });
+        pools
+            .into_iter()
+            .map(|(id, _)| id.clone())
+            .zip(results)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cogs::NodeSize;
+
+    fn spec(alpha: f64, node: NodeSize) -> PoolSpec {
+        PoolSpec {
+            saa: SaaConfig {
+                tau_intervals: 2,
+                stableness: 4,
+                max_pool: 30,
+                ..Default::default()
+            },
+            cost: CostModel {
+                node_size: node,
+                ..Default::default()
+            },
+            alpha,
+            ..Default::default()
+        }
+    }
+
+    fn demand(scale: f64) -> TimeSeries {
+        let vals: Vec<f64> = (0..40)
+            .map(|t| (scale * (1.0 + ((t % 8) as f64))).round())
+            .collect();
+        TimeSeries::new(30, vals).unwrap()
+    }
+
+    #[test]
+    fn manages_independent_pools() {
+        let mut fleet = Fleet::new();
+        fleet.register("session/small", spec(0.3, NodeSize::Small));
+        fleet.register("cluster/large", spec(0.3, NodeSize::Large));
+        assert_eq!(fleet.len(), 2);
+
+        let mut demands = BTreeMap::new();
+        demands.insert(PoolId::new("session/small"), demand(2.0));
+        demands.insert(PoolId::new("cluster/large"), demand(0.5));
+        let recs = fleet.recommend_all(&demands);
+        assert_eq!(recs.len(), 2);
+        let total: BTreeMap<&str, u64> = recs
+            .iter()
+            .map(|(id, r)| {
+                let r = r.as_ref().unwrap();
+                (id.as_str(), r.schedule.iter().map(|&n| u64::from(n)).sum())
+            })
+            .collect();
+        // The busier pool gets at least as much capacity in aggregate.
+        assert!(total["session/small"] >= total["cluster/large"]);
+    }
+
+    #[test]
+    fn empty_fleet_recommends_nothing() {
+        let fleet = Fleet::new();
+        assert!(fleet.is_empty());
+        assert!(fleet.recommend_all(&BTreeMap::new()).is_empty());
+        assert!(fleet
+            .simulate_all(&BTreeMap::new(), &SimConfig::default())
+            .is_empty());
+    }
+
+    #[test]
+    fn one_bad_pool_does_not_discard_the_others() {
+        let mut fleet = Fleet::new();
+        fleet.register("good/a", spec(0.3, NodeSize::Small));
+        fleet.register("starved", spec(0.3, NodeSize::Medium));
+        fleet.register("good/b", spec(0.3, NodeSize::Large));
+
+        // "starved" has no demand stream → its optimization fails; the
+        // other two pools must still come back with recommendations.
+        let mut demands = BTreeMap::new();
+        demands.insert(PoolId::new("good/a"), demand(1.0));
+        demands.insert(PoolId::new("good/b"), demand(2.0));
+        let recs = fleet.recommend_all(&demands);
+        assert_eq!(recs.len(), 3);
+        let by_id: BTreeMap<&str, &Result<PoolRecommendation>> =
+            recs.iter().map(|(id, r)| (id.as_str(), r)).collect();
+        assert!(by_id["good/a"].is_ok());
+        assert!(by_id["good/b"].is_ok());
+        let err = by_id["starved"].as_ref().err().unwrap();
+        assert!(err.to_string().contains("starved"), "{err}");
+        assert!(!by_id["good/a"].as_ref().unwrap().schedule.is_empty());
+    }
+
+    #[test]
+    fn per_pool_providers_and_alpha_loops_are_independent() {
+        let mut fleet = Fleet::new();
+        fleet.register(
+            "tuned",
+            PoolSpec {
+                model: Some("baseline".into()),
+                autotune: true,
+                alpha: 0.5,
+                ..spec(0.5, NodeSize::Medium)
+            },
+        );
+        fleet.register(
+            "static",
+            PoolSpec {
+                model: None,
+                ..spec(0.3, NodeSize::Medium)
+            },
+        );
+        fleet.register(
+            "broken",
+            PoolSpec {
+                model: Some("nope".into()),
+                ..spec(0.3, NodeSize::Medium)
+            },
+        );
+
+        let providers = fleet.providers_all();
+        let by_id: BTreeMap<&str, &Result<Option<DynProvider>>> =
+            providers.iter().map(|(id, p)| (id.as_str(), p)).collect();
+        assert!(matches!(by_id["tuned"], Ok(Some(_))));
+        assert!(matches!(by_id["static"], Ok(None)));
+        assert!(by_id["broken"].is_err());
+
+        // Steering one pool's α′ loop must not touch another's: two tuned
+        // providers observing opposite wait streams recommend differently
+        // even though they share a spec template.
+        let mut a = fleet.provider_for("tuned").unwrap().unwrap();
+        let mut b = fleet.provider_for("tuned").unwrap().unwrap();
+        for _ in 0..8 {
+            a.observe_wait(0, 500.0); // persistent SLA breach → α′ down
+            b.observe_wait(0, 0.0); // all-idle → α′ up
+        }
+        let vals: Vec<f64> = (0..40)
+            .map(|t| if t % 8 == 0 { 24.0 } else { 1.0 })
+            .collect();
+        let d = TimeSeries::new(30, vals).unwrap();
+        let ra = a.recommend(1200, &d, 8);
+        let rb = b.recommend(1200, &d, 8);
+        assert!(ra.is_some() && rb.is_some());
+        assert_ne!(ra, rb, "independent α′ loops should diverge");
+    }
+
+    #[test]
+    fn simulate_all_isolates_failures_and_labels_pools() {
+        let mut fleet = Fleet::new();
+        fleet.register(
+            "ok",
+            PoolSpec {
+                model: Some("baseline".into()),
+                ..spec(0.3, NodeSize::Medium)
+            },
+        );
+        fleet.register(
+            "bad-model",
+            PoolSpec {
+                model: Some("nope".into()),
+                ..spec(0.3, NodeSize::Medium)
+            },
+        );
+        let mut demands = BTreeMap::new();
+        demands.insert(PoolId::new("ok"), demand(1.0));
+        demands.insert(PoolId::new("bad-model"), demand(1.0));
+        let sim = SimConfig {
+            ip_worker: Some(ip_sim::IpWorkerConfig::default()),
+            ..Default::default()
+        };
+        let reports = fleet.simulate_all(&demands, &sim);
+        assert_eq!(reports.len(), 2);
+        let by_id: BTreeMap<&str, &Result<SimReport>> =
+            reports.iter().map(|(id, r)| (id.as_str(), r)).collect();
+        assert!(by_id["ok"].is_ok());
+        assert!(by_id["bad-model"].is_err());
+        assert!(by_id["ok"].as_ref().unwrap().total_requests > 0);
+    }
+}

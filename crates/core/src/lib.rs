@@ -15,8 +15,9 @@
 //!   can be dropped into the platform simulator.
 //! * [`cogs`] — the cost model converting idle cluster time into dollar
 //!   figures (Table 2) for the paper's node sizes.
-//! * [`multi_pool`] — the paper's stated future work: several pools with
-//!   different cluster configurations managed side by side.
+//! * [`fleet`] — the paper's stated future work: N first-class pools with
+//!   per-pool specs, providers and α′ loops, fanned out via `ip-par` with
+//!   per-pool failure isolation.
 //! * [`monitoring`] — the §7.5 production metric set and alert rules.
 //!
 //! ```
@@ -36,8 +37,8 @@
 pub mod autotune;
 pub mod cogs;
 pub mod engine;
+pub mod fleet;
 pub mod monitoring;
-pub mod multi_pool;
 pub mod pipeline;
 pub mod providers;
 pub mod replay;
@@ -45,8 +46,10 @@ pub mod replay;
 pub use autotune::AlphaTuner;
 pub use cogs::{CostModel, NodeSize, SavingsReport};
 pub use engine::{EngineConfig, Guardrail, IntelligentPooling, RecommendationOutcome};
-pub use monitoring::{evaluate_alerts, Alert, AlertRule, Dashboard, MetricsSnapshot};
-pub use multi_pool::{MultiPoolManager, PoolId};
+pub use fleet::{Fleet, PoolId, PoolRecommendation, PoolSpec};
+pub use monitoring::{
+    evaluate_alerts, merge_snapshots, Alert, AlertRule, Dashboard, MetricsSnapshot,
+};
 pub use pipeline::{EndToEndEngine, RecommendationEngine, TwoStepEngine};
 pub use providers::{autotuned_provider, named_provider, AlphaSteerable, AutoTuned, DynProvider};
 pub use replay::{replay_pipeline, ReplayConfig, ReplayOutcome};

@@ -129,6 +129,56 @@ fn hit_percentage(hits: u64, misses: u64) -> f64 {
     }
 }
 
+/// Folds per-pool snapshots into one fleet-wide snapshot: counters and
+/// dollar figures sum, rates are recomputed from the summed counts, and
+/// `mean_pool_size` / `demand_rate_per_interval` sum across pools (fleet
+/// capacity and fleet demand per interval). `cogs_saved_dollars` is `Some`
+/// only when at least one pool reports it. A single snapshot merges to an
+/// exact clone of itself — the property the one-pool daemon's bit-identity
+/// contract relies on.
+pub fn merge_snapshots(snapshots: &[MetricsSnapshot]) -> MetricsSnapshot {
+    if snapshots.len() == 1 {
+        return snapshots[0].clone();
+    }
+    let mut merged = MetricsSnapshot {
+        ip_runs: 0,
+        ip_failures: 0,
+        hit_count: 0,
+        miss_count: 0,
+        hit_percentage: 100.0,
+        demand_rate_per_interval: 0.0,
+        idle_cluster_seconds: 0.0,
+        mean_pool_size: 0.0,
+        fallback_intervals: 0,
+        worker_replacements: 0,
+        idle_cost_dollars: 0.0,
+        cogs_saved_dollars: None,
+        clusters_created: 0,
+        cancelled_provisioning: 0,
+        expired: 0,
+    };
+    for s in snapshots {
+        merged.ip_runs += s.ip_runs;
+        merged.ip_failures += s.ip_failures;
+        merged.hit_count += s.hit_count;
+        merged.miss_count += s.miss_count;
+        merged.demand_rate_per_interval += s.demand_rate_per_interval;
+        merged.idle_cluster_seconds += s.idle_cluster_seconds;
+        merged.mean_pool_size += s.mean_pool_size;
+        merged.fallback_intervals += s.fallback_intervals;
+        merged.worker_replacements += s.worker_replacements;
+        merged.idle_cost_dollars += s.idle_cost_dollars;
+        if let Some(saved) = s.cogs_saved_dollars {
+            *merged.cogs_saved_dollars.get_or_insert(0.0) += saved;
+        }
+        merged.clusters_created += s.clusters_created;
+        merged.cancelled_provisioning += s.cancelled_provisioning;
+        merged.expired += s.expired;
+    }
+    merged.hit_percentage = hit_percentage(merged.hit_count, merged.miss_count);
+    merged
+}
+
 /// Incremental dashboard state over a stream of [`IntervalStat`] records
 /// (see [`Dashboard::stream`]).
 #[derive(Debug, Clone)]
@@ -295,6 +345,48 @@ mod tests {
             ..Default::default()
         };
         Simulation::new(cfg, None).run(&demand).unwrap()
+    }
+
+    #[test]
+    fn merge_of_one_snapshot_is_identity() {
+        let dash = Dashboard::new(CostModel::default());
+        let snap = dash.snapshot(&run_report(), 1200.0);
+        assert_eq!(merge_snapshots(std::slice::from_ref(&snap)), snap);
+    }
+
+    #[test]
+    fn merge_sums_counters_and_recomputes_rates() {
+        let a = MetricsSnapshot {
+            ip_runs: 2,
+            ip_failures: 1,
+            hit_count: 30,
+            miss_count: 10,
+            hit_percentage: 75.0,
+            demand_rate_per_interval: 2.0,
+            idle_cluster_seconds: 100.0,
+            mean_pool_size: 3.0,
+            fallback_intervals: 1,
+            worker_replacements: 0,
+            idle_cost_dollars: 5.0,
+            cogs_saved_dollars: Some(2.0),
+            clusters_created: 40,
+            cancelled_provisioning: 1,
+            expired: 2,
+        };
+        let b = MetricsSnapshot {
+            hit_count: 10,
+            miss_count: 10,
+            hit_percentage: 50.0,
+            cogs_saved_dollars: None,
+            ..a.clone()
+        };
+        let merged = merge_snapshots(&[a, b]);
+        assert_eq!(merged.hit_count, 40);
+        assert_eq!(merged.miss_count, 20);
+        assert!((merged.hit_percentage - 40.0 / 60.0 * 100.0).abs() < 1e-12);
+        assert_eq!(merged.mean_pool_size, 6.0); // fleet capacity sums
+        assert_eq!(merged.cogs_saved_dollars, Some(2.0));
+        assert_eq!(merged.ip_runs, 4);
     }
 
     #[test]

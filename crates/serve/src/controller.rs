@@ -1,22 +1,26 @@
-//! The controller: live daemon state wrapped around the simulator's
+//! The controller: live daemon state wrapped around the fleet simulator's
 //! incrementally-steppable event loop.
 //!
-//! Everything that can change at runtime — the [`SimStepper`], the demand
-//! trace being replayed (mutable, because `POST /requests` injects future
-//! arrivals), the recommendation provider (swappable via `POST /reload`),
-//! the worker lease, and the latest dashboard snapshot — lives here behind
-//! one mutex. All state mutation happens in event order inside
-//! `SimStepper`, so the daemon's decisions are bit-identical to an offline
-//! [`ip_sim::Simulation`] run over the same effective trace regardless of
-//! how wall-clock pacing slices the `step_until` calls.
+//! Everything that can change at runtime — the [`FleetSim`], each pool's
+//! demand trace (mutable, because `POST /requests` injects future
+//! arrivals), each pool's recommendation provider (swappable via
+//! `POST /reload`), the worker lease, and the latest per-pool dashboard
+//! snapshots — lives here behind one mutex. All state mutation happens in
+//! event order inside the steppers, so the daemon's decisions are
+//! bit-identical to offline [`ip_sim::Simulation`] runs over the same
+//! effective traces regardless of how wall-clock pacing slices the
+//! `step_until` calls. A daemon started with one anonymous pool is the
+//! pre-fleet single-pool daemon, bit for bit: same unlabeled metrics, same
+//! status fields, same report.
 
 use ip_core::{
-    autotuned_provider, named_provider, Alert, CostModel, Dashboard, DynProvider, MetricsSnapshot,
+    autotuned_provider, merge_snapshots, named_provider, Alert, CostModel, Dashboard, DynProvider,
+    MetricsSnapshot,
 };
 use ip_saa::SaaConfig;
 use ip_sim::{
-    IntervalStat, LeaseId, LeaseTable, RecommendationFile, RecommendationProvider, SimConfig,
-    SimReport, SimStepper,
+    FleetPool, FleetSim, IntervalStat, LeaseId, LeaseTable, PoolId, RecommendationFile, SimConfig,
+    SimReport,
 };
 use ip_timeseries::TimeSeries;
 use serde::{Content, Serialize};
@@ -42,141 +46,310 @@ pub fn build_provider(
     .map_err(|e| e.to_string())
 }
 
-/// Live controller state (shared between the controller thread and the
-/// HTTP workers under one mutex).
-pub struct Controller {
-    stepper: Option<SimStepper>,
-    demand: TimeSeries,
-    provider: Option<DynProvider>,
+/// A control-plane mutation failure, tagged with the HTTP status code it
+/// maps to (400 bad request, 404 unknown pool, 409 conflict).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ControlError {
+    /// The HTTP status this error maps to.
+    pub status: u16,
+    /// Human-readable message (ends up in the `{"error": ...}` envelope).
+    pub message: String,
+}
+
+impl ControlError {
+    fn bad_request(message: impl Into<String>) -> Self {
+        Self {
+            status: 400,
+            message: message.into(),
+        }
+    }
+
+    fn unknown_pool(name: &str) -> Self {
+        Self {
+            status: 404,
+            message: format!("unknown pool {name:?}"),
+        }
+    }
+
+    fn conflict(message: impl Into<String>) -> Self {
+        Self {
+            status: 409,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for ControlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for ControlError {}
+
+/// One pool's slice of a daemon configuration.
+#[derive(Debug, Clone)]
+pub struct PoolServeConfig {
+    /// Pool name. `None` runs the pool *anonymous* — no `pool` label on
+    /// any metric series, exactly the pre-fleet single-pool daemon. The
+    /// daemon addresses an anonymous pool as `"default"`.
+    pub id: Option<String>,
+    /// Platform simulation config for this pool.
+    pub sim: SimConfig,
+    /// The pool's demand trace.
+    pub demand: TimeSeries,
+    /// Recommendation model name (`ssa`, `ssa+`, `baseline`, `e2e-ssa`,
+    /// `e2e-baseline`); `None` runs a static pool at the default target.
+    pub model: Option<String>,
+    /// Initial `α'` (Eq. 16 idle-vs-wait weight).
+    pub alpha: f64,
+    /// Enable this pool's own §6 AlphaTuner feedback loop.
+    pub autotune: bool,
+    /// Target mean wait for the tuner, in seconds.
+    pub target_wait_secs: f64,
+}
+
+impl PoolServeConfig {
+    /// An anonymous static pool over `demand` with default settings.
+    pub fn new(demand: TimeSeries) -> Self {
+        Self {
+            id: None,
+            sim: SimConfig::default(),
+            demand,
+            model: None,
+            alpha: 0.3,
+            autotune: false,
+            target_wait_secs: 30.0,
+        }
+    }
+
+    /// A named pool over `demand`: its metric series carry
+    /// `pool="<name>"`.
+    pub fn named(name: impl Into<String>, demand: TimeSeries) -> Self {
+        Self {
+            id: Some(name.into()),
+            ..Self::new(demand)
+        }
+    }
+}
+
+/// Per-pool bookkeeping that outlives the stepper (survives `finalize`).
+struct PoolState {
+    id: PoolId,
+    /// Whether metric series carry the `pool` label (a named pool).
+    labeled: bool,
     model: Option<String>,
     alpha: f64,
     autotune: bool,
     target_wait_secs: f64,
     end_time: u64,
     intervals_total: usize,
-    leases: LeaseTable,
-    lease_id: LeaseId,
-    lease_secs: u64,
     injected: u64,
     reloads: u64,
-    /// Latest §7.5 dashboard snapshot (written by the controller tick).
-    pub snapshot: MetricsSnapshot,
-    /// Alerts firing as of the latest tick.
-    pub alerts: Vec<Alert>,
     report: Option<SimReport>,
 }
 
+impl PoolState {
+    fn obs_labels(&self) -> Vec<(&str, &str)> {
+        if self.labeled {
+            vec![("pool", self.id.as_str())]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+/// Live controller state (shared between the controller thread and the
+/// HTTP workers under one mutex): a fleet of pools advanced in one merged
+/// logical-time event order.
+pub struct Controller {
+    fleet: Option<FleetSim>,
+    pools: Vec<PoolState>,
+    end_time: u64,
+    leases: LeaseTable,
+    lease_id: LeaseId,
+    lease_secs: u64,
+    /// Latest §7.5 dashboard snapshot per pool, in registration order
+    /// (written by the controller tick).
+    pub snapshots: Vec<MetricsSnapshot>,
+    /// Alerts firing as of the latest tick (evaluated on the merged
+    /// fleet snapshot).
+    pub alerts: Vec<Alert>,
+}
+
 impl Controller {
-    /// Builds the controller: validates the config by constructing the
-    /// stepper, builds the named provider (if any), and grants the
-    /// controller its worker lease at logical `t = 0`.
-    pub fn new(
-        sim: SimConfig,
-        demand: TimeSeries,
-        model: Option<String>,
-        alpha: f64,
-        autotune: bool,
-        target_wait_secs: f64,
-        lease_secs: u64,
-    ) -> Result<Self, String> {
-        let provider = match &model {
-            Some(name) => Some(build_provider(name, alpha, autotune, target_wait_secs)?),
-            None => None,
-        };
-        let stepper = SimStepper::new(sim, &demand).map_err(|e| e.to_string())?;
-        let end_time = stepper.end_time();
-        let intervals_total = demand.len();
+    /// Builds the controller: validates every pool's config by
+    /// constructing its stepper, builds the named providers (if any), and
+    /// grants the controller its worker lease at logical `t = 0`.
+    ///
+    /// Naming a model for a pool schedules that pool's IP worker (exactly
+    /// like the offline CLI) unless the config already carries one.
+    pub fn new(pools: Vec<PoolServeConfig>, lease_secs: u64) -> Result<Self, String> {
+        let mut members = Vec::with_capacity(pools.len());
+        let mut states = Vec::with_capacity(pools.len());
+        for cfg in pools {
+            let PoolServeConfig {
+                id,
+                mut sim,
+                demand,
+                model,
+                alpha,
+                autotune,
+                target_wait_secs,
+            } = cfg;
+            if model.is_some() && sim.ip_worker.is_none() {
+                sim.ip_worker = Some(ip_sim::IpWorkerConfig::default());
+            }
+            let labeled = id.is_some();
+            let mut pool = match id {
+                Some(name) => FleetPool::new(name, sim, demand),
+                None => FleetPool::anonymous(sim, demand),
+            };
+            if let Some(name) = &model {
+                let provider = build_provider(name, alpha, autotune, target_wait_secs)
+                    .map_err(|e| format!("pool {:?}: {e}", pool.id.as_str()))?;
+                pool = pool.with_provider(provider);
+            }
+            states.push(PoolState {
+                id: pool.id.clone(),
+                labeled,
+                model,
+                alpha,
+                autotune,
+                target_wait_secs,
+                end_time: 0, // filled in below, once the stepper exists
+                intervals_total: pool.demand.len(),
+                injected: 0,
+                reloads: 0,
+                report: None,
+            });
+            members.push(pool);
+        }
+        let fleet = FleetSim::new(members).map_err(|e| e.to_string())?;
+        for (i, state) in states.iter_mut().enumerate() {
+            state.end_time = fleet.stepper(i).end_time();
+        }
+        let end_time = fleet.end_time();
         let mut leases = LeaseTable::new();
         let lease_id = leases.grant("controller", 0, lease_secs);
-        let snapshot = Dashboard::new(CostModel::default()).stream().snapshot();
+        let dashboard = Dashboard::new(CostModel::default());
+        let snapshots = vec![dashboard.stream().snapshot(); states.len()];
         Ok(Self {
-            stepper: Some(stepper),
-            demand,
-            provider,
-            model,
-            alpha,
-            autotune,
-            target_wait_secs,
+            fleet: Some(fleet),
+            pools: states,
             end_time,
-            intervals_total,
             leases,
             lease_id,
             lease_secs,
-            injected: 0,
-            reloads: 0,
-            snapshot,
+            snapshots,
             alerts: Vec::new(),
-            report: None,
         })
     }
 
-    /// Processes every queued platform event at or before logical `until`.
-    /// Returns the number of demand intervals processed by this call.
+    /// Number of pools in the fleet.
+    pub fn pool_count(&self) -> usize {
+        self.pools.len()
+    }
+
+    /// Pool names in registration order.
+    pub fn pool_names(&self) -> Vec<&str> {
+        self.pools.iter().map(|p| p.id.as_str()).collect()
+    }
+
+    /// Resolves a request's optional `pool` field to a pool index: an
+    /// explicit name must exist (else 404); omitting the name is only
+    /// unambiguous on a single-pool daemon (else 400).
+    pub fn resolve(&self, pool: Option<&str>) -> Result<usize, ControlError> {
+        match pool {
+            Some(name) => self
+                .pools
+                .iter()
+                .position(|p| p.id.as_str() == name)
+                .ok_or_else(|| ControlError::unknown_pool(name)),
+            None if self.pools.len() == 1 => Ok(0),
+            None => Err(ControlError::bad_request(format!(
+                "fleet daemon with {} pools: body must name a \"pool\"",
+                self.pools.len()
+            ))),
+        }
+    }
+
+    /// Processes every queued platform event at or before logical `until`,
+    /// across all pools in one merged event order. Returns the number of
+    /// demand intervals processed by this call.
     pub fn step_to(&mut self, until: u64) -> usize {
-        let Some(stepper) = self.stepper.as_mut() else {
-            return 0;
-        };
-        let provider = self
-            .provider
-            .as_deref_mut()
-            .map(|p| p as &mut dyn RecommendationProvider);
-        stepper.step_until(&self.demand, provider, until)
+        match self.fleet.as_mut() {
+            Some(fleet) => fleet.step_until(until),
+            None => 0,
+        }
     }
 
-    /// `true` once the whole trace has been processed (or finalized).
+    /// `true` once every pool's trace has been processed (or finalized).
     pub fn is_done(&self) -> bool {
-        self.stepper.as_ref().is_none_or(SimStepper::is_done)
+        self.fleet.as_ref().is_none_or(FleetSim::is_done)
     }
 
-    /// Logical time processed through.
+    /// Logical time every pool has processed through.
     pub fn watermark(&self) -> u64 {
-        self.stepper
+        self.fleet
             .as_ref()
-            .map_or(self.end_time, SimStepper::watermark)
+            .map_or(self.end_time, FleetSim::watermark)
     }
 
-    /// Demand intervals processed so far (also the earliest interval an
-    /// injection can land on).
+    /// Demand intervals processed so far across the fleet.
     pub fn processed_intervals(&self) -> usize {
-        match (&self.stepper, &self.report) {
-            (Some(s), _) => s.processed_intervals(),
-            (None, Some(r)) => r.interval_stats.len(),
-            (None, None) => 0,
+        (0..self.pools.len())
+            .map(|i| self.processed_intervals_of(i))
+            .sum()
+    }
+
+    /// Demand intervals pool `i` has processed (also the earliest interval
+    /// an injection into it can land on).
+    pub fn processed_intervals_of(&self, i: usize) -> usize {
+        match &self.fleet {
+            Some(fleet) => fleet.stepper(i).processed_intervals(),
+            None => self.pools[i]
+                .report
+                .as_ref()
+                .map_or(0, |r| r.interval_stats.len()),
         }
     }
 
-    /// The per-interval telemetry stream so far.
-    pub fn interval_stats(&self) -> &[IntervalStat] {
-        match (&self.stepper, &self.report) {
-            (Some(s), _) => s.interval_stats(),
-            (None, Some(r)) => &r.interval_stats,
-            (None, None) => &[],
+    /// Pool `i`'s per-interval telemetry stream so far.
+    pub fn interval_stats_of(&self, i: usize) -> &[IntervalStat] {
+        match &self.fleet {
+            Some(fleet) => fleet.stepper(i).interval_stats(),
+            None => self.pools[i]
+                .report
+                .as_ref()
+                .map_or(&[], |r| &r.interval_stats),
         }
     }
 
-    /// Total intervals in the (effective) trace.
+    /// Total intervals across every pool's (effective) trace.
     pub fn intervals_total(&self) -> usize {
-        self.intervals_total
+        self.pools.iter().map(|p| p.intervals_total).sum()
     }
 
-    /// The demand trace as currently effective (replayed + injected).
-    pub fn effective_demand(&self) -> &TimeSeries {
-        &self.demand
+    /// Pool `i`'s demand trace as currently effective (replayed +
+    /// injected).
+    pub fn effective_demand(&self, i: usize) -> Option<&TimeSeries> {
+        self.fleet.as_ref().map(|f| f.demand(i))
     }
 
-    /// Requests injected over HTTP so far.
+    /// Requests injected over HTTP so far, fleet-wide.
     pub fn injected(&self) -> u64 {
-        self.injected
+        self.pools.iter().map(|p| p.injected).sum()
     }
 
-    /// Provider reloads so far.
+    /// Provider reloads so far, fleet-wide.
     pub fn reloads(&self) -> u64 {
-        self.reloads
+        self.pools.iter().map(|p| p.reloads).sum()
     }
 
-    /// Current `α'`.
-    pub fn alpha(&self) -> f64 {
-        self.alpha
+    /// Pool `i`'s current `α'`.
+    pub fn alpha_of(&self, i: usize) -> f64 {
+        self.pools[i].alpha
     }
 
     /// Controller lease lapses observed so far.
@@ -184,47 +357,76 @@ impl Controller {
         self.leases.lapsed_total
     }
 
-    /// Injects `count` arrivals into the replay. The arrivals land on
-    /// `interval` if given (clamped up to the earliest still-unprocessed
+    /// Injects `count` arrivals into pool `i`'s replay. The arrivals land
+    /// on `interval` if given (clamped up to the earliest still-unprocessed
     /// interval — the past is immutable), else on the earliest injectable
     /// interval. Returns the interval index they landed on.
-    pub fn inject(&mut self, count: u64, interval: Option<usize>) -> Result<usize, String> {
+    pub fn inject(
+        &mut self,
+        i: usize,
+        count: u64,
+        interval: Option<usize>,
+    ) -> Result<usize, ControlError> {
         if count == 0 {
-            return Err("count must be >= 1".into());
+            return Err(ControlError::bad_request("count must be >= 1"));
         }
-        if self.stepper.is_none() || self.is_done() {
-            return Err("trace complete; daemon no longer accepts arrivals".into());
+        let total = self.pools[i].intervals_total;
+        let done =
+            self.fleet.is_none() || self.fleet.as_ref().is_some_and(|f| f.stepper(i).is_done());
+        if done {
+            return Err(ControlError::conflict(format!(
+                "pool {:?} trace complete; it no longer accepts arrivals",
+                self.pools[i].id.as_str()
+            )));
         }
-        let earliest = self.processed_intervals();
-        if earliest >= self.intervals_total {
-            return Err("trace complete; daemon no longer accepts arrivals".into());
+        let earliest = self.processed_intervals_of(i);
+        if earliest >= total {
+            return Err(ControlError::conflict(format!(
+                "pool {:?} trace complete; it no longer accepts arrivals",
+                self.pools[i].id.as_str()
+            )));
         }
         let idx = interval.unwrap_or(earliest).max(earliest);
-        if idx >= self.intervals_total {
-            return Err(format!(
-                "interval {idx} is beyond the trace end ({} intervals)",
-                self.intervals_total
-            ));
+        if idx >= total {
+            return Err(ControlError::conflict(format!(
+                "interval {idx} is beyond the trace end ({total} intervals)"
+            )));
         }
-        self.demand.values_mut()[idx] += count as f64;
-        self.injected += count;
-        ip_obs::counter_add("ip_serve_injected_requests_total", &[], count as f64);
+        let fleet = self.fleet.as_mut().expect("checked above");
+        fleet.demand_mut(i).values_mut()[idx] += count as f64;
+        self.pools[i].injected += count;
+        ip_obs::counter_add(
+            "ip_serve_injected_requests_total",
+            &self.pools[i].obs_labels(),
+            count as f64,
+        );
         Ok(idx)
     }
 
-    /// Swaps the recommendation pipeline (model name + `α'`) for all
-    /// subsequent IP runs. Rejected on a static daemon (no pipeline was
-    /// scheduled at start, so a provider would never be consulted).
-    pub fn reload(&mut self, model: &str, alpha: f64) -> Result<(), String> {
-        if self.provider.is_none() {
-            return Err("daemon runs a static pool (no --model); nothing to reload".into());
+    /// Swaps pool `i`'s recommendation pipeline (model name + `α'`) for
+    /// all its subsequent IP runs. Rejected on a static pool (no pipeline
+    /// was scheduled at start, so a provider would never be consulted) and
+    /// after the run has been finalized.
+    pub fn reload(&mut self, i: usize, model: &str, alpha: f64) -> Result<(), ControlError> {
+        if self.pools[i].model.is_none() {
+            return Err(ControlError::conflict(format!(
+                "pool {:?} runs a static pool (no model); nothing to reload",
+                self.pools[i].id.as_str()
+            )));
         }
-        let provider = build_provider(model, alpha, self.autotune, self.target_wait_secs)?;
-        self.provider = Some(provider);
-        self.model = Some(model.to_string());
-        self.alpha = alpha;
-        self.reloads += 1;
-        ip_obs::counter_inc("ip_serve_reloads_total", &[]);
+        let Some(fleet) = self.fleet.as_mut() else {
+            return Err(ControlError::conflict(
+                "run finalized; nothing left to reload",
+            ));
+        };
+        let state = &mut self.pools[i];
+        let provider = build_provider(model, alpha, state.autotune, state.target_wait_secs)
+            .map_err(ControlError::conflict)?;
+        fleet.set_provider(i, Some(provider));
+        state.model = Some(model.to_string());
+        state.alpha = alpha;
+        state.reloads += 1;
+        ip_obs::counter_inc("ip_serve_reloads_total", &state.obs_labels());
         Ok(())
     }
 
@@ -239,40 +441,103 @@ impl Controller {
         }
     }
 
-    /// Closes the integrals at the current watermark and stores the final
-    /// report; the post-run snapshot is recomputed from the report so it
-    /// matches [`Dashboard::snapshot`] exactly. Idempotent.
+    /// Closes every pool's integrals at the current watermark and stores
+    /// the final per-pool reports; the post-run snapshots are recomputed
+    /// from the reports so they match [`Dashboard::snapshot`] exactly.
+    /// Idempotent.
     pub fn finalize(&mut self) {
-        if let Some(stepper) = self.stepper.take() {
-            let report = stepper.finalize();
+        if let Some(fleet) = self.fleet.take() {
             let dashboard = Dashboard::new(CostModel::default());
-            self.snapshot = dashboard.snapshot(&report, self.end_time as f64);
-            self.report = Some(report);
+            for (i, (_, report)) in fleet.finalize().pools.into_iter().enumerate() {
+                self.snapshots[i] = dashboard.snapshot(&report, self.pools[i].end_time as f64);
+                self.pools[i].report = Some(report);
+            }
         }
     }
 
-    /// The final report, once [`Controller::finalize`] has run.
-    pub fn report(&self) -> Option<&SimReport> {
-        self.report.as_ref()
+    /// Pool `i`'s final report, once [`Controller::finalize`] has run.
+    pub fn report_of(&self, i: usize) -> Option<&SimReport> {
+        self.pools[i].report.as_ref()
     }
 
-    /// Moves the final report out (daemon teardown).
-    pub fn take_report(&mut self) -> Option<SimReport> {
-        self.report.take()
+    /// Moves every pool's final report out (daemon teardown), in
+    /// registration order.
+    pub fn take_reports(&mut self) -> Vec<(PoolId, SimReport)> {
+        self.pools
+            .iter_mut()
+            .filter_map(|p| p.report.take().map(|r| (p.id.clone(), r)))
+            .collect()
     }
 
-    /// Recommendation files written by the pipeline so far, oldest first.
-    pub fn recommendation_history(&self) -> Vec<RecommendationFile> {
-        let store = match (&self.stepper, &self.report) {
-            (Some(s), _) => s.config_store(),
+    /// Recommendation files pool `i`'s pipeline wrote so far, oldest
+    /// first.
+    pub fn recommendation_history_of(&self, i: usize) -> Vec<RecommendationFile> {
+        let store = match (&self.fleet, &self.pools[i].report) {
+            (Some(fleet), _) => fleet.stepper(i).config_store(),
             (None, Some(r)) => &r.config_store,
             (None, None) => return Vec::new(),
         };
         store.get_all::<RecommendationFile>("pool-recommendation")
     }
 
-    /// The `/status` document as a JSON string.
-    pub fn status_json(&self, state: &str) -> String {
+    fn recommendation_files_total(&self) -> u64 {
+        (0..self.pools.len())
+            .map(|i| self.recommendation_history_of(i).len() as u64)
+            .sum()
+    }
+
+    /// The `/pools` document: every pool's identity and live settings.
+    pub fn pools_json(&self) -> Result<String, String> {
+        let body = Content::Map(vec![(
+            "pools".to_string(),
+            Content::Seq((0..self.pools.len()).map(|i| self.pool_entry(i)).collect()),
+        )]);
+        serde_json::to_string(&body).map_err(|e| format!("pools document: {e:?}"))
+    }
+
+    fn pool_entry(&self, i: usize) -> Content {
+        let p = &self.pools[i];
+        let model = match &p.model {
+            Some(m) => Content::Str(m.clone()),
+            None => Content::Null,
+        };
+        let done = self.fleet.as_ref().is_none_or(|f| f.stepper(i).is_done());
+        let watermark = match &self.fleet {
+            Some(fleet) => fleet.stepper(i).watermark(),
+            None => p.end_time,
+        };
+        Content::Map(vec![
+            ("name".to_string(), Content::Str(p.id.as_str().to_string())),
+            ("model".to_string(), model),
+            ("alpha".to_string(), Content::F64(p.alpha)),
+            ("autotune".to_string(), Content::Bool(p.autotune)),
+            ("logical_time".to_string(), Content::U64(watermark)),
+            ("end_time".to_string(), Content::U64(p.end_time)),
+            (
+                "intervals_processed".to_string(),
+                Content::U64(self.processed_intervals_of(i) as u64),
+            ),
+            (
+                "intervals_total".to_string(),
+                Content::U64(p.intervals_total as u64),
+            ),
+            ("done".to_string(), Content::Bool(done)),
+            ("injected_requests".to_string(), Content::U64(p.injected)),
+            ("reloads".to_string(), Content::U64(p.reloads)),
+            (
+                "recommendation_files".to_string(),
+                Content::U64(self.recommendation_history_of(i).len() as u64),
+            ),
+            ("metrics".to_string(), self.snapshots[i].to_content()),
+        ])
+    }
+
+    /// The `/status` document as a JSON string. Single-pool daemons keep
+    /// every pre-fleet field with its pre-fleet meaning; fleets aggregate
+    /// (summed counters, min watermark, max end time, merged metrics) and
+    /// report `model`/`alpha` as `null` — per-pool values live in the
+    /// `pools` array either way.
+    pub fn status_json(&self, state: &str) -> Result<String, String> {
         let lease = match self.leases.get(self.lease_id) {
             Some(l) => Content::Map(vec![
                 ("holder".to_string(), Content::Str("controller".into())),
@@ -282,10 +547,17 @@ impl Controller {
             ]),
             None => Content::Null,
         };
-        let model = match &self.model {
-            Some(m) => Content::Str(m.clone()),
-            None => Content::Null,
+        let single = self.pools.len() == 1;
+        let model = match (&self.pools[0].model, single) {
+            (Some(m), true) => Content::Str(m.clone()),
+            _ => Content::Null,
         };
+        let alpha = if single {
+            Content::F64(self.pools[0].alpha)
+        } else {
+            Content::Null
+        };
+        let merged = merge_snapshots(&self.snapshots);
         let body = Content::Map(vec![
             ("state".to_string(), Content::Str(state.to_string())),
             ("logical_time".to_string(), Content::U64(self.watermark())),
@@ -296,25 +568,32 @@ impl Controller {
             ),
             (
                 "intervals_total".to_string(),
-                Content::U64(self.intervals_total as u64),
+                Content::U64(self.intervals_total() as u64),
             ),
             ("model".to_string(), model),
-            ("alpha".to_string(), Content::F64(self.alpha)),
-            ("injected_requests".to_string(), Content::U64(self.injected)),
-            ("reloads".to_string(), Content::U64(self.reloads)),
+            ("alpha".to_string(), alpha),
+            (
+                "injected_requests".to_string(),
+                Content::U64(self.injected()),
+            ),
+            ("reloads".to_string(), Content::U64(self.reloads())),
             (
                 "recommendation_files".to_string(),
-                Content::U64(self.recommendation_history().len() as u64),
+                Content::U64(self.recommendation_files_total()),
             ),
             ("lease".to_string(), lease),
             (
                 "lapsed_leases".to_string(),
                 Content::U64(self.leases.lapsed_total),
             ),
-            ("metrics".to_string(), self.snapshot.to_content()),
+            ("metrics".to_string(), merged.to_content()),
             ("alerts".to_string(), self.alerts.to_content()),
+            (
+                "pools".to_string(),
+                Content::Seq((0..self.pools.len()).map(|i| self.pool_entry(i)).collect()),
+            ),
         ]);
-        serde_json::to_string(&body).expect("status document serializes")
+        serde_json::to_string(&body).map_err(|e| format!("status document: {e:?}"))
     }
 }
 
@@ -326,13 +605,19 @@ mod tests {
         TimeSeries::new(30, (0..n).map(|i| f64::from(i as u32 % 4)).collect()).unwrap()
     }
 
+    fn static_pool(n: usize) -> PoolServeConfig {
+        PoolServeConfig {
+            sim: SimConfig {
+                default_pool_target: 2,
+                tau_jitter_secs: 0,
+                ..Default::default()
+            },
+            ..PoolServeConfig::new(demand(n))
+        }
+    }
+
     fn static_controller(n: usize) -> Controller {
-        let sim = SimConfig {
-            default_pool_target: 2,
-            tau_jitter_secs: 0,
-            ..Default::default()
-        };
-        Controller::new(sim, demand(n), None, 0.3, false, 30.0, 300).unwrap()
+        Controller::new(vec![static_pool(n)], 300).unwrap()
     }
 
     #[test]
@@ -343,14 +628,21 @@ mod tests {
             ..Default::default()
         };
         let d = demand(60);
-        let mut ctl = Controller::new(sim.clone(), d.clone(), None, 0.3, false, 30.0, 300).unwrap();
+        let mut ctl = Controller::new(
+            vec![PoolServeConfig {
+                sim: sim.clone(),
+                ..PoolServeConfig::new(d.clone())
+            }],
+            300,
+        )
+        .unwrap();
         // Arbitrary pacing, as the wall clock would produce.
         for until in [13, 14, 400, 401, 999, u64::MAX] {
             ctl.step_to(until);
         }
         assert!(ctl.is_done());
         ctl.finalize();
-        let live = ctl.take_report().unwrap();
+        let (_, live) = ctl.take_reports().pop().unwrap();
         let offline = ip_sim::Simulation::new(sim, None).run(&d).unwrap();
         assert_eq!(live.hits, offline.hits);
         assert_eq!(live.total_wait_secs, offline.total_wait_secs);
@@ -364,15 +656,15 @@ mod tests {
         let processed = ctl.processed_intervals();
         assert!(processed >= 10);
         // Asking for an already-processed interval clamps forward.
-        let landed = ctl.inject(5, Some(0)).unwrap();
+        let landed = ctl.inject(0, 5, Some(0)).unwrap();
         assert_eq!(landed, processed);
         // Explicit future interval is honoured.
-        assert_eq!(ctl.inject(2, Some(30)).unwrap(), 30);
+        assert_eq!(ctl.inject(0, 2, Some(30)).unwrap(), 30);
         // Beyond the trace is rejected; zero counts are rejected.
-        assert!(ctl.inject(1, Some(40)).is_err());
-        assert!(ctl.inject(0, None).is_err());
+        assert!(ctl.inject(0, 1, Some(40)).is_err());
+        assert!(ctl.inject(0, 0, None).is_err());
         assert_eq!(ctl.injected(), 7);
-        assert_eq!(ctl.effective_demand().values()[30], 2.0 + 2.0);
+        assert_eq!(ctl.effective_demand(0).unwrap().values()[30], 2.0 + 2.0);
     }
 
     #[test]
@@ -380,34 +672,36 @@ mod tests {
         let mut ctl = static_controller(10);
         ctl.step_to(u64::MAX);
         assert!(ctl.is_done());
-        assert!(ctl.inject(1, None).is_err());
+        assert_eq!(ctl.inject(0, 1, None).unwrap_err().status, 409);
         ctl.finalize();
-        assert!(ctl.inject(1, None).is_err());
+        assert_eq!(ctl.inject(0, 1, None).unwrap_err().status, 409);
     }
 
     #[test]
     fn reload_swaps_models_and_rejects_static() {
         let mut ctl = static_controller(10);
-        assert!(ctl.reload("baseline", 0.5).is_err());
+        assert_eq!(ctl.reload(0, "baseline", 0.5).unwrap_err().status, 409);
 
         let sim = SimConfig {
             ip_worker: Some(ip_sim::IpWorkerConfig::default()),
             ..Default::default()
         };
         let mut ctl = Controller::new(
-            sim,
-            demand(20),
-            Some("baseline".into()),
-            0.3,
-            false,
-            30.0,
+            vec![PoolServeConfig {
+                sim,
+                model: Some("baseline".into()),
+                ..PoolServeConfig::new(demand(20))
+            }],
             300,
         )
         .unwrap();
-        assert!(ctl.reload("nope", 0.3).is_err());
-        ctl.reload("ssa", 0.4).unwrap();
+        assert!(ctl.reload(0, "nope", 0.3).is_err());
+        ctl.reload(0, "ssa", 0.4).unwrap();
         assert_eq!(ctl.reloads(), 1);
-        assert!(ctl.status_json("running").contains("\"model\":\"ssa\""));
+        assert!(ctl
+            .status_json("running")
+            .unwrap()
+            .contains("\"model\":\"ssa\""));
     }
 
     #[test]
@@ -428,7 +722,7 @@ mod tests {
     fn status_json_is_parseable_and_complete() {
         let mut ctl = static_controller(20);
         ctl.step_to(5 * 30);
-        let doc: Content = serde_json::from_str(&ctl.status_json("running")).unwrap();
+        let doc: Content = serde_json::from_str(&ctl.status_json("running").unwrap()).unwrap();
         assert_eq!(doc.field("state"), Some(&Content::Str("running".into())));
         assert_eq!(doc.field("end_time").and_then(Content::as_u64), Some(600));
         assert!(doc.field("metrics").is_some());
@@ -437,5 +731,75 @@ mod tests {
             .field("lease")
             .and_then(|l| l.field("expires_at"))
             .is_some());
+        // The fleet refactor adds a per-pool array even for one pool.
+        let Some(Content::Seq(pools)) = doc.field("pools") else {
+            panic!("status must carry a pools array");
+        };
+        assert_eq!(pools.len(), 1);
+        assert_eq!(
+            pools[0].field("name"),
+            Some(&Content::Str("default".into()))
+        );
+    }
+
+    #[test]
+    fn fleet_controller_routes_by_pool_name() {
+        let mut ctl = Controller::new(
+            vec![
+                PoolServeConfig::named("east", demand(20)),
+                PoolServeConfig::named("west", demand(40)),
+            ],
+            300,
+        )
+        .unwrap();
+        assert_eq!(ctl.pool_count(), 2);
+        assert_eq!(ctl.pool_names(), ["east", "west"]);
+        assert_eq!(ctl.resolve(Some("west")), Ok(1));
+        assert_eq!(ctl.resolve(Some("nope")).unwrap_err().status, 404);
+        // Ambiguous on a fleet: the body must name a pool.
+        assert_eq!(ctl.resolve(None).unwrap_err().status, 400);
+
+        // Injection is per pool.
+        ctl.inject(1, 3, Some(5)).unwrap();
+        assert_eq!(ctl.effective_demand(1).unwrap().values()[5], 1.0 + 3.0);
+        assert_eq!(ctl.effective_demand(0).unwrap().values()[5], 1.0);
+        assert_eq!(ctl.injected(), 3);
+
+        // Aggregates span the fleet; per-pool entries stay separate.
+        assert_eq!(ctl.intervals_total(), 60);
+        let doc: Content = serde_json::from_str(&ctl.status_json("running").unwrap()).unwrap();
+        // On a fleet the top-level model/alpha are null.
+        assert_eq!(doc.field("model"), Some(&Content::Null));
+        assert_eq!(doc.field("alpha"), Some(&Content::Null));
+        let Some(Content::Seq(pools)) = doc.field("pools") else {
+            panic!("status must carry a pools array");
+        };
+        assert_eq!(pools.len(), 2);
+        assert_eq!(
+            pools[1]
+                .field("injected_requests")
+                .and_then(Content::as_u64),
+            Some(3)
+        );
+        assert_eq!(
+            pools[0]
+                .field("injected_requests")
+                .and_then(Content::as_u64),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn duplicate_pool_names_are_rejected() {
+        let err = Controller::new(
+            vec![
+                PoolServeConfig::named("a", demand(10)),
+                PoolServeConfig::named("a", demand(10)),
+            ],
+            300,
+        )
+        .err()
+        .unwrap();
+        assert!(err.contains("duplicate"), "{err}");
     }
 }

@@ -18,6 +18,42 @@ const MAX_BODY_BYTES: usize = 256 * 1024;
 /// dropped (protects worker threads from half-open sockets).
 const READ_TIMEOUT: Duration = Duration::from_secs(5);
 
+/// A request-parse or response-write failure, typed by the HTTP status
+/// the daemon maps it to. Parsing problems are the client's fault (400),
+/// the fixed size ceilings yield 413, and socket failures are the
+/// server's (500) — though a 500 here is usually unwritable anyway, since
+/// the transport just failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HttpError {
+    /// Malformed request line, headers, or body framing → 400.
+    BadRequest(String),
+    /// The head or declared body exceeds the fixed ceilings → 413.
+    TooLarge(String),
+    /// The socket failed or closed mid-request → 500.
+    Io(String),
+}
+
+impl HttpError {
+    /// The HTTP status code this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::BadRequest(_) => 400,
+            HttpError::TooLarge(_) => 413,
+            HttpError::Io(_) => 500,
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::BadRequest(m) | HttpError::TooLarge(m) | HttpError::Io(m) => f.write_str(m),
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
 /// One parsed request.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Request {
@@ -103,6 +139,8 @@ fn reason(status: u16) -> &'static str {
         404 => "Not Found",
         405 => "Method Not Allowed",
         409 => "Conflict",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
         503 => "Service Unavailable",
         _ => "Unknown",
     }
@@ -115,7 +153,7 @@ fn find_blank_line(buf: &[u8]) -> Option<usize> {
 /// Reads and parses one request from `stream`. The accepted socket may be
 /// in the listener's non-blocking mode, so `WouldBlock` is retried until
 /// [`READ_TIMEOUT`] worth of waiting has accumulated.
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, HttpError> {
     let _ = stream.set_nonblocking(false);
     let _ = stream.set_read_timeout(Some(READ_TIMEOUT));
     let mut buf: Vec<u8> = Vec::with_capacity(1024);
@@ -126,27 +164,38 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
             break pos;
         }
         if buf.len() > MAX_HEAD_BYTES {
-            return Err("request header block too large".into());
+            return Err(HttpError::TooLarge("request header block too large".into()));
         }
         match stream.read(&mut chunk) {
-            Ok(0) => return Err("connection closed before end of headers".into()),
+            Ok(0) => {
+                return Err(HttpError::BadRequest(
+                    "connection closed before end of headers".into(),
+                ))
+            }
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
             Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-            Err(e) => return Err(format!("read failed: {e}")),
+            Err(e) => return Err(HttpError::Io(format!("read failed: {e}"))),
         }
     };
 
     let head = std::str::from_utf8(&buf[..head_end])
-        .map_err(|_| "non-UTF-8 header block")?
+        .map_err(|_| HttpError::BadRequest("non-UTF-8 header block".into()))?
         .to_string();
     let mut lines = head.split("\r\n");
     let request_line = lines.next().unwrap_or("");
     let mut parts = request_line.split_whitespace();
-    let method = parts.next().ok_or("empty request line")?.to_string();
-    let target = parts.next().ok_or("request line without a target")?;
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("empty request line".into()))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::BadRequest("request line without a target".into()))?;
     let version = parts.next().unwrap_or("");
     if !version.starts_with("HTTP/1.") {
-        return Err(format!("unsupported protocol {version:?}"));
+        return Err(HttpError::BadRequest(format!(
+            "unsupported protocol {version:?}"
+        )));
     }
     let path = target.split('?').next().unwrap_or(target).to_string();
 
@@ -157,21 +206,21 @@ pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
                 content_length = value
                     .trim()
                     .parse()
-                    .map_err(|_| "unparseable Content-Length")?;
+                    .map_err(|_| HttpError::BadRequest("unparseable Content-Length".into()))?;
             }
         }
     }
     if content_length > MAX_BODY_BYTES {
-        return Err("request body too large".into());
+        return Err(HttpError::TooLarge("request body too large".into()));
     }
 
     let body_start = head_end + 4;
     while buf.len() < body_start + content_length {
         match stream.read(&mut chunk) {
-            Ok(0) => return Err("connection closed mid-body".into()),
+            Ok(0) => return Err(HttpError::BadRequest("connection closed mid-body".into())),
             Ok(n) => buf.extend_from_slice(&chunk[..n]),
             Err(e) if e.kind() == ErrorKind::Interrupted => continue,
-            Err(e) => return Err(format!("read failed: {e}")),
+            Err(e) => return Err(HttpError::Io(format!("read failed: {e}"))),
         }
     }
     let body = String::from_utf8_lossy(&buf[body_start..body_start + content_length]).into_owned();
@@ -199,13 +248,16 @@ mod tests {
     use super::*;
     use std::net::TcpListener;
 
-    fn round_trip(raw: &[u8]) -> Result<Request, String> {
+    fn round_trip(raw: &[u8]) -> Result<Request, HttpError> {
         let listener = TcpListener::bind("127.0.0.1:0").unwrap();
         let addr = listener.local_addr().unwrap();
         let raw = raw.to_vec();
         let client = std::thread::spawn(move || {
             let mut s = TcpStream::connect(addr).unwrap();
-            s.write_all(&raw).unwrap();
+            // The server may reject (and stop reading) before the client is
+            // done writing; a reset here is part of the scenario, not a
+            // test failure.
+            let _ = s.write_all(&raw);
             let _ = s.shutdown(std::net::Shutdown::Write);
         });
         let (mut server_side, _) = listener.accept().unwrap();
@@ -232,8 +284,58 @@ mod tests {
 
     #[test]
     fn rejects_non_http_and_truncation() {
-        assert!(round_trip(b"SSH-2.0-OpenSSH\r\n\r\n").is_err());
-        assert!(round_trip(b"POST /x HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort").is_err());
+        assert!(matches!(
+            round_trip(b"SSH-2.0-OpenSSH\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        assert!(matches!(
+            round_trip(b"POST /x HTTP/1.1\r\nContent-Length: 50\r\n\r\nshort"),
+            Err(HttpError::BadRequest(_))
+        ));
+    }
+
+    #[test]
+    fn malformed_content_length_is_a_bad_request() {
+        let err =
+            round_trip(b"POST /requests HTTP/1.1\r\nContent-Length: banana\r\n\r\n").unwrap_err();
+        assert!(matches!(err, HttpError::BadRequest(_)), "{err:?}");
+        assert_eq!(err.status(), 400);
+        assert!(err.to_string().contains("Content-Length"), "{err}");
+    }
+
+    #[test]
+    fn truncated_start_line_is_a_bad_request() {
+        // A method with no target, and a bare non-HTTP line.
+        let err = round_trip(b"GET\r\n\r\n").unwrap_err();
+        assert!(matches!(err, HttpError::BadRequest(_)), "{err:?}");
+        assert_eq!(err.status(), 400);
+        // Missing protocol token is equally malformed.
+        let err = round_trip(b"GET /status\r\n\r\n").unwrap_err();
+        assert_eq!(err.status(), 400);
+    }
+
+    #[test]
+    fn oversized_declared_body_is_rejected_as_too_large() {
+        // The declared body exceeds MAX_BODY_BYTES: rejected from the
+        // header alone, without reading (or allocating) the payload.
+        let raw = format!(
+            "POST /requests HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let err = round_trip(raw.as_bytes()).unwrap_err();
+        assert!(matches!(err, HttpError::TooLarge(_)), "{err:?}");
+        assert_eq!(err.status(), 413);
+    }
+
+    #[test]
+    fn oversized_header_block_is_rejected_as_too_large() {
+        // A head that never terminates: the ceiling must cut it off
+        // rather than buffering without bound.
+        let mut raw = b"GET /status HTTP/1.1\r\n".to_vec();
+        raw.extend_from_slice(format!("X-Pad: {}", "x".repeat(2 * MAX_HEAD_BYTES)).as_bytes());
+        let err = round_trip(&raw).unwrap_err();
+        assert!(matches!(err, HttpError::TooLarge(_)), "{err:?}");
+        assert_eq!(err.status(), 413);
     }
 
     #[test]

@@ -19,14 +19,22 @@
 //! | `/healthz`       | GET    | liveness — 200 while the process runs       |
 //! | `/readyz`        | GET    | readiness — 200 once the controller started |
 //! | `/status`        | GET    | JSON dashboard snapshot + active alerts     |
-//! | `/requests`      | POST   | inject arrivals into the live replay        |
-//! | `/reload`        | POST   | swap the recommendation model / `α'`        |
+//! | `/pools`         | GET    | the fleet: per-pool specs and progress      |
+//! | `/requests`      | POST   | inject arrivals into a pool's live replay   |
+//! | `/reload`        | POST   | swap a pool's recommendation model / `α'`   |
 //! | `/shutdown`      | POST   | graceful drain and exit                     |
 //!
+//! The daemon controls a **fleet**: N first-class pools, each with its own
+//! demand trace, simulator config, recommendation pipeline, and α′ loop,
+//! advanced in one merged logical-time event order
+//! ([`ip_sim::FleetSim`]). A single anonymous pool is the legacy daemon,
+//! bit for bit. On a fleet, `POST /requests` and `POST /reload` name their
+//! pool in the body and `/metrics` series carry a `pool` label.
+//!
 //! Because every state mutation and RNG draw happens inside the
-//! incrementally-steppable simulator in event order — never in pacing
-//! order — the daemon's recommendations are **bit-identical** to an
-//! offline [`ip_sim::Simulation`] run over the same effective trace, no
+//! incrementally-steppable simulators in event order — never in pacing
+//! order — the daemon's recommendations are **bit-identical** to offline
+//! [`ip_sim::Simulation`] runs over the same effective traces, no
 //! matter how the wall clock slices the ticks.
 
 #![forbid(unsafe_code)]
@@ -39,7 +47,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use ip_core::{evaluate_alerts, AlertRule, CostModel, Dashboard};
+use ip_core::{evaluate_alerts, merge_snapshots, AlertRule, CostModel, Dashboard};
 use ip_obs::export::render_prometheus;
 use ip_sim::{SimConfig, SimReport};
 use ip_timeseries::TimeSeries;
@@ -48,7 +56,7 @@ use serde::Content;
 mod controller;
 pub mod http;
 
-pub use controller::{build_provider, Controller};
+pub use controller::{build_provider, ControlError, Controller, PoolServeConfig};
 use http::{read_request, write_response, Request, Response};
 
 /// Daemon lifecycle phase, stored in an [`AtomicU8`].
@@ -92,6 +100,11 @@ impl Phase {
 /// Configuration for [`Daemon::start`].
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
+    /// The fleet: one entry per pool. When **empty**, the daemon runs the
+    /// legacy single-pool configuration below as a one-pool fleet with an
+    /// anonymous pool (unlabeled metrics) — bit-identical to the pre-fleet
+    /// daemon. When non-empty, the single-pool fields below are ignored.
+    pub pools: Vec<PoolServeConfig>,
     /// Platform simulation config (guardrails, Arbitrator, failures, seed).
     pub sim: SimConfig,
     /// The workload trace to replay.
@@ -109,7 +122,7 @@ pub struct ServeConfig {
     pub speedup: f64,
     /// TCP port to bind on 127.0.0.1 (`0` picks an ephemeral port).
     pub port: u16,
-    /// Alert rules evaluated against each tick's snapshot.
+    /// Alert rules evaluated against each tick's merged snapshot.
     pub alert_rules: Vec<AlertRule>,
 }
 
@@ -117,6 +130,7 @@ impl ServeConfig {
     /// A config with sensible defaults for the given trace.
     pub fn new(demand: TimeSeries) -> Self {
         Self {
+            pools: Vec::new(),
             sim: SimConfig::default(),
             demand,
             model: None,
@@ -127,6 +141,19 @@ impl ServeConfig {
             port: 0,
             alert_rules: default_alert_rules(),
         }
+    }
+
+    /// A fleet config over explicit per-pool entries. Errors on an empty
+    /// fleet.
+    pub fn fleet(pools: Vec<PoolServeConfig>) -> Result<Self, String> {
+        let first = pools
+            .first()
+            .ok_or_else(|| "fleet has no pools".to_string())?;
+        let demand = first.demand.clone();
+        Ok(Self {
+            pools,
+            ..Self::new(demand)
+        })
     }
 }
 
@@ -144,12 +171,15 @@ pub fn default_alert_rules() -> Vec<AlertRule> {
 #[derive(Debug)]
 pub struct ServeOutcome {
     /// The finalized simulation report (bit-identical to an offline run
-    /// over the effective trace), if the controller reached the trace end
-    /// or drained after processing a prefix.
+    /// over the effective trace) when the daemon ran a **single** pool;
+    /// `None` on a fleet — use [`ServeOutcome::pool_reports`].
     pub report: Option<SimReport>,
-    /// Requests injected over HTTP during the run.
+    /// Every pool's finalized report, in registration order (bit-identical
+    /// to offline runs over each pool's effective trace).
+    pub pool_reports: Vec<(String, SimReport)>,
+    /// Requests injected over HTTP during the run, fleet-wide.
     pub injected: u64,
-    /// Provider reloads served.
+    /// Provider reloads served, fleet-wide.
     pub reloads: u64,
     /// Controller lease lapses observed by the Arbitrator heartbeat.
     pub lapsed_leases: u64,
@@ -207,7 +237,8 @@ impl Daemon {
     /// threads, and transitions to [`Phase::Running`].
     pub fn start(config: ServeConfig) -> Result<Self, String> {
         let ServeConfig {
-            mut sim,
+            pools,
+            sim,
             demand,
             model,
             alpha,
@@ -222,25 +253,37 @@ impl Daemon {
                 "--speedup must be a positive number, got {speedup}"
             ));
         }
-        // Mirror the offline CLI: naming a model schedules the IP worker.
-        if model.is_some() && sim.ip_worker.is_none() {
-            sim.ip_worker = Some(ip_sim::IpWorkerConfig::default());
-        }
+        // An empty fleet means the legacy flat fields: one anonymous pool.
+        let pools = if pools.is_empty() {
+            vec![PoolServeConfig {
+                id: None,
+                sim,
+                demand,
+                model,
+                alpha,
+                autotune,
+                target_wait_secs,
+            }]
+        } else {
+            pools
+        };
         describe_serve_metrics();
-        let interval_secs = demand.interval_secs().max(1);
+        // The controller ticks at the granularity of the fastest pool.
+        let interval_secs = pools
+            .iter()
+            .map(|p| p.demand.interval_secs().max(1))
+            .min()
+            .unwrap_or(1);
         // The controller heartbeat runs on the wall clock but the lease is
         // measured in logical seconds, so scale the Arbitrator's lease by
-        // the speedup to keep its wall-clock horizon constant.
-        let lease_secs = ((sim.arbitrator.lease_secs as f64 * speedup).ceil() as u64).max(1);
-        let ctl = Controller::new(
-            sim,
-            demand,
-            model,
-            alpha,
-            autotune,
-            target_wait_secs,
-            lease_secs,
-        )?;
+        // the speedup to keep its wall-clock horizon constant. A fleet
+        // takes the longest lease across pools.
+        let lease_secs = pools
+            .iter()
+            .map(|p| ((p.sim.arbitrator.lease_secs as f64 * speedup).ceil() as u64).max(1))
+            .max()
+            .unwrap_or(1);
+        let ctl = Controller::new(pools, lease_secs)?;
 
         let listener = TcpListener::bind(("127.0.0.1", port))
             .map_err(|e| format!("bind 127.0.0.1:{port}: {e}"))?;
@@ -327,8 +370,18 @@ impl Daemon {
         let _ = controller.join();
         let mut ctl = inner.ctl.lock().expect("controller poisoned");
         ctl.finalize();
+        let mut pool_reports: Vec<(String, SimReport)> = ctl
+            .take_reports()
+            .into_iter()
+            .map(|(id, r)| (id.as_str().to_string(), r))
+            .collect();
+        let report = match pool_reports.as_mut_slice() {
+            [(_, only)] => Some(only.clone()),
+            _ => None,
+        };
         let outcome = ServeOutcome {
-            report: ctl.take_report(),
+            report,
+            pool_reports,
             injected: ctl.injected(),
             reloads: ctl.reloads(),
             lapsed_leases: ctl.lapsed_leases(),
@@ -370,9 +423,13 @@ fn tick_duration(interval_secs: u64, speedup: f64) -> Duration {
 
 fn controller_loop(inner: &Inner) {
     let dashboard = Dashboard::new(CostModel::default());
-    let mut stream = dashboard.stream();
+    let pool_count = inner.ctl.lock().expect("controller poisoned").pool_count();
+    // One dashboard stream per pool: each pool's snapshot integrates only
+    // its own interval stats, exactly as a dedicated single-pool daemon
+    // would compute it.
+    let mut streams: Vec<_> = (0..pool_count).map(|_| dashboard.stream()).collect();
+    let mut fed = vec![0usize; pool_count];
     let started = Instant::now();
-    let mut fed = 0usize;
     let tick = tick_duration(inner.interval_secs, inner.speedup);
     loop {
         let logical = (started.elapsed().as_secs_f64() * inner.speedup) as u64;
@@ -380,15 +437,17 @@ fn controller_loop(inner: &Inner) {
             let mut ctl = inner.ctl.lock().expect("controller poisoned");
             let _span = ip_obs::span("serve.tick");
             ctl.step_to(logical);
-            {
-                let stats = ctl.interval_stats();
-                for stat in &stats[fed..] {
-                    stream.observe(stat);
+            for i in 0..pool_count {
+                {
+                    let stats = ctl.interval_stats_of(i);
+                    for stat in &stats[fed[i]..] {
+                        streams[i].observe(stat);
+                    }
+                    fed[i] = stats.len();
                 }
-                fed = stats.len();
+                ctl.snapshots[i] = streams[i].snapshot();
             }
-            ctl.snapshot = stream.snapshot();
-            ctl.alerts = evaluate_alerts(&ctl.snapshot, &inner.alert_rules);
+            ctl.alerts = evaluate_alerts(&merge_snapshots(&ctl.snapshots), &inner.alert_rules);
             let now = ctl.watermark().max(logical);
             ctl.tick_lease(now);
             ip_obs::counter_inc("ip_serve_ticks_total", &[]);
@@ -399,12 +458,12 @@ fn controller_loop(inner: &Inner) {
         }
         std::thread::sleep(tick);
     }
-    // Close the integrals: the finalized report recomputes the snapshot
+    // Close the integrals: the finalized reports recompute the snapshots
     // so `/status` after completion matches `Dashboard::snapshot` on the
-    // full report exactly.
+    // full per-pool reports exactly.
     let mut ctl = inner.ctl.lock().expect("controller poisoned");
     ctl.finalize();
-    ctl.alerts = evaluate_alerts(&ctl.snapshot, &inner.alert_rules);
+    ctl.alerts = evaluate_alerts(&merge_snapshots(&ctl.snapshots), &inner.alert_rules);
     drop(ctl);
     // Running → Completed; if a drain already started, leave it be.
     inner.transition(Phase::Running, Phase::Completed);
@@ -458,7 +517,7 @@ fn worker_loop(inner: &Inner) {
                 );
                 route(inner, &request)
             }
-            Err(e) => Response::json_error(400, &e),
+            Err(e) => Response::json_error(e.status(), &e.to_string()),
         };
         let _ = write_response(&mut conn, &response);
     }
@@ -475,7 +534,17 @@ fn route(inner: &Inner, request: &Request) -> Response {
         },
         ("GET", "/status") => {
             let ctl = inner.ctl.lock().expect("controller poisoned");
-            Response::json(200, ctl.status_json(inner.phase().as_str()))
+            match ctl.status_json(inner.phase().as_str()) {
+                Ok(body) => Response::json(200, body),
+                Err(e) => Response::json_error(500, &e),
+            }
+        }
+        ("GET", "/pools") => {
+            let ctl = inner.ctl.lock().expect("controller poisoned");
+            match ctl.pools_json() {
+                Ok(body) => Response::json(200, body),
+                Err(e) => Response::json_error(500, &e),
+            }
         }
         ("POST", "/requests") => post_requests(inner, &request.body),
         ("POST", "/reload") => post_reload(inner, &request.body),
@@ -483,7 +552,7 @@ fn route(inner: &Inner, request: &Request) -> Response {
             inner.begin_drain();
             Response::json(200, "{\"state\":\"draining\"}")
         }
-        (_, "/metrics" | "/healthz" | "/readyz" | "/status") => {
+        (_, "/metrics" | "/healthz" | "/readyz" | "/status" | "/pools") => {
             Response::json_error(405, "use GET")
         }
         (_, "/requests" | "/reload" | "/shutdown") => Response::json_error(405, "use POST"),
@@ -491,7 +560,19 @@ fn route(inner: &Inner, request: &Request) -> Response {
     }
 }
 
-/// `POST /requests` body: `{"count": <u64 >= 1>, "interval": <usize>?}`.
+/// Pulls the optional `"pool"` string out of a request body. `Ok(None)`
+/// when absent or JSON `null`; `Err` when present but not a string.
+fn pool_field(doc: &Content) -> Result<Option<String>, Response> {
+    match doc.field("pool") {
+        None | Some(Content::Null) => Ok(None),
+        Some(Content::Str(name)) => Ok(Some(name.clone())),
+        Some(_) => Err(Response::json_error(400, "\"pool\" must be a string")),
+    }
+}
+
+/// `POST /requests` body: `{"count": <u64 >= 1>, "interval": <usize>?,
+/// "pool": "<name>"?}`. The pool is required on a fleet (>1 pools),
+/// optional on a single-pool daemon.
 fn post_requests(inner: &Inner, body: &str) -> Response {
     let doc: Content = match serde_json::from_str(body) {
         Ok(doc) => doc,
@@ -510,17 +591,31 @@ fn post_requests(inner: &Inner, body: &str) -> Response {
             }
         },
     };
+    let pool = match pool_field(&doc) {
+        Ok(pool) => pool,
+        Err(response) => return response,
+    };
     let mut ctl = inner.ctl.lock().expect("controller poisoned");
-    match ctl.inject(count, interval) {
+    let idx = match ctl.resolve(pool.as_deref()) {
+        Ok(idx) => idx,
+        Err(e) => return Response::json_error(e.status, &e.message),
+    };
+    match ctl.inject(idx, count, interval) {
         Ok(landed) => Response::json(
             200,
-            format!("{{\"injected\":{count},\"interval\":{landed}}}"),
+            format!(
+                "{{\"injected\":{count},\"interval\":{landed},\"pool\":{}}}",
+                serde_json::to_string(&Content::Str(ctl.pool_names()[idx].to_string()))
+                    .unwrap_or_else(|_| "null".into())
+            ),
         ),
-        Err(e) => Response::json_error(409, &e),
+        Err(e) => Response::json_error(e.status, &e.message),
     }
 }
 
-/// `POST /reload` body: `{"model": "<name>", "alpha": <f64>?}`.
+/// `POST /reload` body: `{"model": "<name>", "alpha": <f64>?,
+/// "pool": "<name>"?}`. The pool is required on a fleet (>1 pools),
+/// optional on a single-pool daemon.
 fn post_reload(inner: &Inner, body: &str) -> Response {
     let doc: Content = match serde_json::from_str(body) {
         Ok(doc) => doc,
@@ -529,15 +624,23 @@ fn post_reload(inner: &Inner, body: &str) -> Response {
     let Some(Content::Str(model)) = doc.field("model") else {
         return Response::json_error(400, "body must carry a string \"model\"");
     };
+    let pool = match pool_field(&doc) {
+        Ok(pool) => pool,
+        Err(response) => return response,
+    };
     let mut ctl = inner.ctl.lock().expect("controller poisoned");
+    let idx = match ctl.resolve(pool.as_deref()) {
+        Ok(idx) => idx,
+        Err(e) => return Response::json_error(e.status, &e.message),
+    };
     let alpha = match doc.field("alpha") {
-        None | Some(Content::Null) => ctl.alpha(),
+        None | Some(Content::Null) => ctl.alpha_of(idx),
         Some(v) => match v.as_f64() {
             Some(a) if (0.0..=1.0).contains(&a) => a,
             _ => return Response::json_error(400, "\"alpha\" must be a number in [0, 1]"),
         },
     };
-    match ctl.reload(model, alpha) {
+    match ctl.reload(idx, model, alpha) {
         Ok(()) => Response::json(
             200,
             format!(
@@ -545,7 +648,7 @@ fn post_reload(inner: &Inner, body: &str) -> Response {
                 ctl.reloads()
             ),
         ),
-        Err(e) => Response::json_error(409, &e),
+        Err(e) => Response::json_error(e.status, &e.message),
     }
 }
 
@@ -580,12 +683,9 @@ mod tests {
             phase: AtomicU8::new(Phase::Running as u8),
             ctl: Mutex::new(
                 Controller::new(
-                    SimConfig::default(),
-                    TimeSeries::new(30, vec![1.0; 4]).unwrap(),
-                    None,
-                    0.3,
-                    false,
-                    30.0,
+                    vec![PoolServeConfig::new(
+                        TimeSeries::new(30, vec![1.0; 4]).unwrap(),
+                    )],
                     300,
                 )
                 .unwrap(),

@@ -17,7 +17,7 @@ use std::net::TcpStream;
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
-use ip_serve::{build_provider, Daemon, ServeConfig};
+use ip_serve::{build_provider, Daemon, PoolServeConfig, ServeConfig};
 use ip_sim::{IpWorkerConfig, RecommendationFile, SimConfig, Simulation};
 use ip_timeseries::TimeSeries;
 use serde::Content;
@@ -225,6 +225,191 @@ fn live_daemon_is_bit_identical_to_offline_pipeline() {
     // And the scraped counters agree with the oracle.
     assert_eq!(live_hits, offline.hits as f64);
     assert_eq!(live_misses, offline.misses as f64);
+}
+
+/// The fleet acceptance test: a daemon over three named pools is, pool by
+/// pool, bit-identical to three offline `Simulation::run`s over the same
+/// effective traces — with mid-replay injections routed into two of the
+/// pools by name — and `/metrics` carries one labeled series per pool.
+#[test]
+fn fleet_daemon_matches_offline_per_pool() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    ip_obs::reset();
+    ip_obs::set_enabled(true);
+
+    // Three pools with distinct traces, seeds, and pipelines: a tuned
+    // model pool, a plain model pool, and a static pool.
+    let sim_of = |seed: u64| SimConfig {
+        default_pool_target: 3,
+        seed,
+        ..Default::default()
+    };
+    let specs: Vec<(&str, usize, u64, Option<&str>, bool)> = vec![
+        ("east", 160, 11, Some("baseline"), true),
+        ("west", 200, 22, Some("baseline"), false),
+        ("spare", 120, 33, None, false),
+    ];
+    let mut pools = Vec::new();
+    for &(name, len, seed, model, autotune) in &specs {
+        pools.push(PoolServeConfig {
+            sim: sim_of(seed),
+            model: model.map(str::to_owned),
+            autotune,
+            ..PoolServeConfig::named(name, demand(len))
+        });
+    }
+    let mut config = ServeConfig::fleet(pools).unwrap();
+    config.speedup = 2_000.0;
+    let daemon = Daemon::start(config).expect("fleet daemon starts");
+    let addr = daemon.addr();
+
+    // `/pools` lists the fleet.
+    let (code, body) = http(addr, "GET", "/pools", "");
+    assert_eq!(code, 200, "{body}");
+    let doc = parse_json(&body);
+    let Some(Content::Seq(listed)) = doc.field("pools") else {
+        panic!("/pools must carry a pools array: {body}");
+    };
+    let names: Vec<_> = listed
+        .iter()
+        .map(|p| p.field("name").cloned().unwrap())
+        .collect();
+    assert_eq!(
+        names,
+        vec![
+            Content::Str("east".into()),
+            Content::Str("west".into()),
+            Content::Str("spare".into())
+        ]
+    );
+
+    // A fleet rejects un-routed and mis-routed mutations.
+    assert_eq!(http(addr, "POST", "/requests", "{\"count\":1}").0, 400);
+    assert_eq!(
+        http(addr, "POST", "/requests", "{\"count\":1,\"pool\":\"nope\"}").0,
+        404
+    );
+
+    // Inject into two pools by name; the responses pin where each landed.
+    let mut landed: Vec<(&str, usize, u64)> = Vec::new();
+    for (pool, count, interval) in [("east", 7u64, 120usize), ("spare", 3, 100)] {
+        let (code, body) = http(
+            addr,
+            "POST",
+            "/requests",
+            &format!("{{\"count\":{count},\"interval\":{interval},\"pool\":\"{pool}\"}}"),
+        );
+        assert_eq!(code, 200, "injection into {pool} rejected: {body}");
+        let doc = parse_json(&body);
+        assert_eq!(
+            doc.field("pool"),
+            Some(&Content::Str(pool.to_string())),
+            "{body}"
+        );
+        let at = doc.field("interval").and_then(Content::as_u64).unwrap() as usize;
+        landed.push((pool, at, count));
+    }
+
+    let status = wait_for_state(addr, "completed");
+    assert_eq!(
+        status
+            .field("intervals_processed")
+            .and_then(Content::as_u64),
+        Some(160 + 200 + 120)
+    );
+    assert_eq!(
+        status.field("injected_requests").and_then(Content::as_u64),
+        Some(10)
+    );
+    // Fleet status: top-level model/alpha are null, per-pool entries
+    // carry the real values.
+    assert_eq!(status.field("model"), Some(&Content::Null));
+    let Some(Content::Seq(status_pools)) = status.field("pools") else {
+        panic!("fleet status must carry a pools array");
+    };
+    assert_eq!(status_pools.len(), 3);
+    assert_eq!(
+        status_pools[0]
+            .field("injected_requests")
+            .and_then(Content::as_u64),
+        Some(7)
+    );
+
+    // Scrape the exposition: per-pool labeled series for every pool.
+    let (code, metrics_text) = http(addr, "GET", "/metrics", "");
+    assert_eq!(code, 200);
+    let exposition = ip_obs::export::parse_exposition(&metrics_text).expect("exposition parses");
+    let pool_sample = |name: &str, pool: &str| {
+        exposition
+            .samples
+            .iter()
+            .find(|s| s.name == name && s.labels == vec![("pool".to_string(), pool.to_string())])
+            .unwrap_or_else(|| panic!("{name}{{pool={pool:?}}} missing from /metrics"))
+            .value
+    };
+    let live_hits: Vec<f64> = specs
+        .iter()
+        .map(|&(name, ..)| pool_sample("ip_sim_pool_hits_total", name))
+        .collect();
+
+    let (code, _) = http(addr, "POST", "/shutdown", "");
+    assert_eq!(code, 200);
+    let outcome = daemon.join();
+    ip_obs::set_enabled(false);
+    assert_eq!(outcome.injected, 10);
+    assert!(
+        outcome.report.is_none(),
+        "fleet outcome has no single report"
+    );
+    assert_eq!(outcome.pool_reports.len(), 3);
+
+    // Oracle: each pool independently offline over its effective trace,
+    // via the same provider constructor and the same config rules.
+    for (i, &(name, len, seed, model, autotune)) in specs.iter().enumerate() {
+        let (live_name, live) = &outcome.pool_reports[i];
+        assert_eq!(live_name, name);
+        let mut effective = demand(len);
+        for &(pool, at, count) in &landed {
+            if pool == name {
+                effective.values_mut()[at] += count as f64;
+            }
+        }
+        let mut cfg = sim_of(seed);
+        if model.is_some() {
+            cfg.ip_worker = Some(IpWorkerConfig::default());
+        }
+        cfg.pool = Some(ip_sim::PoolId::new(name));
+        let mut provider = model.map(|m| build_provider(m, 0.3, autotune, 30.0).unwrap());
+        let offline = Simulation::new(
+            cfg,
+            provider
+                .as_mut()
+                .map(|p| p.as_mut() as &mut dyn ip_sim::RecommendationProvider),
+        )
+        .run(&effective)
+        .unwrap();
+
+        assert_eq!(live.hits, offline.hits, "pool {name}");
+        assert_eq!(live.misses, offline.misses, "pool {name}");
+        assert_eq!(live.total_wait_secs, offline.total_wait_secs, "pool {name}");
+        assert_eq!(live.interval_stats, offline.interval_stats, "pool {name}");
+        assert_eq!(
+            live.applied_target_timeline, offline.applied_target_timeline,
+            "pool {name}"
+        );
+        let live_recs = live
+            .config_store
+            .get_all::<RecommendationFile>("pool-recommendation");
+        let offline_recs = offline
+            .config_store
+            .get_all::<RecommendationFile>("pool-recommendation");
+        assert_eq!(live_recs, offline_recs, "pool {name}");
+        if model.is_some() {
+            assert!(!live_recs.is_empty(), "pool {name} never recommended");
+        }
+        // The scraped per-pool counter agrees with the oracle.
+        assert_eq!(live_hits[i], offline.hits as f64, "pool {name}");
+    }
 }
 
 /// Control-plane behaviour that doesn't need the obs registry: readiness,

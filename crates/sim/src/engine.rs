@@ -13,7 +13,7 @@
 use crate::cluster::{Cluster, ClusterState};
 use crate::lease::Lease;
 use crate::stores::{CosmosLite, KustoLite, RecommendationFile};
-use crate::{RecommendationProvider, Result, SimError};
+use crate::{PoolId, RecommendationProvider, Result, SimError};
 use ip_timeseries::TimeSeries;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -96,6 +96,10 @@ pub struct SimConfig {
     pub on_demand_hedging: u32,
     /// RNG seed.
     pub seed: u64,
+    /// Pool identity in a fleet. `None` (the default) keeps every metric
+    /// series unlabeled — bit-identical to the pre-fleet single-pool
+    /// output; `Some` adds a `pool` label to every `ip_sim_*` series.
+    pub pool: Option<PoolId>,
 }
 
 impl Default for SimConfig {
@@ -112,8 +116,16 @@ impl Default for SimConfig {
             pooling_worker_outages: Vec::new(),
             on_demand_hedging: 1,
             seed: 0,
+            pool: None,
         }
     }
+}
+
+/// The `pool` metric label set for a stepper: empty for an anonymous
+/// (pre-fleet) pool, `[("pool", name)]` inside a fleet. Free function over
+/// the field path so call sites keep disjoint field borrows.
+fn pool_labels(pool: &Option<PoolId>) -> Option<(&str, &str)> {
+    pool.as_ref().map(|p| ("pool", p.as_str()))
 }
 
 /// Per-interval telemetry record — the §7.5 dashboard stream.
@@ -344,6 +356,7 @@ impl SimStepper {
         // families so a quiet run still exposes them at zero.
         let obs_on = ip_obs::enabled();
         if obs_on {
+            let pl = pool_labels(&cfg.pool);
             for name in [
                 "ip_sim_requests_total",
                 "ip_sim_pool_hits_total",
@@ -358,10 +371,14 @@ impl SimStepper {
                 "ip_sim_ip_runs_total",
                 "ip_sim_ip_failures_total",
             ] {
-                ip_obs::counter_add(name, &[], 0.0);
+                ip_obs::counter_add(name, pl.as_slice(), 0.0);
             }
-            ip_obs::declare_histogram("ip_sim_request_wait_seconds", &[], &WAIT_BUCKETS);
-            ip_obs::declare_histogram("ip_sim_interval_idle_cluster_seconds", &[], &IDLE_BUCKETS);
+            ip_obs::declare_histogram("ip_sim_request_wait_seconds", pl.as_slice(), &WAIT_BUCKETS);
+            ip_obs::declare_histogram(
+                "ip_sim_interval_idle_cluster_seconds",
+                pl.as_slice(),
+                &IDLE_BUCKETS,
+            );
         }
 
         let mut stepper = Self {
@@ -449,7 +466,8 @@ impl SimStepper {
             self.ready_queue.push_back(id);
             self.clusters_created += 1;
             if self.obs_on {
-                ip_obs::counter_inc("ip_sim_clusters_created_total", &[]);
+                let pl = pool_labels(&self.cfg.pool);
+                ip_obs::counter_inc("ip_sim_clusters_created_total", pl.as_slice());
             }
             if expiry < self.end_time {
                 self.push(expiry, Ev::ClusterExpire(id));
@@ -530,7 +548,8 @@ impl SimStepper {
                 self.provisioning_pool.push(id);
                 self.clusters_created += 1;
                 if self.obs_on {
-                    ip_obs::counter_inc("ip_sim_clusters_created_total", &[]);
+                    let pl = pool_labels(&self.cfg.pool);
+                    ip_obs::counter_inc("ip_sim_clusters_created_total", pl.as_slice());
                 }
                 self.push(ready_at, Ev::ClusterReady(id));
             }
@@ -545,7 +564,8 @@ impl SimStepper {
                         ClusterState::Retired;
                     self.cancelled += 1;
                     if self.obs_on {
-                        ip_obs::counter_inc("ip_sim_cancelled_provisioning_total", &[]);
+                        let pl = pool_labels(&self.cfg.pool);
+                        ip_obs::counter_inc("ip_sim_cancelled_provisioning_total", pl.as_slice());
                     }
                     excess -= 1;
                 } else {
@@ -558,7 +578,8 @@ impl SimStepper {
                         ClusterState::Retired;
                     self.retired_downsize += 1;
                     if self.obs_on {
-                        ip_obs::counter_inc("ip_sim_retired_for_downsize_total", &[]);
+                        let pl = pool_labels(&self.cfg.pool);
+                        ip_obs::counter_inc("ip_sim_retired_for_downsize_total", pl.as_slice());
                     }
                     excess -= 1;
                 } else {
@@ -655,7 +676,8 @@ impl SimStepper {
         if fallback {
             self.fallback_intervals += 1;
             if self.obs_on {
-                ip_obs::counter_inc("ip_sim_fallback_intervals_total", &[]);
+                let pl = pool_labels(&self.cfg.pool);
+                ip_obs::counter_inc("ip_sim_fallback_intervals_total", pl.as_slice());
                 ip_obs::event("sim.fallback", time, &[("target", f64::from(target))]);
             }
         }
@@ -666,7 +688,13 @@ impl SimStepper {
                 self.hits += 1;
                 self.telemetry.append("pool_hit", time, 1.0);
                 if self.obs_on {
-                    ip_obs::observe_with("ip_sim_request_wait_seconds", &[], &WAIT_BUCKETS, 0.0);
+                    let pl = pool_labels(&self.cfg.pool);
+                    ip_obs::observe_with(
+                        "ip_sim_request_wait_seconds",
+                        pl.as_slice(),
+                        &WAIT_BUCKETS,
+                        0.0,
+                    );
                 }
                 self.clusters.get_mut(&id).expect("known cluster").state = ClusterState::InUse;
             } else {
@@ -690,8 +718,9 @@ impl SimStepper {
                     self.clusters_created += 1;
                     self.on_demand_created += 1;
                     if self.obs_on {
-                        ip_obs::counter_inc("ip_sim_clusters_created_total", &[]);
-                        ip_obs::counter_inc("ip_sim_on_demand_created_total", &[]);
+                        let pl = pool_labels(&self.cfg.pool);
+                        ip_obs::counter_inc("ip_sim_clusters_created_total", pl.as_slice());
+                        ip_obs::counter_inc("ip_sim_on_demand_created_total", pl.as_slice());
                     }
                     self.push(ready_at, Ev::ClusterReady(id));
                 }
@@ -704,19 +733,24 @@ impl SimStepper {
             .last()
             .map_or(0.0, |s: &IntervalStat| s.cum_idle_cluster_seconds);
         if self.obs_on {
-            ip_obs::counter_add("ip_sim_requests_total", &[], count as f64);
-            ip_obs::counter_add("ip_sim_pool_hits_total", &[], ihits as f64);
-            ip_obs::counter_add("ip_sim_pool_misses_total", &[], imisses as f64);
-            ip_obs::gauge_set("ip_sim_pool_ready", &[], self.ready_queue.len() as f64);
+            let pl = pool_labels(&self.cfg.pool);
+            ip_obs::counter_add("ip_sim_requests_total", pl.as_slice(), count as f64);
+            ip_obs::counter_add("ip_sim_pool_hits_total", pl.as_slice(), ihits as f64);
+            ip_obs::counter_add("ip_sim_pool_misses_total", pl.as_slice(), imisses as f64);
+            ip_obs::gauge_set(
+                "ip_sim_pool_ready",
+                pl.as_slice(),
+                self.ready_queue.len() as f64,
+            );
             ip_obs::gauge_set(
                 "ip_sim_pool_provisioning",
-                &[],
+                pl.as_slice(),
                 self.provisioning_pool.len() as f64,
             );
-            ip_obs::gauge_set("ip_sim_pool_target", &[], f64::from(target));
+            ip_obs::gauge_set("ip_sim_pool_target", pl.as_slice(), f64::from(target));
             ip_obs::observe_with(
                 "ip_sim_interval_idle_cluster_seconds",
-                &[],
+                pl.as_slice(),
                 &IDLE_BUCKETS,
                 self.idle_cs - prev_idle,
             );
@@ -781,7 +815,13 @@ impl SimStepper {
                 let wait = (time - request.arrival) as f64;
                 self.total_wait += wait;
                 if self.obs_on {
-                    ip_obs::observe_with("ip_sim_request_wait_seconds", &[], &WAIT_BUCKETS, wait);
+                    let pl = pool_labels(&self.cfg.pool);
+                    ip_obs::observe_with(
+                        "ip_sim_request_wait_seconds",
+                        pl.as_slice(),
+                        &WAIT_BUCKETS,
+                        wait,
+                    );
                 }
                 cluster.state = ClusterState::InUse;
             }
@@ -807,7 +847,8 @@ impl SimStepper {
             self.expired += 1;
             self.telemetry.append("cluster_expired", time, 1.0);
             if self.obs_on {
-                ip_obs::counter_inc("ip_sim_expired_total", &[]);
+                let pl = pool_labels(&self.cfg.pool);
+                ip_obs::counter_inc("ip_sim_expired_total", pl.as_slice());
             }
             self.enforce_target(time);
         }
@@ -825,13 +866,15 @@ impl SimStepper {
         let _ip_span = ip_obs::span("sim.ip_run");
         self.ip_runs += 1;
         if self.obs_on {
-            ip_obs::counter_inc("ip_sim_ip_runs_total", &[]);
+            let pl = pool_labels(&self.cfg.pool);
+            ip_obs::counter_inc("ip_sim_ip_runs_total", pl.as_slice());
         }
         if ipc.failing_runs.contains(&k) {
             self.ip_failures += 1;
             self.telemetry.append("ip_run_failed", time, 1.0);
             if self.obs_on {
-                ip_obs::counter_inc("ip_sim_ip_failures_total", &[]);
+                let pl = pool_labels(&self.cfg.pool);
+                ip_obs::counter_inc("ip_sim_ip_failures_total", pl.as_slice());
                 ip_obs::event("sim.ip_run", time, &[("ok", 0.0)]);
             }
         } else if let Some(provider) = provider.as_deref_mut() {
@@ -867,7 +910,8 @@ impl SimStepper {
                     self.ip_failures += 1;
                     self.telemetry.append("ip_run_failed", time, 1.0);
                     if self.obs_on {
-                        ip_obs::counter_inc("ip_sim_ip_failures_total", &[]);
+                        let pl = pool_labels(&self.cfg.pool);
+                        ip_obs::counter_inc("ip_sim_ip_failures_total", pl.as_slice());
                         ip_obs::event("sim.ip_run", time, &[("ok", 0.0)]);
                     }
                 }
@@ -884,7 +928,8 @@ impl SimStepper {
                 self.worker_replacements += 1;
                 self.telemetry.append("worker_replaced", time, 1.0);
                 if self.obs_on {
-                    ip_obs::counter_inc("ip_sim_worker_replacements_total", &[]);
+                    let pl = pool_labels(&self.cfg.pool);
+                    ip_obs::counter_inc("ip_sim_worker_replacements_total", pl.as_slice());
                     ip_obs::event("sim.worker_replaced", time, &[]);
                 }
                 self.enforce_target(time);
@@ -936,6 +981,17 @@ impl SimStepper {
         (self.ready_queue.len(), self.provisioning_pool.len())
     }
 
+    /// Time of the earliest still-pending event strictly before the end of
+    /// the trace, or `None` when no such event remains. This is the peek a
+    /// fleet interleaver uses to merge several steppers' event streams into
+    /// one global logical-time order without advancing any of them.
+    pub fn next_event_time(&self) -> Option<u64> {
+        self.heap
+            .peek()
+            .map(|q| q.time)
+            .filter(|&t| t < self.end_time)
+    }
+
     /// Closes the integrals at the watermark, charges still-unserved
     /// on-demand requests their wait so far, fixes up the last interval
     /// record to the end-of-window totals, and produces the report.
@@ -952,9 +1008,10 @@ impl SimStepper {
         for request in self.od_requests.iter().filter(|r| !r.served) {
             self.total_wait += (horizon - request.arrival) as f64;
             if self.obs_on {
+                let pl = pool_labels(&self.cfg.pool);
                 ip_obs::observe_with(
                     "ip_sim_request_wait_seconds",
-                    &[],
+                    pl.as_slice(),
                     &WAIT_BUCKETS,
                     (horizon - request.arrival) as f64,
                 );

@@ -1,0 +1,386 @@
+//! A fleet of pools advanced in one merged logical-time event order.
+//!
+//! [`FleetSim`] owns one [`SimStepper`] per pool and interleaves their
+//! event streams: at every step it peeks each stepper's earliest pending
+//! event ([`SimStepper::next_event_time`]) and advances exactly the pool
+//! owning the globally earliest one. Ties on time break by pool
+//! registration order, so the merged order is total and deterministic.
+//!
+//! Because each pool's state (clusters, stores, RNG, interval stats) lives
+//! entirely inside its own stepper and only ever mutates while *that*
+//! stepper processes an event, the interleaving cannot change any pool's
+//! outcome: a fleet of one pool is bit-identical to [`Simulation::run`]
+//! over the same config and demand, and an N-pool fleet is bit-identical
+//! to N independent single-pool runs. Both invariants are pinned by tests
+//! (`tests/fleet.rs`).
+
+use crate::engine::{SimConfig, SimReport, SimStepper};
+use crate::{BoxedProvider, PoolId, RecommendationProvider, Result, SimError};
+use ip_timeseries::TimeSeries;
+
+/// One pool's registration into a [`FleetSim`]: identity, simulator
+/// configuration, demand trace, and an optional recommendation provider
+/// feeding its Intelligent Pooling Worker.
+pub struct FleetPool {
+    /// Pool identity (keys reports, metrics, and daemon routes).
+    pub id: PoolId,
+    /// Simulator configuration for this pool.
+    pub config: SimConfig,
+    /// The pool's demand trace.
+    pub demand: TimeSeries,
+    /// Per-pool recommendation provider (its own α′ loop when autotuned).
+    pub provider: Option<BoxedProvider>,
+}
+
+impl FleetPool {
+    /// A pool whose metrics carry a `pool="<id>"` label: `config.pool` is
+    /// set from `id`.
+    pub fn new(id: impl Into<PoolId>, config: SimConfig, demand: TimeSeries) -> Self {
+        let id = id.into();
+        let mut config = config;
+        config.pool = Some(id.clone());
+        Self {
+            id,
+            config,
+            demand,
+            provider: None,
+        }
+    }
+
+    /// A pool that keeps `config.pool` exactly as given — `None` leaves
+    /// every metric series unlabeled, which is how a one-pool fleet stays
+    /// bit-identical to the pre-fleet daemon's `/metrics`. The id defaults
+    /// to the configured pool name or `"default"`.
+    pub fn anonymous(config: SimConfig, demand: TimeSeries) -> Self {
+        let id = config
+            .pool
+            .clone()
+            .unwrap_or_else(|| PoolId::new("default"));
+        Self {
+            id,
+            config,
+            demand,
+            provider: None,
+        }
+    }
+
+    /// Attaches a recommendation provider.
+    pub fn with_provider(mut self, provider: BoxedProvider) -> Self {
+        self.provider = Some(provider);
+        self
+    }
+}
+
+struct Member {
+    id: PoolId,
+    demand: TimeSeries,
+    provider: Option<BoxedProvider>,
+    stepper: SimStepper,
+}
+
+/// N per-pool event loops merged into one global logical-time order.
+pub struct FleetSim {
+    members: Vec<Member>,
+}
+
+impl FleetSim {
+    /// Validates and builds one stepper per pool. Errors on an empty
+    /// fleet, duplicate pool ids, or any per-pool config/demand error
+    /// (prefixed with the pool name).
+    pub fn new(pools: Vec<FleetPool>) -> Result<Self> {
+        if pools.is_empty() {
+            return Err(SimError::InvalidConfig("fleet has no pools".into()));
+        }
+        let mut members = Vec::with_capacity(pools.len());
+        for pool in pools {
+            if members.iter().any(|m: &Member| m.id == pool.id) {
+                return Err(SimError::InvalidConfig(format!(
+                    "duplicate pool id {:?}",
+                    pool.id.as_str()
+                )));
+            }
+            let stepper = SimStepper::new(pool.config, &pool.demand).map_err(|e| {
+                SimError::InvalidConfig(format!("pool {:?}: {e}", pool.id.as_str()))
+            })?;
+            members.push(Member {
+                id: pool.id,
+                demand: pool.demand,
+                provider: pool.provider,
+                stepper,
+            });
+        }
+        Ok(Self { members })
+    }
+
+    /// Number of pools.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Always `false` — [`FleetSim::new`] rejects empty fleets — but kept
+    /// for the conventional pairing with [`len`](FleetSim::len).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Pool ids in registration order (the tie-break order).
+    pub fn ids(&self) -> impl Iterator<Item = &PoolId> {
+        self.members.iter().map(|m| &m.id)
+    }
+
+    /// Index of the pool named `id`, if registered.
+    pub fn index_of(&self, id: &str) -> Option<usize> {
+        self.members.iter().position(|m| m.id.as_str() == id)
+    }
+
+    /// The id of pool `i`.
+    pub fn id(&self, i: usize) -> &PoolId {
+        &self.members[i].id
+    }
+
+    /// Pool `i`'s stepper (read-only: stats, stores, watermark).
+    pub fn stepper(&self, i: usize) -> &SimStepper {
+        &self.members[i].stepper
+    }
+
+    /// Pool `i`'s demand trace.
+    pub fn demand(&self, i: usize) -> &TimeSeries {
+        &self.members[i].demand
+    }
+
+    /// Mutable demand trace of pool `i` — live injection hook. Only
+    /// intervals the stepper has not yet delivered can still take effect.
+    pub fn demand_mut(&mut self, i: usize) -> &mut TimeSeries {
+        &mut self.members[i].demand
+    }
+
+    /// Replaces pool `i`'s provider (the daemon's `POST /reload` path).
+    pub fn set_provider(&mut self, i: usize, provider: Option<BoxedProvider>) {
+        self.members[i].provider = provider;
+    }
+
+    /// `true` when every pool's stepper has processed its whole trace.
+    pub fn is_done(&self) -> bool {
+        self.members.iter().all(|m| m.stepper.is_done())
+    }
+
+    /// Latest trace end across pools — the fleet's horizon.
+    pub fn end_time(&self) -> u64 {
+        self.members
+            .iter()
+            .map(|m| m.stepper.end_time())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Earliest watermark across pools: the logical time every pool has
+    /// processed through.
+    pub fn watermark(&self) -> u64 {
+        self.members
+            .iter()
+            .map(|m| m.stepper.watermark())
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Total demand intervals processed across pools.
+    pub fn processed_intervals(&self) -> usize {
+        self.members
+            .iter()
+            .map(|m| m.stepper.processed_intervals())
+            .sum()
+    }
+
+    /// Processes every pool's events with `time <= until` in one merged
+    /// `(time, pool registration order)` sequence, then advances all
+    /// watermarks to `until`. Returns the number of demand intervals
+    /// processed across the fleet.
+    pub fn step_until(&mut self, until: u64) -> usize {
+        let mut intervals = 0;
+        loop {
+            // The globally earliest pending event; strict `<` keeps the
+            // first-registered pool ahead on ties.
+            let mut best: Option<(u64, usize)> = None;
+            for (i, m) in self.members.iter().enumerate() {
+                if let Some(t) = m.stepper.next_event_time() {
+                    if best.is_none_or(|(bt, _)| t < bt) {
+                        best = Some((t, i));
+                    }
+                }
+            }
+            let Some((t, i)) = best else { break };
+            if t > until {
+                break;
+            }
+            let m = &mut self.members[i];
+            let provider = m
+                .provider
+                .as_mut()
+                .map(|p| p.as_mut() as &mut dyn RecommendationProvider);
+            intervals += m.stepper.step_until(&m.demand, provider, t);
+        }
+        // No pool has an event left at or before `until`: bump every
+        // watermark (processes nothing, closes `is_done` bookkeeping).
+        for m in &mut self.members {
+            let provider = m
+                .provider
+                .as_mut()
+                .map(|p| p.as_mut() as &mut dyn RecommendationProvider);
+            intervals += m.stepper.step_until(&m.demand, provider, until);
+        }
+        intervals
+    }
+
+    /// Runs every pool to the end of its trace.
+    pub fn run_to_end(&mut self) -> usize {
+        let end = self.end_time();
+        self.step_until(end)
+    }
+
+    /// Finalizes every pool's stepper into a per-pool report.
+    pub fn finalize(self) -> FleetReport {
+        FleetReport {
+            pools: self
+                .members
+                .into_iter()
+                .map(|m| (m.id, m.stepper.finalize()))
+                .collect(),
+        }
+    }
+}
+
+/// Per-pool simulation reports, in registration order.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// `(pool, report)` pairs in registration order.
+    pub pools: Vec<(PoolId, SimReport)>,
+}
+
+impl FleetReport {
+    /// The report of the pool named `id`.
+    pub fn get(&self, id: &str) -> Option<&SimReport> {
+        self.pools
+            .iter()
+            .find(|(p, _)| p.as_str() == id)
+            .map(|(_, r)| r)
+    }
+
+    /// Fleet-wide aggregates (sums over pools; rates recomputed).
+    pub fn aggregate(&self) -> FleetAggregate {
+        let mut agg = FleetAggregate::default();
+        for (_, r) in &self.pools {
+            agg.total_requests += r.total_requests;
+            agg.hits += r.hits;
+            agg.misses += r.misses;
+            agg.total_wait_secs += r.total_wait_secs;
+            agg.idle_cluster_seconds += r.idle_cluster_seconds;
+            agg.provisioning_cluster_seconds += r.provisioning_cluster_seconds;
+            agg.clusters_created += r.clusters_created;
+            agg.on_demand_created += r.on_demand_created;
+            agg.expired += r.expired;
+            agg.ip_runs += r.ip_runs;
+            agg.ip_failures += r.ip_failures;
+            agg.fallback_intervals += r.fallback_intervals;
+            agg.worker_replacements += r.worker_replacements;
+        }
+        agg.hit_rate = if agg.total_requests == 0 {
+            1.0
+        } else {
+            agg.hits as f64 / agg.total_requests as f64
+        };
+        agg.mean_wait_secs = if agg.total_requests == 0 {
+            0.0
+        } else {
+            agg.total_wait_secs / agg.total_requests as f64
+        };
+        agg
+    }
+}
+
+/// Fleet-wide totals folded from the per-pool reports.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct FleetAggregate {
+    /// Requests across all pools.
+    pub total_requests: u64,
+    /// Instant pool hits across all pools.
+    pub hits: u64,
+    /// Pool misses across all pools.
+    pub misses: u64,
+    /// `hits / total_requests` (1.0 when idle).
+    pub hit_rate: f64,
+    /// Summed request wait, seconds.
+    pub total_wait_secs: f64,
+    /// Mean wait per request, seconds.
+    pub mean_wait_secs: f64,
+    /// Idle cluster·seconds across all pools.
+    pub idle_cluster_seconds: f64,
+    /// Provisioning cluster·seconds across all pools.
+    pub provisioning_cluster_seconds: f64,
+    /// Clusters created across all pools.
+    pub clusters_created: u64,
+    /// On-demand creations across all pools.
+    pub on_demand_created: u64,
+    /// Pooled clusters lost to expiry/failure across all pools.
+    pub expired: u64,
+    /// Intelligent Pooling pipeline runs across all pools.
+    pub ip_runs: u64,
+    /// Of which failed.
+    pub ip_failures: u64,
+    /// Default-fallback intervals across all pools.
+    pub fallback_intervals: u64,
+    /// Arbitrator worker replacements across all pools.
+    pub worker_replacements: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demand(vals: Vec<f64>) -> TimeSeries {
+        TimeSeries::new(30, vals).unwrap()
+    }
+
+    #[test]
+    fn rejects_empty_and_duplicate() {
+        assert!(FleetSim::new(vec![]).is_err());
+        let d = demand(vec![1.0; 10]);
+        let twice = vec![
+            FleetPool::new("a", SimConfig::default(), d.clone()),
+            FleetPool::new("a", SimConfig::default(), d),
+        ];
+        let err = FleetSim::new(twice).err().unwrap();
+        assert!(err.to_string().contains("duplicate"), "{err}");
+    }
+
+    #[test]
+    fn per_pool_config_errors_name_the_pool() {
+        let d = demand(vec![1.0; 10]);
+        let bad = SimConfig {
+            interval_secs: 60, // mismatches the 30 s demand
+            ..Default::default()
+        };
+        let err = FleetSim::new(vec![FleetPool::new("west/large", bad, d)])
+            .err()
+            .unwrap();
+        assert!(err.to_string().contains("west/large"), "{err}");
+    }
+
+    #[test]
+    fn aggregate_sums_pools() {
+        let mut fleet = FleetSim::new(vec![
+            FleetPool::new("a", SimConfig::default(), demand(vec![2.0; 8])),
+            FleetPool::new("b", SimConfig::default(), demand(vec![3.0; 8])),
+        ])
+        .unwrap();
+        fleet.run_to_end();
+        assert!(fleet.is_done());
+        let report = fleet.finalize();
+        let agg = report.aggregate();
+        assert_eq!(agg.total_requests, 8 * 2 + 8 * 3);
+        assert_eq!(agg.hits + agg.misses, agg.total_requests);
+        assert_eq!(
+            agg.total_requests,
+            report.pools.iter().map(|(_, r)| r.total_requests).sum()
+        );
+    }
+}

@@ -45,6 +45,7 @@
 
 pub mod cluster;
 pub mod engine;
+pub mod fleet;
 pub mod lease;
 pub mod session;
 pub mod stores;
@@ -53,11 +54,52 @@ pub use cluster::{Cluster, ClusterState};
 pub use engine::{
     ArbitratorConfig, IntervalStat, IpWorkerConfig, SimConfig, SimReport, SimStepper, Simulation,
 };
+pub use fleet::{FleetAggregate, FleetPool, FleetReport, FleetSim};
 pub use lease::{Lease, LeaseId, LeaseTable};
 pub use session::{run_region, PoolKind, RegionPool, RegionPoolReport};
 pub use stores::{CosmosLite, KustoLite, RecommendationFile};
 
 use ip_timeseries::TimeSeries;
+
+/// Identity of one pool in a fleet — by convention a `region/type/size`
+/// style name (e.g. `eastus2/spark/medium`).
+///
+/// A `PoolId` is what keys every per-pool dimension in the stack: the
+/// simulator's metric labels ([`SimConfig::pool`]), the fleet event
+/// interleaver ([`FleetSim`]), the optimizer fan-out in `ip-core`, and the
+/// daemon's per-pool routes.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PoolId(pub String);
+
+impl PoolId {
+    /// Builds a pool id from any string-ish name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Self(name.into())
+    }
+
+    /// The pool name as a borrowed string (metric-label form).
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for PoolId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl From<&str> for PoolId {
+    fn from(name: &str) -> Self {
+        Self(name.to_string())
+    }
+}
+
+impl From<String> for PoolId {
+    fn from(name: String) -> Self {
+        Self(name)
+    }
+}
 
 /// Errors from the simulator.
 #[derive(Debug, Clone, PartialEq)]
@@ -105,6 +147,10 @@ pub trait RecommendationProvider {
         let _ = (now_secs, mean_wait_secs);
     }
 }
+
+/// A boxed provider that can cross thread boundaries — the form the fleet
+/// simulator and the `ip-serve` controller store per pool.
+pub type BoxedProvider = Box<dyn RecommendationProvider + Send>;
 
 /// A provider from a closure.
 impl<F> RecommendationProvider for F

@@ -1,0 +1,197 @@
+//! The fleet contracts the whole refactor rests on:
+//!
+//! 1. a fleet of exactly one pool is bit-identical to the pre-fleet
+//!    [`Simulation::run`] over the same config/demand/provider — hits,
+//!    waits, per-interval stats, applied targets, and the full
+//!    recommendation-file history;
+//! 2. an N-pool fleet is bit-identical to N independent single-pool runs
+//!    (the interleaving cannot leak state across pools);
+//! 3. the merged event order is deterministic: identical fleets produce
+//!    identical outputs (run under `IP_THREADS ∈ {1,4}` in CI).
+
+use ip_sim::{
+    FleetPool, FleetSim, IpWorkerConfig, RecommendationFile, SimConfig, SimReport, Simulation,
+};
+use ip_timeseries::TimeSeries;
+
+fn demand(seed: u64, n: usize) -> TimeSeries {
+    // A deterministic, seed-dependent sawtooth with bursts.
+    let vals: Vec<f64> = (0..n)
+        .map(|i| {
+            let x = (i as u64).wrapping_mul(2654435761).wrapping_add(seed * 97);
+            f64::from((x % 7) as u32) + if i % 11 == 0 { 4.0 } else { 0.0 }
+        })
+        .collect();
+    TimeSeries::new(30, vals).unwrap()
+}
+
+fn eventful_config(seed: u64) -> SimConfig {
+    SimConfig {
+        default_pool_target: 3,
+        cluster_lifespan_secs: Some(900),
+        cluster_failure_prob_per_hour: 0.4,
+        ip_worker: Some(IpWorkerConfig {
+            run_every_secs: 300,
+            horizon_secs: 600,
+            failing_runs: vec![2],
+        }),
+        pooling_worker_outages: vec![(600, 1200)],
+        seed,
+        ..Default::default()
+    }
+}
+
+/// A stateful provider: recommends the observed peak plus a counter, so
+/// any divergence in invocation order or observed telemetry shows up in
+/// the recommendation files.
+fn peak_provider() -> impl FnMut(u64, &TimeSeries, usize) -> Option<Vec<u32>> + Send {
+    let mut runs = 0u32;
+    move |_now, observed: &TimeSeries, horizon| {
+        runs += 1;
+        let peak = observed.values().iter().fold(0.0f64, |a, &b| a.max(b));
+        Some(vec![(peak as u32).min(6) + runs % 2; horizon])
+    }
+}
+
+fn assert_reports_identical(a: &SimReport, b: &SimReport, ctx: &str) {
+    assert_eq!(a.total_requests, b.total_requests, "{ctx}: requests");
+    assert_eq!(a.hits, b.hits, "{ctx}: hits");
+    assert_eq!(a.misses, b.misses, "{ctx}: misses");
+    assert_eq!(a.total_wait_secs, b.total_wait_secs, "{ctx}: wait");
+    assert_eq!(
+        a.idle_cluster_seconds, b.idle_cluster_seconds,
+        "{ctx}: idle"
+    );
+    assert_eq!(
+        a.provisioning_cluster_seconds, b.provisioning_cluster_seconds,
+        "{ctx}: provisioning"
+    );
+    assert_eq!(a.clusters_created, b.clusters_created, "{ctx}: created");
+    assert_eq!(a.on_demand_created, b.on_demand_created, "{ctx}: od");
+    assert_eq!(a.expired, b.expired, "{ctx}: expired");
+    assert_eq!(a.ip_runs, b.ip_runs, "{ctx}: ip_runs");
+    assert_eq!(a.ip_failures, b.ip_failures, "{ctx}: ip_failures");
+    assert_eq!(
+        a.fallback_intervals, b.fallback_intervals,
+        "{ctx}: fallback"
+    );
+    assert_eq!(
+        a.worker_replacements, b.worker_replacements,
+        "{ctx}: replacements"
+    );
+    assert_eq!(
+        a.applied_target_timeline, b.applied_target_timeline,
+        "{ctx}: targets"
+    );
+    assert_eq!(a.interval_stats, b.interval_stats, "{ctx}: interval stats");
+    assert_eq!(
+        a.config_store
+            .get_all::<RecommendationFile>("pool-recommendation"),
+        b.config_store
+            .get_all::<RecommendationFile>("pool-recommendation"),
+        "{ctx}: recommendation files"
+    );
+}
+
+#[test]
+fn fleet_of_one_is_bit_identical_to_simulation_run() {
+    let d = demand(5, 96);
+    let cfg = eventful_config(9);
+
+    let mut solo_provider = peak_provider();
+    let solo = Simulation::new(cfg.clone(), Some(&mut solo_provider))
+        .run(&d)
+        .unwrap();
+
+    // `FleetPool::new` labels metrics but must not change any report bit.
+    let pool = FleetPool::new("only", cfg, d).with_provider(Box::new(peak_provider()));
+    let mut fleet = FleetSim::new(vec![pool]).unwrap();
+    fleet.run_to_end();
+    assert!(fleet.is_done());
+    let report = fleet.finalize();
+    assert_eq!(report.pools.len(), 1);
+    assert_eq!(report.pools[0].0.as_str(), "only");
+    assert_reports_identical(&report.pools[0].1, &solo, "fleet-of-one");
+
+    // And the aggregate of one pool is that pool.
+    let agg = report.aggregate();
+    assert_eq!(agg.total_requests, solo.total_requests);
+    assert_eq!(agg.total_wait_secs, solo.total_wait_secs);
+    assert_eq!(agg.hit_rate, solo.hit_rate);
+}
+
+#[test]
+fn fleet_is_bit_identical_to_independent_per_pool_runs() {
+    // Three pools with different demands, seeds and trace lengths; the
+    // merged event order must not leak state between them.
+    let pools: Vec<(&str, u64, usize)> = vec![("a", 1, 96), ("b", 2, 64), ("c", 3, 128)];
+
+    let solo: Vec<SimReport> = pools
+        .iter()
+        .map(|&(_, seed, n)| {
+            let mut p = peak_provider();
+            Simulation::new(eventful_config(seed), Some(&mut p))
+                .run(&demand(seed, n))
+                .unwrap()
+        })
+        .collect();
+
+    let mut fleet = FleetSim::new(
+        pools
+            .iter()
+            .map(|&(name, seed, n)| {
+                FleetPool::new(name, eventful_config(seed), demand(seed, n))
+                    .with_provider(Box::new(peak_provider()))
+            })
+            .collect(),
+    )
+    .unwrap();
+    // Step in awkward strides to exercise the interleaver's pacing
+    // independence as well.
+    let end = fleet.end_time();
+    let mut t = 0;
+    while !fleet.is_done() {
+        t = (t + 137).min(end);
+        fleet.step_until(t);
+    }
+    let report = fleet.finalize();
+    for (i, (id, pool_report)) in report.pools.iter().enumerate() {
+        assert_eq!(id.as_str(), pools[i].0);
+        assert_reports_identical(pool_report, &solo[i], pools[i].0);
+    }
+}
+
+#[test]
+fn fleet_event_order_is_deterministic() {
+    // Identical fleets — including two pools with identical configs whose
+    // events tie at every time — produce identical outputs. CI runs this
+    // under IP_THREADS=1 and IP_THREADS=4.
+    let build = || {
+        FleetSim::new(
+            vec![("x", 4u64), ("y", 4), ("z", 6)]
+                .into_iter()
+                .map(|(name, seed)| {
+                    FleetPool::new(name, eventful_config(seed), demand(seed, 80))
+                        .with_provider(Box::new(peak_provider()))
+                })
+                .collect(),
+        )
+        .unwrap()
+    };
+    let mut one = build();
+    one.run_to_end();
+    let one = one.finalize();
+    let mut two = build();
+    // Different pacing, same outcome.
+    let end = two.end_time();
+    let mut t = 0;
+    while !two.is_done() {
+        t = (t + 41).min(end);
+        two.step_until(t);
+    }
+    let two = two.finalize();
+    for ((ida, a), (idb, b)) in one.pools.iter().zip(two.pools.iter()) {
+        assert_eq!(ida, idb);
+        assert_reports_identical(a, b, ida.as_str());
+    }
+}

@@ -30,10 +30,12 @@
 //! assert_eq!(demand, model.generate());
 //! ```
 
+pub mod fleet;
 mod generator;
 mod presets;
 pub mod stats;
 
+pub use fleet::{pool_seed, FleetPoolPreset, FleetTrace};
 pub use generator::{DemandModel, HourlySpikes, SporadicSpikes, WeeklyProfile};
 pub use presets::{preset, spiky_region, table1_presets, PresetId};
 pub use stats::{autocorrelation, trace_stats, TraceStats};

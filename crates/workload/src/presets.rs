@@ -25,6 +25,32 @@ pub enum PresetId {
 }
 
 impl PresetId {
+    /// Parses the kebab-case preset name used by the CLI and fleet spec
+    /// files (e.g. `east-us-2-medium`).
+    pub fn from_name(name: &str) -> Option<Self> {
+        Some(match name {
+            "west-us-2-small" => PresetId::WestUs2Small,
+            "east-us-2-small" => PresetId::EastUs2Small,
+            "west-us-2-medium" => PresetId::WestUs2Medium,
+            "east-us-2-medium" => PresetId::EastUs2Medium,
+            "west-us-2-large" => PresetId::WestUs2Large,
+            "east-us-2-large" => PresetId::EastUs2Large,
+            _ => return None,
+        })
+    }
+
+    /// The kebab-case name [`PresetId::from_name`] accepts.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PresetId::WestUs2Small => "west-us-2-small",
+            PresetId::EastUs2Small => "east-us-2-small",
+            PresetId::WestUs2Medium => "west-us-2-medium",
+            PresetId::EastUs2Medium => "east-us-2-medium",
+            PresetId::WestUs2Large => "west-us-2-large",
+            PresetId::EastUs2Large => "east-us-2-large",
+        }
+    }
+
     /// Human-readable label matching the Table 1 row.
     pub fn label(&self) -> &'static str {
         match self {

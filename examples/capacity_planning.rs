@@ -1,19 +1,18 @@
-//! Capacity planning across pools, with auto-tuning — the multi-pool future
-//! work (§9) plus the §6 feedback loop.
+//! Capacity planning across a fleet of pools, with auto-tuning — the
+//! multi-pool future work (§9) plus the §6 feedback loop.
 //!
 //! A region operates one session pool and one cluster pool per node size.
-//! Each pool has its own demand stream and cost profile; the manager sizes
+//! Each pool has its own demand stream and cost profile; the fleet sizes
 //! all of them, and the `α'` auto-tuner steers a pool toward its wait SLA.
 //!
 //! Run with: `cargo run --release --example capacity_planning`
 
-use intelligent_pooling::core::multi_pool::PoolSpec;
 use intelligent_pooling::prelude::*;
 use std::collections::BTreeMap;
 
 fn main() {
-    // --- Multi-pool sizing -------------------------------------------------
-    let mut manager = MultiPoolManager::new();
+    // --- Fleet sizing ------------------------------------------------------
+    let mut fleet = Fleet::new();
     let mut demands = BTreeMap::new();
 
     let pools: Vec<(&str, PresetId, NodeSize, f64)> = vec![
@@ -40,12 +39,11 @@ fn main() {
         let saa = SaaConfig {
             tau_intervals: 3,
             stableness: 10,
-            alpha_prime: *alpha,
             max_pool: 120,
             ..Default::default()
         };
-        manager.register(
-            PoolId((*name).to_string()),
+        fleet.register(
+            *name,
             PoolSpec {
                 saa,
                 robustness: RobustnessStrategies::none(),
@@ -53,29 +51,38 @@ fn main() {
                     node_size: *node,
                     ..Default::default()
                 },
+                alpha: *alpha,
+                ..Default::default()
             },
         );
         let mut model = preset(*preset_id, 99);
         model.days = 1;
-        demands.insert(PoolId((*name).to_string()), model.generate());
+        demands.insert(PoolId::new(*name), model.generate());
     }
 
-    let recs = manager.recommend_all(&demands).expect("recommendations");
-    println!("== multi-pool recommendations (1 day of history each) ==");
+    let recs = fleet.recommend_all(&demands);
+    println!("== fleet recommendations (1 day of history each) ==");
     println!(
         "{:<18} {:>10} {:>10} {:>12}",
         "pool", "min size", "max size", "objective"
     );
-    for rec in &recs {
-        let min = rec.schedule.iter().min().copied().unwrap_or(0);
-        let max = rec.schedule.iter().max().copied().unwrap_or(0);
-        println!(
-            "{:<18} {:>10} {:>10} {:>12.0}",
-            rec.pool.to_string(),
-            min,
-            max,
-            rec.objective
-        );
+    for (pool, rec) in &recs {
+        // Per-pool failure isolation: one bad pool reports its error while
+        // the rest of the fleet still gets sized.
+        match rec {
+            Ok(rec) => {
+                let min = rec.schedule.iter().min().copied().unwrap_or(0);
+                let max = rec.schedule.iter().max().copied().unwrap_or(0);
+                println!(
+                    "{:<18} {:>10} {:>10} {:>12.0}",
+                    pool.to_string(),
+                    min,
+                    max,
+                    rec.objective
+                );
+            }
+            Err(e) => println!("{:<18} failed: {e}", pool.to_string()),
+        }
     }
 
     // --- Auto-tuning toward a wait SLA --------------------------------------

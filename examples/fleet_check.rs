@@ -1,0 +1,107 @@
+//! Validates a fleet daemon's artifacts the way an external consumer
+//! would: the in-repo Prometheus text parser against the scraped
+//! `/metrics`, and the (vendored) `serde_json` against the `/pools` JSON.
+//! CI's fleet smoke step runs this after driving `ip-pool serve --pools`.
+//!
+//! ```text
+//! cargo run --example fleet_check -- metrics.prom pools.json east west spare
+//! ```
+//!
+//! Exits non-zero (with a message) unless, for every named pool:
+//!
+//! - `/pools` lists it (in the given order), and
+//! - `/metrics` carries at least one `ip_sim_*` series labeled
+//!   `pool="<name>"`.
+//!
+//! Extra pools in either artifact also fail the check — a fleet daemon
+//! must expose exactly its configured pools.
+
+use intelligent_pooling::obs::export::parse_prometheus;
+use serde::Content;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("fleet_check: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [prom_path, pools_path, expected @ ..] = args.as_slice() else {
+        return Err("usage: fleet_check <metrics.prom> <pools.json> <pool-name>...".into());
+    };
+    if expected.is_empty() {
+        return Err("at least one expected pool name is required".into());
+    }
+
+    // -- GET /pools -------------------------------------------------------
+    let text = std::fs::read_to_string(pools_path).map_err(|e| format!("{pools_path}: {e}"))?;
+    let doc: Content = serde_json::from_str(&text).map_err(|e| format!("{pools_path}: {e}"))?;
+    let Some(Content::Seq(pools)) = doc.field("pools") else {
+        return Err(format!("{pools_path}: no \"pools\" array"));
+    };
+    let listed: Vec<&str> = pools
+        .iter()
+        .map(|p| match p.field("name") {
+            Some(Content::Str(s)) => Ok(s.as_str()),
+            _ => Err(format!("{pools_path}: pool entry without a \"name\"")),
+        })
+        .collect::<Result<_, _>>()?;
+    let expected_refs: Vec<&str> = expected.iter().map(String::as_str).collect();
+    if listed != expected_refs {
+        return Err(format!(
+            "{pools_path}: pools {listed:?} != expected {expected_refs:?}"
+        ));
+    }
+    for pool in pools {
+        for key in ["logical_time", "end_time", "intervals_processed", "done"] {
+            if pool.field(key).is_none() {
+                return Err(format!("{pools_path}: pool entry missing {key:?}"));
+            }
+        }
+    }
+
+    // -- GET /metrics -----------------------------------------------------
+    let text = std::fs::read_to_string(prom_path).map_err(|e| format!("{prom_path}: {e}"))?;
+    let samples = parse_prometheus(&text).map_err(|e| format!("{prom_path}: {e}"))?;
+    if samples.is_empty() {
+        return Err(format!(
+            "{prom_path}: no samples (was the daemon instrumented?)"
+        ));
+    }
+    for name in expected {
+        let found = samples.iter().any(|s| {
+            s.name.starts_with("ip_sim_")
+                && s.labels
+                    .iter()
+                    .any(|(k, v)| k == "pool" && v == name.as_str())
+        });
+        if !found {
+            return Err(format!(
+                "{prom_path}: no ip_sim_* series labeled pool={name:?}"
+            ));
+        }
+    }
+    // No stray pools: every `pool` label must belong to the expected set.
+    for s in &samples {
+        for (k, v) in &s.labels {
+            if k == "pool" && !expected.iter().any(|e| e == v) {
+                return Err(format!(
+                    "{prom_path}: unexpected pool label {v:?} on {}",
+                    s.name
+                ));
+            }
+        }
+    }
+    println!(
+        "fleet_check: {} pools, {} samples — ok",
+        expected.len(),
+        samples.len()
+    );
+    Ok(())
+}

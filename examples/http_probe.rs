@@ -4,6 +4,7 @@
 //! ```text
 //! cargo run --example http_probe -- 127.0.0.1:8080 /healthz
 //! cargo run --example http_probe -- 127.0.0.1:8080 POST /shutdown
+//! cargo run --example http_probe -- 127.0.0.1:8080 POST /requests '{"count":5,"pool":"east"}'
 //! ```
 //!
 //! Prints the response body to stdout and exits non-zero unless the status
@@ -16,15 +17,18 @@ use std::time::Duration;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (addr, method, path) = match args.as_slice() {
-        [addr, path] => (addr.as_str(), "GET", path.as_str()),
-        [addr, method, path] => (addr.as_str(), method.as_str(), path.as_str()),
+    let (addr, method, path, body) = match args.as_slice() {
+        [addr, path] => (addr.as_str(), "GET", path.as_str(), ""),
+        [addr, method, path] => (addr.as_str(), method.as_str(), path.as_str(), ""),
+        [addr, method, path, body] => {
+            (addr.as_str(), method.as_str(), path.as_str(), body.as_str())
+        }
         _ => {
-            eprintln!("usage: http_probe <host:port> [METHOD] <path>");
+            eprintln!("usage: http_probe <host:port> [METHOD] <path> [BODY]");
             return ExitCode::FAILURE;
         }
     };
-    match probe(addr, method, path) {
+    match probe(addr, method, path, body) {
         Ok((status, body)) => {
             print!("{body}");
             if (200..300).contains(&status) {
@@ -41,10 +45,13 @@ fn main() -> ExitCode {
     }
 }
 
-fn probe(addr: &str, method: &str, path: &str) -> std::io::Result<(u16, String)> {
+fn probe(addr: &str, method: &str, path: &str, body: &str) -> std::io::Result<(u16, String)> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(10)))?;
-    let request = format!("{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: 0\r\n\r\n");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
     stream.write_all(request.as_bytes())?;
     let mut raw = String::new();
     stream.read_to_string(&mut raw)?;

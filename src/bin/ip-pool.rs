@@ -5,13 +5,18 @@
 //! ip-pool recommend demand.txt --model ssa+ --alpha 0.3 --horizon 120
 //! ip-pool evaluate  demand.txt --pool 8 --tau 3
 //! ip-pool simulate  demand.txt --target 8
+//! ip-pool simulate  --pools fleet.json
 //! ip-pool serve     demand.txt --port 8080 --speedup 100 --model ssa+
+//! ip-pool serve     --pools fleet.json --port 8080 --speedup 100
 //! ```
 //!
 //! Demand files are newline-delimited request counts (optionally prefixed by
-//! a timestamp column); `#` comments are ignored.
+//! a timestamp column); `#` comments are ignored. Fleet spec files are JSON —
+//! see [`intelligent_pooling::cli::parse_fleet_spec`].
 
-use intelligent_pooling::cli::{format_demand, parse_demand, CliArgs};
+use intelligent_pooling::cli::{
+    format_demand, parse_demand, parse_fleet_spec, CliArgs, FleetPoolEntry, FleetSpec,
+};
 use intelligent_pooling::prelude::*;
 use std::process::ExitCode;
 
@@ -38,10 +43,14 @@ commands:
              recommendation pipeline in-loop (targets come from the
              model, --target is the fallback default)
              --alpha A' (default 0.3)
+             --pools SPEC.json  simulate a whole fleet instead: one
+             pool per spec entry, interleaved in logical-time order,
+             per-pool and aggregate results (replaces <file> and the
+             per-pool flags above)
   serve      long-running pool-controller daemon: replays the demand file
              at wall-clock (or accelerated) speed and exposes an HTTP
              control plane on 127.0.0.1 (GET /metrics /healthz /readyz
-             /status, POST /requests /reload /shutdown)
+             /status /pools, POST /requests /reload /shutdown)
              <file>  --port N (default 0 = ephemeral)
              --speedup K (logical seconds per wall second, default 1)
              --model <ssa|ssa+|baseline|e2e-ssa|e2e-baseline> (optional;
@@ -50,6 +59,16 @@ commands:
              --target-wait SECS (tuner target, default 30)
              --target N  --tau-secs N  --seed N  --interval SECS
              --port-file FILE (write the bound port for scripts)
+             --pools SPEC.json  serve a whole fleet instead: every
+             metric series gains a pool label, POST bodies name their
+             pool, GET /pools lists per-pool state (replaces <file>
+             and the per-pool flags above)
+
+fleet specs (--pools) are JSON: {\"interval_secs\":30, \"days\":1, \"seed\":7,
+  \"pools\":[{\"name\":\"east\", \"preset\":\"east-us-2-medium\"|\"demand\":\"f.txt\",
+             \"target\":4, \"tau_secs\":90, \"sim_seed\":0, \"seed\":N,
+             \"model\":\"ssa+\", \"alpha\":0.3, \"autotune\":false,
+             \"target_wait_secs\":30.0}, ...]}
 
 global flags (any command):
   --metrics-out FILE  write Prometheus text metrics on exit
@@ -111,6 +130,62 @@ fn run() -> Result<(), String> {
     result
 }
 
+/// Resolves a preset name (Table-1 kebab-case names or `spiky`) to its
+/// demand model.
+fn demand_model(name: &str, seed: u64) -> Result<DemandModel, String> {
+    match name {
+        "spiky" => Ok(spiky_region(seed)),
+        other => PresetId::from_name(other)
+            .map(|id| preset(id, seed))
+            .ok_or_else(|| format!("unknown preset {other:?}")),
+    }
+}
+
+/// Materializes every pool's demand trace for a `--pools` spec: preset
+/// pools are generated (per-pool seeds derived from the fleet seed, as
+/// [`FleetTrace`] does), file pools are read and parsed.
+fn resolve_fleet_demands(spec: &FleetSpec) -> Result<Vec<(FleetPoolEntry, TimeSeries)>, String> {
+    spec.pools
+        .iter()
+        .map(|p| {
+            let demand = if let Some(path) = &p.demand_file {
+                let text = std::fs::read_to_string(path)
+                    .map_err(|e| format!("pool {:?}: {path}: {e}", p.name))?;
+                parse_demand(&text, spec.interval_secs)
+                    .map_err(|e| format!("pool {:?}: {e}", p.name))?
+            } else {
+                let preset_name = p.preset.as_deref().unwrap_or_default();
+                let seed = p.seed.unwrap_or_else(|| {
+                    intelligent_pooling::workload::pool_seed(spec.seed, &p.name)
+                });
+                let mut model = demand_model(preset_name, seed)
+                    .map_err(|e| format!("pool {:?}: {e}", p.name))?;
+                model.interval_secs = spec.interval_secs;
+                model.days = spec.days;
+                model.generate()
+            };
+            Ok((p.clone(), demand))
+        })
+        .collect()
+}
+
+/// The per-pool [`SimConfig`] for a fleet-spec entry. `ip_worker` is
+/// scheduled whenever the pool names a model — same rule the daemon and
+/// the single-pool `simulate --ip` path apply.
+fn fleet_sim_config(p: &FleetPoolEntry, demand: &TimeSeries) -> SimConfig {
+    let mut cfg = SimConfig {
+        interval_secs: demand.interval_secs(),
+        tau_secs: p.tau_secs,
+        default_pool_target: p.target,
+        seed: p.sim_seed,
+        ..Default::default()
+    };
+    if p.model.is_some() {
+        cfg.ip_worker = Some(IpWorkerConfig::default());
+    }
+    cfg
+}
+
 fn load_demand(args: &CliArgs) -> Result<TimeSeries, String> {
     let path = args
         .positionals
@@ -125,16 +200,7 @@ fn generate(args: &CliArgs) -> Result<(), String> {
     let days = args.flag_or("days", 2u32).map_err(|e| e.to_string())?;
     let seed = args.flag_or("seed", 0u64).map_err(|e| e.to_string())?;
     let preset_name = args.flag_str("preset").unwrap_or("east-us-2-medium");
-    let mut model = match preset_name {
-        "west-us-2-small" => preset(PresetId::WestUs2Small, seed),
-        "east-us-2-small" => preset(PresetId::EastUs2Small, seed),
-        "west-us-2-medium" => preset(PresetId::WestUs2Medium, seed),
-        "east-us-2-medium" => preset(PresetId::EastUs2Medium, seed),
-        "west-us-2-large" => preset(PresetId::WestUs2Large, seed),
-        "east-us-2-large" => preset(PresetId::EastUs2Large, seed),
-        "spiky" => spiky_region(seed),
-        other => return Err(format!("unknown preset {other:?}")),
-    };
+    let mut model = demand_model(preset_name, seed)?;
     model.days = days;
     print!("{}", format_demand(&model.generate()));
     Ok(())
@@ -221,6 +287,9 @@ fn evaluate(args: &CliArgs) -> Result<(), String> {
 }
 
 fn simulate(args: &CliArgs) -> Result<(), String> {
+    if let Some(spec_path) = args.flag_str("pools") {
+        return simulate_fleet(spec_path);
+    }
     let demand = load_demand(args)?;
     let target = args.flag_or("target", 4u32).map_err(|e| e.to_string())?;
     let tau_secs = args.flag_or("tau-secs", 90u64).map_err(|e| e.to_string())?;
@@ -280,8 +349,128 @@ fn simulate(args: &CliArgs) -> Result<(), String> {
     Ok(())
 }
 
+/// `simulate --pools`: the whole fleet in one `FleetSim`, every pool's
+/// events interleaved in logical-time order, then per-pool results plus
+/// the fleet aggregate.
+fn simulate_fleet(spec_path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
+    let spec = parse_fleet_spec(&text).map_err(|e| e.to_string())?;
+    let mut members = Vec::with_capacity(spec.pools.len());
+    for (p, demand) in resolve_fleet_demands(&spec)? {
+        let cfg = fleet_sim_config(&p, &demand);
+        let mut pool = FleetPool::new(p.name.as_str(), cfg, demand);
+        if let Some(model) = &p.model {
+            let provider = intelligent_pooling::serve::build_provider(
+                model,
+                p.alpha,
+                p.autotune,
+                p.target_wait_secs,
+            )
+            .map_err(|e| format!("pool {:?}: {e}", p.name))?;
+            pool = pool.with_provider(provider);
+        }
+        members.push(pool);
+    }
+    let mut sim = FleetSim::new(members).map_err(|e| e.to_string())?;
+    sim.run_to_end();
+    let report = sim.finalize();
+
+    println!(
+        "{:<18} {:>10} {:>9} {:>11} {:>12} {:>9}",
+        "pool", "requests", "hit rate", "mean wait", "idle c-sec", "created"
+    );
+    for (pool, r) in &report.pools {
+        println!(
+            "{:<18} {:>10} {:>8.2}% {:>10.2}s {:>12.0} {:>9}",
+            pool.as_str(),
+            r.total_requests,
+            r.hit_rate * 100.0,
+            r.mean_wait_secs,
+            r.idle_cluster_seconds,
+            r.clusters_created
+        );
+    }
+    let agg = report.aggregate();
+    println!(
+        "{:<18} {:>10} {:>8.2}% {:>10.2}s {:>12.0} {:>9}",
+        "fleet (aggregate)",
+        agg.total_requests,
+        agg.hit_rate * 100.0,
+        agg.mean_wait_secs,
+        agg.idle_cluster_seconds,
+        agg.clusters_created
+    );
+    if agg.ip_runs > 0 {
+        println!(
+            "pipeline runs   : {} ({} failed, {} fallback intervals)",
+            agg.ip_runs, agg.ip_failures, agg.fallback_intervals
+        );
+    }
+    Ok(())
+}
+
+/// `serve --pools`: every spec entry becomes one named pool in the fleet
+/// daemon.
+fn fleet_serve_pools(
+    spec_path: &str,
+) -> Result<Vec<intelligent_pooling::serve::PoolServeConfig>, String> {
+    use intelligent_pooling::serve::PoolServeConfig;
+    let text = std::fs::read_to_string(spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
+    let spec = parse_fleet_spec(&text).map_err(|e| e.to_string())?;
+    Ok(resolve_fleet_demands(&spec)?
+        .into_iter()
+        .map(|(p, demand)| {
+            let sim = fleet_sim_config(&p, &demand);
+            PoolServeConfig {
+                sim,
+                model: p.model,
+                alpha: p.alpha,
+                autotune: p.autotune,
+                target_wait_secs: p.target_wait_secs,
+                ..PoolServeConfig::named(p.name, demand)
+            }
+        })
+        .collect())
+}
+
 fn serve(args: &CliArgs) -> Result<(), String> {
     use intelligent_pooling::serve::{Daemon, ServeConfig};
+    if let Some(spec_path) = args.flag_str("pools") {
+        let port = args.flag_or("port", 0u16).map_err(|e| e.to_string())?;
+        let speedup = args.flag_or("speedup", 1.0f64).map_err(|e| e.to_string())?;
+        let mut config = ServeConfig::fleet(fleet_serve_pools(spec_path)?)?;
+        config.speedup = speedup;
+        config.port = port;
+
+        let daemon = Daemon::start(config)?;
+        let addr = daemon.addr();
+        println!("ip-pool serve: listening on http://{addr}");
+        println!("ip-pool serve: POST /shutdown to drain and exit");
+        if let Some(path) = args.flag_str("port-file") {
+            std::fs::write(path, format!("{}\n", addr.port()))
+                .map_err(|e| format!("{path}: {e}"))?;
+        }
+        let outcome = daemon.join();
+        println!(
+            "ip-pool serve: drained ({} injected, {} reloads, {} lease lapses)",
+            outcome.injected, outcome.reloads, outcome.lapsed_leases
+        );
+        println!(
+            "{:<18} {:>10} {:>9} {:>11} {:>10}",
+            "pool", "requests", "hit rate", "mean wait", "intervals"
+        );
+        for (pool, report) in &outcome.pool_reports {
+            println!(
+                "{:<18} {:>10} {:>8.2}% {:>10.2}s {:>10}",
+                pool,
+                report.total_requests,
+                report.hit_rate * 100.0,
+                report.mean_wait_secs,
+                report.interval_stats.len()
+            );
+        }
+        return Ok(());
+    }
     let demand = load_demand(args)?;
     let target = args.flag_or("target", 4u32).map_err(|e| e.to_string())?;
     let tau_secs = args.flag_or("tau-secs", 90u64).map_err(|e| e.to_string())?;

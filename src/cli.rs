@@ -1,12 +1,16 @@
-//! Support code for the `ip-pool` command-line tool: flag parsing and the
-//! newline-delimited demand format.
+//! Support code for the `ip-pool` command-line tool: flag parsing, the
+//! newline-delimited demand format, and the `--pools` fleet spec file.
 //!
 //! The demand format is deliberately trivial — one request count per line,
 //! `#`-prefixed comments and blank lines ignored — so any telemetry export
-//! can be piped in with standard tools.
+//! can be piped in with standard tools. Fleet specs are JSON (parsed with
+//! the vendored serde stand-in): fleet-wide generation defaults plus one
+//! entry per pool naming either a Table-1 preset or a demand file.
 
 use crate::timeseries::TimeSeries;
+use serde::Content;
 use std::collections::BTreeMap;
+use std::collections::BTreeSet;
 
 /// Parsed command line: a subcommand, positional arguments, and `--key
 /// value` flags.
@@ -36,6 +40,8 @@ pub enum CliError {
     },
     /// Demand file problems.
     BadDemand(String),
+    /// `--pools` fleet-spec problems.
+    BadSpec(String),
 }
 
 impl std::fmt::Display for CliError {
@@ -47,6 +53,7 @@ impl std::fmt::Display for CliError {
                 write!(f, "flag --{flag}: cannot parse {value:?}")
             }
             CliError::BadDemand(msg) => write!(f, "bad demand input: {msg}"),
+            CliError::BadSpec(msg) => write!(f, "bad fleet spec: {msg}"),
         }
     }
 }
@@ -133,6 +140,226 @@ pub fn format_demand(series: &TimeSeries) -> String {
     out
 }
 
+/// One pool's entry in a `--pools` fleet spec: its identity, demand
+/// source, and per-pool simulation/provider settings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetPoolEntry {
+    /// Pool name — becomes the [`ip_sim::PoolId`] and the metric `pool`
+    /// label everywhere downstream.
+    pub name: String,
+    /// Demand source A: a workload preset name (`east-us-2-medium`, …,
+    /// or `spiky`). Mutually exclusive with `demand_file`.
+    pub preset: Option<String>,
+    /// Demand source B: path to a newline-delimited demand file,
+    /// resolved relative to the working directory.
+    pub demand_file: Option<String>,
+    /// Workload-RNG seed override; `None` derives one from the fleet
+    /// seed and the pool name (so pools stay independent but stable).
+    pub seed: Option<u64>,
+    /// Static / fallback pool target.
+    pub target: u32,
+    /// Cluster creation latency, seconds.
+    pub tau_secs: u64,
+    /// Platform-simulation seed (arrival jitter etc.).
+    pub sim_seed: u64,
+    /// Recommendation pipeline (`ssa`, `ssa+`, `baseline`, `e2e-ssa`,
+    /// `e2e-baseline`); `None` = static pooling.
+    pub model: Option<String>,
+    /// Seed `α'` for the pool's optimizer.
+    pub alpha: f64,
+    /// Wrap the pipeline in the §6 α′ feedback loop.
+    pub autotune: bool,
+    /// Wait SLA the tuner steers toward, seconds.
+    pub target_wait_secs: f64,
+}
+
+/// A parsed `--pools` fleet spec file.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetSpec {
+    /// Interval width for generated demand, seconds.
+    pub interval_secs: u64,
+    /// Days of generated demand per preset-sourced pool.
+    pub days: u32,
+    /// Fleet workload seed; per-pool seeds derive from it.
+    pub seed: u64,
+    /// The pools, in file order.
+    pub pools: Vec<FleetPoolEntry>,
+}
+
+fn spec_err(msg: impl Into<String>) -> CliError {
+    CliError::BadSpec(msg.into())
+}
+
+fn expect_str(doc: &Content, key: &str, ctx: &str) -> Result<Option<String>, CliError> {
+    match doc.field(key) {
+        None | Some(Content::Null) => Ok(None),
+        Some(Content::Str(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(spec_err(format!("{ctx}: {key:?} must be a string"))),
+    }
+}
+
+fn expect_u64(doc: &Content, key: &str, ctx: &str) -> Result<Option<u64>, CliError> {
+    match doc.field(key) {
+        None | Some(Content::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| spec_err(format!("{ctx}: {key:?} must be a non-negative integer"))),
+    }
+}
+
+fn expect_f64(doc: &Content, key: &str, ctx: &str) -> Result<Option<f64>, CliError> {
+    match doc.field(key) {
+        None | Some(Content::Null) => Ok(None),
+        Some(v) => v
+            .as_f64()
+            .map(Some)
+            .ok_or_else(|| spec_err(format!("{ctx}: {key:?} must be a number"))),
+    }
+}
+
+fn expect_bool(doc: &Content, key: &str, ctx: &str) -> Result<Option<bool>, CliError> {
+    match doc.field(key) {
+        None | Some(Content::Null) => Ok(None),
+        Some(Content::Bool(b)) => Ok(Some(*b)),
+        Some(_) => Err(spec_err(format!("{ctx}: {key:?} must be a boolean"))),
+    }
+}
+
+fn reject_unknown_keys(doc: &Content, allowed: &[&str], ctx: &str) -> Result<(), CliError> {
+    if let Content::Map(entries) = doc {
+        for (key, _) in entries {
+            if !allowed.contains(&key.as_str()) {
+                return Err(spec_err(format!(
+                    "{ctx}: unknown key {key:?} (allowed: {})",
+                    allowed.join(", ")
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Parses a `--pools` fleet spec. The shape:
+///
+/// ```json
+/// {
+///   "interval_secs": 30, "days": 1, "seed": 7,
+///   "pools": [
+///     {"name": "east",  "preset": "east-us-2-medium", "model": "ssa+",
+///      "alpha": 0.3, "autotune": true, "target_wait_secs": 30.0},
+///     {"name": "west",  "preset": "west-us-2-small", "target": 8},
+///     {"name": "batch", "demand": "batch.txt", "tau_secs": 120}
+///   ]
+/// }
+/// ```
+///
+/// Every pool needs a unique non-empty `name` and exactly one demand
+/// source (`preset` or `demand`). Unknown keys are rejected so typos
+/// fail loudly instead of silently falling back to defaults.
+pub fn parse_fleet_spec(text: &str) -> Result<FleetSpec, CliError> {
+    let doc: Content =
+        serde_json::from_str(text).map_err(|e| spec_err(format!("not valid JSON: {e}")))?;
+    if !matches!(doc, Content::Map(_)) {
+        return Err(spec_err("top level must be a JSON object"));
+    }
+    reject_unknown_keys(&doc, &["interval_secs", "days", "seed", "pools"], "spec")?;
+    let interval_secs = expect_u64(&doc, "interval_secs", "spec")?.unwrap_or(30);
+    if interval_secs == 0 {
+        return Err(spec_err("spec: \"interval_secs\" must be positive"));
+    }
+    let days = u32::try_from(expect_u64(&doc, "days", "spec")?.unwrap_or(1))
+        .map_err(|_| spec_err("spec: \"days\" out of range"))?;
+    let seed = expect_u64(&doc, "seed", "spec")?.unwrap_or(0);
+
+    let pools_doc = match doc.field("pools") {
+        Some(Content::Seq(items)) => items,
+        Some(_) => return Err(spec_err("spec: \"pools\" must be an array")),
+        None => return Err(spec_err("spec: missing \"pools\" array")),
+    };
+    if pools_doc.is_empty() {
+        return Err(spec_err(
+            "spec: \"pools\" is empty — a fleet needs at least one pool",
+        ));
+    }
+
+    let mut seen = BTreeSet::new();
+    let mut pools = Vec::with_capacity(pools_doc.len());
+    for (i, entry) in pools_doc.iter().enumerate() {
+        let ctx = format!("pools[{i}]");
+        if !matches!(entry, Content::Map(_)) {
+            return Err(spec_err(format!("{ctx}: must be a JSON object")));
+        }
+        reject_unknown_keys(
+            entry,
+            &[
+                "name",
+                "preset",
+                "demand",
+                "seed",
+                "target",
+                "tau_secs",
+                "sim_seed",
+                "model",
+                "alpha",
+                "autotune",
+                "target_wait_secs",
+            ],
+            &ctx,
+        )?;
+        let name = expect_str(entry, "name", &ctx)?
+            .ok_or_else(|| spec_err(format!("{ctx}: missing \"name\"")))?;
+        if name.is_empty() {
+            return Err(spec_err(format!("{ctx}: \"name\" must be non-empty")));
+        }
+        if !seen.insert(name.clone()) {
+            return Err(spec_err(format!("{ctx}: duplicate pool name {name:?}")));
+        }
+        let preset = expect_str(entry, "preset", &ctx)?;
+        let demand_file = expect_str(entry, "demand", &ctx)?;
+        match (&preset, &demand_file) {
+            (None, None) => {
+                return Err(spec_err(format!(
+                    "{ctx} ({name}): needs a demand source — \"preset\" or \"demand\""
+                )))
+            }
+            (Some(_), Some(_)) => {
+                return Err(spec_err(format!(
+                    "{ctx} ({name}): \"preset\" and \"demand\" are mutually exclusive"
+                )))
+            }
+            _ => {}
+        }
+        let target = u32::try_from(expect_u64(entry, "target", &ctx)?.unwrap_or(4))
+            .map_err(|_| spec_err(format!("{ctx}: \"target\" out of range")))?;
+        let tau_secs = expect_u64(entry, "tau_secs", &ctx)?.unwrap_or(90);
+        let sim_seed = expect_u64(entry, "sim_seed", &ctx)?.unwrap_or(0);
+        let model = expect_str(entry, "model", &ctx)?;
+        let alpha = expect_f64(entry, "alpha", &ctx)?.unwrap_or(0.3);
+        let autotune = expect_bool(entry, "autotune", &ctx)?.unwrap_or(false);
+        let target_wait_secs = expect_f64(entry, "target_wait_secs", &ctx)?.unwrap_or(30.0);
+        pools.push(FleetPoolEntry {
+            name,
+            preset,
+            demand_file,
+            seed: expect_u64(entry, "seed", &ctx)?,
+            target,
+            tau_secs,
+            sim_seed,
+            model,
+            alpha,
+            autotune,
+            target_wait_secs,
+        });
+    }
+    Ok(FleetSpec {
+        interval_secs,
+        days,
+        seed,
+        pools,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,5 +429,84 @@ mod tests {
         assert!(parse_demand("abc\n", 30).is_err());
         assert!(parse_demand("-1\n", 30).is_err());
         assert!(parse_demand("inf\n", 30).is_err());
+    }
+
+    #[test]
+    fn fleet_spec_defaults_and_overrides() {
+        let spec = parse_fleet_spec(
+            r#"{
+              "seed": 7,
+              "pools": [
+                {"name": "east", "preset": "east-us-2-medium", "model": "ssa+",
+                 "autotune": true, "target_wait_secs": 12.5},
+                {"name": "west", "preset": "west-us-2-small", "target": 8,
+                 "seed": 99, "sim_seed": 3},
+                {"name": "batch", "demand": "batch.txt", "tau_secs": 120}
+              ]
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(spec.interval_secs, 30);
+        assert_eq!(spec.days, 1);
+        assert_eq!(spec.seed, 7);
+        assert_eq!(spec.pools.len(), 3);
+        let east = &spec.pools[0];
+        assert_eq!(east.name, "east");
+        assert_eq!(east.preset.as_deref(), Some("east-us-2-medium"));
+        assert_eq!(east.model.as_deref(), Some("ssa+"));
+        assert!(east.autotune);
+        assert_eq!(east.target_wait_secs, 12.5);
+        assert_eq!(east.target, 4);
+        assert_eq!(east.tau_secs, 90);
+        assert_eq!(east.alpha, 0.3);
+        assert_eq!(east.seed, None);
+        let west = &spec.pools[1];
+        assert_eq!(west.target, 8);
+        assert_eq!(west.seed, Some(99));
+        assert_eq!(west.sim_seed, 3);
+        let batch = &spec.pools[2];
+        assert_eq!(batch.demand_file.as_deref(), Some("batch.txt"));
+        assert_eq!(batch.preset, None);
+        assert_eq!(batch.tau_secs, 120);
+    }
+
+    #[test]
+    fn fleet_spec_structural_errors() {
+        let cases: &[(&str, &str)] = &[
+            ("[1,2]", "top level"),
+            ("{\"pools\": []}", "at least one pool"),
+            ("{}", "missing \"pools\""),
+            ("{\"pools\": [{\"preset\": \"spiky\"}]}", "missing \"name\""),
+            ("{\"pools\": [{\"name\": \"a\"}]}", "needs a demand source"),
+            (
+                "{\"pools\": [{\"name\": \"a\", \"preset\": \"spiky\", \"demand\": \"d.txt\"}]}",
+                "mutually exclusive",
+            ),
+            (
+                "{\"pools\": [{\"name\": \"a\", \"preset\": \"spiky\"},
+                              {\"name\": \"a\", \"preset\": \"spiky\"}]}",
+                "duplicate pool name",
+            ),
+            (
+                "{\"pools\": [{\"name\": \"a\", \"preset\": \"spiky\", \"tua_secs\": 3}]}",
+                "unknown key",
+            ),
+            (
+                "{\"pools\": [{\"name\": \"a\", \"preset\": \"spiky\", \"alpha\": \"hi\"}]}",
+                "must be a number",
+            ),
+            (
+                "{\"interval_secs\": 0, \"pools\": [{\"name\": \"a\", \"preset\": \"spiky\"}]}",
+                "must be positive",
+            ),
+        ];
+        for (text, needle) in cases {
+            let err = parse_fleet_spec(text).unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                matches!(err, CliError::BadSpec(_)) && msg.contains(needle),
+                "spec {text:?}: expected {needle:?} in {msg:?}"
+            );
+        }
     }
 }

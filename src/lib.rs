@@ -16,7 +16,7 @@
 //! |---|---|---|
 //! | [`saa`] | `ip-saa` | pool mechanism accounting, LP/DP optimizers, Pareto sweeps, §7.5 robustness |
 //! | [`models`] | `ip-models` | Baseline, SSA, SSA+, mWDN, TST, InceptionTime forecasters |
-//! | [`core`] | `ip-core` | 2-step / E2E pipelines, `α'` auto-tuner, guardrails, COGS model, multi-pool |
+//! | [`core`] | `ip-core` | 2-step / E2E pipelines, `α'` auto-tuner, guardrails, COGS model, fleet |
 //! | [`sim`] | `ip-sim` | discrete-event platform simulator (clusters, workers, leases, stores) |
 //! | [`workload`] | `ip-workload` | synthetic demand traces standing in for production telemetry |
 //! | [`timeseries`] | `ip-timeseries` | series type, metrics, max-filter smoothing, splits |
@@ -65,9 +65,10 @@ pub use ip_workload as workload;
 /// The commonly used types, one `use` away.
 pub mod prelude {
     pub use ip_core::{
-        evaluate_alerts, Alert, AlertRule, AlphaTuner, CostModel, Dashboard, EndToEndEngine,
-        EngineConfig, Guardrail, IntelligentPooling, MetricsSnapshot, MultiPoolManager, NodeSize,
-        PoolId, RecommendationEngine, SavingsReport, TwoStepEngine,
+        evaluate_alerts, merge_snapshots, Alert, AlertRule, AlphaTuner, CostModel, Dashboard,
+        EndToEndEngine, EngineConfig, Fleet, Guardrail, IntelligentPooling, MetricsSnapshot,
+        NodeSize, PoolId, PoolRecommendation, PoolSpec, RecommendationEngine, SavingsReport,
+        TwoStepEngine,
     };
     pub use ip_models::{
         AutoSelector, BaselineForecaster, DeepConfig, Forecaster, HoltWinters, InceptionTime, Mwdn,
@@ -79,9 +80,12 @@ pub mod prelude {
         RobustnessStrategies, SaaConfig,
     };
     pub use ip_sim::{
-        run_region, IpWorkerConfig, PoolKind, RegionPool, SimConfig, Simulation, StaticProvider,
+        run_region, FleetPool, FleetReport, FleetSim, IpWorkerConfig, PoolKind, RegionPool,
+        SimConfig, Simulation, StaticProvider,
     };
     pub use ip_ssa::RankSelection;
     pub use ip_timeseries::TimeSeries;
-    pub use ip_workload::{preset, spiky_region, table1_presets, DemandModel, PresetId};
+    pub use ip_workload::{
+        preset, spiky_region, table1_presets, DemandModel, FleetPoolPreset, FleetTrace, PresetId,
+    };
 }

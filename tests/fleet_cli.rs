@@ -1,0 +1,198 @@
+//! Integration tests for the `--pools` fleet front end, driven through the
+//! real `ip-pool` binary: offline fleet simulation, the fleet daemon with
+//! per-pool routing and labeled metrics, and spec validation errors.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+fn ip_pool() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ip-pool"))
+}
+
+fn http(port: u16, method: &str, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+    let mut stream = TcpStream::connect(("127.0.0.1", port))?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(request.as_bytes())?;
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw)?;
+    let status = raw
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    let payload = raw
+        .split_once("\r\n\r\n")
+        .map(|(_, b)| b.to_string())
+        .unwrap_or_default();
+    Ok((status, payload))
+}
+
+fn wait_for_port(path: &Path, child: &mut Child) -> u16 {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            if let Ok(port) = text.trim().parse() {
+                return port;
+            }
+        }
+        if let Some(status) = child.try_wait().unwrap() {
+            panic!("daemon exited early with {status}");
+        }
+        assert!(Instant::now() < deadline, "daemon never wrote {path:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// A scratch dir with three tiny demand files and a spec referencing them
+/// by name. File-sourced pools keep the test fast and deterministic.
+fn fleet_fixture(tag: &str) -> (PathBuf, PathBuf) {
+    let dir = std::env::temp_dir().join(format!("ip-pool-fleet-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for (name, line) in [("east", "3\n"), ("west", "5\n"), ("spare", "1\n")] {
+        std::fs::write(dir.join(format!("{name}.txt")), line.repeat(120)).unwrap();
+    }
+    let spec = dir.join("fleet.json");
+    let body = format!(
+        r#"{{
+          "pools": [
+            {{"name": "east",  "demand": "{d}/east.txt",  "model": "baseline", "target": 3}},
+            {{"name": "west",  "demand": "{d}/west.txt",  "target": 6, "sim_seed": 2}},
+            {{"name": "spare", "demand": "{d}/spare.txt", "target": 1}}
+          ]
+        }}"#,
+        d = dir.display()
+    );
+    std::fs::write(&spec, body).unwrap();
+    (dir, spec)
+}
+
+#[test]
+fn simulate_pools_reports_per_pool_and_aggregate() {
+    let (dir, spec) = fleet_fixture("sim");
+    let out = ip_pool()
+        .args(["simulate", "--pools", spec.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for pool in ["east", "west", "spare"] {
+        assert!(stdout.contains(pool), "missing {pool} row in:\n{stdout}");
+    }
+    assert!(stdout.contains("fleet (aggregate)"), "{stdout}");
+    // The model-driven pool ran its pipeline.
+    assert!(stdout.contains("pipeline runs"), "{stdout}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_pools_daemon_routes_by_name_over_the_binary() {
+    let (dir, spec) = fleet_fixture("serve");
+    let port_file = dir.join("port");
+    let mut child = ip_pool()
+        .args([
+            "serve",
+            "--pools",
+            spec.to_str().unwrap(),
+            "--port",
+            "0",
+            "--speedup",
+            "600",
+            "--port-file",
+            port_file.to_str().unwrap(),
+        ])
+        .env("IP_OBS", "1")
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn ip-pool serve --pools");
+    let port = wait_for_port(&port_file, &mut child);
+
+    // The fleet surface: /pools lists every pool in spec order.
+    let (code, body) = http(port, "GET", "/pools", "").unwrap();
+    assert_eq!(code, 200, "{body}");
+    let east = body.find("\"east\"").unwrap();
+    let west = body.find("\"west\"").unwrap();
+    let spare = body.find("\"spare\"").unwrap();
+    assert!(east < west && west < spare, "{body}");
+
+    // Injection routes by name; a pool-less body is ambiguous (400), an
+    // unknown pool is 404.
+    let (code, body) = http(port, "POST", "/requests", "{\"count\":4,\"pool\":\"west\"}").unwrap();
+    assert_eq!(code, 200, "{body}");
+    assert!(body.contains("\"pool\":\"west\""), "{body}");
+    let (code, _) = http(port, "POST", "/requests", "{\"count\":1}").unwrap();
+    assert_eq!(code, 400);
+    let (code, _) = http(port, "POST", "/requests", "{\"count\":1,\"pool\":\"nope\"}").unwrap();
+    assert_eq!(code, 404);
+
+    // Every pool's series carries its own label on the live exposition.
+    let (code, metrics) = http(port, "GET", "/metrics", "").unwrap();
+    assert_eq!(code, 200);
+    for pool in ["east", "west", "spare"] {
+        assert!(
+            metrics.contains(&format!("pool=\"{pool}\"")),
+            "no pool={pool} series in:\n{metrics}"
+        );
+    }
+
+    let (code, _) = http(port, "POST", "/shutdown", "").unwrap();
+    assert_eq!(code, 200);
+    let out = child.wait_with_output().expect("daemon exits");
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("4 injected"), "{stdout}");
+    // The drain summary prints one row per pool.
+    for pool in ["east", "west", "spare"] {
+        assert!(stdout.contains(pool), "missing {pool} row in:\n{stdout}");
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn bad_fleet_specs_are_rejected() {
+    let dir = std::env::temp_dir().join(format!("ip-pool-fleet-bad-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let cases = [
+        ("{\"pools\": []}", "at least one pool"),
+        (
+            "{\"pools\": [{\"name\": \"a\", \"preset\": \"spiky\", \"typo_key\": 1}]}",
+            "unknown key",
+        ),
+        (
+            "{\"pools\": [{\"name\": \"a\", \"preset\": \"no-such-preset\"}]}",
+            "unknown preset",
+        ),
+    ];
+    for (i, (body, needle)) in cases.iter().enumerate() {
+        let spec = dir.join(format!("bad-{i}.json"));
+        std::fs::write(&spec, body).unwrap();
+        for command in ["simulate", "serve"] {
+            let out = ip_pool()
+                .args([command, "--pools", spec.to_str().unwrap()])
+                .output()
+                .unwrap();
+            assert!(!out.status.success(), "{command} accepted {body:?}");
+            let err = String::from_utf8_lossy(&out.stderr);
+            assert!(
+                err.contains(needle),
+                "{command} on {body:?}: expected {needle:?} in {err:?}"
+            );
+        }
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
