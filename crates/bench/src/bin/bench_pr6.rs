@@ -1,0 +1,186 @@
+//! Parallel-fleet scaling bench: per-pool `FleetSim` cost from 1 to 256
+//! pools under the three PR-6 execution paths.
+//!
+//! Three measurements, each at pools ∈ {1, 4, 16, 64, 256} and
+//! `IP_THREADS` ∈ {1, 4}:
+//!
+//! * **fleet_sim** — `FleetStrategy::Auto`, what callers get by default:
+//!   the heap-scheduled serial interleave when `IP_THREADS=1`, pool-major
+//!   parallel epochs otherwise.
+//! * **fleet_sim_serial** — forced `FleetStrategy::Serial`: the binary-heap
+//!   schedule, O(log N) per event pick (PR 5's O(N)-scan baseline is what
+//!   made 16 pools cost ~8× per pool).
+//! * **fleet_sim_pool_major** — forced `FleetStrategy::Parallel(threads)`:
+//!   every pool's whole trace in one tight loop per epoch; at `threads=1`
+//!   this runs inline with no worker machinery, so the row isolates the
+//!   algorithmic win from thread-level speedup (the bench container has
+//!   one CPU — see `available_parallelism` in the artifact).
+//!
+//! Demand is one day of the Table-1 EastUS2-medium preset per pool with
+//! per-pool seeds derived from the pool name. Unlike `bench_pr5`, every
+//! pool draws the *same* preset: round-robining presets of different
+//! demand volume (as PR 5 did) changes the average per-pool workload as
+//! the fleet grows, which confounds the per-pool scaling read this
+//! artifact exists to make. The 1-pool rows remain comparable to
+//! `BENCH_pr5.json` (its pool-00 used the same preset and seed scheme).
+//!
+//! `cargo run --release -p ip-bench --bin bench_pr6`
+//!
+//! Writes the machine-readable artifact `BENCH_pr6.json` at the workspace
+//! root, recording `available_parallelism` of the measuring host.
+
+use ip_bench::print_table;
+use ip_sim::{FleetPool, FleetSim, FleetStrategy, SimConfig};
+use ip_timeseries::TimeSeries;
+use ip_workload::{pool_seed, preset, PresetId};
+use std::time::Instant;
+
+const POOL_COUNTS: [usize; 5] = [1, 4, 16, 64, 256];
+const THREAD_COUNTS: [usize; 2] = [1, 4];
+
+/// One day of demand per pool, all from the same preset, seed derived
+/// from the pool name (stable across pool counts: pool `i` sees the same
+/// trace whether the fleet has 4 or 256 members).
+fn fleet_demands(pools: usize) -> Vec<(String, TimeSeries)> {
+    (0..pools)
+        .map(|i| {
+            let name = format!("pool-{i:02}");
+            let mut model = preset(PresetId::EastUs2Medium, pool_seed(7, &name));
+            model.days = 1;
+            let trace = model.generate();
+            (name, trace)
+        })
+        .collect()
+}
+
+fn build_fleet(pools: usize, strategy: Option<FleetStrategy>) -> FleetSim {
+    let members = fleet_demands(pools)
+        .into_iter()
+        .map(|(name, trace)| {
+            let cfg = SimConfig {
+                interval_secs: trace.interval_secs(),
+                default_pool_target: 4,
+                seed: 11,
+                ..Default::default()
+            };
+            FleetPool::new(name, cfg, trace)
+        })
+        .collect();
+    let mut sim = FleetSim::new(members).expect("fleet");
+    if let Some(s) = strategy {
+        sim.set_strategy(s);
+    }
+    sim
+}
+
+fn bench_fleet_sim(pools: usize, strategy: Option<FleetStrategy>, samples: usize) -> f64 {
+    let mut times: Vec<f64> = (0..samples)
+        .map(|_| {
+            let mut sim = build_fleet(pools, strategy);
+            let start = Instant::now();
+            sim.run_to_end();
+            let elapsed = start.elapsed().as_secs_f64();
+            let report = sim.finalize();
+            assert_eq!(report.pools.len(), pools);
+            elapsed
+        })
+        .collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+struct Record {
+    measurement: &'static str,
+    pools: usize,
+    threads: usize,
+    median_secs: f64,
+    per_pool_secs: f64,
+}
+
+fn write_json(records: &[Record], samples: usize) {
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut body = String::from("{\n");
+    body.push_str("  \"artifact\": \"BENCH_pr6\",\n");
+    body.push_str(
+        "  \"description\": \"parallel FleetSim scaling: Auto (default dispatch), forced serial heap interleave, and forced pool-major epochs, per pool count and IP_THREADS\",\n",
+    );
+    body.push_str(&format!("  \"available_parallelism\": {avail},\n"));
+    body.push_str(&format!("  \"samples_per_measurement\": {samples},\n"));
+    body.push_str(
+        "  \"workload\": {\"days\": 1, \"interval_secs\": 30, \"intervals_per_pool\": 2880},\n",
+    );
+    body.push_str("  \"measurements\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"measurement\": \"{}\", \"pools\": {}, \"threads\": {}, \"median_secs\": {:.6e}, \"per_pool_secs\": {:.6e}}}{}\n",
+            r.measurement,
+            r.pools,
+            r.threads,
+            r.median_secs,
+            r.per_pool_secs,
+            if i + 1 < records.len() { "," } else { "" },
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr6.json");
+    std::fs::write(path, body).expect("write BENCH_pr6.json");
+    println!("\nwrote {path}");
+}
+
+fn main() {
+    let _span = ip_obs::span("bench.bench_pr6");
+    let samples: usize = std::env::var("IP_BENCH_SAMPLES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3)
+        .max(1);
+    let mut records = Vec::new();
+
+    println!("parallel fleet scaling, one day of demand per pool, median of {samples}\n");
+    for threads in THREAD_COUNTS {
+        // ip-par reads IP_THREADS per call, so the override applies to
+        // every Auto-dispatched epoch below.
+        std::env::set_var("IP_THREADS", threads.to_string());
+        for pools in POOL_COUNTS {
+            let cells: [(&'static str, Option<FleetStrategy>); 3] = [
+                ("fleet_sim", None),
+                ("fleet_sim_serial", Some(FleetStrategy::Serial)),
+                (
+                    "fleet_sim_pool_major",
+                    Some(FleetStrategy::Parallel(threads)),
+                ),
+            ];
+            for (measurement, strategy) in cells {
+                let secs = bench_fleet_sim(pools, strategy, samples);
+                records.push(Record {
+                    measurement,
+                    pools,
+                    threads,
+                    median_secs: secs,
+                    per_pool_secs: secs / pools as f64,
+                });
+            }
+        }
+    }
+    std::env::remove_var("IP_THREADS");
+
+    let rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            vec![
+                r.measurement.to_string(),
+                r.pools.to_string(),
+                r.threads.to_string(),
+                format!("{:.3}", r.median_secs),
+                format!("{:.5}", r.per_pool_secs),
+            ]
+        })
+        .collect();
+    print_table(
+        &["measurement", "pools", "threads", "median_s", "per_pool_s"],
+        &rows,
+    );
+    write_json(&records, samples);
+}

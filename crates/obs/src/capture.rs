@@ -1,0 +1,444 @@
+//! Per-thread buffering of observability output, with a deterministic
+//! ordered fold into the shared registry and trace sink.
+//!
+//! The fleet simulator runs each pool's event loop on its own worker
+//! thread; if those loops wrote straight into the process-wide registry
+//! and trace sink, the interleaving — and therefore the exported bytes —
+//! would depend on scheduling. Instead a worker installs a [`capture`]
+//! window around each pool's epoch: every metric mutation, logical-clock
+//! event, and span the pool emits lands in a thread-local [`LocalObs`]
+//! buffer. After the epoch the caller hands all buffers, in pool
+//! *registration order*, to [`fold_ordered`], which replays them into the
+//! shared sinks in exactly the order the serial interleave would have
+//! produced:
+//!
+//! * **metric ops** replay buffer-by-buffer, op-by-op. Pools never share a
+//!   metric series (the fleet rejects duplicate `pool` labels), so each
+//!   series sees precisely its serial op sequence — counter and histogram
+//!   float accumulation is bit-identical, not merely equal-up-to-rounding.
+//! * **events** are k-way merged on `(logical time, buffer index)`, stable
+//!   within a buffer. Each buffer's events are emitted by a time-ordered
+//!   event loop, so the merge reconstructs the global logical-time order
+//!   with registration-order tie-breaks — the serial interleave's order.
+//! * **spans** replay buffer-by-buffer with freshly allocated ids and
+//!   their local parent structure preserved. Span *durations* are
+//!   wall-clock and never byte-stable; only counts and nesting are.
+//!
+//! The only observable divergence from a serial run is at the trace-sink
+//! record cap: when a run overflows [`crate::trace::MAX_RECORDS`], the
+//! serial and folded paths may retain different span records (events and
+//! metrics are unaffected below ~the cap's event share).
+
+use crate::trace::EventRecord;
+use std::cell::RefCell;
+use std::time::Instant;
+
+/// One buffered metric mutation, replayed verbatim at fold time.
+#[derive(Debug, Clone)]
+pub(crate) enum MetricOp {
+    /// `counter_add`.
+    CounterAdd {
+        name: String,
+        labels: Vec<(String, String)>,
+        v: f64,
+    },
+    /// `gauge_set`.
+    GaugeSet {
+        name: String,
+        labels: Vec<(String, String)>,
+        v: f64,
+    },
+    /// `observe_with`.
+    Observe {
+        name: String,
+        labels: Vec<(String, String)>,
+        bounds: Vec<f64>,
+        v: f64,
+    },
+    /// `declare_histogram`.
+    Declare {
+        name: String,
+        labels: Vec<(String, String)>,
+        bounds: Vec<f64>,
+    },
+    /// `describe`.
+    Describe { name: String, help: String },
+}
+
+/// A closed span recorded inside a capture window. Ids are local to the
+/// window; [`fold_ordered`] maps them onto fresh global ids.
+#[derive(Debug, Clone)]
+pub(crate) struct LocalSpanRecord {
+    pub(crate) local_id: u64,
+    pub(crate) parent: Option<u64>,
+    pub(crate) name: String,
+    pub(crate) thread: String,
+    pub(crate) start_ns: u64,
+    pub(crate) dur_ns: u64,
+}
+
+/// Everything one capture window recorded, in emission order.
+#[derive(Debug, Default)]
+pub struct LocalObs {
+    pub(crate) ops: Vec<MetricOp>,
+    pub(crate) events: Vec<EventRecord>,
+    pub(crate) spans: Vec<LocalSpanRecord>,
+}
+
+impl LocalObs {
+    /// `true` when the window recorded nothing.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty() && self.events.is_empty() && self.spans.is_empty()
+    }
+
+    /// Number of buffered logical-clock events.
+    pub fn event_count(&self) -> usize {
+        self.events.len()
+    }
+}
+
+struct CaptureState {
+    buf: LocalObs,
+    next_span_id: u64,
+    span_stack: Vec<u64>,
+    epoch: Instant,
+}
+
+thread_local! {
+    static CAPTURE: RefCell<Option<CaptureState>> = const { RefCell::new(None) };
+}
+
+/// An active capture window on the current thread. Obtain with
+/// [`capture`]; call [`CaptureGuard::finish`] to uninstall it and take the
+/// buffer. Dropping the guard without finishing (an unwind) uninstalls and
+/// discards.
+#[derive(Debug)]
+pub struct CaptureGuard {
+    installed: bool,
+    // Thread-local state: the guard must not leave its thread.
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+/// Begins buffering this thread's observability output. Panics if a
+/// capture window is already active on this thread (capture does not
+/// nest). When observability is disabled the guard is inert and
+/// [`CaptureGuard::finish`] returns an empty buffer.
+pub fn capture() -> CaptureGuard {
+    if !crate::enabled() {
+        return CaptureGuard {
+            installed: false,
+            _not_send: std::marker::PhantomData,
+        };
+    }
+    let epoch = crate::trace::trace_epoch();
+    CAPTURE.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        assert!(slot.is_none(), "ip-obs capture windows do not nest");
+        *slot = Some(CaptureState {
+            buf: LocalObs::default(),
+            next_span_id: 1,
+            span_stack: Vec::new(),
+            epoch,
+        });
+    });
+    CaptureGuard {
+        installed: true,
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+impl CaptureGuard {
+    /// Uninstalls the window and returns everything it buffered.
+    pub fn finish(mut self) -> LocalObs {
+        if !self.installed {
+            return LocalObs::default();
+        }
+        self.installed = false;
+        CAPTURE.with(|slot| {
+            slot.borrow_mut()
+                .take()
+                .map(|state| state.buf)
+                .unwrap_or_default()
+        })
+    }
+}
+
+impl Drop for CaptureGuard {
+    fn drop(&mut self) {
+        if self.installed {
+            CAPTURE.with(|slot| slot.take());
+        }
+    }
+}
+
+fn with_active<R>(f: impl FnOnce(&mut CaptureState) -> R) -> Option<R> {
+    CAPTURE.with(|slot| slot.borrow_mut().as_mut().map(f))
+}
+
+fn owned(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect()
+}
+
+/// Buffers a counter add if a window is active. Returns `true` when
+/// captured (the caller must then skip the global registry).
+pub(crate) fn try_counter_add(name: &str, labels: &[(&str, &str)], v: f64) -> bool {
+    with_active(|s| {
+        s.buf.ops.push(MetricOp::CounterAdd {
+            name: name.to_string(),
+            labels: owned(labels),
+            v,
+        });
+    })
+    .is_some()
+}
+
+/// Buffers a gauge set if a window is active.
+pub(crate) fn try_gauge_set(name: &str, labels: &[(&str, &str)], v: f64) -> bool {
+    with_active(|s| {
+        s.buf.ops.push(MetricOp::GaugeSet {
+            name: name.to_string(),
+            labels: owned(labels),
+            v,
+        });
+    })
+    .is_some()
+}
+
+/// Buffers a histogram observation if a window is active.
+pub(crate) fn try_observe(name: &str, labels: &[(&str, &str)], bounds: &[f64], v: f64) -> bool {
+    with_active(|s| {
+        s.buf.ops.push(MetricOp::Observe {
+            name: name.to_string(),
+            labels: owned(labels),
+            bounds: bounds.to_vec(),
+            v,
+        });
+    })
+    .is_some()
+}
+
+/// Buffers a histogram declaration if a window is active.
+pub(crate) fn try_declare(name: &str, labels: &[(&str, &str)], bounds: &[f64]) -> bool {
+    with_active(|s| {
+        s.buf.ops.push(MetricOp::Declare {
+            name: name.to_string(),
+            labels: owned(labels),
+            bounds: bounds.to_vec(),
+        });
+    })
+    .is_some()
+}
+
+/// Buffers a `# HELP` registration if a window is active.
+pub(crate) fn try_describe(name: &str, help: &str) -> bool {
+    with_active(|s| {
+        s.buf.ops.push(MetricOp::Describe {
+            name: name.to_string(),
+            help: help.to_string(),
+        });
+    })
+    .is_some()
+}
+
+/// Buffers a logical-clock event if a window is active.
+pub(crate) fn try_event(name: &str, t: u64, fields: &[(&str, f64)]) -> bool {
+    with_active(|s| {
+        s.buf.events.push(EventRecord {
+            name: name.to_string(),
+            t,
+            fields: fields.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+        });
+    })
+    .is_some()
+}
+
+/// Opens a span inside the active window, if any: allocates a window-local
+/// id, pushes it on the local stack, and returns `(local_id, start_ns)`
+/// relative to the process trace epoch.
+pub(crate) fn try_begin_span(start: Instant) -> Option<(u64, u64)> {
+    with_active(|s| {
+        let id = s.next_span_id;
+        s.next_span_id += 1;
+        s.span_stack.push(id);
+        let start_ns = start.duration_since(s.epoch).as_nanos() as u64;
+        (id, start_ns)
+    })
+}
+
+/// Closes the window-local span `local_id`, recording its parent from the
+/// local stack.
+pub(crate) fn end_span(local_id: u64, name: &'static str, start_ns: u64, dur_ns: u64) {
+    let recorded = with_active(|s| {
+        debug_assert_eq!(
+            s.span_stack.last(),
+            Some(&local_id),
+            "captured span drop out of order"
+        );
+        s.span_stack.pop();
+        let parent = s.span_stack.last().copied();
+        s.buf.spans.push(LocalSpanRecord {
+            local_id,
+            parent,
+            name: name.to_string(),
+            thread: crate::trace::thread_label(),
+            start_ns,
+            dur_ns,
+        });
+    });
+    // A span that outlives its capture window (guard leaked across
+    // `finish`) is dropped on the floor rather than corrupting the global
+    // stack it was never part of.
+    debug_assert!(recorded.is_some(), "captured span closed after finish()");
+}
+
+/// Replays captured buffers into the global registry and trace, in the
+/// deterministic order described in the module docs. `buffers` must be in
+/// source registration order — the merge breaks logical-time ties by
+/// buffer index — and each buffer's events must be non-decreasing in `t`
+/// (true for any time-ordered event loop). No-op when observability is
+/// disabled.
+pub fn fold_ordered(buffers: Vec<LocalObs>) {
+    if !crate::enabled() {
+        return;
+    }
+    // Metrics: buffer-by-buffer, op-by-op. Series are disjoint across
+    // sources, so this is each series' exact serial op sequence.
+    let registry = crate::global();
+    fn l(labels: &[(String, String)]) -> Vec<(&str, &str)> {
+        labels
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_str()))
+            .collect()
+    }
+    for buf in &buffers {
+        for op in &buf.ops {
+            match op {
+                MetricOp::CounterAdd { name, labels, v } => {
+                    registry.counter_add(name, &l(labels), *v);
+                }
+                MetricOp::GaugeSet { name, labels, v } => {
+                    registry.gauge_set(name, &l(labels), *v);
+                }
+                MetricOp::Observe {
+                    name,
+                    labels,
+                    bounds,
+                    v,
+                } => registry.observe_with(name, &l(labels), bounds, *v),
+                MetricOp::Declare {
+                    name,
+                    labels,
+                    bounds,
+                } => registry.declare_histogram(name, &l(labels), bounds),
+                MetricOp::Describe { name, help } => registry.describe(name, help),
+            }
+        }
+    }
+
+    // Events: k-way merge on (t, buffer index), stable within a buffer.
+    let total: usize = buffers.iter().map(|b| b.events.len()).sum();
+    let mut merged = Vec::with_capacity(total);
+    let mut cursors: Vec<std::iter::Peekable<std::vec::IntoIter<EventRecord>>> = Vec::new();
+    let mut spans_by_buffer = Vec::with_capacity(buffers.len());
+    for buf in buffers {
+        cursors.push(buf.events.into_iter().peekable());
+        spans_by_buffer.push(buf.spans);
+    }
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = cursors
+        .iter_mut()
+        .enumerate()
+        .filter_map(|(i, c)| c.peek().map(|e| Reverse((e.t, i))))
+        .collect();
+    while let Some(Reverse((_, i))) = heap.pop() {
+        let ev = cursors[i].next().expect("heap entry implies an event");
+        merged.push(ev);
+        if let Some(next) = cursors[i].peek() {
+            heap.push(Reverse((next.t, i)));
+        }
+    }
+    crate::trace::append_events(merged);
+
+    // Spans: buffer-by-buffer with fresh global ids, structure preserved.
+    for spans in spans_by_buffer {
+        crate::trace::append_local_spans(&spans);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capture_buffers_and_fold_replays() {
+        let _g = crate::tests::GATE.lock().unwrap();
+        crate::set_enabled(true);
+        crate::reset();
+
+        // Two "pools" captured back to back on this thread, then folded.
+        let cap = capture();
+        crate::counter_add("c_total", &[("pool", "a")], 1.5);
+        crate::event("tick", 60, &[("x", 1.0)]);
+        crate::event("tick", 120, &[("x", 2.0)]);
+        {
+            let _s = crate::span("pool_a_work");
+        }
+        let a = cap.finish();
+        let cap = capture();
+        crate::counter_add("c_total", &[("pool", "b")], 2.0);
+        crate::event("tick", 60, &[("x", 10.0)]);
+        crate::event("tick", 90, &[("x", 11.0)]);
+        let b = cap.finish();
+
+        // Nothing reached the shared sinks while buffering.
+        assert!(crate::global().snapshot().is_empty());
+        assert_eq!(a.event_count(), 2);
+        assert!(!b.is_empty());
+
+        fold_ordered(vec![a, b]);
+        let snap = crate::global().snapshot();
+        assert_eq!(snap.len(), 2);
+        let trace = crate::take_trace();
+        // Merged on (t, buffer index): a@60, b@60, b@90, a@120.
+        let order: Vec<(u64, f64)> = trace.events.iter().map(|e| (e.t, e.fields[0].1)).collect();
+        assert_eq!(order, vec![(60, 1.0), (60, 10.0), (90, 11.0), (120, 2.0)]);
+        assert_eq!(trace.spans.len(), 1);
+        assert_eq!(trace.spans[0].name, "pool_a_work");
+        crate::set_enabled(false);
+        crate::reset();
+    }
+
+    #[test]
+    fn captured_span_nesting_survives_the_fold() {
+        let _g = crate::tests::GATE.lock().unwrap();
+        crate::set_enabled(true);
+        crate::reset();
+        let cap = capture();
+        {
+            let _outer = crate::span("outer");
+            let _inner = crate::span("inner");
+        }
+        fold_ordered(vec![cap.finish()]);
+        let trace = crate::take_trace();
+        assert_eq!(trace.spans.len(), 2);
+        let inner = trace.spans.iter().find(|s| s.name == "inner").unwrap();
+        let outer = trace.spans.iter().find(|s| s.name == "outer").unwrap();
+        assert_eq!(inner.parent, Some(outer.id));
+        assert_eq!(outer.parent, None);
+        crate::set_enabled(false);
+        crate::reset();
+    }
+
+    #[test]
+    fn disabled_capture_is_inert() {
+        let _g = crate::tests::GATE.lock().unwrap();
+        crate::set_enabled(false);
+        let cap = capture();
+        crate::counter_add("c_total", &[], 1.0);
+        assert!(cap.finish().is_empty());
+    }
+}

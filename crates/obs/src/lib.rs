@@ -41,10 +41,12 @@
 //! ip_obs::set_enabled(false);
 //! ```
 
+pub mod capture;
 pub mod export;
 pub mod metrics;
 pub mod trace;
 
+pub use capture::{capture, fold_ordered, CaptureGuard, LocalObs};
 pub use metrics::{Histogram, MetricValue, Registry, SeriesKey, DEFAULT_BUCKETS};
 pub use trace::{EventRecord, SpanGuard, SpanRecord, Trace};
 
@@ -86,10 +88,11 @@ pub fn global() -> &'static Registry {
     GLOBAL.get_or_init(Registry::new)
 }
 
-/// Adds `v` to a counter in the global registry (no-op when disabled).
+/// Adds `v` to a counter in the global registry — or the thread's active
+/// [`capture`] window, if any (no-op when disabled).
 #[inline]
 pub fn counter_add(name: &str, labels: &[(&str, &str)], v: f64) {
-    if enabled() {
+    if enabled() && !capture::try_counter_add(name, labels, v) {
         global().counter_add(name, labels, v);
     }
 }
@@ -104,7 +107,7 @@ pub fn counter_inc(name: &str, labels: &[(&str, &str)]) {
 /// when disabled).
 #[inline]
 pub fn describe(name: &str, help: &str) {
-    if enabled() {
+    if enabled() && !capture::try_describe(name, help) {
         global().describe(name, help);
     }
 }
@@ -112,7 +115,7 @@ pub fn describe(name: &str, help: &str) {
 /// Sets a gauge in the global registry (no-op when disabled).
 #[inline]
 pub fn gauge_set(name: &str, labels: &[(&str, &str)], v: f64) {
-    if enabled() {
+    if enabled() && !capture::try_gauge_set(name, labels, v) {
         global().gauge_set(name, labels, v);
     }
 }
@@ -121,16 +124,14 @@ pub fn gauge_set(name: &str, labels: &[(&str, &str)], v: f64) {
 /// disabled).
 #[inline]
 pub fn observe(name: &str, labels: &[(&str, &str)], v: f64) {
-    if enabled() {
-        global().observe_with(name, labels, &DEFAULT_BUCKETS, v);
-    }
+    observe_with(name, labels, &DEFAULT_BUCKETS, v);
 }
 
 /// Records `v` into a histogram with explicit bucket bounds (no-op when
 /// disabled).
 #[inline]
 pub fn observe_with(name: &str, labels: &[(&str, &str)], bounds: &[f64], v: f64) {
-    if enabled() {
+    if enabled() && !capture::try_observe(name, labels, bounds, v) {
         global().observe_with(name, labels, bounds, v);
     }
 }
@@ -138,7 +139,7 @@ pub fn observe_with(name: &str, labels: &[(&str, &str)], bounds: &[f64], v: f64)
 /// Creates an empty histogram series if absent (no-op when disabled).
 #[inline]
 pub fn declare_histogram(name: &str, labels: &[(&str, &str)], bounds: &[f64]) {
-    if enabled() {
+    if enabled() && !capture::try_declare(name, labels, bounds) {
         global().declare_histogram(name, labels, bounds);
     }
 }
@@ -159,7 +160,7 @@ pub fn span(name: &'static str) -> SpanGuard {
 /// the trace. No-op when disabled.
 #[inline]
 pub fn event(name: &str, t: u64, fields: &[(&str, f64)]) {
-    if enabled() {
+    if enabled() && !capture::try_event(name, t, fields) {
         trace::record_event(name, t, fields);
     }
 }

@@ -102,17 +102,31 @@ fn epoch() -> Instant {
     *sink.epoch.get_or_insert_with(Instant::now)
 }
 
-fn thread_label() -> String {
+/// The process trace epoch (initialising it if needed), so capture windows
+/// can stamp span starts on the same clock as direct-to-sink spans.
+pub(crate) fn trace_epoch() -> Instant {
+    epoch()
+}
+
+pub(crate) fn thread_label() -> String {
     std::thread::current()
         .name()
         .map(str::to_string)
         .unwrap_or_else(|| format!("{:?}", std::thread::current().id()))
 }
 
-/// An open span; records itself into the sink when dropped.
+/// An open span; records itself into the sink (or, inside a
+/// [`crate::capture`] window, into the thread's local buffer) when dropped.
 #[derive(Debug)]
 pub struct SpanGuard {
-    active: Option<ActiveSpan>,
+    inner: SpanInner,
+}
+
+#[derive(Debug)]
+enum SpanInner {
+    Inert,
+    Global(ActiveSpan),
+    Local(LocalActive),
 }
 
 #[derive(Debug)]
@@ -124,17 +138,33 @@ struct ActiveSpan {
     start_ns: u64,
 }
 
+#[derive(Debug)]
+struct LocalActive {
+    local_id: u64,
+    name: &'static str,
+    start: Instant,
+    start_ns: u64,
+}
+
 impl SpanGuard {
     /// A guard that records nothing (the disabled path).
     pub fn inert() -> Self {
-        Self { active: None }
+        Self {
+            inner: SpanInner::Inert,
+        }
     }
 }
 
 impl Drop for SpanGuard {
     fn drop(&mut self) {
-        let Some(span) = self.active.take() else {
-            return;
+        let span = match std::mem::replace(&mut self.inner, SpanInner::Inert) {
+            SpanInner::Inert => return,
+            SpanInner::Local(local) => {
+                let dur_ns = local.start.elapsed().as_nanos() as u64;
+                crate::capture::end_span(local.local_id, local.name, local.start_ns, dur_ns);
+                return;
+            }
+            SpanInner::Global(span) => span,
         };
         let dur_ns = span.start.elapsed().as_nanos() as u64;
         SPAN_STACK.with(|stack| {
@@ -159,10 +189,22 @@ impl Drop for SpanGuard {
 }
 
 /// Opens a span on the current thread (callers go through
-/// [`crate::span`], which applies the enabled gate).
+/// [`crate::span`], which applies the enabled gate). Inside a capture
+/// window the span is window-local: it never touches the global id counter
+/// or the shared sink until the window is folded.
 pub(crate) fn begin_span(name: &'static str) -> SpanGuard {
-    let epoch = epoch();
     let start = Instant::now();
+    if let Some((local_id, start_ns)) = crate::capture::try_begin_span(start) {
+        return SpanGuard {
+            inner: SpanInner::Local(LocalActive {
+                local_id,
+                name,
+                start,
+                start_ns,
+            }),
+        };
+    }
+    let epoch = epoch();
     let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
     let parent = SPAN_STACK.with(|stack| {
         let mut stack = stack.borrow_mut();
@@ -171,7 +213,7 @@ pub(crate) fn begin_span(name: &'static str) -> SpanGuard {
         parent
     });
     SpanGuard {
-        active: Some(ActiveSpan {
+        inner: SpanInner::Global(ActiveSpan {
             id,
             parent,
             name,
@@ -193,6 +235,52 @@ pub(crate) fn record_event(name: &str, t: u64, fields: &[(&str, f64)]) {
         t,
         fields: fields.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
     });
+}
+
+/// Appends already-merged events from capture buffers (callers go through
+/// [`crate::capture::fold_ordered`]). Applies the [`MAX_RECORDS`] cap per
+/// record, exactly like the direct path.
+pub(crate) fn append_events(events: Vec<EventRecord>) {
+    if events.is_empty() {
+        return;
+    }
+    let mut sink = SINK.lock().expect("obs trace sink poisoned");
+    for ev in events {
+        if sink.spans.len() + sink.events.len() >= MAX_RECORDS {
+            sink.dropped += 1;
+            continue;
+        }
+        sink.events.push(ev);
+    }
+}
+
+/// Appends one capture window's closed spans, mapping window-local ids
+/// (and parent links) onto freshly allocated global ids. Spans arrive in
+/// close order, so children precede parents — ids are allocated in a first
+/// pass to keep parent links resolvable.
+pub(crate) fn append_local_spans(spans: &[crate::capture::LocalSpanRecord]) {
+    if spans.is_empty() {
+        return;
+    }
+    let mut ids = std::collections::HashMap::with_capacity(spans.len());
+    for s in spans {
+        ids.insert(s.local_id, NEXT_ID.fetch_add(1, Ordering::Relaxed));
+    }
+    let mut sink = SINK.lock().expect("obs trace sink poisoned");
+    for s in spans {
+        if sink.spans.len() + sink.events.len() >= MAX_RECORDS {
+            sink.dropped += 1;
+            continue;
+        }
+        sink.spans.push(SpanRecord {
+            id: ids[&s.local_id],
+            parent: s.parent.and_then(|p| ids.get(&p).copied()),
+            name: s.name.clone(),
+            thread: s.thread.clone(),
+            start_ns: s.start_ns,
+            dur_ns: s.dur_ns,
+        });
+    }
 }
 
 /// Drains the sink.

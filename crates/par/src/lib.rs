@@ -11,7 +11,10 @@
 //! unparseable, it falls back to [`std::thread::available_parallelism`]. A
 //! value of `1` (either way) makes every combinator run serially inline —
 //! the degenerate path has zero spawn overhead, which keeps single-core
-//! containers and `IP_THREADS=1` debugging honest.
+//! containers and `IP_THREADS=1` debugging honest. Batches smaller than
+//! [`spawn_min_items`] (default 2, `IP_PAR_MIN_ITEMS` to raise) also run
+//! inline: spawning threads for a handful of cheap items is exactly the
+//! overhead-at-parity the PR-5 bench exposed on a single-core host.
 //!
 //! # Determinism
 //!
@@ -36,6 +39,22 @@ pub fn num_threads() -> usize {
             _ => available(),
         },
         Err(_) => available(),
+    }
+}
+
+/// Minimum number of work items below which every combinator runs inline
+/// on the caller's thread, regardless of the thread count. `IP_PAR_MIN_ITEMS`
+/// overrides (values < 2 clamp to 2); the default of 2 spawns for any
+/// divisible batch. Raising it trades parallelism on small batches for zero
+/// spawn/handoff overhead — the right call when per-item work is cheap or
+/// the host has fewer cores than `IP_THREADS` claims.
+pub fn spawn_min_items() -> usize {
+    match std::env::var("IP_PAR_MIN_ITEMS") {
+        Ok(v) => match v.trim().parse::<usize>() {
+            Ok(n) => n.max(2),
+            _ => 2,
+        },
+        Err(_) => 2,
     }
 }
 
@@ -83,7 +102,7 @@ where
     R: Send,
     F: Fn(&T) -> R + Sync,
 {
-    if threads <= 1 || items.len() <= 1 {
+    if threads <= 1 || items.len() < spawn_min_items() {
         return items.iter().map(f).collect();
     }
     let ranges = partition(items.len(), threads);
@@ -96,6 +115,69 @@ where
                 scope.spawn(move || slice.iter().map(f).collect::<Vec<R>>())
             })
             .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("ip-par worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for chunk in &mut chunks {
+        out.append(chunk);
+    }
+    out
+}
+
+/// Maps `f(index, &mut item)` over `items`, preserving index order in the
+/// results. This is the indexed fan-out over *stateful* items the fleet
+/// simulator uses: each item is mutated in place by exactly one invocation,
+/// results come back in item order without any intermediate `(index, R)`
+/// re-sorting, and the per-item operation order is exactly the serial
+/// `iter_mut().enumerate()` order — bit-identical for any thread count.
+pub fn par_map_mut<T, R, F>(items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    par_map_mut_with(num_threads(), items, f)
+}
+
+/// [`par_map_mut`] with an explicit thread count.
+///
+/// With `threads <= 1`, a single item, or fewer than [`spawn_min_items`]
+/// items, everything runs inline on the caller's thread — no scope, no
+/// spawn, no handoff.
+pub fn par_map_mut_with<T, R, F>(threads: usize, items: &mut [T], f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut T) -> R + Sync,
+{
+    if threads <= 1 || items.len() < spawn_min_items() {
+        return items
+            .iter_mut()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let ranges = partition(items.len(), threads);
+    let mut chunks: Vec<Vec<R>> = std::thread::scope(|scope| {
+        // Peel each thread's contiguous sub-slice off the front so every
+        // item is exclusively owned by one worker, with its global index.
+        let mut rest = &mut *items;
+        let mut handles = Vec::with_capacity(ranges.len());
+        for r in &ranges {
+            let (head, tail) = rest.split_at_mut(r.len());
+            rest = tail;
+            let base = r.start;
+            let f = &f;
+            handles.push(scope.spawn(move || {
+                head.iter_mut()
+                    .enumerate()
+                    .map(|(k, item)| f(base + k, item))
+                    .collect::<Vec<R>>()
+            }));
+        }
         handles
             .into_iter()
             .map(|h| h.join().expect("ip-par worker panicked"))
@@ -124,7 +206,7 @@ pub fn par_for_with<F>(threads: usize, len: usize, f: F)
 where
     F: Fn(usize) + Sync,
 {
-    if threads <= 1 || len <= 1 {
+    if threads <= 1 || len < spawn_min_items() {
         for i in 0..len {
             f(i);
         }
@@ -315,6 +397,92 @@ mod tests {
     #[test]
     fn num_threads_is_positive() {
         assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn par_map_mut_matches_serial_any_thread_count() {
+        let serial = {
+            let mut items: Vec<i64> = (0..57).collect();
+            let out = par_map_mut_with(1, &mut items, |i, x| {
+                *x += i as i64;
+                *x * 2
+            });
+            (items, out)
+        };
+        for threads in [2, 3, 4, 8, 64] {
+            let mut items: Vec<i64> = (0..57).collect();
+            let out = par_map_mut_with(threads, &mut items, |i, x| {
+                *x += i as i64;
+                *x * 2
+            });
+            assert_eq!((items, out), serial, "threads {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_mut_indices_are_global() {
+        let mut items = vec![0usize; 23];
+        par_map_mut_with(4, &mut items, |i, x| *x = i);
+        assert_eq!(items, (0..23).collect::<Vec<_>>());
+    }
+
+    /// The overhead-at-parity fix: with one thread, one item, or an item
+    /// count below the spawn threshold, no worker machinery may exist —
+    /// every invocation must run on the caller's own thread.
+    #[test]
+    fn single_thread_and_small_batches_run_on_the_caller_thread() {
+        let caller = std::thread::current().id();
+        let on_caller = |tag: &str, ids: Vec<std::thread::ThreadId>| {
+            assert!(
+                ids.iter().all(|&id| id == caller),
+                "{tag}: work left the caller thread"
+            );
+        };
+
+        // threads == 1, many items.
+        let items: Vec<u32> = (0..16).collect();
+        on_caller(
+            "par_map threads=1",
+            par_map_with(1, &items, |_| std::thread::current().id()),
+        );
+        // Many threads, one item.
+        on_caller(
+            "par_map one item",
+            par_map_with(8, &items[..1], |_| std::thread::current().id()),
+        );
+        let mut one = [0u8];
+        on_caller(
+            "par_map_mut one item",
+            par_map_mut_with(8, &mut one, |_, _| std::thread::current().id()),
+        );
+        let mut many = [0u8; 16];
+        on_caller(
+            "par_map_mut threads=1",
+            par_map_mut_with(1, &mut many, |_, _| std::thread::current().id()),
+        );
+        // par_for: record the executing thread per index.
+        use std::sync::Mutex;
+        let ids = Mutex::new(Vec::new());
+        par_for_with(1, 9, |_| {
+            ids.lock().unwrap().push(std::thread::current().id())
+        });
+        on_caller("par_for threads=1", ids.into_inner().unwrap());
+
+        // Below the spawn threshold (env-raised), even many threads and
+        // several items stay inline. Results are bit-identical either way —
+        // the threshold only moves work onto the caller's stack.
+        std::env::set_var("IP_PAR_MIN_ITEMS", "64");
+        on_caller(
+            "par_map below threshold",
+            par_map_with(8, &items, |_| std::thread::current().id()),
+        );
+        let mut many = [0u8; 16];
+        on_caller(
+            "par_map_mut below threshold",
+            par_map_mut_with(8, &mut many, |_, _| std::thread::current().id()),
+        );
+        std::env::remove_var("IP_PAR_MIN_ITEMS");
+        assert_eq!(spawn_min_items(), 2, "default threshold");
     }
 
     #[test]

@@ -284,6 +284,15 @@ impl Controller {
         }
     }
 
+    /// Overrides how fleet epochs execute (serial interleave vs pool-major
+    /// parallel — bit-identical output either way; see `ip_sim::fleet`).
+    /// The default is [`ip_sim::FleetStrategy::Auto`].
+    pub fn set_strategy(&mut self, strategy: ip_sim::FleetStrategy) {
+        if let Some(fleet) = self.fleet.as_mut() {
+            fleet.set_strategy(strategy);
+        }
+    }
+
     /// `true` once every pool's trace has been processed (or finalized).
     pub fn is_done(&self) -> bool {
         self.fleet.as_ref().is_none_or(FleetSim::is_done)
@@ -647,6 +656,64 @@ mod tests {
         assert_eq!(live.hits, offline.hits);
         assert_eq!(live.total_wait_secs, offline.total_wait_secs);
         assert_eq!(live.interval_stats, offline.interval_stats);
+    }
+
+    #[test]
+    fn parallel_strategy_daemon_matches_serial() {
+        // The daemon's incremental tick path over a parallel fleet: same
+        // per-pool reports and per-pool interval stats (the dashboard
+        // streams' source) as a serial-driven controller, at any pacing.
+        let build = || {
+            Controller::new(
+                (0..3)
+                    .map(|k| PoolServeConfig {
+                        sim: SimConfig {
+                            default_pool_target: 2 + k,
+                            seed: 11 + u64::from(k),
+                            ip_worker: Some(ip_sim::IpWorkerConfig::default()),
+                            ..Default::default()
+                        },
+                        id: Some(format!("pool-{k}")),
+                        model: Some("baseline".into()),
+                        ..PoolServeConfig::new(demand(40 + 10 * k as usize))
+                    })
+                    .collect(),
+                300,
+            )
+            .unwrap()
+        };
+        let mut serial = build();
+        serial.set_strategy(ip_sim::FleetStrategy::Serial);
+        let mut parallel = build();
+        parallel.set_strategy(ip_sim::FleetStrategy::Parallel(4));
+        for until in [13, 250, 251, 900, 1700, u64::MAX] {
+            serial.step_to(until);
+            parallel.step_to(until);
+            for i in 0..3 {
+                assert_eq!(
+                    serial.interval_stats_of(i),
+                    parallel.interval_stats_of(i),
+                    "pool {i} interval stats diverged before until={until}"
+                );
+            }
+        }
+        assert!(serial.is_done() && parallel.is_done());
+        serial.finalize();
+        parallel.finalize();
+        for ((ida, a), (idb, b)) in serial
+            .take_reports()
+            .into_iter()
+            .zip(parallel.take_reports())
+        {
+            assert_eq!(ida, idb);
+            assert_eq!(a.hits, b.hits, "{ida}: hits");
+            assert_eq!(a.total_wait_secs, b.total_wait_secs, "{ida}: wait");
+            assert_eq!(a.interval_stats, b.interval_stats, "{ida}: stats");
+            assert_eq!(
+                a.applied_target_timeline, b.applied_target_timeline,
+                "{ida}: targets"
+            );
+        }
     }
 
     #[test]

@@ -1,22 +1,37 @@
 //! A fleet of pools advanced in one merged logical-time event order.
 //!
-//! [`FleetSim`] owns one [`SimStepper`] per pool and interleaves their
-//! event streams: at every step it peeks each stepper's earliest pending
-//! event ([`SimStepper::next_event_time`]) and advances exactly the pool
-//! owning the globally earliest one. Ties on time break by pool
-//! registration order, so the merged order is total and deterministic.
+//! [`FleetSim`] owns one [`SimStepper`] per pool and presents their event
+//! streams as a single total order: logical time first, pool registration
+//! order on ties. Two execution strategies produce that order (see
+//! [`FleetStrategy`] and DESIGN.md §13):
+//!
+//! * **Serial** — a binary-heap schedule keyed `(next_event_time,
+//!   registration_index)` picks the globally earliest stepper and advances
+//!   exactly it, O(log N) per pick instead of the former O(N) scan.
+//! * **Parallel** (the default on multi-core hosts) — pools only couple
+//!   through *output ordering*, never through simulation state, so each
+//!   `step_until` becomes an epoch: every pool's stepper runs to the epoch
+//!   boundary independently on `ip-par` workers, buffering its metric ops
+//!   and logical events in an [`ip_obs::capture`] window; the caller then
+//!   folds the buffers back into the shared registry/trace with a
+//!   deterministic k-way merge on `(time, registration index)` — the exact
+//!   interleave the serial schedule produces.
 //!
 //! Because each pool's state (clusters, stores, RNG, interval stats) lives
 //! entirely inside its own stepper and only ever mutates while *that*
-//! stepper processes an event, the interleaving cannot change any pool's
-//! outcome: a fleet of one pool is bit-identical to [`Simulation::run`]
-//! over the same config and demand, and an N-pool fleet is bit-identical
-//! to N independent single-pool runs. Both invariants are pinned by tests
-//! (`tests/fleet.rs`).
+//! stepper processes an event, neither the interleaving nor the strategy
+//! can change any pool's outcome: a fleet of one pool is bit-identical to
+//! [`Simulation::run`] over the same config and demand, an N-pool fleet is
+//! bit-identical to N independent single-pool runs, and the parallel path
+//! is bit-identical to the serial one under any `IP_THREADS`. All three
+//! invariants are pinned by tests (`tests/fleet.rs`,
+//! `tests/fleet_parallel.rs`, `tests/fleet_obs_identity.rs`).
 
 use crate::engine::{SimConfig, SimReport, SimStepper};
 use crate::{BoxedProvider, PoolId, RecommendationProvider, Result, SimError};
 use ip_timeseries::TimeSeries;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// One pool's registration into a [`FleetSim`]: identity, simulator
 /// configuration, demand trace, and an optional recommendation provider
@@ -78,27 +93,80 @@ struct Member {
     stepper: SimStepper,
 }
 
+impl Member {
+    fn step_until(&mut self, until: u64) -> usize {
+        let provider = self
+            .provider
+            .as_mut()
+            .map(|p| p.as_mut() as &mut dyn RecommendationProvider);
+        self.stepper.step_until(&self.demand, provider, until)
+    }
+}
+
+/// How a [`FleetSim`] executes each `step_until` epoch. Every strategy
+/// produces bit-identical output; they differ only in wall-clock cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FleetStrategy {
+    /// Pool-major epochs over [`ip_par::num_threads`] workers (inline on
+    /// the caller thread when that is 1 — still pool-major, which beats
+    /// the event-interleave's cache behaviour at every fleet size),
+    /// unless the fleet has one pool or `IP_FLEET_SERIAL=1` is set (the
+    /// CI identity-diff escape hatch) — then the serial interleave.
+    #[default]
+    Auto,
+    /// The heap-scheduled serial interleave, one event-pick at a time.
+    Serial,
+    /// Pool-major epochs on exactly this many workers. `Parallel(1)` is
+    /// still pool-major — each pool's whole epoch in one tight loop,
+    /// executed inline on the caller thread with no worker machinery.
+    Parallel(usize),
+}
+
 /// N per-pool event loops merged into one global logical-time order.
 pub struct FleetSim {
     members: Vec<Member>,
+    strategy: FleetStrategy,
+    /// Serial-path schedule: `(earliest pending event time, member index)`
+    /// min-heap with lazy deletion. Entries may be stale — a parallel
+    /// epoch advances steppers without touching the heap — but never
+    /// *early*: event times only grow as a stepper steps, so a popped
+    /// entry is validated against the stepper and re-pushed if corrected.
+    /// Invariant: every member with a pending event has exactly one entry.
+    schedule: BinaryHeap<Reverse<(u64, usize)>>,
 }
 
 impl FleetSim {
     /// Validates and builds one stepper per pool. Errors on an empty
-    /// fleet, duplicate pool ids, or any per-pool config/demand error
-    /// (prefixed with the pool name).
+    /// fleet, duplicate pool ids, duplicate metric labels (two pools
+    /// sharing a `config.pool` value — including two unlabeled pools —
+    /// would alias metric series, and the parallel fold must never reorder
+    /// float accumulation within a series), or any per-pool config/demand
+    /// error (prefixed with the pool name).
     pub fn new(pools: Vec<FleetPool>) -> Result<Self> {
         if pools.is_empty() {
             return Err(SimError::InvalidConfig("fleet has no pools".into()));
         }
-        let mut members = Vec::with_capacity(pools.len());
-        for pool in pools {
-            if members.iter().any(|m: &Member| m.id == pool.id) {
+        for (k, pool) in pools.iter().enumerate() {
+            if pools[..k].iter().any(|p| p.id == pool.id) {
                 return Err(SimError::InvalidConfig(format!(
                     "duplicate pool id {:?}",
                     pool.id.as_str()
                 )));
             }
+            if let Some(prev) = pools[..k]
+                .iter()
+                .find(|p| p.config.pool == pool.config.pool)
+            {
+                return Err(SimError::InvalidConfig(format!(
+                    "pools {:?} and {:?} share the metric label {:?}; per-pool series must be disjoint",
+                    prev.id.as_str(),
+                    pool.id.as_str(),
+                    pool.config.pool.as_ref().map(|p| p.as_str())
+                )));
+            }
+        }
+        let mut members = Vec::with_capacity(pools.len());
+        for pool in pools {
             let stepper = SimStepper::new(pool.config, &pool.demand).map_err(|e| {
                 SimError::InvalidConfig(format!("pool {:?}: {e}", pool.id.as_str()))
             })?;
@@ -109,7 +177,54 @@ impl FleetSim {
                 stepper,
             });
         }
-        Ok(Self { members })
+        let schedule = members
+            .iter()
+            .enumerate()
+            .filter_map(|(i, m)| m.stepper.next_event_time().map(|t| Reverse((t, i))))
+            .collect();
+        Ok(Self {
+            members,
+            strategy: FleetStrategy::Auto,
+            schedule,
+        })
+    }
+
+    /// Overrides the execution strategy (builder form).
+    pub fn with_strategy(mut self, strategy: FleetStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Overrides the execution strategy.
+    pub fn set_strategy(&mut self, strategy: FleetStrategy) {
+        self.strategy = strategy;
+    }
+
+    /// The configured execution strategy.
+    pub fn strategy(&self) -> FleetStrategy {
+        self.strategy
+    }
+
+    /// Worker count the next epoch will use, or `None` for the serial
+    /// interleave. `Auto` goes serial only for a one-pool fleet (the
+    /// pre-fleet daemon path, which skips capture overhead entirely) or
+    /// under `IP_FLEET_SERIAL=1`; otherwise it is pool-major on
+    /// [`ip_par::num_threads`] workers, inline when that is 1. An explicit
+    /// [`FleetStrategy::Parallel`] is always pool-major, even with one
+    /// worker.
+    pub fn effective_threads(&self) -> Option<usize> {
+        match self.strategy {
+            FleetStrategy::Serial => None,
+            FleetStrategy::Parallel(n) => Some(n.max(1)),
+            FleetStrategy::Auto => {
+                let forced = std::env::var("IP_FLEET_SERIAL").is_ok_and(|v| v.trim() == "1");
+                if forced || self.members.len() == 1 {
+                    None
+                } else {
+                    Some(ip_par::num_threads())
+                }
+            }
+        }
     }
 
     /// Number of pools.
@@ -194,40 +309,81 @@ impl FleetSim {
     /// Processes every pool's events with `time <= until` in one merged
     /// `(time, pool registration order)` sequence, then advances all
     /// watermarks to `until`. Returns the number of demand intervals
-    /// processed across the fleet.
+    /// processed across the fleet. The output — reports, interval stats,
+    /// metric series, logical trace events — is bit-identical whichever
+    /// [`FleetStrategy`] executes the epoch.
     pub fn step_until(&mut self, until: u64) -> usize {
+        match self.effective_threads() {
+            None => self.step_until_serial(until),
+            Some(threads) => self.step_until_parallel(until, threads),
+        }
+    }
+
+    /// The heap-scheduled serial interleave: pop the globally earliest
+    /// `(event time, registration index)`, validate it against the stepper
+    /// (lazy deletion — entries go stale when a parallel epoch advanced
+    /// the pool), advance exactly that pool, re-push its next event.
+    fn step_until_serial(&mut self, until: u64) -> usize {
         let mut intervals = 0;
-        loop {
-            // The globally earliest pending event; strict `<` keeps the
-            // first-registered pool ahead on ties.
-            let mut best: Option<(u64, usize)> = None;
-            for (i, m) in self.members.iter().enumerate() {
-                if let Some(t) = m.stepper.next_event_time() {
-                    if best.is_none_or(|(bt, _)| t < bt) {
-                        best = Some((t, i));
+        while let Some(&Reverse((t, i))) = self.schedule.peek() {
+            match self.members[i].stepper.next_event_time() {
+                // Entry is current. The min-heap on `(t, i)` breaks time
+                // ties by registration order, so the first-registered pool
+                // stays ahead — the same total order the old O(N) scan's
+                // strict `<` produced.
+                Some(actual) if actual == t => {
+                    if t > until {
+                        break;
+                    }
+                    self.schedule.pop();
+                    intervals += self.members[i].step_until(t);
+                    if let Some(next) = self.members[i].stepper.next_event_time() {
+                        self.schedule.push(Reverse((next, i)));
                     }
                 }
+                // Stale: the pool moved past `t` since the entry was
+                // pushed. Event times never move earlier, so correcting in
+                // place preserves the one-entry-per-pending-pool invariant.
+                Some(actual) => {
+                    debug_assert!(actual > t, "stepper event time moved backwards");
+                    self.schedule.pop();
+                    self.schedule.push(Reverse((actual, i)));
+                }
+                None => {
+                    self.schedule.pop();
+                }
             }
-            let Some((t, i)) = best else { break };
-            if t > until {
-                break;
-            }
-            let m = &mut self.members[i];
-            let provider = m
-                .provider
-                .as_mut()
-                .map(|p| p.as_mut() as &mut dyn RecommendationProvider);
-            intervals += m.stepper.step_until(&m.demand, provider, t);
         }
         // No pool has an event left at or before `until`: bump every
         // watermark (processes nothing, closes `is_done` bookkeeping).
         for m in &mut self.members {
-            let provider = m
-                .provider
-                .as_mut()
-                .map(|p| p.as_mut() as &mut dyn RecommendationProvider);
-            intervals += m.stepper.step_until(&m.demand, provider, until);
+            intervals += m.step_until(until);
         }
+        intervals
+    }
+
+    /// One pool-major parallel epoch: every pool runs its own event loop
+    /// to `until` on `ip-par` workers, buffering observability output in a
+    /// thread-local [`ip_obs::capture`] window; the buffers are then
+    /// folded — in registration order, events k-way merged on `(time,
+    /// registration index)` — into the shared registry and trace, so the
+    /// exported bytes equal the serial interleave's. Pool state needs no
+    /// such care: it is per-stepper, and `step_until` is pacing-
+    /// independent, so one coarse call per pool lands each stepper in
+    /// exactly the state the serial schedule would have produced.
+    fn step_until_parallel(&mut self, until: u64, threads: usize) -> usize {
+        let results = ip_par::par_map_mut_with(threads, &mut self.members, |_, m| {
+            let window = ip_obs::capture();
+            let intervals = m.step_until(until);
+            (intervals, window.finish())
+        });
+        let mut intervals = 0;
+        let mut buffers = Vec::with_capacity(results.len());
+        for (n, buf) in results {
+            intervals += n;
+            buffers.push(buf);
+        }
+        ip_obs::fold_ordered(buffers);
         intervals
     }
 

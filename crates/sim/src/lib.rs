@@ -54,7 +54,7 @@ pub use cluster::{Cluster, ClusterState};
 pub use engine::{
     ArbitratorConfig, IntervalStat, IpWorkerConfig, SimConfig, SimReport, SimStepper, Simulation,
 };
-pub use fleet::{FleetAggregate, FleetPool, FleetReport, FleetSim};
+pub use fleet::{FleetAggregate, FleetPool, FleetReport, FleetSim, FleetStrategy};
 pub use lease::{Lease, LeaseId, LeaseTable};
 pub use session::{run_region, PoolKind, RegionPool, RegionPoolReport};
 pub use stores::{CosmosLite, KustoLite, RecommendationFile};

@@ -1,0 +1,151 @@
+//! Observability byte-identity: with recording on, a parallel fleet must
+//! export exactly the bytes the serial interleave exports — the rendered
+//! Prometheus text (pool-labeled metric series, including float counter
+//! and histogram accumulation) and the logical-clock event stream in
+//! merged order. Wall-clock span *timings* are inherently nondeterministic
+//! and excluded; span counts, names, and parent structure are compared.
+//!
+//! These tests mutate the process-wide registry/trace, so they serialize
+//! behind one mutex (this file is its own test binary, isolating it from
+//! every other suite's process).
+
+use ip_sim::{FleetPool, FleetSim, FleetStrategy, IpWorkerConfig, SimConfig};
+use ip_timeseries::TimeSeries;
+use std::sync::Mutex;
+
+static GATE: Mutex<()> = Mutex::new(());
+
+fn demand(seed: u64, n: usize) -> TimeSeries {
+    let vals: Vec<f64> = (0..n)
+        .map(|i| {
+            let x = (i as u64).wrapping_mul(2654435761).wrapping_add(seed * 97);
+            f64::from((x % 7) as u32) + if i % 11 == 0 { 4.0 } else { 0.0 }
+        })
+        .collect();
+    TimeSeries::new(30, vals).unwrap()
+}
+
+fn eventful_config(seed: u64) -> SimConfig {
+    SimConfig {
+        default_pool_target: 3,
+        cluster_lifespan_secs: Some(900),
+        cluster_failure_prob_per_hour: 0.4,
+        ip_worker: Some(IpWorkerConfig {
+            run_every_secs: 300,
+            horizon_secs: 600,
+            failing_runs: vec![2],
+        }),
+        pooling_worker_outages: vec![(600, 1200)],
+        seed,
+        ..Default::default()
+    }
+}
+
+fn peak_provider() -> impl FnMut(u64, &TimeSeries, usize) -> Option<Vec<u32>> + Send {
+    let mut runs = 0u32;
+    move |_now, observed: &TimeSeries, horizon| {
+        runs += 1;
+        let peak = observed.values().iter().fold(0.0f64, |a, &b| a.max(b));
+        Some(vec![(peak as u32).min(6) + runs % 2; horizon])
+    }
+}
+
+fn build_fleet(pools: usize, strategy: FleetStrategy) -> FleetSim {
+    let members = (0..pools)
+        .map(|k| {
+            let seed = 3 + k as u64;
+            let n = 48 + (k % 5) * 24;
+            FleetPool::new(
+                format!("pool-{k:02}"),
+                eventful_config(seed),
+                demand(seed, n),
+            )
+            .with_provider(Box::new(peak_provider()))
+        })
+        .collect();
+    FleetSim::new(members).unwrap().with_strategy(strategy)
+}
+
+struct ObsRun {
+    prometheus: String,
+    events: Vec<ip_obs::EventRecord>,
+    span_names: Vec<String>,
+    span_children: Vec<(String, usize)>,
+}
+
+/// Runs a fleet with recording on and drains everything it exported.
+fn observed_run(pools: usize, strategy: FleetStrategy, stride: u64) -> ObsRun {
+    ip_obs::set_enabled(true);
+    ip_obs::reset();
+    let mut fleet = build_fleet(pools, strategy);
+    let end = fleet.end_time();
+    let mut t = 0;
+    while !fleet.is_done() {
+        t = (t + stride).min(end);
+        fleet.step_until(t);
+    }
+    fleet.finalize();
+    let prometheus = ip_obs::export::render_prometheus(ip_obs::global());
+    let trace = ip_obs::take_trace();
+    ip_obs::set_enabled(false);
+    ip_obs::reset();
+    let mut span_names: Vec<String> = trace.spans.iter().map(|s| s.name.clone()).collect();
+    span_names.sort();
+    let mut span_children: Vec<(String, usize)> = trace
+        .spans
+        .iter()
+        .map(|s| (s.name.clone(), trace.children_of(Some(s.id)).len()))
+        .collect();
+    span_children.sort();
+    ObsRun {
+        prometheus,
+        events: trace.events,
+        span_names,
+        span_children,
+    }
+}
+
+#[test]
+fn parallel_obs_bytes_match_serial() {
+    let _g = GATE.lock().unwrap();
+    for pools in [1usize, 3, 16] {
+        let serial = observed_run(pools, FleetStrategy::Serial, u64::MAX);
+        assert!(
+            !serial.events.is_empty() && !serial.prometheus.is_empty(),
+            "the serial baseline must actually record something"
+        );
+        for threads in [2usize, 4, 7] {
+            let par = observed_run(pools, FleetStrategy::Parallel(threads), u64::MAX);
+            assert_eq!(
+                serial.prometheus, par.prometheus,
+                "{pools} pools / {threads} threads: metric bytes"
+            );
+            assert_eq!(
+                serial.events, par.events,
+                "{pools} pools / {threads} threads: event stream"
+            );
+            assert_eq!(
+                serial.span_names, par.span_names,
+                "{pools} pools / {threads} threads: span names"
+            );
+            assert_eq!(
+                serial.span_children, par.span_children,
+                "{pools} pools / {threads} threads: span structure"
+            );
+        }
+    }
+}
+
+#[test]
+fn epoch_pacing_does_not_change_obs_bytes() {
+    let _g = GATE.lock().unwrap();
+    let serial = observed_run(3, FleetStrategy::Serial, u64::MAX);
+    for stride in [137u64, 999] {
+        let par = observed_run(3, FleetStrategy::Parallel(4), stride);
+        assert_eq!(
+            serial.prometheus, par.prometheus,
+            "stride {stride}: metrics"
+        );
+        assert_eq!(serial.events, par.events, "stride {stride}: events");
+    }
+}

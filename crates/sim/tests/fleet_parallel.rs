@@ -1,0 +1,260 @@
+//! The PR-6 contract: the pool-major parallel fleet is bit-identical to
+//! the heap-scheduled serial interleave — reports, interval stats, applied
+//! targets, and the full recommendation-file history — at every worker
+//! count, on fleets of 1, 3, and 16 pools, under coarse and awkward epoch
+//! pacing. Observability byte-identity (metric series and trace events)
+//! lives in `tests/fleet_obs_identity.rs`, which must serialize against
+//! the global sinks; these tests run with recording off and therefore
+//! freely in parallel.
+
+use ip_sim::{
+    FleetPool, FleetSim, FleetStrategy, IpWorkerConfig, RecommendationFile, SimConfig, SimReport,
+    Simulation,
+};
+use ip_timeseries::TimeSeries;
+use proptest::prelude::*;
+
+fn demand(seed: u64, n: usize) -> TimeSeries {
+    let vals: Vec<f64> = (0..n)
+        .map(|i| {
+            let x = (i as u64).wrapping_mul(2654435761).wrapping_add(seed * 97);
+            f64::from((x % 7) as u32) + if i % 11 == 0 { 4.0 } else { 0.0 }
+        })
+        .collect();
+    TimeSeries::new(30, vals).unwrap()
+}
+
+fn eventful_config(seed: u64) -> SimConfig {
+    SimConfig {
+        default_pool_target: 3,
+        cluster_lifespan_secs: Some(900),
+        cluster_failure_prob_per_hour: 0.4,
+        ip_worker: Some(IpWorkerConfig {
+            run_every_secs: 300,
+            horizon_secs: 600,
+            failing_runs: vec![2],
+        }),
+        pooling_worker_outages: vec![(600, 1200)],
+        seed,
+        ..Default::default()
+    }
+}
+
+/// Stateful provider: any divergence in invocation order or observed
+/// telemetry shows up in the recommendation files.
+fn peak_provider() -> impl FnMut(u64, &TimeSeries, usize) -> Option<Vec<u32>> + Send {
+    let mut runs = 0u32;
+    move |_now, observed: &TimeSeries, horizon| {
+        runs += 1;
+        let peak = observed.values().iter().fold(0.0f64, |a, &b| a.max(b));
+        Some(vec![(peak as u32).min(6) + runs % 2; horizon])
+    }
+}
+
+fn assert_reports_identical(a: &SimReport, b: &SimReport, ctx: &str) {
+    assert_eq!(a.total_requests, b.total_requests, "{ctx}: requests");
+    assert_eq!(a.hits, b.hits, "{ctx}: hits");
+    assert_eq!(a.misses, b.misses, "{ctx}: misses");
+    assert_eq!(a.total_wait_secs, b.total_wait_secs, "{ctx}: wait");
+    assert_eq!(
+        a.idle_cluster_seconds, b.idle_cluster_seconds,
+        "{ctx}: idle"
+    );
+    assert_eq!(
+        a.provisioning_cluster_seconds, b.provisioning_cluster_seconds,
+        "{ctx}: provisioning"
+    );
+    assert_eq!(a.clusters_created, b.clusters_created, "{ctx}: created");
+    assert_eq!(a.on_demand_created, b.on_demand_created, "{ctx}: od");
+    assert_eq!(a.expired, b.expired, "{ctx}: expired");
+    assert_eq!(a.ip_runs, b.ip_runs, "{ctx}: ip_runs");
+    assert_eq!(a.ip_failures, b.ip_failures, "{ctx}: ip_failures");
+    assert_eq!(
+        a.fallback_intervals, b.fallback_intervals,
+        "{ctx}: fallback"
+    );
+    assert_eq!(
+        a.worker_replacements, b.worker_replacements,
+        "{ctx}: replacements"
+    );
+    assert_eq!(
+        a.applied_target_timeline, b.applied_target_timeline,
+        "{ctx}: targets"
+    );
+    assert_eq!(a.interval_stats, b.interval_stats, "{ctx}: interval stats");
+    assert_eq!(
+        a.config_store
+            .get_all::<RecommendationFile>("pool-recommendation"),
+        b.config_store
+            .get_all::<RecommendationFile>("pool-recommendation"),
+        "{ctx}: recommendation files"
+    );
+}
+
+fn build_fleet(pools: usize, strategy: FleetStrategy) -> FleetSim {
+    let members = (0..pools)
+        .map(|k| {
+            let seed = 3 + k as u64;
+            let n = 48 + (k % 5) * 24;
+            FleetPool::new(
+                format!("pool-{k:02}"),
+                eventful_config(seed),
+                demand(seed, n),
+            )
+            .with_provider(Box::new(peak_provider()))
+        })
+        .collect();
+    FleetSim::new(members).unwrap().with_strategy(strategy)
+}
+
+fn run_with_stride(mut fleet: FleetSim, stride: u64) -> Vec<(String, SimReport)> {
+    let end = fleet.end_time();
+    let mut t = 0;
+    while !fleet.is_done() {
+        t = (t + stride).min(end);
+        fleet.step_until(t);
+    }
+    fleet
+        .finalize()
+        .pools
+        .into_iter()
+        .map(|(id, r)| (id.as_str().to_string(), r))
+        .collect()
+}
+
+#[test]
+fn parallel_matches_serial_at_every_worker_count() {
+    for pools in [1usize, 3, 16] {
+        let serial = run_with_stride(build_fleet(pools, FleetStrategy::Serial), u64::MAX);
+        for threads in [1usize, 2, 4, 7] {
+            let par = run_with_stride(
+                build_fleet(pools, FleetStrategy::Parallel(threads)),
+                u64::MAX,
+            );
+            assert_eq!(serial.len(), par.len());
+            for ((ida, a), (idb, b)) in serial.iter().zip(par.iter()) {
+                assert_eq!(ida, idb);
+                assert_reports_identical(a, b, &format!("{pools} pools / {threads} threads"));
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_epoch_pacing_is_invisible() {
+    // Serial one-shot vs parallel epochs at awkward strides: every epoch
+    // boundary forces a buffer fold mid-run, none of which may leak into
+    // the reports.
+    let serial = run_with_stride(build_fleet(3, FleetStrategy::Serial), u64::MAX);
+    for stride in [41u64, 137, 999] {
+        let par = run_with_stride(build_fleet(3, FleetStrategy::Parallel(4)), stride);
+        for ((ida, a), (idb, b)) in serial.iter().zip(par.iter()) {
+            assert_eq!(ida, idb);
+            assert_reports_identical(a, b, &format!("stride {stride}"));
+        }
+    }
+}
+
+#[test]
+fn parallel_fleet_of_one_matches_simulation_run() {
+    let d = demand(5, 96);
+    let cfg = eventful_config(9);
+    let mut solo_provider = peak_provider();
+    let solo = Simulation::new(cfg.clone(), Some(&mut solo_provider))
+        .run(&d)
+        .unwrap();
+
+    let pool = FleetPool::new("only", cfg, d).with_provider(Box::new(peak_provider()));
+    let mut fleet = FleetSim::new(vec![pool])
+        .unwrap()
+        .with_strategy(FleetStrategy::Parallel(4));
+    fleet.run_to_end();
+    let report = fleet.finalize();
+    assert_reports_identical(&report.pools[0].1, &solo, "parallel fleet-of-one");
+}
+
+#[test]
+fn serial_resumes_correctly_after_parallel_epochs() {
+    // Mixed pacing: parallel epochs leave the serial heap stale; lazy
+    // deletion must self-heal when the strategy flips mid-run.
+    let serial = run_with_stride(build_fleet(5, FleetStrategy::Serial), u64::MAX);
+    let mut fleet = build_fleet(5, FleetStrategy::Parallel(4));
+    let end = fleet.end_time();
+    let mut t = 0;
+    let mut flip = false;
+    while !fleet.is_done() {
+        t = (t + 251).min(end);
+        fleet.set_strategy(if flip {
+            FleetStrategy::Serial
+        } else {
+            FleetStrategy::Parallel(4)
+        });
+        flip = !flip;
+        fleet.step_until(t);
+    }
+    let mixed: Vec<_> = fleet
+        .finalize()
+        .pools
+        .into_iter()
+        .map(|(id, r)| (id.as_str().to_string(), r))
+        .collect();
+    for ((ida, a), (idb, b)) in serial.iter().zip(mixed.iter()) {
+        assert_eq!(ida, idb);
+        assert_reports_identical(a, b, "mixed strategy");
+    }
+}
+
+#[test]
+fn shared_metric_labels_are_rejected() {
+    // Two unlabeled pools would alias every unlabeled series; the fleet
+    // must refuse rather than let a parallel fold reorder a shared series.
+    let a = FleetPool::anonymous(SimConfig::default(), demand(1, 16));
+    let cfg = SimConfig {
+        seed: 9,
+        ..Default::default()
+    };
+    let mut b = FleetPool::anonymous(cfg, demand(2, 16));
+    b.id = ip_sim::PoolId::new("other");
+    let err = FleetSim::new(vec![a, b]).err().unwrap();
+    assert!(err.to_string().contains("share the metric label"), "{err}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Merge-order stability over random fleet specs: whatever the pool
+    /// mix (count, seeds, trace lengths, providers-or-not), the parallel
+    /// epochs reproduce the serial interleave bit for bit.
+    #[test]
+    fn random_fleets_are_strategy_independent(
+        specs in proptest::collection::vec((0u64..40, 12usize..72, 0u8..2), 1..6),
+        threads in 2usize..8,
+        stride in 100u64..2000,
+    ) {
+        let build = |strategy: FleetStrategy| {
+            let pools = specs
+                .iter()
+                .enumerate()
+                .map(|(k, &(seed, n, with_provider))| {
+                    let p = FleetPool::new(
+                        format!("p{k}"),
+                        eventful_config(seed),
+                        demand(seed, n),
+                    );
+                    if with_provider == 1 {
+                        p.with_provider(Box::new(peak_provider()))
+                    } else {
+                        p
+                    }
+                })
+                .collect();
+            FleetSim::new(pools).unwrap().with_strategy(strategy)
+        };
+        let serial = run_with_stride(build(FleetStrategy::Serial), u64::MAX);
+        let par = run_with_stride(build(FleetStrategy::Parallel(threads)), stride);
+        for ((ida, a), (idb, b)) in serial.iter().zip(par.iter()) {
+            prop_assert_eq!(ida, idb);
+            assert_reports_identical(a, b, ida);
+        }
+    }
+}
