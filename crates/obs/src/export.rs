@@ -13,19 +13,41 @@ use std::fmt::Write as _;
 /// format (v0.0.4): `# HELP`/`# TYPE` headers, label sets, histograms
 /// expanded into cumulative `_bucket{le=…}` samples plus `_sum` and
 /// `_count`.
+///
+/// The registry is lock-sharded; [`Registry::snapshot`] merges the shards
+/// back into full key order before any byte is written, so rendered output
+/// is deterministic (and identical to a single-map registry) no matter how
+/// series hash across shards. Rendering itself holds **no** registry lock
+/// — the snapshot is taken shard by shard up front and formatted after,
+/// so a slow scrape reader never stalls hot-path writers.
 pub fn render_prometheus(registry: &Registry) -> String {
-    let helps: std::collections::BTreeMap<String, String> =
-        registry.help_snapshot().into_iter().collect();
-    let mut out = String::new();
+    render_snapshot(&registry.snapshot(), &registry.help_snapshot())
+}
+
+/// Renders an already-taken snapshot (key-ordered, as
+/// [`Registry::snapshot`] returns) with the given `(family, help)` pairs.
+/// Split out of [`render_prometheus`] so callers holding a snapshot —
+/// bench reporters, merge pipelines — can format without re-locking.
+pub fn render_snapshot(
+    snapshot: &[(crate::metrics::SeriesKey, MetricValue)],
+    help_pairs: &[(String, String)],
+) -> String {
+    let helps: std::collections::BTreeMap<&str, &str> = help_pairs
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.as_str()))
+        .collect();
+    // ~96 bytes/sample line is the observed steady state; preallocating
+    // keeps a large scrape from repeatedly doubling the buffer.
+    let mut out = String::with_capacity(128 + snapshot.len() * 96);
     let mut last_family = String::new();
-    for (key, value) in registry.snapshot() {
+    for (key, value) in snapshot {
         if key.name != last_family {
             let kind = match &value {
                 MetricValue::Counter(_) => "counter",
                 MetricValue::Gauge(_) => "gauge",
                 MetricValue::Histogram(_) => "histogram",
             };
-            if let Some(help) = helps.get(&key.name) {
+            if let Some(help) = helps.get(key.name.as_str()) {
                 let _ = writeln!(out, "# HELP {} {}", key.name, escape_help(help));
             }
             let _ = writeln!(out, "# TYPE {} {kind}", key.name);
@@ -38,7 +60,7 @@ pub fn render_prometheus(registry: &Registry) -> String {
                     "{}{} {}",
                     key.name,
                     format_labels(&key.labels, None),
-                    format_value(v)
+                    format_value(*v)
                 );
             }
             MetricValue::Histogram(h) => {

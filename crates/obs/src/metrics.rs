@@ -1,14 +1,51 @@
 //! The metric registry: counters, gauges, and fixed-bucket mergeable
 //! histograms, all addressed by `(name, sorted labels)`.
 //!
-//! The registry is a `Mutex<BTreeMap>` — metric updates are stage-level
-//! (per interval, per training step, per solve), not per-element, so a
-//! straightforward lock beats sharded atomics on simplicity and is nowhere
-//! near contention at the workspace's update rates. The `BTreeMap` keeps
-//! every snapshot and export deterministically ordered.
+//! The registry is **lock-sharded**: series are distributed over
+//! [`SHARD_COUNT`] independent `Mutex<BTreeMap>` shards by an FNV-1a hash
+//! of the series key, so hot-path updates from concurrent threads (the
+//! daemon's HTTP workers, the controller tick, `/metrics` scrapes) only
+//! contend when they touch the *same* shard. A full-registry `/metrics`
+//! scrape locks shards one at a time — never all at once — so a scrape in
+//! flight stalls at most one shard's writers for one clone.
+//!
+//! Determinism is unchanged: one series always lives on one shard, so its
+//! f64 accumulation order is exactly the caller's op order, and
+//! [`Registry::snapshot`] merges the shard maps back into one key-ordered
+//! sequence — rendered Prometheus bytes are identical to the pre-sharding
+//! single-map registry.
 
 use std::collections::BTreeMap;
 use std::sync::Mutex;
+
+/// Number of registry shards. A power of two comfortably above the
+/// daemon's worker-thread count; at the workspace's series cardinality
+/// (tens to a few hundred) the per-shard maps stay tiny.
+pub const SHARD_COUNT: usize = 16;
+
+/// FNV-1a over the canonical series identity (name + *sorted* label
+/// pairs), the same hash family the workload layer uses for pool seeds.
+/// Hashing the [`SeriesKey`] — not the caller's raw label slice — keeps
+/// label order irrelevant to shard placement.
+fn shard_index(key: &SeriesKey) -> usize {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |bytes: &[u8]| {
+        for &b in bytes {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+        h ^= 0xff; // separator so ("ab","c") and ("a","bc") differ
+        h = h.wrapping_mul(PRIME);
+    };
+    eat(key.name.as_bytes());
+    for (k, v) in &key.labels {
+        eat(k.as_bytes());
+        eat(v.as_bytes());
+    }
+    (h % SHARD_COUNT as u64) as usize
+}
 
 /// Default histogram bucket upper bounds (seconds-flavoured, log-spaced).
 pub const DEFAULT_BUCKETS: [f64; 11] = [
@@ -121,18 +158,41 @@ pub enum MetricValue {
     Histogram(Histogram),
 }
 
-/// Thread-safe metric store.
-#[derive(Debug, Default)]
+/// Thread-safe metric store, lock-sharded by series-key hash (see the
+/// module docs for the determinism argument).
+#[derive(Debug)]
 pub struct Registry {
-    inner: Mutex<BTreeMap<SeriesKey, MetricValue>>,
-    /// `# HELP` text per metric family name.
+    shards: Vec<Mutex<BTreeMap<SeriesKey, MetricValue>>>,
+    /// `# HELP` text per metric family name. Described once at startup and
+    /// read only at render time, so one lock is plenty.
     helps: Mutex<BTreeMap<String, String>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self {
+            shards: (0..SHARD_COUNT)
+                .map(|_| Mutex::new(BTreeMap::new()))
+                .collect(),
+            helps: Mutex::new(BTreeMap::new()),
+        }
+    }
 }
 
 impl Registry {
     /// An empty registry.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The shard holding `key`, locked.
+    fn shard(
+        &self,
+        key: &SeriesKey,
+    ) -> std::sync::MutexGuard<'_, BTreeMap<SeriesKey, MetricValue>> {
+        self.shards[shard_index(key)]
+            .lock()
+            .expect("obs registry poisoned")
     }
 
     /// Attaches `# HELP` text to a metric family (rendered by the
@@ -157,7 +217,7 @@ impl Registry {
     /// Adds `v` to the named counter, creating it at zero first.
     pub fn counter_add(&self, name: &str, labels: &[(&str, &str)], v: f64) {
         let key = SeriesKey::new(name, labels);
-        let mut map = self.inner.lock().expect("obs registry poisoned");
+        let mut map = self.shard(&key);
         match map.entry(key).or_insert(MetricValue::Counter(0.0)) {
             MetricValue::Counter(c) => *c += v,
             other => debug_assert!(false, "{name}: counter_add on {other:?}"),
@@ -167,7 +227,7 @@ impl Registry {
     /// Sets the named gauge.
     pub fn gauge_set(&self, name: &str, labels: &[(&str, &str)], v: f64) {
         let key = SeriesKey::new(name, labels);
-        let mut map = self.inner.lock().expect("obs registry poisoned");
+        let mut map = self.shard(&key);
         match map.entry(key).or_insert(MetricValue::Gauge(v)) {
             MetricValue::Gauge(g) => *g = v,
             other => debug_assert!(false, "{name}: gauge_set on {other:?}"),
@@ -178,7 +238,7 @@ impl Registry {
     /// use (later calls keep the original bounds).
     pub fn observe_with(&self, name: &str, labels: &[(&str, &str)], bounds: &[f64], v: f64) {
         let key = SeriesKey::new(name, labels);
-        let mut map = self.inner.lock().expect("obs registry poisoned");
+        let mut map = self.shard(&key);
         match map
             .entry(key)
             .or_insert_with(|| MetricValue::Histogram(Histogram::new(bounds)))
@@ -192,19 +252,25 @@ impl Registry {
     /// the family even before the first observation).
     pub fn declare_histogram(&self, name: &str, labels: &[(&str, &str)], bounds: &[f64]) {
         let key = SeriesKey::new(name, labels);
-        let mut map = self.inner.lock().expect("obs registry poisoned");
+        let mut map = self.shard(&key);
         map.entry(key)
             .or_insert_with(|| MetricValue::Histogram(Histogram::new(bounds)));
     }
 
-    /// A deterministic (key-ordered) copy of every series.
+    /// A deterministic (key-ordered) copy of every series: shard maps are
+    /// cloned one lock at a time and merged back into full key order, so
+    /// the result is byte-for-byte what a single-map registry would
+    /// produce. Each shard is internally consistent; a write landing on a
+    /// not-yet-visited shard during a concurrent scrape simply appears (or
+    /// not) whole — exactly the point-in-time semantics scrapes need.
     pub fn snapshot(&self) -> Vec<(SeriesKey, MetricValue)> {
-        self.inner
-            .lock()
-            .expect("obs registry poisoned")
-            .iter()
-            .map(|(k, v)| (k.clone(), v.clone()))
-            .collect()
+        let mut all: Vec<(SeriesKey, MetricValue)> = Vec::new();
+        for shard in &self.shards {
+            let map = shard.lock().expect("obs registry poisoned");
+            all.extend(map.iter().map(|(k, v)| (k.clone(), v.clone())));
+        }
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        all
     }
 
     /// Merges a snapshot (e.g. from another registry or process) into this
@@ -213,8 +279,8 @@ impl Registry {
     /// the returned value.
     pub fn merge_from(&self, snapshot: &[(SeriesKey, MetricValue)]) -> usize {
         let mut skipped = 0usize;
-        let mut map = self.inner.lock().expect("obs registry poisoned");
         for (key, value) in snapshot {
+            let mut map = self.shard(key);
             match map.get_mut(key) {
                 None => {
                     map.insert(key.clone(), value.clone());
@@ -236,7 +302,9 @@ impl Registry {
 
     /// Removes every series and help entry.
     pub fn clear(&self) {
-        self.inner.lock().expect("obs registry poisoned").clear();
+        for shard in &self.shards {
+            shard.lock().expect("obs registry poisoned").clear();
+        }
         self.helps.lock().expect("obs registry poisoned").clear();
     }
 }
@@ -297,6 +365,81 @@ mod tests {
         assert_eq!(a.count, 3);
         let bad = Histogram::new(&[2.0]);
         assert!(a.merge(&bad).is_err());
+    }
+
+    #[test]
+    fn sharded_snapshot_is_globally_key_ordered() {
+        // Many series scattered across shards must come back in exactly
+        // the order a single BTreeMap would produce — the Prometheus
+        // byte-identity contract hangs on this.
+        let reg = Registry::new();
+        for i in (0..100).rev() {
+            reg.counter_add(
+                &format!("m{i:03}_total"),
+                &[("pool", &format!("p{i}"))],
+                1.0,
+            );
+        }
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 100);
+        let mut sorted = snap.clone();
+        sorted.sort_by(|a, b| a.0.cmp(&b.0));
+        assert!(snap
+            .iter()
+            .map(|(k, _)| k)
+            .eq(sorted.iter().map(|(k, _)| k)));
+    }
+
+    #[test]
+    fn shard_placement_ignores_label_order() {
+        // The same series addressed with labels in either order must land
+        // on the same shard (and therefore accumulate into one entry).
+        let reg = Registry::new();
+        reg.counter_add("c_total", &[("b", "2"), ("a", "1"), ("z", "9")], 1.0);
+        reg.counter_add("c_total", &[("z", "9"), ("a", "1"), ("b", "2")], 2.0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.len(), 1);
+        assert_eq!(snap[0].1, MetricValue::Counter(3.0));
+    }
+
+    #[test]
+    fn concurrent_writers_and_scrapers_never_lose_updates() {
+        use std::sync::Arc;
+        let reg = Arc::new(Registry::new());
+        let writers: Vec<_> = (0..4)
+            .map(|w| {
+                let reg = Arc::clone(&reg);
+                std::thread::spawn(move || {
+                    for i in 0..500 {
+                        reg.counter_add("hot_total", &[("w", &w.to_string())], 1.0);
+                        if i % 50 == 0 {
+                            reg.observe_with("lat_seconds", &[], &[1.0], 0.5);
+                        }
+                    }
+                })
+            })
+            .collect();
+        let scraper = {
+            let reg = Arc::clone(&reg);
+            std::thread::spawn(move || {
+                for _ in 0..50 {
+                    let _ = reg.snapshot();
+                }
+            })
+        };
+        for w in writers {
+            w.join().unwrap();
+        }
+        scraper.join().unwrap();
+        let total: f64 = reg
+            .snapshot()
+            .iter()
+            .filter_map(|(k, v)| match v {
+                MetricValue::Counter(c) if k.name == "hot_total" => Some(*c),
+                _ => None,
+            })
+            .sum();
+        assert_eq!(total, 2_000.0);
     }
 
     #[test]

@@ -366,12 +366,13 @@ impl Controller {
         self.leases.lapsed_total
     }
 
-    /// Injects `count` arrivals into pool `i`'s replay. The arrivals land
-    /// on `interval` if given (clamped up to the earliest still-unprocessed
-    /// interval — the past is immutable), else on the earliest injectable
-    /// interval. Returns the interval index they landed on.
-    pub fn inject(
-        &mut self,
+    /// Validates one injection against the current frontier without
+    /// mutating anything, returning the interval it would land on. The
+    /// frontier cannot move while the controller lock is held, so a batch
+    /// validated entry-by-entry through this method stays valid until the
+    /// lock is released.
+    fn validate_injection(
+        &self,
         i: usize,
         count: u64,
         interval: Option<usize>,
@@ -401,15 +402,52 @@ impl Controller {
                 "interval {idx} is beyond the trace end ({total} intervals)"
             )));
         }
-        let fleet = self.fleet.as_mut().expect("checked above");
-        fleet.demand_mut(i).values_mut()[idx] += count as f64;
-        self.pools[i].injected += count;
-        ip_obs::counter_add(
-            "ip_serve_injected_requests_total",
-            &self.pools[i].obs_labels(),
-            count as f64,
-        );
         Ok(idx)
+    }
+
+    /// Injects a whole batch of `(pool index, count, interval)` entries in
+    /// one deterministic placement pass: **every** entry is validated
+    /// against the (lock-stable) frontier first, then all are applied in
+    /// order — so a batch either lands completely or not at all, and N
+    /// entries behave exactly like N sequential [`Controller::inject`]
+    /// calls under one lock hold (same demand mutations, same per-entry
+    /// metric increments in the same order). Returns the landing interval
+    /// of each entry.
+    pub fn inject_batch(
+        &mut self,
+        items: &[(usize, u64, Option<usize>)],
+    ) -> Result<Vec<usize>, ControlError> {
+        if items.is_empty() {
+            return Err(ControlError::bad_request("empty injection batch"));
+        }
+        let mut landings = Vec::with_capacity(items.len());
+        for &(i, count, interval) in items {
+            landings.push(self.validate_injection(i, count, interval)?);
+        }
+        let fleet = self.fleet.as_mut().expect("validated as not-done above");
+        for (&(i, count, _), &idx) in items.iter().zip(&landings) {
+            fleet.demand_mut(i).values_mut()[idx] += count as f64;
+            self.pools[i].injected += count;
+            ip_obs::counter_add(
+                "ip_serve_injected_requests_total",
+                &self.pools[i].obs_labels(),
+                count as f64,
+            );
+        }
+        Ok(landings)
+    }
+
+    /// Injects `count` arrivals into pool `i`'s replay. The arrivals land
+    /// on `interval` if given (clamped up to the earliest still-unprocessed
+    /// interval — the past is immutable), else on the earliest injectable
+    /// interval. Returns the interval index they landed on.
+    pub fn inject(
+        &mut self,
+        i: usize,
+        count: u64,
+        interval: Option<usize>,
+    ) -> Result<usize, ControlError> {
+        Ok(self.inject_batch(&[(i, count, interval)])?[0])
     }
 
     /// Swaps pool `i`'s recommendation pipeline (model name + `α'`) for
@@ -496,12 +534,18 @@ impl Controller {
     }
 
     /// The `/pools` document: every pool's identity and live settings.
-    pub fn pools_json(&self) -> Result<String, String> {
-        let body = Content::Map(vec![(
+    /// Building the [`Content`] tree is the only part that needs the
+    /// controller lock; serialization happens on the caller's time.
+    pub fn pools_doc(&self) -> Content {
+        Content::Map(vec![(
             "pools".to_string(),
             Content::Seq((0..self.pools.len()).map(|i| self.pool_entry(i)).collect()),
-        )]);
-        serde_json::to_string(&body).map_err(|e| format!("pools document: {e:?}"))
+        )])
+    }
+
+    /// [`Controller::pools_doc`] serialized to a JSON string.
+    pub fn pools_json(&self) -> Result<String, String> {
+        serde_json::to_string(&self.pools_doc()).map_err(|e| format!("pools document: {e:?}"))
     }
 
     fn pool_entry(&self, i: usize) -> Content {
@@ -541,12 +585,14 @@ impl Controller {
         ])
     }
 
-    /// The `/status` document as a JSON string. Single-pool daemons keep
-    /// every pre-fleet field with its pre-fleet meaning; fleets aggregate
-    /// (summed counters, min watermark, max end time, merged metrics) and
-    /// report `model`/`alpha` as `null` — per-pool values live in the
-    /// `pools` array either way.
-    pub fn status_json(&self, state: &str) -> Result<String, String> {
+    /// The `/status` document. Single-pool daemons keep every pre-fleet
+    /// field with its pre-fleet meaning; fleets aggregate (summed counters,
+    /// min watermark, max end time, merged metrics) and report
+    /// `model`/`alpha` as `null` — per-pool values live in the `pools`
+    /// array either way. Building the [`Content`] tree is the only part
+    /// that needs the controller lock; serialization happens on the
+    /// caller's time.
+    pub fn status_doc(&self, state: &str) -> Content {
         let lease = match self.leases.get(self.lease_id) {
             Some(l) => Content::Map(vec![
                 ("holder".to_string(), Content::Str("controller".into())),
@@ -567,7 +613,7 @@ impl Controller {
             Content::Null
         };
         let merged = merge_snapshots(&self.snapshots);
-        let body = Content::Map(vec![
+        Content::Map(vec![
             ("state".to_string(), Content::Str(state.to_string())),
             ("logical_time".to_string(), Content::U64(self.watermark())),
             ("end_time".to_string(), Content::U64(self.end_time)),
@@ -601,8 +647,13 @@ impl Controller {
                 "pools".to_string(),
                 Content::Seq((0..self.pools.len()).map(|i| self.pool_entry(i)).collect()),
             ),
-        ]);
-        serde_json::to_string(&body).map_err(|e| format!("status document: {e:?}"))
+        ])
+    }
+
+    /// [`Controller::status_doc`] serialized to a JSON string.
+    pub fn status_json(&self, state: &str) -> Result<String, String> {
+        serde_json::to_string(&self.status_doc(state))
+            .map_err(|e| format!("status document: {e:?}"))
     }
 }
 

@@ -11,7 +11,14 @@
 //!    worker lease, and refreshing a live dashboard snapshot + alert set
 //!    each tick.
 //! 2. A **hand-rolled HTTP/1.1 control plane** over `std::net` (no async
-//!    runtime): a non-blocking accept loop feeding a small worker pool.
+//!    runtime): a non-blocking accept loop round-robining persistent
+//!    (keep-alive) connections across per-worker queues. Each worker owns
+//!    a queue shard; siblings steal from it when theirs is empty, so
+//!    handoff never contends on one lock. Idle keep-alive connections are
+//!    parked back on the queue instead of pinning a worker thread.
+//!    `POST /requests` accepts a JSON **array** body that is validated
+//!    entry-by-entry lock-free and then applied under a single controller
+//!    lock acquisition ([`Controller::inject_batch`]).
 //!
 //! | Endpoint         | Method | Purpose                                     |
 //! |------------------|--------|---------------------------------------------|
@@ -41,7 +48,7 @@
 #![warn(missing_docs)]
 
 use std::collections::VecDeque;
-use std::net::{TcpListener, TcpStream};
+use std::net::TcpListener;
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -57,7 +64,13 @@ mod controller;
 pub mod http;
 
 pub use controller::{build_provider, ControlError, Controller, PoolServeConfig};
-use http::{read_request, write_response, Request, Response};
+use http::{Connection, ReadOutcome, Request, Response};
+
+/// How long a worker sits on a quiet keep-alive connection per
+/// `read_next` call before re-checking the daemon phase and its queue —
+/// short slices keep drain responsive and let idle connections yield the
+/// worker to queued work.
+const IDLE_SLICE: Duration = Duration::from_millis(50);
 
 /// Daemon lifecycle phase, stored in an [`AtomicU8`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
@@ -124,6 +137,13 @@ pub struct ServeConfig {
     pub port: u16,
     /// Alert rules evaluated against each tick's merged snapshot.
     pub alert_rules: Vec<AlertRule>,
+    /// HTTP worker threads (each owns one queue shard). `0` sizes
+    /// automatically from `IP_THREADS`/the host, clamped to 2–4.
+    pub workers: usize,
+    /// Allow persistent connections. `false` forces `Connection: close`
+    /// on every response (the pre-PR-7 transport; kept as the bench
+    /// baseline and an operational escape hatch).
+    pub keep_alive: bool,
 }
 
 impl ServeConfig {
@@ -140,6 +160,8 @@ impl ServeConfig {
             speedup: 1.0,
             port: 0,
             alert_rules: default_alert_rules(),
+            workers: 0,
+            keep_alive: true,
         }
     }
 
@@ -185,12 +207,30 @@ pub struct ServeOutcome {
     pub lapsed_leases: u64,
 }
 
+/// A connection waiting for (or parked between) requests, plus the
+/// wall-clock moment it stops being worth keeping open.
+struct PendingConn {
+    conn: Connection,
+    idle_deadline: Instant,
+}
+
+/// One worker's slice of the connection queue. The accept loop
+/// round-robins new connections across shards and each worker drains its
+/// own shard first, so handoff of concurrent connections never meets on a
+/// single lock; stealing from sibling shards keeps a burst on one shard
+/// from idling the other workers.
+#[derive(Default)]
+struct Shard {
+    queue: Mutex<VecDeque<PendingConn>>,
+    available: Condvar,
+}
+
 /// State shared by the controller, accept, and worker threads.
 struct Inner {
     phase: AtomicU8,
     ctl: Mutex<Controller>,
-    queue: Mutex<VecDeque<TcpStream>>,
-    available: Condvar,
+    shards: Vec<Shard>,
+    keep_alive: bool,
     alert_rules: Vec<AlertRule>,
     speedup: f64,
     interval_secs: u64,
@@ -216,9 +256,15 @@ impl Inner {
                 return;
             }
             if self.transition(cur, Phase::Draining) {
-                self.available.notify_all();
+                self.wake_all_workers();
                 return;
             }
+        }
+    }
+
+    fn wake_all_workers(&self) {
+        for shard in &self.shards {
+            shard.available.notify_all();
         }
     }
 }
@@ -247,6 +293,8 @@ impl Daemon {
             speedup,
             port,
             alert_rules,
+            workers: worker_config,
+            keep_alive,
         } = config;
         if !(speedup.is_finite() && speedup > 0.0) {
             return Err(format!(
@@ -294,24 +342,27 @@ impl Daemon {
             .set_nonblocking(true)
             .map_err(|e| format!("set_nonblocking: {e}"))?;
 
+        let worker_count = match worker_config {
+            0 => ip_par::num_threads().clamp(2, 4),
+            n => n.min(64),
+        };
         let inner = Arc::new(Inner {
             phase: AtomicU8::new(Phase::Starting as u8),
             ctl: Mutex::new(ctl),
-            queue: Mutex::new(VecDeque::new()),
-            available: Condvar::new(),
+            shards: (0..worker_count).map(|_| Shard::default()).collect(),
+            keep_alive,
             alert_rules,
             speedup,
             interval_secs,
         });
 
-        let worker_count = ip_par::num_threads().clamp(2, 4);
         let mut workers = Vec::with_capacity(worker_count);
         for i in 0..worker_count {
             let inner = Arc::clone(&inner);
             workers.push(
                 std::thread::Builder::new()
                     .name(format!("ip-serve-http-{i}"))
-                    .spawn(move || worker_loop(&inner))
+                    .spawn(move || worker_loop(&inner, i))
                     .map_err(|e| format!("spawn worker: {e}"))?,
             );
         }
@@ -363,7 +414,7 @@ impl Daemon {
         // The acceptor only exits on drain; it is the natural "daemon is
         // done" signal.
         let _ = acceptor.join();
-        inner.available.notify_all();
+        inner.wake_all_workers();
         for w in workers {
             let _ = w.join();
         }
@@ -470,16 +521,25 @@ fn controller_loop(inner: &Inner) {
 }
 
 fn accept_loop(listener: &TcpListener, inner: &Inner) {
+    // Round-robin handoff: each accepted connection goes to the next
+    // shard, so concurrent accepts never pile onto one queue lock.
+    let mut next = 0usize;
     loop {
         if inner.phase() >= Phase::Draining {
             break;
         }
         match listener.accept() {
             Ok((stream, _)) => {
-                let mut queue = inner.queue.lock().expect("queue poisoned");
-                queue.push_back(stream);
+                let shard = &inner.shards[next % inner.shards.len()];
+                next = next.wrapping_add(1);
+                let pending = PendingConn {
+                    conn: Connection::new(stream),
+                    idle_deadline: Instant::now() + http::IDLE_TIMEOUT,
+                };
+                let mut queue = shard.queue.lock().expect("shard poisoned");
+                queue.push_back(pending);
                 drop(queue);
-                inner.available.notify_one();
+                shard.available.notify_one();
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(10));
@@ -487,39 +547,94 @@ fn accept_loop(listener: &TcpListener, inner: &Inner) {
             Err(_) => std::thread::sleep(Duration::from_millis(10)),
         }
     }
-    inner.available.notify_all();
+    inner.wake_all_workers();
 }
 
-fn worker_loop(inner: &Inner) {
+/// Pops the next pending connection for worker `me`: own shard first,
+/// then steal from siblings, then park on the own shard's condvar.
+/// `None` once the daemon drains.
+fn next_conn(inner: &Inner, me: usize) -> Option<PendingConn> {
+    let n = inner.shards.len();
     loop {
-        let conn = {
-            let mut queue = inner.queue.lock().expect("queue poisoned");
-            loop {
-                if let Some(conn) = queue.pop_front() {
-                    break Some(conn);
-                }
-                if inner.phase() >= Phase::Draining {
-                    break None;
-                }
-                let (q, _) = inner
-                    .available
-                    .wait_timeout(queue, Duration::from_millis(50))
-                    .expect("queue poisoned");
-                queue = q;
+        {
+            let mut queue = inner.shards[me].queue.lock().expect("shard poisoned");
+            if let Some(pending) = queue.pop_front() {
+                return Some(pending);
             }
-        };
-        let Some(mut conn) = conn else { break };
-        let response = match read_request(&mut conn) {
-            Ok(request) => {
+        }
+        for k in 1..n {
+            let mut queue = inner.shards[(me + k) % n]
+                .queue
+                .lock()
+                .expect("shard poisoned");
+            if let Some(pending) = queue.pop_front() {
+                return Some(pending);
+            }
+        }
+        if inner.phase() >= Phase::Draining {
+            return None;
+        }
+        let queue = inner.shards[me].queue.lock().expect("shard poisoned");
+        let (mut queue, _) = inner.shards[me]
+            .available
+            .wait_timeout(queue, Duration::from_millis(50))
+            .expect("shard poisoned");
+        if let Some(pending) = queue.pop_front() {
+            return Some(pending);
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner, me: usize) {
+    while let Some(pending) = next_conn(inner, me) {
+        serve_connection(inner, me, pending);
+    }
+}
+
+/// Serves requests off one connection until it closes, errors, exhausts
+/// its idle deadline, or yields the worker (an idle connection is parked
+/// back on the shard whenever other connections are waiting, so a quiet
+/// keep-alive client never pins a worker thread).
+fn serve_connection(inner: &Inner, me: usize, mut pending: PendingConn) {
+    loop {
+        if inner.phase() >= Phase::Draining {
+            return;
+        }
+        match pending.conn.read_next(IDLE_SLICE) {
+            Ok(ReadOutcome::Request(request)) => {
                 ip_obs::counter_inc(
                     "ip_serve_http_requests_total",
                     &[("path", &request.path), ("method", &request.method)],
                 );
-                route(inner, &request)
+                let keep = request.keep_alive && inner.keep_alive;
+                let response = route(inner, &request);
+                if pending.conn.respond(&response, keep).is_err() || !keep {
+                    return;
+                }
+                pending.idle_deadline = Instant::now() + http::IDLE_TIMEOUT;
             }
-            Err(e) => Response::json_error(e.status(), &e.to_string()),
-        };
-        let _ = write_response(&mut conn, &response);
+            Ok(ReadOutcome::IdleClosed) => {
+                if Instant::now() >= pending.idle_deadline {
+                    return; // idle timeout: close quietly, not an error
+                }
+                // If other connections wait on this worker's shard, park
+                // the idle one at the back instead of burning the slot.
+                let mut queue = inner.shards[me].queue.lock().expect("shard poisoned");
+                if !queue.is_empty() {
+                    queue.push_back(pending);
+                    drop(queue);
+                    inner.shards[me].available.notify_one();
+                    return;
+                }
+            }
+            Ok(ReadOutcome::Eof) => return,
+            Err(e) => {
+                let _ = pending
+                    .conn
+                    .respond(&Response::json_error(e.status(), &e.to_string()), false);
+                return;
+            }
+        }
     }
 }
 
@@ -533,17 +648,25 @@ fn route(inner: &Inner, request: &Request) -> Response {
             phase => Response::text(503, format!("{}\n", phase.as_str())),
         },
         ("GET", "/status") => {
-            let ctl = inner.ctl.lock().expect("controller poisoned");
-            match ctl.status_json(inner.phase().as_str()) {
+            // Build the document under the lock, serialize outside it so a
+            // big status body never stalls POST /requests.
+            let doc = {
+                let ctl = inner.ctl.lock().expect("controller poisoned");
+                ctl.status_doc(inner.phase().as_str())
+            };
+            match serde_json::to_string(&doc) {
                 Ok(body) => Response::json(200, body),
-                Err(e) => Response::json_error(500, &e),
+                Err(e) => Response::json_error(500, &format!("status document: {e:?}")),
             }
         }
         ("GET", "/pools") => {
-            let ctl = inner.ctl.lock().expect("controller poisoned");
-            match ctl.pools_json() {
+            let doc = {
+                let ctl = inner.ctl.lock().expect("controller poisoned");
+                ctl.pools_doc()
+            };
+            match serde_json::to_string(&doc) {
                 Ok(body) => Response::json(200, body),
-                Err(e) => Response::json_error(500, &e),
+                Err(e) => Response::json_error(500, &format!("pools document: {e:?}")),
             }
         }
         ("POST", "/requests") => post_requests(inner, &request.body),
@@ -562,54 +685,143 @@ fn route(inner: &Inner, request: &Request) -> Response {
 
 /// Pulls the optional `"pool"` string out of a request body. `Ok(None)`
 /// when absent or JSON `null`; `Err` when present but not a string.
-fn pool_field(doc: &Content) -> Result<Option<String>, Response> {
+fn pool_field(doc: &Content) -> Result<Option<String>, String> {
     match doc.field("pool") {
         None | Some(Content::Null) => Ok(None),
         Some(Content::Str(name)) => Ok(Some(name.clone())),
-        Some(_) => Err(Response::json_error(400, "\"pool\" must be a string")),
+        Some(_) => Err("\"pool\" must be a string".to_string()),
     }
 }
 
-/// `POST /requests` body: `{"count": <u64 >= 1>, "interval": <usize>?,
-/// "pool": "<name>"?}`. The pool is required on a fleet (>1 pools),
-/// optional on a single-pool daemon.
-fn post_requests(inner: &Inner, body: &str) -> Response {
-    let doc: Content = match serde_json::from_str(body) {
-        Ok(doc) => doc,
-        Err(e) => return Response::json_error(400, &format!("invalid JSON body: {e:?}")),
-    };
+/// One parsed (but not yet pool-resolved) injection entry.
+struct InjectEntry {
+    count: u64,
+    interval: Option<usize>,
+    pool: Option<String>,
+}
+
+/// Parses one injection object: `{"count": <u64 >= 1>,
+/// "interval": <usize>?, "pool": "<name>"?}`. Pure parsing — no locks.
+fn parse_inject_entry(doc: &Content) -> Result<InjectEntry, String> {
+    if !matches!(doc, Content::Map(_)) {
+        return Err("injection entry must be a JSON object".to_string());
+    }
     let count = match doc.field("count").and_then(Content::as_u64) {
         Some(count) if count >= 1 => count,
-        _ => return Response::json_error(400, "body must carry a numeric \"count\" >= 1"),
+        _ => return Err("body must carry a numeric \"count\" >= 1".to_string()),
     };
     let interval = match doc.field("interval") {
         None | Some(Content::Null) => None,
         Some(v) => match v.as_u64() {
             Some(idx) => Some(idx as usize),
-            None => {
-                return Response::json_error(400, "\"interval\" must be a non-negative integer")
-            }
+            None => return Err("\"interval\" must be a non-negative integer".to_string()),
         },
     };
-    let pool = match pool_field(&doc) {
-        Ok(pool) => pool,
-        Err(response) => return response,
+    let pool = pool_field(doc)?;
+    Ok(InjectEntry {
+        count,
+        interval,
+        pool,
+    })
+}
+
+/// `POST /requests` body: either one injection object (back-compat; the
+/// response keeps its original shape) or a JSON **array** of them. The
+/// pool is required on a fleet (>1 pools), optional on a single-pool
+/// daemon. A batch is parsed and validated without any lock, then applied
+/// under a single controller-lock acquisition; any bad entry rejects the
+/// whole batch with nothing injected.
+fn post_requests(inner: &Inner, body: &str) -> Response {
+    let doc: Content = match serde_json::from_str(body) {
+        Ok(doc) => doc,
+        Err(e) => return Response::json_error(400, &format!("invalid JSON body: {e:?}")),
+    };
+    match doc {
+        Content::Seq(entries) => post_requests_batch(inner, &entries),
+        doc => post_requests_single(inner, &doc),
+    }
+}
+
+fn post_requests_single(inner: &Inner, doc: &Content) -> Response {
+    let entry = match parse_inject_entry(doc) {
+        Ok(entry) => entry,
+        Err(message) => return Response::json_error(400, &message),
     };
     let mut ctl = inner.ctl.lock().expect("controller poisoned");
-    let idx = match ctl.resolve(pool.as_deref()) {
+    let idx = match ctl.resolve(entry.pool.as_deref()) {
         Ok(idx) => idx,
         Err(e) => return Response::json_error(e.status, &e.message),
     };
-    match ctl.inject(idx, count, interval) {
+    match ctl.inject(idx, entry.count, entry.interval) {
         Ok(landed) => Response::json(
             200,
             format!(
-                "{{\"injected\":{count},\"interval\":{landed},\"pool\":{}}}",
+                "{{\"injected\":{},\"interval\":{landed},\"pool\":{}}}",
+                entry.count,
                 serde_json::to_string(&Content::Str(ctl.pool_names()[idx].to_string()))
                     .unwrap_or_else(|_| "null".into())
             ),
         ),
         Err(e) => Response::json_error(e.status, &e.message),
+    }
+}
+
+fn post_requests_batch(inner: &Inner, entries: &[Content]) -> Response {
+    if entries.is_empty() {
+        return Response::json_error(400, "batch must carry at least one injection entry");
+    }
+    // Parse every entry lock-free; any malformed entry rejects the batch.
+    let mut parsed = Vec::with_capacity(entries.len());
+    for (k, doc) in entries.iter().enumerate() {
+        match parse_inject_entry(doc) {
+            Ok(entry) => parsed.push(entry),
+            Err(message) => {
+                return Response::json_error(400, &format!("batch entry {k}: {message}"))
+            }
+        }
+    }
+    // One lock acquisition: resolve every pool, then one deterministic
+    // placement pass (validate-all-then-apply inside `inject_batch`).
+    let body = {
+        let mut ctl = inner.ctl.lock().expect("controller poisoned");
+        let mut items = Vec::with_capacity(parsed.len());
+        for (k, entry) in parsed.iter().enumerate() {
+            match ctl.resolve(entry.pool.as_deref()) {
+                Ok(idx) => items.push((idx, entry.count, entry.interval)),
+                Err(e) => {
+                    return Response::json_error(
+                        e.status,
+                        &format!("batch entry {k}: {}", e.message),
+                    )
+                }
+            }
+        }
+        let landings = match ctl.inject_batch(&items) {
+            Ok(landings) => landings,
+            Err(e) => return Response::json_error(e.status, &e.message),
+        };
+        let names = ctl.pool_names();
+        let total: u64 = items.iter().map(|(_, count, _)| *count).sum();
+        let results = items
+            .iter()
+            .zip(&landings)
+            .map(|(&(idx, count, _), &landed)| {
+                Content::Map(vec![
+                    ("pool".to_string(), Content::Str(names[idx].to_string())),
+                    ("injected".to_string(), Content::U64(count)),
+                    ("interval".to_string(), Content::U64(landed as u64)),
+                ])
+            })
+            .collect();
+        Content::Map(vec![
+            ("injected".to_string(), Content::U64(total)),
+            ("results".to_string(), Content::Seq(results)),
+        ])
+    };
+    // Serialize outside the lock.
+    match serde_json::to_string(&body) {
+        Ok(body) => Response::json(200, body),
+        Err(e) => Response::json_error(500, &format!("batch response: {e:?}")),
     }
 }
 
@@ -626,7 +838,7 @@ fn post_reload(inner: &Inner, body: &str) -> Response {
     };
     let pool = match pool_field(&doc) {
         Ok(pool) => pool,
-        Err(response) => return response,
+        Err(message) => return Response::json_error(400, &message),
     };
     let mut ctl = inner.ctl.lock().expect("controller poisoned");
     let idx = match ctl.resolve(pool.as_deref()) {
@@ -690,8 +902,8 @@ mod tests {
                 )
                 .unwrap(),
             ),
-            queue: Mutex::new(VecDeque::new()),
-            available: Condvar::new(),
+            shards: (0..2).map(|_| Shard::default()).collect(),
+            keep_alive: true,
             alert_rules: Vec::new(),
             speedup: 1.0,
             interval_secs: 30,

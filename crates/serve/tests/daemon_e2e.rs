@@ -24,7 +24,9 @@ use serde::Content;
 
 static OBS_LOCK: Mutex<()> = Mutex::new(());
 
-/// Issues one HTTP/1.1 request over a raw socket.
+/// Issues one HTTP/1.1 request over a raw one-shot socket. Sends
+/// `Connection: close` so a keep-alive server terminates the exchange and
+/// `read_to_string` sees EOF.
 fn try_http(
     addr: std::net::SocketAddr,
     method: &str,
@@ -34,7 +36,7 @@ fn try_http(
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(10)))?;
     let request = format!(
-        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(request.as_bytes())?;
@@ -50,6 +52,77 @@ fn try_http(
         .map(|(_, b)| b.to_string())
         .unwrap_or_default();
     Ok((status, payload))
+}
+
+/// A persistent HTTP/1.1 client: many requests on one socket, responses
+/// framed by `Content-Length` (no EOF to lean on under keep-alive).
+struct KeepAliveClient {
+    stream: TcpStream,
+}
+
+impl KeepAliveClient {
+    fn connect(addr: std::net::SocketAddr) -> Self {
+        let stream = TcpStream::connect(addr).expect("connect");
+        stream
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("read timeout");
+        Self { stream }
+    }
+
+    fn request(&mut self, method: &str, path: &str, body: &str) -> (u16, String) {
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.stream.write_all(request.as_bytes()).expect("write");
+        let mut buf: Vec<u8> = Vec::with_capacity(1024);
+        let mut chunk = [0u8; 2048];
+        let head_end = loop {
+            if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            let n = self.stream.read(&mut chunk).expect("read response head");
+            assert!(n > 0, "server closed mid-response head");
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8_lossy(&buf[..head_end]).to_string();
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or_else(|| panic!("unparseable response head: {head:?}"));
+        let content_length: usize = head
+            .lines()
+            .find_map(|line| {
+                let (key, value) = line.split_once(':')?;
+                if key.trim().eq_ignore_ascii_case("content-length") {
+                    value.trim().parse().ok()
+                } else {
+                    None
+                }
+            })
+            .expect("response carries Content-Length");
+        let body_start = head_end + 4;
+        while buf.len() < body_start + content_length {
+            let n = self.stream.read(&mut chunk).expect("read response body");
+            assert!(n > 0, "server closed mid-response body");
+            buf.extend_from_slice(&chunk[..n]);
+        }
+        let payload =
+            String::from_utf8_lossy(&buf[body_start..body_start + content_length]).into_owned();
+        (status, payload)
+    }
+}
+
+/// The `ip_sim_*` lines of a Prometheus exposition — the simulator-driven
+/// series whose bytes must not depend on the transport (the `ip_serve_*`
+/// counters legitimately differ between one batched POST and N singles).
+fn sim_series(metrics_text: &str) -> Vec<String> {
+    metrics_text
+        .lines()
+        .filter(|line| line.starts_with("ip_sim_") || line.contains(" ip_sim_"))
+        .map(str::to_string)
+        .collect()
 }
 
 /// [`try_http`], panicking on transport errors.
@@ -513,4 +586,203 @@ fn reload_swaps_model_and_drain_finalizes_prefix() {
         "drain must finalize a strict prefix, got {} intervals",
         report.interval_stats.len()
     );
+}
+
+/// PR 7 bit-identity: a daemon serving keep-alive connections with a
+/// **batched** injection (7 workers) produces the same report and the
+/// same `ip_sim_*` Prometheus bytes as a `Connection: close` daemon
+/// taking the same injections as singles (1 worker) — and both match the
+/// offline `Simulation::run` oracle over the reconstructed trace.
+#[test]
+fn keepalive_batched_daemon_matches_one_shot_and_offline() {
+    let _guard = OBS_LOCK.lock().unwrap();
+
+    let base = demand(200);
+    let injections = [(7u64, 150usize), (3, 180)];
+
+    // Runs one daemon to completion; returns (report, ip_sim_* exposition
+    // lines, landing intervals).
+    let run = |keep_alive: bool, workers: usize, batched: bool| {
+        ip_obs::reset();
+        ip_obs::set_enabled(true);
+        let mut config = ServeConfig::new(base.clone());
+        config.sim = sim_config();
+        config.model = Some("baseline".to_string());
+        config.alpha = 0.3;
+        config.autotune = true;
+        config.speedup = 2_000.0;
+        config.workers = workers;
+        config.keep_alive = keep_alive;
+        let daemon = Daemon::start(config).expect("daemon starts");
+        let addr = daemon.addr();
+
+        let mut landed: Vec<(usize, u64)> = Vec::new();
+        if batched {
+            let body = format!(
+                "[{}]",
+                injections
+                    .iter()
+                    .map(|(c, i)| format!("{{\"count\":{c},\"interval\":{i}}}"))
+                    .collect::<Vec<_>>()
+                    .join(",")
+            );
+            let mut client = KeepAliveClient::connect(addr);
+            let (code, resp) = client.request("POST", "/requests", &body);
+            assert_eq!(code, 200, "batch rejected: {resp}");
+            let doc = parse_json(&resp);
+            assert_eq!(doc.field("injected").and_then(Content::as_u64), Some(10));
+            let Some(Content::Seq(results)) = doc.field("results") else {
+                panic!("batch response must carry results: {resp}");
+            };
+            for r in results {
+                landed.push((
+                    r.field("interval").and_then(Content::as_u64).unwrap() as usize,
+                    r.field("injected").and_then(Content::as_u64).unwrap(),
+                ));
+            }
+        } else {
+            for (count, interval) in injections {
+                let (code, resp) = http(
+                    addr,
+                    "POST",
+                    "/requests",
+                    &format!("{{\"count\":{count},\"interval\":{interval}}}"),
+                );
+                assert_eq!(code, 200, "injection rejected: {resp}");
+                let doc = parse_json(&resp);
+                landed.push((
+                    doc.field("interval").and_then(Content::as_u64).unwrap() as usize,
+                    count,
+                ));
+            }
+        }
+
+        wait_for_state(addr, "completed");
+        let (code, metrics_text) = http(addr, "GET", "/metrics", "");
+        assert_eq!(code, 200);
+        assert_eq!(http(addr, "POST", "/shutdown", "").0, 200);
+        let outcome = daemon.join();
+        ip_obs::set_enabled(false);
+        (
+            outcome.report.expect("completed run yields a report"),
+            sim_series(&metrics_text),
+            landed,
+        )
+    };
+
+    let (ka_report, ka_sim, ka_landed) = run(true, 7, true);
+    let (os_report, os_sim, os_landed) = run(false, 1, false);
+
+    // Same landings, same decisions, same simulator-metric bytes.
+    assert_eq!(ka_landed, os_landed);
+    assert_eq!(ka_report.hits, os_report.hits);
+    assert_eq!(ka_report.misses, os_report.misses);
+    assert_eq!(ka_report.total_wait_secs, os_report.total_wait_secs);
+    assert_eq!(ka_report.interval_stats, os_report.interval_stats);
+    assert_eq!(
+        ka_report.applied_target_timeline,
+        os_report.applied_target_timeline
+    );
+    assert!(!ka_sim.is_empty(), "exposition must carry ip_sim_* series");
+    assert_eq!(
+        ka_sim, os_sim,
+        "ip_sim_* exposition bytes must not depend on the transport"
+    );
+
+    // And both match the offline oracle over the effective trace.
+    let mut effective = base;
+    for &(at, count) in &ka_landed {
+        effective.values_mut()[at] += count as f64;
+    }
+    let mut provider = build_provider("baseline", 0.3, true, 30.0).unwrap();
+    let offline = Simulation::new(sim_config(), Some(provider.as_mut()))
+        .run(&effective)
+        .unwrap();
+    assert_eq!(ka_report.hits, offline.hits);
+    assert_eq!(ka_report.misses, offline.misses);
+    assert_eq!(ka_report.total_wait_secs, offline.total_wait_secs);
+    assert_eq!(ka_report.interval_stats, offline.interval_stats);
+    assert_eq!(
+        ka_report.applied_target_timeline,
+        offline.applied_target_timeline
+    );
+}
+
+/// Keep-alive multiplexing and batch-inject validation: many requests on
+/// one socket (including error responses, which keep the connection
+/// alive), empty batches and partially-bad batches rejected whole with
+/// nothing injected, and a valid batch landing atomically.
+#[test]
+fn keep_alive_connection_multiplexes_and_batch_validates() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    ip_obs::set_enabled(false);
+
+    let mut config = ServeConfig::new(demand(20_000));
+    config.speedup = 300.0; // 10 intervals per wall second: far from done
+    let daemon = Daemon::start(config).expect("daemon starts");
+    let addr = daemon.addr();
+
+    let mut client = KeepAliveClient::connect(addr);
+    let (code, body) = client.request("GET", "/healthz", "");
+    assert_eq!((code, body.as_str()), (200, "ok\n"));
+    assert_eq!(client.request("GET", "/nope", "").0, 404);
+    assert_eq!(client.request("GET", "/status", "").0, 200);
+
+    // Empty batch → 400.
+    let (code, body) = client.request("POST", "/requests", "[]");
+    assert_eq!(code, 400, "{body}");
+
+    // One bad entry rejects the whole batch; nothing is injected.
+    let (code, body) = client.request(
+        "POST",
+        "/requests",
+        "[{\"count\":5,\"interval\":19000},{\"count\":0}]",
+    );
+    assert_eq!(code, 400, "{body}");
+    assert!(body.contains("batch entry 1"), "{body}");
+    // Same for an unknown pool in an otherwise-valid batch.
+    let (code, body) = client.request(
+        "POST",
+        "/requests",
+        "[{\"count\":5},{\"count\":1,\"pool\":\"nope\"}]",
+    );
+    assert_eq!(code, 404, "{body}");
+    // Non-object entries are rejected too.
+    assert_eq!(client.request("POST", "/requests", "[1,2]").0, 400);
+    let (_, status) = client.request("GET", "/status", "");
+    assert_eq!(
+        parse_json(&status)
+            .field("injected_requests")
+            .and_then(Content::as_u64),
+        Some(0),
+        "rejected batches must inject nothing: {status}"
+    );
+
+    // A valid batch lands atomically with per-entry results.
+    let (code, body) = client.request(
+        "POST",
+        "/requests",
+        "[{\"count\":2,\"interval\":18000},{\"count\":1,\"interval\":19000}]",
+    );
+    assert_eq!(code, 200, "{body}");
+    let doc = parse_json(&body);
+    assert_eq!(doc.field("injected").and_then(Content::as_u64), Some(3));
+    let Some(Content::Seq(results)) = doc.field("results") else {
+        panic!("batch response must carry results: {body}");
+    };
+    assert_eq!(results.len(), 2);
+    assert_eq!(
+        results[1].field("interval").and_then(Content::as_u64),
+        Some(19_000)
+    );
+    let (_, status) = client.request("GET", "/status", "");
+    assert_eq!(
+        parse_json(&status)
+            .field("injected_requests")
+            .and_then(Content::as_u64),
+        Some(3)
+    );
+
+    assert_eq!(client.request("POST", "/shutdown", "").0, 200);
+    daemon.join();
 }

@@ -5,69 +5,234 @@
 //! cargo run --example http_probe -- 127.0.0.1:8080 /healthz
 //! cargo run --example http_probe -- 127.0.0.1:8080 POST /shutdown
 //! cargo run --example http_probe -- 127.0.0.1:8080 POST /requests '{"count":5,"pool":"east"}'
+//! cargo run --example http_probe -- --count 50 --concurrency 4 127.0.0.1:8080 /metrics
 //! ```
 //!
-//! Prints the response body to stdout and exits non-zero unless the status
-//! is 2xx.
+//! Requests ride a persistent keep-alive connection, framed by the
+//! response `Content-Length` (falling back to read-to-EOF when the server
+//! closes). `--count N` repeats the request N times on one connection per
+//! client; `--concurrency C` runs C such clients in parallel threads —
+//! together they exercise the daemon's pipelined parsing and sharded
+//! worker pool, not just one-shot probes.
+//!
+//! Prints the last response body to stdout and exits non-zero if any
+//! request fails or returns a non-2xx status.
 
-use std::io::{Read, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
 use std::process::ExitCode;
 use std::time::Duration;
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let (addr, method, path, body) = match args.as_slice() {
-        [addr, path] => (addr.as_str(), "GET", path.as_str(), ""),
-        [addr, method, path] => (addr.as_str(), method.as_str(), path.as_str(), ""),
-        [addr, method, path, body] => {
-            (addr.as_str(), method.as_str(), path.as_str(), body.as_str())
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut count = 1usize;
+    let mut concurrency = 1usize;
+    // Strip --count/--concurrency anywhere in the argument list.
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].clone();
+        if flag == "--count" || flag == "--concurrency" {
+            if i + 1 >= args.len() {
+                eprintln!("http_probe: {flag} needs a value");
+                return ExitCode::FAILURE;
+            }
+            let value: usize = match args[i + 1].parse() {
+                Ok(v) if v >= 1 => v,
+                _ => {
+                    eprintln!("http_probe: {flag} must be a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if flag == "--count" {
+                count = value;
+            } else {
+                concurrency = value;
+            }
+            args.drain(i..i + 2);
+        } else {
+            i += 1;
         }
+    }
+    let (addr, method, path, body) = match args.as_slice() {
+        [addr, path] => (addr.clone(), "GET".to_string(), path.clone(), String::new()),
+        [addr, method, path] => (addr.clone(), method.clone(), path.clone(), String::new()),
+        [addr, method, path, body] => (addr.clone(), method.clone(), path.clone(), body.clone()),
         _ => {
-            eprintln!("usage: http_probe <host:port> [METHOD] <path> [BODY]");
+            eprintln!(
+                "usage: http_probe [--count N] [--concurrency C] <host:port> [METHOD] <path> [BODY]"
+            );
             return ExitCode::FAILURE;
         }
     };
-    match probe(addr, method, path, body) {
-        Ok((status, body)) => {
-            print!("{body}");
-            if (200..300).contains(&status) {
+
+    let run_client = |label: usize| -> Result<String, String> {
+        let mut client =
+            Client::connect(&addr).map_err(|e| format!("client {label}: connect {addr}: {e}"))?;
+        let mut last_body = String::new();
+        for k in 0..count {
+            // The server may announce `Connection: close` (e.g. at its
+            // requests-per-connection cap); honor it by reconnecting.
+            if client.closed {
+                client = Client::connect(&addr)
+                    .map_err(|e| format!("client {label}: reconnect {addr}: {e}"))?;
+            }
+            let (status, body) = client
+                .request(&method, &path, &body, &addr)
+                .map_err(|e| format!("client {label}: request {k}: {e}"))?;
+            if !(200..300).contains(&status) {
+                return Err(format!(
+                    "client {label}: {method} {path} -> {status} at request {k}"
+                ));
+            }
+            last_body = body;
+        }
+        Ok(last_body)
+    };
+
+    if concurrency == 1 {
+        match run_client(0) {
+            Ok(body) => {
+                print!("{body}");
                 ExitCode::SUCCESS
-            } else {
-                eprintln!("http_probe: {method} {path} -> {status}");
+            }
+            Err(e) => {
+                eprintln!("http_probe: {e}");
                 ExitCode::FAILURE
             }
         }
-        Err(e) => {
-            eprintln!("http_probe: {method} {path} against {addr}: {e}");
+    } else {
+        let results: Vec<Result<String, String>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..concurrency)
+                .map(|c| scope.spawn(move || run_client(c)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("probe client panicked"))
+                .collect()
+        });
+        let mut last_body = String::new();
+        let mut failed = false;
+        for result in results {
+            match result {
+                Ok(body) => last_body = body,
+                Err(e) => {
+                    eprintln!("http_probe: {e}");
+                    failed = true;
+                }
+            }
+        }
+        print!("{last_body}");
+        if failed {
             ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
         }
     }
 }
 
-fn probe(addr: &str, method: &str, path: &str, body: &str) -> std::io::Result<(u16, String)> {
-    let mut stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
-    let request = format!(
-        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n{body}",
-        body.len()
-    );
-    stream.write_all(request.as_bytes())?;
-    let mut raw = String::new();
-    stream.read_to_string(&mut raw)?;
-    let status = raw
-        .split_whitespace()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .ok_or_else(|| {
-            std::io::Error::new(
-                std::io::ErrorKind::InvalidData,
-                format!("bad response: {raw:?}"),
-            )
-        })?;
-    let body = raw
-        .split_once("\r\n\r\n")
-        .map(|(_, b)| b.to_string())
-        .unwrap_or_default();
-    Ok((status, body))
+/// A keep-alive HTTP/1.1 client over one socket.
+struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    /// Set when the last response carried `Connection: close`; the caller
+    /// must reconnect before issuing another request.
+    closed: bool,
+}
+
+impl Client {
+    fn connect(addr: &str) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        Ok(Self {
+            stream,
+            buf: Vec::with_capacity(1024),
+            closed: false,
+        })
+    }
+
+    fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: &str,
+        addr: &str,
+    ) -> std::io::Result<(u16, String)> {
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.stream.write_all(request.as_bytes())?;
+        let mut chunk = [0u8; 2048];
+        let head_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "server closed before a full response head",
+                    ))
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        };
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).to_string();
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                std::io::Error::new(ErrorKind::InvalidData, format!("bad response: {head:?}"))
+            })?;
+        self.closed = head.lines().any(|line| {
+            line.split_once(':').is_some_and(|(key, value)| {
+                key.trim().eq_ignore_ascii_case("connection")
+                    && value.trim().eq_ignore_ascii_case("close")
+            })
+        });
+        let content_length: Option<usize> = head.lines().find_map(|line| {
+            let (key, value) = line.split_once(':')?;
+            if key.trim().eq_ignore_ascii_case("content-length") {
+                value.trim().parse().ok()
+            } else {
+                None
+            }
+        });
+        let body_start = head_end + 4;
+        let body = match content_length {
+            Some(len) => {
+                while self.buf.len() < body_start + len {
+                    match self.stream.read(&mut chunk) {
+                        Ok(0) => {
+                            return Err(std::io::Error::new(
+                                ErrorKind::UnexpectedEof,
+                                "server closed mid-response body",
+                            ))
+                        }
+                        Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                        Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                        Err(e) => return Err(e),
+                    }
+                }
+                let body =
+                    String::from_utf8_lossy(&self.buf[body_start..body_start + len]).into_owned();
+                self.buf.drain(..body_start + len);
+                body
+            }
+            None => {
+                // No framing: read to EOF (the server is closing anyway).
+                self.closed = true;
+                let mut rest = Vec::new();
+                self.stream.read_to_end(&mut rest)?;
+                self.buf.extend_from_slice(&rest);
+                let body = String::from_utf8_lossy(&self.buf[body_start..]).into_owned();
+                self.buf.clear();
+                body
+            }
+        };
+        Ok((status, body))
+    }
 }

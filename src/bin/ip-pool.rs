@@ -59,6 +59,10 @@ commands:
              --target-wait SECS (tuner target, default 30)
              --target N  --tau-secs N  --seed N  --interval SECS
              --port-file FILE (write the bound port for scripts)
+             --workers N (HTTP worker threads / queue shards;
+             default 0 = auto from IP_THREADS, clamped 2-4)
+             --keep-alive <true|false> (default true; false forces
+             Connection: close on every response)
              --pools SPEC.json  serve a whole fleet instead: every
              metric series gains a pool label, POST bodies name their
              pool, GET /pools lists per-pool state (replaces <file>
@@ -438,9 +442,15 @@ fn serve(args: &CliArgs) -> Result<(), String> {
     if let Some(spec_path) = args.flag_str("pools") {
         let port = args.flag_or("port", 0u16).map_err(|e| e.to_string())?;
         let speedup = args.flag_or("speedup", 1.0f64).map_err(|e| e.to_string())?;
+        let workers = args.flag_or("workers", 0usize).map_err(|e| e.to_string())?;
+        let keep_alive = args
+            .flag_or("keep-alive", true)
+            .map_err(|e| e.to_string())?;
         let mut config = ServeConfig::fleet(fleet_serve_pools(spec_path)?)?;
         config.speedup = speedup;
         config.port = port;
+        config.workers = workers;
+        config.keep_alive = keep_alive;
 
         let daemon = Daemon::start(config)?;
         let addr = daemon.addr();
@@ -482,6 +492,10 @@ fn serve(args: &CliArgs) -> Result<(), String> {
         .flag_or("target-wait", 30.0f64)
         .map_err(|e| e.to_string())?;
     let autotune = args.flag_or("autotune", false).map_err(|e| e.to_string())?;
+    let workers = args.flag_or("workers", 0usize).map_err(|e| e.to_string())?;
+    let keep_alive = args
+        .flag_or("keep-alive", true)
+        .map_err(|e| e.to_string())?;
 
     let mut config = ServeConfig::new(demand);
     config.sim = SimConfig {
@@ -497,6 +511,8 @@ fn serve(args: &CliArgs) -> Result<(), String> {
     config.target_wait_secs = target_wait;
     config.speedup = speedup;
     config.port = port;
+    config.workers = workers;
+    config.keep_alive = keep_alive;
 
     let daemon = Daemon::start(config)?;
     let addr = daemon.addr();

@@ -16,8 +16,10 @@ fn ip_pool() -> Command {
 fn http(port: u16, method: &str, path: &str, body: &str) -> std::io::Result<(u16, String)> {
     let mut stream = TcpStream::connect(("127.0.0.1", port))?;
     stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    // `Connection: close` so `read_to_string` sees EOF right after the
+    // response instead of waiting out the server's keep-alive idle timeout.
     let request = format!(
-        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nContent-Length: {}\r\n\r\n{body}",
+        "{method} {path} HTTP/1.1\r\nHost: localhost\r\nConnection: close\r\nContent-Length: {}\r\n\r\n{body}",
         body.len()
     );
     stream.write_all(request.as_bytes())?;
