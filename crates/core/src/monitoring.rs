@@ -254,6 +254,12 @@ pub enum AlertRule {
     FallbackIntervalsAbove(u64),
     /// Fire when any pooling worker had to be replaced.
     WorkerReplaced,
+    /// An SLO burn-rate breach (`ip_obs::slo`). The payload names the
+    /// objective (e.g. `"hit_rate"`, `"wait"`). Never fired by
+    /// [`evaluate_alerts`] — snapshots are cumulative and carry no
+    /// windowed burn data; the serve controller raises it from its
+    /// multi-window trackers and merges it into the same alert list.
+    SloBurnRate(String),
 }
 
 /// A fired alert.
@@ -320,6 +326,9 @@ pub fn evaluate_alerts(snapshot: &MetricsSnapshot, rules: &[AlertRule]) -> Vec<A
                     None
                 }
             }
+            // Burn rates need windowed history a cumulative snapshot does
+            // not have; the serve controller evaluates these.
+            AlertRule::SloBurnRate(_) => None,
         };
         if let Some(message) = fired {
             alerts.push(Alert {
@@ -432,6 +441,26 @@ mod tests {
         let alerts = evaluate_alerts(&snap, &rules);
         assert_eq!(alerts.len(), 4);
         assert!(alerts[0].message.contains("80.00%"));
+    }
+
+    #[test]
+    fn slo_burn_rate_rule_is_inert_in_snapshot_evaluation() {
+        // The rule exists so controller-raised SLO alerts share the Alert
+        // type; cumulative snapshots carry no windowed burn data, so
+        // evaluate_alerts must never fire it — even on a terrible run.
+        let report = run_report();
+        let dash = Dashboard::new(CostModel::default());
+        let mut snap = dash.snapshot(&report, 1200.0);
+        snap.hit_percentage = 0.0;
+        snap.hit_count = 0;
+        snap.miss_count = 100;
+        let rules = vec![AlertRule::SloBurnRate("hit_rate".to_string())];
+        assert!(evaluate_alerts(&snap, &rules).is_empty());
+        // The variant must survive the vendored serde round-trip (tuple
+        // variants are the ceiling of the in-repo derive).
+        let json = serde_json::to_string(&rules[0]).unwrap();
+        let back: AlertRule = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, rules[0]);
     }
 
     #[test]

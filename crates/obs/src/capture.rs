@@ -171,6 +171,11 @@ impl Drop for CaptureGuard {
     }
 }
 
+/// Whether a capture window is active on the current thread.
+pub(crate) fn active() -> bool {
+    CAPTURE.with(|slot| slot.borrow().is_some())
+}
+
 fn with_active<R>(f: impl FnOnce(&mut CaptureState) -> R) -> Option<R> {
     CAPTURE.with(|slot| slot.borrow_mut().as_mut().map(f))
 }
@@ -429,6 +434,71 @@ mod tests {
         let outer = trace.spans.iter().find(|s| s.name == "outer").unwrap();
         assert_eq!(inner.parent, Some(outer.id));
         assert_eq!(outer.parent, None);
+        crate::set_enabled(false);
+        crate::reset();
+    }
+
+    /// The lock-sharded registry (PR 7) must produce the same Prometheus
+    /// bytes whether ops arrive serially or through concurrent capture
+    /// windows replayed with [`fold_ordered`]. Each worker writes several
+    /// series chosen to land on *shared* shards across workers, so the
+    /// test exercises cross-thread shard contention, not just disjoint
+    /// maps.
+    #[test]
+    fn sharded_registry_is_byte_identical_under_concurrent_capture() {
+        let _g = crate::tests::GATE.lock().unwrap();
+        crate::set_enabled(true);
+        crate::reset();
+
+        const WORKERS: usize = 8;
+        const OPS: usize = 200;
+
+        // Worker w's op k, replayed identically by the serial reference.
+        fn emit(w: usize, k: usize) {
+            let pool = ["east", "west", "north", "south"][w % 4];
+            let v = (w * 31 + k) as f64 * 0.37;
+            crate::counter_add("cap_hits_total", &[("pool", pool)], v);
+            crate::gauge_set("cap_size", &[("pool", pool), ("w", "x")], v);
+            crate::observe("cap_wait_seconds", &[("pool", pool)], v % 120.0);
+        }
+
+        // Concurrent: one capture window per worker thread.
+        let buffers: Vec<LocalObs> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..WORKERS)
+                .map(|w| {
+                    scope.spawn(move || {
+                        let cap = capture();
+                        for k in 0..OPS {
+                            emit(w, k);
+                        }
+                        cap.finish()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("capture worker panicked"))
+                .collect()
+        });
+        assert!(crate::global().snapshot().is_empty());
+        fold_ordered(buffers);
+        let folded = crate::export::render_prometheus(crate::global());
+
+        // Serial reference: same ops, same registration order, fresh
+        // registry — no capture, no threads.
+        crate::reset();
+        for w in 0..WORKERS {
+            for k in 0..OPS {
+                emit(w, k);
+            }
+        }
+        let serial = crate::export::render_prometheus(crate::global());
+
+        assert!(!folded.is_empty() && folded.contains("cap_hits_total"));
+        assert_eq!(
+            folded, serial,
+            "folded capture replay must match the serial interleave byte-for-byte"
+        );
         crate::set_enabled(false);
         crate::reset();
     }

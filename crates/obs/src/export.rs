@@ -443,7 +443,7 @@ pub fn trace_to_chrome(trace: &Trace) -> String {
     out
 }
 
-fn json_string(s: &str) -> String {
+pub(crate) fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {
@@ -465,7 +465,7 @@ fn json_string(s: &str) -> String {
 
 /// JSON has no NaN/Inf; emit them as null (matching serde_json) and keep a
 /// fraction marker on integral floats so typed parsers see a float.
-fn json_number(v: f64) -> String {
+pub(crate) fn json_number(v: f64) -> String {
     if !v.is_finite() {
         "null".to_string()
     } else if v.fract() == 0.0 && v.abs() < 1e15 {

@@ -1,0 +1,233 @@
+//! A flight recorder: bounded rings of recent state, dumped as
+//! schema-stable JSON for post-mortems.
+//!
+//! The daemon samples its dashboards once per controller tick and appends
+//! a compact numeric snapshot here; notable lifecycle moments (reloads,
+//! drains, alert transitions) land as *notes*. Everything is bounded —
+//! [`SNAPSHOT_CAP`] snapshots and [`NOTE_CAP`] notes, oldest evicted first
+//! — so the recorder costs O(ring) memory no matter how long the process
+//! runs, exactly like an aircraft FDR. [`dump`]/[`dump_with`] render the
+//! rings (plus the [`crate::log`] ring and any caller-supplied
+//! pre-serialized sections, e.g. the serve stack's slow-request ring and
+//! SLO statuses) as one `ip-flight/1` JSON document. The daemon serves it
+//! at `GET /debug/flight` and writes it to disk on drain.
+//!
+//! Recording is tick-granularity, not per-request, so it stays outside the
+//! hot path's `IP_OBS=0` budget and is always on: a crash after a quiet
+//! night still leaves evidence.
+//!
+//! Schema (`"schema":"ip-flight/1"`):
+//!
+//! ```json
+//! {"schema":"ip-flight/1",
+//!  "snapshots":[{"t":120,"metrics":{"pool.east.hit_rate":98.0}}],
+//!  "dropped_snapshots":0,
+//!  "notes":[{"t":240,"kind":"reload","detail":"pool east model=mlp"}],
+//!  "dropped_notes":0,
+//!  "logs":[{"type":"log","seq":1,...}],
+//!  "sections":{"slow_requests":[...],"slo":{...}}}
+//! ```
+
+use crate::export::{json_number, json_string};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+/// Retained periodic snapshots.
+pub const SNAPSHOT_CAP: usize = 360;
+
+/// Retained notes.
+pub const NOTE_CAP: usize = 512;
+
+/// Log lines included in a dump.
+pub const LOG_LINES_IN_DUMP: usize = 256;
+
+/// One periodic numeric snapshot on the logical clock.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// Logical time (simulator seconds) of the sample.
+    pub t: u64,
+    /// Named values, in emission order.
+    pub entries: Vec<(String, f64)>,
+}
+
+/// One notable moment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Note {
+    /// Logical time of the moment.
+    pub t: u64,
+    /// Short machine-readable kind (`reload`, `drain`, `slo_page`, …).
+    pub kind: String,
+    /// Free-form human detail.
+    pub detail: String,
+}
+
+#[derive(Default)]
+struct FlightState {
+    snapshots: VecDeque<Snapshot>,
+    notes: VecDeque<Note>,
+    dropped_snapshots: u64,
+    dropped_notes: u64,
+}
+
+static STATE: Mutex<FlightState> = Mutex::new(FlightState {
+    snapshots: VecDeque::new(),
+    notes: VecDeque::new(),
+    dropped_snapshots: 0,
+    dropped_notes: 0,
+});
+
+/// Appends a periodic snapshot, evicting the oldest past [`SNAPSHOT_CAP`].
+pub fn record_snapshot(t: u64, entries: &[(&str, f64)]) {
+    let mut state = STATE.lock().expect("obs flight state poisoned");
+    if state.snapshots.len() >= SNAPSHOT_CAP {
+        state.snapshots.pop_front();
+        state.dropped_snapshots += 1;
+    }
+    state.snapshots.push_back(Snapshot {
+        t,
+        entries: entries.iter().map(|(k, v)| (k.to_string(), *v)).collect(),
+    });
+}
+
+/// Appends a note, evicting the oldest past [`NOTE_CAP`].
+pub fn note(t: u64, kind: &str, detail: &str) {
+    let mut state = STATE.lock().expect("obs flight state poisoned");
+    if state.notes.len() >= NOTE_CAP {
+        state.notes.pop_front();
+        state.dropped_notes += 1;
+    }
+    state.notes.push_back(Note {
+        t,
+        kind: kind.to_string(),
+        detail: detail.to_string(),
+    });
+}
+
+/// Number of retained snapshots (tests).
+pub fn snapshot_count() -> usize {
+    STATE
+        .lock()
+        .expect("obs flight state poisoned")
+        .snapshots
+        .len()
+}
+
+/// Renders the recorder with no extra sections.
+pub fn dump() -> String {
+    dump_with(&[])
+}
+
+/// Renders the recorder as an `ip-flight/1` JSON document. Each entry in
+/// `sections` is a `(name, pre-serialized JSON value)` pair embedded
+/// verbatim under `"sections"` — callers with richer state (the serve
+/// stack's slow-request ring, SLO statuses) serialize it themselves and
+/// hand it in, keeping this crate dependency-free.
+pub fn dump_with(sections: &[(&str, String)]) -> String {
+    let state = STATE.lock().expect("obs flight state poisoned");
+    let mut out = String::with_capacity(4096);
+    out.push_str("{\"schema\":\"ip-flight/1\",\"snapshots\":[");
+    for (i, snap) in state.snapshots.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{{\"t\":{},\"metrics\":{{", snap.t);
+        for (j, (k, v)) in snap.entries.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{}:{}", json_string(k), json_number(*v));
+        }
+        out.push_str("}}");
+    }
+    let _ = write!(
+        out,
+        "],\"dropped_snapshots\":{},\"notes\":[",
+        state.dropped_snapshots
+    );
+    for (i, note) in state.notes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"t\":{},\"kind\":{},\"detail\":{}}}",
+            note.t,
+            json_string(&note.kind),
+            json_string(&note.detail)
+        );
+    }
+    let _ = write!(
+        out,
+        "],\"dropped_notes\":{},\"logs\":[",
+        state.dropped_notes
+    );
+    drop(state);
+    for (i, line) in crate::log::recent(LOG_LINES_IN_DUMP).iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(line);
+    }
+    out.push_str("],\"sections\":{");
+    for (i, (name, body)) in sections.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{}:{}", json_string(name), body);
+    }
+    out.push_str("}}");
+    out
+}
+
+/// Clears both rings (tests, repeated CLI runs).
+pub fn reset() {
+    let mut state = STATE.lock().expect("obs flight state poisoned");
+    state.snapshots.clear();
+    state.notes.clear();
+    state.dropped_snapshots = 0;
+    state.dropped_notes = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dump_renders_rings_and_sections() {
+        let _g = crate::tests::GATE.lock().unwrap();
+        reset();
+        crate::log::reset();
+        crate::log::set_threshold(Some(crate::log::Level::Warn));
+        record_snapshot(60, &[("pool.east.hit_rate", 98.5), ("pool.east.size", 3.0)]);
+        record_snapshot(120, &[("pool.east.hit_rate", 97.0)]);
+        note(90, "reload", "pool east model=mlp");
+        crate::log::warn("serve.accept", "accept failed", &[]);
+        let dump = dump_with(&[("slo", "{\"severity\":\"ok\"}".to_string())]);
+        assert!(dump.starts_with("{\"schema\":\"ip-flight/1\""));
+        assert!(dump.contains("\"t\":60,\"metrics\":{\"pool.east.hit_rate\":98.5"));
+        assert!(dump.contains("\"kind\":\"reload\""));
+        assert!(dump.contains("\"msg\":\"accept failed\""));
+        assert!(dump.contains("\"sections\":{\"slo\":{\"severity\":\"ok\"}}"));
+        crate::log::set_threshold(None);
+        crate::log::reset();
+        reset();
+    }
+
+    #[test]
+    fn rings_are_bounded() {
+        let _g = crate::tests::GATE.lock().unwrap();
+        reset();
+        for i in 0..SNAPSHOT_CAP as u64 + 5 {
+            record_snapshot(i, &[("x", i as f64)]);
+        }
+        for i in 0..NOTE_CAP as u64 + 3 {
+            note(i, "k", "d");
+        }
+        let dump = dump();
+        assert!(dump.contains("\"dropped_snapshots\":5"));
+        assert!(dump.contains("\"dropped_notes\":3"));
+        assert_eq!(snapshot_count(), SNAPSHOT_CAP);
+        reset();
+    }
+}

@@ -16,6 +16,15 @@
 //!   parser used by the round-trip tests and CI smoke), and JSONL event
 //!   streams for spans and events.
 //!
+//! Three service-observability layers sit on top (PR 8):
+//!
+//! * [`log`] — structured leveled JSONL logging, gated by `IP_LOG`
+//!   (default `warn`), rate-limited per `(target, level)`.
+//! * [`slo`] — multi-window multi-burn-rate SLO evaluation over logical
+//!   time (hit-rate and wait objectives per pool).
+//! * [`flight`] — a bounded flight recorder of snapshots, notes, and
+//!   recent logs, dumped as schema-stable `ip-flight/1` JSON.
+//!
 //! # Gating
 //!
 //! Everything is off by default. The `IP_OBS` environment variable (read
@@ -43,11 +52,15 @@
 
 pub mod capture;
 pub mod export;
+pub mod flight;
+pub mod log;
 pub mod metrics;
+pub mod slo;
 pub mod trace;
 
 pub use capture::{capture, fold_ordered, CaptureGuard, LocalObs};
 pub use metrics::{Histogram, MetricValue, Registry, SeriesKey, DEFAULT_BUCKETS};
+pub use slo::{ObjectiveStatus, Severity, SloSample, SloSpec, SloStatus, SloTracker, WindowBurn};
 pub use trace::{EventRecord, SpanGuard, SpanRecord, Trace};
 
 use std::sync::atomic::{AtomicU8, Ordering};
@@ -153,6 +166,18 @@ pub fn span(name: &'static str) -> SpanGuard {
         trace::begin_span(name)
     } else {
         SpanGuard::inert()
+    }
+}
+
+/// Records an already-measured span — explicit start instant + duration —
+/// parented to the current thread's innermost open span. For phases whose
+/// extent is only known after the fact (a request's queue wait, its parse
+/// time). No-op when disabled or inside a [`capture`] window (captured
+/// fleet work replays spans through its own id space).
+#[inline]
+pub fn span_timed(name: &'static str, start: std::time::Instant, dur: std::time::Duration) {
+    if enabled() && !capture::active() {
+        trace::record_span_timed(name, start, dur.as_nanos() as u64);
     }
 }
 

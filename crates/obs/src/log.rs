@@ -1,0 +1,368 @@
+//! Structured, leveled, rate-limited JSONL logging for the serve stack.
+//!
+//! The daemon's worker shards used to drop errors on the floor (or would
+//! have interleaved bytes had they written to stderr from many threads).
+//! This layer gives them one process-wide sink: each record is rendered as
+//! a single JSON line and written with one `write_all`, so concurrent
+//! threads can never interleave bytes mid-line. Records are also retained
+//! in a bounded ring for the [`crate::flight`] recorder.
+//!
+//! # Gating
+//!
+//! Logging is gated by *level* (the `IP_LOG` environment variable, default
+//! `warn`), not by the `IP_OBS` metrics gate — an operator running with
+//! `IP_OBS=0` still wants to see errors. The level check is one relaxed
+//! atomic load, so `debug!`-grade call sites in hot paths cost nothing
+//! when filtered.
+//!
+//! # Rate limiting
+//!
+//! A hot error path (e.g. a flapping client socket) could otherwise log
+//! per request. Each `(target, level)` pair gets a token budget of
+//! [`RATE_LIMIT_PER_WINDOW`] records per wall-clock second; excess records
+//! are counted, and the next record that passes carries the `suppressed`
+//! count so the drop is visible in the stream.
+//!
+//! Line schema (one object per line):
+//!
+//! ```json
+//! {"type":"log","seq":3,"t_ms":152,"level":"warn","target":"serve.accept",
+//!  "msg":"accept failed","fields":{"errno":11.0},"suppressed":0}
+//! ```
+
+use crate::export::{json_number, json_string};
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::fs::File;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Retained records for the flight recorder.
+pub const RING_CAP: usize = 2048;
+
+/// Per-`(target, level)` records allowed per wall-clock second.
+pub const RATE_LIMIT_PER_WINDOW: u64 = 50;
+
+/// Log severity, ordered `Debug < Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Diagnostic detail, off by default.
+    Debug = 0,
+    /// Routine lifecycle messages.
+    Info = 1,
+    /// Recoverable anomalies (default threshold).
+    Warn = 2,
+    /// Failures that lost work or degraded service.
+    Error = 3,
+}
+
+impl Level {
+    /// Lower-case name used in the JSONL `level` field and `IP_LOG`.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Level::Debug => "debug",
+            Level::Info => "info",
+            Level::Warn => "warn",
+            Level::Error => "error",
+        }
+    }
+
+    /// Parses an `IP_LOG` value (`debug|info|warn|error`, plus `off` which
+    /// maps above every level).
+    pub fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "debug" => Some(Level::Debug),
+            "info" => Some(Level::Info),
+            "warn" | "warning" => Some(Level::Warn),
+            "error" => Some(Level::Error),
+            _ => None,
+        }
+    }
+}
+
+/// 0 = uninitialised; otherwise threshold + 1 (5 = off).
+static THRESHOLD: AtomicU8 = AtomicU8::new(0);
+const OFF: u8 = 5;
+
+/// The active threshold: records below it are filtered. First call reads
+/// `IP_LOG` (default `warn`; `off`/`none` disables logging entirely);
+/// afterwards it is one relaxed atomic load.
+#[inline]
+pub fn threshold() -> Option<Level> {
+    match THRESHOLD.load(Ordering::Relaxed) {
+        0 => init_from_env(),
+        OFF => None,
+        n => Some(level_from(n - 1)),
+    }
+}
+
+fn level_from(n: u8) -> Level {
+    match n {
+        0 => Level::Debug,
+        1 => Level::Info,
+        2 => Level::Warn,
+        _ => Level::Error,
+    }
+}
+
+#[cold]
+fn init_from_env() -> Option<Level> {
+    let level = match std::env::var("IP_LOG") {
+        Ok(v) if matches!(v.trim().to_ascii_lowercase().as_str(), "off" | "none" | "0") => None,
+        Ok(v) => Some(Level::parse(&v).unwrap_or(Level::Warn)),
+        Err(_) => Some(Level::Warn),
+    };
+    THRESHOLD.store(level.map_or(OFF, |l| l as u8 + 1), Ordering::Relaxed);
+    level
+}
+
+/// Overrides the `IP_LOG` threshold (`None` disables logging). Used by the
+/// CLI's `--log-out` flag and by tests.
+pub fn set_threshold(level: Option<Level>) {
+    THRESHOLD.store(level.map_or(OFF, |l| l as u8 + 1), Ordering::Relaxed);
+}
+
+/// Whether a record at `level` would currently be emitted.
+#[inline]
+pub fn enabled_at(level: Level) -> bool {
+    threshold().is_some_and(|t| level >= t)
+}
+
+struct Limiter {
+    window_start_ms: u64,
+    emitted: u64,
+    suppressed: u64,
+}
+
+struct LogSink {
+    epoch: Option<Instant>,
+    seq: u64,
+    ring: VecDeque<String>,
+    // (target, level) → budget state. Target cardinality is a handful of
+    // static call sites, so a linear scan beats hashing.
+    limiters: Vec<(String, Level, Limiter)>,
+    out: Option<File>,
+    dropped: u64,
+}
+
+static SINK: Mutex<LogSink> = Mutex::new(LogSink {
+    epoch: None,
+    seq: 0,
+    ring: VecDeque::new(),
+    limiters: Vec::new(),
+    out: None,
+    dropped: 0,
+});
+
+/// Directs emitted lines to `path` (created or truncated) in addition to
+/// the in-memory ring. Pass-through errors come from `File::create`.
+pub fn set_output(path: &str) -> std::io::Result<()> {
+    let file = File::create(path)?;
+    let mut sink = SINK.lock().expect("obs log sink poisoned");
+    sink.out = Some(file);
+    Ok(())
+}
+
+/// Detaches the file output, if any (the ring keeps recording).
+pub fn clear_output() {
+    let mut sink = SINK.lock().expect("obs log sink poisoned");
+    sink.out = None;
+}
+
+/// Appends a record. Filtered records cost one atomic load; rate-limited
+/// records are counted (the count rides on the next emitted record for the
+/// same `(target, level)`). `fields` are numeric, like trace events.
+pub fn log(level: Level, target: &str, msg: &str, fields: &[(&str, f64)]) {
+    if !enabled_at(level) {
+        return;
+    }
+    let mut sink = SINK.lock().expect("obs log sink poisoned");
+    let sink = &mut *sink;
+    let epoch = *sink.epoch.get_or_insert_with(Instant::now);
+    let t_ms = epoch.elapsed().as_millis() as u64;
+
+    let idx = match sink
+        .limiters
+        .iter()
+        .position(|(t, l, _)| *l == level && t == target)
+    {
+        Some(i) => i,
+        None => {
+            sink.limiters.push((
+                target.to_string(),
+                level,
+                Limiter {
+                    window_start_ms: t_ms,
+                    emitted: 0,
+                    suppressed: 0,
+                },
+            ));
+            sink.limiters.len() - 1
+        }
+    };
+    let limiter = &mut sink.limiters[idx].2;
+    if t_ms.saturating_sub(limiter.window_start_ms) >= 1000 {
+        limiter.window_start_ms = t_ms;
+        limiter.emitted = 0;
+    }
+    if limiter.emitted >= RATE_LIMIT_PER_WINDOW {
+        limiter.suppressed += 1;
+        sink.dropped += 1;
+        return;
+    }
+    limiter.emitted += 1;
+    let suppressed = std::mem::take(&mut limiter.suppressed);
+
+    sink.seq += 1;
+    let mut line = String::with_capacity(96);
+    let _ = write!(
+        line,
+        "{{\"type\":\"log\",\"seq\":{},\"t_ms\":{},\"level\":{},\"target\":{},\"msg\":{},\"fields\":{{",
+        sink.seq,
+        t_ms,
+        json_string(level.as_str()),
+        json_string(target),
+        json_string(msg)
+    );
+    for (i, (k, v)) in fields.iter().enumerate() {
+        if i > 0 {
+            line.push(',');
+        }
+        let _ = write!(line, "{}:{}", json_string(k), json_number(*v));
+    }
+    let _ = write!(line, "}},\"suppressed\":{suppressed}}}");
+
+    if let Some(out) = sink.out.as_mut() {
+        // One write per line: concurrent threads serialize on the sink
+        // lock, so bytes can never interleave mid-record.
+        let _ = out.write_all(line.as_bytes());
+        let _ = out.write_all(b"\n");
+    }
+    if sink.ring.len() >= RING_CAP {
+        sink.ring.pop_front();
+        sink.dropped += 1;
+    }
+    sink.ring.push_back(line);
+}
+
+/// Shorthand for [`log`] at [`Level::Debug`].
+#[inline]
+pub fn debug(target: &str, msg: &str, fields: &[(&str, f64)]) {
+    log(Level::Debug, target, msg, fields);
+}
+
+/// Shorthand for [`log`] at [`Level::Info`].
+#[inline]
+pub fn info(target: &str, msg: &str, fields: &[(&str, f64)]) {
+    log(Level::Info, target, msg, fields);
+}
+
+/// Shorthand for [`log`] at [`Level::Warn`].
+#[inline]
+pub fn warn(target: &str, msg: &str, fields: &[(&str, f64)]) {
+    log(Level::Warn, target, msg, fields);
+}
+
+/// Shorthand for [`log`] at [`Level::Error`].
+#[inline]
+pub fn error(target: &str, msg: &str, fields: &[(&str, f64)]) {
+    log(Level::Error, target, msg, fields);
+}
+
+/// The most recent `n` rendered lines (oldest first), for the flight
+/// recorder and tests.
+pub fn recent(n: usize) -> Vec<String> {
+    let sink = SINK.lock().expect("obs log sink poisoned");
+    let skip = sink.ring.len().saturating_sub(n);
+    sink.ring.iter().skip(skip).cloned().collect()
+}
+
+/// Records filtered out by rate limiting or evicted from the ring.
+pub fn dropped() -> u64 {
+    SINK.lock().expect("obs log sink poisoned").dropped
+}
+
+/// Clears the ring, limiters, sequence, and file output (tests, repeated
+/// CLI runs).
+pub fn reset() {
+    let mut sink = SINK.lock().expect("obs log sink poisoned");
+    sink.seq = 0;
+    sink.ring.clear();
+    sink.limiters.clear();
+    sink.out = None;
+    sink.dropped = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_filter_and_render() {
+        let _g = crate::tests::GATE.lock().unwrap();
+        set_threshold(Some(Level::Warn));
+        reset();
+        debug("t", "hidden", &[]);
+        info("t", "hidden", &[]);
+        warn("serve.accept", "accept failed", &[("errno", 11.0)]);
+        error("serve.worker", "respond failed", &[]);
+        let lines = recent(10);
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"level\":\"warn\""));
+        assert!(lines[0].contains("\"target\":\"serve.accept\""));
+        assert!(lines[0].contains("\"errno\":11.0"));
+        assert!(lines[1].contains("\"level\":\"error\""));
+        assert!(lines[1].contains("\"seq\":2"));
+        set_threshold(None);
+        reset();
+    }
+
+    #[test]
+    fn rate_limit_suppresses_and_reports() {
+        let _g = crate::tests::GATE.lock().unwrap();
+        set_threshold(Some(Level::Warn));
+        reset();
+        for _ in 0..RATE_LIMIT_PER_WINDOW + 7 {
+            warn("hot", "flap", &[]);
+        }
+        let lines = recent(usize::MAX);
+        assert_eq!(lines.len(), RATE_LIMIT_PER_WINDOW as usize);
+        assert_eq!(dropped(), 7);
+        // Other targets are unaffected.
+        error("cold", "one-off", &[]);
+        assert_eq!(recent(usize::MAX).len() as u64, RATE_LIMIT_PER_WINDOW + 1);
+        set_threshold(None);
+        reset();
+    }
+
+    #[test]
+    fn off_threshold_disables_everything() {
+        let _g = crate::tests::GATE.lock().unwrap();
+        set_threshold(None);
+        reset();
+        error("t", "lost", &[]);
+        assert!(recent(10).is_empty());
+        assert!(!enabled_at(Level::Error));
+        reset();
+    }
+
+    #[test]
+    fn ring_is_bounded() {
+        let _g = crate::tests::GATE.lock().unwrap();
+        set_threshold(Some(Level::Debug));
+        reset();
+        // Spread across targets to dodge the per-target limiter.
+        for i in 0..RING_CAP + 10 {
+            let target = format!("t{}", i % 97);
+            // Burn through limiter windows by using many targets; the ring
+            // cap is what we're testing, so use debug level and accept
+            // limiter drops for repeated targets — emit enough to overflow.
+            debug(&target, "fill", &[("i", i as f64)]);
+        }
+        assert!(recent(usize::MAX).len() <= RING_CAP);
+        set_threshold(None);
+        reset();
+    }
+}

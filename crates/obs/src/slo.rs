@@ -1,0 +1,423 @@
+//! Multi-window, multi-burn-rate SLO evaluation over logical time.
+//!
+//! The paper's production deployment (§7.5) alerts on pool hit rate and
+//! customer wait time. This module turns those targets into *service level
+//! objectives* with an error budget, and evaluates **burn rate** — how
+//! fast the budget is being consumed relative to its sustainable rate — in
+//! two windows simultaneously (default 5 minutes and 1 hour of *logical*
+//! simulator time). An alert pages only when **both** windows burn hot:
+//! the long window proves the problem is material, the short window proves
+//! it is still happening. This is the standard multi-window multi-burn-rate
+//! construction from the SRE workbook, transplanted onto logical time so
+//! results are deterministic under any host load or `--speedup`.
+//!
+//! Two objectives are tracked per pool:
+//!
+//! * **hit rate** — an interval's misses are its "bad events"; the error
+//!   budget is `1 - hit_rate_objective` of all requests.
+//! * **wait time** — an interval is bad when its mean wait exceeds
+//!   `wait_objective_secs`; the budget is `1 - wait_compliance` of
+//!   intervals.
+//!
+//! Inputs are per-interval [`SloSample`]s derived from the simulator's
+//! interval stats; the tracker retains one long window of samples and
+//! evaluates both windows from that ring. Idle windows (no requests / no
+//! intervals) have zero error rate and never alert, matching the
+//! zero-traffic behaviour of the §7.5 alert rules.
+
+use std::collections::VecDeque;
+
+/// One interval's SLO-relevant outcomes, on the logical clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloSample {
+    /// Logical end time of the interval, in simulator seconds.
+    pub t: u64,
+    /// Requests arriving in the interval.
+    pub requests: u64,
+    /// Requests served from the pool (hits).
+    pub hits: u64,
+    /// Total seconds callers waited for requests in this interval (the
+    /// delta of the run-to-date cumulative wait).
+    pub wait_secs: f64,
+}
+
+impl SloSample {
+    /// Misses (bad events for the hit-rate objective).
+    pub fn misses(&self) -> u64 {
+        self.requests.saturating_sub(self.hits)
+    }
+
+    /// Mean wait per request, or 0 for an idle interval.
+    pub fn mean_wait(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.wait_secs / self.requests as f64
+        }
+    }
+}
+
+/// Objectives and window/burn thresholds for one pool.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloSpec {
+    /// Target fraction of requests served from the pool (e.g. `0.90`).
+    pub hit_rate_objective: f64,
+    /// An interval whose mean wait exceeds this is a bad interval.
+    pub wait_objective_secs: f64,
+    /// Target fraction of intervals meeting the wait objective.
+    pub wait_compliance: f64,
+    /// Short evaluation window, logical seconds.
+    pub short_window_secs: u64,
+    /// Long evaluation window, logical seconds.
+    pub long_window_secs: u64,
+    /// Page when both windows burn at ≥ this rate.
+    pub page_burn_rate: f64,
+    /// Warn when both windows burn at ≥ this rate.
+    pub warn_burn_rate: f64,
+}
+
+impl Default for SloSpec {
+    /// Paper-flavoured defaults: 90% hit rate (the reported production
+    /// figure), 60 s mean wait at 95% compliance, 5 m/1 h windows, and the
+    /// SRE-workbook 14.4×/6× burn thresholds.
+    fn default() -> Self {
+        Self {
+            hit_rate_objective: 0.90,
+            wait_objective_secs: 60.0,
+            wait_compliance: 0.95,
+            short_window_secs: 300,
+            long_window_secs: 3600,
+            page_burn_rate: 14.4,
+            warn_burn_rate: 6.0,
+        }
+    }
+}
+
+/// Alert severity for an objective or a whole pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Burn rate below the warning threshold in at least one window.
+    Ok,
+    /// Both windows burning at ≥ the warn threshold.
+    Warning,
+    /// Both windows burning at ≥ the page threshold.
+    Page,
+}
+
+impl Severity {
+    /// Lower-case name for JSON/docs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Severity::Ok => "ok",
+            Severity::Warning => "warning",
+            Severity::Page => "page",
+        }
+    }
+}
+
+/// Burn-rate measurement in one window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WindowBurn {
+    /// Window length, logical seconds.
+    pub window_secs: u64,
+    /// Bad events in the window.
+    pub bad: u64,
+    /// Total events in the window.
+    pub total: u64,
+    /// `bad / total` (0 when idle).
+    pub error_rate: f64,
+    /// `error_rate / error_budget`; `inf` when the budget is zero and
+    /// errors occurred.
+    pub burn_rate: f64,
+}
+
+/// One objective's evaluation across both windows.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ObjectiveStatus {
+    /// The objective (fraction of good events).
+    pub objective: f64,
+    /// Error budget, `1 - objective`.
+    pub budget: f64,
+    /// Short-window burn.
+    pub short: WindowBurn,
+    /// Long-window burn.
+    pub long: WindowBurn,
+    /// Severity; requires *both* windows over a threshold.
+    pub severity: Severity,
+}
+
+/// A pool's full SLO evaluation at one instant.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SloStatus {
+    /// Logical evaluation time.
+    pub t: u64,
+    /// Hit-rate objective status.
+    pub hit: ObjectiveStatus,
+    /// Wait-time objective status.
+    pub wait: ObjectiveStatus,
+    /// `max` of the two objective severities.
+    pub severity: Severity,
+}
+
+/// Per-pool tracker: retains a long window of samples, evaluates on
+/// demand.
+#[derive(Debug, Clone)]
+pub struct SloTracker {
+    spec: SloSpec,
+    samples: VecDeque<SloSample>,
+    last_t: u64,
+}
+
+impl SloTracker {
+    /// A tracker with no samples.
+    pub fn new(spec: SloSpec) -> Self {
+        Self {
+            spec,
+            samples: VecDeque::new(),
+            last_t: 0,
+        }
+    }
+
+    /// The spec this tracker evaluates against.
+    pub fn spec(&self) -> &SloSpec {
+        &self.spec
+    }
+
+    /// Records one interval sample (non-decreasing `t`) and evicts samples
+    /// that have aged out of the long window.
+    pub fn record(&mut self, sample: SloSample) {
+        self.last_t = self.last_t.max(sample.t);
+        self.samples.push_back(sample);
+        let horizon = self.last_t.saturating_sub(self.spec.long_window_secs);
+        while self
+            .samples
+            .front()
+            .is_some_and(|s| s.t <= horizon && self.samples.len() > 1)
+        {
+            self.samples.pop_front();
+        }
+    }
+
+    /// Number of retained samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// `true` when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    fn burn<F>(&self, window_secs: u64, budget: f64, mut tally: F) -> WindowBurn
+    where
+        F: FnMut(&SloSample) -> (u64, u64),
+    {
+        let horizon = self.last_t.saturating_sub(window_secs);
+        let (mut bad, mut total) = (0u64, 0u64);
+        for s in self.samples.iter().rev() {
+            if s.t <= horizon {
+                break;
+            }
+            let (b, n) = tally(s);
+            bad += b;
+            total += n;
+        }
+        let error_rate = if total == 0 {
+            0.0
+        } else {
+            bad as f64 / total as f64
+        };
+        let burn_rate = if error_rate == 0.0 {
+            0.0
+        } else if budget <= 0.0 {
+            f64::INFINITY
+        } else {
+            error_rate / budget
+        };
+        WindowBurn {
+            window_secs,
+            bad,
+            total,
+            error_rate,
+            burn_rate,
+        }
+    }
+
+    fn objective<F>(&self, objective: f64, tally: F) -> ObjectiveStatus
+    where
+        F: FnMut(&SloSample) -> (u64, u64) + Copy,
+    {
+        let budget = (1.0 - objective).max(0.0);
+        let short = self.burn(self.spec.short_window_secs, budget, tally);
+        let long = self.burn(self.spec.long_window_secs, budget, tally);
+        let both_at_least = |rate: f64| short.burn_rate >= rate && long.burn_rate >= rate;
+        let severity = if both_at_least(self.spec.page_burn_rate) {
+            Severity::Page
+        } else if both_at_least(self.spec.warn_burn_rate) {
+            Severity::Warning
+        } else {
+            Severity::Ok
+        };
+        ObjectiveStatus {
+            objective,
+            budget,
+            short,
+            long,
+            severity,
+        }
+    }
+
+    /// Evaluates both objectives over both windows as of the latest
+    /// recorded sample.
+    pub fn status(&self) -> SloStatus {
+        let spec = self.spec;
+        let hit = self.objective(spec.hit_rate_objective, |s: &SloSample| {
+            (s.misses(), s.requests)
+        });
+        let wait = self.objective(spec.wait_compliance, |s: &SloSample| {
+            if s.requests == 0 {
+                (0, 0)
+            } else {
+                (u64::from(s.mean_wait() > spec.wait_objective_secs), 1)
+            }
+        });
+        SloStatus {
+            t: self.last_t,
+            hit,
+            wait,
+            severity: hit.severity.max(wait.severity),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> SloSpec {
+        SloSpec::default()
+    }
+
+    fn sample(t: u64, requests: u64, hits: u64, wait: f64) -> SloSample {
+        SloSample {
+            t,
+            requests,
+            hits,
+            wait_secs: wait,
+        }
+    }
+
+    #[test]
+    fn healthy_pool_is_ok() {
+        let mut tr = SloTracker::new(spec());
+        for i in 1..=60 {
+            tr.record(sample(i * 60, 100, 98, 100.0));
+        }
+        let status = tr.status();
+        assert_eq!(status.severity, Severity::Ok);
+        // 2% misses against a 10% budget → burn 0.2.
+        assert!((status.hit.long.burn_rate - 0.2).abs() < 1e-9);
+        assert_eq!(status.wait.long.bad, 0);
+    }
+
+    #[test]
+    fn total_miss_pages_on_both_windows() {
+        let mut tr = SloTracker::new(spec());
+        for i in 1..=60 {
+            tr.record(sample(i * 60, 100, 0, 0.0));
+        }
+        let status = tr.status();
+        // 100% error rate / 10% budget = burn 10 → below 14.4 page bar…
+        assert!((status.hit.short.burn_rate - 10.0).abs() < 1e-9);
+        assert_eq!(status.hit.severity, Severity::Warning);
+
+        // …but a tighter objective (98%) pages: burn = 1.0 / 0.02 = 50.
+        let mut tight = SloTracker::new(SloSpec {
+            hit_rate_objective: 0.98,
+            ..spec()
+        });
+        for i in 1..=60 {
+            tight.record(sample(i * 60, 100, 0, 0.0));
+        }
+        let status = tight.status();
+        assert_eq!(status.hit.severity, Severity::Page);
+        assert_eq!(status.severity, Severity::Page);
+    }
+
+    #[test]
+    fn recovered_pool_stops_paging_when_short_window_clears() {
+        let mut tr = SloTracker::new(SloSpec {
+            hit_rate_objective: 0.98,
+            ..spec()
+        });
+        // 30 minutes of disaster, then 30 minutes of health: the long
+        // window still shows a material burn, but the short window is
+        // clean — no page (the condition requires both).
+        for i in 1..=30 {
+            tr.record(sample(i * 60, 100, 0, 0.0));
+        }
+        for i in 31..=60 {
+            tr.record(sample(i * 60, 100, 100, 0.0));
+        }
+        let status = tr.status();
+        assert!(status.hit.long.burn_rate > SloSpec::default().page_burn_rate);
+        assert_eq!(status.hit.short.bad, 0);
+        assert_eq!(status.hit.severity, Severity::Ok);
+    }
+
+    #[test]
+    fn wait_objective_counts_bad_intervals() {
+        let mut tr = SloTracker::new(SloSpec {
+            wait_objective_secs: 10.0,
+            wait_compliance: 0.9,
+            ..spec()
+        });
+        // All intervals blow the wait objective: error rate 1.0 against a
+        // 0.1 budget → burn 10 ≥ warn (6) but < page (14.4).
+        for i in 1..=60 {
+            tr.record(sample(i * 60, 10, 10, 200.0));
+        }
+        let status = tr.status();
+        assert_eq!(status.wait.long.bad, 60);
+        assert_eq!(status.wait.severity, Severity::Warning);
+        assert_eq!(status.severity, Severity::Warning);
+    }
+
+    #[test]
+    fn idle_pool_never_alerts() {
+        let mut tr = SloTracker::new(spec());
+        for i in 1..=60 {
+            tr.record(sample(i * 60, 0, 0, 0.0));
+        }
+        let status = tr.status();
+        assert_eq!(status.severity, Severity::Ok);
+        assert_eq!(status.hit.long.total, 0);
+        assert_eq!(status.hit.long.burn_rate, 0.0);
+        assert_eq!(status.wait.long.total, 0);
+    }
+
+    #[test]
+    fn samples_age_out_of_the_long_window() {
+        let mut tr = SloTracker::new(spec());
+        for i in 1..=200 {
+            tr.record(sample(i * 60, 1, 1, 0.0));
+        }
+        // 1 h window at 60 s intervals keeps ~60 samples.
+        assert!(tr.len() <= 61);
+        let status = tr.status();
+        assert_eq!(status.hit.long.total, 60);
+        assert_eq!(status.hit.short.total, 5);
+    }
+
+    #[test]
+    fn zero_budget_with_errors_burns_infinitely() {
+        let mut tr = SloTracker::new(SloSpec {
+            hit_rate_objective: 1.0,
+            ..spec()
+        });
+        tr.record(sample(60, 10, 9, 0.0));
+        let status = tr.status();
+        assert!(status.hit.short.burn_rate.is_infinite());
+        assert_eq!(status.hit.severity, Severity::Page);
+    }
+}

@@ -223,6 +223,35 @@ pub(crate) fn begin_span(name: &'static str) -> SpanGuard {
     }
 }
 
+/// Records an already-measured span (callers go through
+/// [`crate::span_timed`]): explicit start instant + duration, parented to
+/// the current thread's innermost *open* span. Used for phases whose
+/// extent is only known after the fact — a request's queue wait or parse
+/// time — so they can appear as children of the request span.
+pub(crate) fn record_span_timed(name: &'static str, start: Instant, dur_ns: u64) {
+    let epoch = epoch();
+    let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+    let parent = SPAN_STACK.with(|stack| stack.borrow().last().copied());
+    // A start predating the trace epoch (the first-ever record) clamps
+    // to 0 rather than panicking on the unsigned subtraction.
+    let start_ns = start
+        .checked_duration_since(epoch)
+        .map_or(0, |d| d.as_nanos() as u64);
+    let mut sink = SINK.lock().expect("obs trace sink poisoned");
+    if sink.spans.len() + sink.events.len() >= MAX_RECORDS {
+        sink.dropped += 1;
+        return;
+    }
+    sink.spans.push(SpanRecord {
+        id,
+        parent,
+        name: name.to_string(),
+        thread: thread_label(),
+        start_ns,
+        dur_ns,
+    });
+}
+
 /// Appends an event (callers go through [`crate::event`]).
 pub(crate) fn record_event(name: &str, t: u64, fields: &[(&str, f64)]) {
     let mut sink = SINK.lock().expect("obs trace sink poisoned");

@@ -14,9 +14,10 @@
 //! status fields, same report.
 
 use ip_core::{
-    autotuned_provider, merge_snapshots, named_provider, Alert, CostModel, Dashboard, DynProvider,
-    MetricsSnapshot,
+    autotuned_provider, merge_snapshots, named_provider, Alert, AlertRule, CostModel, Dashboard,
+    DynProvider, MetricsSnapshot,
 };
+use ip_obs::{Severity, SloSpec, SloStatus, SloTracker};
 use ip_saa::SaaConfig;
 use ip_sim::{
     FleetPool, FleetSim, IntervalStat, LeaseId, LeaseTable, PoolId, RecommendationFile, SimConfig,
@@ -143,6 +144,8 @@ struct PoolState {
     autotune: bool,
     target_wait_secs: f64,
     end_time: u64,
+    /// Demand interval width, for SLO sample timestamps.
+    interval_secs: u64,
     intervals_total: usize,
     injected: u64,
     reloads: u64,
@@ -175,6 +178,13 @@ pub struct Controller {
     /// Alerts firing as of the latest tick (evaluated on the merged
     /// fleet snapshot).
     pub alerts: Vec<Alert>,
+    /// PR 8: per-pool SLO burn-rate trackers (registration order), fed
+    /// from the same interval-stat stream as the dashboards.
+    slo: Vec<SloTracker>,
+    /// How many interval stats each tracker has already consumed.
+    slo_fed: Vec<usize>,
+    /// Previous cumulative wait per pool (SLO samples carry the delta).
+    slo_prev_wait: Vec<f64>,
 }
 
 impl Controller {
@@ -218,6 +228,7 @@ impl Controller {
                 autotune,
                 target_wait_secs,
                 end_time: 0, // filled in below, once the stepper exists
+                interval_secs: pool.demand.interval_secs(),
                 intervals_total: pool.demand.len(),
                 injected: 0,
                 reloads: 0,
@@ -234,6 +245,8 @@ impl Controller {
         let lease_id = leases.grant("controller", 0, lease_secs);
         let dashboard = Dashboard::new(CostModel::default());
         let snapshots = vec![dashboard.stream().snapshot(); states.len()];
+        let spec = SloSpec::default();
+        let n = states.len();
         Ok(Self {
             fleet: Some(fleet),
             pools: states,
@@ -243,7 +256,20 @@ impl Controller {
             lease_secs,
             snapshots,
             alerts: Vec::new(),
+            slo: (0..n).map(|_| SloTracker::new(spec)).collect(),
+            slo_fed: vec![0; n],
+            slo_prev_wait: vec![0.0; n],
         })
+    }
+
+    /// Replaces every pool's SLO objectives, resetting the trackers (and
+    /// their fed-cursors, so the existing interval history is replayed
+    /// against the new objectives on the next [`Controller::feed_slo`]).
+    pub fn set_slo_spec(&mut self, spec: SloSpec) {
+        let n = self.pools.len();
+        self.slo = (0..n).map(|_| SloTracker::new(spec)).collect();
+        self.slo_fed = vec![0; n];
+        self.slo_prev_wait = vec![0.0; n];
     }
 
     /// Number of pools in the fleet.
@@ -486,6 +512,171 @@ impl Controller {
             self.leases.sweep(now);
             self.lease_id = self.leases.grant("controller", now, self.lease_secs);
         }
+    }
+
+    /// Feeds every interval stat the simulator has produced since the last
+    /// call into the per-pool SLO trackers (same stream the dashboards
+    /// consume, so SLO verdicts and snapshots always describe the same
+    /// logical frontier). Cheap when nothing advanced.
+    pub fn feed_slo(&mut self) {
+        for i in 0..self.pools.len() {
+            let stats: &[IntervalStat] = match &self.fleet {
+                Some(fleet) => fleet.stepper(i).interval_stats(),
+                None => self.pools[i]
+                    .report
+                    .as_ref()
+                    .map_or(&[], |r| &r.interval_stats),
+            };
+            let interval_secs = self.pools[i].interval_secs;
+            for s in &stats[self.slo_fed[i].min(stats.len())..] {
+                let sample = s.slo_sample(self.slo_prev_wait[i], interval_secs);
+                self.slo_prev_wait[i] = s.cum_wait_secs;
+                self.slo[i].record(sample);
+            }
+            self.slo_fed[i] = stats.len();
+        }
+    }
+
+    /// Pool `i`'s current SLO evaluation.
+    pub fn slo_status_of(&self, i: usize) -> SloStatus {
+        self.slo[i].status()
+    }
+
+    /// Burn-rate alerts across the fleet: one [`Alert`] per pool whose SLO
+    /// severity is Warning or Page, carrying the
+    /// [`AlertRule::SloBurnRate`] rule. The controller tick appends these
+    /// to the snapshot-derived alerts, so `/status` and `/slo` agree.
+    pub fn slo_alerts(&self) -> Vec<Alert> {
+        let mut alerts = Vec::new();
+        for (i, tracker) in self.slo.iter().enumerate() {
+            let status = tracker.status();
+            if status.severity == Severity::Ok {
+                continue;
+            }
+            let worst = if status.hit.severity >= status.wait.severity {
+                ("hit-rate", &status.hit)
+            } else {
+                ("wait", &status.wait)
+            };
+            alerts.push(Alert {
+                rule: AlertRule::SloBurnRate(self.pools[i].id.as_str().to_string()),
+                message: format!(
+                    "pool {:?} SLO burn ({}): severity {}, {} objective {:.3}, \
+                     burn {:.2}x/{:.2}x over {}s/{}s windows",
+                    self.pools[i].id.as_str(),
+                    worst.0,
+                    status.severity.as_str(),
+                    worst.0,
+                    worst.1.objective,
+                    worst.1.short.burn_rate,
+                    worst.1.long.burn_rate,
+                    worst.1.short.window_secs,
+                    worst.1.long.window_secs,
+                ),
+            });
+        }
+        alerts
+    }
+
+    fn burn_content(w: &ip_obs::WindowBurn) -> Content {
+        // An infinite burn (zero budget with errors) serializes as null —
+        // JSON has no Inf, and a schema-stable null beats a parse error.
+        let burn = if w.burn_rate.is_finite() {
+            Content::F64(w.burn_rate)
+        } else {
+            Content::Null
+        };
+        Content::Map(vec![
+            ("window_secs".to_string(), Content::U64(w.window_secs)),
+            ("bad".to_string(), Content::U64(w.bad)),
+            ("total".to_string(), Content::U64(w.total)),
+            ("error_rate".to_string(), Content::F64(w.error_rate)),
+            ("burn_rate".to_string(), burn),
+        ])
+    }
+
+    fn objective_content(o: &ip_obs::ObjectiveStatus) -> Content {
+        Content::Map(vec![
+            ("objective".to_string(), Content::F64(o.objective)),
+            ("budget".to_string(), Content::F64(o.budget)),
+            ("short".to_string(), Self::burn_content(&o.short)),
+            ("long".to_string(), Self::burn_content(&o.long)),
+            (
+                "severity".to_string(),
+                Content::Str(o.severity.as_str().to_string()),
+            ),
+        ])
+    }
+
+    /// The `GET /slo` document: the spec in force plus every pool's
+    /// two-objective, two-window burn evaluation. Building the [`Content`]
+    /// tree is the only part that needs the controller lock.
+    pub fn slo_doc(&self) -> Content {
+        let spec = self
+            .slo
+            .first()
+            .map_or_else(SloSpec::default, |t| *t.spec());
+        let spec_doc = Content::Map(vec![
+            (
+                "hit_rate_objective".to_string(),
+                Content::F64(spec.hit_rate_objective),
+            ),
+            (
+                "wait_objective_secs".to_string(),
+                Content::F64(spec.wait_objective_secs),
+            ),
+            (
+                "wait_compliance".to_string(),
+                Content::F64(spec.wait_compliance),
+            ),
+            (
+                "short_window_secs".to_string(),
+                Content::U64(spec.short_window_secs),
+            ),
+            (
+                "long_window_secs".to_string(),
+                Content::U64(spec.long_window_secs),
+            ),
+            (
+                "page_burn_rate".to_string(),
+                Content::F64(spec.page_burn_rate),
+            ),
+            (
+                "warn_burn_rate".to_string(),
+                Content::F64(spec.warn_burn_rate),
+            ),
+        ]);
+        let pools = (0..self.pools.len())
+            .map(|i| {
+                let status = self.slo[i].status();
+                Content::Map(vec![
+                    (
+                        "pool".to_string(),
+                        Content::Str(self.pools[i].id.as_str().to_string()),
+                    ),
+                    ("logical_time".to_string(), Content::U64(status.t)),
+                    (
+                        "severity".to_string(),
+                        Content::Str(status.severity.as_str().to_string()),
+                    ),
+                    ("hit".to_string(), Self::objective_content(&status.hit)),
+                    ("wait".to_string(), Self::objective_content(&status.wait)),
+                    (
+                        "samples".to_string(),
+                        Content::U64(self.slo[i].len() as u64),
+                    ),
+                ])
+            })
+            .collect();
+        Content::Map(vec![
+            ("spec".to_string(), spec_doc),
+            ("pools".to_string(), Content::Seq(pools)),
+        ])
+    }
+
+    /// [`Controller::slo_doc`] serialized to a JSON string.
+    pub fn slo_json(&self) -> Result<String, String> {
+        serde_json::to_string(&self.slo_doc()).map_err(|e| format!("slo document: {e:?}"))
     }
 
     /// Closes every pool's integrals at the current watermark and stores
@@ -905,6 +1096,81 @@ mod tests {
                 .and_then(Content::as_u64),
             Some(0)
         );
+    }
+
+    #[test]
+    fn degraded_pool_pages_through_slo_trackers() {
+        // A pool with target 0 serves nothing from the pool: every request
+        // is a miss. Against a 98% hit objective the burn rate is 50x in
+        // both windows — a page.
+        let mut ctl = Controller::new(
+            vec![PoolServeConfig {
+                sim: SimConfig {
+                    default_pool_target: 0,
+                    tau_jitter_secs: 0,
+                    ..Default::default()
+                },
+                ..PoolServeConfig::new(demand(40))
+            }],
+            300,
+        )
+        .unwrap();
+        ctl.set_slo_spec(SloSpec {
+            hit_rate_objective: 0.98,
+            ..SloSpec::default()
+        });
+        ctl.step_to(u64::MAX);
+        ctl.feed_slo();
+        let status = ctl.slo_status_of(0);
+        assert_eq!(status.severity, Severity::Page, "{status:?}");
+        let alerts = ctl.slo_alerts();
+        assert_eq!(alerts.len(), 1);
+        assert!(matches!(&alerts[0].rule, AlertRule::SloBurnRate(p) if p == "default"));
+        assert!(alerts[0].message.contains("page"), "{}", alerts[0].message);
+
+        // The /slo document carries the same verdict, parseably.
+        let doc: Content = serde_json::from_str(&ctl.slo_json().unwrap()).unwrap();
+        let Some(Content::Seq(pools)) = doc.field("pools") else {
+            panic!("slo doc must carry a pools array");
+        };
+        assert_eq!(
+            pools[0].field("severity"),
+            Some(&Content::Str("page".into()))
+        );
+        assert!(pools[0]
+            .field("hit")
+            .and_then(|h| h.field("short"))
+            .is_some());
+    }
+
+    #[test]
+    fn healthy_pool_slo_is_ok_and_feed_is_idempotent() {
+        // Target 8 over a ≤3-request demand: after warmup every request
+        // hits, so the short window is clean and no alert fires (warmup
+        // misses age out of the paging condition, which needs BOTH
+        // windows hot).
+        let mut ctl = Controller::new(
+            vec![PoolServeConfig {
+                sim: SimConfig {
+                    default_pool_target: 8,
+                    tau_jitter_secs: 0,
+                    ..Default::default()
+                },
+                ..PoolServeConfig::new(demand(40))
+            }],
+            300,
+        )
+        .unwrap();
+        ctl.step_to(u64::MAX);
+        ctl.feed_slo();
+        let samples = ctl.slo_status_of(0);
+        ctl.feed_slo(); // no new intervals → no new samples
+        assert_eq!(ctl.slo_status_of(0), samples);
+        assert!(ctl.slo_alerts().is_empty());
+        // Finalize keeps the SLO view intact (report-backed stats).
+        ctl.finalize();
+        ctl.feed_slo();
+        assert_eq!(ctl.slo_status_of(0), samples);
     }
 
     #[test]

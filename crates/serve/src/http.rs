@@ -19,7 +19,7 @@
 
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Ceiling on the header block; anything larger is rejected outright.
 const MAX_HEAD_BYTES: usize = 16 * 1024;
@@ -90,6 +90,11 @@ pub struct Request {
     /// defaults to no unless `Connection: keep-alive`. Forced to `false`
     /// once the connection hits [`MAX_REQUESTS_PER_CONN`].
     pub keep_alive: bool,
+    /// Wall-clock nanoseconds spent reading + parsing this request, from
+    /// its first byte (or pipelined leftover) to the parsed body. Always 0
+    /// when observability is disabled — the clock is never read on the
+    /// gated-off path.
+    pub parse_nanos: u64,
 }
 
 /// What [`Connection::read_next`] produced. Only mid-request failures are
@@ -256,6 +261,11 @@ impl Connection {
 
         // A request has begun (buffered bytes exist): the remainder must
         // arrive within READ_TIMEOUT per read.
+        let parse_start = if ip_obs::enabled() {
+            Some(Instant::now())
+        } else {
+            None
+        };
         let _ = self.stream.set_read_timeout(Some(READ_TIMEOUT));
 
         let head_end = loop {
@@ -343,6 +353,7 @@ impl Connection {
             path,
             body,
             keep_alive,
+            parse_nanos: parse_start.map_or(0, |t| t.elapsed().as_nanos() as u64),
         }))
     }
 

@@ -20,16 +20,19 @@
 //!    entry-by-entry lock-free and then applied under a single controller
 //!    lock acquisition ([`Controller::inject_batch`]).
 //!
-//! | Endpoint         | Method | Purpose                                     |
-//! |------------------|--------|---------------------------------------------|
-//! | `/metrics`       | GET    | Prometheus text exposition (`ip-obs`)       |
-//! | `/healthz`       | GET    | liveness — 200 while the process runs       |
-//! | `/readyz`        | GET    | readiness — 200 once the controller started |
-//! | `/status`        | GET    | JSON dashboard snapshot + active alerts     |
-//! | `/pools`         | GET    | the fleet: per-pool specs and progress      |
-//! | `/requests`      | POST   | inject arrivals into a pool's live replay   |
-//! | `/reload`        | POST   | swap a pool's recommendation model / `α'`   |
-//! | `/shutdown`      | POST   | graceful drain and exit                     |
+//! | Endpoint          | Method | Purpose                                     |
+//! |-------------------|--------|---------------------------------------------|
+//! | `/metrics`        | GET    | Prometheus text exposition (`ip-obs`)       |
+//! | `/healthz`        | GET    | liveness — 200 while the process runs       |
+//! | `/readyz`         | GET    | readiness — 200 once the controller started |
+//! | `/status`         | GET    | JSON dashboard snapshot + active alerts     |
+//! | `/pools`          | GET    | the fleet: per-pool specs and progress      |
+//! | `/slo`            | GET    | per-pool SLO burn rates (PR 8, §7.5)        |
+//! | `/debug/requests` | GET    | recent slow requests, phase-timed           |
+//! | `/debug/flight`   | GET    | the flight recorder (`ip-flight/1` JSON)    |
+//! | `/requests`       | POST   | inject arrivals into a pool's live replay   |
+//! | `/reload`         | POST   | swap a pool's recommendation model / `α'`   |
+//! | `/shutdown`       | POST   | graceful drain and exit                     |
 //!
 //! The daemon controls a **fleet**: N first-class pools, each with its own
 //! demand trace, simulator config, recommendation pipeline, and α′ loop,
@@ -49,7 +52,7 @@
 
 use std::collections::VecDeque;
 use std::net::TcpListener;
-use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -144,6 +147,17 @@ pub struct ServeConfig {
     /// on every response (the pre-PR-7 transport; kept as the bench
     /// baseline and an operational escape hatch).
     pub keep_alive: bool,
+    /// SLO objectives every pool is evaluated against (PR 8): hit-rate
+    /// and wait targets, window lengths, and burn-rate thresholds.
+    pub slo: ip_obs::SloSpec,
+    /// Write the flight-recorder dump (`ip-flight/1` JSON) to this path
+    /// when the daemon drains.
+    pub flight_out: Option<String>,
+    /// A request whose total service time (queue wait + parse + handle +
+    /// write) is at least this many microseconds lands in the bounded
+    /// slow-request ring served at `GET /debug/requests`. `0` records
+    /// every request (tests); `u64::MAX` effectively disables the ring.
+    pub slow_request_micros: u64,
 }
 
 impl ServeConfig {
@@ -162,6 +176,9 @@ impl ServeConfig {
             alert_rules: default_alert_rules(),
             workers: 0,
             keep_alive: true,
+            slo: ip_obs::SloSpec::default(),
+            flight_out: None,
+            slow_request_micros: 1_000,
         }
     }
 
@@ -212,6 +229,14 @@ pub struct ServeOutcome {
 struct PendingConn {
     conn: Connection,
     idle_deadline: Instant,
+    /// Request-scoped trace id, minted at accept time (PR 8). Every
+    /// request served off this connection carries it through the worker
+    /// shard into the slow-request ring and log records.
+    trace_id: u64,
+    /// When the connection was last pushed onto a shard queue; the first
+    /// request served after a dequeue reports `now - enqueued` as its
+    /// queue-wait phase.
+    enqueued: Instant,
 }
 
 /// One worker's slice of the connection queue. The accept loop
@@ -223,7 +248,47 @@ struct PendingConn {
 struct Shard {
     queue: Mutex<VecDeque<PendingConn>>,
     available: Condvar,
+    /// Connections this shard's worker has stolen from siblings (PR 8
+    /// observability; published as `ip_serve_worker_steals_total`).
+    steals: AtomicU64,
+    /// Idle keep-alive connections parked back on this shard's queue
+    /// (published as `ip_serve_worker_idle_requeues_total`).
+    requeues: AtomicU64,
 }
+
+/// One entry of the bounded slow-request ring (`GET /debug/requests`).
+struct SlowRequest {
+    trace_id: u64,
+    method: String,
+    path: String,
+    status: u16,
+    queue_us: u64,
+    parse_us: u64,
+    handle_us: u64,
+    write_us: u64,
+    total_us: u64,
+    body_bytes: u64,
+}
+
+impl SlowRequest {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("trace_id".to_string(), Content::U64(self.trace_id)),
+            ("method".to_string(), Content::Str(self.method.clone())),
+            ("path".to_string(), Content::Str(self.path.clone())),
+            ("status".to_string(), Content::U64(u64::from(self.status))),
+            ("queue_us".to_string(), Content::U64(self.queue_us)),
+            ("parse_us".to_string(), Content::U64(self.parse_us)),
+            ("handle_us".to_string(), Content::U64(self.handle_us)),
+            ("write_us".to_string(), Content::U64(self.write_us)),
+            ("total_us".to_string(), Content::U64(self.total_us)),
+            ("body_bytes".to_string(), Content::U64(self.body_bytes)),
+        ])
+    }
+}
+
+/// Retained slow requests.
+const SLOW_RING_CAP: usize = 128;
 
 /// State shared by the controller, accept, and worker threads.
 struct Inner {
@@ -234,6 +299,17 @@ struct Inner {
     alert_rules: Vec<AlertRule>,
     speedup: f64,
     interval_secs: u64,
+    /// Monotonic trace-id source (PR 8); `fetch_add` at accept time.
+    next_trace_id: AtomicU64,
+    /// Currently open control-plane connections (accepted, not yet
+    /// closed; parked idle connections count as open).
+    open_conns: AtomicI64,
+    /// Bounded ring of recent slow requests, newest at the back.
+    slow_ring: Mutex<VecDeque<SlowRequest>>,
+    /// Threshold for the ring, in microseconds of total service time.
+    slow_request_micros: u64,
+    /// Where to write the flight dump on drain, if anywhere.
+    flight_out: Option<String>,
 }
 
 impl Inner {
@@ -256,6 +332,9 @@ impl Inner {
                 return;
             }
             if self.transition(cur, Phase::Draining) {
+                // t=0: the drain request arrives off the logical clock;
+                // the controller's final notes carry the real watermark.
+                ip_obs::flight::note(0, "drain", "drain requested");
                 self.wake_all_workers();
                 return;
             }
@@ -295,6 +374,9 @@ impl Daemon {
             alert_rules,
             workers: worker_config,
             keep_alive,
+            slo,
+            flight_out,
+            slow_request_micros,
         } = config;
         if !(speedup.is_finite() && speedup > 0.0) {
             return Err(format!(
@@ -331,7 +413,8 @@ impl Daemon {
             .map(|p| ((p.sim.arbitrator.lease_secs as f64 * speedup).ceil() as u64).max(1))
             .max()
             .unwrap_or(1);
-        let ctl = Controller::new(pools, lease_secs)?;
+        let mut ctl = Controller::new(pools, lease_secs)?;
+        ctl.set_slo_spec(slo);
 
         let listener = TcpListener::bind(("127.0.0.1", port))
             .map_err(|e| format!("bind 127.0.0.1:{port}: {e}"))?;
@@ -354,6 +437,11 @@ impl Daemon {
             alert_rules,
             speedup,
             interval_secs,
+            next_trace_id: AtomicU64::new(1),
+            open_conns: AtomicI64::new(0),
+            slow_ring: Mutex::new(VecDeque::new()),
+            slow_request_micros,
+            flight_out,
         });
 
         let mut workers = Vec::with_capacity(worker_count);
@@ -381,6 +469,11 @@ impl Daemon {
                 .map_err(|e| format!("spawn controller: {e}"))?
         };
         inner.transition(Phase::Starting, Phase::Running);
+        ip_obs::log::info(
+            "serve.daemon",
+            &format!("listening on http://{addr}"),
+            &[("workers", worker_count as f64)],
+        );
         Ok(Self {
             inner,
             addr,
@@ -421,6 +514,27 @@ impl Daemon {
         let _ = controller.join();
         let mut ctl = inner.ctl.lock().expect("controller poisoned");
         ctl.finalize();
+        ctl.feed_slo();
+        ip_obs::flight::note(
+            ctl.watermark(),
+            "shutdown",
+            "daemon drained; threads joined",
+        );
+        ip_obs::log::info(
+            "serve.daemon",
+            "drained; threads joined",
+            &[("injected", ctl.injected() as f64)],
+        );
+        if let Some(path) = &inner.flight_out {
+            let dump = ip_obs::flight::dump_with(&flight_sections(&ctl, &inner));
+            if let Err(e) = std::fs::write(path, dump) {
+                ip_obs::log::error(
+                    "serve.flight",
+                    &format!("failed to write flight dump to {path}: {e}"),
+                    &[],
+                );
+            }
+        }
         let mut pool_reports: Vec<(String, SimReport)> = ctl
             .take_reports()
             .into_iter()
@@ -461,6 +575,95 @@ fn describe_serve_metrics() {
         "ip_serve_reloads_total",
         "Recommendation-provider reloads served via POST /reload.",
     );
+    ip_obs::describe(
+        "ip_serve_request_seconds",
+        "Control-plane request service time (queue+parse+handle+write), by endpoint, method, and status.",
+    );
+    ip_obs::describe(
+        "ip_serve_request_phase_seconds",
+        "Control-plane request time split by phase (queue, parse, handle, write).",
+    );
+    ip_obs::describe(
+        "ip_serve_response_bytes",
+        "Control-plane response body sizes, by endpoint.",
+    );
+    ip_obs::describe(
+        "ip_serve_worker_queue_depth",
+        "Pending connections per worker shard, sampled each controller tick.",
+    );
+    ip_obs::describe(
+        "ip_serve_worker_steals_total",
+        "Connections a worker stole from sibling shards.",
+    );
+    ip_obs::describe(
+        "ip_serve_worker_idle_requeues_total",
+        "Idle keep-alive connections parked back on a shard queue.",
+    );
+    ip_obs::describe(
+        "ip_serve_open_connections",
+        "Currently open control-plane connections (parked idle ones included).",
+    );
+}
+
+/// Histogram bounds for request/phase latencies, in seconds: 100 µs up to
+/// 2.5 s, roughly ×2.5 per step.
+const LATENCY_BUCKETS: [f64; 12] = [
+    0.000_1, 0.000_25, 0.000_5, 0.001, 0.002_5, 0.005, 0.01, 0.025, 0.05, 0.1, 0.5, 2.5,
+];
+
+/// Histogram bounds for response body sizes, in bytes.
+const BODY_BUCKETS: [f64; 8] = [
+    64.0,
+    256.0,
+    1_024.0,
+    4_096.0,
+    16_384.0,
+    65_536.0,
+    262_144.0,
+    1_048_576.0,
+];
+
+/// Collapses a request path onto the daemon's known endpoints, so metric
+/// label cardinality is bounded no matter what clients send.
+fn endpoint_label(path: &str) -> &'static str {
+    match path {
+        "/metrics" => "/metrics",
+        "/healthz" => "/healthz",
+        "/readyz" => "/readyz",
+        "/status" => "/status",
+        "/pools" => "/pools",
+        "/slo" => "/slo",
+        "/debug/requests" => "/debug/requests",
+        "/debug/flight" => "/debug/flight",
+        "/requests" => "/requests",
+        "/reload" => "/reload",
+        "/shutdown" => "/shutdown",
+        _ => "other",
+    }
+}
+
+/// Collapses a request method the same way (clients control the string).
+fn method_label(method: &str) -> &'static str {
+    match method {
+        "GET" => "GET",
+        "POST" => "POST",
+        _ => "other",
+    }
+}
+
+/// Status code as a static label (the daemon emits a closed set).
+fn status_label(status: u16) -> &'static str {
+    match status {
+        200 => "200",
+        400 => "400",
+        404 => "404",
+        405 => "405",
+        409 => "409",
+        413 => "413",
+        500 => "500",
+        503 => "503",
+        _ => "other",
+    }
 }
 
 /// How long the controller sleeps between ticks: one demand interval of
@@ -480,6 +683,13 @@ fn controller_loop(inner: &Inner) {
     // would compute it.
     let mut streams: Vec<_> = (0..pool_count).map(|_| dashboard.stream()).collect();
     let mut fed = vec![0usize; pool_count];
+    // Delta watermarks for the always-incremented shard atomics, so the
+    // obs counters see exactly the increments since the last tick.
+    let mut published_steals = vec![0u64; inner.shards.len()];
+    let mut published_requeues = vec![0u64; inner.shards.len()];
+    // Severity transitions (Ok <-> Warning/Page) land as flight notes;
+    // this remembers the last severity to note only the edges.
+    let mut last_severity = vec![ip_obs::Severity::Ok; pool_count];
     let started = Instant::now();
     let tick = tick_duration(inner.interval_secs, inner.speedup);
     loop {
@@ -498,12 +708,17 @@ fn controller_loop(inner: &Inner) {
                 }
                 ctl.snapshots[i] = streams[i].snapshot();
             }
-            ctl.alerts = evaluate_alerts(&merge_snapshots(&ctl.snapshots), &inner.alert_rules);
+            ctl.feed_slo();
+            let mut alerts = evaluate_alerts(&merge_snapshots(&ctl.snapshots), &inner.alert_rules);
+            alerts.extend(ctl.slo_alerts());
+            ctl.alerts = alerts;
             let now = ctl.watermark().max(logical);
             ctl.tick_lease(now);
+            record_tick_flight(inner, &ctl, now, &mut last_severity);
             ip_obs::counter_inc("ip_serve_ticks_total", &[]);
             ctl.is_done()
         };
+        publish_worker_metrics(inner, &mut published_steals, &mut published_requeues);
         if done || inner.phase() >= Phase::Draining {
             break;
         }
@@ -514,10 +729,100 @@ fn controller_loop(inner: &Inner) {
     // full per-pool reports exactly.
     let mut ctl = inner.ctl.lock().expect("controller poisoned");
     ctl.finalize();
-    ctl.alerts = evaluate_alerts(&merge_snapshots(&ctl.snapshots), &inner.alert_rules);
+    ctl.feed_slo();
+    let mut alerts = evaluate_alerts(&merge_snapshots(&ctl.snapshots), &inner.alert_rules);
+    alerts.extend(ctl.slo_alerts());
+    ctl.alerts = alerts;
+    ip_obs::flight::note(ctl.watermark(), "completed", "trace fully processed");
     drop(ctl);
     // Running → Completed; if a drain already started, leave it be.
     inner.transition(Phase::Running, Phase::Completed);
+}
+
+/// Appends one controller tick to the flight recorder: a compact numeric
+/// snapshot plus notes on SLO severity *transitions* (edges, not levels,
+/// so a long incident is one note, not a note per tick).
+fn record_tick_flight(
+    inner: &Inner,
+    ctl: &Controller,
+    now: u64,
+    last_severity: &mut [ip_obs::Severity],
+) {
+    let queue_depth: usize = inner
+        .shards
+        .iter()
+        .map(|s| s.queue.lock().expect("shard poisoned").len())
+        .sum();
+    ip_obs::flight::record_snapshot(
+        now,
+        &[
+            ("intervals_processed", ctl.processed_intervals() as f64),
+            ("injected_requests", ctl.injected() as f64),
+            ("alerts", ctl.alerts.len() as f64),
+            (
+                "open_connections",
+                inner.open_conns.load(Ordering::Relaxed) as f64,
+            ),
+            ("queue_depth", queue_depth as f64),
+        ],
+    );
+    for (i, last) in last_severity.iter_mut().enumerate() {
+        let severity = ctl.slo_status_of(i).severity;
+        if severity != *last {
+            ip_obs::flight::note(
+                now,
+                "slo_severity",
+                &format!(
+                    "pool {:?}: {} -> {}",
+                    ctl.pool_names()[i],
+                    last.as_str(),
+                    severity.as_str()
+                ),
+            );
+            *last = severity;
+        }
+    }
+}
+
+/// Publishes the sharded-worker internals as metrics (PR 8 satellite):
+/// per-shard queue-depth gauges and steal/idle-requeue counter deltas,
+/// plus the open-connection gauge. The shard atomics are always
+/// incremented (relaxed, uncontended); this converts them to registry
+/// series once per tick, so the per-request hot path never touches the
+/// registry for them.
+fn publish_worker_metrics(
+    inner: &Inner,
+    published_steals: &mut [u64],
+    published_requeues: &mut [u64],
+) {
+    if !ip_obs::enabled() {
+        return;
+    }
+    for (i, shard) in inner.shards.iter().enumerate() {
+        let label = i.to_string();
+        let labels = [("shard", label.as_str())];
+        let depth = shard.queue.lock().expect("shard poisoned").len();
+        ip_obs::gauge_set("ip_serve_worker_queue_depth", &labels, depth as f64);
+        let steals = shard.steals.load(Ordering::Relaxed);
+        ip_obs::counter_add(
+            "ip_serve_worker_steals_total",
+            &labels,
+            (steals - published_steals[i]) as f64,
+        );
+        published_steals[i] = steals;
+        let requeues = shard.requeues.load(Ordering::Relaxed);
+        ip_obs::counter_add(
+            "ip_serve_worker_idle_requeues_total",
+            &labels,
+            (requeues - published_requeues[i]) as f64,
+        );
+        published_requeues[i] = requeues;
+    }
+    ip_obs::gauge_set(
+        "ip_serve_open_connections",
+        &[],
+        inner.open_conns.load(Ordering::Relaxed) as f64,
+    );
 }
 
 fn accept_loop(listener: &TcpListener, inner: &Inner) {
@@ -532,10 +837,14 @@ fn accept_loop(listener: &TcpListener, inner: &Inner) {
             Ok((stream, _)) => {
                 let shard = &inner.shards[next % inner.shards.len()];
                 next = next.wrapping_add(1);
+                let now = Instant::now();
                 let pending = PendingConn {
                     conn: Connection::new(stream),
-                    idle_deadline: Instant::now() + http::IDLE_TIMEOUT,
+                    idle_deadline: now + http::IDLE_TIMEOUT,
+                    trace_id: inner.next_trace_id.fetch_add(1, Ordering::Relaxed),
+                    enqueued: now,
                 };
+                inner.open_conns.fetch_add(1, Ordering::Relaxed);
                 let mut queue = shard.queue.lock().expect("shard poisoned");
                 queue.push_back(pending);
                 drop(queue);
@@ -544,7 +853,10 @@ fn accept_loop(listener: &TcpListener, inner: &Inner) {
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                 std::thread::sleep(Duration::from_millis(10));
             }
-            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            Err(e) => {
+                ip_obs::log::warn("serve.accept", &format!("accept failed: {e}"), &[]);
+                std::thread::sleep(Duration::from_millis(10));
+            }
         }
     }
     inner.wake_all_workers();
@@ -568,6 +880,8 @@ fn next_conn(inner: &Inner, me: usize) -> Option<PendingConn> {
                 .lock()
                 .expect("shard poisoned");
             if let Some(pending) = queue.pop_front() {
+                drop(queue);
+                inner.shards[me].steals.fetch_add(1, Ordering::Relaxed);
                 return Some(pending);
             }
         }
@@ -587,55 +901,214 @@ fn next_conn(inner: &Inner, me: usize) -> Option<PendingConn> {
 
 fn worker_loop(inner: &Inner, me: usize) {
     while let Some(pending) = next_conn(inner, me) {
-        serve_connection(inner, me, pending);
+        if !serve_connection(inner, me, pending) {
+            inner.open_conns.fetch_sub(1, Ordering::Relaxed);
+        }
     }
 }
 
 /// Serves requests off one connection until it closes, errors, exhausts
 /// its idle deadline, or yields the worker (an idle connection is parked
 /// back on the shard whenever other connections are waiting, so a quiet
-/// keep-alive client never pins a worker thread).
-fn serve_connection(inner: &Inner, me: usize, mut pending: PendingConn) {
+/// keep-alive client never pins a worker thread). Returns `true` when the
+/// connection was parked back on a queue (still open), `false` when it
+/// closed.
+fn serve_connection(inner: &Inner, me: usize, mut pending: PendingConn) -> bool {
+    // Queue wait applies to the first request served after this dequeue;
+    // later requests on the held connection never sat on a queue.
+    let mut dequeued = Some(Instant::now());
     loop {
         if inner.phase() >= Phase::Draining {
-            return;
+            return false;
         }
         match pending.conn.read_next(IDLE_SLICE) {
             Ok(ReadOutcome::Request(request)) => {
-                ip_obs::counter_inc(
-                    "ip_serve_http_requests_total",
-                    &[("path", &request.path), ("method", &request.method)],
-                );
+                let obs = ip_obs::enabled();
+                let queue_wait = dequeued.take().map_or(Duration::ZERO, |at| {
+                    at.saturating_duration_since(pending.enqueued)
+                });
+                let served_at = Instant::now();
                 let keep = request.keep_alive && inner.keep_alive;
-                let response = route(inner, &request);
-                if pending.conn.respond(&response, keep).is_err() || !keep {
-                    return;
+                let endpoint = endpoint_label(&request.path);
+                let method = method_label(&request.method);
+                let (response, handle_dur) = {
+                    // The request span stays open across the phase records
+                    // below, so they parent under it in the trace tree.
+                    let _req = ip_obs::span("http.request");
+                    if obs {
+                        ip_obs::counter_inc(
+                            "ip_serve_http_requests_total",
+                            &[("path", endpoint), ("method", method)],
+                        );
+                        if !queue_wait.is_zero() {
+                            ip_obs::span_timed(
+                                "http.queue_wait",
+                                served_at.checked_sub(queue_wait).unwrap_or(served_at),
+                                queue_wait,
+                            );
+                        }
+                        if request.parse_nanos > 0 {
+                            let parse = Duration::from_nanos(request.parse_nanos);
+                            ip_obs::span_timed(
+                                "http.parse",
+                                served_at.checked_sub(parse).unwrap_or(served_at),
+                                parse,
+                            );
+                        }
+                    }
+                    let handle_start = Instant::now();
+                    let response = {
+                        let _handle = ip_obs::span("http.handle");
+                        route(inner, &request)
+                    };
+                    (response, handle_start.elapsed())
+                };
+                let write_start = Instant::now();
+                let write_ok = pending.conn.respond(&response, keep).is_ok();
+                let write_dur = write_start.elapsed();
+                if obs {
+                    ip_obs::span_timed("http.write", write_start, write_dur);
+                    let status = status_label(response.status);
+                    let parse = Duration::from_nanos(request.parse_nanos);
+                    let total = queue_wait + parse + handle_dur + write_dur;
+                    ip_obs::observe_with(
+                        "ip_serve_request_seconds",
+                        &[("path", endpoint), ("method", method), ("status", status)],
+                        &LATENCY_BUCKETS,
+                        total.as_secs_f64(),
+                    );
+                    ip_obs::observe_with(
+                        "ip_serve_request_phase_seconds",
+                        &[("phase", "queue")],
+                        &LATENCY_BUCKETS,
+                        queue_wait.as_secs_f64(),
+                    );
+                    ip_obs::observe_with(
+                        "ip_serve_request_phase_seconds",
+                        &[("phase", "parse")],
+                        &LATENCY_BUCKETS,
+                        parse.as_secs_f64(),
+                    );
+                    ip_obs::observe_with(
+                        "ip_serve_request_phase_seconds",
+                        &[("phase", "handle")],
+                        &LATENCY_BUCKETS,
+                        handle_dur.as_secs_f64(),
+                    );
+                    ip_obs::observe_with(
+                        "ip_serve_request_phase_seconds",
+                        &[("phase", "write")],
+                        &LATENCY_BUCKETS,
+                        write_dur.as_secs_f64(),
+                    );
+                    ip_obs::observe_with(
+                        "ip_serve_response_bytes",
+                        &[("path", endpoint)],
+                        &BODY_BUCKETS,
+                        response.body.len() as f64,
+                    );
+                }
+                record_slow_request(
+                    inner,
+                    &pending,
+                    &request,
+                    &response,
+                    SlowPhases {
+                        queue: queue_wait,
+                        parse: Duration::from_nanos(request.parse_nanos),
+                        handle: handle_dur,
+                        write: write_dur,
+                    },
+                );
+                if !write_ok {
+                    ip_obs::log::warn(
+                        "serve.http",
+                        &format!(
+                            "write failed on {} {} (client gone?)",
+                            request.method, request.path
+                        ),
+                        &[("trace_id", pending.trace_id as f64)],
+                    );
+                    return false;
+                }
+                if !keep {
+                    return false;
                 }
                 pending.idle_deadline = Instant::now() + http::IDLE_TIMEOUT;
             }
             Ok(ReadOutcome::IdleClosed) => {
                 if Instant::now() >= pending.idle_deadline {
-                    return; // idle timeout: close quietly, not an error
+                    return false; // idle timeout: close quietly, not an error
                 }
                 // If other connections wait on this worker's shard, park
                 // the idle one at the back instead of burning the slot.
                 let mut queue = inner.shards[me].queue.lock().expect("shard poisoned");
                 if !queue.is_empty() {
+                    pending.enqueued = Instant::now();
                     queue.push_back(pending);
                     drop(queue);
+                    inner.shards[me].requeues.fetch_add(1, Ordering::Relaxed);
                     inner.shards[me].available.notify_one();
-                    return;
+                    return true;
                 }
             }
-            Ok(ReadOutcome::Eof) => return,
+            Ok(ReadOutcome::Eof) => return false,
             Err(e) => {
+                ip_obs::log::warn(
+                    "serve.http",
+                    &format!("bad request ({}): {e}", e.status()),
+                    &[("trace_id", pending.trace_id as f64)],
+                );
                 let _ = pending
                     .conn
                     .respond(&Response::json_error(e.status(), &e.to_string()), false);
-                return;
+                return false;
             }
         }
     }
+}
+
+/// The four timed phases of one served request.
+struct SlowPhases {
+    queue: Duration,
+    parse: Duration,
+    handle: Duration,
+    write: Duration,
+}
+
+/// Pushes the request onto the slow ring when its total service time
+/// clears the configured threshold. Always on (like the flight recorder):
+/// the ring is bounded and only touched for requests already slow enough
+/// to have paid orders of magnitude more than this lock.
+fn record_slow_request(
+    inner: &Inner,
+    pending: &PendingConn,
+    request: &Request,
+    response: &Response,
+    phases: SlowPhases,
+) {
+    let total = phases.queue + phases.parse + phases.handle + phases.write;
+    let total_us = total.as_micros() as u64;
+    if total_us < inner.slow_request_micros {
+        return;
+    }
+    let entry = SlowRequest {
+        trace_id: pending.trace_id,
+        method: request.method.clone(),
+        path: request.path.clone(),
+        status: response.status,
+        queue_us: phases.queue.as_micros() as u64,
+        parse_us: phases.parse.as_micros() as u64,
+        handle_us: phases.handle.as_micros() as u64,
+        write_us: phases.write.as_micros() as u64,
+        total_us,
+        body_bytes: response.body.len() as u64,
+    };
+    let mut ring = inner.slow_ring.lock().expect("slow ring poisoned");
+    if ring.len() >= SLOW_RING_CAP {
+        ring.pop_front();
+    }
+    ring.push_back(entry);
 }
 
 /// Dispatches one request against the controller.
@@ -669,18 +1142,74 @@ fn route(inner: &Inner, request: &Request) -> Response {
                 Err(e) => Response::json_error(500, &format!("pools document: {e:?}")),
             }
         }
+        ("GET", "/slo") => {
+            let doc = {
+                let ctl = inner.ctl.lock().expect("controller poisoned");
+                ctl.slo_doc()
+            };
+            match serde_json::to_string(&doc) {
+                Ok(body) => Response::json(200, body),
+                Err(e) => Response::json_error(500, &format!("slo document: {e:?}")),
+            }
+        }
+        ("GET", "/debug/requests") => {
+            let doc = slow_requests_doc(inner);
+            match serde_json::to_string(&doc) {
+                Ok(body) => Response::json(200, body),
+                Err(e) => Response::json_error(500, &format!("requests document: {e:?}")),
+            }
+        }
+        ("GET", "/debug/flight") => {
+            // Build the pre-serialized sections under the controller lock,
+            // render the (independently-locked) flight rings outside it.
+            let sections = {
+                let ctl = inner.ctl.lock().expect("controller poisoned");
+                flight_sections(&ctl, inner)
+            };
+            Response::json(200, ip_obs::flight::dump_with(&sections))
+        }
         ("POST", "/requests") => post_requests(inner, &request.body),
         ("POST", "/reload") => post_reload(inner, &request.body),
         ("POST", "/shutdown") => {
             inner.begin_drain();
             Response::json(200, "{\"state\":\"draining\"}")
         }
-        (_, "/metrics" | "/healthz" | "/readyz" | "/status" | "/pools") => {
-            Response::json_error(405, "use GET")
-        }
+        (
+            _,
+            "/metrics" | "/healthz" | "/readyz" | "/status" | "/pools" | "/slo" | "/debug/requests"
+            | "/debug/flight",
+        ) => Response::json_error(405, "use GET"),
         (_, "/requests" | "/reload" | "/shutdown") => Response::json_error(405, "use POST"),
         _ => Response::json_error(404, "unknown path"),
     }
+}
+
+/// The `GET /debug/requests` document: the slow-request ring, oldest
+/// first, plus the threshold in force.
+fn slow_requests_doc(inner: &Inner) -> Content {
+    let requests = {
+        let ring = inner.slow_ring.lock().expect("slow ring poisoned");
+        ring.iter().map(SlowRequest::to_content).collect()
+    };
+    Content::Map(vec![
+        (
+            "slow_threshold_us".to_string(),
+            Content::U64(inner.slow_request_micros),
+        ),
+        ("requests".to_string(), Content::Seq(requests)),
+    ])
+}
+
+/// Pre-serializes the serve stack's sections of a flight dump: the SLO
+/// statuses and the slow-request ring. Needs the controller lock held by
+/// the caller (passed as `ctl`).
+fn flight_sections(ctl: &Controller, inner: &Inner) -> Vec<(&'static str, String)> {
+    let slo = ctl
+        .slo_json()
+        .unwrap_or_else(|e| format!("{{\"error\":{:?}}}", e));
+    let slow = serde_json::to_string(&slow_requests_doc(inner))
+        .unwrap_or_else(|e| format!("{{\"error\":\"{e:?}\"}}"));
+    vec![("slo", slo), ("slow_requests", slow)]
 }
 
 /// Pulls the optional `"pool"` string out of a request body. `Ok(None)`
@@ -907,6 +1436,11 @@ mod tests {
             alert_rules: Vec::new(),
             speedup: 1.0,
             interval_secs: 30,
+            next_trace_id: AtomicU64::new(1),
+            open_conns: AtomicI64::new(0),
+            slow_ring: Mutex::new(VecDeque::new()),
+            slow_request_micros: 1_000,
+            flight_out: None,
         };
         inner.begin_drain();
         assert_eq!(inner.phase(), Phase::Draining);

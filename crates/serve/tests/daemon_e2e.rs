@@ -708,6 +708,163 @@ fn keepalive_batched_daemon_matches_one_shot_and_offline() {
     );
 }
 
+/// PR 8 acceptance: a seeded degraded run — a pool that can serve nothing
+/// (target 0) against a 98% hit objective — makes the SLO burn-rate
+/// engine raise a **paging** alert, visible at `GET /slo`, in `/status`'s
+/// alert list, in the flight recorder (`GET /debug/flight` and the
+/// on-drain dump file), with phase-timed slow requests at
+/// `GET /debug/requests` and the PR 7 worker internals on `/metrics`.
+#[test]
+fn degraded_run_pages_at_slo_and_lands_in_flight_dump() {
+    let _guard = OBS_LOCK.lock().unwrap();
+    ip_obs::reset();
+    ip_obs::flight::reset();
+    ip_obs::log::reset();
+    ip_obs::set_enabled(true);
+
+    let flight_path = std::env::temp_dir().join(format!(
+        "ip-serve-flight-{}-{:?}.json",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_file(&flight_path);
+
+    let mut config = ServeConfig::new(demand(120));
+    config.sim = SimConfig {
+        default_pool_target: 0, // the pool serves nothing: every request misses
+        seed: 42,
+        ..Default::default()
+    };
+    config.speedup = 2_000.0;
+    config.slo = ip_obs::SloSpec {
+        hit_rate_objective: 0.98,
+        ..ip_obs::SloSpec::default()
+    };
+    config.slow_request_micros = 0; // record every request in the debug ring
+    config.flight_out = Some(flight_path.to_string_lossy().into_owned());
+    let daemon = Daemon::start(config).expect("daemon starts");
+    let addr = daemon.addr();
+
+    wait_for_state(addr, "completed");
+
+    // The burn-rate engine pages: 100% misses against a 2% budget burns
+    // 50x in both windows.
+    let (code, body) = http(addr, "GET", "/slo", "");
+    assert_eq!(code, 200, "{body}");
+    let slo = parse_json(&body);
+    let Some(Content::Seq(pools)) = slo.field("pools") else {
+        panic!("/slo must carry a pools array: {body}");
+    };
+    assert_eq!(pools.len(), 1);
+    assert_eq!(
+        pools[0].field("severity"),
+        Some(&Content::Str("page".into())),
+        "degraded pool must page: {body}"
+    );
+    let hit = pools[0].field("hit").expect("hit objective present");
+    let short_burn = hit
+        .field("short")
+        .and_then(|w| w.field("burn_rate"))
+        .and_then(Content::as_f64)
+        .expect("short-window burn rate");
+    assert!(short_burn >= 14.4, "short burn {short_burn} must page");
+    assert!(
+        slo.field("spec").is_some(),
+        "/slo carries the spec in force"
+    );
+
+    // The same verdict rides /status's alert list.
+    let (_, status_body) = http(addr, "GET", "/status", "");
+    assert!(
+        status_body.contains("SLO burn"),
+        "status alerts must carry the burn alert: {status_body}"
+    );
+
+    // Slow-request ring: threshold 0 records every request, phase-timed
+    // and trace-id-tagged.
+    let (code, body) = http(addr, "GET", "/debug/requests", "");
+    assert_eq!(code, 200, "{body}");
+    let doc = parse_json(&body);
+    let Some(Content::Seq(requests)) = doc.field("requests") else {
+        panic!("/debug/requests must carry a requests array: {body}");
+    };
+    assert!(!requests.is_empty(), "ring must have captured requests");
+    let entry = requests.last().unwrap();
+    assert!(entry.field("trace_id").and_then(Content::as_u64).unwrap() >= 1);
+    for phase in ["queue_us", "parse_us", "handle_us", "write_us", "total_us"] {
+        assert!(
+            entry.field(phase).and_then(Content::as_u64).is_some(),
+            "slow request missing {phase}: {body}"
+        );
+    }
+
+    // The flight recorder serves the same story over HTTP…
+    let (code, flight_body) = http(addr, "GET", "/debug/flight", "");
+    assert_eq!(code, 200);
+    let flight = parse_json(&flight_body);
+    assert_eq!(
+        flight.field("schema"),
+        Some(&Content::Str("ip-flight/1".into()))
+    );
+    assert!(
+        matches!(flight.field("snapshots"), Some(Content::Seq(s)) if !s.is_empty()),
+        "flight dump must carry tick snapshots"
+    );
+    let page_in_sections = flight
+        .field("sections")
+        .and_then(|s| s.field("slo"))
+        .and_then(|s| s.field("pools"))
+        .map(|p| format!("{p:?}").contains("page"))
+        .unwrap_or(false);
+    assert!(
+        page_in_sections,
+        "flight slo section must show the page: {flight_body}"
+    );
+    assert!(
+        flight_body.contains("slo_severity"),
+        "severity transition must be noted: {flight_body}"
+    );
+
+    // …and the worker internals are on /metrics.
+    let (_, metrics_text) = http(addr, "GET", "/metrics", "");
+    let exposition = ip_obs::export::parse_exposition(&metrics_text).expect("exposition parses");
+    for family in [
+        "ip_serve_worker_queue_depth",
+        "ip_serve_worker_steals_total",
+        "ip_serve_worker_idle_requeues_total",
+        "ip_serve_open_connections",
+    ] {
+        assert!(
+            exposition.samples.iter().any(|s| s.name == family),
+            "{family} missing from /metrics"
+        );
+    }
+    assert!(
+        exposition
+            .samples
+            .iter()
+            .any(|s| s.name == "ip_serve_request_seconds_bucket"),
+        "request latency histogram missing from /metrics"
+    );
+
+    assert_eq!(http(addr, "POST", "/shutdown", "").0, 200);
+    daemon.join();
+    ip_obs::set_enabled(false);
+
+    // The drain wrote the dump to disk, same schema, same verdict.
+    let dumped = std::fs::read_to_string(&flight_path).expect("flight dump written on drain");
+    let on_disk = parse_json(&dumped);
+    assert_eq!(
+        on_disk.field("schema"),
+        Some(&Content::Str("ip-flight/1".into()))
+    );
+    assert!(
+        dumped.contains("\"shutdown\""),
+        "on-disk dump must note the shutdown: {dumped}"
+    );
+    let _ = std::fs::remove_file(&flight_path);
+}
+
 /// Keep-alive multiplexing and batch-inject validation: many requests on
 /// one socket (including error responses, which keep the connection
 /// alive), empty batches and partially-bad batches rejected whole with

@@ -179,6 +179,26 @@ pub struct IntervalStat {
     pub cum_worker_replacements: u64,
 }
 
+impl IntervalStat {
+    /// This interval as an SLO sample for the `ip_obs::slo` burn-rate
+    /// engine. Wait is cumulative in the stream, so the caller supplies
+    /// the previous record's `cum_wait_secs` (0.0 for the first) to get
+    /// the interval's own wait; `interval_secs` stamps the sample at the
+    /// interval's *end*, the moment its outcomes are known.
+    pub fn slo_sample(
+        &self,
+        prev_cum_wait_secs: f64,
+        interval_secs: u64,
+    ) -> ip_obs::slo::SloSample {
+        ip_obs::slo::SloSample {
+            t: self.time_secs + interval_secs,
+            requests: self.requests,
+            hits: self.hits,
+            wait_secs: (self.cum_wait_secs - prev_cum_wait_secs).max(0.0),
+        }
+    }
+}
+
 /// Aggregate results of a simulation run.
 #[derive(Debug, Clone)]
 pub struct SimReport {

@@ -4,12 +4,16 @@
 //! smoke step runs this after an instrumented `ip-pool simulate`.
 //!
 //! ```text
-//! cargo run --example obs_check -- metrics.prom trace.jsonl [required-metric...]
+//! cargo run --example obs_check -- metrics.prom trace.jsonl \
+//!     [--log daemon.log] [required-metric...]
 //! ```
 //!
 //! Exits non-zero (with a message) if either file fails to parse, a required
 //! metric family is missing, or the trace summary disagrees with the lines
-//! actually present.
+//! actually present. With `--log`, additionally validates a structured log
+//! file (`ip-pool --log-out`) against the documented JSONL schema: every
+//! line a `"type":"log"` record with a known level, strictly increasing
+//! `seq`, and non-empty target/message.
 
 use intelligent_pooling::obs::export::parse_prometheus;
 use serde::Deserialize;
@@ -37,6 +41,17 @@ struct SummaryLine {
     dropped: u64,
 }
 
+#[derive(Deserialize)]
+struct LogLine {
+    seq: u64,
+    t_ms: u64,
+    level: String,
+    target: String,
+    msg: String,
+    fields: BTreeMap<String, f64>,
+    suppressed: u64,
+}
+
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
@@ -48,9 +63,21 @@ fn main() -> ExitCode {
 }
 
 fn run() -> Result<(), String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let log_path = match args.iter().position(|a| a == "--log") {
+        Some(i) if i + 1 < args.len() => {
+            args.remove(i);
+            Some(args.remove(i))
+        }
+        Some(_) => return Err("--log requires a file argument".into()),
+        None => None,
+    };
     let [prom_path, jsonl_path, required @ ..] = args.as_slice() else {
-        return Err("usage: obs_check <metrics.prom> <trace.jsonl> [required-metric...]".into());
+        return Err(
+            "usage: obs_check <metrics.prom> <trace.jsonl> [--log <log.jsonl>] \
+             [required-metric...]"
+                .into(),
+        );
     };
 
     // -- Prometheus text exposition --------------------------------------
@@ -114,14 +141,54 @@ fn run() -> Result<(), String> {
     let field_count: usize = events.iter().map(|e| e.fields.len()).sum();
     let last_t = events.iter().map(|e| e.t).max().unwrap_or(0);
 
+    // -- structured log (--log-out) ---------------------------------------
+    let mut log_lines = 0usize;
+    if let Some(path) = &log_path {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let mut prev_seq = 0u64;
+        let mut suppressed_total = 0u64;
+        for (i, line) in text.lines().enumerate() {
+            let at = |e: serde::Error| format!("{path}:{}: {e}", i + 1);
+            if !line.contains("\"type\":\"log\"") {
+                return Err(format!("{path}:{}: not a log record", i + 1));
+            }
+            let rec: LogLine = serde_json::from_str(line).map_err(at)?;
+            if !matches!(rec.level.as_str(), "debug" | "info" | "warn" | "error") {
+                return Err(format!("{path}:{}: unknown level {:?}", i + 1, rec.level));
+            }
+            if rec.target.is_empty() || rec.msg.is_empty() {
+                return Err(format!("{path}:{}: empty target or msg", i + 1));
+            }
+            if rec.seq <= prev_seq {
+                return Err(format!(
+                    "{path}:{}: seq {} not increasing (prev {prev_seq})",
+                    i + 1,
+                    rec.seq
+                ));
+            }
+            prev_seq = rec.seq;
+            suppressed_total += rec.suppressed;
+            // Field values are numeric; t_ms is monotone per-process but
+            // records from different threads may interleave, so only touch it.
+            let _ = (rec.t_ms, rec.fields.len());
+            log_lines += 1;
+        }
+        if log_lines == 0 {
+            return Err(format!("{path}: no log records (was IP_LOG too strict?)"));
+        }
+        let _ = suppressed_total;
+    }
+
     println!(
-        "ok: {} prometheus samples, {} spans, {} events ({} fields, last t={}s), {} dropped",
+        "ok: {} prometheus samples, {} spans, {} events ({} fields, last t={}s), \
+         {} dropped, {} log lines",
         samples.len(),
         spans.len(),
         events.len(),
         field_count,
         last_t,
-        summary.dropped
+        summary.dropped,
+        log_lines
     );
     Ok(())
 }

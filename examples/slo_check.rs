@@ -1,0 +1,336 @@
+//! Validates the PR 8 observability surfaces with the same code an external
+//! consumer would use: `GET /slo` and a flight-recorder dump (`GET
+//! /debug/flight` or `--flight-out`) are parsed with the vendored
+//! `serde_json` against the documented schemas. CI's SLO smoke step runs
+//! this after draining an instrumented daemon.
+//!
+//! ```text
+//! cargo run --example slo_check -- slo.json flight.json [required-severity]
+//! ```
+//!
+//! Exits non-zero (with a message) if either document fails to parse, the
+//! flight schema tag is wrong, the embedded `sections.slo` disagrees with
+//! the live `/slo` document's pool set, or (when `required-severity` is
+//! given) no pool currently sits at that severity.
+
+use serde::Deserialize;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+#[derive(Deserialize)]
+struct WindowBurnDoc {
+    window_secs: u64,
+    bad: u64,
+    total: u64,
+    error_rate: f64,
+    // `null` when the budget is zero: JSON has no Inf.
+    burn_rate: Option<f64>,
+}
+
+#[derive(Deserialize)]
+struct ObjectiveDoc {
+    objective: f64,
+    budget: f64,
+    short: WindowBurnDoc,
+    long: WindowBurnDoc,
+    severity: String,
+}
+
+#[derive(Deserialize)]
+struct SpecDoc {
+    hit_rate_objective: f64,
+    wait_objective_secs: f64,
+    wait_compliance: f64,
+    short_window_secs: u64,
+    long_window_secs: u64,
+    page_burn_rate: f64,
+    warn_burn_rate: f64,
+}
+
+#[derive(Deserialize)]
+struct PoolSloDoc {
+    pool: String,
+    logical_time: u64,
+    severity: String,
+    hit: ObjectiveDoc,
+    wait: ObjectiveDoc,
+    samples: u64,
+}
+
+#[derive(Deserialize)]
+struct SloDoc {
+    spec: SpecDoc,
+    pools: Vec<PoolSloDoc>,
+}
+
+#[derive(Deserialize)]
+struct SnapshotDoc {
+    t: u64,
+    metrics: BTreeMap<String, f64>,
+}
+
+#[derive(Deserialize)]
+struct NoteDoc {
+    t: u64,
+    kind: String,
+    detail: String,
+}
+
+#[derive(Deserialize)]
+struct SlowRequestDoc {
+    trace_id: u64,
+    method: String,
+    path: String,
+    status: u64,
+    queue_us: u64,
+    parse_us: u64,
+    handle_us: u64,
+    write_us: u64,
+    total_us: u64,
+    body_bytes: u64,
+}
+
+#[derive(Deserialize)]
+struct SlowRequestsDoc {
+    slow_threshold_us: u64,
+    requests: Vec<SlowRequestDoc>,
+}
+
+#[derive(Deserialize)]
+struct SectionsDoc {
+    slo: SloDoc,
+    slow_requests: SlowRequestsDoc,
+}
+
+#[derive(Deserialize)]
+struct LogRecordDoc {
+    seq: u64,
+    level: String,
+    target: String,
+    msg: String,
+}
+
+#[derive(Deserialize)]
+struct FlightDoc {
+    schema: String,
+    snapshots: Vec<SnapshotDoc>,
+    dropped_snapshots: u64,
+    notes: Vec<NoteDoc>,
+    dropped_notes: u64,
+    logs: Vec<LogRecordDoc>,
+    sections: SectionsDoc,
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("slo_check: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn check_objective(pool: &str, name: &str, spec: &SpecDoc, o: &ObjectiveDoc) -> Result<(), String> {
+    if !matches!(o.severity.as_str(), "ok" | "warning" | "page") {
+        return Err(format!(
+            "pool {pool:?} {name}: unknown severity {:?}",
+            o.severity
+        ));
+    }
+    if !(0.0..=1.0).contains(&o.budget) {
+        return Err(format!("pool {pool:?} {name}: budget {} invalid", o.budget));
+    }
+    if !o.objective.is_finite() || o.objective < 0.0 {
+        return Err(format!(
+            "pool {pool:?} {name}: objective {} invalid",
+            o.objective
+        ));
+    }
+    for (label, w, want_secs) in [
+        ("short", &o.short, spec.short_window_secs),
+        ("long", &o.long, spec.long_window_secs),
+    ] {
+        if w.window_secs != want_secs {
+            return Err(format!(
+                "pool {pool:?} {name}.{label}: window {}s != spec {}s",
+                w.window_secs, want_secs
+            ));
+        }
+        if w.bad > w.total {
+            return Err(format!(
+                "pool {pool:?} {name}.{label}: bad {} > total {}",
+                w.bad, w.total
+            ));
+        }
+        if !(0.0..=1.0).contains(&w.error_rate) {
+            return Err(format!(
+                "pool {pool:?} {name}.{label}: error_rate {} out of [0,1]",
+                w.error_rate
+            ));
+        }
+        if let Some(b) = w.burn_rate {
+            if !b.is_finite() || b < 0.0 {
+                return Err(format!(
+                    "pool {pool:?} {name}.{label}: burn_rate {b} not a finite non-negative"
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_slo(doc: &SloDoc, origin: &str) -> Result<(), String> {
+    let spec = &doc.spec;
+    if !(0.0..=1.0).contains(&spec.hit_rate_objective)
+        || !(0.0..=1.0).contains(&spec.wait_compliance)
+    {
+        return Err(format!("{origin}: spec objectives out of [0,1]"));
+    }
+    if spec.wait_objective_secs < 0.0 {
+        return Err(format!("{origin}: negative wait objective"));
+    }
+    if spec.short_window_secs == 0 || spec.short_window_secs >= spec.long_window_secs {
+        return Err(format!(
+            "{origin}: windows not ordered ({}s / {}s)",
+            spec.short_window_secs, spec.long_window_secs
+        ));
+    }
+    if spec.page_burn_rate < spec.warn_burn_rate {
+        return Err(format!(
+            "{origin}: page burn {} below warn burn {}",
+            spec.page_burn_rate, spec.warn_burn_rate
+        ));
+    }
+    if doc.pools.is_empty() {
+        return Err(format!("{origin}: no pools"));
+    }
+    for p in &doc.pools {
+        if p.pool.is_empty() {
+            return Err(format!("{origin}: pool with empty name"));
+        }
+        if !matches!(p.severity.as_str(), "ok" | "warning" | "page") {
+            return Err(format!(
+                "{origin}: pool {:?} unknown severity {:?}",
+                p.pool, p.severity
+            ));
+        }
+        check_objective(&p.pool, "hit", spec, &p.hit).map_err(|e| format!("{origin}: {e}"))?;
+        check_objective(&p.pool, "wait", spec, &p.wait).map_err(|e| format!("{origin}: {e}"))?;
+        // Touch the remaining fields so a type regression fails the parse.
+        let _ = (p.logical_time, p.samples);
+    }
+    Ok(())
+}
+
+fn run() -> Result<(), String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (slo_path, flight_path, required) = match args.as_slice() {
+        [s, f] => (s, f, None),
+        [s, f, sev] => (s, f, Some(sev.as_str())),
+        _ => return Err("usage: slo_check <slo.json> <flight.json> [required-severity]".into()),
+    };
+
+    // -- GET /slo ---------------------------------------------------------
+    let text = std::fs::read_to_string(slo_path).map_err(|e| format!("{slo_path}: {e}"))?;
+    let live: SloDoc = serde_json::from_str(&text).map_err(|e| format!("{slo_path}: {e}"))?;
+    check_slo(&live, slo_path)?;
+
+    // -- flight dump ------------------------------------------------------
+    let text = std::fs::read_to_string(flight_path).map_err(|e| format!("{flight_path}: {e}"))?;
+    let flight: FlightDoc =
+        serde_json::from_str(&text).map_err(|e| format!("{flight_path}: {e}"))?;
+    if flight.schema != "ip-flight/1" {
+        return Err(format!(
+            "{flight_path}: unexpected schema {:?}",
+            flight.schema
+        ));
+    }
+    if flight.snapshots.is_empty() {
+        return Err(format!(
+            "{flight_path}: no snapshots (did the controller tick?)"
+        ));
+    }
+    let mut prev_t = 0;
+    for s in &flight.snapshots {
+        if s.t < prev_t {
+            return Err(format!("{flight_path}: snapshot t {} regressed", s.t));
+        }
+        prev_t = s.t;
+        if s.metrics.is_empty() {
+            return Err(format!("{flight_path}: snapshot at t={} is empty", s.t));
+        }
+    }
+    for n in &flight.notes {
+        if n.kind.is_empty() || n.detail.is_empty() {
+            return Err(format!("{flight_path}: note at t={} missing text", n.t));
+        }
+    }
+    for l in &flight.logs {
+        if !matches!(l.level.as_str(), "debug" | "info" | "warn" | "error") {
+            return Err(format!(
+                "{flight_path}: log seq {} unknown level {:?}",
+                l.seq, l.level
+            ));
+        }
+        if l.target.is_empty() || l.msg.is_empty() {
+            return Err(format!("{flight_path}: log seq {} missing text", l.seq));
+        }
+    }
+    check_slo(&flight.sections.slo, &format!("{flight_path}#sections.slo"))?;
+    let live_pools: Vec<&str> = live.pools.iter().map(|p| p.pool.as_str()).collect();
+    let dump_pools: Vec<&str> = flight
+        .sections
+        .slo
+        .pools
+        .iter()
+        .map(|p| p.pool.as_str())
+        .collect();
+    if live_pools != dump_pools {
+        return Err(format!(
+            "pool sets disagree: {slo_path} has {live_pools:?}, \
+             {flight_path} has {dump_pools:?}"
+        ));
+    }
+    let slow = &flight.sections.slow_requests;
+    for r in &slow.requests {
+        if r.trace_id == 0 || r.method.is_empty() || r.path.is_empty() {
+            return Err(format!("{flight_path}: malformed slow-request record"));
+        }
+        if r.total_us < r.queue_us.max(r.parse_us).max(r.handle_us).max(r.write_us) {
+            return Err(format!(
+                "{flight_path}: slow request {} total {}us below a phase",
+                r.trace_id, r.total_us
+            ));
+        }
+        let _ = (r.status, r.body_bytes);
+    }
+
+    // -- required severity ------------------------------------------------
+    if let Some(sev) = required {
+        if !live.pools.iter().any(|p| p.severity == sev) {
+            let got: Vec<(&str, &str)> = live
+                .pools
+                .iter()
+                .map(|p| (p.pool.as_str(), p.severity.as_str()))
+                .collect();
+            return Err(format!(
+                "{slo_path}: no pool at severity {sev:?} (pools: {got:?})"
+            ));
+        }
+    }
+
+    println!(
+        "ok: {} pools, {} snapshots ({} dropped), {} notes ({} dropped), \
+         {} log lines, {} slow requests (threshold {}us)",
+        live.pools.len(),
+        flight.snapshots.len(),
+        flight.dropped_snapshots,
+        flight.notes.len(),
+        flight.dropped_notes,
+        flight.logs.len(),
+        slow.requests.len(),
+        slow.slow_threshold_us
+    );
+    Ok(())
+}

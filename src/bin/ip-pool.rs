@@ -63,6 +63,13 @@ commands:
              default 0 = auto from IP_THREADS, clamped 2-4)
              --keep-alive <true|false> (default true; false forces
              Connection: close on every response)
+             --flight-out FILE  write the flight-recorder dump
+             (ip-flight/1 JSON) when the daemon drains
+             --slow-us N  slow-request threshold in microseconds for
+             GET /debug/requests (default 1000; 0 records everything)
+             --slo-hit F  hit-rate objective for GET /slo burn rates
+             (default 0.90)  --slo-wait SECS  per-request wait
+             objective (default 60)
              --pools SPEC.json  serve a whole fleet instead: every
              metric series gains a pool label, POST bodies name their
              pool, GET /pools lists per-pool state (replaces <file>
@@ -81,6 +88,9 @@ global flags (any command):
                       chrome emits a trace_event JSON array for
                       chrome://tracing / Perfetto)
   (either -out flag enables recording; IP_OBS=1 enables it without writing)
+  --log-out FILE      append structured JSONL logs to FILE
+  --log-level <debug|info|warn|error|off>  log threshold (default
+                      warn; overrides the IP_LOG environment variable)
 ";
 
 fn main() -> ExitCode {
@@ -107,6 +117,19 @@ fn run() -> Result<(), String> {
         return Err(format!(
             "unknown --trace-format {trace_format:?} (expected jsonl or chrome)"
         ));
+    }
+    if let Some(level) = args.flag_str("log-level") {
+        use intelligent_pooling::obs::log::Level;
+        let threshold = match level.trim().to_ascii_lowercase().as_str() {
+            "off" | "none" => None,
+            other => Some(Level::parse(other).ok_or_else(|| {
+                format!("unknown --log-level {level:?} (expected debug|info|warn|error|off)")
+            })?),
+        };
+        intelligent_pooling::obs::log::set_threshold(threshold);
+    }
+    if let Some(path) = args.flag_str("log-out") {
+        intelligent_pooling::obs::log::set_output(path).map_err(|e| format!("{path}: {e}"))?;
     }
     let result = match args.command.as_str() {
         "generate" => generate(&args),
@@ -437,6 +460,32 @@ fn fleet_serve_pools(
         .collect())
 }
 
+/// Applies the PR 8 observability flags (`--flight-out`, `--slow-us`,
+/// `--slo-hit`, `--slo-wait`) shared by the single-pool and fleet serve
+/// paths.
+fn apply_serve_obs_flags(
+    args: &CliArgs,
+    config: &mut intelligent_pooling::serve::ServeConfig,
+) -> Result<(), String> {
+    config.flight_out = args.flag_str("flight-out").map(str::to_owned);
+    config.slow_request_micros = args
+        .flag_or("slow-us", config.slow_request_micros)
+        .map_err(|e| e.to_string())?;
+    config.slo.hit_rate_objective = args
+        .flag_or("slo-hit", config.slo.hit_rate_objective)
+        .map_err(|e| e.to_string())?;
+    config.slo.wait_objective_secs = args
+        .flag_or("slo-wait", config.slo.wait_objective_secs)
+        .map_err(|e| e.to_string())?;
+    if !(0.0..=1.0).contains(&config.slo.hit_rate_objective) {
+        return Err(format!(
+            "--slo-hit {} out of range (expected 0..=1)",
+            config.slo.hit_rate_objective
+        ));
+    }
+    Ok(())
+}
+
 fn serve(args: &CliArgs) -> Result<(), String> {
     use intelligent_pooling::serve::{Daemon, ServeConfig};
     if let Some(spec_path) = args.flag_str("pools") {
@@ -451,6 +500,7 @@ fn serve(args: &CliArgs) -> Result<(), String> {
         config.port = port;
         config.workers = workers;
         config.keep_alive = keep_alive;
+        apply_serve_obs_flags(args, &mut config)?;
 
         let daemon = Daemon::start(config)?;
         let addr = daemon.addr();
@@ -513,6 +563,7 @@ fn serve(args: &CliArgs) -> Result<(), String> {
     config.port = port;
     config.workers = workers;
     config.keep_alive = keep_alive;
+    apply_serve_obs_flags(args, &mut config)?;
 
     let daemon = Daemon::start(config)?;
     let addr = daemon.addr();
