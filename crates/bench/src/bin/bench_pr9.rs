@@ -1,0 +1,550 @@
+//! Chaos-resilience bench (PR 9): the keep-alive batch-inject load from
+//! `bench_pr8`, replayed against a two-pool fleet daemon while a catalog
+//! scenario's demand transform **and** fault schedule run, versus the
+//! same fleet with no chaos.
+//!
+//! Each mode boots a fresh daemon whose replay spans the whole measurement
+//! window (speedup sized so the trace finishes just as the clients stop),
+//! so every scheduled fault actually fires mid-load. Recorded per mode:
+//! control-plane throughput and latency under load, the number of faults
+//! injected, and the end-of-run SLO state (worst severity and the peak
+//! short-window burn rate across pools) scraped from `/slo`.
+//!
+//! `cargo run --release -p ip-bench --bin bench_pr9`
+//!
+//! Writes `BENCH_pr9.json` at the workspace root. The bench host has
+//! 1 CPU (ROADMAP standing constraint): clients, workers, and the
+//! controller share one core, so absolute rates are conservative and the
+//! chaos/baseline ratio is the signal. Run with `--smoke` for a short run
+//! asserting nonzero injects, zero failures, and that the chaos mode
+//! really injected faults, without touching the artifact.
+
+use ip_chaos::ScenarioSpec;
+use ip_serve::{Daemon, PoolServeConfig, ServeConfig};
+use ip_sim::{FaultEntry, SimConfig};
+use ip_timeseries::TimeSeries;
+use serde::Content;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Injection entries per `POST /requests`.
+const BATCH: usize = 16;
+/// Closed-loop inject clients per mode.
+const CLIENTS: usize = 2;
+/// HTTP worker threads (= queue shards) for every mode.
+const WORKERS: usize = 4;
+/// Intervals per pool trace (30 s each → 2880 logical seconds).
+const TRACE_LEN: usize = 96;
+
+struct ModeResult {
+    mode: &'static str,
+    requests: u64,
+    injects: u64,
+    failures: u64,
+    duration_secs: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    faults_injected: u64,
+    worst_severity: String,
+    peak_short_burn: f64,
+}
+
+impl ModeResult {
+    fn injects_per_sec(&self) -> f64 {
+        self.injects as f64 / self.duration_secs
+    }
+
+    fn requests_per_sec(&self) -> f64 {
+        self.requests as f64 / self.duration_secs
+    }
+}
+
+/// A keep-alive HTTP/1.1 client over one socket; responses framed by
+/// `Content-Length`.
+struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    closed: bool,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            buf: Vec::with_capacity(4096),
+            closed: false,
+        })
+    }
+
+    /// Sends one request and reads one framed response; returns the
+    /// status code and body.
+    fn request(&mut self, method: &str, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.stream.write_all(request.as_bytes())?;
+        let mut chunk = [0u8; 4096];
+        let head_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "closed mid-head",
+                    ))
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        };
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).to_string();
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidData, "bad status line"))?;
+        self.closed = head.lines().any(|line| {
+            line.split_once(':').is_some_and(|(key, value)| {
+                key.trim().eq_ignore_ascii_case("connection")
+                    && value.trim().eq_ignore_ascii_case("close")
+            })
+        });
+        let content_length: usize = head
+            .lines()
+            .find_map(|line| {
+                let (key, value) = line.split_once(':')?;
+                if key.trim().eq_ignore_ascii_case("content-length") {
+                    value.trim().parse().ok()
+                } else {
+                    None
+                }
+            })
+            .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidData, "no Content-Length"))?;
+        let body_start = head_end + 4;
+        while self.buf.len() < body_start + content_length {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "closed mid-body",
+                    ))
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        let payload = String::from_utf8_lossy(&self.buf[body_start..body_start + content_length])
+            .into_owned();
+        self.buf.drain(..body_start + content_length);
+        Ok((status, payload))
+    }
+}
+
+struct ClientTally {
+    requests: u64,
+    injects: u64,
+    failures: u64,
+    latencies_ms: Vec<f64>,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// A batch aimed at early intervals of one pool, so injects stay behind
+/// the advancing replay frontier as long as possible.
+fn batch_body(pool: &str) -> String {
+    let entry = format!("{{\"count\":1,\"pool\":\"{pool}\"}}");
+    let entries: Vec<String> = std::iter::repeat_n(entry, BATCH).collect();
+    format!("[{}]", entries.join(","))
+}
+
+/// A deterministic bursty trace (no process RNG).
+fn demand(seed: u64) -> TimeSeries {
+    let values = (0..TRACE_LEN)
+        .map(|i| {
+            let x = (i as u64).wrapping_mul(2654435761).wrapping_add(seed * 131);
+            f64::from((x % 5) as u32) + 1.0
+        })
+        .collect();
+    TimeSeries::new(30, values).unwrap()
+}
+
+/// The fleet for one mode: the plain two-pool traces, or the same traces
+/// pushed through `scenario` (with its fault schedule attached).
+fn fleet_pools(scenario: Option<&str>) -> (Vec<PoolServeConfig>, usize) {
+    let raw = vec![
+        ("east".to_string(), demand(3)),
+        ("west".to_string(), demand(8)),
+    ];
+    let (planned, fault_count): (Vec<(String, TimeSeries, Vec<FaultEntry>)>, usize) = match scenario
+    {
+        Some(name) => {
+            let plan = ScenarioSpec::by_name(name, 42)
+                .and_then(ScenarioSpec::compile)
+                .and_then(|s| s.apply(raw))
+                .expect("catalog scenario applies");
+            let count = plan.fault_count();
+            let pools = plan
+                .demand
+                .iter()
+                .map(|(id, d)| (id.clone(), d.clone(), plan.faults_for(id).to_vec()))
+                .collect();
+            (pools, count)
+        }
+        None => (
+            raw.into_iter().map(|(id, d)| (id, d, Vec::new())).collect(),
+            0,
+        ),
+    };
+    let pools = planned
+        .into_iter()
+        .map(|(id, d, faults)| {
+            let mut p = PoolServeConfig::named(id, d);
+            p.sim = SimConfig {
+                default_pool_target: 2,
+                tau_jitter_secs: 0,
+                seed: 7,
+                faults,
+                ..Default::default()
+            };
+            p
+        })
+        .collect();
+    (pools, fault_count)
+}
+
+/// Walks the `/slo` document for the worst pool severity and the largest
+/// short-window burn rate across both objectives of every pool.
+fn slo_summary(doc: &Content) -> (String, f64) {
+    let rank = |s: &str| match s {
+        "page" => 2,
+        "warning" => 1,
+        _ => 0,
+    };
+    let mut worst = "ok".to_string();
+    let mut peak = 0.0f64;
+    if let Some(Content::Seq(pools)) = doc.field("pools") {
+        for p in pools {
+            if let Some(Content::Str(s)) = p.field("severity") {
+                if rank(s) > rank(&worst) {
+                    worst = s.clone();
+                }
+            }
+            for objective in ["hit", "wait"] {
+                if let Some(burn) = p
+                    .field(objective)
+                    .and_then(|o| o.field("short"))
+                    .and_then(|w| w.field("burn_rate"))
+                    .and_then(Content::as_f64)
+                {
+                    peak = peak.max(burn);
+                }
+            }
+        }
+    }
+    (worst, peak)
+}
+
+/// Runs one mode: boots a fleet daemon whose replay spans `duration`,
+/// hammers it with batch-inject clients until the trace completes, then
+/// scrapes the SLO and fault post-mortem before draining.
+fn run_mode(mode: &'static str, scenario: Option<&str>, duration: Duration) -> ModeResult {
+    ip_obs::set_enabled(true);
+    ip_obs::reset();
+    ip_obs::flight::reset();
+
+    let (pools, expected_faults) = fleet_pools(scenario);
+    let logical_span = pools
+        .iter()
+        .map(|p| p.demand.duration_secs())
+        .max()
+        .unwrap_or(1) as f64;
+    let mut config = ServeConfig::fleet(pools).expect("fleet config");
+    // The replay finishes right as the measurement window closes, so the
+    // whole fault schedule fires under load.
+    config.speedup = logical_span / duration.as_secs_f64();
+    config.workers = WORKERS;
+    config.keep_alive = true;
+    let daemon = Daemon::start(config).expect("daemon starts");
+    let addr = daemon.addr();
+
+    let stop = AtomicBool::new(false);
+    let started = Instant::now();
+    let tallies = std::thread::scope(|scope| {
+        let inject_handles: Vec<_> = (0..CLIENTS)
+            .map(|k| {
+                let stop = &stop;
+                let body = batch_body(if k % 2 == 0 { "east" } else { "west" });
+                scope.spawn(move || {
+                    let mut tally = ClientTally {
+                        requests: 0,
+                        injects: 0,
+                        failures: 0,
+                        latencies_ms: Vec::with_capacity(4096),
+                    };
+                    let mut client = Client::connect(addr).ok();
+                    while !stop.load(Ordering::Relaxed) {
+                        if client.as_ref().is_none_or(|c| c.closed) {
+                            client = Client::connect(addr).ok();
+                            if client.is_none() {
+                                continue;
+                            }
+                        }
+                        let t0 = Instant::now();
+                        let status = client.as_mut().expect("reconnected above").request(
+                            "POST",
+                            "/requests",
+                            &body,
+                        );
+                        let ms = t0.elapsed().as_secs_f64() * 1_000.0;
+                        tally.requests += 1;
+                        match status {
+                            Ok((200, _)) => {
+                                tally.injects += BATCH as u64;
+                                tally.latencies_ms.push(ms);
+                            }
+                            // 409: the replay finalized under us — the
+                            // trace is done, so this client's work is too.
+                            Ok((409, _)) => break,
+                            Ok(_) | Err(_) => {
+                                tally.failures += 1;
+                                client = Client::connect(addr).ok();
+                            }
+                        }
+                    }
+                    tally
+                })
+            })
+            .collect();
+        // Stop the clients once the replay completes (all faults fired) or
+        // the window plus slack elapses, whichever comes first.
+        let deadline = started + duration + Duration::from_secs(30);
+        let mut poll = Client::connect(addr).ok();
+        loop {
+            std::thread::sleep(Duration::from_millis(25));
+            if Instant::now() >= deadline {
+                break;
+            }
+            if poll.as_ref().is_none_or(|c| c.closed) {
+                poll = Client::connect(addr).ok();
+            }
+            match poll.as_mut().map(|c| c.request("GET", "/status", "")) {
+                Some(Ok((200, body))) if body.contains("\"state\":\"completed\"") => break,
+                Some(Ok(_)) => {}
+                _ => poll = Client::connect(addr).ok(),
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        inject_handles
+            .into_iter()
+            .map(|h| h.join().expect("inject client panicked"))
+            .collect::<Vec<ClientTally>>()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    // Post-mortem scrapes before the drain: SLO state + injected faults.
+    let mut post = Client::connect(addr).expect("post-mortem connect");
+    let (code, slo_body) = post.request("GET", "/slo", "").expect("GET /slo");
+    assert_eq!(code, 200, "{mode}: /slo failed: {slo_body}");
+    let slo_doc: Content = serde_json::from_str(&slo_body).expect("parse /slo");
+    let (worst_severity, peak_short_burn) = slo_summary(&slo_doc);
+    let (code, flight_body) = post
+        .request("GET", "/debug/flight", "")
+        .expect("GET /debug/flight");
+    assert_eq!(code, 200, "{mode}: /debug/flight failed");
+    let flight: Content = serde_json::from_str(&flight_body).expect("parse flight dump");
+    let faults_injected = flight
+        .field("sections")
+        .and_then(|s| s.field("faults"))
+        .and_then(|f| f.field("total"))
+        .and_then(Content::as_u64)
+        .expect("flight dump carries a faults section");
+    assert_eq!(
+        faults_injected, expected_faults as u64,
+        "{mode}: every scheduled fault must have fired before completion"
+    );
+
+    daemon.request_shutdown();
+    let outcome = daemon.join();
+    ip_obs::set_enabled(false);
+
+    let mut latencies: Vec<f64> = tallies
+        .iter()
+        .flat_map(|t| t.latencies_ms.clone())
+        .collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let injects: u64 = tallies.iter().map(|t| t.injects).sum();
+    assert_eq!(
+        outcome.injected, injects,
+        "{mode}: daemon-side inject count must match client-side"
+    );
+    ModeResult {
+        mode,
+        requests: tallies.iter().map(|t| t.requests).sum(),
+        injects,
+        failures: tallies.iter().map(|t| t.failures).sum(),
+        duration_secs: elapsed,
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+        faults_injected,
+        worst_severity,
+        peak_short_burn,
+    }
+}
+
+fn write_json(results: &[ModeResult], duration_secs: f64, chaos_over_baseline: f64) {
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut body = String::from("{\n");
+    body.push_str("  \"artifact\": \"BENCH_pr9\",\n");
+    body.push_str(
+        "  \"description\": \"chaos resilience: keep-alive 16-entry-batch POST /requests load against a two-pool fleet daemon while a catalog scenario's demand transform and fault schedule replay, vs the same fleet with no chaos\",\n",
+    );
+    body.push_str(&format!("  \"available_parallelism\": {avail},\n"));
+    body.push_str(
+        "  \"caveat\": \"bench host has 1 CPU (ROADMAP standing constraint): clients, workers, and the controller share one core, so absolute rates are conservative; the chaos/baseline ratio is the signal\",\n",
+    );
+    body.push_str(&format!(
+        "  \"config\": {{\"workers\": {WORKERS}, \"clients\": {CLIENTS}, \"batch\": {BATCH}, \"trace_intervals\": {TRACE_LEN}, \"duration_secs\": {duration_secs}}},\n"
+    ));
+    body.push_str(&format!(
+        "  \"worst_chaos_injects_per_sec_over_baseline\": {chaos_over_baseline:.3},\n"
+    ));
+    body.push_str("  \"measurements\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"requests\": {}, \"injects\": {}, \"failures\": {}, \"requests_per_sec\": {:.1}, \"injects_per_sec\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"faults_injected\": {}, \"worst_severity\": \"{}\", \"peak_short_burn\": {:.3}}}{}\n",
+            r.mode,
+            r.requests,
+            r.injects,
+            r.failures,
+            r.requests_per_sec(),
+            r.injects_per_sec(),
+            r.p50_ms,
+            r.p99_ms,
+            r.faults_injected,
+            r.worst_severity,
+            r.peak_short_burn,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr9.json");
+    std::fs::write(path, body).expect("write BENCH_pr9.json");
+    println!("\nwrote {path}");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let duration_secs: f64 = std::env::var("IP_BENCH_PR9_SECS")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(if smoke { 0.5 } else { 3.0 })
+        .max(0.1);
+    let duration = Duration::from_secs_f64(duration_secs);
+
+    let modes: &[(&'static str, Option<&'static str>)] = if smoke {
+        &[("baseline", None), ("flash-crowd", Some("flash-crowd"))]
+    } else {
+        &[
+            ("baseline", None),
+            ("flash-crowd", Some("flash-crowd")),
+            ("regional-failover", Some("regional-failover")),
+            ("flapping-demand", Some("flapping-demand")),
+        ]
+    };
+    println!(
+        "chaos resilience: {CLIENTS} clients x {duration_secs}s per mode, {WORKERS} workers\n"
+    );
+    let results: Vec<ModeResult> = modes
+        .iter()
+        .map(|(m, s)| run_mode(m, *s, duration))
+        .collect();
+
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.to_string(),
+                format!("{:.1}", r.requests_per_sec()),
+                format!("{:.1}", r.injects_per_sec()),
+                format!("{:.3}", r.p50_ms),
+                format!("{:.3}", r.p99_ms),
+                r.failures.to_string(),
+                r.faults_injected.to_string(),
+                r.worst_severity.clone(),
+                format!("{:.3}", r.peak_short_burn),
+            ]
+        })
+        .collect();
+    ip_bench::print_table(
+        &[
+            "mode",
+            "req_per_s",
+            "inj_per_s",
+            "p50_ms",
+            "p99_ms",
+            "failures",
+            "faults",
+            "worst_slo",
+            "burn_short",
+        ],
+        &rows,
+    );
+
+    let baseline = results
+        .iter()
+        .find(|r| r.mode == "baseline")
+        .expect("baseline ran");
+    let worst_chaos = results
+        .iter()
+        .filter(|r| r.mode != "baseline")
+        .map(ModeResult::injects_per_sec)
+        .fold(f64::INFINITY, f64::min);
+    let ratio = worst_chaos / baseline.injects_per_sec().max(1e-9);
+    println!("\nworst chaos mode vs baseline: {ratio:.3}x injects/sec");
+
+    if smoke {
+        let mut ok = true;
+        for r in &results {
+            if r.injects == 0 {
+                eprintln!("SMOKE FAIL: mode {} injected nothing", r.mode);
+                ok = false;
+            }
+            if r.failures > 0 {
+                eprintln!(
+                    "SMOKE FAIL: mode {} had {} failed requests",
+                    r.mode, r.failures
+                );
+                ok = false;
+            }
+            if r.mode != "baseline" && r.faults_injected == 0 {
+                eprintln!("SMOKE FAIL: chaos mode {} fired no faults", r.mode);
+                ok = false;
+            }
+        }
+        if !ok {
+            std::process::exit(1);
+        }
+        println!("smoke ok: all modes injected with zero failures; chaos fired");
+        return;
+    }
+
+    write_json(&results, duration_secs, ratio);
+}

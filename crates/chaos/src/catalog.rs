@@ -1,0 +1,136 @@
+//! The named scenario catalog: six demand shapes, their tunable
+//! parameters with defaults, and near-miss lookup for CLI ergonomics.
+
+/// One catalog entry: a scenario's identity, a one-line description (the
+/// `--list-scenarios` text), and its parameters with default values.
+///
+/// Time-like parameters are *fractions of the trace length* rather than
+/// absolute seconds, so the same spec scales to any trace duration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScenarioInfo {
+    /// Catalog name (the `--scenario` argument).
+    pub name: &'static str,
+    /// One-line description for `--list-scenarios`.
+    pub description: &'static str,
+    /// `(param, default)` pairs; specs may override any subset and
+    /// unknown parameter names are rejected.
+    pub params: &'static [(&'static str, f64)],
+}
+
+const CATALOG: &[ScenarioInfo] = &[
+    ScenarioInfo {
+        name: "flash-crowd",
+        description: "one pool's demand surges by `magnitude`x its mean for a short window",
+        params: &[
+            ("start_frac", 0.35),
+            ("width_frac", 0.05),
+            ("magnitude", 6.0),
+        ],
+    },
+    ScenarioInfo {
+        name: "regional-failover",
+        description: "one pool drains to zero over a ramp and its demand lands on a sibling",
+        params: &[("drain_frac", 0.4), ("ramp_frac", 0.05)],
+    },
+    ScenarioInfo {
+        name: "correlated-spike",
+        description: "every pool spikes in the same window (magnitude jittered +/-20% per pool)",
+        params: &[
+            ("start_frac", 0.5),
+            ("width_frac", 0.08),
+            ("magnitude", 4.0),
+        ],
+    },
+    ScenarioInfo {
+        name: "cold-start-storm",
+        description:
+            "a burst of `magnitude`x mean demand hammers every pool from the first interval",
+        params: &[("burst_intervals", 4.0), ("magnitude", 10.0)],
+    },
+    ScenarioInfo {
+        name: "diurnal-ramp",
+        description: "demand swells smoothly to `peak`x and back, `cycles` times over the trace",
+        params: &[("peak", 3.0), ("cycles", 1.0)],
+    },
+    ScenarioInfo {
+        name: "flapping-demand",
+        description: "a square wave alternates demand between `high`x and `low`x every period",
+        params: &[("period_frac", 0.1), ("high", 4.0), ("low", 0.25)],
+    },
+];
+
+/// The full catalog, in presentation order.
+pub fn catalog() -> &'static [ScenarioInfo] {
+    CATALOG
+}
+
+/// Looks up a scenario by exact name.
+pub fn find(name: &str) -> Option<&'static ScenarioInfo> {
+    CATALOG.iter().find(|s| s.name == name)
+}
+
+/// The closest catalog name to `name` by edit distance, when close enough
+/// to plausibly be a typo (distance ≤ 3 and under half the name's length).
+pub fn suggest(name: &str) -> Option<&'static str> {
+    CATALOG
+        .iter()
+        .map(|s| (levenshtein(name, s.name), s.name))
+        .min()
+        .filter(|&(d, best)| d <= 3.min(best.len() / 2))
+        .map(|(_, best)| best)
+}
+
+/// Classic two-row Levenshtein distance, case-sensitive (catalog names are
+/// all lower-kebab already).
+pub(crate) fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let sub = prev[j] + usize::from(ca != cb);
+            cur[j + 1] = sub.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn catalog_has_six_distinct_documented_entries() {
+        assert_eq!(catalog().len(), 6);
+        for (i, s) in catalog().iter().enumerate() {
+            assert!(!s.description.is_empty(), "{} lacks a description", s.name);
+            assert!(!s.params.is_empty(), "{} lacks parameters", s.name);
+            for other in &catalog()[i + 1..] {
+                assert_ne!(s.name, other.name);
+            }
+        }
+        assert!(find("regional-failover").is_some());
+        assert!(find("Regional-Failover").is_none(), "lookup is exact");
+    }
+
+    #[test]
+    fn suggestions_catch_typos_but_not_nonsense() {
+        assert_eq!(suggest("flash-crwd"), Some("flash-crowd"));
+        assert_eq!(suggest("diurnal-lamp"), Some("diurnal-ramp"));
+        assert_eq!(suggest("regional-failovr"), Some("regional-failover"));
+        assert_eq!(suggest("kubernetes"), None);
+        assert_eq!(suggest(""), None);
+    }
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert_eq!(levenshtein("abc", "abd"), 1);
+        assert_eq!(levenshtein("abc", ""), 3);
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+    }
+}

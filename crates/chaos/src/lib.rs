@@ -1,0 +1,110 @@
+#![warn(missing_docs)]
+//! Chaos engineering for the pooling stack: a deterministic scenario
+//! catalog plus a seeded fault-injection plane (DESIGN.md §16).
+//!
+//! The paper's §7.5–7.6 hardening — worker-lease expiry, Arbitrator
+//! partitions, stale or corrupt recommendation versions, telemetry lag —
+//! describes failure modes the simulator's happy-path traces never
+//! exercise. This crate closes that gap with two halves:
+//!
+//! * **Scenario catalog** ([`catalog`]) — six named demand scenarios
+//!   (flash crowd, regional-failover drain, correlated cross-pool spike,
+//!   cold-start storm, diurnal ramp, flapping demand), each compiled into
+//!   a deterministic transform over a fleet's demand traces. A scenario is
+//!   reproducible bit-for-bit from `(name, seed, params)`: all randomness
+//!   is drawn from one seeded [`rand::rngs::StdRng`] at *compile time*,
+//!   never inside the simulator's event loop, so the chaos plane cannot
+//!   perturb the engine's own RNG stream.
+//! * **Fault schedules** — each scenario carries a default logical-clock
+//!   fault schedule (overridable per spec) compiled into
+//!   [`ip_sim::FaultEntry`] lists that ride into each pool's
+//!   [`SimConfig::faults`](ip_sim::SimConfig) and fire as ordinary
+//!   `(time, seq)`-ordered events. An empty schedule leaves runs
+//!   bit-identical to a chaos-free build.
+//!
+//! The JSON spec form mirrors the CLI's fleet-spec idiom:
+//!
+//! ```json
+//! {
+//!   "name": "regional-failover", "seed": 7,
+//!   "params": {"drain_frac": 0.5},
+//!   "faults": [
+//!     {"at": 600, "kind": "arbitrator_partition", "until_secs": 1800},
+//!     {"at": 900, "kind": "telemetry_lag", "until_secs": 2400,
+//!      "lag_secs": 600, "pool": "east"}
+//!   ]
+//! }
+//! ```
+//!
+//! ```
+//! use ip_chaos::ScenarioSpec;
+//! use ip_timeseries::TimeSeries;
+//!
+//! let demand = vec![
+//!     ("east".to_string(), TimeSeries::new(30, vec![4.0; 100]).unwrap()),
+//!     ("west".to_string(), TimeSeries::new(30, vec![2.0; 100]).unwrap()),
+//! ];
+//! let plan = ScenarioSpec::by_name("flash-crowd", 7)
+//!     .unwrap()
+//!     .compile()
+//!     .unwrap()
+//!     .apply(demand.clone())
+//!     .unwrap();
+//! // Same (name, seed, params) -> bit-identical transform and schedule.
+//! let again = ScenarioSpec::by_name("flash-crowd", 7)
+//!     .unwrap()
+//!     .compile()
+//!     .unwrap()
+//!     .apply(demand)
+//!     .unwrap();
+//! assert_eq!(plan.demand, again.demand);
+//! assert_eq!(plan.faults, again.faults);
+//! ```
+
+pub mod catalog;
+pub mod scenario;
+pub mod spec;
+
+pub use catalog::{catalog, find, suggest, ScenarioInfo};
+pub use scenario::{ChaosPlan, Scenario};
+pub use spec::{FaultSpec, ScenarioSpec};
+
+/// Errors from scenario lookup, spec parsing, and compilation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChaosError {
+    /// `--scenario` named something outside the catalog; carries the
+    /// closest catalog entry when one is plausibly a typo away.
+    UnknownScenario {
+        /// The name as given.
+        name: String,
+        /// Closest catalog name by edit distance, if close enough.
+        suggestion: Option<String>,
+    },
+    /// A malformed scenario/fault spec (bad JSON, unknown key, bad type,
+    /// invalid fault window, unknown pool, …).
+    BadSpec(String),
+    /// The scenario cannot run over this fleet shape (e.g. a regional
+    /// failover needs a sibling pool to drain into).
+    Unsupported(String),
+}
+
+impl std::fmt::Display for ChaosError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChaosError::UnknownScenario { name, suggestion } => {
+                write!(f, "unknown scenario {name:?}")?;
+                match suggestion {
+                    Some(s) => write!(f, " (did you mean {s:?}?)"),
+                    None => write!(f, " (see `ip-pool simulate --list-scenarios 1`)"),
+                }
+            }
+            ChaosError::BadSpec(msg) => write!(f, "bad scenario spec: {msg}"),
+            ChaosError::Unsupported(msg) => write!(f, "scenario not applicable: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ChaosError {}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, ChaosError>;

@@ -1,0 +1,617 @@
+//! Scenario compilation and application: a validated spec becomes one
+//! deterministic transform over per-pool demand plus per-pool
+//! [`FaultEntry`] schedules.
+//!
+//! Every random choice — which pool a flash crowd hits, per-pool spike
+//! jitter, which pool each default fault lands on — is drawn from a
+//! single [`StdRng`] seeded from `(scenario name, spec seed)`, in a fixed
+//! order, at *apply* time. Nothing here touches the simulator's own RNG
+//! stream, so the same spec over the same fleet reproduces the same bytes
+//! under any execution strategy.
+
+use crate::catalog::{self, ScenarioInfo};
+use crate::spec::{FaultSpec, ScenarioSpec};
+use crate::{ChaosError, Result};
+use ip_sim::{FaultEntry, FaultKind};
+use ip_timeseries::TimeSeries;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+
+/// A compiled, runnable scenario: catalog entry + resolved parameters +
+/// (optional) explicit fault schedule.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    info: &'static ScenarioInfo,
+    seed: u64,
+    params: BTreeMap<&'static str, f64>,
+    faults: Option<Vec<FaultSpec>>,
+}
+
+/// What [`Scenario::apply`] produces: the transformed demand, one fault
+/// schedule per pool (same order, possibly empty), and a one-line human
+/// summary for CLI output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosPlan {
+    /// `(pool, demand)` pairs after the scenario transform, in input order.
+    pub demand: Vec<(String, TimeSeries)>,
+    /// Per-pool fault schedules, aligned with `demand` (sorted by fire
+    /// time within each pool; empty for unaffected pools).
+    pub faults: Vec<(String, Vec<FaultEntry>)>,
+    /// One-line description of what was done (scenario, seed, fault count).
+    pub summary: String,
+}
+
+impl ChaosPlan {
+    /// Total scheduled faults across pools.
+    pub fn fault_count(&self) -> usize {
+        self.faults.iter().map(|(_, f)| f.len()).sum()
+    }
+
+    /// The fault schedule for `pool` (empty when none were assigned).
+    pub fn faults_for(&self, pool: &str) -> &[FaultEntry] {
+        self.faults
+            .iter()
+            .find(|(p, _)| p == pool)
+            .map(|(_, f)| f.as_slice())
+            .unwrap_or(&[])
+    }
+}
+
+/// FNV-1a over the scenario name, mixed with the spec seed — the apply-time
+/// RNG seed. Stable across platforms (same recipe as the workload crate's
+/// per-pool seeds).
+fn mix_seed(seed: u64, name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+}
+
+impl Scenario {
+    /// Validates a spec against the catalog: the name must exist (with a
+    /// near-miss suggestion otherwise), every parameter must be one the
+    /// scenario declares, and explicit fault entries must have coherent
+    /// windows (`until_secs > at`, `lag_secs ≥ 1` where required).
+    pub(crate) fn from_spec(spec: ScenarioSpec) -> Result<Self> {
+        let info = catalog::find(&spec.name).ok_or_else(|| ChaosError::UnknownScenario {
+            suggestion: catalog::suggest(&spec.name).map(str::to_string),
+            name: spec.name.clone(),
+        })?;
+        let mut params: BTreeMap<&'static str, f64> = info.params.iter().copied().collect();
+        for (key, value) in &spec.params {
+            let slot = info
+                .params
+                .iter()
+                .find(|(name, _)| name == key)
+                .map(|&(name, _)| name)
+                .ok_or_else(|| {
+                    ChaosError::BadSpec(format!(
+                        "scenario {:?} has no parameter {key:?} (has: {})",
+                        info.name,
+                        info.params
+                            .iter()
+                            .map(|(n, _)| *n)
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ))
+                })?;
+            if !value.is_finite() || *value < 0.0 {
+                return Err(ChaosError::BadSpec(format!(
+                    "parameter {key:?} must be finite and non-negative, got {value}"
+                )));
+            }
+            params.insert(slot, *value);
+        }
+        if let Some(faults) = &spec.faults {
+            for (i, f) in faults.iter().enumerate() {
+                validate_fault(f, &format!("faults[{i}]"))?;
+            }
+        }
+        Ok(Self {
+            info,
+            seed: spec.seed,
+            params,
+            faults: spec.faults,
+        })
+    }
+
+    /// Catalog name.
+    pub fn name(&self) -> &'static str {
+        self.info.name
+    }
+
+    /// The spec seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// A resolved parameter (spec override or catalog default).
+    ///
+    /// # Panics
+    /// On a parameter name the scenario does not declare — catalog
+    /// parameter lists are static, so that is a programming error.
+    pub fn param(&self, key: &str) -> f64 {
+        *self
+            .params
+            .get(key)
+            .unwrap_or_else(|| panic!("scenario {:?} has no param {key:?}", self.info.name))
+    }
+
+    /// Transforms `pools` demand in place and compiles the fault schedule.
+    ///
+    /// Errors when `pools` is empty, when the scenario needs a fleet shape
+    /// this isn't (regional failover with one pool), or when an explicit
+    /// fault names a pool that does not exist.
+    pub fn apply(&self, mut pools: Vec<(String, TimeSeries)>) -> Result<ChaosPlan> {
+        if pools.is_empty() {
+            return Err(ChaosError::Unsupported("no pools to run over".into()));
+        }
+        if self.info.name == "regional-failover" && pools.len() < 2 {
+            return Err(ChaosError::Unsupported(
+                "regional-failover needs at least 2 pools (one drains into a sibling)".into(),
+            ));
+        }
+        let mut rng = StdRng::seed_from_u64(mix_seed(self.seed, self.info.name));
+        let shaped = self.transform(&mut pools, &mut rng);
+        let duration = pools
+            .iter()
+            .map(|(_, ts)| ts.duration_secs())
+            .max()
+            .unwrap_or(0);
+        let specs = match &self.faults {
+            Some(explicit) => explicit.clone(),
+            None => self.default_faults(duration),
+        };
+        let mut faults: Vec<(String, Vec<FaultEntry>)> = pools
+            .iter()
+            .map(|(name, _)| (name.clone(), Vec::new()))
+            .collect();
+        let mut placed = Vec::with_capacity(specs.len());
+        for (i, f) in specs.iter().enumerate() {
+            validate_fault(f, &format!("faults[{i}]"))?;
+            // Draw for every entry, pinned or not, so pinning one fault
+            // never shifts where the unpinned ones land.
+            let drawn = rng.gen_range(0..pools.len());
+            let idx = match &f.pool {
+                Some(name) => pools.iter().position(|(p, _)| p == name).ok_or_else(|| {
+                    ChaosError::BadSpec(format!(
+                        "faults[{i}]: no pool named {name:?} in this fleet"
+                    ))
+                })?,
+                None => drawn,
+            };
+            faults[idx].1.push(compile_fault(f));
+            placed.push(format!("{}@{}s->{}", f.kind, f.at, faults[idx].0));
+        }
+        for (_, schedule) in &mut faults {
+            schedule.sort_by_key(|f| f.at);
+        }
+        let summary = format!(
+            "scenario {} (seed {}): {}; {} fault(s){}",
+            self.info.name,
+            self.seed,
+            shaped,
+            placed.len(),
+            if placed.is_empty() {
+                String::new()
+            } else {
+                format!(" [{}]", placed.join(", "))
+            }
+        );
+        Ok(ChaosPlan {
+            demand: pools,
+            faults,
+            summary,
+        })
+    }
+
+    /// The demand transform. Returns a short human description of the
+    /// shaping applied (for the plan summary).
+    fn transform(&self, pools: &mut [(String, TimeSeries)], rng: &mut StdRng) -> String {
+        match self.info.name {
+            "flash-crowd" => {
+                let target = rng.gen_range(0..pools.len());
+                let (name, ts) = &mut pools[target];
+                let n = ts.len();
+                let start = frac_index(self.param("start_frac"), n);
+                let width = frac_width(self.param("width_frac"), n);
+                let surge = (self.param("magnitude") * ts.mean().unwrap_or(0.0).max(1.0)).round();
+                for v in &mut ts.values_mut()[start..(start + width).min(n)] {
+                    *v += surge;
+                }
+                format!(
+                    "pool {name:?} +{surge}/interval over [{start}, {})",
+                    (start + width).min(n)
+                )
+            }
+            "regional-failover" => {
+                let from = rng.gen_range(0..pools.len());
+                let into = (from + 1 + rng.gen_range(0..pools.len() - 1)) % pools.len();
+                let n = pools[from].1.len().min(pools[into].1.len());
+                let start = frac_index(self.param("drain_frac"), n);
+                let ramp = frac_width(self.param("ramp_frac"), n);
+                for t in start..n {
+                    // Linear ramp from 0 to full drain over `ramp` intervals.
+                    let progress = (((t - start + 1) as f64) / ramp as f64).min(1.0);
+                    let moved = (pools[from].1.get(t) * progress).round();
+                    *pools[from].1.values_mut().get_mut(t).unwrap() -= moved;
+                    *pools[into].1.values_mut().get_mut(t).unwrap() += moved;
+                }
+                format!(
+                    "pool {:?} drains into {:?} from interval {start} (ramp {ramp})",
+                    pools[from].0, pools[into].0
+                )
+            }
+            "correlated-spike" => {
+                let magnitude = self.param("magnitude");
+                let mut factors = Vec::with_capacity(pools.len());
+                for (_, ts) in pools.iter_mut() {
+                    let jitter = 0.8 + 0.4 * rng.gen::<f64>();
+                    let factor = magnitude * jitter;
+                    factors.push(factor);
+                    let n = ts.len();
+                    let start = frac_index(self.param("start_frac"), n);
+                    let width = frac_width(self.param("width_frac"), n);
+                    for v in &mut ts.values_mut()[start..(start + width).min(n)] {
+                        *v = (*v * factor).round();
+                    }
+                }
+                format!(
+                    "all {} pools x{magnitude} (jittered {:.2}..{:.2}) in one window",
+                    pools.len(),
+                    factors.iter().cloned().fold(f64::INFINITY, f64::min),
+                    factors.iter().cloned().fold(0.0f64, f64::max)
+                )
+            }
+            "cold-start-storm" => {
+                let k = (self.param("burst_intervals").round() as usize).max(1);
+                for (_, ts) in pools.iter_mut() {
+                    let burst =
+                        (self.param("magnitude") * ts.mean().unwrap_or(0.0).max(1.0)).round();
+                    let n = ts.len();
+                    for v in &mut ts.values_mut()[..k.min(n)] {
+                        *v += burst;
+                    }
+                }
+                format!("every pool stormed for the first {k} interval(s)")
+            }
+            "diurnal-ramp" => {
+                let peak = self.param("peak");
+                let cycles = self.param("cycles").max(1.0 / 64.0);
+                for (_, ts) in pools.iter_mut() {
+                    let n = ts.len();
+                    for (i, v) in ts.values_mut().iter_mut().enumerate() {
+                        let x = i as f64 / n.max(1) as f64;
+                        let factor = 1.0
+                            + (peak - 1.0)
+                                * 0.5
+                                * (1.0 - (2.0 * std::f64::consts::PI * cycles * x).cos());
+                        *v = (*v * factor).round();
+                    }
+                }
+                format!("all pools ramped to x{peak} over {cycles} cycle(s)")
+            }
+            "flapping-demand" => {
+                let high = self.param("high");
+                let low = self.param("low");
+                for (_, ts) in pools.iter_mut() {
+                    let n = ts.len();
+                    let period = frac_width(self.param("period_frac"), n);
+                    for (i, v) in ts.values_mut().iter_mut().enumerate() {
+                        let factor = if (i / period).is_multiple_of(2) {
+                            high
+                        } else {
+                            low
+                        };
+                        *v = (*v * factor).round();
+                    }
+                }
+                format!("all pools flapping x{high}/x{low}")
+            }
+            other => unreachable!("scenario {other:?} is in the catalog but has no transform"),
+        }
+    }
+
+    /// Each catalog scenario's default fault schedule, as fractions of the
+    /// trace duration `d`. Pools are left unpinned (`pool: None`) so the
+    /// apply-time RNG spreads them across the fleet. Together the catalog
+    /// exercises all six fault kinds.
+    fn default_faults(&self, d: u64) -> Vec<FaultSpec> {
+        let at = |frac: f64| -> u64 { (d as f64 * frac) as u64 };
+        let f = |frac: f64, kind: &str, until: Option<f64>, lag: Option<f64>| FaultSpec {
+            at: at(frac),
+            kind: kind.to_string(),
+            pool: None,
+            until_secs: until.map(at),
+            lag_secs: lag.map(at),
+        };
+        if d < 60 {
+            // Degenerate traces (a few intervals) get no default faults;
+            // windows would collapse to zero width.
+            return Vec::new();
+        }
+        match self.info.name {
+            "flash-crowd" => vec![
+                f(0.30, "telemetry_lag", Some(0.60), Some(0.10)),
+                f(0.35, "worker_lease_expiry", None, None),
+            ],
+            "regional-failover" => vec![
+                f(0.40, "worker_lease_expiry", None, None),
+                f(0.40, "arbitrator_partition", Some(0.60), None),
+            ],
+            "correlated-spike" => vec![
+                f(0.45, "config_corruption", None, None),
+                f(0.50, "telemetry_dropout", Some(0.70), None),
+            ],
+            "cold-start-storm" => vec![
+                f(0.05, "config_stale", None, None),
+                f(0.10, "worker_lease_expiry", None, None),
+            ],
+            "diurnal-ramp" => vec![f(0.25, "telemetry_lag", Some(0.75), Some(0.05))],
+            "flapping-demand" => vec![
+                f(0.30, "config_corruption", None, None),
+                f(0.60, "config_stale", None, None),
+                f(0.70, "telemetry_dropout", Some(0.85), None),
+            ],
+            other => unreachable!("scenario {other:?} has no default fault schedule"),
+        }
+    }
+}
+
+/// `frac` of `n` as a start index, clamped into range.
+fn frac_index(frac: f64, n: usize) -> usize {
+    ((frac * n as f64) as usize).min(n.saturating_sub(1))
+}
+
+/// `frac` of `n` as a width, at least 1.
+fn frac_width(frac: f64, n: usize) -> usize {
+    ((frac * n as f64).ceil() as usize).max(1)
+}
+
+fn validate_fault(f: &FaultSpec, ctx: &str) -> Result<()> {
+    let needs_window = matches!(
+        f.kind.as_str(),
+        "arbitrator_partition" | "telemetry_lag" | "telemetry_dropout"
+    );
+    if needs_window {
+        match f.until_secs {
+            Some(until) if until > f.at => {}
+            Some(until) => {
+                return Err(ChaosError::BadSpec(format!(
+                    "{ctx}: \"until_secs\" ({until}) must be after \"at\" ({})",
+                    f.at
+                )))
+            }
+            None => {
+                return Err(ChaosError::BadSpec(format!(
+                    "{ctx}: {:?} needs \"until_secs\"",
+                    f.kind
+                )))
+            }
+        }
+    }
+    if f.kind == "telemetry_lag" && f.lag_secs.is_none_or(|l| l < 1) {
+        return Err(ChaosError::BadSpec(format!(
+            "{ctx}: \"telemetry_lag\" needs \"lag_secs\" >= 1"
+        )));
+    }
+    Ok(())
+}
+
+/// A validated [`FaultSpec`] as the engine's [`FaultEntry`].
+fn compile_fault(f: &FaultSpec) -> FaultEntry {
+    let kind = match f.kind.as_str() {
+        "worker_lease_expiry" => FaultKind::WorkerLeaseExpiry,
+        "arbitrator_partition" => FaultKind::ArbitratorPartition {
+            until_secs: f.until_secs.expect("validated"),
+        },
+        "config_corruption" => FaultKind::ConfigCorruption,
+        "config_stale" => FaultKind::ConfigStale,
+        "telemetry_lag" => FaultKind::TelemetryLag {
+            until_secs: f.until_secs.expect("validated"),
+            lag_secs: f.lag_secs.expect("validated"),
+        },
+        "telemetry_dropout" => FaultKind::TelemetryDropout {
+            until_secs: f.until_secs.expect("validated"),
+        },
+        other => unreachable!("fault kind {other:?} passed validation"),
+    };
+    FaultEntry { at: f.at, kind }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fleet(pools: usize, len: usize) -> Vec<(String, TimeSeries)> {
+        (0..pools)
+            .map(|i| {
+                (
+                    format!("pool-{i}"),
+                    TimeSeries::new(30, vec![(i + 2) as f64; len]).unwrap(),
+                )
+            })
+            .collect()
+    }
+
+    fn plan(name: &str, seed: u64, pools: usize) -> ChaosPlan {
+        ScenarioSpec::by_name(name, seed)
+            .unwrap()
+            .compile()
+            .unwrap()
+            .apply(fleet(pools, 200))
+            .unwrap()
+    }
+
+    #[test]
+    fn every_catalog_scenario_applies_and_reproduces_bit_for_bit() {
+        for info in catalog::catalog() {
+            let a = plan(info.name, 42, 3);
+            let b = plan(info.name, 42, 3);
+            assert_eq!(a.demand, b.demand, "{} demand not reproducible", info.name);
+            assert_eq!(a.faults, b.faults, "{} faults not reproducible", info.name);
+            assert_eq!(a.summary, b.summary);
+            // The transform actually changed something.
+            assert_ne!(
+                a.demand,
+                fleet(3, 200),
+                "{} left demand untouched",
+                info.name
+            );
+            // Default schedules are non-empty and sorted by fire time.
+            assert!(a.fault_count() >= 1, "{} schedules no faults", info.name);
+            for (_, schedule) in &a.faults {
+                assert!(schedule.windows(2).all(|w| w[0].at <= w[1].at));
+            }
+        }
+    }
+
+    #[test]
+    fn different_seeds_move_the_flash_crowd() {
+        // Across enough seeds the crowd must hit more than one pool.
+        let mut hit: std::collections::BTreeSet<usize> = std::collections::BTreeSet::new();
+        for seed in 0..16 {
+            let p = plan("flash-crowd", seed, 4);
+            let baseline = fleet(4, 200);
+            for (i, ((_, shaped), (_, flat))) in p.demand.iter().zip(&baseline).enumerate() {
+                if shaped != flat {
+                    hit.insert(i);
+                }
+            }
+        }
+        assert!(hit.len() > 1, "flash crowd pinned to one pool: {hit:?}");
+    }
+
+    #[test]
+    fn regional_failover_conserves_total_demand() {
+        let before: f64 = fleet(3, 200).iter().map(|(_, ts)| ts.sum()).sum();
+        let p = plan("regional-failover", 7, 3);
+        let after: f64 = p.demand.iter().map(|(_, ts)| ts.sum()).sum();
+        assert_eq!(before, after, "failover must move demand, not create it");
+        // Exactly one pool lost demand and exactly one gained.
+        let deltas: Vec<f64> = p
+            .demand
+            .iter()
+            .zip(fleet(3, 200))
+            .map(|((_, shaped), (_, flat))| shaped.sum() - flat.sum())
+            .collect();
+        assert_eq!(deltas.iter().filter(|d| **d < 0.0).count(), 1);
+        assert_eq!(deltas.iter().filter(|d| **d > 0.0).count(), 1);
+        // No pool ever goes negative.
+        for (_, ts) in &p.demand {
+            assert!(ts.values().iter().all(|v| *v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn regional_failover_rejects_a_lone_pool() {
+        let err = ScenarioSpec::by_name("regional-failover", 1)
+            .unwrap()
+            .compile()
+            .unwrap()
+            .apply(fleet(1, 100))
+            .unwrap_err();
+        assert!(matches!(err, ChaosError::Unsupported(_)), "{err}");
+    }
+
+    #[test]
+    fn unknown_params_and_bad_windows_rejected() {
+        let mut spec = ScenarioSpec::by_name("diurnal-ramp", 1).unwrap();
+        spec.params.insert("magnitude".into(), 2.0); // not a diurnal param
+        let err = spec.compile().unwrap_err();
+        assert!(err.to_string().contains("no parameter"), "{err}");
+
+        let mut spec = ScenarioSpec::by_name("flash-crowd", 1).unwrap();
+        spec.faults = Some(vec![FaultSpec {
+            at: 600,
+            kind: "telemetry_dropout".into(),
+            pool: None,
+            until_secs: Some(500),
+            lag_secs: None,
+        }]);
+        let err = spec.compile().unwrap_err();
+        assert!(err.to_string().contains("must be after"), "{err}");
+
+        let mut spec = ScenarioSpec::by_name("flash-crowd", 1).unwrap();
+        spec.faults = Some(vec![FaultSpec {
+            at: 600,
+            kind: "telemetry_lag".into(),
+            pool: None,
+            until_secs: Some(900),
+            lag_secs: None,
+        }]);
+        assert!(spec.compile().is_err(), "lag without lag_secs");
+    }
+
+    #[test]
+    fn explicit_faults_override_defaults_and_pin_pools() {
+        let mut spec = ScenarioSpec::by_name("diurnal-ramp", 3).unwrap();
+        spec.faults = Some(vec![
+            FaultSpec {
+                at: 900,
+                kind: "config_stale".into(),
+                pool: Some("pool-1".into()),
+                until_secs: None,
+                lag_secs: None,
+            },
+            FaultSpec {
+                at: 300,
+                kind: "worker_lease_expiry".into(),
+                pool: Some("pool-1".into()),
+                until_secs: None,
+                lag_secs: None,
+            },
+        ]);
+        let p = spec.compile().unwrap().apply(fleet(2, 200)).unwrap();
+        assert_eq!(p.fault_count(), 2);
+        assert!(p.faults_for("pool-0").is_empty());
+        let schedule = p.faults_for("pool-1");
+        // Sorted by fire time regardless of spec order.
+        assert_eq!(schedule[0].at, 300);
+        assert_eq!(schedule[0].kind, FaultKind::WorkerLeaseExpiry);
+        assert_eq!(schedule[1].at, 900);
+        assert_eq!(schedule[1].kind, FaultKind::ConfigStale);
+        // Naming a pool outside the fleet fails loudly.
+        let mut spec = ScenarioSpec::by_name("diurnal-ramp", 3).unwrap();
+        spec.faults = Some(vec![FaultSpec {
+            at: 1,
+            kind: "config_stale".into(),
+            pool: Some("nope".into()),
+            until_secs: None,
+            lag_secs: None,
+        }]);
+        let err = spec.compile().unwrap().apply(fleet(2, 200)).unwrap_err();
+        assert!(err.to_string().contains("no pool named"), "{err}");
+        // `Some(vec![])` disables the scenario's default schedule.
+        let mut spec = ScenarioSpec::by_name("diurnal-ramp", 3).unwrap();
+        spec.faults = Some(Vec::new());
+        let p = spec.compile().unwrap().apply(fleet(2, 200)).unwrap();
+        assert_eq!(p.fault_count(), 0);
+    }
+
+    #[test]
+    fn param_overrides_change_the_transform() {
+        let mut spec = ScenarioSpec::by_name("cold-start-storm", 5).unwrap();
+        spec.params.insert("magnitude".into(), 20.0);
+        let big = spec.compile().unwrap().apply(fleet(1, 100)).unwrap();
+        let default = plan("cold-start-storm", 5, 1);
+        assert!(big.demand[0].1.get(0) > default.demand[0].1.get(0));
+    }
+
+    #[test]
+    fn short_traces_get_no_default_faults() {
+        let p = ScenarioSpec::by_name("flash-crowd", 1)
+            .unwrap()
+            .compile()
+            .unwrap()
+            .apply(vec![(
+                "tiny".to_string(),
+                TimeSeries::new(30, vec![1.0]).unwrap(),
+            )])
+            .unwrap();
+        assert_eq!(p.fault_count(), 0);
+    }
+}

@@ -1,0 +1,295 @@
+//! Scenario/fault specs: the `(name, seed, params, faults)` quadruple a
+//! run is reproduced from, and its JSON form.
+
+use crate::catalog;
+use crate::scenario::Scenario;
+use crate::{ChaosError, Result};
+use serde::Content;
+use std::collections::BTreeMap;
+
+/// The six injectable fault kinds, as spec strings (matching
+/// [`ip_sim::FaultKind::name`]).
+pub(crate) const FAULT_KINDS: &[&str] = &[
+    "worker_lease_expiry",
+    "arbitrator_partition",
+    "config_corruption",
+    "config_stale",
+    "telemetry_lag",
+    "telemetry_dropout",
+];
+
+/// One fault in a spec's schedule, before compilation: absolute logical
+/// seconds, a kind string, and the kind's window/lag arguments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultSpec {
+    /// Logical time (seconds) the fault fires.
+    pub at: u64,
+    /// Fault kind (one of [`ip_sim::FaultKind::name`]'s values).
+    pub kind: String,
+    /// Target pool name; `None` lets the scenario's seeded RNG pick one.
+    pub pool: Option<String>,
+    /// Window end for `arbitrator_partition` / `telemetry_lag` /
+    /// `telemetry_dropout`.
+    pub until_secs: Option<u64>,
+    /// Telemetry lag depth for `telemetry_lag`.
+    pub lag_secs: Option<u64>,
+}
+
+/// A scenario spec: everything needed to reproduce a chaos run
+/// bit-for-bit. Build one from a catalog name ([`ScenarioSpec::by_name`])
+/// or a JSON document ([`ScenarioSpec::from_json`]), then
+/// [`compile`](ScenarioSpec::compile) it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    /// Catalog scenario name.
+    pub name: String,
+    /// Seed for every random choice the scenario makes (pool selection,
+    /// per-pool jitter, default fault placement).
+    pub seed: u64,
+    /// Parameter overrides; unset parameters take catalog defaults.
+    pub params: BTreeMap<String, f64>,
+    /// Explicit fault schedule. `None` = the scenario's default schedule;
+    /// `Some(vec![])` = run the demand transform with no faults at all.
+    pub faults: Option<Vec<FaultSpec>>,
+}
+
+fn spec_err(msg: impl Into<String>) -> ChaosError {
+    ChaosError::BadSpec(msg.into())
+}
+
+fn expect_u64(doc: &Content, key: &str, ctx: &str) -> Result<Option<u64>> {
+    match doc.field(key) {
+        None | Some(Content::Null) => Ok(None),
+        Some(v) => v
+            .as_u64()
+            .map(Some)
+            .ok_or_else(|| spec_err(format!("{ctx}: {key:?} must be a non-negative integer"))),
+    }
+}
+
+fn expect_str(doc: &Content, key: &str, ctx: &str) -> Result<Option<String>> {
+    match doc.field(key) {
+        None | Some(Content::Null) => Ok(None),
+        Some(Content::Str(s)) => Ok(Some(s.clone())),
+        Some(_) => Err(spec_err(format!("{ctx}: {key:?} must be a string"))),
+    }
+}
+
+fn reject_unknown_keys(doc: &Content, allowed: &[&str], ctx: &str) -> Result<()> {
+    if let Content::Map(entries) = doc {
+        for (key, _) in entries {
+            if !allowed.contains(&key.as_str()) {
+                return Err(spec_err(format!(
+                    "{ctx}: unknown key {key:?} (allowed: {})",
+                    allowed.join(", ")
+                )));
+            }
+        }
+    }
+    Ok(())
+}
+
+impl ScenarioSpec {
+    /// A spec for catalog scenario `name` with default parameters and the
+    /// scenario's default fault schedule. Unknown names fail with a
+    /// near-miss suggestion.
+    pub fn by_name(name: &str, seed: u64) -> Result<Self> {
+        if catalog::find(name).is_none() {
+            return Err(ChaosError::UnknownScenario {
+                name: name.to_string(),
+                suggestion: catalog::suggest(name).map(str::to_string),
+            });
+        }
+        Ok(Self {
+            name: name.to_string(),
+            seed,
+            params: BTreeMap::new(),
+            faults: None,
+        })
+    }
+
+    /// Parses the JSON spec form (see the crate docs for the shape).
+    /// Unknown keys, unknown fault kinds, and malformed windows are
+    /// rejected here so typos fail loudly before anything runs.
+    pub fn from_json(text: &str) -> Result<Self> {
+        let doc: Content =
+            serde_json::from_str(text).map_err(|e| spec_err(format!("not valid JSON: {e}")))?;
+        if !matches!(doc, Content::Map(_)) {
+            return Err(spec_err("top level must be a JSON object"));
+        }
+        reject_unknown_keys(&doc, &["name", "seed", "params", "faults"], "spec")?;
+        let name =
+            expect_str(&doc, "name", "spec")?.ok_or_else(|| spec_err("spec: missing \"name\""))?;
+        if catalog::find(&name).is_none() {
+            return Err(ChaosError::UnknownScenario {
+                suggestion: catalog::suggest(&name).map(str::to_string),
+                name,
+            });
+        }
+        let seed = expect_u64(&doc, "seed", "spec")?.unwrap_or(0);
+
+        let mut params = BTreeMap::new();
+        match doc.field("params") {
+            None | Some(Content::Null) => {}
+            Some(Content::Map(entries)) => {
+                for (key, value) in entries {
+                    let v = value
+                        .as_f64()
+                        .ok_or_else(|| spec_err(format!("params: {key:?} must be a number")))?;
+                    params.insert(key.clone(), v);
+                }
+            }
+            Some(_) => return Err(spec_err("spec: \"params\" must be an object")),
+        }
+
+        let faults = match doc.field("faults") {
+            None | Some(Content::Null) => None,
+            Some(Content::Seq(items)) => {
+                let mut out = Vec::with_capacity(items.len());
+                for (i, entry) in items.iter().enumerate() {
+                    out.push(parse_fault(entry, &format!("faults[{i}]"))?);
+                }
+                Some(out)
+            }
+            Some(_) => return Err(spec_err("spec: \"faults\" must be an array")),
+        };
+
+        Ok(Self {
+            name,
+            seed,
+            params,
+            faults,
+        })
+    }
+
+    /// Validates the spec against the catalog (parameter names, fault
+    /// windows) and produces a runnable [`Scenario`].
+    pub fn compile(self) -> Result<Scenario> {
+        Scenario::from_spec(self)
+    }
+}
+
+fn parse_fault(doc: &Content, ctx: &str) -> Result<FaultSpec> {
+    if !matches!(doc, Content::Map(_)) {
+        return Err(spec_err(format!("{ctx}: must be a JSON object")));
+    }
+    reject_unknown_keys(doc, &["at", "kind", "pool", "until_secs", "lag_secs"], ctx)?;
+    let at =
+        expect_u64(doc, "at", ctx)?.ok_or_else(|| spec_err(format!("{ctx}: missing \"at\"")))?;
+    let kind = expect_str(doc, "kind", ctx)?
+        .ok_or_else(|| spec_err(format!("{ctx}: missing \"kind\"")))?;
+    if !FAULT_KINDS.contains(&kind.as_str()) {
+        let near = FAULT_KINDS
+            .iter()
+            .map(|k| (crate::catalog::levenshtein(&kind, k), *k))
+            .min()
+            .filter(|&(d, _)| d <= 3)
+            .map(|(_, k)| format!(" (did you mean {k:?}?)"))
+            .unwrap_or_default();
+        return Err(spec_err(format!(
+            "{ctx}: unknown fault kind {kind:?}{near}"
+        )));
+    }
+    Ok(FaultSpec {
+        at,
+        kind,
+        pool: expect_str(doc, "pool", ctx)?,
+        until_secs: expect_u64(doc, "until_secs", ctx)?,
+        lag_secs: expect_u64(doc, "lag_secs", ctx)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn by_name_rejects_unknowns_with_a_suggestion() {
+        assert!(ScenarioSpec::by_name("flash-crowd", 1).is_ok());
+        let err = ScenarioSpec::by_name("flash-crwd", 1).unwrap_err();
+        assert_eq!(
+            err,
+            ChaosError::UnknownScenario {
+                name: "flash-crwd".into(),
+                suggestion: Some("flash-crowd".into()),
+            }
+        );
+        assert!(err.to_string().contains("did you mean \"flash-crowd\"?"));
+        let err = ScenarioSpec::by_name("nope", 1).unwrap_err();
+        assert!(err.to_string().contains("--list-scenarios"), "{err}");
+    }
+
+    #[test]
+    fn json_spec_round_trips_params_and_faults() {
+        let spec = ScenarioSpec::from_json(
+            r#"{
+              "name": "regional-failover", "seed": 9,
+              "params": {"drain_frac": 0.5},
+              "faults": [
+                {"at": 600, "kind": "arbitrator_partition", "until_secs": 1800},
+                {"at": 900, "kind": "telemetry_lag", "until_secs": 2400,
+                 "lag_secs": 600, "pool": "east"}
+              ]
+            }"#,
+        )
+        .unwrap();
+        assert_eq!(spec.name, "regional-failover");
+        assert_eq!(spec.seed, 9);
+        assert_eq!(spec.params.get("drain_frac"), Some(&0.5));
+        let faults = spec.faults.as_ref().unwrap();
+        assert_eq!(faults.len(), 2);
+        assert_eq!(faults[0].kind, "arbitrator_partition");
+        assert_eq!(faults[0].until_secs, Some(1800));
+        assert_eq!(faults[1].pool.as_deref(), Some("east"));
+        // Minimal form: defaults kick in, no fault override.
+        let min = ScenarioSpec::from_json(r#"{"name": "diurnal-ramp"}"#).unwrap();
+        assert_eq!(min.seed, 0);
+        assert!(min.params.is_empty());
+        assert!(min.faults.is_none());
+    }
+
+    #[test]
+    fn json_spec_structural_errors() {
+        let cases: &[(&str, &str)] = &[
+            ("[1]", "top level"),
+            ("{}", "missing \"name\""),
+            (r#"{"name": "flash-crowd", "sed": 1}"#, "unknown key"),
+            (
+                r#"{"name": "flash-crowd", "params": {"magnitude": "big"}}"#,
+                "must be a number",
+            ),
+            (
+                r#"{"name": "flash-crowd", "faults": [{"kind": "config_stale"}]}"#,
+                "missing \"at\"",
+            ),
+            (
+                r#"{"name": "flash-crowd", "faults": [{"at": 1}]}"#,
+                "missing \"kind\"",
+            ),
+            (
+                r#"{"name": "flash-crowd", "faults": [{"at": 1, "kind": "telemetry_lagg"}]}"#,
+                "did you mean \"telemetry_lag\"?",
+            ),
+            (
+                r#"{"name": "flash-crowd", "faults": [{"at": 1, "kind": "meteor_strike"}]}"#,
+                "unknown fault kind",
+            ),
+            (
+                r#"{"name": "flash-crowd", "faults": 3}"#,
+                "must be an array",
+            ),
+        ];
+        for (text, needle) in cases {
+            let err = ScenarioSpec::from_json(text).unwrap_err();
+            let msg = err.to_string();
+            assert!(
+                matches!(err, ChaosError::BadSpec(_)) && msg.contains(needle),
+                "spec {text:?}: expected {needle:?} in {msg:?}"
+            );
+        }
+        // Unknown scenario names go through the near-miss path instead.
+        let err = ScenarioSpec::from_json(r#"{"name": "cold-start-strom"}"#).unwrap_err();
+        assert!(matches!(err, ChaosError::UnknownScenario { .. }));
+        assert!(err.to_string().contains("cold-start-storm"), "{err}");
+    }
+}

@@ -20,8 +20,8 @@ use ip_core::{
 use ip_obs::{Severity, SloSpec, SloStatus, SloTracker};
 use ip_saa::SaaConfig;
 use ip_sim::{
-    FleetPool, FleetSim, IntervalStat, LeaseId, LeaseTable, PoolId, RecommendationFile, SimConfig,
-    SimReport,
+    FaultRecord, FleetPool, FleetSim, IntervalStat, LeaseId, LeaseTable, PoolId,
+    RecommendationFile, SimConfig, SimReport,
 };
 use ip_timeseries::TimeSeries;
 use serde::{Content, Serialize};
@@ -540,6 +540,51 @@ impl Controller {
     /// Pool `i`'s current SLO evaluation.
     pub fn slo_status_of(&self, i: usize) -> SloStatus {
         self.slo[i].status()
+    }
+
+    /// Faults the chaos plane has injected into pool `i` so far (live from
+    /// the stepper, or from the final report once finalized), in fire
+    /// order.
+    pub fn fault_records_of(&self, i: usize) -> &[FaultRecord] {
+        match (&self.fleet, &self.pools[i].report) {
+            (Some(fleet), _) => fleet.stepper(i).fault_records(),
+            (None, Some(r)) => &r.fault_records,
+            (None, None) => &[],
+        }
+    }
+
+    /// Total injected faults across the fleet so far.
+    pub fn faults_injected(&self) -> usize {
+        (0..self.pools.len())
+            .map(|i| self.fault_records_of(i).len())
+            .sum()
+    }
+
+    /// The flight recorder's `faults` section: every injected fault so
+    /// far, pools in registration order, fire order within a pool.
+    /// Building the [`Content`] tree is the only part that needs the
+    /// controller lock.
+    pub fn faults_doc(&self) -> Content {
+        let injected: Vec<Content> = (0..self.pools.len())
+            .flat_map(|i| self.fault_records_of(i).iter())
+            .map(|r| {
+                Content::Map(vec![
+                    ("t".to_string(), Content::U64(r.t)),
+                    ("pool".to_string(), Content::Str(r.pool.clone())),
+                    ("kind".to_string(), Content::Str(r.kind.clone())),
+                    ("detail".to_string(), Content::Str(r.detail.clone())),
+                ])
+            })
+            .collect();
+        Content::Map(vec![
+            ("total".to_string(), Content::U64(injected.len() as u64)),
+            ("injected".to_string(), Content::Seq(injected)),
+        ])
+    }
+
+    /// [`Controller::faults_doc`] serialized to a JSON string.
+    pub fn faults_json(&self) -> Result<String, String> {
+        serde_json::to_string(&self.faults_doc()).map_err(|e| format!("faults document: {e:?}"))
     }
 
     /// Burn-rate alerts across the fleet: one [`Alert`] per pool whose SLO

@@ -690,6 +690,9 @@ fn controller_loop(inner: &Inner) {
     // Severity transitions (Ok <-> Warning/Page) land as flight notes;
     // this remembers the last severity to note only the edges.
     let mut last_severity = vec![ip_obs::Severity::Ok; pool_count];
+    // Chaos-plane faults land as flight notes exactly once; this
+    // remembers how many of each pool's records were already noted.
+    let mut noted_faults = vec![0usize; pool_count];
     let started = Instant::now();
     let tick = tick_duration(inner.interval_secs, inner.speedup);
     loop {
@@ -714,7 +717,7 @@ fn controller_loop(inner: &Inner) {
             ctl.alerts = alerts;
             let now = ctl.watermark().max(logical);
             ctl.tick_lease(now);
-            record_tick_flight(inner, &ctl, now, &mut last_severity);
+            record_tick_flight(inner, &ctl, now, &mut last_severity, &mut noted_faults);
             ip_obs::counter_inc("ip_serve_ticks_total", &[]);
             ctl.is_done()
         };
@@ -741,12 +744,15 @@ fn controller_loop(inner: &Inner) {
 
 /// Appends one controller tick to the flight recorder: a compact numeric
 /// snapshot plus notes on SLO severity *transitions* (edges, not levels,
-/// so a long incident is one note, not a note per tick).
+/// so a long incident is one note, not a note per tick) and on every
+/// fault the chaos plane injected since the previous tick (each fault is
+/// noted exactly once).
 fn record_tick_flight(
     inner: &Inner,
     ctl: &Controller,
     now: u64,
     last_severity: &mut [ip_obs::Severity],
+    noted_faults: &mut [usize],
 ) {
     let queue_depth: usize = inner
         .shards
@@ -781,6 +787,17 @@ fn record_tick_flight(
             );
             *last = severity;
         }
+    }
+    for (i, noted) in noted_faults.iter_mut().enumerate() {
+        let records = ctl.fault_records_of(i);
+        for r in &records[*noted..] {
+            ip_obs::flight::note(
+                now,
+                "fault",
+                &format!("pool {:?}: {} at t={}s ({})", r.pool, r.kind, r.t, r.detail),
+            );
+        }
+        *noted = records.len();
     }
 }
 
@@ -1201,15 +1218,19 @@ fn slow_requests_doc(inner: &Inner) -> Content {
 }
 
 /// Pre-serializes the serve stack's sections of a flight dump: the SLO
-/// statuses and the slow-request ring. Needs the controller lock held by
-/// the caller (passed as `ctl`).
+/// statuses, the slow-request ring, and the chaos plane's injected
+/// faults. Needs the controller lock held by the caller (passed as
+/// `ctl`).
 fn flight_sections(ctl: &Controller, inner: &Inner) -> Vec<(&'static str, String)> {
     let slo = ctl
         .slo_json()
         .unwrap_or_else(|e| format!("{{\"error\":{:?}}}", e));
     let slow = serde_json::to_string(&slow_requests_doc(inner))
         .unwrap_or_else(|e| format!("{{\"error\":\"{e:?}\"}}"));
-    vec![("slo", slo), ("slow_requests", slow)]
+    let faults = ctl
+        .faults_json()
+        .unwrap_or_else(|e| format!("{{\"error\":{:?}}}", e));
+    vec![("slo", slo), ("slow_requests", slow), ("faults", faults)]
 }
 
 /// Pulls the optional `"pool"` string out of a request body. `Ok(None)`

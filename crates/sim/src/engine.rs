@@ -11,6 +11,7 @@
 //! bit-identical to the offline simulation of the same trace.
 
 use crate::cluster::{Cluster, ClusterState};
+use crate::fault::{FaultEntry, FaultKind, FaultRecord};
 use crate::lease::Lease;
 use crate::stores::{CosmosLite, KustoLite, RecommendationFile};
 use crate::{PoolId, RecommendationProvider, Result, SimError};
@@ -100,6 +101,10 @@ pub struct SimConfig {
     /// series unlabeled — bit-identical to the pre-fleet single-pool
     /// output; `Some` adds a `pool` label to every `ip_sim_*` series.
     pub pool: Option<PoolId>,
+    /// Chaos fault schedule ([`FaultEntry`] per fault, fired in event
+    /// order). Empty (the default) schedules nothing and leaves the run
+    /// bit-identical to a chaos-free build.
+    pub faults: Vec<FaultEntry>,
 }
 
 impl Default for SimConfig {
@@ -117,6 +122,7 @@ impl Default for SimConfig {
             on_demand_hedging: 1,
             seed: 0,
             pool: None,
+            faults: Vec::new(),
         }
     }
 }
@@ -239,6 +245,9 @@ pub struct SimReport {
     pub fallback_intervals: u64,
     /// Workers replaced by the Arbitrator after lease lapse.
     pub worker_replacements: u64,
+    /// Chaos faults injected over the run, in firing order (empty without
+    /// a fault schedule).
+    pub fault_records: Vec<FaultRecord>,
     /// The pool-size target actually applied at each interval.
     pub applied_target_timeline: Vec<u32>,
     /// Per-interval telemetry stream (one record per demand interval, last
@@ -267,6 +276,8 @@ enum Ev {
     ArbCheck,
     WorkerFail(usize),
     WorkerRecover(usize),
+    /// A chaos fault (index into `SimConfig::faults`) fires.
+    Fault(usize),
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -328,6 +339,17 @@ pub struct SimStepper {
     /// silent worker (granted at failure time); cleared on recovery or
     /// Arbitrator replacement.
     dead_worker: Option<Lease>,
+    /// Chaos: Arbitrator health checks no-op while `time <` this.
+    arb_partition_until: u64,
+    /// Chaos: pipeline runs see a lagged telemetry store while `time <`
+    /// this.
+    telemetry_lag_until: u64,
+    /// Chaos: how far behind the store trails during a lag window.
+    telemetry_lag_secs: u64,
+    /// Chaos: interval request telemetry is dropped while `time <` this.
+    telemetry_dropout_until: u64,
+    /// Every chaos fault that fired, in firing order.
+    fault_records: Vec<FaultRecord>,
     hits: u64,
     misses: u64,
     total_requests: u64,
@@ -399,6 +421,11 @@ impl SimStepper {
                 pl.as_slice(),
                 &IDLE_BUCKETS,
             );
+            // Registered only under a chaos schedule, so fault-free runs
+            // keep byte-identical Prometheus output.
+            if !cfg.faults.is_empty() {
+                ip_obs::counter_add("ip_sim_faults_injected_total", pl.as_slice(), 0.0);
+            }
         }
 
         let mut stepper = Self {
@@ -418,6 +445,11 @@ impl SimStepper {
             telemetry: KustoLite::new(),
             config_store: CosmosLite::new(),
             dead_worker: None,
+            arb_partition_until: 0,
+            telemetry_lag_until: 0,
+            telemetry_lag_secs: 0,
+            telemetry_dropout_until: 0,
+            fault_records: Vec::new(),
             hits: 0,
             misses: 0,
             total_requests: 0,
@@ -468,6 +500,11 @@ impl SimStepper {
             if s < self.end_time {
                 self.push(s, Ev::WorkerFail(i));
                 self.push(e.min(self.end_time.saturating_sub(1)), Ev::WorkerRecover(i));
+            }
+        }
+        for (i, f) in self.cfg.faults.clone().iter().enumerate() {
+            if f.at < self.end_time {
+                self.push(f.at, Ev::Fault(i));
             }
         }
     }
@@ -684,12 +721,94 @@ impl SimStepper {
                     self.enforce_target(time);
                 }
             }
+            Ev::Fault(i) => self.on_fault(time, i),
         }
+    }
+
+    /// Fires one scheduled chaos fault: flips the matching failure mode,
+    /// records it, and emits the obs event + warn log.
+    fn on_fault(&mut self, time: u64, idx: usize) {
+        let entry = self.cfg.faults[idx].clone();
+        let detail = match entry.kind {
+            FaultKind::WorkerLeaseExpiry => {
+                let lapse_at = time + self.cfg.arbitrator.lease_secs;
+                if self.dead_worker.is_none() {
+                    self.dead_worker = Some(Lease::new(time, self.cfg.arbitrator.lease_secs));
+                    self.telemetry.append("worker_failed", time, 1.0);
+                }
+                format!("pooling worker silent mid-rehydration; lease lapses at t={lapse_at}")
+            }
+            FaultKind::ArbitratorPartition { until_secs } => {
+                self.arb_partition_until = self.arb_partition_until.max(until_secs);
+                format!("arbitrator health checks suppressed until t={until_secs}")
+            }
+            FaultKind::ConfigCorruption => {
+                let version = self.config_store.put(
+                    "pool-recommendation",
+                    &"chaos: corrupt recommendation payload",
+                );
+                format!(
+                    "corrupt recommendation written as version {version}; \
+                     inferencing reverts to the default target"
+                )
+            }
+            FaultKind::ConfigStale => {
+                let rec = RecommendationFile {
+                    generated_at: 0,
+                    interval_secs: self.cfg.interval_secs,
+                    targets: vec![self.cfg.default_pool_target],
+                };
+                let version = self.config_store.put("pool-recommendation", &rec);
+                format!(
+                    "stale recommendation (generated_at=0, one interval) written as \
+                     version {version}; target lookups miss"
+                )
+            }
+            FaultKind::TelemetryLag {
+                until_secs,
+                lag_secs,
+            } => {
+                self.telemetry_lag_until = self.telemetry_lag_until.max(until_secs);
+                self.telemetry_lag_secs = lag_secs;
+                format!("telemetry store trails {lag_secs}s behind until t={until_secs}")
+            }
+            FaultKind::TelemetryDropout { until_secs } => {
+                self.telemetry_dropout_until = self.telemetry_dropout_until.max(until_secs);
+                format!("interval request telemetry dropped until t={until_secs}")
+            }
+        };
+        let kind = entry.kind.name();
+        let pool = self
+            .cfg
+            .pool
+            .as_ref()
+            .map_or("default", |p| p.as_str())
+            .to_string();
+        if self.obs_on {
+            let pl = pool_labels(&self.cfg.pool);
+            ip_obs::counter_inc("ip_sim_faults_injected_total", pl.as_slice());
+            ip_obs::event("chaos.fault", time, &[("fault", idx as f64)]);
+        }
+        ip_obs::log::warn(
+            "chaos.fault",
+            &format!("{pool}: {kind}: {detail}"),
+            &[("t", time as f64)],
+        );
+        self.fault_records.push(FaultRecord {
+            t: time,
+            pool,
+            kind: kind.to_string(),
+            detail,
+        });
     }
 
     fn on_interval(&mut self, time: u64, i: usize, demand: &TimeSeries) {
         let count = demand.get(i).round().max(0.0) as u64;
-        self.telemetry.append("requests", time, count as f64);
+        // A telemetry dropout loses the store write; the arrivals below
+        // are still delivered and served.
+        if time >= self.telemetry_dropout_until {
+            self.telemetry.append("requests", time, count as f64);
+        }
         let (target, stale) = self.current_target(time);
         self.applied_targets.push(target);
         let fallback = stale && self.cfg.ip_worker.is_some();
@@ -906,10 +1025,17 @@ impl SimStepper {
                 self.total_wait / self.total_requests as f64
             };
             provider.observe_wait(time, mean_wait);
+            // Under a telemetry-lag fault the pipeline only sees points
+            // older than the lag horizon.
+            let visible_until = if time < self.telemetry_lag_until {
+                time.saturating_sub(self.telemetry_lag_secs)
+            } else {
+                time
+            };
             let observed = self.telemetry.bucketed_sum(
                 "requests",
                 self.cfg.interval_secs,
-                time.max(self.cfg.interval_secs),
+                visible_until.max(self.cfg.interval_secs),
             );
             let observed = TimeSeries::new(self.cfg.interval_secs, observed).expect("interval > 0");
             let horizon = (ipc.horizon_secs / self.cfg.interval_secs) as usize;
@@ -941,6 +1067,11 @@ impl SimStepper {
     }
 
     fn on_arb_check(&mut self, time: u64) {
+        // A partitioned Arbitrator cannot observe the lapse, let alone
+        // replace the worker.
+        if time < self.arb_partition_until {
+            return;
+        }
         if let Some(lease) = &self.dead_worker {
             if lease.expired(time) {
                 // Lease lapsed: replace the worker.
@@ -994,6 +1125,11 @@ impl SimStepper {
     /// The telemetry store.
     pub fn telemetry(&self) -> &KustoLite {
         &self.telemetry
+    }
+
+    /// Chaos faults injected so far, in firing order.
+    pub fn fault_records(&self) -> &[FaultRecord] {
+        &self.fault_records
     }
 
     /// `(ready, provisioning)` pooled-cluster counts right now.
@@ -1084,6 +1220,7 @@ impl SimStepper {
             ip_failures: self.ip_failures,
             fallback_intervals: self.fallback_intervals,
             worker_replacements: self.worker_replacements,
+            fault_records: self.fault_records,
             applied_target_timeline: self.applied_targets,
             interval_stats: self.interval_stats,
             telemetry: self.telemetry,
@@ -1185,6 +1322,235 @@ mod tests {
         // A lower watermark processes nothing and does not regress.
         assert_eq!(stepper.step_until(&d, None, 60), 0);
         assert_eq!(stepper.watermark(), 120);
+    }
+
+    #[test]
+    fn lease_expiry_on_the_exact_recovery_tick_resolves_to_replacement() {
+        // Outage (60, 360) with the default Arbitrator (lease 300 s,
+        // checks every 60 s): the lease granted at the failure lapses at
+        // exactly t=360, the same second the outage's own recovery event
+        // fires. Pinned order: the Arbitrator's check is scheduled first
+        // (lower seq), so the **replacement wins** and the coincident
+        // recovery is a no-op — deterministically, at any pacing.
+        let cfg = SimConfig {
+            default_pool_target: 2,
+            tau_jitter_secs: 0,
+            pooling_worker_outages: vec![(60, 360)],
+            ..Default::default()
+        };
+        let report = Simulation::new(cfg.clone(), None)
+            .run(&demand(vec![1.0; 20]))
+            .unwrap();
+        assert_eq!(report.worker_replacements, 1);
+        assert_eq!(
+            report.telemetry.query_range("worker_replaced", 0, 600),
+            vec![(360, 1.0)]
+        );
+        // The recovery found no dead worker: it neither recovered nor
+        // double-counted.
+        assert!(report
+            .telemetry
+            .query_range("worker_recovered", 0, 600)
+            .is_empty());
+
+        // Stepping one second at a time resolves the tie identically.
+        let d = demand(vec![1.0; 20]);
+        let mut stepper = SimStepper::new(cfg, &d).unwrap();
+        let mut t = 0;
+        while !stepper.is_done() {
+            t += 1;
+            stepper.step_until(&d, None, t);
+        }
+        let stepped = stepper.finalize();
+        assert_eq!(stepped.worker_replacements, 1);
+        assert!(stepped
+            .telemetry
+            .query_range("worker_recovered", 0, 600)
+            .is_empty());
+    }
+
+    #[test]
+    fn worker_lease_expiry_fault_is_replaced_by_the_arbitrator() {
+        // Unlike an outage window, the fault schedules no recovery: the
+        // worker stays dead until its lease lapses (300+300=600) and the
+        // Arbitrator's next check replaces it.
+        let cfg = SimConfig {
+            default_pool_target: 2,
+            tau_jitter_secs: 0,
+            faults: vec![FaultEntry {
+                at: 300,
+                kind: FaultKind::WorkerLeaseExpiry,
+            }],
+            ..Default::default()
+        };
+        let report = Simulation::new(cfg, None)
+            .run(&demand(vec![1.0; 40]))
+            .unwrap();
+        assert_eq!(report.worker_replacements, 1);
+        assert_eq!(
+            report.telemetry.query_range("worker_replaced", 0, 1200),
+            vec![(600, 1.0)]
+        );
+        assert_eq!(report.fault_records.len(), 1);
+        assert_eq!(report.fault_records[0].kind, "worker_lease_expiry");
+        assert_eq!(report.fault_records[0].t, 300);
+        assert_eq!(report.fault_records[0].pool, "default");
+    }
+
+    #[test]
+    fn arbitrator_partition_delays_the_replacement() {
+        // Lease lapses at 600 but the Arbitrator is partitioned until 900:
+        // the replacement lands at the first health check at/after 900.
+        let cfg = SimConfig {
+            default_pool_target: 2,
+            tau_jitter_secs: 0,
+            faults: vec![
+                FaultEntry {
+                    at: 300,
+                    kind: FaultKind::WorkerLeaseExpiry,
+                },
+                FaultEntry {
+                    at: 300,
+                    kind: FaultKind::ArbitratorPartition { until_secs: 900 },
+                },
+            ],
+            ..Default::default()
+        };
+        let report = Simulation::new(cfg, None)
+            .run(&demand(vec![1.0; 60]))
+            .unwrap();
+        assert_eq!(
+            report.telemetry.query_range("worker_replaced", 0, 1800),
+            vec![(900, 1.0)]
+        );
+        assert_eq!(report.fault_records.len(), 2);
+        assert_eq!(report.fault_records[1].kind, "arbitrator_partition");
+    }
+
+    #[test]
+    fn config_corruption_and_staleness_force_default_fallback() {
+        for kind in [FaultKind::ConfigCorruption, FaultKind::ConfigStale] {
+            // Static provider recommends 6 every 300 s; default is 2. The
+            // fault at t=310 clobbers the latest file, so intervals in
+            // (310, 600) fall back to 2 until the next run rewrites it.
+            let cfg = SimConfig {
+                default_pool_target: 2,
+                tau_jitter_secs: 0,
+                ip_worker: Some(IpWorkerConfig {
+                    run_every_secs: 300,
+                    horizon_secs: 600,
+                    failing_runs: Vec::new(),
+                }),
+                faults: vec![FaultEntry {
+                    at: 310,
+                    kind: kind.clone(),
+                }],
+                ..Default::default()
+            };
+            let mut provider = crate::StaticProvider(6);
+            let report = Simulation::new(cfg, Some(&mut provider))
+                .run(&demand(vec![1.0; 40]))
+                .unwrap();
+            // Intervals at t=330..=570 (indices 11..=19) fell back.
+            assert!(
+                report.fallback_intervals >= 9,
+                "{}: only {} fallback intervals",
+                kind.name(),
+                report.fallback_intervals
+            );
+            assert_eq!(report.applied_target_timeline[11], 2, "{}", kind.name());
+            // The run at t=600 restores the recommendation.
+            assert_eq!(report.applied_target_timeline[21], 6, "{}", kind.name());
+            assert_eq!(report.fault_records.len(), 1);
+            assert_eq!(report.fault_records[0].kind, kind.name());
+        }
+    }
+
+    #[test]
+    fn telemetry_dropout_loses_store_points_but_serves_arrivals() {
+        let cfg = SimConfig {
+            default_pool_target: 4,
+            tau_jitter_secs: 0,
+            faults: vec![FaultEntry {
+                at: 100,
+                kind: FaultKind::TelemetryDropout { until_secs: 400 },
+            }],
+            ..Default::default()
+        };
+        let report = Simulation::new(cfg, None)
+            .run(&demand(vec![2.0; 30]))
+            .unwrap();
+        // Points in the dropout window [120, 390] are gone; arrivals were
+        // still delivered and counted.
+        assert!(report
+            .telemetry
+            .query_range("requests", 120, 400)
+            .is_empty());
+        assert!(!report
+            .telemetry
+            .query_range("requests", 400, 900)
+            .is_empty());
+        assert_eq!(report.total_requests, 60);
+    }
+
+    #[test]
+    fn telemetry_lag_caps_what_the_pipeline_sees() {
+        use std::cell::RefCell;
+        let seen: RefCell<Vec<usize>> = RefCell::new(Vec::new());
+        let mut provider = |_now: u64, observed: &TimeSeries, horizon: usize| {
+            seen.borrow_mut().push(observed.len());
+            Some(vec![3u32; horizon])
+        };
+        let cfg = SimConfig {
+            default_pool_target: 2,
+            tau_jitter_secs: 0,
+            ip_worker: Some(IpWorkerConfig {
+                run_every_secs: 600,
+                horizon_secs: 600,
+                failing_runs: Vec::new(),
+            }),
+            faults: vec![FaultEntry {
+                at: 0,
+                kind: FaultKind::TelemetryLag {
+                    until_secs: 900,
+                    lag_secs: 570,
+                },
+            }],
+            ..Default::default()
+        };
+        Simulation::new(cfg, Some(&mut provider))
+            .run(&demand(vec![1.0; 60]))
+            .unwrap();
+        // Runs at t=0 and t=600 lag 570 s behind → each sees one bucket;
+        // the run at t=1200 is past the window → sees all 40 buckets.
+        assert_eq!(seen.into_inner(), vec![1, 1, 40]);
+    }
+
+    #[test]
+    fn fault_free_runs_ignore_the_chaos_plane_entirely() {
+        // Structural bit-identity: an explicit empty schedule is the
+        // default; both runs share every event seq and RNG draw.
+        let cfg = SimConfig {
+            cluster_lifespan_secs: Some(900),
+            cluster_failure_prob_per_hour: 0.2,
+            seed: 11,
+            ..Default::default()
+        };
+        let a = Simulation::new(cfg.clone(), None)
+            .run(&demand(vec![3.0; 50]))
+            .unwrap();
+        let b = Simulation::new(
+            SimConfig {
+                faults: Vec::new(),
+                ..cfg
+            },
+            None,
+        )
+        .run(&demand(vec![3.0; 50]))
+        .unwrap();
+        assert_eq!(a.interval_stats, b.interval_stats);
+        assert_eq!(a.total_wait_secs, b.total_wait_secs);
+        assert!(a.fault_records.is_empty());
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! The chaos fault plane: logical-clock fault schedules injected into the
+//! [`SimStepper`](crate::SimStepper) event loop.
+//!
+//! Fault entries ride in [`SimConfig::faults`](crate::SimConfig); each one
+//! fires as an ordinary `(time, seq)`-ordered event, so an injected fault
+//! is as deterministic and pacing-independent as every other state change.
+//! An **empty** schedule pushes no events and draws no randomness, which
+//! keeps fault-free runs bit-identical to a build without the chaos plane
+//! (reports, Prometheus bytes, and the event stream all match).
+//!
+//! Every fault that fires is recorded as a [`FaultRecord`] (surfaced in
+//! [`SimReport::fault_records`](crate::SimReport) and the serve stack's
+//! flight recorder under a dedicated `faults` section), emitted as an
+//! `ip-obs` `chaos.fault` event, and logged at `warn`.
+
+/// One scheduled fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultEntry {
+    /// Logical time (seconds) at which the fault fires.
+    pub at: u64,
+    /// What breaks.
+    pub kind: FaultKind,
+}
+
+/// The §7.5–7.6 platform failure modes, injectable on the logical clock.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The Pooling Worker goes silent mid-rehydration with **no scheduled
+    /// recovery**: its lease lapses and only the Arbitrator brings a
+    /// replacement (unlike a `pooling_worker_outages` window, which
+    /// recovers on its own at the window end).
+    WorkerLeaseExpiry,
+    /// Arbitrator partition: health checks no-op until `until_secs`, so a
+    /// dead worker stays dead for the whole window even after its lease
+    /// lapses.
+    ArbitratorPartition {
+        /// End of the partition window (seconds).
+        until_secs: u64,
+    },
+    /// A corrupt (undeserializable) version is written over the latest
+    /// recommendation: inferencing reverts to the default target until the
+    /// next successful pipeline run replaces it (§7.6 fallback semantics).
+    ConfigCorruption,
+    /// A syntactically valid but stale recommendation file (generated at
+    /// t=0 with a single interval of coverage) is written: `target_at`
+    /// misses and the target falls back to the default.
+    ConfigStale,
+    /// Telemetry-store lag: pipeline runs only see points older than
+    /// `lag_secs` until `until_secs`.
+    TelemetryLag {
+        /// End of the lag window (seconds).
+        until_secs: u64,
+        /// How far behind the logical clock the store trails (seconds).
+        lag_secs: u64,
+    },
+    /// Telemetry dropout: interval request counts are lost — never
+    /// recorded to the store, though the arrivals themselves are still
+    /// served — until `until_secs`.
+    TelemetryDropout {
+        /// End of the dropout window (seconds).
+        until_secs: u64,
+    },
+}
+
+impl FaultKind {
+    /// Stable machine-readable name (the flight recorder's `kind` field).
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultKind::WorkerLeaseExpiry => "worker_lease_expiry",
+            FaultKind::ArbitratorPartition { .. } => "arbitrator_partition",
+            FaultKind::ConfigCorruption => "config_corruption",
+            FaultKind::ConfigStale => "config_stale",
+            FaultKind::TelemetryLag { .. } => "telemetry_lag",
+            FaultKind::TelemetryDropout { .. } => "telemetry_dropout",
+        }
+    }
+}
+
+/// One fault that actually fired, as recorded by the stepper.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultRecord {
+    /// Logical time it fired.
+    pub t: u64,
+    /// Pool it hit (`default` for an anonymous pool).
+    pub pool: String,
+    /// Machine-readable kind ([`FaultKind::name`]).
+    pub kind: String,
+    /// Human-readable effect.
+    pub detail: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_are_stable_and_distinct() {
+        let kinds = [
+            FaultKind::WorkerLeaseExpiry,
+            FaultKind::ArbitratorPartition { until_secs: 1 },
+            FaultKind::ConfigCorruption,
+            FaultKind::ConfigStale,
+            FaultKind::TelemetryLag {
+                until_secs: 1,
+                lag_secs: 1,
+            },
+            FaultKind::TelemetryDropout { until_secs: 1 },
+        ];
+        let names: Vec<&str> = kinds.iter().map(FaultKind::name).collect();
+        assert_eq!(names.len(), 6);
+        for (i, a) in names.iter().enumerate() {
+            for b in &names[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+        assert_eq!(names[0], "worker_lease_expiry");
+    }
+}

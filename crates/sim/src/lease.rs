@@ -14,6 +14,14 @@ use std::collections::BTreeMap;
 /// One worker lease. A lease is *live* strictly before `expires_at` and
 /// expired from `expires_at` on — a sweep landing exactly on the expiry
 /// second replaces the worker (the silent worker gets no grace interval).
+///
+/// **Pinned tie order**: when a lease expiry lands on the exact tick a
+/// rehydration completes or a recovery/renewal arrives, the expiry wins.
+/// `expired(now)` is inclusive, so `renew` at the expiry instant fails and
+/// a `sweep` at that instant removes the lease; the simulator's event loop
+/// schedules the Arbitrator check before the coincident recovery event, so
+/// the replacement is counted and the recovery is a no-op — the same
+/// outcome at any pacing (see the engine's coincidence regression test).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Lease {
     /// Second the lease was first granted.
@@ -224,6 +232,35 @@ mod tests {
         assert_eq!(replaced[0].1, "c");
         assert_eq!(table.len(), 2);
         assert!(table.get(a).is_some() && table.get(b).is_some());
+    }
+
+    #[test]
+    fn expiry_beats_a_coincident_renewal_on_the_exact_tick() {
+        // The rehydration-completion edge case: the worker's heartbeat (or
+        // its recovery) arrives on the very second the lease lapses. The
+        // pinned order is expiry-first — the renewal fails, the sweep at
+        // the same instant replaces the worker, and the re-granted lease
+        // starts a fresh validity window.
+        let mut table = LeaseTable::new();
+        let id = table.grant("pooling-worker", 0, 300);
+        assert!(
+            !table.renew(id, 300, 300),
+            "renewal on the expiry tick must lose to the expiry"
+        );
+        let replaced = table.sweep(300);
+        assert_eq!(replaced, vec![(id, "pooling-worker".to_string())]);
+        // The successor is a new grant, not a resurrection: fresh id,
+        // fresh window, zero renewals.
+        let successor = table.grant("pooling-worker", 300, 300);
+        assert_ne!(successor, id);
+        let lease = table.get(successor).unwrap();
+        assert_eq!(lease.granted_at, 300);
+        assert_eq!(lease.expires_at, 600);
+        assert_eq!(lease.renewals, 0);
+        // One second earlier the renewal would have won instead.
+        let mut early = Lease::new(0, 300);
+        assert!(early.renew(299, 300));
+        assert_eq!(early.expires_at, 599);
     }
 
     #[test]

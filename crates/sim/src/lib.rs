@@ -45,6 +45,7 @@
 
 pub mod cluster;
 pub mod engine;
+pub mod fault;
 pub mod fleet;
 pub mod lease;
 pub mod session;
@@ -54,6 +55,7 @@ pub use cluster::{Cluster, ClusterState};
 pub use engine::{
     ArbitratorConfig, IntervalStat, IpWorkerConfig, SimConfig, SimReport, SimStepper, Simulation,
 };
+pub use fault::{FaultEntry, FaultKind, FaultRecord};
 pub use fleet::{FleetAggregate, FleetPool, FleetReport, FleetSim, FleetStrategy};
 pub use lease::{Lease, LeaseId, LeaseTable};
 pub use session::{run_region, PoolKind, RegionPool, RegionPoolReport};

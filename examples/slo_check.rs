@@ -5,13 +5,16 @@
 //! this after draining an instrumented daemon.
 //!
 //! ```text
-//! cargo run --example slo_check -- slo.json flight.json [required-severity]
+//! cargo run --example slo_check -- slo.json flight.json [required-severity|-] [min-faults]
 //! ```
 //!
 //! Exits non-zero (with a message) if either document fails to parse, the
 //! flight schema tag is wrong, the embedded `sections.slo` disagrees with
-//! the live `/slo` document's pool set, or (when `required-severity` is
-//! given) no pool currently sits at that severity.
+//! the live `/slo` document's pool set, the `sections.faults` chaos record
+//! is malformed (PR 9), or (when `required-severity` / `min-faults` are
+//! given) no pool currently sits at that severity / fewer than that many
+//! faults were injected. Pass `-` as the severity to enforce `min-faults`
+//! alone.
 
 use serde::Deserialize;
 use std::collections::BTreeMap;
@@ -97,9 +100,24 @@ struct SlowRequestsDoc {
 }
 
 #[derive(Deserialize)]
+struct FaultRecordDoc {
+    t: u64,
+    pool: String,
+    kind: String,
+    detail: String,
+}
+
+#[derive(Deserialize)]
+struct FaultsDoc {
+    total: u64,
+    injected: Vec<FaultRecordDoc>,
+}
+
+#[derive(Deserialize)]
 struct SectionsDoc {
     slo: SloDoc,
     slow_requests: SlowRequestsDoc,
+    faults: FaultsDoc,
 }
 
 #[derive(Deserialize)]
@@ -225,10 +243,24 @@ fn check_slo(doc: &SloDoc, origin: &str) -> Result<(), String> {
 
 fn run() -> Result<(), String> {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let (slo_path, flight_path, required) = match args.as_slice() {
-        [s, f] => (s, f, None),
-        [s, f, sev] => (s, f, Some(sev.as_str())),
-        _ => return Err("usage: slo_check <slo.json> <flight.json> [required-severity]".into()),
+    let (slo_path, flight_path, required, min_faults) = match args.as_slice() {
+        [s, f] => (s, f, None, 0u64),
+        [s, f, sev] => (s, f, Some(sev.as_str()), 0),
+        [s, f, sev, min] => {
+            let min: u64 = min
+                .parse()
+                .map_err(|_| format!("min-faults must be a number, got {min:?}"))?;
+            // `-` skips the severity requirement while still enforcing
+            // min-faults (the chaos CI leg cares about faults, not pages).
+            let sev = (sev != "-").then_some(sev.as_str());
+            (s, f, sev, min)
+        }
+        _ => {
+            return Err(
+                "usage: slo_check <slo.json> <flight.json> [required-severity|-] [min-faults]"
+                    .into(),
+            )
+        }
     };
 
     // -- GET /slo ---------------------------------------------------------
@@ -305,6 +337,28 @@ fn run() -> Result<(), String> {
         }
         let _ = (r.status, r.body_bytes);
     }
+    let faults = &flight.sections.faults;
+    if faults.total != faults.injected.len() as u64 {
+        return Err(format!(
+            "{flight_path}: faults.total {} != {} injected records",
+            faults.total,
+            faults.injected.len()
+        ));
+    }
+    for r in &faults.injected {
+        if r.pool.is_empty() || r.kind.is_empty() || r.detail.is_empty() {
+            return Err(format!(
+                "{flight_path}: malformed fault record at t={}",
+                r.t
+            ));
+        }
+    }
+    if faults.total < min_faults {
+        return Err(format!(
+            "{flight_path}: {} injected fault(s), need at least {min_faults}",
+            faults.total
+        ));
+    }
 
     // -- required severity ------------------------------------------------
     if let Some(sev) = required {
@@ -322,7 +376,7 @@ fn run() -> Result<(), String> {
 
     println!(
         "ok: {} pools, {} snapshots ({} dropped), {} notes ({} dropped), \
-         {} log lines, {} slow requests (threshold {}us)",
+         {} log lines, {} slow requests (threshold {}us), {} injected faults",
         live.pools.len(),
         flight.snapshots.len(),
         flight.dropped_snapshots,
@@ -330,7 +384,8 @@ fn run() -> Result<(), String> {
         flight.dropped_notes,
         flight.logs.len(),
         slow.requests.len(),
-        slow.slow_threshold_us
+        slow.slow_threshold_us,
+        faults.total
     );
     Ok(())
 }

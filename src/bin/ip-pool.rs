@@ -47,6 +47,13 @@ commands:
              pool per spec entry, interleaved in logical-time order,
              per-pool and aggregate results (replaces <file> and the
              per-pool flags above)
+             --scenario <name|spec.json>  shape the demand with a chaos
+             scenario and inject its fault schedule (worker-lease
+             expiry, Arbitrator partitions, config corruption,
+             telemetry lag/dropout); deterministic per seed
+             --scenario-seed N  scenario randomness seed (default 0,
+             or the spec file's \"seed\")
+             --list-scenarios   print the scenario catalog and exit
   serve      long-running pool-controller daemon: replays the demand file
              at wall-clock (or accelerated) speed and exposes an HTTP
              control plane on 127.0.0.1 (GET /metrics /healthz /readyz
@@ -74,6 +81,10 @@ commands:
              metric series gains a pool label, POST bodies name their
              pool, GET /pools lists per-pool state (replaces <file>
              and the per-pool flags above)
+             --scenario <name|spec.json>  --scenario-seed N  run the
+             daemon under a chaos scenario (as in simulate); injected
+             faults surface in /metrics, /debug/flight, and the
+             flight dump's \"faults\" section
 
 fleet specs (--pools) are JSON: {\"interval_secs\":30, \"days\":1, \"seed\":7,
   \"pools\":[{\"name\":\"east\", \"preset\":\"east-us-2-medium\"|\"demand\":\"f.txt\",
@@ -213,6 +224,84 @@ fn fleet_sim_config(p: &FleetPoolEntry, demand: &TimeSeries) -> SimConfig {
     cfg
 }
 
+/// `--list-scenarios`: the chaos catalog, one line per scenario.
+fn list_scenarios() -> Result<(), String> {
+    println!("{:<20} {:<50} description", "scenario", "params (defaults)");
+    for info in intelligent_pooling::chaos::catalog() {
+        let params = info
+            .params
+            .iter()
+            .map(|(name, default)| format!("{name}={default}"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        println!("{:<20} {:<50} {}", info.name, params, info.description);
+    }
+    println!();
+    println!("run one with: ip-pool simulate <file> --scenario <name> [--scenario-seed N]");
+    println!("or a JSON spec: ip-pool simulate <file> --scenario spec.json");
+    Ok(())
+}
+
+/// Resolves `--scenario <name|spec.json>` (+ `--scenario-seed`) into a
+/// compiled scenario; `None` when the flag is absent. A value naming an
+/// existing file (or ending in `.json`) is parsed as a spec document;
+/// anything else is a catalog name, failing with a near-miss suggestion.
+fn resolve_scenario(args: &CliArgs) -> Result<Option<Scenario>, String> {
+    let Some(value) = args.flag_str("scenario") else {
+        return Ok(None);
+    };
+    let mut spec = if value.ends_with(".json") || std::path::Path::new(value).is_file() {
+        let text = std::fs::read_to_string(value).map_err(|e| format!("{value}: {e}"))?;
+        ScenarioSpec::from_json(&text).map_err(|e| e.to_string())?
+    } else {
+        ScenarioSpec::by_name(value, 0).map_err(|e| e.to_string())?
+    };
+    spec.seed = args
+        .flag_or("scenario-seed", spec.seed)
+        .map_err(|e| e.to_string())?;
+    spec.compile().map(Some).map_err(|e| e.to_string())
+}
+
+/// Applies a scenario to a single-pool run: the demand is transformed and
+/// the pool's fault schedule lands in `SimConfig::faults`. Prints the
+/// plan summary (only scenario runs emit this line, so scenario-free
+/// output stays byte-identical).
+fn apply_scenario_single(
+    scenario: &Scenario,
+    demand: TimeSeries,
+    cfg: &mut SimConfig,
+) -> Result<TimeSeries, String> {
+    let plan = scenario
+        .apply(vec![("default".to_string(), demand)])
+        .map_err(|e| e.to_string())?;
+    println!("{}", plan.summary);
+    cfg.faults = plan.faults_for("default").to_vec();
+    let ChaosPlan { mut demand, .. } = plan;
+    Ok(demand.remove(0).1)
+}
+
+/// Applies a scenario across a resolved fleet: demand transformed pool by
+/// pool, per-pool fault schedules returned alongside (aligned with the
+/// input order).
+fn apply_scenario_fleet(
+    scenario: &Scenario,
+    pools: Vec<(FleetPoolEntry, TimeSeries)>,
+) -> Result<Vec<(FleetPoolEntry, TimeSeries, Vec<ip_sim::FaultEntry>)>, String> {
+    let entries: Vec<FleetPoolEntry> = pools.iter().map(|(p, _)| p.clone()).collect();
+    let named: Vec<(String, TimeSeries)> = pools
+        .into_iter()
+        .map(|(p, demand)| (p.name.clone(), demand))
+        .collect();
+    let plan = scenario.apply(named).map_err(|e| e.to_string())?;
+    println!("{}", plan.summary);
+    Ok(entries
+        .into_iter()
+        .zip(plan.demand)
+        .zip(plan.faults)
+        .map(|((entry, (_, demand)), (_, faults))| (entry, demand, faults))
+        .collect())
+}
+
 fn load_demand(args: &CliArgs) -> Result<TimeSeries, String> {
     let path = args
         .positionals
@@ -314,10 +403,13 @@ fn evaluate(args: &CliArgs) -> Result<(), String> {
 }
 
 fn simulate(args: &CliArgs) -> Result<(), String> {
-    if let Some(spec_path) = args.flag_str("pools") {
-        return simulate_fleet(spec_path);
+    if args.flag_str("list-scenarios").is_some() {
+        return list_scenarios();
     }
-    let demand = load_demand(args)?;
+    if let Some(spec_path) = args.flag_str("pools") {
+        return simulate_fleet(args, spec_path);
+    }
+    let mut demand = load_demand(args)?;
     let target = args.flag_or("target", 4u32).map_err(|e| e.to_string())?;
     let tau_secs = args.flag_or("tau-secs", 90u64).map_err(|e| e.to_string())?;
     let seed = args.flag_or("seed", 0u64).map_err(|e| e.to_string())?;
@@ -330,6 +422,9 @@ fn simulate(args: &CliArgs) -> Result<(), String> {
         seed,
         ..Default::default()
     };
+    if let Some(scenario) = resolve_scenario(args)? {
+        demand = apply_scenario_single(&scenario, demand, &mut cfg)?;
+    }
     let saa = SaaConfig {
         alpha_prime: alpha,
         ..Default::default()
@@ -379,12 +474,21 @@ fn simulate(args: &CliArgs) -> Result<(), String> {
 /// `simulate --pools`: the whole fleet in one `FleetSim`, every pool's
 /// events interleaved in logical-time order, then per-pool results plus
 /// the fleet aggregate.
-fn simulate_fleet(spec_path: &str) -> Result<(), String> {
+fn simulate_fleet(args: &CliArgs, spec_path: &str) -> Result<(), String> {
     let text = std::fs::read_to_string(spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
     let spec = parse_fleet_spec(&text).map_err(|e| e.to_string())?;
+    let resolved = resolve_fleet_demands(&spec)?;
+    let resolved = match resolve_scenario(args)? {
+        Some(scenario) => apply_scenario_fleet(&scenario, resolved)?,
+        None => resolved
+            .into_iter()
+            .map(|(p, d)| (p, d, Vec::new()))
+            .collect(),
+    };
     let mut members = Vec::with_capacity(spec.pools.len());
-    for (p, demand) in resolve_fleet_demands(&spec)? {
-        let cfg = fleet_sim_config(&p, &demand);
+    for (p, demand, faults) in resolved {
+        let mut cfg = fleet_sim_config(&p, &demand);
+        cfg.faults = faults;
         let mut pool = FleetPool::new(p.name.as_str(), cfg, demand);
         if let Some(model) = &p.model {
             let provider = intelligent_pooling::serve::build_provider(
@@ -439,15 +543,25 @@ fn simulate_fleet(spec_path: &str) -> Result<(), String> {
 /// `serve --pools`: every spec entry becomes one named pool in the fleet
 /// daemon.
 fn fleet_serve_pools(
+    args: &CliArgs,
     spec_path: &str,
 ) -> Result<Vec<intelligent_pooling::serve::PoolServeConfig>, String> {
     use intelligent_pooling::serve::PoolServeConfig;
     let text = std::fs::read_to_string(spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
     let spec = parse_fleet_spec(&text).map_err(|e| e.to_string())?;
-    Ok(resolve_fleet_demands(&spec)?
+    let resolved = resolve_fleet_demands(&spec)?;
+    let resolved = match resolve_scenario(args)? {
+        Some(scenario) => apply_scenario_fleet(&scenario, resolved)?,
+        None => resolved
+            .into_iter()
+            .map(|(p, d)| (p, d, Vec::new()))
+            .collect(),
+    };
+    Ok(resolved
         .into_iter()
-        .map(|(p, demand)| {
-            let sim = fleet_sim_config(&p, &demand);
+        .map(|(p, demand, faults)| {
+            let mut sim = fleet_sim_config(&p, &demand);
+            sim.faults = faults;
             PoolServeConfig {
                 sim,
                 model: p.model,
@@ -495,7 +609,7 @@ fn serve(args: &CliArgs) -> Result<(), String> {
         let keep_alive = args
             .flag_or("keep-alive", true)
             .map_err(|e| e.to_string())?;
-        let mut config = ServeConfig::fleet(fleet_serve_pools(spec_path)?)?;
+        let mut config = ServeConfig::fleet(fleet_serve_pools(args, spec_path)?)?;
         config.speedup = speedup;
         config.port = port;
         config.workers = workers;
@@ -531,7 +645,7 @@ fn serve(args: &CliArgs) -> Result<(), String> {
         }
         return Ok(());
     }
-    let demand = load_demand(args)?;
+    let mut demand = load_demand(args)?;
     let target = args.flag_or("target", 4u32).map_err(|e| e.to_string())?;
     let tau_secs = args.flag_or("tau-secs", 90u64).map_err(|e| e.to_string())?;
     let seed = args.flag_or("seed", 0u64).map_err(|e| e.to_string())?;
@@ -547,14 +661,18 @@ fn serve(args: &CliArgs) -> Result<(), String> {
         .flag_or("keep-alive", true)
         .map_err(|e| e.to_string())?;
 
-    let mut config = ServeConfig::new(demand);
-    config.sim = SimConfig {
-        interval_secs: config.demand.interval_secs(),
+    let mut sim = SimConfig {
+        interval_secs: demand.interval_secs(),
         tau_secs,
         default_pool_target: target,
         seed,
         ..Default::default()
     };
+    if let Some(scenario) = resolve_scenario(args)? {
+        demand = apply_scenario_single(&scenario, demand, &mut sim)?;
+    }
+    let mut config = ServeConfig::new(demand);
+    config.sim = sim;
     config.model = args.flag_str("model").map(str::to_owned);
     config.alpha = alpha;
     config.autotune = autotune;

@@ -60,6 +60,10 @@ impl std::fmt::Display for CliError {
 
 impl std::error::Error for CliError {}
 
+/// Flags that are meaningful bare (`--list-scenarios`): they take no
+/// value and parse as `"1"`, so `flag_str`/`flag_or` see a truthy value.
+const BARE_FLAGS: &[&str] = &["list-scenarios"];
+
 impl CliArgs {
     /// Parses raw arguments (without the program name).
     pub fn parse(args: impl IntoIterator<Item = String>) -> Result<Self, CliError> {
@@ -69,6 +73,10 @@ impl CliArgs {
         let mut iter = args.into_iter().peekable();
         while let Some(arg) = iter.next() {
             if let Some(name) = arg.strip_prefix("--") {
+                if BARE_FLAGS.contains(&name) {
+                    flags.insert(name.to_string(), "1".to_string());
+                    continue;
+                }
                 let value = iter
                     .next()
                     .ok_or_else(|| CliError::MissingValue(name.to_string()))?;
@@ -395,6 +403,27 @@ mod tests {
         );
         let err = CliArgs::parse(["x", "--flag"].into_iter().map(String::from)).unwrap_err();
         assert_eq!(err, CliError::MissingValue("flag".into()));
+    }
+
+    #[test]
+    fn bare_flags_take_no_value() {
+        // `--list-scenarios` alone parses as "1"...
+        let args = CliArgs::parse(
+            ["simulate", "--list-scenarios"]
+                .into_iter()
+                .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(args.flag_str("list-scenarios"), Some("1"));
+        // ...and does not swallow the token after it.
+        let args = CliArgs::parse(
+            ["simulate", "--list-scenarios", "--seed", "7"]
+                .into_iter()
+                .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(args.flag_str("list-scenarios"), Some("1"));
+        assert_eq!(args.flag_or("seed", 0u64).unwrap(), 7);
     }
 
     #[test]

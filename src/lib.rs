@@ -18,6 +18,7 @@
 //! | [`models`] | `ip-models` | Baseline, SSA, SSA+, mWDN, TST, InceptionTime forecasters |
 //! | [`core`] | `ip-core` | 2-step / E2E pipelines, `α'` auto-tuner, guardrails, COGS model, fleet |
 //! | [`sim`] | `ip-sim` | discrete-event platform simulator (clusters, workers, leases, stores) |
+//! | [`chaos`] | `ip-chaos` | deterministic demand-scenario catalog + fault-injection plane |
 //! | [`workload`] | `ip-workload` | synthetic demand traces standing in for production telemetry |
 //! | [`timeseries`] | `ip-timeseries` | series type, metrics, max-filter smoothing, splits |
 //! | [`ssa`] | `ip-ssa` | Singular Spectrum Analysis from scratch |
@@ -49,6 +50,7 @@
 
 pub mod cli;
 
+pub use ip_chaos as chaos;
 pub use ip_core as core;
 pub use ip_linalg as linalg;
 pub use ip_lp as lp;
@@ -64,6 +66,7 @@ pub use ip_workload as workload;
 
 /// The commonly used types, one `use` away.
 pub mod prelude {
+    pub use ip_chaos::{ChaosPlan, Scenario, ScenarioSpec};
     pub use ip_core::{
         evaluate_alerts, merge_snapshots, Alert, AlertRule, AlphaTuner, CostModel, Dashboard,
         EndToEndEngine, EngineConfig, Fleet, Guardrail, IntelligentPooling, MetricsSnapshot,
