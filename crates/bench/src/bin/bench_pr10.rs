@@ -1,0 +1,627 @@
+//! Cross-pool borrowing bench (PR 10): the same fleet at the same pool
+//! budget, isolated vs wired into one resource cluster by a permissive
+//! compatibility matrix, under the composed `diurnal-ramp+flash-crowd`
+//! spike scenario.
+//!
+//! Two phases per mode:
+//!
+//! 1. **Offline quality** (deterministic, no wall clock): a 3-pool
+//!    [`ip_sim::FleetSim`] replay of the scenario-shaped traces. Recorded:
+//!    fleet hit rate, mean wait, idle-time COGS, and borrow count. The
+//!    borrowing fleet must be **strictly better** than the isolated one at
+//!    equal budget — higher hit rate *and* lower mean wait — which this
+//!    bench asserts.
+//! 2. **Serve throughput**: the keep-alive batch-inject load from
+//!    `bench_pr8/9` against a live fleet daemon replaying the same
+//!    scenario, matrix off vs on. The borrow resolution path rides the
+//!    controller's epoch loop, so the inject throughput ratio
+//!    (borrowing / isolated) is the control-plane cost of borrowing; the
+//!    budget is a ≤5 % regression.
+//!
+//! `cargo run --release -p ip-bench --bin bench_pr10`
+//!
+//! Writes `BENCH_pr10.json` at the workspace root. The bench host has
+//! 1 CPU (ROADMAP standing constraint), so absolute rates are
+//! conservative and the on/off ratio is the signal. Run with `--smoke`
+//! for a short run asserting nonzero injects, zero failures, and that the
+//! borrowing mode really borrowed, without touching the artifact.
+
+use ip_chaos::ScenarioSpec;
+use ip_core::CostModel;
+use ip_serve::{Daemon, PoolServeConfig, ServeConfig};
+use ip_sim::{CompatibilityMatrix, FleetPool, FleetSim, SimConfig};
+use ip_timeseries::TimeSeries;
+use serde::Content;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::{Duration, Instant};
+
+/// Injection entries per `POST /requests`.
+const BATCH: usize = 16;
+/// Closed-loop inject clients per mode.
+const CLIENTS: usize = 2;
+/// HTTP worker threads (= queue shards) for every mode.
+const WORKERS: usize = 4;
+/// Intervals per pool trace for the serve phase (30 s each).
+const TRACE_LEN: usize = 96;
+/// Intervals per pool trace for the offline quality phase (one day).
+const QUALITY_LEN: usize = 2880;
+/// The composed spike scenario both phases replay.
+const SCENARIO: &str = "diurnal-ramp+flash-crowd";
+const SCENARIO_SEED: u64 = 42;
+/// Warm-transfer latency on every matrix edge, seconds (vs τ = 90 s).
+const EDGE_LATENCY: u64 = 10;
+
+/// `(name, target, demand seed, demand amplitude)` — one entry per pool.
+/// The budget (Σ targets) is identical in both modes; "west" runs far
+/// under its target, so it is the natural donor when a sibling spikes.
+const POOLS: [(&str, u32, u64, f64); 3] = [
+    ("east", 3, 3, 5.0),
+    ("west", 8, 8, 1.0),
+    ("spare", 2, 5, 3.0),
+];
+
+/// A deterministic bursty trace (no process RNG).
+fn demand(seed: u64, len: usize, amplitude: f64) -> TimeSeries {
+    let values = (0..len)
+        .map(|i| {
+            let x = (i as u64).wrapping_mul(2654435761).wrapping_add(seed * 131);
+            (f64::from((x % 5) as u32) / 4.0 * amplitude).round()
+        })
+        .collect();
+    TimeSeries::new(30, values).unwrap()
+}
+
+/// Every ordered pool pair may borrow at [`EDGE_LATENCY`].
+fn permissive_matrix() -> CompatibilityMatrix {
+    let mut m = CompatibilityMatrix::new();
+    for (from, ..) in POOLS {
+        for (to, ..) in POOLS {
+            if from != to {
+                m = m.edge(from, to, EDGE_LATENCY);
+            }
+        }
+    }
+    m
+}
+
+/// The scenario-shaped traces plus each pool's fault schedule.
+fn shaped_pools(len: usize) -> Vec<(String, TimeSeries, Vec<ip_sim::FaultEntry>)> {
+    let raw = POOLS
+        .iter()
+        .map(|(name, _, seed, amp)| (name.to_string(), demand(*seed, len, *amp)))
+        .collect();
+    let plan = ScenarioSpec::by_name(SCENARIO, SCENARIO_SEED)
+        .and_then(ScenarioSpec::compile)
+        .and_then(|s| s.apply(raw))
+        .expect("composed scenario applies");
+    plan.demand
+        .iter()
+        .map(|(id, d)| (id.clone(), d.clone(), plan.faults_for(id).to_vec()))
+        .collect()
+}
+
+fn sim_config(name: &str, faults: Vec<ip_sim::FaultEntry>) -> SimConfig {
+    let target = POOLS
+        .iter()
+        .find(|(n, ..)| *n == name)
+        .map(|(_, t, ..)| *t)
+        .expect("known pool");
+    SimConfig {
+        default_pool_target: target,
+        tau_jitter_secs: 0,
+        seed: 7,
+        faults,
+        ..Default::default()
+    }
+}
+
+/// One mode's offline fleet economics.
+struct Quality {
+    requests: u64,
+    hit_rate: f64,
+    mean_wait_secs: f64,
+    cogs_dollars: f64,
+    borrows: u64,
+}
+
+/// Replays the scenario offline at the shared budget, matrix off or on.
+fn offline_quality(borrowing: bool) -> Quality {
+    let pools: Vec<FleetPool> = shaped_pools(QUALITY_LEN)
+        .into_iter()
+        .map(|(id, d, faults)| {
+            let cfg = sim_config(&id, faults);
+            FleetPool::new(id, cfg, d)
+        })
+        .collect();
+    let mut fleet = FleetSim::new(pools).expect("fleet builds");
+    if borrowing {
+        fleet.set_matrix(permissive_matrix()).expect("matrix set");
+    }
+    fleet.run_to_end();
+    let agg = fleet.finalize().aggregate();
+    Quality {
+        requests: agg.total_requests,
+        hit_rate: agg.hit_rate,
+        mean_wait_secs: agg.mean_wait_secs,
+        cogs_dollars: CostModel::default().cost_of_idle(agg.idle_cluster_seconds),
+        borrows: agg.borrowed_in,
+    }
+}
+
+struct ModeResult {
+    mode: &'static str,
+    requests: u64,
+    injects: u64,
+    failures: u64,
+    duration_secs: f64,
+    p50_ms: f64,
+    p99_ms: f64,
+    borrows: u64,
+    fleet_cogs_dollars: f64,
+}
+
+impl ModeResult {
+    fn injects_per_sec(&self) -> f64 {
+        self.injects as f64 / self.duration_secs
+    }
+
+    fn requests_per_sec(&self) -> f64 {
+        self.requests as f64 / self.duration_secs
+    }
+}
+
+/// A keep-alive HTTP/1.1 client over one socket; responses framed by
+/// `Content-Length`.
+struct Client {
+    stream: TcpStream,
+    buf: Vec<u8>,
+    closed: bool,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+        stream.set_nodelay(true)?;
+        Ok(Self {
+            stream,
+            buf: Vec::with_capacity(4096),
+            closed: false,
+        })
+    }
+
+    /// Sends one request and reads one framed response; returns the
+    /// status code and body.
+    fn request(&mut self, method: &str, path: &str, body: &str) -> std::io::Result<(u16, String)> {
+        let request = format!(
+            "{method} {path} HTTP/1.1\r\nHost: bench\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.stream.write_all(request.as_bytes())?;
+        let mut chunk = [0u8; 4096];
+        let head_end = loop {
+            if let Some(pos) = self.buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "closed mid-head",
+                    ))
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        };
+        let head = String::from_utf8_lossy(&self.buf[..head_end]).to_string();
+        let status: u16 = head
+            .split_whitespace()
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidData, "bad status line"))?;
+        self.closed = head.lines().any(|line| {
+            line.split_once(':').is_some_and(|(key, value)| {
+                key.trim().eq_ignore_ascii_case("connection")
+                    && value.trim().eq_ignore_ascii_case("close")
+            })
+        });
+        let content_length: usize = head
+            .lines()
+            .find_map(|line| {
+                let (key, value) = line.split_once(':')?;
+                if key.trim().eq_ignore_ascii_case("content-length") {
+                    value.trim().parse().ok()
+                } else {
+                    None
+                }
+            })
+            .ok_or_else(|| std::io::Error::new(ErrorKind::InvalidData, "no Content-Length"))?;
+        let body_start = head_end + 4;
+        while self.buf.len() < body_start + content_length {
+            match self.stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(std::io::Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "closed mid-body",
+                    ))
+                }
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        let payload = String::from_utf8_lossy(&self.buf[body_start..body_start + content_length])
+            .into_owned();
+        self.buf.drain(..body_start + content_length);
+        Ok((status, payload))
+    }
+}
+
+struct ClientTally {
+    requests: u64,
+    injects: u64,
+    failures: u64,
+    latencies_ms: Vec<f64>,
+}
+
+fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// A batch aimed at early intervals of one pool, so injects stay behind
+/// the advancing replay frontier as long as possible.
+fn batch_body(pool: &str) -> String {
+    let entry = format!("{{\"count\":1,\"pool\":\"{pool}\"}}");
+    let entries: Vec<String> = std::iter::repeat_n(entry, BATCH).collect();
+    format!("[{}]", entries.join(","))
+}
+
+/// Runs one serve mode: boots the scenario-shaped fleet daemon (matrix
+/// off or on) whose replay spans `duration`, hammers it with batch-inject
+/// clients until the trace completes, then scrapes `/fleet` before
+/// draining.
+fn run_mode(mode: &'static str, borrowing: bool, duration: Duration) -> ModeResult {
+    ip_obs::set_enabled(true);
+    ip_obs::reset();
+    ip_obs::flight::reset();
+
+    let pools: Vec<PoolServeConfig> = shaped_pools(TRACE_LEN)
+        .into_iter()
+        .map(|(id, d, faults)| {
+            let cfg = sim_config(&id, faults);
+            let mut p = PoolServeConfig::named(id, d);
+            p.sim = cfg;
+            p
+        })
+        .collect();
+    let logical_span = pools
+        .iter()
+        .map(|p| p.demand.duration_secs())
+        .max()
+        .unwrap_or(1) as f64;
+    let mut config = ServeConfig::fleet(pools).expect("fleet config");
+    config.matrix = borrowing.then(permissive_matrix);
+    config.speedup = logical_span / duration.as_secs_f64();
+    config.workers = WORKERS;
+    config.keep_alive = true;
+    let daemon = Daemon::start(config).expect("daemon starts");
+    let addr = daemon.addr();
+
+    let stop = AtomicBool::new(false);
+    let started = Instant::now();
+    let tallies = std::thread::scope(|scope| {
+        let inject_handles: Vec<_> = (0..CLIENTS)
+            .map(|k| {
+                let stop = &stop;
+                let body = batch_body(if k % 2 == 0 { "east" } else { "west" });
+                scope.spawn(move || {
+                    let mut tally = ClientTally {
+                        requests: 0,
+                        injects: 0,
+                        failures: 0,
+                        latencies_ms: Vec::with_capacity(4096),
+                    };
+                    let mut client = Client::connect(addr).ok();
+                    while !stop.load(Ordering::Relaxed) {
+                        if client.as_ref().is_none_or(|c| c.closed) {
+                            client = Client::connect(addr).ok();
+                            if client.is_none() {
+                                continue;
+                            }
+                        }
+                        let t0 = Instant::now();
+                        let status = client.as_mut().expect("reconnected above").request(
+                            "POST",
+                            "/requests",
+                            &body,
+                        );
+                        let ms = t0.elapsed().as_secs_f64() * 1_000.0;
+                        tally.requests += 1;
+                        match status {
+                            Ok((200, _)) => {
+                                tally.injects += BATCH as u64;
+                                tally.latencies_ms.push(ms);
+                            }
+                            // 409: the replay finalized under us — the
+                            // trace is done, so this client's work is too.
+                            Ok((409, _)) => break,
+                            Ok(_) | Err(_) => {
+                                tally.failures += 1;
+                                client = Client::connect(addr).ok();
+                            }
+                        }
+                    }
+                    tally
+                })
+            })
+            .collect();
+        // Stop the clients once the replay completes or the window plus
+        // slack elapses, whichever comes first.
+        let deadline = started + duration + Duration::from_secs(30);
+        let mut poll = Client::connect(addr).ok();
+        loop {
+            std::thread::sleep(Duration::from_millis(25));
+            if Instant::now() >= deadline {
+                break;
+            }
+            if poll.as_ref().is_none_or(|c| c.closed) {
+                poll = Client::connect(addr).ok();
+            }
+            match poll.as_mut().map(|c| c.request("GET", "/status", "")) {
+                Some(Ok((200, body))) if body.contains("\"state\":\"completed\"") => break,
+                Some(Ok(_)) => {}
+                _ => poll = Client::connect(addr).ok(),
+            }
+        }
+        stop.store(true, Ordering::Relaxed);
+        inject_handles
+            .into_iter()
+            .map(|h| h.join().expect("inject client panicked"))
+            .collect::<Vec<ClientTally>>()
+    });
+    let elapsed = started.elapsed().as_secs_f64();
+
+    // Post-mortem scrape before the drain: the fleet economics document.
+    let mut post = Client::connect(addr).expect("post-mortem connect");
+    let (code, fleet_body) = post.request("GET", "/fleet", "").expect("GET /fleet");
+    assert_eq!(code, 200, "{mode}: /fleet failed: {fleet_body}");
+    let fleet_doc: Content = serde_json::from_str(&fleet_body).expect("parse /fleet");
+    let rollup = fleet_doc.field("fleet").expect("fleet roll-up");
+    let borrows = rollup
+        .field("borrows")
+        .and_then(Content::as_u64)
+        .expect("fleet.borrows");
+    let fleet_cogs_dollars = rollup
+        .field("cogs_dollars")
+        .and_then(Content::as_f64)
+        .expect("fleet.cogs_dollars");
+
+    daemon.request_shutdown();
+    let outcome = daemon.join();
+    ip_obs::set_enabled(false);
+
+    let mut latencies: Vec<f64> = tallies
+        .iter()
+        .flat_map(|t| t.latencies_ms.clone())
+        .collect();
+    latencies.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let injects: u64 = tallies.iter().map(|t| t.injects).sum();
+    assert_eq!(
+        outcome.injected, injects,
+        "{mode}: daemon-side inject count must match client-side"
+    );
+    ModeResult {
+        mode,
+        requests: tallies.iter().map(|t| t.requests).sum(),
+        injects,
+        failures: tallies.iter().map(|t| t.failures).sum(),
+        duration_secs: elapsed,
+        p50_ms: percentile(&latencies, 0.50),
+        p99_ms: percentile(&latencies, 0.99),
+        borrows,
+        fleet_cogs_dollars,
+    }
+}
+
+fn quality_json(q: &Quality) -> String {
+    format!(
+        "{{\"requests\": {}, \"hit_rate\": {:.6}, \"mean_wait_secs\": {:.3}, \"cogs_dollars\": {:.4}, \"borrows\": {}}}",
+        q.requests, q.hit_rate, q.mean_wait_secs, q.cogs_dollars, q.borrows
+    )
+}
+
+fn write_json(
+    isolated_q: &Quality,
+    borrowing_q: &Quality,
+    results: &[ModeResult],
+    duration_secs: f64,
+    inject_ratio: f64,
+) {
+    let avail = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let mut body = String::from("{\n");
+    body.push_str("  \"artifact\": \"BENCH_pr10\",\n");
+    body.push_str(
+        "  \"description\": \"cross-pool borrowing: the same 3-pool fleet at the same budget under the composed diurnal-ramp+flash-crowd scenario, isolated vs wired into one cluster by a permissive compatibility matrix; offline fleet economics plus keep-alive batch-inject throughput against the live daemon\",\n",
+    );
+    body.push_str(&format!("  \"available_parallelism\": {avail},\n"));
+    body.push_str(
+        "  \"caveat\": \"bench host has 1 CPU (ROADMAP standing constraint): clients, workers, and the controller share one core, so absolute rates are conservative; the borrowing/isolated ratios are the signal\",\n",
+    );
+    body.push_str(&format!(
+        "  \"config\": {{\"workers\": {WORKERS}, \"clients\": {CLIENTS}, \"batch\": {BATCH}, \"serve_trace_intervals\": {TRACE_LEN}, \"quality_trace_intervals\": {QUALITY_LEN}, \"scenario\": \"{SCENARIO}\", \"scenario_seed\": {SCENARIO_SEED}, \"edge_latency_secs\": {EDGE_LATENCY}, \"duration_secs\": {duration_secs}}},\n"
+    ));
+    body.push_str("  \"offline_quality\": {\n");
+    body.push_str(&format!(
+        "    \"isolated\": {},\n",
+        quality_json(isolated_q)
+    ));
+    body.push_str(&format!(
+        "    \"borrowing\": {},\n",
+        quality_json(borrowing_q)
+    ));
+    body.push_str(&format!(
+        "    \"strictly_better\": {}\n  }},\n",
+        borrowing_q.hit_rate > isolated_q.hit_rate
+            && borrowing_q.mean_wait_secs < isolated_q.mean_wait_secs
+    ));
+    body.push_str(&format!(
+        "  \"borrowing_injects_per_sec_over_isolated\": {inject_ratio:.3},\n"
+    ));
+    body.push_str("  \"regression_budget\": \"borrowing inject throughput >= 0.95x isolated\",\n");
+    body.push_str("  \"measurements\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"requests\": {}, \"injects\": {}, \"failures\": {}, \"requests_per_sec\": {:.1}, \"injects_per_sec\": {:.1}, \"p50_ms\": {:.3}, \"p99_ms\": {:.3}, \"borrows\": {}, \"fleet_cogs_dollars\": {:.4}}}{}\n",
+            r.mode,
+            r.requests,
+            r.injects,
+            r.failures,
+            r.requests_per_sec(),
+            r.injects_per_sec(),
+            r.p50_ms,
+            r.p99_ms,
+            r.borrows,
+            r.fleet_cogs_dollars,
+            if i + 1 < results.len() { "," } else { "" },
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pr10.json");
+    std::fs::write(path, body).expect("write BENCH_pr10.json");
+    println!("\nwrote {path}");
+}
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let duration_secs: f64 = std::env::var("IP_BENCH_PR10_SECS")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(if smoke { 0.5 } else { 3.0 })
+        .max(0.1);
+    let duration = Duration::from_secs_f64(duration_secs);
+
+    // Phase 1: deterministic offline economics at equal budget.
+    let isolated_q = offline_quality(false);
+    let borrowing_q = offline_quality(true);
+    println!("offline fleet economics ({SCENARIO}, seed {SCENARIO_SEED}, equal budget):");
+    let quality_rows = vec![
+        vec![
+            "isolated".to_string(),
+            format!("{:.4}", isolated_q.hit_rate),
+            format!("{:.2}", isolated_q.mean_wait_secs),
+            format!("{:.4}", isolated_q.cogs_dollars),
+            isolated_q.borrows.to_string(),
+        ],
+        vec![
+            "borrowing".to_string(),
+            format!("{:.4}", borrowing_q.hit_rate),
+            format!("{:.2}", borrowing_q.mean_wait_secs),
+            format!("{:.4}", borrowing_q.cogs_dollars),
+            borrowing_q.borrows.to_string(),
+        ],
+    ];
+    ip_bench::print_table(
+        &["mode", "hit_rate", "mean_wait_s", "cogs_$", "borrows"],
+        &quality_rows,
+    );
+    assert!(
+        borrowing_q.borrows > 0,
+        "the permissive matrix must resolve borrows under the spike scenario"
+    );
+    assert!(
+        borrowing_q.hit_rate > isolated_q.hit_rate,
+        "borrowing must beat isolation on hit rate at equal budget ({:.4} vs {:.4})",
+        borrowing_q.hit_rate,
+        isolated_q.hit_rate
+    );
+    assert!(
+        borrowing_q.mean_wait_secs < isolated_q.mean_wait_secs,
+        "borrowing must beat isolation on mean wait at equal budget ({:.2} vs {:.2})",
+        borrowing_q.mean_wait_secs,
+        isolated_q.mean_wait_secs
+    );
+
+    // Phase 2: control-plane throughput with the matrix off vs on.
+    println!(
+        "\nserve throughput: {CLIENTS} clients x {duration_secs}s per mode, {WORKERS} workers\n"
+    );
+    let results = vec![
+        run_mode("isolated", false, duration),
+        run_mode("borrowing", true, duration),
+    ];
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            vec![
+                r.mode.to_string(),
+                format!("{:.1}", r.requests_per_sec()),
+                format!("{:.1}", r.injects_per_sec()),
+                format!("{:.3}", r.p50_ms),
+                format!("{:.3}", r.p99_ms),
+                r.failures.to_string(),
+                r.borrows.to_string(),
+                format!("{:.4}", r.fleet_cogs_dollars),
+            ]
+        })
+        .collect();
+    ip_bench::print_table(
+        &[
+            "mode",
+            "req_per_s",
+            "inj_per_s",
+            "p50_ms",
+            "p99_ms",
+            "failures",
+            "borrows",
+            "cogs_$",
+        ],
+        &rows,
+    );
+
+    let isolated = &results[0];
+    let borrowing = &results[1];
+    let ratio = borrowing.injects_per_sec() / isolated.injects_per_sec().max(1e-9);
+    println!("\nborrowing vs isolated: {ratio:.3}x injects/sec (budget: >= 0.95x)");
+
+    if smoke {
+        let mut ok = true;
+        for r in &results {
+            if r.injects == 0 {
+                eprintln!("SMOKE FAIL: mode {} injected nothing", r.mode);
+                ok = false;
+            }
+            if r.failures > 0 {
+                eprintln!(
+                    "SMOKE FAIL: mode {} had {} failed requests",
+                    r.mode, r.failures
+                );
+                ok = false;
+            }
+        }
+        if borrowing.borrows == 0 {
+            eprintln!("SMOKE FAIL: borrowing mode resolved no borrows");
+            ok = false;
+        }
+        if isolated.borrows != 0 {
+            eprintln!("SMOKE FAIL: isolated mode reported borrows");
+            ok = false;
+        }
+        if !ok {
+            std::process::exit(1);
+        }
+        println!("smoke ok: both modes injected with zero failures; borrowing borrowed");
+        return;
+    }
+
+    write_json(&isolated_q, &borrowing_q, &results, duration_secs, ratio);
+}

@@ -8,6 +8,13 @@
 //! order, at *apply* time. Nothing here touches the simulator's own RNG
 //! stream, so the same spec over the same fleet reproduces the same bytes
 //! under any execution strategy.
+//!
+//! Scenarios **compose**: a `+`-joined name like
+//! `diurnal-ramp+flash-crowd` stacks the named transforms left to right
+//! over the same fleet, drawing from the one shared RNG, and concatenates
+//! their default fault schedules in part order. A single-part name is the
+//! degenerate compound — same seed recipe, same bytes as before
+//! composition existed.
 
 use crate::catalog::{self, ScenarioInfo};
 use crate::spec::{FaultSpec, ScenarioSpec};
@@ -18,13 +25,30 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
 
-/// A compiled, runnable scenario: catalog entry + resolved parameters +
-/// (optional) explicit fault schedule.
+/// One component of a (possibly compound) scenario: a catalog entry plus
+/// its resolved parameters.
+#[derive(Debug, Clone)]
+struct Part {
+    info: &'static ScenarioInfo,
+    params: BTreeMap<&'static str, f64>,
+}
+
+impl Part {
+    fn param(&self, key: &str) -> f64 {
+        *self
+            .params
+            .get(key)
+            .unwrap_or_else(|| panic!("scenario {:?} has no param {key:?}", self.info.name))
+    }
+}
+
+/// A compiled, runnable scenario: one or more catalog entries (stacked
+/// left to right when compound) + resolved parameters + (optional)
+/// explicit fault schedule.
 #[derive(Debug, Clone)]
 pub struct Scenario {
-    info: &'static ScenarioInfo,
+    parts: Vec<Part>,
     seed: u64,
-    params: BTreeMap<&'static str, f64>,
     faults: Option<Vec<FaultSpec>>,
 }
 
@@ -76,34 +100,53 @@ impl Scenario {
     /// scenario declares, and explicit fault entries must have coherent
     /// windows (`until_secs > at`, `lag_secs ≥ 1` where required).
     pub(crate) fn from_spec(spec: ScenarioSpec) -> Result<Self> {
-        let info = catalog::find(&spec.name).ok_or_else(|| ChaosError::UnknownScenario {
-            suggestion: catalog::suggest(&spec.name).map(str::to_string),
-            name: spec.name.clone(),
-        })?;
-        let mut params: BTreeMap<&'static str, f64> = info.params.iter().copied().collect();
+        let mut parts = Vec::new();
+        for component in spec.name.split('+') {
+            let component = component.trim();
+            if component.is_empty() {
+                return Err(ChaosError::BadSpec(format!(
+                    "compound scenario {:?} has an empty component",
+                    spec.name
+                )));
+            }
+            let info = catalog::find(component).ok_or_else(|| ChaosError::UnknownScenario {
+                suggestion: catalog::suggest(component).map(str::to_string),
+                name: component.to_string(),
+            })?;
+            parts.push(Part {
+                info,
+                params: info.params.iter().copied().collect(),
+            });
+        }
+        // A spec parameter must be declared by at least one part; it is
+        // applied to *every* part that declares it (e.g. "magnitude" set
+        // once drives both flash-crowd and cold-start-storm in a stack).
         for (key, value) in &spec.params {
-            let slot = info
-                .params
-                .iter()
-                .find(|(name, _)| name == key)
-                .map(|&(name, _)| name)
-                .ok_or_else(|| {
-                    ChaosError::BadSpec(format!(
-                        "scenario {:?} has no parameter {key:?} (has: {})",
-                        info.name,
-                        info.params
-                            .iter()
-                            .map(|(n, _)| *n)
-                            .collect::<Vec<_>>()
-                            .join(", ")
-                    ))
-                })?;
             if !value.is_finite() || *value < 0.0 {
                 return Err(ChaosError::BadSpec(format!(
                     "parameter {key:?} must be finite and non-negative, got {value}"
                 )));
             }
-            params.insert(slot, *value);
+            let mut declared = false;
+            for part in &mut parts {
+                if let Some(&(slot, _)) = part.info.params.iter().find(|(name, _)| name == key) {
+                    part.params.insert(slot, *value);
+                    declared = true;
+                }
+            }
+            if !declared {
+                let mut has: Vec<&str> = parts
+                    .iter()
+                    .flat_map(|p| p.info.params.iter().map(|(n, _)| *n))
+                    .collect();
+                has.sort_unstable();
+                has.dedup();
+                return Err(ChaosError::BadSpec(format!(
+                    "scenario {:?} has no parameter {key:?} (has: {})",
+                    spec.name,
+                    has.join(", ")
+                )));
+            }
         }
         if let Some(faults) = &spec.faults {
             for (i, f) in faults.iter().enumerate() {
@@ -111,16 +154,20 @@ impl Scenario {
             }
         }
         Ok(Self {
-            info,
+            parts,
             seed: spec.seed,
-            params,
             faults: spec.faults,
         })
     }
 
-    /// Catalog name.
-    pub fn name(&self) -> &'static str {
-        self.info.name
+    /// The scenario name — catalog name for a single part, `+`-joined
+    /// part names for a compound.
+    pub fn name(&self) -> String {
+        self.parts
+            .iter()
+            .map(|p| p.info.name)
+            .collect::<Vec<_>>()
+            .join("+")
     }
 
     /// The spec seed.
@@ -128,16 +175,17 @@ impl Scenario {
         self.seed
     }
 
-    /// A resolved parameter (spec override or catalog default).
+    /// A resolved parameter (spec override or catalog default), from the
+    /// first part declaring it.
     ///
     /// # Panics
-    /// On a parameter name the scenario does not declare — catalog
-    /// parameter lists are static, so that is a programming error.
+    /// On a parameter name no part declares — catalog parameter lists are
+    /// static, so that is a programming error.
     pub fn param(&self, key: &str) -> f64 {
-        *self
-            .params
-            .get(key)
-            .unwrap_or_else(|| panic!("scenario {:?} has no param {key:?}", self.info.name))
+        self.parts
+            .iter()
+            .find_map(|p| p.params.get(key).copied())
+            .unwrap_or_else(|| panic!("scenario {:?} has no param {key:?}", self.name()))
     }
 
     /// Transforms `pools` demand in place and compiles the fault schedule.
@@ -149,13 +197,24 @@ impl Scenario {
         if pools.is_empty() {
             return Err(ChaosError::Unsupported("no pools to run over".into()));
         }
-        if self.info.name == "regional-failover" && pools.len() < 2 {
+        if pools.len() < 2
+            && self
+                .parts
+                .iter()
+                .any(|p| p.info.name == "regional-failover")
+        {
             return Err(ChaosError::Unsupported(
                 "regional-failover needs at least 2 pools (one drains into a sibling)".into(),
             ));
         }
-        let mut rng = StdRng::seed_from_u64(mix_seed(self.seed, self.info.name));
-        let shaped = self.transform(&mut pools, &mut rng);
+        let name = self.name();
+        let mut rng = StdRng::seed_from_u64(mix_seed(self.seed, &name));
+        let shaped = self
+            .parts
+            .iter()
+            .map(|part| transform(part, &mut pools, &mut rng))
+            .collect::<Vec<_>>()
+            .join("; ");
         let duration = pools
             .iter()
             .map(|(_, ts)| ts.duration_secs())
@@ -163,7 +222,11 @@ impl Scenario {
             .unwrap_or(0);
         let specs = match &self.faults {
             Some(explicit) => explicit.clone(),
-            None => self.default_faults(duration),
+            None => self
+                .parts
+                .iter()
+                .flat_map(|p| default_faults(p.info.name, duration))
+                .collect(),
         };
         let mut faults: Vec<(String, Vec<FaultEntry>)> = pools
             .iter()
@@ -191,7 +254,7 @@ impl Scenario {
         }
         let summary = format!(
             "scenario {} (seed {}): {}; {} fault(s){}",
-            self.info.name,
+            name,
             self.seed,
             shaped,
             placed.len(),
@@ -208,156 +271,161 @@ impl Scenario {
         })
     }
 
-    /// The demand transform. Returns a short human description of the
-    /// shaping applied (for the plan summary).
-    fn transform(&self, pools: &mut [(String, TimeSeries)], rng: &mut StdRng) -> String {
-        match self.info.name {
-            "flash-crowd" => {
-                let target = rng.gen_range(0..pools.len());
-                let (name, ts) = &mut pools[target];
-                let n = ts.len();
-                let start = frac_index(self.param("start_frac"), n);
-                let width = frac_width(self.param("width_frac"), n);
-                let surge = (self.param("magnitude") * ts.mean().unwrap_or(0.0).max(1.0)).round();
-                for v in &mut ts.values_mut()[start..(start + width).min(n)] {
-                    *v += surge;
-                }
-                format!(
-                    "pool {name:?} +{surge}/interval over [{start}, {})",
-                    (start + width).min(n)
-                )
-            }
-            "regional-failover" => {
-                let from = rng.gen_range(0..pools.len());
-                let into = (from + 1 + rng.gen_range(0..pools.len() - 1)) % pools.len();
-                let n = pools[from].1.len().min(pools[into].1.len());
-                let start = frac_index(self.param("drain_frac"), n);
-                let ramp = frac_width(self.param("ramp_frac"), n);
-                for t in start..n {
-                    // Linear ramp from 0 to full drain over `ramp` intervals.
-                    let progress = (((t - start + 1) as f64) / ramp as f64).min(1.0);
-                    let moved = (pools[from].1.get(t) * progress).round();
-                    *pools[from].1.values_mut().get_mut(t).unwrap() -= moved;
-                    *pools[into].1.values_mut().get_mut(t).unwrap() += moved;
-                }
-                format!(
-                    "pool {:?} drains into {:?} from interval {start} (ramp {ramp})",
-                    pools[from].0, pools[into].0
-                )
-            }
-            "correlated-spike" => {
-                let magnitude = self.param("magnitude");
-                let mut factors = Vec::with_capacity(pools.len());
-                for (_, ts) in pools.iter_mut() {
-                    let jitter = 0.8 + 0.4 * rng.gen::<f64>();
-                    let factor = magnitude * jitter;
-                    factors.push(factor);
-                    let n = ts.len();
-                    let start = frac_index(self.param("start_frac"), n);
-                    let width = frac_width(self.param("width_frac"), n);
-                    for v in &mut ts.values_mut()[start..(start + width).min(n)] {
-                        *v = (*v * factor).round();
-                    }
-                }
-                format!(
-                    "all {} pools x{magnitude} (jittered {:.2}..{:.2}) in one window",
-                    pools.len(),
-                    factors.iter().cloned().fold(f64::INFINITY, f64::min),
-                    factors.iter().cloned().fold(0.0f64, f64::max)
-                )
-            }
-            "cold-start-storm" => {
-                let k = (self.param("burst_intervals").round() as usize).max(1);
-                for (_, ts) in pools.iter_mut() {
-                    let burst =
-                        (self.param("magnitude") * ts.mean().unwrap_or(0.0).max(1.0)).round();
-                    let n = ts.len();
-                    for v in &mut ts.values_mut()[..k.min(n)] {
-                        *v += burst;
-                    }
-                }
-                format!("every pool stormed for the first {k} interval(s)")
-            }
-            "diurnal-ramp" => {
-                let peak = self.param("peak");
-                let cycles = self.param("cycles").max(1.0 / 64.0);
-                for (_, ts) in pools.iter_mut() {
-                    let n = ts.len();
-                    for (i, v) in ts.values_mut().iter_mut().enumerate() {
-                        let x = i as f64 / n.max(1) as f64;
-                        let factor = 1.0
-                            + (peak - 1.0)
-                                * 0.5
-                                * (1.0 - (2.0 * std::f64::consts::PI * cycles * x).cos());
-                        *v = (*v * factor).round();
-                    }
-                }
-                format!("all pools ramped to x{peak} over {cycles} cycle(s)")
-            }
-            "flapping-demand" => {
-                let high = self.param("high");
-                let low = self.param("low");
-                for (_, ts) in pools.iter_mut() {
-                    let n = ts.len();
-                    let period = frac_width(self.param("period_frac"), n);
-                    for (i, v) in ts.values_mut().iter_mut().enumerate() {
-                        let factor = if (i / period).is_multiple_of(2) {
-                            high
-                        } else {
-                            low
-                        };
-                        *v = (*v * factor).round();
-                    }
-                }
-                format!("all pools flapping x{high}/x{low}")
-            }
-            other => unreachable!("scenario {other:?} is in the catalog but has no transform"),
-        }
+    /// `(name, params)` pairs for every part, for introspection/display.
+    pub fn part_names(&self) -> Vec<&'static str> {
+        self.parts.iter().map(|p| p.info.name).collect()
     }
+}
 
-    /// Each catalog scenario's default fault schedule, as fractions of the
-    /// trace duration `d`. Pools are left unpinned (`pool: None`) so the
-    /// apply-time RNG spreads them across the fleet. Together the catalog
-    /// exercises all six fault kinds.
-    fn default_faults(&self, d: u64) -> Vec<FaultSpec> {
-        let at = |frac: f64| -> u64 { (d as f64 * frac) as u64 };
-        let f = |frac: f64, kind: &str, until: Option<f64>, lag: Option<f64>| FaultSpec {
-            at: at(frac),
-            kind: kind.to_string(),
-            pool: None,
-            until_secs: until.map(at),
-            lag_secs: lag.map(at),
-        };
-        if d < 60 {
-            // Degenerate traces (a few intervals) get no default faults;
-            // windows would collapse to zero width.
-            return Vec::new();
+/// One part's demand transform. Returns a short human description of the
+/// shaping applied (for the plan summary). Draws from the compound's
+/// shared RNG, so stacking order is part of the reproduction key.
+fn transform(part: &Part, pools: &mut [(String, TimeSeries)], rng: &mut StdRng) -> String {
+    match part.info.name {
+        "flash-crowd" => {
+            let target = rng.gen_range(0..pools.len());
+            let (name, ts) = &mut pools[target];
+            let n = ts.len();
+            let start = frac_index(part.param("start_frac"), n);
+            let width = frac_width(part.param("width_frac"), n);
+            let surge = (part.param("magnitude") * ts.mean().unwrap_or(0.0).max(1.0)).round();
+            for v in &mut ts.values_mut()[start..(start + width).min(n)] {
+                *v += surge;
+            }
+            format!(
+                "pool {name:?} +{surge}/interval over [{start}, {})",
+                (start + width).min(n)
+            )
         }
-        match self.info.name {
-            "flash-crowd" => vec![
-                f(0.30, "telemetry_lag", Some(0.60), Some(0.10)),
-                f(0.35, "worker_lease_expiry", None, None),
-            ],
-            "regional-failover" => vec![
-                f(0.40, "worker_lease_expiry", None, None),
-                f(0.40, "arbitrator_partition", Some(0.60), None),
-            ],
-            "correlated-spike" => vec![
-                f(0.45, "config_corruption", None, None),
-                f(0.50, "telemetry_dropout", Some(0.70), None),
-            ],
-            "cold-start-storm" => vec![
-                f(0.05, "config_stale", None, None),
-                f(0.10, "worker_lease_expiry", None, None),
-            ],
-            "diurnal-ramp" => vec![f(0.25, "telemetry_lag", Some(0.75), Some(0.05))],
-            "flapping-demand" => vec![
-                f(0.30, "config_corruption", None, None),
-                f(0.60, "config_stale", None, None),
-                f(0.70, "telemetry_dropout", Some(0.85), None),
-            ],
-            other => unreachable!("scenario {other:?} has no default fault schedule"),
+        "regional-failover" => {
+            let from = rng.gen_range(0..pools.len());
+            let into = (from + 1 + rng.gen_range(0..pools.len() - 1)) % pools.len();
+            let n = pools[from].1.len().min(pools[into].1.len());
+            let start = frac_index(part.param("drain_frac"), n);
+            let ramp = frac_width(part.param("ramp_frac"), n);
+            for t in start..n {
+                // Linear ramp from 0 to full drain over `ramp` intervals.
+                let progress = (((t - start + 1) as f64) / ramp as f64).min(1.0);
+                let moved = (pools[from].1.get(t) * progress).round();
+                *pools[from].1.values_mut().get_mut(t).unwrap() -= moved;
+                *pools[into].1.values_mut().get_mut(t).unwrap() += moved;
+            }
+            format!(
+                "pool {:?} drains into {:?} from interval {start} (ramp {ramp})",
+                pools[from].0, pools[into].0
+            )
         }
+        "correlated-spike" => {
+            let magnitude = part.param("magnitude");
+            let mut factors = Vec::with_capacity(pools.len());
+            for (_, ts) in pools.iter_mut() {
+                let jitter = 0.8 + 0.4 * rng.gen::<f64>();
+                let factor = magnitude * jitter;
+                factors.push(factor);
+                let n = ts.len();
+                let start = frac_index(part.param("start_frac"), n);
+                let width = frac_width(part.param("width_frac"), n);
+                for v in &mut ts.values_mut()[start..(start + width).min(n)] {
+                    *v = (*v * factor).round();
+                }
+            }
+            format!(
+                "all {} pools x{magnitude} (jittered {:.2}..{:.2}) in one window",
+                pools.len(),
+                factors.iter().cloned().fold(f64::INFINITY, f64::min),
+                factors.iter().cloned().fold(0.0f64, f64::max)
+            )
+        }
+        "cold-start-storm" => {
+            let k = (part.param("burst_intervals").round() as usize).max(1);
+            for (_, ts) in pools.iter_mut() {
+                let burst = (part.param("magnitude") * ts.mean().unwrap_or(0.0).max(1.0)).round();
+                let n = ts.len();
+                for v in &mut ts.values_mut()[..k.min(n)] {
+                    *v += burst;
+                }
+            }
+            format!("every pool stormed for the first {k} interval(s)")
+        }
+        "diurnal-ramp" => {
+            let peak = part.param("peak");
+            let cycles = part.param("cycles").max(1.0 / 64.0);
+            for (_, ts) in pools.iter_mut() {
+                let n = ts.len();
+                for (i, v) in ts.values_mut().iter_mut().enumerate() {
+                    let x = i as f64 / n.max(1) as f64;
+                    let factor = 1.0
+                        + (peak - 1.0)
+                            * 0.5
+                            * (1.0 - (2.0 * std::f64::consts::PI * cycles * x).cos());
+                    *v = (*v * factor).round();
+                }
+            }
+            format!("all pools ramped to x{peak} over {cycles} cycle(s)")
+        }
+        "flapping-demand" => {
+            let high = part.param("high");
+            let low = part.param("low");
+            for (_, ts) in pools.iter_mut() {
+                let n = ts.len();
+                let period = frac_width(part.param("period_frac"), n);
+                for (i, v) in ts.values_mut().iter_mut().enumerate() {
+                    let factor = if (i / period).is_multiple_of(2) {
+                        high
+                    } else {
+                        low
+                    };
+                    *v = (*v * factor).round();
+                }
+            }
+            format!("all pools flapping x{high}/x{low}")
+        }
+        other => unreachable!("scenario {other:?} is in the catalog but has no transform"),
+    }
+}
+
+/// Each catalog scenario's default fault schedule, as fractions of the
+/// trace duration `d`. Pools are left unpinned (`pool: None`) so the
+/// apply-time RNG spreads them across the fleet. Together the catalog
+/// exercises all six fault kinds.
+fn default_faults(name: &str, d: u64) -> Vec<FaultSpec> {
+    let at = |frac: f64| -> u64 { (d as f64 * frac) as u64 };
+    let f = |frac: f64, kind: &str, until: Option<f64>, lag: Option<f64>| FaultSpec {
+        at: at(frac),
+        kind: kind.to_string(),
+        pool: None,
+        until_secs: until.map(at),
+        lag_secs: lag.map(at),
+    };
+    if d < 60 {
+        // Degenerate traces (a few intervals) get no default faults;
+        // windows would collapse to zero width.
+        return Vec::new();
+    }
+    match name {
+        "flash-crowd" => vec![
+            f(0.30, "telemetry_lag", Some(0.60), Some(0.10)),
+            f(0.35, "worker_lease_expiry", None, None),
+        ],
+        "regional-failover" => vec![
+            f(0.40, "worker_lease_expiry", None, None),
+            f(0.40, "arbitrator_partition", Some(0.60), None),
+        ],
+        "correlated-spike" => vec![
+            f(0.45, "config_corruption", None, None),
+            f(0.50, "telemetry_dropout", Some(0.70), None),
+        ],
+        "cold-start-storm" => vec![
+            f(0.05, "config_stale", None, None),
+            f(0.10, "worker_lease_expiry", None, None),
+        ],
+        "diurnal-ramp" => vec![f(0.25, "telemetry_lag", Some(0.75), Some(0.05))],
+        "flapping-demand" => vec![
+            f(0.30, "config_corruption", None, None),
+            f(0.60, "config_stale", None, None),
+            f(0.70, "telemetry_dropout", Some(0.85), None),
+        ],
+        other => unreachable!("scenario {other:?} has no default fault schedule"),
     }
 }
 
@@ -467,6 +535,70 @@ mod tests {
                 assert!(schedule.windows(2).all(|w| w[0].at <= w[1].at));
             }
         }
+    }
+
+    #[test]
+    fn compound_scenarios_stack_and_reproduce_bit_for_bit() {
+        let a = plan("diurnal-ramp+flash-crowd", 42, 3);
+        let b = plan("diurnal-ramp+flash-crowd", 42, 3);
+        assert_eq!(a.demand, b.demand);
+        assert_eq!(a.faults, b.faults);
+        assert_eq!(a.summary, b.summary);
+        assert!(
+            a.summary.contains("diurnal-ramp+flash-crowd"),
+            "{}",
+            a.summary
+        );
+
+        // Default faults are the concatenation of the parts' schedules:
+        // diurnal-ramp contributes 1, flash-crowd contributes 2.
+        assert_eq!(a.fault_count(), 3);
+
+        // The stack differs from either part alone — both transforms ran.
+        let ramp_only = plan("diurnal-ramp", 42, 3);
+        let crowd_only = plan("flash-crowd", 42, 3);
+        assert_ne!(a.demand, ramp_only.demand);
+        assert_ne!(a.demand, crowd_only.demand);
+
+        // Stacking order is part of the reproduction key.
+        let swapped = plan("flash-crowd+diurnal-ramp", 42, 3);
+        assert_ne!(a.demand, swapped.demand);
+    }
+
+    #[test]
+    fn compound_params_reach_every_declaring_part() {
+        // "magnitude" is declared by both flash-crowd and cold-start-storm.
+        let mut spec = ScenarioSpec::by_name("flash-crowd+cold-start-storm", 5).unwrap();
+        spec.params.insert("magnitude".into(), 25.0);
+        let big = spec.compile().unwrap().apply(fleet(1, 100)).unwrap();
+        let default = plan("flash-crowd+cold-start-storm", 5, 1);
+        assert!(big.demand[0].1.sum() > default.demand[0].1.sum());
+
+        // A key no part declares is rejected with the compound name.
+        let mut spec = ScenarioSpec::by_name("diurnal-ramp+flash-crowd", 5).unwrap();
+        spec.params.insert("period_frac".into(), 0.2);
+        let err = spec.compile().unwrap_err();
+        assert!(err.to_string().contains("no parameter"), "{err}");
+        assert!(
+            err.to_string().contains("diurnal-ramp+flash-crowd"),
+            "{err}"
+        );
+
+        // Unknown component names fail with a near-miss suggestion, and
+        // empty components fail loudly.
+        let err = ScenarioSpec::by_name("diurnal-ramp+flash-crwd", 1).unwrap_err();
+        assert!(err.to_string().contains("flash-crowd"), "{err}");
+        let err = ScenarioSpec::by_name("diurnal-ramp+", 1).unwrap_err();
+        assert!(err.to_string().contains("empty component"), "{err}");
+
+        // A compound containing regional-failover still needs 2+ pools.
+        let err = ScenarioSpec::by_name("diurnal-ramp+regional-failover", 1)
+            .unwrap()
+            .compile()
+            .unwrap()
+            .apply(fleet(1, 100))
+            .unwrap_err();
+        assert!(matches!(err, ChaosError::Unsupported(_)), "{err}");
     }
 
     #[test]

@@ -90,16 +90,12 @@ fn reject_unknown_keys(doc: &Content, allowed: &[&str], ctx: &str) -> Result<()>
 }
 
 impl ScenarioSpec {
-    /// A spec for catalog scenario `name` with default parameters and the
-    /// scenario's default fault schedule. Unknown names fail with a
-    /// near-miss suggestion.
+    /// A spec for catalog scenario `name` — or a `+`-joined compound like
+    /// `diurnal-ramp+flash-crowd` — with default parameters and the
+    /// scenario's default fault schedule. Unknown component names fail
+    /// with a near-miss suggestion.
     pub fn by_name(name: &str, seed: u64) -> Result<Self> {
-        if catalog::find(name).is_none() {
-            return Err(ChaosError::UnknownScenario {
-                name: name.to_string(),
-                suggestion: catalog::suggest(name).map(str::to_string),
-            });
-        }
+        validate_name(name)?;
         Ok(Self {
             name: name.to_string(),
             seed,
@@ -120,12 +116,7 @@ impl ScenarioSpec {
         reject_unknown_keys(&doc, &["name", "seed", "params", "faults"], "spec")?;
         let name =
             expect_str(&doc, "name", "spec")?.ok_or_else(|| spec_err("spec: missing \"name\""))?;
-        if catalog::find(&name).is_none() {
-            return Err(ChaosError::UnknownScenario {
-                suggestion: catalog::suggest(&name).map(str::to_string),
-                name,
-            });
-        }
+        validate_name(&name)?;
         let seed = expect_u64(&doc, "seed", "spec")?.unwrap_or(0);
 
         let mut params = BTreeMap::new();
@@ -167,6 +158,25 @@ impl ScenarioSpec {
     pub fn compile(self) -> Result<Scenario> {
         Scenario::from_spec(self)
     }
+}
+
+/// Every `+`-separated component must be a catalog scenario.
+fn validate_name(name: &str) -> Result<()> {
+    for component in name.split('+') {
+        let component = component.trim();
+        if component.is_empty() {
+            return Err(spec_err(format!(
+                "compound scenario {name:?} has an empty component"
+            )));
+        }
+        if catalog::find(component).is_none() {
+            return Err(ChaosError::UnknownScenario {
+                suggestion: catalog::suggest(component).map(str::to_string),
+                name: component.to_string(),
+            });
+        }
+    }
+    Ok(())
 }
 
 fn parse_fault(doc: &Content, ctx: &str) -> Result<FaultSpec> {

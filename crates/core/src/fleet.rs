@@ -21,9 +21,9 @@ use crate::cogs::CostModel;
 use crate::providers::{autotuned_provider, named_provider, DynProvider};
 use crate::{CoreError, Result};
 use ip_saa::robustness::RobustnessStrategies;
-use ip_saa::{robust_optimize, SaaConfig};
+use ip_saa::{robust_optimize, SaaConfig, SweepCache};
 use ip_sim::{SimConfig, SimReport, Simulation};
-use ip_timeseries::TimeSeries;
+use ip_timeseries::{max_filter, TimeSeries};
 use std::collections::BTreeMap;
 
 pub use ip_sim::PoolId;
@@ -72,6 +72,34 @@ pub struct PoolRecommendation {
     pub schedule: Vec<u32>,
     /// Objective value reported by the optimizer.
     pub objective: f64,
+}
+
+/// A fleet-wide capacity ceiling for [`Fleet::recommend_all_budgeted`],
+/// expressed in cluster·intervals: the sum over all pools and all
+/// intervals of the recommended target sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FleetBudget {
+    /// Maximum total cluster·intervals across the whole fleet.
+    pub max_cluster_intervals: u64,
+}
+
+/// What [`Fleet::recommend_all_budgeted`] decided.
+#[derive(Debug)]
+pub struct BudgetedOutcome {
+    /// Per-pool recommendations, failure-isolated as in
+    /// [`Fleet::recommend_all`].
+    pub pools: Vec<(PoolId, Result<PoolRecommendation>)>,
+    /// Total cluster·intervals the unconstrained optimizer asked for.
+    pub unconstrained_cluster_intervals: u64,
+    /// Total cluster·intervals actually granted (≤ the budget when it
+    /// binds; equal to the unconstrained total otherwise).
+    pub granted_cluster_intervals: u64,
+    /// The shared capacity price λ that achieved feasibility (0 when the
+    /// budget did not bind).
+    pub lambda: f64,
+    /// `true` when the budget forced the schedules below the
+    /// unconstrained optimum.
+    pub binding: bool,
 }
 
 /// N pools managed side by side, keyed by [`PoolId`] in deterministic
@@ -180,6 +208,162 @@ impl Fleet {
             .map(|(id, _)| id.clone())
             .zip(results)
             .collect()
+    }
+
+    /// Like [`Fleet::recommend_all`], but enforces an optional fleet-wide
+    /// capacity budget (DESIGN.md §17).
+    ///
+    /// With `budget: None`, or when the unconstrained recommendations
+    /// already fit, the result wraps [`Fleet::recommend_all`]'s output
+    /// verbatim — bit-identical schedules, `lambda = 0`, `binding = false`.
+    ///
+    /// When the budget binds, every healthy pool's sweep cache is built
+    /// once (on its robustness-transformed demand) and a single shared
+    /// capacity price λ is searched — doubling to bracket, then bisection —
+    /// until the fleet's total cluster·intervals fit the budget. One λ for
+    /// all pools means capacity is shaved where it buys the least quality,
+    /// not pro-rata. Per-pool failure isolation is preserved: a pool whose
+    /// base optimization failed keeps its error and costs no budget.
+    pub fn recommend_all_budgeted(
+        &self,
+        demands: &BTreeMap<PoolId, TimeSeries>,
+        budget: Option<FleetBudget>,
+    ) -> BudgetedOutcome {
+        let base = self.recommend_all(demands);
+        let unconstrained = Self::total_cluster_intervals(&base);
+        let fits = match budget {
+            None => true,
+            Some(b) => unconstrained <= b.max_cluster_intervals,
+        };
+        if fits {
+            return BudgetedOutcome {
+                pools: base,
+                unconstrained_cluster_intervals: unconstrained,
+                granted_cluster_intervals: unconstrained,
+                lambda: 0.0,
+                binding: false,
+            };
+        }
+        let budget = budget.expect("binding budget").max_cluster_intervals;
+
+        // One prepared entry per healthy pool: the α-independent sweep
+        // cache plus everything `robust_optimize` would apply around it.
+        struct Prepared {
+            at: usize, // index into `base`
+            cache: SweepCache,
+            alpha: f64,
+            interval_secs: u64,
+            tau_intervals: usize,
+            output_max_filter: bool,
+        }
+        let mut prepared = Vec::new();
+        for (at, (id, rec)) in base.iter().enumerate() {
+            if rec.is_err() {
+                continue;
+            }
+            let (spec, demand) = match (self.pools.get(id), demands.get(id)) {
+                (Some(s), Some(d)) => (s, d),
+                _ => continue,
+            };
+            let smoothed;
+            let demand_ref = if spec.robustness.demand_smoothing_factor > 0 {
+                smoothed = max_filter(demand, spec.robustness.demand_smoothing_factor);
+                &smoothed
+            } else {
+                demand
+            };
+            let mut saa = spec.saa;
+            saa.alpha_prime = spec.alpha;
+            if let Some(s) = spec.robustness.extended_stableness {
+                saa.stableness = s;
+            }
+            let Ok(cache) = SweepCache::build(demand_ref, &saa) else {
+                continue; // keep the (already Ok) base recommendation
+            };
+            prepared.push(Prepared {
+                at,
+                cache,
+                alpha: spec.alpha,
+                interval_secs: demand.interval_secs(),
+                tau_intervals: saa.tau_intervals,
+                output_max_filter: spec.robustness.output_max_filter,
+            });
+        }
+
+        // Solve every prepared pool at one λ; returns the rounded
+        // schedules (with the output max filter applied, as in
+        // `robust_optimize`) and their fleet-wide cluster·interval total.
+        let solve_at = |lambda: f64| -> (Vec<(usize, Vec<u32>, f64)>, u64) {
+            let mut out = Vec::with_capacity(prepared.len());
+            let mut total = 0u64;
+            for p in &prepared {
+                let opt = p.cache.solve_penalized(p.alpha, lambda);
+                let mut schedule = opt.schedule;
+                if p.output_max_filter {
+                    let as_series =
+                        TimeSeries::new(p.interval_secs, schedule).expect("interval preserved");
+                    schedule = max_filter(&as_series, p.tau_intervals).into_values();
+                }
+                let rounded: Vec<u32> = schedule
+                    .iter()
+                    .map(|&n| n.round().max(0.0) as u32)
+                    .collect();
+                total += rounded.iter().map(|&n| u64::from(n)).sum::<u64>();
+                out.push((p.at, rounded, opt.objective));
+            }
+            (out, total)
+        };
+
+        // Bracket: double λ until the fleet fits (or give up and take the
+        // cheapest schedules reachable — min_pool floors can make any
+        // budget infeasible).
+        let mut hi = 1.0f64;
+        let mut feasible = false;
+        for _ in 0..60 {
+            if solve_at(hi).1 <= budget {
+                feasible = true;
+                break;
+            }
+            hi *= 2.0;
+        }
+        if feasible {
+            // Bisect down to the smallest feasible price: λ ∈ (lo, hi],
+            // `hi` always feasible.
+            let mut lo = 0.0f64;
+            for _ in 0..50 {
+                let mid = 0.5 * (lo + hi);
+                if solve_at(mid).1 <= budget {
+                    hi = mid;
+                } else {
+                    lo = mid;
+                }
+            }
+        }
+        let (solutions, granted) = solve_at(hi);
+
+        let mut pools = base;
+        for (at, schedule, objective) in solutions {
+            if let (_, Ok(rec)) = &mut pools[at] {
+                rec.schedule = schedule;
+                rec.objective = objective;
+            }
+        }
+        BudgetedOutcome {
+            pools,
+            unconstrained_cluster_intervals: unconstrained,
+            granted_cluster_intervals: granted,
+            lambda: hi,
+            binding: true,
+        }
+    }
+
+    /// Total cluster·intervals across the healthy pools of a
+    /// recommendation set — the quantity a [`FleetBudget`] bounds.
+    pub fn total_cluster_intervals(recs: &[(PoolId, Result<PoolRecommendation>)]) -> u64 {
+        recs.iter()
+            .filter_map(|(_, r)| r.as_ref().ok())
+            .map(|r| r.schedule.iter().map(|&n| u64::from(n)).sum::<u64>())
+            .sum()
     }
 
     /// Replays every pool through the platform simulator in parallel,
@@ -349,6 +533,123 @@ mod tests {
         let rb = b.recommend(1200, &d, 8);
         assert!(ra.is_some() && rb.is_some());
         assert_ne!(ra, rb, "independent α′ loops should diverge");
+    }
+
+    #[test]
+    fn non_binding_budget_is_bit_identical_to_unbudgeted() {
+        let mut fleet = Fleet::new();
+        fleet.register("a", spec(0.3, NodeSize::Small));
+        fleet.register("b", spec(0.5, NodeSize::Large));
+        let mut demands = BTreeMap::new();
+        demands.insert(PoolId::new("a"), demand(1.0));
+        demands.insert(PoolId::new("b"), demand(2.0));
+
+        let base = fleet.recommend_all(&demands);
+        let usage = Fleet::total_cluster_intervals(&base);
+        assert!(usage > 0);
+
+        for budget in [
+            None,
+            Some(FleetBudget {
+                max_cluster_intervals: usage,
+            }),
+        ] {
+            let out = fleet.recommend_all_budgeted(&demands, budget);
+            assert!(!out.binding);
+            assert_eq!(out.lambda, 0.0);
+            assert_eq!(out.unconstrained_cluster_intervals, usage);
+            assert_eq!(out.granted_cluster_intervals, usage);
+            for ((id, r), (bid, br)) in out.pools.iter().zip(&base) {
+                assert_eq!(id, bid);
+                let (r, br) = (r.as_ref().unwrap(), br.as_ref().unwrap());
+                assert_eq!(r.schedule, br.schedule);
+                assert_eq!(r.objective.to_bits(), br.objective.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn binding_budget_shrinks_the_fleet_under_the_cap() {
+        let mut fleet = Fleet::new();
+        fleet.register("busy", spec(0.3, NodeSize::Small));
+        fleet.register("busier", spec(0.3, NodeSize::Large));
+        let mut demands = BTreeMap::new();
+        demands.insert(PoolId::new("busy"), demand(2.0));
+        demands.insert(PoolId::new("busier"), demand(3.0));
+
+        let usage = Fleet::total_cluster_intervals(&fleet.recommend_all(&demands));
+        assert!(usage > 4);
+        let cap = usage / 2;
+        let out = fleet.recommend_all_budgeted(
+            &demands,
+            Some(FleetBudget {
+                max_cluster_intervals: cap,
+            }),
+        );
+        assert!(out.binding);
+        assert!(out.lambda > 0.0);
+        assert_eq!(out.unconstrained_cluster_intervals, usage);
+        assert!(out.granted_cluster_intervals <= cap, "{out:?}");
+        assert_eq!(
+            out.granted_cluster_intervals,
+            Fleet::total_cluster_intervals(&out.pools)
+        );
+        // Failure isolation survives the budgeted path.
+        demands.remove(&PoolId::new("busier"));
+        let out = fleet.recommend_all_budgeted(
+            &demands,
+            Some(FleetBudget {
+                max_cluster_intervals: 1,
+            }),
+        );
+        let by_id: BTreeMap<&str, &Result<PoolRecommendation>> =
+            out.pools.iter().map(|(id, r)| (id.as_str(), r)).collect();
+        assert!(by_id["busier"].is_err());
+        assert!(by_id["busy"].is_ok());
+    }
+
+    #[test]
+    fn budget_respects_robustness_transforms() {
+        // An output-max-filtered pool must stay max-filtered (plateau
+        // shaped) even when the budget squeezes it.
+        let mut fleet = Fleet::new();
+        let mut s = spec(0.6, NodeSize::Medium);
+        s.robustness = RobustnessStrategies {
+            demand_smoothing_factor: 0,
+            extended_stableness: None,
+            output_max_filter: true,
+        };
+        fleet.register("spiky", s);
+        let mut vals = vec![1.0; 40];
+        vals[20] = 12.0;
+        let mut demands = BTreeMap::new();
+        demands.insert(PoolId::new("spiky"), TimeSeries::new(30, vals).unwrap());
+
+        let usage = Fleet::total_cluster_intervals(&fleet.recommend_all(&demands));
+        assert!(usage > 2);
+        let out = fleet.recommend_all_budgeted(
+            &demands,
+            Some(FleetBudget {
+                max_cluster_intervals: usage / 2,
+            }),
+        );
+        assert!(out.binding);
+        let rec = out.pools[0].1.as_ref().unwrap();
+        // Output max filter with SF = tau_intervals = 2 ⇒ every raised
+        // value persists for at least SF+1 intervals.
+        let peak = *rec.schedule.iter().max().unwrap();
+        if peak > 0 {
+            let run = rec
+                .schedule
+                .windows(3)
+                .filter(|w| w.iter().all(|&v| v == peak))
+                .count();
+            assert!(
+                run > 0,
+                "peak must persist ≥ 3 intervals: {:?}",
+                rec.schedule
+            );
+        }
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub mod replay;
 pub use autotune::AlphaTuner;
 pub use cogs::{CostModel, NodeSize, SavingsReport};
 pub use engine::{EngineConfig, Guardrail, IntelligentPooling, RecommendationOutcome};
-pub use fleet::{Fleet, PoolId, PoolRecommendation, PoolSpec};
+pub use fleet::{BudgetedOutcome, Fleet, FleetBudget, PoolId, PoolRecommendation, PoolSpec};
 pub use monitoring::{
     evaluate_alerts, merge_snapshots, Alert, AlertRule, Dashboard, MetricsSnapshot,
 };

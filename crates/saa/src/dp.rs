@@ -107,7 +107,7 @@ impl SweepCache {
 
     /// Runs the ramp-coupled DP for one α', reusing the cached sums.
     pub fn solve(&self, alpha: f64) -> OptimizedSchedule {
-        let (blocks, sizes) = (self.blocks, self.sizes);
+        let sizes = self.sizes;
         let cost_row = |b: usize| -> Vec<f64> {
             let idle = &self.idle_sums[b * sizes..(b + 1) * sizes];
             let wait = &self.wait_sums[b * sizes..(b + 1) * sizes];
@@ -116,7 +116,55 @@ impl SweepCache {
                 .map(|(&i, &w)| alpha * i + (1.0 - alpha) * w)
                 .collect()
         };
+        let (per_block_idx, objective) = self.run_dp(&cost_row);
+        self.assemble(per_block_idx, objective)
+    }
 
+    /// The λ-penalized solve behind the fleet budget constraint
+    /// (DESIGN.md §17): every block's cost gains
+    /// `λ · (lo + n) · |block b|` — a price per cluster·interval of
+    /// capacity — so raising λ trades quality for lower fleet-wide usage.
+    /// `λ = 0` delegates to [`solve`](SweepCache::solve) (bit-identical).
+    /// The returned `objective` is the **unpenalized** Eq. 16 cost of the
+    /// chosen schedule, so solutions at different λ are comparable.
+    pub fn solve_penalized(&self, alpha: f64, lambda: f64) -> OptimizedSchedule {
+        if lambda == 0.0 {
+            return self.solve(alpha);
+        }
+        let sizes = self.sizes;
+        let st = self.config.stableness;
+        let base_row = |b: usize| -> Vec<f64> {
+            let idle = &self.idle_sums[b * sizes..(b + 1) * sizes];
+            let wait = &self.wait_sums[b * sizes..(b + 1) * sizes];
+            idle.iter()
+                .zip(wait)
+                .map(|(&i, &w)| alpha * i + (1.0 - alpha) * w)
+                .collect()
+        };
+        let width = |b: usize| -> f64 { (((b + 1) * st).min(self.t_len) - b * st) as f64 };
+        let cost_row = |b: usize| -> Vec<f64> {
+            let w = width(b);
+            base_row(b)
+                .into_iter()
+                .enumerate()
+                .map(|(ni, c)| c + lambda * w * (self.lo + ni) as f64)
+                .collect()
+        };
+        let (per_block_idx, _) = self.run_dp(&cost_row);
+        let objective = per_block_idx
+            .iter()
+            .enumerate()
+            .map(|(b, &n)| base_row(b)[n])
+            .sum();
+        self.assemble(per_block_idx, objective)
+    }
+
+    /// The DP core: per-block size indices of the optimal ramp-coupled
+    /// chain under `cost_row`, plus its DP objective. Ties break toward
+    /// the smaller size index (the suffix scan and the final argmin both
+    /// keep the first minimum), so the result is deterministic.
+    fn run_dp(&self, cost_row: &dyn Fn(usize) -> Vec<f64>) -> (Vec<usize>, f64) {
+        let (blocks, sizes) = (self.blocks, self.sizes);
         // DP with ramp coupling: dp[b][n] = cost[b][n] + min_{n' ≥ n − ramp} dp[b−1][n'].
         let mut dp = cost_row(0);
         let mut choice: Vec<Vec<usize>> = Vec::with_capacity(blocks);
@@ -158,7 +206,12 @@ impl SweepCache {
             per_block_rev.push(best_n);
         }
         per_block_rev.reverse();
-        let per_block: Vec<f64> = per_block_rev
+        (per_block_rev, best_obj)
+    }
+
+    /// Expands per-block size indices into the interval schedule.
+    fn assemble(&self, per_block_idx: Vec<usize>, objective: f64) -> OptimizedSchedule {
+        let per_block: Vec<f64> = per_block_idx
             .iter()
             .map(|&n| (self.lo + n) as f64)
             .collect();
@@ -167,7 +220,7 @@ impl SweepCache {
             .collect();
         OptimizedSchedule {
             schedule,
-            objective: best_obj,
+            objective,
             per_block,
         }
     }
@@ -312,6 +365,41 @@ mod tests {
                 "alpha {alpha}"
             );
         }
+    }
+
+    #[test]
+    fn penalized_solve_prices_capacity_down() {
+        let vals: Vec<f64> = (0..48).map(|t| ((t * 5) % 11) as f64).collect();
+        let demand = ts(&vals);
+        let cache = SweepCache::build(&demand, &cfg()).unwrap();
+        // λ = 0 is bit-identical to the plain solve.
+        let plain = cache.solve(0.5);
+        let zero = cache.solve_penalized(0.5, 0.0);
+        assert_eq!(plain.schedule, zero.schedule);
+        assert_eq!(plain.objective.to_bits(), zero.objective.to_bits());
+        // Usage (cluster·intervals) is non-increasing in λ; the reported
+        // objective stays the unpenalized cost of the chosen schedule.
+        let usage = |o: &OptimizedSchedule| o.schedule.iter().sum::<f64>();
+        let mut prev = usage(&plain);
+        for lambda in [0.1, 0.5, 2.0, 10.0] {
+            let opt = cache.solve_penalized(0.5, lambda);
+            let u = usage(&opt);
+            assert!(u <= prev + 1e-9, "usage rose at lambda {lambda}");
+            assert!(
+                opt.objective >= plain.objective - 1e-9,
+                "penalized pick cannot beat the unconstrained optimum"
+            );
+            let m = evaluate_schedule(&demand, &opt.schedule, cfg().tau_intervals).unwrap();
+            let true_obj = m.objective(0.5, demand.interval_secs());
+            assert!(
+                (true_obj - opt.objective).abs() < 1e-9 * true_obj.max(1.0),
+                "objective must be the unpenalized cost"
+            );
+            prev = u;
+        }
+        // A large enough λ squeezes the pool to the floor.
+        let crushed = cache.solve_penalized(0.5, 1e6);
+        assert!(crushed.per_block.iter().all(|&n| n == 0.0));
     }
 
     #[test]

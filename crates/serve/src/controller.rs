@@ -20,8 +20,8 @@ use ip_core::{
 use ip_obs::{Severity, SloSpec, SloStatus, SloTracker};
 use ip_saa::SaaConfig;
 use ip_sim::{
-    FaultRecord, FleetPool, FleetSim, IntervalStat, LeaseId, LeaseTable, PoolId,
-    RecommendationFile, SimConfig, SimReport,
+    BorrowRecord, CompatibilityMatrix, FaultRecord, FleetPool, FleetSim, IntervalStat, LeaseId,
+    LeaseTable, PoolId, RecommendationFile, SimConfig, SimReport,
 };
 use ip_timeseries::TimeSeries;
 use serde::{Content, Serialize};
@@ -144,6 +144,8 @@ struct PoolState {
     autotune: bool,
     target_wait_secs: f64,
     end_time: u64,
+    /// Cold-path cluster creation latency (for borrow-savings roll-ups).
+    tau_secs: u64,
     /// Demand interval width, for SLO sample timestamps.
     interval_secs: u64,
     intervals_total: usize,
@@ -185,6 +187,9 @@ pub struct Controller {
     slo_fed: Vec<usize>,
     /// Previous cumulative wait per pool (SLO samples carry the delta).
     slo_prev_wait: Vec<f64>,
+    /// PR 10: whether a non-empty compatibility matrix wired the pools
+    /// into one borrowing cluster.
+    borrowing: bool,
 }
 
 impl Controller {
@@ -195,6 +200,17 @@ impl Controller {
     /// Naming a model for a pool schedules that pool's IP worker (exactly
     /// like the offline CLI) unless the config already carries one.
     pub fn new(pools: Vec<PoolServeConfig>, lease_secs: u64) -> Result<Self, String> {
+        Self::with_matrix(pools, lease_secs, None)
+    }
+
+    /// [`Controller::new`] plus a cross-pool [`CompatibilityMatrix`]. An
+    /// empty (or absent) matrix leaves the pools fully isolated — the
+    /// daemon is bit-identical to one built without a matrix.
+    pub fn with_matrix(
+        pools: Vec<PoolServeConfig>,
+        lease_secs: u64,
+        matrix: Option<CompatibilityMatrix>,
+    ) -> Result<Self, String> {
         let mut members = Vec::with_capacity(pools.len());
         let mut states = Vec::with_capacity(pools.len());
         for cfg in pools {
@@ -228,6 +244,7 @@ impl Controller {
                 autotune,
                 target_wait_secs,
                 end_time: 0, // filled in below, once the stepper exists
+                tau_secs: pool.config.tau_secs,
                 interval_secs: pool.demand.interval_secs(),
                 intervals_total: pool.demand.len(),
                 injected: 0,
@@ -236,7 +253,11 @@ impl Controller {
             });
             members.push(pool);
         }
-        let fleet = FleetSim::new(members).map_err(|e| e.to_string())?;
+        let mut fleet = FleetSim::new(members).map_err(|e| e.to_string())?;
+        if let Some(matrix) = matrix {
+            fleet.set_matrix(matrix).map_err(|e| e.to_string())?;
+        }
+        let borrowing = fleet.borrowing_enabled();
         for (i, state) in states.iter_mut().enumerate() {
             state.end_time = fleet.stepper(i).end_time();
         }
@@ -259,6 +280,7 @@ impl Controller {
             slo: (0..n).map(|_| SloTracker::new(spec)).collect(),
             slo_fed: vec![0; n],
             slo_prev_wait: vec![0.0; n],
+            borrowing,
         })
     }
 
@@ -587,6 +609,196 @@ impl Controller {
         serde_json::to_string(&self.faults_doc()).map_err(|e| format!("faults document: {e:?}"))
     }
 
+    /// `true` when the daemon runs a non-empty compatibility matrix (the
+    /// pools form one borrowing cluster).
+    pub fn borrowing_enabled(&self) -> bool {
+        self.borrowing
+    }
+
+    /// Warm transfers pool `i` has received so far (live from the stepper,
+    /// or from the final report once finalized), in resolution order.
+    pub fn borrow_records_of(&self, i: usize) -> &[BorrowRecord] {
+        match (&self.fleet, &self.pools[i].report) {
+            (Some(fleet), _) => fleet.stepper(i).borrow_records(),
+            (None, Some(r)) => &r.borrow_records,
+            (None, None) => &[],
+        }
+    }
+
+    /// Warm clusters pool `i` received from siblings so far.
+    pub fn borrowed_in_of(&self, i: usize) -> u64 {
+        match (&self.fleet, &self.pools[i].report) {
+            (Some(fleet), _) => fleet.stepper(i).borrowed_in(),
+            (None, Some(r)) => r.borrowed_in,
+            (None, None) => 0,
+        }
+    }
+
+    /// Warm clusters pool `i` donated to siblings so far.
+    pub fn borrowed_out_of(&self, i: usize) -> u64 {
+        match (&self.fleet, &self.pools[i].report) {
+            (Some(fleet), _) => fleet.stepper(i).borrowed_out(),
+            (None, Some(r)) => r.borrowed_out,
+            (None, None) => 0,
+        }
+    }
+
+    /// Idle cluster·seconds pool `i` has accumulated so far (the COGS
+    /// integrand).
+    pub fn idle_cluster_seconds_of(&self, i: usize) -> f64 {
+        match (&self.fleet, &self.pools[i].report) {
+            (Some(fleet), _) => fleet.stepper(i).idle_cluster_seconds(),
+            (None, Some(r)) => r.idle_cluster_seconds,
+            (None, None) => 0.0,
+        }
+    }
+
+    /// Total cross-pool borrows resolved so far, fleet-wide.
+    pub fn borrows_total(&self) -> u64 {
+        (0..self.pools.len()).map(|i| self.borrowed_in_of(i)).sum()
+    }
+
+    /// Creation latency a borrow spared the requester: the requester's
+    /// cold-path `tau_secs` minus the transfer latency, summed over every
+    /// borrow so far.
+    pub fn borrow_saved_secs(&self) -> f64 {
+        (0..self.pools.len())
+            .map(|i| {
+                let tau = self.pools[i].tau_secs as f64;
+                self.borrow_records_of(i)
+                    .iter()
+                    .map(|r| tau - r.latency_secs as f64)
+                    .sum::<f64>()
+            })
+            .sum()
+    }
+
+    /// The flight recorder's `borrows` section (present only on borrowing
+    /// fleets): every warm transfer so far, pools in registration order,
+    /// resolution order within a pool.
+    pub fn borrows_doc(&self) -> Content {
+        let transfers: Vec<Content> = (0..self.pools.len())
+            .flat_map(|i| {
+                let pool = self.pools[i].id.as_str().to_string();
+                self.borrow_records_of(i).iter().map(move |r| {
+                    Content::Map(vec![
+                        ("t".to_string(), Content::U64(r.t)),
+                        ("pool".to_string(), Content::Str(pool.clone())),
+                        ("from".to_string(), Content::Str(r.from.clone())),
+                        ("latency_secs".to_string(), Content::U64(r.latency_secs)),
+                    ])
+                })
+            })
+            .collect();
+        Content::Map(vec![
+            ("total".to_string(), Content::U64(transfers.len() as u64)),
+            ("transfers".to_string(), Content::Seq(transfers)),
+        ])
+    }
+
+    /// [`Controller::borrows_doc`] serialized to a JSON string.
+    pub fn borrows_json(&self) -> Result<String, String> {
+        serde_json::to_string(&self.borrows_doc()).map_err(|e| format!("borrows document: {e:?}"))
+    }
+
+    /// The `GET /fleet` document: the fleet's resource economics — per-pool
+    /// traffic, borrow flows and idle-time COGS, plus the fleet roll-up
+    /// (total COGS and the creation latency spared by warm transfers).
+    /// Building the [`Content`] tree is the only part that needs the
+    /// controller lock.
+    pub fn fleet_doc(&self) -> Content {
+        let cost = CostModel::default();
+        let mut fleet_requests = 0u64;
+        let mut fleet_hits = 0u64;
+        let mut fleet_wait = 0.0f64;
+        let mut fleet_idle = 0.0f64;
+        let pools: Vec<Content> = (0..self.pools.len())
+            .map(|i| {
+                let stats = self.interval_stats_of(i);
+                let requests: u64 = stats.iter().map(|s| s.requests).sum();
+                let hits: u64 = stats.iter().map(|s| s.hits).sum();
+                let misses: u64 = stats.iter().map(|s| s.misses).sum();
+                let wait = stats.last().map_or(0.0, |s| s.cum_wait_secs);
+                let hit_rate = if requests > 0 {
+                    hits as f64 / requests as f64
+                } else {
+                    1.0
+                };
+                let mean_wait = if requests > 0 {
+                    wait / requests as f64
+                } else {
+                    0.0
+                };
+                let idle = self.idle_cluster_seconds_of(i);
+                fleet_requests += requests;
+                fleet_hits += hits;
+                fleet_wait += wait;
+                fleet_idle += idle;
+                Content::Map(vec![
+                    (
+                        "name".to_string(),
+                        Content::Str(self.pools[i].id.as_str().to_string()),
+                    ),
+                    ("requests".to_string(), Content::U64(requests)),
+                    ("hits".to_string(), Content::U64(hits)),
+                    ("misses".to_string(), Content::U64(misses)),
+                    ("hit_rate".to_string(), Content::F64(hit_rate)),
+                    ("mean_wait_secs".to_string(), Content::F64(mean_wait)),
+                    (
+                        "borrowed_in".to_string(),
+                        Content::U64(self.borrowed_in_of(i)),
+                    ),
+                    (
+                        "borrowed_out".to_string(),
+                        Content::U64(self.borrowed_out_of(i)),
+                    ),
+                    ("idle_cluster_seconds".to_string(), Content::F64(idle)),
+                    (
+                        "cogs_dollars".to_string(),
+                        Content::F64(cost.cost_of_idle(idle)),
+                    ),
+                ])
+            })
+            .collect();
+        let fleet_hit_rate = if fleet_requests > 0 {
+            fleet_hits as f64 / fleet_requests as f64
+        } else {
+            1.0
+        };
+        let fleet_mean_wait = if fleet_requests > 0 {
+            fleet_wait / fleet_requests as f64
+        } else {
+            0.0
+        };
+        Content::Map(vec![
+            ("borrowing".to_string(), Content::Bool(self.borrowing)),
+            ("pools".to_string(), Content::Seq(pools)),
+            (
+                "fleet".to_string(),
+                Content::Map(vec![
+                    ("requests".to_string(), Content::U64(fleet_requests)),
+                    ("hit_rate".to_string(), Content::F64(fleet_hit_rate)),
+                    ("mean_wait_secs".to_string(), Content::F64(fleet_mean_wait)),
+                    ("borrows".to_string(), Content::U64(self.borrows_total())),
+                    (
+                        "borrow_saved_secs".to_string(),
+                        Content::F64(self.borrow_saved_secs()),
+                    ),
+                    ("idle_cluster_seconds".to_string(), Content::F64(fleet_idle)),
+                    (
+                        "cogs_dollars".to_string(),
+                        Content::F64(cost.cost_of_idle(fleet_idle)),
+                    ),
+                ]),
+            ),
+        ])
+    }
+
+    /// [`Controller::fleet_doc`] serialized to a JSON string.
+    pub fn fleet_json(&self) -> Result<String, String> {
+        serde_json::to_string(&self.fleet_doc()).map_err(|e| format!("fleet document: {e:?}"))
+    }
+
     /// Burn-rate alerts across the fleet: one [`Alert`] per pool whose SLO
     /// severity is Warning or Page, carrying the
     /// [`AlertRule::SloBurnRate`] rule. The controller tick appends these
@@ -814,6 +1026,18 @@ impl Controller {
             ("injected_requests".to_string(), Content::U64(p.injected)),
             ("reloads".to_string(), Content::U64(p.reloads)),
             (
+                "borrowed_in".to_string(),
+                Content::U64(self.borrowed_in_of(i)),
+            ),
+            (
+                "borrowed_out".to_string(),
+                Content::U64(self.borrowed_out_of(i)),
+            ),
+            (
+                "cogs_dollars".to_string(),
+                Content::F64(CostModel::default().cost_of_idle(self.idle_cluster_seconds_of(i))),
+            ),
+            (
                 "recommendation_files".to_string(),
                 Content::U64(self.recommendation_history_of(i).len() as u64),
             ),
@@ -878,6 +1102,34 @@ impl Controller {
                 Content::U64(self.leases.lapsed_total),
             ),
             ("metrics".to_string(), merged.to_content()),
+            (
+                "cogs".to_string(),
+                Content::Map(vec![
+                    (
+                        "idle_cluster_seconds".to_string(),
+                        Content::F64(
+                            (0..self.pools.len())
+                                .map(|i| self.idle_cluster_seconds_of(i))
+                                .sum(),
+                        ),
+                    ),
+                    (
+                        "dollars".to_string(),
+                        Content::F64(
+                            CostModel::default().cost_of_idle(
+                                (0..self.pools.len())
+                                    .map(|i| self.idle_cluster_seconds_of(i))
+                                    .sum(),
+                            ),
+                        ),
+                    ),
+                    ("borrows".to_string(), Content::U64(self.borrows_total())),
+                    (
+                        "borrow_saved_secs".to_string(),
+                        Content::F64(self.borrow_saved_secs()),
+                    ),
+                ]),
+            ),
             ("alerts".to_string(), self.alerts.to_content()),
             (
                 "pools".to_string(),
@@ -1216,6 +1468,97 @@ mod tests {
         ctl.finalize();
         ctl.feed_slo();
         assert_eq!(ctl.slo_status_of(0), samples);
+    }
+
+    /// Two pools: "busy" spikes over a 1-cluster pool while "lazy" idles
+    /// over 6 warm clusters — the canonical borrow fixture.
+    fn spike_pools() -> Vec<PoolServeConfig> {
+        let mut spike = vec![0.0; 20];
+        spike[4] = 6.0;
+        let cfg = |target: u32, seed: u64| SimConfig {
+            default_pool_target: target,
+            tau_jitter_secs: 0,
+            seed,
+            ..Default::default()
+        };
+        vec![
+            PoolServeConfig {
+                sim: cfg(1, 1),
+                ..PoolServeConfig::named("busy", TimeSeries::new(30, spike).unwrap())
+            },
+            PoolServeConfig {
+                sim: cfg(6, 2),
+                ..PoolServeConfig::named("lazy", TimeSeries::new(30, vec![0.0; 20]).unwrap())
+            },
+        ]
+    }
+
+    #[test]
+    fn matrix_daemon_borrows_and_reports_fleet_economics() {
+        let matrix = CompatibilityMatrix::new().edge("lazy", "busy", 10);
+        let mut ctl = Controller::with_matrix(spike_pools(), 300, Some(matrix)).unwrap();
+        assert!(ctl.borrowing_enabled());
+        ctl.step_to(u64::MAX);
+        assert_eq!(ctl.borrows_total(), 5);
+        assert_eq!(ctl.borrowed_in_of(0), 5);
+        assert_eq!(ctl.borrowed_out_of(1), 5);
+        assert_eq!(ctl.borrow_records_of(0).len(), 5);
+        // Each borrow pays 10 s of transfer instead of τ = 90 s.
+        assert!((ctl.borrow_saved_secs() - 5.0 * 80.0).abs() < 1e-9);
+
+        let doc: Content = serde_json::from_str(&ctl.fleet_json().unwrap()).unwrap();
+        assert_eq!(doc.field("borrowing"), Some(&Content::Bool(true)));
+        let fleet = doc.field("fleet").unwrap();
+        assert_eq!(fleet.field("borrows").and_then(Content::as_u64), Some(5));
+        assert!(fleet.field("cogs_dollars").is_some());
+        let Some(Content::Seq(pools)) = doc.field("pools") else {
+            panic!("fleet doc must carry a pools array");
+        };
+        assert_eq!(
+            pools[0].field("borrowed_in").and_then(Content::as_u64),
+            Some(5)
+        );
+        assert_eq!(
+            pools[1].field("borrowed_out").and_then(Content::as_u64),
+            Some(5)
+        );
+
+        // The flight-recorder section lists every transfer.
+        let borrows: Content = serde_json::from_str(&ctl.borrows_json().unwrap()).unwrap();
+        assert_eq!(borrows.field("total").and_then(Content::as_u64), Some(5));
+
+        // /status carries the cost roll-up.
+        let status: Content = serde_json::from_str(&ctl.status_json("running").unwrap()).unwrap();
+        let cogs = status.field("cogs").expect("status must carry cogs");
+        assert_eq!(cogs.field("borrows").and_then(Content::as_u64), Some(5));
+
+        // Finalize flips the accessors to the report-backed path: borrow
+        // flows are untouched (the idle integrals close at end_time, so
+        // COGS grows by the tail of the trace and nothing else changes).
+        let live_idle = ctl.idle_cluster_seconds_of(0);
+        let live_saved = ctl.borrow_saved_secs();
+        ctl.finalize();
+        assert_eq!(ctl.borrows_total(), 5);
+        assert_eq!(ctl.borrowed_in_of(0), 5);
+        assert_eq!(ctl.borrowed_out_of(1), 5);
+        assert_eq!(ctl.borrow_records_of(0).len(), 5);
+        assert_eq!(ctl.borrow_saved_secs(), live_saved);
+        assert!(ctl.idle_cluster_seconds_of(0) >= live_idle);
+    }
+
+    #[test]
+    fn matrix_free_daemon_stays_borrow_free() {
+        let mut ctl = Controller::new(spike_pools(), 300).unwrap();
+        assert!(!ctl.borrowing_enabled());
+        ctl.step_to(u64::MAX);
+        assert_eq!(ctl.borrows_total(), 0);
+        assert_eq!(ctl.borrow_saved_secs(), 0.0);
+        let doc: Content = serde_json::from_str(&ctl.fleet_json().unwrap()).unwrap();
+        assert_eq!(doc.field("borrowing"), Some(&Content::Bool(false)));
+        // An explicitly empty matrix is the same daemon.
+        let empty =
+            Controller::with_matrix(spike_pools(), 300, Some(CompatibilityMatrix::new())).unwrap();
+        assert!(!empty.borrowing_enabled());
     }
 
     #[test]

@@ -27,6 +27,7 @@
 //! | `/readyz`         | GET    | readiness — 200 once the controller started |
 //! | `/status`         | GET    | JSON dashboard snapshot + active alerts     |
 //! | `/pools`          | GET    | the fleet: per-pool specs and progress      |
+//! | `/fleet`          | GET    | fleet economics: borrows, COGS roll-ups     |
 //! | `/slo`            | GET    | per-pool SLO burn rates (PR 8, §7.5)        |
 //! | `/debug/requests` | GET    | recent slow requests, phase-timed           |
 //! | `/debug/flight`   | GET    | the flight recorder (`ip-flight/1` JSON)    |
@@ -121,6 +122,11 @@ pub struct ServeConfig {
     /// anonymous pool (unlabeled metrics) — bit-identical to the pre-fleet
     /// daemon. When non-empty, the single-pool fields below are ignored.
     pub pools: Vec<PoolServeConfig>,
+    /// Cross-pool compatibility matrix (PR 10): which pools may hand warm
+    /// clusters to which on a miss. `None` (or an empty matrix) keeps
+    /// every pool fully isolated — bit-identical to the pre-borrowing
+    /// daemon.
+    pub matrix: Option<ip_sim::CompatibilityMatrix>,
     /// Platform simulation config (guardrails, Arbitrator, failures, seed).
     pub sim: SimConfig,
     /// The workload trace to replay.
@@ -165,6 +171,7 @@ impl ServeConfig {
     pub fn new(demand: TimeSeries) -> Self {
         Self {
             pools: Vec::new(),
+            matrix: None,
             sim: SimConfig::default(),
             demand,
             model: None,
@@ -363,6 +370,7 @@ impl Daemon {
     pub fn start(config: ServeConfig) -> Result<Self, String> {
         let ServeConfig {
             pools,
+            matrix,
             sim,
             demand,
             model,
@@ -413,7 +421,7 @@ impl Daemon {
             .map(|p| ((p.sim.arbitrator.lease_secs as f64 * speedup).ceil() as u64).max(1))
             .max()
             .unwrap_or(1);
-        let mut ctl = Controller::new(pools, lease_secs)?;
+        let mut ctl = Controller::with_matrix(pools, lease_secs, matrix)?;
         ctl.set_slo_spec(slo);
 
         let listener = TcpListener::bind(("127.0.0.1", port))
@@ -632,6 +640,7 @@ fn endpoint_label(path: &str) -> &'static str {
         "/readyz" => "/readyz",
         "/status" => "/status",
         "/pools" => "/pools",
+        "/fleet" => "/fleet",
         "/slo" => "/slo",
         "/debug/requests" => "/debug/requests",
         "/debug/flight" => "/debug/flight",
@@ -1159,6 +1168,16 @@ fn route(inner: &Inner, request: &Request) -> Response {
                 Err(e) => Response::json_error(500, &format!("pools document: {e:?}")),
             }
         }
+        ("GET", "/fleet") => {
+            let doc = {
+                let ctl = inner.ctl.lock().expect("controller poisoned");
+                ctl.fleet_doc()
+            };
+            match serde_json::to_string(&doc) {
+                Ok(body) => Response::json(200, body),
+                Err(e) => Response::json_error(500, &format!("fleet document: {e:?}")),
+            }
+        }
         ("GET", "/slo") => {
             let doc = {
                 let ctl = inner.ctl.lock().expect("controller poisoned");
@@ -1193,8 +1212,8 @@ fn route(inner: &Inner, request: &Request) -> Response {
         }
         (
             _,
-            "/metrics" | "/healthz" | "/readyz" | "/status" | "/pools" | "/slo" | "/debug/requests"
-            | "/debug/flight",
+            "/metrics" | "/healthz" | "/readyz" | "/status" | "/pools" | "/fleet" | "/slo"
+            | "/debug/requests" | "/debug/flight",
         ) => Response::json_error(405, "use GET"),
         (_, "/requests" | "/reload" | "/shutdown") => Response::json_error(405, "use POST"),
         _ => Response::json_error(404, "unknown path"),
@@ -1230,7 +1249,17 @@ fn flight_sections(ctl: &Controller, inner: &Inner) -> Vec<(&'static str, String
     let faults = ctl
         .faults_json()
         .unwrap_or_else(|e| format!("{{\"error\":{:?}}}", e));
-    vec![("slo", slo), ("slow_requests", slow), ("faults", faults)]
+    let mut sections = vec![("slo", slo), ("slow_requests", slow), ("faults", faults)];
+    // The borrows section exists only on borrowing fleets, so a
+    // matrix-free daemon's dump stays byte-identical to the pre-borrowing
+    // format.
+    if ctl.borrowing_enabled() {
+        let borrows = ctl
+            .borrows_json()
+            .unwrap_or_else(|e| format!("{{\"error\":{:?}}}", e));
+        sections.push(("borrows", borrows));
+    }
+    sections
 }
 
 /// Pulls the optional `"pool"` string out of a request body. `Ok(None)`

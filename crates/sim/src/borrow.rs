@@ -1,0 +1,133 @@
+//! Cross-pool borrowing: the compatibility matrix and borrow records.
+//!
+//! Pools in a [`FleetSim`](crate::FleetSim) are isolated by default. A
+//! [`CompatibilityMatrix`] turns them into one resource cluster: each
+//! directed [`BorrowEdge`] `from -> to` permits the requester pool `to`,
+//! on a pool miss, to take a warm idle cluster from the donor pool `from`,
+//! paying the edge's transfer latency instead of the full creation latency
+//! τ (edges with `latency_secs >= τ` are rejected — borrowing must beat
+//! creating). Guardrails ride on the matrix: a fleet-wide cap on borrows
+//! in flight and a per-pool donation floor below which a donor refuses.
+//!
+//! The borrow *protocol* — when requests defer, how donors are picked, and
+//! why serial and parallel execution stay byte-identical — lives in
+//! [`FleetSim`](crate::FleetSim) (see DESIGN.md §17). Every successful
+//! borrow is recorded as a [`BorrowRecord`] on the requester's report.
+
+use std::collections::BTreeMap;
+
+/// Borrow-latency histogram bucket bounds, seconds (borrow latencies are
+/// bounded by τ, so the buckets sit well under [`crate::engine`]'s wait
+/// buckets).
+pub(crate) const BORROW_BUCKETS: [f64; 7] = [0.0, 5.0, 10.0, 20.0, 30.0, 60.0, 90.0];
+
+/// One directed borrow permission: pool `to` may take a warm cluster from
+/// pool `from`, paying `latency_secs` of transfer latency.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BorrowEdge {
+    /// Donor pool name.
+    pub from: String,
+    /// Requester pool name.
+    pub to: String,
+    /// Transfer latency charged to the borrowed request, seconds. Must be
+    /// `> 0` and `<` the requester's `tau_secs`.
+    pub latency_secs: u64,
+}
+
+/// Which pool pairs may borrow, plus the fleet-level guardrails.
+///
+/// An empty matrix (no edges) is the "borrowing off" state: a fleet with
+/// an empty matrix takes exactly the same code paths — and produces
+/// byte-identical output — as one that never heard of borrowing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CompatibilityMatrix {
+    /// Directed borrow permissions, in declaration order (the donor-search
+    /// order on a miss).
+    pub edges: Vec<BorrowEdge>,
+    /// Maximum borrows simultaneously in flight across the fleet
+    /// (`0` = unlimited). A borrow occupies a slot from its resolution
+    /// time until its transfer latency has elapsed.
+    pub max_concurrent_borrows: usize,
+    /// Per-pool donation floor: a donor refuses when donating would drop
+    /// its ready pool to or below this count. Pools not listed have
+    /// floor 0 (donate down to empty).
+    pub donation_floors: BTreeMap<String, usize>,
+}
+
+impl CompatibilityMatrix {
+    /// An empty matrix (borrowing off).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a directed edge (builder form).
+    pub fn edge(
+        mut self,
+        from: impl Into<String>,
+        to: impl Into<String>,
+        latency_secs: u64,
+    ) -> Self {
+        self.edges.push(BorrowEdge {
+            from: from.into(),
+            to: to.into(),
+            latency_secs,
+        });
+        self
+    }
+
+    /// Sets the fleet-wide cap on borrows in flight (builder form).
+    pub fn max_concurrent(mut self, n: usize) -> Self {
+        self.max_concurrent_borrows = n;
+        self
+    }
+
+    /// Sets a pool's donation floor (builder form).
+    pub fn donation_floor(mut self, pool: impl Into<String>, floor: usize) -> Self {
+        self.donation_floors.insert(pool.into(), floor);
+        self
+    }
+
+    /// `true` when no edges exist — borrowing is off.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// The donation floor for `pool` (0 when unset).
+    pub fn floor_of(&self, pool: &str) -> usize {
+        self.donation_floors.get(pool).copied().unwrap_or(0)
+    }
+}
+
+/// One successful borrow, recorded on the **requester** pool's report in
+/// resolution order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BorrowRecord {
+    /// Logical time (seconds) the borrow resolved.
+    pub t: u64,
+    /// Donor pool name.
+    pub from: String,
+    /// Transfer latency charged to the request, seconds.
+    pub latency_secs: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_floor_lookup() {
+        let m = CompatibilityMatrix::new()
+            .edge("east", "west", 10)
+            .edge("west", "east", 15)
+            .max_concurrent(3)
+            .donation_floor("east", 2);
+        assert!(!m.is_empty());
+        assert_eq!(m.edges.len(), 2);
+        assert_eq!(m.edges[0].from, "east");
+        assert_eq!(m.edges[0].to, "west");
+        assert_eq!(m.max_concurrent_borrows, 3);
+        assert_eq!(m.floor_of("east"), 2);
+        assert_eq!(m.floor_of("west"), 0);
+        assert!(CompatibilityMatrix::new().is_empty());
+    }
+}

@@ -10,6 +10,7 @@
 //! event order — never in pacing order — a live run over a demand trace is
 //! bit-identical to the offline simulation of the same trace.
 
+use crate::borrow::{BorrowRecord, BORROW_BUCKETS};
 use crate::cluster::{Cluster, ClusterState};
 use crate::fault::{FaultEntry, FaultKind, FaultRecord};
 use crate::lease::Lease;
@@ -245,6 +246,14 @@ pub struct SimReport {
     pub fallback_intervals: u64,
     /// Workers replaced by the Arbitrator after lease lapse.
     pub worker_replacements: u64,
+    /// Warm clusters borrowed *into* this pool from fleet siblings (0
+    /// outside a borrowing fleet).
+    pub borrowed_in: u64,
+    /// Warm clusters this pool donated to fleet siblings.
+    pub borrowed_out: u64,
+    /// Every borrow this pool received, in resolution order (empty
+    /// outside a borrowing fleet).
+    pub borrow_records: Vec<BorrowRecord>,
     /// Chaos faults injected over the run, in firing order (empty without
     /// a fault schedule).
     pub fault_records: Vec<FaultRecord>,
@@ -350,6 +359,16 @@ pub struct SimStepper {
     telemetry_dropout_until: u64,
     /// Every chaos fault that fired, in firing order.
     fault_records: Vec<FaultRecord>,
+    /// Cross-pool borrowing (DESIGN.md §17): when set by the fleet driver,
+    /// a pool miss records a pending request instead of creating hedged
+    /// on-demand clusters; the fleet resolves it at the epoch boundary
+    /// (borrow from a sibling, or [`resolve_miss_fallback`]).
+    defer_misses: bool,
+    /// Arrival times of misses awaiting epoch-boundary resolution.
+    pending_misses: Vec<u64>,
+    borrowed_in: u64,
+    borrowed_out: u64,
+    borrow_records: Vec<BorrowRecord>,
     hits: u64,
     misses: u64,
     total_requests: u64,
@@ -450,6 +469,11 @@ impl SimStepper {
             telemetry_lag_secs: 0,
             telemetry_dropout_until: 0,
             fault_records: Vec::new(),
+            defer_misses: false,
+            pending_misses: Vec::new(),
+            borrowed_in: 0,
+            borrowed_out: 0,
+            borrow_records: Vec::new(),
             hits: 0,
             misses: 0,
             total_requests: 0,
@@ -836,6 +860,11 @@ impl SimStepper {
                     );
                 }
                 self.clusters.get_mut(&id).expect("known cluster").state = ClusterState::InUse;
+            } else if self.defer_misses {
+                // Borrowing fleet: classification (borrowed hit vs
+                // on-demand miss) waits for epoch-boundary resolution, so
+                // this request counts in neither tally yet.
+                self.pending_misses.push(time);
             } else {
                 self.misses += 1;
                 self.telemetry.append("pool_miss", time, 1.0);
@@ -1148,6 +1177,174 @@ impl SimStepper {
             .filter(|&t| t < self.end_time)
     }
 
+    /// The simulator configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Warm clusters borrowed into this pool so far.
+    pub fn borrowed_in(&self) -> u64 {
+        self.borrowed_in
+    }
+
+    /// Warm clusters this pool donated so far.
+    pub fn borrowed_out(&self) -> u64 {
+        self.borrowed_out
+    }
+
+    /// Borrows received so far, in resolution order.
+    pub fn borrow_records(&self) -> &[BorrowRecord] {
+        &self.borrow_records
+    }
+
+    /// Run-to-date idle cluster·seconds as of the last processed event
+    /// (the live COGS driver; [`finalize`](SimStepper::finalize) closes it
+    /// exactly at the watermark).
+    pub fn idle_cluster_seconds(&self) -> f64 {
+        self.idle_cs
+    }
+
+    /// Start time of the earliest demand interval not yet delivered, or
+    /// `None` when the trace is exhausted. Intervals are the only events
+    /// that can raise a pool miss, so this bounds the next possible
+    /// cross-pool interaction — the epoch length a borrowing fleet driver
+    /// may safely advance every pool by (DESIGN.md §17).
+    pub fn next_interval_time(&self) -> Option<u64> {
+        let t = self.interval_stats.len() as u64 * self.cfg.interval_secs;
+        (t < self.end_time).then_some(t)
+    }
+
+    /// Switches the miss path to epoch-boundary deferral (set by the fleet
+    /// driver when a compatibility matrix is in force).
+    pub(crate) fn set_defer_misses(&mut self, on: bool) {
+        self.defer_misses = on;
+    }
+
+    /// Drains the misses awaiting resolution (arrival times, in order).
+    pub(crate) fn take_pending_misses(&mut self) -> Vec<u64> {
+        std::mem::take(&mut self.pending_misses)
+    }
+
+    /// Advances the idle/provisioning integrals to `t` without processing
+    /// any event — the bookkeeping an out-of-band fleet mutation (donate /
+    /// receive / fallback at an epoch boundary) needs so inventory changes
+    /// at `t` charge cluster·seconds exactly up to `t`. Clamped to the
+    /// trace end; a no-op when the stepper already advanced past `t`.
+    fn sync_integrals(&mut self, t: u64) {
+        let t = t.min(self.end_time);
+        if t <= self.last_time {
+            return;
+        }
+        let dt = (t - self.last_time) as f64;
+        self.idle_cs += dt * self.ready_queue.len() as f64;
+        self.prov_cs += dt * self.provisioning_pool.len() as f64;
+        self.last_time = t;
+    }
+
+    /// Donor side of a borrow: surrender the oldest ready cluster unless
+    /// that would drop the ready pool to or below `floor`. Re-hydration
+    /// kicks in immediately (the donor's target enforcement runs at `t`).
+    pub(crate) fn try_donate(&mut self, t: u64, floor: usize) -> bool {
+        if self.ready_queue.len() <= floor {
+            return false;
+        }
+        self.sync_integrals(t);
+        let id = self.ready_queue.pop_front().expect("checked non-empty");
+        self.clusters.get_mut(&id).expect("known cluster").state = ClusterState::Retired;
+        self.borrowed_out += 1;
+        self.telemetry.append("borrow_donated", t, 1.0);
+        self.enforce_target(t);
+        true
+    }
+
+    /// Requester side of a borrow: the pending miss at `t` is served by a
+    /// sibling's warm cluster after `latency_secs` of transfer latency —
+    /// counted as a pool hit (the fleet served it warm), with the latency
+    /// charged as its wait. The transferred cluster enters this pool's
+    /// inventory in use.
+    pub(crate) fn receive_borrow(&mut self, t: u64, latency_secs: u64, from: &str) {
+        self.sync_integrals(t);
+        let wait = latency_secs as f64;
+        self.hits += 1;
+        self.total_wait += wait;
+        self.borrowed_in += 1;
+        self.telemetry.append("pool_hit", t, 1.0);
+        self.telemetry.append("borrow_received", t, 1.0);
+        let id = self.next_cluster_id;
+        self.next_cluster_id += 1;
+        let mut cluster = Cluster::provisioning(id, t, u64::MAX, false);
+        cluster.state = ClusterState::InUse;
+        self.clusters.insert(id, cluster);
+        if self.obs_on {
+            let pl = pool_labels(&self.cfg.pool);
+            let name = self.cfg.pool.as_ref().map_or("default", |p| p.as_str());
+            let bl = [("pool", name), ("from", from)];
+            ip_obs::counter_inc("ip_sim_borrows_total", &bl);
+            ip_obs::observe_with("ip_sim_borrow_latency_seconds", &bl, &BORROW_BUCKETS, wait);
+            ip_obs::counter_inc("ip_sim_pool_hits_total", pl.as_slice());
+            ip_obs::observe_with(
+                "ip_sim_request_wait_seconds",
+                pl.as_slice(),
+                &WAIT_BUCKETS,
+                wait,
+            );
+            ip_obs::event("sim.borrow", t, &[("latency", wait)]);
+        }
+        self.borrow_records.push(BorrowRecord {
+            t,
+            from: from.to_string(),
+            latency_secs,
+        });
+        // Resolution happens at the same logical time as the interval that
+        // raised the miss, so its record is the last one pushed — fold it
+        // back in as the hit it turned out to be.
+        if let Some(last) = self.interval_stats.last_mut() {
+            debug_assert_eq!(last.time_secs, t, "resolution past the raising interval");
+            last.hits += 1;
+            last.cum_wait_secs = self.total_wait;
+        }
+    }
+
+    /// Fallback for a pending miss no sibling could serve: the exact
+    /// hedged on-demand creation the inline miss path performs, executed
+    /// at resolution time with the original arrival time `t`.
+    pub(crate) fn resolve_miss_fallback(&mut self, t: u64) {
+        self.sync_integrals(t);
+        self.misses += 1;
+        self.telemetry.append("pool_miss", t, 1.0);
+        let request_idx = self.od_requests.len();
+        self.od_requests.push(OdRequest {
+            arrival: t,
+            served: false,
+        });
+        for _ in 0..self.cfg.on_demand_hedging.max(1) {
+            let id = self.next_cluster_id;
+            self.next_cluster_id += 1;
+            let ready_at = t + self.sample_tau();
+            self.clusters
+                .insert(id, Cluster::provisioning(id, ready_at, u64::MAX, true));
+            self.od_request_of.insert(id, request_idx);
+            self.clusters_created += 1;
+            self.on_demand_created += 1;
+            if self.obs_on {
+                let pl = pool_labels(&self.cfg.pool);
+                ip_obs::counter_inc("ip_sim_clusters_created_total", pl.as_slice());
+                ip_obs::counter_inc("ip_sim_on_demand_created_total", pl.as_slice());
+            }
+            self.push(ready_at, Ev::ClusterReady(id));
+        }
+        if self.obs_on {
+            let pl = pool_labels(&self.cfg.pool);
+            ip_obs::counter_inc("ip_sim_pool_misses_total", pl.as_slice());
+        }
+        if let Some(last) = self.interval_stats.last_mut() {
+            debug_assert_eq!(last.time_secs, t, "resolution past the raising interval");
+            last.misses += 1;
+            last.cum_clusters_created = self.clusters_created;
+            last.cum_on_demand_created = self.on_demand_created;
+        }
+    }
+
     /// Closes the integrals at the watermark, charges still-unserved
     /// on-demand requests their wait so far, fixes up the last interval
     /// record to the end-of-window totals, and produces the report.
@@ -1220,6 +1417,9 @@ impl SimStepper {
             ip_failures: self.ip_failures,
             fallback_intervals: self.fallback_intervals,
             worker_replacements: self.worker_replacements,
+            borrowed_in: self.borrowed_in,
+            borrowed_out: self.borrowed_out,
+            borrow_records: self.borrow_records,
             fault_records: self.fault_records,
             applied_target_timeline: self.applied_targets,
             interval_stats: self.interval_stats,

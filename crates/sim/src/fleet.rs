@@ -27,6 +27,7 @@
 //! invariants are pinned by tests (`tests/fleet.rs`,
 //! `tests/fleet_parallel.rs`, `tests/fleet_obs_identity.rs`).
 
+use crate::borrow::{CompatibilityMatrix, BORROW_BUCKETS};
 use crate::engine::{SimConfig, SimReport, SimStepper};
 use crate::{BoxedProvider, PoolId, RecommendationProvider, Result, SimError};
 use ip_timeseries::TimeSeries;
@@ -133,6 +134,18 @@ pub struct FleetSim {
     /// entry is validated against the stepper and re-pushed if corrected.
     /// Invariant: every member with a pending event has exactly one entry.
     schedule: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Cross-pool borrowing (DESIGN.md §17). `None` — the default, and the
+    /// state an empty matrix normalizes to — keeps every pool isolated on
+    /// exactly the pre-borrowing code paths.
+    matrix: Option<CompatibilityMatrix>,
+    /// Matrix edges compiled to `(requester index, donor index, latency)`,
+    /// in declaration order (the donor-search order).
+    compiled_edges: Vec<(usize, usize, u64)>,
+    /// Per-member donation floor (0 = donate down to empty).
+    floors: Vec<usize>,
+    /// Completion times (`resolution + latency`) of borrows in flight —
+    /// the `max_concurrent_borrows` guardrail's ledger.
+    in_flight_borrows: Vec<u64>,
 }
 
 impl FleetSim {
@@ -186,7 +199,98 @@ impl FleetSim {
             members,
             strategy: FleetStrategy::Auto,
             schedule,
+            matrix: None,
+            compiled_edges: Vec::new(),
+            floors: Vec::new(),
+            in_flight_borrows: Vec::new(),
         })
+    }
+
+    /// Enables cross-pool borrowing under `matrix` (builder form). See
+    /// [`set_matrix`](FleetSim::set_matrix).
+    pub fn with_matrix(mut self, matrix: CompatibilityMatrix) -> Result<Self> {
+        self.set_matrix(matrix)?;
+        Ok(self)
+    }
+
+    /// Enables cross-pool borrowing under `matrix`. Validates every edge
+    /// (both endpoints registered, no self-loops, `0 < latency <` the
+    /// requester's `tau_secs` — borrowing must beat creating) and every
+    /// donation-floor pool name; an empty matrix normalizes to borrowing
+    /// off. Call before stepping: enabling the matrix switches every pool
+    /// to the epoch-boundary miss protocol and pre-registers the per-edge
+    /// `ip_sim_borrows_total` / `ip_sim_borrow_latency_seconds` series.
+    pub fn set_matrix(&mut self, matrix: CompatibilityMatrix) -> Result<()> {
+        if matrix.is_empty() {
+            self.matrix = None;
+            self.compiled_edges.clear();
+            self.floors.clear();
+            for m in &mut self.members {
+                m.stepper.set_defer_misses(false);
+            }
+            return Ok(());
+        }
+        let mut compiled = Vec::with_capacity(matrix.edges.len());
+        for edge in &matrix.edges {
+            let describe = format!("borrow edge {:?} -> {:?}", edge.from, edge.to);
+            let from = self.index_of(&edge.from).ok_or_else(|| {
+                SimError::InvalidConfig(format!("unknown pool {:?} in {describe}", edge.from))
+            })?;
+            let to = self.index_of(&edge.to).ok_or_else(|| {
+                SimError::InvalidConfig(format!("unknown pool {:?} in {describe}", edge.to))
+            })?;
+            if from == to {
+                return Err(SimError::InvalidConfig(format!(
+                    "{describe} is a self-loop"
+                )));
+            }
+            let tau = self.members[to].stepper.config().tau_secs;
+            if edge.latency_secs == 0 || edge.latency_secs >= tau {
+                return Err(SimError::InvalidConfig(format!(
+                    "{describe}: latency {}s must be > 0 and < the requester's tau ({tau}s)",
+                    edge.latency_secs
+                )));
+            }
+            compiled.push((to, from, edge.latency_secs));
+        }
+        for pool in matrix.donation_floors.keys() {
+            if self.index_of(pool).is_none() {
+                return Err(SimError::InvalidConfig(format!(
+                    "unknown pool {pool:?} in donation floors"
+                )));
+            }
+        }
+        self.floors = self
+            .members
+            .iter()
+            .map(|m| matrix.floor_of(m.id.as_str()))
+            .collect();
+        self.compiled_edges = compiled;
+        for m in &mut self.members {
+            m.stepper.set_defer_misses(true);
+        }
+        if ip_obs::enabled() {
+            // Pre-register every edge's series so a borrow-enabled run
+            // exposes them at zero even before the first borrow (the same
+            // contract the per-pool counters follow).
+            for edge in &matrix.edges {
+                let bl = [("pool", edge.to.as_str()), ("from", edge.from.as_str())];
+                ip_obs::counter_add("ip_sim_borrows_total", &bl, 0.0);
+                ip_obs::declare_histogram("ip_sim_borrow_latency_seconds", &bl, &BORROW_BUCKETS);
+            }
+        }
+        self.matrix = Some(matrix);
+        Ok(())
+    }
+
+    /// The compatibility matrix in force, if borrowing is enabled.
+    pub fn matrix(&self) -> Option<&CompatibilityMatrix> {
+        self.matrix.as_ref()
+    }
+
+    /// `true` when a non-empty compatibility matrix is in force.
+    pub fn borrowing_enabled(&self) -> bool {
+        self.matrix.is_some()
     }
 
     /// Overrides the execution strategy (builder form).
@@ -313,9 +417,92 @@ impl FleetSim {
     /// metric series, logical trace events — is bit-identical whichever
     /// [`FleetStrategy`] executes the epoch.
     pub fn step_until(&mut self, until: u64) -> usize {
+        if self.matrix.is_some() {
+            return self.step_until_borrowing(until);
+        }
         match self.effective_threads() {
             None => self.step_until_serial(until),
             Some(threads) => self.step_until_parallel(until, threads),
+        }
+    }
+
+    /// The borrowing driver: epochs bounded by the next possible
+    /// cross-pool interaction. Misses can only arise at demand-interval
+    /// events, so every pool can safely run independently up to the
+    /// earliest unprocessed interval time `t` across the fleet; the epoch
+    /// lands every pool exactly at `t` (the interval events at `t`
+    /// included, their misses deferred), then pending misses resolve on
+    /// the caller thread in `(time, registration index, arrival order)` —
+    /// the same deterministic order whichever strategy ran the epoch.
+    /// Every strategy routes epochs through the capture/fold pool-major
+    /// path (`Serial` runs it with one inline worker), so reports, metric
+    /// bytes, and the event stream are byte-identical at any thread count.
+    fn step_until_borrowing(&mut self, until: u64) -> usize {
+        let threads = self.effective_threads().unwrap_or(1);
+        let mut intervals = 0;
+        loop {
+            let boundary = self
+                .members
+                .iter()
+                .filter_map(|m| m.stepper.next_interval_time())
+                .filter(|&t| t <= until)
+                .min();
+            match boundary {
+                Some(t) => {
+                    intervals += self.step_until_parallel(t, threads);
+                    self.resolve_borrows(t);
+                }
+                None => {
+                    intervals += self.step_until_parallel(until, threads);
+                    return intervals;
+                }
+            }
+        }
+    }
+
+    /// Epoch-boundary borrow resolution at time `t`: drain every pool's
+    /// pending misses, order them `(time, registration index, arrival
+    /// order)`, and for each one scan the matrix edges in declaration
+    /// order for the first donor with a ready cluster above its donation
+    /// floor — respecting the fleet-wide in-flight cap — else fall back to
+    /// the exact hedged on-demand creation the inline miss path performs.
+    fn resolve_borrows(&mut self, t: u64) {
+        let mut requests: Vec<(u64, usize)> = Vec::new();
+        for i in 0..self.members.len() {
+            for arrival in self.members[i].stepper.take_pending_misses() {
+                requests.push((arrival, i));
+            }
+        }
+        if requests.is_empty() {
+            return;
+        }
+        // Stable sort: per-pool arrival order survives within a key.
+        requests.sort_by_key(|&(time, i)| (time, i));
+        let max_in_flight = self.matrix.as_ref().map_or(0, |m| m.max_concurrent_borrows);
+        self.in_flight_borrows.retain(|&done| done > t);
+        for (arrival, requester) in requests {
+            debug_assert_eq!(arrival, t, "pending miss outlived its epoch");
+            let mut donated = None;
+            if max_in_flight == 0 || self.in_flight_borrows.len() < max_in_flight {
+                for &(to, from, latency) in &self.compiled_edges {
+                    if to == requester
+                        && self.members[from].stepper.try_donate(t, self.floors[from])
+                    {
+                        donated = Some((from, latency));
+                        break;
+                    }
+                }
+            }
+            match donated {
+                Some((from, latency)) => {
+                    let donor = self.members[from].id.clone();
+                    self.members[requester]
+                        .stepper
+                        .receive_borrow(t, latency, donor.as_str());
+                    self.in_flight_borrows.push(t + latency);
+                }
+                None => self.members[requester].stepper.resolve_miss_fallback(t),
+            }
         }
     }
 
@@ -438,6 +625,8 @@ impl FleetReport {
             agg.ip_failures += r.ip_failures;
             agg.fallback_intervals += r.fallback_intervals;
             agg.worker_replacements += r.worker_replacements;
+            agg.borrowed_in += r.borrowed_in;
+            agg.borrowed_out += r.borrowed_out;
         }
         agg.hit_rate = if agg.total_requests == 0 {
             1.0
@@ -486,6 +675,11 @@ pub struct FleetAggregate {
     pub fallback_intervals: u64,
     /// Arbitrator worker replacements across all pools.
     pub worker_replacements: u64,
+    /// Warm clusters borrowed across pools (requester side; equals
+    /// `borrowed_out` fleet-wide).
+    pub borrowed_in: u64,
+    /// Warm clusters donated across pools.
+    pub borrowed_out: u64,
 }
 
 #[cfg(test)]

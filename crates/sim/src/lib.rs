@@ -43,6 +43,7 @@
 //! assert_eq!(report.total_wait_secs, 3.0 * 90.0);
 //! ```
 
+pub mod borrow;
 pub mod cluster;
 pub mod engine;
 pub mod fault;
@@ -51,6 +52,7 @@ pub mod lease;
 pub mod session;
 pub mod stores;
 
+pub use borrow::{BorrowEdge, BorrowRecord, CompatibilityMatrix};
 pub use cluster::{Cluster, ClusterState};
 pub use engine::{
     ArbitratorConfig, IntervalStat, IpWorkerConfig, SimConfig, SimReport, SimStepper, Simulation,

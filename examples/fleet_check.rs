@@ -5,6 +5,8 @@
 //!
 //! ```text
 //! cargo run --example fleet_check -- metrics.prom pools.json east west spare
+//! cargo run --example fleet_check -- --fleet fleet.json --min-borrows 1 \
+//!     metrics.prom pools.json east west spare
 //! ```
 //!
 //! Exits non-zero (with a message) unless, for every named pool:
@@ -15,6 +17,11 @@
 //!
 //! Extra pools in either artifact also fail the check — a fleet daemon
 //! must expose exactly its configured pools.
+//!
+//! With `--fleet <fleet.json>` (PR 10), also validates the `GET /fleet`
+//! economics document: the per-pool and fleet roll-up schemas, pool names
+//! matching the expected set, and — with `--min-borrows <n>` — that the
+//! fleet actually resolved at least `n` cross-pool borrows.
 
 use intelligent_pooling::obs::export::parse_prometheus;
 use serde::Content;
@@ -31,9 +38,31 @@ fn main() -> ExitCode {
 }
 
 fn run() -> Result<(), String> {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let [prom_path, pools_path, expected @ ..] = args.as_slice() else {
-        return Err("usage: fleet_check <metrics.prom> <pools.json> <pool-name>...".into());
+    let mut fleet_path: Option<String> = None;
+    let mut min_borrows: u64 = 0;
+    let mut positional: Vec<String> = Vec::new();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--fleet" => {
+                fleet_path = Some(args.next().ok_or("--fleet needs a path")?);
+            }
+            "--min-borrows" => {
+                min_borrows = args
+                    .next()
+                    .ok_or("--min-borrows needs a count")?
+                    .parse()
+                    .map_err(|e| format!("--min-borrows: {e}"))?;
+            }
+            _ => positional.push(arg),
+        }
+    }
+    let [prom_path, pools_path, expected @ ..] = positional.as_slice() else {
+        return Err(
+            "usage: fleet_check [--fleet <fleet.json>] [--min-borrows <n>] \
+             <metrics.prom> <pools.json> <pool-name>..."
+                .into(),
+        );
     };
     if expected.is_empty() {
         return Err("at least one expected pool name is required".into());
@@ -97,6 +126,79 @@ fn run() -> Result<(), String> {
                 ));
             }
         }
+    }
+    // -- GET /fleet -------------------------------------------------------
+    if let Some(fleet_path) = &fleet_path {
+        let text = std::fs::read_to_string(fleet_path).map_err(|e| format!("{fleet_path}: {e}"))?;
+        let doc: Content = serde_json::from_str(&text).map_err(|e| format!("{fleet_path}: {e}"))?;
+        let Some(Content::Bool(borrowing)) = doc.field("borrowing") else {
+            return Err(format!("{fleet_path}: no boolean \"borrowing\""));
+        };
+        let Some(Content::Seq(entries)) = doc.field("pools") else {
+            return Err(format!("{fleet_path}: no \"pools\" array"));
+        };
+        let listed: Vec<&str> = entries
+            .iter()
+            .map(|p| match p.field("name") {
+                Some(Content::Str(s)) => Ok(s.as_str()),
+                _ => Err(format!("{fleet_path}: pool entry without a \"name\"")),
+            })
+            .collect::<Result<_, _>>()?;
+        if listed != expected_refs {
+            return Err(format!(
+                "{fleet_path}: pools {listed:?} != expected {expected_refs:?}"
+            ));
+        }
+        for entry in entries {
+            for key in [
+                "requests",
+                "hits",
+                "misses",
+                "hit_rate",
+                "mean_wait_secs",
+                "borrowed_in",
+                "borrowed_out",
+                "idle_cluster_seconds",
+                "cogs_dollars",
+            ] {
+                if entry.field(key).is_none() {
+                    return Err(format!("{fleet_path}: pool entry missing {key:?}"));
+                }
+            }
+        }
+        let Some(rollup) = doc.field("fleet") else {
+            return Err(format!("{fleet_path}: no \"fleet\" roll-up"));
+        };
+        for key in [
+            "requests",
+            "hit_rate",
+            "mean_wait_secs",
+            "borrows",
+            "borrow_saved_secs",
+            "idle_cluster_seconds",
+            "cogs_dollars",
+        ] {
+            if rollup.field(key).is_none() {
+                return Err(format!("{fleet_path}: fleet roll-up missing {key:?}"));
+            }
+        }
+        let borrows = rollup
+            .field("borrows")
+            .and_then(Content::as_u64)
+            .ok_or_else(|| format!("{fleet_path}: fleet.borrows is not a u64"))?;
+        if min_borrows > 0 {
+            if !borrowing {
+                return Err(format!(
+                    "{fleet_path}: expected a borrowing fleet, got \"borrowing\": false"
+                ));
+            }
+            if borrows < min_borrows {
+                return Err(format!(
+                    "{fleet_path}: fleet.borrows = {borrows}, expected >= {min_borrows}"
+                ));
+            }
+        }
+        println!("fleet_check: /fleet ok ({borrows} borrows)");
     }
     println!(
         "fleet_check: {} pools, {} samples — ok",

@@ -15,7 +15,8 @@
 //! see [`intelligent_pooling::cli::parse_fleet_spec`].
 
 use intelligent_pooling::cli::{
-    format_demand, parse_demand, parse_fleet_spec, CliArgs, FleetPoolEntry, FleetSpec,
+    format_demand, parse_demand, parse_fleet_spec, CliArgs, FleetMatrixSpec, FleetPoolEntry,
+    FleetSpec,
 };
 use intelligent_pooling::prelude::*;
 use std::process::ExitCode;
@@ -50,7 +51,8 @@ commands:
              --scenario <name|spec.json>  shape the demand with a chaos
              scenario and inject its fault schedule (worker-lease
              expiry, Arbitrator partitions, config corruption,
-             telemetry lag/dropout); deterministic per seed
+             telemetry lag/dropout); deterministic per seed; compose
+             scenarios with '+' (e.g. diurnal-ramp+flash-crowd)
              --scenario-seed N  scenario randomness seed (default 0,
              or the spec file's \"seed\")
              --list-scenarios   print the scenario catalog and exit
@@ -90,7 +92,15 @@ fleet specs (--pools) are JSON: {\"interval_secs\":30, \"days\":1, \"seed\":7,
   \"pools\":[{\"name\":\"east\", \"preset\":\"east-us-2-medium\"|\"demand\":\"f.txt\",
              \"target\":4, \"tau_secs\":90, \"sim_seed\":0, \"seed\":N,
              \"model\":\"ssa+\", \"alpha\":0.3, \"autotune\":false,
-             \"target_wait_secs\":30.0}, ...]}
+             \"target_wait_secs\":30.0}, ...],
+  \"matrix\":{\"edges\":[{\"from\":\"west\", \"to\":\"east\", \"latency_secs\":20},
+             ...], \"max_concurrent_borrows\":0,
+             \"donation_floors\":{\"west\":2}}}
+  the optional matrix turns isolated pools into one resource cluster:
+  on a pool miss the requester may take a warm idle cluster from a
+  donor pool along a matrix edge, paying the edge latency instead of
+  the full creation latency tau (metrics: ip_sim_borrows_total,
+  ip_sim_borrow_latency_seconds; fleet roll-ups: GET /fleet)
 
 global flags (any command):
   --metrics-out FILE  write Prometheus text metrics on exit
@@ -222,6 +232,20 @@ fn fleet_sim_config(p: &FleetPoolEntry, demand: &TimeSeries) -> SimConfig {
         cfg.ip_worker = Some(IpWorkerConfig::default());
     }
     cfg
+}
+
+/// The fleet spec's `matrix` block as the simulator's
+/// [`CompatibilityMatrix`].
+fn build_matrix(spec: &FleetMatrixSpec) -> CompatibilityMatrix {
+    let mut matrix =
+        CompatibilityMatrix::new().max_concurrent(spec.max_concurrent_borrows as usize);
+    for e in &spec.edges {
+        matrix = matrix.edge(e.from.as_str(), e.to.as_str(), e.latency_secs);
+    }
+    for (pool, floor) in &spec.donation_floors {
+        matrix = matrix.donation_floor(pool.as_str(), *floor as usize);
+    }
+    matrix
 }
 
 /// `--list-scenarios`: the chaos catalog, one line per scenario.
@@ -503,6 +527,13 @@ fn simulate_fleet(args: &CliArgs, spec_path: &str) -> Result<(), String> {
         members.push(pool);
     }
     let mut sim = FleetSim::new(members).map_err(|e| e.to_string())?;
+    let borrowing = match &spec.matrix {
+        Some(m) => {
+            sim.set_matrix(build_matrix(m)).map_err(|e| e.to_string())?;
+            sim.borrowing_enabled()
+        }
+        None => false,
+    };
     sim.run_to_end();
     let report = sim.finalize();
 
@@ -537,15 +568,38 @@ fn simulate_fleet(args: &CliArgs, spec_path: &str) -> Result<(), String> {
             agg.ip_runs, agg.ip_failures, agg.fallback_intervals
         );
     }
+    if borrowing {
+        println!(
+            "borrows         : {} warm transfer(s) across pools ({} donated)",
+            agg.borrowed_in, agg.borrowed_out
+        );
+        for (pool, r) in &report.pools {
+            for rec in &r.borrow_records {
+                println!(
+                    "  {}s  {} <- {} ({}s transfer)",
+                    rec.t,
+                    pool.as_str(),
+                    rec.from,
+                    rec.latency_secs
+                );
+            }
+        }
+    }
     Ok(())
 }
 
 /// `serve --pools`: every spec entry becomes one named pool in the fleet
-/// daemon.
+/// daemon, plus the spec's borrow matrix (if any).
 fn fleet_serve_pools(
     args: &CliArgs,
     spec_path: &str,
-) -> Result<Vec<intelligent_pooling::serve::PoolServeConfig>, String> {
+) -> Result<
+    (
+        Vec<intelligent_pooling::serve::PoolServeConfig>,
+        Option<CompatibilityMatrix>,
+    ),
+    String,
+> {
     use intelligent_pooling::serve::PoolServeConfig;
     let text = std::fs::read_to_string(spec_path).map_err(|e| format!("{spec_path}: {e}"))?;
     let spec = parse_fleet_spec(&text).map_err(|e| e.to_string())?;
@@ -557,7 +611,7 @@ fn fleet_serve_pools(
             .map(|(p, d)| (p, d, Vec::new()))
             .collect(),
     };
-    Ok(resolved
+    let pools = resolved
         .into_iter()
         .map(|(p, demand, faults)| {
             let mut sim = fleet_sim_config(&p, &demand);
@@ -571,7 +625,8 @@ fn fleet_serve_pools(
                 ..PoolServeConfig::named(p.name, demand)
             }
         })
-        .collect())
+        .collect();
+    Ok((pools, spec.matrix.as_ref().map(build_matrix)))
 }
 
 /// Applies the PR 8 observability flags (`--flight-out`, `--slow-us`,
@@ -609,7 +664,9 @@ fn serve(args: &CliArgs) -> Result<(), String> {
         let keep_alive = args
             .flag_or("keep-alive", true)
             .map_err(|e| e.to_string())?;
-        let mut config = ServeConfig::fleet(fleet_serve_pools(args, spec_path)?)?;
+        let (pools, matrix) = fleet_serve_pools(args, spec_path)?;
+        let mut config = ServeConfig::fleet(pools)?;
+        config.matrix = matrix;
         config.speedup = speedup;
         config.port = port;
         config.workers = workers;

@@ -181,6 +181,31 @@ pub struct FleetPoolEntry {
     pub target_wait_secs: f64,
 }
 
+/// One borrow edge in a fleet spec's `matrix` block: `to` may borrow a
+/// warm cluster from `from`, paying `latency_secs` of transfer time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetMatrixEdge {
+    /// Donor pool name.
+    pub from: String,
+    /// Requesting pool name.
+    pub to: String,
+    /// Transfer latency charged to a borrowed request, seconds.
+    pub latency_secs: u64,
+}
+
+/// The optional `matrix` block of a fleet spec: which pool pairs may
+/// borrow from each other, plus fleet-wide guardrails.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct FleetMatrixSpec {
+    /// Directed borrow edges, in file order.
+    pub edges: Vec<FleetMatrixEdge>,
+    /// Max borrows in flight at once across the fleet (0 = unlimited).
+    pub max_concurrent_borrows: u64,
+    /// Per-pool donation floors: a pool refuses to donate below this
+    /// many ready clusters.
+    pub donation_floors: BTreeMap<String, u64>,
+}
+
 /// A parsed `--pools` fleet spec file.
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetSpec {
@@ -192,6 +217,8 @@ pub struct FleetSpec {
     pub seed: u64,
     /// The pools, in file order.
     pub pools: Vec<FleetPoolEntry>,
+    /// Cross-pool borrowing matrix; `None` = isolated pools.
+    pub matrix: Option<FleetMatrixSpec>,
 }
 
 fn spec_err(msg: impl Into<String>) -> CliError {
@@ -271,7 +298,11 @@ pub fn parse_fleet_spec(text: &str) -> Result<FleetSpec, CliError> {
     if !matches!(doc, Content::Map(_)) {
         return Err(spec_err("top level must be a JSON object"));
     }
-    reject_unknown_keys(&doc, &["interval_secs", "days", "seed", "pools"], "spec")?;
+    reject_unknown_keys(
+        &doc,
+        &["interval_secs", "days", "seed", "pools", "matrix"],
+        "spec",
+    )?;
     let interval_secs = expect_u64(&doc, "interval_secs", "spec")?.unwrap_or(30);
     if interval_secs == 0 {
         return Err(spec_err("spec: \"interval_secs\" must be positive"));
@@ -360,12 +391,96 @@ pub fn parse_fleet_spec(text: &str) -> Result<FleetSpec, CliError> {
             target_wait_secs,
         });
     }
+    let matrix = parse_fleet_matrix(&doc, &seen)?;
     Ok(FleetSpec {
         interval_secs,
         days,
         seed,
         pools,
+        matrix,
     })
+}
+
+/// Parses the optional top-level `matrix` block. Every edge endpoint and
+/// donation-floor key is cross-checked against the fleet's pool names, so
+/// a typo'd edge fails loudly naming both of its columns.
+fn parse_fleet_matrix(
+    doc: &Content,
+    pool_names: &BTreeSet<String>,
+) -> Result<Option<FleetMatrixSpec>, CliError> {
+    let matrix_doc = match doc.field("matrix") {
+        None | Some(Content::Null) => return Ok(None),
+        Some(m @ Content::Map(_)) => m,
+        Some(_) => return Err(spec_err("spec: \"matrix\" must be an object")),
+    };
+    reject_unknown_keys(
+        matrix_doc,
+        &["edges", "max_concurrent_borrows", "donation_floors"],
+        "matrix",
+    )?;
+    let edges_doc = match matrix_doc.field("edges") {
+        None | Some(Content::Null) => &[][..],
+        Some(Content::Seq(items)) => items.as_slice(),
+        Some(_) => return Err(spec_err("matrix: \"edges\" must be an array")),
+    };
+    let mut edges = Vec::with_capacity(edges_doc.len());
+    for (i, entry) in edges_doc.iter().enumerate() {
+        let ctx = format!("matrix.edges[{i}]");
+        if !matches!(entry, Content::Map(_)) {
+            return Err(spec_err(format!("{ctx}: must be a JSON object")));
+        }
+        reject_unknown_keys(entry, &["from", "to", "latency_secs"], &ctx)?;
+        let from = expect_str(entry, "from", &ctx)?
+            .ok_or_else(|| spec_err(format!("{ctx}: missing \"from\"")))?;
+        let to = expect_str(entry, "to", &ctx)?
+            .ok_or_else(|| spec_err(format!("{ctx}: missing \"to\"")))?;
+        for pool in [&from, &to] {
+            if !pool_names.contains(pool) {
+                return Err(spec_err(format!(
+                    "{ctx}: unknown pool {pool:?} (edge {from:?} -> {to:?})"
+                )));
+            }
+        }
+        let latency_secs = expect_u64(entry, "latency_secs", &ctx)?
+            .ok_or_else(|| spec_err(format!("{ctx}: missing \"latency_secs\"")))?;
+        if latency_secs == 0 {
+            return Err(spec_err(format!(
+                "{ctx}: \"latency_secs\" must be positive"
+            )));
+        }
+        edges.push(FleetMatrixEdge {
+            from,
+            to,
+            latency_secs,
+        });
+    }
+    let max_concurrent_borrows =
+        expect_u64(matrix_doc, "max_concurrent_borrows", "matrix")?.unwrap_or(0);
+    let mut donation_floors = BTreeMap::new();
+    match matrix_doc.field("donation_floors") {
+        None | Some(Content::Null) => {}
+        Some(Content::Map(entries)) => {
+            for (pool, value) in entries {
+                if !pool_names.contains(pool) {
+                    return Err(spec_err(format!(
+                        "matrix.donation_floors: unknown pool {pool:?}"
+                    )));
+                }
+                let floor = value.as_u64().ok_or_else(|| {
+                    spec_err(format!(
+                        "matrix.donation_floors: {pool:?} must be a non-negative integer"
+                    ))
+                })?;
+                donation_floors.insert(pool.clone(), floor);
+            }
+        }
+        Some(_) => return Err(spec_err("matrix: \"donation_floors\" must be an object")),
+    }
+    Ok(Some(FleetMatrixSpec {
+        edges,
+        max_concurrent_borrows,
+        donation_floors,
+    }))
 }
 
 #[cfg(test)]
@@ -497,6 +612,84 @@ mod tests {
         assert_eq!(batch.demand_file.as_deref(), Some("batch.txt"));
         assert_eq!(batch.preset, None);
         assert_eq!(batch.tau_secs, 120);
+    }
+
+    #[test]
+    fn fleet_spec_matrix_parses_and_cross_checks_pools() {
+        let spec = parse_fleet_spec(
+            r#"{
+              "pools": [
+                {"name": "east", "preset": "spiky"},
+                {"name": "west", "preset": "spiky"}
+              ],
+              "matrix": {
+                "edges": [
+                  {"from": "west", "to": "east", "latency_secs": 20},
+                  {"from": "east", "to": "west", "latency_secs": 25}
+                ],
+                "max_concurrent_borrows": 3,
+                "donation_floors": {"west": 2}
+              }
+            }"#,
+        )
+        .unwrap();
+        let m = spec.matrix.unwrap();
+        assert_eq!(m.edges.len(), 2);
+        assert_eq!(m.edges[0].from, "west");
+        assert_eq!(m.edges[0].to, "east");
+        assert_eq!(m.edges[0].latency_secs, 20);
+        assert_eq!(m.max_concurrent_borrows, 3);
+        assert_eq!(m.donation_floors.get("west"), Some(&2));
+        // No matrix block at all is fine — isolated pools.
+        let spec = parse_fleet_spec(r#"{"pools": [{"name": "a", "preset": "spiky"}]}"#).unwrap();
+        assert_eq!(spec.matrix, None);
+
+        // An edge naming a pool outside the fleet is rejected, naming
+        // both columns of the offending edge.
+        let err = parse_fleet_spec(
+            r#"{
+              "pools": [
+                {"name": "east", "preset": "spiky"},
+                {"name": "west", "preset": "spiky"}
+              ],
+              "matrix": {"edges": [
+                {"from": "west", "to": "east", "latency_secs": 20},
+                {"from": "east", "to": "weast", "latency_secs": 20}
+              ]}
+            }"#,
+        )
+        .unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains(r#"matrix.edges[1]: unknown pool "weast" (edge "east" -> "weast")"#),
+            "{msg}"
+        );
+
+        for (text, needle) in [
+            (
+                r#"{"pools": [{"name": "a", "preset": "spiky"}],
+                    "matrix": {"edges": [{"from": "a", "to": "a"}]}}"#,
+                "missing \"latency_secs\"",
+            ),
+            (
+                r#"{"pools": [{"name": "a", "preset": "spiky"}],
+                    "matrix": {"edges": [{"from": "a", "to": "a", "latency_secs": 0}]}}"#,
+                "must be positive",
+            ),
+            (
+                r#"{"pools": [{"name": "a", "preset": "spiky"}],
+                    "matrix": {"donation_floors": {"b": 1}}}"#,
+                r#"donation_floors: unknown pool "b""#,
+            ),
+            (
+                r#"{"pools": [{"name": "a", "preset": "spiky"}],
+                    "matrix": {"edgs": []}}"#,
+                "unknown key",
+            ),
+        ] {
+            let err = parse_fleet_spec(text).unwrap_err();
+            assert!(err.to_string().contains(needle), "{err}");
+        }
     }
 
     #[test]

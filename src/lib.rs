@@ -73,6 +73,7 @@ pub mod prelude {
         NodeSize, PoolId, PoolRecommendation, PoolSpec, RecommendationEngine, SavingsReport,
         TwoStepEngine,
     };
+    pub use ip_core::{BudgetedOutcome, FleetBudget};
     pub use ip_models::{
         AutoSelector, BaselineForecaster, DeepConfig, Forecaster, HoltWinters, InceptionTime, Mwdn,
         SeasonalNaive, SsaModel, SsaPlus, Tst,
@@ -83,8 +84,8 @@ pub mod prelude {
         RobustnessStrategies, SaaConfig,
     };
     pub use ip_sim::{
-        run_region, FleetPool, FleetReport, FleetSim, IpWorkerConfig, PoolKind, RegionPool,
-        SimConfig, Simulation, StaticProvider,
+        run_region, CompatibilityMatrix, FleetPool, FleetReport, FleetSim, IpWorkerConfig,
+        PoolKind, RegionPool, SimConfig, Simulation, StaticProvider,
     };
     pub use ip_ssa::RankSelection;
     pub use ip_timeseries::TimeSeries;
